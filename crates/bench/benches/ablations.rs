@@ -1,0 +1,97 @@
+//! Criterion benches for the §6 design ablations: abort checking, inlining
+//! policy, constant-array handling, and the mutability copy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wolfram_bench::{native, programs, workloads};
+use wolfram_compiler_core::{Compiler, CompilerOptions, InlinePolicy};
+use wolfram_runtime::Value;
+
+fn options(f: impl FnOnce(&mut CompilerOptions)) -> Compiler {
+    let mut opts = CompilerOptions::default();
+    f(&mut opts);
+    Compiler::new(opts)
+}
+
+fn bench_abort_checking(c: &mut Criterion) {
+    let data = workloads::random_bytes_tensor(100_000, 17);
+    let with = options(|_| {}).function_compile_src(programs::HISTOGRAM_SRC).unwrap();
+    let without = options(|o| o.abort_handling = false)
+        .function_compile_src(programs::HISTOGRAM_SRC)
+        .unwrap();
+    let dv = Value::Tensor(data);
+    let mut g = c.benchmark_group("abort-checking-histogram");
+    g.bench_function("abortable", |b| {
+        b.iter(|| with.call(std::hint::black_box(&[dv.clone()])).unwrap())
+    });
+    g.bench_function("abort-inhibited", |b| {
+        b.iter(|| without.call(std::hint::black_box(&[dv.clone()])).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_inlining(c: &mut Criterion) {
+    const SRC: &str = "Function[{Typed[n, \"MachineInteger\"]}, \
+                       Module[{s = 0, k = 0}, \
+                        While[k < n, If[EvenQ[k], s = s + k]; k = k + 1]; s]]";
+    let auto = options(|o| o.inline_policy = InlinePolicy::Automatic)
+        .function_compile_src(SRC)
+        .unwrap();
+    let never = options(|o| o.inline_policy = InlinePolicy::Never)
+        .function_compile_src(SRC)
+        .unwrap();
+    let n = Value::I64(500_000);
+    let mut g = c.benchmark_group("inlining");
+    g.bench_function("automatic", |b| {
+        b.iter(|| auto.call(std::hint::black_box(&[n.clone()])).unwrap())
+    });
+    g.bench_function("never", |b| {
+        b.iter(|| never.call(std::hint::black_box(&[n.clone()])).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_constant_arrays(c: &mut Criterion) {
+    let table = workloads::prime_seed_table();
+    let src = programs::primeq_src(&table);
+    let optimized = options(|_| {}).function_compile_src(&src).unwrap();
+    let naive =
+        options(|o| o.naive_constant_arrays = true).function_compile_src(&src).unwrap();
+    let limit = Value::I64(8_000);
+    let mut g = c.benchmark_group("constant-arrays-primeq");
+    g.sample_size(10);
+    g.bench_function("optimized", |b| {
+        b.iter(|| optimized.call(std::hint::black_box(&[limit.clone()])).unwrap())
+    });
+    g.bench_function("naive", |b| {
+        b.iter(|| naive.call(std::hint::black_box(&[limit.clone()])).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_mutability_copy(c: &mut Criterion) {
+    let input = workloads::sorted_list(1 << 13);
+    let cf = options(|_| {}).function_compile_src(programs::QSORT_SRC).unwrap();
+    let iv = Value::Tensor(input.clone());
+    let mut g = c.benchmark_group("mutability-copy-qsort");
+    g.sample_size(20);
+    g.bench_function("compiled-with-copy", |b| {
+        b.iter(|| cf.call(std::hint::black_box(&[iv.clone(), Value::Bool(true)])).unwrap())
+    });
+    g.bench_function("native-in-place", |b| {
+        let mut scratch = input.as_i64().unwrap().to_vec();
+        b.iter(|| {
+            scratch.copy_from_slice(input.as_i64().unwrap());
+            std::hint::black_box(native::qsort(&scratch, native::less));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_abort_checking,
+    bench_inlining,
+    bench_constant_arrays,
+    bench_mutability_copy
+);
+criterion_main!(ablations);

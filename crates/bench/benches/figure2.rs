@@ -1,0 +1,180 @@
+//! Criterion benches for Figure 2: one group per benchmark, one function
+//! per implementation (native / new compiler / new without abort checks /
+//! bytecode). Run with `cargo bench -p wolfram-bench --bench figure2`.
+//!
+//! Criterion's statistics complement the `reproduce` binary's min-of-N
+//! runs; sizes here are reduced so a full sweep stays tractable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::rc::Rc;
+use wolfram_bench::{native, programs, workloads};
+use wolfram_bytecode::ArgSpec;
+use wolfram_compiler_core::{Compiler, CompilerOptions};
+use wolfram_runtime::Value;
+
+fn compiler(abort: bool) -> Compiler {
+    Compiler::new(CompilerOptions { abort_handling: abort, ..CompilerOptions::default() })
+}
+
+fn bench_fnv1a(c: &mut Criterion) {
+    let input = workloads::random_string(100_000, 1);
+    let new_cf = programs::compile_new(&compiler(true), programs::FNV1A_SRC);
+    let new_na = programs::compile_new(&compiler(false), programs::FNV1A_SRC);
+    let bc = programs::compile_bytecode(
+        &[ArgSpec::tensor_int("bytes")],
+        programs::FNV1A_BYTECODE_BODY,
+    )
+    .unwrap();
+    let sv = Value::Str(Rc::new(input.clone()));
+    let codes =
+        Value::Tensor(wolfram_runtime::Tensor::from_i64(input.bytes().map(i64::from).collect()));
+    let mut g = c.benchmark_group("fnv1a");
+    g.bench_function("native", |b| b.iter(|| native::fnv1a32(std::hint::black_box(input.as_bytes()))));
+    g.bench_function("new", |b| b.iter(|| new_cf.call(std::hint::black_box(&[sv.clone()])).unwrap()));
+    g.bench_function("new-noabort", |b| {
+        b.iter(|| new_na.call(std::hint::black_box(&[sv.clone()])).unwrap())
+    });
+    g.bench_function("bytecode", |b| {
+        b.iter(|| bc.run(std::hint::black_box(&[codes.clone()])).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_mandelbrot(c: &mut Criterion) {
+    let new_cf = programs::compile_new(&compiler(true), programs::MANDELBROT_SRC);
+    let new_na = programs::compile_new(&compiler(false), programs::MANDELBROT_SRC);
+    let bc = programs::compile_bytecode(
+        &[ArgSpec::complex("pixel0")],
+        programs::MANDELBROT_BYTECODE_BODY,
+    )
+    .unwrap();
+    // One interior pixel (max iterations) — the hot case.
+    let pt = Value::Complex(-0.5, 0.2);
+    let mut g = c.benchmark_group("mandelbrot-pixel");
+    g.bench_function("native", |b| b.iter(|| native::mandelbrot_iters(-0.5, 0.2, 1000)));
+    g.bench_function("new", |b| b.iter(|| new_cf.call(std::hint::black_box(&[pt.clone()])).unwrap()));
+    g.bench_function("new-noabort", |b| {
+        b.iter(|| new_na.call(std::hint::black_box(&[pt.clone()])).unwrap())
+    });
+    g.bench_function("bytecode", |b| {
+        b.iter(|| bc.run(std::hint::black_box(&[pt.clone()])).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let n = 200;
+    let a = workloads::random_matrix(n, 1);
+    let bm = workloads::random_matrix(n, 2);
+    let new_cf = programs::compile_new(&compiler(true), programs::DOT_SRC);
+    let bc = programs::compile_bytecode(
+        &[ArgSpec::tensor_real("a"), ArgSpec::tensor_real("b")],
+        "Dot[a, b]",
+    )
+    .unwrap();
+    let (av, bv) = (Value::Tensor(a.clone()), Value::Tensor(bm.clone()));
+    let mut g = c.benchmark_group("dot");
+    g.sample_size(20);
+    g.bench_function("native", |b| b.iter(|| native::dot(&a, &bm)));
+    g.bench_function("new", |b| {
+        b.iter(|| new_cf.call(std::hint::black_box(&[av.clone(), bv.clone()])).unwrap())
+    });
+    g.bench_function("bytecode", |b| {
+        b.iter(|| bc.run(std::hint::black_box(&[av.clone(), bv.clone()])).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_blur(c: &mut Criterion) {
+    let n = 128;
+    let img = workloads::random_matrix_hw(n, n, 3);
+    let new_cf = programs::compile_new(&compiler(true), programs::BLUR_SRC);
+    let new_na = programs::compile_new(&compiler(false), programs::BLUR_SRC);
+    let bc = programs::compile_bytecode(
+        &[ArgSpec::tensor_real("img"), ArgSpec::int("h"), ArgSpec::int("w")],
+        programs::BLUR_BYTECODE_BODY,
+    )
+    .unwrap();
+    let args = vec![Value::Tensor(img.clone()), Value::I64(n as i64), Value::I64(n as i64)];
+    let mut g = c.benchmark_group("blur");
+    g.sample_size(20);
+    g.bench_function("native", |b| b.iter(|| native::blur(&img, n, n)));
+    g.bench_function("new", |b| b.iter(|| new_cf.call(std::hint::black_box(&args)).unwrap()));
+    g.bench_function("new-noabort", |b| {
+        b.iter(|| new_na.call(std::hint::black_box(&args)).unwrap())
+    });
+    g.bench_function("bytecode", |b| b.iter(|| bc.run(std::hint::black_box(&args)).unwrap()));
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let data = workloads::random_bytes_tensor(100_000, 4);
+    let new_cf = programs::compile_new(&compiler(true), programs::HISTOGRAM_SRC);
+    let new_na = programs::compile_new(&compiler(false), programs::HISTOGRAM_SRC);
+    let bc = programs::compile_bytecode(
+        &[ArgSpec::tensor_int("data")],
+        programs::HISTOGRAM_BYTECODE_BODY,
+    )
+    .unwrap();
+    let dv = Value::Tensor(data.clone());
+    let mut g = c.benchmark_group("histogram");
+    g.bench_function("native", |b| b.iter(|| native::histogram(data.as_i64().unwrap())));
+    g.bench_function("new", |b| b.iter(|| new_cf.call(std::hint::black_box(&[dv.clone()])).unwrap()));
+    g.bench_function("new-noabort", |b| {
+        b.iter(|| new_na.call(std::hint::black_box(&[dv.clone()])).unwrap())
+    });
+    g.bench_function("bytecode", |b| {
+        b.iter(|| bc.run(std::hint::black_box(&[dv.clone()])).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_primeq(c: &mut Criterion) {
+    let table = workloads::prime_seed_table();
+    let src = programs::primeq_src(&table);
+    let limit = 60_000i64;
+    let new_cf = programs::compile_new(&compiler(true), &src);
+    let bc = programs::compile_bytecode(
+        &[ArgSpec::int("limit")],
+        &programs::primeq_bytecode_body(&table),
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("primeq");
+    g.sample_size(10);
+    g.bench_function("native", |b| b.iter(|| native::prime_count(limit as u64)));
+    g.bench_function("new", |b| {
+        b.iter(|| new_cf.call(std::hint::black_box(&[Value::I64(limit)])).unwrap())
+    });
+    g.bench_function("bytecode", |b| {
+        b.iter(|| bc.run(std::hint::black_box(&[Value::I64(limit)])).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_qsort(c: &mut Criterion) {
+    let input = workloads::sorted_list(1 << 13);
+    let new_cf = programs::compile_new(&compiler(true), programs::QSORT_SRC);
+    let iv = Value::Tensor(input.clone());
+    let mut g = c.benchmark_group("qsort");
+    g.sample_size(20);
+    g.bench_function("native", |b| {
+        b.iter(|| native::qsort(input.as_i64().unwrap(), native::less))
+    });
+    g.bench_function("new", |b| {
+        b.iter(|| new_cf.call(std::hint::black_box(&[iv.clone(), Value::Bool(true)])).unwrap())
+    });
+    // No bytecode variant: QSort cannot be represented (L1).
+    g.finish();
+}
+
+criterion_group!(
+    figure2,
+    bench_fnv1a,
+    bench_mandelbrot,
+    bench_dot,
+    bench_blur,
+    bench_histogram,
+    bench_primeq,
+    bench_qsort
+);
+criterion_main!(figure2);

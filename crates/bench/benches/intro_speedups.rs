@@ -1,0 +1,45 @@
+//! Criterion benches for the §1 in-text numbers: the Figure 1 random walk
+//! (interpreter vs bytecode vs FunctionCompile) and FindRoot
+//! auto-compilation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wolfram_bench::intro;
+use wolfram_interp::Interpreter;
+
+fn bench_random_walk(c: &mut Criterion) {
+    let suite = intro::WalkSuite::new();
+    let len = 10_000i64;
+    let mut g = c.benchmark_group("random-walk-10k");
+    g.sample_size(10);
+    g.bench_function("interpreted", |b| {
+        let mut engine = Interpreter::new();
+        b.iter(|| std::hint::black_box(suite.run_interpreted(&mut engine, len)));
+    });
+    g.bench_function("bytecode", |b| {
+        b.iter(|| std::hint::black_box(suite.run_bytecode(len)));
+    });
+    g.bench_function("function-compile", |b| {
+        b.iter(|| std::hint::black_box(suite.run_compiled(len)));
+    });
+    g.finish();
+}
+
+fn bench_findroot(c: &mut Criterion) {
+    let src = "FindRoot[Sin[x] + E^x, {x, 0}]";
+    let mut g = c.benchmark_group("findroot");
+    g.sample_size(20);
+    g.bench_function("interpreted-objective", |b| {
+        let mut engine = Interpreter::new();
+        b.iter(|| std::hint::black_box(engine.eval_src(src).unwrap()));
+    });
+    g.bench_function("auto-compiled-objective", |b| {
+        let mut engine = Interpreter::new();
+        intro::install_cached_auto_compile(&mut engine);
+        engine.eval_src(src).unwrap(); // populate the compile cache
+        b.iter(|| std::hint::black_box(engine.eval_src(src).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(intro_speedups, bench_random_walk, bench_findroot);
+criterion_main!(intro_speedups);

@@ -1,0 +1,113 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [figure2|table1|intro|ablations|compile-times|all] [--quick]
+//! ```
+//!
+//! `--quick` shrinks the workloads (CI-sized); without it the paper's §6
+//! parameters are used. Build with `--release` for meaningful numbers.
+
+use wolfram_bench::{ablations, harness, intro, table1};
+use wolfram_compiler_core::Compiler;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what =
+        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+    let scale = if quick { harness::Scale::quick() } else { harness::Scale::paper() };
+
+    if matches!(what.as_str(), "figure2" | "all") {
+        println!("== Figure 2 ({} scale) ==", if quick { "quick" } else { "paper" });
+        let rows = harness::figure2(&scale);
+        print!("{}", harness::render_figure2(&rows));
+        println!();
+    }
+
+    if matches!(what.as_str(), "table1" | "all") {
+        println!("== Table 1 ==");
+        print!("{}", table1::render(&table1::probe()));
+        println!();
+    }
+
+    if matches!(what.as_str(), "intro" | "all") {
+        println!("== Section 1 in-text numbers ==");
+        let suite = intro::WalkSuite::new();
+        let len = if quick { 10_000 } else { 100_000 };
+        let t = suite.time(len, scale.repetitions);
+        println!(
+            "random walk (len {}): interpreter {:.4}s | bytecode {:.4}s ({:.2}x, paper ~2x) | \
+             FunctionCompile {:.4}s ({:.2}x)",
+            t.len,
+            t.interpreted_secs,
+            t.bytecode_secs,
+            t.bytecode_speedup(),
+            t.compiled_secs,
+            t.compiled_speedup()
+        );
+        let fr = intro::findroot_speedup(if quick { 20 } else { 200 });
+        println!(
+            "FindRoot[Sin[x] + E^x]: interpreted {:.6}s/solve | auto-compiled {:.6}s/solve \
+             ({:.2}x, paper 1.6x; hook fired {} times)",
+            fr.interpreted_secs,
+            fr.autocompiled_secs,
+            fr.speedup(),
+            fr.autocompile_hits
+        );
+        println!();
+    }
+
+    if matches!(what.as_str(), "ablations" | "all") {
+        println!("== Section 6 ablations ==");
+        let (iters, hist_n, prime_n, qsort_n) = if quick {
+            (200_000, 200_000, 20_000, 1 << 12)
+        } else {
+            (2_000_000, 1_000_000, 50_000, 1 << 15)
+        };
+        println!("{}", ablations::inline_ablation(iters, scale.repetitions).render());
+        println!(
+            "{}",
+            ablations::abort_ablation_histogram(hist_n, scale.repetitions).render()
+        );
+        println!(
+            "{}",
+            ablations::constant_array_ablation(prime_n, scale.repetitions).render()
+        );
+        println!(
+            "{}",
+            ablations::mutability_copy_ablation(qsort_n, scale.repetitions).render()
+        );
+        println!();
+    }
+
+    if matches!(what.as_str(), "compile-times" | "all") {
+        println!("== Section 5: compilation time and per-pass timings ==");
+        let compiler = Compiler::default();
+        let table = wolfram_bench::workloads::prime_seed_table();
+        let programs: Vec<(&str, String)> = vec![
+            ("FNV1a", wolfram_bench::programs::FNV1A_SRC.into()),
+            ("Mandelbrot", wolfram_bench::programs::MANDELBROT_SRC.into()),
+            ("Dot", wolfram_bench::programs::DOT_SRC.into()),
+            ("Blur", wolfram_bench::programs::BLUR_SRC.into()),
+            ("Histogram", wolfram_bench::programs::HISTOGRAM_SRC.into()),
+            ("PrimeQ", wolfram_bench::programs::primeq_src(&table)),
+            ("QSort", wolfram_bench::programs::QSORT_SRC.into()),
+        ];
+        for (name, src) in &programs {
+            let start = std::time::Instant::now();
+            let _ = compiler.function_compile_src(src).expect("compiles");
+            let total = start.elapsed();
+            let mut timings = compiler.timings();
+            timings.retain(|(_, d)| d.as_secs_f64() > 1e-4);
+            let per_pass: Vec<String> = timings
+                .into_iter()
+                .map(|(pass, d)| format!("{pass} {:.2}ms", d.as_secs_f64() * 1e3))
+                .collect();
+            println!(
+                "{name:<11} total {:>8.2}ms | {}",
+                total.as_secs_f64() * 1e3,
+                per_pass.join(", ")
+            );
+        }
+    }
+}

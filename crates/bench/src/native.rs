@@ -1,0 +1,241 @@
+//! Hand-written native (Rust) implementations — the stand-ins for the
+//! paper's "highly tuned hand-written C implementations" that Figure 2
+//! normalizes against. They do not support abortability (as in the paper).
+
+use wolfram_runtime::{linalg, Tensor, TensorData};
+
+/// FNV1a-32 of a byte string.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 2_166_136_261;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(16_777_619);
+    }
+    h
+}
+
+/// Mandelbrot iteration count for one pixel.
+pub fn mandelbrot_iters(re0: f64, im0: f64, max_iters: i64) -> i64 {
+    let mut iters = 1i64;
+    let (mut re, mut im) = (re0, im0);
+    while iters < max_iters && (re * re + im * im).sqrt() < 2.0 {
+        let nre = re * re - im * im + re0;
+        let nim = 2.0 * re * im + im0;
+        re = nre;
+        im = nim;
+        iters += 1;
+    }
+    iters
+}
+
+/// Sweeps the paper's region `[-1, 1] x [-1, 0.5]` at the given resolution,
+/// summing iteration counts (so the result is checkable).
+pub fn mandelbrot_region(resolution: f64, max_iters: i64) -> i64 {
+    let mut total = 0i64;
+    let mut re = -1.0;
+    while re <= 1.0 + 1e-12 {
+        let mut im = -1.0;
+        while im <= 0.5 + 1e-12 {
+            total += mandelbrot_iters(re, im, max_iters);
+            im += resolution;
+        }
+        re += resolution;
+    }
+    total
+}
+
+/// Matrix product through the shared runtime `dgemm` (the paper's MKL).
+pub fn dot(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = vec![0.0; m * n];
+    linalg::dgemm(
+        a.as_f64().expect("real matrix"),
+        b.as_f64().expect("real matrix"),
+        &mut out,
+        m,
+        k,
+        n,
+    );
+    Tensor::with_shape(vec![m, n], TensorData::F64(out)).expect("shape")
+}
+
+/// 3x3 Gaussian blur matching the benchmark kernel.
+pub fn blur(img: &Tensor, h: usize, w: usize) -> Tensor {
+    let src = img.as_f64().expect("real image");
+    let mut out = vec![0.0; h * w];
+    for i in 1..h - 1 {
+        for j in 1..w - 1 {
+            let s = src[(i - 1) * w + j - 1]
+                + 2.0 * src[(i - 1) * w + j]
+                + src[(i - 1) * w + j + 1]
+                + 2.0 * src[i * w + j - 1]
+                + 4.0 * src[i * w + j]
+                + 2.0 * src[i * w + j + 1]
+                + src[(i + 1) * w + j - 1]
+                + 2.0 * src[(i + 1) * w + j]
+                + src[(i + 1) * w + j + 1];
+            out[i * w + j] = s / 16.0;
+        }
+    }
+    Tensor::with_shape(vec![h, w], TensorData::F64(out)).expect("shape")
+}
+
+/// 256-bin histogram.
+pub fn histogram(data: &[i64]) -> Vec<i64> {
+    let mut bins = vec![0i64; 256];
+    for &v in data {
+        bins[v as usize] += 1;
+    }
+    bins
+}
+
+/// Deterministic Miller–Rabin (mirrors the compiled program's algorithm).
+pub fn is_prime(n: u64) -> bool {
+    wolfram_interp::builtins::arithmetic::is_prime_u64(n)
+}
+
+/// Number of primes below `limit`, using the same seed-table + Rabin-Miller
+/// split as the benchmark.
+pub fn prime_count(limit: u64) -> u64 {
+    (0..limit).filter(|&n| is_prime(n)).count() as u64
+}
+
+/// Textbook quicksort (median-of-three, explicit stack) with an indirect
+/// comparator, mirroring the compiled program — including the defensive
+/// copy of the input.
+pub fn qsort(input: &[i64], cmp: fn(i64, i64) -> bool) -> Vec<i64> {
+    let mut arr = input.to_vec(); // the defensive copy
+    qsort_in_place(&mut arr, cmp);
+    arr
+}
+
+/// The in-place variant (no defensive copy): the "hand-written C" behavior
+/// the paper's QSort discussion compares against.
+pub fn qsort_in_place(arr: &mut [i64], cmp: fn(i64, i64) -> bool) {
+    if arr.is_empty() {
+        return;
+    }
+    let mut stack: Vec<(isize, isize)> = vec![(0, arr.len() as isize - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if lo >= hi {
+            continue;
+        }
+        let (l, h) = (lo as usize, hi as usize);
+        let mid = (l + h) / 2;
+        if cmp(arr[mid], arr[l]) {
+            arr.swap(mid, l);
+        }
+        if cmp(arr[h], arr[l]) {
+            arr.swap(h, l);
+        }
+        if cmp(arr[h], arr[mid]) {
+            arr.swap(h, mid);
+        }
+        arr.swap(mid, h);
+        let p = arr[h];
+        let mut i = lo - 1;
+        for j in l..h {
+            if cmp(arr[j], p) {
+                i += 1;
+                arr.swap(i as usize, j);
+            }
+        }
+        let pivot = (i + 1) as usize;
+        arr.swap(pivot, h);
+        stack.push((lo, pivot as isize - 1));
+        stack.push((pivot as isize + 1, hi));
+    }
+}
+
+/// Ascending comparator.
+pub fn less(a: i64, b: i64) -> bool {
+    a < b
+}
+
+/// The native random walk (the Figure 1 workload).
+pub fn random_walk(len: usize, seed: u64) -> Vec<(f64, f64)> {
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng = rng.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut out = Vec::with_capacity(len + 1);
+    let (mut x, mut y) = (0.0f64, 0.0f64);
+    out.push((x, y));
+    for _ in 0..len {
+        let arg = next() * std::f64::consts::TAU;
+        x -= arg.cos();
+        y += arg.sin();
+        out.push((x, y));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV1a-32 test vectors.
+        assert_eq!(fnv1a32(b""), 0x811c9dc5);
+        assert_eq!(fnv1a32(b"a"), 0xe40c292c);
+        assert_eq!(fnv1a32(b"foobar"), 0xbf9cf968);
+    }
+
+    #[test]
+    fn mandelbrot_basics() {
+        // The origin never escapes.
+        assert_eq!(mandelbrot_iters(0.0, 0.0, 1000), 1000);
+        // Far outside escapes immediately.
+        assert_eq!(mandelbrot_iters(2.0, 2.0, 1000), 1);
+        assert!(mandelbrot_region(0.5, 100) > 0);
+    }
+
+    #[test]
+    fn qsort_correct() {
+        let sorted: Vec<i64> = (0..100).collect();
+        assert_eq!(qsort(&sorted, less), sorted);
+        let mut reversed: Vec<i64> = (0..100).rev().collect();
+        assert_eq!(qsort(&reversed, less), sorted);
+        reversed.push(50);
+        let mut expected = reversed.clone();
+        expected.sort_unstable();
+        assert_eq!(qsort(&reversed, less), expected);
+        assert_eq!(qsort(&[], less), Vec::<i64>::new());
+        assert_eq!(qsort(&[7], less), vec![7]);
+    }
+
+    #[test]
+    fn primes() {
+        assert_eq!(prime_count(100), 25);
+        assert_eq!(prime_count(0), 0);
+    }
+
+    #[test]
+    fn histogram_sums() {
+        let data = vec![0, 255, 255, 7];
+        let bins = histogram(&data);
+        assert_eq!(bins[0], 1);
+        assert_eq!(bins[255], 2);
+        assert_eq!(bins[7], 1);
+        assert_eq!(bins.iter().sum::<i64>(), 4);
+    }
+
+    #[test]
+    fn walk_length() {
+        let w = random_walk(10, 42);
+        assert_eq!(w.len(), 11);
+        assert_eq!(w[0], (0.0, 0.0));
+        // Each step has unit length.
+        for pair in w.windows(2) {
+            let dx = pair[1].0 - pair[0].0;
+            let dy = pair[1].1 - pair[0].1;
+            assert!((dx.hypot(dy) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! The seven §6 benchmarks as Wolfram programs, with compiled variants for
+//! both compilers.
+
+use std::fmt::Write as _;
+use wolfram_bytecode::{ArgSpec, BytecodeCompiler, CompileError, CompiledFunction};
+use wolfram_compiler_core::{CompiledCodeFunction, Compiler};
+use wolfram_expr::parse;
+
+/// FNV1a-32 over a string's UTF-8 bytes. "The new compiler has builtin
+/// support for strings and operates on the UTF8 bytes within the string."
+pub const FNV1A_SRC: &str = r#"
+Function[{Typed[s, "String"]},
+ Module[{bytes, h, i, n},
+  bytes = ToCharacterCode[s];
+  h = 2166136261;
+  n = Length[bytes];
+  i = 1;
+  While[i <= n,
+   h = BitXor[h, bytes[[i]]];
+   h = Mod[h * 16777619, 4294967296];
+   i = i + 1];
+  h]]
+"#;
+
+/// The bytecode workaround (§6): "Since strings are not supported within
+/// the bytecode compiler ... they are represented as an integer vector of
+/// their character codes ... the bytecode compiled function operates on
+/// int64 rather than uint8."
+pub const FNV1A_BYTECODE_BODY: &str = r#"
+Module[{h, i, n},
+ h = 2166136261;
+ n = Length[bytes];
+ i = 1;
+ While[i <= n,
+  h = BitXor[h, bytes[[i]]];
+  h = Mod[h * 16777619, 4294967296];
+  i = i + 1];
+ h]
+"#;
+
+/// Mandelbrot iteration count for one pixel — the appendix A.7
+/// implementation, verbatim shape.
+pub const MANDELBROT_SRC: &str = r#"
+Function[{Typed[pixel0, "ComplexReal64"]},
+ Module[{iters = 1, maxIters = 1000, pixel = pixel0},
+  While[iters < maxIters && Abs[pixel] < 2.0,
+   pixel = pixel^2 + pixel0;
+   iters = iters + 1];
+  iters]]
+"#;
+
+/// Same body for the bytecode compiler (complex is a supported datatype).
+pub const MANDELBROT_BYTECODE_BODY: &str = r#"
+Module[{iters = 1, maxIters = 1000, pixel = pixel0},
+ While[iters < maxIters && Abs[pixel] < 2.0,
+  pixel = pixel^2 + pixel0;
+  iters = iters + 1];
+ iters]
+"#;
+
+/// Dot of two real matrices: every implementation routes through the same
+/// runtime `dgemm` (the paper's shared-MKL setup).
+pub const DOT_SRC: &str = r#"
+Function[{Typed[a, "Tensor"["Real64", 2]], Typed[b, "Tensor"["Real64", 2]]}, Dot[a, b]]
+"#;
+
+/// 3x3 Gaussian blur over a single-channel image.
+pub const BLUR_SRC: &str = r#"
+Function[{Typed[img, "Tensor"["Real64", 2]], Typed[h, "MachineInteger"], Typed[w, "MachineInteger"]},
+ Module[{out, i, j, s},
+  out = ConstantArray[0., {h, w}];
+  i = 2;
+  While[i < h,
+   j = 2;
+   While[j < w,
+    s = img[[i - 1, j - 1]] + 2.0*img[[i - 1, j]] + img[[i - 1, j + 1]]
+      + 2.0*img[[i, j - 1]] + 4.0*img[[i, j]] + 2.0*img[[i, j + 1]]
+      + img[[i + 1, j - 1]] + 2.0*img[[i + 1, j]] + img[[i + 1, j + 1]];
+    out[[i, j]] = s / 16.0;
+    j = j + 1];
+   i = i + 1];
+  out]]
+"#;
+
+/// The same blur body for the bytecode compiler.
+pub const BLUR_BYTECODE_BODY: &str = r#"
+Module[{out, i, j, s},
+ out = ConstantArray[0., {h, w}];
+ i = 2;
+ While[i < h,
+  j = 2;
+  While[j < w,
+   s = img[[i - 1, j - 1]] + 2.0*img[[i - 1, j]] + img[[i - 1, j + 1]]
+     + 2.0*img[[i, j - 1]] + 4.0*img[[i, j]] + 2.0*img[[i, j + 1]]
+     + img[[i + 1, j - 1]] + 2.0*img[[i + 1, j]] + img[[i + 1, j + 1]];
+   out[[i, j]] = s / 16.0;
+   j = j + 1];
+  i = i + 1];
+ out]
+"#;
+
+/// 256-bin histogram of a list of integers in [0, 255].
+pub const HISTOGRAM_SRC: &str = r#"
+Function[{Typed[data, "Tensor"["Integer64", 1]]},
+ Module[{bins, i, n, b},
+  bins = ConstantArray[0, 256];
+  n = Length[data];
+  i = 1;
+  While[i <= n,
+   b = data[[i]] + 1;
+   bins[[b]] = bins[[b]] + 1;
+   i = i + 1];
+  bins]]
+"#;
+
+/// The same histogram body for the bytecode compiler.
+pub const HISTOGRAM_BYTECODE_BODY: &str = r#"
+Module[{bins, i, n, b},
+ bins = ConstantArray[0, 256];
+ n = Length[data];
+ i = 1;
+ While[i <= n,
+  b = data[[i]] + 1;
+  bins[[b]] = bins[[b]] + 1;
+  i = i + 1];
+ bins]
+"#;
+
+/// Builds the PrimeQ benchmark source: Rabin–Miller over `[0, limit)` with
+/// a 2^14 seed table "generated using the Wolfram interpreter and embedded
+/// into the compiled code as a constant array" (§6). Returns the prime
+/// count.
+pub fn primeq_src(seed_table: &[i64]) -> String {
+    let mut table = String::with_capacity(seed_table.len() * 2);
+    for (ix, v) in seed_table.iter().enumerate() {
+        if ix > 0 {
+            table.push(',');
+        }
+        let _ = write!(table, "{v}");
+    }
+    format!(
+        r#"
+Function[{{Typed[limit, "MachineInteger"]}},
+ Module[{{table, witnesses, count, k, isp, d, s, a, x, j, composite, wi}},
+  table = {{{table}}};
+  witnesses = {{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}};
+  count = 0;
+  k = 0;
+  While[k < limit,
+   If[k < 16384,
+    isp = table[[k + 1]],
+    Module[{{}},
+     isp = 1;
+     If[Mod[k, 2] == 0,
+      isp = 0,
+      d = k - 1; s = 0;
+      While[Mod[d, 2] == 0, d = Quotient[d, 2]; s = s + 1];
+      wi = 1;
+      While[wi <= 12 && isp == 1,
+       a = witnesses[[wi]];
+       If[Mod[a, k] != 0,
+        x = PowerMod[a, d, k];
+        If[x != 1 && x != k - 1,
+         j = 1; composite = 1;
+         While[j < s,
+          x = Mod[x*x, k];
+          If[x == k - 1, composite = 0; j = s, j = j + 1]];
+         If[composite == 1, isp = 0]]];
+       wi = wi + 1]]]];
+   count = count + isp;
+   k = k + 1];
+  count]]
+"#
+    )
+}
+
+/// The bytecode PrimeQ body (the table is "pasted in" the same way;
+/// PowerMod is replaced by a hand-rolled modular exponentiation since the
+/// VM's datatypes cover it for the benchmark's range).
+pub fn primeq_bytecode_body(seed_table: &[i64]) -> String {
+    let mut table = String::with_capacity(seed_table.len() * 2);
+    for (ix, v) in seed_table.iter().enumerate() {
+        if ix > 0 {
+            table.push(',');
+        }
+        let _ = write!(table, "{v}");
+    }
+    format!(
+        r#"
+Module[{{table, witnesses, count, k, isp, d, s, a, x, j, composite, wi, base, e, acc}},
+ table = {{{table}}};
+ witnesses = {{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}};
+ count = 0;
+ k = 0;
+ While[k < limit,
+  If[k < 16384,
+   isp = table[[k + 1]],
+   Module[{{}},
+    isp = 1;
+    If[Mod[k, 2] == 0,
+     isp = 0,
+     d = k - 1; s = 0;
+     While[Mod[d, 2] == 0, d = Quotient[d, 2]; s = s + 1];
+     wi = 1;
+     While[wi <= 12 && isp == 1,
+      a = witnesses[[wi]];
+      If[Mod[a, k] != 0,
+       acc = 1; base = Mod[a, k]; e = d;
+       While[e > 0,
+        If[Mod[e, 2] == 1, acc = Mod[acc*base, k]];
+        base = Mod[base*base, k];
+        e = Quotient[e, 2]];
+       x = acc;
+       If[x != 1 && x != k - 1,
+        j = 1; composite = 1;
+        While[j < s,
+         x = Mod[x*x, k];
+         If[x == k - 1, composite = 0; j = s, j = j + 1]];
+        If[composite == 1, isp = 0]]];
+      wi = wi + 1]]]];
+  count = count + isp;
+  k = k + 1];
+ count]
+"#
+    )
+}
+
+/// Textbook in-place quicksort (median-of-three, explicit stack) with a
+/// user-supplied comparator — "the code is polymorphic and written in a
+/// functional style, where users define and pass the comparator function
+/// as an argument" (§6). The defensive copy required by mutability
+/// semantics (F5) happens on the first in-place write.
+pub const QSORT_SRC: &str = r#"
+Function[{Typed[list, "Tensor"["Integer64", 1]], Typed[ascending, "Boolean"]},
+ Module[{cmp, arr, stack, sp, lo, hi, mid, i, j, p, t},
+  cmp = If[ascending,
+   Function[{Typed[a, "MachineInteger"], Typed[b, "MachineInteger"]}, a < b],
+   Function[{Typed[a, "MachineInteger"], Typed[b, "MachineInteger"]}, a > b]];
+  arr = list;
+  stack = ConstantArray[0, 4096];
+  stack[[1]] = 1;
+  stack[[2]] = Length[arr];
+  sp = 2;
+  While[sp > 0,
+   hi = stack[[sp]];
+   lo = stack[[sp - 1]];
+   sp = sp - 2;
+   If[lo < hi,
+    mid = Quotient[lo + hi, 2];
+    If[cmp[arr[[mid]], arr[[lo]]],
+     t = arr[[mid]]; arr[[mid]] = arr[[lo]]; arr[[lo]] = t];
+    If[cmp[arr[[hi]], arr[[lo]]],
+     t = arr[[hi]]; arr[[hi]] = arr[[lo]]; arr[[lo]] = t];
+    If[cmp[arr[[hi]], arr[[mid]]],
+     t = arr[[hi]]; arr[[hi]] = arr[[mid]]; arr[[mid]] = t];
+    t = arr[[mid]]; arr[[mid]] = arr[[hi]]; arr[[hi]] = t;
+    p = arr[[hi]];
+    i = lo - 1;
+    j = lo;
+    While[j < hi,
+     If[cmp[arr[[j]], p],
+      i = i + 1;
+      t = arr[[i]]; arr[[i]] = arr[[j]]; arr[[j]] = t];
+     j = j + 1];
+    i = i + 1;
+    t = arr[[i]]; arr[[i]] = arr[[hi]]; arr[[hi]] = t;
+    stack[[sp + 1]] = lo; stack[[sp + 2]] = i - 1; sp = sp + 2;
+    stack[[sp + 1]] = i + 1; stack[[sp + 2]] = hi; sp = sp + 2]];
+  arr]]
+"#;
+
+/// The bytecode attempt at QSort: the comparator must be a `Function`
+/// value, which the bytecode compiler cannot represent (L1) — compilation
+/// is expected to fail.
+pub const QSORT_BYTECODE_BODY: &str = r#"
+Module[{cmp},
+ cmp = Function[{a, b}, a < b];
+ cmp[list[[1]], list[[2]]]]
+"#;
+
+/// Compiles a benchmark with the new compiler.
+///
+/// # Panics
+///
+/// Panics on compilation failure — the suite requires all seven programs
+/// to compile.
+pub fn compile_new(compiler: &Compiler, src: &str) -> CompiledCodeFunction {
+    compiler
+        .function_compile(&parse(src).unwrap_or_else(|e| panic!("benchmark source: {e}")))
+        .unwrap_or_else(|e| panic!("benchmark failed to compile: {e}"))
+}
+
+/// Compiles a benchmark body with the bytecode compiler.
+///
+/// # Errors
+///
+/// Propagates the bytecode compiler's representability errors (QSort).
+pub fn compile_bytecode(
+    specs: &[ArgSpec],
+    body: &str,
+) -> Result<CompiledFunction, CompileError> {
+    let body = parse(body).map_err(|e| CompileError::Malformed(e.to_string()))?;
+    BytecodeCompiler::new().compile(specs, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+    use wolfram_runtime::Value;
+
+    fn compiler() -> Compiler {
+        Compiler::default()
+    }
+
+    #[test]
+    fn fnv1a_matches_native() {
+        let s = workloads::random_string(1000, 7);
+        let cf = compile_new(&compiler(), FNV1A_SRC);
+        let got = cf.call(&[Value::Str(std::rc::Rc::new(s.clone()))]).unwrap();
+        assert_eq!(got.expect_i64().unwrap(), crate::native::fnv1a32(s.as_bytes()) as i64);
+        // The bytecode workaround over int codes agrees.
+        let bc = compile_bytecode(&[ArgSpec::tensor_int("bytes")], FNV1A_BYTECODE_BODY).unwrap();
+        let codes: Vec<i64> = s.bytes().map(|b| b as i64).collect();
+        let got_bc = bc.run(&[Value::Tensor(wolfram_runtime::Tensor::from_i64(codes))]).unwrap();
+        assert_eq!(got_bc, got);
+    }
+
+    #[test]
+    fn mandelbrot_matches_native() {
+        let cf = compile_new(&compiler(), MANDELBROT_SRC);
+        let bc =
+            compile_bytecode(&[ArgSpec::complex("pixel0")], MANDELBROT_BYTECODE_BODY).unwrap();
+        for (re, im) in [(0.0, 0.0), (-1.0, 0.3), (0.4, 0.4), (-0.5, 0.5), (1.0, 1.0)] {
+            let want = crate::native::mandelbrot_iters(re, im, 1000);
+            let got = cf.call(&[Value::Complex(re, im)]).unwrap().expect_i64().unwrap();
+            assert_eq!(got, want, "new compiler at ({re},{im})");
+            let got_bc =
+                bc.run(&[Value::Complex(re, im)]).unwrap().expect_i64().unwrap();
+            assert_eq!(got_bc, want, "bytecode at ({re},{im})");
+        }
+    }
+
+    #[test]
+    fn dot_matches_native() {
+        let n = 8;
+        let a = workloads::random_matrix(n, 3);
+        let b = workloads::random_matrix(n, 4);
+        let cf = compile_new(&compiler(), DOT_SRC);
+        let got = cf
+            .call(&[Value::Tensor(a.clone()), Value::Tensor(b.clone())])
+            .unwrap();
+        let want = crate::native::dot(&a, &b);
+        let got_t = got.expect_tensor().unwrap();
+        for (x, y) in got_t.as_f64().unwrap().iter().zip(want.as_f64().unwrap()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn blur_matches_native() {
+        let (h, w) = (12, 10);
+        let img = workloads::random_matrix_hw(h, w, 5);
+        let cf = compile_new(&compiler(), BLUR_SRC);
+        let got = cf
+            .call(&[Value::Tensor(img.clone()), Value::I64(h as i64), Value::I64(w as i64)])
+            .unwrap();
+        let want = crate::native::blur(&img, h, w);
+        let got_t = got.expect_tensor().unwrap();
+        for (x, y) in got_t.as_f64().unwrap().iter().zip(want.as_f64().unwrap()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        // Bytecode agrees.
+        let bc = compile_bytecode(
+            &[ArgSpec::tensor_real("img"), ArgSpec::int("h"), ArgSpec::int("w")],
+            BLUR_BYTECODE_BODY,
+        )
+        .unwrap();
+        let got_bc = bc
+            .run(&[Value::Tensor(img), Value::I64(h as i64), Value::I64(w as i64)])
+            .unwrap();
+        let got_bc = got_bc.expect_tensor().unwrap();
+        for (x, y) in got_bc.as_f64().unwrap().iter().zip(want.as_f64().unwrap()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn histogram_matches_native() {
+        let data = workloads::random_bytes_tensor(5000, 11);
+        let cf = compile_new(&compiler(), HISTOGRAM_SRC);
+        let got = cf.call(&[Value::Tensor(data.clone())]).unwrap();
+        let want = crate::native::histogram(data.as_i64().unwrap());
+        assert_eq!(got.expect_tensor().unwrap().as_i64().unwrap(), want.as_slice());
+        let bc =
+            compile_bytecode(&[ArgSpec::tensor_int("data")], HISTOGRAM_BYTECODE_BODY).unwrap();
+        let got_bc = bc.run(&[Value::Tensor(data)]).unwrap();
+        assert_eq!(got_bc.expect_tensor().unwrap().as_i64().unwrap(), want.as_slice());
+    }
+
+    #[test]
+    fn primeq_matches_native() {
+        let table = workloads::prime_seed_table();
+        assert_eq!(table.len(), 16384);
+        let src = primeq_src(&table);
+        let cf = compile_new(&compiler(), &src);
+        // Checks spanning the table boundary exercise both paths.
+        for limit in [100i64, 16384 + 500] {
+            let got = cf.call(&[Value::I64(limit)]).unwrap().expect_i64().unwrap();
+            let want = crate::native::prime_count(limit as u64);
+            assert_eq!(got, want as i64, "limit {limit}");
+        }
+        let bc = compile_bytecode(&[ArgSpec::int("limit")], &primeq_bytecode_body(&table)).unwrap();
+        let got_bc = bc.run(&[Value::I64(16384 + 500)]).unwrap().expect_i64().unwrap();
+        assert_eq!(got_bc, crate::native::prime_count(16384 + 500) as i64);
+    }
+
+    #[test]
+    fn qsort_sorts_and_preserves_input() {
+        let cf = compile_new(&compiler(), QSORT_SRC);
+        let input = wolfram_runtime::Tensor::from_i64(vec![5, 1, 4, 2, 3, 3, -7]);
+        let got = cf.call(&[Value::Tensor(input.clone()), Value::Bool(true)]).unwrap();
+        assert_eq!(
+            got.expect_tensor().unwrap().as_i64().unwrap(),
+            &[-7, 1, 2, 3, 3, 4, 5]
+        );
+        // The runtime-selected descending comparator sorts the other way.
+        let got = cf.call(&[Value::Tensor(input.clone()), Value::Bool(false)]).unwrap();
+        assert_eq!(
+            got.expect_tensor().unwrap().as_i64().unwrap(),
+            &[5, 4, 3, 3, 2, 1, -7]
+        );
+        // Mutability semantics: the caller's list is untouched (F5).
+        assert_eq!(input.as_i64().unwrap(), &[5, 1, 4, 2, 3, 3, -7]);
+        // Pre-sorted input (the paper's workload) stays correct.
+        let sorted: Vec<i64> = (0..256).collect();
+        let got = cf
+            .call(&[
+                Value::Tensor(wolfram_runtime::Tensor::from_i64(sorted.clone())),
+                Value::Bool(true),
+            ])
+            .unwrap();
+        assert_eq!(got.expect_tensor().unwrap().as_i64().unwrap(), sorted.as_slice());
+    }
+
+    #[test]
+    fn qsort_cannot_be_represented_in_bytecode() {
+        // §6: "Function passing cannot be represented in the bytecode
+        // compiler, and therefore this program cannot be represented."
+        let err =
+            compile_bytecode(&[ArgSpec::tensor_int("list")], QSORT_BYTECODE_BODY).unwrap_err();
+        assert!(matches!(err, CompileError::Unsupported(_)), "{err}");
+    }
+}

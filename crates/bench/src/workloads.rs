@@ -1,0 +1,81 @@
+//! Seeded workload generators for the paper's benchmark parameters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wolfram_runtime::{Tensor, TensorData};
+
+/// A random alphanumeric string of `len` characters (FNV1a's 1e6 input).
+pub fn random_string(len: usize, seed: u64) -> String {
+    const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| CHARSET[rng.gen_range(0..CHARSET.len())] as char).collect()
+}
+
+/// A square random real matrix in [0, 1).
+pub fn random_matrix(n: usize, seed: u64) -> Tensor {
+    random_matrix_hw(n, n, seed)
+}
+
+/// A rectangular random real matrix in [0, 1).
+pub fn random_matrix_hw(h: usize, w: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..h * w).map(|_| rng.gen::<f64>()).collect();
+    Tensor::with_shape(vec![h, w], TensorData::F64(data)).expect("shape")
+}
+
+/// A uniform list of integers in [0, 255] (Histogram's 1e6 input).
+pub fn random_bytes_tensor(n: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::from_i64((0..n).map(|_| rng.gen_range(0..256i64)).collect())
+}
+
+/// The pre-sorted list for QSort (the paper uses 2^15 elements).
+pub fn sorted_list(n: usize) -> Tensor {
+    Tensor::from_i64((0..n as i64).collect())
+}
+
+/// The PrimeQ 2^14 seed table, "generated using the Wolfram interpreter":
+/// evaluates `Boole[PrimeQ[k]]` for k in [0, 16383] through the engine.
+pub fn prime_seed_table() -> Vec<i64> {
+    let mut engine = wolfram_interp::Interpreter::new();
+    let list = engine
+        .eval_src("Table[Boole[PrimeQ[k]], {k, 0, 16383}]")
+        .expect("seed-table generation");
+    list.args()
+        .iter()
+        .map(|e| e.as_i64().expect("Boole output"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(random_string(64, 1), random_string(64, 1));
+        assert_ne!(random_string(64, 1), random_string(64, 2));
+        assert_eq!(random_matrix(4, 9), random_matrix(4, 9));
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        let m = random_matrix_hw(3, 5, 0);
+        assert_eq!(m.shape(), &[3, 5]);
+        assert!(m.as_f64().unwrap().iter().all(|v| (0.0..1.0).contains(v)));
+        let b = random_bytes_tensor(100, 0);
+        assert!(b.as_i64().unwrap().iter().all(|&v| (0..256).contains(&v)));
+        assert_eq!(sorted_list(5).as_i64().unwrap(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn seed_table_matches_native() {
+        let table = prime_seed_table();
+        assert_eq!(table.len(), 16384);
+        assert_eq!(table[2], 1);
+        assert_eq!(table[4], 0);
+        assert_eq!(table[16381], i64::from(crate::native::is_prime(16381)));
+        let count: i64 = table.iter().sum();
+        assert_eq!(count, crate::native::prime_count(16384) as i64);
+    }
+}

@@ -1,0 +1,308 @@
+//! The WVM instruction set: a register machine over boxed [`Value`]s.
+
+use wolfram_expr::Expr;
+use wolfram_runtime::Value;
+
+/// A virtual-machine register index.
+pub type Reg = u16;
+
+/// The fixed datatype lattice of the bytecode compiler (§2.2): "machine
+/// integers ..., reals, complex numbers, tensor representations of these
+/// scalars, and booleans". Unknown types are assumed to be `Real`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmType {
+    /// Boolean.
+    Bool,
+    /// Machine integer (int64 on the 64-bit systems modeled here).
+    Int,
+    /// Machine real.
+    Real,
+    /// Machine complex.
+    Complex,
+    /// Packed integer array.
+    TensorInt,
+    /// Packed real array.
+    TensorReal,
+    /// Packed complex array.
+    TensorComplex,
+}
+
+impl VmType {
+    /// Numeric join used by the type propagator.
+    pub fn join(self, other: VmType) -> VmType {
+        use VmType::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Int, Real) | (Real, Int) => Real,
+            (Int, Complex) | (Complex, Int) | (Real, Complex) | (Complex, Real) => Complex,
+            (TensorInt, TensorReal) | (TensorReal, TensorInt) => TensorReal,
+            // Anything else degrades to Real, the compiler's default.
+            _ => Real,
+        }
+    }
+
+    /// Whether this is a tensor type.
+    pub fn is_tensor(self) -> bool {
+        matches!(self, VmType::TensorInt | VmType::TensorReal | VmType::TensorComplex)
+    }
+}
+
+/// Binary numeric operations (dispatched dynamically over boxed values —
+/// the performance cost the paper measures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Exponentiation.
+    Pow,
+    /// Wolfram `Mod`.
+    Mod,
+    /// Flooring `Quotient` (`Floor[m/n]`, the Wolfram convention).
+    Quot,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Bitwise and (integers only).
+    BitAnd,
+    /// Bitwise or (integers only).
+    BitOr,
+    /// Bitwise xor (integers only).
+    BitXor,
+}
+
+/// Unary numeric operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Negation.
+    Neg,
+    /// Absolute value (complex -> real).
+    Abs,
+    /// Square root.
+    Sqrt,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Tangent.
+    Tan,
+    /// Exponential.
+    Exp,
+    /// Natural log.
+    Log,
+    /// Floor to integer.
+    Floor,
+    /// Ceiling to integer.
+    Ceiling,
+    /// Round half-even to integer.
+    Round,
+    /// Real part.
+    Re,
+    /// Imaginary part.
+    Im,
+    /// Boolean not.
+    Not,
+}
+
+/// Comparison operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// A WVM instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `r[d] = c`
+    LoadConst {
+        /// Destination.
+        d: Reg,
+        /// The constant (boxed).
+        c: Value,
+    },
+    /// `r[d] = r[s]`
+    Move {
+        /// Destination.
+        d: Reg,
+        /// Source.
+        s: Reg,
+    },
+    /// `r[d] = r[a] op r[b]` with dynamic numeric dispatch.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination.
+        d: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `r[d] = op r[s]`
+    Un {
+        /// Operation.
+        op: UnOp,
+        /// Destination.
+        d: Reg,
+        /// Operand.
+        s: Reg,
+    },
+    /// `r[d] = r[a] cmp r[b]`
+    Cmp {
+        /// Comparison.
+        op: CmpOp,
+        /// Destination (boolean).
+        d: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `r[d] = Complex(r[re], r[im])`
+    ComplexMake {
+        /// Destination.
+        d: Reg,
+        /// Real part.
+        re: Reg,
+        /// Imaginary part.
+        im: Reg,
+    },
+    /// `r[d] = Length(r[s])`
+    Length {
+        /// Destination.
+        d: Reg,
+        /// The tensor.
+        s: Reg,
+    },
+    /// `r[d] = r[t][[r[i]]]` (1-based, negative allowed).
+    Part1 {
+        /// Destination.
+        d: Reg,
+        /// The tensor.
+        t: Reg,
+        /// The index.
+        i: Reg,
+    },
+    /// `r[d] = r[t][[r[i], r[j]]]`
+    Part2 {
+        /// Destination.
+        d: Reg,
+        /// The tensor (rank 2).
+        t: Reg,
+        /// Row index.
+        i: Reg,
+        /// Column index.
+        j: Reg,
+    },
+    /// `r[t][[r[i]]] = r[v]` (copy-on-write).
+    SetPart1 {
+        /// The tensor register (updated in place).
+        t: Reg,
+        /// The index.
+        i: Reg,
+        /// The value.
+        v: Reg,
+    },
+    /// `r[t][[r[i], r[j]]] = r[v]`
+    SetPart2 {
+        /// The tensor register.
+        t: Reg,
+        /// Row index.
+        i: Reg,
+        /// Column index.
+        j: Reg,
+        /// The value.
+        v: Reg,
+    },
+    /// `r[d] = ConstantArray(r[c], dims from r[n1] (, r[n2]))`
+    ConstArray {
+        /// Destination.
+        d: Reg,
+        /// Fill element.
+        c: Reg,
+        /// First dimension.
+        n1: Reg,
+        /// Optional second dimension.
+        n2: Option<Reg>,
+    },
+    /// `r[d] = Dot(r[a], r[b])` via the shared runtime kernel.
+    Dot {
+        /// Destination.
+        d: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Unconditional jump to instruction index.
+    Jump {
+        /// Target pc.
+        pc: usize,
+    },
+    /// Jump when the register holds `False`.
+    JumpIfFalse {
+        /// Condition register.
+        c: Reg,
+        /// Target pc.
+        pc: usize,
+    },
+    /// `r[d] = RandomReal[lo, hi]` (uniform; the classic compiler supports
+    /// random number generation natively).
+    RandomReal {
+        /// Destination.
+        d: Reg,
+        /// Lower bound register (`None` = 0).
+        lo: Option<Reg>,
+        /// Upper bound register (`None` = 1).
+        hi: Option<Reg>,
+    },
+    /// "If an expression is not supported by the compiler, then the
+    /// compiler inserts a statement which invokes the interpreter at
+    /// runtime to evaluate that expression" (§2.2).
+    Eval {
+        /// Destination for the (re-boxed) result.
+        d: Reg,
+        /// The expression to evaluate.
+        expr: Expr,
+        /// Local bindings to install: `(name, register)`.
+        env: Vec<(String, Reg)>,
+    },
+    /// Return the register's value.
+    Return {
+        /// The result register.
+        s: Reg,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_join_defaults_to_real() {
+        assert_eq!(VmType::Int.join(VmType::Int), VmType::Int);
+        assert_eq!(VmType::Int.join(VmType::Real), VmType::Real);
+        assert_eq!(VmType::Real.join(VmType::Complex), VmType::Complex);
+        // Incompatible joins degrade to Real, the bytecode default.
+        assert_eq!(VmType::Bool.join(VmType::TensorInt), VmType::Real);
+        assert!(VmType::TensorReal.is_tensor());
+        assert!(!VmType::Real.is_tensor());
+    }
+}

@@ -1,0 +1,1375 @@
+//! Lowers fully-typed TWIR program modules onto the native register
+//! machine: SSA destruction (phi -> edge moves), bank assignment by type,
+//! and monomorphic instruction selection from mangled primitive names.
+
+use crate::machine::{
+    ArgVal, Bank, CmpCode, CpxOp, ElemKind, FltOp, FltUnOp, IntOp, IntUnOp, NativeFunc,
+    NativeProgram, RegOp, Slot, TenOp,
+};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use wolfram_expr::Expr;
+use wolfram_ir::module::{Block, BlockId, Callee, Constant, Function, Instr, Operand, VarId};
+use wolfram_runtime::{Tensor, Value};
+use wolfram_types::Type;
+
+/// Lowering failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LowerError {
+    /// "a compile error is issued if any variable type is missing" (§4.6).
+    MissingType(String),
+    /// An unresolved builtin reached code generation (resolution bug or a
+    /// function outside the compilable subset).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::MissingType(what) => write!(f, "missing type for {what}"),
+            LowerError::Unsupported(what) => write!(f, "cannot generate code for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Options for lowering.
+#[derive(Debug, Clone, Default)]
+pub struct LowerOptions {
+    /// Model the paper's §6 "non-optimal handling of constant arrays"
+    /// (PrimeQ's 1.5×): constant arrays are deep-copied at each load
+    /// instead of shared.
+    pub naive_constant_arrays: bool,
+}
+
+/// Lowers a program module.
+///
+/// # Errors
+///
+/// See [`LowerError`].
+pub fn lower_program(pm: &wolfram_ir::ProgramModule) -> Result<NativeProgram, LowerError> {
+    lower_program_with(pm, &LowerOptions::default())
+}
+
+/// Lowers a program module with options.
+///
+/// # Errors
+///
+/// See [`LowerError`].
+pub fn lower_program_with(
+    pm: &wolfram_ir::ProgramModule,
+    opts: &LowerOptions,
+) -> Result<NativeProgram, LowerError> {
+    let name_to_index: HashMap<&str, u32> = pm
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(ix, f)| (f.name.as_str(), ix as u32))
+        .collect();
+    let mut out = NativeProgram::default();
+    for f in &pm.functions {
+        out.funcs.push(lower_function(f, &name_to_index, opts)?);
+    }
+    Ok(out)
+}
+
+fn bank_of(ty: &Type) -> Bank {
+    match ty {
+        Type::Atomic(name) => match &**name {
+            "Integer64" | "Integer32" | "Integer16" | "Integer8" | "Boolean" => Bank::I,
+            "Real64" | "Real32" => Bank::F,
+            "ComplexReal64" => Bank::C,
+            _ => Bank::V,
+        },
+        _ => Bank::V,
+    }
+}
+
+fn elem_kind(ty: &Type) -> ElemKind {
+    match bank_of(ty) {
+        Bank::I => ElemKind::I64,
+        Bank::C => ElemKind::C64,
+        _ => ElemKind::F64,
+    }
+}
+
+/// Tensor element type of a tensor-typed variable.
+fn tensor_elem(ty: &Type) -> Option<&Type> {
+    match ty {
+        Type::Constructor { name, args } if &**name == "Tensor" => args.first(),
+        _ => None,
+    }
+}
+
+struct Lowering<'a> {
+    f: &'a Function,
+    funcs: &'a HashMap<&'a str, u32>,
+    opts: &'a LowerOptions,
+    slots: HashMap<VarId, Slot>,
+    counters: [u32; 4],
+    code: Vec<RegOp>,
+    block_pc: HashMap<BlockId, u32>,
+    patches: Vec<(usize, BlockId)>,
+    /// Pending phi moves per predecessor block: (dst slot, source operand).
+    edge_moves: HashMap<BlockId, Vec<(Slot, Operand)>>,
+    params: Vec<Slot>,
+    /// The copy/live analysis of §4.5: reads after which a value-bank
+    /// register is provably dead (no path reaches another read of the slot
+    /// without an intervening write). Such reads *move* the value out of
+    /// the register instead of cloning it, which is what keeps in-place
+    /// tensor mutation copy-free. Keys are `(block, event, var)` with
+    /// `event = usize::MAX` denoting the phi edge-move batch at the block's
+    /// end.
+    dying_reads: HashSet<(u32, usize, VarId)>,
+    current_block: BlockId,
+    current_event: usize,
+    /// Deduplicated constant loads, hoisted into a function prologue so
+    /// loop bodies do not re-materialize immediates each iteration.
+    const_cache: HashMap<(String, Bank), u32>,
+    prologue: Vec<RegOp>,
+}
+
+fn lower_function(
+    f: &Function,
+    funcs: &HashMap<&str, u32>,
+    opts: &LowerOptions,
+) -> Result<NativeFunc, LowerError> {
+    let cfg = wolfram_ir::analysis::Cfg::new(f);
+    let mut l = Lowering {
+        f,
+        funcs,
+        opts,
+        slots: HashMap::new(),
+        counters: [0; 4],
+        code: Vec::new(),
+        block_pc: HashMap::new(),
+        patches: Vec::new(),
+        edge_moves: HashMap::new(),
+        params: vec![Slot::new(Bank::I, 0); f.arity],
+        dying_reads: HashSet::new(),
+        current_block: BlockId(0),
+        current_event: 0,
+        const_cache: HashMap::new(),
+        prologue: Vec::new(),
+    };
+    l.assign_slots()?;
+    l.collect_phi_moves();
+    l.dying_reads = compute_dying_reads(f, &cfg, &l.slots);
+    for &b in &cfg.rpo {
+        l.block_pc.insert(b, l.code.len() as u32);
+        l.lower_block(b)?;
+    }
+    // Patch jumps.
+    for (at, target) in std::mem::take(&mut l.patches) {
+        let pc = *l.block_pc.get(&target).unwrap_or(&0);
+        match &mut l.code[at] {
+            RegOp::Jmp { pc: t }
+            | RegOp::Brz { pc: t, .. }
+            | RegOp::BrCmpIFalse { pc: t, .. }
+            | RegOp::BrCmpFFalse { pc: t, .. } => *t = pc,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+    // Hoist the deduplicated constant loads into a prologue, shifting all
+    // jump targets accordingly.
+    if !l.prologue.is_empty() {
+        let shift = l.prologue.len() as u32;
+        for op in &mut l.code {
+            match op {
+                RegOp::Jmp { pc }
+                | RegOp::Brz { pc, .. }
+                | RegOp::BrCmpIFalse { pc, .. }
+                | RegOp::BrCmpFFalse { pc, .. } => *pc += shift,
+                _ => {}
+            }
+        }
+        let mut code = std::mem::take(&mut l.prologue);
+        code.append(&mut l.code);
+        l.code = code;
+    }
+    Ok(NativeFunc {
+        name: f.name.clone(),
+        code: l.code,
+        n_int: l.counters[0],
+        n_flt: l.counters[1],
+        n_cpx: l.counters[2],
+        n_val: l.counters[3],
+        params: l.params,
+    })
+}
+
+impl<'a> Lowering<'a> {
+    fn bump(&mut self, bank: Bank) -> u32 {
+        let ix = match bank {
+            Bank::I => 0,
+            Bank::F => 1,
+            Bank::C => 2,
+            Bank::V => 3,
+        };
+        let v = self.counters[ix];
+        self.counters[ix] += 1;
+        v
+    }
+
+    fn assign_slots(&mut self) -> Result<(), LowerError> {
+        for b in self.f.block_ids() {
+            for i in &self.f.block(b).instrs {
+                if let Some(d) = i.def() {
+                    let ty = self.f.var_type(d).ok_or_else(|| {
+                        LowerError::MissingType(format!("%{} in {}", d.0, self.f.name))
+                    })?;
+                    let bank = bank_of(ty);
+                    let ix = self.bump(bank);
+                    self.slots.insert(d, Slot::new(bank, ix));
+                }
+                if let Instr::LoadArgument { dst, index } = i {
+                    self.params[*index] = self.slots[dst];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn collect_phi_moves(&mut self) {
+        for b in self.f.block_ids() {
+            for i in &self.f.block(b).instrs {
+                if let Instr::Phi { dst, incoming } = i {
+                    let dslot = self.slots[dst];
+                    for (pred, op) in incoming {
+                        self.edge_moves.entry(*pred).or_default().push((dslot, op.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    fn var_slot(&self, v: VarId) -> Slot {
+        self.slots[&v]
+    }
+
+    /// Whether the value in `v`'s register dies at the current read: no
+    /// execution path reaches another read of the register without a write
+    /// in between (slot-level liveness over the phi-destructed program).
+    fn is_last_use(&self, v: VarId) -> bool {
+        self.dying_reads.contains(&(self.current_block.0, self.current_event, v))
+    }
+
+    /// Materializes a value-bank operand, reporting whether the resulting
+    /// register may be *consumed* (moved from) by the instruction.
+    fn operand_v_take(&mut self, o: &Operand) -> Result<(u32, bool), LowerError> {
+        let ix = self.operand(o, Bank::V)?;
+        Ok(match o {
+            // Constant slots are shared (hoisted) or, in the naive-array
+            // ablation, fresh per use; never steal the shared ones.
+            Operand::Const(c) => {
+                let naive_array = self.opts.naive_constant_arrays
+                    && matches!(c, Constant::I64Array(_) | Constant::F64Array(_));
+                (ix, naive_array)
+            }
+            Operand::Var(v) => (ix, self.is_last_use(*v)),
+        })
+    }
+
+    /// Emits a value move that steals the source register when allowed.
+    fn push_v_move(&mut self, d: u32, s: u32, take: bool) {
+        if take {
+            self.code.push(RegOp::TakeV { d, s });
+        } else {
+            self.code.push(RegOp::MovV { d, s });
+        }
+    }
+
+    /// Materializes an operand into a slot of the given bank, emitting
+    /// loads/conversions for constants.
+    fn operand(&mut self, o: &Operand, bank: Bank) -> Result<u32, LowerError> {
+        match o {
+            Operand::Var(v) => {
+                let s = self.var_slot(*v);
+                if s.bank == bank {
+                    Ok(s.ix)
+                } else if s.bank == Bank::I && bank == Bank::F {
+                    let d = self.bump(Bank::F);
+                    self.code.push(RegOp::IntToFlt { d, s: s.ix });
+                    Ok(d)
+                } else if s.bank == Bank::I && bank == Bank::C {
+                    let d = self.bump(Bank::C);
+                    self.code.push(RegOp::IntToCpx { d, s: s.ix });
+                    Ok(d)
+                } else if s.bank == Bank::F && bank == Bank::C {
+                    let d = self.bump(Bank::C);
+                    self.code.push(RegOp::FltToCpx { d, s: s.ix });
+                    Ok(d)
+                } else if bank == Bank::V {
+                    // Boxing into the managed world (symbolic arguments).
+                    let d = self.bump(Bank::V);
+                    let is_bool = matches!(
+                        self.f.var_type(*v),
+                        Some(Type::Atomic(n)) if &**n == "Boolean"
+                    );
+                    self.code.push(match s.bank {
+                        Bank::I if is_bool => RegOp::BoolToExpr { d, s: s.ix },
+                        Bank::I => RegOp::BoxIV { d, s: s.ix },
+                        Bank::F => RegOp::BoxFV { d, s: s.ix },
+                        Bank::C => RegOp::BoxCV { d, s: s.ix },
+                        Bank::V => unreachable!("same bank handled above"),
+                    });
+                    Ok(d)
+                } else {
+                    Err(LowerError::Unsupported(format!(
+                        "operand bank mismatch %{} ({:?} vs {:?})",
+                        v.0, s.bank, bank
+                    )))
+                }
+            }
+            Operand::Const(c) => {
+                // The naive-constant-array ablation keeps per-use loads.
+                let naive_array = self.opts.naive_constant_arrays
+                    && matches!(c, Constant::I64Array(_) | Constant::F64Array(_));
+                let key = (format!("{c:?}"), bank);
+                if !naive_array {
+                    if let Some(&slot) = self.const_cache.get(&key) {
+                        return Ok(slot);
+                    }
+                }
+                let d = self.bump(bank);
+                let op = match (c, bank) {
+                    (Constant::I64(v), Bank::I) => RegOp::LdcI { d, v: *v },
+                    (Constant::Bool(b), Bank::I) => RegOp::LdcI { d, v: *b as i64 },
+                    (Constant::I64(v), Bank::F) => RegOp::LdcF { d, v: *v as f64 },
+                    (Constant::F64(v), Bank::F) => RegOp::LdcF { d, v: *v },
+                    (Constant::I64(v), Bank::C) => RegOp::LdcC { d, re: *v as f64, im: 0.0 },
+                    (Constant::F64(v), Bank::C) => RegOp::LdcC { d, re: *v, im: 0.0 },
+                    (Constant::Complex(re, im), Bank::C) => RegOp::LdcC { d, re: *re, im: *im },
+                    (c, Bank::V) => {
+                        let v = const_value(c, self.opts);
+                        if naive_array {
+                            RegOp::LdcArrayCopy { d, v }
+                        } else {
+                            RegOp::LdcV { d, v }
+                        }
+                    }
+                    (c, bank) => {
+                        return Err(LowerError::Unsupported(format!(
+                            "constant {c:?} in {bank:?} bank"
+                        )))
+                    }
+                };
+                if naive_array {
+                    self.code.push(op);
+                } else {
+                    self.prologue.push(op);
+                    self.const_cache.insert(key, d);
+                }
+                Ok(d)
+            }
+        }
+    }
+
+    fn operand_ty(&self, o: &Operand) -> Result<Type, LowerError> {
+        match o {
+            Operand::Var(v) => self
+                .f
+                .var_type(*v)
+                .cloned()
+                .ok_or_else(|| LowerError::MissingType(format!("%{}", v.0))),
+            Operand::Const(c) => Ok(c.ty()),
+        }
+    }
+
+    fn flush_edge_moves(&mut self, from: BlockId) -> Result<(), LowerError> {
+        let moves = self.edge_moves.get(&from).cloned().unwrap_or_default();
+        if moves.is_empty() {
+            return Ok(());
+        }
+        let saved_event = self.current_event;
+        self.current_event = usize::MAX; // the edge-move event
+        let result = self.flush_edge_moves_inner(&moves);
+        self.current_event = saved_event;
+        result
+    }
+
+    fn flush_edge_moves_inner(&mut self, moves: &[(Slot, Operand)]) -> Result<(), LowerError> {
+        // Fast path: when no destination doubles as another move's source,
+        // the parallel copy degenerates to direct moves (no temps).
+        let dst_slots: Vec<Slot> = moves.iter().map(|(d, _)| *d).collect();
+        let moves = moves.to_vec();
+        let interferes = moves.iter().any(|(_, op)| {
+            op.as_var()
+                .map(|v| self.var_slot(v))
+                .is_some_and(|s| dst_slots.contains(&s))
+        });
+        if !interferes {
+            for (dslot, op) in &moves {
+                if dslot.bank == Bank::V {
+                    let (src, take) = self.operand_v_take(op)?;
+                    self.push_v_move(dslot.ix, src, take);
+                } else {
+                    let src = self.operand(op, dslot.bank)?;
+                    if src != dslot.ix {
+                        self.code.push(mov(dslot.bank, dslot.ix, src));
+                    }
+                }
+            }
+            return Ok(());
+        }
+        // Parallel-copy safety: read every source into a temp first. Value
+        // temps are moved, not cloned, whenever the source is dead.
+        let mut temps = Vec::with_capacity(moves.len());
+        for (dslot, op) in &moves {
+            if dslot.bank == Bank::V {
+                let (src, take) = self.operand_v_take(op)?;
+                let tmp = self.bump(Bank::V);
+                self.push_v_move(tmp, src, take);
+                temps.push(tmp);
+            } else {
+                let src = self.operand(op, dslot.bank)?;
+                let tmp = self.bump(dslot.bank);
+                self.code.push(mov(dslot.bank, tmp, src));
+                temps.push(tmp);
+            }
+        }
+        for ((dslot, _), tmp) in moves.iter().zip(temps) {
+            if dslot.bank == Bank::V {
+                // The temp is always dead after this write.
+                self.code.push(RegOp::TakeV { d: dslot.ix, s: tmp });
+            } else {
+                self.code.push(mov(dslot.bank, dslot.ix, tmp));
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_block(&mut self, b: BlockId) -> Result<(), LowerError> {
+        let block: &Block = self.f.block(b);
+        self.current_block = b;
+        for (ix, i) in block.instrs.iter().enumerate() {
+            self.current_event = ix;
+            match i {
+                Instr::Phi { .. } | Instr::LoadArgument { .. } => {}
+                Instr::LoadConst { dst, value } => {
+                    let slot = self.var_slot(*dst);
+                    if slot.bank == Bank::V {
+                        let (op, take) =
+                            self.operand_v_take(&Operand::Const(value.clone()))?;
+                        self.push_v_move(slot.ix, op, take);
+                    } else {
+                        let op = self.operand(&Operand::Const(value.clone()), slot.bank)?;
+                        self.code.push(mov(slot.bank, slot.ix, op));
+                    }
+                }
+                Instr::Copy { dst, src } => {
+                    let d = self.var_slot(*dst);
+                    if d.bank == Bank::V {
+                        let (s, take) = self.operand_v_take(&Operand::Var(*src))?;
+                        self.push_v_move(d.ix, s, take);
+                    } else {
+                        let s = self.operand(&Operand::Var(*src), d.bank)?;
+                        self.code.push(mov(d.bank, d.ix, s));
+                    }
+                }
+                Instr::Call { dst, callee, args } => self.lower_call(*dst, callee, args)?,
+                Instr::MakeClosure { dst, func, captures } => {
+                    let d = self.var_slot(*dst);
+                    let fix = *self.funcs.get(&**func).ok_or_else(|| {
+                        LowerError::Unsupported(format!("unknown closure target {func}"))
+                    })?;
+                    let mut caps = Vec::with_capacity(captures.len());
+                    for c in captures {
+                        let ty = self.operand_ty(c)?;
+                        let bank = bank_of(&ty);
+                        let ix = self.operand(c, bank)?;
+                        caps.push(Slot::new(bank, ix));
+                    }
+                    self.code.push(RegOp::MakeClosure { d: d.ix, f: fix, captures: caps });
+                }
+                Instr::AbortCheck => self.code.push(RegOp::AbortCheck),
+                Instr::MemoryAcquire { var } => {
+                    let s = self.var_slot(*var);
+                    if s.bank == Bank::V {
+                        self.code.push(RegOp::Acquire { v: s.ix });
+                    }
+                }
+                Instr::MemoryRelease { var } => {
+                    let s = self.var_slot(*var);
+                    if s.bank == Bank::V {
+                        self.code.push(RegOp::Release { v: s.ix });
+                    }
+                }
+                Instr::Jump { target } => {
+                    self.flush_edge_moves(b)?;
+                    self.patches.push((self.code.len(), *target));
+                    self.code.push(RegOp::Jmp { pc: 0 });
+                }
+                Instr::Branch { cond, then_block, else_block } => {
+                    self.flush_edge_moves(b)?;
+                    let c = self.operand(cond, Bank::I)?;
+                    // Fuse an immediately-preceding dead comparison into
+                    // the branch (compare-and-branch).
+                    let fused = match (cond.as_var(), self.code.last()) {
+                        (Some(v), Some(RegOp::IntBin { op, d, a, b: rb }))
+                            if *d == c
+                                && self.is_last_use(v)
+                                && matches!(
+                                    op,
+                                    crate::machine::IntOp::Lt
+                                        | crate::machine::IntOp::Le
+                                        | crate::machine::IntOp::Gt
+                                        | crate::machine::IntOp::Ge
+                                        | crate::machine::IntOp::Eq
+                                        | crate::machine::IntOp::Ne
+                                ) =>
+                        {
+                            Some(RegOp::BrCmpIFalse { op: *op, a: *a, b: *rb, pc: 0 })
+                        }
+                        (Some(v), Some(RegOp::FltCmp { op, d, a, b: rb }))
+                            if *d == c && self.is_last_use(v) =>
+                        {
+                            Some(RegOp::BrCmpFFalse { op: *op, a: *a, b: *rb, pc: 0 })
+                        }
+                        _ => None,
+                    };
+                    if let Some(br) = fused {
+                        self.code.pop();
+                        self.patches.push((self.code.len(), *else_block));
+                        self.code.push(br);
+                    } else {
+                        self.patches.push((self.code.len(), *else_block));
+                        self.code.push(RegOp::Brz { c, pc: 0 });
+                    }
+                    self.patches.push((self.code.len(), *then_block));
+                    self.code.push(RegOp::Jmp { pc: 0 });
+                }
+                Instr::Return { value } => {
+                    if matches!(value, Operand::Const(Constant::Null)) {
+                        self.code.push(RegOp::RetNull);
+                    } else {
+                        let ty = self.operand_ty(value)?;
+                        let bank = bank_of(&ty);
+                        let s = self.operand(value, bank)?;
+                        self.code.push(RegOp::Ret { s: Slot::new(bank, s) });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn lower_call(
+        &mut self,
+        dst: VarId,
+        callee: &Callee,
+        args: &[Operand],
+    ) -> Result<(), LowerError> {
+        let dslot = self.var_slot(dst);
+        match callee {
+            Callee::Function { name, .. } => {
+                let fix = *self.funcs.get(&**name).ok_or_else(|| {
+                    LowerError::Unsupported(format!("unresolved function {name}"))
+                })?;
+                let mut arg_slots = Vec::with_capacity(args.len());
+                for a in args {
+                    let ty = self.operand_ty(a)?;
+                    let bank = bank_of(&ty);
+                    let ix = self.operand(a, bank)?;
+                    arg_slots.push(Slot::new(bank, ix));
+                }
+                self.code.push(RegOp::CallFunc { f: fix, args: arg_slots, ret: dslot });
+                Ok(())
+            }
+            Callee::Value(v) => {
+                let fv = self.var_slot(*v);
+                let mut arg_slots = Vec::with_capacity(args.len());
+                for a in args {
+                    let ty = self.operand_ty(a)?;
+                    let bank = bank_of(&ty);
+                    let ix = self.operand(a, bank)?;
+                    arg_slots.push(Slot::new(bank, ix));
+                }
+                self.code.push(RegOp::CallValue { fv: fv.ix, args: arg_slots, ret: dslot });
+                Ok(())
+            }
+            Callee::Kernel(head) => {
+                let mut arg_slots = Vec::with_capacity(args.len());
+                for a in args {
+                    let ty = self.operand_ty(a)?;
+                    let bank = bank_of(&ty);
+                    let ix = self.operand(a, bank)?;
+                    arg_slots.push(Slot::new(bank, ix));
+                }
+                self.code.push(RegOp::CallKernel {
+                    head: head.clone(),
+                    args: arg_slots,
+                    ret: dslot,
+                });
+                Ok(())
+            }
+            Callee::Primitive(name) => self.select_primitive(name, dslot, args),
+            Callee::Builtin(name) => Err(LowerError::Unsupported(format!(
+                "unresolved builtin `{name}` reached code generation"
+            ))),
+        }
+    }
+
+    /// Monomorphic instruction selection from a mangled primitive name and
+    /// the statically known operand types.
+    #[allow(clippy::too_many_lines)]
+    fn select_primitive(
+        &mut self,
+        name: &str,
+        dslot: Slot,
+        args: &[Operand],
+    ) -> Result<(), LowerError> {
+        let base = name.split("$").next().unwrap_or(name);
+        let d = dslot.ix;
+        // Helpers to materialize operands in a requested bank.
+        macro_rules! a {
+            ($ix:expr, $bank:expr) => {
+                self.operand(&args[$ix], $bank)?
+            };
+        }
+        let arg_bank = |l: &Self, ix: usize| -> Result<Bank, LowerError> {
+            Ok(bank_of(&l.operand_ty(&args[ix])?))
+        };
+
+        // Scalar binary arithmetic dispatching on the destination bank.
+        let int_ops: &[(&str, IntOp)] = &[
+            ("checked_binary_plus", IntOp::Add),
+            ("checked_binary_subtract", IntOp::Sub),
+            ("checked_binary_times", IntOp::Mul),
+            ("checked_binary_quotient", IntOp::Quot),
+            ("checked_binary_mod", IntOp::Mod),
+            ("checked_binary_power", IntOp::Pow),
+            ("binary_min", IntOp::Min),
+            ("binary_max", IntOp::Max),
+            ("binary_gcd", IntOp::Gcd),
+            ("bit_and", IntOp::BitAnd),
+            ("bit_or", IntOp::BitOr),
+            ("bit_xor", IntOp::BitXor),
+            ("bit_shift_left", IntOp::Shl),
+            ("bit_shift_right", IntOp::Shr),
+            ("logical_and", IntOp::And),
+            ("logical_or", IntOp::Or),
+        ];
+        let flt_ops: &[(&str, FltOp)] = &[
+            ("checked_binary_plus", FltOp::Add),
+            ("checked_binary_subtract", FltOp::Sub),
+            ("checked_binary_times", FltOp::Mul),
+            ("checked_binary_divide", FltOp::Div),
+            ("checked_binary_power", FltOp::Pow),
+            ("checked_binary_mod", FltOp::Mod),
+            ("binary_min", FltOp::Min),
+            ("binary_max", FltOp::Max),
+            ("binary_arctan2", FltOp::ArcTan2),
+        ];
+        let cpx_ops: &[(&str, CpxOp)] = &[
+            ("checked_binary_plus", CpxOp::Add),
+            ("checked_binary_subtract", CpxOp::Sub),
+            ("checked_binary_times", CpxOp::Mul),
+            ("checked_binary_divide", CpxOp::Div),
+        ];
+        let ten_ops: &[(&str, TenOp)] = &[
+            ("tensor_plus", TenOp::Add),
+            ("tensor_subtract", TenOp::Sub),
+            ("tensor_times", TenOp::Mul),
+        ];
+
+        match dslot.bank {
+            Bank::I => {
+                if let Some((_, op)) = int_ops.iter().find(|(b, _)| *b == base) {
+                    let x = a!(0, Bank::I);
+                    // Immediate forms avoid a register read per iteration.
+                    if let Some(Constant::I64(imm)) = args[1].as_const() {
+                        self.code.push(RegOp::IntBinImm { op: *op, d, a: x, imm: *imm });
+                        return Ok(());
+                    }
+                    let y = a!(1, Bank::I);
+                    self.code.push(RegOp::IntBin { op: *op, d, a: x, b: y });
+                    return Ok(());
+                }
+            }
+            Bank::F => {
+                if let Some((_, op)) = flt_ops.iter().find(|(b, _)| *b == base) {
+                    let x = a!(0, Bank::F);
+                    let imm = match args[1].as_const() {
+                        Some(Constant::F64(v)) => Some(*v),
+                        Some(Constant::I64(v)) => Some(*v as f64),
+                        _ => None,
+                    };
+                    if let Some(imm) = imm {
+                        self.code.push(RegOp::FltBinImm { op: *op, d, a: x, imm });
+                        return Ok(());
+                    }
+                    let y = a!(1, Bank::F);
+                    self.code.push(RegOp::FltBin { op: *op, d, a: x, b: y });
+                    return Ok(());
+                }
+            }
+            Bank::C => {
+                if base == "checked_binary_power" {
+                    // complex ^ integer stays exact.
+                    let x = a!(0, Bank::C);
+                    if arg_bank(self, 1)? == Bank::I {
+                        let e = a!(1, Bank::I);
+                        self.code.push(RegOp::CpxPowI { d, a: x, e });
+                        return Ok(());
+                    }
+                }
+                if let Some((_, op)) = cpx_ops.iter().find(|(b, _)| *b == base) {
+                    let (x, y) = (a!(0, Bank::C), a!(1, Bank::C));
+                    self.code.push(RegOp::CpxBin { op: *op, d, a: x, b: y });
+                    return Ok(());
+                }
+            }
+            Bank::V => {
+                if let Some((_, op)) = ten_ops.iter().find(|(b, _)| *b == base) {
+                    let (x, y) = (a!(0, Bank::V), a!(1, Bank::V));
+                    self.code.push(RegOp::TenBin { op: *op, d, a: x, b: y });
+                    return Ok(());
+                }
+            }
+        }
+
+        // Comparisons: dispatch on the *argument* bank.
+        let cmp: &[(&str, CmpCode, IntOp)] = &[
+            ("compare_less_equal", CmpCode::Le, IntOp::Le),
+            ("compare_less", CmpCode::Lt, IntOp::Lt),
+            ("compare_greater_equal", CmpCode::Ge, IntOp::Ge),
+            ("compare_greater", CmpCode::Gt, IntOp::Gt),
+            ("compare_equal", CmpCode::Eq, IntOp::Eq),
+            ("compare_unequal", CmpCode::Ne, IntOp::Ne),
+        ];
+        if let Some((_, fcode, icode)) = cmp.iter().find(|(b, ..)| *b == base) {
+            let ab = arg_bank(self, 0)?.max_num(arg_bank(self, 1)?);
+            match ab {
+                Bank::I => {
+                    let (x, y) = (a!(0, Bank::I), a!(1, Bank::I));
+                    self.code.push(RegOp::IntBin { op: *icode, d, a: x, b: y });
+                }
+                Bank::C => {
+                    let (x, y) = (a!(0, Bank::C), a!(1, Bank::C));
+                    let eq = matches!(fcode, CmpCode::Eq);
+                    if !(eq || matches!(fcode, CmpCode::Ne)) {
+                        return Err(LowerError::Unsupported("ordered complex compare".into()));
+                    }
+                    self.code.push(RegOp::CpxEq { d, a: x, b: y });
+                    if matches!(fcode, CmpCode::Ne) {
+                        self.code.push(RegOp::IntUn { op: IntUnOp::Not, d, s: d });
+                    }
+                }
+                Bank::V => {
+                    return Err(LowerError::Unsupported("comparison of managed values".into()))
+                }
+                Bank::F => {
+                    let (x, y) = (a!(0, Bank::F), a!(1, Bank::F));
+                    self.code.push(RegOp::FltCmp { op: *fcode, d, a: x, b: y });
+                }
+            }
+            return Ok(());
+        }
+
+        match base {
+            "checked_unary_minus" | "checked_unary_abs" | "unary_sign" => {
+                let un_i = match base {
+                    "checked_unary_minus" => IntUnOp::Neg,
+                    "checked_unary_abs" => IntUnOp::Abs,
+                    _ => IntUnOp::Sign,
+                };
+                match dslot.bank {
+                    Bank::I => {
+                        let s = a!(0, Bank::I);
+                        self.code.push(RegOp::IntUn { op: un_i, d, s });
+                    }
+                    Bank::F => {
+                        // Abs of a complex lands in the float bank.
+                        if arg_bank(self, 0)? == Bank::C {
+                            let s = a!(0, Bank::C);
+                            self.code.push(RegOp::CpxAbs { d, s });
+                        } else {
+                            let s = a!(0, Bank::F);
+                            let op = match un_i {
+                                IntUnOp::Neg => FltUnOp::Neg,
+                                IntUnOp::Abs => FltUnOp::Abs,
+                                _ => FltUnOp::Sign,
+                            };
+                            self.code.push(RegOp::FltUn { op, d, s });
+                        }
+                    }
+                    Bank::C => {
+                        let s = a!(0, Bank::C);
+                        let zero = self.bump(Bank::C);
+                        self.code.push(RegOp::LdcC { d: zero, re: 0.0, im: 0.0 });
+                        self.code.push(RegOp::CpxBin { op: CpxOp::Sub, d, a: zero, b: s });
+                    }
+                    Bank::V => return Err(LowerError::Unsupported("unary op on value".into())),
+                }
+                Ok(())
+            }
+            "unary_not" => {
+                let s = a!(0, Bank::I);
+                self.code.push(RegOp::IntUn { op: IntUnOp::Not, d, s });
+                Ok(())
+            }
+            "unary_factorial" => {
+                let s = a!(0, Bank::I);
+                self.code.push(RegOp::IntUn { op: IntUnOp::Factorial, d, s });
+                Ok(())
+            }
+            "unary_sin" | "unary_cos" | "unary_tan" | "unary_exp" | "unary_log"
+            | "unary_sqrt" | "unary_arctan" | "unary_arcsin" | "unary_arccos" => {
+                let op = match base {
+                    "unary_sin" => FltUnOp::Sin,
+                    "unary_cos" => FltUnOp::Cos,
+                    "unary_tan" => FltUnOp::Tan,
+                    "unary_exp" => FltUnOp::Exp,
+                    "unary_log" => FltUnOp::Log,
+                    "unary_sqrt" => FltUnOp::Sqrt,
+                    "unary_arctan" => FltUnOp::ArcTan,
+                    "unary_arcsin" => FltUnOp::ArcSin,
+                    _ => FltUnOp::ArcCos,
+                };
+                let s = a!(0, Bank::F);
+                self.code.push(RegOp::FltUn { op, d, s });
+                Ok(())
+            }
+            "unary_floor" | "unary_ceiling" | "unary_round" => {
+                if arg_bank(self, 0)? == Bank::I {
+                    let s = a!(0, Bank::I);
+                    self.code.push(RegOp::MovI { d, s });
+                } else {
+                    let s = a!(0, Bank::F);
+                    self.code.push(match base {
+                        "unary_floor" => RegOp::FloorFI { d, s },
+                        "unary_ceiling" => RegOp::CeilFI { d, s },
+                        _ => RegOp::RoundFI { d, s },
+                    });
+                }
+                Ok(())
+            }
+            "power_mod" => {
+                let (x, y, m) = (a!(0, Bank::I), a!(1, Bank::I), a!(2, Bank::I));
+                self.code.push(RegOp::PowModI { d, a: x, b: y, m });
+                Ok(())
+            }
+            "boole" => {
+                let s = a!(0, Bank::I);
+                self.code.push(RegOp::MovI { d, s });
+                Ok(())
+            }
+            "complex_construct" => {
+                let (re, im) = (a!(0, Bank::F), a!(1, Bank::F));
+                self.code.push(RegOp::CpxMake { d, re, im });
+                Ok(())
+            }
+            "complex_re" => {
+                let s = a!(0, Bank::C);
+                self.code.push(RegOp::CpxRe { d, s });
+                Ok(())
+            }
+            "complex_im" => {
+                let s = a!(0, Bank::C);
+                self.code.push(RegOp::CpxIm { d, s });
+                Ok(())
+            }
+            "complex_conjugate" => {
+                let s = a!(0, Bank::C);
+                self.code.push(RegOp::CpxConj { d, s });
+                Ok(())
+            }
+            "complex_abs" => {
+                let s = a!(0, Bank::C);
+                self.code.push(RegOp::CpxAbs { d, s });
+                Ok(())
+            }
+            "convert" => {
+                // convert: dst bank decides.
+                match dslot.bank {
+                    Bank::F => {
+                        let s = a!(0, Bank::F);
+                        self.code.push(RegOp::MovF { d, s });
+                    }
+                    Bank::C => {
+                        let s = a!(0, Bank::C);
+                        self.code.push(RegOp::MovC { d, s });
+                    }
+                    Bank::I => {
+                        let s = a!(0, Bank::I);
+                        self.code.push(RegOp::MovI { d, s });
+                    }
+                    Bank::V => {
+                        let s = a!(0, Bank::V);
+                        self.code.push(RegOp::MovV { d, s });
+                    }
+                }
+                Ok(())
+            }
+            "tensor_length" => {
+                let t = a!(0, Bank::V);
+                self.code.push(RegOp::TenLen { d, t });
+                Ok(())
+            }
+            "tensor_part_1" => {
+                let elem = self.elem_of(&args[0])?;
+                let t = a!(0, Bank::V);
+                let i = a!(1, Bank::I);
+                self.code.push(RegOp::TenPart1 { kind: elem_kind(&elem), d, t, i });
+                Ok(())
+            }
+            "tensor_part_2" => {
+                let elem = self.elem_of(&args[0])?;
+                let t = a!(0, Bank::V);
+                let (i, j) = (a!(1, Bank::I), a!(2, Bank::I));
+                self.code.push(RegOp::TenPart2 { kind: elem_kind(&elem), d, t, i, j });
+                Ok(())
+            }
+            "tensor_set_1" => {
+                let elem = self.elem_of(&args[0])?;
+                let kind = elem_kind(&elem);
+                let (t, take) = self.operand_v_take(&args[0])?;
+                let i = a!(1, Bank::I);
+                let v = a!(2, bank_of(&elem));
+                // Functional result: the source tensor moves into dst when
+                // dead (in-place update), and is cloned (copy-on-write)
+                // when still live — the F5 copy analysis.
+                self.push_v_move(d, t, take);
+                self.code.push(RegOp::TenSet1 { kind, t: d, i, v });
+                Ok(())
+            }
+            "tensor_set_2" => {
+                let elem = self.elem_of(&args[0])?;
+                let kind = elem_kind(&elem);
+                let (t, take) = self.operand_v_take(&args[0])?;
+                let (i, j) = (a!(1, Bank::I), a!(2, Bank::I));
+                let v = a!(3, bank_of(&elem));
+                self.push_v_move(d, t, take);
+                self.code.push(RegOp::TenSet2 { kind, t: d, i, j, v });
+                Ok(())
+            }
+            "tensor_fill_1" => {
+                let ety = self.operand_ty(&args[0])?;
+                let c = a!(0, bank_of(&ety));
+                let n = a!(1, Bank::I);
+                self.code.push(RegOp::TenFill1 { kind: elem_kind(&ety), d, c, n });
+                Ok(())
+            }
+            "tensor_fill_2" => {
+                let ety = self.operand_ty(&args[0])?;
+                let c = a!(0, bank_of(&ety));
+                let (n1, n2) = (a!(1, Bank::I), a!(2, Bank::I));
+                self.code.push(RegOp::TenFill2 { kind: elem_kind(&ety), d, c, n1, n2 });
+                Ok(())
+            }
+            "list_construct" => {
+                let ety = self.operand_ty(&args[0])?;
+                let bank = bank_of(&ety);
+                let mut items = Vec::with_capacity(args.len());
+                for arg in args {
+                    items.push(self.operand(arg, bank)?);
+                }
+                self.code.push(RegOp::TenFromList { kind: elem_kind(&ety), d, items });
+                Ok(())
+            }
+            "tensor_set_row" => {
+                let (t, take) = self.operand_v_take(&args[0])?;
+                let i = a!(1, Bank::I);
+                let row = a!(2, Bank::V);
+                self.push_v_move(d, t, take);
+                self.code.push(RegOp::TenSetRow { t: d, i, row });
+                Ok(())
+            }
+            "dot_vector" => {
+                let (x, y) = (a!(0, Bank::V), a!(1, Bank::V));
+                match dslot.bank {
+                    Bank::I => self.code.push(RegOp::DotVecI { d, a: x, b: y }),
+                    _ => self.code.push(RegOp::DotVecF { d, a: x, b: y }),
+                }
+                Ok(())
+            }
+            "dot_matrix" => {
+                let (x, y) = (a!(0, Bank::V), a!(1, Bank::V));
+                self.code.push(RegOp::DotMat { d, a: x, b: y });
+                Ok(())
+            }
+            "dot_matrix_vector" => {
+                let (x, y) = (a!(0, Bank::V), a!(1, Bank::V));
+                self.code.push(RegOp::DotMatVec { d, a: x, b: y });
+                Ok(())
+            }
+            "string_length" => {
+                let s = a!(0, Bank::V);
+                self.code.push(RegOp::StrLen { d, s });
+                Ok(())
+            }
+            "string_to_codes" => {
+                let s = a!(0, Bank::V);
+                self.code.push(RegOp::StrToCodes { d, s });
+                Ok(())
+            }
+            "string_from_codes" => {
+                let s = a!(0, Bank::V);
+                self.code.push(RegOp::StrFromCodes { d, s });
+                Ok(())
+            }
+            "string_join" => {
+                let (x, y) = (a!(0, Bank::V), a!(1, Bank::V));
+                self.code.push(RegOp::StrJoin { d, a: x, b: y });
+                Ok(())
+            }
+            "expr_plus" | "expr_times" | "expr_subtract" | "expr_power" => {
+                let op = match base {
+                    "expr_plus" => crate::machine::ExprOp::Plus,
+                    "expr_times" => crate::machine::ExprOp::Times,
+                    "expr_subtract" => crate::machine::ExprOp::Subtract,
+                    _ => crate::machine::ExprOp::Power,
+                };
+                let (x, y) = (a!(0, Bank::V), a!(1, Bank::V));
+                self.code.push(RegOp::ExprBin { op, d, a: x, b: y });
+                Ok(())
+            }
+            "tensor_scalar_plus" | "tensor_scalar_subtract" | "tensor_scalar_times"
+            | "scalar_tensor_plus" | "scalar_tensor_subtract" | "scalar_tensor_times" => {
+                let rev = base.starts_with("scalar_tensor");
+                let op = if base.ends_with("plus") {
+                    TenOp::Add
+                } else if base.ends_with("subtract") {
+                    TenOp::Sub
+                } else {
+                    TenOp::Mul
+                };
+                let (t_ix, s_ix) = if rev { (1, 0) } else { (0, 1) };
+                let elem = self.elem_of(&args[t_ix])?;
+                let t = self.operand(&args[t_ix], Bank::V)?;
+                let sc = self.operand(&args[s_ix], bank_of(&elem))?;
+                self.code.push(RegOp::TenScalar { op, kind: elem_kind(&elem), d, t, s: sc, rev });
+                Ok(())
+            }
+            "random_unit" => {
+                self.code.push(RegOp::RndUnit { d });
+                Ok(())
+            }
+            "random_range" => {
+                let (x, y) = (a!(0, Bank::F), a!(1, Bank::F));
+                self.code.push(RegOp::RndRange { d, a: x, b: y });
+                Ok(())
+            }
+            other => {
+                // Symbolic unary application: `expr_unary_Sin` etc.
+                if let Some(head) = other.strip_prefix("expr_unary_") {
+                    let x = a!(0, Bank::V);
+                    self.code.push(RegOp::ExprUnary {
+                        head: std::rc::Rc::from(head),
+                        d,
+                        a: x,
+                    });
+                    return Ok(());
+                }
+                Err(LowerError::Unsupported(format!("primitive `{other}`")))
+            }
+        }
+    }
+
+    fn elem_of(&self, o: &Operand) -> Result<Type, LowerError> {
+        let ty = self.operand_ty(o)?;
+        tensor_elem(&ty)
+            .cloned()
+            .ok_or_else(|| LowerError::MissingType("tensor element type".into()))
+    }
+}
+
+impl Bank {
+    /// Numeric join for comparison operand banks.
+    fn max_num(self, other: Bank) -> Bank {
+        use Bank::*;
+        match (self, other) {
+            (V, _) | (_, V) => V,
+            (C, _) | (_, C) => C,
+            (F, _) | (_, F) => F,
+            _ => I,
+        }
+    }
+}
+
+fn mov(bank: Bank, d: u32, s: u32) -> RegOp {
+    match bank {
+        Bank::I => RegOp::MovI { d, s },
+        Bank::F => RegOp::MovF { d, s },
+        Bank::C => RegOp::MovC { d, s },
+        Bank::V => RegOp::MovV { d, s },
+    }
+}
+
+fn const_value(c: &Constant, opts: &LowerOptions) -> Value {
+    match c {
+        Constant::I64(v) => Value::I64(*v),
+        Constant::F64(v) => Value::F64(*v),
+        Constant::Bool(b) => Value::Bool(*b),
+        Constant::Complex(re, im) => Value::Complex(*re, *im),
+        Constant::Str(s) => Value::Str(Rc::new(s.to_string())),
+        Constant::I64Array(v) => {
+            let _ = opts;
+            Value::Tensor(Tensor::from_i64(v.to_vec()))
+        }
+        Constant::F64Array(v) => Value::Tensor(Tensor::from_f64(v.to_vec())),
+        Constant::Expr(e) => Value::Expr(e.clone()),
+        Constant::Null => Value::Null,
+    }
+}
+
+/// Boxes the machine result according to the function's return type.
+pub fn result_to_value(result: ArgVal, ret_ty: &Type) -> Value {
+    let is_bool = matches!(ret_ty, Type::Atomic(n) if &**n == "Boolean");
+    result.into_value(is_bool)
+}
+
+/// The `Expr` used in docs/tests.
+pub fn _doc_expr() -> Expr {
+    Expr::null()
+}
+
+
+/// Slot-level liveness over the phi-destructed program (§4.5's copy/live
+/// analysis): a read of a value-bank register may *consume* it iff every
+/// path from the read reaches a write of that register before any other
+/// read. Phi edge moves count as writes of the phi's register at the end
+/// of each predecessor (reads of their sources happen first).
+fn compute_dying_reads(
+    f: &Function,
+    cfg: &wolfram_ir::analysis::Cfg,
+    slots: &HashMap<VarId, Slot>,
+) -> HashSet<(u32, usize, VarId)> {
+    use wolfram_ir::BlockId as B;
+    let is_v = |v: &VarId| slots.get(v).is_some_and(|s| s.bank == Bank::V);
+
+    // Edge reads/writes per predecessor block.
+    let mut edge_reads: HashMap<B, Vec<VarId>> = HashMap::new();
+    let mut edge_writes: HashMap<B, Vec<VarId>> = HashMap::new();
+    for b in f.block_ids() {
+        for i in &f.block(b).instrs {
+            if let Instr::Phi { dst, incoming } = i {
+                for (pred, op) in incoming {
+                    if is_v(dst) {
+                        edge_writes.entry(*pred).or_default().push(*dst);
+                    }
+                    if let Some(v) = op.as_var() {
+                        if is_v(&v) {
+                            edge_reads.entry(*pred).or_default().push(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Events per block, in execution order: ordinary instructions, then
+    // (just before the terminator) the edge-move batch, then the
+    // terminator's own reads.
+    struct Event {
+        key: usize,
+        reads: Vec<VarId>,
+        writes: Vec<VarId>,
+    }
+    let events_of = |b: B| -> Vec<Event> {
+        let mut out = Vec::new();
+        for (ix, i) in f.block(b).instrs.iter().enumerate() {
+            if i.is_terminator() {
+                out.push(Event {
+                    key: usize::MAX,
+                    reads: edge_reads.get(&b).cloned().unwrap_or_default(),
+                    writes: edge_writes.get(&b).cloned().unwrap_or_default(),
+                });
+                out.push(Event {
+                    key: ix,
+                    reads: i.uses().into_iter().filter(|v| is_v(v)).collect(),
+                    writes: Vec::new(),
+                });
+            } else if matches!(i, Instr::Phi { .. }) {
+                // The phi's write happens at the predecessors' edges.
+                out.push(Event { key: ix, reads: Vec::new(), writes: Vec::new() });
+            } else {
+                out.push(Event {
+                    key: ix,
+                    reads: i.uses().into_iter().filter(|v| is_v(v)).collect(),
+                    writes: i.def().into_iter().filter(|v| is_v(v)).collect(),
+                });
+            }
+        }
+        out
+    };
+    let all_events: HashMap<B, Vec<Event>> =
+        f.block_ids().map(|b| (b, events_of(b))).collect();
+
+    // Backward dataflow to a fixed point.
+    let mut live_in: HashMap<B, HashSet<VarId>> = HashMap::new();
+    let mut live_out: HashMap<B, HashSet<VarId>> = HashMap::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in cfg.rpo.iter().rev() {
+            let mut out_set: HashSet<VarId> = HashSet::new();
+            for &s in &cfg.succs[b.0 as usize] {
+                if let Some(s_in) = live_in.get(&s) {
+                    out_set.extend(s_in.iter().copied());
+                }
+            }
+            let mut live = out_set.clone();
+            for ev in all_events[&b].iter().rev() {
+                for w in &ev.writes {
+                    live.remove(w);
+                }
+                for r in &ev.reads {
+                    live.insert(*r);
+                }
+            }
+            if live_out.get(&b) != Some(&out_set) {
+                live_out.insert(b, out_set);
+                changed = true;
+            }
+            if live_in.get(&b) != Some(&live) {
+                live_in.insert(b, live);
+                changed = true;
+            }
+        }
+    }
+
+    // Dying reads: scan each block backward; a read dies when the variable
+    // is not live just after its event (and it is read only once within
+    // the event).
+    let mut dying = HashSet::new();
+    for &b in &cfg.rpo {
+        let mut live = live_out.get(&b).cloned().unwrap_or_default();
+        for ev in all_events[&b].iter().rev() {
+            for w in &ev.writes {
+                live.remove(w);
+            }
+            for r in &ev.reads {
+                let duplicated = ev.reads.iter().filter(|x| *x == r).count() > 1;
+                if !duplicated && !live.contains(r) {
+                    dying.insert((b.0, ev.key, *r));
+                }
+            }
+            for r in &ev.reads {
+                live.insert(*r);
+            }
+        }
+    }
+    dying
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use wolfram_ir::FunctionBuilder;
+    use wolfram_types::Type;
+
+    /// Builds the appendix addOne TWIR by hand and runs it natively.
+    #[test]
+    fn add_one_end_to_end() {
+        let mut b = FunctionBuilder::new("Main", 1);
+        let arg = b.func.fresh_var();
+        b.push(Instr::LoadArgument { dst: arg, index: 0 });
+        let sum = b.call(
+            Callee::Primitive(Rc::from("checked_binary_plus$Integer64$Integer64")),
+            vec![arg.into(), Constant::I64(1).into()],
+        );
+        b.ret(sum);
+        let mut f = b.finish();
+        f.var_types.insert(arg, Type::integer64());
+        f.var_types.insert(sum, Type::integer64());
+        f.return_type = Some(Type::integer64());
+        let pm = wolfram_ir::ProgramModule::with_main(f);
+        let native = lower_program(&pm).unwrap();
+        let mut m = Machine::standalone();
+        let out = m.call(&native, 0, vec![ArgVal::I(41)]).unwrap();
+        assert_eq!(out, ArgVal::I(42));
+    }
+
+    #[test]
+    fn missing_types_are_compile_errors() {
+        let mut b = FunctionBuilder::new("Main", 1);
+        let arg = b.func.fresh_var();
+        b.push(Instr::LoadArgument { dst: arg, index: 0 });
+        b.ret(arg);
+        let f = b.finish(); // no var_types
+        let pm = wolfram_ir::ProgramModule::with_main(f);
+        assert!(matches!(lower_program(&pm), Err(LowerError::MissingType(_))));
+    }
+
+    #[test]
+    fn loop_with_phi_moves() {
+        // sum 1..n via a loop: exercises phis -> edge moves.
+        let mut b = FunctionBuilder::new("Main", 1);
+        let n = b.func.fresh_var();
+        b.push(Instr::LoadArgument { dst: n, index: 0 });
+        b.write_var("i", Constant::I64(0));
+        b.write_var("acc", Constant::I64(0));
+        let header = b.create_block("head");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let i0 = b.read_var("i").unwrap();
+        let c = b.call(
+            Callee::Primitive(Rc::from("compare_less$Integer64$Integer64")),
+            vec![i0.clone(), n.into()],
+        );
+        b.branch(c, body, exit);
+        b.seal_block(body);
+        b.switch_to(body);
+        let i1 = b.read_var("i").unwrap();
+        let acc1 = b.read_var("acc").unwrap();
+        let i2 = b.call(
+            Callee::Primitive(Rc::from("checked_binary_plus$Integer64$Integer64")),
+            vec![i1, Constant::I64(1).into()],
+        );
+        let acc2 = b.call(
+            Callee::Primitive(Rc::from("checked_binary_plus$Integer64$Integer64")),
+            vec![acc1, i2.into()],
+        );
+        b.write_var("i", i2);
+        b.write_var("acc", acc2);
+        b.jump(header);
+        b.seal_block(header);
+        b.seal_block(exit);
+        b.switch_to(exit);
+        let out = b.read_var("acc").unwrap();
+        b.ret(out);
+        let mut f = b.finish();
+        for v in 0..f.next_var {
+            f.var_types
+                .entry(VarId(v))
+                .or_insert_with(|| if v == c.0 { Type::boolean() } else { Type::integer64() });
+        }
+        // Branch condition is boolean.
+        f.var_types.insert(c, Type::boolean());
+        f.return_type = Some(Type::integer64());
+        wolfram_ir::verify_function(&f).unwrap();
+        let pm = wolfram_ir::ProgramModule::with_main(f);
+        let native = lower_program(&pm).unwrap();
+        let mut m = Machine::standalone();
+        let out = m.call(&native, 0, vec![ArgVal::I(100)]).unwrap();
+        assert_eq!(out, ArgVal::I(5050));
+    }
+
+    #[test]
+    fn mixed_promotion_via_operand_conversion() {
+        // real + integer-constant: the integer converts at load.
+        let mut b = FunctionBuilder::new("Main", 1);
+        let arg = b.func.fresh_var();
+        b.push(Instr::LoadArgument { dst: arg, index: 0 });
+        let sum = b.call(
+            Callee::Primitive(Rc::from("checked_binary_plus$Real64$Real64")),
+            vec![arg.into(), Constant::I64(1).into()],
+        );
+        b.ret(sum);
+        let mut f = b.finish();
+        f.var_types.insert(arg, Type::real64());
+        f.var_types.insert(sum, Type::real64());
+        f.return_type = Some(Type::real64());
+        let pm = wolfram_ir::ProgramModule::with_main(f);
+        let native = lower_program(&pm).unwrap();
+        let mut m = Machine::standalone();
+        assert_eq!(m.call(&native, 0, vec![ArgVal::F(1.5)]).unwrap(), ArgVal::F(2.5));
+    }
+}

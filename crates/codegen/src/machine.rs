@@ -1,0 +1,1426 @@
+//! The native register machine: unboxed register banks and a monomorphic
+//! instruction set. This is the execution substrate standing in for the
+//! paper's LLVM-JITed native code (DESIGN.md §1).
+
+use std::rc::Rc;
+use wolfram_expr::Expr;
+use wolfram_interp::Interpreter;
+use wolfram_runtime::checked;
+use wolfram_runtime::{AbortSignal, FunctionValue, RuntimeError, Tensor, TensorData, Value};
+
+/// Register bank selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bank {
+    /// Machine integers and booleans (0/1).
+    I,
+    /// Machine reals.
+    F,
+    /// Machine complex numbers.
+    C,
+    /// Managed values (tensors, strings, expressions, closures).
+    V,
+}
+
+/// A typed register reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Which bank.
+    pub bank: Bank,
+    /// Index within the bank.
+    pub ix: u32,
+}
+
+impl Slot {
+    /// Constructs a slot.
+    pub fn new(bank: Bank, ix: u32) -> Self {
+        Slot { bank, ix }
+    }
+}
+
+/// Integer binary opcodes (comparisons produce 0/1 in the integer bank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum IntOp {
+    Add, Sub, Mul, Quot, Mod, Pow, Min, Max, Gcd,
+    BitAnd, BitOr, BitXor, Shl, Shr,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    And, Or,
+}
+
+/// Integer unary opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum IntUnOp {
+    Neg, Abs, Not, Sign, Factorial,
+}
+
+/// Real binary opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum FltOp {
+    Add, Sub, Mul, Div, Pow, Mod, Min, Max, ArcTan2,
+}
+
+/// Real unary opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum FltUnOp {
+    Neg, Abs, Sqrt, Sin, Cos, Tan, Exp, Log, ArcTan, ArcSin, ArcCos, Sign,
+}
+
+/// Comparison codes shared by float compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CmpCode {
+    Lt, Le, Gt, Ge, Eq, Ne,
+}
+
+/// Complex binary opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CpxOp {
+    Add, Sub, Mul, Div,
+}
+
+/// Tensor element kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ElemKind {
+    I64, F64, C64,
+}
+
+/// Element-wise tensor opcodes (rank-1, same shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum TenOp {
+    Add, Sub, Mul,
+}
+
+/// Symbolic (Expression) binary opcodes — "threaded interpretation" (§4.5):
+/// executed against the hosting engine without full top-level evaluation
+/// re-entry per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ExprOp {
+    Plus, Times, Subtract, Power,
+}
+
+/// A native machine instruction. Operand indices refer to the bank implied
+/// by the opcode; all type resolution happened at compile time.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum RegOp {
+    LdcI { d: u32, v: i64 },
+    LdcF { d: u32, v: f64 },
+    LdcC { d: u32, re: f64, im: f64 },
+    LdcV { d: u32, v: Value },
+    /// Loads a constant array by deep copy (the "non-optimal handling of
+    /// constant arrays" ablation, §6: every load re-materializes the data).
+    LdcArrayCopy { d: u32, v: Value },
+    MovI { d: u32, s: u32 },
+    MovF { d: u32, s: u32 },
+    MovC { d: u32, s: u32 },
+    MovV { d: u32, s: u32 },
+    /// Moves a managed value out of a dead register (the compiler's
+    /// copy/live analysis proved `s` is never read again, F5): the source
+    /// slot is left Null so reference counts stay minimal and in-place
+    /// mutation needs no copy.
+    TakeV { d: u32, s: u32 },
+    IntBin { op: IntOp, d: u32, a: u32, b: u32 },
+    IntBinImm { op: IntOp, d: u32, a: u32, imm: i64 },
+    IntUn { op: IntUnOp, d: u32, s: u32 },
+    PowModI { d: u32, a: u32, b: u32, m: u32 },
+    FltBin { op: FltOp, d: u32, a: u32, b: u32 },
+    FltBinImm { op: FltOp, d: u32, a: u32, imm: f64 },
+    FltCmp { op: CmpCode, d: u32, a: u32, b: u32 },
+    FltUn { op: FltUnOp, d: u32, s: u32 },
+    FloorFI { d: u32, s: u32 },
+    CeilFI { d: u32, s: u32 },
+    RoundFI { d: u32, s: u32 },
+    IntToFlt { d: u32, s: u32 },
+    IntToCpx { d: u32, s: u32 },
+    FltToCpx { d: u32, s: u32 },
+    CpxBin { op: CpxOp, d: u32, a: u32, b: u32 },
+    CpxPowI { d: u32, a: u32, e: u32 },
+    CpxAbs { d: u32, s: u32 },
+    CpxMake { d: u32, re: u32, im: u32 },
+    CpxRe { d: u32, s: u32 },
+    CpxIm { d: u32, s: u32 },
+    CpxConj { d: u32, s: u32 },
+    CpxEq { d: u32, a: u32, b: u32 },
+    TenLen { d: u32, t: u32 },
+    TenPart1 { kind: ElemKind, d: u32, t: u32, i: u32 },
+    TenPart2 { kind: ElemKind, d: u32, t: u32, i: u32, j: u32 },
+    TenSet1 { kind: ElemKind, t: u32, i: u32, v: u32 },
+    TenSet2 { kind: ElemKind, t: u32, i: u32, j: u32, v: u32 },
+    TenFill1 { kind: ElemKind, d: u32, c: u32, n: u32 },
+    TenFill2 { kind: ElemKind, d: u32, c: u32, n1: u32, n2: u32 },
+    TenBin { op: TenOp, d: u32, a: u32, b: u32 },
+    /// Tensor (+) scalar broadcast; `rev` computes `scalar (op) tensor`.
+    TenScalar { op: TenOp, kind: ElemKind, d: u32, t: u32, s: u32, rev: bool },
+    TenSetRow { t: u32, i: u32, row: u32 },
+    TenFromList { kind: ElemKind, d: u32, items: Vec<u32> },
+    DotVecF { d: u32, a: u32, b: u32 },
+    DotVecI { d: u32, a: u32, b: u32 },
+    DotMat { d: u32, a: u32, b: u32 },
+    DotMatVec { d: u32, a: u32, b: u32 },
+    StrLen { d: u32, s: u32 },
+    StrToCodes { d: u32, s: u32 },
+    StrFromCodes { d: u32, s: u32 },
+    StrJoin { d: u32, a: u32, b: u32 },
+    ExprBin { op: ExprOp, d: u32, a: u32, b: u32 },
+    /// Symbolic unary application `head[a]`, normalized by the hosting
+    /// engine (like [`RegOp::ExprBin`]).
+    ExprUnary { head: Rc<str>, d: u32, a: u32 },
+    BoolToExpr { d: u32, s: u32 },
+    BoxIV { d: u32, s: u32 },
+    BoxFV { d: u32, s: u32 },
+    BoxCV { d: u32, s: u32 },
+    RndUnit { d: u32 },
+    RndRange { d: u32, a: u32, b: u32 },
+    MakeClosure { d: u32, f: u32, captures: Vec<Slot> },
+    CallFunc { f: u32, args: Vec<Slot>, ret: Slot },
+    CallValue { fv: u32, args: Vec<Slot>, ret: Slot },
+    CallKernel { head: Rc<str>, args: Vec<Slot>, ret: Slot },
+    Jmp { pc: u32 },
+    Brz { c: u32, pc: u32 },
+    /// Fused compare-and-branch: jump to `pc` when the integer comparison
+    /// is false.
+    BrCmpIFalse { op: IntOp, a: u32, b: u32, pc: u32 },
+    /// Fused compare-and-branch on reals.
+    BrCmpFFalse { op: CmpCode, a: u32, b: u32, pc: u32 },
+    AbortCheck,
+    Acquire { v: u32 },
+    Release { v: u32 },
+    Ret { s: Slot },
+    RetNull,
+}
+
+/// A compiled native function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NativeFunc {
+    /// Mangled name.
+    pub name: String,
+    /// Instruction stream.
+    pub code: Vec<RegOp>,
+    /// Bank sizes.
+    pub n_int: u32,
+    /// Real bank size.
+    pub n_flt: u32,
+    /// Complex bank size.
+    pub n_cpx: u32,
+    /// Value bank size.
+    pub n_val: u32,
+    /// Where incoming arguments are stored, in order.
+    pub params: Vec<Slot>,
+}
+
+/// A compiled native program (a lowered program module).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NativeProgram {
+    /// Functions; index 0 is the entry (`Main`).
+    pub funcs: Vec<NativeFunc>,
+}
+
+impl NativeProgram {
+    /// Finds a function by name.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.funcs.iter().position(|f| f.name == name)
+    }
+}
+
+/// A dynamically-typed argument/result crossing a function boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgVal {
+    /// Integer / boolean.
+    I(i64),
+    /// Real.
+    F(f64),
+    /// Complex.
+    C(f64, f64),
+    /// Managed value.
+    V(Value),
+}
+
+impl ArgVal {
+    /// Boxes into a runtime [`Value`]. `bool_hint` renders integers as
+    /// booleans when the static type said so.
+    pub fn into_value(self, bool_hint: bool) -> Value {
+        match self {
+            ArgVal::I(v) => {
+                if bool_hint {
+                    Value::Bool(v != 0)
+                } else {
+                    Value::I64(v)
+                }
+            }
+            ArgVal::F(v) => Value::F64(v),
+            ArgVal::C(re, im) => Value::Complex(re, im),
+            ArgVal::V(v) => v,
+        }
+    }
+
+    /// Unboxes a runtime value into the bank expected by `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Type error when the value does not fit the bank.
+    pub fn from_value(v: &Value, bank: Bank) -> Result<ArgVal, RuntimeError> {
+        Ok(match bank {
+            Bank::I => match v {
+                Value::I64(x) => ArgVal::I(*x),
+                Value::Bool(b) => ArgVal::I(*b as i64),
+                other => {
+                    return Err(RuntimeError::Type(format!(
+                        "expected machine integer, got {}",
+                        other.type_name()
+                    )))
+                }
+            },
+            Bank::F => ArgVal::F(v.expect_f64()?),
+            Bank::C => {
+                let (re, im) = v.expect_complex()?;
+                ArgVal::C(re, im)
+            }
+            Bank::V => ArgVal::V(v.clone()),
+        })
+    }
+}
+
+struct Frame {
+    ints: Vec<i64>,
+    flts: Vec<f64>,
+    cpxs: Vec<(f64, f64)>,
+    vals: Vec<Value>,
+    /// Which value slots currently hold an acquired (refcount-bracketed)
+    /// value — keeps acquire/release accounting balanced across `TakeV`.
+    acquired: Vec<bool>,
+}
+
+impl Frame {
+    fn new(f: &NativeFunc) -> Self {
+        Frame {
+            ints: vec![0; f.n_int as usize],
+            flts: vec![0.0; f.n_flt as usize],
+            cpxs: vec![(0.0, 0.0); f.n_cpx as usize],
+            vals: vec![Value::Null; f.n_val as usize],
+            acquired: vec![false; f.n_val as usize],
+        }
+    }
+
+    /// Re-shapes a pooled frame for `f`, dropping any held values.
+    fn reset(&mut self, f: &NativeFunc) {
+        self.ints.clear();
+        self.ints.resize(f.n_int as usize, 0);
+        self.flts.clear();
+        self.flts.resize(f.n_flt as usize, 0.0);
+        self.cpxs.clear();
+        self.cpxs.resize(f.n_cpx as usize, (0.0, 0.0));
+        self.vals.clear();
+        self.vals.resize(f.n_val as usize, Value::Null);
+        self.acquired.clear();
+        self.acquired.resize(f.n_val as usize, false);
+    }
+
+    fn store(&mut self, slot: Slot, v: ArgVal) -> Result<(), RuntimeError> {
+        match (slot.bank, v) {
+            (Bank::I, ArgVal::I(x)) => self.ints[slot.ix as usize] = x,
+            (Bank::F, ArgVal::F(x)) => self.flts[slot.ix as usize] = x,
+            (Bank::F, ArgVal::I(x)) => self.flts[slot.ix as usize] = x as f64,
+            (Bank::C, ArgVal::C(re, im)) => self.cpxs[slot.ix as usize] = (re, im),
+            (Bank::C, ArgVal::F(x)) => self.cpxs[slot.ix as usize] = (x, 0.0),
+            (Bank::C, ArgVal::I(x)) => self.cpxs[slot.ix as usize] = (x as f64, 0.0),
+            (Bank::V, ArgVal::V(v)) => self.vals[slot.ix as usize] = v,
+            (Bank::V, other) => self.vals[slot.ix as usize] = other.into_value(false),
+            (bank, v) => {
+                return Err(RuntimeError::Type(format!("cannot store {v:?} into {bank:?} bank")))
+            }
+        }
+        Ok(())
+    }
+
+    fn load(&self, slot: Slot) -> ArgVal {
+        match slot.bank {
+            Bank::I => ArgVal::I(self.ints[slot.ix as usize]),
+            Bank::F => ArgVal::F(self.flts[slot.ix as usize]),
+            Bank::C => {
+                let (re, im) = self.cpxs[slot.ix as usize];
+                ArgVal::C(re, im)
+            }
+            Bank::V => ArgVal::V(self.vals[slot.ix as usize].clone()),
+        }
+    }
+}
+
+/// The execution context: abort signal and the deterministic RNG. The
+/// hosting engine (for kernel escapes and symbolic ops, absent in
+/// standalone mode, F10) is threaded through each call as a reborrowable
+/// parameter so installed compiled functions can re-enter the interpreter.
+pub struct Machine {
+    /// Abort flag checked by `AbortCheck` instructions.
+    pub abort: AbortSignal,
+    rng: u64,
+    /// Recycled call frames (indirect calls in tight loops — the QSort
+    /// comparator — would otherwise allocate per call).
+    frame_pool: Vec<Frame>,
+}
+
+impl Machine {
+    /// A machine with a private abort signal (standalone mode).
+    pub fn standalone() -> Self {
+        Machine { abort: AbortSignal::new(), rng: 0x2545F4914F6CDD1D, frame_pool: Vec::new() }
+    }
+
+    /// Seeds the machine RNG.
+    pub fn seed(&mut self, seed: u64) {
+        self.rng = seed | 1;
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        self.rng = self.rng.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Calls function `fix` of `prog` with marshaled arguments, standalone.
+    ///
+    /// # Errors
+    ///
+    /// Numeric exceptions, aborts, and type errors propagate to the caller
+    /// (the compiled-code wrapper decides about soft fallback).
+    pub fn call(
+        &mut self,
+        prog: &NativeProgram,
+        fix: usize,
+        args: Vec<ArgVal>,
+    ) -> Result<ArgVal, RuntimeError> {
+        self.call_with_engine(prog, fix, args, None)
+    }
+
+    /// Calls with a hosting engine for kernel escapes and symbolic ops.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::call`].
+    pub fn call_with_engine(
+        &mut self,
+        prog: &NativeProgram,
+        fix: usize,
+        args: Vec<ArgVal>,
+        mut engine: Option<&mut Interpreter>,
+    ) -> Result<ArgVal, RuntimeError> {
+        let func = &prog.funcs[fix];
+        if args.len() != func.params.len() {
+            return Err(RuntimeError::Type(format!(
+                "{} expected {} arguments, got {}",
+                func.name,
+                func.params.len(),
+                args.len()
+            )));
+        }
+        let mut frame = match self.frame_pool.pop() {
+            Some(mut fr) => {
+                fr.reset(func);
+                fr
+            }
+            None => Frame::new(func),
+        };
+        for (slot, arg) in func.params.iter().zip(args) {
+            frame.store(*slot, arg)?;
+        }
+        let out = self.run(prog, func, &mut frame, &mut engine);
+        // Drop held values eagerly, then recycle the allocation.
+        frame.vals.clear();
+        if self.frame_pool.len() < 64 {
+            self.frame_pool.push(frame);
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run(
+        &mut self,
+        prog: &NativeProgram,
+        func: &NativeFunc,
+        fr: &mut Frame,
+        engine: &mut Option<&mut Interpreter>,
+    ) -> Result<ArgVal, RuntimeError> {
+        let code = &func.code;
+        let mut pc = 0usize;
+        loop {
+            let op = &code[pc];
+            pc += 1;
+            match op {
+                RegOp::LdcI { d, v } => fr.ints[*d as usize] = *v,
+                RegOp::LdcF { d, v } => fr.flts[*d as usize] = *v,
+                RegOp::LdcC { d, re, im } => fr.cpxs[*d as usize] = (*re, *im),
+                RegOp::LdcV { d, v } => fr.vals[*d as usize] = v.clone(),
+                RegOp::LdcArrayCopy { d, v } => {
+                    fr.vals[*d as usize] = match v {
+                        Value::Tensor(t) => {
+                            let data = t.data().clone();
+                            Value::Tensor(Tensor::with_shape(t.shape().to_vec(), data)?)
+                        }
+                        other => other.clone(),
+                    };
+                }
+                RegOp::MovI { d, s } => fr.ints[*d as usize] = fr.ints[*s as usize],
+                RegOp::MovF { d, s } => fr.flts[*d as usize] = fr.flts[*s as usize],
+                RegOp::MovC { d, s } => fr.cpxs[*d as usize] = fr.cpxs[*s as usize],
+                RegOp::MovV { d, s } => fr.vals[*d as usize] = fr.vals[*s as usize].clone(),
+                RegOp::TakeV { d, s } => {
+                    fr.vals[*d as usize] =
+                        std::mem::replace(&mut fr.vals[*s as usize], Value::Null);
+                }
+                RegOp::IntBin { op, d, a, b } => {
+                    let (x, y) = (fr.ints[*a as usize], fr.ints[*b as usize]);
+                    fr.ints[*d as usize] = int_bin(*op, x, y)?;
+                }
+                RegOp::IntBinImm { op, d, a, imm } => {
+                    let x = fr.ints[*a as usize];
+                    fr.ints[*d as usize] = int_bin(*op, x, *imm)?;
+                }
+                RegOp::FltBinImm { op, d, a, imm } => {
+                    let x = fr.flts[*a as usize];
+                    fr.flts[*d as usize] = match op {
+                        FltOp::Add => x + imm,
+                        FltOp::Sub => x - imm,
+                        FltOp::Mul => x * imm,
+                        FltOp::Div => {
+                            if *imm == 0.0 {
+                                return Err(RuntimeError::DivideByZero);
+                            }
+                            x / imm
+                        }
+                        FltOp::Pow => x.powf(*imm),
+                        FltOp::Mod => {
+                            if *imm == 0.0 {
+                                return Err(RuntimeError::DivideByZero);
+                            }
+                            x - imm * (x / imm).floor()
+                        }
+                        FltOp::Min => x.min(*imm),
+                        FltOp::Max => x.max(*imm),
+                        FltOp::ArcTan2 => imm.atan2(x),
+                    };
+                }
+                RegOp::IntUn { op, d, s } => {
+                    let x = fr.ints[*s as usize];
+                    fr.ints[*d as usize] = match op {
+                        IntUnOp::Neg => checked::neg_i64(x)?,
+                        IntUnOp::Abs => checked::abs_i64(x)?,
+                        IntUnOp::Not => (x == 0) as i64,
+                        IntUnOp::Sign => x.signum(),
+                        IntUnOp::Factorial => {
+                            if x < 0 {
+                                return Err(RuntimeError::Type(
+                                    "Factorial of a negative machine integer".into(),
+                                ));
+                            }
+                            let mut acc: i64 = 1;
+                            for k in 2..=x {
+                                acc = checked::mul_i64(acc, k)?;
+                            }
+                            acc
+                        }
+                    };
+                }
+                RegOp::PowModI { d, a, b, m } => {
+                    let (x, y, md) =
+                        (fr.ints[*a as usize], fr.ints[*b as usize], fr.ints[*m as usize]);
+                    fr.ints[*d as usize] = pow_mod_i64(x, y, md)?;
+                }
+                RegOp::FltBin { op, d, a, b } => {
+                    let (x, y) = (fr.flts[*a as usize], fr.flts[*b as usize]);
+                    fr.flts[*d as usize] = match op {
+                        FltOp::Add => x + y,
+                        FltOp::Sub => x - y,
+                        FltOp::Mul => x * y,
+                        FltOp::Div => {
+                            if y == 0.0 {
+                                return Err(RuntimeError::DivideByZero);
+                            }
+                            x / y
+                        }
+                        FltOp::Pow => x.powf(y),
+                        FltOp::Mod => {
+                            if y == 0.0 {
+                                return Err(RuntimeError::DivideByZero);
+                            }
+                            x - y * (x / y).floor()
+                        }
+                        FltOp::Min => x.min(y),
+                        FltOp::Max => x.max(y),
+                        FltOp::ArcTan2 => y.atan2(x),
+                    };
+                }
+                RegOp::FltCmp { op, d, a, b } => {
+                    let (x, y) = (fr.flts[*a as usize], fr.flts[*b as usize]);
+                    fr.ints[*d as usize] = match op {
+                        CmpCode::Lt => x < y,
+                        CmpCode::Le => x <= y,
+                        CmpCode::Gt => x > y,
+                        CmpCode::Ge => x >= y,
+                        CmpCode::Eq => x == y,
+                        CmpCode::Ne => x != y,
+                    } as i64;
+                }
+                RegOp::FltUn { op, d, s } => {
+                    let x = fr.flts[*s as usize];
+                    fr.flts[*d as usize] = match op {
+                        FltUnOp::Neg => -x,
+                        FltUnOp::Abs => x.abs(),
+                        FltUnOp::Sqrt => x.sqrt(),
+                        FltUnOp::Sin => x.sin(),
+                        FltUnOp::Cos => x.cos(),
+                        FltUnOp::Tan => x.tan(),
+                        FltUnOp::Exp => x.exp(),
+                        FltUnOp::Log => x.ln(),
+                        FltUnOp::ArcTan => x.atan(),
+                        FltUnOp::ArcSin => x.asin(),
+                        FltUnOp::ArcCos => x.acos(),
+                        FltUnOp::Sign => {
+                            if x > 0.0 {
+                                1.0
+                            } else if x < 0.0 {
+                                -1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                    };
+                }
+                RegOp::FloorFI { d, s } => fr.ints[*d as usize] = fr.flts[*s as usize].floor() as i64,
+                RegOp::CeilFI { d, s } => fr.ints[*d as usize] = fr.flts[*s as usize].ceil() as i64,
+                RegOp::RoundFI { d, s } => {
+                    let v = fr.flts[*s as usize];
+                    let r = v.round();
+                    let r = if (v - v.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+                        r - v.signum()
+                    } else {
+                        r
+                    };
+                    fr.ints[*d as usize] = r as i64;
+                }
+                RegOp::IntToFlt { d, s } => fr.flts[*d as usize] = fr.ints[*s as usize] as f64,
+                RegOp::IntToCpx { d, s } => {
+                    fr.cpxs[*d as usize] = (fr.ints[*s as usize] as f64, 0.0)
+                }
+                RegOp::FltToCpx { d, s } => fr.cpxs[*d as usize] = (fr.flts[*s as usize], 0.0),
+                RegOp::CpxBin { op, d, a, b } => {
+                    let (x, y) = (fr.cpxs[*a as usize], fr.cpxs[*b as usize]);
+                    fr.cpxs[*d as usize] = match op {
+                        CpxOp::Add => (x.0 + y.0, x.1 + y.1),
+                        CpxOp::Sub => (x.0 - y.0, x.1 - y.1),
+                        CpxOp::Mul => checked::mul_complex(x, y),
+                        CpxOp::Div => checked::div_complex(x, y),
+                    };
+                }
+                RegOp::CpxPowI { d, a, e } => {
+                    let base = fr.cpxs[*a as usize];
+                    let exp = fr.ints[*e as usize];
+                    let mut acc = (1.0f64, 0.0f64);
+                    for _ in 0..exp.unsigned_abs() {
+                        acc = checked::mul_complex(acc, base);
+                    }
+                    if exp < 0 {
+                        acc = checked::div_complex((1.0, 0.0), acc);
+                    }
+                    fr.cpxs[*d as usize] = acc;
+                }
+                RegOp::CpxAbs { d, s } => {
+                    let (re, im) = fr.cpxs[*s as usize];
+                    fr.flts[*d as usize] = re.hypot(im);
+                }
+                RegOp::CpxMake { d, re, im } => {
+                    fr.cpxs[*d as usize] = (fr.flts[*re as usize], fr.flts[*im as usize])
+                }
+                RegOp::CpxRe { d, s } => fr.flts[*d as usize] = fr.cpxs[*s as usize].0,
+                RegOp::CpxIm { d, s } => fr.flts[*d as usize] = fr.cpxs[*s as usize].1,
+                RegOp::CpxConj { d, s } => {
+                    let (re, im) = fr.cpxs[*s as usize];
+                    fr.cpxs[*d as usize] = (re, -im);
+                }
+                RegOp::CpxEq { d, a, b } => {
+                    fr.ints[*d as usize] = (fr.cpxs[*a as usize] == fr.cpxs[*b as usize]) as i64;
+                }
+                RegOp::TenLen { d, t } => {
+                    let t = fr.vals[*t as usize].expect_tensor()?;
+                    fr.ints[*d as usize] = t.length() as i64;
+                }
+                RegOp::TenPart1 { kind, d, t, i } => {
+                    let ix = fr.ints[*i as usize];
+                    let t = fr.vals[*t as usize].expect_tensor()?;
+                    let off = t.resolve_index(ix)?;
+                    match (kind, t.data()) {
+                        (ElemKind::I64, TensorData::I64(v)) => fr.ints[*d as usize] = v[off],
+                        (ElemKind::F64, TensorData::F64(v)) => fr.flts[*d as usize] = v[off],
+                        (ElemKind::F64, TensorData::I64(v)) => {
+                            fr.flts[*d as usize] = v[off] as f64
+                        }
+                        (ElemKind::C64, TensorData::Complex(v)) => fr.cpxs[*d as usize] = v[off],
+                        _ => {
+                            return Err(RuntimeError::Type("tensor element kind mismatch".into()))
+                        }
+                    }
+                }
+                RegOp::TenPart2 { kind, d, t, i, j } => {
+                    let (ix, jx) = (fr.ints[*i as usize], fr.ints[*j as usize]);
+                    let t = fr.vals[*t as usize].expect_tensor()?;
+                    if t.rank() != 2 {
+                        return Err(RuntimeError::Type("Part[_,i,j] on non-matrix".into()));
+                    }
+                    let cols = t.shape()[1];
+                    let r = checked::resolve_part_index(ix, t.shape()[0])?;
+                    let c = checked::resolve_part_index(jx, cols)?;
+                    let off = r * cols + c;
+                    match (kind, t.data()) {
+                        (ElemKind::I64, TensorData::I64(v)) => fr.ints[*d as usize] = v[off],
+                        (ElemKind::F64, TensorData::F64(v)) => fr.flts[*d as usize] = v[off],
+                        (ElemKind::F64, TensorData::I64(v)) => {
+                            fr.flts[*d as usize] = v[off] as f64
+                        }
+                        (ElemKind::C64, TensorData::Complex(v)) => fr.cpxs[*d as usize] = v[off],
+                        _ => {
+                            return Err(RuntimeError::Type("tensor element kind mismatch".into()))
+                        }
+                    }
+                }
+                RegOp::TenSet1 { kind, t, i, v } => {
+                    let ix = fr.ints[*i as usize];
+                    let value = match kind {
+                        ElemKind::I64 => ArgVal::I(fr.ints[*v as usize]),
+                        ElemKind::F64 => ArgVal::F(fr.flts[*v as usize]),
+                        ElemKind::C64 => {
+                            let (re, im) = fr.cpxs[*v as usize];
+                            ArgVal::C(re, im)
+                        }
+                    };
+                    let Value::Tensor(tensor) = &mut fr.vals[*t as usize] else {
+                        return Err(RuntimeError::Type("SetPart on non-tensor".into()));
+                    };
+                    let off = tensor.resolve_index(ix)?;
+                    tensor_store(tensor, off, value)?;
+                }
+                RegOp::TenSet2 { kind, t, i, j, v } => {
+                    let (ix, jx) = (fr.ints[*i as usize], fr.ints[*j as usize]);
+                    let value = match kind {
+                        ElemKind::I64 => ArgVal::I(fr.ints[*v as usize]),
+                        ElemKind::F64 => ArgVal::F(fr.flts[*v as usize]),
+                        ElemKind::C64 => {
+                            let (re, im) = fr.cpxs[*v as usize];
+                            ArgVal::C(re, im)
+                        }
+                    };
+                    let Value::Tensor(tensor) = &mut fr.vals[*t as usize] else {
+                        return Err(RuntimeError::Type("SetPart on non-tensor".into()));
+                    };
+                    if tensor.rank() != 2 {
+                        return Err(RuntimeError::Type("SetPart2 on non-matrix".into()));
+                    }
+                    let cols = tensor.shape()[1];
+                    let r = checked::resolve_part_index(ix, tensor.shape()[0])?;
+                    let c = checked::resolve_part_index(jx, cols)?;
+                    tensor_store(tensor, r * cols + c, value)?;
+                }
+                RegOp::TenFill1 { kind, d, c, n } => {
+                    let n = fr.ints[*n as usize].max(0) as usize;
+                    let data = match kind {
+                        ElemKind::I64 => TensorData::I64(vec![fr.ints[*c as usize]; n]),
+                        ElemKind::F64 => TensorData::F64(vec![fr.flts[*c as usize]; n]),
+                        ElemKind::C64 => TensorData::Complex(vec![fr.cpxs[*c as usize]; n]),
+                    };
+                    fr.vals[*d as usize] = Value::Tensor(Tensor::with_shape(vec![n], data)?);
+                }
+                RegOp::TenFill2 { kind, d, c, n1, n2 } => {
+                    let n1v = fr.ints[*n1 as usize].max(0) as usize;
+                    let n2v = fr.ints[*n2 as usize].max(0) as usize;
+                    let total = n1v * n2v;
+                    let data = match kind {
+                        ElemKind::I64 => TensorData::I64(vec![fr.ints[*c as usize]; total]),
+                        ElemKind::F64 => TensorData::F64(vec![fr.flts[*c as usize]; total]),
+                        ElemKind::C64 => TensorData::Complex(vec![fr.cpxs[*c as usize]; total]),
+                    };
+                    fr.vals[*d as usize] =
+                        Value::Tensor(Tensor::with_shape(vec![n1v, n2v], data)?);
+                }
+                RegOp::TenBin { op, d, a, b } => {
+                    let ta = fr.vals[*a as usize].expect_tensor()?;
+                    let tb = fr.vals[*b as usize].expect_tensor()?;
+                    fr.vals[*d as usize] = Value::Tensor(tensor_elementwise(*op, ta, tb)?);
+                }
+                RegOp::TenScalar { op, kind, d, t, s, rev } => {
+                    let sv = match kind {
+                        ElemKind::I64 => Value::I64(fr.ints[*s as usize]),
+                        ElemKind::F64 => Value::F64(fr.flts[*s as usize]),
+                        ElemKind::C64 => {
+                            let (re, im) = fr.cpxs[*s as usize];
+                            Value::Complex(re, im)
+                        }
+                    };
+                    let ten = fr.vals[*t as usize].expect_tensor()?;
+                    fr.vals[*d as usize] =
+                        Value::Tensor(tensor_scalar_elementwise(*op, ten, &sv, *rev)?);
+                }
+                RegOp::TenSetRow { t, i, row } => {
+                    let ix = fr.ints[*i as usize];
+                    let row_t = fr.vals[*row as usize].expect_tensor()?.clone();
+                    let Value::Tensor(tensor) = &mut fr.vals[*t as usize] else {
+                        return Err(RuntimeError::Type("SetRow on non-tensor".into()));
+                    };
+                    if tensor.rank() != 2 || row_t.rank() != 1 {
+                        return Err(RuntimeError::Type("SetRow rank mismatch".into()));
+                    }
+                    let cols = tensor.shape()[1];
+                    if row_t.length() != cols {
+                        return Err(RuntimeError::Type("SetRow width mismatch".into()));
+                    }
+                    let r = checked::resolve_part_index(ix, tensor.shape()[0])?;
+                    match (tensor.data_mut(), row_t.data()) {
+                        (TensorData::F64(dst), TensorData::F64(src)) => {
+                            dst[r * cols..(r + 1) * cols].copy_from_slice(src);
+                        }
+                        (TensorData::I64(dst), TensorData::I64(src)) => {
+                            dst[r * cols..(r + 1) * cols].copy_from_slice(src);
+                        }
+                        (TensorData::Complex(dst), TensorData::Complex(src)) => {
+                            dst[r * cols..(r + 1) * cols].copy_from_slice(src);
+                        }
+                        _ => return Err(RuntimeError::Type("SetRow element mismatch".into())),
+                    }
+                }
+                RegOp::TenFromList { kind, d, items } => {
+                    let data = match kind {
+                        ElemKind::I64 => TensorData::I64(
+                            items.iter().map(|&s| fr.ints[s as usize]).collect(),
+                        ),
+                        ElemKind::F64 => TensorData::F64(
+                            items.iter().map(|&s| fr.flts[s as usize]).collect(),
+                        ),
+                        ElemKind::C64 => TensorData::Complex(
+                            items.iter().map(|&s| fr.cpxs[s as usize]).collect(),
+                        ),
+                    };
+                    fr.vals[*d as usize] =
+                        Value::Tensor(Tensor::with_shape(vec![items.len()], data)?);
+                }
+                RegOp::DotVecF { d, a, b } => {
+                    let ta = fr.vals[*a as usize].expect_tensor()?.to_f64_tensor();
+                    let tb = fr.vals[*b as usize].expect_tensor()?.to_f64_tensor();
+                    let (x, y) = (ta.as_f64().expect("promoted"), tb.as_f64().expect("promoted"));
+                    if x.len() != y.len() {
+                        return Err(RuntimeError::Type("Dot length mismatch".into()));
+                    }
+                    fr.flts[*d as usize] = wolfram_runtime::linalg::ddot(x, y);
+                }
+                RegOp::DotVecI { d, a, b } => {
+                    let ta = fr.vals[*a as usize].expect_tensor()?;
+                    let tb = fr.vals[*b as usize].expect_tensor()?;
+                    let (Some(x), Some(y)) = (ta.as_i64(), tb.as_i64()) else {
+                        return Err(RuntimeError::Type("integer Dot on non-integer".into()));
+                    };
+                    if x.len() != y.len() {
+                        return Err(RuntimeError::Type("Dot length mismatch".into()));
+                    }
+                    let mut acc = 0i64;
+                    for (p, q) in x.iter().zip(y) {
+                        acc = checked::add_i64(acc, checked::mul_i64(*p, *q)?)?;
+                    }
+                    fr.ints[*d as usize] = acc;
+                }
+                RegOp::DotMat { d, a, b } => {
+                    let ta = fr.vals[*a as usize].expect_tensor()?.to_f64_tensor();
+                    let tb = fr.vals[*b as usize].expect_tensor()?.to_f64_tensor();
+                    if ta.rank() != 2 || tb.rank() != 2 || ta.shape()[1] != tb.shape()[0] {
+                        return Err(RuntimeError::Type("Dot shape mismatch".into()));
+                    }
+                    let (m, k, n) = (ta.shape()[0], ta.shape()[1], tb.shape()[1]);
+                    let mut out = vec![0.0; m * n];
+                    wolfram_runtime::linalg::dgemm(
+                        ta.as_f64().expect("promoted"),
+                        tb.as_f64().expect("promoted"),
+                        &mut out,
+                        m,
+                        k,
+                        n,
+                    );
+                    fr.vals[*d as usize] =
+                        Value::Tensor(Tensor::with_shape(vec![m, n], TensorData::F64(out))?);
+                }
+                RegOp::DotMatVec { d, a, b } => {
+                    let ta = fr.vals[*a as usize].expect_tensor()?.to_f64_tensor();
+                    let tb = fr.vals[*b as usize].expect_tensor()?.to_f64_tensor();
+                    if ta.rank() != 2 || tb.rank() != 1 || ta.shape()[1] != tb.length() {
+                        return Err(RuntimeError::Type("Dot shape mismatch".into()));
+                    }
+                    let (m, n) = (ta.shape()[0], ta.shape()[1]);
+                    let mut out = vec![0.0; m];
+                    wolfram_runtime::linalg::dgemv(
+                        ta.as_f64().expect("promoted"),
+                        tb.as_f64().expect("promoted"),
+                        &mut out,
+                        m,
+                        n,
+                    );
+                    fr.vals[*d as usize] = Value::Tensor(Tensor::from_f64(out));
+                }
+                RegOp::StrLen { d, s } => {
+                    let s = fr.vals[*s as usize].expect_str()?;
+                    fr.ints[*d as usize] = s.chars().count() as i64;
+                }
+                RegOp::StrToCodes { d, s } => {
+                    let s = fr.vals[*s as usize].expect_str()?;
+                    let codes: Vec<i64> = s.bytes().map(|b| b as i64).collect();
+                    fr.vals[*d as usize] = Value::Tensor(Tensor::from_i64(codes));
+                }
+                RegOp::StrFromCodes { d, s } => {
+                    let t = fr.vals[*s as usize].expect_tensor()?;
+                    let Some(codes) = t.as_i64() else {
+                        return Err(RuntimeError::Type("FromCharacterCode codes".into()));
+                    };
+                    let mut out = String::new();
+                    for &c in codes {
+                        let ch = u32::try_from(c)
+                            .ok()
+                            .and_then(char::from_u32)
+                            .ok_or_else(|| RuntimeError::Type(format!("invalid char code {c}")))?;
+                        out.push(ch);
+                    }
+                    fr.vals[*d as usize] = Value::Str(Rc::new(out));
+                }
+                RegOp::StrJoin { d, a, b } => {
+                    let x = fr.vals[*a as usize].expect_str()?;
+                    let y = fr.vals[*b as usize].expect_str()?;
+                    let mut out = String::with_capacity(x.len() + y.len());
+                    out.push_str(x);
+                    out.push_str(y);
+                    fr.vals[*d as usize] = Value::Str(Rc::new(out));
+                }
+                RegOp::ExprBin { op, d, a, b } => {
+                    let x = fr.vals[*a as usize].to_expr();
+                    let y = fr.vals[*b as usize].to_expr();
+                    let head = match op {
+                        ExprOp::Plus => "Plus",
+                        ExprOp::Times => "Times",
+                        ExprOp::Subtract => "Subtract",
+                        ExprOp::Power => "Power",
+                    };
+                    let combined = Expr::call(head, [x, y]);
+                    // Threaded interpretation: one normalization step via
+                    // the hosting engine's evaluator.
+                    let result = match engine.as_deref_mut() {
+                        Some(eng) => eng.eval(&combined)?,
+                        None => {
+                            return Err(RuntimeError::Other(
+                                "symbolic operations require a hosting Wolfram Engine".into(),
+                            ))
+                        }
+                    };
+                    fr.vals[*d as usize] = Value::Expr(result);
+                }
+                RegOp::ExprUnary { head, d, a } => {
+                    let x = fr.vals[*a as usize].to_expr();
+                    let combined = Expr::call(head, [x]);
+                    let result = match engine.as_deref_mut() {
+                        Some(eng) => eng.eval(&combined)?,
+                        None => {
+                            return Err(RuntimeError::Other(
+                                "symbolic operations require a hosting Wolfram Engine".into(),
+                            ))
+                        }
+                    };
+                    fr.vals[*d as usize] = Value::Expr(result);
+                }
+                RegOp::BoolToExpr { d, s } => {
+                    fr.vals[*d as usize] = Value::Expr(Expr::bool(fr.ints[*s as usize] != 0));
+                }
+                RegOp::BoxIV { d, s } => {
+                    fr.vals[*d as usize] = Value::I64(fr.ints[*s as usize]);
+                }
+                RegOp::BoxFV { d, s } => {
+                    fr.vals[*d as usize] = Value::F64(fr.flts[*s as usize]);
+                }
+                RegOp::BoxCV { d, s } => {
+                    let (re, im) = fr.cpxs[*s as usize];
+                    fr.vals[*d as usize] = Value::Complex(re, im);
+                }
+                RegOp::RndUnit { d } => fr.flts[*d as usize] = self.next_f64(),
+                RegOp::RndRange { d, a, b } => {
+                    let (lo, hi) = (fr.flts[*a as usize], fr.flts[*b as usize]);
+                    fr.flts[*d as usize] = lo + (hi - lo) * self.next_f64();
+                }
+                RegOp::MakeClosure { d, f, captures } => {
+                    let caps: Vec<Value> = captures
+                        .iter()
+                        .map(|s| fr.load(*s).into_value(false))
+                        .collect();
+                    fr.vals[*d as usize] = Value::Function(Rc::new(FunctionValue {
+                        name: Rc::from(prog.funcs[*f as usize].name.as_str()),
+                        index: *f as usize,
+                        captures: caps,
+                    }));
+                }
+                RegOp::CallFunc { f, args, ret } => {
+                    let argv: Vec<ArgVal> = args.iter().map(|s| fr.load(*s)).collect();
+                    let out = self.call_with_engine(prog, *f as usize, argv, engine.as_deref_mut())?;
+                    fr.store(*ret, out)?;
+                }
+                RegOp::CallValue { fv, args, ret } => {
+                    let fval = fr.vals[*fv as usize].expect_function()?.clone();
+                    let mut argv: Vec<ArgVal> =
+                        fval.captures.iter().map(|c| ArgVal::V(c.clone())).collect();
+                    // Marshal each arg into the callee's expected bank.
+                    let callee = &prog.funcs[fval.index];
+                    let skip = argv.len();
+                    for (s, param) in args.iter().zip(callee.params.iter().skip(skip)) {
+                        let raw = fr.load(*s);
+                        let v = match (param.bank, raw) {
+                            (Bank::V, ArgVal::V(v)) => ArgVal::V(v),
+                            (_, other) => other,
+                        };
+                        argv.push(v);
+                    }
+                    // Captures must be re-marshaled from boxed to banks.
+                    let mut marshaled = Vec::with_capacity(argv.len());
+                    for (v, param) in argv.into_iter().zip(callee.params.iter()) {
+                        marshaled.push(match v {
+                            ArgVal::V(boxed) if param.bank != Bank::V => {
+                                ArgVal::from_value(&boxed, param.bank)?
+                            }
+                            other => other,
+                        });
+                    }
+                    let out =
+                        self.call_with_engine(prog, fval.index, marshaled, engine.as_deref_mut())?;
+                    fr.store(*ret, out)?;
+                }
+                RegOp::CallKernel { head, args, ret } => {
+                    let Some(eng) = engine.as_deref_mut() else {
+                        return Err(RuntimeError::Other(
+                            "KernelFunction requires a hosting Wolfram Engine (disabled in \
+                             standalone mode)"
+                                .into(),
+                        ));
+                    };
+                    let arg_exprs: Vec<Expr> = args
+                        .iter()
+                        .map(|s| fr.load(*s).into_value(false).to_expr())
+                        .collect();
+                    let call = Expr::call(head, arg_exprs);
+                    let result = eng.eval(&call)?;
+                    fr.store(*ret, ArgVal::V(Value::from_expr(&result)))?;
+                }
+                RegOp::Jmp { pc: t } => pc = *t as usize,
+                RegOp::Brz { c, pc: t } => {
+                    if fr.ints[*c as usize] == 0 {
+                        pc = *t as usize;
+                    }
+                }
+                RegOp::BrCmpIFalse { op, a, b, pc: t } => {
+                    let (x, y) = (fr.ints[*a as usize], fr.ints[*b as usize]);
+                    let cond = match op {
+                        IntOp::Lt => x < y,
+                        IntOp::Le => x <= y,
+                        IntOp::Gt => x > y,
+                        IntOp::Ge => x >= y,
+                        IntOp::Eq => x == y,
+                        IntOp::Ne => x != y,
+                        _ => int_bin(*op, x, y)? != 0,
+                    };
+                    if !cond {
+                        pc = *t as usize;
+                    }
+                }
+                RegOp::BrCmpFFalse { op, a, b, pc: t } => {
+                    let (x, y) = (fr.flts[*a as usize], fr.flts[*b as usize]);
+                    let cond = match op {
+                        CmpCode::Lt => x < y,
+                        CmpCode::Le => x <= y,
+                        CmpCode::Gt => x > y,
+                        CmpCode::Ge => x >= y,
+                        CmpCode::Eq => x == y,
+                        CmpCode::Ne => x != y,
+                    };
+                    if !cond {
+                        pc = *t as usize;
+                    }
+                }
+                RegOp::AbortCheck => self.abort.check()?,
+                RegOp::Acquire { v } => {
+                    if fr.vals[*v as usize].is_managed() {
+                        wolfram_runtime::memory::record_acquire();
+                        fr.acquired[*v as usize] = true;
+                    }
+                }
+                RegOp::Release { v } => {
+                    // Balanced with the acquire even if the value has been
+                    // moved out of the slot meanwhile (TakeV).
+                    if fr.acquired[*v as usize] {
+                        wolfram_runtime::memory::record_release();
+                        fr.acquired[*v as usize] = false;
+                    }
+                }
+                RegOp::Ret { s } => return Ok(fr.load(*s)),
+                RegOp::RetNull => return Ok(ArgVal::V(Value::Null)),
+            }
+        }
+    }
+}
+
+fn int_bin(op: IntOp, x: i64, y: i64) -> Result<i64, RuntimeError> {
+    Ok(match op {
+        IntOp::Add => checked::add_i64(x, y)?,
+        IntOp::Sub => checked::sub_i64(x, y)?,
+        IntOp::Mul => checked::mul_i64(x, y)?,
+        IntOp::Quot => {
+            if y == 0 {
+                return Err(RuntimeError::DivideByZero);
+            }
+            (x as f64 / y as f64).floor() as i64
+        }
+        IntOp::Mod => checked::mod_i64(x, y)?,
+        IntOp::Pow => checked::pow_i64(x, y)?,
+        IntOp::Min => x.min(y),
+        IntOp::Max => x.max(y),
+        IntOp::Gcd => {
+            let (mut a, mut b) = (x.unsigned_abs(), y.unsigned_abs());
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a as i64
+        }
+        IntOp::BitAnd => x & y,
+        IntOp::BitOr => x | y,
+        IntOp::BitXor => x ^ y,
+        IntOp::Shl => x.checked_shl(y as u32).ok_or(RuntimeError::IntegerOverflow)?,
+        IntOp::Shr => x >> y.clamp(0, 63),
+        IntOp::Lt => (x < y) as i64,
+        IntOp::Le => (x <= y) as i64,
+        IntOp::Gt => (x > y) as i64,
+        IntOp::Ge => (x >= y) as i64,
+        IntOp::Eq => (x == y) as i64,
+        IntOp::Ne => (x != y) as i64,
+        IntOp::And => ((x != 0) && (y != 0)) as i64,
+        IntOp::Or => ((x != 0) || (y != 0)) as i64,
+    })
+}
+
+fn pow_mod_i64(base: i64, exp: i64, m: i64) -> Result<i64, RuntimeError> {
+    if m <= 0 {
+        return Err(RuntimeError::Type("PowerMod modulus must be positive".into()));
+    }
+    if exp < 0 {
+        return Err(RuntimeError::Type("PowerMod negative exponent".into()));
+    }
+    let m = m as u128;
+    let mut base = (base.rem_euclid(m as i64)) as u128;
+    let mut exp = exp as u64;
+    let mut acc: u128 = 1;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % m;
+        }
+        base = base * base % m;
+        exp >>= 1;
+    }
+    Ok(acc as i64)
+}
+
+fn tensor_store(t: &mut Tensor, off: usize, v: ArgVal) -> Result<(), RuntimeError> {
+    match (t.data_mut(), v) {
+        (TensorData::I64(data), ArgVal::I(x)) => data[off] = x,
+        (TensorData::F64(data), ArgVal::F(x)) => data[off] = x,
+        (TensorData::F64(data), ArgVal::I(x)) => data[off] = x as f64,
+        (TensorData::Complex(data), ArgVal::C(re, im)) => data[off] = (re, im),
+        _ => return Err(RuntimeError::Type("tensor element kind mismatch".into())),
+    }
+    Ok(())
+}
+
+fn tensor_elementwise(op: TenOp, a: &Tensor, b: &Tensor) -> Result<Tensor, RuntimeError> {
+    if a.shape() != b.shape() {
+        return Err(RuntimeError::Type("tensor shape mismatch".into()));
+    }
+    match (a.data(), b.data()) {
+        (TensorData::I64(x), TensorData::I64(y)) => {
+            let mut out = Vec::with_capacity(x.len());
+            for (p, q) in x.iter().zip(y) {
+                out.push(match op {
+                    TenOp::Add => checked::add_i64(*p, *q)?,
+                    TenOp::Sub => checked::sub_i64(*p, *q)?,
+                    TenOp::Mul => checked::mul_i64(*p, *q)?,
+                });
+            }
+            Tensor::with_shape(a.shape().to_vec(), TensorData::I64(out))
+        }
+        (TensorData::Complex(x), TensorData::Complex(y)) => {
+            let out: Vec<(f64, f64)> = x
+                .iter()
+                .zip(y)
+                .map(|(p, q)| match op {
+                    TenOp::Add => (p.0 + q.0, p.1 + q.1),
+                    TenOp::Sub => (p.0 - q.0, p.1 - q.1),
+                    TenOp::Mul => checked::mul_complex(*p, *q),
+                })
+                .collect();
+            Tensor::with_shape(a.shape().to_vec(), TensorData::Complex(out))
+        }
+        _ => {
+            let fa = a.to_f64_tensor();
+            let fb = b.to_f64_tensor();
+            let (x, y) = (fa.as_f64().expect("promoted"), fb.as_f64().expect("promoted"));
+            let out: Vec<f64> = x
+                .iter()
+                .zip(y)
+                .map(|(p, q)| match op {
+                    TenOp::Add => p + q,
+                    TenOp::Sub => p - q,
+                    TenOp::Mul => p * q,
+                })
+                .collect();
+            Tensor::with_shape(a.shape().to_vec(), TensorData::F64(out))
+        }
+    }
+}
+
+fn tensor_scalar_elementwise(
+    op: TenOp,
+    t: &Tensor,
+    s: &Value,
+    rev: bool,
+) -> Result<Tensor, RuntimeError> {
+    match (t.data(), s) {
+        (TensorData::I64(x), Value::I64(q)) => {
+            let mut out = Vec::with_capacity(x.len());
+            for p in x {
+                let (a, b) = if rev { (*q, *p) } else { (*p, *q) };
+                out.push(match op {
+                    TenOp::Add => checked::add_i64(a, b)?,
+                    TenOp::Sub => checked::sub_i64(a, b)?,
+                    TenOp::Mul => checked::mul_i64(a, b)?,
+                });
+            }
+            Tensor::with_shape(t.shape().to_vec(), TensorData::I64(out))
+        }
+        (TensorData::Complex(x), Value::Complex(re, im)) => {
+            let q = (*re, *im);
+            let out: Vec<(f64, f64)> = x
+                .iter()
+                .map(|p| {
+                    let (a, b) = if rev { (q, *p) } else { (*p, q) };
+                    match op {
+                        TenOp::Add => (a.0 + b.0, a.1 + b.1),
+                        TenOp::Sub => (a.0 - b.0, a.1 - b.1),
+                        TenOp::Mul => checked::mul_complex(a, b),
+                    }
+                })
+                .collect();
+            Tensor::with_shape(t.shape().to_vec(), TensorData::Complex(out))
+        }
+        _ => {
+            let ft = t.to_f64_tensor();
+            let x = ft.as_f64().expect("promoted");
+            let q = match s {
+                Value::I64(v) => *v as f64,
+                Value::F64(v) => *v,
+                other => {
+                    return Err(RuntimeError::Type(format!(
+                        "scalar broadcast with {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            let out: Vec<f64> = x
+                .iter()
+                .map(|p| {
+                    let (a, b) = if rev { (q, *p) } else { (*p, q) };
+                    match op {
+                        TenOp::Add => a + b,
+                        TenOp::Sub => a - b,
+                        TenOp::Mul => a * b,
+                    }
+                })
+                .collect();
+            Tensor::with_shape(t.shape().to_vec(), TensorData::F64(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn onefunc(code: Vec<RegOp>, params: Vec<Slot>, banks: (u32, u32, u32, u32)) -> NativeProgram {
+        NativeProgram {
+            funcs: vec![NativeFunc {
+                name: "Main".into(),
+                code,
+                n_int: banks.0,
+                n_flt: banks.1,
+                n_cpx: banks.2,
+                n_val: banks.3,
+                params,
+            }],
+        }
+    }
+
+    #[test]
+    fn add_one() {
+        // The appendix's addOne: arg + 1.
+        let prog = onefunc(
+            vec![
+                RegOp::LdcI { d: 1, v: 1 },
+                RegOp::IntBin { op: IntOp::Add, d: 2, a: 0, b: 1 },
+                RegOp::Ret { s: Slot::new(Bank::I, 2) },
+            ],
+            vec![Slot::new(Bank::I, 0)],
+            (3, 0, 0, 0),
+        );
+        let mut m = Machine::standalone();
+        let out = m.call(&prog, 0, vec![ArgVal::I(41)]).unwrap();
+        assert_eq!(out, ArgVal::I(42));
+    }
+
+    #[test]
+    fn overflow_is_checked() {
+        let prog = onefunc(
+            vec![
+                RegOp::IntBin { op: IntOp::Add, d: 1, a: 0, b: 0 },
+                RegOp::Ret { s: Slot::new(Bank::I, 1) },
+            ],
+            vec![Slot::new(Bank::I, 0)],
+            (2, 0, 0, 0),
+        );
+        let mut m = Machine::standalone();
+        assert_eq!(
+            m.call(&prog, 0, vec![ArgVal::I(i64::MAX)]),
+            Err(RuntimeError::IntegerOverflow)
+        );
+    }
+
+    #[test]
+    fn loop_with_abort() {
+        // while (true) {} — must unwind on abort.
+        let prog = onefunc(
+            vec![RegOp::AbortCheck, RegOp::Jmp { pc: 0 }],
+            vec![],
+            (0, 0, 0, 0),
+        );
+        let mut m = Machine::standalone();
+        m.abort.trigger();
+        assert_eq!(m.call(&prog, 0, vec![]), Err(RuntimeError::Aborted));
+    }
+
+    #[test]
+    fn complex_ops() {
+        // |(0+1i)^2| == 1
+        let prog = onefunc(
+            vec![
+                RegOp::LdcC { d: 0, re: 0.0, im: 1.0 },
+                RegOp::LdcI { d: 0, v: 2 },
+                RegOp::CpxPowI { d: 1, a: 0, e: 0 },
+                RegOp::CpxAbs { d: 0, s: 1 },
+                RegOp::Ret { s: Slot::new(Bank::F, 0) },
+            ],
+            vec![],
+            (1, 1, 2, 0),
+        );
+        let mut m = Machine::standalone();
+        assert_eq!(m.call(&prog, 0, vec![]).unwrap(), ArgVal::F(1.0));
+    }
+
+    #[test]
+    fn tensor_part_and_set() {
+        let t = Tensor::from_i64(vec![10, 20, 30]);
+        let prog = onefunc(
+            vec![
+                RegOp::LdcI { d: 0, v: 2 },
+                RegOp::LdcI { d: 1, v: 99 },
+                RegOp::TenSet1 { kind: ElemKind::I64, t: 0, i: 0, v: 1 },
+                RegOp::TenPart1 { kind: ElemKind::I64, d: 2, t: 0, i: 0 },
+                RegOp::Ret { s: Slot::new(Bank::I, 2) },
+            ],
+            vec![Slot::new(Bank::V, 0)],
+            (3, 0, 0, 1),
+        );
+        let mut m = Machine::standalone();
+        let alias = t.clone();
+        let out = m.call(&prog, 0, vec![ArgVal::V(Value::Tensor(t))]).unwrap();
+        assert_eq!(out, ArgVal::I(99));
+        // Caller's alias untouched: copy-on-write fired inside the machine.
+        assert_eq!(alias.as_i64().unwrap(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn closures_and_indirect_calls() {
+        // f(x) = x*2; main calls it through a function value.
+        let double = NativeFunc {
+            name: "double".into(),
+            code: vec![
+                RegOp::LdcI { d: 1, v: 2 },
+                RegOp::IntBin { op: IntOp::Mul, d: 2, a: 0, b: 1 },
+                RegOp::Ret { s: Slot::new(Bank::I, 2) },
+            ],
+            n_int: 3,
+            n_flt: 0,
+            n_cpx: 0,
+            n_val: 0,
+            params: vec![Slot::new(Bank::I, 0)],
+        };
+        let main = NativeFunc {
+            name: "Main".into(),
+            code: vec![
+                RegOp::MakeClosure { d: 0, f: 1, captures: vec![] },
+                RegOp::CallValue {
+                    fv: 0,
+                    args: vec![Slot::new(Bank::I, 0)],
+                    ret: Slot::new(Bank::I, 1),
+                },
+                RegOp::Ret { s: Slot::new(Bank::I, 1) },
+            ],
+            n_int: 2,
+            n_flt: 0,
+            n_cpx: 0,
+            n_val: 1,
+            params: vec![Slot::new(Bank::I, 0)],
+        };
+        let prog = NativeProgram { funcs: vec![main, double] };
+        let mut m = Machine::standalone();
+        assert_eq!(m.call(&prog, 0, vec![ArgVal::I(21)]).unwrap(), ArgVal::I(42));
+    }
+
+    #[test]
+    fn kernel_requires_engine() {
+        let prog = onefunc(
+            vec![
+                RegOp::CallKernel {
+                    head: Rc::from("Plus"),
+                    args: vec![],
+                    ret: Slot::new(Bank::V, 0),
+                },
+                RegOp::Ret { s: Slot::new(Bank::V, 0) },
+            ],
+            vec![],
+            (0, 0, 0, 1),
+        );
+        let mut m = Machine::standalone();
+        assert!(m.call(&prog, 0, vec![]).is_err());
+        let mut engine = Interpreter::new();
+        let out = m.call_with_engine(&prog, 0, vec![], Some(&mut engine)).unwrap();
+        assert_eq!(out, ArgVal::V(Value::I64(0)));
+    }
+
+    #[test]
+    fn powmod() {
+        assert_eq!(pow_mod_i64(2, 10, 1000).unwrap(), 24);
+        assert_eq!(pow_mod_i64(3, 0, 7).unwrap(), 1);
+        // Large values route through u128 without overflow.
+        assert_eq!(pow_mod_i64(1_000_000_007, 2, 1_000_000_009).unwrap(), 4);
+        assert!(pow_mod_i64(2, -1, 7).is_err());
+        assert!(pow_mod_i64(2, 3, 0).is_err());
+    }
+}

@@ -1,0 +1,535 @@
+//! `CompiledCodeFunction` (§4.5): the auxiliary boxing/unboxing wrapper
+//! (F1), soft numeric failure with interpreter re-run (F2), abortability
+//! (F3), and seamless installation into a hosting engine.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use wolfram_codegen::lower::result_to_value;
+use wolfram_codegen::{ArgVal, Bank, Machine, NativeProgram};
+use wolfram_expr::Expr;
+use wolfram_interp::Interpreter;
+use wolfram_ir::ProgramModule;
+use wolfram_runtime::value::expr_to_tensor;
+use wolfram_runtime::{AbortSignal, RuntimeError, Value};
+use wolfram_types::Type;
+
+/// A compiled Wolfram function: "To the Wolfram interpreter, all functions
+/// have the signature `{"Expression"} -> "Expression"`. Therefore, the
+/// compiler wraps each compiled function with an auxiliary function" that
+/// unpacks, checks, calls, and repacks.
+#[derive(Clone)]
+pub struct CompiledCodeFunction {
+    /// The original input function (kept for fallback and re-export, like
+    /// the legacy `CompiledFunction`).
+    pub original: Expr,
+    /// The TWIR module (inspectable; feeds the textual backends).
+    pub module: Rc<ProgramModule>,
+    /// The executable program.
+    pub program: Rc<NativeProgram>,
+    /// Checked parameter types.
+    pub param_types: Vec<Type>,
+    /// The return type.
+    pub return_type: Type,
+    /// The hosting engine, if any (enables kernel escapes, symbolic ops,
+    /// and the soft-failure fallback).
+    pub engine: Option<Rc<RefCell<Interpreter>>>,
+    /// Standalone mode (F10): engine-dependent functionality is disabled.
+    pub standalone: bool,
+    /// The abort signal used for standalone calls.
+    pub abort: AbortSignal,
+    /// A cached execution machine (frame pool reuse across calls); falls
+    /// back to a fresh machine on re-entrant calls.
+    machine: Rc<RefCell<Machine>>,
+}
+
+impl std::fmt::Debug for CompiledCodeFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CompiledCodeFunction[{} -> {}]",
+            self.param_types.iter().map(Type::to_string).collect::<Vec<_>>().join(", "),
+            self.return_type
+        )
+    }
+}
+
+impl CompiledCodeFunction {
+    /// Wraps a compiled program.
+    ///
+    /// # Errors
+    ///
+    /// Reports missing parameter/return types (code generation requires a
+    /// fully typed TWIR, §4.6).
+    pub fn new(
+        original: Expr,
+        module: Rc<ProgramModule>,
+        program: Rc<NativeProgram>,
+    ) -> Result<Self, crate::pipeline::CompileError> {
+        let main = module.main();
+        let mut param_types = vec![Type::void(); main.arity];
+        for i in main.instrs() {
+            if let wolfram_ir::Instr::LoadArgument { dst, index } = i {
+                if let Some(t) = main.var_type(*dst) {
+                    param_types[*index] = t.clone();
+                }
+            }
+        }
+        let return_type = main.return_type.clone().unwrap_or_else(Type::void);
+        Ok(CompiledCodeFunction {
+            original,
+            module,
+            program,
+            param_types,
+            return_type,
+            engine: None,
+            standalone: false,
+            abort: AbortSignal::new(),
+            machine: Rc::new(RefCell::new(Machine::standalone())),
+        })
+    }
+
+    /// Attaches a hosting engine: kernel escapes and symbolic operations
+    /// work, the abort signal is shared, and runtime numeric errors revert
+    /// to uncompiled evaluation (F1/F2/F3).
+    pub fn hosted(mut self, engine: Rc<RefCell<Interpreter>>) -> Self {
+        self.abort = engine.borrow().abort_signal().clone();
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Number of parameters.
+    pub fn arity(&self) -> usize {
+        self.param_types.len()
+    }
+
+    /// Unboxes an argument expression against a parameter type.
+    fn unbox(&self, e: &Expr, ty: &Type) -> Result<ArgVal, RuntimeError> {
+        let type_err = |what: &str| {
+            RuntimeError::Type(format!("argument {what} does not match parameter type {ty}"))
+        };
+        match ty {
+            Type::Atomic(name) => match &**name {
+                "Integer64" | "Integer32" | "Integer16" | "Integer8" => {
+                    e.as_i64().map(ArgVal::I).ok_or_else(|| type_err(&e.to_input_form()))
+                }
+                "Boolean" => {
+                    if e.is_true() {
+                        Ok(ArgVal::I(1))
+                    } else if e.is_false() {
+                        Ok(ArgVal::I(0))
+                    } else {
+                        Err(type_err(&e.to_input_form()))
+                    }
+                }
+                "Real64" | "Real32" => {
+                    e.as_f64().map(ArgVal::F).ok_or_else(|| type_err(&e.to_input_form()))
+                }
+                "ComplexReal64" => match e.kind() {
+                    wolfram_expr::ExprKind::Complex(re, im) => Ok(ArgVal::C(*re, *im)),
+                    _ => e.as_f64().map(|v| ArgVal::C(v, 0.0)).ok_or_else(|| type_err(&e.to_input_form())),
+                },
+                "String" => e
+                    .as_str()
+                    .map(|s| ArgVal::V(Value::Str(Rc::new(s.to_owned()))))
+                    .ok_or_else(|| type_err(&e.to_input_form())),
+                // The "Expression" type accepts anything (F8).
+                "Expression" => Ok(ArgVal::V(Value::Expr(e.clone()))),
+                _ => Err(type_err(&e.to_input_form())),
+            },
+            Type::Constructor { name, args } if &**name == "Tensor" => {
+                let t = expr_to_tensor(e).ok_or_else(|| type_err("non-rectangular list"))?;
+                let want_rank = match args.get(1) {
+                    Some(Type::Literal(r)) => *r as usize,
+                    _ => t.rank(),
+                };
+                if t.rank() != want_rank {
+                    return Err(type_err(&format!("rank-{} tensor", t.rank())));
+                }
+                // Element promotion: integer data passed to a real tensor.
+                let elem = args.first();
+                let t = match elem {
+                    Some(Type::Atomic(n)) if &**n == "Real64" => t.to_f64_tensor(),
+                    _ => t,
+                };
+                let ok = match elem {
+                    Some(Type::Atomic(n)) => t.data().element_type() == &**n,
+                    _ => true,
+                };
+                if !ok {
+                    return Err(type_err(&format!("{} tensor", t.data().element_type())));
+                }
+                Ok(ArgVal::V(Value::Tensor(t)))
+            }
+            _ => Err(type_err(&e.to_input_form())),
+        }
+    }
+
+    fn unbox_value(&self, v: &Value, ty: &Type) -> Result<ArgVal, RuntimeError> {
+        // Values mostly map directly; route exotic cases through exprs.
+        match (v, ty) {
+            (Value::Function(_), Type::Arrow { .. }) => Ok(ArgVal::V(v.clone())),
+            (Value::Tensor(t), Type::Constructor { name, args })
+                if &**name == "Tensor" =>
+            {
+                let t = match args.first() {
+                    Some(Type::Atomic(n)) if &**n == "Real64" => t.to_f64_tensor(),
+                    _ => t.clone(),
+                };
+                if let Some(Type::Atomic(n)) = args.first() {
+                    if t.data().element_type() != &**n {
+                        return Err(RuntimeError::Type(format!(
+                            "{} tensor does not match {ty}",
+                            t.data().element_type()
+                        )));
+                    }
+                }
+                Ok(ArgVal::V(Value::Tensor(t)))
+            }
+            (Value::Expr(e), _) => self.unbox(e, ty),
+            _ => {
+                let bank = match ty {
+                    Type::Atomic(n) => match &**n {
+                        "Integer64" | "Integer32" | "Integer16" | "Integer8" | "Boolean" => Bank::I,
+                        "Real64" | "Real32" => Bank::F,
+                        "ComplexReal64" => Bank::C,
+                        _ => Bank::V,
+                    },
+                    _ => Bank::V,
+                };
+                ArgVal::from_value(v, bank)
+            }
+        }
+    }
+
+    /// Calls with runtime values (fast path used by benchmarks and other
+    /// compiled code).
+    ///
+    /// # Errors
+    ///
+    /// Numeric errors soft-fail to the interpreter when hosted; everything
+    /// propagates otherwise.
+    pub fn call(&self, args: &[Value]) -> Result<Value, RuntimeError> {
+        if args.len() != self.arity() {
+            return Err(RuntimeError::Type(format!(
+                "expected {} arguments, got {}",
+                self.arity(),
+                args.len()
+            )));
+        }
+        let mut marshaled = Vec::with_capacity(args.len());
+        for (v, ty) in args.iter().zip(&self.param_types) {
+            marshaled.push(self.unbox_value(v, ty)?);
+        }
+        match self.run(marshaled) {
+            Err(e) if e.is_numeric() && self.engine.is_some() => {
+                self.soft_fallback_values(args, &e)
+            }
+            other => other.map(|r| result_to_value(r, &self.return_type)),
+        }
+    }
+
+    /// The auxiliary wrapper (F1): "takes the input expression, unpacks and
+    /// checks ... if it matches the expected number of arguments and types.
+    /// The auxiliary function then calls the user function and packs the
+    /// output into an expression."
+    ///
+    /// # Errors
+    ///
+    /// Argument mismatches fall back to uncompiled evaluation when hosted;
+    /// they are type errors otherwise.
+    pub fn call_exprs(&self, args: &[Expr]) -> Result<Expr, RuntimeError> {
+        if args.len() != self.arity() {
+            return self.mismatch_fallback(args, &format!(
+                "expected {} arguments, got {}",
+                self.arity(),
+                args.len()
+            ));
+        }
+        let mut marshaled = Vec::with_capacity(args.len());
+        for (e, ty) in args.iter().zip(&self.param_types) {
+            match self.unbox(e, ty) {
+                Ok(v) => marshaled.push(v),
+                Err(err) => return self.mismatch_fallback(args, &err.to_string()),
+            }
+        }
+        match self.run(marshaled) {
+            Ok(r) => Ok(result_to_value(r, &self.return_type).to_expr()),
+            Err(e) if e.is_numeric() && self.engine.is_some() => {
+                self.soft_fallback_exprs(args, &e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn run(&self, args: Vec<ArgVal>) -> Result<ArgVal, RuntimeError> {
+        // Reuse the cached machine (and its frame pool); re-entrant calls
+        // get a fresh one.
+        let mut fresh;
+        let mut cached;
+        let machine: &mut Machine = match self.machine.try_borrow_mut() {
+            Ok(guard) => {
+                cached = guard;
+                &mut cached
+            }
+            Err(_) => {
+                fresh = Machine::standalone();
+                &mut fresh
+            }
+        };
+        machine.abort = self.abort.clone();
+        match (&self.engine, self.standalone) {
+            (Some(engine), false) => {
+                let mut guard = engine.borrow_mut();
+                machine.call_with_engine(&self.program, 0, args, Some(&mut guard))
+            }
+            _ => machine.call_with_engine(&self.program, 0, args, None),
+        }
+    }
+
+    /// Runs with an already-borrowed engine (re-entrant path used when the
+    /// compiled function is *installed* and called from inside evaluation).
+    fn run_in(&self, engine: &mut Interpreter, args: Vec<ArgVal>) -> Result<ArgVal, RuntimeError> {
+        let mut fresh;
+        let mut cached;
+        let machine: &mut Machine = match self.machine.try_borrow_mut() {
+            Ok(guard) => {
+                cached = guard;
+                &mut cached
+            }
+            Err(_) => {
+                fresh = Machine::standalone();
+                &mut fresh
+            }
+        };
+        machine.abort = engine.abort_signal().clone();
+        machine.call_with_engine(&self.program, 0, args, Some(engine))
+    }
+
+    fn warn(&self, tag: &str) {
+        if let Some(engine) = &self.engine {
+            engine.borrow_mut().push_output(format!(
+                "CompiledCodeFunction: A compiled code runtime error occurred; \
+                 reverting to uncompiled evaluation: {tag}"
+            ));
+        }
+    }
+
+    /// F2: "Numerical exceptions are propagated to the top-level auxiliary
+    /// function which calls the interpreter to rerun the function."
+    fn soft_fallback_values(&self, args: &[Value], err: &RuntimeError) -> Result<Value, RuntimeError> {
+        self.warn(err.tag());
+        let engine = self.engine.as_ref().expect("checked by caller");
+        let arg_exprs: Vec<Expr> = args.iter().map(Value::to_expr).collect();
+        let call = Expr::normal(self.original.clone(), arg_exprs);
+        let out = engine.borrow_mut().eval(&call)?;
+        Ok(Value::from_expr(&out))
+    }
+
+    fn soft_fallback_exprs(&self, args: &[Expr], err: &RuntimeError) -> Result<Expr, RuntimeError> {
+        self.warn(err.tag());
+        let engine = self.engine.as_ref().expect("checked by caller");
+        let call = Expr::normal(self.original.clone(), args.to_vec());
+        engine.borrow_mut().eval(&call)
+    }
+
+    fn mismatch_fallback(&self, args: &[Expr], why: &str) -> Result<Expr, RuntimeError> {
+        match &self.engine {
+            Some(engine) => {
+                let call = Expr::normal(self.original.clone(), args.to_vec());
+                engine.borrow_mut().eval(&call)
+            }
+            None => Err(RuntimeError::Type(why.to_owned())),
+        }
+    }
+
+    /// Installs this compiled function into its hosting engine under
+    /// `name`: interpreted code then calls it "as if they were any other
+    /// Wolfram Language function" (F1). Requires a hosting engine.
+    ///
+    /// # Errors
+    ///
+    /// Fails without an engine.
+    pub fn install(&self, name: &str) -> Result<(), RuntimeError> {
+        let Some(engine) = &self.engine else {
+            return Err(RuntimeError::Other("install requires a hosting engine".into()));
+        };
+        let this = self.clone();
+        engine.borrow_mut().register_native(
+            name,
+            Rc::new(move |interp: &mut Interpreter, args: &[Expr]| {
+                // Unbox; on mismatch interpret the original in place.
+                if args.len() != this.arity() {
+                    let call = Expr::normal(this.original.clone(), args.to_vec());
+                    return interp.eval(&call);
+                }
+                let mut marshaled = Vec::with_capacity(args.len());
+                for (e, ty) in args.iter().zip(&this.param_types) {
+                    match this.unbox(e, ty) {
+                        Ok(v) => marshaled.push(v),
+                        Err(_) => {
+                            let call = Expr::normal(this.original.clone(), args.to_vec());
+                            return interp.eval(&call);
+                        }
+                    }
+                }
+                match this.run_in(interp, marshaled) {
+                    Ok(r) => Ok(result_to_value(r, &this.return_type).to_expr()),
+                    Err(e) if e.is_numeric() => {
+                        interp.push_output(format!(
+                            "CompiledCodeFunction: A compiled code runtime error occurred; \
+                             reverting to uncompiled evaluation: {}",
+                            e.tag()
+                        ));
+                        let call = Expr::normal(this.original.clone(), args.to_vec());
+                        interp.eval(&call)
+                    }
+                    Err(e) => Err(e),
+                }
+            }),
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Compiler;
+    use wolfram_expr::parse;
+
+    fn compile(src: &str) -> CompiledCodeFunction {
+        Compiler::default().function_compile_src(src).unwrap()
+    }
+
+    fn hosted(src: &str) -> (CompiledCodeFunction, Rc<RefCell<Interpreter>>) {
+        let engine = Rc::new(RefCell::new(Interpreter::new()));
+        let cf = compile(src).hosted(engine.clone());
+        (cf, engine)
+    }
+
+    #[test]
+    fn aux_wrapper_boxes_and_unboxes() {
+        let cf = compile("Function[{Typed[n, \"MachineInteger\"]}, n*n]");
+        let out = cf.call_exprs(&[Expr::int(7)]).unwrap();
+        assert_eq!(out.as_i64(), Some(49));
+        // Wrong type without an engine: hard error.
+        assert!(cf.call_exprs(&[Expr::string("x")]).is_err());
+        assert!(cf.call_exprs(&[]).is_err());
+    }
+
+    #[test]
+    fn mismatch_falls_back_to_interpreter_when_hosted() {
+        let (cf, _engine) = hosted("Function[{Typed[n, \"MachineInteger\"]}, n*n]");
+        // A real argument does not match MachineInteger, but the hosted
+        // wrapper reverts to uncompiled evaluation.
+        let out = cf.call_exprs(&[Expr::real(2.5)]).unwrap();
+        assert_eq!(out.as_f64(), Some(6.25));
+    }
+
+    #[test]
+    fn soft_numeric_failure_reverts_to_interpreter() {
+        // Iterative fib: overflows at n=100, interpreter returns the exact
+        // bignum (the paper's cfib[200] behavior).
+        let src = "Function[{Typed[n, \"MachineInteger\"]}, \
+                   Module[{a = 0, b = 1, k = 0, t = 0}, \
+                   While[k < n, t = a + b; a = b; b = t; k = k + 1]; a]]";
+        let (cf, engine) = hosted(src);
+        let out = cf.call_exprs(&[Expr::int(100)]).unwrap();
+        assert_eq!(out.to_full_form(), "354224848179261915075");
+        let warnings = engine.borrow_mut().take_output();
+        assert!(warnings[0].contains("reverting to uncompiled evaluation"), "{warnings:?}");
+        assert!(warnings[0].contains("IntegerOverflow"), "{warnings:?}");
+        // Fast path still native.
+        assert_eq!(cf.call(&[Value::I64(50)]).unwrap(), Value::I64(12586269025));
+    }
+
+    #[test]
+    fn standalone_rejects_numeric_failure() {
+        let src = "Function[{Typed[n, \"MachineInteger\"]}, n*n]";
+        let cf = compile(src);
+        assert_eq!(
+            cf.call(&[Value::I64(i64::MAX)]),
+            Err(RuntimeError::IntegerOverflow)
+        );
+    }
+
+    #[test]
+    fn installed_functions_integrate_with_interpreter() {
+        let (cf, engine) = hosted("Function[{Typed[n, \"MachineInteger\"]}, n + 100]");
+        cf.install("fast").unwrap();
+        // Interpreted code calls the compiled function seamlessly (F1),
+        // including inside higher-order interpreted constructs.
+        let out = engine.borrow_mut().eval_src("Map[fast, {1, 2, 3}]").unwrap();
+        assert_eq!(out.to_full_form(), "List[101, 102, 103]");
+        let out = engine.borrow_mut().eval_src("fast[5] + 1").unwrap();
+        assert_eq!(out.as_i64(), Some(106));
+    }
+
+    #[test]
+    fn abort_unwinds_compiled_loop() {
+        let (cf, engine) = hosted(
+            "Function[{Typed[n, \"MachineInteger\"]}, \
+             Module[{i = 0}, While[True, If[i > 3, i = i - 1, i = i + 1]]; i]]",
+        );
+        engine.borrow().abort_signal().trigger();
+        let err = cf.call(&[Value::I64(0)]).unwrap_err();
+        assert_eq!(err, RuntimeError::Aborted);
+        engine.borrow().abort_signal().reset();
+    }
+
+    #[test]
+    fn tensors_cross_the_boundary() {
+        let cf = compile(
+            "Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, v[[1]] + v[[-1]]]",
+        );
+        let out = cf.call_exprs(&[parse("{1.5, 2.0, 3.5}").unwrap()]).unwrap();
+        assert_eq!(out.as_f64(), Some(5.0));
+        // Integer lists promote to the real element type.
+        let out = cf.call_exprs(&[parse("{1, 2, 3}").unwrap()]).unwrap();
+        assert_eq!(out.as_f64(), Some(4.0));
+        // Rank mismatch is a type error.
+        assert!(cf.call_exprs(&[parse("{{1.0}}").unwrap()]).is_err());
+    }
+
+    #[test]
+    fn symbolic_compiled_function() {
+        // §4.5: cf = FunctionCompile[Function[{arg1:Expression,
+        // arg2:Expression}, arg1 + arg2]]; cf[1,2] -> 3; cf[x,y] -> x+y.
+        let (cf, _engine) = hosted(
+            "Function[{Typed[arg1, \"Expression\"], Typed[arg2, \"Expression\"]}, arg1 + arg2]",
+        );
+        let out = cf.call_exprs(&[Expr::int(1), Expr::int(2)]).unwrap();
+        assert_eq!(out.as_i64(), Some(3));
+        let out = cf.call_exprs(&[Expr::sym("x"), Expr::sym("y")]).unwrap();
+        assert_eq!(out.to_full_form(), "Plus[x, y]");
+        let out = cf
+            .call_exprs(&[Expr::sym("x"), parse("Cos[y] + Sin[z]").unwrap()])
+            .unwrap();
+        assert!(out.to_full_form().contains("Cos[y]"), "{out:?}");
+    }
+
+    #[test]
+    fn gradual_compilation_via_kernel_escape() {
+        // StringReverse is not compilable: it escapes to the interpreter
+        // mid-function (F9).
+        let (cf, _engine) = hosted(
+            "Function[{Typed[s, \"String\"]}, StringReverse[s]]",
+        );
+        let out = cf.call_exprs(&[Expr::string("abc")]).unwrap();
+        assert_eq!(out.as_str(), Some("cba"));
+    }
+
+    #[test]
+    fn memory_instrumentation_balances() {
+        wolfram_runtime::memory::reset_stats();
+        let cf = compile(
+            "Function[{Typed[v, \"Tensor\"[\"Integer64\", 1]]}, \
+             Module[{w = v}, w[[1]] = 5; Length[w]]]",
+        );
+        let t = Value::Tensor(wolfram_runtime::Tensor::from_i64(vec![1, 2, 3]));
+        assert_eq!(cf.call(&[t]).unwrap(), Value::I64(3));
+        let stats = wolfram_runtime::memory::stats();
+        assert!(stats.balanced(), "{stats:?}");
+        assert!(stats.acquires > 0, "managed values were bracketed: {stats:?}");
+    }
+}

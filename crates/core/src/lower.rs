@@ -1,0 +1,695 @@
+//! Lowering MExpr to WIR (§4.3): direct SSA construction, lambda lifting
+//! (closure conversion), and automatic `KernelFunction` escapes for
+//! functions outside the compiled subset (F9).
+
+use crate::binding::BoundFunction;
+use std::collections::HashSet;
+use std::rc::Rc;
+use wolfram_expr::{Expr, ExprKind};
+use wolfram_ir::module::{Callee, Constant, Instr, Operand};
+use wolfram_ir::{BlockId, FuncId, FunctionBuilder, ProgramModule};
+use wolfram_types::{Type, TypeEnvironment};
+
+/// Lowering failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerError(pub String);
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lowering error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lowers a bound function into a WIR program module. `public_name` is the
+/// user-visible binding (enables self-recursion as in the paper's `cfib`).
+///
+/// # Errors
+///
+/// See [`LowerError`].
+pub fn lower(
+    bound: &BoundFunction,
+    public_name: Option<&str>,
+    type_env: &TypeEnvironment,
+) -> Result<ProgramModule, LowerError> {
+    let mut mc = ModuleCtx {
+        module: ProgramModule::default(),
+        type_env,
+        lambda_counter: 0,
+        public_name: public_name.map(str::to_owned),
+    };
+    lower_function(&mut mc, "Main", &bound.params, &bound.body)?;
+    Ok(mc.module)
+}
+
+struct ModuleCtx<'a> {
+    module: ProgramModule,
+    type_env: &'a TypeEnvironment,
+    lambda_counter: u32,
+    public_name: Option<String>,
+}
+
+struct FnCtx<'a, 'm> {
+    mc: &'m mut ModuleCtx<'a>,
+    b: FunctionBuilder,
+    /// Names readable in the current scope (parameters and assigned
+    /// locals), used for closure capture analysis.
+    scope: Vec<String>,
+    /// (break target, continue target) per enclosing loop.
+    loops: Vec<(BlockId, BlockId)>,
+    self_id: FuncId,
+    temp_counter: u32,
+}
+
+fn lower_function(
+    mc: &mut ModuleCtx,
+    name: &str,
+    params: &[(String, Option<Type>)],
+    body: &Expr,
+) -> Result<FuncId, LowerError> {
+    // Reserve the slot up front so self-recursive calls resolve.
+    let self_id = mc.module.add_function(wolfram_ir::Function::new(name, params.len()));
+    let mut b = FunctionBuilder::new(name, params.len());
+    b.func.param_names = params.iter().map(|(n, _)| n.clone()).collect();
+    let mut scope = Vec::new();
+    for (ix, (pname, ty)) in params.iter().enumerate() {
+        let v = b.func.fresh_var();
+        b.push(Instr::LoadArgument { dst: v, index: ix });
+        b.write_var(pname, v);
+        if let Some(ty) = ty {
+            b.func.var_types.insert(v, ty.clone());
+        }
+        scope.push(pname.clone());
+    }
+    let mut ctx = FnCtx { mc, b, scope, loops: Vec::new(), self_id, temp_counter: 0 };
+    let result = ctx.expr(body)?;
+    if !ctx.b.is_terminated() {
+        ctx.b.ret(result);
+    }
+    // Unreachable trailing blocks must still satisfy the builder.
+    let func = ctx.b.finish();
+    mc.module.functions[self_id.0 as usize] = func;
+    Ok(self_id)
+}
+
+impl FnCtx<'_, '_> {
+    fn temp_name(&mut self, base: &str) -> String {
+        self.temp_counter += 1;
+        format!("${base}{}", self.temp_counter)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, LowerError> {
+        Err(LowerError(msg.into()))
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Operand, LowerError> {
+        match e.kind() {
+            ExprKind::Integer(v) => Ok(Constant::I64(*v).into()),
+            ExprKind::Real(v) => Ok(Constant::F64(*v).into()),
+            ExprKind::Complex(re, im) => Ok(Constant::Complex(*re, *im).into()),
+            ExprKind::Str(s) => Ok(Constant::Str(Rc::from(&**s)).into()),
+            ExprKind::BigInteger(_) => {
+                self.err("arbitrary-precision literals are not compilable (use the interpreter)")
+            }
+            ExprKind::Symbol(s) => self.symbol(s.name(), e),
+            ExprKind::Normal(_) => self.normal(e),
+        }
+    }
+
+    fn symbol(&mut self, name: &str, e: &Expr) -> Result<Operand, LowerError> {
+        if let Some(v) = self.b.read_var(name) {
+            return Ok(v);
+        }
+        match name {
+            "True" => Ok(Constant::Bool(true).into()),
+            "False" => Ok(Constant::Bool(false).into()),
+            "Null" => Ok(Constant::Null.into()),
+            "Pi" => Ok(Constant::F64(std::f64::consts::PI).into()),
+            "E" => Ok(Constant::F64(std::f64::consts::E).into()),
+            "GoldenRatio" => Ok(Constant::F64((1.0 + 5f64.sqrt()) / 2.0).into()),
+            "I" => Ok(Constant::Complex(0.0, 1.0).into()),
+            "Infinity" => Ok(Constant::F64(f64::INFINITY).into()),
+            _ => {
+                // A declared function used as a *value* becomes an
+                // eta-expanded closure (`If[i == 0, Sin, Cos]`, §3 F6).
+                if self.mc.type_env.is_declared(name) {
+                    let w = self.temp_name("eta");
+                    let lambda = Expr::call(
+                        "Function",
+                        [
+                            Expr::list([Expr::sym(&w)]),
+                            Expr::call(name, [Expr::sym(&w)]),
+                        ],
+                    );
+                    return self.lift_lambda(&lambda);
+                }
+                // Free symbols stay symbolic (F8).
+                Ok(Constant::Expr(e.clone()).into())
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn normal(&mut self, e: &Expr) -> Result<Operand, LowerError> {
+        let head = e.head();
+        let args = e.args();
+        let head_name = head.as_symbol().map(|s| s.name().to_owned());
+        match head_name.as_deref() {
+            Some("CompoundExpression") => {
+                let mut last: Operand = Constant::Null.into();
+                for a in args {
+                    if self.b.is_terminated() {
+                        break; // dead code after Return/Break/Continue
+                    }
+                    last = self.expr(a)?;
+                }
+                Ok(last)
+            }
+            Some("Set") => self.set(&args[0], &args[1]),
+            Some("If") if (2..=3).contains(&args.len()) => self.if_expr(args),
+            Some("While") if !args.is_empty() => self.while_expr(args),
+            Some("For") if (3..=4).contains(&args.len()) => self.for_expr(args),
+            Some("Return") => {
+                let v = match args.first() {
+                    Some(a) => self.expr(a)?,
+                    None => Constant::Null.into(),
+                };
+                self.b.ret(v);
+                Ok(Constant::Null.into())
+            }
+            Some("Break") if args.is_empty() => {
+                let Some(&(brk, _)) = self.loops.last() else {
+                    return self.err("Break[] outside of a loop");
+                };
+                self.b.jump(brk);
+                Ok(Constant::Null.into())
+            }
+            Some("Continue") if args.is_empty() => {
+                let Some(&(_, cont)) = self.loops.last() else {
+                    return self.err("Continue[] outside of a loop");
+                };
+                self.b.jump(cont);
+                Ok(Constant::Null.into())
+            }
+            Some("List") => self.list(e),
+            Some("Part") if args.len() >= 2 => {
+                let mut ops = Vec::with_capacity(args.len());
+                for a in args {
+                    ops.push(self.expr(a)?);
+                }
+                Ok(self.call_builtin("Part", ops, e))
+            }
+            Some("Typed") if args.len() == 2 => {
+                let op = self.expr(&args[0])?;
+                let ty = Type::from_expr(&args[1])
+                    .map_err(|te| LowerError(format!("bad Typed annotation: {te}")))?;
+                if let Operand::Var(v) = &op {
+                    self.b.func.var_types.entry(*v).or_insert(ty);
+                }
+                Ok(op)
+            }
+            Some("Function") => self.lift_lambda(e),
+            Some("KernelFunction") if args.len() == 1 => {
+                // KernelFunction[f] as a value: not representable natively;
+                // only KernelFunction[f][args] call syntax is supported.
+                self.err("KernelFunction[...] must be applied directly")
+            }
+            Some("ConstantArray") if args.len() == 2 => {
+                let c = self.expr(&args[0])?;
+                let spec = &args[1];
+                let mut ops = vec![c];
+                if spec.has_head("List") {
+                    for d in spec.args() {
+                        ops.push(self.expr(d)?);
+                    }
+                } else {
+                    ops.push(self.expr(spec)?);
+                }
+                Ok(self.call_builtin("ConstantArray", ops, e))
+            }
+            Some("RandomReal") if args.is_empty() => {
+                Ok(self.call_builtin("RandomReal", vec![], e))
+            }
+            Some(name) => {
+                // Call through a local function value?
+                if let Some(fv) = self.b.read_var(name) {
+                    let mut ops = Vec::with_capacity(args.len());
+                    for a in args {
+                        ops.push(self.expr(a)?);
+                    }
+                    let Operand::Var(v) = fv else {
+                        return self.err(format!("cannot call constant `{name}`"));
+                    };
+                    let dst = self.b.func.fresh_var();
+                    self.b.push(Instr::Call { dst, callee: Callee::Value(v), args: ops });
+                    self.b.func.provenance.insert(dst, e.clone());
+                    return Ok(dst.into());
+                }
+                // Self recursion via the public binding (the paper's cfib).
+                let is_self = self.mc.public_name.as_deref() == Some(name);
+                if is_self {
+                    let mut ops = Vec::with_capacity(args.len());
+                    for a in args {
+                        ops.push(self.expr(a)?);
+                    }
+                    let dst = self.b.func.fresh_var();
+                    let fname = self.mc.module.functions[self.self_id.0 as usize].name.clone();
+                    self.b.push(Instr::Call {
+                        dst,
+                        callee: Callee::Function { name: Rc::from(fname.as_str()), func: self.self_id },
+                        args: ops,
+                    });
+                    self.b.func.provenance.insert(dst, e.clone());
+                    return Ok(dst.into());
+                }
+                if self.mc.type_env.is_declared(name) {
+                    let mut ops = Vec::with_capacity(args.len());
+                    for a in args {
+                        ops.push(self.expr(a)?);
+                    }
+                    return Ok(self.call_builtin(name, ops, e));
+                }
+                // Escape to the interpreter (§4.5 "Escape to Interpreter"):
+                // gradual compilation for everything else.
+                let mut ops = Vec::with_capacity(args.len());
+                for a in args {
+                    ops.push(self.expr(a)?);
+                }
+                let dst = self.b.func.fresh_var();
+                self.b.push(Instr::Call {
+                    dst,
+                    callee: Callee::Kernel(Rc::from(name)),
+                    args: ops,
+                });
+                self.b.func.provenance.insert(dst, e.clone());
+                Ok(dst.into())
+            }
+            None => {
+                // Compound head: KernelFunction[f][args] or lambda call.
+                if head.has_head("KernelFunction") && head.length() == 1 {
+                    let Some(f) = head.args()[0].as_symbol() else {
+                        return self.err("KernelFunction expects a symbol");
+                    };
+                    let mut ops = Vec::with_capacity(args.len());
+                    for a in args {
+                        ops.push(self.expr(a)?);
+                    }
+                    let dst = self.b.func.fresh_var();
+                    self.b.push(Instr::Call {
+                        dst,
+                        callee: Callee::Kernel(Rc::from(f.name())),
+                        args: ops,
+                    });
+                    self.b.func.provenance.insert(dst, e.clone());
+                    return Ok(dst.into());
+                }
+                // Immediately-applied lambda.
+                let fv = self.expr(&head)?;
+                let Operand::Var(v) = fv else {
+                    return self.err(format!("cannot apply {}", head.to_input_form()));
+                };
+                let mut ops = Vec::with_capacity(args.len());
+                for a in args {
+                    ops.push(self.expr(a)?);
+                }
+                let dst = self.b.func.fresh_var();
+                self.b.push(Instr::Call { dst, callee: Callee::Value(v), args: ops });
+                self.b.func.provenance.insert(dst, e.clone());
+                Ok(dst.into())
+            }
+        }
+    }
+
+    fn call_builtin(&mut self, name: &str, args: Vec<Operand>, prov: &Expr) -> Operand {
+        let dst = self.b.func.fresh_var();
+        self.b.push(Instr::Call { dst, callee: Callee::Builtin(Rc::from(name)), args });
+        self.b.func.provenance.insert(dst, prov.clone());
+        dst.into()
+    }
+
+    fn list(&mut self, e: &Expr) -> Result<Operand, LowerError> {
+        let args = e.args();
+        // Literal numeric lists become packed constant arrays (the PrimeQ
+        // seed table, §6).
+        if args.len() > 8 || (args.len() >= 4 && args.iter().all(|a| a.as_i64().is_some())) {
+            if let Some(ints) = args.iter().map(Expr::as_i64).collect::<Option<Vec<i64>>>() {
+                return Ok(Constant::I64Array(Rc::from(ints.as_slice())).into());
+            }
+            if let Some(reals) =
+                args.iter().map(Expr::as_f64).collect::<Option<Vec<f64>>>()
+            {
+                return Ok(Constant::F64Array(Rc::from(reals.as_slice())).into());
+            }
+        }
+        if args.is_empty() {
+            return self.err("empty lists are not compilable");
+        }
+        let mut ops = Vec::with_capacity(args.len());
+        for a in args {
+            ops.push(self.expr(a)?);
+        }
+        Ok(self.call_builtin("List", ops, e))
+    }
+
+    fn set(&mut self, lhs: &Expr, rhs: &Expr) -> Result<Operand, LowerError> {
+        if let Some(s) = lhs.as_symbol() {
+            let v = self.expr(rhs)?;
+            // Pin to a variable so phis have a definition to reference.
+            let pinned = match v {
+                Operand::Var(var) => Operand::Var(var),
+                Operand::Const(c) => {
+                    let dst = self.b.func.fresh_var();
+                    self.b.push(Instr::LoadConst { dst, value: c });
+                    Operand::Var(dst)
+                }
+            };
+            self.b.write_var(s.name(), pinned.clone());
+            if !self.scope.contains(&s.name().to_owned()) {
+                self.scope.push(s.name().to_owned());
+            }
+            return Ok(pinned);
+        }
+        if lhs.has_head("Part") && lhs.length() >= 2 {
+            let base = &lhs.args()[0];
+            let Some(base_sym) = base.as_symbol() else {
+                return self.err("Part assignment requires a variable base");
+            };
+            let Some(base_op) = self.b.read_var(base_sym.name()) else {
+                return self.err(format!("Part assignment to unknown variable {base_sym}"));
+            };
+            let mut ops = vec![base_op];
+            for ix in &lhs.args()[1..] {
+                ops.push(self.expr(ix)?);
+            }
+            let value = self.expr(rhs)?;
+            ops.push(value.clone());
+            let updated = self.call_builtin("Part$Set", ops, lhs);
+            self.b.write_var(base_sym.name(), updated);
+            return Ok(value);
+        }
+        self.err(format!("cannot assign to {}", lhs.to_input_form()))
+    }
+
+    fn if_expr(&mut self, args: &[Expr]) -> Result<Operand, LowerError> {
+        let cond = self.expr(&args[0])?;
+        let then_b = self.b.create_block("then");
+        let else_b = self.b.create_block("else");
+        let join = self.b.create_block("if-join");
+        self.b.branch(cond, then_b, else_b);
+        self.b.seal_block(then_b);
+        self.b.seal_block(else_b);
+        let result = self.temp_name("if");
+
+        self.b.switch_to(then_b);
+        let tv = self.expr(&args[1])?;
+        if !self.b.is_terminated() {
+            self.b.write_var(&result, tv);
+            self.b.jump(join);
+        }
+
+        self.b.switch_to(else_b);
+        let ev = match args.get(2) {
+            Some(f) => self.expr(f)?,
+            None => Constant::Null.into(),
+        };
+        if !self.b.is_terminated() {
+            self.b.write_var(&result, ev);
+            self.b.jump(join);
+        }
+
+        self.b.seal_block(join);
+        self.b.switch_to(join);
+        if self.b.predecessors(join).is_empty() {
+            // Both branches returned/broke: the join is unreachable.
+            // Terminate it and continue lowering into a fresh unreachable
+            // block (terminated by whatever follows, or the final return).
+            self.b.ret(Constant::Null);
+            let dead = self.b.create_block("dead");
+            self.b.seal_block(dead);
+            self.b.switch_to(dead);
+        }
+        Ok(self.b.read_var(&result).unwrap_or(Constant::Null.into()))
+    }
+
+    fn while_expr(&mut self, args: &[Expr]) -> Result<Operand, LowerError> {
+        let header = self.b.create_block("while-head");
+        let body_b = self.b.create_block("while-body");
+        let exit = self.b.create_block("while-exit");
+        self.b.jump(header);
+        self.b.switch_to(header);
+        let cond = self.expr(&args[0])?;
+        self.b.branch(cond, body_b, exit);
+        self.b.seal_block(body_b);
+
+        self.loops.push((exit, header));
+        self.b.switch_to(body_b);
+        if let Some(body) = args.get(1) {
+            self.expr(body)?;
+        }
+        if !self.b.is_terminated() {
+            self.b.jump(header);
+        }
+        self.loops.pop();
+        self.b.seal_block(header);
+        self.b.seal_block(exit);
+        self.b.switch_to(exit);
+        Ok(Constant::Null.into())
+    }
+
+    fn for_expr(&mut self, args: &[Expr]) -> Result<Operand, LowerError> {
+        self.expr(&args[0])?;
+        let header = self.b.create_block("for-head");
+        let body_b = self.b.create_block("for-body");
+        let incr_b = self.b.create_block("for-incr");
+        let exit = self.b.create_block("for-exit");
+        self.b.jump(header);
+        self.b.switch_to(header);
+        let cond = self.expr(&args[1])?;
+        self.b.branch(cond, body_b, exit);
+        self.b.seal_block(body_b);
+
+        self.loops.push((exit, incr_b));
+        self.b.switch_to(body_b);
+        if let Some(body) = args.get(3) {
+            self.expr(body)?;
+        }
+        if !self.b.is_terminated() {
+            self.b.jump(incr_b);
+        }
+        self.loops.pop();
+        self.b.seal_block(incr_b);
+        self.b.switch_to(incr_b);
+        self.expr(&args[2])?;
+        if !self.b.is_terminated() {
+            self.b.jump(header);
+        }
+        self.b.seal_block(header);
+        self.b.seal_block(exit);
+        self.b.switch_to(exit);
+        Ok(Constant::Null.into())
+    }
+
+    /// Lambda lifting with closure conversion (§4.2): free local variables
+    /// become captures, prepended to the lifted function's parameters.
+    fn lift_lambda(&mut self, lambda: &Expr) -> Result<Operand, LowerError> {
+        // The binding pass normalized lambdas to Function[{params}, body].
+        if lambda.length() != 2 || !lambda.args()[0].has_head("List") {
+            return self.err(format!(
+                "unnormalized lambda reached lowering: {}",
+                lambda.to_input_form()
+            ));
+        }
+        let params_e = &lambda.args()[0];
+        let body = &lambda.args()[1];
+        let mut params: Vec<(String, Option<Type>)> = Vec::new();
+        let mut own_names = HashSet::new();
+        for p in params_e.args() {
+            let (name, ty) = if let Some(s) = p.as_symbol() {
+                (s.name().to_owned(), None)
+            } else if p.has_head("Typed") && p.length() == 2 {
+                let Some(s) = p.args()[0].as_symbol() else {
+                    return self.err("bad lambda parameter");
+                };
+                let ty = Type::from_expr(&p.args()[1])
+                    .map_err(|te| LowerError(format!("bad Typed annotation: {te}")))?;
+                (s.name().to_owned(), Some(ty))
+            } else {
+                return self.err("bad lambda parameter");
+            };
+            own_names.insert(name.clone());
+            params.push((name, ty));
+        }
+        // Captures: scope names free in the body.
+        let captures: Vec<String> = self
+            .scope
+            .iter()
+            .filter(|n| !own_names.contains(*n) && body.contains_symbol(n))
+            .cloned()
+            .collect();
+        self.mc.lambda_counter += 1;
+        let name = format!("Main`lambda{}", self.mc.lambda_counter);
+        let mut lifted_params: Vec<(String, Option<Type>)> =
+            captures.iter().map(|c| (c.clone(), None)).collect();
+        lifted_params.extend(params);
+        let func = lower_function(self.mc, &name, &lifted_params, body)?;
+        let mut capture_ops = Vec::with_capacity(captures.len());
+        for c in &captures {
+            let v = self
+                .b
+                .read_var(c)
+                .unwrap_or_else(|| Constant::Null.into());
+            capture_ops.push(v);
+        }
+        let dst = self.b.func.fresh_var();
+        self.b.push(Instr::MakeClosure {
+            dst,
+            func: Rc::from(self.mc.module.functions[func.0 as usize].name.as_str()),
+            captures: capture_ops,
+        });
+        self.b.func.provenance.insert(dst, lambda.clone());
+        Ok(dst.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::analyze;
+    use crate::pipeline::CompilerOptions;
+
+    fn lower_src(src: &str) -> ProgramModule {
+        let macros = crate::macros::MacroEnvironment::builtin();
+        let expanded = macros.expand(&wolfram_expr::parse(src).unwrap(), &CompilerOptions::default());
+        let bound = analyze(&expanded).unwrap();
+        let env = crate::stdlib::builtin_type_environment();
+        let pm = lower(&bound, None, &env).unwrap();
+        for f in &pm.functions {
+            wolfram_ir::verify_function(f).unwrap_or_else(|e| panic!("{e}\n{}", f.to_text()));
+        }
+        pm
+    }
+
+    #[test]
+    fn straight_line() {
+        let pm = lower_src("Function[{Typed[n, \"MachineInteger\"]}, n + 1]");
+        let main = pm.main();
+        assert_eq!(main.arity, 1);
+        let text = main.to_text();
+        assert!(text.contains("LoadArgument"), "{text}");
+        assert!(text.contains("Call Plus [%0, 1:I64]"), "{text}");
+    }
+
+    #[test]
+    fn while_loop_structure() {
+        let pm = lower_src(
+            "Function[{Typed[n, \"MachineInteger\"]}, \
+             Module[{i = 0, s = 0}, While[i < n, s = s + i; i = i + 1]; s]]",
+        );
+        let main = pm.main();
+        assert!(main.blocks.len() >= 3, "{}", main.to_text());
+        let phis = main
+            .instrs()
+            .filter(|i| matches!(i, Instr::Phi { .. }))
+            .count();
+        assert!(phis >= 2, "loop variables need phis:\n{}", main.to_text());
+    }
+
+    #[test]
+    fn if_expression_value() {
+        let pm = lower_src("Function[{Typed[x, \"MachineInteger\"]}, If[x > 0, x, 0 - x]]");
+        let text = pm.main().to_text();
+        assert!(text.contains("Branch"), "{text}");
+        assert!(text.contains("Phi"), "{text}");
+    }
+
+    #[test]
+    fn part_assignment_threads_tensor() {
+        let pm = lower_src(
+            "Function[{Typed[v, \"Tensor\"[\"Integer64\", 1]]}, v[[1]] = 9; v]",
+        );
+        let text = pm.main().to_text();
+        assert!(text.contains("Part$Set"), "{text}");
+    }
+
+    #[test]
+    fn lambda_lifting_with_captures() {
+        let pm = lower_src(
+            "Function[{Typed[k, \"MachineInteger\"]}, Module[{f = Function[{x}, x + k]}, f[2]]]",
+        );
+        assert_eq!(pm.functions.len(), 2, "lifted lambda expected");
+        let main_text = pm.main().to_text();
+        assert!(main_text.contains("MakeClosure"), "{main_text}");
+        // The lifted function takes the capture as an extra parameter.
+        assert_eq!(pm.functions[1].arity, 2);
+    }
+
+    #[test]
+    fn kernel_escape_for_unknown_functions() {
+        let pm = lower_src("Function[{Typed[x, \"MachineInteger\"]}, NoSuchFunction[x] ]");
+        let text = pm.main().to_text();
+        assert!(text.contains("KernelFunction[NoSuchFunction]"), "{text}");
+    }
+
+    #[test]
+    fn explicit_kernel_function() {
+        let pm = lower_src(
+            "Function[{Typed[x, \"MachineInteger\"]}, KernelFunction[Print][x]]",
+        );
+        let text = pm.main().to_text();
+        assert!(text.contains("KernelFunction[Print]"), "{text}");
+    }
+
+    #[test]
+    fn constant_arrays_packed() {
+        let pm = lower_src(
+            "Function[{Typed[i, \"MachineInteger\"]}, {2, 3, 5, 7, 11, 13}[[i]]]",
+        );
+        let text = pm.main().to_text();
+        assert!(text.contains("<6 x I64>"), "{text}");
+    }
+
+    #[test]
+    fn self_recursion_via_public_name() {
+        let macros = crate::macros::MacroEnvironment::builtin();
+        let src = "Function[{Typed[n, \"MachineInteger\"]}, If[n < 1, 1, cfib[n-1] + cfib[n-2]]]";
+        let expanded =
+            macros.expand(&wolfram_expr::parse(src).unwrap(), &CompilerOptions::default());
+        let bound = analyze(&expanded).unwrap();
+        let env = crate::stdlib::builtin_type_environment();
+        let pm = lower(&bound, Some("cfib"), &env).unwrap();
+        let text = pm.main().to_text();
+        assert!(text.contains("Call Main ["), "self call expected: {text}");
+    }
+
+    #[test]
+    fn eta_expansion_of_builtin_values() {
+        // If[i == 0, Sin, Cos] from §3 F6.
+        let pm = lower_src(
+            "Function[{Typed[i, \"MachineInteger\"], Typed[v, \"Real64\"]}, \
+             Module[{f = If[i == 0, Sin, Cos]}, f[v]]]",
+        );
+        assert!(pm.functions.len() >= 3, "two eta-expanded closures: {}", pm.functions.len());
+        let text = pm.main().to_text();
+        assert!(text.contains("MakeClosure"), "{text}");
+    }
+
+    #[test]
+    fn early_return() {
+        let pm = lower_src(
+            "Function[{Typed[x, \"MachineInteger\"]}, If[x < 0, Return[0]]; x]",
+        );
+        let text = pm.main().to_text();
+        assert!(text.matches("Return").count() >= 2, "{text}");
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let pm = lower_src(
+            "Function[{Typed[n, \"MachineInteger\"]}, Module[{i = 0}, \
+             While[True, If[i > n, Break[]]; i = i + 1]; i]]",
+        );
+        let text = pm.main().to_text();
+        assert!(text.contains("while-exit"), "{text}");
+    }
+}

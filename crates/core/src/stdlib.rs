@@ -1,0 +1,545 @@
+//! The default builtin type environment (§4.4): polymorphic, qualified
+//! declarations for the compiled function vocabulary, mapped onto runtime
+//! primitives or Wolfram-source implementations.
+
+use std::rc::Rc;
+use wolfram_expr::parse;
+use wolfram_types::{FunctionImpl, Type, TypeEnvironment};
+
+/// Mangles a type for primitive/function specialization names
+/// (`Integer64`, `TensorInteger64R1`, ...).
+pub fn mangle_type(t: &Type) -> String {
+    match t {
+        Type::Atomic(name) => name.to_string(),
+        Type::Constructor { name, args } if &**name == "Tensor" => {
+            let elem = args.first().map(mangle_type).unwrap_or_default();
+            let rank = match args.get(1) {
+                Some(Type::Literal(r)) => r.to_string(),
+                _ => "N".into(),
+            };
+            format!("Tensor{elem}R{rank}")
+        }
+        Type::Arrow { params, ret } => {
+            let ps: Vec<String> = params.iter().map(mangle_type).collect();
+            format!("Fn{}To{}", ps.join(""), mangle_type(ret))
+        }
+        other => other.to_string().replace([' ', ',', '[', ']', '(', ')'], ""),
+    }
+}
+
+/// The specialization name of a primitive or source function at concrete
+/// parameter types: `checked_binary_plus$Integer64$Integer64`.
+pub fn mangle(base: &str, params: &[Type]) -> String {
+    let mut out = base.to_owned();
+    for p in params {
+        out.push('$');
+        out.push_str(&mangle_type(p));
+    }
+    out
+}
+
+fn scheme(src: &str) -> Type {
+    Type::from_expr(&parse(src).expect("stdlib scheme source")).expect("stdlib scheme")
+}
+
+fn prim(env: &mut TypeEnvironment, name: &str, spec: &str, base: &str) {
+    env.declare_function(name, scheme(spec), FunctionImpl::Primitive(Rc::from(base)));
+}
+
+fn source(env: &mut TypeEnvironment, name: &str, spec: &str, body_src: &str, inline: bool) {
+    let body = parse(body_src).expect("stdlib source body");
+    env.declare_function(name, scheme(spec), FunctionImpl::Source(body));
+    if inline {
+        env.set_inline_always(name);
+    }
+}
+
+/// Builds the default builtin type environment. Approximately 60 function
+/// names across arithmetic, comparison, tensor, string, complex, symbolic,
+/// and random functionality areas (the production compiler's ~2000
+/// functions over 31 areas scale down to the areas this reproduction
+/// exercises).
+#[allow(clippy::too_many_lines)]
+pub fn builtin_type_environment() -> TypeEnvironment {
+    let mut env = TypeEnvironment::new();
+
+    // ---- scalar arithmetic (Number-polymorphic) ----
+    for (name, base) in [
+        ("Plus", "checked_binary_plus"),
+        ("Subtract", "checked_binary_subtract"),
+        ("Times", "checked_binary_times"),
+    ] {
+        prim(
+            &mut env,
+            name,
+            "TypeForAll[{\"a\"}, {Element[\"a\", \"Number\"]}, {\"a\", \"a\"} -> \"a\"]",
+            base,
+        );
+        // Element-wise tensor overload (rank polymorphic).
+        prim(
+            &mut env,
+            name,
+            "TypeForAll[{\"a\", \"n\"}, {Element[\"a\", \"Number\"]}, \
+             {\"Tensor\"[\"a\", \"n\"], \"Tensor\"[\"a\", \"n\"]} -> \"Tensor\"[\"a\", \"n\"]]",
+            match base {
+                "checked_binary_plus" => "tensor_plus",
+                "checked_binary_subtract" => "tensor_subtract",
+                _ => "tensor_times",
+            },
+        );
+        // Symbolic overload (F8).
+        prim(
+            &mut env,
+            name,
+            "{\"Expression\", \"Expression\"} -> \"Expression\"",
+            match base {
+                "checked_binary_plus" => "expr_plus",
+                "checked_binary_subtract" => "expr_subtract",
+                _ => "expr_times",
+            },
+        );
+    }
+    prim(&mut env, "Divide", "{\"Real64\", \"Real64\"} -> \"Real64\"", "checked_binary_divide");
+    prim(
+        &mut env,
+        "Divide",
+        "{\"ComplexReal64\", \"ComplexReal64\"} -> \"ComplexReal64\"",
+        "checked_binary_divide",
+    );
+    prim(&mut env, "Power", "{\"Integer64\", \"Integer64\"} -> \"Integer64\"", "checked_binary_power");
+    prim(&mut env, "Power", "{\"Real64\", \"Real64\"} -> \"Real64\"", "checked_binary_power");
+    prim(
+        &mut env,
+        "Power",
+        "{\"ComplexReal64\", \"Integer64\"} -> \"ComplexReal64\"",
+        "checked_binary_power",
+    );
+    prim(&mut env, "Power", "{\"Expression\", \"Expression\"} -> \"Expression\"", "expr_power");
+    prim(
+        &mut env,
+        "Minus",
+        "TypeForAll[{\"a\"}, {Element[\"a\", \"Number\"]}, {\"a\"} -> \"a\"]",
+        "checked_unary_minus",
+    );
+    prim(&mut env, "Abs", "{\"Integer64\"} -> \"Integer64\"", "checked_unary_abs");
+    prim(&mut env, "Abs", "{\"Real64\"} -> \"Real64\"", "checked_unary_abs");
+    prim(&mut env, "Abs", "{\"ComplexReal64\"} -> \"Real64\"", "complex_abs");
+    prim(&mut env, "Sign", "{\"Integer64\"} -> \"Integer64\"", "unary_sign");
+    prim(&mut env, "Sign", "{\"Real64\"} -> \"Real64\"", "unary_sign");
+    prim(&mut env, "Mod", "{\"Integer64\", \"Integer64\"} -> \"Integer64\"", "checked_binary_mod");
+    prim(&mut env, "Mod", "{\"Real64\", \"Real64\"} -> \"Real64\"", "checked_binary_mod");
+    prim(
+        &mut env,
+        "Quotient",
+        "{\"Integer64\", \"Integer64\"} -> \"Integer64\"",
+        "checked_binary_quotient",
+    );
+    // The paper's §4.4 Min declaration, verbatim shape.
+    for (name, base) in [("Min", "binary_min"), ("Max", "binary_max")] {
+        prim(
+            &mut env,
+            name,
+            "TypeForAll[{\"a\"}, {Element[\"a\", \"Ordered\"]}, {\"a\", \"a\"} -> \"a\"]",
+            base,
+        );
+    }
+
+    // ---- comparisons and logic ----
+    for (name, base) in [
+        ("Less", "compare_less"),
+        ("LessEqual", "compare_less_equal"),
+        ("Greater", "compare_greater"),
+        ("GreaterEqual", "compare_greater_equal"),
+    ] {
+        prim(
+            &mut env,
+            name,
+            "TypeForAll[{\"a\"}, {Element[\"a\", \"Ordered\"]}, {\"a\", \"a\"} -> \"Boolean\"]",
+            base,
+        );
+    }
+    for (name, base) in [("Equal", "compare_equal"), ("Unequal", "compare_unequal"),
+                         ("SameQ", "compare_equal"), ("UnsameQ", "compare_unequal")] {
+        prim(
+            &mut env,
+            name,
+            "TypeForAll[{\"a\"}, {Element[\"a\", \"Equatable\"]}, {\"a\", \"a\"} -> \"Boolean\"]",
+            base,
+        );
+        prim(
+            &mut env,
+            name,
+            "{\"ComplexReal64\", \"ComplexReal64\"} -> \"Boolean\"",
+            base,
+        );
+    }
+    prim(&mut env, "Not", "{\"Boolean\"} -> \"Boolean\"", "unary_not");
+    prim(&mut env, "Boole", "{\"Boolean\"} -> \"Integer64\"", "boole");
+
+    // ---- elementary functions ----
+    for (name, base) in [
+        ("Sin", "unary_sin"),
+        ("Cos", "unary_cos"),
+        ("Tan", "unary_tan"),
+        ("Exp", "unary_exp"),
+        ("Log", "unary_log"),
+        ("ArcTan", "unary_arctan"),
+        ("ArcSin", "unary_arcsin"),
+        ("ArcCos", "unary_arccos"),
+    ] {
+        prim(&mut env, name, "{\"Real64\"} -> \"Real64\"", base);
+    }
+    prim(&mut env, "ArcTan", "{\"Real64\", \"Real64\"} -> \"Real64\"", "binary_arctan2");
+    // Symbolic overloads (F8): elementary functions of a boxed Expression
+    // stay symbolic, normalized by the hosting engine.
+    for name in ["Sin", "Cos", "Tan", "Exp", "Log", "ArcTan", "ArcSin", "ArcCos", "Abs"] {
+        prim(
+            &mut env,
+            name,
+            "{\"Expression\"} -> \"Expression\"",
+            &format!("expr_unary_{name}"),
+        );
+    }
+    for (name, base) in
+        [("Floor", "unary_floor"), ("Ceiling", "unary_ceiling"), ("Round", "unary_round")]
+    {
+        prim(&mut env, name, "{\"Real64\"} -> \"Integer64\"", base);
+        prim(&mut env, name, "{\"Integer64\"} -> \"Integer64\"", base);
+    }
+    prim(&mut env, "N", "{\"Integer64\"} -> \"Real64\"", "convert");
+    prim(&mut env, "N", "{\"Real64\"} -> \"Real64\"", "convert");
+
+    // ---- bit operations and number theory ----
+    for (name, base) in [
+        ("BitAnd", "bit_and"),
+        ("BitOr", "bit_or"),
+        ("BitXor", "bit_xor"),
+        ("BitShiftLeft", "bit_shift_left"),
+        ("BitShiftRight", "bit_shift_right"),
+    ] {
+        prim(&mut env, name, "{\"Integer64\", \"Integer64\"} -> \"Integer64\"", base);
+    }
+    prim(&mut env, "GCD", "{\"Integer64\", \"Integer64\"} -> \"Integer64\"", "binary_gcd");
+    // Factorial overflows machine integers at 21! — the canonical soft-
+    // failure (F2) demo after cfib.
+    prim(&mut env, "Factorial", "{\"Integer64\"} -> \"Integer64\"", "unary_factorial");
+    prim(
+        &mut env,
+        "PowerMod",
+        "{\"Integer64\", \"Integer64\", \"Integer64\"} -> \"Integer64\"",
+        "power_mod",
+    );
+    // EvenQ/OddQ as *source* implementations: instantiated and inlined by
+    // function resolution (exercises FunctionImpl::Source end to end).
+    source(
+        &mut env,
+        "EvenQ",
+        "{\"Integer64\"} -> \"Boolean\"",
+        "Function[{n}, Mod[n, 2] == 0]",
+        true,
+    );
+    source(
+        &mut env,
+        "OddQ",
+        "{\"Integer64\"} -> \"Boolean\"",
+        "Function[{n}, Mod[n, 2] == 1]",
+        true,
+    );
+
+    // ---- complex numbers ----
+    prim(&mut env, "Complex", "{\"Real64\", \"Real64\"} -> \"ComplexReal64\"", "complex_construct");
+    prim(&mut env, "Re", "{\"ComplexReal64\"} -> \"Real64\"", "complex_re");
+    prim(&mut env, "Im", "{\"ComplexReal64\"} -> \"Real64\"", "complex_im");
+    prim(&mut env, "Re", "{\"Real64\"} -> \"Real64\"", "convert");
+    prim(&mut env, "Conjugate", "{\"ComplexReal64\"} -> \"ComplexReal64\"", "complex_conjugate");
+
+    // ---- tensors ----
+    prim(
+        &mut env,
+        "Length",
+        "TypeForAll[{\"a\", \"n\"}, {\"Tensor\"[\"a\", \"n\"]} -> \"Integer64\"]",
+        "tensor_length",
+    );
+    prim(
+        &mut env,
+        "Part",
+        "TypeForAll[{\"a\"}, {\"Tensor\"[\"a\", 1], \"Integer64\"} -> \"a\"]",
+        "tensor_part_1",
+    );
+    prim(
+        &mut env,
+        "Part",
+        "TypeForAll[{\"a\"}, {\"Tensor\"[\"a\", 2], \"Integer64\", \"Integer64\"} -> \"a\"]",
+        "tensor_part_2",
+    );
+    prim(
+        &mut env,
+        "Part$Set",
+        "TypeForAll[{\"a\"}, {\"Tensor\"[\"a\", 1], \"Integer64\", \"a\"} -> \"Tensor\"[\"a\", 1]]",
+        "tensor_set_1",
+    );
+    prim(
+        &mut env,
+        "Part$Set",
+        "TypeForAll[{\"a\"}, {\"Tensor\"[\"a\", 2], \"Integer64\", \"Integer64\", \"a\"} \
+         -> \"Tensor\"[\"a\", 2]]",
+        "tensor_set_2",
+    );
+    prim(
+        &mut env,
+        "ConstantArray",
+        "TypeForAll[{\"a\"}, {Element[\"a\", \"Number\"]}, {\"a\", \"Integer64\"} -> \
+         \"Tensor\"[\"a\", 1]]",
+        "tensor_fill_1",
+    );
+    prim(
+        &mut env,
+        "ConstantArray",
+        "TypeForAll[{\"a\"}, {Element[\"a\", \"Number\"]}, \
+         {\"a\", \"Integer64\", \"Integer64\"} -> \"Tensor\"[\"a\", 2]]",
+        "tensor_fill_2",
+    );
+    for arity in 1..=8usize {
+        let params: Vec<String> = (0..arity).map(|_| "\"a\"".to_owned()).collect();
+        let spec = format!(
+            "TypeForAll[{{\"a\"}}, {{Element[\"a\", \"Number\"]}}, {{{}}} -> \"Tensor\"[\"a\", 1]]",
+            params.join(", ")
+        );
+        prim(&mut env, "List", &spec, "list_construct");
+    }
+    prim(
+        &mut env,
+        "Dot",
+        "TypeForAll[{\"a\"}, {Element[\"a\", \"Number\"]}, \
+         {\"Tensor\"[\"a\", 1], \"Tensor\"[\"a\", 1]} -> \"a\"]",
+        "dot_vector",
+    );
+    prim(
+        &mut env,
+        "Dot",
+        "{\"Tensor\"[\"Real64\", 2], \"Tensor\"[\"Real64\", 2]} -> \"Tensor\"[\"Real64\", 2]",
+        "dot_matrix",
+    );
+    prim(
+        &mut env,
+        "Dot",
+        "{\"Tensor\"[\"Real64\", 2], \"Tensor\"[\"Real64\", 1]} -> \"Tensor\"[\"Real64\", 1]",
+        "dot_matrix_vector",
+    );
+
+    // Tensor (+) scalar broadcast (Listable arithmetic against a scalar;
+    // the scalar promotes to the element type by the usual cost rules).
+    for (name, tbase, sbase) in [
+        ("Plus", "tensor_scalar_plus", "scalar_tensor_plus"),
+        ("Subtract", "tensor_scalar_subtract", "scalar_tensor_subtract"),
+        ("Times", "tensor_scalar_times", "scalar_tensor_times"),
+    ] {
+        prim(
+            &mut env,
+            name,
+            "TypeForAll[{\"a\", \"n\"}, {Element[\"a\", \"Number\"]}, \
+             {\"Tensor\"[\"a\", \"n\"], \"a\"} -> \"Tensor\"[\"a\", \"n\"]]",
+            tbase,
+        );
+        prim(
+            &mut env,
+            name,
+            "TypeForAll[{\"a\", \"n\"}, {Element[\"a\", \"Number\"]}, \
+             {\"a\", \"Tensor\"[\"a\", \"n\"]} -> \"Tensor\"[\"a\", \"n\"]]",
+            sbase,
+        );
+    }
+    prim(
+        &mut env,
+        "Native`SetRow",
+        "TypeForAll[{\"a\"}, {\"Tensor\"[\"a\", 2], \"Integer64\", \"Tensor\"[\"a\", 1]} \
+         -> \"Tensor\"[\"a\", 2]]",
+        "tensor_set_row",
+    );
+    // NestList over rank-1 tensors: a *source* implementation building the
+    // rank-2 result row by row (the random-walk benchmark's workhorse).
+    source(
+        &mut env,
+        "NestList",
+        "TypeForAll[{\"a\"}, {Element[\"a\", \"Number\"]}, \
+         {{\"Tensor\"[\"a\", 1]} -> \"Tensor\"[\"a\", 1], \"Tensor\"[\"a\", 1], \"Integer64\"} \
+         -> \"Tensor\"[\"a\", 2]]",
+        "Function[{f, x, n}, \
+         Module[{cols, out, cur, i}, \
+           cols = Length[x]; \
+           out = ConstantArray[Part[x, 1], n + 1, cols]; \
+           out = Native`SetRow[out, 1, x]; \
+           cur = x; i = 1; \
+           While[i <= n, cur = f[cur]; out = Native`SetRow[out, i + 1, cur]; i = i + 1]; \
+           out]]",
+        false,
+    );
+
+    // Range/Total/Map/Fold as *source* implementations over rank-1
+    // tensors: instantiated per monomorphic type by function resolution
+    // (untyped lambdas passed to them are typed through the closure's
+    // arrow constraint).
+    source(
+        &mut env,
+        "Range",
+        "{\"Integer64\"} -> \"Tensor\"[\"Integer64\", 1]",
+        "Function[{n}, \
+         Module[{out, i}, \
+           out = ConstantArray[0, n]; i = 1; \
+           While[i <= n, out[[i]] = i; i = i + 1]; \
+           out]]",
+        false,
+    );
+    source(
+        &mut env,
+        "Total",
+        "TypeForAll[{\"a\"}, {Element[\"a\", \"Number\"]}, \
+         {\"Tensor\"[\"a\", 1]} -> \"a\"]",
+        "Function[{v}, \
+         Module[{acc, i, n}, \
+           n = Length[v]; acc = Part[v, 1]; i = 2; \
+           While[i <= n, acc = acc + Part[v, i]; i = i + 1]; \
+           acc]]",
+        false,
+    );
+    source(
+        &mut env,
+        "Map",
+        "TypeForAll[{\"a\", \"b\"}, \
+         {Element[\"a\", \"Number\"], Element[\"b\", \"Number\"]}, \
+         {{\"a\"} -> \"b\", \"Tensor\"[\"a\", 1]} -> \"Tensor\"[\"b\", 1]]",
+        "Function[{f, v}, \
+         Module[{out, i, n}, \
+           n = Length[v]; \
+           out = ConstantArray[f[Part[v, 1]], n]; i = 2; \
+           While[i <= n, out[[i]] = f[Part[v, i]]; i = i + 1]; \
+           out]]",
+        false,
+    );
+    source(
+        &mut env,
+        "Nest",
+        "TypeForAll[{\"a\"}, {{\"a\"} -> \"a\", \"a\", \"Integer64\"} -> \"a\"]",
+        "Function[{f, x, n}, \
+         Module[{cur, i}, \
+           cur = x; i = 1; \
+           While[i <= n, cur = f[cur]; i = i + 1]; \
+           cur]]",
+        false,
+    );
+    source(
+        &mut env,
+        "Fold",
+        "TypeForAll[{\"a\", \"b\"}, \
+         {{\"a\", \"b\"} -> \"a\", \"a\", \"Tensor\"[\"b\", 1]} -> \"a\"]",
+        "Function[{f, x, v}, \
+         Module[{acc, i, n}, \
+           acc = x; i = 1; n = Length[v]; \
+           While[i <= n, acc = f[acc, Part[v, i]]; i = i + 1]; \
+           acc]]",
+        false,
+    );
+
+    // ---- strings (L1 territory: the new compiler's headline win) ----
+    prim(&mut env, "StringLength", "{\"String\"} -> \"Integer64\"", "string_length");
+    prim(
+        &mut env,
+        "ToCharacterCode",
+        "{\"String\"} -> \"Tensor\"[\"Integer64\", 1]",
+        "string_to_codes",
+    );
+    prim(
+        &mut env,
+        "FromCharacterCode",
+        "{\"Tensor\"[\"Integer64\", 1]} -> \"String\"",
+        "string_from_codes",
+    );
+    prim(&mut env, "StringJoin", "{\"String\", \"String\"} -> \"String\"", "string_join");
+
+    // ---- random numbers ----
+    prim(&mut env, "RandomReal", "{} -> \"Real64\"", "random_unit");
+    prim(&mut env, "Native`RandomRange", "{\"Real64\", \"Real64\"} -> \"Real64\"", "random_range");
+
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn environment_populates() {
+        let env = builtin_type_environment();
+        assert!(env.function_count() >= 40, "{} functions", env.function_count());
+        assert!(env.is_declared("Plus"));
+        assert!(env.is_declared("Part$Set"));
+        assert!(env.is_declared("Native`RandomRange"));
+        assert!(!env.is_declared("NoSuchFunction"));
+    }
+
+    #[test]
+    fn plus_resolves_across_types() {
+        let env = builtin_type_environment();
+        let r = env.resolve_call("Plus", &[Type::integer64(), Type::integer64()]).unwrap();
+        assert_eq!(r.ret, Type::integer64());
+        let r = env.resolve_call("Plus", &[Type::real64(), Type::integer64()]).unwrap();
+        assert_eq!(r.ret, Type::real64());
+        let r = env.resolve_call("Plus", &[Type::complex(), Type::complex()]).unwrap();
+        assert_eq!(r.ret, Type::complex());
+        // Tensor element-wise.
+        let tv = Type::tensor(Type::real64(), 1);
+        let r = env.resolve_call("Plus", &[tv.clone(), tv.clone()]).unwrap();
+        assert_eq!(r.ret, tv);
+        // Symbolic.
+        let r = env.resolve_call("Plus", &[Type::expression(), Type::expression()]).unwrap();
+        assert_eq!(r.ret, Type::expression());
+    }
+
+    #[test]
+    fn min_rejects_complex() {
+        // "integer and reals, but not complex" (§4.4).
+        let env = builtin_type_environment();
+        assert!(env.resolve_call("Min", &[Type::integer64(), Type::integer64()]).is_ok());
+        assert!(env.resolve_call("Min", &[Type::complex(), Type::complex()]).is_err());
+    }
+
+    #[test]
+    fn part_by_rank() {
+        let env = builtin_type_environment();
+        let v1 = Type::tensor(Type::integer64(), 1);
+        let v2 = Type::tensor(Type::real64(), 2);
+        let r = env.resolve_call("Part", &[v1, Type::integer64()]).unwrap();
+        assert_eq!(r.ret, Type::integer64());
+        let r = env
+            .resolve_call("Part", &[v2, Type::integer64(), Type::integer64()])
+            .unwrap();
+        assert_eq!(r.ret, Type::real64());
+    }
+
+    #[test]
+    fn mangling() {
+        assert_eq!(mangle("checked_binary_plus", &[Type::integer64(), Type::integer64()]),
+            "checked_binary_plus$Integer64$Integer64");
+        assert_eq!(mangle_type(&Type::tensor(Type::real64(), 2)), "TensorReal64R2");
+        assert_eq!(mangle_type(&Type::arrow(vec![Type::integer64()], Type::boolean())),
+            "FnInteger64ToBoolean");
+    }
+
+    #[test]
+    fn source_impls_carried() {
+        let env = builtin_type_environment();
+        let r = env.resolve_call("EvenQ", &[Type::integer64()]).unwrap();
+        assert!(matches!(r.implementation, FunctionImpl::Source(_)));
+        assert!(r.inline_always);
+    }
+
+    #[test]
+    fn list_arities() {
+        let env = builtin_type_environment();
+        let r = env.resolve_call("List", &[Type::real64(), Type::real64()]).unwrap();
+        assert_eq!(r.ret, Type::tensor(Type::real64(), 1));
+        // Mixed int/real joins at Real64.
+        let r = env.resolve_call("List", &[Type::integer64(), Type::real64()]).unwrap();
+        assert_eq!(r.ret, Type::tensor(Type::real64(), 1));
+    }
+}

@@ -1,0 +1,503 @@
+//! Arbitrary-precision signed integers.
+//!
+//! The Wolfram interpreter switches to arbitrary-precision arithmetic when a
+//! machine operation overflows (the paper's *soft numerical failure*, F2).
+//! This module is the from-scratch bignum that backs that fallback: sign +
+//! magnitude in base 2^32 with schoolbook algorithms, which is all the
+//! reproduction needs (the `cfib[200]` demo, factorials, and the primality
+//! seed-table generation).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+const BASE_BITS: u32 = 32;
+
+/// An arbitrary-precision signed integer.
+///
+/// # Examples
+///
+/// ```
+/// use wolfram_expr::BigInt;
+/// let a = BigInt::from(i64::MAX);
+/// let b = &a + &a;
+/// assert_eq!(b.to_string(), "18446744073709551614");
+/// assert!(b.to_i64().is_none());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    /// `false` = non-negative. Zero is always non-negative with empty mag.
+    negative: bool,
+    /// Little-endian base-2^32 digits, no trailing zeros.
+    mag: Vec<u32>,
+}
+
+impl BigInt {
+    /// The zero value.
+    pub fn zero() -> Self {
+        BigInt { negative: false, mag: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigInt { negative: false, mag: vec![1] }
+    }
+
+    /// Whether this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_empty()
+    }
+
+    /// Whether this is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// Parses a decimal string, with optional leading `-`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` on an empty string or any non-digit character.
+    pub fn parse(s: &str) -> Option<Self> {
+        let (negative, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        if digits.is_empty() {
+            return None;
+        }
+        let mut out = BigInt::zero();
+        for ch in digits.chars() {
+            let d = ch.to_digit(10)?;
+            out = out.mul_u32(10);
+            out = out.add_u32(d);
+        }
+        out.negative = negative && !out.is_zero();
+        Some(out)
+    }
+
+    /// Converts to `i64` if the value fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.mag.len() {
+            0 => Some(0),
+            1 => {
+                let v = self.mag[0] as i64;
+                Some(if self.negative { -v } else { v })
+            }
+            2 => {
+                let v = (self.mag[0] as u64) | ((self.mag[1] as u64) << BASE_BITS);
+                if self.negative {
+                    if v <= (i64::MAX as u64) + 1 {
+                        Some((v as i64).wrapping_neg())
+                    } else {
+                        None
+                    }
+                } else if v <= i64::MAX as u64 {
+                    Some(v as i64)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Converts to `f64`, losing precision for large magnitudes.
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &d in self.mag.iter().rev() {
+            v = v * 4294967296.0 + d as f64;
+        }
+        if self.negative {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// The additive inverse.
+    pub fn neg(&self) -> Self {
+        if self.is_zero() {
+            self.clone()
+        } else {
+            BigInt { negative: !self.negative, mag: self.mag.clone() }
+        }
+    }
+
+    /// Raises `self` to the power `exp` by repeated squaring.
+    pub fn pow(&self, mut exp: u32) -> Self {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Quotient and remainder on division by a small unsigned value.
+    ///
+    /// The remainder carries the sign of `self` (truncated division).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem_u32(&self, divisor: u32) -> (Self, u32) {
+        assert!(divisor != 0, "division by zero");
+        let mut quotient = vec![0u32; self.mag.len()];
+        let mut rem: u64 = 0;
+        for (i, &d) in self.mag.iter().enumerate().rev() {
+            let cur = (rem << BASE_BITS) | d as u64;
+            quotient[i] = (cur / divisor as u64) as u32;
+            rem = cur % divisor as u64;
+        }
+        let q = BigInt { negative: self.negative, mag: quotient }.normalized();
+        (q, rem as u32)
+    }
+
+    /// Remainder of the magnitude modulo `m` (ignores sign; callers adjust).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem_u64(&self, m: u64) -> u64 {
+        assert!(m != 0, "modulo zero");
+        let m = m as u128;
+        let mut rem: u128 = 0;
+        for &limb in self.mag.iter().rev() {
+            rem = ((rem << BASE_BITS) | limb as u128) % m;
+        }
+        rem as u64
+    }
+
+    fn normalized(mut self) -> Self {
+        while self.mag.last() == Some(&0) {
+            self.mag.pop();
+        }
+        if self.mag.is_empty() {
+            self.negative = false;
+        }
+        self
+    }
+
+    fn add_u32(&self, v: u32) -> Self {
+        debug_assert!(!self.negative);
+        let mut mag = self.mag.clone();
+        let mut carry = v as u64;
+        for d in mag.iter_mut() {
+            let sum = *d as u64 + carry;
+            *d = sum as u32;
+            carry = sum >> BASE_BITS;
+            if carry == 0 {
+                break;
+            }
+        }
+        if carry > 0 {
+            mag.push(carry as u32);
+        }
+        BigInt { negative: false, mag }
+    }
+
+    fn mul_u32(&self, v: u32) -> Self {
+        let mut mag = Vec::with_capacity(self.mag.len() + 1);
+        let mut carry: u64 = 0;
+        for &d in &self.mag {
+            let prod = d as u64 * v as u64 + carry;
+            mag.push(prod as u32);
+            carry = prod >> BASE_BITS;
+        }
+        if carry > 0 {
+            mag.push(carry as u32);
+        }
+        BigInt { negative: self.negative, mag }.normalized()
+    }
+
+    fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            if x != y {
+                return x.cmp(y);
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: u64 = 0;
+        for i in 0..long.len() {
+            let sum = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+            out.push(sum as u32);
+            carry = sum >> BASE_BITS;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// `a - b` where `a >= b` in magnitude.
+    fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow: i64 = 0;
+        for i in 0..a.len() {
+            let mut diff = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if diff < 0 {
+                diff += 1 << BASE_BITS;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(diff as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        out
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        let negative = v < 0;
+        let u = v.unsigned_abs();
+        let mut mag = Vec::new();
+        if u != 0 {
+            mag.push(u as u32);
+            if u >> BASE_BITS != 0 {
+                mag.push((u >> BASE_BITS) as u32);
+            }
+        }
+        BigInt { negative, mag }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(u: u64) -> Self {
+        let mut mag = Vec::new();
+        if u != 0 {
+            mag.push(u as u32);
+            if u >> BASE_BITS != 0 {
+                mag.push((u >> BASE_BITS) as u32);
+            }
+        }
+        BigInt { negative: false, mag }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.negative, other.negative) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => Self::cmp_mag(&self.mag, &other.mag),
+            (true, true) => Self::cmp_mag(&other.mag, &self.mag),
+        }
+    }
+}
+
+impl std::ops::Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        if self.negative == rhs.negative {
+            BigInt { negative: self.negative, mag: BigInt::add_mag(&self.mag, &rhs.mag) }
+                .normalized()
+        } else {
+            match BigInt::cmp_mag(&self.mag, &rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt {
+                    negative: self.negative,
+                    mag: BigInt::sub_mag(&self.mag, &rhs.mag),
+                }
+                .normalized(),
+                Ordering::Less => BigInt {
+                    negative: rhs.negative,
+                    mag: BigInt::sub_mag(&rhs.mag, &self.mag),
+                }
+                .normalized(),
+            }
+        }
+    }
+}
+
+impl std::ops::Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &rhs.neg()
+    }
+}
+
+impl std::ops::Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        if self.is_zero() || rhs.is_zero() {
+            return BigInt::zero();
+        }
+        let mut mag = vec![0u32; self.mag.len() + rhs.mag.len()];
+        for (i, &a) in self.mag.iter().enumerate() {
+            let mut carry: u64 = 0;
+            for (j, &b) in rhs.mag.iter().enumerate() {
+                let cur = mag[i + j] as u64 + a as u64 * b as u64 + carry;
+                mag[i + j] = cur as u32;
+                carry = cur >> BASE_BITS;
+            }
+            let mut k = i + rhs.mag.len();
+            while carry > 0 {
+                let cur = mag[k] as u64 + carry;
+                mag[k] = cur as u32;
+                carry = cur >> BASE_BITS;
+                k += 1;
+            }
+        }
+        BigInt { negative: self.negative != rhs.negative, mag }.normalized()
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut chunks = Vec::new();
+        let mut cur = BigInt { negative: false, mag: self.mag.clone() };
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u32(1_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        if self.negative {
+            f.write_str("-")?;
+        }
+        write!(f, "{}", chunks.last().unwrap())?;
+        for chunk in chunks.iter().rev().skip(1) {
+            write!(f, "{chunk:09}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_i64() {
+        for v in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN, 1 << 40] {
+            assert_eq!(BigInt::from(v).to_i64(), Some(v), "roundtrip {v}");
+            assert_eq!(BigInt::from(v).to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let s = "123456789012345678901234567890";
+        assert_eq!(BigInt::parse(s).unwrap().to_string(), s);
+        assert_eq!(BigInt::parse("-987654321").unwrap().to_string(), "-987654321");
+        assert_eq!(BigInt::parse("0").unwrap(), BigInt::zero());
+        assert_eq!(BigInt::parse("-0").unwrap(), BigInt::zero());
+        assert!(BigInt::parse("").is_none());
+        assert!(BigInt::parse("12a").is_none());
+    }
+
+    #[test]
+    fn addition_across_signs() {
+        let a = BigInt::from(100i64);
+        let b = BigInt::from(-250i64);
+        assert_eq!((&a + &b).to_i64(), Some(-150));
+        assert_eq!((&b + &a).to_i64(), Some(-150));
+        assert_eq!((&a + &a.neg()).to_i64(), Some(0));
+    }
+
+    #[test]
+    fn overflow_beyond_i64() {
+        let max = BigInt::from(i64::MAX);
+        let sum = &max + &BigInt::one();
+        assert_eq!(sum.to_i64(), None);
+        assert_eq!(sum.to_string(), "9223372036854775808");
+        let neg = &BigInt::from(i64::MIN) - &BigInt::one();
+        assert_eq!(neg.to_i64(), None);
+        assert_eq!(neg.to_string(), "-9223372036854775809");
+    }
+
+    #[test]
+    fn i64_min_fits() {
+        assert_eq!(BigInt::from(i64::MIN).to_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn multiplication() {
+        let a = BigInt::parse("123456789123456789").unwrap();
+        let b = BigInt::parse("987654321987654321").unwrap();
+        assert_eq!((&a * &b).to_string(), "121932631356500531347203169112635269");
+        assert_eq!((&a * &BigInt::zero()), BigInt::zero());
+        assert_eq!((&a.neg() * &b).to_string(), "-121932631356500531347203169112635269");
+    }
+
+    #[test]
+    fn fib_200_recurrence() {
+        // The shifted Fibonacci recurrence behind the paper's cfib example,
+        // iterated 200 times; value cross-checked against an independent
+        // bignum implementation.
+        let mut a = BigInt::one();
+        let mut b = BigInt::one();
+        for _ in 0..200 {
+            let next = &a + &b;
+            a = b;
+            b = next;
+        }
+        assert_eq!(b.to_string(), "734544867157818093234908902110449296423351");
+    }
+
+    #[test]
+    fn pow_and_ordering() {
+        assert_eq!(BigInt::from(2i64).pow(10).to_i64(), Some(1024));
+        assert_eq!(BigInt::from(10i64).pow(30).to_string(), "1".to_owned() + &"0".repeat(30));
+        assert!(BigInt::from(-5i64) < BigInt::from(3i64));
+        assert!(BigInt::from(-5i64) < BigInt::from(-3i64));
+        assert!(BigInt::from(7i64) > BigInt::from(3i64));
+    }
+
+    #[test]
+    fn to_f64_approximates() {
+        let v = BigInt::parse("1000000000000000000000").unwrap();
+        let f = v.to_f64();
+        assert!((f - 1e21).abs() / 1e21 < 1e-12);
+        assert_eq!(BigInt::from(-42i64).to_f64(), -42.0);
+    }
+
+    #[test]
+    fn rem_u64_matches_reference() {
+        let v = BigInt::parse("123456789012345678901234567890").unwrap();
+        // Reference via string-based long division at small moduli.
+        let mut r: u128 = 0;
+        for ch in "123456789012345678901234567890".chars() {
+            r = (r * 10 + ch.to_digit(10).unwrap() as u128) % 97;
+        }
+        assert_eq!(v.rem_u64(97), r as u64);
+        assert_eq!(BigInt::from(0i64).rem_u64(5), 0);
+        assert_eq!(BigInt::from(1_000_000_007i64).rem_u64(1_000_000_007), 0);
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let v = BigInt::parse("1000000007").unwrap();
+        let (q, r) = v.div_rem_u32(10);
+        assert_eq!(q.to_string(), "100000000");
+        assert_eq!(r, 7);
+    }
+}

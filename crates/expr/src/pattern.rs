@@ -1,0 +1,369 @@
+//! Structural pattern matching.
+//!
+//! Implements the pattern subset the compiler's macro system (§4.2) and the
+//! interpreter's `DownValues` dispatch rely on: `Blank`, `BlankSequence`,
+//! `BlankNullSequence` (with optional head restrictions), named `Pattern`s
+//! with consistency checks, `Condition`, `Alternatives`, and `HoldPattern`.
+//! Sequence patterns backtrack shortest-first, as in the Wolfram Language.
+//!
+//! Rule ordering uses a *specificity* comparator ([`compare_specificity`])
+//! mirroring the paper: "macro rules ... are matched based on the rules'
+//! pattern specificity and adhere to the Wolfram pattern ordering".
+
+use crate::expr::{Expr, ExprKind};
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+
+/// Variable bindings accumulated during a match.
+///
+/// Sequence variables are bound to a `Sequence[...]` expression which is
+/// spliced on substitution.
+pub type Bindings = HashMap<Symbol, Expr>;
+
+/// Hooks consulted during matching.
+#[derive(Default)]
+pub struct MatchCtx<'a> {
+    /// Evaluates a `Condition` test after substituting bindings. `None`
+    /// means purely structural: the test must already be the literal `True`.
+    pub condition_eval: Option<&'a mut dyn FnMut(&Expr) -> bool>,
+}
+
+
+impl MatchCtx<'_> {
+    fn test(&mut self, cond: &Expr) -> bool {
+        match &mut self.condition_eval {
+            Some(f) => f(cond),
+            None => cond.is_true(),
+        }
+    }
+}
+
+/// Matches `expr` against `pattern`, extending `bindings` on success.
+///
+/// On failure `bindings` may contain partial entries; callers that need
+/// atomicity should pass a clone.
+///
+/// # Examples
+///
+/// ```
+/// use wolfram_expr::{match_pattern, parse, Bindings, MatchCtx, Symbol};
+/// let pat = parse("f[x_Integer, y_]")?;
+/// let e = parse("f[1, g[2]]")?;
+/// let mut b = Bindings::new();
+/// assert!(match_pattern(&e, &pat, &mut b, &mut MatchCtx::default()));
+/// assert_eq!(b[&Symbol::new("x")].as_i64(), Some(1));
+/// # Ok::<(), wolfram_expr::ParseError>(())
+/// ```
+pub fn match_pattern(
+    expr: &Expr,
+    pattern: &Expr,
+    bindings: &mut Bindings,
+    ctx: &mut MatchCtx,
+) -> bool {
+    match pattern.kind() {
+        ExprKind::Normal(n) => {
+            let head_name = n.head().as_symbol();
+            match head_name.as_ref().map(Symbol::name) {
+                Some("Blank") => match_blank(expr, n.args()),
+                Some("Pattern") if n.args().len() == 2 => {
+                    let Some(var) = n.args()[0].as_symbol() else {
+                        return false;
+                    };
+                    if !match_pattern(expr, &n.args()[1], bindings, ctx) {
+                        return false;
+                    }
+                    bind_consistent(bindings, var, expr.clone())
+                }
+                Some("Condition") if n.args().len() == 2 => {
+                    if !match_pattern(expr, &n.args()[0], bindings, ctx) {
+                        return false;
+                    }
+                    let test = crate::rules::apply_bindings(&n.args()[1], bindings);
+                    ctx.test(&test)
+                }
+                Some("Alternatives") => {
+                    for alt in n.args() {
+                        let mut trial = bindings.clone();
+                        if match_pattern(expr, alt, &mut trial, ctx) {
+                            *bindings = trial;
+                            return true;
+                        }
+                    }
+                    false
+                }
+                Some("HoldPattern") if n.args().len() == 1 => {
+                    match_pattern(expr, &n.args()[0], bindings, ctx)
+                }
+                Some("PatternTest") if n.args().len() == 2 => {
+                    if !match_pattern(expr, &n.args()[0], bindings, ctx) {
+                        return false;
+                    }
+                    let test = Expr::normal(n.args()[1].clone(), vec![expr.clone()]);
+                    ctx.test(&test)
+                }
+                // BlankSequence outside an argument list matches a single
+                // element (a sequence of one).
+                Some("BlankSequence") | Some("BlankNullSequence") => {
+                    match_blank(expr, n.args())
+                }
+                _ => {
+                    // Structural match of a normal pattern against a normal
+                    // expression: heads then argument sequences.
+                    let ExprKind::Normal(en) = expr.kind() else {
+                        return false;
+                    };
+                    if !match_pattern(en.head(), n.head(), bindings, ctx) {
+                        return false;
+                    }
+                    match_sequence(en.args(), n.args(), bindings, ctx)
+                }
+            }
+        }
+        // Atomic pattern: literal equality.
+        _ => expr == pattern,
+    }
+}
+
+fn match_blank(expr: &Expr, blank_args: &[Expr]) -> bool {
+    match blank_args.first() {
+        None => true,
+        Some(h) => &expr.head() == h,
+    }
+}
+
+fn bind_consistent(bindings: &mut Bindings, var: Symbol, value: Expr) -> bool {
+    match bindings.get(&var) {
+        Some(existing) => *existing == value,
+        None => {
+            bindings.insert(var, value);
+            true
+        }
+    }
+}
+
+/// Is this pattern (possibly a named `Pattern`) a sequence pattern? Returns
+/// `(name, min_len, head_constraint)`.
+fn as_sequence_pattern(p: &Expr) -> Option<(Option<Symbol>, usize, Option<Expr>)> {
+    let (name, inner) = if p.has_head("Pattern") && p.args().len() == 2 {
+        (p.args()[0].as_symbol(), p.args()[1].clone())
+    } else {
+        (None, p.clone())
+    };
+    if inner.has_head("BlankSequence") {
+        Some((name, 1, inner.args().first().cloned()))
+    } else if inner.has_head("BlankNullSequence") {
+        Some((name, 0, inner.args().first().cloned()))
+    } else {
+        None
+    }
+}
+
+/// Matches a list of argument patterns against a list of argument
+/// expressions, backtracking over sequence patterns (shortest first).
+pub(crate) fn match_sequence(
+    exprs: &[Expr],
+    patterns: &[Expr],
+    bindings: &mut Bindings,
+    ctx: &mut MatchCtx,
+) -> bool {
+    let Some((p0, rest_pats)) = patterns.split_first() else {
+        return exprs.is_empty();
+    };
+    if let Some((name, min_len, head)) = as_sequence_pattern(p0) {
+        for take in min_len..=exprs.len() {
+            let (seq, rest) = exprs.split_at(take);
+            if let Some(h) = &head {
+                if !seq.iter().all(|e| &e.head() == h) {
+                    continue;
+                }
+            }
+            let mut trial = bindings.clone();
+            if let Some(var) = &name {
+                let seq_expr = Expr::call("Sequence", seq.to_vec());
+                if !bind_consistent(&mut trial, var.clone(), seq_expr) {
+                    continue;
+                }
+            }
+            if match_sequence(rest, rest_pats, &mut trial, ctx) {
+                *bindings = trial;
+                return true;
+            }
+        }
+        false
+    } else {
+        let Some((e0, rest_exprs)) = exprs.split_first() else {
+            return false;
+        };
+        let mut trial = bindings.clone();
+        if match_pattern(e0, p0, &mut trial, ctx) && match_sequence(rest_exprs, rest_pats, &mut trial, ctx)
+        {
+            *bindings = trial;
+            return true;
+        }
+        false
+    }
+}
+
+/// Generality score of a pattern: higher = more general (matches more).
+/// `(null_seq, seq, bare_blanks, headed_blanks, -literal_nodes)`
+fn generality(p: &Expr) -> (u32, u32, u32, u32, i64) {
+    fn walk(p: &Expr, acc: &mut (u32, u32, u32, u32, i64)) {
+        match p.kind() {
+            ExprKind::Normal(n) => {
+                match n.head().as_symbol().as_ref().map(Symbol::name) {
+                    Some("BlankNullSequence") => acc.0 += 1,
+                    Some("BlankSequence") => acc.1 += 1,
+                    Some("Blank") => {
+                        if n.args().is_empty() {
+                            acc.2 += 1;
+                        } else {
+                            acc.3 += 1;
+                        }
+                    }
+                    Some("Pattern") | Some("HoldPattern") => {
+                        // Transparent wrappers: only score the body.
+                        if let Some(body) = n.args().last() {
+                            walk(body, acc);
+                        }
+                    }
+                    _ => {
+                        acc.4 -= 1;
+                        walk(n.head(), acc);
+                        for a in n.args() {
+                            walk(a, acc);
+                        }
+                    }
+                }
+            }
+            _ => acc.4 -= 1,
+        }
+    }
+    let mut acc = (0, 0, 0, 0, 0i64);
+    walk(p, &mut acc);
+    acc
+}
+
+/// Orders two patterns by specificity: `Less` means `a` is *more specific*
+/// and should be tried before `b`.
+///
+/// This is the heuristic used to order macro rules and `DownValues`
+/// (paper §4.2). It ranks patterns with fewer/narrower blanks first and
+/// breaks ties toward more literal structure.
+pub fn compare_specificity(a: &Expr, b: &Expr) -> std::cmp::Ordering {
+    generality(a).cmp(&generality(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn matches(expr: &str, pat: &str) -> Option<Bindings> {
+        let e = parse(expr).unwrap();
+        let p = parse(pat).unwrap();
+        let mut b = Bindings::new();
+        match_pattern(&e, &p, &mut b, &mut MatchCtx::default()).then_some(b)
+    }
+
+    fn binding(b: &Bindings, name: &str) -> String {
+        b[&Symbol::new(name)].to_full_form()
+    }
+
+    #[test]
+    fn blanks() {
+        assert!(matches("5", "_").is_some());
+        assert!(matches("5", "_Integer").is_some());
+        assert!(matches("5.0", "_Integer").is_none());
+        assert!(matches("f[1]", "_f").is_some());
+        assert!(matches("\"s\"", "_String").is_some());
+    }
+
+    #[test]
+    fn named_patterns_bind() {
+        let b = matches("f[1, 2]", "f[x_, y_]").unwrap();
+        assert_eq!(binding(&b, "x"), "1");
+        assert_eq!(binding(&b, "y"), "2");
+    }
+
+    #[test]
+    fn repeated_names_must_agree() {
+        assert!(matches("f[1, 1]", "f[x_, x_]").is_some());
+        assert!(matches("f[1, 2]", "f[x_, x_]").is_none());
+    }
+
+    #[test]
+    fn sequences() {
+        let b = matches("f[1, 2, 3]", "f[x_, rest__]").unwrap();
+        assert_eq!(binding(&b, "rest"), "Sequence[2, 3]");
+        assert!(matches("f[1]", "f[x_, rest__]").is_none());
+        let b = matches("f[1]", "f[x_, rest___]").unwrap();
+        assert_eq!(binding(&b, "rest"), "Sequence[]");
+        // Shortest-first: x__ takes one element when possible.
+        let b = matches("f[1, 2, 3]", "f[x__, y__]").unwrap();
+        assert_eq!(binding(&b, "x"), "Sequence[1]");
+        assert_eq!(binding(&b, "y"), "Sequence[2, 3]");
+    }
+
+    #[test]
+    fn sequence_head_constraints() {
+        assert!(matches("f[1, 2]", "f[x__Integer]").is_some());
+        assert!(matches("f[1, 2.0]", "f[x__Integer]").is_none());
+    }
+
+    #[test]
+    fn alternatives() {
+        assert!(matches("5", "_Integer | _Real").is_some());
+        assert!(matches("5.0", "_Integer | _Real").is_some());
+        assert!(matches("\"x\"", "_Integer | _Real").is_none());
+    }
+
+    #[test]
+    fn conditions_default_structural() {
+        // Without an evaluator only a literal True condition passes.
+        assert!(matches("5", "x_ /; True").is_some());
+        assert!(matches("5", "x_ /; x > 0").is_none());
+    }
+
+    #[test]
+    fn conditions_with_evaluator() {
+        let e = parse("5").unwrap();
+        let p = parse("x_ /; x > 0").unwrap();
+        let mut b = Bindings::new();
+        let mut eval = |cond: &Expr| {
+            // A toy evaluator handling `n > 0` for integer literals.
+            cond.has_head("Greater") && cond.args()[0].as_i64().is_some_and(|v| v > 0)
+        };
+        let mut ctx = MatchCtx { condition_eval: Some(&mut eval) };
+        assert!(match_pattern(&e, &p, &mut b, &mut ctx));
+    }
+
+    #[test]
+    fn literal_heads_and_structure() {
+        assert!(matches("f[g[1], 2]", "f[g[_], _]").is_some());
+        assert!(matches("f[h[1], 2]", "f[g[_], _]").is_none());
+        // Pattern in head position.
+        let b = matches("f[1]", "h_[1]").unwrap();
+        assert_eq!(binding(&b, "h"), "f");
+    }
+
+    #[test]
+    fn specificity_ordering() {
+        let ord = |a: &str, b: &str| {
+            compare_specificity(&parse(a).unwrap(), &parse(b).unwrap())
+        };
+        use std::cmp::Ordering::*;
+        // The paper's And macro rules: literal-argument rules beat blanks.
+        assert_eq!(ord("And[False, _]", "And[x_, y_]"), Less);
+        assert_eq!(ord("And[x_]", "And[x_, y_, rest__]"), Less);
+        assert_eq!(ord("And[x_, y_]", "And[x_, y_, rest__]"), Less);
+        assert_eq!(ord("f[1, 2]", "f[_, _]"), Less);
+        assert_eq!(ord("_", "__"), Less);
+        assert_eq!(ord("__", "___"), Less);
+        assert_eq!(ord("_Integer", "_"), Less);
+    }
+
+    #[test]
+    fn hold_pattern_is_transparent() {
+        assert!(matches("f[1]", "HoldPattern[f[_]]").is_some());
+    }
+}

@@ -1,0 +1,211 @@
+//! Rule application: `Rule`/`RuleDelayed`, substitution with sequence
+//! splicing, `ReplaceAll`, and `ReplaceRepeated`.
+//!
+//! This is the engine behind the paper's pattern-based macro substitution
+//! system (§4.2) and the interpreter's rewriting semantics.
+
+use crate::expr::{Expr, ExprKind};
+use crate::pattern::{match_pattern, Bindings, MatchCtx};
+use std::collections::HashMap;
+
+/// A rewrite rule `lhs -> rhs` (or delayed `lhs :> rhs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The pattern to match.
+    pub lhs: Expr,
+    /// The replacement template.
+    pub rhs: Expr,
+    /// Whether the rule was written with `RuleDelayed` (`:>`). In this
+    /// reproduction both kinds substitute structurally; the distinction is
+    /// kept for fidelity of round-trips and interpreter semantics.
+    pub delayed: bool,
+}
+
+impl Rule {
+    /// Builds a rule from `Rule[lhs, rhs]` or `RuleDelayed[lhs, rhs]`.
+    pub fn from_expr(e: &Expr) -> Option<Rule> {
+        let delayed = if e.has_head("Rule") {
+            false
+        } else if e.has_head("RuleDelayed") {
+            true
+        } else {
+            return None;
+        };
+        let [lhs, rhs] = e.args() else { return None };
+        Some(Rule { lhs: lhs.clone(), rhs: rhs.clone(), delayed })
+    }
+
+    /// Builds a rule list from a single rule expression or a `List` of them.
+    pub fn list_from_expr(e: &Expr) -> Option<Vec<Rule>> {
+        if e.has_head("List") {
+            e.args().iter().map(Rule::from_expr).collect()
+        } else {
+            Rule::from_expr(e).map(|r| vec![r])
+        }
+    }
+
+    /// Attempts to apply this rule at the root of `expr`.
+    pub fn try_apply(&self, expr: &Expr, ctx: &mut MatchCtx) -> Option<Expr> {
+        let mut bindings = Bindings::new();
+        if match_pattern(expr, &self.lhs, &mut bindings, ctx) {
+            Some(apply_bindings(&self.rhs, &bindings))
+        } else {
+            None
+        }
+    }
+}
+
+/// Substitutes `bindings` into `template`, splicing `Sequence[...]` values
+/// into argument lists, following Wolfram substitution semantics.
+pub fn apply_bindings(template: &Expr, bindings: &Bindings) -> Expr {
+    if bindings.is_empty() {
+        return template.clone();
+    }
+    substitute(template, bindings)
+}
+
+fn substitute(e: &Expr, bindings: &Bindings) -> Expr {
+    match e.kind() {
+        ExprKind::Symbol(s) => match bindings.get(s) {
+            Some(v) => v.clone(),
+            None => e.clone(),
+        },
+        ExprKind::Normal(n) => {
+            let head = substitute(n.head(), bindings);
+            let mut args = Vec::with_capacity(n.args().len());
+            for a in n.args() {
+                let sub = substitute(a, bindings);
+                if sub.has_head("Sequence") {
+                    args.extend(sub.args().iter().cloned());
+                } else {
+                    args.push(sub);
+                }
+            }
+            Expr::normal(head, args)
+        }
+        _ => e.clone(),
+    }
+}
+
+/// Substitutes free occurrences of symbols using a symbol-to-expression map,
+/// without sequence splicing. Used for plain renamings.
+pub fn substitute_symbols(e: &Expr, map: &HashMap<crate::symbol::Symbol, Expr>) -> Expr {
+    if map.is_empty() {
+        return e.clone();
+    }
+    substitute(e, map)
+}
+
+/// Applies the first matching rule at every subexpression position,
+/// top-down, leftmost-outermost; each position is rewritten at most once
+/// (the result of a rewrite is not revisited). This is Wolfram `ReplaceAll`.
+pub fn replace_all(expr: &Expr, rules: &[Rule], ctx: &mut MatchCtx) -> Expr {
+    for rule in rules {
+        if let Some(replaced) = rule.try_apply(expr, ctx) {
+            return replaced;
+        }
+    }
+    match expr.kind() {
+        ExprKind::Normal(n) => {
+            let head = replace_all(n.head(), rules, ctx);
+            let args: Vec<Expr> = n.args().iter().map(|a| replace_all(a, rules, ctx)).collect();
+            Expr::normal(head, args)
+        }
+        _ => expr.clone(),
+    }
+}
+
+/// Iterates [`replace_all`] until a fixed point (or the iteration cap, as
+/// Wolfram's `ReplaceRepeated` does).
+pub fn replace_repeated(expr: &Expr, rules: &[Rule], ctx: &mut MatchCtx) -> Expr {
+    const MAX_ITERATIONS: usize = 1 << 16;
+    let mut current = expr.clone();
+    for _ in 0..MAX_ITERATIONS {
+        let next = replace_all(&current, rules, ctx);
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn rules(src: &str) -> Vec<Rule> {
+        Rule::list_from_expr(&parse(src).unwrap()).unwrap()
+    }
+
+    fn ra(expr: &str, rule_src: &str) -> String {
+        let e = parse(expr).unwrap();
+        replace_all(&e, &rules(rule_src), &mut MatchCtx::default()).to_full_form()
+    }
+
+    #[test]
+    fn simple_replacement() {
+        assert_eq!(ra("x + y", "x -> 1"), "Plus[1, y]");
+        assert_eq!(ra("f[f[x]]", "f[a_] -> g[a]"), "g[f[x]]"); // outermost once
+    }
+
+    #[test]
+    fn sequence_splicing() {
+        assert_eq!(ra("f[1, 2, 3]", "f[x_, rest__] -> g[rest]"), "g[2, 3]");
+        assert_eq!(ra("f[1]", "f[x___] -> h[0, x]"), "h[0, 1]");
+        assert_eq!(ra("f[]", "f[x___] -> h[x]"), "h[]");
+    }
+
+    #[test]
+    fn rule_lists_first_match_wins() {
+        assert_eq!(ra("f[0]", "{f[0] -> zero, f[x_] -> other[x]}"), "zero");
+        assert_eq!(ra("f[5]", "{f[0] -> zero, f[x_] -> other[x]}"), "other[5]");
+    }
+
+    #[test]
+    fn replace_repeated_reaches_fixed_point() {
+        let e = parse("f[f[f[x]]]").unwrap();
+        let rs = rules("f[a_] -> a");
+        let out = replace_repeated(&e, &rs, &mut MatchCtx::default());
+        assert_eq!(out.to_full_form(), "x");
+    }
+
+    #[test]
+    fn delayed_rules_parse() {
+        let rs = rules("a :> b");
+        assert!(rs[0].delayed);
+    }
+
+    #[test]
+    fn head_positions_rewrite() {
+        assert_eq!(ra("f[x]", "f -> g"), "g[x]");
+    }
+
+    #[test]
+    fn string_replacement_example() {
+        // The paper's mutability example rewrites "foo" -> "grok" in strings
+        // at the StringReplace level; here we check expression-level strings.
+        assert_eq!(ra("g[\"foo\", \"bar\"]", "\"foo\" -> \"grok\""), "g[\"grok\", \"bar\"]");
+    }
+
+    #[test]
+    fn paper_and_macro_rules() {
+        // The six And rules from §4.2, applied with ReplaceRepeated.
+        let rule_src = r#"{
+            And[x_, y_, rest__] :> And[And[x, y], rest],
+            And[False, _] -> False,
+            And[_, False] -> False,
+            And[True, rest__] :> And[rest],
+            And[x_] :> SameQ[x, True],
+            And[x_, y_] :> If[SameQ[x, True], SameQ[y, True], False]
+        }"#;
+        let rs = rules(rule_src);
+        let e = parse("And[a, b]").unwrap();
+        let out = replace_repeated(&e, &rs, &mut MatchCtx::default());
+        assert_eq!(out.to_full_form(), "If[SameQ[a, True], SameQ[b, True], False]");
+        let e = parse("And[False, a]").unwrap();
+        let out = replace_repeated(&e, &rs, &mut MatchCtx::default());
+        assert_eq!(out.to_full_form(), "False");
+    }
+}

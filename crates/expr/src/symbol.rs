@@ -1,0 +1,261 @@
+//! Interned symbols.
+//!
+//! Symbols are the identifiers of the Wolfram Language (`Plus`, `x`,
+//! `CUDA`Map`, ...). They are interned in a thread-local table so that two
+//! symbols with the same name share storage and compare by pointer on the
+//! fast path.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// An interned Wolfram Language symbol.
+///
+/// Cheap to clone (a reference-counted pointer). Equality first compares
+/// pointers and falls back to string comparison, so symbols from different
+/// threads still compare correctly.
+///
+/// # Examples
+///
+/// ```
+/// use wolfram_expr::Symbol;
+/// let a = Symbol::new("Plus");
+/// let b = Symbol::new("Plus");
+/// assert_eq!(a, b);
+/// assert_eq!(a.name(), "Plus");
+/// ```
+#[derive(Clone)]
+pub struct Symbol(Rc<str>);
+
+thread_local! {
+    static INTERNER: RefCell<HashSet<Rc<str>>> = RefCell::new(HashSet::new());
+}
+
+impl Symbol {
+    /// Interns `name` and returns the symbol for it.
+    pub fn new(name: &str) -> Self {
+        INTERNER.with(|table| {
+            let mut table = table.borrow_mut();
+            if let Some(existing) = table.get(name) {
+                Symbol(Rc::clone(existing))
+            } else {
+                let rc: Rc<str> = Rc::from(name);
+                table.insert(Rc::clone(&rc));
+                Symbol(rc)
+            }
+        })
+    }
+
+    /// The symbol's full name, including any context prefix.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// The name with any `context`` prefix stripped.
+    ///
+    /// ```
+    /// use wolfram_expr::Symbol;
+    /// assert_eq!(Symbol::new("CUDA`Map").short_name(), "Map");
+    /// assert_eq!(Symbol::new("Plus").short_name(), "Plus");
+    /// ```
+    pub fn short_name(&self) -> &str {
+        match self.0.rfind('`') {
+            Some(ix) => &self.0[ix + 1..],
+            None => &self.0,
+        }
+    }
+
+    /// The context prefix (up to and including the final backtick), if any.
+    pub fn context(&self) -> Option<&str> {
+        self.0.rfind('`').map(|ix| &self.0[..=ix])
+    }
+
+    /// Whether this symbol lives in the `System`` (builtin) namespace, i.e.
+    /// has no context prefix or the `System`` prefix.
+    pub fn is_system(&self) -> bool {
+        match self.context() {
+            None => true,
+            Some(ctx) => ctx == "System`",
+        }
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Symbol {}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for Symbol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(name: &str) -> Self {
+        Symbol::new(name)
+    }
+}
+
+macro_rules! well_known {
+    ($($fn_name:ident => $name:literal),+ $(,)?) => {
+        /// Accessors for frequently used `System`` symbols.
+        pub mod sym {
+            use super::Symbol;
+            $(
+                #[doc = concat!("The symbol `", $name, "`.")]
+                pub fn $fn_name() -> Symbol { Symbol::new($name) }
+            )+
+        }
+    };
+}
+
+well_known! {
+    plus => "Plus",
+    times => "Times",
+    subtract => "Subtract",
+    minus => "Minus",
+    divide => "Divide",
+    power => "Power",
+    list => "List",
+    rule => "Rule",
+    rule_delayed => "RuleDelayed",
+    blank => "Blank",
+    blank_sequence => "BlankSequence",
+    blank_null_sequence => "BlankNullSequence",
+    pattern => "Pattern",
+    condition => "Condition",
+    pattern_test => "PatternTest",
+    alternatives => "Alternatives",
+    hold_pattern => "HoldPattern",
+    sequence => "Sequence",
+    function => "Function",
+    slot => "Slot",
+    slot_sequence => "SlotSequence",
+    set => "Set",
+    set_delayed => "SetDelayed",
+    compound_expression => "CompoundExpression",
+    if_ => "If",
+    which => "Which",
+    while_ => "While",
+    for_ => "For",
+    do_ => "Do",
+    module => "Module",
+    block => "Block",
+    with => "With",
+    true_ => "True",
+    false_ => "False",
+    null => "Null",
+    and => "And",
+    or => "Or",
+    not => "Not",
+    equal => "Equal",
+    unequal => "Unequal",
+    less => "Less",
+    greater => "Greater",
+    less_equal => "LessEqual",
+    greater_equal => "GreaterEqual",
+    same_q => "SameQ",
+    unsame_q => "UnsameQ",
+    part => "Part",
+    span => "Span",
+    map => "Map",
+    apply => "Apply",
+    fold => "Fold",
+    nest => "Nest",
+    nest_list => "NestList",
+    table => "Table",
+    typed => "Typed",
+    type_specifier => "TypeSpecifier",
+    type_for_all => "TypeForAll",
+    type_literal => "TypeLiteral",
+    element => "Element",
+    integer => "Integer",
+    real => "Real",
+    complex => "Complex",
+    string => "String",
+    symbol => "Symbol",
+    increment => "Increment",
+    decrement => "Decrement",
+    pre_increment => "PreIncrement",
+    pre_decrement => "PreDecrement",
+    add_to => "AddTo",
+    subtract_from => "SubtractFrom",
+    times_by => "TimesBy",
+    divide_by => "DivideBy",
+    replace_all => "ReplaceAll",
+    replace_repeated => "ReplaceRepeated",
+    string_join => "StringJoin",
+    kernel_function => "KernelFunction",
+    return_ => "Return",
+    break_ => "Break",
+    continue_ => "Continue",
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_storage() {
+        let a = Symbol::new("SharedStorageTest");
+        let b = Symbol::new("SharedStorageTest");
+        assert!(Rc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn equality_and_ordering() {
+        assert_eq!(Symbol::new("a"), Symbol::new("a"));
+        assert_ne!(Symbol::new("a"), Symbol::new("b"));
+        assert!(Symbol::new("a") < Symbol::new("b"));
+    }
+
+    #[test]
+    fn context_handling() {
+        let s = Symbol::new("CUDA`Map");
+        assert_eq!(s.short_name(), "Map");
+        assert_eq!(s.context(), Some("CUDA`"));
+        assert!(!s.is_system());
+        assert!(Symbol::new("Plus").is_system());
+        assert!(Symbol::new("System`Plus").is_system());
+    }
+
+    #[test]
+    fn well_known_symbols() {
+        assert_eq!(sym::plus().name(), "Plus");
+        assert_eq!(sym::rule_delayed().name(), "RuleDelayed");
+    }
+
+    #[test]
+    fn display_is_name() {
+        assert_eq!(Symbol::new("NestList").to_string(), "NestList");
+    }
+}

@@ -1,0 +1,205 @@
+//! The MExpr visitor API (§4.2): traversal control and rebuilding maps.
+//!
+//! The compiler's binding analysis is built on this: it walks all scoping
+//! constructs, annotates variables, and rewrites the tree bottom-up.
+
+use crate::expr::{Expr, ExprKind};
+
+/// Controls traversal from a visitor callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisitAction {
+    /// Continue into children.
+    Descend,
+    /// Skip this node's children.
+    SkipChildren,
+    /// Stop the entire traversal.
+    Stop,
+}
+
+/// Pre-order walk over `expr` (head before arguments). The callback decides
+/// whether to descend. Returns `false` if the walk was stopped early.
+///
+/// # Examples
+///
+/// ```
+/// use wolfram_expr::{parse, walk, VisitAction};
+/// let e = parse("f[g[x], y]")?;
+/// let mut names = Vec::new();
+/// walk(&e, &mut |node| {
+///     if let Some(s) = node.as_symbol() {
+///         names.push(s.name().to_owned());
+///     }
+///     VisitAction::Descend
+/// });
+/// assert_eq!(names, ["f", "g", "x", "y"]);
+/// # Ok::<(), wolfram_expr::ParseError>(())
+/// ```
+pub fn walk(expr: &Expr, f: &mut dyn FnMut(&Expr) -> VisitAction) -> bool {
+    match f(expr) {
+        VisitAction::Stop => false,
+        VisitAction::SkipChildren => true,
+        VisitAction::Descend => {
+            if let ExprKind::Normal(n) = expr.kind() {
+                if !walk(n.head(), f) {
+                    return false;
+                }
+                for a in n.args() {
+                    if !walk(a, f) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+    }
+}
+
+impl Expr {
+    /// Rebuilds the tree bottom-up: children are transformed first, then the
+    /// rebuilt node is passed to `f`, whose result replaces it.
+    pub fn map_bottom_up(&self, f: &mut dyn FnMut(Expr) -> Expr) -> Expr {
+        let rebuilt = match self.kind() {
+            ExprKind::Normal(n) => {
+                let head = n.head().map_bottom_up(f);
+                let args: Vec<Expr> = n.args().iter().map(|a| a.map_bottom_up(f)).collect();
+                Expr::normal(head, args)
+            }
+            _ => self.clone(),
+        };
+        f(rebuilt)
+    }
+
+    /// Rewrites top-down: `f` sees each node first; if it returns `Some`,
+    /// the replacement is used *and not descended into*; otherwise the walk
+    /// continues into the children.
+    pub fn map_top_down(&self, f: &mut dyn FnMut(&Expr) -> Option<Expr>) -> Expr {
+        if let Some(replacement) = f(self) {
+            return replacement;
+        }
+        match self.kind() {
+            ExprKind::Normal(n) => {
+                let head = n.head().map_top_down(f);
+                let args: Vec<Expr> = n.args().iter().map(|a| a.map_top_down(f)).collect();
+                Expr::normal(head, args)
+            }
+            _ => self.clone(),
+        }
+    }
+
+    /// Whether `pred` holds for any node in the tree.
+    pub fn contains(&self, pred: &mut dyn FnMut(&Expr) -> bool) -> bool {
+        let mut found = false;
+        walk(self, &mut |e| {
+            if pred(e) {
+                found = true;
+                VisitAction::Stop
+            } else {
+                VisitAction::Descend
+            }
+        });
+        found
+    }
+
+    /// Whether the symbol named `name` occurs anywhere in the tree.
+    pub fn contains_symbol(&self, name: &str) -> bool {
+        self.contains(&mut |e| e.is_symbol(name))
+    }
+
+    /// Number of nodes in the tree (head + args, recursively).
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        walk(self, &mut |_| {
+            n += 1;
+            VisitAction::Descend
+        });
+        n
+    }
+
+    /// Maximum depth of the tree (atoms have depth 1).
+    pub fn depth(&self) -> usize {
+        match self.kind() {
+            ExprKind::Normal(n) => {
+                1 + n
+                    .args()
+                    .iter()
+                    .chain(std::iter::once(n.head()))
+                    .map(Expr::depth)
+                    .max()
+                    .unwrap_or(0)
+            }
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn skip_children() {
+        let e = parse("f[g[x], y]").unwrap();
+        let mut seen = Vec::new();
+        walk(&e, &mut |node| {
+            if let Some(s) = node.as_symbol() {
+                seen.push(s.name().to_owned());
+            }
+            if node.has_head("g") {
+                VisitAction::SkipChildren
+            } else {
+                VisitAction::Descend
+            }
+        });
+        assert_eq!(seen, ["f", "y"]);
+    }
+
+    #[test]
+    fn early_stop() {
+        let e = parse("f[a, b, c]").unwrap();
+        let mut count = 0;
+        let completed = walk(&e, &mut |node| {
+            count += 1;
+            if node.is_symbol("b") {
+                VisitAction::Stop
+            } else {
+                VisitAction::Descend
+            }
+        });
+        assert!(!completed);
+        assert_eq!(count, 4); // f[a,b,c], f, a, b
+    }
+
+    #[test]
+    fn bottom_up_mapping() {
+        let e = parse("Plus[1, Plus[2, 3]]").unwrap();
+        let out = e.map_bottom_up(&mut |node| {
+            // Constant-fold fully-literal Plus nodes.
+            if node.has_head("Plus") {
+                if let Some(sum) =
+                    node.args().iter().map(|a| a.as_i64()).collect::<Option<Vec<_>>>()
+                {
+                    return Expr::int(sum.iter().sum());
+                }
+            }
+            node
+        });
+        assert_eq!(out.as_i64(), Some(6));
+    }
+
+    #[test]
+    fn top_down_stops_at_replacement() {
+        let e = parse("f[f[x]]").unwrap();
+        let out = e.map_top_down(&mut |node| node.has_head("f").then(|| Expr::sym("done")));
+        assert_eq!(out.to_full_form(), "done");
+    }
+
+    #[test]
+    fn measurements() {
+        let e = parse("f[g[x], y]").unwrap();
+        assert_eq!(e.node_count(), 6);
+        assert_eq!(e.depth(), 3);
+        assert!(e.contains_symbol("x"));
+        assert!(!e.contains_symbol("z"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests on the expression substrate: lexer/parser robustness,
+//! printing round-trips, pattern matching, and rule specificity.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use wolfram_expr::pattern::{compare_specificity, match_pattern, MatchCtx};
+use wolfram_expr::lex::tokenize;
+use wolfram_expr::{parse, Expr, Symbol};
+
+// ---------------------------------------------------------------------
+// Robustness: the front end must never panic, only return errors.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn lexer_never_panics(src in "[ -~]{0,120}") {
+        let _ = tokenize(&src);
+    }
+
+    #[test]
+    fn parser_never_panics(src in "[ -~]{0,120}") {
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_operator_soup(
+        src in "[-+*/^<>=&|;,@#%(){}\\[\\]a-z0-9_ .]{0,80}"
+    ) {
+        let _ = parse(&src);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Printing round-trips.
+// ---------------------------------------------------------------------
+
+fn arb_atom() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        any::<i64>().prop_map(Expr::int),
+        "[a-zA-Z][a-zA-Z0-9]{0,6}".prop_map(|s| Expr::symbol(Symbol::new(&s))),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Expr::string),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    arb_atom().prop_recursive(4, 32, 4, |inner| {
+        ("[A-Z][a-zA-Z]{0,5}", prop::collection::vec(inner, 0..4))
+            .prop_map(|(head, args)| Expr::call(&head, args))
+    })
+}
+
+proptest! {
+    #[test]
+    fn full_form_parse_is_identity(e in arb_expr()) {
+        let printed = e.to_full_form();
+        let back = parse(&printed).unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn parsing_is_deterministic(e in arb_expr()) {
+        let printed = e.to_full_form();
+        prop_assert_eq!(parse(&printed).unwrap(), parse(&printed).unwrap());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pattern matching.
+// ---------------------------------------------------------------------
+
+fn structural_match(expr: &Expr, pattern: &Expr) -> Option<HashMap<Symbol, Expr>> {
+    let mut bindings = HashMap::new();
+    let mut ctx = MatchCtx { condition_eval: None };
+    match_pattern(expr, pattern, &mut bindings, &mut ctx).then_some(bindings)
+}
+
+proptest! {
+    #[test]
+    fn blank_matches_everything(e in arb_expr()) {
+        let pat = parse("x_").unwrap();
+        let bindings = structural_match(&e, &pat).expect("x_ must match");
+        prop_assert_eq!(bindings.get(&Symbol::new("x")), Some(&e));
+    }
+
+    #[test]
+    fn literal_pattern_matches_itself_only(a in arb_expr(), b in arb_expr()) {
+        // An expression used as a pattern (no blanks) matches exactly itself.
+        prop_assert!(structural_match(&a, &a).is_some());
+        if a != b {
+            // `b` as a pattern contains no blanks, so it cannot match a
+            // different expression.
+            prop_assert!(structural_match(&a, &b).is_none());
+        }
+    }
+
+    #[test]
+    fn head_restricted_blank_respects_heads(n in any::<i64>(), s in "[a-z]{1,6}") {
+        let int_pat = parse("x_Integer").unwrap();
+        prop_assert!(structural_match(&Expr::int(n), &int_pat).is_some());
+        prop_assert!(structural_match(&Expr::symbol(Symbol::new(&s)), &int_pat).is_none());
+    }
+
+    #[test]
+    fn repeated_pattern_variable_requires_equal_parts(a in arb_atom(), b in arb_atom()) {
+        let pat = parse("f[x_, x_]").unwrap();
+        let same = Expr::call("f", [a.clone(), a.clone()]);
+        prop_assert!(structural_match(&same, &pat).is_some());
+        let mixed = Expr::call("f", [a.clone(), b.clone()]);
+        prop_assert_eq!(structural_match(&mixed, &pat).is_some(), a == b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Specificity ordering (drives DownValue dispatch order).
+// ---------------------------------------------------------------------
+
+fn arb_pattern() -> impl Strategy<Value = Expr> {
+    prop::sample::select(vec![
+        "x_", "x_Integer", "x_Real", "0", "f[x_]", "f[x_, y_]", "f[0, y_]", "f[0, 1]",
+        "x_ /; x > 0", "f[x_Integer, y_]",
+    ])
+    .prop_map(|s| parse(s).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn specificity_is_reflexive(p in arb_pattern()) {
+        prop_assert_eq!(compare_specificity(&p, &p), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn specificity_is_antisymmetric(a in arb_pattern(), b in arb_pattern()) {
+        prop_assert_eq!(compare_specificity(&a, &b), compare_specificity(&b, &a).reverse());
+    }
+
+    #[test]
+    fn literal_beats_blank(p in arb_pattern()) {
+        // A fully literal pattern is never *less* specific than a bare blank.
+        let blank = parse("x_").unwrap();
+        let lit = parse("0").unwrap();
+        prop_assert_ne!(compare_specificity(&lit, &blank), std::cmp::Ordering::Greater);
+        // And any pattern compares consistently against the bare blank.
+        let _ = compare_specificity(&p, &blank);
+    }
+}

@@ -1,0 +1,456 @@
+//! Control flow, scoping constructs, and assignment.
+
+use super::{attr, done, reg, type_err, BuiltinDef, INERT};
+use crate::eval::{EvalError, Interpreter};
+use std::collections::HashMap;
+use wolfram_expr::rules::substitute_symbols;
+use wolfram_expr::{Expr, Rule, Symbol};
+use wolfram_runtime::RuntimeError;
+
+pub(crate) fn register(m: &mut HashMap<&'static str, BuiltinDef>) {
+    reg(m, "If", attr::hold_rest(), if_builtin);
+    reg(m, "Which", attr::hold_all(), which);
+    reg(m, "While", attr::hold_all(), while_builtin);
+    reg(m, "For", attr::hold_all(), for_builtin);
+    reg(m, "Do", attr::hold_all(), do_builtin);
+    reg(m, "CompoundExpression", attr::hold_all(), compound);
+    reg(m, "Module", attr::hold_all(), module);
+    reg(m, "Block", attr::hold_all(), block);
+    reg(m, "With", attr::hold_all(), with);
+    reg(m, "Set", attr::hold_first(), set);
+    reg(m, "SetDelayed", attr::hold_all(), set_delayed);
+    reg(m, "Unset", attr::hold_first(), unset);
+    reg(m, "Clear", attr::hold_all(), clear);
+    reg(m, "Increment", attr::hold_first(), |i, a, d| step_assign(i, a, d, 1, false));
+    reg(m, "Decrement", attr::hold_first(), |i, a, d| step_assign(i, a, d, -1, false));
+    reg(m, "PreIncrement", attr::hold_first(), |i, a, d| step_assign(i, a, d, 1, true));
+    reg(m, "PreDecrement", attr::hold_first(), |i, a, d| step_assign(i, a, d, -1, true));
+    reg(m, "AddTo", attr::hold_first(), |i, a, d| op_assign(i, a, d, "Plus"));
+    reg(m, "SubtractFrom", attr::hold_first(), |i, a, d| op_assign(i, a, d, "Subtract"));
+    reg(m, "TimesBy", attr::hold_first(), |i, a, d| op_assign(i, a, d, "Times"));
+    reg(m, "DivideBy", attr::hold_first(), |i, a, d| op_assign(i, a, d, "Divide"));
+    reg(m, "Return", attr::none(), return_builtin);
+    reg(m, "Break", attr::none(), |_, _, _| Err(EvalError::BreakSignal));
+    reg(m, "Continue", attr::none(), |_, _, _| Err(EvalError::ContinueSignal));
+    reg(m, "Throw", attr::none(), throw);
+    reg(m, "Catch", attr::hold_all(), catch);
+    reg(m, "Function", attr::hold_all(), |_, _, _| INERT);
+    reg(m, "Hold", attr::hold_all(), |_, _, _| INERT);
+    reg(m, "Abort", attr::none(), |_, _, _| Err(RuntimeError::Aborted.into()));
+    reg(m, "Print", attr::none(), print);
+    reg(m, "AbsoluteTiming", attr::hold_all(), absolute_timing);
+    reg(m, "SetAttributes", attr::hold_first(), set_attributes);
+    reg(m, "Identity", attr::none(), |_, a, _| {
+        if a.len() == 1 {
+            done(a[0].clone())
+        } else {
+            INERT
+        }
+    });
+}
+
+fn if_builtin(
+    i: &mut Interpreter,
+    args: &[Expr],
+    depth: usize,
+) -> Result<Option<Expr>, EvalError> {
+    if !(2..=4).contains(&args.len()) {
+        return INERT;
+    }
+    let cond = &args[0];
+    if cond.is_true() {
+        i.eval_depth(&args[1], depth + 1).map(Some)
+    } else if cond.is_false() {
+        match args.get(2) {
+            Some(f) => i.eval_depth(f, depth + 1).map(Some),
+            None => done(Expr::null()),
+        }
+    } else {
+        // Undecidable condition: If[c, t, f, u] evaluates u, else symbolic.
+        match args.get(3) {
+            Some(u) => i.eval_depth(u, depth + 1).map(Some),
+            None => INERT,
+        }
+    }
+}
+
+fn which(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    for pair in args.chunks(2) {
+        let [cond, value] = pair else { return type_err("Which expects condition/value pairs") };
+        let c = i.eval_depth(cond, depth + 1)?;
+        if c.is_true() {
+            return i.eval_depth(value, depth + 1).map(Some);
+        }
+        if !c.is_false() {
+            return INERT;
+        }
+    }
+    done(Expr::null())
+}
+
+fn while_builtin(
+    i: &mut Interpreter,
+    args: &[Expr],
+    depth: usize,
+) -> Result<Option<Expr>, EvalError> {
+    if args.is_empty() || args.len() > 2 {
+        return INERT;
+    }
+    loop {
+        let test = i.eval_depth(&args[0], depth + 1)?;
+        if !test.is_true() {
+            return done(Expr::null());
+        }
+        if let Some(body) = args.get(1) {
+            match i.eval_depth(body, depth + 1) {
+                Ok(_) => {}
+                Err(EvalError::BreakSignal) => return done(Expr::null()),
+                Err(EvalError::ContinueSignal) => {}
+                Err(other) => return Err(other),
+            }
+        }
+    }
+}
+
+fn for_builtin(
+    i: &mut Interpreter,
+    args: &[Expr],
+    depth: usize,
+) -> Result<Option<Expr>, EvalError> {
+    if !(3..=4).contains(&args.len()) {
+        return INERT;
+    }
+    i.eval_depth(&args[0], depth + 1)?;
+    loop {
+        let test = i.eval_depth(&args[1], depth + 1)?;
+        if !test.is_true() {
+            return done(Expr::null());
+        }
+        if let Some(body) = args.get(3) {
+            match i.eval_depth(body, depth + 1) {
+                Ok(_) => {}
+                Err(EvalError::BreakSignal) => return done(Expr::null()),
+                Err(EvalError::ContinueSignal) => {}
+                Err(other) => return Err(other),
+            }
+        }
+        i.eval_depth(&args[2], depth + 1)?;
+    }
+}
+
+fn do_builtin(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [body, spec] = args else { return INERT };
+    let mut broke = false;
+    super::lists::iterate_spec(i, spec, depth, &mut |i, _| {
+        match i.eval_depth(body, depth + 1) {
+            Ok(_) => Ok(true),
+            Err(EvalError::BreakSignal) => {
+                broke = true;
+                Ok(false)
+            }
+            Err(EvalError::ContinueSignal) => Ok(true),
+            Err(other) => Err(other),
+        }
+    })?;
+    let _ = broke;
+    done(Expr::null())
+}
+
+fn compound(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let mut last = Expr::null();
+    for a in args {
+        last = i.eval_depth(a, depth + 1)?;
+    }
+    done(last)
+}
+
+/// Parses a scoping spec entry: `x` or `x = init` (held).
+fn scope_entry(e: &Expr) -> Result<(Symbol, Option<Expr>), EvalError> {
+    if let Some(s) = e.as_symbol() {
+        return Ok((s, None));
+    }
+    if e.has_head("Set") && e.args().len() == 2 {
+        if let Some(s) = e.args()[0].as_symbol() {
+            return Ok((s, Some(e.args()[1].clone())));
+        }
+    }
+    type_err(format!("invalid scoping variable {}", e.to_input_form()))
+}
+
+fn module(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [vars, body] = args else { return INERT };
+    if !vars.has_head("List") {
+        return type_err("Module expects a variable list");
+    }
+    // Inits are evaluated in the enclosing scope; each variable is renamed
+    // to a fresh `x$n` symbol — exactly what the compiler's binding
+    // analysis later does statically (§4.2).
+    let mut map: HashMap<Symbol, Expr> = HashMap::new();
+    let mut fresh_syms = Vec::new();
+    for spec in vars.args() {
+        let (name, init) = scope_entry(spec)?;
+        let fresh = i.env.fresh_module_symbol(&name);
+        if let Some(init) = init {
+            let v = i.eval_depth(&init, depth + 1)?;
+            i.env.set_own(fresh.clone(), v);
+        }
+        map.insert(name, Expr::symbol(fresh.clone()));
+        fresh_syms.push(fresh);
+    }
+    let body = substitute_symbols(body, &map);
+    let result = i.eval_depth(&body, depth + 1)?;
+    // Clean up fresh symbols unless they escape in the result.
+    for s in fresh_syms {
+        if !result.contains_symbol(s.name()) {
+            i.env.clear_all(&s);
+        }
+    }
+    done(result)
+}
+
+fn block(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [vars, body] = args else { return INERT };
+    if !vars.has_head("List") {
+        return type_err("Block expects a variable list");
+    }
+    let mut saved: Vec<(Symbol, Option<Expr>)> = Vec::new();
+    for spec in vars.args() {
+        let (name, init) = scope_entry(spec)?;
+        saved.push((name.clone(), i.env.own_value(&name).cloned()));
+        match init {
+            Some(init) => {
+                let v = i.eval_depth(&init, depth + 1)?;
+                i.env.set_own(name, v);
+            }
+            None => i.env.clear_own(&name),
+        }
+    }
+    let result = i.eval_depth(body, depth + 1);
+    for (name, old) in saved {
+        match old {
+            Some(v) => i.env.set_own(name, v),
+            None => i.env.clear_own(&name),
+        }
+    }
+    result.map(Some)
+}
+
+fn with(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [vars, body] = args else { return INERT };
+    if !vars.has_head("List") {
+        return type_err("With expects a variable list");
+    }
+    let mut map: HashMap<Symbol, Expr> = HashMap::new();
+    for spec in vars.args() {
+        let (name, init) = scope_entry(spec)?;
+        let Some(init) = init else {
+            return type_err("With variables must be initialized");
+        };
+        let v = i.eval_depth(&init, depth + 1)?;
+        map.insert(name, v);
+    }
+    let body = substitute_symbols(body, &map);
+    i.eval_depth(&body, depth + 1).map(Some)
+}
+
+fn set(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [lhs, rhs] = args else { return INERT };
+    assign(i, lhs, rhs.clone(), depth)
+}
+
+fn set_delayed(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [lhs, rhs] = args else { return INERT };
+    // RHS held: store unevaluated, return Null (as Wolfram does).
+    if let Some(s) = lhs.as_symbol() {
+        i.env.set_own(s, rhs.clone());
+        return done(Expr::null());
+    }
+    if let Some(fsym) = lhs.head_symbol() {
+        i.env.add_down_value(fsym, Rule { lhs: lhs.clone(), rhs: rhs.clone(), delayed: true });
+        return done(Expr::null());
+    }
+    let _ = depth;
+    type_err(format!("cannot define {}", lhs.to_input_form()))
+}
+
+/// Shared by `Set` and the compound assignments: `rhs` arrives *held*;
+/// evaluated here, then stored into the lvalue.
+fn assign(
+    i: &mut Interpreter,
+    lhs: &Expr,
+    rhs: Expr,
+    depth: usize,
+) -> Result<Option<Expr>, EvalError> {
+    let value = i.eval_depth(&rhs, depth + 1)?;
+    store(i, lhs, value.clone(), depth)?;
+    done(value)
+}
+
+/// Stores `value` into an lvalue: a symbol, a `Part[sym, ...]` position, or
+/// a `f[patterns]` down-value.
+fn store(i: &mut Interpreter, lhs: &Expr, value: Expr, depth: usize) -> Result<(), EvalError> {
+    if let Some(s) = lhs.as_symbol() {
+        i.env.set_own(s, value);
+        return Ok(());
+    }
+    if lhs.has_head("Part") && lhs.length() >= 2 {
+        let base = &lhs.args()[0];
+        let Some(base_sym) = base.as_symbol() else {
+            return type_err("Part assignment requires a symbol base");
+        };
+        let current = i
+            .env
+            .own_value(&base_sym)
+            .cloned()
+            .ok_or_else(|| RuntimeError::Unevaluated(format!("{base_sym} has no value")))?;
+        let mut indices = Vec::new();
+        for ix in &lhs.args()[1..] {
+            let v = i.eval_depth(ix, depth + 1)?;
+            let Some(n) = v.as_i64() else {
+                return type_err("Part assignment indices must be integers");
+            };
+            indices.push(n);
+        }
+        let updated = part_set(&current, &indices, value)?;
+        i.env.set_own(base_sym, updated);
+        return Ok(());
+    }
+    if let Some(fsym) = lhs.head_symbol() {
+        i.env.add_down_value(fsym, Rule { lhs: lhs.clone(), rhs: value, delayed: false });
+        return Ok(());
+    }
+    type_err(format!("cannot assign to {}", lhs.to_input_form()))
+}
+
+/// Functional update of a nested `List` expression at a 1-based (possibly
+/// negative) index path. Expressions are immutable: this rebuilds the spine
+/// (the interpreter-level realization of copy-on-write).
+fn part_set(list: &Expr, indices: &[i64], value: Expr) -> Result<Expr, EvalError> {
+    let Some((ix, rest)) = indices.split_first() else {
+        return Ok(value);
+    };
+    if list.is_atom() {
+        return type_err("Part assignment into an atom");
+    }
+    let len = list.length();
+    let offset = wolfram_runtime::checked::resolve_part_index(*ix, len)
+        .map_err(EvalError::Runtime)?;
+    let mut args = list.args().to_vec();
+    args[offset] = part_set(&args[offset], rest, value)?;
+    Ok(list.with_args(args))
+}
+
+fn unset(i: &mut Interpreter, args: &[Expr], _depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [lhs] = args else { return INERT };
+    if let Some(s) = lhs.as_symbol() {
+        i.env.clear_own(&s);
+        return done(Expr::null());
+    }
+    type_err("Unset expects a symbol")
+}
+
+fn clear(i: &mut Interpreter, args: &[Expr], _depth: usize) -> Result<Option<Expr>, EvalError> {
+    for a in args {
+        if let Some(s) = a.as_symbol() {
+            i.env.clear_all(&s);
+        }
+    }
+    done(Expr::null())
+}
+
+/// `Increment`/`Decrement` (return old value) and the `Pre` forms (return
+/// new value).
+fn step_assign(
+    i: &mut Interpreter,
+    args: &[Expr],
+    depth: usize,
+    delta: i64,
+    pre: bool,
+) -> Result<Option<Expr>, EvalError> {
+    let [lhs] = args else { return INERT };
+    let old = i.eval_depth(lhs, depth + 1)?;
+    let new = i.eval_depth(&Expr::call("Plus", [old.clone(), Expr::int(delta)]), depth + 1)?;
+    store(i, lhs, new.clone(), depth)?;
+    done(if pre { new } else { old })
+}
+
+/// `AddTo` and friends: `x op= v` evaluates to the new value.
+fn op_assign(
+    i: &mut Interpreter,
+    args: &[Expr],
+    depth: usize,
+    op: &str,
+) -> Result<Option<Expr>, EvalError> {
+    let [lhs, rhs] = args else { return INERT };
+    let old = i.eval_depth(lhs, depth + 1)?;
+    let new = i.eval_depth(&Expr::call(op, [old, rhs.clone()]), depth + 1)?;
+    store(i, lhs, new.clone(), depth)?;
+    done(new)
+}
+
+fn return_builtin(
+    _i: &mut Interpreter,
+    args: &[Expr],
+    _depth: usize,
+) -> Result<Option<Expr>, EvalError> {
+    let value = args.first().cloned().unwrap_or_else(Expr::null);
+    Err(EvalError::ReturnSignal(value))
+}
+
+fn throw(_i: &mut Interpreter, args: &[Expr], _depth: usize) -> Result<Option<Expr>, EvalError> {
+    let value = args.first().cloned().unwrap_or_else(Expr::null);
+    Err(EvalError::ThrowSignal(value))
+}
+
+fn catch(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [body] = args else { return INERT };
+    match i.eval_depth(body, depth + 1) {
+        Err(EvalError::ThrowSignal(v)) => done(v),
+        other => other.map(Some),
+    }
+}
+
+fn print(i: &mut Interpreter, args: &[Expr], _depth: usize) -> Result<Option<Expr>, EvalError> {
+    let line: String = args.iter().map(|a| match a.as_str() {
+        Some(s) => s.to_owned(),
+        None => a.to_input_form(),
+    }).collect();
+    i.push_output(line);
+    done(Expr::null())
+}
+
+fn absolute_timing(
+    i: &mut Interpreter,
+    args: &[Expr],
+    depth: usize,
+) -> Result<Option<Expr>, EvalError> {
+    let [body] = args else { return INERT };
+    let start = std::time::Instant::now();
+    let result = i.eval_depth(body, depth + 1)?;
+    let secs = start.elapsed().as_secs_f64();
+    done(Expr::list([Expr::real(secs), result]))
+}
+
+fn set_attributes(
+    i: &mut Interpreter,
+    args: &[Expr],
+    _depth: usize,
+) -> Result<Option<Expr>, EvalError> {
+    let [sym, spec] = args else { return INERT };
+    let Some(s) = sym.as_symbol() else { return type_err("SetAttributes expects a symbol") };
+    let mut attrs = i.env.attributes(&s);
+    let names: Vec<Expr> =
+        if spec.has_head("List") { spec.args().to_vec() } else { vec![spec.clone()] };
+    for name in names {
+        match name.as_symbol().as_ref().map(|x| x.name().to_owned()).as_deref() {
+            Some("HoldAll") => attrs.hold_all = true,
+            Some("HoldFirst") => attrs.hold_first = true,
+            Some("HoldRest") => attrs.hold_rest = true,
+            Some("Listable") => attrs.listable = true,
+            Some("Protected") => attrs.protected = true,
+            _ => return type_err(format!("unknown attribute {}", name.to_input_form())),
+        }
+    }
+    i.env.set_attributes(s, attrs);
+    done(Expr::null())
+}

@@ -1,0 +1,1008 @@
+//! List and functional-programming builtins: the high-level constructs the
+//! paper highlights (`NestList`, `FixedPoint`, `Map`, `Select`, `Fold`,
+//! `Table`, ...).
+
+use super::{attr, done, reg, type_err, BuiltinDef, INERT};
+use crate::eval::{EvalError, Interpreter};
+use crate::numeric::Num;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use wolfram_expr::{Expr, ExprKind, Symbol};
+use wolfram_runtime::checked::resolve_part_index;
+use wolfram_runtime::value::{expr_to_tensor, tensor_to_expr};
+use wolfram_runtime::{RuntimeError, Tensor, TensorData};
+
+pub(crate) fn register(m: &mut HashMap<&'static str, BuiltinDef>) {
+    reg(m, "List", attr::none(), |_, _, _| INERT);
+    reg(m, "Length", attr::none(), length);
+    reg(m, "Dimensions", attr::none(), dimensions);
+    reg(m, "Part", attr::none(), part);
+    reg(m, "Range", attr::none(), range);
+    reg(m, "Table", attr::hold_all(), table);
+    reg(m, "Map", attr::none(), map);
+    reg(m, "Apply", attr::none(), apply);
+    reg(m, "Select", attr::none(), select);
+    reg(m, "Fold", attr::none(), fold);
+    reg(m, "FoldList", attr::none(), fold_list);
+    reg(m, "Nest", attr::none(), |i, a, d| nest(i, a, d, false));
+    reg(m, "NestList", attr::none(), |i, a, d| nest(i, a, d, true));
+    reg(m, "FixedPoint", attr::none(), |i, a, d| fixed_point(i, a, d, false));
+    reg(m, "FixedPointList", attr::none(), |i, a, d| fixed_point(i, a, d, true));
+    reg(m, "Join", attr::none(), join);
+    reg(m, "Append", attr::none(), append);
+    reg(m, "Prepend", attr::none(), prepend);
+    reg(m, "First", attr::none(), |i, a, d| element_at(i, a, d, 1));
+    reg(m, "Last", attr::none(), |i, a, d| element_at(i, a, d, -1));
+    reg(m, "Rest", attr::none(), rest);
+    reg(m, "Most", attr::none(), most);
+    reg(m, "Take", attr::none(), |i, a, d| take_drop(i, a, d, true));
+    reg(m, "Drop", attr::none(), |i, a, d| take_drop(i, a, d, false));
+    reg(m, "Reverse", attr::none(), reverse);
+    reg(m, "Sort", attr::none(), sort);
+    reg(m, "Flatten", attr::none(), flatten);
+    reg(m, "Total", attr::none(), total);
+    reg(m, "Mean", attr::none(), mean);
+    reg(m, "ConstantArray", attr::none(), constant_array);
+    reg(m, "Dot", attr::none(), dot);
+    reg(m, "Transpose", attr::none(), transpose);
+    reg(m, "Count", attr::none(), count);
+    reg(m, "MemberQ", attr::none(), member_q);
+    reg(m, "FreeQ", attr::none(), free_q);
+    reg(m, "IdentityMatrix", attr::none(), identity_matrix);
+}
+
+fn length(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let [a] = args else { return INERT };
+    match a.kind() {
+        ExprKind::Normal(_) => done(Expr::int(a.length() as i64)),
+        _ => done(Expr::int(0)),
+    }
+}
+
+fn dimensions(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let [a] = args else { return INERT };
+    let mut dims = Vec::new();
+    let mut cursor = a.clone();
+    while cursor.has_head("List") {
+        dims.push(Expr::int(cursor.length() as i64));
+        // Only descend while rectangular.
+        let Some(first) = cursor.args().first().cloned() else { break };
+        let len = first.length();
+        if !first.has_head("List")
+            || !cursor.args().iter().all(|x| x.has_head("List") && x.length() == len)
+        {
+            break;
+        }
+        cursor = first;
+    }
+    done(Expr::list(dims))
+}
+
+fn part(i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let (base, indices) = match args {
+        [] | [_] => return INERT,
+        [base, rest @ ..] => (base, rest),
+    };
+    let mut cur = base.clone();
+    for ixe in indices {
+        let Some(ix) = ixe.as_i64() else { return INERT };
+        if ix == 0 {
+            // Part 0 is the head.
+            cur = cur.head();
+            continue;
+        }
+        if cur.is_atom() {
+            return Err(RuntimeError::Type(format!(
+                "Part of atomic expression {}",
+                cur.to_input_form()
+            ))
+            .into());
+        }
+        let offset = resolve_part_index(ix, cur.length()).map_err(EvalError::Runtime)?;
+        cur = cur.args()[offset].clone();
+    }
+    let _ = i;
+    done(cur)
+}
+
+fn range(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let (start, end, step) = match args {
+        [n] => (Num::Int(1), Num::from_expr(n), Num::Int(1)),
+        [a, b] => (match Num::from_expr(a) {
+            Some(v) => v,
+            None => return INERT,
+        }, Num::from_expr(b), Num::Int(1)),
+        [a, b, s] => {
+            let (Some(a), Some(s)) = (Num::from_expr(a), Num::from_expr(s)) else {
+                return INERT;
+            };
+            (a, Num::from_expr(b), s)
+        }
+        _ => return INERT,
+    };
+    let Some(end) = end else { return INERT };
+    let mut out = Vec::new();
+    let mut cur = start;
+    let ascending = matches!(step.compare(&Num::Int(0)), Some(Ordering::Greater));
+    if step.is_zero() {
+        return type_err("Range step must be nonzero");
+    }
+    loop {
+        match cur.compare(&end) {
+            Some(Ordering::Greater) if ascending => break,
+            Some(Ordering::Less) if !ascending => break,
+            None => return INERT,
+            _ => {}
+        }
+        out.push(cur.clone().into_expr());
+        cur = cur.add(&step);
+        if out.len() > 100_000_000 {
+            return type_err("Range too large");
+        }
+    }
+    done(Expr::list(out))
+}
+
+/// Iterates a `Table`/`Do` iteration specification, calling `body` with the
+/// iteration variable bound (Block-style). `body` returns `false` to stop.
+pub(crate) fn iterate_spec(
+    i: &mut Interpreter,
+    spec: &Expr,
+    depth: usize,
+    body: &mut dyn FnMut(&mut Interpreter, usize) -> Result<bool, EvalError>,
+) -> Result<(), EvalError> {
+    // Forms: n | {n} | {i, n} | {i, a, b} | {i, a, b, di} | {i, list}
+    if !spec.has_head("List") {
+        let n = eval_count(i, spec, depth)?;
+        for ix in 0..n {
+            if !body(i, ix)? {
+                break;
+            }
+        }
+        return Ok(());
+    }
+    match spec.args() {
+        [] => type_err("empty iterator specification"),
+        [n] => {
+            let n = eval_count(i, n, depth)?;
+            for ix in 0..n {
+                if !body(i, ix)? {
+                    break;
+                }
+            }
+            Ok(())
+        }
+        [v, rest @ ..] => {
+            let Some(var) = v.as_symbol() else {
+                return type_err("iterator variable must be a symbol");
+            };
+            let values = match rest {
+                [bound] => {
+                    let b = i.eval_depth(bound, depth + 1)?;
+                    if b.has_head("List") {
+                        // {i, list}: iterate over explicit values.
+                        b.args().to_vec()
+                    } else {
+                        numeric_sequence(
+                            &Num::Int(1),
+                            &Num::from_expr(&b).ok_or_else(bad_iter)?,
+                            &Num::Int(1),
+                        )?
+                    }
+                }
+                [a, b] => {
+                    let a = i.eval_depth(a, depth + 1)?;
+                    let b = i.eval_depth(b, depth + 1)?;
+                    numeric_sequence(
+                        &Num::from_expr(&a).ok_or_else(bad_iter)?,
+                        &Num::from_expr(&b).ok_or_else(bad_iter)?,
+                        &Num::Int(1),
+                    )?
+                }
+                [a, b, s] => {
+                    let a = i.eval_depth(a, depth + 1)?;
+                    let b = i.eval_depth(b, depth + 1)?;
+                    let s = i.eval_depth(s, depth + 1)?;
+                    numeric_sequence(
+                        &Num::from_expr(&a).ok_or_else(bad_iter)?,
+                        &Num::from_expr(&b).ok_or_else(bad_iter)?,
+                        &Num::from_expr(&s).ok_or_else(bad_iter)?,
+                    )?
+                }
+                _ => return type_err("bad iterator specification"),
+            };
+            iterate_values(i, var, values, depth, body)
+        }
+    }
+}
+
+fn bad_iter() -> EvalError {
+    EvalError::Runtime(RuntimeError::Type("iterator bounds must be numeric".into()))
+}
+
+fn eval_count(i: &mut Interpreter, e: &Expr, depth: usize) -> Result<usize, EvalError> {
+    let v = i.eval_depth(e, depth + 1)?;
+    match v.as_i64() {
+        Some(n) if n >= 0 => Ok(n as usize),
+        _ => match v.as_f64() {
+            Some(f) if f >= 0.0 => Ok(f.floor() as usize),
+            _ => type_err(format!("invalid iteration count {}", v.to_input_form())),
+        },
+    }
+}
+
+fn numeric_sequence(a: &Num, b: &Num, step: &Num) -> Result<Vec<Expr>, EvalError> {
+    if step.is_zero() {
+        return type_err("iterator step must be nonzero");
+    }
+    let ascending = matches!(step.compare(&Num::Int(0)), Some(Ordering::Greater));
+    let mut out = Vec::new();
+    let mut cur = a.clone();
+    loop {
+        match cur.compare(b) {
+            Some(Ordering::Greater) if ascending => break,
+            Some(Ordering::Less) if !ascending => break,
+            None => return type_err("iterator bounds not comparable"),
+            _ => {}
+        }
+        out.push(cur.clone().into_expr());
+        cur = cur.add(step);
+    }
+    Ok(out)
+}
+
+/// Runs `body` once per value with the iteration variable Block-bound.
+fn iterate_values(
+    i: &mut Interpreter,
+    var: Symbol,
+    values: Vec<Expr>,
+    _depth: usize,
+    body: &mut dyn FnMut(&mut Interpreter, usize) -> Result<bool, EvalError>,
+) -> Result<(), EvalError> {
+    let saved = i.env.own_value(&var).cloned();
+    let mut run = || -> Result<(), EvalError> {
+        for (ix, v) in values.iter().enumerate() {
+            i.env.set_own(var.clone(), v.clone());
+            if !body(i, ix)? {
+                break;
+            }
+        }
+        Ok(())
+    };
+    let result = run();
+    match saved {
+        Some(v) => i.env.set_own(var.clone(), v),
+        None => i.env.clear_own(&var),
+    }
+    result
+}
+
+fn table(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [body, specs @ ..] = args else { return INERT };
+    if specs.is_empty() {
+        return INERT;
+    }
+    fn build(
+        i: &mut Interpreter,
+        body: &Expr,
+        specs: &[Expr],
+        depth: usize,
+    ) -> Result<Expr, EvalError> {
+        let (spec, rest) = specs.split_first().expect("nonempty specs");
+        let mut out = Vec::new();
+        iterate_spec(i, spec, depth, &mut |i, _| {
+            let v = if rest.is_empty() {
+                match i.eval_depth(body, depth + 1) {
+                    Ok(v) => v,
+                    Err(EvalError::BreakSignal) => return Ok(false),
+                    Err(EvalError::ContinueSignal) => return Ok(true),
+                    Err(other) => return Err(other),
+                }
+            } else {
+                build(i, body, rest, depth)?
+            };
+            out.push(v);
+            Ok(true)
+        })?;
+        Ok(Expr::list(out))
+    }
+    build(i, body, specs, depth).map(Some)
+}
+
+fn map(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [f, list] = args else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let mut out = Vec::with_capacity(n.args().len());
+    for a in n.args() {
+        out.push(i.eval_depth(&Expr::normal(f.clone(), vec![a.clone()]), depth + 1)?);
+    }
+    done(Expr::normal(n.head().clone(), out))
+}
+
+fn apply(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [f, e] = args else { return INERT };
+    let ExprKind::Normal(n) = e.kind() else { return INERT };
+    i.eval_depth(&Expr::normal(f.clone(), n.args().to_vec()), depth + 1).map(Some)
+}
+
+fn select(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let (list, pred, limit) = match args {
+        [l, p] => (l, p, usize::MAX),
+        [l, p, n] => (l, p, n.as_i64().unwrap_or(i64::MAX).max(0) as usize),
+        _ => return INERT,
+    };
+    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let mut out = Vec::new();
+    for a in n.args() {
+        if out.len() >= limit {
+            break;
+        }
+        let keep = i.eval_depth(&Expr::normal(pred.clone(), vec![a.clone()]), depth + 1)?;
+        if keep.is_true() {
+            out.push(a.clone());
+        }
+    }
+    done(Expr::normal(n.head().clone(), out))
+}
+
+fn fold(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let (f, init, list) = match args {
+        [f, x, l] => (f, Some(x.clone()), l),
+        [f, l] => (f, None, l),
+        _ => return INERT,
+    };
+    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let mut items = n.args().iter();
+    let mut acc = match init {
+        Some(x) => x,
+        None => match items.next() {
+            Some(first) => first.clone(),
+            None => return type_err("Fold of an empty list needs an initial value"),
+        },
+    };
+    for item in items {
+        acc = i.eval_depth(&Expr::normal(f.clone(), vec![acc, item.clone()]), depth + 1)?;
+    }
+    done(acc)
+}
+
+fn fold_list(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let (f, init, list) = match args {
+        [f, x, l] => (f, Some(x.clone()), l),
+        [f, l] => (f, None, l),
+        _ => return INERT,
+    };
+    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let mut items = n.args().iter();
+    let mut acc = match init {
+        Some(x) => x,
+        None => match items.next() {
+            Some(first) => first.clone(),
+            None => return type_err("FoldList of an empty list needs an initial value"),
+        },
+    };
+    let mut out = vec![acc.clone()];
+    for item in items {
+        acc = i.eval_depth(&Expr::normal(f.clone(), vec![acc, item.clone()]), depth + 1)?;
+        out.push(acc.clone());
+    }
+    done(Expr::list(out))
+}
+
+fn nest(
+    i: &mut Interpreter,
+    args: &[Expr],
+    depth: usize,
+    keep_list: bool,
+) -> Result<Option<Expr>, EvalError> {
+    let [f, x, n] = args else { return INERT };
+    let Some(count) = n.as_i64().filter(|&v| v >= 0) else { return INERT };
+    let mut cur = x.clone();
+    let mut out = if keep_list { Vec::with_capacity(count as usize + 1) } else { Vec::new() };
+    if keep_list {
+        out.push(cur.clone());
+    }
+    for _ in 0..count {
+        cur = i.eval_depth(&Expr::normal(f.clone(), vec![cur]), depth + 1)?;
+        if keep_list {
+            out.push(cur.clone());
+        }
+    }
+    if keep_list {
+        done(Expr::list(out))
+    } else {
+        done(cur)
+    }
+}
+
+fn fixed_point(
+    i: &mut Interpreter,
+    args: &[Expr],
+    depth: usize,
+    keep_list: bool,
+) -> Result<Option<Expr>, EvalError> {
+    let (f, x, max) = match args {
+        [f, x] => (f, x, 65_536i64),
+        [f, x, n] => (f, x, n.as_i64().unwrap_or(65_536)),
+        _ => return INERT,
+    };
+    let mut cur = x.clone();
+    let mut out = vec![cur.clone()];
+    for _ in 0..max {
+        let next = i.eval_depth(&Expr::normal(f.clone(), vec![cur.clone()]), depth + 1)?;
+        let stop = next == cur;
+        cur = next;
+        if keep_list {
+            out.push(cur.clone());
+        }
+        if stop {
+            break;
+        }
+    }
+    if keep_list {
+        done(Expr::list(out))
+    } else {
+        done(cur)
+    }
+}
+
+fn join(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    if args.is_empty() {
+        return INERT;
+    }
+    let mut out = Vec::new();
+    for a in args {
+        let ExprKind::Normal(n) = a.kind() else { return INERT };
+        if !n.head().is_symbol("List") {
+            return INERT;
+        }
+        out.extend(n.args().iter().cloned());
+    }
+    done(Expr::list(out))
+}
+
+fn append(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let [list, e] = args else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let mut new_args = n.args().to_vec();
+    new_args.push(e.clone());
+    done(Expr::normal(n.head().clone(), new_args))
+}
+
+fn prepend(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let [list, e] = args else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let mut new_args = vec![e.clone()];
+    new_args.extend(n.args().iter().cloned());
+    done(Expr::normal(n.head().clone(), new_args))
+}
+
+fn element_at(
+    _i: &mut Interpreter,
+    args: &[Expr],
+    _d: usize,
+    index: i64,
+) -> Result<Option<Expr>, EvalError> {
+    let [list] = args else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let offset = resolve_part_index(index, n.args().len()).map_err(EvalError::Runtime)?;
+    done(n.args()[offset].clone())
+}
+
+fn rest(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let [list] = args else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    if n.args().is_empty() {
+        return type_err("Rest of an empty expression");
+    }
+    done(Expr::normal(n.head().clone(), n.args()[1..].to_vec()))
+}
+
+fn most(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let [list] = args else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    if n.args().is_empty() {
+        return type_err("Most of an empty expression");
+    }
+    done(Expr::normal(n.head().clone(), n.args()[..n.args().len() - 1].to_vec()))
+}
+
+fn take_drop(
+    _i: &mut Interpreter,
+    args: &[Expr],
+    _d: usize,
+    take: bool,
+) -> Result<Option<Expr>, EvalError> {
+    let [list, spec] = args else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let len = n.args().len();
+    let range = if let Some(k) = spec.as_i64() {
+        if k >= 0 {
+            let k = (k as usize).min(len);
+            if take {
+                0..k
+            } else {
+                k..len
+            }
+        } else {
+            let k = ((-k) as usize).min(len);
+            if take {
+                len - k..len
+            } else {
+                0..len - k
+            }
+        }
+    } else if spec.has_head("List") && spec.length() == 2 {
+        let (Some(a), Some(b)) = (spec.args()[0].as_i64(), spec.args()[1].as_i64()) else {
+            return INERT;
+        };
+        let a = resolve_part_index(a, len).map_err(EvalError::Runtime)?;
+        let b = resolve_part_index(b, len).map_err(EvalError::Runtime)?;
+        if !take {
+            return type_err("Drop with index ranges is not supported");
+        }
+        a..b + 1
+    } else {
+        return INERT;
+    };
+    done(Expr::normal(n.head().clone(), n.args()[range].to_vec()))
+}
+
+fn reverse(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let [list] = args else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let mut new_args = n.args().to_vec();
+    new_args.reverse();
+    done(Expr::normal(n.head().clone(), new_args))
+}
+
+/// Canonical expression ordering: numbers (by value) < strings < symbols <
+/// normal expressions (by head, then length, then arguments).
+pub(crate) fn canonical_order(a: &Expr, b: &Expr) -> Ordering {
+    fn rank(e: &Expr) -> u8 {
+        match e.kind() {
+            ExprKind::Integer(_) | ExprKind::BigInteger(_) | ExprKind::Real(_) => 0,
+            ExprKind::Complex(..) => 1,
+            ExprKind::Str(_) => 2,
+            ExprKind::Symbol(_) => 3,
+            ExprKind::Normal(_) => 4,
+        }
+    }
+    let (ra, rb) = (rank(a), rank(b));
+    if ra != rb {
+        return ra.cmp(&rb);
+    }
+    match (a.kind(), b.kind()) {
+        (ExprKind::Str(x), ExprKind::Str(y)) => x.cmp(y),
+        (ExprKind::Symbol(x), ExprKind::Symbol(y)) => x.cmp(y),
+        (ExprKind::Normal(x), ExprKind::Normal(y)) => canonical_order(x.head(), y.head())
+            .then_with(|| x.args().len().cmp(&y.args().len()))
+            .then_with(|| {
+                for (p, q) in x.args().iter().zip(y.args()) {
+                    let o = canonical_order(p, q);
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                Ordering::Equal
+            }),
+        _ => match (Num::from_expr(a), Num::from_expr(b)) {
+            (Some(x), Some(y)) => x.compare(&y).unwrap_or(Ordering::Equal),
+            _ => Ordering::Equal,
+        },
+    }
+}
+
+fn sort(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let (list, cmp) = match args {
+        [l] => (l, None),
+        [l, f] => (l, Some(f)),
+        _ => return INERT,
+    };
+    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let items = n.args().to_vec();
+    let sorted = match cmp {
+        None => {
+            let mut v = items;
+            v.sort_by(canonical_order);
+            v
+        }
+        Some(f) => merge_sort(i, items, f, depth)?,
+    };
+    done(Expr::normal(n.head().clone(), sorted))
+}
+
+/// Stable merge sort with an evaluator-driven comparator: `f[a, b]` true
+/// means `a` should come before `b`.
+fn merge_sort(
+    i: &mut Interpreter,
+    items: Vec<Expr>,
+    f: &Expr,
+    depth: usize,
+) -> Result<Vec<Expr>, EvalError> {
+    if items.len() <= 1 {
+        return Ok(items);
+    }
+    let mid = items.len() / 2;
+    let mut right = items;
+    let left = merge_sort(i, right.drain(..mid).collect(), f, depth)?;
+    let right = merge_sort(i, right, f, depth)?;
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let (mut li, mut ri) = (0, 0);
+    while li < left.len() && ri < right.len() {
+        let before = i
+            .eval_depth(&Expr::normal(f.clone(), vec![right[ri].clone(), left[li].clone()]), depth + 1)?
+            .is_true();
+        if before {
+            // right element strictly precedes: take it (stability keeps
+            // left-first on ties).
+            out.push(right[ri].clone());
+            ri += 1;
+        } else {
+            out.push(left[li].clone());
+            li += 1;
+        }
+    }
+    out.extend_from_slice(&left[li..]);
+    out.extend_from_slice(&right[ri..]);
+    Ok(out)
+}
+
+fn flatten(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let (list, levels) = match args {
+        [l] => (l, usize::MAX),
+        [l, n] => (l, n.as_i64().unwrap_or(0).max(0) as usize),
+        _ => return INERT,
+    };
+    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    fn go(e: &Expr, level: usize, out: &mut Vec<Expr>) {
+        if level > 0 && e.has_head("List") {
+            for a in e.args() {
+                go(a, level - 1, out);
+            }
+        } else {
+            out.push(e.clone());
+        }
+    }
+    let mut out = Vec::new();
+    for a in n.args() {
+        go(a, levels, &mut out);
+    }
+    done(Expr::normal(n.head().clone(), out))
+}
+
+fn total(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [list] = args else { return INERT };
+    if !list.has_head("List") {
+        return INERT;
+    }
+    if list.length() == 0 {
+        return done(Expr::int(0));
+    }
+    i.eval_depth(&Expr::call("Plus", list.args().to_vec()), depth + 1).map(Some)
+}
+
+fn mean(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [list] = args else { return INERT };
+    if !list.has_head("List") || list.length() == 0 {
+        return INERT;
+    }
+    let sum = Expr::call("Plus", list.args().to_vec());
+    i.eval_depth(&Expr::call("Divide", [sum, Expr::int(list.length() as i64)]), depth + 1)
+        .map(Some)
+}
+
+fn constant_array(
+    _i: &mut Interpreter,
+    args: &[Expr],
+    _d: usize,
+) -> Result<Option<Expr>, EvalError> {
+    let [c, spec] = args else { return INERT };
+    fn build(c: &Expr, dims: &[usize]) -> Expr {
+        match dims {
+            [] => c.clone(),
+            [n, rest @ ..] => Expr::list((0..*n).map(|_| build(c, rest)).collect::<Vec<_>>()),
+        }
+    }
+    let dims: Option<Vec<usize>> = if let Some(n) = spec.as_i64() {
+        (n >= 0).then(|| vec![n as usize])
+    } else if spec.has_head("List") {
+        spec.args().iter().map(|d| d.as_i64().and_then(|v| (v >= 0).then_some(v as usize))).collect()
+    } else {
+        None
+    };
+    match dims {
+        Some(d) => done(build(c, &d)),
+        None => INERT,
+    }
+}
+
+/// `Dot`: routed through the shared `dgemm`/`dgemv`/`ddot` kernels — the
+/// same runtime library every implementation of the Dot benchmark uses
+/// (paper §6: all three go through MKL).
+fn dot(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let [a, b] = args else { return INERT };
+    let (Some(ta), Some(tb)) = (expr_to_tensor(a), expr_to_tensor(b)) else { return INERT };
+    match dot_tensors(&ta, &tb) {
+        Ok(result) => done(result),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Tensor-level `Dot` shared by the interpreter, the legacy VM, and the
+/// compiled-code runtime.
+pub fn dot_tensors(ta: &Tensor, tb: &Tensor) -> Result<Expr, RuntimeError> {
+    let both_int = ta.as_i64().is_some() && tb.as_i64().is_some();
+    let fa = ta.to_f64_tensor();
+    let fb = tb.to_f64_tensor();
+    let (da, db) = (fa.as_f64().expect("promoted"), fb.as_f64().expect("promoted"));
+    let result: Tensor = match (ta.rank(), tb.rank()) {
+        (1, 1) => {
+            if ta.length() != tb.length() {
+                return Err(RuntimeError::Type("Dot: incompatible vector lengths".into()));
+            }
+            let v = wolfram_runtime::linalg::ddot(da, db);
+            return Ok(scalar_result(v, both_int));
+        }
+        (2, 2) => {
+            let (m, k) = (fa.shape()[0], fa.shape()[1]);
+            let (k2, nn) = (fb.shape()[0], fb.shape()[1]);
+            if k != k2 {
+                return Err(RuntimeError::Type("Dot: incompatible matrix shapes".into()));
+            }
+            let mut out = vec![0.0; m * nn];
+            wolfram_runtime::linalg::dgemm(da, db, &mut out, m, k, nn);
+            Tensor::with_shape(vec![m, nn], TensorData::F64(out))?
+        }
+        (2, 1) => {
+            let (m, k) = (fa.shape()[0], fa.shape()[1]);
+            if k != fb.shape()[0] {
+                return Err(RuntimeError::Type("Dot: incompatible shapes".into()));
+            }
+            let mut out = vec![0.0; m];
+            wolfram_runtime::linalg::dgemv(da, db, &mut out, m, k);
+            Tensor::with_shape(vec![m], TensorData::F64(out))?
+        }
+        _ => return Err(RuntimeError::Type("Dot: unsupported ranks".into())),
+    };
+    let result = if both_int { demote_integral(&result) } else { result };
+    Ok(tensor_to_expr(&result))
+}
+
+fn scalar_result(v: f64, as_int: bool) -> Expr {
+    if as_int && v == v.trunc() && v.abs() < 9.0e15 {
+        Expr::int(v as i64)
+    } else {
+        Expr::real(v)
+    }
+}
+
+fn demote_integral(t: &Tensor) -> Tensor {
+    let Some(data) = t.as_f64() else { return t.clone() };
+    if data.iter().all(|v| *v == v.trunc() && v.abs() < 9.0e15) {
+        let ints: Vec<i64> = data.iter().map(|&v| v as i64).collect();
+        Tensor::with_shape(t.shape().to_vec(), TensorData::I64(ints)).unwrap_or_else(|_| t.clone())
+    } else {
+        t.clone()
+    }
+}
+
+fn transpose(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let [a] = args else { return INERT };
+    let Some(t) = expr_to_tensor(a) else { return INERT };
+    if t.rank() != 2 {
+        return INERT;
+    }
+    let (m, n) = (t.shape()[0], t.shape()[1]);
+    let out = match t.data() {
+        TensorData::I64(v) => {
+            let mut o = vec![0i64; v.len()];
+            for i in 0..m {
+                for j in 0..n {
+                    o[j * m + i] = v[i * n + j];
+                }
+            }
+            TensorData::I64(o)
+        }
+        TensorData::F64(v) => {
+            let mut o = vec![0.0; v.len()];
+            for i in 0..m {
+                for j in 0..n {
+                    o[j * m + i] = v[i * n + j];
+                }
+            }
+            TensorData::F64(o)
+        }
+        TensorData::Complex(v) => {
+            let mut o = vec![(0.0, 0.0); v.len()];
+            for i in 0..m {
+                for j in 0..n {
+                    o[j * m + i] = v[i * n + j];
+                }
+            }
+            TensorData::Complex(o)
+        }
+    };
+    done(tensor_to_expr(&Tensor::with_shape(vec![n, m], out).map_err(EvalError::Runtime)?))
+}
+
+fn count(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [list, pat] = args else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let mut total = 0i64;
+    for a in n.args() {
+        if matches_pattern(i, a, pat, depth) {
+            total += 1;
+        }
+    }
+    done(Expr::int(total))
+}
+
+fn member_q(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [list, pat] = args else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else { return done(Expr::bool(false)) };
+    let found = n.args().iter().any(|a| matches_pattern(i, a, pat, depth));
+    done(Expr::bool(found))
+}
+
+fn free_q(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [e, pat] = args else { return INERT };
+    let mut found = false;
+    wolfram_expr::walk(e, &mut |node| {
+        if matches_pattern(i, node, pat, depth) {
+            found = true;
+            wolfram_expr::VisitAction::Stop
+        } else {
+            wolfram_expr::VisitAction::Descend
+        }
+    });
+    done(Expr::bool(!found))
+}
+
+pub(crate) fn matches_pattern(
+    i: &mut Interpreter,
+    e: &Expr,
+    pat: &Expr,
+    depth: usize,
+) -> bool {
+    let mut bindings = wolfram_expr::Bindings::new();
+    let mut cond =
+        |c: &Expr| i.eval_depth(c, depth + 1).map(|r| r.is_true()).unwrap_or(false);
+    let mut ctx = wolfram_expr::MatchCtx { condition_eval: Some(&mut cond) };
+    wolfram_expr::match_pattern(e, pat, &mut bindings, &mut ctx)
+}
+
+fn identity_matrix(
+    _i: &mut Interpreter,
+    args: &[Expr],
+    _d: usize,
+) -> Result<Option<Expr>, EvalError> {
+    let [n] = args else { return INERT };
+    let Some(n) = n.as_i64().filter(|&v| v > 0) else { return INERT };
+    let n = n as usize;
+    let mut data = vec![0i64; n * n];
+    for i in 0..n {
+        data[i * n + i] = 1;
+    }
+    let t = Tensor::with_shape(vec![n, n], TensorData::I64(data)).map_err(EvalError::Runtime)?;
+    done(tensor_to_expr(&t))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::eval::Interpreter;
+
+    fn ev(src: &str) -> String {
+        Interpreter::new().eval_src(src).unwrap().to_full_form()
+    }
+
+    #[test]
+    fn table_and_range() {
+        assert_eq!(ev("Range[4]"), "List[1, 2, 3, 4]");
+        assert_eq!(ev("Range[2, 8, 3]"), "List[2, 5, 8]");
+        assert_eq!(ev("Table[i^2, {i, 4}]"), "List[1, 4, 9, 16]");
+        assert_eq!(ev("Table[i + j, {i, 2}, {j, 2}]"), "List[List[2, 3], List[3, 4]]");
+        assert_eq!(ev("Table[7, 3]"), "List[7, 7, 7]");
+        assert_eq!(ev("Table[i, {i, 0, 1, 0.5}]"), "List[0, 0.5, 1.]");
+    }
+
+    #[test]
+    fn parts() {
+        assert_eq!(ev("{10, 20, 30}[[2]]"), "20");
+        assert_eq!(ev("{10, 20, 30}[[-1]]"), "30");
+        assert_eq!(ev("{{1, 2}, {3, 4}}[[2, 1]]"), "3");
+        assert!(Interpreter::new().eval_src("{1}[[5]]").is_err());
+    }
+
+    #[test]
+    fn part_assignment_copies() {
+        // a={1,2,3}; b=a; a[[3]]=-20 leaves b untouched (paper F5).
+        assert_eq!(
+            ev("a = {1, 2, 3}; b = a; a[[3]] = -20; {a, b}"),
+            "List[List[1, 2, -20], List[1, 2, 3]]"
+        );
+    }
+
+    #[test]
+    fn functional_constructs() {
+        assert_eq!(ev("Map[f, {1, 2}]"), "List[f[1], f[2]]");
+        assert_eq!(ev("(#^2 &) /@ {1, 2, 3}"), "List[1, 4, 9]");
+        assert_eq!(ev("Apply[Plus, {1, 2, 3}]"), "6");
+        assert_eq!(ev("Fold[Plus, 0, {1, 2, 3}]"), "6");
+        assert_eq!(ev("Fold[Plus, {1, 2, 3}]"), "6");
+        assert_eq!(ev("FoldList[Plus, 0, {1, 2, 3}]"), "List[0, 1, 3, 6]");
+        assert_eq!(ev("Nest[(# + 1 &), 0, 5]"), "5");
+        assert_eq!(
+            ev("NestList[(2 # &), 1, 3]".replace("2 #", "2*#").as_str()),
+            "List[1, 2, 4, 8]"
+        );
+        assert_eq!(ev("Select[{1, 2, 3, 4}, EvenQ]"), "List[2, 4]");
+        assert_eq!(ev("FixedPoint[Function[x, Floor[x/2]], 100]"), "0");
+    }
+
+    #[test]
+    fn structure_ops() {
+        assert_eq!(ev("Join[{1}, {2, 3}]"), "List[1, 2, 3]");
+        assert_eq!(ev("Append[{1}, 2]"), "List[1, 2]");
+        assert_eq!(ev("Prepend[{2}, 1]"), "List[1, 2]");
+        assert_eq!(ev("First[{5, 6}]"), "5");
+        assert_eq!(ev("Last[{5, 6}]"), "6");
+        assert_eq!(ev("Rest[{5, 6, 7}]"), "List[6, 7]");
+        assert_eq!(ev("Most[{5, 6, 7}]"), "List[5, 6]");
+        assert_eq!(ev("Take[{1, 2, 3, 4}, 2]"), "List[1, 2]");
+        assert_eq!(ev("Take[{1, 2, 3, 4}, -2]"), "List[3, 4]");
+        assert_eq!(ev("Drop[{1, 2, 3, 4}, 1]"), "List[2, 3, 4]");
+        assert_eq!(ev("Reverse[{1, 2, 3}]"), "List[3, 2, 1]");
+        assert_eq!(ev("Flatten[{{1, {2}}, 3}]"), "List[1, 2, 3]");
+        assert_eq!(ev("Length[{1, 2, 3}]"), "3");
+        assert_eq!(ev("Dimensions[{{1, 2, 3}, {4, 5, 6}}]"), "List[2, 3]");
+    }
+
+    #[test]
+    fn sorting() {
+        assert_eq!(ev("Sort[{3, 1, 2}]"), "List[1, 2, 3]");
+        assert_eq!(ev("Sort[{3, 1, 2}, Greater]"), "List[3, 2, 1]");
+        assert_eq!(ev("Sort[{\"b\", \"a\"}]"), "List[\"a\", \"b\"]");
+        // User comparator as a pure function (the QSort shape).
+        assert_eq!(ev("Sort[{4, 1, 3}, (#1 < #2 &)]"), "List[1, 3, 4]");
+    }
+
+    #[test]
+    fn totals() {
+        assert_eq!(ev("Total[{1, 2, 3}]"), "6");
+        assert_eq!(ev("Total[{{1, 2}, {3, 4}}]"), "List[4, 6]");
+        assert_eq!(ev("Mean[{1, 2, 3, 4}]"), "2.5");
+        assert_eq!(ev("Total[{}]"), "0");
+    }
+
+    #[test]
+    fn dot_products() {
+        assert_eq!(ev("Dot[{1, 2}, {3, 4}]"), "11");
+        assert_eq!(ev("Dot[{{1, 2}, {3, 4}}, {{5, 6}, {7, 8}}]"), "List[List[19, 22], List[43, 50]]");
+        assert_eq!(ev("Dot[{{1, 0}, {0, 1}}, {5, 7}]"), "List[5, 7]");
+        assert_eq!(ev("Dot[{1., 2.}, {3, 4}]"), "11.");
+    }
+
+    #[test]
+    fn patterns_in_list_functions() {
+        assert_eq!(ev("Count[{1, 2.0, 3}, _Integer]"), "2");
+        assert_eq!(ev("MemberQ[{1, 2}, 2]"), "True");
+        assert_eq!(ev("MemberQ[{1, 2}, _Real]"), "False");
+        assert_eq!(ev("FreeQ[f[g[x]], g]"), "False");
+        assert_eq!(ev("FreeQ[f[h[x]], g]"), "True");
+    }
+
+    #[test]
+    fn misc() {
+        assert_eq!(ev("ConstantArray[0, 3]"), "List[0, 0, 0]");
+        assert_eq!(ev("ConstantArray[1, {2, 2}]"), "List[List[1, 1], List[1, 1]]");
+        assert_eq!(ev("IdentityMatrix[2]"), "List[List[1, 0], List[0, 1]]");
+        assert_eq!(ev("Transpose[{{1, 2}, {3, 4}}]"), "List[List[1, 3], List[2, 4]]");
+    }
+
+    #[test]
+    fn iteration_variable_restored() {
+        assert_eq!(ev("i = 99; Do[Null, {i, 3}]; i"), "99");
+        assert_eq!(ev("Table[j, {j, 2}]; j"), "j");
+    }
+}

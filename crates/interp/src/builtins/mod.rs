@@ -1,0 +1,139 @@
+//! Builtin function registry for the interpreter.
+//!
+//! Each builtin declares its evaluation attributes (hold/listable) and an
+//! implementation. Returning `Ok(None)` means "no rule applies": the
+//! expression stays symbolic — the behavior that makes the language's
+//! symbolic computation (F8) fall out naturally.
+
+pub mod arithmetic;
+pub mod control;
+pub mod lists;
+pub mod random;
+pub mod strings;
+
+use crate::env::Attributes;
+use crate::eval::{EvalError, Interpreter};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use wolfram_expr::Expr;
+
+/// The calling convention for builtins: arguments arrive evaluated or held
+/// according to the declared attributes; `depth` is the evaluation depth.
+pub type BuiltinFn =
+    fn(&mut Interpreter, &[Expr], usize) -> Result<Option<Expr>, EvalError>;
+
+/// A registered builtin.
+pub struct BuiltinDef {
+    /// Evaluation attributes honored by the evaluator before dispatch.
+    pub attrs: Attributes,
+    /// The implementation.
+    pub run: BuiltinFn,
+}
+
+/// Looks up a builtin by symbol name.
+pub fn builtin(name: &str) -> Option<&'static BuiltinDef> {
+    registry().get(name)
+}
+
+/// Number of registered builtins (reported by the docs/tests).
+pub fn builtin_count() -> usize {
+    registry().len()
+}
+
+/// All registered builtin names, sorted.
+pub fn builtin_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = registry().keys().copied().collect();
+    names.sort_unstable();
+    names
+}
+
+fn registry() -> &'static HashMap<&'static str, BuiltinDef> {
+    static REGISTRY: OnceLock<HashMap<&'static str, BuiltinDef>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut m = HashMap::new();
+        control::register(&mut m);
+        arithmetic::register(&mut m);
+        lists::register(&mut m);
+        strings::register(&mut m);
+        random::register(&mut m);
+        crate::symbolic::register(&mut m);
+        crate::findroot::register(&mut m);
+        m
+    })
+}
+
+/// Registration helper used by the submodules.
+pub(crate) fn reg(
+    m: &mut HashMap<&'static str, BuiltinDef>,
+    name: &'static str,
+    attrs: Attributes,
+    run: BuiltinFn,
+) {
+    let previous = m.insert(name, BuiltinDef { attrs, run });
+    debug_assert!(previous.is_none(), "duplicate builtin {name}");
+}
+
+/// Attribute shorthands.
+pub(crate) mod attr {
+    use crate::env::Attributes;
+
+    pub fn none() -> Attributes {
+        Attributes::none()
+    }
+    pub fn hold_all() -> Attributes {
+        Attributes { hold_all: true, ..Attributes::none() }
+    }
+    pub fn hold_first() -> Attributes {
+        Attributes { hold_first: true, ..Attributes::none() }
+    }
+    pub fn hold_rest() -> Attributes {
+        Attributes { hold_rest: true, ..Attributes::none() }
+    }
+    pub fn listable() -> Attributes {
+        Attributes { listable: true, ..Attributes::none() }
+    }
+}
+
+/// An "unevaluated" marker: keeps the expression symbolic.
+pub(crate) const INERT: Result<Option<Expr>, EvalError> = Ok(None);
+
+/// Wraps a value as "evaluated to".
+pub(crate) fn done(e: Expr) -> Result<Option<Expr>, EvalError> {
+    Ok(Some(e))
+}
+
+/// Type-error helper.
+pub(crate) fn type_err<T>(msg: impl Into<String>) -> Result<T, EvalError> {
+    Err(EvalError::Runtime(wolfram_runtime::RuntimeError::Type(msg.into())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_populated() {
+        assert!(builtin("Plus").is_some());
+        assert!(builtin("Module").is_some());
+        assert!(builtin("NoSuchBuiltin").is_none());
+        // The reproduction ships a substantial builtin surface.
+        assert!(builtin_count() >= 100, "only {} builtins", builtin_count());
+    }
+
+    #[test]
+    fn attributes_declared() {
+        assert!(builtin("If").unwrap().attrs.hold_rest);
+        assert!(builtin("Module").unwrap().attrs.hold_all);
+        assert!(builtin("Set").unwrap().attrs.hold_first);
+        assert!(builtin("Plus").unwrap().attrs.listable);
+    }
+
+    #[test]
+    fn names_sorted_unique() {
+        let names = builtin_names();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+        assert!(names.windows(2).all(|w| w[0] < w[1]));
+    }
+}

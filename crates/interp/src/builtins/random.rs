@@ -1,0 +1,269 @@
+//! Random number builtins, backed by the interpreter's deterministic
+//! splitmix generator so benchmark workloads are reproducible.
+
+use super::{attr, done, reg, type_err, BuiltinDef, INERT};
+use crate::builtins::arithmetic::numericize;
+use crate::eval::{EvalError, Interpreter};
+use std::collections::HashMap;
+use wolfram_expr::Expr;
+
+pub(crate) fn register(m: &mut HashMap<&'static str, BuiltinDef>) {
+    reg(m, "RandomReal", attr::none(), random_real);
+    reg(m, "RandomInteger", attr::none(), random_integer);
+    reg(m, "RandomVariate", attr::none(), random_variate);
+    reg(m, "NormalDistribution", attr::none(), |_, _, _| INERT);
+    reg(m, "UniformDistribution", attr::none(), |_, _, _| INERT);
+    reg(m, "SeedRandom", attr::none(), seed_random);
+}
+
+fn seed_random(i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    match args {
+        [s] => match s.as_i64() {
+            Some(v) => {
+                i.seed_random(v as u64);
+                done(Expr::null())
+            }
+            None => type_err("SeedRandom expects an integer"),
+        },
+        [] => {
+            i.seed_random(0x1234_5678_9ABC_DEF0);
+            done(Expr::null())
+        }
+        _ => INERT,
+    }
+}
+
+/// Parses an optional shape argument: `n` or `{n1, n2, ...}`.
+fn parse_shape(e: &Expr) -> Option<Vec<usize>> {
+    if let Some(n) = e.as_i64() {
+        return (n >= 0).then(|| vec![n as usize]);
+    }
+    if e.has_head("List") {
+        return e
+            .args()
+            .iter()
+            .map(|d| d.as_i64().and_then(|v| (v >= 0).then_some(v as usize)))
+            .collect();
+    }
+    None
+}
+
+fn build_shaped(shape: &[usize], gen: &mut dyn FnMut() -> Expr) -> Expr {
+    match shape {
+        [] => gen(),
+        [n, rest @ ..] => {
+            Expr::list((0..*n).map(|_| build_shaped(rest, gen)).collect::<Vec<_>>())
+        }
+    }
+}
+
+/// Numeric bound extraction: applies `N` so symbolic bounds like `2 Pi`
+/// work (the paper's random-walk program).
+fn bound_f64(i: &mut Interpreter, e: &Expr, depth: usize) -> Result<f64, EvalError> {
+    let numeric = numericize(e);
+    let v = i.eval_depth(&numeric, depth + 1)?;
+    v.as_f64().ok_or_else(|| {
+        EvalError::Runtime(wolfram_runtime::RuntimeError::Type(format!(
+            "expected a numeric bound, got {}",
+            e.to_input_form()
+        )))
+    })
+}
+
+fn random_real(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let (lo, hi, shape) = match args {
+        [] => (0.0, 1.0, vec![]),
+        [spec] => match range_spec(i, spec, depth)? {
+            Some((lo, hi)) => (lo, hi, vec![]),
+            None => return INERT,
+        },
+        [spec, shape] => {
+            let Some(dims) = parse_shape(shape) else { return INERT };
+            match range_spec(i, spec, depth)? {
+                Some((lo, hi)) => (lo, hi, dims),
+                None => return INERT,
+            }
+        }
+        _ => return INERT,
+    };
+    let mut gen = || Expr::real(lo + (hi - lo) * i.next_random_f64());
+    done(build_shaped(&shape, &mut gen))
+}
+
+fn range_spec(
+    i: &mut Interpreter,
+    spec: &Expr,
+    depth: usize,
+) -> Result<Option<(f64, f64)>, EvalError> {
+    if spec.has_head("List") && spec.length() == 2 {
+        let lo = bound_f64(i, &spec.args()[0], depth)?;
+        let hi = bound_f64(i, &spec.args()[1], depth)?;
+        return Ok(Some((lo, hi)));
+    }
+    // RandomReal[max]
+    match bound_f64(i, spec, depth) {
+        Ok(hi) => Ok(Some((0.0, hi))),
+        Err(_) => Ok(None),
+    }
+}
+
+fn random_integer(
+    i: &mut Interpreter,
+    args: &[Expr],
+    _depth: usize,
+) -> Result<Option<Expr>, EvalError> {
+    let (lo, hi, shape) = match args {
+        [] => (0i64, 1i64, vec![]),
+        [spec] => match int_range_spec(spec) {
+            Some((lo, hi)) => (lo, hi, vec![]),
+            None => return INERT,
+        },
+        [spec, shape_e] => {
+            let Some(dims) = parse_shape(shape_e) else { return INERT };
+            match int_range_spec(spec) {
+                Some((lo, hi)) => (lo, hi, dims),
+                None => return INERT,
+            }
+        }
+        _ => return INERT,
+    };
+    if hi < lo {
+        return type_err("RandomInteger: empty range");
+    }
+    let span = (hi - lo) as u64 + 1;
+    let mut gen = || Expr::int(lo + (i.next_random_u64() % span) as i64);
+    done(build_shaped(&shape, &mut gen))
+}
+
+fn int_range_spec(spec: &Expr) -> Option<(i64, i64)> {
+    if let Some(hi) = spec.as_i64() {
+        return Some((0, hi));
+    }
+    if spec.has_head("List") && spec.length() == 2 {
+        let lo = spec.args()[0].as_i64()?;
+        let hi = spec.args()[1].as_i64()?;
+        return Some((lo, hi));
+    }
+    None
+}
+
+fn random_variate(
+    i: &mut Interpreter,
+    args: &[Expr],
+    depth: usize,
+) -> Result<Option<Expr>, EvalError> {
+    let (dist, shape) = match args {
+        [d] => (d, vec![]),
+        [d, shape_e] => {
+            let Some(dims) = parse_shape(shape_e) else { return INERT };
+            (d, dims)
+        }
+        _ => return INERT,
+    };
+    if dist.has_head("NormalDistribution") {
+        let (mu, sigma) = match dist.args() {
+            [] => (0.0, 1.0),
+            [m, s] => (bound_f64(i, m, depth)?, bound_f64(i, s, depth)?),
+            _ => return INERT,
+        };
+        // Box–Muller transform over the deterministic generator.
+        let mut gen = || {
+            let u1 = i.next_random_f64().max(f64::MIN_POSITIVE);
+            let u2 = i.next_random_f64();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            Expr::real(mu + sigma * z)
+        };
+        return done(build_shaped(&shape, &mut gen));
+    }
+    if dist.has_head("UniformDistribution") {
+        let (lo, hi) = match dist.args() {
+            [] => (0.0, 1.0),
+            [spec] if spec.has_head("List") && spec.length() == 2 => (
+                bound_f64(i, &spec.args()[0], depth)?,
+                bound_f64(i, &spec.args()[1], depth)?,
+            ),
+            _ => return INERT,
+        };
+        let mut gen = || Expr::real(lo + (hi - lo) * i.next_random_f64());
+        return done(build_shaped(&shape, &mut gen));
+    }
+    INERT
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::eval::Interpreter;
+    use wolfram_expr::Expr;
+
+    fn seeded() -> Interpreter {
+        let mut i = Interpreter::new();
+        i.seed_random(42);
+        i
+    }
+
+    #[test]
+    fn random_real_ranges() {
+        let mut i = seeded();
+        for _ in 0..50 {
+            let v = i.eval_src("RandomReal[]").unwrap().as_f64().unwrap();
+            assert!((0.0..1.0).contains(&v));
+            let v = i.eval_src("RandomReal[{5, 6}]").unwrap().as_f64().unwrap();
+            assert!((5.0..6.0).contains(&v));
+            let v = i.eval_src("RandomReal[10]").unwrap().as_f64().unwrap();
+            assert!((0.0..10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn symbolic_bounds_via_n() {
+        // The paper's random walk uses RandomReal[{0, 2 Pi}].
+        let mut i = seeded();
+        for _ in 0..20 {
+            let v = i.eval_src("RandomReal[{0, 2*Pi}]").unwrap().as_f64().unwrap();
+            assert!((0.0..std::f64::consts::TAU).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shapes() {
+        let mut i = seeded();
+        let m = i.eval_src("RandomReal[1, {2, 3}]").unwrap();
+        assert_eq!(m.length(), 2);
+        assert_eq!(m.args()[0].length(), 3);
+        let v = i.eval_src("RandomInteger[{1, 6}, 10]").unwrap();
+        assert_eq!(v.length(), 10);
+        assert!(v.args().iter().all(|d| (1..=6).contains(&d.as_i64().unwrap())));
+    }
+
+    #[test]
+    fn paper_intro_example() {
+        // Total[RandomVariate[NormalDistribution[], {10, 10}]] from §1:
+        // a 10x10 matrix of normals, rows summed.
+        let mut i = seeded();
+        let out = i.eval_src("Total[RandomVariate[NormalDistribution[], {10, 10}]]").unwrap();
+        assert!(out.has_head("List"));
+        assert_eq!(out.length(), 10);
+        assert!(out.args().iter().all(|v| v.as_f64().is_some()));
+    }
+
+    #[test]
+    fn normal_variates_plausible() {
+        let mut i = seeded();
+        let sample = i.eval_src("RandomVariate[NormalDistribution[], 2000]").unwrap();
+        let values: Vec<f64> = sample.args().iter().map(|e| e.as_f64().unwrap()).collect();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.25, "variance {var}");
+    }
+
+    #[test]
+    fn seeding_reproduces() {
+        let run = || {
+            let mut i = seeded();
+            i.eval_src("RandomInteger[{0, 1000000}, 5]").unwrap().to_full_form()
+        };
+        assert_eq!(run(), run());
+        let _ = Expr::null();
+    }
+}

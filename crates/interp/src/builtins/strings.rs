@@ -1,0 +1,252 @@
+//! String builtins — the functionality class the legacy bytecode compiler
+//! could not express (limitation L1) and the new compiler supports natively
+//! (the FNV1a benchmark operates on UTF-8 bytes of real strings).
+
+use super::{attr, done, reg, type_err, BuiltinDef, INERT};
+use crate::eval::{EvalError, Interpreter};
+use std::collections::HashMap;
+use wolfram_expr::{Expr, Rule};
+
+pub(crate) fn register(m: &mut HashMap<&'static str, BuiltinDef>) {
+    reg(m, "StringLength", attr::listable(), string_length);
+    reg(m, "StringJoin", attr::none(), string_join);
+    reg(m, "StringTake", attr::none(), string_take);
+    reg(m, "Characters", attr::none(), characters);
+    reg(m, "ToCharacterCode", attr::none(), to_character_code);
+    reg(m, "FromCharacterCode", attr::none(), from_character_code);
+    reg(m, "StringReplace", attr::none(), string_replace);
+    reg(m, "ToString", attr::none(), to_string);
+    reg(m, "ToUpperCase", attr::none(), |_, a, _| map_str(a, |s| s.to_uppercase()));
+    reg(m, "ToLowerCase", attr::none(), |_, a, _| map_str(a, |s| s.to_lowercase()));
+    reg(m, "StringReverse", attr::none(), |_, a, _| {
+        map_str(a, |s| s.chars().rev().collect())
+    });
+}
+
+fn map_str(args: &[Expr], f: impl Fn(&str) -> String) -> Result<Option<Expr>, EvalError> {
+    let [a] = args else { return INERT };
+    match a.as_str() {
+        Some(s) => done(Expr::string(f(s))),
+        None => INERT,
+    }
+}
+
+fn string_length(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let [a] = args else { return INERT };
+    match a.as_str() {
+        Some(s) => done(Expr::int(s.chars().count() as i64)),
+        None => INERT,
+    }
+}
+
+fn string_join(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let mut out = String::new();
+    for a in args {
+        // StringJoin flattens lists of strings.
+        if a.has_head("List") {
+            for e in a.args() {
+                match e.as_str() {
+                    Some(s) => out.push_str(s),
+                    None => return INERT,
+                }
+            }
+            continue;
+        }
+        match a.as_str() {
+            Some(s) => out.push_str(s),
+            None => return INERT,
+        }
+    }
+    done(Expr::string(out))
+}
+
+fn string_take(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let [a, spec] = args else { return INERT };
+    let Some(s) = a.as_str() else { return INERT };
+    let chars: Vec<char> = s.chars().collect();
+    let len = chars.len();
+    let slice: &[char] = if let Some(k) = spec.as_i64() {
+        if k >= 0 {
+            let k = (k as usize).min(len);
+            &chars[..k]
+        } else {
+            let k = ((-k) as usize).min(len);
+            &chars[len - k..]
+        }
+    } else if spec.has_head("List") && spec.length() == 2 {
+        let (Some(a), Some(b)) = (spec.args()[0].as_i64(), spec.args()[1].as_i64()) else {
+            return INERT;
+        };
+        let a = wolfram_runtime::checked::resolve_part_index(a, len).map_err(EvalError::Runtime)?;
+        let b = wolfram_runtime::checked::resolve_part_index(b, len).map_err(EvalError::Runtime)?;
+        if a > b {
+            return type_err("StringTake: reversed range");
+        }
+        &chars[a..=b]
+    } else {
+        return INERT;
+    };
+    done(Expr::string(slice.iter().collect::<String>()))
+}
+
+fn characters(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    let [a] = args else { return INERT };
+    match a.as_str() {
+        Some(s) => done(Expr::list(
+            s.chars().map(|c| Expr::string(c.to_string())).collect::<Vec<_>>(),
+        )),
+        None => INERT,
+    }
+}
+
+fn to_character_code(
+    _i: &mut Interpreter,
+    args: &[Expr],
+    _d: usize,
+) -> Result<Option<Expr>, EvalError> {
+    let [a] = args else { return INERT };
+    match a.as_str() {
+        Some(s) => done(Expr::list(
+            s.chars().map(|c| Expr::int(c as i64)).collect::<Vec<_>>(),
+        )),
+        None => INERT,
+    }
+}
+
+fn from_character_code(
+    _i: &mut Interpreter,
+    args: &[Expr],
+    _d: usize,
+) -> Result<Option<Expr>, EvalError> {
+    let [a] = args else { return INERT };
+    let codes: Vec<i64> = if let Some(c) = a.as_i64() {
+        vec![c]
+    } else if a.has_head("List") {
+        match a.args().iter().map(Expr::as_i64).collect() {
+            Some(cs) => cs,
+            None => return INERT,
+        }
+    } else {
+        return INERT;
+    };
+    let mut out = String::new();
+    for c in codes {
+        let ch = u32::try_from(c)
+            .ok()
+            .and_then(char::from_u32)
+            .ok_or_else(|| {
+                EvalError::Runtime(wolfram_runtime::RuntimeError::Type(format!(
+                    "invalid character code {c}"
+                )))
+            })?;
+        out.push(ch);
+    }
+    done(Expr::string(out))
+}
+
+fn string_replace(
+    _i: &mut Interpreter,
+    args: &[Expr],
+    _d: usize,
+) -> Result<Option<Expr>, EvalError> {
+    let [subject, rules] = args else { return INERT };
+    let Some(s) = subject.as_str() else { return INERT };
+    let Some(rules) = Rule::list_from_expr(rules) else { return INERT };
+    // Literal string rules applied left-to-right over the subject, each
+    // position rewritten at most once (Wolfram semantics for literal
+    // patterns). The original string is not mutated (F5).
+    let mut pairs = Vec::new();
+    for r in &rules {
+        let (Some(from), Some(to)) = (r.lhs.as_str(), r.rhs.as_str()) else {
+            return INERT;
+        };
+        if from.is_empty() {
+            return type_err("StringReplace: empty pattern");
+        }
+        pairs.push((from.to_owned(), to.to_owned()));
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    'scan: while !rest.is_empty() {
+        for (from, to) in &pairs {
+            if let Some(stripped) = rest.strip_prefix(from.as_str()) {
+                out.push_str(to);
+                rest = stripped;
+                continue 'scan;
+            }
+        }
+        let ch = rest.chars().next().expect("nonempty");
+        out.push(ch);
+        rest = &rest[ch.len_utf8()..];
+    }
+    done(Expr::string(out))
+}
+
+fn to_string(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+    match args {
+        [a] => done(Expr::string(a.to_input_form())),
+        [a, form] if form.is_symbol("InputForm") => done(Expr::string(a.to_input_form())),
+        [a, form] if form.is_symbol("FullForm") => done(Expr::string(a.to_full_form())),
+        _ => INERT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::eval::Interpreter;
+
+    fn ev(src: &str) -> String {
+        Interpreter::new().eval_src(src).unwrap().to_full_form()
+    }
+
+    #[test]
+    fn basic_string_ops() {
+        assert_eq!(ev("StringLength[\"hello\"]"), "5");
+        assert_eq!(ev("StringJoin[\"foo\", \"bar\"]"), "\"foobar\"");
+        assert_eq!(ev("\"a\" <> \"b\" <> \"c\""), "\"abc\"");
+        assert_eq!(ev("StringTake[\"hello\", 2]"), "\"he\"");
+        assert_eq!(ev("StringTake[\"hello\", -2]"), "\"lo\"");
+        assert_eq!(ev("StringTake[\"hello\", {2, 4}]"), "\"ell\"");
+        assert_eq!(ev("ToUpperCase[\"abc\"]"), "\"ABC\"");
+        assert_eq!(ev("StringReverse[\"abc\"]"), "\"cba\"");
+    }
+
+    #[test]
+    fn character_codes() {
+        assert_eq!(ev("ToCharacterCode[\"AB\"]"), "List[65, 66]");
+        assert_eq!(ev("FromCharacterCode[{104, 105}]"), "\"hi\"");
+        assert_eq!(ev("FromCharacterCode[65]"), "\"A\"");
+        assert_eq!(ev("Characters[\"ok\"]"), "List[\"o\", \"k\"]");
+    }
+
+    #[test]
+    fn paper_string_replace_example() {
+        // ({#, StringReplace[#, "foo" -> "grok"]} &)["foobar"]
+        // => {"foobar", "grokbar"} — the original string is unchanged.
+        assert_eq!(
+            ev("({#, StringReplace[#, \"foo\" -> \"grok\"]} &)[\"foobar\"]"),
+            "List[\"foobar\", \"grokbar\"]"
+        );
+    }
+
+    #[test]
+    fn string_replace_multiple_rules() {
+        assert_eq!(
+            ev("StringReplace[\"abcabc\", {\"a\" -> \"x\", \"c\" -> \"y\"}]"),
+            "\"xbyxby\""
+        );
+    }
+
+    #[test]
+    fn to_string_forms() {
+        assert_eq!(ev("ToString[1 + 1]"), "\"2\"");
+        assert_eq!(ev("ToString[f[x], FullForm]"), "\"f[x]\"");
+        assert_eq!(ev("ToString[{1, 2}]"), "\"{1, 2}\"");
+    }
+
+    #[test]
+    fn unicode_strings() {
+        assert_eq!(ev("StringLength[\"héllo\"]"), "5");
+        assert_eq!(ev("ToCharacterCode[\"é\"]"), "List[233]");
+    }
+}

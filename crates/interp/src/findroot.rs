@@ -1,0 +1,185 @@
+//! `FindRoot`: Newton's method with a symbolically computed derivative, and
+//! the *auto-compilation* hook (§1, §2.2).
+//!
+//! "Numeric functions such as `FindRoot[Sin[x] + E^x, x, 0]` automatically
+//! invoke the ... compiler to compile the input equation ... along with its
+//! derivative. The ... compiled version of these functions are then
+//! internally used by these numerical methods."
+//!
+//! The interpreter itself evaluates the objective by substitution; the
+//! compiler package installs [`AutoCompileHook`] to replace that with
+//! compiled native evaluators — the 1.6× speedup measured in the paper's
+//! introduction comes exactly from this swap.
+
+use crate::builtins::arithmetic::numericize;
+use crate::builtins::{attr, done, reg, type_err, BuiltinDef, INERT};
+use crate::eval::{EvalError, Interpreter};
+use crate::symbolic::differentiate;
+use std::collections::HashMap;
+use std::rc::Rc;
+use wolfram_expr::{Expr, Symbol};
+use wolfram_runtime::RuntimeError;
+
+/// A compiled univariate real function produced by the auto-compilation
+/// hook.
+pub type CompiledUnary = Rc<dyn Fn(f64) -> Result<f64, RuntimeError>>;
+
+/// Hook installed by the compiler package: asked to compile `body` as a
+/// function of `var`. Returning `None` keeps interpreted evaluation.
+pub type AutoCompileHook = Rc<dyn Fn(&Expr, &Symbol) -> Option<CompiledUnary>>;
+
+pub(crate) fn register(m: &mut HashMap<&'static str, BuiltinDef>) {
+    reg(m, "FindRoot", attr::hold_all(), find_root_builtin);
+}
+
+fn find_root_builtin(
+    i: &mut Interpreter,
+    args: &[Expr],
+    depth: usize,
+) -> Result<Option<Expr>, EvalError> {
+    // Forms: FindRoot[f, {x, x0}] and the paper's FindRoot[f, x, 0].
+    let (f, var, x0) = match args {
+        [f, spec] if spec.has_head("List") && spec.length() == 2 => {
+            let Some(var) = spec.args()[0].as_symbol() else {
+                return type_err("FindRoot variable must be a symbol");
+            };
+            (f, var, spec.args()[1].clone())
+        }
+        [f, v, x0] => {
+            let Some(var) = v.as_symbol() else {
+                return type_err("FindRoot variable must be a symbol");
+            };
+            (f, var, x0.clone())
+        }
+        _ => return INERT,
+    };
+    // Equations `lhs == rhs` become `lhs - rhs`.
+    let objective = if f.has_head("Equal") && f.length() == 2 {
+        Expr::call("Subtract", [f.args()[0].clone(), f.args()[1].clone()])
+    } else {
+        f.clone()
+    };
+    let x0 = i.eval_depth(&Expr::call("N", [x0]), depth + 1)?;
+    let Some(x0) = x0.as_f64() else {
+        return type_err("FindRoot starting point must be numeric");
+    };
+    let root = newton(i, &objective, &var, x0, depth)?;
+    done(Expr::list([Expr::call("Rule", [Expr::symbol(var), Expr::real(root)])]))
+}
+
+/// Newton iteration shared by the builtin and the benchmark harness.
+pub(crate) fn newton(
+    i: &mut Interpreter,
+    objective: &Expr,
+    var: &Symbol,
+    mut x: f64,
+    depth: usize,
+) -> Result<f64, EvalError> {
+    let derivative_expr = i.eval_depth(&differentiate(objective, var), depth + 1)?;
+
+    // Auto-compilation: ask the installed hook for native evaluators of the
+    // objective and its symbolic derivative.
+    let compiled = i.auto_compile.clone().and_then(|hook| {
+        let f = hook(objective, var)?;
+        let df = hook(&derivative_expr, var)?;
+        Some((f, df))
+    });
+    if compiled.is_some() {
+        i.autocompile_hits += 1;
+    }
+
+    let eval_at = |i: &mut Interpreter, e: &Expr, x: f64| -> Result<f64, EvalError> {
+        let mut map = HashMap::new();
+        map.insert(var.clone(), Expr::real(x));
+        let substituted = wolfram_expr::rules::substitute_symbols(e, &map);
+        let v = i.eval_depth(&numericize(&substituted), depth + 1)?;
+        v.as_f64().ok_or_else(|| {
+            EvalError::Runtime(RuntimeError::Type(format!(
+                "FindRoot objective did not evaluate numerically at {x}"
+            )))
+        })
+    };
+
+    const MAX_ITER: usize = 100;
+    const TOL: f64 = 1e-12;
+    for _ in 0..MAX_ITER {
+        let (fx, dfx) = match &compiled {
+            Some((f, df)) => (f(x).map_err(EvalError::Runtime)?, df(x).map_err(EvalError::Runtime)?),
+            None => (eval_at(i, objective, x)?, eval_at(i, &derivative_expr, x)?),
+        };
+        if fx.abs() < TOL {
+            return Ok(x);
+        }
+        if dfx == 0.0 || !dfx.is_finite() {
+            return Err(RuntimeError::Other("FindRoot: zero derivative".into()).into());
+        }
+        let next = x - fx / dfx;
+        if !next.is_finite() {
+            return Err(RuntimeError::Other("FindRoot diverged".into()).into());
+        }
+        if (next - x).abs() < TOL * (1.0 + x.abs()) {
+            return Ok(next);
+        }
+        x = next;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Interpreter;
+
+    #[test]
+    fn paper_example_sin_plus_exp() {
+        // FindRoot[Sin[x] + E^x, {x, 0}] ~ -0.588533 (§2.1).
+        let mut i = Interpreter::new();
+        let out = i.eval_src("FindRoot[Sin[x] + E^x, {x, 0}]").unwrap();
+        assert!(out.has_head("List"));
+        let rule = &out.args()[0];
+        assert!(rule.has_head("Rule"));
+        let root = rule.args()[1].as_f64().unwrap();
+        assert!((root - (-0.5885327439818611)).abs() < 1e-8, "root {root}");
+    }
+
+    #[test]
+    fn three_argument_form() {
+        // The paper writes FindRoot[Sin[x] + E^x, x, 0].
+        let mut i = Interpreter::new();
+        let out = i.eval_src("FindRoot[Sin[x] + E^x, x, 0]").unwrap();
+        let root = out.args()[0].args()[1].as_f64().unwrap();
+        assert!((root - (-0.5885327439818611)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equations_accepted() {
+        let mut i = Interpreter::new();
+        let out = i.eval_src("FindRoot[x^2 == 2, {x, 1}]").unwrap();
+        let root = out.args()[0].args()[1].as_f64().unwrap();
+        assert!((root - 2.0f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn auto_compile_hook_is_used() {
+        let mut i = Interpreter::new();
+        // A fake "compiler" that handles any objective natively: proves the
+        // hook path is exercised end to end.
+        let hook: AutoCompileHook = Rc::new(|body, var| {
+            // Only handle x^2 - 2 and its derivative 2 x, our test inputs.
+            let src = body.to_full_form();
+            let v = var.name().to_owned();
+            if src == format!("Plus[-2, Power[{v}, 2]]") || src == format!("Subtract[Power[{v}, 2], 2]") {
+                Some(Rc::new(|x: f64| Ok(x * x - 2.0)) as super::CompiledUnary)
+            } else if src == format!("Times[2, {v}]") {
+                Some(Rc::new(|x: f64| Ok(2.0 * x)) as super::CompiledUnary)
+            } else {
+                None
+            }
+        });
+        i.auto_compile = Some(hook);
+        let out = i.eval_src("FindRoot[x^2 - 2, {x, 1}]").unwrap();
+        let root = out.args()[0].args()[1].as_f64().unwrap();
+        assert!((root - 2.0f64.sqrt()).abs() < 1e-10);
+        assert_eq!(i.autocompile_hits, 1);
+    }
+}

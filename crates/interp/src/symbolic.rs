@@ -1,0 +1,314 @@
+//! Symbolic computation (F8): differentiation and rule application.
+//!
+//! `FindRoot` (§1, §2.1) "symbolically computes the derivative of the input
+//! equation and uses Newton's method" — [`differentiate`] is that derivative
+//! engine, shared by the interpreter builtin `D` and the compiler's
+//! auto-differentiation extension point.
+
+use crate::builtins::{attr, done, reg, BuiltinDef, INERT};
+use crate::eval::{EvalError, Interpreter};
+use std::collections::HashMap;
+use wolfram_expr::{Expr, MatchCtx, Rule, Symbol};
+
+pub(crate) fn register(m: &mut HashMap<&'static str, BuiltinDef>) {
+    reg(m, "D", attr::none(), d_builtin);
+    reg(m, "ReplaceAll", attr::none(), replace_all_builtin);
+    reg(m, "ReplaceRepeated", attr::none(), replace_repeated_builtin);
+    reg(m, "Head", attr::none(), |_, a, _| match a {
+        [e] => done(e.head()),
+        _ => INERT,
+    });
+    reg(m, "Rule", attr::none(), |_, _, _| INERT);
+    reg(m, "RuleDelayed", attr::hold_rest(), |_, _, _| INERT);
+    reg(m, "Blank", attr::none(), |_, _, _| INERT);
+    reg(m, "BlankSequence", attr::none(), |_, _, _| INERT);
+    reg(m, "BlankNullSequence", attr::none(), |_, _, _| INERT);
+    reg(m, "Pattern", attr::hold_all(), |_, _, _| INERT);
+    reg(m, "Condition", attr::hold_all(), |_, _, _| INERT);
+    reg(m, "HoldPattern", attr::hold_all(), |_, _, _| INERT);
+    reg(m, "Alternatives", attr::none(), |_, _, _| INERT);
+    reg(m, "Typed", attr::hold_all(), |_, _, _| INERT);
+    reg(m, "TypeSpecifier", attr::hold_all(), |_, _, _| INERT);
+    reg(m, "Slot", attr::none(), |_, _, _| INERT);
+    reg(m, "SlotSequence", attr::none(), |_, _, _| INERT);
+    reg(m, "Sequence", attr::none(), |_, _, _| INERT);
+    reg(m, "Expand", attr::none(), |_, _, _| INERT);
+}
+
+fn d_builtin(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+    let [f, var] = args else { return INERT };
+    let Some(x) = var.as_symbol() else { return INERT };
+    let raw = differentiate(f, &x);
+    // Run the simplifying evaluator over the derivative.
+    i.eval_depth(&raw, depth + 1).map(Some)
+}
+
+/// Symbolic partial derivative of `e` with respect to `x`.
+///
+/// The result is unsimplified; evaluating it through the interpreter folds
+/// constants (the builtin `D` does this automatically).
+///
+/// # Examples
+///
+/// ```
+/// use wolfram_interp::{symbolic::differentiate, Interpreter};
+/// use wolfram_expr::{parse, Symbol};
+/// let mut i = Interpreter::new();
+/// let d = differentiate(&parse("Sin[x] + E^x").unwrap(), &Symbol::new("x"));
+/// let simplified = i.eval(&d).unwrap();
+/// assert_eq!(simplified.to_full_form(), "Plus[Cos[x], Power[E, x]]");
+/// ```
+pub fn differentiate(e: &Expr, x: &Symbol) -> Expr {
+    use wolfram_expr::ExprKind;
+    match e.kind() {
+        ExprKind::Symbol(s) => {
+            if s == x {
+                Expr::int(1)
+            } else {
+                Expr::int(0)
+            }
+        }
+        ExprKind::Normal(n) => {
+            let head = n.head().as_symbol();
+            let args = n.args();
+            match (head.as_ref().map(Symbol::name), args.len()) {
+                (Some("Plus"), _) => {
+                    Expr::call("Plus", args.iter().map(|a| differentiate(a, x)).collect::<Vec<_>>())
+                }
+                (Some("Subtract"), 2) => Expr::call(
+                    "Subtract",
+                    [differentiate(&args[0], x), differentiate(&args[1], x)],
+                ),
+                (Some("Times"), _) => {
+                    // Product rule, n-ary.
+                    let mut terms = Vec::new();
+                    for (ix, _) in args.iter().enumerate() {
+                        let factors: Vec<Expr> = args
+                            .iter()
+                            .enumerate()
+                            .map(|(jx, a)| {
+                                if ix == jx {
+                                    differentiate(a, x)
+                                } else {
+                                    a.clone()
+                                }
+                            })
+                            .collect();
+                        terms.push(Expr::call("Times", factors));
+                    }
+                    Expr::call("Plus", terms)
+                }
+                (Some("Divide"), 2) => {
+                    // (u/v)' = (u'v - uv') / v^2
+                    let (u, v) = (&args[0], &args[1]);
+                    Expr::call(
+                        "Divide",
+                        [
+                            Expr::call(
+                                "Subtract",
+                                [
+                                    Expr::call("Times", [differentiate(u, x), v.clone()]),
+                                    Expr::call("Times", [u.clone(), differentiate(v, x)]),
+                                ],
+                            ),
+                            Expr::call("Power", [v.clone(), Expr::int(2)]),
+                        ],
+                    )
+                }
+                (Some("Power"), 2) => {
+                    let (base, exp) = (&args[0], &args[1]);
+                    let base_free = !base.contains_symbol(x.name());
+                    let exp_free = !exp.contains_symbol(x.name());
+                    if base_free && exp_free {
+                        Expr::int(0)
+                    } else if exp_free {
+                        // d(u^c) = c u^(c-1) u'
+                        Expr::call(
+                            "Times",
+                            [
+                                exp.clone(),
+                                Expr::call(
+                                    "Power",
+                                    [base.clone(), Expr::call("Subtract", [exp.clone(), Expr::int(1)])],
+                                ),
+                                differentiate(base, x),
+                            ],
+                        )
+                    } else if base_free {
+                        // d(c^u) = c^u Log[c] u'
+                        Expr::call(
+                            "Times",
+                            [
+                                e.clone(),
+                                Expr::call("Log", [base.clone()]),
+                                differentiate(exp, x),
+                            ],
+                        )
+                    } else {
+                        // General case: d(u^v) = u^v (v' Log[u] + v u'/u)
+                        Expr::call(
+                            "Times",
+                            [
+                                e.clone(),
+                                Expr::call(
+                                    "Plus",
+                                    [
+                                        Expr::call(
+                                            "Times",
+                                            [differentiate(exp, x), Expr::call("Log", [base.clone()])],
+                                        ),
+                                        Expr::call(
+                                            "Divide",
+                                            [
+                                                Expr::call(
+                                                    "Times",
+                                                    [exp.clone(), differentiate(base, x)],
+                                                ),
+                                                base.clone(),
+                                            ],
+                                        ),
+                                    ],
+                                ),
+                            ],
+                        )
+                    }
+                }
+                (Some("Minus"), 1) => Expr::call("Minus", [differentiate(&args[0], x)]),
+                (Some(name), 1) => {
+                    // Chain rule for unary functions with known derivatives.
+                    let u = &args[0];
+                    let outer = match name {
+                        "Sin" => Expr::call("Cos", [u.clone()]),
+                        "Cos" => Expr::call("Times", [Expr::int(-1), Expr::call("Sin", [u.clone()])]),
+                        "Tan" => Expr::call(
+                            "Power",
+                            [Expr::call("Cos", [u.clone()]), Expr::int(-2)],
+                        ),
+                        "Exp" => Expr::call("Exp", [u.clone()]),
+                        "Log" => Expr::call("Power", [u.clone(), Expr::int(-1)]),
+                        "Sqrt" => Expr::call(
+                            "Divide",
+                            [
+                                Expr::int(1),
+                                Expr::call("Times", [Expr::int(2), Expr::call("Sqrt", [u.clone()])]),
+                            ],
+                        ),
+                        "ArcTan" => Expr::call(
+                            "Power",
+                            [
+                                Expr::call("Plus", [Expr::int(1), Expr::call("Power", [u.clone(), Expr::int(2)])]),
+                                Expr::int(-1),
+                            ],
+                        ),
+                        _ => {
+                            // Unknown function: inert Derivative form.
+                            return Expr::normal(
+                                Expr::call("Derivative", [Expr::int(1)]),
+                                vec![u.clone()],
+                            );
+                        }
+                    };
+                    Expr::call("Times", [outer, differentiate(u, x)])
+                }
+                _ => {
+                    if e.contains_symbol(x.name()) {
+                        Expr::call("D", [e.clone(), Expr::symbol(x.clone())])
+                    } else {
+                        Expr::int(0)
+                    }
+                }
+            }
+        }
+        // Literals are constants.
+        _ => Expr::int(0),
+    }
+}
+
+fn replace_all_builtin(
+    i: &mut Interpreter,
+    args: &[Expr],
+    depth: usize,
+) -> Result<Option<Expr>, EvalError> {
+    let [subject, rules] = args else { return INERT };
+    let Some(rules) = Rule::list_from_expr(rules) else { return INERT };
+    let replaced = {
+        let mut cond =
+            |c: &Expr| i.eval_depth(c, depth + 1).map(|r| r.is_true()).unwrap_or(false);
+        let mut ctx = MatchCtx { condition_eval: Some(&mut cond) };
+        wolfram_expr::replace_all(subject, &rules, &mut ctx)
+    };
+    i.eval_depth(&replaced, depth + 1).map(Some)
+}
+
+fn replace_repeated_builtin(
+    i: &mut Interpreter,
+    args: &[Expr],
+    depth: usize,
+) -> Result<Option<Expr>, EvalError> {
+    let [subject, rules] = args else { return INERT };
+    let Some(rules) = Rule::list_from_expr(rules) else { return INERT };
+    let replaced = {
+        let mut cond =
+            |c: &Expr| i.eval_depth(c, depth + 1).map(|r| r.is_true()).unwrap_or(false);
+        let mut ctx = MatchCtx { condition_eval: Some(&mut cond) };
+        wolfram_expr::replace_repeated(subject, &rules, &mut ctx)
+    };
+    i.eval_depth(&replaced, depth + 1).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::eval::Interpreter;
+
+    fn ev(src: &str) -> String {
+        Interpreter::new().eval_src(src).unwrap().to_full_form()
+    }
+
+    #[test]
+    fn derivatives() {
+        assert_eq!(ev("D[x^2, x]"), "Times[2, x]");
+        assert_eq!(ev("D[Sin[x], x]"), "Cos[x]");
+        assert_eq!(ev("D[Sin[x] + E^x, x]"), "Plus[Cos[x], Power[E, x]]");
+        assert_eq!(ev("D[c, x]"), "0");
+        assert_eq!(ev("D[x, x]"), "1");
+        assert_eq!(ev("D[Cos[x], x]"), "Times[-1, Sin[x]]");
+        assert_eq!(ev("D[Log[x], x]"), "Power[x, -1]");
+        assert_eq!(ev("D[3*x^2, x]"), "Times[6, x]");
+    }
+
+    #[test]
+    fn chain_rule() {
+        assert_eq!(ev("D[Sin[x^2], x]"), "Times[2, x, Cos[Power[x, 2]]]");
+        assert_eq!(ev("D[Exp[2*x], x]"), "Times[2, Exp[Times[2, x]]]");
+    }
+
+    #[test]
+    fn product_rule() {
+        assert_eq!(ev("D[x*Sin[x], x]"), "Plus[Sin[x], Times[x, Cos[x]]]");
+    }
+
+    #[test]
+    fn replace_all_evaluates() {
+        assert_eq!(ev("(x^2 + x) /. x -> 3"), "12");
+        assert_eq!(ev("f[a, b] /. f[p_, q_] -> {q, p}"), "List[b, a]");
+    }
+
+    #[test]
+    fn replace_repeated_fixed_point() {
+        assert_eq!(ev("f[f[f[x]]] //. f[a_] -> a"), "x");
+    }
+
+    #[test]
+    fn symbolic_expressions_stay_inert() {
+        // Sin[x] is a valid symbolic expression even when x is undefined.
+        assert_eq!(ev("Sin[x]"), "Sin[x]");
+        assert_eq!(ev("Head[Sin[x]]"), "Sin");
+        assert_eq!(ev("Head[5]"), "Integer");
+        assert_eq!(ev("Head[\"s\"]"), "String");
+    }
+
+    #[test]
+    fn conditioned_rules_use_evaluator() {
+        assert_eq!(ev("{1, -2, 3} /. (n_ /; n < 0) -> 0"), "List[1, 0, 3]");
+    }
+}

@@ -1,0 +1,285 @@
+//! Property tests on the interpreter: algebraic identities of the builtin
+//! library over random inputs, structural list laws, and agreement of the
+//! number-theoretic builtins with native references.
+
+use proptest::prelude::*;
+use wolfram_interp::Interpreter;
+
+fn ev(src: &str) -> String {
+    Interpreter::new().eval_src(src).unwrap().to_full_form()
+}
+
+fn ev_i64(src: &str) -> i64 {
+    Interpreter::new()
+        .eval_src(src)
+        .unwrap()
+        .as_i64()
+        .unwrap_or_else(|| panic!("{src} not machine-int"))
+}
+
+fn fmt_list(xs: &[i64]) -> String {
+    let inner: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("{{{}}}", inner.join(", "))
+}
+
+// ---------------------------------------------------------------------
+// Arithmetic identities (machine range kept small enough to avoid
+// overflow so identities hold exactly).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn plus_is_commutative_and_associative(
+        a in -1_000_000i64..1_000_000,
+        b in -1_000_000i64..1_000_000,
+        c in -1_000_000i64..1_000_000,
+    ) {
+        prop_assert_eq!(ev_i64(&format!("({a}) + ({b})")), ev_i64(&format!("({b}) + ({a})")));
+        prop_assert_eq!(
+            ev_i64(&format!("(({a}) + ({b})) + ({c})")),
+            ev_i64(&format!("({a}) + (({b}) + ({c}))"))
+        );
+    }
+
+    #[test]
+    fn times_distributes_over_plus(
+        a in -1_000i64..1_000, b in -1_000i64..1_000, c in -1_000i64..1_000,
+    ) {
+        prop_assert_eq!(
+            ev_i64(&format!("({a}) * (({b}) + ({c}))")),
+            ev_i64(&format!("({a})*({b}) + ({a})*({c})"))
+        );
+    }
+
+    /// The division identity through the interpreter's own builtins.
+    #[test]
+    fn quotient_mod_identity_interpreted(
+        a in -100_000i64..100_000,
+        b in -1_000i64..1_000,
+    ) {
+        prop_assume!(b != 0);
+        let q = ev_i64(&format!("Quotient[{a}, {b}]"));
+        let r = ev_i64(&format!("Mod[{a}, {b}]"));
+        prop_assert_eq!(b * q + r, a);
+        if r != 0 {
+            prop_assert_eq!(r.signum(), b.signum());
+        }
+        // Quotient is Floor of the real quotient.
+        prop_assert_eq!(q, (a as f64 / b as f64).floor() as i64);
+    }
+
+    /// Exact integer Power for bases that stay in machine range, checked
+    /// against i128.
+    #[test]
+    fn power_matches_wide_reference(base in -9i64..9, exp in 0u32..12) {
+        let want = (base as i128).pow(exp);
+        prop_assert_eq!(ev_i64(&format!("({base})^{exp}")) as i128, want);
+    }
+
+    /// Big products leave machine range without wrapping: (10^10)^2 style
+    /// inputs must produce exact bignum digits.
+    #[test]
+    fn bignum_square_has_exact_digits(a in 4_000_000_000i64..5_000_000_000) {
+        let got = ev(&format!("{a} * {a}"));
+        let want = (a as i128 * a as i128).to_string();
+        prop_assert_eq!(got, want);
+    }
+}
+
+// ---------------------------------------------------------------------
+// List-structural laws.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reverse_is_an_involution(xs in prop::collection::vec(-50i64..50, 0..12)) {
+        let l = fmt_list(&xs);
+        prop_assert_eq!(ev(&format!("Reverse[Reverse[{l}]]")), ev(&l));
+    }
+
+    #[test]
+    fn sort_is_idempotent_and_sorted(xs in prop::collection::vec(-50i64..50, 0..12)) {
+        let l = fmt_list(&xs);
+        let sorted_once = ev(&format!("Sort[{l}]"));
+        let sorted_twice = ev(&format!("Sort[Sort[{l}]]"));
+        prop_assert_eq!(&sorted_once, &sorted_twice);
+        let mut want = xs.clone();
+        want.sort_unstable();
+        prop_assert_eq!(sorted_once, ev(&fmt_list(&want)));
+    }
+
+    #[test]
+    fn sort_preserves_total_and_length(xs in prop::collection::vec(-50i64..50, 0..12)) {
+        let l = fmt_list(&xs);
+        prop_assert_eq!(
+            ev_i64(&format!("Total[Sort[{l}]]")),
+            xs.iter().sum::<i64>()
+        );
+        prop_assert_eq!(
+            ev_i64(&format!("Length[Sort[{l}]]")),
+            xs.len() as i64
+        );
+    }
+
+    #[test]
+    fn join_concatenates(
+        xs in prop::collection::vec(-50i64..50, 0..8),
+        ys in prop::collection::vec(-50i64..50, 0..8),
+    ) {
+        let mut both = xs.clone();
+        both.extend_from_slice(&ys);
+        prop_assert_eq!(
+            ev(&format!("Join[{}, {}]", fmt_list(&xs), fmt_list(&ys))),
+            ev(&fmt_list(&both))
+        );
+    }
+
+    #[test]
+    fn map_preserves_length_and_total_is_linear(xs in prop::collection::vec(-40i64..40, 0..10)) {
+        let l = fmt_list(&xs);
+        prop_assert_eq!(ev_i64(&format!("Length[Map[(#^2 &), {l}]]")), xs.len() as i64);
+        // Total[Map[3*#&, l]] == 3*Total[l].
+        prop_assert_eq!(
+            ev_i64(&format!("Total[Map[(3*# &), {l}]]")),
+            3 * xs.iter().sum::<i64>()
+        );
+    }
+
+    #[test]
+    fn fold_plus_is_total(xs in prop::collection::vec(-50i64..50, 0..10)) {
+        let l = fmt_list(&xs);
+        prop_assert_eq!(
+            ev_i64(&format!("Fold[Plus, 0, {l}]")),
+            xs.iter().sum::<i64>()
+        );
+    }
+
+    #[test]
+    fn gauss_sum(n in 0i64..500) {
+        prop_assert_eq!(ev_i64(&format!("Total[Range[{n}]]")), n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn take_drop_partition(xs in prop::collection::vec(-50i64..50, 1..12), k in 0usize..12) {
+        let k = k % (xs.len() + 1);
+        let l = fmt_list(&xs);
+        prop_assert_eq!(
+            ev(&format!("Join[Take[{l}, {k}], Drop[{l}, {k}]]")),
+            ev(&l)
+        );
+    }
+
+    #[test]
+    fn part_indexes_one_based(xs in prop::collection::vec(-50i64..50, 1..12), pick in 0usize..11) {
+        let i = (pick % xs.len()) + 1;
+        prop_assert_eq!(ev_i64(&format!("{}[[{i}]]", fmt_list(&xs))), xs[i - 1]);
+        // Negative index counts from the end.
+        prop_assert_eq!(
+            ev_i64(&format!("{}[[-{i}]]", fmt_list(&xs))),
+            xs[xs.len() - i]
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Number theory against native references.
+// ---------------------------------------------------------------------
+
+fn gcd_ref(mut a: i64, mut b: i64) -> i64 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gcd_matches_euclid_and_divides(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        let g = ev_i64(&format!("GCD[{a}, {b}]"));
+        prop_assert_eq!(g, gcd_ref(a, b));
+        if g != 0 {
+            prop_assert_eq!(a % g, 0);
+            prop_assert_eq!(b % g, 0);
+        }
+    }
+
+    #[test]
+    fn gcd_lcm_product_law(a in 1i64..5_000, b in 1i64..5_000) {
+        let g = ev_i64(&format!("GCD[{a}, {b}]"));
+        let l = ev_i64(&format!("LCM[{a}, {b}]"));
+        prop_assert_eq!(g * l, a * b);
+    }
+
+    #[test]
+    fn integer_digits_reconstruct(n in 0i64..1_000_000_000) {
+        let digits = ev(&format!("IntegerDigits[{n}]"));
+        let want = if n == 0 {
+            "List[0]".to_owned()
+        } else {
+            let ds: Vec<String> =
+                n.to_string().chars().map(|c| c.to_string()).collect();
+            format!("List[{}]", ds.join(", "))
+        };
+        prop_assert_eq!(digits, want);
+        // FromDigits is the left inverse.
+        prop_assert_eq!(ev_i64(&format!("FromDigits[IntegerDigits[{n}]]")), n);
+    }
+
+    #[test]
+    fn even_odd_partition(n in any::<i32>()) {
+        let even = ev(&format!("EvenQ[{n}]")) == "True";
+        let odd = ev(&format!("OddQ[{n}]")) == "True";
+        prop_assert!(even != odd);
+        prop_assert_eq!(even, n % 2 == 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Symbolic laws.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// D[f + g] = D[f] + D[g] checked numerically at sample points.
+    #[test]
+    fn derivative_is_linear(k in 1i64..6, x0 in -1.0f64..1.0) {
+        let mut i = Interpreter::new();
+        let d = i
+            .eval_src(&format!(
+                "N[(D[Sin[x] + {k}*x^2, x] - (D[Sin[x], x] + D[{k}*x^2, x])) /. x -> {x0}]"
+            ))
+            .unwrap()
+            .as_f64()
+            .unwrap_or(f64::NAN);
+        prop_assert!(d.abs() < 1e-9, "{d}");
+    }
+
+    /// With[{k = v}, body] equals textual substitution.
+    #[test]
+    fn with_is_substitution(v in -100i64..100) {
+        prop_assert_eq!(
+            ev(&format!("With[{{k = {v}}}, k^2 + k]")),
+            ev(&format!("({v})^2 + ({v})"))
+        );
+    }
+
+    /// Block restores the shadowed global on exit.
+    #[test]
+    fn block_restores_binding(old in -50i64..50, new in -50i64..50) {
+        let mut i = Interpreter::new();
+        i.eval_src(&format!("g = {old}")).unwrap();
+        let inside = i.eval_src(&format!("Block[{{g = {new}}}, g]")).unwrap();
+        prop_assert_eq!(inside.as_i64(), Some(new));
+        let after = i.eval_src("g").unwrap();
+        prop_assert_eq!(after.as_i64(), Some(old));
+    }
+}

@@ -1,0 +1,329 @@
+//! Direct-to-SSA function construction.
+//!
+//! "Unlike LLVM Clang, which lowers all local variables into stack loads
+//! and stores ..., the compiler lowers MExprs directly into SSA form"
+//! (§4.3). This is the simple and efficient SSA construction of Braun et
+//! al. (the paper's citation 15): per-block variable definitions, sealed
+//! blocks, and incomplete phis completed at sealing time.
+
+use crate::module::{Block, BlockId, Constant, Function, Instr, Operand, VarId};
+use std::collections::{HashMap, HashSet};
+
+/// Incremental SSA builder for one function.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    /// The function being built.
+    pub func: Function,
+    current: BlockId,
+    defs: HashMap<String, HashMap<BlockId, Operand>>,
+    sealed: HashSet<BlockId>,
+    incomplete: HashMap<BlockId, Vec<(String, VarId)>>,
+    preds: HashMap<BlockId, Vec<BlockId>>,
+    /// Phis per block, materialized at the block head on `finish`.
+    phis: HashMap<BlockId, Vec<Instr>>,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with an (unsealed-predecessors, already current)
+    /// entry block.
+    pub fn new(name: &str, arity: usize) -> Self {
+        let mut func = Function::new(name, arity);
+        func.blocks.push(Block { label: "start".into(), instrs: Vec::new() });
+        let entry = BlockId(0);
+        let mut b = FunctionBuilder {
+            func,
+            current: entry,
+            defs: HashMap::new(),
+            sealed: HashSet::new(),
+            incomplete: HashMap::new(),
+            preds: HashMap::new(),
+            phis: HashMap::new(),
+        };
+        b.sealed.insert(entry);
+        b
+    }
+
+    /// The block currently receiving instructions.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Creates a new (unsealed) block.
+    pub fn create_block(&mut self, label: &str) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(Block { label: label.to_owned(), instrs: Vec::new() });
+        id
+    }
+
+    /// Moves the insertion point.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// Whether the current block already ends in a terminator.
+    pub fn is_terminated(&self) -> bool {
+        self.func.block(self.current).terminator().is_some()
+    }
+
+    /// Declares that all predecessors of `block` are now known, completing
+    /// its pending phis.
+    pub fn seal_block(&mut self, block: BlockId) {
+        if !self.sealed.insert(block) {
+            return;
+        }
+        for (name, phi_var) in self.incomplete.remove(&block).unwrap_or_default() {
+            self.complete_phi(block, &name, phi_var);
+        }
+    }
+
+    fn complete_phi(&mut self, block: BlockId, name: &str, phi_var: VarId) {
+        let preds = self.preds.get(&block).cloned().unwrap_or_default();
+        let mut incoming = Vec::with_capacity(preds.len());
+        for p in preds {
+            let val = self.read_var_in(name, p);
+            incoming.push((p, val));
+        }
+        self.phis
+            .entry(block)
+            .or_default()
+            .push(Instr::Phi { dst: phi_var, incoming });
+    }
+
+    /// Binds `name` to `value` in the current block.
+    pub fn write_var(&mut self, name: &str, value: impl Into<Operand>) {
+        let v = value.into();
+        self.defs.entry(name.to_owned()).or_default().insert(self.current, v);
+    }
+
+    /// Reads `name` at the current point, inserting phis as needed.
+    pub fn read_var(&mut self, name: &str) -> Option<Operand> {
+        if !self.defs.contains_key(name) {
+            return None;
+        }
+        Some(self.read_var_in(name, self.current))
+    }
+
+    fn read_var_in(&mut self, name: &str, block: BlockId) -> Operand {
+        if let Some(v) = self.defs.get(name).and_then(|m| m.get(&block)) {
+            return v.clone();
+        }
+        let value = if !self.sealed.contains(&block) {
+            // Incomplete CFG: placeholder phi completed at seal time.
+            let phi_var = self.func.fresh_var();
+            self.incomplete.entry(block).or_default().push((name.to_owned(), phi_var));
+            Operand::Var(phi_var)
+        } else {
+            let preds = self.preds.get(&block).cloned().unwrap_or_default();
+            match preds.len() {
+                0 => {
+                    // Undefined along this path; treated as Null (matches
+                    // the interpreter's unset-symbol semantics for
+                    // compiled locals, which binding analysis rejects
+                    // earlier for real programs).
+                    Operand::Const(Constant::Null)
+                }
+                1 => self.read_var_in(name, preds[0]),
+                _ => {
+                    let phi_var = self.func.fresh_var();
+                    // Break cycles: record before recursing.
+                    self.defs
+                        .entry(name.to_owned())
+                        .or_default()
+                        .insert(block, Operand::Var(phi_var));
+                    self.complete_phi(block, name, phi_var);
+                    Operand::Var(phi_var)
+                }
+            }
+        };
+        self.defs.entry(name.to_owned()).or_default().insert(block, value.clone());
+        value
+    }
+
+    /// Appends an instruction to the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block is already terminated.
+    pub fn push(&mut self, instr: Instr) {
+        assert!(
+            !self.is_terminated(),
+            "pushing into terminated block {:?} of {}",
+            self.current,
+            self.func.name
+        );
+        for succ in instr.successors() {
+            self.preds.entry(succ).or_default().push(self.current);
+        }
+        self.func.block_mut(self.current).instrs.push(instr);
+    }
+
+    /// Emits `%dst = LoadConst value` and returns the operand.
+    pub fn const_value(&mut self, value: Constant) -> Operand {
+        Operand::Const(value)
+    }
+
+    /// Emits a call and returns its result variable.
+    pub fn call(&mut self, callee: crate::module::Callee, args: Vec<Operand>) -> VarId {
+        let dst = self.func.fresh_var();
+        self.push(Instr::Call { dst, callee, args });
+        dst
+    }
+
+    /// Emits an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        if !self.is_terminated() {
+            self.push(Instr::Jump { target });
+        }
+    }
+
+    /// Emits a conditional branch.
+    pub fn branch(&mut self, cond: impl Into<Operand>, then_block: BlockId, else_block: BlockId) {
+        self.push(Instr::Branch { cond: cond.into(), then_block, else_block });
+    }
+
+    /// Emits a return.
+    pub fn ret(&mut self, value: impl Into<Operand>) {
+        if !self.is_terminated() {
+            self.push(Instr::Return { value: value.into() });
+        }
+    }
+
+    /// The predecessor map accumulated so far.
+    pub fn predecessors(&self, block: BlockId) -> &[BlockId] {
+        self.preds.get(&block).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Finalizes: materializes phis at block heads and returns the
+    /// function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block is unsealed or lacks a terminator.
+    pub fn finish(mut self) -> Function {
+        for id in 0..self.func.blocks.len() as u32 {
+            let id = BlockId(id);
+            assert!(self.sealed.contains(&id), "unsealed block {id:?} in {}", self.func.name);
+            assert!(
+                self.func.block(id).terminator().is_some(),
+                "unterminated block {id:?} ({}) in {}",
+                self.func.block(id).label,
+                self.func.name
+            );
+        }
+        for (block, phis) in std::mem::take(&mut self.phis) {
+            let b = self.func.block_mut(block);
+            let mut new_instrs = phis;
+            new_instrs.append(&mut b.instrs);
+            b.instrs = new_instrs;
+        }
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Callee;
+    use std::rc::Rc;
+
+    fn plus(b: &mut FunctionBuilder, x: Operand, y: Operand) -> VarId {
+        b.call(Callee::Builtin(Rc::from("Plus")), vec![x, y])
+    }
+
+    #[test]
+    fn straight_line() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let arg = b.func.fresh_var();
+        b.push(Instr::LoadArgument { dst: arg, index: 0 });
+        b.write_var("x", arg);
+        let x = b.read_var("x").unwrap();
+        let sum = plus(&mut b, x, Constant::I64(1).into());
+        b.ret(sum);
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.instr_count(), 3);
+        crate::verify::verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn if_diamond_inserts_phi() {
+        // x = arg; if (arg) x = 1 else x = 2; return x
+        let mut b = FunctionBuilder::new("f", 1);
+        let arg = b.func.fresh_var();
+        b.push(Instr::LoadArgument { dst: arg, index: 0 });
+        let then_b = b.create_block("then");
+        let else_b = b.create_block("else");
+        let join = b.create_block("join");
+        b.branch(arg, then_b, else_b);
+        b.seal_block(then_b);
+        b.seal_block(else_b);
+
+        b.switch_to(then_b);
+        b.write_var("x", Constant::I64(1));
+        b.jump(join);
+
+        b.switch_to(else_b);
+        b.write_var("x", Constant::I64(2));
+        b.jump(join);
+
+        b.seal_block(join);
+        b.switch_to(join);
+        let x = b.read_var("x").unwrap();
+        b.ret(x);
+        let f = b.finish();
+        let phis: Vec<&Instr> = f
+            .instrs()
+            .filter(|i| matches!(i, Instr::Phi { .. }))
+            .collect();
+        assert_eq!(phis.len(), 1);
+        crate::verify::verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn loop_with_unsealed_header() {
+        // i = 0; while (i < n) i = i + 1; return i
+        let mut b = FunctionBuilder::new("f", 1);
+        let n = b.func.fresh_var();
+        b.push(Instr::LoadArgument { dst: n, index: 0 });
+        b.write_var("i", Constant::I64(0));
+        let header = b.create_block("loop-head");
+        let body = b.create_block("loop-body");
+        let exit = b.create_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let i0 = b.read_var("i").unwrap();
+        let cond = b.call(Callee::Builtin(Rc::from("Less")), vec![i0, n.into()]);
+        b.branch(cond, body, exit);
+        b.seal_block(body);
+
+        b.switch_to(body);
+        let i1 = b.read_var("i").unwrap();
+        let inc = plus(&mut b, i1, Constant::I64(1).into());
+        b.write_var("i", inc);
+        b.jump(header);
+        b.seal_block(header); // backedge now known
+        b.seal_block(exit);
+
+        b.switch_to(exit);
+        let iout = b.read_var("i").unwrap();
+        b.ret(iout);
+        let f = b.finish();
+        crate::verify::verify_function(&f).unwrap();
+        // The loop variable needs a phi in the header.
+        let header_phis = f
+            .block(header)
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Phi { .. }))
+            .count();
+        assert_eq!(header_phis, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated")]
+    fn pushing_after_terminator_panics() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.ret(Constant::Null);
+        b.push(Instr::AbortCheck);
+    }
+}

@@ -1,0 +1,1024 @@
+//! IR passes (§4.3, §4.5).
+//!
+//! "Optimizations on the control flow graph (dead-branch deletion, basic
+//! block fusion, etc.) ... are safe to perform on the WIR"; "Traditional
+//! compiler optimizations such as: sparse conditional constant propagation,
+//! common subexpression elimination, dead code elimination, etc. are ...
+//! safe to perform on the TWIR". Each pass is registered by name so users
+//! can toggle passes at `FunctionCompile` time (§4.7) — the ablation
+//! benchmarks rely on this.
+
+use crate::analysis::{live_intervals, natural_loops, Cfg, Dominators};
+use crate::module::{BlockId, Callee, Constant, Function, Instr, Operand, VarId};
+use crate::verify::{verify_function, VerifyError};
+use std::collections::{HashMap, HashSet};
+use wolfram_types::Type;
+
+/// Options controlling the standard pipeline.
+#[derive(Debug, Clone)]
+pub struct PassOptions {
+    /// Optimization level: 0 disables the optimizing passes.
+    pub optimization_level: u8,
+    /// Insert abort checks at loop headers and prologues (F3).
+    pub abort_handling: bool,
+    /// Insert `MemoryAcquire`/`MemoryRelease` around live intervals (F7).
+    pub memory_management: bool,
+    /// Pass names explicitly disabled (for ablations).
+    pub disabled: HashSet<String>,
+    /// Verify SSA after each pass (the linter).
+    pub verify_each: bool,
+}
+
+impl Default for PassOptions {
+    fn default() -> Self {
+        PassOptions {
+            optimization_level: 1,
+            abort_handling: true,
+            memory_management: true,
+            disabled: HashSet::new(),
+            verify_each: true,
+        }
+    }
+}
+
+/// The optimizing passes, in pipeline order.
+pub const OPT_PASSES: &[&str] =
+    &["constant-fold", "cse", "copy-propagation", "dce", "simplify-cfg"];
+
+/// Runs a single pass by name. Returns whether anything changed.
+///
+/// # Errors
+///
+/// Propagates linter failures when the pass breaks SSA.
+pub fn run_pass(name: &str, f: &mut Function) -> Result<bool, VerifyError> {
+    let changed = match name {
+        "constant-fold" => constant_fold(f),
+        "cse" => cse(f),
+        "copy-propagation" => copy_propagation(f),
+        "dce" => dce(f),
+        "simplify-cfg" => simplify_cfg(f),
+        "abort-insertion" => abort_insertion(f),
+        "memory-management" => memory_management(f),
+        other => return Err(VerifyError(format!("unknown pass `{other}`"))),
+    };
+    Ok(changed)
+}
+
+/// Runs the standard pipeline (optimizations to fixpoint, then abort and
+/// memory-management insertion). Returns the names of passes that ran.
+///
+/// # Errors
+///
+/// Propagates linter failures.
+pub fn run_pipeline(f: &mut Function, opts: &PassOptions) -> Result<Vec<String>, VerifyError> {
+    let mut ran = Vec::new();
+    let step = |name: &str, f: &mut Function, ran: &mut Vec<String>| -> Result<(), VerifyError> {
+        if opts.disabled.contains(name) {
+            return Ok(());
+        }
+        if run_pass(name, f)? {
+            ran.push(name.to_owned());
+        }
+        if opts.verify_each {
+            verify_function(f)
+                .map_err(|e| VerifyError(format!("after pass {name}: {e}")))?;
+        }
+        Ok(())
+    };
+    if opts.optimization_level > 0 {
+        for _round in 0..3 {
+            let before = ran.len();
+            for name in OPT_PASSES {
+                step(name, f, &mut ran)?;
+            }
+            if ran.len() == before {
+                break;
+            }
+        }
+    }
+    if opts.abort_handling && f.info.abort_handling {
+        step("abort-insertion", f, &mut ran)?;
+    }
+    if opts.memory_management {
+        step("memory-management", f, &mut ran)?;
+    }
+    Ok(ran)
+}
+
+// ---------------------------------------------------------------------
+// Constant folding + dead-branch deletion (SCCP-flavored).
+// ---------------------------------------------------------------------
+
+/// Evaluates a pure builtin over constant arguments. Folding never hides a
+/// runtime numeric exception: overflowing integer ops return `None` so the
+/// soft-failure path (F2) still happens at run time.
+pub fn eval_const_builtin(name: &str, args: &[Constant]) -> Option<Constant> {
+    use Constant as C;
+    let i2 = || match args {
+        [C::I64(a), C::I64(b)] => Some((*a, *b)),
+        _ => None,
+    };
+    let f2 = || match args {
+        [C::F64(a), C::F64(b)] => Some((*a, *b)),
+        [C::I64(a), C::F64(b)] => Some((*a as f64, *b)),
+        [C::F64(a), C::I64(b)] => Some((*a, *b as f64)),
+        _ => None,
+    };
+    let num2 = |fi: fn(i64, i64) -> Option<i64>, ff: fn(f64, f64) -> f64| {
+        if let Some((a, b)) = i2() {
+            return fi(a, b).map(C::I64);
+        }
+        f2().map(|(a, b)| C::F64(ff(a, b)))
+    };
+    let cmp = |ok: fn(std::cmp::Ordering) -> bool| -> Option<Constant> {
+        if let Some((a, b)) = i2() {
+            return Some(C::Bool(ok(a.cmp(&b))));
+        }
+        let (a, b) = f2()?;
+        a.partial_cmp(&b).map(|o| C::Bool(ok(o)))
+    };
+    match name {
+        "Plus" => num2(i64::checked_add, |a, b| a + b),
+        "Subtract" => num2(i64::checked_sub, |a, b| a - b),
+        "Times" => num2(i64::checked_mul, |a, b| a * b),
+        "Quotient" => {
+            let (a, b) = i2()?;
+            if b == 0 || (a == i64::MIN && b == -1) {
+                return None;
+            }
+            // Exact floor division: Quotient[m, n] = Floor[m/n].
+            let (q, r) = (a / b, a % b);
+            Some(C::I64(if r != 0 && (r < 0) != (b < 0) { q - 1 } else { q }))
+        }
+        "Mod" => {
+            let (a, b) = i2()?;
+            if b == 0 {
+                return None;
+            }
+            let r = a.wrapping_rem(b);
+            Some(C::I64(if r != 0 && (r < 0) != (b < 0) { r + b } else { r }))
+        }
+        "Divide" => {
+            let (a, b) = f2()?;
+            (b != 0.0).then(|| C::F64(a / b))
+        }
+        "Minus" => match args {
+            [C::I64(a)] => a.checked_neg().map(C::I64),
+            [C::F64(a)] => Some(C::F64(-a)),
+            _ => None,
+        },
+        "Abs" => match args {
+            [C::I64(a)] => a.checked_abs().map(C::I64),
+            [C::F64(a)] => Some(C::F64(a.abs())),
+            _ => None,
+        },
+        "Power" => match args {
+            [C::I64(a), C::I64(b)] if *b >= 0 => {
+                u32::try_from(*b).ok().and_then(|e| a.checked_pow(e)).map(C::I64)
+            }
+            _ => {
+                let (a, b) = f2()?;
+                Some(C::F64(a.powf(b)))
+            }
+        },
+        "Less" => cmp(std::cmp::Ordering::is_lt),
+        "Greater" => cmp(std::cmp::Ordering::is_gt),
+        "LessEqual" => cmp(std::cmp::Ordering::is_le),
+        "GreaterEqual" => cmp(std::cmp::Ordering::is_ge),
+        "Equal" => cmp(std::cmp::Ordering::is_eq),
+        "Unequal" => cmp(std::cmp::Ordering::is_ne),
+        "Not" => match args {
+            [C::Bool(b)] => Some(C::Bool(!b)),
+            _ => None,
+        },
+        "Min" => num2(|a, b| Some(a.min(b)), f64::min),
+        "Max" => num2(|a, b| Some(a.max(b)), f64::max),
+        "Sin" | "Cos" | "Tan" | "Exp" | "Sqrt" | "Log" => match args {
+            [C::F64(a)] => {
+                let v = match name {
+                    "Sin" => a.sin(),
+                    "Cos" => a.cos(),
+                    "Tan" => a.tan(),
+                    "Exp" => a.exp(),
+                    "Sqrt" => a.sqrt(),
+                    _ => a.ln(),
+                };
+                v.is_finite().then_some(C::F64(v))
+            }
+            _ => None,
+        },
+        "N" => match args {
+            [C::I64(a)] => Some(C::F64(*a as f64)),
+            [C::F64(a)] => Some(C::F64(*a)),
+            _ => None,
+        },
+        "StringLength" => match args {
+            [C::Str(s)] => Some(C::I64(s.chars().count() as i64)),
+            _ => None,
+        },
+        "StringJoin" => {
+            let mut out = String::new();
+            for a in args {
+                match a {
+                    C::Str(s) => out.push_str(s),
+                    _ => return None,
+                }
+            }
+            Some(C::Str(out.into()))
+        }
+        _ => None,
+    }
+}
+
+/// Folds constants through calls and branches; dead branches become jumps.
+fn constant_fold(f: &mut Function) -> bool {
+    let mut changed = false;
+    // Known constants per variable.
+    let mut consts: HashMap<VarId, Constant> = HashMap::new();
+    for b in f.block_ids() {
+        for i in &f.block(b).instrs {
+            if let Instr::LoadConst { dst, value } = i {
+                consts.insert(*dst, value.clone());
+            }
+        }
+    }
+    // Iterate to a local fixed point.
+    loop {
+        let mut local_change = false;
+        for b in 0..f.blocks.len() {
+            let block = &mut f.blocks[b];
+            for i in block.instrs.iter_mut() {
+                // Forward constants into operands.
+                let forward = |o: &mut Operand| {
+                    if let Operand::Var(v) = o {
+                        if let Some(c) = consts.get(v) {
+                            *o = Operand::Const(c.clone());
+                            return true;
+                        }
+                    }
+                    false
+                };
+                match i {
+                    Instr::Call { args, .. } => {
+                        for a in args.iter_mut() {
+                            local_change |= forward(a);
+                        }
+                    }
+                    Instr::Branch { cond, .. } => {
+                        local_change |= forward(cond);
+                    }
+                    Instr::Return { value } => {
+                        local_change |= forward(value);
+                    }
+                    Instr::Phi { incoming, .. } => {
+                        for (_, o) in incoming.iter_mut() {
+                            local_change |= forward(o);
+                        }
+                    }
+                    Instr::MakeClosure { captures, .. } => {
+                        for c in captures.iter_mut() {
+                            local_change |= forward(c);
+                        }
+                    }
+                    Instr::Copy { dst, src } => {
+                        if let Some(c) = consts.get(src).cloned() {
+                            consts.insert(*dst, c.clone());
+                            *i = Instr::LoadConst { dst: *dst, value: c };
+                            local_change = true;
+                        }
+                    }
+                    _ => {}
+                }
+                // Fold fully-constant pure calls.
+                if let Instr::Call { dst, callee, args } = i {
+                    let foldable = matches!(callee, Callee::Builtin(_) | Callee::Primitive(_));
+                    if foldable {
+                        let const_args: Option<Vec<Constant>> =
+                            args.iter().map(|a| a.as_const().cloned()).collect();
+                        if let Some(const_args) = const_args {
+                            let folded = match callee {
+                                Callee::Builtin(name) => eval_const_builtin(name, &const_args),
+                                Callee::Primitive(name) => {
+                                    primitive_base(name)
+                                        .and_then(|base| eval_const_builtin(base, &const_args))
+                                }
+                                _ => None,
+                            };
+                            if let Some(c) = folded {
+                                consts.insert(*dst, c.clone());
+                                *i = Instr::LoadConst { dst: *dst, value: c };
+                                local_change = true;
+                            }
+                        }
+                    }
+                }
+                // Phi with all-identical constant incoming.
+                if let Instr::Phi { dst, incoming } = i {
+                    if let Some(first) = incoming.first().and_then(|(_, o)| o.as_const()) {
+                        let first = first.clone();
+                        if !incoming.is_empty()
+                            && incoming.iter().all(|(_, o)| o.as_const() == Some(&first))
+                        {
+                            consts.insert(*dst, first.clone());
+                            *i = Instr::LoadConst { dst: *dst, value: first };
+                            local_change = true;
+                        }
+                    }
+                }
+            }
+            // Dead-branch deletion.
+            if let Some(Instr::Branch { cond: Operand::Const(c), then_block, else_block }) =
+                block.instrs.last().cloned()
+            {
+                let taken = match c {
+                    Constant::Bool(true) => Some(then_block),
+                    Constant::Bool(false) => Some(else_block),
+                    _ => None,
+                };
+                if let Some(t) = taken {
+                    *block.instrs.last_mut().expect("terminator") = Instr::Jump { target: t };
+                    local_change = true;
+                }
+            }
+        }
+        changed |= local_change;
+        if !local_change {
+            break;
+        }
+    }
+    if changed {
+        prune_phis(f);
+    }
+    changed
+}
+
+/// Maps a mangled primitive name back to its builtin base for folding
+/// (`checked_binary_plus_Integer64_Integer64` -> `Plus`).
+fn primitive_base(name: &str) -> Option<&'static str> {
+    const MAP: &[(&str, &str)] = &[
+        ("checked_binary_plus", "Plus"),
+        ("checked_binary_subtract", "Subtract"),
+        ("checked_binary_times", "Times"),
+        ("checked_binary_divide", "Divide"),
+        ("checked_binary_power", "Power"),
+        ("checked_binary_mod", "Mod"),
+        ("checked_binary_quotient", "Quotient"),
+        ("checked_unary_minus", "Minus"),
+        ("checked_unary_abs", "Abs"),
+        ("compare_less", "Less"),
+        ("compare_greater_equal", "GreaterEqual"),
+        ("compare_greater", "Greater"),
+        ("compare_less_equal", "LessEqual"),
+        ("compare_equal", "Equal"),
+        ("compare_unequal", "Unequal"),
+        ("binary_min", "Min"),
+        ("binary_max", "Max"),
+        ("unary_not", "Not"),
+        ("unary_sin", "Sin"),
+        ("unary_cos", "Cos"),
+        ("unary_tan", "Tan"),
+        ("unary_exp", "Exp"),
+        ("unary_sqrt", "Sqrt"),
+        ("unary_log", "Log"),
+        ("string_length", "StringLength"),
+    ];
+    MAP.iter().find(|(base, _)| name.starts_with(base)).map(|(_, b)| *b)
+}
+
+/// Recomputes predecessor sets and prunes phi incoming lists accordingly;
+/// single-entry phis degrade to copies.
+pub fn prune_phis(f: &mut Function) {
+    let cfg = Cfg::new(f);
+    let reachable: HashSet<BlockId> = cfg.rpo.iter().copied().collect();
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let preds: HashSet<BlockId> = cfg.preds[b.0 as usize]
+            .iter()
+            .copied()
+            .filter(|p| reachable.contains(p))
+            .collect();
+        let block = f.block_mut(b);
+        for i in block.instrs.iter_mut() {
+            if let Instr::Phi { dst, incoming } = i {
+                incoming.retain(|(p, _)| preds.contains(p));
+                if incoming.len() == 1 {
+                    let (_, op) = incoming.pop().expect("len checked");
+                    *i = match op {
+                        Operand::Var(src) => Instr::Copy { dst: *dst, src },
+                        Operand::Const(c) => Instr::LoadConst { dst: *dst, value: c },
+                    };
+                }
+            }
+        }
+        // Copies may now sit between phis; that is fine for the verifier
+        // (phis must only be a prefix — reorder to keep phis first).
+        let (phis, rest): (Vec<Instr>, Vec<Instr>) = block
+            .instrs
+            .drain(..)
+            .partition(|i| matches!(i, Instr::Phi { .. }));
+        block.instrs = phis;
+        block.instrs.extend(rest);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Common subexpression elimination (dominator-scoped).
+// ---------------------------------------------------------------------
+
+fn cse(f: &mut Function) -> bool {
+    let cfg = Cfg::new(f);
+    let dom = Dominators::new(f, &cfg);
+    // Dominator-tree preorder.
+    let mut children: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    for &b in &cfg.rpo {
+        if b != f.entry {
+            if let Some(p) = dom.idom(b) {
+                children.entry(p).or_default().push(b);
+            }
+        }
+    }
+    let mut changed = false;
+    let mut available: HashMap<String, VarId> = HashMap::new();
+    let mut replaced: HashMap<VarId, VarId> = HashMap::new();
+    fn visit(
+        b: BlockId,
+        f: &mut Function,
+        children: &HashMap<BlockId, Vec<BlockId>>,
+        available: &mut HashMap<String, VarId>,
+        replaced: &mut HashMap<VarId, VarId>,
+        changed: &mut bool,
+    ) {
+        let mut added = Vec::new();
+        for ix in 0..f.block(b).instrs.len() {
+            let mut instr = f.block(b).instrs[ix].clone();
+            instr.map_uses(&mut |v| *replaced.get(&v).unwrap_or(&v));
+            if instr.is_pure() && !matches!(instr, Instr::Phi { .. }) {
+                if let (Some(dst), Some(key)) = (instr.def(), instr_key(&instr)) {
+                    if let Some(&prev) = available.get(&key) {
+                        replaced.insert(dst, prev);
+                        f.block_mut(b).instrs[ix] = Instr::Copy { dst, src: prev };
+                        *changed = true;
+                        continue;
+                    }
+                    available.insert(key.clone(), dst);
+                    added.push(key);
+                }
+            }
+            f.block_mut(b).instrs[ix] = instr;
+        }
+        for &c in children.get(&b).map(Vec::as_slice).unwrap_or(&[]) {
+            visit(c, f, children, available, replaced, changed);
+        }
+        for key in added {
+            available.remove(&key);
+        }
+    }
+    let entry = f.entry;
+    visit(entry, f, &children, &mut available, &mut replaced, &mut changed);
+    // Apply replacements everywhere (uses in blocks not visited via the
+    // original defs, e.g. phis).
+    if !replaced.is_empty() {
+        for b in 0..f.blocks.len() {
+            for i in f.blocks[b].instrs.iter_mut() {
+                i.map_uses(&mut |v| *replaced.get(&v).unwrap_or(&v));
+            }
+        }
+    }
+    changed
+}
+
+fn instr_key(i: &Instr) -> Option<String> {
+    match i {
+        Instr::Call { callee, args, .. } => {
+            let args: Vec<String> = args
+                .iter()
+                .map(|a| match a {
+                    Operand::Var(v) => format!("%{}", v.0),
+                    Operand::Const(c) => format!("{c:?}"),
+                })
+                .collect();
+            Some(format!("{}({})", callee.name(), args.join(",")))
+        }
+        Instr::LoadConst { value, .. } => Some(format!("const {value:?}")),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Copy propagation.
+// ---------------------------------------------------------------------
+
+/// Replaces *trivial* phis (all non-self incoming operands identical) with
+/// copies/constant loads, to a fixed point. The direct-to-SSA builder
+/// leaves these behind for values merely threaded through loops.
+fn trivial_phis(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        // Resolution maps for this round: copy chains and constant loads,
+        // so phi *webs* (phis referencing each other through copies)
+        // collapse over successive rounds.
+        let mut copy_of: HashMap<VarId, VarId> = HashMap::new();
+        let mut const_of: HashMap<VarId, Constant> = HashMap::new();
+        for i in f.instrs() {
+            match i {
+                Instr::Copy { dst, src } => {
+                    copy_of.insert(*dst, *src);
+                }
+                Instr::LoadConst { dst, value } => {
+                    const_of.insert(*dst, value.clone());
+                }
+                _ => {}
+            }
+        }
+        let resolve = |o: &Operand| -> Operand {
+            let mut v = match o {
+                Operand::Var(v) => *v,
+                c => return c.clone(),
+            };
+            let mut guard = 0;
+            while let Some(&next) = copy_of.get(&v) {
+                v = next;
+                guard += 1;
+                if guard > copy_of.len() {
+                    break;
+                }
+            }
+            match const_of.get(&v) {
+                Some(c) => Operand::Const(c.clone()),
+                None => Operand::Var(v),
+            }
+        };
+        let mut local = false;
+        for b in 0..f.blocks.len() {
+            for ix in 0..f.blocks[b].instrs.len() {
+                let Instr::Phi { dst, incoming } = &f.blocks[b].instrs[ix] else { continue };
+                let dst = *dst;
+                let mut unique: Option<Operand> = None;
+                let mut trivial = true;
+                for (_, op) in incoming {
+                    let op = resolve(op);
+                    if op.as_var() == Some(dst) {
+                        continue; // self-reference through the backedge
+                    }
+                    match &unique {
+                        None => unique = Some(op),
+                        Some(u) if *u == op => {}
+                        Some(_) => {
+                            trivial = false;
+                            break;
+                        }
+                    }
+                }
+                if !trivial {
+                    continue;
+                }
+                let Some(op) = unique else { continue };
+                f.blocks[b].instrs[ix] = match op {
+                    Operand::Var(src) => Instr::Copy { dst, src },
+                    Operand::Const(c) => Instr::LoadConst { dst, value: c },
+                };
+                local = true;
+            }
+            if local {
+                // Keep phis as a prefix after replacement.
+                let (phis, rest): (Vec<Instr>, Vec<Instr>) = f.blocks[b]
+                    .instrs
+                    .drain(..)
+                    .partition(|i| matches!(i, Instr::Phi { .. }));
+                f.blocks[b].instrs = phis;
+                f.blocks[b].instrs.extend(rest);
+            }
+        }
+        changed |= local;
+        if !local {
+            return changed;
+        }
+    }
+}
+
+/// Propagates `Copy` chains. `Copy` at this level is SSA plumbing — real
+/// value copies required by mutability semantics (F5) are explicit
+/// `tensor_copy` primitive calls, which this pass never touches (the
+/// paper's "not generally valid to perform copy propagation" restriction).
+fn copy_propagation(f: &mut Function) -> bool {
+    let changed_phis = trivial_phis(f);
+    let mut map: HashMap<VarId, VarId> = HashMap::new();
+    for i in f.instrs() {
+        if let Instr::Copy { dst, src } = i {
+            map.insert(*dst, *src);
+        }
+    }
+    if map.is_empty() {
+        return changed_phis;
+    }
+    let resolve = |mut v: VarId| {
+        let mut guard = 0;
+        while let Some(&next) = map.get(&v) {
+            v = next;
+            guard += 1;
+            if guard > map.len() {
+                break;
+            }
+        }
+        v
+    };
+    let mut changed = changed_phis;
+    for b in 0..f.blocks.len() {
+        for i in f.blocks[b].instrs.iter_mut() {
+            let before = i.clone();
+            i.map_uses(&mut |v| resolve(v));
+            changed |= *i != before;
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------
+// Dead code elimination.
+// ---------------------------------------------------------------------
+
+fn dce(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let mut used: HashSet<VarId> = HashSet::new();
+        for i in f.instrs() {
+            for u in i.uses() {
+                used.insert(u);
+            }
+        }
+        let mut removed = false;
+        for b in 0..f.blocks.len() {
+            let before = f.blocks[b].instrs.len();
+            f.blocks[b].instrs.retain(|i| {
+                // LoadArgument defines the function's ABI (parameter slots
+                // and types) and is kept even when unused.
+                let dead = i.is_pure()
+                    && !matches!(i, Instr::LoadArgument { .. })
+                    && i.def().is_some_and(|d| !used.contains(&d));
+                !dead
+            });
+            removed |= f.blocks[b].instrs.len() != before;
+        }
+        changed |= removed;
+        if !removed {
+            return changed;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CFG simplification: unreachable-block removal + basic-block fusion.
+// ---------------------------------------------------------------------
+
+fn simplify_cfg(f: &mut Function) -> bool {
+    let mut changed = false;
+    // Remove unreachable blocks (replace with empty tombstones to keep ids
+    // stable, then prune phis).
+    let cfg = Cfg::new(f);
+    let reachable: HashSet<BlockId> = cfg.rpo.iter().copied().collect();
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if !reachable.contains(&b) && !f.block(b).instrs.is_empty() {
+            f.block_mut(b).instrs.clear();
+            f.block_mut(b).label = "unreachable".into();
+            changed = true;
+        }
+    }
+    if changed {
+        prune_phis(f);
+    }
+    // Block fusion: a Jump-only edge from A to B where B has exactly one
+    // predecessor merges B into A.
+    loop {
+        let cfg = Cfg::new(f);
+        let mut fused = false;
+        for &a in &cfg.rpo {
+            let Some(Instr::Jump { target: b }) = f.block(a).terminator().cloned() else {
+                continue;
+            };
+            if b == a || cfg.preds[b.0 as usize].len() != 1 {
+                continue;
+            }
+            // Phis in b with a single predecessor have been pruned already;
+            // any remaining phi blocks fusion.
+            if f.block(b).instrs.iter().any(|i| matches!(i, Instr::Phi { .. })) {
+                continue;
+            }
+            let mut moved = std::mem::take(&mut f.block_mut(b).instrs);
+            let ablock = f.block_mut(a);
+            ablock.instrs.pop(); // drop the Jump
+            ablock.instrs.append(&mut moved);
+            // Phi incomings in b's successors must now name a.
+            let succs: Vec<BlockId> =
+                f.block(a).terminator().map(|t| t.successors()).unwrap_or_default();
+            for s in succs {
+                for i in f.block_mut(s).instrs.iter_mut() {
+                    if let Instr::Phi { incoming, .. } = i {
+                        for (p, _) in incoming.iter_mut() {
+                            if *p == b {
+                                *p = a;
+                            }
+                        }
+                    }
+                }
+            }
+            fused = true;
+            changed = true;
+            break; // CFG changed; recompute
+        }
+        if !fused {
+            break;
+        }
+    }
+    changed
+}
+
+// ---------------------------------------------------------------------
+// Abort-check insertion (§4.5).
+// ---------------------------------------------------------------------
+
+/// "The compiler performs analysis to compute the loops and then inserts
+/// an abort check at the head of each loop. ... The compiler also inserts
+/// an abort check in each function's prologue."
+fn abort_insertion(f: &mut Function) -> bool {
+    if f.instrs().any(|i| matches!(i, Instr::AbortCheck)) {
+        return false; // already instrumented
+    }
+    let cfg = Cfg::new(f);
+    let dom = Dominators::new(f, &cfg);
+    let loops = natural_loops(f, &cfg, &dom);
+    let mut targets: Vec<BlockId> = vec![f.entry];
+    for l in &loops {
+        if !targets.contains(&l.header) {
+            targets.push(l.header);
+        }
+    }
+    for b in targets {
+        let block = f.block_mut(b);
+        let after_phis =
+            block.instrs.iter().take_while(|i| matches!(i, Instr::Phi { .. })).count();
+        block.instrs.insert(after_phis, Instr::AbortCheck);
+    }
+    true
+}
+
+// ---------------------------------------------------------------------
+// Memory management insertion (§4.5).
+// ---------------------------------------------------------------------
+
+/// Whether values of this type are reference counted (F7).
+pub fn is_managed_type(t: &Type) -> bool {
+    match t {
+        Type::Atomic(name) => matches!(&**name, "String" | "Expression"),
+        Type::Constructor { name, .. } => &**name == "Tensor",
+        Type::Arrow { .. } => true, // function values carry captures
+        _ => false,
+    }
+}
+
+/// "The compiler computes the live intervals of each variable in the TWIR.
+/// For each variable, a MemoryAcquire call instruction is placed at the
+/// head of each interval, and MemoryRelease is placed at the tail. Both
+/// ... are noop for unmanaged objects."
+fn memory_management(f: &mut Function) -> bool {
+    if f.instrs().any(|i| matches!(i, Instr::MemoryAcquire { .. })) {
+        return false;
+    }
+    let cfg = Cfg::new(f);
+    let intervals = live_intervals(f, &cfg);
+    // Invert the point map: point -> (block, ix).
+    let mut at_point: HashMap<usize, (BlockId, usize)> = HashMap::new();
+    for (&k, &p) in &intervals.point {
+        at_point.insert(p, k);
+    }
+    let mut managed: Vec<(VarId, usize, usize)> = intervals
+        .intervals
+        .iter()
+        .filter(|(v, _)| f.var_type(**v).is_some_and(is_managed_type))
+        .map(|(v, &(s, e))| (*v, s, e))
+        .collect();
+    if managed.is_empty() {
+        return false;
+    }
+    managed.sort_by_key(|&(v, _, _)| v);
+    // Collect insertions per (block, index): acquire after def point,
+    // release after last point.
+    let mut inserts: HashMap<(BlockId, usize), Vec<Instr>> = HashMap::new();
+    for (v, start, end) in managed {
+        if let Some(&(b, ix)) = at_point.get(&start) {
+            inserts.entry((b, ix)).or_default().push(Instr::MemoryAcquire { var: v });
+        }
+        if let Some(&(b, ix)) = at_point.get(&end) {
+            inserts.entry((b, ix)).or_default().push(Instr::MemoryRelease { var: v });
+        }
+    }
+    for ((b, ix), instrs) in {
+        let mut v: Vec<_> = inserts.into_iter().collect();
+        // Insert from the back so earlier indices stay valid.
+        v.sort_by(|a, b| b.0.cmp(&a.0));
+        v
+    } {
+        let block = f.block_mut(b);
+        let anchor_is_terminator = block.instrs[ix].is_terminator();
+        let mut pos = if anchor_is_terminator { ix } else { ix + 1 };
+        // Never break the phi prefix: acquires for phi-defined values go
+        // after the last phi of the block.
+        let phi_prefix =
+            block.instrs.iter().take_while(|i| matches!(i, Instr::Phi { .. })).count();
+        pos = pos.max(phi_prefix.min(block.instrs.len()));
+        for (offset, i) in instrs.into_iter().enumerate() {
+            block.instrs.insert(pos + offset, i);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use std::rc::Rc;
+
+    fn builtin(name: &str) -> Callee {
+        Callee::Builtin(Rc::from(name))
+    }
+
+    /// if (1 < 2) return 10 else return 20 — folds to return 10.
+    fn branchy() -> Function {
+        let mut b = FunctionBuilder::new("f", 0);
+        let c = b.call(builtin("Less"), vec![Constant::I64(1).into(), Constant::I64(2).into()]);
+        let t = b.create_block("then");
+        let e = b.create_block("else");
+        b.branch(c, t, e);
+        b.seal_block(t);
+        b.seal_block(e);
+        b.switch_to(t);
+        b.ret(Constant::I64(10));
+        b.switch_to(e);
+        b.ret(Constant::I64(20));
+        b.finish()
+    }
+
+    #[test]
+    fn fold_and_dead_branch() {
+        let mut f = branchy();
+        assert!(constant_fold(&mut f));
+        verify_function(&f).unwrap();
+        // The branch became a jump to `then`.
+        assert!(matches!(
+            f.block(BlockId(0)).terminator(),
+            Some(Instr::Jump { target }) if *target == BlockId(1)
+        ));
+        assert!(simplify_cfg(&mut f));
+        verify_function(&f).unwrap();
+        // After fusion the entry returns the constant directly.
+        assert!(dce(&mut f) || true);
+        assert!(matches!(
+            f.block(f.entry).terminator(),
+            Some(Instr::Return { value: Operand::Const(Constant::I64(10)) })
+        ));
+    }
+
+    #[test]
+    fn fold_does_not_hide_overflow() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let v = b.call(
+            builtin("Plus"),
+            vec![Constant::I64(i64::MAX).into(), Constant::I64(1).into()],
+        );
+        b.ret(v);
+        let mut f = b.finish();
+        constant_fold(&mut f);
+        // Still a call: the overflow must occur at run time (F2).
+        assert!(f.instrs().any(|i| matches!(i, Instr::Call { .. })));
+    }
+
+    #[test]
+    fn cse_deduplicates() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let arg = b.func.fresh_var();
+        b.push(Instr::LoadArgument { dst: arg, index: 0 });
+        let x = b.call(builtin("Times"), vec![arg.into(), arg.into()]);
+        let y = b.call(builtin("Times"), vec![arg.into(), arg.into()]);
+        let sum = b.call(builtin("Plus"), vec![x.into(), y.into()]);
+        b.ret(sum);
+        let mut f = b.finish();
+        assert!(cse(&mut f));
+        copy_propagation(&mut f); // uses already rewritten by cse
+        assert!(dce(&mut f));
+        verify_function(&f).unwrap();
+        let times_count = f
+            .instrs()
+            .filter(|i| matches!(i, Instr::Call { callee: Callee::Builtin(n), .. } if &**n == "Times"))
+            .count();
+        assert_eq!(times_count, 1);
+        let _ = y;
+    }
+
+    #[test]
+    fn dce_keeps_impure() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let _unused = b.call(builtin("Plus"), vec![Constant::I64(1).into(), Constant::I64(2).into()]);
+        let _effect = b.call(Callee::Kernel(Rc::from("Print")), vec![Constant::I64(1).into()]);
+        b.ret(Constant::Null);
+        let mut f = b.finish();
+        assert!(dce(&mut f));
+        verify_function(&f).unwrap();
+        // The pure Plus went away, the kernel call stayed.
+        assert_eq!(f.instrs().filter(|i| matches!(i, Instr::Call { .. })).count(), 1);
+    }
+
+    /// Builds a counting loop for abort/liveness tests.
+    fn loop_fn() -> Function {
+        let mut b = FunctionBuilder::new("f", 1);
+        let n = b.func.fresh_var();
+        b.push(Instr::LoadArgument { dst: n, index: 0 });
+        b.write_var("i", Constant::I64(0));
+        let header = b.create_block("head");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let i0 = b.read_var("i").unwrap();
+        let c = b.call(builtin("Less"), vec![i0, n.into()]);
+        b.branch(c, body, exit);
+        b.seal_block(body);
+        b.switch_to(body);
+        let i1 = b.read_var("i").unwrap();
+        let inc = b.call(builtin("Plus"), vec![i1, Constant::I64(1).into()]);
+        b.write_var("i", inc);
+        b.jump(header);
+        b.seal_block(header);
+        b.seal_block(exit);
+        b.switch_to(exit);
+        let out = b.read_var("i").unwrap();
+        b.ret(out);
+        b.finish()
+    }
+
+    #[test]
+    fn abort_checks_at_prologue_and_loop_head() {
+        let mut f = loop_fn();
+        assert!(abort_insertion(&mut f));
+        verify_function(&f).unwrap();
+        let has_check = |b: u32| {
+            f.block(BlockId(b)).instrs.iter().any(|i| matches!(i, Instr::AbortCheck))
+        };
+        assert!(has_check(0), "prologue check");
+        assert!(has_check(1), "loop header check");
+        assert!(!has_check(2), "no check in plain body");
+        // Idempotent.
+        assert!(!abort_insertion(&mut f));
+    }
+
+    #[test]
+    fn abort_check_lands_after_phis() {
+        let mut f = loop_fn();
+        abort_insertion(&mut f);
+        let header = f.block(BlockId(1));
+        let phi_count = header.instrs.iter().take_while(|i| matches!(i, Instr::Phi { .. })).count();
+        assert!(matches!(header.instrs[phi_count], Instr::AbortCheck));
+    }
+
+    #[test]
+    fn memory_management_brackets_managed_vars() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let arg = b.func.fresh_var();
+        b.push(Instr::LoadArgument { dst: arg, index: 0 });
+        let len = b.call(builtin("StringLength"), vec![arg.into()]);
+        b.ret(len);
+        let mut f = b.finish();
+        f.var_types.insert(arg, Type::string());
+        f.var_types.insert(len, Type::integer64());
+        assert!(memory_management(&mut f));
+        verify_function(&f).unwrap();
+        let acq = f.instrs().filter(|i| matches!(i, Instr::MemoryAcquire { .. })).count();
+        let rel = f.instrs().filter(|i| matches!(i, Instr::MemoryRelease { .. })).count();
+        assert_eq!(acq, 1);
+        assert_eq!(rel, 1);
+        // Unmanaged i64 got no bracketing: exactly one pair total.
+    }
+
+    #[test]
+    fn pipeline_runs_and_reports() {
+        let mut f = branchy();
+        let ran = run_pipeline(&mut f, &PassOptions::default()).unwrap();
+        assert!(ran.iter().any(|p| p == "constant-fold"));
+        assert!(ran.iter().any(|p| p == "abort-insertion"));
+        verify_function(&f).unwrap();
+        // Disabling a pass by name skips it.
+        let mut f2 = branchy();
+        let mut opts = PassOptions::default();
+        opts.disabled.insert("constant-fold".into());
+        opts.optimization_level = 1;
+        let ran2 = run_pipeline(&mut f2, &opts).unwrap();
+        assert!(!ran2.iter().any(|p| p == "constant-fold"));
+    }
+
+    #[test]
+    fn managed_type_classification() {
+        assert!(is_managed_type(&Type::string()));
+        assert!(is_managed_type(&Type::expression()));
+        assert!(is_managed_type(&Type::tensor(Type::real64(), 1)));
+        assert!(!is_managed_type(&Type::integer64()));
+        assert!(!is_managed_type(&Type::boolean()));
+    }
+}

@@ -1,0 +1,230 @@
+//! The IR linter (§4.3 footnote: "An IR linter exists to check if the SSA
+//! property is maintained when writing passes").
+
+use crate::analysis::{Cfg, Dominators};
+use crate::module::{BlockId, Function, Instr, VarId};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// An SSA well-formedness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError(pub String);
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IR verification failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks the SSA property and block structure of a function:
+///
+/// - every reachable block ends in exactly one terminator, at the end;
+/// - every variable has a single definition;
+/// - every use is dominated by its definition (phi uses checked at the
+///   corresponding predecessor);
+/// - phi incoming lists mention exactly the block's predecessors;
+/// - phis appear only at block heads.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    let cfg = Cfg::new(f);
+    let dom = Dominators::new(f, &cfg);
+    let reachable: HashSet<BlockId> = cfg.rpo.iter().copied().collect();
+
+    // Single definitions, and def site map.
+    let mut def_site: HashMap<VarId, (BlockId, usize)> = HashMap::new();
+    for b in f.block_ids() {
+        let block = f.block(b);
+        let Some(term_ix) = block.instrs.iter().rposition(|i| i.is_terminator()) else {
+            if reachable.contains(&b) {
+                return Err(VerifyError(format!(
+                    "block {b:?} ({}) has no terminator",
+                    block.label
+                )));
+            }
+            continue;
+        };
+        if term_ix + 1 != block.instrs.len() {
+            return Err(VerifyError(format!(
+                "block {b:?} has instructions after its terminator"
+            )));
+        }
+        for (ix, i) in block.instrs.iter().enumerate() {
+            if i.is_terminator() && ix != term_ix {
+                return Err(VerifyError(format!("block {b:?} has multiple terminators")));
+            }
+            if matches!(i, Instr::Phi { .. }) {
+                let at_head = block.instrs[..ix]
+                    .iter()
+                    .all(|p| matches!(p, Instr::Phi { .. }));
+                if !at_head {
+                    return Err(VerifyError(format!("phi not at head of block {b:?}")));
+                }
+            }
+            if let Some(d) = i.def() {
+                if let Some(prev) = def_site.insert(d, (b, ix)) {
+                    return Err(VerifyError(format!(
+                        "%{} defined twice (blocks {:?} and {b:?})",
+                        d.0, prev.0
+                    )));
+                }
+            }
+        }
+    }
+
+    // Uses dominated by defs; phi shapes.
+    for &b in &cfg.rpo {
+        let block = f.block(b);
+        // Phi incoming lists cover the *reachable* predecessors only;
+        // edges from unreachable blocks are ignored (they are pruned by
+        // simplify-cfg and never executed).
+        let preds: HashSet<BlockId> = cfg.preds[b.0 as usize]
+            .iter()
+            .copied()
+            .filter(|p| reachable.contains(p))
+            .collect();
+        for (ix, i) in block.instrs.iter().enumerate() {
+            if let Instr::Phi { incoming, dst } = i {
+                let inc_blocks: HashSet<BlockId> = incoming.iter().map(|(p, _)| *p).collect();
+                if inc_blocks != preds {
+                    return Err(VerifyError(format!(
+                        "phi %{} incoming blocks {inc_blocks:?} != predecessors {preds:?} of {b:?}",
+                        dst.0
+                    )));
+                }
+                for (pred, op) in incoming {
+                    if let Some(v) = op.as_var() {
+                        let Some(&(db, _)) = def_site.get(&v) else {
+                            return Err(VerifyError(format!("use of undefined %{}", v.0)));
+                        };
+                        if reachable.contains(pred) && !dom.dominates(db, *pred) {
+                            return Err(VerifyError(format!(
+                                "phi operand %{} (defined in {db:?}) does not dominate predecessor {pred:?}",
+                                v.0
+                            )));
+                        }
+                    }
+                }
+                continue;
+            }
+            // MemoryAcquire/Release are refcount instrumentation on the
+            // variable's storage slot (a no-op on not-yet-written slots),
+            // not SSA dataflow uses: their placement at live-interval
+            // endpoints is exempt from the dominance rule.
+            if matches!(i, Instr::MemoryAcquire { .. } | Instr::MemoryRelease { .. }) {
+                continue;
+            }
+            for v in i.uses() {
+                let Some(&(db, dix)) = def_site.get(&v) else {
+                    return Err(VerifyError(format!(
+                        "use of undefined %{} in block {b:?}",
+                        v.0
+                    )));
+                };
+                let ok = if db == b { dix < ix } else { dom.dominates(db, b) };
+                if !ok {
+                    return Err(VerifyError(format!(
+                        "use of %{} in {b:?}[{ix}] not dominated by its definition in {db:?}[{dix}]",
+                        v.0
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Block, Callee, Constant, Operand};
+    use std::rc::Rc;
+
+    fn call(dst: u32, args: Vec<Operand>) -> Instr {
+        Instr::Call { dst: VarId(dst), callee: Callee::Builtin(Rc::from("Plus")), args }
+    }
+
+    #[test]
+    fn accepts_valid() {
+        let mut f = Function::new("ok", 0);
+        f.blocks.push(Block {
+            label: "start".into(),
+            instrs: vec![
+                call(0, vec![Constant::I64(1).into(), Constant::I64(2).into()]),
+                Instr::Return { value: VarId(0).into() },
+            ],
+        });
+        f.next_var = 1;
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let mut f = Function::new("bad", 0);
+        f.blocks.push(Block {
+            label: "start".into(),
+            instrs: vec![
+                call(0, vec![]),
+                call(0, vec![]),
+                Instr::Return { value: VarId(0).into() },
+            ],
+        });
+        assert!(verify_function(&f).unwrap_err().0.contains("defined twice"));
+    }
+
+    #[test]
+    fn rejects_undefined_use() {
+        let mut f = Function::new("bad", 0);
+        f.blocks.push(Block {
+            label: "start".into(),
+            instrs: vec![Instr::Return { value: VarId(9).into() }],
+        });
+        assert!(verify_function(&f).unwrap_err().0.contains("undefined"));
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut f = Function::new("bad", 0);
+        f.blocks.push(Block { label: "start".into(), instrs: vec![call(0, vec![])] });
+        assert!(verify_function(&f).unwrap_err().0.contains("no terminator"));
+    }
+
+    #[test]
+    fn rejects_use_not_dominated() {
+        // Two blocks: entry jumps to b1; b1 uses a var defined... nowhere
+        // dominating: define in an unreachable block.
+        let mut f = Function::new("bad", 0);
+        f.blocks.push(Block {
+            label: "start".into(),
+            instrs: vec![Instr::Jump { target: BlockId(1) }],
+        });
+        f.blocks.push(Block {
+            label: "use".into(),
+            instrs: vec![Instr::Return { value: VarId(0).into() }],
+        });
+        f.blocks.push(Block {
+            label: "dead".into(),
+            instrs: vec![call(0, vec![]), Instr::Jump { target: BlockId(1) }],
+        });
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.0.contains("not dominated") || err.0.contains("phi"), "{err}");
+    }
+
+    #[test]
+    fn rejects_phi_mid_block() {
+        let mut f = Function::new("bad", 0);
+        f.blocks.push(Block {
+            label: "start".into(),
+            instrs: vec![
+                call(0, vec![]),
+                Instr::Phi { dst: VarId(1), incoming: vec![] },
+                Instr::Return { value: VarId(1).into() },
+            ],
+        });
+        assert!(verify_function(&f).unwrap_err().0.contains("phi not at head"));
+    }
+}

@@ -1,0 +1,126 @@
+//! The abort signal (F3).
+//!
+//! A Wolfram Notebook user can abort an "infinite" evaluation without
+//! quitting the session. The interpreter checks the flag periodically, the
+//! legacy VM checks it per instruction, and the new compiler inserts checks
+//! at loop headers and function prologues (§4.5).
+
+use crate::error::RuntimeError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, asynchronously-triggerable abort flag.
+///
+/// Cloning shares the underlying flag, and the flag may be triggered from
+/// another thread (as a notebook front end would).
+///
+/// # Examples
+///
+/// ```
+/// use wolfram_runtime::AbortSignal;
+/// let signal = AbortSignal::new();
+/// assert!(signal.check().is_ok());
+/// signal.trigger();
+/// assert!(signal.check().is_err());
+/// signal.reset();
+/// assert!(signal.check().is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AbortSignal {
+    flag: Arc<AtomicBool>,
+}
+
+impl AbortSignal {
+    /// A fresh, untriggered signal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests an abort. Running evaluations observe it at their next
+    /// check point and unwind with [`RuntimeError::Aborted`].
+    pub fn trigger(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Clears the flag (the interpreter does this when the prompt returns).
+    pub fn reset(&self) {
+        self.flag.store(false, Ordering::Release);
+    }
+
+    /// Whether an abort has been requested.
+    pub fn is_triggered(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// The abort check compiled into loop headers and prologues.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Aborted`] if the flag is set.
+    #[inline]
+    pub fn check(&self) -> Result<(), RuntimeError> {
+        if self.is_triggered() {
+            Err(RuntimeError::Aborted)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Arms the signal to auto-trigger after `n` successful checks. Used by
+    /// tests to simulate a user abort landing mid-computation.
+    pub fn trigger_after(&self, n: u64) -> CountdownAbort {
+        CountdownAbort { signal: self.clone(), remaining: n }
+    }
+}
+
+/// Helper that triggers an [`AbortSignal`] after a countdown of checks.
+#[derive(Debug)]
+pub struct CountdownAbort {
+    signal: AbortSignal,
+    remaining: u64,
+}
+
+impl CountdownAbort {
+    /// Decrements the countdown; triggers the signal when it reaches zero.
+    pub fn tick(&mut self) {
+        if self.remaining == 0 {
+            self.signal.trigger();
+        } else {
+            self.remaining -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_across_clones() {
+        let a = AbortSignal::new();
+        let b = a.clone();
+        b.trigger();
+        assert!(a.is_triggered());
+        assert_eq!(a.check(), Err(RuntimeError::Aborted));
+    }
+
+    #[test]
+    fn cross_thread_trigger() {
+        let a = AbortSignal::new();
+        let b = a.clone();
+        std::thread::spawn(move || b.trigger()).join().unwrap();
+        assert!(a.is_triggered());
+    }
+
+    #[test]
+    fn countdown() {
+        let a = AbortSignal::new();
+        let mut countdown = a.trigger_after(2);
+        countdown.tick();
+        assert!(!a.is_triggered());
+        countdown.tick();
+        assert!(!a.is_triggered());
+        countdown.tick();
+        assert!(a.is_triggered());
+    }
+}

@@ -1,0 +1,176 @@
+//! Checked machine arithmetic.
+//!
+//! "All machine numerical operations are checked for errors by the compiler
+//! runtime" (§4.5). Overflow and division by zero surface as numeric
+//! [`RuntimeError`]s, which the compiled-function wrapper converts into a
+//! soft fallback to the interpreter.
+
+use crate::error::RuntimeError;
+
+/// `a + b` with overflow detection.
+#[inline]
+pub fn add_i64(a: i64, b: i64) -> Result<i64, RuntimeError> {
+    a.checked_add(b).ok_or(RuntimeError::IntegerOverflow)
+}
+
+/// `a - b` with overflow detection.
+#[inline]
+pub fn sub_i64(a: i64, b: i64) -> Result<i64, RuntimeError> {
+    a.checked_sub(b).ok_or(RuntimeError::IntegerOverflow)
+}
+
+/// `a * b` with overflow detection.
+#[inline]
+pub fn mul_i64(a: i64, b: i64) -> Result<i64, RuntimeError> {
+    a.checked_mul(b).ok_or(RuntimeError::IntegerOverflow)
+}
+
+/// Wolfram `Quotient[m, n]` = `Floor[m/n]`, with zero/overflow detection.
+/// Pairs with the divisor-sign [`mod_i64`] so that
+/// `m == n*Quotient[m, n] + Mod[m, n]` holds for all `n != 0`.
+#[inline]
+pub fn quotient_i64(a: i64, b: i64) -> Result<i64, RuntimeError> {
+    if b == 0 {
+        return Err(RuntimeError::DivideByZero);
+    }
+    let q = a.checked_div(b).ok_or(RuntimeError::IntegerOverflow)?;
+    let r = a.wrapping_rem(b);
+    Ok(if r != 0 && (r < 0) != (b < 0) { q - 1 } else { q })
+}
+
+/// Wolfram `Mod`: result has the sign of the divisor.
+#[inline]
+pub fn mod_i64(a: i64, b: i64) -> Result<i64, RuntimeError> {
+    if b == 0 {
+        return Err(RuntimeError::DivideByZero);
+    }
+    let r = a.wrapping_rem(b);
+    Ok(if r != 0 && (r < 0) != (b < 0) { r + b } else { r })
+}
+
+/// Integer power with overflow detection; negative exponents are a domain
+/// error at the integer type (the compiler types such code as Real).
+#[inline]
+pub fn pow_i64(base: i64, exp: i64) -> Result<i64, RuntimeError> {
+    if exp < 0 {
+        return Err(RuntimeError::Type("integer Power with negative exponent".into()));
+    }
+    let exp = u32::try_from(exp).map_err(|_| RuntimeError::IntegerOverflow)?;
+    base.checked_pow(exp).ok_or(RuntimeError::IntegerOverflow)
+}
+
+/// Unary negation with overflow detection (`-i64::MIN` overflows).
+#[inline]
+pub fn neg_i64(a: i64) -> Result<i64, RuntimeError> {
+    a.checked_neg().ok_or(RuntimeError::IntegerOverflow)
+}
+
+/// Absolute value with overflow detection.
+#[inline]
+pub fn abs_i64(a: i64) -> Result<i64, RuntimeError> {
+    a.checked_abs().ok_or(RuntimeError::IntegerOverflow)
+}
+
+/// Resolves a Wolfram `Part` index (1-based, negative counts from the end)
+/// to a 0-based offset.
+///
+/// This is the predicated access the paper describes: "since Wolfram
+/// Language's supports negative indexing, all array accesses must be
+/// predicated at runtime".
+///
+/// # Errors
+///
+/// [`RuntimeError::PartOutOfRange`] when the index is 0 or outside the
+/// array.
+#[inline]
+pub fn resolve_part_index(index: i64, length: usize) -> Result<usize, RuntimeError> {
+    let err = || RuntimeError::PartOutOfRange { index, length };
+    if index > 0 {
+        let ix = (index - 1) as usize;
+        if ix < length {
+            Ok(ix)
+        } else {
+            Err(err())
+        }
+    } else if index < 0 {
+        let back = (-index) as usize;
+        if back <= length {
+            Ok(length - back)
+        } else {
+            Err(err())
+        }
+    } else {
+        Err(err())
+    }
+}
+
+/// Complex multiplication.
+#[inline]
+pub fn mul_complex(a: (f64, f64), b: (f64, f64)) -> (f64, f64) {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+/// Complex division.
+#[inline]
+pub fn div_complex(a: (f64, f64), b: (f64, f64)) -> (f64, f64) {
+    let d = b.0 * b.0 + b.1 * b.1;
+    ((a.0 * b.0 + a.1 * b.1) / d, (a.1 * b.0 - a.0 * b.1) / d)
+}
+
+/// Complex absolute value.
+#[inline]
+pub fn abs_complex(a: (f64, f64)) -> f64 {
+    a.0.hypot(a.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_detected() {
+        assert_eq!(add_i64(1, 2), Ok(3));
+        assert_eq!(add_i64(i64::MAX, 1), Err(RuntimeError::IntegerOverflow));
+        assert_eq!(sub_i64(i64::MIN, 1), Err(RuntimeError::IntegerOverflow));
+        assert_eq!(mul_i64(i64::MAX / 2 + 1, 2), Err(RuntimeError::IntegerOverflow));
+        assert_eq!(neg_i64(i64::MIN), Err(RuntimeError::IntegerOverflow));
+        assert_eq!(abs_i64(i64::MIN), Err(RuntimeError::IntegerOverflow));
+    }
+
+    #[test]
+    fn division() {
+        assert_eq!(quotient_i64(7, 2), Ok(3));
+        assert_eq!(quotient_i64(7, 0), Err(RuntimeError::DivideByZero));
+        assert_eq!(mod_i64(7, 3), Ok(1));
+        assert_eq!(mod_i64(-7, 3), Ok(2)); // Wolfram Mod takes divisor's sign
+        assert_eq!(mod_i64(5, 0), Err(RuntimeError::DivideByZero));
+    }
+
+    #[test]
+    fn powers() {
+        assert_eq!(pow_i64(2, 10), Ok(1024));
+        assert_eq!(pow_i64(10, 19), Err(RuntimeError::IntegerOverflow));
+        assert!(pow_i64(2, -1).is_err());
+        assert_eq!(pow_i64(0, 0), Ok(1));
+    }
+
+    #[test]
+    fn part_indices() {
+        assert_eq!(resolve_part_index(1, 3), Ok(0));
+        assert_eq!(resolve_part_index(3, 3), Ok(2));
+        assert_eq!(resolve_part_index(-1, 3), Ok(2));
+        assert_eq!(resolve_part_index(-3, 3), Ok(0));
+        assert!(resolve_part_index(0, 3).is_err());
+        assert!(resolve_part_index(4, 3).is_err());
+        assert!(resolve_part_index(-4, 3).is_err());
+        assert!(resolve_part_index(1, 0).is_err());
+    }
+
+    #[test]
+    fn complex_ops() {
+        assert_eq!(mul_complex((0.0, 1.0), (0.0, 1.0)), (-1.0, 0.0));
+        let (re, im) = div_complex((1.0, 0.0), (0.0, 1.0));
+        assert!((re - 0.0).abs() < 1e-15 && (im + 1.0).abs() < 1e-15);
+        assert_eq!(abs_complex((3.0, 4.0)), 5.0);
+    }
+}

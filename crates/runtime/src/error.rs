@@ -1,0 +1,112 @@
+//! Runtime errors, split into *numeric exceptions* (which trigger the soft
+//! interpreter fallback, F2) and hard errors.
+
+use std::fmt;
+
+/// An error raised while executing compiled or interpreted code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// Machine integer overflow — the canonical soft-failure trigger
+    /// (`cfib[200]` in the paper reverts to arbitrary precision).
+    IntegerOverflow,
+    /// Division by zero.
+    DivideByZero,
+    /// `Part` index out of range.
+    PartOutOfRange {
+        /// The requested (1-based, possibly negative) index.
+        index: i64,
+        /// The length of the indexed dimension.
+        length: usize,
+    },
+    /// A user abort was issued (F3). The computation unwinds and the session
+    /// survives.
+    Aborted,
+    /// Dynamic type mismatch at a boundary (argument unboxing, VM op).
+    Type(String),
+    /// Recursion limit exceeded (the interpreter's `$RecursionLimit`).
+    RecursionLimit(usize),
+    /// Iteration limit exceeded (the interpreter's `$IterationLimit`,
+    /// guarding infinite evaluation like `x = x + 1`).
+    IterationLimit(usize),
+    /// A symbol or function had no applicable definition.
+    Unevaluated(String),
+    /// Any other failure, with a message.
+    Other(String),
+}
+
+impl RuntimeError {
+    /// Whether this error is a *numeric exception*: compiled code that hits
+    /// one reverts to the interpreter (the paper's soft failure mode, F2).
+    /// Aborts and hard errors do not re-run.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, RuntimeError::IntegerOverflow | RuntimeError::DivideByZero)
+    }
+
+    /// Short machine-readable tag, matching the paper's warning message
+    /// style (`... runtime error occurred; reverting to uncompiled
+    /// evaluation: IntegerOverflow`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RuntimeError::IntegerOverflow => "IntegerOverflow",
+            RuntimeError::DivideByZero => "DivideByZero",
+            RuntimeError::PartOutOfRange { .. } => "PartOutOfRange",
+            RuntimeError::Aborted => "Aborted",
+            RuntimeError::Type(_) => "TypeError",
+            RuntimeError::RecursionLimit(_) => "RecursionLimit",
+            RuntimeError::IterationLimit(_) => "IterationLimit",
+            RuntimeError::Unevaluated(_) => "Unevaluated",
+            RuntimeError::Other(_) => "Error",
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::IntegerOverflow => write!(f, "machine integer overflow"),
+            RuntimeError::DivideByZero => write!(f, "division by zero"),
+            RuntimeError::PartOutOfRange { index, length } => {
+                write!(f, "part index {index} out of range for length {length}")
+            }
+            RuntimeError::Aborted => write!(f, "evaluation aborted"),
+            RuntimeError::Type(msg) => write!(f, "type error: {msg}"),
+            RuntimeError::RecursionLimit(n) => write!(f, "recursion depth of {n} exceeded"),
+            RuntimeError::IterationLimit(n) => write!(f, "iteration limit of {n} exceeded"),
+            RuntimeError::Unevaluated(what) => write!(f, "no definition applies to {what}"),
+            RuntimeError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_classification() {
+        assert!(RuntimeError::IntegerOverflow.is_numeric());
+        assert!(RuntimeError::DivideByZero.is_numeric());
+        assert!(!RuntimeError::Aborted.is_numeric());
+        assert!(!RuntimeError::Type("x".into()).is_numeric());
+        assert!(!RuntimeError::PartOutOfRange { index: 5, length: 3 }.is_numeric());
+    }
+
+    #[test]
+    fn tags_match_paper_style() {
+        assert_eq!(RuntimeError::IntegerOverflow.tag(), "IntegerOverflow");
+        assert_eq!(RuntimeError::Aborted.tag(), "Aborted");
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            RuntimeError::IntegerOverflow,
+            RuntimeError::PartOutOfRange { index: -4, length: 2 },
+            RuntimeError::Other("boom".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The shared dense linear-algebra kernel.
+//!
+//! In the paper's Dot benchmark all three implementations (hand-written C,
+//! bytecode-compiled, and newly-compiled code) call Intel MKL's
+//! `cblas_dgemm`, so no performance difference is observed. This module is
+//! the stand-in: a cache-blocked `dgemm` that *every* implementation in this
+//! repository routes through, reproducing the "same library, same time"
+//! property.
+
+/// `c = a (m x k) * b (k x n)`, row-major.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn dgemm(a: &[f64], b: &[f64], c: &mut [f64], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    c.fill(0.0);
+    // i-k-j loop order: streams through b and c rows, good locality.
+    const BLOCK: usize = 64;
+    for ii in (0..m).step_by(BLOCK) {
+        for kk in (0..k).step_by(BLOCK) {
+            let i_end = (ii + BLOCK).min(m);
+            let k_end = (kk + BLOCK).min(k);
+            for i in ii..i_end {
+                for p in kk..k_end {
+                    let aip = a[i * k + p];
+                    let brow = &b[p * n..p * n + n];
+                    let crow = &mut c[i * n..i * n + n];
+                    for j in 0..n {
+                        crow[j] += aip * brow[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Vector dot product.
+pub fn ddot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Matrix-vector product `y = a (m x n) * x`.
+pub fn dgemv(a: &[f64], x: &[f64], y: &mut [f64], m: usize, n: usize) {
+    assert_eq!(a.len(), m * n, "matrix length");
+    assert_eq!(x.len(), n, "vector length");
+    assert_eq!(y.len(), m, "out length");
+    for i in 0..m {
+        y[i] = ddot(&a[i * n..(i + 1) * n], x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgemm_small() {
+        let a = [1.0, 2.0, 3.0, 4.0]; // 2x2
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        dgemm(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn dgemm_rectangular() {
+        // (1x3) * (3x2)
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 4.0, 2.0, 5.0, 3.0, 6.0];
+        let mut c = [0.0; 2];
+        dgemm(&a, &b, &mut c, 1, 3, 2);
+        assert_eq!(c, [14.0, 32.0]);
+    }
+
+    #[test]
+    fn dgemm_identity() {
+        let n = 70; // exceeds one block
+        let mut eye = vec![0.0; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let a: Vec<f64> = (0..n * n).map(|i| i as f64).collect();
+        let mut c = vec![0.0; n * n];
+        dgemm(&a, &eye, &mut c, n, n, n);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn vector_ops() {
+        assert_eq!(ddot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let mut y = [0.0; 2];
+        dgemv(&a, &[7.0, 9.0], &mut y, 2, 2);
+        assert_eq!(y, [7.0, 9.0]);
+    }
+}

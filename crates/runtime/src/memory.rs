@@ -1,0 +1,89 @@
+//! Memory-management instrumentation (F7).
+//!
+//! The compiler's memory-management pass inserts `MemoryAcquire` at the head
+//! of each variable's live interval and `MemoryRelease` at its tail; both
+//! are no-ops for unmanaged (machine) objects and reference-count updates
+//! for managed ones. This module provides the counters the test suite uses
+//! to assert that acquires and releases balance, and that copy-on-write
+//! actually copies (the QSort 1.2× story in §6).
+
+use std::cell::Cell;
+
+thread_local! {
+    static ACQUIRES: Cell<u64> = const { Cell::new(0) };
+    static RELEASES: Cell<u64> = const { Cell::new(0) };
+    static TENSOR_COPIES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A snapshot of the instrumentation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// `MemoryAcquire` calls on managed values.
+    pub acquires: u64,
+    /// `MemoryRelease` calls on managed values.
+    pub releases: u64,
+    /// Copy-on-write tensor copies performed.
+    pub tensor_copies: u64,
+}
+
+impl MemoryStats {
+    /// Whether every acquire has a matching release.
+    pub fn balanced(&self) -> bool {
+        self.acquires == self.releases
+    }
+}
+
+/// Records an acquire of a managed value.
+#[inline]
+pub fn record_acquire() {
+    ACQUIRES.with(|c| c.set(c.get() + 1));
+}
+
+/// Records a release of a managed value.
+#[inline]
+pub fn record_release() {
+    RELEASES.with(|c| c.set(c.get() + 1));
+}
+
+/// Records a copy-on-write tensor copy.
+#[inline]
+pub fn record_tensor_copy() {
+    TENSOR_COPIES.with(|c| c.set(c.get() + 1));
+}
+
+/// Reads the current counters for this thread.
+pub fn stats() -> MemoryStats {
+    MemoryStats {
+        acquires: ACQUIRES.with(Cell::get),
+        releases: RELEASES.with(Cell::get),
+        tensor_copies: TENSOR_COPIES.with(Cell::get),
+    }
+}
+
+/// Resets the counters for this thread.
+pub fn reset_stats() {
+    ACQUIRES.with(|c| c.set(0));
+    RELEASES.with(|c| c.set(0));
+    TENSOR_COPIES.with(|c| c.set(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset_stats();
+        record_acquire();
+        record_acquire();
+        record_release();
+        record_tensor_copy();
+        let s = stats();
+        assert_eq!(s, MemoryStats { acquires: 2, releases: 1, tensor_copies: 1 });
+        assert!(!s.balanced());
+        record_release();
+        assert!(stats().balanced());
+        reset_stats();
+        assert_eq!(stats(), MemoryStats::default());
+    }
+}

@@ -1,0 +1,420 @@
+//! The boxed runtime value.
+//!
+//! `Value` is what flows across the interpreter/compiled-code boundary and
+//! through the legacy stack VM. The new compiler's generated code mostly
+//! operates on *unboxed* machine values and only boxes at the auxiliary
+//! wrapper (§4.5 "Expression Boxing and Unboxing"); the legacy VM operates
+//! on boxed values throughout — which is exactly the performance difference
+//! Figure 2 measures.
+
+use crate::error::RuntimeError;
+use crate::tensor::{Tensor, TensorData};
+use std::fmt;
+use std::rc::Rc;
+use wolfram_expr::{BigInt, Expr, ExprKind};
+
+/// A runtime function value (closure): what `Function[...]` evaluates to in
+/// compiled code, enabling first-class functions (the QSort comparator, the
+/// paper's `If[i == 0, Sin, Cos]` example).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionValue {
+    /// Resolved (mangled) name of the target function.
+    pub name: Rc<str>,
+    /// Index into the executing program's function table.
+    pub index: usize,
+    /// Captured environment values (closure conversion, §4.2).
+    pub captures: Vec<Value>,
+}
+
+/// A boxed runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `Null`.
+    Null,
+    /// A boolean (`True`/`False`).
+    Bool(bool),
+    /// A machine integer.
+    I64(i64),
+    /// A machine real.
+    F64(f64),
+    /// A machine complex number.
+    Complex(f64, f64),
+    /// A string (reference counted; copied on mutation).
+    Str(Rc<String>),
+    /// A packed array.
+    Tensor(Tensor),
+    /// A symbolic expression (the `"Expression"` type, F8).
+    Expr(Expr),
+    /// An arbitrary-precision integer (interpreter fallback arithmetic).
+    Big(Rc<BigInt>),
+    /// A function value.
+    Function(Rc<FunctionValue>),
+}
+
+impl Value {
+    /// The value's type name in the compiler's vocabulary.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "Null",
+            Value::Bool(_) => "Boolean",
+            Value::I64(_) => "Integer64",
+            Value::F64(_) => "Real64",
+            Value::Complex(..) => "ComplexReal64",
+            Value::Str(_) => "String",
+            Value::Tensor(_) => "Tensor",
+            Value::Expr(_) => "Expression",
+            Value::Big(_) => "BigInteger",
+            Value::Function(_) => "Function",
+        }
+    }
+
+    /// Whether the value is *memory managed* (reference counted) as opposed
+    /// to a raw machine value — the distinction the `MemoryAcquire` /
+    /// `MemoryRelease` pass keys on (§4.5).
+    pub fn is_managed(&self) -> bool {
+        matches!(
+            self,
+            Value::Str(_) | Value::Tensor(_) | Value::Expr(_) | Value::Big(_) | Value::Function(_)
+        )
+    }
+
+    /// The integer payload.
+    ///
+    /// # Errors
+    ///
+    /// Type error if this is not an `I64`.
+    pub fn expect_i64(&self) -> Result<i64, RuntimeError> {
+        match self {
+            Value::I64(v) => Ok(*v),
+            other => Err(RuntimeError::Type(format!("expected Integer64, got {}", other.type_name()))),
+        }
+    }
+
+    /// The real payload, promoting integers.
+    ///
+    /// # Errors
+    ///
+    /// Type error if not numeric real/integer.
+    pub fn expect_f64(&self) -> Result<f64, RuntimeError> {
+        match self {
+            Value::F64(v) => Ok(*v),
+            Value::I64(v) => Ok(*v as f64),
+            Value::Big(b) => Ok(b.to_f64()),
+            other => Err(RuntimeError::Type(format!("expected Real64, got {}", other.type_name()))),
+        }
+    }
+
+    /// The complex payload, promoting reals and integers.
+    ///
+    /// # Errors
+    ///
+    /// Type error if not numeric.
+    pub fn expect_complex(&self) -> Result<(f64, f64), RuntimeError> {
+        match self {
+            Value::Complex(re, im) => Ok((*re, *im)),
+            _ => Ok((self.expect_f64()?, 0.0)),
+        }
+    }
+
+    /// The boolean payload.
+    ///
+    /// # Errors
+    ///
+    /// Type error if not a boolean.
+    pub fn expect_bool(&self) -> Result<bool, RuntimeError> {
+        match self {
+            Value::Bool(v) => Ok(*v),
+            other => Err(RuntimeError::Type(format!("expected Boolean, got {}", other.type_name()))),
+        }
+    }
+
+    /// The string payload.
+    ///
+    /// # Errors
+    ///
+    /// Type error if not a string.
+    pub fn expect_str(&self) -> Result<&str, RuntimeError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(RuntimeError::Type(format!("expected String, got {}", other.type_name()))),
+        }
+    }
+
+    /// The tensor payload.
+    ///
+    /// # Errors
+    ///
+    /// Type error if not a tensor.
+    pub fn expect_tensor(&self) -> Result<&Tensor, RuntimeError> {
+        match self {
+            Value::Tensor(t) => Ok(t),
+            other => Err(RuntimeError::Type(format!("expected Tensor, got {}", other.type_name()))),
+        }
+    }
+
+    /// The tensor payload, by value (cheap: reference counted).
+    ///
+    /// # Errors
+    ///
+    /// Type error if not a tensor.
+    pub fn into_tensor(self) -> Result<Tensor, RuntimeError> {
+        match self {
+            Value::Tensor(t) => Ok(t),
+            other => Err(RuntimeError::Type(format!("expected Tensor, got {}", other.type_name()))),
+        }
+    }
+
+    /// The function payload.
+    ///
+    /// # Errors
+    ///
+    /// Type error if not a function value.
+    pub fn expect_function(&self) -> Result<&FunctionValue, RuntimeError> {
+        match self {
+            Value::Function(f) => Ok(f),
+            other => Err(RuntimeError::Type(format!("expected Function, got {}", other.type_name()))),
+        }
+    }
+
+    /// Boxes the value into a Wolfram expression (the auxiliary wrapper's
+    /// "packs the output into an expression" step, F1).
+    pub fn to_expr(&self) -> Expr {
+        match self {
+            Value::Null => Expr::null(),
+            Value::Bool(b) => Expr::bool(*b),
+            Value::I64(v) => Expr::int(*v),
+            Value::F64(v) => Expr::real(*v),
+            Value::Complex(re, im) => Expr::complex(*re, *im),
+            Value::Str(s) => Expr::string(s.as_str()),
+            Value::Big(b) => Expr::big((**b).clone()),
+            Value::Expr(e) => e.clone(),
+            Value::Function(f) => Expr::call("CompiledCodeFunction", [Expr::string(&*f.name)]),
+            Value::Tensor(t) => tensor_to_expr(t),
+        }
+    }
+
+    /// Unboxes a Wolfram expression into a runtime value, packing uniform
+    /// numeric lists into tensors. Falls back to `Value::Expr` for anything
+    /// symbolic.
+    pub fn from_expr(e: &Expr) -> Value {
+        match e.kind() {
+            ExprKind::Integer(v) => Value::I64(*v),
+            ExprKind::BigInteger(b) => Value::Big(Rc::new((**b).clone())),
+            ExprKind::Real(v) => Value::F64(*v),
+            ExprKind::Complex(re, im) => Value::Complex(*re, *im),
+            ExprKind::Str(s) => Value::Str(Rc::new(s.to_string())),
+            ExprKind::Symbol(s) => match s.name() {
+                "True" => Value::Bool(true),
+                "False" => Value::Bool(false),
+                "Null" => Value::Null,
+                _ => Value::Expr(e.clone()),
+            },
+            ExprKind::Normal(_) => match expr_to_tensor(e) {
+                Some(t) => Value::Tensor(t),
+                None => Value::Expr(e.clone()),
+            },
+        }
+    }
+}
+
+/// Converts a tensor to a (nested) `List` expression.
+pub fn tensor_to_expr(t: &Tensor) -> Expr {
+    fn build(shape: &[usize], get: &mut dyn FnMut() -> Expr) -> Expr {
+        if shape.len() == 1 {
+            Expr::list((0..shape[0]).map(|_| get()).collect::<Vec<_>>())
+        } else {
+            Expr::list((0..shape[0]).map(|_| build(&shape[1..], get)).collect::<Vec<_>>())
+        }
+    }
+    let mut offset = 0usize;
+    match t.data() {
+        TensorData::I64(v) => build(t.shape(), &mut || {
+            let e = Expr::int(v[offset]);
+            offset += 1;
+            e
+        }),
+        TensorData::F64(v) => build(t.shape(), &mut || {
+            let e = Expr::real(v[offset]);
+            offset += 1;
+            e
+        }),
+        TensorData::Complex(v) => build(t.shape(), &mut || {
+            let (re, im) = v[offset];
+            offset += 1;
+            Expr::complex(re, im)
+        }),
+    }
+}
+
+/// Attempts to pack a (nested) `List` expression of uniform machine numbers
+/// into a tensor. Mixed integer/real lists promote to real.
+pub fn expr_to_tensor(e: &Expr) -> Option<Tensor> {
+    if !e.has_head("List") {
+        return None;
+    }
+    // Determine shape and uniformity with a first pass.
+    let mut shape = Vec::new();
+    let mut cursor = e.clone();
+    loop {
+        if !cursor.has_head("List") {
+            break;
+        }
+        shape.push(cursor.length());
+        match cursor.args().first() {
+            Some(first) => cursor = first.clone(),
+            None => break,
+        }
+    }
+    if shape.is_empty() || shape.contains(&0) {
+        return None;
+    }
+    #[derive(PartialEq, Clone, Copy)]
+    enum Elem {
+        Int,
+        Real,
+        Complex,
+    }
+    let mut elem = Elem::Int;
+    let mut ints = Vec::new();
+    let mut reals = Vec::new();
+    let mut complexes = Vec::new();
+    fn gather(
+        e: &Expr,
+        depth: usize,
+        shape: &[usize],
+        elem: &mut Elem,
+        ints: &mut Vec<i64>,
+        reals: &mut Vec<f64>,
+        complexes: &mut Vec<(f64, f64)>,
+    ) -> bool {
+        if depth < shape.len() {
+            if !e.has_head("List") || e.length() != shape[depth] {
+                return false;
+            }
+            e.args().iter().all(|a| gather(a, depth + 1, shape, elem, ints, reals, complexes))
+        } else {
+            match e.kind() {
+                ExprKind::Integer(v) => {
+                    ints.push(*v);
+                    reals.push(*v as f64);
+                    complexes.push((*v as f64, 0.0));
+                    true
+                }
+                ExprKind::Real(v) => {
+                    if *elem == Elem::Int {
+                        *elem = Elem::Real;
+                    }
+                    reals.push(*v);
+                    complexes.push((*v, 0.0));
+                    true
+                }
+                ExprKind::Complex(re, im) => {
+                    *elem = Elem::Complex;
+                    complexes.push((*re, *im));
+                    true
+                }
+                _ => false,
+            }
+        }
+    }
+    if !gather(e, 0, &shape, &mut elem, &mut ints, &mut reals, &mut complexes) {
+        return None;
+    }
+    let data = match elem {
+        Elem::Int => TensorData::I64(ints),
+        Elem::Real => TensorData::F64(reals),
+        Elem::Complex => TensorData::Complex(complexes),
+    };
+    Tensor::with_shape(shape, data).ok()
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => f.write_str(s),
+            other => f.write_str(&other.to_expr().to_input_form()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolfram_expr::parse;
+
+    #[test]
+    fn type_names_and_managed() {
+        assert_eq!(Value::I64(1).type_name(), "Integer64");
+        assert!(!Value::I64(1).is_managed());
+        assert!(Value::Str(Rc::new("s".into())).is_managed());
+        assert!(Value::Tensor(Tensor::from_i64(vec![1])).is_managed());
+        assert!(Value::Expr(Expr::sym("x")).is_managed());
+    }
+
+    #[test]
+    fn expect_accessors() {
+        assert_eq!(Value::I64(4).expect_i64().unwrap(), 4);
+        assert_eq!(Value::I64(4).expect_f64().unwrap(), 4.0);
+        assert_eq!(Value::F64(2.5).expect_complex().unwrap(), (2.5, 0.0));
+        assert!(Value::Bool(true).expect_i64().is_err());
+        assert!(Value::F64(1.0).expect_bool().is_err());
+    }
+
+    #[test]
+    fn boxing_roundtrip_scalars() {
+        for v in [
+            Value::I64(-3),
+            Value::F64(2.5),
+            Value::Bool(true),
+            Value::Null,
+            Value::Str(Rc::new("hello".into())),
+            Value::Complex(1.0, -2.0),
+        ] {
+            let e = v.to_expr();
+            assert_eq!(Value::from_expr(&e), v, "roundtrip {v:?}");
+        }
+    }
+
+    #[test]
+    fn list_packing() {
+        let e = parse("{1, 2, 3}").unwrap();
+        match Value::from_expr(&e) {
+            Value::Tensor(t) => assert_eq!(t.as_i64().unwrap(), &[1, 2, 3]),
+            other => panic!("expected tensor, got {other:?}"),
+        }
+        // Mixed int/real promotes to real.
+        let e = parse("{1, 2.5}").unwrap();
+        match Value::from_expr(&e) {
+            Value::Tensor(t) => assert_eq!(t.as_f64().unwrap(), &[1.0, 2.5]),
+            other => panic!("expected tensor, got {other:?}"),
+        }
+        // Matrix.
+        let e = parse("{{1, 2}, {3, 4}}").unwrap();
+        match Value::from_expr(&e) {
+            Value::Tensor(t) => assert_eq!(t.shape(), &[2, 2]),
+            other => panic!("expected tensor, got {other:?}"),
+        }
+        // Ragged stays symbolic.
+        let e = parse("{{1, 2}, {3}}").unwrap();
+        assert!(matches!(Value::from_expr(&e), Value::Expr(_)));
+        // Symbolic contents stay symbolic.
+        let e = parse("{x, 2}").unwrap();
+        assert!(matches!(Value::from_expr(&e), Value::Expr(_)));
+    }
+
+    #[test]
+    fn tensor_boxing_roundtrip() {
+        let t = Tensor::with_shape(vec![2, 2], TensorData::F64(vec![1.0, 2.0, 3.0, 4.0])).unwrap();
+        let e = tensor_to_expr(&t);
+        assert_eq!(e.to_full_form(), "List[List[1., 2.], List[3., 4.]]");
+        let back = expr_to_tensor(&e).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn symbols_unbox_specially() {
+        assert_eq!(Value::from_expr(&Expr::bool(true)), Value::Bool(true));
+        assert_eq!(Value::from_expr(&Expr::null()), Value::Null);
+        assert!(matches!(Value::from_expr(&Expr::sym("x")), Value::Expr(_)));
+    }
+}

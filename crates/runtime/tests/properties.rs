@@ -1,0 +1,219 @@
+//! Property tests on the runtime substrate: checked machine arithmetic
+//! against a wide-integer reference, Part index resolution, the shared
+//! `dgemm`/`dgemv` kernels against naive loops, and tensor copy-on-write.
+
+use proptest::prelude::*;
+use wolfram_runtime::checked::{
+    abs_i64, add_i64, mod_i64, mul_i64, neg_i64, pow_i64, quotient_i64, resolve_part_index,
+    sub_i64,
+};
+use wolfram_runtime::linalg::{ddot, dgemm, dgemv};
+use wolfram_runtime::{RuntimeError, Tensor};
+
+// ---------------------------------------------------------------------
+// Checked arithmetic: agree with i128 and never panic.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let wide = a as i128 + b as i128;
+        match add_i64(a, b) {
+            Ok(v) => prop_assert_eq!(v as i128, wide),
+            Err(e) => {
+                prop_assert_eq!(e, RuntimeError::IntegerOverflow);
+                prop_assert!(i64::try_from(wide).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn sub_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let wide = a as i128 - b as i128;
+        match sub_i64(a, b) {
+            Ok(v) => prop_assert_eq!(v as i128, wide),
+            Err(_) => prop_assert!(i64::try_from(wide).is_err()),
+        }
+    }
+
+    #[test]
+    fn mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let wide = a as i128 * b as i128;
+        match mul_i64(a, b) {
+            Ok(v) => prop_assert_eq!(v as i128, wide),
+            Err(_) => prop_assert!(i64::try_from(wide).is_err()),
+        }
+    }
+
+    #[test]
+    fn neg_and_abs_never_panic(a in any::<i64>()) {
+        match neg_i64(a) {
+            Ok(v) => prop_assert_eq!(v as i128, -(a as i128)),
+            Err(_) => prop_assert_eq!(a, i64::MIN),
+        }
+        match abs_i64(a) {
+            Ok(v) => prop_assert_eq!(v as i128, (a as i128).abs()),
+            Err(_) => prop_assert_eq!(a, i64::MIN),
+        }
+    }
+
+    #[test]
+    fn pow_matches_i128(base in -50i64..50, exp in 0i64..20) {
+        let wide = (base as i128).checked_pow(exp as u32);
+        match pow_i64(base, exp) {
+            Ok(v) => prop_assert_eq!(Some(v as i128), wide),
+            Err(_) => prop_assert!(
+                wide.is_none_or(|w| i64::try_from(w).is_err()) || exp < 0
+            ),
+        }
+    }
+
+    /// Wolfram division identity: a == b*Quotient[a,b] + Mod[a,b], with
+    /// Mod taking the sign of the divisor.
+    #[test]
+    fn quotient_mod_identity(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(b != 0);
+        // Skip the lone i64::MIN / -1 overflow corner.
+        prop_assume!(!(a == i64::MIN && b == -1));
+        let q = quotient_i64(a, b).unwrap();
+        let r = mod_i64(a, b).unwrap();
+        prop_assert_eq!((b as i128) * (q as i128) + r as i128, a as i128);
+        if r != 0 {
+            prop_assert_eq!(r.signum(), b.signum(), "Mod takes divisor sign");
+        }
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error(a in any::<i64>()) {
+        prop_assert!(quotient_i64(a, 0).is_err());
+        prop_assert!(mod_i64(a, 0).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Part index resolution (1-based, negative-from-end).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn positive_indices_map_one_based(len in 1usize..100, pick in 0usize..99) {
+        let idx = (pick % len) + 1;
+        prop_assert_eq!(resolve_part_index(idx as i64, len).unwrap(), idx - 1);
+    }
+
+    #[test]
+    fn negative_indices_count_from_end(len in 1usize..100, pick in 0usize..99) {
+        let back = (pick % len) + 1; // 1..=len
+        let got = resolve_part_index(-(back as i64), len).unwrap();
+        prop_assert_eq!(got, len - back);
+    }
+
+    #[test]
+    fn zero_and_out_of_range_rejected(len in 0usize..50, beyond in 1i64..50) {
+        prop_assert!(resolve_part_index(0, len).is_err());
+        prop_assert!(resolve_part_index(len as i64 + beyond, len).is_err());
+        prop_assert!(resolve_part_index(-(len as i64) - beyond, len).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Linear algebra kernels vs naive reference loops.
+// ---------------------------------------------------------------------
+
+fn naive_gemm(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for l in 0..k {
+                acc += a[i * k + l] * b[l * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dgemm_matches_naive(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6,
+        seed in prop::collection::vec(-10.0f64..10.0, 72),
+    ) {
+        let a: Vec<f64> = seed.iter().cycle().take(m * k).copied().collect();
+        let b: Vec<f64> = seed.iter().rev().cycle().take(k * n).copied().collect();
+        let mut c = vec![0.0; m * n];
+        dgemm(&a, &b, &mut c, m, k, n);
+        let want = naive_gemm(&a, &b, m, k, n);
+        for (got, want) in c.iter().zip(&want) {
+            prop_assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn dgemv_is_gemm_with_one_column(
+        m in 1usize..8, n in 1usize..8,
+        seed in prop::collection::vec(-5.0f64..5.0, 64),
+    ) {
+        let a: Vec<f64> = seed.iter().cycle().take(m * n).copied().collect();
+        let x: Vec<f64> = seed.iter().rev().cycle().take(n).copied().collect();
+        let mut y = vec![0.0; m];
+        dgemv(&a, &x, &mut y, m, n);
+        let want = naive_gemm(&a, &x, m, n, 1);
+        for (got, want) in y.iter().zip(&want) {
+            prop_assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn ddot_matches_fold(v in prop::collection::vec(-100.0f64..100.0, 0..64)) {
+        let want: f64 = v.iter().map(|x| x * x).sum();
+        prop_assert!((ddot(&v, &v) - want).abs() < 1e-7 * (1.0 + want.abs()));
+        prop_assert!(ddot(&v, &v) >= 0.0, "dot of a vector with itself");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tensor copy-on-write.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn clone_shares_until_written(data in prop::collection::vec(any::<i64>(), 1..32)) {
+        let original = Tensor::from_i64(data.clone());
+        let mut alias = original.clone();
+        prop_assert!(alias.shares_storage(&original));
+        alias.set_i64(0, 999).unwrap();
+        prop_assert!(!alias.shares_storage(&original), "write must unshare");
+        prop_assert_eq!(original.as_i64().unwrap(), &data[..], "original untouched");
+        prop_assert_eq!(alias.as_i64().unwrap()[0], 999);
+        prop_assert_eq!(&alias.as_i64().unwrap()[1..], &data[1..]);
+    }
+
+    #[test]
+    fn unique_tensor_writes_in_place(data in prop::collection::vec(any::<i64>(), 1..32)) {
+        let mut t = Tensor::from_i64(data.clone());
+        let copies_before = wolfram_runtime::memory::stats().tensor_copies;
+        t.set_i64(0, 7).unwrap();
+        prop_assert_eq!(
+            wolfram_runtime::memory::stats().tensor_copies, copies_before,
+            "unshared write must not copy"
+        );
+    }
+
+    #[test]
+    fn with_shape_validates_product(
+        data in prop::collection::vec(any::<i64>(), 0..24),
+        rows in 1usize..6, cols in 1usize..6,
+    ) {
+        let t = Tensor::with_shape(vec![rows, cols], wolfram_runtime::TensorData::I64(data.clone()));
+        prop_assert_eq!(t.is_ok(), data.len() == rows * cols);
+        if let Ok(t) = t {
+            prop_assert_eq!(t.rank(), 2);
+            prop_assert_eq!(t.length(), rows);
+            prop_assert_eq!(t.flat_len(), rows * cols);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Constraint kinds for the two-phase type inference (§4.4).
+//!
+//! "In the first phase, the IR is traversed to generate a system of
+//! constraints ... There are only a handful of constraints":
+//! `EqualityConstraint`, `AlternativeConstraint`, `InstantiateConstraint`,
+//! and `GeneralizeConstraint`. This reproduction adds `Call` — an
+//! alternative constraint specialized to overloaded function calls, which
+//! records the chosen overload for the later function-resolution pass.
+
+use crate::ty::{Type, TypeVar};
+
+/// A single inference constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// `EqualityConstraint[a, b]`: the two types must unify.
+    Equality {
+        /// Left type.
+        a: Type,
+        /// Right type.
+        b: Type,
+        /// Where the constraint came from (for error messages).
+        origin: String,
+    },
+    /// `AlternativeConstraint[t, {o1, o2, ...}]`: `t` equals one of the
+    /// options; resolution prefers the most specific (lowest promotion
+    /// cost) option and errors on ties.
+    Alternative {
+        /// The constrained type.
+        t: Type,
+        /// The allowed options.
+        options: Vec<Type>,
+        /// Provenance.
+        origin: String,
+    },
+    /// `InstantiateConstraint[tau, rho, m]`: `tau` is an instance of the
+    /// polymorphic `rho` (with respect to the monomorphic set, which the
+    /// scheme representation already captures here).
+    Instantiate {
+        /// The instance type.
+        tau: Type,
+        /// The scheme.
+        rho: Type,
+        /// Provenance.
+        origin: String,
+    },
+    /// `GeneralizeConstraint[sigma, tau, m]`: `sigma` is the
+    /// generalization of `tau` over variables not in the monomorphic set
+    /// `m`.
+    Generalize {
+        /// The resulting scheme variable.
+        sigma: TypeVar,
+        /// The type being generalized.
+        tau: Type,
+        /// The monomorphic set (variables that must not be quantified).
+        mono: Vec<TypeVar>,
+        /// Provenance.
+        origin: String,
+    },
+    /// A call `name[args...] : ret` to be resolved against the type
+    /// environment's overloads (the compiler's specialization of
+    /// `AlternativeConstraint` to function types).
+    Call {
+        /// Call-site identifier (the WIR instruction id), used to report
+        /// the chosen overload back to the resolver.
+        site: usize,
+        /// Function name.
+        name: String,
+        /// Argument types.
+        args: Vec<Type>,
+        /// Result type.
+        ret: Type,
+        /// Provenance.
+        origin: String,
+    },
+}
+
+impl Constraint {
+    /// Free solver variables mentioned by this constraint (the edges of
+    /// the constraint graph connect constraints with overlapping sets).
+    pub fn free_vars(&self) -> Vec<TypeVar> {
+        let mut out = Vec::new();
+        let mut add = |t: &Type| {
+            for v in t.free_vars() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        };
+        match self {
+            Constraint::Equality { a, b, .. } => {
+                add(a);
+                add(b);
+            }
+            Constraint::Alternative { t, options, .. } => {
+                add(t);
+                for o in options {
+                    add(o);
+                }
+            }
+            Constraint::Instantiate { tau, rho, .. } => {
+                add(tau);
+                add(rho);
+            }
+            Constraint::Generalize { sigma, tau, mono, .. } => {
+                add(&Type::Var(*sigma));
+                add(tau);
+                for v in mono {
+                    add(&Type::Var(*v));
+                }
+            }
+            Constraint::Call { args, ret, .. } => {
+                for a in args {
+                    add(a);
+                }
+                add(ret);
+            }
+        }
+        out
+    }
+
+    /// A short provenance string for diagnostics.
+    pub fn origin(&self) -> &str {
+        match self {
+            Constraint::Equality { origin, .. }
+            | Constraint::Alternative { origin, .. }
+            | Constraint::Instantiate { origin, .. }
+            | Constraint::Generalize { origin, .. }
+            | Constraint::Call { origin, .. } => origin,
+        }
+    }
+}
+
+impl std::fmt::Display for Constraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Constraint::Equality { a, b, .. } => write!(f, "{a} == {b}"),
+            Constraint::Alternative { t, options, .. } => {
+                let opts: Vec<String> = options.iter().map(Type::to_string).collect();
+                write!(f, "{t} in {{{}}}", opts.join(", "))
+            }
+            Constraint::Instantiate { tau, rho, .. } => write!(f, "{tau} <= inst({rho})"),
+            Constraint::Generalize { sigma, tau, .. } => {
+                write!(f, "%t{} == gen({tau})", sigma.0)
+            }
+            Constraint::Call { name, args, ret, .. } => {
+                let args: Vec<String> = args.iter().map(Type::to_string).collect();
+                write!(f, "{name}({}) -> {ret}", args.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_vars_collected() {
+        let c = Constraint::Equality {
+            a: Type::Var(TypeVar(0)),
+            b: Type::tensor(Type::Var(TypeVar(1)), 1),
+            origin: "test".into(),
+        };
+        assert_eq!(c.free_vars(), vec![TypeVar(0), TypeVar(1)]);
+        let c = Constraint::Call {
+            site: 0,
+            name: "Plus".into(),
+            args: vec![Type::Var(TypeVar(2)), Type::integer64()],
+            ret: Type::Var(TypeVar(3)),
+            origin: "test".into(),
+        };
+        assert_eq!(c.free_vars(), vec![TypeVar(2), TypeVar(3)]);
+    }
+
+    #[test]
+    fn display_readable() {
+        let c = Constraint::Equality {
+            a: Type::integer64(),
+            b: Type::Var(TypeVar(7)),
+            origin: "x".into(),
+        };
+        assert_eq!(c.to_string(), "Integer64 == %t7");
+    }
+}

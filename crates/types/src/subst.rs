@@ -1,0 +1,276 @@
+//! Substitutions, unification, and numeric promotion.
+
+use crate::ty::{Type, TypeVar};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A substitution from solver variables to types.
+#[derive(Debug, Clone, Default)]
+pub struct Subst {
+    map: HashMap<TypeVar, Type>,
+    next_var: u32,
+}
+
+/// Unification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnifyError {
+    /// Human-readable mismatch description.
+    pub message: String,
+}
+
+impl fmt::Display for UnifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot unify: {}", self.message)
+    }
+}
+
+impl std::error::Error for UnifyError {}
+
+impl Subst {
+    /// An empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures future fresh variables do not collide with externally
+    /// created variables up to `max_var` inclusive.
+    pub fn reserve(&mut self, max_var: u32) {
+        self.next_var = self.next_var.max(max_var + 1);
+    }
+
+    /// A fresh solver variable.
+    pub fn fresh(&mut self) -> Type {
+        let v = TypeVar(self.next_var);
+        self.next_var += 1;
+        Type::Var(v)
+    }
+
+    /// Binds a variable (no occurs check here; use [`unify`]).
+    pub fn bind(&mut self, v: TypeVar, t: Type) {
+        self.map.insert(v, t);
+    }
+
+    /// Resolves a variable one step.
+    pub fn lookup(&self, v: TypeVar) -> Option<&Type> {
+        self.map.get(&v)
+    }
+
+    /// Fully applies the substitution to a type.
+    pub fn apply(&self, t: &Type) -> Type {
+        match t {
+            Type::Var(v) => match self.map.get(v) {
+                Some(bound) => self.apply(bound),
+                None => t.clone(),
+            },
+            Type::Constructor { name, args } => Type::Constructor {
+                name: name.clone(),
+                args: args.iter().map(|a| self.apply(a)).collect(),
+            },
+            Type::Arrow { params, ret } => Type::Arrow {
+                params: params.iter().map(|p| self.apply(p)).collect(),
+                ret: Box::new(self.apply(ret)),
+            },
+            Type::Product(args) => Type::Product(args.iter().map(|a| self.apply(a)).collect()),
+            Type::Projection { base, index } => {
+                let base = self.apply(base);
+                // Projections reduce when the base is a known product.
+                if let Type::Product(items) = &base {
+                    if let Some(item) = items.get(*index) {
+                        return item.clone();
+                    }
+                }
+                Type::Projection { base: Box::new(base), index: *index }
+            }
+            Type::ForAll { vars, quals, body } => Type::ForAll {
+                vars: vars.clone(),
+                quals: quals.clone(),
+                body: Box::new(self.apply(body)),
+            },
+            Type::Atomic(_) | Type::Literal(_) | Type::Bound(_) => t.clone(),
+        }
+    }
+
+    fn occurs(&self, v: TypeVar, t: &Type) -> bool {
+        self.apply(t).free_vars().contains(&v)
+    }
+}
+
+/// Unifies `a` and `b` under `subst`, extending it on success.
+///
+/// # Errors
+///
+/// Returns [`UnifyError`] on constructor clashes, arity mismatches, or
+/// occurs-check failures; `subst` may be partially extended.
+pub fn unify(a: &Type, b: &Type, subst: &mut Subst) -> Result<(), UnifyError> {
+    let a = subst.apply(a);
+    let b = subst.apply(b);
+    match (&a, &b) {
+        (Type::Var(x), Type::Var(y)) if x == y => Ok(()),
+        (Type::Var(v), other) | (other, Type::Var(v)) => {
+            if subst.occurs(*v, other) {
+                return Err(UnifyError { message: format!("occurs check: %t{} in {other}", v.0) });
+            }
+            subst.bind(*v, other.clone());
+            Ok(())
+        }
+        (Type::Atomic(x), Type::Atomic(y)) if x == y => Ok(()),
+        (Type::Literal(x), Type::Literal(y)) if x == y => Ok(()),
+        (Type::Bound(x), Type::Bound(y)) if x == y => Ok(()),
+        (
+            Type::Constructor { name: na, args: aa },
+            Type::Constructor { name: nb, args: ab },
+        ) if na == nb && aa.len() == ab.len() => {
+            for (x, y) in aa.iter().zip(ab) {
+                unify(x, y, subst)?;
+            }
+            Ok(())
+        }
+        (Type::Arrow { params: pa, ret: ra }, Type::Arrow { params: pb, ret: rb })
+            if pa.len() == pb.len() =>
+        {
+            for (x, y) in pa.iter().zip(pb) {
+                unify(x, y, subst)?;
+            }
+            unify(ra, rb, subst)
+        }
+        (Type::Product(xa), Type::Product(xb)) if xa.len() == xb.len() => {
+            for (x, y) in xa.iter().zip(xb) {
+                unify(x, y, subst)?;
+            }
+            Ok(())
+        }
+        _ => Err(UnifyError { message: format!("{a} vs {b}") }),
+    }
+}
+
+/// The cost of implicitly promoting scalar `from` into `to`; `Some(0)` for
+/// identical types, `None` when no promotion exists. Promotions follow the
+/// numeric tower `Integer64 -> Real64 -> ComplexReal64` (plus the narrower
+/// integer/real widths).
+pub fn promotion_cost(from: &Type, to: &Type) -> Option<u32> {
+    if from == to {
+        return Some(0);
+    }
+    let (Type::Atomic(f), Type::Atomic(t)) = (from, to) else { return None };
+    // Boxing into the symbolic world (F8): any machine scalar or string
+    // may become an "Expression", at a cost above every numeric promotion
+    // so numeric overloads always win when applicable.
+    if &**t == "Expression"
+        && matches!(
+            &**f,
+            "Integer8" | "Integer16" | "Integer32" | "Integer64" | "Real32" | "Real64"
+                | "ComplexReal64" | "Boolean" | "String"
+        )
+    {
+        return Some(10);
+    }
+    let rank = |name: &str| -> Option<u32> {
+        Some(match name {
+            "Integer8" => 0,
+            "Integer16" => 1,
+            "Integer32" => 2,
+            "Integer64" => 3,
+            "Real32" => 4,
+            "Real64" => 5,
+            "ComplexReal64" => 6,
+            _ => return None,
+        })
+    };
+    let (rf, rt) = (rank(f)?, rank(t)?);
+    (rf < rt).then(|| rt - rf)
+}
+
+/// Least upper bound in the numeric promotion order, if any.
+pub fn numeric_lub(a: &Type, b: &Type) -> Option<Type> {
+    if a == b {
+        return Some(a.clone());
+    }
+    if promotion_cost(a, b).is_some() {
+        return Some(b.clone());
+    }
+    if promotion_cost(b, a).is_some() {
+        return Some(a.clone());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(n: u32) -> Type {
+        Type::Var(TypeVar(n))
+    }
+
+    #[test]
+    fn unify_binds_vars() {
+        let mut s = Subst::new();
+        unify(&var(0), &Type::integer64(), &mut s).unwrap();
+        assert_eq!(s.apply(&var(0)), Type::integer64());
+        unify(&var(1), &var(0), &mut s).unwrap();
+        assert_eq!(s.apply(&var(1)), Type::integer64());
+    }
+
+    #[test]
+    fn unify_structures() {
+        let mut s = Subst::new();
+        let a = Type::tensor(var(0), 1);
+        let b = Type::tensor(Type::real64(), 1);
+        unify(&a, &b, &mut s).unwrap();
+        assert_eq!(s.apply(&var(0)), Type::real64());
+        // Rank mismatch fails.
+        let mut s = Subst::new();
+        assert!(unify(&Type::tensor(Type::real64(), 1), &Type::tensor(Type::real64(), 2), &mut s)
+            .is_err());
+    }
+
+    #[test]
+    fn unify_arrows() {
+        let mut s = Subst::new();
+        let f = Type::arrow(vec![var(0)], var(1));
+        let g = Type::arrow(vec![Type::integer64()], Type::boolean());
+        unify(&f, &g, &mut s).unwrap();
+        assert_eq!(s.apply(&var(1)), Type::boolean());
+        assert!(unify(
+            &Type::arrow(vec![], Type::void()),
+            &Type::arrow(vec![var(2)], Type::void()),
+            &mut s
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn occurs_check() {
+        let mut s = Subst::new();
+        let t = Type::tensor(var(0), 1);
+        assert!(unify(&var(0), &t, &mut s).is_err());
+    }
+
+    #[test]
+    fn atomic_clash() {
+        let mut s = Subst::new();
+        assert!(unify(&Type::integer64(), &Type::real64(), &mut s).is_err());
+    }
+
+    #[test]
+    fn promotions() {
+        assert_eq!(promotion_cost(&Type::integer64(), &Type::integer64()), Some(0));
+        assert_eq!(promotion_cost(&Type::integer64(), &Type::real64()), Some(2));
+        assert_eq!(promotion_cost(&Type::real64(), &Type::integer64()), None);
+        assert_eq!(promotion_cost(&Type::real64(), &Type::complex()), Some(1));
+        assert_eq!(promotion_cost(&Type::string(), &Type::real64()), None);
+        assert_eq!(numeric_lub(&Type::integer64(), &Type::real64()), Some(Type::real64()));
+        assert_eq!(numeric_lub(&Type::boolean(), &Type::real64()), None);
+    }
+
+    #[test]
+    fn projection_reduces() {
+        let mut s = Subst::new();
+        let p = Type::Projection {
+            base: Box::new(Type::Product(vec![Type::integer64(), Type::string()])),
+            index: 1,
+        };
+        assert_eq!(s.apply(&p), Type::string());
+        let _ = &mut s;
+    }
+}

@@ -1,0 +1,580 @@
+//! The `TypeSpecifier` grammar (§4.4).
+
+use std::fmt;
+use std::rc::Rc;
+use wolfram_expr::{Expr, ExprKind};
+
+/// An inference variable introduced by the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeVar(pub u32);
+
+/// A type-class qualifier on a polymorphic type: `"a" ∈ "Integral"`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Qualifier {
+    /// The quantified variable name.
+    pub var: Rc<str>,
+    /// The class it must belong to.
+    pub class: Rc<str>,
+}
+
+/// A compiler type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A solver variable.
+    Var(TypeVar),
+    /// A name bound by an enclosing [`Type::ForAll`] (e.g. `"a"`).
+    Bound(Rc<str>),
+    /// An atomic constructor: `"Integer64"`, `"Real64"`, `"Boolean"`,
+    /// `"String"`, `"Expression"`, `"Void"`, ...
+    Atomic(Rc<str>),
+    /// A compound constructor, e.g. `"Tensor"["Integer64", 1]`.
+    Constructor {
+        /// Constructor name.
+        name: Rc<str>,
+        /// Type arguments.
+        args: Vec<Type>,
+    },
+    /// A type-level literal, e.g. `TypeLiteral[1, "Integer64"]` (tensor
+    /// ranks are type-level integers).
+    Literal(i64),
+    /// A function type `{params} -> ret`.
+    Arrow {
+        /// Parameter types.
+        params: Vec<Type>,
+        /// Return type.
+        ret: Box<Type>,
+    },
+    /// A (qualified) polymorphic scheme: `TypeForAll[{vars}, {quals}, body]`.
+    ForAll {
+        /// Quantified variable names.
+        vars: Vec<Rc<str>>,
+        /// Class qualifiers on those variables.
+        quals: Vec<Qualifier>,
+        /// The scheme body.
+        body: Box<Type>,
+    },
+    /// A structural product type (`TypeProduct`).
+    Product(Vec<Type>),
+    /// A projection out of a product (`TypeProjection`).
+    Projection {
+        /// The product being projected.
+        base: Box<Type>,
+        /// 0-based component index.
+        index: usize,
+    },
+}
+
+/// Errors from parsing a `TypeSpecifier` expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError(pub String);
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Canonicalizes type-name aliases (`"MachineInteger"` is `Integer64` on
+/// the 64-bit targets this reproduction models).
+pub fn normalize_name(name: &str) -> &str {
+    match name {
+        "MachineInteger" | "Integer" => "Integer64",
+        "MachineReal" | "Real" => "Real64",
+        "Complex" | "ComplexReal" => "ComplexReal64",
+        "UTF8String" => "String",
+        "Bool" => "Boolean",
+        other => other,
+    }
+}
+
+impl Type {
+    /// Shorthand for an atomic type.
+    pub fn atomic(name: &str) -> Type {
+        Type::Atomic(Rc::from(normalize_name(name)))
+    }
+
+    /// The machine integer type.
+    pub fn integer64() -> Type {
+        Type::atomic("Integer64")
+    }
+
+    /// The machine real type.
+    pub fn real64() -> Type {
+        Type::atomic("Real64")
+    }
+
+    /// The machine complex type.
+    pub fn complex() -> Type {
+        Type::atomic("ComplexReal64")
+    }
+
+    /// The boolean type.
+    pub fn boolean() -> Type {
+        Type::atomic("Boolean")
+    }
+
+    /// The string type.
+    pub fn string() -> Type {
+        Type::atomic("String")
+    }
+
+    /// The symbolic expression type (F8).
+    pub fn expression() -> Type {
+        Type::atomic("Expression")
+    }
+
+    /// The unit type for statements.
+    pub fn void() -> Type {
+        Type::atomic("Void")
+    }
+
+    /// A packed-array type of the given element type and rank.
+    pub fn tensor(element: Type, rank: i64) -> Type {
+        Type::Constructor { name: Rc::from("Tensor"), args: vec![element, Type::Literal(rank)] }
+    }
+
+    /// A function type.
+    pub fn arrow(params: Vec<Type>, ret: Type) -> Type {
+        Type::Arrow { params, ret: Box::new(ret) }
+    }
+
+    /// A monomorphic scheme (no quantifiers) or the body for instantiation.
+    pub fn for_all(vars: &[&str], quals: &[(&str, &str)], body: Type) -> Type {
+        Type::ForAll {
+            vars: vars.iter().map(|v| Rc::from(*v)).collect(),
+            quals: quals
+                .iter()
+                .map(|(v, c)| Qualifier { var: Rc::from(*v), class: Rc::from(*c) })
+                .collect(),
+            body: Box::new(body),
+        }
+    }
+
+    /// Whether this is an unresolved solver variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Type::Var(_))
+    }
+
+    /// Whether the type contains no solver variables.
+    pub fn is_concrete(&self) -> bool {
+        match self {
+            Type::Var(_) => false,
+            Type::Bound(_) => false,
+            Type::Atomic(_) | Type::Literal(_) => true,
+            Type::Constructor { args, .. } | Type::Product(args) => {
+                args.iter().all(Type::is_concrete)
+            }
+            Type::Arrow { params, ret } => {
+                params.iter().all(Type::is_concrete) && ret.is_concrete()
+            }
+            Type::ForAll { body, .. } => body.free_vars().is_empty(),
+            Type::Projection { base, .. } => base.is_concrete(),
+        }
+    }
+
+    /// Collects free solver variables.
+    pub fn free_vars(&self) -> Vec<TypeVar> {
+        let mut out = Vec::new();
+        self.collect_free_vars(&mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, out: &mut Vec<TypeVar>) {
+        match self {
+            Type::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Type::Constructor { args, .. } | Type::Product(args) => {
+                for a in args {
+                    a.collect_free_vars(out);
+                }
+            }
+            Type::Arrow { params, ret } => {
+                for p in params {
+                    p.collect_free_vars(out);
+                }
+                ret.collect_free_vars(out);
+            }
+            Type::ForAll { body, .. } => body.collect_free_vars(out),
+            Type::Projection { base, .. } => base.collect_free_vars(out),
+            Type::Atomic(_) | Type::Literal(_) | Type::Bound(_) => {}
+        }
+    }
+
+    /// Parses a `TypeSpecifier` expression (§4.4) into a type.
+    ///
+    /// Accepted forms:
+    /// - `"Integer64"` (atomic constructor, aliases normalized)
+    /// - `"Tensor"["Integer64", 2]` (compound constructor)
+    /// - `TypeLiteral[1, "Integer64"]`
+    /// - `{"Integer32", "Integer32"} -> "Real64"` (via `Rule`)
+    /// - `TypeForAll[{"a"}, {Element["a", "Integral"]}, {"a"} -> "Real64"]`
+    /// - `TypeProduct[...]`, `TypeProjection[prod, i]`
+    /// - `TypeSpecifier[spec]` wrappers
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] for malformed specifications.
+    pub fn from_expr(e: &Expr) -> Result<Type, TypeError> {
+        let t = Self::from_expr_in(e, &[])?;
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Checks that every atomic/constructor name in the type is one the
+    /// compiler knows. `Typed[x, "Quaternion"]` must be a compile error,
+    /// not an opaque value that fails at code generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] naming the first unknown type.
+    pub fn validate(&self) -> Result<(), TypeError> {
+        const ATOMS: &[&str] = &[
+            "Integer8", "Integer16", "Integer32", "Integer64", "UnsignedInteger8",
+            "UnsignedInteger16", "UnsignedInteger32", "UnsignedInteger64", "Real32",
+            "Real64", "ComplexReal64", "Boolean", "String", "Expression", "Void",
+        ];
+        match self {
+            Type::Atomic(name) => {
+                if ATOMS.contains(&&**name) {
+                    Ok(())
+                } else {
+                    Err(TypeError(format!("unknown type \"{name}\"")))
+                }
+            }
+            Type::Constructor { name, args } => {
+                if &**name != "Tensor" {
+                    return Err(TypeError(format!("unknown type constructor \"{name}\"")));
+                }
+                args.iter().try_for_each(Type::validate)
+            }
+            Type::Arrow { params, ret } => {
+                params.iter().try_for_each(Type::validate)?;
+                ret.validate()
+            }
+            Type::Product(args) => args.iter().try_for_each(Type::validate),
+            Type::Projection { base, .. } => base.validate(),
+            Type::ForAll { body, .. } => body.validate(),
+            _ => Ok(()),
+        }
+    }
+
+    fn from_expr_in(e: &Expr, bound: &[Rc<str>]) -> Result<Type, TypeError> {
+        match e.kind() {
+            ExprKind::Str(s) => {
+                if let Some(name) = bound.iter().find(|b| b.as_ref() == &**s) {
+                    Ok(Type::Bound(name.clone()))
+                } else {
+                    Ok(Type::atomic(s))
+                }
+            }
+            ExprKind::Integer(v) => Ok(Type::Literal(*v)),
+            ExprKind::Normal(n) => {
+                // Compound constructor with a string head.
+                if let ExprKind::Str(name) = n.head().kind() {
+                    let args = n
+                        .args()
+                        .iter()
+                        .map(|a| Self::from_expr_in(a, bound))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    return Ok(Type::Constructor { name: Rc::from(normalize_name(name)), args });
+                }
+                let head = n.head().as_symbol().map(|s| s.name().to_owned());
+                match head.as_deref() {
+                    Some("TypeSpecifier") if n.args().len() == 1 => {
+                        Self::from_expr_in(&n.args()[0], bound)
+                    }
+                    Some("Rule") if n.args().len() == 2 => {
+                        let params_expr = &n.args()[0];
+                        let params = if params_expr.has_head("List") {
+                            params_expr
+                                .args()
+                                .iter()
+                                .map(|a| Self::from_expr_in(a, bound))
+                                .collect::<Result<Vec<_>, _>>()?
+                        } else {
+                            vec![Self::from_expr_in(params_expr, bound)?]
+                        };
+                        let ret = Self::from_expr_in(&n.args()[1], bound)?;
+                        Ok(Type::arrow(params, ret))
+                    }
+                    Some("TypeLiteral") if n.args().len() == 2 => {
+                        let v = n.args()[0]
+                            .as_i64()
+                            .ok_or_else(|| TypeError("TypeLiteral value must be an integer".into()))?;
+                        Ok(Type::Literal(v))
+                    }
+                    Some("TypeForAll") if (2..=3).contains(&n.args().len()) => {
+                        let vars_expr = &n.args()[0];
+                        if !vars_expr.has_head("List") {
+                            return Err(TypeError("TypeForAll variables must be a list".into()));
+                        }
+                        let vars: Vec<Rc<str>> = vars_expr
+                            .args()
+                            .iter()
+                            .map(|v| {
+                                v.as_str()
+                                    .map(Rc::from)
+                                    .ok_or_else(|| TypeError("TypeForAll variable must be a string".into()))
+                            })
+                            .collect::<Result<_, _>>()?;
+                        let (quals, body_expr) = if n.args().len() == 3 {
+                            (parse_qualifiers(&n.args()[1], &vars)?, &n.args()[2])
+                        } else {
+                            (Vec::new(), &n.args()[1])
+                        };
+                        let mut inner_bound = bound.to_vec();
+                        inner_bound.extend(vars.iter().cloned());
+                        let body = Self::from_expr_in(body_expr, &inner_bound)?;
+                        Ok(Type::ForAll { vars, quals, body: Box::new(body) })
+                    }
+                    Some("TypeProduct") => {
+                        let args = n
+                            .args()
+                            .iter()
+                            .map(|a| Self::from_expr_in(a, bound))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        Ok(Type::Product(args))
+                    }
+                    Some("TypeProjection") if n.args().len() == 2 => {
+                        let base = Self::from_expr_in(&n.args()[0], bound)?;
+                        let index = n.args()[1]
+                            .as_i64()
+                            .filter(|&v| v >= 1)
+                            .ok_or_else(|| TypeError("TypeProjection index must be >= 1".into()))?;
+                        Ok(Type::Projection { base: Box::new(base), index: index as usize - 1 })
+                    }
+                    _ => Err(TypeError(format!(
+                        "unrecognized type specifier {}",
+                        e.to_input_form()
+                    ))),
+                }
+            }
+            _ => Err(TypeError(format!("unrecognized type specifier {}", e.to_input_form()))),
+        }
+    }
+
+    /// The short IR spelling used in textual WIR dumps (`I64`, `R64`, ...).
+    pub fn short_name(&self) -> String {
+        match self {
+            Type::Atomic(name) => match &**name {
+                "Integer64" => "I64".into(),
+                "Integer32" => "I32".into(),
+                "Integer16" => "I16".into(),
+                "Integer8" => "I8".into(),
+                "Real64" => "R64".into(),
+                "Real32" => "R32".into(),
+                "Boolean" => "Bool".into(),
+                "ComplexReal64" => "C64".into(),
+                other => other.into(),
+            },
+            other => other.to_string(),
+        }
+    }
+}
+
+fn parse_qualifiers(e: &Expr, vars: &[Rc<str>]) -> Result<Vec<Qualifier>, TypeError> {
+    let items: Vec<Expr> =
+        if e.has_head("List") { e.args().to_vec() } else { vec![e.clone()] };
+    items
+        .iter()
+        .map(|q| {
+            if q.has_head("Element") && q.length() == 2 {
+                let var = q.args()[0]
+                    .as_str()
+                    .ok_or_else(|| TypeError("qualifier variable must be a string".into()))?;
+                let class = q.args()[1]
+                    .as_str()
+                    .ok_or_else(|| TypeError("qualifier class must be a string".into()))?;
+                if !vars.iter().any(|v| &**v == var) {
+                    return Err(TypeError(format!("qualifier on unbound variable \"{var}\"")));
+                }
+                Ok(Qualifier { var: Rc::from(var), class: Rc::from(class) })
+            } else {
+                Err(TypeError(format!("invalid qualifier {}", q.to_input_form())))
+            }
+        })
+        .collect()
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Var(v) => write!(f, "%t{}", v.0),
+            Type::Bound(name) => write!(f, "{name}"),
+            Type::Atomic(name) => write!(f, "{name}"),
+            Type::Literal(v) => write!(f, "{v}"),
+            Type::Constructor { name, args } => {
+                write!(f, "{name}[")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "]")
+            }
+            Type::Arrow { params, ret } => {
+                write!(f, "(")?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")->{ret}")
+            }
+            Type::ForAll { vars, quals, body } => {
+                write!(f, "ForAll[{{")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")?;
+                if !quals.is_empty() {
+                    write!(f, ", {{")?;
+                    for (i, q) in quals.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{} \u{2208} {}", q.var, q.class)?;
+                    }
+                    write!(f, "}}")?;
+                }
+                write!(f, ", {body}]")
+            }
+            Type::Product(args) => {
+                write!(f, "Product[")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "]")
+            }
+            Type::Projection { base, index } => write!(f, "Projection[{base}, {}]", index + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolfram_expr::parse;
+
+    fn ty(src: &str) -> Type {
+        Type::from_expr(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn atomic_and_aliases() {
+        assert_eq!(ty("\"Integer64\""), Type::integer64());
+        assert_eq!(ty("\"MachineInteger\""), Type::integer64());
+        assert_eq!(ty("\"Real\""), Type::real64());
+        assert_eq!(ty("\"Boolean\""), Type::boolean());
+    }
+
+    #[test]
+    fn compound_constructor() {
+        let t = ty("\"Tensor\"[\"Integer64\", 2]");
+        assert_eq!(t, Type::tensor(Type::integer64(), 2));
+        assert_eq!(t.to_string(), "Tensor[Integer64, 2]");
+    }
+
+    #[test]
+    fn function_types() {
+        let t = ty("{\"Integer32\", \"Integer32\"} -> \"Real64\"");
+        assert_eq!(
+            t,
+            Type::arrow(vec![Type::atomic("Integer32"), Type::atomic("Integer32")], Type::real64())
+        );
+        assert_eq!(t.to_string(), "(Integer32, Integer32)->Real64");
+        // Single unbracketed parameter.
+        let t = ty("\"Integer64\" -> \"Real64\"");
+        assert_eq!(t, Type::arrow(vec![Type::integer64()], Type::real64()));
+    }
+
+    #[test]
+    fn polymorphic_schemes() {
+        let t = ty("TypeForAll[{\"a\"}, {\"a\"} -> \"Real64\"]");
+        match &t {
+            Type::ForAll { vars, quals, body } => {
+                assert_eq!(vars.len(), 1);
+                assert!(quals.is_empty());
+                assert_eq!(
+                    **body,
+                    Type::arrow(vec![Type::Bound(Rc::from("a"))], Type::real64())
+                );
+            }
+            other => panic!("expected scheme, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qualified_schemes() {
+        let t = ty("TypeForAll[{\"a\"}, {Element[\"a\", \"Integral\"]}, {\"a\"} -> \"Real64\"]");
+        match &t {
+            Type::ForAll { quals, .. } => {
+                assert_eq!(quals.len(), 1);
+                assert_eq!(&*quals[0].class, "Integral");
+            }
+            other => panic!("expected scheme, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_map_type_parses() {
+        // One of Map's definitions from §4.4.
+        let src = "TypeSpecifier[TypeForAll[{\"a\", \"b\"}, \
+                   {{\"a\"} -> \"b\", \"Tensor\"[\"a\", 1]} -> \"Tensor\"[\"b\", 1]]]";
+        let t = ty(src);
+        assert!(matches!(t, Type::ForAll { ref vars, .. } if vars.len() == 2));
+        assert_eq!(t.to_string(), "ForAll[{a, b}, ((a)->b, Tensor[a, 1])->Tensor[b, 1]]");
+    }
+
+    #[test]
+    fn products_and_projections() {
+        let t = ty("TypeProjection[TypeProduct[\"Integer64\", \"String\"], 2]");
+        assert_eq!(
+            t,
+            Type::Projection {
+                base: Box::new(Type::Product(vec![Type::integer64(), Type::string()])),
+                index: 1
+            }
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Type::from_expr(&parse("foo").unwrap()).is_err());
+        assert!(Type::from_expr(&parse("TypeForAll[{x}, \"Integer64\"]").unwrap()).is_err());
+        assert!(Type::from_expr(
+            &parse("TypeForAll[{\"a\"}, {Element[\"b\", \"Integral\"]}, \"a\"]").unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn concreteness_and_vars() {
+        assert!(Type::integer64().is_concrete());
+        assert!(!Type::Var(TypeVar(0)).is_concrete());
+        let t = Type::arrow(vec![Type::Var(TypeVar(1))], Type::real64());
+        assert_eq!(t.free_vars(), vec![TypeVar(1)]);
+        assert!(!t.is_concrete());
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(Type::integer64().short_name(), "I64");
+        assert_eq!(Type::real64().short_name(), "R64");
+        assert_eq!(Type::boolean().short_name(), "Bool");
+        assert_eq!(Type::string().short_name(), "String");
+    }
+}

@@ -1,0 +1,226 @@
+//! Property tests on the type system: unification is a real unifier,
+//! substitution application is idempotent, the numeric promotion lattice
+//! is a partial order, and the constraint solver honours equality chains.
+
+use proptest::prelude::*;
+use wolfram_types::subst::{numeric_lub, promotion_cost};
+use wolfram_types::{solve, unify, Constraint, Subst, Type, TypeEnvironment, TypeVar};
+
+// ---------------------------------------------------------------------
+// Random type generation.
+// ---------------------------------------------------------------------
+
+const ATOMS: &[&str] = &[
+    "Integer64", "Real64", "ComplexReal64", "Boolean", "String", "Expression",
+];
+
+fn arb_concrete() -> impl Strategy<Value = Type> {
+    let atom = prop::sample::select(ATOMS.to_vec()).prop_map(Type::atomic);
+    atom.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), 1i64..4).prop_map(|(t, r)| Type::tensor(t, r)),
+            (prop::collection::vec(inner.clone(), 0..3), inner)
+                .prop_map(|(ps, r)| Type::arrow(ps, r)),
+        ]
+    })
+}
+
+/// A type with some leaves replaced by variables drawn from a small pool.
+fn arb_type() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        prop::sample::select(ATOMS.to_vec()).prop_map(Type::atomic),
+        (0u32..4).prop_map(|v| Type::Var(TypeVar(v))),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), 1i64..4).prop_map(|(t, r)| Type::tensor(t, r)),
+            (prop::collection::vec(inner.clone(), 0..3), inner)
+                .prop_map(|(ps, r)| Type::arrow(ps, r)),
+        ]
+    })
+}
+
+// ---------------------------------------------------------------------
+// Unification.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A successful unification really is a unifier: applying the
+    /// substitution to both sides yields the same type.
+    #[test]
+    fn unify_produces_a_unifier(a in arb_type(), b in arb_type()) {
+        let mut s = Subst::new();
+        if unify(&a, &b, &mut s).is_ok() {
+            prop_assert_eq!(s.apply(&a), s.apply(&b));
+        }
+    }
+
+    /// Unification success is symmetric.
+    #[test]
+    fn unify_success_is_symmetric(a in arb_type(), b in arb_type()) {
+        let mut s1 = Subst::new();
+        let mut s2 = Subst::new();
+        prop_assert_eq!(unify(&a, &b, &mut s1).is_ok(), unify(&b, &a, &mut s2).is_ok());
+    }
+
+    /// Unifying a type with itself always succeeds without bindings that
+    /// change it.
+    #[test]
+    fn unify_is_reflexive(a in arb_type()) {
+        let mut s = Subst::new();
+        unify(&a, &a, &mut s).unwrap();
+        prop_assert_eq!(s.apply(&a), s.apply(&a));
+    }
+
+    /// Concrete (variable-free) types unify exactly when equal.
+    #[test]
+    fn concrete_unification_is_equality(a in arb_concrete(), b in arb_concrete()) {
+        let mut s = Subst::new();
+        prop_assert_eq!(unify(&a, &b, &mut s).is_ok(), a == b);
+    }
+
+    /// A lone variable unifies with any type not containing it, and the
+    /// binding maps it to exactly that type (occurs check otherwise).
+    #[test]
+    fn variable_binds_or_occurs_fails(t in arb_type()) {
+        let fresh = Type::Var(TypeVar(99));
+        let mut s = Subst::new();
+        // TypeVar(99) is outside the generated pool, so no occurs failure.
+        unify(&fresh, &t, &mut s).unwrap();
+        prop_assert_eq!(s.apply(&fresh), s.apply(&t));
+    }
+
+    /// Substitution application is idempotent after unification.
+    #[test]
+    fn apply_is_idempotent(a in arb_type(), b in arb_type()) {
+        let mut s = Subst::new();
+        if unify(&a, &b, &mut s).is_ok() {
+            let once = s.apply(&a);
+            prop_assert_eq!(s.apply(&once), once);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Numeric promotion lattice.
+// ---------------------------------------------------------------------
+
+const NUMERICS: &[&str] = &[
+    "Integer8", "Integer16", "Integer32", "Integer64", "Real32", "Real64", "ComplexReal64",
+];
+
+proptest! {
+    #[test]
+    fn promotion_is_transitive(
+        a in prop::sample::select(NUMERICS.to_vec()),
+        b in prop::sample::select(NUMERICS.to_vec()),
+        c in prop::sample::select(NUMERICS.to_vec()),
+    ) {
+        let (ta, tb, tc) = (Type::atomic(a), Type::atomic(b), Type::atomic(c));
+        if let (Some(x), Some(y)) = (promotion_cost(&ta, &tb), promotion_cost(&tb, &tc)) {
+            let direct = promotion_cost(&ta, &tc);
+            prop_assert!(direct.is_some(), "{a} -> {b} -> {c} but no {a} -> {c}");
+            prop_assert!(direct.unwrap() <= x + y, "triangle inequality");
+        }
+    }
+
+    #[test]
+    fn lub_is_commutative_and_an_upper_bound(
+        a in prop::sample::select(NUMERICS.to_vec()),
+        b in prop::sample::select(NUMERICS.to_vec()),
+    ) {
+        let (ta, tb) = (Type::atomic(a), Type::atomic(b));
+        let ab = numeric_lub(&ta, &tb);
+        let ba = numeric_lub(&tb, &ta);
+        prop_assert_eq!(&ab, &ba);
+        if let Some(up) = ab {
+            prop_assert!(promotion_cost(&ta, &up).is_some(), "{a} must promote to lub");
+            prop_assert!(promotion_cost(&tb, &up).is_some(), "{b} must promote to lub");
+        }
+    }
+
+    #[test]
+    fn promotion_zero_iff_same(t in prop::sample::select(NUMERICS.to_vec())) {
+        let ty = Type::atomic(t);
+        prop_assert_eq!(promotion_cost(&ty, &ty), Some(0));
+    }
+}
+
+// ---------------------------------------------------------------------
+// The constraint solver.
+// ---------------------------------------------------------------------
+
+fn eq(a: Type, b: Type) -> Constraint {
+    Constraint::Equality { a, b, origin: "test".into() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A chain v0 = v1 = ... = vN = T resolves every link to T, in any
+    /// presentation order.
+    #[test]
+    fn equality_chains_resolve(
+        n in 1usize..6,
+        anchor in prop::sample::select(ATOMS.to_vec()),
+        shuffle_seed in 0usize..24,
+    ) {
+        let env = TypeEnvironment::new();
+        let mut cs: Vec<Constraint> = (0..n)
+            .map(|i| eq(Type::Var(TypeVar(i as u32)), Type::Var(TypeVar(i as u32 + 1))))
+            .collect();
+        cs.push(eq(Type::Var(TypeVar(n as u32)), Type::atomic(anchor)));
+        // Deterministic rotation as a cheap shuffle.
+        let len = cs.len();
+        cs.rotate_left(shuffle_seed % len);
+        let sol = solve(cs, &env, Subst::new()).unwrap();
+        for i in 0..=n {
+            prop_assert_eq!(
+                sol.subst.apply(&Type::Var(TypeVar(i as u32))),
+                Type::atomic(anchor),
+                "link {}", i
+            );
+        }
+    }
+
+    /// Conflicting anchors on the same chain are a solve error.
+    #[test]
+    fn conflicting_chains_fail(
+        a in prop::sample::select(ATOMS.to_vec()),
+        b in prop::sample::select(ATOMS.to_vec()),
+    ) {
+        prop_assume!(a != b);
+        let env = TypeEnvironment::new();
+        let cs = vec![
+            eq(Type::Var(TypeVar(0)), Type::atomic(a)),
+            eq(Type::Var(TypeVar(0)), Type::atomic(b)),
+        ];
+        prop_assert!(solve(cs, &env, Subst::new()).is_err());
+    }
+
+    /// Structure propagates: T[e, r] = T[Integer64, 2] pins both holes.
+    #[test]
+    fn tensor_structure_propagates(elem in prop::sample::select(vec!["Integer64", "Real64"])) {
+        let env = TypeEnvironment::new();
+        let cs = vec![eq(
+            Type::tensor(Type::Var(TypeVar(0)), 2),
+            Type::tensor(Type::atomic(elem), 2),
+        )];
+        let sol = solve(cs, &env, Subst::new()).unwrap();
+        prop_assert_eq!(sol.subst.apply(&Type::Var(TypeVar(0))), Type::atomic(elem));
+    }
+
+    /// Rank mismatches never solve.
+    #[test]
+    fn tensor_rank_mismatch_fails(r1 in 1i64..4, r2 in 1i64..4) {
+        prop_assume!(r1 != r2);
+        let env = TypeEnvironment::new();
+        let cs = vec![eq(
+            Type::tensor(Type::integer64(), r1),
+            Type::tensor(Type::integer64(), r2),
+        )];
+        prop_assert!(solve(cs, &env, Subst::new()).is_err());
+    }
+}

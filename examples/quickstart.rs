@@ -1,0 +1,57 @@
+//! Quickstart: compile and run Wolfram Language functions.
+//!
+//! Reproduces the paper's §4.1 `cfib` walkthrough: explicit compilation by
+//! wrapping a `Function` with `FunctionCompile`, typed parameters via
+//! `Typed`, recursion through the public binding, and the soft numeric
+//! failure mode (F2) that reverts to the interpreter's arbitrary-precision
+//! arithmetic on overflow.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use wolfram_language_compiler::compiler::{Compiler, CompilerOptions};
+use wolfram_language_compiler::expr::{parse, Expr};
+use wolfram_language_compiler::interp::Interpreter;
+use wolfram_language_compiler::runtime::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let compiler = Compiler::new(CompilerOptions::default());
+
+    // In[1]:= cfib = FunctionCompile[Function[{Typed[n, "MachineInteger"]},
+    //           If[n < 1, 1, cfib[n - 1] + cfib[n - 2]]]]
+    let cfib_src = r#"
+        Function[{Typed[n, "MachineInteger"]},
+         If[n < 1, 1, cfib[n - 1] + cfib[n - 2]]]
+    "#;
+    let cfib = compiler.function_compile_named(&parse(cfib_src)?, Some("cfib"))?;
+    println!("compiled {cfib:?}");
+    for n in [0i64, 5, 10, 20] {
+        println!("cfib[{n}] = {}", cfib.call(&[Value::I64(n)])?);
+    }
+
+    // Soft failure (F2): an iterative fib overflows machine integers around
+    // n = 93; hosted in an engine, the call reverts to uncompiled
+    // evaluation and returns the exact integer.
+    let engine = Rc::new(RefCell::new(Interpreter::new()));
+    let fib_src = r#"
+        Function[{Typed[n, "MachineInteger"]},
+         Module[{a = 0, b = 1, k = 0, t = 0},
+          While[k < n, t = a + b; a = b; b = t; k = k + 1];
+          a]]
+    "#;
+    let fib = compiler.function_compile_src(fib_src)?.hosted(engine.clone());
+    println!("\nfib[90]  = {} (native fast path)", fib.call_exprs(&[Expr::int(90)])?);
+    println!("fib[200] = {} (soft fallback)", fib.call_exprs(&[Expr::int(200)])?);
+    for warning in engine.borrow_mut().take_output() {
+        println!("  >> {warning}");
+    }
+
+    // Seamless interpreter integration (F1): install the compiled function
+    // and call it from interpreted code like any other Wolfram function.
+    fib.install("fastFib")?;
+    let out = engine.borrow_mut().eval_src("Map[fastFib, {10, 20, 30}]")?;
+    println!("\nMap[fastFib, {{10, 20, 30}}] = {out}");
+
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! The Figure 1 notebook session: the same random-walk program evaluated
+//! three ways — interpreted (In[1]), bytecode-compiled (In[2]), and
+//! `FunctionCompile`d (In[3]) — with the relative timings printed.
+//!
+//! Run with `cargo run --release --example random_walk [len]`.
+
+use std::time::Instant;
+use wolfram_language_compiler::interp::Interpreter;
+
+fn main() {
+    let len: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let suite = wolfram_bench::intro::WalkSuite::new();
+
+    // In[1]: the interpreter evaluates the NestList program directly.
+    let mut engine = Interpreter::new();
+    engine.seed_random(7);
+    let start = Instant::now();
+    let walk = suite.run_interpreted(&mut engine, len as i64);
+    let interp_secs = start.elapsed().as_secs_f64();
+    println!("In[1] interpreted:     {interp_secs:.4}s ({} points)", walk.length());
+
+    // In[2]: the bytecode compiler (structural modifications required).
+    let start = Instant::now();
+    let bc = suite.run_bytecode(len as i64);
+    let bc_secs = start.elapsed().as_secs_f64();
+    let t = bc.expect_tensor().expect("tensor result");
+    println!(
+        "In[2] bytecode:        {bc_secs:.4}s ({:?} tensor)  -> {:.2}x over interpreter",
+        t.shape(),
+        interp_secs / bc_secs
+    );
+
+    // In[3]: FunctionCompile.
+    let start = Instant::now();
+    let compiled = suite.run_compiled(len as i64);
+    let new_secs = start.elapsed().as_secs_f64();
+    let t = compiled.expect_tensor().expect("tensor result");
+    println!(
+        "In[3] FunctionCompile: {new_secs:.4}s ({:?} tensor)  -> {:.2}x over interpreter",
+        t.shape(),
+        interp_secs / new_secs
+    );
+
+    // In[4]: "ListLinePlot" — an ASCII rendering of the walk's bounding
+    // box and endpoints stands in for the notebook graphic.
+    let data = t.as_f64().expect("real tensor");
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for p in data.chunks(2) {
+        min_x = min_x.min(p[0]);
+        max_x = max_x.max(p[0]);
+        min_y = min_y.min(p[1]);
+        max_y = max_y.max(p[1]);
+    }
+    println!(
+        "Out[4]: walk of {len} unit steps, bounding box x in [{min_x:.1}, {max_x:.1}], \
+         y in [{min_y:.1}, {max_y:.1}], endpoint ({:.2}, {:.2})",
+        data[data.len() - 2],
+        data[data.len() - 1]
+    );
+}

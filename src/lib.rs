@@ -1,0 +1,38 @@
+//! Rust reproduction of *The Design and Implementation of the Wolfram
+//! Language Compiler* (CGO 2020).
+//!
+//! This facade crate re-exports the public API of every subsystem:
+//!
+//! - [`expr`] — the MExpr AST substrate (symbols, parser, patterns, rules).
+//! - [`runtime`] — boxed values, copy-on-write tensors, bignum, abort signal.
+//! - [`interp`] — the "Wolfram Engine" interpreter substrate.
+//! - [`bytecode`] — the legacy bytecode compiler + stack VM baseline.
+//! - [`types`] — the type system and constraint-graph inference.
+//! - [`ir`] — WIR/TWIR SSA representation, analyses, and passes.
+//! - [`compiler`] — the new compiler: macros, binding analysis, lowering,
+//!   inference, resolution, and the `FunctionCompile` pipeline.
+//! - [`codegen`] — backends: native register machine, C source, assembler
+//!   listing, WVM bytecode, standalone export.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wolfram_language_compiler::compiler::{Compiler, CompilerOptions};
+//! use wolfram_language_compiler::expr::parse;
+//!
+//! let src = r#"Function[{Typed[n, "MachineInteger"]}, n + 1]"#;
+//! let compiler = Compiler::new(CompilerOptions::default());
+//! let cf = compiler.function_compile_src(src)?;
+//! let out = cf.call_exprs(&[wolfram_language_compiler::expr::Expr::int(41)])?;
+//! assert_eq!(out.as_i64(), Some(42));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use wolfram_bytecode as bytecode;
+pub use wolfram_codegen as codegen;
+pub use wolfram_compiler_core as compiler;
+pub use wolfram_expr as expr;
+pub use wolfram_interp as interp;
+pub use wolfram_ir as ir;
+pub use wolfram_runtime as runtime;
+pub use wolfram_types as types;

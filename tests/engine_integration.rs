@@ -1,0 +1,201 @@
+//! Integration: compiled code hosted in the Wolfram Engine — the F1/F2/F3/
+//! F9 behaviors across crate boundaries.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use wolfram_language_compiler::compiler::Compiler;
+use wolfram_language_compiler::expr::{parse, Expr};
+use wolfram_language_compiler::interp::Interpreter;
+use wolfram_language_compiler::runtime::{RuntimeError, Value};
+
+fn engine() -> Rc<RefCell<Interpreter>> {
+    Rc::new(RefCell::new(Interpreter::new()))
+}
+
+#[test]
+fn paper_cfib_200_soft_failure() {
+    // §4.5: "When the compiled code detects an integer overflow (e.g.
+    // cfib[200]), it print a warning message and switch to the interpreter
+    // which evaluates the function with arbitrary precision integer" —
+    // with the paper's printed 42-digit result.
+    let eng = engine();
+    let src = "Function[{Typed[n, \"MachineInteger\"]}, \
+               Module[{a = 0, b = 1, k = 0, t = 0}, \
+               While[k < n, t = a + b; a = b; b = t; k = k + 1]; a]]";
+    let cfib = Compiler::default().function_compile_src(src).unwrap().hosted(eng.clone());
+    let out = cfib.call_exprs(&[Expr::int(200)]).unwrap();
+    assert_eq!(out.to_full_form(), "280571172992510140037611932413038677189525");
+    let warnings = eng.borrow_mut().take_output();
+    assert!(
+        warnings[0].contains("reverting to uncompiled evaluation: IntegerOverflow"),
+        "{warnings:?}"
+    );
+}
+
+#[test]
+fn session_survives_abort_with_mutated_state() {
+    // §3 F3: "The returned session state must be usable but it may be
+    // mutated by the aborted computation."
+    let eng = engine();
+    eng.borrow_mut().eval_src("i = 0").unwrap();
+    eng.borrow().abort_signal().trigger();
+    let err = eng
+        .borrow_mut()
+        .eval_src("While[True, If[i > 3, i = i - 1, i = i + 1]]")
+        .unwrap_err();
+    assert_eq!(err, RuntimeError::Aborted);
+    eng.borrow().abort_signal().reset();
+    // The session still works; i retains whatever the abort left behind.
+    let i = eng.borrow_mut().eval_src("i").unwrap();
+    assert!(i.as_i64().is_some(), "session state usable: {i:?}");
+    assert_eq!(eng.borrow_mut().eval_src("1 + 1").unwrap().as_i64(), Some(2));
+}
+
+#[test]
+fn compiled_and_interpreted_code_intermix() {
+    // F9 both directions: compiled code escapes to the interpreter for
+    // user-defined functions, and interpreted code calls installed
+    // compiled functions.
+    let eng = engine();
+    eng.borrow_mut().eval_src("scale[x_] := 10 * x").unwrap();
+    let cf = Compiler::default()
+        .function_compile_src(
+            "Function[{Typed[n, \"MachineInteger\"]}, scale[n] + 1]",
+        )
+        .unwrap()
+        .hosted(eng.clone());
+    assert_eq!(cf.call_exprs(&[Expr::int(4)]).unwrap().as_i64(), Some(41));
+    cf.install("compiledScale").unwrap();
+    let out = eng
+        .borrow_mut()
+        .eval_src("Total[Map[compiledScale, {1, 2, 3}]]")
+        .unwrap();
+    assert_eq!(out.as_i64(), Some(63)); // (10+1)+(20+1)+(30+1)
+}
+
+#[test]
+fn compiled_function_used_by_interpreted_higher_order_code() {
+    let eng = engine();
+    let cf = Compiler::default()
+        .function_compile_src("Function[{Typed[x, \"Real64\"]}, x*x]")
+        .unwrap()
+        .hosted(eng.clone());
+    cf.install("sq").unwrap();
+    // NestList through a compiled function.
+    let out = eng.borrow_mut().eval_src("NestList[sq, 2.0, 3]").unwrap();
+    assert_eq!(out.to_full_form(), "List[2., 4., 16., 256.]");
+    // FixedPoint/Fold style use.
+    let out = eng.borrow_mut().eval_src("Fold[Plus, 0., Map[sq, {1., 2., 3.}]]").unwrap();
+    assert_eq!(out.as_f64(), Some(14.0));
+}
+
+#[test]
+fn argument_mismatch_reverts_to_interpreter_when_hosted() {
+    let eng = engine();
+    let cf = Compiler::default()
+        .function_compile_src("Function[{Typed[n, \"MachineInteger\"]}, n + n]")
+        .unwrap()
+        .hosted(eng);
+    // A symbolic argument cannot be unboxed as a machine integer: the
+    // auxiliary wrapper falls back to uncompiled evaluation, which keeps
+    // the result symbolic.
+    let out = cf.call_exprs(&[Expr::sym("q")]).unwrap();
+    assert_eq!(out.to_full_form(), "Times[2, q]");
+}
+
+#[test]
+fn installed_function_soft_failure_inside_interpreted_code() {
+    // The overflow fallback also fires when the compiled function is
+    // called *from* interpreted code.
+    let eng = engine();
+    let cf = Compiler::default()
+        .function_compile_src("Function[{Typed[n, \"MachineInteger\"]}, n * n]")
+        .unwrap()
+        .hosted(eng.clone());
+    cf.install("square").unwrap();
+    let out = eng.borrow_mut().eval_src("square[4000000000]").unwrap();
+    assert_eq!(out.to_full_form(), "16000000000000000000");
+    let warnings = eng.borrow_mut().take_output();
+    assert!(warnings.iter().any(|w| w.contains("IntegerOverflow")), "{warnings:?}");
+}
+
+#[test]
+fn shared_abort_signal_spans_interpreter_and_compiled_code() {
+    let eng = engine();
+    let cf = Compiler::default()
+        .function_compile_src(
+            "Function[{Typed[n, \"MachineInteger\"]}, Module[{i = 0}, While[i >= 0, i = i + 1]; i]]",
+        )
+        .unwrap()
+        .hosted(eng.clone());
+    cf.install("spin").unwrap();
+    // Trigger from "another thread" (the notebook front end).
+    let signal = eng.borrow().abort_signal().clone();
+    let handle = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        signal.trigger();
+    });
+    let err = eng.borrow_mut().eval_src("spin[0]").unwrap_err();
+    handle.join().unwrap();
+    assert_eq!(err, RuntimeError::Aborted);
+    eng.borrow().abort_signal().reset();
+}
+
+#[test]
+fn symbolic_values_flow_between_worlds() {
+    // A compiled Expression-typed function combined with interpreter
+    // rewriting (F8 + F1).
+    let eng = engine();
+    let cf = Compiler::default()
+        .function_compile_src(
+            "Function[{Typed[a, \"Expression\"], Typed[b, \"Expression\"]}, a + b]",
+        )
+        .unwrap()
+        .hosted(eng.clone());
+    cf.install("symPlus").unwrap();
+    let out = eng
+        .borrow_mut()
+        .eval_src("symPlus[x, y] /. {x -> 1, y -> 2}")
+        .unwrap();
+    assert_eq!(out.as_i64(), Some(3));
+    let out = eng.borrow_mut().eval_src("D[symPlus[Sin[t], t^2], t]").unwrap();
+    assert_eq!(out.to_full_form(), "Plus[Cos[t], Times[2, t]]");
+}
+
+#[test]
+fn mutability_semantics_across_the_boundary() {
+    // The paper's F5 example, driven from interpreted code through an
+    // installed compiled function.
+    let eng = engine();
+    let cf = Compiler::default()
+        .function_compile_src(
+            "Function[{Typed[v, \"Tensor\"[\"Integer64\", 1]]}, \
+             Module[{w = v}, w[[3]] = -20; w]]",
+        )
+        .unwrap()
+        .hosted(eng.clone());
+    cf.install("mutate").unwrap();
+    let out = eng
+        .borrow_mut()
+        .eval_src("a = {1, 2, 3}; b = mutate[a]; {a, b}")
+        .unwrap();
+    assert_eq!(out.to_full_form(), "List[List[1, 2, 3], List[1, 2, -20]]");
+}
+
+#[test]
+fn values_and_exprs_roundtrip_types() {
+    let compiler = Compiler::default();
+    let cf = compiler
+        .function_compile_src(
+            "Function[{Typed[s, \"String\"], Typed[n, \"MachineInteger\"]}, \
+             StringJoin[s, FromCharacterCode[ConstantArray[n, 3]]]]",
+        )
+        .unwrap();
+    let out = cf
+        .call(&[Value::Str(Rc::new("ab".into())), Value::I64(99)])
+        .unwrap();
+    assert_eq!(out, Value::Str(Rc::new("abccc".into())));
+    let out = cf.call_exprs(&[Expr::string("x"), Expr::int(33)]).unwrap();
+    assert_eq!(out.as_str(), Some("x!!!"));
+    let _ = parse; // silence unused in some cfgs
+}

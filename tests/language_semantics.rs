@@ -1,0 +1,174 @@
+//! Integration: the §2.1 language semantics the compiler must preserve,
+//! exercised through the facade crate.
+
+use wolfram_language_compiler::interp::Interpreter;
+use wolfram_language_compiler::runtime::RuntimeError;
+
+fn ev(src: &str) -> String {
+    Interpreter::new().eval_src(src).unwrap().to_full_form()
+}
+
+#[test]
+fn paper_fib_definition() {
+    // "fib = Function[{n}, If[n < 1, 1, fib[n-1]+fib[n-2]]]" with
+    // fib[10] (the §2.1 walkthrough).
+    assert_eq!(
+        ev("fib = Function[{n}, If[n < 1, 1, fib[n-1] + fib[n-2]]]; fib[10]"),
+        "144"
+    );
+}
+
+#[test]
+fn infinite_evaluation_examples() {
+    // "y=x;x=1;y ... the result is 1".
+    assert_eq!(ev("y = x; x = 1; y"), "1");
+    // "x=x+1 results in an infinite loop if x is undefined".
+    let mut i = Interpreter::new();
+    i.recursion_limit = 64;
+    assert!(matches!(
+        i.eval_src("x = x + 1; x"),
+        Err(RuntimeError::RecursionLimit(_))
+    ));
+}
+
+#[test]
+fn symbolic_expressions_without_definitions() {
+    // "A program such as Sin[x] is a valid symbolic expression; even if x
+    // is never defined."
+    assert_eq!(ev("Sin[x]"), "Sin[x]");
+    assert_eq!(ev("Sin[x] + Sin[x]"), "Times[2, Sin[x]]");
+}
+
+#[test]
+fn nestlist_shape() {
+    // "NestList[f,x,3] evaluates to {x,f[x],f[f[x]],f[f[f[x]]]}".
+    assert_eq!(
+        ev("NestList[f, x, 3]"),
+        "List[x, f[x], f[f[x]], f[f[f[x]]]]"
+    );
+}
+
+#[test]
+fn mutability_semantics_trio() {
+    // The three §3 F5 examples, verbatim.
+    assert_eq!(
+        ev("({#, StringReplace[#, \"foo\" -> \"grok\"]} &)[\"foobar\"]"),
+        "List[\"foobar\", \"grokbar\"]"
+    );
+    assert_eq!(ev("a = {1, 2, 3}; a[[3]] = -20; a"), "List[1, 2, -20]");
+    assert_eq!(ev("a = {1, 2, 3}; b = a; a[[3]] = -20; b"), "List[1, 2, 3]");
+}
+
+#[test]
+fn block_is_dynamically_scoped() {
+    // Block exposes its bindings to functions called within it; Module
+    // does not.
+    assert_eq!(ev("f[] := q; Block[{q = 5}, f[]]"), "5");
+    assert_eq!(ev("g[] := r; Module[{r = 5}, g[]]"), "r");
+    // Block restores the previous value afterwards.
+    assert_eq!(ev("q = 1; Block[{q = 9}, Null]; q"), "1");
+}
+
+#[test]
+fn with_substitutes_before_evaluation() {
+    assert_eq!(ev("With[{k = 2}, Hold[k + 1]]"), "Hold[Plus[2, 1]]");
+}
+
+#[test]
+fn hold_prevents_evaluation() {
+    assert_eq!(ev("Hold[1 + 1]"), "Hold[Plus[1, 1]]");
+    assert_eq!(ev("If[True, 1, Print[\"never\"]]"), "1");
+    let mut i = Interpreter::new();
+    i.eval_src("If[False, Print[\"never\"], ok]").unwrap();
+    assert!(i.take_output().is_empty(), "held branch must not run");
+}
+
+#[test]
+fn downvalues_specificity_and_conditions() {
+    assert_eq!(
+        ev("h[0] = zero; h[n_ /; n < 0] := neg; h[n_] := pos; {h[0], h[-3], h[5]}"),
+        "List[zero, neg, pos]"
+    );
+}
+
+#[test]
+fn throw_catch() {
+    assert_eq!(ev("Catch[1 + Throw[42]]"), "42");
+    assert_eq!(ev("Catch[Do[If[k == 3, Throw[k]], {k, 10}]]"), "3");
+}
+
+#[test]
+fn listable_threading_deep() {
+    assert_eq!(ev("{{1, 2}, {3, 4}} + 10"), "List[List[11, 12], List[13, 14]]");
+    assert_eq!(ev("Sqrt[{16.0, 25.0}]"), "List[4., 5.]");
+}
+
+#[test]
+fn functional_composition() {
+    assert_eq!(
+        ev("Fold[Plus, 0, Map[(#^2 &), Range[4]]]"),
+        "30"
+    );
+    assert_eq!(ev("Select[Range[20], PrimeQ]"), "List[2, 3, 5, 7, 11, 13, 17, 19]");
+    assert_eq!(ev("FixedPoint[Function[v, Quotient[v, 2]], 100]"), "0");
+}
+
+#[test]
+fn intro_total_randomvariate() {
+    // The §1 flagship one-liner.
+    let mut i = Interpreter::new();
+    i.seed_random(1);
+    let out = i
+        .eval_src("Total[RandomVariate[NormalDistribution[], {10, 10}]]")
+        .unwrap();
+    assert!(out.has_head("List"));
+    assert_eq!(out.length(), 10);
+}
+
+#[test]
+fn findroot_paper_example() {
+    // FindRoot[Sin[x] + E^x, {x, 0}] -> x ~ -0.588533 (§2.1).
+    let mut i = Interpreter::new();
+    let out = i.eval_src("FindRoot[Sin[x] + E^x, {x, 0}]").unwrap();
+    let root = out.args()[0].args()[1].as_f64().unwrap();
+    assert!((root + 0.588533).abs() < 1e-5);
+}
+
+#[test]
+fn interpreter_abort_is_recoverable() {
+    let mut i = Interpreter::new();
+    i.eval_src("acc = 0").unwrap();
+    i.abort_signal().trigger();
+    assert_eq!(i.eval_src("While[True, acc = acc + 1]"), Err(RuntimeError::Aborted));
+    i.abort_signal().reset();
+    // Session continues; acc holds partial state.
+    assert!(i.eval_src("acc").unwrap().as_i64().is_some());
+}
+
+#[test]
+fn replace_repeated_and_rules() {
+    assert_eq!(ev("f[f[f[x]]] //. f[a_] -> a"), "x");
+    assert_eq!(ev("{1, 2, 3} /. n_Integer :> n*10"), "List[10, 20, 30]");
+}
+
+#[test]
+fn derivative_table() {
+    for (src, want) in [
+        ("D[x^3, x]", "Times[3, Power[x, 2]]"),
+        ("D[Sin[x]*Cos[x], x]", "Plus[Times[-1, Power[Sin[x], 2]], Power[Cos[x], 2]]"),
+        ("D[E^(2*x), x]", "Times[2, Power[E, Times[2, x]]]"),
+    ] {
+        let got = ev(src);
+        // Structural comparison up to ordering: evaluate the difference at
+        // sample points instead.
+        let mut i = Interpreter::new();
+        for x in [0.3f64, 1.1, -0.7] {
+            let d = i
+                .eval_src(&format!("N[({got}) - ({want}) /. x -> {x}]"))
+                .unwrap()
+                .as_f64()
+                .unwrap_or(f64::NAN);
+            assert!(d.abs() < 1e-9, "{src}: {got} vs {want} at x={x} -> {d}");
+        }
+    }
+}

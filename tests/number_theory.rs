@@ -1,0 +1,110 @@
+//! Integration: number-theoretic functions across all three engines,
+//! including the Factorial soft-failure path (21! overflows machine
+//! integers; hosted compiled code reverts to the interpreter's bignums).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use wolfram_language_compiler::compiler::Compiler;
+use wolfram_language_compiler::expr::Expr;
+use wolfram_language_compiler::interp::Interpreter;
+use wolfram_language_compiler::runtime::{RuntimeError, Value};
+
+#[test]
+fn factorial_compiled_matches_interpreter_in_machine_range() {
+    let cf = Compiler::default()
+        .function_compile_src("Function[{Typed[n, \"MachineInteger\"]}, Factorial[n]]")
+        .unwrap();
+    let mut interp = Interpreter::new();
+    for n in 0..=20i64 {
+        let compiled = cf.call(&[Value::I64(n)]).unwrap();
+        let interpreted = interp.eval_src(&format!("Factorial[{n}]")).unwrap();
+        assert_eq!(compiled.to_expr(), interpreted, "n = {n}");
+    }
+}
+
+#[test]
+fn factorial_soft_failure_at_21() {
+    // 21! = 51090942171709440000 > i64::MAX.
+    let engine = Rc::new(RefCell::new(Interpreter::new()));
+    let cf = Compiler::default()
+        .function_compile_src("Function[{Typed[n, \"MachineInteger\"]}, Factorial[n]]")
+        .unwrap()
+        .hosted(engine.clone());
+    // Standalone-style call: hard overflow.
+    let standalone = Compiler::default()
+        .function_compile_src("Function[{Typed[n, \"MachineInteger\"]}, Factorial[n]]")
+        .unwrap();
+    assert_eq!(standalone.call(&[Value::I64(21)]), Err(RuntimeError::IntegerOverflow));
+    // Hosted call: soft fallback to bignum.
+    let out = cf.call_exprs(&[Expr::int(21)]).unwrap();
+    assert_eq!(out.to_full_form(), "51090942171709440000");
+    assert!(engine
+        .borrow_mut()
+        .take_output()
+        .iter()
+        .any(|w| w.contains("IntegerOverflow")));
+    // 20! stays native.
+    assert_eq!(cf.call(&[Value::I64(20)]).unwrap(), Value::I64(2432902008176640000));
+}
+
+#[test]
+fn gcd_compiled_three_ways() {
+    let src = "Function[{Typed[a, \"MachineInteger\"], Typed[b, \"MachineInteger\"]}, GCD[a, b]]";
+    let cf = Compiler::default().function_compile_src(src).unwrap();
+    let mut interp = Interpreter::new();
+    let bc = wolfram_language_compiler::bytecode::BytecodeCompiler::new()
+        .compile(
+            &[
+                wolfram_language_compiler::bytecode::ArgSpec::int("a"),
+                wolfram_language_compiler::bytecode::ArgSpec::int("b"),
+            ],
+            // The legacy compiler has no GCD instruction: Euclid inline.
+            &wolfram_language_compiler::expr::parse(
+                "Module[{x = a, y = b, t = 0}, While[y != 0, t = Mod[x, y]; x = y; y = t]; Abs[x]]",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    for (a, b) in [(12, 18), (0, 5), (7, 0), (-12, 18), (1071, 462), (17, 13)] {
+        let want = interp.eval_src(&format!("GCD[{a}, {b}]")).unwrap();
+        let got = cf.call(&[Value::I64(a), Value::I64(b)]).unwrap();
+        assert_eq!(got.to_expr(), want, "compiled GCD[{a},{b}]");
+        let got_bc = bc.run(&[Value::I64(a), Value::I64(b)]).unwrap();
+        assert_eq!(got_bc.to_expr(), want, "bytecode GCD[{a},{b}]");
+    }
+}
+
+#[test]
+fn primeq_across_engines() {
+    let mut interp = Interpreter::new();
+    for n in [0i64, 1, 2, 3, 4, 97, 561 /* Carmichael */, 7919, 104729] {
+        let want = wolfram_bench::native::is_prime(n as u64);
+        let got = interp.eval_src(&format!("PrimeQ[{n}]")).unwrap();
+        assert_eq!(got.is_true(), want, "PrimeQ[{n}]");
+    }
+}
+
+#[test]
+fn powermod_compiled_matches_interpreter_builtin_path() {
+    let cf = Compiler::default()
+        .function_compile_src(
+            "Function[{Typed[a, \"MachineInteger\"], Typed[b, \"MachineInteger\"], \
+             Typed[m, \"MachineInteger\"]}, PowerMod[a, b, m]]",
+        )
+        .unwrap();
+    // Ground truth through the interpreter's bignum Power + Mod.
+    let mut interp = Interpreter::new();
+    for (a, b, m) in [(2i64, 100, 1_000_000_007), (5, 13, 97), (123456, 789, 65537)] {
+        let got = cf
+            .call(&[Value::I64(a), Value::I64(b), Value::I64(m)])
+            .unwrap()
+            .expect_i64()
+            .unwrap();
+        let want = interp
+            .eval_src(&format!("Mod[{a}^{b}, {m}]"))
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert_eq!(got, want, "PowerMod[{a},{b},{m}]");
+    }
+}

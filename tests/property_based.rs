@@ -1,0 +1,341 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! headline invariant: *compiled code agrees with the interpreter*.
+
+use proptest::prelude::*;
+use wolfram_language_compiler::compiler::Compiler;
+use wolfram_language_compiler::expr::{parse, BigInt, Expr};
+use wolfram_language_compiler::interp::Interpreter;
+use wolfram_language_compiler::runtime::{Tensor, Value};
+
+// ---------------------------------------------------------------------
+// Expression parse/print round-trips.
+// ---------------------------------------------------------------------
+
+/// A generator of well-formed expressions.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Expr::int),
+        (-1.0e15..1.0e15f64).prop_map(Expr::real),
+        "[a-z][a-zA-Z0-9]{0,6}".prop_map(|s| Expr::sym(&s)),
+        "[ -~&&[^\"\\\\]]{0,12}".prop_map(Expr::string),
+    ];
+    leaf.prop_recursive(4, 64, 5, |inner| {
+        ("[A-Z][a-zA-Z0-9]{0,6}", prop::collection::vec(inner, 0..5))
+            .prop_map(|(head, args)| Expr::call(&head, args))
+    })
+}
+
+proptest! {
+    #[test]
+    fn full_form_round_trips(e in arb_expr()) {
+        let printed = e.to_full_form();
+        let reparsed = parse(&printed).expect("FullForm must reparse");
+        prop_assert_eq!(reparsed, e);
+    }
+
+    #[test]
+    fn input_form_preserves_value_for_arithmetic(a in -10_000i64..10_000, b in -10_000i64..10_000, c in 1i64..100) {
+        // InputForm of arithmetic expressions evaluates identically.
+        let e = parse(&format!("({a} + {b}) * {c} - {a}")).unwrap();
+        let printed = e.to_input_form();
+        let reparsed = parse(&printed).expect("InputForm must reparse");
+        let mut i1 = Interpreter::new();
+        let mut i2 = Interpreter::new();
+        prop_assert_eq!(i1.eval(&e).unwrap(), i2.eval(&reparsed).unwrap());
+    }
+}
+
+// ---------------------------------------------------------------------
+// BigInt arithmetic against i128 ground truth.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn bigint_add_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let sum = &BigInt::from(a) + &BigInt::from(b);
+        prop_assert_eq!(sum.to_string(), (a as i128 + b as i128).to_string());
+    }
+
+    #[test]
+    fn bigint_mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let prod = &BigInt::from(a) * &BigInt::from(b);
+        prop_assert_eq!(prod.to_string(), (a as i128 * b as i128).to_string());
+    }
+
+    #[test]
+    fn bigint_sub_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let diff = &BigInt::from(a) - &BigInt::from(b);
+        prop_assert_eq!(diff.to_string(), (a as i128 - b as i128).to_string());
+    }
+
+    #[test]
+    fn bigint_parse_display_roundtrip(digits in "-?[1-9][0-9]{0,38}") {
+        let v = BigInt::parse(&digits).expect("parseable");
+        prop_assert_eq!(v.to_string(), digits);
+    }
+
+    #[test]
+    fn bigint_ordering_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(BigInt::from(a).cmp(&BigInt::from(b)), (a as i128).cmp(&(b as i128)));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tensor copy-on-write invariants (F5).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn tensor_cow_never_disturbs_aliases(
+        data in prop::collection::vec(any::<i64>(), 1..32),
+        writes in prop::collection::vec((0usize..32, any::<i64>()), 0..16),
+    ) {
+        let original = Tensor::from_i64(data.clone());
+        let alias = original.clone();
+        let mut working = original.clone();
+        let mut expected = data.clone();
+        for (ix, v) in writes {
+            let ix = ix % data.len();
+            working.set_i64(ix, v).unwrap();
+            expected[ix] = v;
+        }
+        prop_assert_eq!(alias.as_i64().unwrap(), data.as_slice());
+        prop_assert_eq!(working.as_i64().unwrap(), expected.as_slice());
+    }
+}
+
+// ---------------------------------------------------------------------
+// The headline property: FunctionCompile agrees with the interpreter on
+// randomly generated integer arithmetic programs.
+// ---------------------------------------------------------------------
+
+/// Generates arithmetic source over variables `x` and `y` that is total
+/// (no division) and overflow-free for small inputs.
+fn arb_int_arith() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(|v| v.to_string()),
+        Just("x".to_string()),
+        Just("y".to_string()),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("Min[{a}, {b}]")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("Max[{a}, {b}]")),
+            inner.clone().prop_map(|a| format!("Abs[{a}]")),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| {
+                format!("If[{c} < {t}, {t}, {f}]")
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn compiled_matches_interpreter_on_arithmetic(
+        body in arb_int_arith(),
+        x in -50i64..50,
+        y in -50i64..50,
+    ) {
+        let src = format!(
+            "Function[{{Typed[x, \"MachineInteger\"], Typed[y, \"MachineInteger\"]}}, {body}]"
+        );
+        let compiler = Compiler::default();
+        let cf = compiler.function_compile_src(&src).expect("compiles");
+        let compiled = cf.call(&[Value::I64(x), Value::I64(y)]).expect("runs");
+
+        let mut interp = Interpreter::new();
+        let f = parse(&src).unwrap();
+        let call = Expr::normal(f, vec![Expr::int(x), Expr::int(y)]);
+        let interpreted = interp.eval(&call).expect("interprets");
+        prop_assert_eq!(compiled.to_expr(), interpreted, "program: {}", body);
+    }
+
+    #[test]
+    fn compiled_loops_match_interpreter(
+        n in 0i64..40,
+        step in 1i64..5,
+        bias in -3i64..4,
+    ) {
+        let src = format!(
+            "Function[{{Typed[n, \"MachineInteger\"]}}, \
+             Module[{{s = 0, i = 0}}, While[i < n, s = s + i*{step} + {bias}; i = i + 1]; s]]"
+        );
+        let compiler = Compiler::default();
+        let cf = compiler.function_compile_src(&src).expect("compiles");
+        let compiled = cf.call(&[Value::I64(n)]).expect("runs");
+        let mut interp = Interpreter::new();
+        let f = parse(&src).unwrap();
+        let call = Expr::normal(f, vec![Expr::int(n)]);
+        let interpreted = interp.eval(&call).expect("interprets");
+        prop_assert_eq!(compiled.to_expr(), interpreted);
+    }
+
+    #[test]
+    fn compiled_matches_bytecode_on_arithmetic(
+        body in arb_int_arith(),
+        x in -50i64..50,
+        y in -50i64..50,
+    ) {
+        // All three execution engines agree.
+        let src = format!(
+            "Function[{{Typed[x, \"MachineInteger\"], Typed[y, \"MachineInteger\"]}}, {body}]"
+        );
+        let cf = Compiler::default().function_compile_src(&src).expect("compiles");
+        let compiled = cf.call(&[Value::I64(x), Value::I64(y)]).expect("runs");
+        let bc = wolfram_language_compiler::bytecode::BytecodeCompiler::new()
+            .compile(
+                &[
+                    wolfram_language_compiler::bytecode::ArgSpec::int("x"),
+                    wolfram_language_compiler::bytecode::ArgSpec::int("y"),
+                ],
+                &parse(&body).unwrap(),
+            )
+            .expect("bytecode compiles");
+        let vm = bc.run(&[Value::I64(x), Value::I64(y)]).expect("vm runs");
+        prop_assert_eq!(compiled, vm, "program: {}", body);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Type-system properties.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn unification_is_symmetric_on_atomics(
+        a in prop::sample::select(vec!["Integer64", "Real64", "Boolean", "String"]),
+        b in prop::sample::select(vec!["Integer64", "Real64", "Boolean", "String"]),
+    ) {
+        use wolfram_language_compiler::types::{unify, Subst, Type};
+        let (ta, tb) = (Type::atomic(a), Type::atomic(b));
+        let mut s1 = Subst::new();
+        let mut s2 = Subst::new();
+        prop_assert_eq!(
+            unify(&ta, &tb, &mut s1).is_ok(),
+            unify(&tb, &ta, &mut s2).is_ok()
+        );
+    }
+
+    #[test]
+    fn promotion_is_antisymmetric(
+        a in prop::sample::select(vec!["Integer8", "Integer32", "Integer64", "Real64", "ComplexReal64"]),
+        b in prop::sample::select(vec!["Integer8", "Integer32", "Integer64", "Real64", "ComplexReal64"]),
+    ) {
+        use wolfram_language_compiler::types::{subst::promotion_cost, Type};
+        let (ta, tb) = (Type::atomic(a), Type::atomic(b));
+        let up = promotion_cost(&ta, &tb);
+        let down = promotion_cost(&tb, &ta);
+        if a == b {
+            prop_assert_eq!(up, Some(0));
+        } else {
+            // At most one direction exists.
+            prop_assert!(up.is_none() || down.is_none());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compiled higher-order functions and broadcasts vs the interpreter.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Compiled `Fold[Function[{a, k}, ...], 0, Range[n]]` (lambda typed
+    /// purely through Fold's signature) agrees with the interpreter.
+    #[test]
+    fn compiled_fold_over_range_matches_interpreter(n in 0i64..60, c in -5i64..6) {
+        let src = format!(
+            "Function[{{Typed[n, \"MachineInteger\"]}}, \
+             Fold[Function[{{acc, k}}, acc + ({c})*k], 0, Range[n]]]"
+        );
+        let cf = Compiler::default().function_compile_src(&src).unwrap();
+        let got = cf.call(&[Value::I64(n)]).unwrap().expect_i64().unwrap();
+        let want = Interpreter::new()
+            .eval_src(&format!(
+                "Fold[Function[{{acc, k}}, acc + ({c})*k], 0, Range[{n}]]"
+            ))
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Compiled `Total`/`Map` over a real vector agree with the
+    /// interpreter (element order and promotion included).
+    #[test]
+    fn compiled_total_map_matches_interpreter(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..24),
+        m in -4i64..5,
+    ) {
+        let cf = Compiler::default()
+            .function_compile_src(&format!(
+                "Function[{{Typed[v, \"Tensor\"[\"Real64\", 1]]}}, \
+                 Total[Map[Function[{{x}}, x*({m}) + 1.0], v]]]"
+            ))
+            .unwrap();
+        let got = cf
+            .call(&[Value::Tensor(Tensor::from_f64(xs.clone()))])
+            .unwrap()
+            .expect_f64()
+            .unwrap();
+        let want: f64 = xs.iter().map(|x| x * m as f64 + 1.0).sum();
+        prop_assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()), "{got} vs {want}");
+    }
+
+    /// Tensor (+) scalar broadcast is element-wise and matches both
+    /// operand orders.
+    #[test]
+    fn compiled_broadcast_matches_elementwise(
+        xs in prop::collection::vec(-1_000.0f64..1_000.0, 1..16),
+        k in -50i64..50,
+    ) {
+        let tv = || Value::Tensor(Tensor::from_f64(xs.clone()));
+        for (src, f) in [
+            (
+                format!("Function[{{Typed[v, \"Tensor\"[\"Real64\", 1]]}}, v + ({k})]"),
+                Box::new(|x: f64| x + k as f64) as Box<dyn Fn(f64) -> f64>,
+            ),
+            (
+                format!("Function[{{Typed[v, \"Tensor\"[\"Real64\", 1]]}}, ({k}) - v]"),
+                Box::new(|x: f64| k as f64 - x),
+            ),
+            (
+                format!("Function[{{Typed[v, \"Tensor\"[\"Real64\", 1]]}}, v*({k})]"),
+                Box::new(|x: f64| x * k as f64),
+            ),
+        ] {
+            let cf = Compiler::default().function_compile_src(&src).unwrap();
+            let out = cf.call(&[tv()]).unwrap();
+            let out = out.expect_tensor().unwrap();
+            let got = out.as_f64().unwrap();
+            for (g, x) in got.iter().zip(&xs) {
+                prop_assert!((g - f(*x)).abs() < 1e-12, "{src}: {g} vs {}", f(*x));
+            }
+        }
+    }
+
+    /// Integer broadcasts overflow-check like scalar arithmetic: no
+    /// silent wrapping.
+    #[test]
+    fn integer_broadcast_checks_overflow(k in 2i64..1_000) {
+        let cf = Compiler::default()
+            .function_compile_src(
+                "Function[{Typed[v, \"Tensor\"[\"Integer64\", 1]], \
+                  Typed[k, \"MachineInteger\"]}, v*k]",
+            )
+            .unwrap();
+        let near_max = Tensor::from_i64(vec![1, i64::MAX / 2 + 1]);
+        let res = cf.call(&[Value::Tensor(near_max), Value::I64(k)]);
+        prop_assert!(res.is_err(), "expected IntegerOverflow, got {res:?}");
+        // In-range stays exact.
+        let small = Tensor::from_i64(vec![-3, 0, 7]);
+        let out = cf.call(&[Value::Tensor(small), Value::I64(k)]).unwrap();
+        let out = out.expect_tensor().unwrap();
+        prop_assert_eq!(out.as_i64().unwrap(), &[-3 * k, 0, 7 * k][..]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Integration: the §4.4 type system surface through the full compiler —
+//! TypeSpecifier aliases, inference from one annotation, numeric
+//! promotion/boxing, rank polymorphism, and typed error reporting.
+
+use wolfram_language_compiler::compiler::{Compiler, CompilerOptions, InlinePolicy};
+use wolfram_language_compiler::runtime::{Tensor, Value};
+
+fn compile(src: &str) -> wolfram_language_compiler::compiler::CompiledCodeFunction {
+    Compiler::default().function_compile_src(src).unwrap()
+}
+
+// ---------------------------------------------------------------------
+// TypeSpecifier aliases and forms.
+// ---------------------------------------------------------------------
+
+#[test]
+fn machine_integer_aliases_are_interchangeable() {
+    for spec in ["MachineInteger", "Integer64", "Integer"] {
+        let cf = compile(&format!("Function[{{Typed[n, \"{spec}\"]}}, n + 1]"));
+        assert_eq!(cf.call(&[Value::I64(41)]).unwrap(), Value::I64(42), "{spec}");
+    }
+}
+
+#[test]
+fn real_aliases_are_interchangeable() {
+    for spec in ["MachineReal", "Real64", "Real"] {
+        let cf = compile(&format!("Function[{{Typed[x, \"{spec}\"]}}, x * 2]"));
+        assert_eq!(cf.call(&[Value::F64(1.5)]).unwrap(), Value::F64(3.0), "{spec}");
+    }
+}
+
+#[test]
+fn compound_tensor_specifier() {
+    let cf = compile(
+        "Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, Total[v] / Length[v]]",
+    );
+    let mean = cf
+        .call(&[Value::Tensor(Tensor::from_f64(vec![1.0, 2.0, 3.0, 6.0]))])
+        .unwrap();
+    assert_eq!(mean, Value::F64(3.0));
+}
+
+#[test]
+fn rank_two_tensor_specifier() {
+    let cf = compile(
+        "Function[{Typed[m, \"Tensor\"[\"Integer64\", 2]]}, m[[2, 1]]]",
+    );
+    let m = Tensor::with_shape(
+        vec![2, 2],
+        wolfram_language_compiler::runtime::TensorData::I64(vec![1, 2, 3, 4]),
+    )
+    .unwrap();
+    assert_eq!(cf.call(&[Value::Tensor(m)]).unwrap(), Value::I64(3));
+}
+
+// ---------------------------------------------------------------------
+// Inference: one annotation types the whole body (§4.4 "minimal type
+// annotations").
+// ---------------------------------------------------------------------
+
+#[test]
+fn locals_loops_and_conditionals_are_inferred() {
+    let cf = compile(
+        "Function[{Typed[n, \"MachineInteger\"]},
+          Module[{acc = 0, i = 1},
+           While[i <= n,
+            If[Mod[i, 2] == 0, acc = acc + i, acc = acc - i];
+            i = i + 1];
+           acc]]",
+    );
+    // -1+2-3+4...-9+10 = 5
+    assert_eq!(cf.call(&[Value::I64(10)]).unwrap(), Value::I64(5));
+}
+
+#[test]
+fn integer_literal_promotes_to_real_context() {
+    // `x + 1` with Real64 x requires Integer64 -> Real64 promotion.
+    let cf = compile("Function[{Typed[x, \"Real64\"]}, x + 1]");
+    assert_eq!(cf.call(&[Value::F64(0.5)]).unwrap(), Value::F64(1.5));
+}
+
+#[test]
+fn mixed_arithmetic_takes_the_lub() {
+    // Integer argument, Real literal: the result type is Real64.
+    let cf = compile("Function[{Typed[n, \"MachineInteger\"]}, n * 0.5]");
+    assert_eq!(cf.call(&[Value::I64(7)]).unwrap(), Value::F64(3.5));
+}
+
+#[test]
+fn real_tensor_plus_integer_scalar_promotes_elementwise() {
+    let cf = compile(
+        "Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, v + 1]",
+    );
+    let out = cf
+        .call(&[Value::Tensor(Tensor::from_f64(vec![0.5, 1.5]))])
+        .unwrap();
+    assert_eq!(out.expect_tensor().unwrap().as_f64().unwrap(), &[1.5, 2.5]);
+}
+
+#[test]
+fn boolean_results_from_comparisons() {
+    let cf = compile("Function[{Typed[n, \"MachineInteger\"]}, n > 10 && Mod[n, 2] == 0]");
+    assert_eq!(cf.call(&[Value::I64(12)]).unwrap(), Value::Bool(true));
+    assert_eq!(cf.call(&[Value::I64(11)]).unwrap(), Value::Bool(false));
+    assert_eq!(cf.call(&[Value::I64(2)]).unwrap(), Value::Bool(false));
+}
+
+// ---------------------------------------------------------------------
+// Scalar -> Expression boxing (the "everything is an expression" escape
+// hatch, cost 10 in the promotion graph).
+// ---------------------------------------------------------------------
+
+#[test]
+fn scalars_box_into_expression_arguments() {
+    // Sin of a *symbolic* argument forces the Expression instantiation;
+    // adding an integer to it boxes the scalar. Symbolic operations
+    // normalize through the hosting engine (§4.5 threaded interpretation).
+    let engine = std::rc::Rc::new(std::cell::RefCell::new(
+        wolfram_language_compiler::interp::Interpreter::new(),
+    ));
+    let cf = compile("Function[{Typed[n, \"MachineInteger\"]}, Sin[q] + n]").hosted(engine);
+    let out = cf.call_exprs(&[wolfram_language_compiler::expr::Expr::int(3)]).unwrap();
+    assert_eq!(out.to_full_form(), "Plus[3, Sin[q]]");
+}
+
+// ---------------------------------------------------------------------
+// Errors: untypeable programs fail at compile time with the right stage.
+// ---------------------------------------------------------------------
+
+#[test]
+fn missing_annotation_is_a_compile_error() {
+    // No Typed[] on the parameter: inference has nothing to anchor I/O.
+    let err = Compiler::default()
+        .function_compile_src("Function[{n}, n + 1]")
+        .unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("type") || msg.contains("Typed") || msg.contains("annotation"),
+        "unhelpful message: {msg}"
+    );
+}
+
+#[test]
+fn rank_mismatch_is_a_compile_error() {
+    // Dot of two rank-1 tensors is a scalar; indexing it is ill-typed.
+    let err = Compiler::default()
+        .function_compile_src(
+            "Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, Part[Total[v], 1]]",
+        )
+        .unwrap_err();
+    assert!(!format!("{err}").is_empty());
+}
+
+#[test]
+fn unknown_type_name_is_a_compile_error() {
+    let err = Compiler::default()
+        .function_compile_src("Function[{Typed[n, \"Quaternion\"]}, n]")
+        .unwrap_err();
+    assert!(!format!("{err}").is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Polymorphic stdlib instantiation: the same source implementation
+// instantiates at several monomorphic types.
+// ---------------------------------------------------------------------
+
+#[test]
+fn same_function_instantiates_at_integer_and_real() {
+    for (spec, arg, want) in [
+        ("MachineInteger", Value::I64(-5), Value::I64(5)),
+        ("Real64", Value::F64(-2.5), Value::F64(2.5)),
+    ] {
+        let cf = compile(&format!("Function[{{Typed[x, \"{spec}\"]}}, Abs[x]]"));
+        assert_eq!(cf.call(&[arg]).unwrap(), want, "{spec}");
+    }
+}
+
+#[test]
+fn higher_order_closure_is_monomorphized() {
+    let cf = compile(
+        "Function[{Typed[n, \"MachineInteger\"]},
+          Fold[Function[{a, b}, a + b*b], 0, Range[n]]]",
+    );
+    // Sum of squares 1..5 = 55.
+    assert_eq!(cf.call(&[Value::I64(5)]).unwrap(), Value::I64(55));
+}
+
+// ---------------------------------------------------------------------
+// Inline policies produce identical observable behaviour.
+// ---------------------------------------------------------------------
+
+#[test]
+fn inline_policy_is_semantics_preserving() {
+    let src = "Function[{Typed[n, \"MachineInteger\"]},
+      Module[{acc = 0, i = 1},
+       While[i <= n, acc = acc + i*i; i = i + 1];
+       acc]]";
+    let mut outs = Vec::new();
+    for policy in [InlinePolicy::Automatic, InlinePolicy::Never, InlinePolicy::Always] {
+        let opts = CompilerOptions { inline_policy: policy, ..CompilerOptions::default() };
+        let cf = Compiler::new(opts).function_compile_src(src).unwrap();
+        outs.push(cf.call(&[Value::I64(100)]).unwrap());
+    }
+    assert_eq!(outs[0], Value::I64(338_350));
+    assert!(outs.windows(2).all(|w| w[0] == w[1]));
+}
+
+// ---------------------------------------------------------------------
+// Optimization levels and the typed pipeline agree.
+// ---------------------------------------------------------------------
+
+#[test]
+fn quotient_floor_semantics_compiled() {
+    // Regression: Quotient is Floor[m/n] in every engine (not truncation).
+    let cf = compile(
+        "Function[{Typed[a, \"MachineInteger\"], Typed[b, \"MachineInteger\"]}, Quotient[a, b]]",
+    );
+    for (a, b, want) in [(-1i64, 2i64, -1i64), (1, -2, -1), (-7, -2, 3), (7, 2, 3)] {
+        assert_eq!(
+            cf.call(&[Value::I64(a), Value::I64(b)]).unwrap(),
+            Value::I64(want),
+            "Quotient[{a}, {b}]"
+        );
+        // And it matches the interpreter.
+        let i = wolfram_language_compiler::interp::Interpreter::new()
+            .eval_src(&format!("Quotient[{a}, {b}]"))
+            .unwrap();
+        assert_eq!(i.as_i64(), Some(want));
+    }
+}
+
+#[test]
+fn nest_compiles_with_untyped_lambda() {
+    let cf = compile(
+        "Function[{Typed[x, \"Real64\"], Typed[n, \"MachineInteger\"]},
+          Nest[Function[{t}, (t + 2.0/t) / 2.0], x, n]]",
+    );
+    // Newton iteration for Sqrt[2].
+    let out = cf.call(&[Value::F64(1.0), Value::I64(6)]).unwrap();
+    let got = out.expect_f64().unwrap();
+    assert!((got - std::f64::consts::SQRT_2).abs() < 1e-12, "{got}");
+}
+
+#[test]
+fn matrix_vector_dot_uses_the_shared_kernel() {
+    let cf = compile(
+        "Function[{Typed[m, \"Tensor\"[\"Real64\", 2]], Typed[v, \"Tensor\"[\"Real64\", 1]]},
+          Dot[m, v]]",
+    );
+    let m = Tensor::with_shape(
+        vec![2, 3],
+        wolfram_language_compiler::runtime::TensorData::F64(vec![1., 2., 3., 4., 5., 6.]),
+    )
+    .unwrap();
+    let v = Tensor::from_f64(vec![1.0, 0.5, -1.0]);
+    let out = cf.call(&[Value::Tensor(m), Value::Tensor(v)]).unwrap();
+    let out = out.expect_tensor().unwrap();
+    assert_eq!(out.as_f64().unwrap(), &[-1.0, 0.5]);
+}
+
+#[test]
+fn abort_unwinds_instantiated_hof_loop() {
+    // The abort check inserted in the stdlib Fold instantiation's loop
+    // header must fire even though the user never wrote a loop (F3
+    // through function resolution).
+    let engine = std::rc::Rc::new(std::cell::RefCell::new(
+        wolfram_language_compiler::interp::Interpreter::new(),
+    ));
+    let cf = compile(
+        "Function[{Typed[n, \"MachineInteger\"]},
+          Fold[Function[{a, b}, a + b], 0, Range[n]]]",
+    )
+    .hosted(engine.clone());
+    assert_eq!(cf.call(&[Value::I64(10)]).unwrap(), Value::I64(55));
+    engine.borrow().abort_signal().trigger();
+    let err = cf.call(&[Value::I64(100_000_000)]).unwrap_err();
+    assert_eq!(err, wolfram_language_compiler::runtime::RuntimeError::Aborted);
+    engine.borrow().abort_signal().reset();
+    assert_eq!(cf.call(&[Value::I64(4)]).unwrap(), Value::I64(10));
+}
+
+#[test]
+fn compiled_nest_matches_interpreter() {
+    let cf = compile(
+        "Function[{Typed[x, \"MachineInteger\"], Typed[n, \"MachineInteger\"]},
+          Nest[Function[{t}, 3*t + 1], x, n]]",
+    );
+    let mut interp = wolfram_language_compiler::interp::Interpreter::new();
+    for (x, n) in [(1i64, 0i64), (1, 5), (7, 3), (-2, 10)] {
+        let got = cf.call(&[Value::I64(x), Value::I64(n)]).unwrap();
+        let want = interp
+            .eval_src(&format!("Nest[Function[{{t}}, 3*t + 1], {x}, {n}]"))
+            .unwrap();
+        assert_eq!(got.to_expr(), want, "Nest at x={x}, n={n}");
+    }
+}
+
+#[test]
+fn table_desugars_to_map_over_range() {
+    // The §4.2 macro Table[body, {i, n}] :> Map[Function[{i}, body],
+    // Range[n]] makes Table compilable through the stdlib HOFs.
+    let cf = compile(
+        "Function[{Typed[n, \"MachineInteger\"]}, Total[Table[i*i, {i, n}]]]",
+    );
+    assert_eq!(cf.call(&[Value::I64(10)]).unwrap(), Value::I64(385));
+    // And the AST dump shows the rewrite.
+    let ast = Compiler::default().compile_to_ast(
+        &wolfram_language_compiler::expr::parse(
+            "Function[{Typed[n, \"MachineInteger\"]}, Table[i + 1, {i, n}]]",
+        )
+        .unwrap(),
+    );
+    let text = ast.to_full_form();
+    assert!(text.contains("Map["), "{text}");
+    assert!(text.contains("Range[n]"), "{text}");
+}
