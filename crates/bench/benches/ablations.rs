@@ -21,10 +21,10 @@ fn bench_abort_checking(c: &mut Criterion) {
     let dv = Value::Tensor(data);
     let mut g = c.benchmark_group("abort-checking-histogram");
     g.bench_function("abortable", |b| {
-        b.iter(|| with.call(std::hint::black_box(&[dv.clone()])).unwrap())
+        b.iter(|| with.call(std::hint::black_box(std::slice::from_ref(&dv))).unwrap())
     });
     g.bench_function("abort-inhibited", |b| {
-        b.iter(|| without.call(std::hint::black_box(&[dv.clone()])).unwrap())
+        b.iter(|| without.call(std::hint::black_box(std::slice::from_ref(&dv))).unwrap())
     });
     g.finish();
 }
@@ -42,10 +42,10 @@ fn bench_inlining(c: &mut Criterion) {
     let n = Value::I64(500_000);
     let mut g = c.benchmark_group("inlining");
     g.bench_function("automatic", |b| {
-        b.iter(|| auto.call(std::hint::black_box(&[n.clone()])).unwrap())
+        b.iter(|| auto.call(std::hint::black_box(std::slice::from_ref(&n))).unwrap())
     });
     g.bench_function("never", |b| {
-        b.iter(|| never.call(std::hint::black_box(&[n.clone()])).unwrap())
+        b.iter(|| never.call(std::hint::black_box(std::slice::from_ref(&n))).unwrap())
     });
     g.finish();
 }
@@ -60,10 +60,10 @@ fn bench_constant_arrays(c: &mut Criterion) {
     let mut g = c.benchmark_group("constant-arrays-primeq");
     g.sample_size(10);
     g.bench_function("optimized", |b| {
-        b.iter(|| optimized.call(std::hint::black_box(&[limit.clone()])).unwrap())
+        b.iter(|| optimized.call(std::hint::black_box(std::slice::from_ref(&limit))).unwrap())
     });
     g.bench_function("naive", |b| {
-        b.iter(|| naive.call(std::hint::black_box(&[limit.clone()])).unwrap())
+        b.iter(|| naive.call(std::hint::black_box(std::slice::from_ref(&limit))).unwrap())
     });
     g.finish();
 }

@@ -30,12 +30,12 @@ fn bench_fnv1a(c: &mut Criterion) {
         Value::Tensor(wolfram_runtime::Tensor::from_i64(input.bytes().map(i64::from).collect()));
     let mut g = c.benchmark_group("fnv1a");
     g.bench_function("native", |b| b.iter(|| native::fnv1a32(std::hint::black_box(input.as_bytes()))));
-    g.bench_function("new", |b| b.iter(|| new_cf.call(std::hint::black_box(&[sv.clone()])).unwrap()));
+    g.bench_function("new", |b| b.iter(|| new_cf.call(std::hint::black_box(std::slice::from_ref(&sv))).unwrap()));
     g.bench_function("new-noabort", |b| {
-        b.iter(|| new_na.call(std::hint::black_box(&[sv.clone()])).unwrap())
+        b.iter(|| new_na.call(std::hint::black_box(std::slice::from_ref(&sv))).unwrap())
     });
     g.bench_function("bytecode", |b| {
-        b.iter(|| bc.run(std::hint::black_box(&[codes.clone()])).unwrap())
+        b.iter(|| bc.run(std::hint::black_box(std::slice::from_ref(&codes))).unwrap())
     });
     g.finish();
 }
@@ -52,12 +52,12 @@ fn bench_mandelbrot(c: &mut Criterion) {
     let pt = Value::Complex(-0.5, 0.2);
     let mut g = c.benchmark_group("mandelbrot-pixel");
     g.bench_function("native", |b| b.iter(|| native::mandelbrot_iters(-0.5, 0.2, 1000)));
-    g.bench_function("new", |b| b.iter(|| new_cf.call(std::hint::black_box(&[pt.clone()])).unwrap()));
+    g.bench_function("new", |b| b.iter(|| new_cf.call(std::hint::black_box(std::slice::from_ref(&pt))).unwrap()));
     g.bench_function("new-noabort", |b| {
-        b.iter(|| new_na.call(std::hint::black_box(&[pt.clone()])).unwrap())
+        b.iter(|| new_na.call(std::hint::black_box(std::slice::from_ref(&pt))).unwrap())
     });
     g.bench_function("bytecode", |b| {
-        b.iter(|| bc.run(std::hint::black_box(&[pt.clone()])).unwrap())
+        b.iter(|| bc.run(std::hint::black_box(std::slice::from_ref(&pt))).unwrap())
     });
     g.finish();
 }
@@ -119,12 +119,12 @@ fn bench_histogram(c: &mut Criterion) {
     let dv = Value::Tensor(data.clone());
     let mut g = c.benchmark_group("histogram");
     g.bench_function("native", |b| b.iter(|| native::histogram(data.as_i64().unwrap())));
-    g.bench_function("new", |b| b.iter(|| new_cf.call(std::hint::black_box(&[dv.clone()])).unwrap()));
+    g.bench_function("new", |b| b.iter(|| new_cf.call(std::hint::black_box(std::slice::from_ref(&dv))).unwrap()));
     g.bench_function("new-noabort", |b| {
-        b.iter(|| new_na.call(std::hint::black_box(&[dv.clone()])).unwrap())
+        b.iter(|| new_na.call(std::hint::black_box(std::slice::from_ref(&dv))).unwrap())
     });
     g.bench_function("bytecode", |b| {
-        b.iter(|| bc.run(std::hint::black_box(&[dv.clone()])).unwrap())
+        b.iter(|| bc.run(std::hint::black_box(std::slice::from_ref(&dv))).unwrap())
     });
     g.finish();
 }

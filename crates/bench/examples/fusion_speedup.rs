@@ -1,0 +1,128 @@
+//! Measures the superinstruction-fusion speedup on the five
+//! dispatch-bound benchmarks (acceptance: >=1.15x geomean on at least
+//! three of them).
+
+use std::rc::Rc;
+use std::time::Instant;
+use wolfram_bench::{programs, workloads};
+use wolfram_compiler_core::{Compiler, CompiledCodeFunction, CompilerOptions};
+use wolfram_runtime::Value;
+
+const ROUNDS: usize = 9;
+
+fn compilers() -> (Compiler, Compiler) {
+    let fused = Compiler::default();
+    let unfused = Compiler::new(CompilerOptions {
+        superinstruction_fusion: false,
+        ..CompilerOptions::default()
+    });
+    (fused, unfused)
+}
+
+/// Interleaved min-of-N: alternating fused/unfused rounds so CPU frequency
+/// drift and scheduler noise hit both engines equally.
+fn bench_pair(mut on: impl FnMut(), mut off: impl FnMut()) -> (f64, f64) {
+    on();
+    off();
+    let (mut t_on, mut t_off) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        on();
+        t_on = t_on.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        off();
+        t_off = t_off.min(start.elapsed().as_secs_f64());
+    }
+    (t_on, t_off)
+}
+
+fn measure(name: &str, src: &str, args: Vec<Value>) -> f64 {
+    let (fc, uc) = compilers();
+    let on = programs::compile_new(&fc, src);
+    let off = programs::compile_new(&uc, src);
+    assert_eq!(on.call(&args).unwrap(), off.call(&args).unwrap(), "{name}");
+    let (t_on, t_off) = bench_pair(
+        || {
+            on.call(std::hint::black_box(&args)).unwrap();
+        },
+        || {
+            off.call(std::hint::black_box(&args)).unwrap();
+        },
+    );
+    report(name, t_on, t_off)
+}
+
+fn report(name: &str, t_on: f64, t_off: f64) -> f64 {
+    let s = t_off / t_on;
+    println!("{name:<11} fused {t_on:.4}s | unfused {t_off:.4}s | speedup {s:.3}x");
+    s
+}
+
+fn mandelbrot(quick: bool) -> f64 {
+    let (fc, uc) = compilers();
+    let on = programs::compile_new(&fc, programs::MANDELBROT_SRC);
+    let off = programs::compile_new(&uc, programs::MANDELBROT_SRC);
+    let res = if quick { 0.05 } else { 0.02 };
+    let mut grid = Vec::new();
+    let mut re = -1.0;
+    while re <= 1.0 {
+        let mut im = -1.0;
+        while im <= 0.5 {
+            grid.push((re, im));
+            im += res;
+        }
+        re += res;
+    }
+    let run = |cf: &CompiledCodeFunction| -> i64 {
+        grid.iter()
+            .map(|&(re, im)| cf.call(&[Value::Complex(re, im)]).unwrap().expect_i64().unwrap())
+            .sum()
+    };
+    assert_eq!(run(&on), run(&off));
+    let (t_on, t_off) = bench_pair(
+        || {
+            std::hint::black_box(run(&on));
+        },
+        || {
+            std::hint::black_box(run(&off));
+        },
+    );
+    report("Mandelbrot", t_on, t_off)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 200_000 } else { 1_000_000 };
+    let bn = if quick { 256 } else { 700 };
+    let table = workloads::prime_seed_table();
+    let speedups = [
+        measure(
+            "FNV1a",
+            programs::FNV1A_SRC,
+            vec![Value::Str(Rc::new(workloads::random_string(n, 0x5eed)))],
+        ),
+        mandelbrot(quick),
+        measure(
+            "Blur",
+            programs::BLUR_SRC,
+            vec![
+                Value::Tensor(workloads::random_matrix_hw(bn, bn, 3)),
+                Value::I64(bn as i64),
+                Value::I64(bn as i64),
+            ],
+        ),
+        measure(
+            "Histogram",
+            programs::HISTOGRAM_SRC,
+            vec![Value::Tensor(workloads::random_bytes_tensor(n, 4))],
+        ),
+        measure(
+            "PrimeQ",
+            &programs::primeq_src(&table),
+            vec![Value::I64(if quick { 60_000 } else { 200_000 })],
+        ),
+    ];
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let over = speedups.iter().filter(|s| **s >= 1.15).count();
+    println!("geomean {geomean:.3}x | benchmarks at >=1.15x: {over}/{}", speedups.len());
+}

@@ -1,13 +1,13 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! reproduce [figure2|table1|intro|ablations|compile-times|all] [--quick]
+//! reproduce [figure2|table1|intro|ablations|opstats|compile-times|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks the workloads (CI-sized); without it the paper's §6
 //! parameters are used. Build with `--release` for meaningful numbers.
 
-use wolfram_bench::{ablations, harness, intro, table1};
+use wolfram_bench::{ablations, harness, intro, opstats, table1};
 use wolfram_compiler_core::Compiler;
 
 fn main() {
@@ -77,6 +77,17 @@ fn main() {
             "{}",
             ablations::mutability_copy_ablation(qsort_n, scale.repetitions).render()
         );
+        println!(
+            "{}",
+            ablations::fusion_ablation(scale.string_len, scale.repetitions).render()
+        );
+        println!();
+    }
+
+    if matches!(what.as_str(), "opstats" | "all") {
+        println!("== Dynamic op statistics (superinstruction selection data) ==");
+        let profiles = opstats::collect(&scale);
+        print!("{}", opstats::render(&profiles, 8));
         println!();
     }
 

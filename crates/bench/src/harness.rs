@@ -155,21 +155,21 @@ pub fn figure2(scale: &Scale) -> Vec<Figure2Row> {
         let s_value = Value::Str(Rc::new(input.clone()));
         let codes =
             Value::Tensor(wolfram_runtime::Tensor::from_i64(input.bytes().map(i64::from).collect()));
-        assert_eq!(new_cf.call(&[s_value.clone()]).unwrap(), Value::I64(expected));
-        assert_eq!(bc.run(&[codes.clone()]).unwrap(), Value::I64(expected));
+        assert_eq!(new_cf.call(std::slice::from_ref(&s_value)).unwrap(), Value::I64(expected));
+        assert_eq!(bc.run(std::slice::from_ref(&codes)).unwrap(), Value::I64(expected));
         rows.push(Figure2Row {
             name: "FNV1a",
             native_secs: bench_seconds(reps, || {
                 std::hint::black_box(native::fnv1a32(input.as_bytes()));
             }),
             new_secs: bench_seconds(reps, || {
-                new_cf.call(std::hint::black_box(&[s_value.clone()])).unwrap();
+                new_cf.call(std::hint::black_box(std::slice::from_ref(&s_value))).unwrap();
             }),
             new_noabort_secs: bench_seconds(reps, || {
-                new_cf_na.call(std::hint::black_box(&[s_value.clone()])).unwrap();
+                new_cf_na.call(std::hint::black_box(std::slice::from_ref(&s_value))).unwrap();
             }),
             bytecode_secs: Some(bench_seconds(reps, || {
-                bc.run(std::hint::black_box(&[codes.clone()])).unwrap();
+                bc.run(std::hint::black_box(std::slice::from_ref(&codes))).unwrap();
             })),
             bytecode_error: None,
         });
@@ -308,7 +308,7 @@ pub fn figure2(scale: &Scale) -> Vec<Figure2Row> {
         .expect("histogram bytecode");
         let dv = Value::Tensor(data.clone());
         assert_eq!(
-            new_cf.call(&[dv.clone()]).unwrap().expect_tensor().unwrap().as_i64().unwrap(),
+            new_cf.call(std::slice::from_ref(&dv)).unwrap().expect_tensor().unwrap().as_i64().unwrap(),
             expected.as_slice()
         );
         rows.push(Figure2Row {
@@ -317,13 +317,13 @@ pub fn figure2(scale: &Scale) -> Vec<Figure2Row> {
                 std::hint::black_box(native::histogram(data.as_i64().unwrap()));
             }),
             new_secs: bench_seconds(reps, || {
-                new_cf.call(std::hint::black_box(&[dv.clone()])).unwrap();
+                new_cf.call(std::hint::black_box(std::slice::from_ref(&dv))).unwrap();
             }),
             new_noabort_secs: bench_seconds(reps, || {
-                new_cf_na.call(std::hint::black_box(&[dv.clone()])).unwrap();
+                new_cf_na.call(std::hint::black_box(std::slice::from_ref(&dv))).unwrap();
             }),
             bytecode_secs: Some(bench_seconds(reps, || {
-                bc.run(std::hint::black_box(&[dv.clone()])).unwrap();
+                bc.run(std::hint::black_box(std::slice::from_ref(&dv))).unwrap();
             })),
             bytecode_error: None,
         });

@@ -14,12 +14,15 @@
 //! - [`intro`] — the §1 in-text numbers: random-walk interpreter vs
 //!   bytecode vs FunctionCompile, and `FindRoot` auto-compilation.
 //! - [`ablations`] — §6 in-text ablations: abort checking, inlining,
-//!   constant-array handling, mutability copies.
+//!   constant-array handling, mutability copies, superinstruction fusion.
+//! - [`opstats`] — dynamic op/dyad frequency profiles of the seven
+//!   benchmarks (the data superinstruction selection is driven by).
 
 pub mod ablations;
 pub mod harness;
 pub mod intro;
 pub mod native;
+pub mod opstats;
 pub mod programs;
 pub mod table1;
 pub mod workloads;

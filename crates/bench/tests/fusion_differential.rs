@@ -1,0 +1,164 @@
+//! Differential testing of superinstruction fusion: every §6 benchmark is
+//! compiled twice — fusion on (default) and off — and the two engines must
+//! produce bit-identical outputs on the same workloads. This is the
+//! correctness contract the fusion pass is built on: fused ops perform all
+//! the register writes of the sequences they replace, so turning the pass
+//! off must change nothing but speed.
+
+use std::rc::Rc;
+use wolfram_bench::{programs, workloads};
+use wolfram_compiler_core::{Compiler, CompilerOptions};
+use wolfram_runtime::Value;
+
+fn compilers() -> (Compiler, Compiler) {
+    let fused = Compiler::default();
+    let unfused = Compiler::new(CompilerOptions {
+        superinstruction_fusion: false,
+        ..CompilerOptions::default()
+    });
+    (fused, unfused)
+}
+
+/// Compiles `src` both ways and asserts identical results on every
+/// argument list.
+fn assert_agree(name: &str, src: &str, arg_sets: &[Vec<Value>]) {
+    let (fused, unfused) = compilers();
+    let on = programs::compile_new(&fused, src);
+    let off = programs::compile_new(&unfused, src);
+    for (ix, args) in arg_sets.iter().enumerate() {
+        let a = on.call(args).unwrap_or_else(|e| panic!("{name} fused run {ix}: {e}"));
+        let b = off.call(args).unwrap_or_else(|e| panic!("{name} unfused run {ix}: {e}"));
+        assert_eq!(a, b, "{name}: fusion changed the result on argument set {ix}");
+    }
+}
+
+#[test]
+fn fnv1a_agrees() {
+    let args: Vec<Vec<Value>> = [0usize, 1, 97, 1000]
+        .iter()
+        .map(|&n| vec![Value::Str(Rc::new(workloads::random_string(n, n as u64 + 3)))])
+        .collect();
+    assert_agree("FNV1a", programs::FNV1A_SRC, &args);
+}
+
+#[test]
+fn mandelbrot_agrees() {
+    let args: Vec<Vec<Value>> =
+        [(0.0, 0.0), (-0.5, 0.3), (0.4, 0.4), (-1.0, 0.25), (2.0, 2.0)]
+            .iter()
+            .map(|&(re, im)| vec![Value::Complex(re, im)])
+            .collect();
+    assert_agree("Mandelbrot", programs::MANDELBROT_SRC, &args);
+}
+
+#[test]
+fn dot_agrees() {
+    let a = workloads::random_matrix(24, 1);
+    let b = workloads::random_matrix(24, 2);
+    assert_agree(
+        "Dot",
+        programs::DOT_SRC,
+        &[vec![Value::Tensor(a), Value::Tensor(b)]],
+    );
+}
+
+#[test]
+fn blur_agrees() {
+    let n = 24;
+    let img = workloads::random_matrix_hw(n, n, 3);
+    assert_agree(
+        "Blur",
+        programs::BLUR_SRC,
+        &[vec![Value::Tensor(img), Value::I64(n as i64), Value::I64(n as i64)]],
+    );
+}
+
+#[test]
+fn histogram_agrees() {
+    let data = workloads::random_bytes_tensor(4096, 4);
+    assert_agree("Histogram", programs::HISTOGRAM_SRC, &[vec![Value::Tensor(data)]]);
+}
+
+#[test]
+fn primeq_agrees() {
+    let table = workloads::prime_seed_table();
+    let src = programs::primeq_src(&table);
+    // Limits on both sides of the 2^14 table boundary exercise both the
+    // table lookup and the Rabin–Miller loop under fusion.
+    let args: Vec<Vec<Value>> =
+        [100i64, 2000, 16384 + 300].iter().map(|&l| vec![Value::I64(l)]).collect();
+    assert_agree("PrimeQ", &src, &args);
+}
+
+#[test]
+fn qsort_agrees() {
+    let args: Vec<Vec<Value>> = vec![
+        vec![Value::Tensor(workloads::sorted_list(512)), Value::Bool(true)],
+        vec![Value::Tensor(workloads::sorted_list(512)), Value::Bool(false)],
+        vec![
+            Value::Tensor(wolfram_runtime::Tensor::from_i64(vec![5, -1, 3, 3, 0, 9, 2])),
+            Value::Bool(true),
+        ],
+    ];
+    assert_agree("QSort", programs::QSORT_SRC, &args);
+}
+
+#[test]
+fn fusion_actually_fires_on_the_benchmarks() {
+    // Guard against the pass silently becoming a no-op: the fused engine
+    // must execute strictly fewer dispatches than the unfused one.
+    let (fused, unfused) = compilers();
+    let on = programs::compile_new(&fused, programs::FNV1A_SRC);
+    let off = programs::compile_new(&unfused, programs::FNV1A_SRC);
+    let arg = vec![Value::Str(Rc::new(workloads::random_string(1000, 7)))];
+    on.profile_ops(true);
+    off.profile_ops(true);
+    on.call(&arg).unwrap();
+    off.call(&arg).unwrap();
+    let (s_on, s_off) = (on.take_op_stats(), off.take_op_stats());
+    assert!(
+        s_on.total() < s_off.total(),
+        "fusion did not reduce dispatches: {} vs {}",
+        s_on.total(),
+        s_off.total()
+    );
+    // The unfused stream must contain no superinstructions.
+    const FUSED: &[&str] = &[
+        "br.cmp.i",
+        "br.cmp.f",
+        "br.cmp.i.sel",
+        "br.cmp.f.sel",
+        "brz.jmp",
+        "int.bin2",
+        "int.bin.imm2",
+        "int.bin.imm.jmp",
+        "flt.bin2",
+        "ten.part1.int.bin",
+        "ten.part1.int.imm",
+        "ten.part2.flt.bin",
+        "take.ten.set1",
+        "take.ten.set2",
+        "mov.i.jmp",
+        "mov2.i",
+        "mov2.i.jmp",
+        "release2",
+        "abort.br.cmp.i.sel",
+        "abort.br.cmp.i",
+        "int.bin.imm.mov",
+        "mov.c.jmp",
+        "int.imm.mov2.jmp",
+        "flt.cmp.mov",
+        "flt.cmp.mov.jmp",
+    ];
+    assert!(
+        s_off.ops.keys().all(|m| !FUSED.contains(m)),
+        "unfused run executed fused ops: {:?}",
+        s_off.hottest_ops()
+    );
+    // And the fused one must actually use some.
+    assert!(
+        s_on.ops.keys().any(|m| FUSED.contains(m)),
+        "fused run executed no superinstructions: {:?}",
+        s_on.hottest_ops()
+    );
+}

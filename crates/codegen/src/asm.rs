@@ -8,8 +8,19 @@ use crate::machine::{NativeFunc, RegOp};
 use std::fmt::Write as _;
 use wolfram_ir::ProgramModule;
 
-/// The assembler-listing backend.
-pub struct AsmBackend;
+/// The assembler-listing backend. `fuse` mirrors the compiler's
+/// `SuperinstructionFusion` option so the listing shows the code the
+/// engine actually executes (fused by default).
+pub struct AsmBackend {
+    /// Run superinstruction fusion before rendering.
+    pub fuse: bool,
+}
+
+impl Default for AsmBackend {
+    fn default() -> Self {
+        AsmBackend { fuse: true }
+    }
+}
 
 impl Backend for AsmBackend {
     fn name(&self) -> &str {
@@ -17,7 +28,10 @@ impl Backend for AsmBackend {
     }
 
     fn generate(&self, module: &ProgramModule) -> Result<String, String> {
-        let native = lower_program(module).map_err(|e| e.to_string())?;
+        let mut native = lower_program(module).map_err(|e| e.to_string())?;
+        if self.fuse {
+            crate::fuse::fuse_program(&mut native);
+        }
         let mut out = String::new();
         let _ = writeln!(out, "\t.section __TEXT,wolfram,regular");
         for f in &native.funcs {
@@ -42,6 +56,11 @@ pub fn render_function(f: &NativeFunc) -> String {
         let _ = writeln!(out, "L{pc:04}:\t{}", render_op(op));
     }
     out
+}
+
+/// Lowercased debug name of an op-code enum (label references stay `L`).
+fn lc(op: impl std::fmt::Debug) -> String {
+    format!("{op:?}").to_lowercase()
 }
 
 fn render_op(op: &RegOp) -> String {
@@ -130,11 +149,77 @@ fn render_op(op: &RegOp) -> String {
         }
         RegOp::Jmp { pc } => format!("jmp L{pc:04}"),
         RegOp::Brz { c, pc } => format!("brz i{c}, L{pc:04}"),
-        RegOp::BrCmpIFalse { op, a, b, pc } => {
-            format!("br.not.{:?}.i64 i{a}, i{b}, L{pc:04}", op).to_lowercase()
+        RegOp::BrCmpIFalse { op, a, b, d, pc } => {
+            format!("br.not.{}.i64 i{d}, i{a}, i{b}, L{pc:04}", lc(op))
         }
-        RegOp::BrCmpFFalse { op, a, b, pc } => {
-            format!("br.not.{:?}.f64 f{a}, f{b}, L{pc:04}", op).to_lowercase()
+        RegOp::BrCmpFFalse { op, a, b, d, pc } => {
+            format!("br.not.{}.f64 i{d}, f{a}, f{b}, L{pc:04}", lc(op))
+        }
+        RegOp::BrCmpISel { op, a, b, d, pc_false, pc_true } => {
+            format!("br.{}.i64 i{d}, i{a}, i{b}, L{pc_true:04}, L{pc_false:04}", lc(op))
+        }
+        RegOp::BrCmpFSel { op, a, b, d, pc_false, pc_true } => {
+            format!("br.{}.f64 i{d}, f{a}, f{b}, L{pc_true:04}, L{pc_false:04}", lc(op))
+        }
+        RegOp::BrzJmp { c, pc_z, pc_nz } => format!("brz.jmp i{c}, L{pc_z:04}, L{pc_nz:04}"),
+        RegOp::IntBin2 { op1, d1, a1, b1, op2, d2, a2, b2 } => format!(
+            "{:?}.{:?}.i64 i{d1}, i{a1}, i{b1}; i{d2}, i{a2}, i{b2}",
+            op1, op2
+        )
+        .to_lowercase(),
+        RegOp::IntBinImm2 { op1, d1, a1, imm1, op2, d2, a2, imm2 } => format!(
+            "{:?}i.{:?}i.i64 i{d1}, i{a1}, {imm1}; i{d2}, i{a2}, {imm2}",
+            op1, op2
+        )
+        .to_lowercase(),
+        RegOp::IntBinImmJmp { op, d, a, imm, pc } => {
+            format!("{}i.jmp.i64 i{d}, i{a}, {imm}, L{pc:04}", lc(op))
+        }
+        RegOp::FltBin2 { op1, d1, a1, b1, op2, d2, a2, b2 } => format!(
+            "{:?}.{:?}.f64 f{d1}, f{a1}, f{b1}; f{d2}, f{a2}, f{b2}",
+            op1, op2
+        )
+        .to_lowercase(),
+        RegOp::TenPart1IntBin { e, t, i, op, d, a, b } => {
+            format!("part1.{:?}.i64 i{e}, v{t}, i{i}; i{d}, i{a}, i{b}", op).to_lowercase()
+        }
+        RegOp::TenPart1IntBinImm { e, t, i, op, d, a, imm } => {
+            format!("part1.{:?}i.i64 i{e}, v{t}, i{i}; i{d}, i{a}, {imm}", op).to_lowercase()
+        }
+        RegOp::TenPart2FltBin { e, t, i, j, op, d, a, b } => {
+            format!("part2.{:?}.f64 f{e}, v{t}, i{i}, i{j}; f{d}, f{a}, f{b}", op).to_lowercase()
+        }
+        RegOp::TakeVTenSet1 { dv, sv, kind, t, i, v } => {
+            format!("take.set1.{kind:?} v{dv}, v{sv}; v{t}, i{i}, {v}")
+        }
+        RegOp::TakeVTenSet2 { dv, sv, kind, t, i, j, v } => {
+            format!("take.set2.{kind:?} v{dv}, v{sv}; v{t}, i{i}, i{j}, {v}")
+        }
+        RegOp::MovIJmp { d, s, pc } => format!("mov.jmp.i64 i{d}, i{s}, L{pc:04}"),
+        RegOp::Mov2I { d1, s1, d2, s2 } => format!("mov2.i64 i{d1}, i{s1}; i{d2}, i{s2}"),
+        RegOp::Mov2IJmp { d1, s1, d2, s2, pc } => {
+            format!("mov2.jmp.i64 i{d1}, i{s1}; i{d2}, i{s2}, L{pc:04}")
+        }
+        RegOp::Release2 { v1, v2 } => format!("release2 v{v1}, v{v2}"),
+        RegOp::AbortBrCmpISel { op, a, b, d, pc_false, pc_true } => {
+            format!("abort.br.{}.i64 i{d}, i{a}, i{b}, L{pc_true:04}, L{pc_false:04}", lc(op))
+        }
+        RegOp::AbortBrCmpIFalse { op, a, b, d, pc } => {
+            format!("abort.br.not.{}.i64 i{d}, i{a}, i{b}, L{pc:04}", lc(op))
+        }
+        RegOp::IntBinImmMovI { op, d, a, imm, d2, s2 } => {
+            format!("{:?}i.mov.i64 i{d}, i{a}, {imm}; i{d2}, i{s2}", op).to_lowercase()
+        }
+        RegOp::MovCJmp { d, s, pc } => format!("mov.jmp.c64 c{d}, c{s}, L{pc:04}"),
+        RegOp::IntBinImmMov2IJmp { op, d, a, imm, d2, s2, d3, s3, pc } => format!(
+            "{}i.mov2.jmp.i64 i{d}, i{a}, {imm}; i{d2}, i{s2}; i{d3}, i{s3}, L{pc:04}",
+            lc(op)
+        ),
+        RegOp::FltCmpMovI { op, d, a, b, d2, s2 } => {
+            format!("cmp{:?}.mov.f64 i{d}, f{a}, f{b}; i{d2}, i{s2}", op).to_lowercase()
+        }
+        RegOp::FltCmpMovIJmp { op, d, a, b, d2, s2, pc } => {
+            format!("cmp{}.mov.jmp.f64 i{d}, f{a}, f{b}; i{d2}, i{s2}, L{pc:04}", lc(op))
         }
         RegOp::AbortCheck => "abort.check".into(),
         RegOp::Acquire { v } => format!("acquire v{v}"),

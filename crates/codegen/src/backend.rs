@@ -34,7 +34,7 @@ impl Default for BackendRegistry {
     fn default() -> Self {
         let mut r = BackendRegistry { backends: HashMap::new() };
         r.register(Rc::new(crate::c_source::CBackend));
-        r.register(Rc::new(crate::asm::AsmBackend));
+        r.register(Rc::new(crate::asm::AsmBackend::default()));
         r.register(Rc::new(crate::wvm::WvmBackend));
         r.register(Rc::new(IrBackend));
         r

@@ -1,0 +1,481 @@
+//! Superinstruction fusion: a post-register-allocation peephole pass that
+//! rewrites [`NativeFunc`] code into fused ops, halving (or better) the
+//! dispatch count of the hot dyads measured by `reproduce -- opstats`.
+//!
+//! The pass is deliberately liveness-free: **every fused op performs all
+//! the register writes of the sequence it replaces**, so the rewritten
+//! program is bit-identical to the original on every input — the only
+//! legality condition is that no jump may land *inside* a fused group.
+//! That condition is enforced with a leader set (every jump target starts
+//! a new group) and all branch targets are remapped through an
+//! old-pc → new-pc table afterwards.
+//!
+//! The superinstruction set is chosen from the dyad/triad profiles of the
+//! seven §6 benchmarks (`opstats`):
+//!
+//! - `While` headers: abort poll + compare + branch (+ unconditional
+//!   jump), up to four ops in one dispatch
+//!   (`abort.check -> int.bin -> brz -> jmp`, `flt.cmp -> brz`);
+//! - loop latches: counter increment and phi edge-moves folded into the
+//!   back-edge (`addi -> mov.i -> mov.i -> jmp` in PrimeQ/FNV1a,
+//!   `mov.c -> jmp` in Mandelbrot);
+//! - tensor element load feeding an ALU op (FNV1a's `part1 -> bitxor`,
+//!   Histogram's `part1 -> addi`, Blur's `part2 -> mul/add`);
+//! - take-move + element store (Histogram/Blur/QSort's in-place writes);
+//! - ALU pairs: integer/float multiply-add chains (FNV1a's
+//!   `muli -> modi`, Blur's stencil `mul -> add`);
+//! - function-epilogue `release` pairs.
+//!
+//! Fused variants keep `RegOp` at its pre-fusion 48 bytes by using `u32`
+//! register/pc operands and `i32` immediates (fusion is refused, not
+//! truncated, when a value does not fit).
+
+use crate::machine::{ElemKind, NativeFunc, NativeProgram, RegOp};
+
+/// Rewrites every function in the program. Returns the total number of
+/// instructions eliminated by fusion.
+pub fn fuse_program(p: &mut NativeProgram) -> usize {
+    p.funcs.iter_mut().map(fuse_function).sum()
+}
+
+/// Rewrites one function's code with superinstructions, remapping all
+/// branch targets. Returns the number of instructions eliminated.
+pub fn fuse_function(f: &mut NativeFunc) -> usize {
+    let code = std::mem::take(&mut f.code);
+    let n = code.len();
+    // Leaders: instructions some branch can transfer control to. A fused
+    // group may not *contain* a leader beyond its first op, otherwise the
+    // jump would land mid-superinstruction.
+    let mut leader = vec![false; n + 1];
+    for op in &code {
+        for t in jump_targets(op) {
+            leader[t] = true;
+        }
+    }
+    let mut out: Vec<RegOp> = Vec::with_capacity(n);
+    let mut new_pc = vec![0usize; n + 1];
+    let mut i = 0;
+    while i < n {
+        new_pc[i] = out.len();
+        let free2 = i + 1 < n && !leader[i + 1];
+        let free3 = free2 && i + 2 < n && !leader[i + 2];
+        let free4 = free3 && i + 3 < n && !leader[i + 3];
+        if let Some((fused, len)) = match_group(&code, i, free2, free3, free4) {
+            // Interior positions are unreachable (not leaders); map them
+            // to the group start anyway so the table is total.
+            for k in 1..len {
+                new_pc[i + k] = out.len();
+            }
+            out.push(fused);
+            i += len;
+        } else {
+            out.push(code[i].clone());
+            i += 1;
+        }
+    }
+    new_pc[n] = out.len();
+    let removed = n - out.len();
+    for op in &mut out {
+        remap_targets(op, &new_pc);
+    }
+    f.code = out;
+    removed
+}
+
+/// Branch targets of `op` (empty for straight-line ops).
+fn jump_targets(op: &RegOp) -> Vec<usize> {
+    match op {
+        RegOp::Jmp { pc } | RegOp::Brz { pc, .. } => vec![*pc],
+        RegOp::BrCmpIFalse { pc, .. }
+        | RegOp::BrCmpFFalse { pc, .. }
+        | RegOp::IntBinImmJmp { pc, .. }
+        | RegOp::MovIJmp { pc, .. }
+        | RegOp::Mov2IJmp { pc, .. }
+        | RegOp::MovCJmp { pc, .. }
+        | RegOp::IntBinImmMov2IJmp { pc, .. }
+        | RegOp::FltCmpMovIJmp { pc, .. }
+        | RegOp::AbortBrCmpIFalse { pc, .. } => vec![*pc as usize],
+        RegOp::BrCmpISel { pc_false, pc_true, .. }
+        | RegOp::BrCmpFSel { pc_false, pc_true, .. }
+        | RegOp::AbortBrCmpISel { pc_false, pc_true, .. } => {
+            vec![*pc_false as usize, *pc_true as usize]
+        }
+        RegOp::BrzJmp { pc_z, pc_nz, .. } => vec![*pc_z as usize, *pc_nz as usize],
+        _ => Vec::new(),
+    }
+}
+
+/// Rewrites `op`'s branch targets through the old-pc → new-pc table.
+fn remap_targets(op: &mut RegOp, new_pc: &[usize]) {
+    match op {
+        RegOp::Jmp { pc } | RegOp::Brz { pc, .. } => *pc = new_pc[*pc],
+        RegOp::BrCmpIFalse { pc, .. }
+        | RegOp::BrCmpFFalse { pc, .. }
+        | RegOp::IntBinImmJmp { pc, .. }
+        | RegOp::MovIJmp { pc, .. }
+        | RegOp::Mov2IJmp { pc, .. }
+        | RegOp::MovCJmp { pc, .. }
+        | RegOp::IntBinImmMov2IJmp { pc, .. }
+        | RegOp::FltCmpMovIJmp { pc, .. }
+        | RegOp::AbortBrCmpIFalse { pc, .. } => *pc = new_pc[*pc as usize] as u32,
+        RegOp::BrCmpISel { pc_false, pc_true, .. }
+        | RegOp::BrCmpFSel { pc_false, pc_true, .. }
+        | RegOp::AbortBrCmpISel { pc_false, pc_true, .. } => {
+            *pc_false = new_pc[*pc_false as usize] as u32;
+            *pc_true = new_pc[*pc_true as usize] as u32;
+        }
+        RegOp::BrzJmp { pc_z, pc_nz, .. } => {
+            *pc_z = new_pc[*pc_z as usize] as u32;
+            *pc_nz = new_pc[*pc_nz as usize] as u32;
+        }
+        _ => {}
+    }
+}
+
+/// Narrows a register index / pc to the fused ops' compact `u32` operand
+/// width (fusion is refused on overflow rather than truncating).
+fn r(x: usize) -> Option<u32> {
+    u32::try_from(x).ok()
+}
+
+/// Narrows an immediate to the fused ops' `i32` field.
+fn im(x: i64) -> Option<i32> {
+    i32::try_from(x).ok()
+}
+
+/// Tries to fuse a group starting at `i`. `free2`/`free3` say whether the
+/// second/third positions exist and are not jump targets. Returns the
+/// fused op and the group length (in original instructions).
+///
+/// Pattern order matters: triples are tried before the pairs they extend,
+/// and branch fusions before generic ALU pairs, so the hottest shapes win.
+#[allow(clippy::too_many_lines)]
+fn match_group(
+    code: &[RegOp],
+    i: usize,
+    free2: bool,
+    free3: bool,
+    free4: bool,
+) -> Option<(RegOp, usize)> {
+    if !free2 {
+        return None;
+    }
+    let third = if free3 { Some(&code[i + 2]) } else { None };
+    let fourth = if free4 { Some(&code[i + 3]) } else { None };
+    match (&code[i], &code[i + 1]) {
+        // abort.check + cmp + brz (+ jmp): a full `While` loop header.
+        (&RegOp::AbortCheck, &RegOp::IntBin { op, d, a, b }) => match third {
+            Some(&RegOp::Brz { c, pc }) if c == d => {
+                let (a, b, d, pc) = (r(a)?, r(b)?, r(d)?, r(pc)?);
+                if let Some(&RegOp::Jmp { pc: pc_true }) = fourth {
+                    let pc_true = r(pc_true)?;
+                    Some((RegOp::AbortBrCmpISel { op, a, b, d, pc_false: pc, pc_true }, 4))
+                } else {
+                    Some((RegOp::AbortBrCmpIFalse { op, a, b, d, pc }, 3))
+                }
+            }
+            _ => None,
+        },
+        // cmp + brz (+ jmp): the condition register is dual-written, so
+        // any later read still sees the comparison result.
+        (&RegOp::IntBin { op, d, a, b }, &RegOp::Brz { c, pc }) if c == d => {
+            let (a, b, d, pc) = (r(a)?, r(b)?, r(d)?, r(pc)?);
+            if let Some(&RegOp::Jmp { pc: pc_true }) = third {
+                let pc_true = r(pc_true)?;
+                Some((RegOp::BrCmpISel { op, a, b, d, pc_false: pc, pc_true }, 3))
+            } else {
+                Some((RegOp::BrCmpIFalse { op, a, b, d, pc }, 2))
+            }
+        }
+        (&RegOp::FltCmp { op, d, a, b }, &RegOp::Brz { c, pc }) if c == d => {
+            let (a, b, d, pc) = (r(a)?, r(b)?, r(d)?, r(pc)?);
+            if let Some(&RegOp::Jmp { pc: pc_true }) = third {
+                let pc_true = r(pc_true)?;
+                Some((RegOp::BrCmpFSel { op, a, b, d, pc_false: pc, pc_true }, 3))
+            } else {
+                Some((RegOp::BrCmpFFalse { op, a, b, d, pc }, 2))
+            }
+        }
+        // brz + jmp: a two-way branch in one dispatch.
+        (&RegOp::Brz { c, pc }, &RegOp::Jmp { pc: pc_nz }) => {
+            Some((RegOp::BrzJmp { c: r(c)?, pc_z: r(pc)?, pc_nz: r(pc_nz)? }, 2))
+        }
+        // Loop-counter increment / phi edge-move folded into a back-edge.
+        (&RegOp::IntBinImm { op, d, a, imm }, &RegOp::Jmp { pc }) => {
+            Some((RegOp::IntBinImmJmp { op, d: r(d)?, a: r(a)?, imm: im(imm)?, pc: r(pc)? }, 2))
+        }
+        // Phi edge-moves folded into a back-edge: mov+mov+jmp is a whole
+        // two-variable loop latch in one dispatch.
+        (&RegOp::MovI { d: d1, s: s1 }, &RegOp::MovI { d: d2, s: s2 }) => {
+            let (d1, s1, d2, s2) = (r(d1)?, r(s1)?, r(d2)?, r(s2)?);
+            if let Some(&RegOp::Jmp { pc }) = third {
+                Some((RegOp::Mov2IJmp { d1, s1, d2, s2, pc: r(pc)? }, 3))
+            } else {
+                Some((RegOp::Mov2I { d1, s1, d2, s2 }, 2))
+            }
+        }
+        (&RegOp::MovI { d, s }, &RegOp::Jmp { pc }) => {
+            Some((RegOp::MovIJmp { d: r(d)?, s: r(s)?, pc: r(pc)? }, 2))
+        }
+        (&RegOp::MovC { d, s }, &RegOp::Jmp { pc }) => {
+            Some((RegOp::MovCJmp { d: r(d)?, s: r(s)?, pc: r(pc)? }, 2))
+        }
+        // Loop-counter increment feeding its phi move (`t = i + 1; i = t`),
+        // extending to the whole latch (`...; s = u; jmp`) when the next
+        // two ops are another move and the back-edge.
+        (&RegOp::IntBinImm { op, d, a, imm }, &RegOp::MovI { d: d2, s: s2 }) => {
+            let (op, d, a, imm, d2, s2) = (op, r(d)?, r(a)?, im(imm)?, r(d2)?, r(s2)?);
+            if let (Some(&RegOp::MovI { d: d3, s: s3 }), Some(&RegOp::Jmp { pc })) =
+                (third, fourth)
+            {
+                let (d3, s3, pc) = (r(d3)?, r(s3)?, r(pc)?);
+                Some((RegOp::IntBinImmMov2IJmp { op, d, a, imm, d2, s2, d3, s3, pc }, 4))
+            } else {
+                Some((RegOp::IntBinImmMovI { op, d, a, imm, d2, s2 }, 2))
+            }
+        }
+        // Real compare feeding a phi move of the condition (+ back-edge).
+        (&RegOp::FltCmp { op, d, a, b }, &RegOp::MovI { d: d2, s: s2 }) if s2 == d => {
+            let (a, b, d, d2, s2) = (r(a)?, r(b)?, r(d)?, r(d2)?, r(s2)?);
+            if let Some(&RegOp::Jmp { pc }) = third {
+                Some((RegOp::FltCmpMovIJmp { op, d, a, b, d2, s2, pc: r(pc)? }, 3))
+            } else {
+                Some((RegOp::FltCmpMovI { op, d, a, b, d2, s2 }, 2))
+            }
+        }
+        // Tensor element load feeding an ALU op (load-op).
+        (
+            &RegOp::TenPart1 { kind: ElemKind::I64, d: e, t, i: ix },
+            &RegOp::IntBinImm { op, d, a, imm },
+        ) => Some((
+            RegOp::TenPart1IntBinImm {
+                e: r(e)?,
+                t: r(t)?,
+                i: r(ix)?,
+                op,
+                d: r(d)?,
+                a: r(a)?,
+                imm: im(imm)?,
+            },
+            2,
+        )),
+        (
+            &RegOp::TenPart1 { kind: ElemKind::I64, d: e, t, i: ix },
+            &RegOp::IntBin { op, d, a, b },
+        ) => Some((
+            RegOp::TenPart1IntBin {
+                e: r(e)?,
+                t: r(t)?,
+                i: r(ix)?,
+                op,
+                d: r(d)?,
+                a: r(a)?,
+                b: r(b)?,
+            },
+            2,
+        )),
+        (
+            &RegOp::TenPart2 { kind: ElemKind::F64, d: e, t, i: ix, j },
+            &RegOp::FltBin { op, d, a, b },
+        ) => Some((
+            RegOp::TenPart2FltBin {
+                e: r(e)?,
+                t: r(t)?,
+                i: r(ix)?,
+                j: r(j)?,
+                op,
+                d: r(d)?,
+                a: r(a)?,
+                b: r(b)?,
+            },
+            2,
+        )),
+        // Take-move + element store (op-store).
+        (&RegOp::TakeV { d: dv, s: sv }, &RegOp::TenSet1 { kind, t, i: ix, v }) => Some((
+            RegOp::TakeVTenSet1 {
+                dv: r(dv)?,
+                sv: r(sv)?,
+                kind,
+                t: r(t)?,
+                i: r(ix)?,
+                v: r(v)?,
+            },
+            2,
+        )),
+        (&RegOp::TakeV { d: dv, s: sv }, &RegOp::TenSet2 { kind, t, i: ix, j, v }) => Some((
+            RegOp::TakeVTenSet2 {
+                dv: r(dv)?,
+                sv: r(sv)?,
+                kind,
+                t: r(t)?,
+                i: r(ix)?,
+                j: r(j)?,
+                v: r(v)?,
+            },
+            2,
+        )),
+        // ALU pairs (integer/float multiply-add chains and friends).
+        (
+            &RegOp::IntBinImm { op: op1, d: d1, a: a1, imm: imm1 },
+            &RegOp::IntBinImm { op: op2, d: d2, a: a2, imm: imm2 },
+        ) => Some((
+            RegOp::IntBinImm2 {
+                op1,
+                d1: r(d1)?,
+                a1: r(a1)?,
+                imm1: im(imm1)?,
+                op2,
+                d2: r(d2)?,
+                a2: r(a2)?,
+                imm2: im(imm2)?,
+            },
+            2,
+        )),
+        (
+            &RegOp::IntBin { op: op1, d: d1, a: a1, b: b1 },
+            &RegOp::IntBin { op: op2, d: d2, a: a2, b: b2 },
+        ) => Some((
+            RegOp::IntBin2 {
+                op1,
+                d1: r(d1)?,
+                a1: r(a1)?,
+                b1: r(b1)?,
+                op2,
+                d2: r(d2)?,
+                a2: r(a2)?,
+                b2: r(b2)?,
+            },
+            2,
+        )),
+        (
+            &RegOp::FltBin { op: op1, d: d1, a: a1, b: b1 },
+            &RegOp::FltBin { op: op2, d: d2, a: a2, b: b2 },
+        ) => Some((
+            RegOp::FltBin2 {
+                op1,
+                d1: r(d1)?,
+                a1: r(a1)?,
+                b1: r(b1)?,
+                op2,
+                d2: r(d2)?,
+                a2: r(a2)?,
+                b2: r(b2)?,
+            },
+            2,
+        )),
+        // Function-epilogue release pairs.
+        (&RegOp::Release { v: v1 }, &RegOp::Release { v: v2 }) => {
+            Some((RegOp::Release2 { v1: r(v1)?, v2: r(v2)? }, 2))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Bank, IntOp, Slot};
+
+    fn func(code: Vec<RegOp>, n_int: usize) -> NativeFunc {
+        NativeFunc {
+            name: "Main".into(),
+            code,
+            n_int,
+            n_flt: 0,
+            n_cpx: 0,
+            n_val: 0,
+            params: vec![Slot::new(Bank::I, 0)],
+        }
+    }
+
+    fn run_i(f: &NativeFunc, arg: i64) -> i64 {
+        use crate::machine::{ArgVal, Machine, NativeProgram};
+        let prog = NativeProgram { funcs: vec![f.clone()] };
+        let mut m = Machine::standalone();
+        match m.call_with_engine(&prog, 0, vec![ArgVal::I(arg)], None).unwrap() {
+            ArgVal::I(v) => v,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuses_cmp_brz_jmp_triple_and_remaps() {
+        // A countdown loop: while (0 < x) x = x - 1; return x.
+        let mut f = func(
+            vec![
+                RegOp::LdcI { d: 1, v: 0 },
+                RegOp::IntBin { op: IntOp::Lt, d: 2, a: 1, b: 0 },
+                RegOp::Brz { c: 2, pc: 6 },
+                RegOp::Jmp { pc: 4 },
+                RegOp::IntBinImm { op: IntOp::Sub, d: 0, a: 0, imm: 1 },
+                RegOp::Jmp { pc: 1 },
+                RegOp::Ret { s: Slot::new(Bank::I, 0) },
+            ],
+            3,
+        );
+        let unfused = f.clone();
+        let removed = fuse_function(&mut f);
+        assert!(removed >= 2, "expected cmp+brz+jmp and sub+jmp to fuse, removed {removed}");
+        assert!(
+            f.code.iter().any(|op| matches!(op, RegOp::BrCmpISel { .. })),
+            "{:?}",
+            f.code
+        );
+        assert!(
+            f.code.iter().any(|op| matches!(op, RegOp::IntBinImmJmp { .. })),
+            "{:?}",
+            f.code
+        );
+        for x in [0, 1, 7] {
+            assert_eq!(run_i(&f, x), run_i(&unfused, x), "input {x}");
+        }
+    }
+
+    #[test]
+    fn no_fusion_across_jump_targets() {
+        // pc 2 is a jump target: the mov pair at 1..=2 must NOT fuse.
+        let mut f = func(
+            vec![
+                RegOp::Brz { c: 0, pc: 2 },
+                RegOp::MovI { d: 1, s: 0 },
+                RegOp::MovI { d: 2, s: 0 },
+                RegOp::Ret { s: Slot::new(Bank::I, 2) },
+            ],
+            3,
+        );
+        fuse_function(&mut f);
+        assert!(
+            f.code.iter().all(|op| !matches!(op, RegOp::Mov2I { .. })),
+            "fused across a jump target: {:?}",
+            f.code
+        );
+        assert_eq!(run_i(&f, 0), 0);
+        assert_eq!(run_i(&f, 5), 5);
+    }
+
+    #[test]
+    fn dual_write_keeps_condition_register_observable() {
+        // The comparison result is read again *after* the branch — the
+        // fused op must still have written it.
+        let mut f = func(
+            vec![
+                RegOp::LdcI { d: 1, v: 10 },
+                RegOp::IntBin { op: IntOp::Lt, d: 2, a: 0, b: 1 },
+                RegOp::Brz { c: 2, pc: 3 },
+                RegOp::Ret { s: Slot::new(Bank::I, 2) },
+            ],
+            3,
+        );
+        let removed = fuse_function(&mut f);
+        assert!(removed >= 1, "{:?}", f.code);
+        assert_eq!(run_i(&f, 5), 1, "x < 10 must leave 1 in the condition register");
+        assert_eq!(run_i(&f, 50), 0);
+    }
+
+    #[test]
+    fn empty_and_straightline_functions_survive() {
+        let mut f = func(vec![RegOp::RetNull], 1);
+        assert_eq!(fuse_function(&mut f), 0);
+        assert_eq!(f.code.len(), 1);
+    }
+}

@@ -25,10 +25,15 @@ pub mod asm;
 pub mod backend;
 pub mod c_source;
 pub mod export;
+pub mod fuse;
 pub mod lower;
 pub mod machine;
 pub mod wvm;
 
+pub use asm::AsmBackend;
 pub use backend::{Backend, BackendRegistry};
+pub use fuse::{fuse_function, fuse_program};
 pub use lower::{lower_program, LowerError};
-pub use machine::{ArgVal, Bank, Machine, NativeFunc, NativeProgram, RegOp, Slot};
+pub use machine::{
+    ArgVal, Bank, Machine, NativeFunc, NativeProgram, OpStats, RegOp, Slot, FRAME_POOL_CAP,
+};

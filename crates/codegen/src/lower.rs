@@ -61,11 +61,11 @@ pub fn lower_program_with(
     pm: &wolfram_ir::ProgramModule,
     opts: &LowerOptions,
 ) -> Result<NativeProgram, LowerError> {
-    let name_to_index: HashMap<&str, u32> = pm
+    let name_to_index: HashMap<&str, usize> = pm
         .functions
         .iter()
         .enumerate()
-        .map(|(ix, f)| (f.name.as_str(), ix as u32))
+        .map(|(ix, f)| (f.name.as_str(), ix))
         .collect();
     let mut out = NativeProgram::default();
     for f in &pm.functions {
@@ -104,12 +104,12 @@ fn tensor_elem(ty: &Type) -> Option<&Type> {
 
 struct Lowering<'a> {
     f: &'a Function,
-    funcs: &'a HashMap<&'a str, u32>,
+    funcs: &'a HashMap<&'a str, usize>,
     opts: &'a LowerOptions,
     slots: HashMap<VarId, Slot>,
-    counters: [u32; 4],
+    counters: [usize; 4],
     code: Vec<RegOp>,
-    block_pc: HashMap<BlockId, u32>,
+    block_pc: HashMap<BlockId, usize>,
     patches: Vec<(usize, BlockId)>,
     /// Pending phi moves per predecessor block: (dst slot, source operand).
     edge_moves: HashMap<BlockId, Vec<(Slot, Operand)>>,
@@ -126,13 +126,13 @@ struct Lowering<'a> {
     current_event: usize,
     /// Deduplicated constant loads, hoisted into a function prologue so
     /// loop bodies do not re-materialize immediates each iteration.
-    const_cache: HashMap<(String, Bank), u32>,
+    const_cache: HashMap<(String, Bank), usize>,
     prologue: Vec<RegOp>,
 }
 
 fn lower_function(
     f: &Function,
-    funcs: &HashMap<&str, u32>,
+    funcs: &HashMap<&str, usize>,
     opts: &LowerOptions,
 ) -> Result<NativeFunc, LowerError> {
     let cfg = wolfram_ir::analysis::Cfg::new(f);
@@ -157,30 +157,24 @@ fn lower_function(
     l.collect_phi_moves();
     l.dying_reads = compute_dying_reads(f, &cfg, &l.slots);
     for &b in &cfg.rpo {
-        l.block_pc.insert(b, l.code.len() as u32);
+        l.block_pc.insert(b, l.code.len());
         l.lower_block(b)?;
     }
     // Patch jumps.
     for (at, target) in std::mem::take(&mut l.patches) {
         let pc = *l.block_pc.get(&target).unwrap_or(&0);
         match &mut l.code[at] {
-            RegOp::Jmp { pc: t }
-            | RegOp::Brz { pc: t, .. }
-            | RegOp::BrCmpIFalse { pc: t, .. }
-            | RegOp::BrCmpFFalse { pc: t, .. } => *t = pc,
+            RegOp::Jmp { pc: t } | RegOp::Brz { pc: t, .. } => *t = pc,
             other => unreachable!("patching non-jump {other:?}"),
         }
     }
     // Hoist the deduplicated constant loads into a prologue, shifting all
     // jump targets accordingly.
     if !l.prologue.is_empty() {
-        let shift = l.prologue.len() as u32;
+        let shift = l.prologue.len();
         for op in &mut l.code {
             match op {
-                RegOp::Jmp { pc }
-                | RegOp::Brz { pc, .. }
-                | RegOp::BrCmpIFalse { pc, .. }
-                | RegOp::BrCmpFFalse { pc, .. } => *pc += shift,
+                RegOp::Jmp { pc } | RegOp::Brz { pc, .. } => *pc += shift,
                 _ => {}
             }
         }
@@ -200,7 +194,7 @@ fn lower_function(
 }
 
 impl<'a> Lowering<'a> {
-    fn bump(&mut self, bank: Bank) -> u32 {
+    fn bump(&mut self, bank: Bank) -> usize {
         let ix = match bank {
             Bank::I => 0,
             Bank::F => 1,
@@ -257,7 +251,7 @@ impl<'a> Lowering<'a> {
 
     /// Materializes a value-bank operand, reporting whether the resulting
     /// register may be *consumed* (moved from) by the instruction.
-    fn operand_v_take(&mut self, o: &Operand) -> Result<(u32, bool), LowerError> {
+    fn operand_v_take(&mut self, o: &Operand) -> Result<(usize, bool), LowerError> {
         let ix = self.operand(o, Bank::V)?;
         Ok(match o {
             // Constant slots are shared (hoisted) or, in the naive-array
@@ -272,7 +266,7 @@ impl<'a> Lowering<'a> {
     }
 
     /// Emits a value move that steals the source register when allowed.
-    fn push_v_move(&mut self, d: u32, s: u32, take: bool) {
+    fn push_v_move(&mut self, d: usize, s: usize, take: bool) {
         if take {
             self.code.push(RegOp::TakeV { d, s });
         } else {
@@ -282,7 +276,7 @@ impl<'a> Lowering<'a> {
 
     /// Materializes an operand into a slot of the given bank, emitting
     /// loads/conversions for constants.
-    fn operand(&mut self, o: &Operand, bank: Bank) -> Result<u32, LowerError> {
+    fn operand(&mut self, o: &Operand, bank: Bank) -> Result<usize, LowerError> {
         match o {
             Operand::Var(v) => {
                 let s = self.var_slot(*v);
@@ -504,39 +498,11 @@ impl<'a> Lowering<'a> {
                 Instr::Branch { cond, then_block, else_block } => {
                     self.flush_edge_moves(b)?;
                     let c = self.operand(cond, Bank::I)?;
-                    // Fuse an immediately-preceding dead comparison into
-                    // the branch (compare-and-branch).
-                    let fused = match (cond.as_var(), self.code.last()) {
-                        (Some(v), Some(RegOp::IntBin { op, d, a, b: rb }))
-                            if *d == c
-                                && self.is_last_use(v)
-                                && matches!(
-                                    op,
-                                    crate::machine::IntOp::Lt
-                                        | crate::machine::IntOp::Le
-                                        | crate::machine::IntOp::Gt
-                                        | crate::machine::IntOp::Ge
-                                        | crate::machine::IntOp::Eq
-                                        | crate::machine::IntOp::Ne
-                                ) =>
-                        {
-                            Some(RegOp::BrCmpIFalse { op: *op, a: *a, b: *rb, pc: 0 })
-                        }
-                        (Some(v), Some(RegOp::FltCmp { op, d, a, b: rb }))
-                            if *d == c && self.is_last_use(v) =>
-                        {
-                            Some(RegOp::BrCmpFFalse { op: *op, a: *a, b: *rb, pc: 0 })
-                        }
-                        _ => None,
-                    };
-                    if let Some(br) = fused {
-                        self.code.pop();
-                        self.patches.push((self.code.len(), *else_block));
-                        self.code.push(br);
-                    } else {
-                        self.patches.push((self.code.len(), *else_block));
-                        self.code.push(RegOp::Brz { c, pc: 0 });
-                    }
+                    // Compare-and-branch fusion is the superinstruction
+                    // pass's job (`fuse`), keeping the unfused stream a
+                    // clean ablation baseline.
+                    self.patches.push((self.code.len(), *else_block));
+                    self.code.push(RegOp::Brz { c, pc: 0 });
                     self.patches.push((self.code.len(), *then_block));
                     self.code.push(RegOp::Jmp { pc: 0 });
                 }
@@ -575,7 +541,7 @@ impl<'a> Lowering<'a> {
                     let ix = self.operand(a, bank)?;
                     arg_slots.push(Slot::new(bank, ix));
                 }
-                self.code.push(RegOp::CallFunc { f: fix, args: arg_slots, ret: dslot });
+                self.code.push(RegOp::CallFunc { f: fix, args: arg_slots.into(), ret: dslot });
                 Ok(())
             }
             Callee::Value(v) => {
@@ -587,7 +553,7 @@ impl<'a> Lowering<'a> {
                     let ix = self.operand(a, bank)?;
                     arg_slots.push(Slot::new(bank, ix));
                 }
-                self.code.push(RegOp::CallValue { fv: fv.ix, args: arg_slots, ret: dslot });
+                self.code.push(RegOp::CallValue { fv: fv.ix, args: arg_slots.into(), ret: dslot });
                 Ok(())
             }
             Callee::Kernel(head) => {
@@ -600,7 +566,7 @@ impl<'a> Lowering<'a> {
                 }
                 self.code.push(RegOp::CallKernel {
                     head: head.clone(),
-                    args: arg_slots,
+                    args: arg_slots.into(),
                     ret: dslot,
                 });
                 Ok(())
@@ -1090,7 +1056,7 @@ impl Bank {
     }
 }
 
-fn mov(bank: Bank, d: u32, s: u32) -> RegOp {
+fn mov(bank: Bank, d: usize, s: usize) -> RegOp {
     match bank {
         Bank::I => RegOp::MovI { d, s },
         Bank::F => RegOp::MovF { d, s },

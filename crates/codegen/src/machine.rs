@@ -2,6 +2,7 @@
 //! instruction set. This is the execution substrate standing in for the
 //! paper's LLVM-JITed native code (DESIGN.md §1).
 
+use std::collections::HashMap;
 use std::rc::Rc;
 use wolfram_expr::Expr;
 use wolfram_interp::Interpreter;
@@ -27,12 +28,12 @@ pub struct Slot {
     /// Which bank.
     pub bank: Bank,
     /// Index within the bank.
-    pub ix: u32,
+    pub ix: usize,
 }
 
 impl Slot {
     /// Constructs a slot.
-    pub fn new(bank: Bank, ix: u32) -> Self {
+    pub fn new(bank: Bank, ix: usize) -> Self {
         Slot { bank, ix }
     }
 }
@@ -110,90 +111,284 @@ pub enum ExprOp {
 #[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)]
 pub enum RegOp {
-    LdcI { d: u32, v: i64 },
-    LdcF { d: u32, v: f64 },
-    LdcC { d: u32, re: f64, im: f64 },
-    LdcV { d: u32, v: Value },
+    LdcI { d: usize, v: i64 },
+    LdcF { d: usize, v: f64 },
+    LdcC { d: usize, re: f64, im: f64 },
+    LdcV { d: usize, v: Value },
     /// Loads a constant array by deep copy (the "non-optimal handling of
     /// constant arrays" ablation, §6: every load re-materializes the data).
-    LdcArrayCopy { d: u32, v: Value },
-    MovI { d: u32, s: u32 },
-    MovF { d: u32, s: u32 },
-    MovC { d: u32, s: u32 },
-    MovV { d: u32, s: u32 },
+    LdcArrayCopy { d: usize, v: Value },
+    MovI { d: usize, s: usize },
+    MovF { d: usize, s: usize },
+    MovC { d: usize, s: usize },
+    MovV { d: usize, s: usize },
     /// Moves a managed value out of a dead register (the compiler's
     /// copy/live analysis proved `s` is never read again, F5): the source
     /// slot is left Null so reference counts stay minimal and in-place
     /// mutation needs no copy.
-    TakeV { d: u32, s: u32 },
-    IntBin { op: IntOp, d: u32, a: u32, b: u32 },
-    IntBinImm { op: IntOp, d: u32, a: u32, imm: i64 },
-    IntUn { op: IntUnOp, d: u32, s: u32 },
-    PowModI { d: u32, a: u32, b: u32, m: u32 },
-    FltBin { op: FltOp, d: u32, a: u32, b: u32 },
-    FltBinImm { op: FltOp, d: u32, a: u32, imm: f64 },
-    FltCmp { op: CmpCode, d: u32, a: u32, b: u32 },
-    FltUn { op: FltUnOp, d: u32, s: u32 },
-    FloorFI { d: u32, s: u32 },
-    CeilFI { d: u32, s: u32 },
-    RoundFI { d: u32, s: u32 },
-    IntToFlt { d: u32, s: u32 },
-    IntToCpx { d: u32, s: u32 },
-    FltToCpx { d: u32, s: u32 },
-    CpxBin { op: CpxOp, d: u32, a: u32, b: u32 },
-    CpxPowI { d: u32, a: u32, e: u32 },
-    CpxAbs { d: u32, s: u32 },
-    CpxMake { d: u32, re: u32, im: u32 },
-    CpxRe { d: u32, s: u32 },
-    CpxIm { d: u32, s: u32 },
-    CpxConj { d: u32, s: u32 },
-    CpxEq { d: u32, a: u32, b: u32 },
-    TenLen { d: u32, t: u32 },
-    TenPart1 { kind: ElemKind, d: u32, t: u32, i: u32 },
-    TenPart2 { kind: ElemKind, d: u32, t: u32, i: u32, j: u32 },
-    TenSet1 { kind: ElemKind, t: u32, i: u32, v: u32 },
-    TenSet2 { kind: ElemKind, t: u32, i: u32, j: u32, v: u32 },
-    TenFill1 { kind: ElemKind, d: u32, c: u32, n: u32 },
-    TenFill2 { kind: ElemKind, d: u32, c: u32, n1: u32, n2: u32 },
-    TenBin { op: TenOp, d: u32, a: u32, b: u32 },
+    TakeV { d: usize, s: usize },
+    IntBin { op: IntOp, d: usize, a: usize, b: usize },
+    IntBinImm { op: IntOp, d: usize, a: usize, imm: i64 },
+    IntUn { op: IntUnOp, d: usize, s: usize },
+    PowModI { d: usize, a: usize, b: usize, m: usize },
+    FltBin { op: FltOp, d: usize, a: usize, b: usize },
+    FltBinImm { op: FltOp, d: usize, a: usize, imm: f64 },
+    FltCmp { op: CmpCode, d: usize, a: usize, b: usize },
+    FltUn { op: FltUnOp, d: usize, s: usize },
+    FloorFI { d: usize, s: usize },
+    CeilFI { d: usize, s: usize },
+    RoundFI { d: usize, s: usize },
+    IntToFlt { d: usize, s: usize },
+    IntToCpx { d: usize, s: usize },
+    FltToCpx { d: usize, s: usize },
+    CpxBin { op: CpxOp, d: usize, a: usize, b: usize },
+    CpxPowI { d: usize, a: usize, e: usize },
+    CpxAbs { d: usize, s: usize },
+    CpxMake { d: usize, re: usize, im: usize },
+    CpxRe { d: usize, s: usize },
+    CpxIm { d: usize, s: usize },
+    CpxConj { d: usize, s: usize },
+    CpxEq { d: usize, a: usize, b: usize },
+    TenLen { d: usize, t: usize },
+    TenPart1 { kind: ElemKind, d: usize, t: usize, i: usize },
+    TenPart2 { kind: ElemKind, d: usize, t: usize, i: usize, j: usize },
+    TenSet1 { kind: ElemKind, t: usize, i: usize, v: usize },
+    TenSet2 { kind: ElemKind, t: usize, i: usize, j: usize, v: usize },
+    TenFill1 { kind: ElemKind, d: usize, c: usize, n: usize },
+    TenFill2 { kind: ElemKind, d: usize, c: usize, n1: usize, n2: usize },
+    TenBin { op: TenOp, d: usize, a: usize, b: usize },
     /// Tensor (+) scalar broadcast; `rev` computes `scalar (op) tensor`.
-    TenScalar { op: TenOp, kind: ElemKind, d: u32, t: u32, s: u32, rev: bool },
-    TenSetRow { t: u32, i: u32, row: u32 },
-    TenFromList { kind: ElemKind, d: u32, items: Vec<u32> },
-    DotVecF { d: u32, a: u32, b: u32 },
-    DotVecI { d: u32, a: u32, b: u32 },
-    DotMat { d: u32, a: u32, b: u32 },
-    DotMatVec { d: u32, a: u32, b: u32 },
-    StrLen { d: u32, s: u32 },
-    StrToCodes { d: u32, s: u32 },
-    StrFromCodes { d: u32, s: u32 },
-    StrJoin { d: u32, a: u32, b: u32 },
-    ExprBin { op: ExprOp, d: u32, a: u32, b: u32 },
+    TenScalar { op: TenOp, kind: ElemKind, d: usize, t: usize, s: usize, rev: bool },
+    TenSetRow { t: usize, i: usize, row: usize },
+    TenFromList { kind: ElemKind, d: usize, items: Vec<usize> },
+    DotVecF { d: usize, a: usize, b: usize },
+    DotVecI { d: usize, a: usize, b: usize },
+    DotMat { d: usize, a: usize, b: usize },
+    DotMatVec { d: usize, a: usize, b: usize },
+    StrLen { d: usize, s: usize },
+    StrToCodes { d: usize, s: usize },
+    StrFromCodes { d: usize, s: usize },
+    StrJoin { d: usize, a: usize, b: usize },
+    ExprBin { op: ExprOp, d: usize, a: usize, b: usize },
     /// Symbolic unary application `head[a]`, normalized by the hosting
     /// engine (like [`RegOp::ExprBin`]).
-    ExprUnary { head: Rc<str>, d: u32, a: u32 },
-    BoolToExpr { d: u32, s: u32 },
-    BoxIV { d: u32, s: u32 },
-    BoxFV { d: u32, s: u32 },
-    BoxCV { d: u32, s: u32 },
-    RndUnit { d: u32 },
-    RndRange { d: u32, a: u32, b: u32 },
-    MakeClosure { d: u32, f: u32, captures: Vec<Slot> },
-    CallFunc { f: u32, args: Vec<Slot>, ret: Slot },
-    CallValue { fv: u32, args: Vec<Slot>, ret: Slot },
-    CallKernel { head: Rc<str>, args: Vec<Slot>, ret: Slot },
-    Jmp { pc: u32 },
-    Brz { c: u32, pc: u32 },
-    /// Fused compare-and-branch: jump to `pc` when the integer comparison
-    /// is false.
-    BrCmpIFalse { op: IntOp, a: u32, b: u32, pc: u32 },
+    ExprUnary { head: Rc<str>, d: usize, a: usize },
+    BoolToExpr { d: usize, s: usize },
+    BoxIV { d: usize, s: usize },
+    BoxFV { d: usize, s: usize },
+    BoxCV { d: usize, s: usize },
+    RndUnit { d: usize },
+    RndRange { d: usize, a: usize, b: usize },
+    MakeClosure { d: usize, f: usize, captures: Vec<Slot> },
+    CallFunc { f: usize, args: Box<[Slot]>, ret: Slot },
+    CallValue { fv: usize, args: Box<[Slot]>, ret: Slot },
+    CallKernel { head: Rc<str>, args: Box<[Slot]>, ret: Slot },
+    Jmp { pc: usize },
+    Brz { c: usize, pc: usize },
+    // ---- Superinstructions (see `fuse`) ----
+    //
+    // Every fused op performs *all* the register writes of the sequence it
+    // replaces (the pass needs no liveness analysis to stay bit-identical),
+    // and no jump target may land inside a fused group.
+    //
+    // Fused variants use `u32` register/pc fields and `i32` immediates so
+    // they stay within the enum's pre-fusion payload: growing `RegOp` would
+    // tax the fetch of *every* op in the code array. The pass refuses to
+    // fuse on overflow (fuse::narrow/narrow_imm); the interpreter widens
+    // with zero-extending casts.
+    /// Fused compare-and-branch: `d = a (op) b`, then jump to `pc` when
+    /// the result is zero (comparison false).
+    BrCmpIFalse { op: IntOp, a: u32, b: u32, d: u32, pc: u32 },
     /// Fused compare-and-branch on reals.
-    BrCmpFFalse { op: CmpCode, a: u32, b: u32, pc: u32 },
+    BrCmpFFalse { op: CmpCode, a: u32, b: u32, d: u32, pc: u32 },
+    /// Fused compare + two-way branch (cmp, brz, jmp): `d = a (op) b`,
+    /// then jump to `pc_true` when nonzero, `pc_false` when zero.
+    BrCmpISel { op: IntOp, a: u32, b: u32, d: u32, pc_false: u32, pc_true: u32 },
+    /// [`RegOp::BrCmpISel`] on reals.
+    BrCmpFSel { op: CmpCode, a: u32, b: u32, d: u32, pc_false: u32, pc_true: u32 },
+    /// Fused brz + jmp: a two-way branch on a materialized condition.
+    BrzJmp { c: u32, pc_z: u32, pc_nz: u32 },
+    /// Two integer binary ops in one dispatch (covers integer
+    /// multiply-add chains).
+    IntBin2 { op1: IntOp, d1: u32, a1: u32, b1: u32, op2: IntOp, d2: u32, a2: u32, b2: u32 },
+    /// Two immediate-form integer ops in one dispatch (FNV1a's
+    /// `muli`+`modi` hash step).
+    IntBinImm2 { op1: IntOp, d1: u32, a1: u32, imm1: i32, op2: IntOp, d2: u32, a2: u32, imm2: i32 },
+    /// Immediate-folded loop-counter increment fused with the loop
+    /// back-edge.
+    IntBinImmJmp { op: IntOp, d: u32, a: u32, imm: i32, pc: u32 },
+    /// Two real binary ops in one dispatch (covers float multiply-add).
+    FltBin2 { op1: FltOp, d1: u32, a1: u32, b1: u32, op2: FltOp, d2: u32, a2: u32, b2: u32 },
+    /// Integer tensor element load feeding an integer op (load-op).
+    TenPart1IntBin { e: u32, t: u32, i: u32, op: IntOp, d: u32, a: u32, b: u32 },
+    /// Integer tensor element load feeding an immediate-form integer op.
+    TenPart1IntBinImm { e: u32, t: u32, i: u32, op: IntOp, d: u32, a: u32, imm: i32 },
+    /// Real matrix element load feeding a real op (Blur's stencil taps).
+    TenPart2FltBin { e: u32, t: u32, i: u32, j: u32, op: FltOp, d: u32, a: u32, b: u32 },
+    /// Take-move + element store (op-store around in-place mutation).
+    TakeVTenSet1 { dv: u32, sv: u32, kind: ElemKind, t: u32, i: u32, v: u32 },
+    /// [`RegOp::TakeVTenSet1`] for matrices.
+    TakeVTenSet2 { dv: u32, sv: u32, kind: ElemKind, t: u32, i: u32, j: u32, v: u32 },
+    /// Phi edge-move fused with the loop back-edge.
+    MovIJmp { d: u32, s: u32, pc: u32 },
+    /// Two integer moves in one dispatch (adjacent phi edge-moves).
+    Mov2I { d1: u32, s1: u32, d2: u32, s2: u32 },
+    /// Two phi edge-moves fused with the loop back-edge (the full latch
+    /// block of a two-variable loop in one dispatch).
+    Mov2IJmp { d1: u32, s1: u32, d2: u32, s2: u32, pc: u32 },
+    /// Two reference-count releases in one dispatch (function epilogues).
+    Release2 { v1: u32, v2: u32 },
+    /// Abort poll + compare + two-way branch: a full `While` loop header
+    /// (abort.check, cmp, brz, jmp) in one dispatch.
+    AbortBrCmpISel { op: IntOp, a: u32, b: u32, d: u32, pc_false: u32, pc_true: u32 },
+    /// Abort poll + fused compare-and-branch (header without the trailing
+    /// jump).
+    AbortBrCmpIFalse { op: IntOp, a: u32, b: u32, d: u32, pc: u32 },
+    /// Immediate-form integer op feeding a phi move (`t = i + 1; i = t`).
+    IntBinImmMovI { op: IntOp, d: u32, a: u32, imm: i32, d2: u32, s2: u32 },
+    /// Complex phi edge-move fused with the loop back-edge.
+    MovCJmp { d: u32, s: u32, pc: u32 },
+    /// A whole integer loop latch in one dispatch: immediate-form op +
+    /// two phi edge-moves + back-edge (`t = i + 1; i = t; s = u; jmp`).
+    #[allow(clippy::too_many_arguments)]
+    IntBinImmMov2IJmp {
+        op: IntOp,
+        d: u32,
+        a: u32,
+        imm: i32,
+        d2: u32,
+        s2: u32,
+        d3: u32,
+        s3: u32,
+        pc: u32,
+    },
+    /// Real compare feeding a phi move of the condition.
+    FltCmpMovI { op: CmpCode, d: u32, a: u32, b: u32, d2: u32, s2: u32 },
+    /// [`RegOp::FltCmpMovI`] fused with the following jump (Mandelbrot's
+    /// short-circuit `And` arm).
+    FltCmpMovIJmp { op: CmpCode, d: u32, a: u32, b: u32, d2: u32, s2: u32, pc: u32 },
     AbortCheck,
-    Acquire { v: u32 },
-    Release { v: u32 },
+    Acquire { v: usize },
+    Release { v: usize },
     Ret { s: Slot },
     RetNull,
+}
+
+impl RegOp {
+    /// Short mnemonic for the op-frequency profiler and opstats reports.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            RegOp::LdcI { .. } => "ldc.i",
+            RegOp::LdcF { .. } => "ldc.f",
+            RegOp::LdcC { .. } => "ldc.c",
+            RegOp::LdcV { .. } => "ldc.v",
+            RegOp::LdcArrayCopy { .. } => "ldc.copy",
+            RegOp::MovI { .. } => "mov.i",
+            RegOp::MovF { .. } => "mov.f",
+            RegOp::MovC { .. } => "mov.c",
+            RegOp::MovV { .. } => "mov.v",
+            RegOp::TakeV { .. } => "take.v",
+            RegOp::IntBin { .. } => "int.bin",
+            RegOp::IntBinImm { .. } => "int.bin.imm",
+            RegOp::IntUn { .. } => "int.un",
+            RegOp::PowModI { .. } => "powmod.i",
+            RegOp::FltBin { .. } => "flt.bin",
+            RegOp::FltBinImm { .. } => "flt.bin.imm",
+            RegOp::FltCmp { .. } => "flt.cmp",
+            RegOp::FltUn { .. } => "flt.un",
+            RegOp::FloorFI { .. } => "floor.fi",
+            RegOp::CeilFI { .. } => "ceil.fi",
+            RegOp::RoundFI { .. } => "round.fi",
+            RegOp::IntToFlt { .. } => "cvt.if",
+            RegOp::IntToCpx { .. } => "cvt.ic",
+            RegOp::FltToCpx { .. } => "cvt.fc",
+            RegOp::CpxBin { .. } => "cpx.bin",
+            RegOp::CpxPowI { .. } => "cpx.powi",
+            RegOp::CpxAbs { .. } => "cpx.abs",
+            RegOp::CpxMake { .. } => "cpx.make",
+            RegOp::CpxRe { .. } => "cpx.re",
+            RegOp::CpxIm { .. } => "cpx.im",
+            RegOp::CpxConj { .. } => "cpx.conj",
+            RegOp::CpxEq { .. } => "cpx.eq",
+            RegOp::TenLen { .. } => "ten.len",
+            RegOp::TenPart1 { .. } => "ten.part1",
+            RegOp::TenPart2 { .. } => "ten.part2",
+            RegOp::TenSet1 { .. } => "ten.set1",
+            RegOp::TenSet2 { .. } => "ten.set2",
+            RegOp::TenFill1 { .. } => "ten.fill1",
+            RegOp::TenFill2 { .. } => "ten.fill2",
+            RegOp::TenBin { .. } => "ten.bin",
+            RegOp::TenScalar { .. } => "ten.scalar",
+            RegOp::TenSetRow { .. } => "ten.setrow",
+            RegOp::TenFromList { .. } => "ten.fromlist",
+            RegOp::DotVecF { .. } => "dot.vec.f",
+            RegOp::DotVecI { .. } => "dot.vec.i",
+            RegOp::DotMat { .. } => "dot.mat",
+            RegOp::DotMatVec { .. } => "dot.matvec",
+            RegOp::StrLen { .. } => "str.len",
+            RegOp::StrToCodes { .. } => "str.tocodes",
+            RegOp::StrFromCodes { .. } => "str.fromcodes",
+            RegOp::StrJoin { .. } => "str.join",
+            RegOp::ExprBin { .. } => "expr.bin",
+            RegOp::ExprUnary { .. } => "expr.un",
+            RegOp::BoolToExpr { .. } => "box.bool",
+            RegOp::BoxIV { .. } => "box.iv",
+            RegOp::BoxFV { .. } => "box.fv",
+            RegOp::BoxCV { .. } => "box.cv",
+            RegOp::RndUnit { .. } => "rnd.unit",
+            RegOp::RndRange { .. } => "rnd.range",
+            RegOp::MakeClosure { .. } => "closure",
+            RegOp::CallFunc { .. } => "call.func",
+            RegOp::CallValue { .. } => "call.value",
+            RegOp::CallKernel { .. } => "call.kernel",
+            RegOp::Jmp { .. } => "jmp",
+            RegOp::Brz { .. } => "brz",
+            RegOp::BrCmpIFalse { .. } => "br.cmp.i",
+            RegOp::BrCmpFFalse { .. } => "br.cmp.f",
+            RegOp::BrCmpISel { .. } => "br.cmp.i.sel",
+            RegOp::BrCmpFSel { .. } => "br.cmp.f.sel",
+            RegOp::BrzJmp { .. } => "brz.jmp",
+            RegOp::IntBin2 { .. } => "int.bin2",
+            RegOp::IntBinImm2 { .. } => "int.bin.imm2",
+            RegOp::IntBinImmJmp { .. } => "int.bin.imm.jmp",
+            RegOp::FltBin2 { .. } => "flt.bin2",
+            RegOp::TenPart1IntBin { .. } => "ten.part1.int.bin",
+            RegOp::TenPart1IntBinImm { .. } => "ten.part1.int.imm",
+            RegOp::TenPart2FltBin { .. } => "ten.part2.flt.bin",
+            RegOp::TakeVTenSet1 { .. } => "take.ten.set1",
+            RegOp::TakeVTenSet2 { .. } => "take.ten.set2",
+            RegOp::MovIJmp { .. } => "mov.i.jmp",
+            RegOp::Mov2I { .. } => "mov2.i",
+            RegOp::Mov2IJmp { .. } => "mov2.i.jmp",
+            RegOp::Release2 { .. } => "release2",
+            RegOp::AbortBrCmpISel { .. } => "abort.br.cmp.i.sel",
+            RegOp::AbortBrCmpIFalse { .. } => "abort.br.cmp.i",
+            RegOp::IntBinImmMovI { .. } => "int.bin.imm.mov",
+            RegOp::MovCJmp { .. } => "mov.c.jmp",
+            RegOp::IntBinImmMov2IJmp { .. } => "int.imm.mov2.jmp",
+            RegOp::FltCmpMovI { .. } => "flt.cmp.mov",
+            RegOp::FltCmpMovIJmp { .. } => "flt.cmp.mov.jmp",
+            RegOp::AbortCheck => "abort.check",
+            RegOp::Acquire { .. } => "acquire",
+            RegOp::Release { .. } => "release",
+            RegOp::Ret { .. } => "ret",
+            RegOp::RetNull => "ret.null",
+        }
+    }
+}
+
+/// Clones a runtime value, short-circuiting the cheap scalar variants so
+/// the hot `LdcV`/`MovV` paths skip the full `Value::clone` (which must
+/// consider every managed variant before bumping a refcount).
+#[inline]
+fn clone_cheap(v: &Value) -> Value {
+    match v {
+        Value::Null => Value::Null,
+        Value::Bool(b) => Value::Bool(*b),
+        Value::I64(x) => Value::I64(*x),
+        Value::F64(x) => Value::F64(*x),
+        other => other.clone(),
+    }
 }
 
 /// A compiled native function.
@@ -204,13 +399,13 @@ pub struct NativeFunc {
     /// Instruction stream.
     pub code: Vec<RegOp>,
     /// Bank sizes.
-    pub n_int: u32,
+    pub n_int: usize,
     /// Real bank size.
-    pub n_flt: u32,
+    pub n_flt: usize,
     /// Complex bank size.
-    pub n_cpx: u32,
+    pub n_cpx: usize,
     /// Value bank size.
-    pub n_val: u32,
+    pub n_val: usize,
     /// Where incoming arguments are stored, in order.
     pub params: Vec<Slot>,
 }
@@ -300,38 +495,38 @@ struct Frame {
 impl Frame {
     fn new(f: &NativeFunc) -> Self {
         Frame {
-            ints: vec![0; f.n_int as usize],
-            flts: vec![0.0; f.n_flt as usize],
-            cpxs: vec![(0.0, 0.0); f.n_cpx as usize],
-            vals: vec![Value::Null; f.n_val as usize],
-            acquired: vec![false; f.n_val as usize],
+            ints: vec![0; f.n_int],
+            flts: vec![0.0; f.n_flt],
+            cpxs: vec![(0.0, 0.0); f.n_cpx],
+            vals: vec![Value::Null; f.n_val],
+            acquired: vec![false; f.n_val],
         }
     }
 
     /// Re-shapes a pooled frame for `f`, dropping any held values.
     fn reset(&mut self, f: &NativeFunc) {
         self.ints.clear();
-        self.ints.resize(f.n_int as usize, 0);
+        self.ints.resize(f.n_int, 0);
         self.flts.clear();
-        self.flts.resize(f.n_flt as usize, 0.0);
+        self.flts.resize(f.n_flt, 0.0);
         self.cpxs.clear();
-        self.cpxs.resize(f.n_cpx as usize, (0.0, 0.0));
+        self.cpxs.resize(f.n_cpx, (0.0, 0.0));
         self.vals.clear();
-        self.vals.resize(f.n_val as usize, Value::Null);
+        self.vals.resize(f.n_val, Value::Null);
         self.acquired.clear();
-        self.acquired.resize(f.n_val as usize, false);
+        self.acquired.resize(f.n_val, false);
     }
 
     fn store(&mut self, slot: Slot, v: ArgVal) -> Result<(), RuntimeError> {
         match (slot.bank, v) {
-            (Bank::I, ArgVal::I(x)) => self.ints[slot.ix as usize] = x,
-            (Bank::F, ArgVal::F(x)) => self.flts[slot.ix as usize] = x,
-            (Bank::F, ArgVal::I(x)) => self.flts[slot.ix as usize] = x as f64,
-            (Bank::C, ArgVal::C(re, im)) => self.cpxs[slot.ix as usize] = (re, im),
-            (Bank::C, ArgVal::F(x)) => self.cpxs[slot.ix as usize] = (x, 0.0),
-            (Bank::C, ArgVal::I(x)) => self.cpxs[slot.ix as usize] = (x as f64, 0.0),
-            (Bank::V, ArgVal::V(v)) => self.vals[slot.ix as usize] = v,
-            (Bank::V, other) => self.vals[slot.ix as usize] = other.into_value(false),
+            (Bank::I, ArgVal::I(x)) => self.ints[slot.ix] = x,
+            (Bank::F, ArgVal::F(x)) => self.flts[slot.ix] = x,
+            (Bank::F, ArgVal::I(x)) => self.flts[slot.ix] = x as f64,
+            (Bank::C, ArgVal::C(re, im)) => self.cpxs[slot.ix] = (re, im),
+            (Bank::C, ArgVal::F(x)) => self.cpxs[slot.ix] = (x, 0.0),
+            (Bank::C, ArgVal::I(x)) => self.cpxs[slot.ix] = (x as f64, 0.0),
+            (Bank::V, ArgVal::V(v)) => self.vals[slot.ix] = v,
+            (Bank::V, other) => self.vals[slot.ix] = other.into_value(false),
             (bank, v) => {
                 return Err(RuntimeError::Type(format!("cannot store {v:?} into {bank:?} bank")))
             }
@@ -341,13 +536,74 @@ impl Frame {
 
     fn load(&self, slot: Slot) -> ArgVal {
         match slot.bank {
-            Bank::I => ArgVal::I(self.ints[slot.ix as usize]),
-            Bank::F => ArgVal::F(self.flts[slot.ix as usize]),
+            Bank::I => ArgVal::I(self.ints[slot.ix]),
+            Bank::F => ArgVal::F(self.flts[slot.ix]),
             Bank::C => {
-                let (re, im) = self.cpxs[slot.ix as usize];
+                let (re, im) = self.cpxs[slot.ix];
                 ArgVal::C(re, im)
             }
-            Bank::V => ArgVal::V(self.vals[slot.ix as usize].clone()),
+            Bank::V => ArgVal::V(self.vals[slot.ix].clone()),
+        }
+    }
+}
+
+/// Most frames a machine keeps pooled for reuse. Indirect calls in tight
+/// loops (the QSort comparator) recycle frames from this pool instead of
+/// allocating; recursion deeper than the cap falls back to fresh frames.
+pub const FRAME_POOL_CAP: usize = 64;
+
+/// Execution statistics: dynamic op/dyad frequencies (populated only while
+/// [`Machine::profile_ops`] is enabled) and the always-on frame-pool
+/// hit/miss counters.
+#[derive(Debug, Clone, Default)]
+pub struct OpStats {
+    /// Executed instruction count per mnemonic.
+    pub ops: HashMap<&'static str, u64>,
+    /// Executed consecutive-pair (dyad) count — the data that drives
+    /// superinstruction selection.
+    pub pairs: HashMap<(&'static str, &'static str), u64>,
+    /// Calls served by a pooled frame.
+    pub pool_hits: u64,
+    /// Calls that had to allocate a fresh frame.
+    pub pool_misses: u64,
+}
+
+impl OpStats {
+    /// Mnemonics sorted by descending execution count.
+    pub fn hottest_ops(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<_> = self.ops.iter().map(|(&k, &n)| (k, n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Dyads sorted by descending execution count.
+    pub fn hottest_pairs(&self) -> Vec<((&'static str, &'static str), u64)> {
+        let mut v: Vec<_> = self.pairs.iter().map(|(&k, &n)| (k, n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Total executed instructions.
+    pub fn total(&self) -> u64 {
+        self.ops.values().sum()
+    }
+}
+
+/// Per-run profiling state, boxed so the disabled case costs one
+/// null-check per dispatched instruction.
+#[derive(Debug, Default)]
+struct ProfileState {
+    ops: HashMap<&'static str, u64>,
+    pairs: HashMap<(&'static str, &'static str), u64>,
+    last: Option<&'static str>,
+}
+
+impl ProfileState {
+    #[inline]
+    fn record(&mut self, m: &'static str) {
+        *self.ops.entry(m).or_insert(0) += 1;
+        if let Some(prev) = self.last.replace(m) {
+            *self.pairs.entry((prev, m)).or_insert(0) += 1;
         }
     }
 }
@@ -363,12 +619,49 @@ pub struct Machine {
     /// Recycled call frames (indirect calls in tight loops — the QSort
     /// comparator — would otherwise allocate per call).
     frame_pool: Vec<Frame>,
+    pool_hits: u64,
+    pool_misses: u64,
+    profile: Option<Box<ProfileState>>,
 }
 
 impl Machine {
     /// A machine with a private abort signal (standalone mode).
     pub fn standalone() -> Self {
-        Machine { abort: AbortSignal::new(), rng: 0x2545F4914F6CDD1D, frame_pool: Vec::new() }
+        Machine {
+            abort: AbortSignal::new(),
+            rng: 0x2545F4914F6CDD1D,
+            frame_pool: Vec::new(),
+            pool_hits: 0,
+            pool_misses: 0,
+            profile: None,
+        }
+    }
+
+    /// Turns the op-frequency/dyad profiler on or off. Profiling adds a
+    /// hash update per dispatched instruction; it is meant for
+    /// `reproduce -- opstats`, not for benchmarking runs.
+    pub fn profile_ops(&mut self, enable: bool) {
+        self.profile = enable.then(Box::<ProfileState>::default);
+    }
+
+    /// Takes the accumulated statistics, resetting all counters.
+    pub fn take_stats(&mut self) -> OpStats {
+        let (ops, pairs) = match self.profile.as_deref_mut() {
+            Some(p) => (std::mem::take(&mut p.ops), std::mem::take(&mut p.pairs)),
+            None => Default::default(),
+        };
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.last = None;
+        }
+        let stats = OpStats {
+            ops,
+            pairs,
+            pool_hits: self.pool_hits,
+            pool_misses: self.pool_misses,
+        };
+        self.pool_hits = 0;
+        self.pool_misses = 0;
+        stats
     }
 
     /// Seeds the machine RNG.
@@ -422,10 +715,14 @@ impl Machine {
         }
         let mut frame = match self.frame_pool.pop() {
             Some(mut fr) => {
+                self.pool_hits += 1;
                 fr.reset(func);
                 fr
             }
-            None => Frame::new(func),
+            None => {
+                self.pool_misses += 1;
+                Frame::new(func)
+            }
         };
         for (slot, arg) in func.params.iter().zip(args) {
             frame.store(*slot, arg)?;
@@ -433,7 +730,7 @@ impl Machine {
         let out = self.run(prog, func, &mut frame, &mut engine);
         // Drop held values eagerly, then recycle the allocation.
         frame.vals.clear();
-        if self.frame_pool.len() < 64 {
+        if self.frame_pool.len() < FRAME_POOL_CAP {
             self.frame_pool.push(frame);
         }
         out
@@ -452,13 +749,16 @@ impl Machine {
         loop {
             let op = &code[pc];
             pc += 1;
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.record(op.mnemonic());
+            }
             match op {
-                RegOp::LdcI { d, v } => fr.ints[*d as usize] = *v,
-                RegOp::LdcF { d, v } => fr.flts[*d as usize] = *v,
-                RegOp::LdcC { d, re, im } => fr.cpxs[*d as usize] = (*re, *im),
-                RegOp::LdcV { d, v } => fr.vals[*d as usize] = v.clone(),
+                RegOp::LdcI { d, v } => fr.ints[*d] = *v,
+                RegOp::LdcF { d, v } => fr.flts[*d] = *v,
+                RegOp::LdcC { d, re, im } => fr.cpxs[*d] = (*re, *im),
+                RegOp::LdcV { d, v } => fr.vals[*d] = clone_cheap(v),
                 RegOp::LdcArrayCopy { d, v } => {
-                    fr.vals[*d as usize] = match v {
+                    fr.vals[*d] = match v {
                         Value::Tensor(t) => {
                             let data = t.data().clone();
                             Value::Tensor(Tensor::with_shape(t.shape().to_vec(), data)?)
@@ -466,49 +766,32 @@ impl Machine {
                         other => other.clone(),
                     };
                 }
-                RegOp::MovI { d, s } => fr.ints[*d as usize] = fr.ints[*s as usize],
-                RegOp::MovF { d, s } => fr.flts[*d as usize] = fr.flts[*s as usize],
-                RegOp::MovC { d, s } => fr.cpxs[*d as usize] = fr.cpxs[*s as usize],
-                RegOp::MovV { d, s } => fr.vals[*d as usize] = fr.vals[*s as usize].clone(),
+                RegOp::MovI { d, s } => fr.ints[*d] = fr.ints[*s],
+                RegOp::MovF { d, s } => fr.flts[*d] = fr.flts[*s],
+                RegOp::MovC { d, s } => fr.cpxs[*d] = fr.cpxs[*s],
+                RegOp::MovV { d, s } => {
+                    let v = clone_cheap(&fr.vals[*s]);
+                    fr.vals[*d] = v;
+                }
                 RegOp::TakeV { d, s } => {
-                    fr.vals[*d as usize] =
-                        std::mem::replace(&mut fr.vals[*s as usize], Value::Null);
+                    fr.vals[*d] =
+                        std::mem::replace(&mut fr.vals[*s], Value::Null);
                 }
                 RegOp::IntBin { op, d, a, b } => {
-                    let (x, y) = (fr.ints[*a as usize], fr.ints[*b as usize]);
-                    fr.ints[*d as usize] = int_bin(*op, x, y)?;
+                    let (x, y) = (fr.ints[*a], fr.ints[*b]);
+                    fr.ints[*d] = int_bin(*op, x, y)?;
                 }
                 RegOp::IntBinImm { op, d, a, imm } => {
-                    let x = fr.ints[*a as usize];
-                    fr.ints[*d as usize] = int_bin(*op, x, *imm)?;
+                    let x = fr.ints[*a];
+                    fr.ints[*d] = int_bin(*op, x, *imm)?;
                 }
                 RegOp::FltBinImm { op, d, a, imm } => {
-                    let x = fr.flts[*a as usize];
-                    fr.flts[*d as usize] = match op {
-                        FltOp::Add => x + imm,
-                        FltOp::Sub => x - imm,
-                        FltOp::Mul => x * imm,
-                        FltOp::Div => {
-                            if *imm == 0.0 {
-                                return Err(RuntimeError::DivideByZero);
-                            }
-                            x / imm
-                        }
-                        FltOp::Pow => x.powf(*imm),
-                        FltOp::Mod => {
-                            if *imm == 0.0 {
-                                return Err(RuntimeError::DivideByZero);
-                            }
-                            x - imm * (x / imm).floor()
-                        }
-                        FltOp::Min => x.min(*imm),
-                        FltOp::Max => x.max(*imm),
-                        FltOp::ArcTan2 => imm.atan2(x),
-                    };
+                    let x = fr.flts[*a];
+                    fr.flts[*d] = flt_bin(*op, x, *imm)?;
                 }
                 RegOp::IntUn { op, d, s } => {
-                    let x = fr.ints[*s as usize];
-                    fr.ints[*d as usize] = match op {
+                    let x = fr.ints[*s];
+                    fr.ints[*d] = match op {
                         IntUnOp::Neg => checked::neg_i64(x)?,
                         IntUnOp::Abs => checked::abs_i64(x)?,
                         IntUnOp::Not => (x == 0) as i64,
@@ -529,47 +812,20 @@ impl Machine {
                 }
                 RegOp::PowModI { d, a, b, m } => {
                     let (x, y, md) =
-                        (fr.ints[*a as usize], fr.ints[*b as usize], fr.ints[*m as usize]);
-                    fr.ints[*d as usize] = pow_mod_i64(x, y, md)?;
+                        (fr.ints[*a], fr.ints[*b], fr.ints[*m]);
+                    fr.ints[*d] = pow_mod_i64(x, y, md)?;
                 }
                 RegOp::FltBin { op, d, a, b } => {
-                    let (x, y) = (fr.flts[*a as usize], fr.flts[*b as usize]);
-                    fr.flts[*d as usize] = match op {
-                        FltOp::Add => x + y,
-                        FltOp::Sub => x - y,
-                        FltOp::Mul => x * y,
-                        FltOp::Div => {
-                            if y == 0.0 {
-                                return Err(RuntimeError::DivideByZero);
-                            }
-                            x / y
-                        }
-                        FltOp::Pow => x.powf(y),
-                        FltOp::Mod => {
-                            if y == 0.0 {
-                                return Err(RuntimeError::DivideByZero);
-                            }
-                            x - y * (x / y).floor()
-                        }
-                        FltOp::Min => x.min(y),
-                        FltOp::Max => x.max(y),
-                        FltOp::ArcTan2 => y.atan2(x),
-                    };
+                    let (x, y) = (fr.flts[*a], fr.flts[*b]);
+                    fr.flts[*d] = flt_bin(*op, x, y)?;
                 }
                 RegOp::FltCmp { op, d, a, b } => {
-                    let (x, y) = (fr.flts[*a as usize], fr.flts[*b as usize]);
-                    fr.ints[*d as usize] = match op {
-                        CmpCode::Lt => x < y,
-                        CmpCode::Le => x <= y,
-                        CmpCode::Gt => x > y,
-                        CmpCode::Ge => x >= y,
-                        CmpCode::Eq => x == y,
-                        CmpCode::Ne => x != y,
-                    } as i64;
+                    let (x, y) = (fr.flts[*a], fr.flts[*b]);
+                    fr.ints[*d] = flt_cmp(*op, x, y) as i64;
                 }
                 RegOp::FltUn { op, d, s } => {
-                    let x = fr.flts[*s as usize];
-                    fr.flts[*d as usize] = match op {
+                    let x = fr.flts[*s];
+                    fr.flts[*d] = match op {
                         FltUnOp::Neg => -x,
                         FltUnOp::Abs => x.abs(),
                         FltUnOp::Sqrt => x.sqrt(),
@@ -592,26 +848,26 @@ impl Machine {
                         }
                     };
                 }
-                RegOp::FloorFI { d, s } => fr.ints[*d as usize] = fr.flts[*s as usize].floor() as i64,
-                RegOp::CeilFI { d, s } => fr.ints[*d as usize] = fr.flts[*s as usize].ceil() as i64,
+                RegOp::FloorFI { d, s } => fr.ints[*d] = fr.flts[*s].floor() as i64,
+                RegOp::CeilFI { d, s } => fr.ints[*d] = fr.flts[*s].ceil() as i64,
                 RegOp::RoundFI { d, s } => {
-                    let v = fr.flts[*s as usize];
+                    let v = fr.flts[*s];
                     let r = v.round();
                     let r = if (v - v.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
                         r - v.signum()
                     } else {
                         r
                     };
-                    fr.ints[*d as usize] = r as i64;
+                    fr.ints[*d] = r as i64;
                 }
-                RegOp::IntToFlt { d, s } => fr.flts[*d as usize] = fr.ints[*s as usize] as f64,
+                RegOp::IntToFlt { d, s } => fr.flts[*d] = fr.ints[*s] as f64,
                 RegOp::IntToCpx { d, s } => {
-                    fr.cpxs[*d as usize] = (fr.ints[*s as usize] as f64, 0.0)
+                    fr.cpxs[*d] = (fr.ints[*s] as f64, 0.0)
                 }
-                RegOp::FltToCpx { d, s } => fr.cpxs[*d as usize] = (fr.flts[*s as usize], 0.0),
+                RegOp::FltToCpx { d, s } => fr.cpxs[*d] = (fr.flts[*s], 0.0),
                 RegOp::CpxBin { op, d, a, b } => {
-                    let (x, y) = (fr.cpxs[*a as usize], fr.cpxs[*b as usize]);
-                    fr.cpxs[*d as usize] = match op {
+                    let (x, y) = (fr.cpxs[*a], fr.cpxs[*b]);
+                    fr.cpxs[*d] = match op {
                         CpxOp::Add => (x.0 + y.0, x.1 + y.1),
                         CpxOp::Sub => (x.0 - y.0, x.1 - y.1),
                         CpxOp::Mul => checked::mul_complex(x, y),
@@ -619,8 +875,8 @@ impl Machine {
                     };
                 }
                 RegOp::CpxPowI { d, a, e } => {
-                    let base = fr.cpxs[*a as usize];
-                    let exp = fr.ints[*e as usize];
+                    let base = fr.cpxs[*a];
+                    let exp = fr.ints[*e];
                     let mut acc = (1.0f64, 0.0f64);
                     for _ in 0..exp.unsigned_abs() {
                         acc = checked::mul_complex(acc, base);
@@ -628,47 +884,47 @@ impl Machine {
                     if exp < 0 {
                         acc = checked::div_complex((1.0, 0.0), acc);
                     }
-                    fr.cpxs[*d as usize] = acc;
+                    fr.cpxs[*d] = acc;
                 }
                 RegOp::CpxAbs { d, s } => {
-                    let (re, im) = fr.cpxs[*s as usize];
-                    fr.flts[*d as usize] = re.hypot(im);
+                    let (re, im) = fr.cpxs[*s];
+                    fr.flts[*d] = re.hypot(im);
                 }
                 RegOp::CpxMake { d, re, im } => {
-                    fr.cpxs[*d as usize] = (fr.flts[*re as usize], fr.flts[*im as usize])
+                    fr.cpxs[*d] = (fr.flts[*re], fr.flts[*im])
                 }
-                RegOp::CpxRe { d, s } => fr.flts[*d as usize] = fr.cpxs[*s as usize].0,
-                RegOp::CpxIm { d, s } => fr.flts[*d as usize] = fr.cpxs[*s as usize].1,
+                RegOp::CpxRe { d, s } => fr.flts[*d] = fr.cpxs[*s].0,
+                RegOp::CpxIm { d, s } => fr.flts[*d] = fr.cpxs[*s].1,
                 RegOp::CpxConj { d, s } => {
-                    let (re, im) = fr.cpxs[*s as usize];
-                    fr.cpxs[*d as usize] = (re, -im);
+                    let (re, im) = fr.cpxs[*s];
+                    fr.cpxs[*d] = (re, -im);
                 }
                 RegOp::CpxEq { d, a, b } => {
-                    fr.ints[*d as usize] = (fr.cpxs[*a as usize] == fr.cpxs[*b as usize]) as i64;
+                    fr.ints[*d] = (fr.cpxs[*a] == fr.cpxs[*b]) as i64;
                 }
                 RegOp::TenLen { d, t } => {
-                    let t = fr.vals[*t as usize].expect_tensor()?;
-                    fr.ints[*d as usize] = t.length() as i64;
+                    let t = fr.vals[*t].expect_tensor()?;
+                    fr.ints[*d] = t.length() as i64;
                 }
                 RegOp::TenPart1 { kind, d, t, i } => {
-                    let ix = fr.ints[*i as usize];
-                    let t = fr.vals[*t as usize].expect_tensor()?;
+                    let ix = fr.ints[*i];
+                    let t = fr.vals[*t].expect_tensor()?;
                     let off = t.resolve_index(ix)?;
                     match (kind, t.data()) {
-                        (ElemKind::I64, TensorData::I64(v)) => fr.ints[*d as usize] = v[off],
-                        (ElemKind::F64, TensorData::F64(v)) => fr.flts[*d as usize] = v[off],
+                        (ElemKind::I64, TensorData::I64(v)) => fr.ints[*d] = v[off],
+                        (ElemKind::F64, TensorData::F64(v)) => fr.flts[*d] = v[off],
                         (ElemKind::F64, TensorData::I64(v)) => {
-                            fr.flts[*d as usize] = v[off] as f64
+                            fr.flts[*d] = v[off] as f64
                         }
-                        (ElemKind::C64, TensorData::Complex(v)) => fr.cpxs[*d as usize] = v[off],
+                        (ElemKind::C64, TensorData::Complex(v)) => fr.cpxs[*d] = v[off],
                         _ => {
                             return Err(RuntimeError::Type("tensor element kind mismatch".into()))
                         }
                     }
                 }
                 RegOp::TenPart2 { kind, d, t, i, j } => {
-                    let (ix, jx) = (fr.ints[*i as usize], fr.ints[*j as usize]);
-                    let t = fr.vals[*t as usize].expect_tensor()?;
+                    let (ix, jx) = (fr.ints[*i], fr.ints[*j]);
+                    let t = fr.vals[*t].expect_tensor()?;
                     if t.rank() != 2 {
                         return Err(RuntimeError::Type("Part[_,i,j] on non-matrix".into()));
                     }
@@ -677,44 +933,44 @@ impl Machine {
                     let c = checked::resolve_part_index(jx, cols)?;
                     let off = r * cols + c;
                     match (kind, t.data()) {
-                        (ElemKind::I64, TensorData::I64(v)) => fr.ints[*d as usize] = v[off],
-                        (ElemKind::F64, TensorData::F64(v)) => fr.flts[*d as usize] = v[off],
+                        (ElemKind::I64, TensorData::I64(v)) => fr.ints[*d] = v[off],
+                        (ElemKind::F64, TensorData::F64(v)) => fr.flts[*d] = v[off],
                         (ElemKind::F64, TensorData::I64(v)) => {
-                            fr.flts[*d as usize] = v[off] as f64
+                            fr.flts[*d] = v[off] as f64
                         }
-                        (ElemKind::C64, TensorData::Complex(v)) => fr.cpxs[*d as usize] = v[off],
+                        (ElemKind::C64, TensorData::Complex(v)) => fr.cpxs[*d] = v[off],
                         _ => {
                             return Err(RuntimeError::Type("tensor element kind mismatch".into()))
                         }
                     }
                 }
                 RegOp::TenSet1 { kind, t, i, v } => {
-                    let ix = fr.ints[*i as usize];
+                    let ix = fr.ints[*i];
                     let value = match kind {
-                        ElemKind::I64 => ArgVal::I(fr.ints[*v as usize]),
-                        ElemKind::F64 => ArgVal::F(fr.flts[*v as usize]),
+                        ElemKind::I64 => ArgVal::I(fr.ints[*v]),
+                        ElemKind::F64 => ArgVal::F(fr.flts[*v]),
                         ElemKind::C64 => {
-                            let (re, im) = fr.cpxs[*v as usize];
+                            let (re, im) = fr.cpxs[*v];
                             ArgVal::C(re, im)
                         }
                     };
-                    let Value::Tensor(tensor) = &mut fr.vals[*t as usize] else {
+                    let Value::Tensor(tensor) = &mut fr.vals[*t] else {
                         return Err(RuntimeError::Type("SetPart on non-tensor".into()));
                     };
                     let off = tensor.resolve_index(ix)?;
                     tensor_store(tensor, off, value)?;
                 }
                 RegOp::TenSet2 { kind, t, i, j, v } => {
-                    let (ix, jx) = (fr.ints[*i as usize], fr.ints[*j as usize]);
+                    let (ix, jx) = (fr.ints[*i], fr.ints[*j]);
                     let value = match kind {
-                        ElemKind::I64 => ArgVal::I(fr.ints[*v as usize]),
-                        ElemKind::F64 => ArgVal::F(fr.flts[*v as usize]),
+                        ElemKind::I64 => ArgVal::I(fr.ints[*v]),
+                        ElemKind::F64 => ArgVal::F(fr.flts[*v]),
                         ElemKind::C64 => {
-                            let (re, im) = fr.cpxs[*v as usize];
+                            let (re, im) = fr.cpxs[*v];
                             ArgVal::C(re, im)
                         }
                     };
-                    let Value::Tensor(tensor) = &mut fr.vals[*t as usize] else {
+                    let Value::Tensor(tensor) = &mut fr.vals[*t] else {
                         return Err(RuntimeError::Type("SetPart on non-tensor".into()));
                     };
                     if tensor.rank() != 2 {
@@ -726,48 +982,48 @@ impl Machine {
                     tensor_store(tensor, r * cols + c, value)?;
                 }
                 RegOp::TenFill1 { kind, d, c, n } => {
-                    let n = fr.ints[*n as usize].max(0) as usize;
+                    let n = fr.ints[*n].max(0) as usize;
                     let data = match kind {
-                        ElemKind::I64 => TensorData::I64(vec![fr.ints[*c as usize]; n]),
-                        ElemKind::F64 => TensorData::F64(vec![fr.flts[*c as usize]; n]),
-                        ElemKind::C64 => TensorData::Complex(vec![fr.cpxs[*c as usize]; n]),
+                        ElemKind::I64 => TensorData::I64(vec![fr.ints[*c]; n]),
+                        ElemKind::F64 => TensorData::F64(vec![fr.flts[*c]; n]),
+                        ElemKind::C64 => TensorData::Complex(vec![fr.cpxs[*c]; n]),
                     };
-                    fr.vals[*d as usize] = Value::Tensor(Tensor::with_shape(vec![n], data)?);
+                    fr.vals[*d] = Value::Tensor(Tensor::with_shape(vec![n], data)?);
                 }
                 RegOp::TenFill2 { kind, d, c, n1, n2 } => {
-                    let n1v = fr.ints[*n1 as usize].max(0) as usize;
-                    let n2v = fr.ints[*n2 as usize].max(0) as usize;
+                    let n1v = fr.ints[*n1].max(0) as usize;
+                    let n2v = fr.ints[*n2].max(0) as usize;
                     let total = n1v * n2v;
                     let data = match kind {
-                        ElemKind::I64 => TensorData::I64(vec![fr.ints[*c as usize]; total]),
-                        ElemKind::F64 => TensorData::F64(vec![fr.flts[*c as usize]; total]),
-                        ElemKind::C64 => TensorData::Complex(vec![fr.cpxs[*c as usize]; total]),
+                        ElemKind::I64 => TensorData::I64(vec![fr.ints[*c]; total]),
+                        ElemKind::F64 => TensorData::F64(vec![fr.flts[*c]; total]),
+                        ElemKind::C64 => TensorData::Complex(vec![fr.cpxs[*c]; total]),
                     };
-                    fr.vals[*d as usize] =
+                    fr.vals[*d] =
                         Value::Tensor(Tensor::with_shape(vec![n1v, n2v], data)?);
                 }
                 RegOp::TenBin { op, d, a, b } => {
-                    let ta = fr.vals[*a as usize].expect_tensor()?;
-                    let tb = fr.vals[*b as usize].expect_tensor()?;
-                    fr.vals[*d as usize] = Value::Tensor(tensor_elementwise(*op, ta, tb)?);
+                    let ta = fr.vals[*a].expect_tensor()?;
+                    let tb = fr.vals[*b].expect_tensor()?;
+                    fr.vals[*d] = Value::Tensor(tensor_elementwise(*op, ta, tb)?);
                 }
                 RegOp::TenScalar { op, kind, d, t, s, rev } => {
                     let sv = match kind {
-                        ElemKind::I64 => Value::I64(fr.ints[*s as usize]),
-                        ElemKind::F64 => Value::F64(fr.flts[*s as usize]),
+                        ElemKind::I64 => Value::I64(fr.ints[*s]),
+                        ElemKind::F64 => Value::F64(fr.flts[*s]),
                         ElemKind::C64 => {
-                            let (re, im) = fr.cpxs[*s as usize];
+                            let (re, im) = fr.cpxs[*s];
                             Value::Complex(re, im)
                         }
                     };
-                    let ten = fr.vals[*t as usize].expect_tensor()?;
-                    fr.vals[*d as usize] =
+                    let ten = fr.vals[*t].expect_tensor()?;
+                    fr.vals[*d] =
                         Value::Tensor(tensor_scalar_elementwise(*op, ten, &sv, *rev)?);
                 }
                 RegOp::TenSetRow { t, i, row } => {
-                    let ix = fr.ints[*i as usize];
-                    let row_t = fr.vals[*row as usize].expect_tensor()?.clone();
-                    let Value::Tensor(tensor) = &mut fr.vals[*t as usize] else {
+                    let ix = fr.ints[*i];
+                    let row_t = fr.vals[*row].expect_tensor()?.clone();
+                    let Value::Tensor(tensor) = &mut fr.vals[*t] else {
                         return Err(RuntimeError::Type("SetRow on non-tensor".into()));
                     };
                     if tensor.rank() != 2 || row_t.rank() != 1 {
@@ -794,30 +1050,30 @@ impl Machine {
                 RegOp::TenFromList { kind, d, items } => {
                     let data = match kind {
                         ElemKind::I64 => TensorData::I64(
-                            items.iter().map(|&s| fr.ints[s as usize]).collect(),
+                            items.iter().map(|&s| fr.ints[s]).collect(),
                         ),
                         ElemKind::F64 => TensorData::F64(
-                            items.iter().map(|&s| fr.flts[s as usize]).collect(),
+                            items.iter().map(|&s| fr.flts[s]).collect(),
                         ),
                         ElemKind::C64 => TensorData::Complex(
-                            items.iter().map(|&s| fr.cpxs[s as usize]).collect(),
+                            items.iter().map(|&s| fr.cpxs[s]).collect(),
                         ),
                     };
-                    fr.vals[*d as usize] =
+                    fr.vals[*d] =
                         Value::Tensor(Tensor::with_shape(vec![items.len()], data)?);
                 }
                 RegOp::DotVecF { d, a, b } => {
-                    let ta = fr.vals[*a as usize].expect_tensor()?.to_f64_tensor();
-                    let tb = fr.vals[*b as usize].expect_tensor()?.to_f64_tensor();
+                    let ta = fr.vals[*a].expect_tensor()?.to_f64_tensor();
+                    let tb = fr.vals[*b].expect_tensor()?.to_f64_tensor();
                     let (x, y) = (ta.as_f64().expect("promoted"), tb.as_f64().expect("promoted"));
                     if x.len() != y.len() {
                         return Err(RuntimeError::Type("Dot length mismatch".into()));
                     }
-                    fr.flts[*d as usize] = wolfram_runtime::linalg::ddot(x, y);
+                    fr.flts[*d] = wolfram_runtime::linalg::ddot(x, y);
                 }
                 RegOp::DotVecI { d, a, b } => {
-                    let ta = fr.vals[*a as usize].expect_tensor()?;
-                    let tb = fr.vals[*b as usize].expect_tensor()?;
+                    let ta = fr.vals[*a].expect_tensor()?;
+                    let tb = fr.vals[*b].expect_tensor()?;
                     let (Some(x), Some(y)) = (ta.as_i64(), tb.as_i64()) else {
                         return Err(RuntimeError::Type("integer Dot on non-integer".into()));
                     };
@@ -828,11 +1084,11 @@ impl Machine {
                     for (p, q) in x.iter().zip(y) {
                         acc = checked::add_i64(acc, checked::mul_i64(*p, *q)?)?;
                     }
-                    fr.ints[*d as usize] = acc;
+                    fr.ints[*d] = acc;
                 }
                 RegOp::DotMat { d, a, b } => {
-                    let ta = fr.vals[*a as usize].expect_tensor()?.to_f64_tensor();
-                    let tb = fr.vals[*b as usize].expect_tensor()?.to_f64_tensor();
+                    let ta = fr.vals[*a].expect_tensor()?.to_f64_tensor();
+                    let tb = fr.vals[*b].expect_tensor()?.to_f64_tensor();
                     if ta.rank() != 2 || tb.rank() != 2 || ta.shape()[1] != tb.shape()[0] {
                         return Err(RuntimeError::Type("Dot shape mismatch".into()));
                     }
@@ -846,12 +1102,12 @@ impl Machine {
                         k,
                         n,
                     );
-                    fr.vals[*d as usize] =
+                    fr.vals[*d] =
                         Value::Tensor(Tensor::with_shape(vec![m, n], TensorData::F64(out))?);
                 }
                 RegOp::DotMatVec { d, a, b } => {
-                    let ta = fr.vals[*a as usize].expect_tensor()?.to_f64_tensor();
-                    let tb = fr.vals[*b as usize].expect_tensor()?.to_f64_tensor();
+                    let ta = fr.vals[*a].expect_tensor()?.to_f64_tensor();
+                    let tb = fr.vals[*b].expect_tensor()?.to_f64_tensor();
                     if ta.rank() != 2 || tb.rank() != 1 || ta.shape()[1] != tb.length() {
                         return Err(RuntimeError::Type("Dot shape mismatch".into()));
                     }
@@ -864,19 +1120,19 @@ impl Machine {
                         m,
                         n,
                     );
-                    fr.vals[*d as usize] = Value::Tensor(Tensor::from_f64(out));
+                    fr.vals[*d] = Value::Tensor(Tensor::from_f64(out));
                 }
                 RegOp::StrLen { d, s } => {
-                    let s = fr.vals[*s as usize].expect_str()?;
-                    fr.ints[*d as usize] = s.chars().count() as i64;
+                    let s = fr.vals[*s].expect_str()?;
+                    fr.ints[*d] = s.chars().count() as i64;
                 }
                 RegOp::StrToCodes { d, s } => {
-                    let s = fr.vals[*s as usize].expect_str()?;
+                    let s = fr.vals[*s].expect_str()?;
                     let codes: Vec<i64> = s.bytes().map(|b| b as i64).collect();
-                    fr.vals[*d as usize] = Value::Tensor(Tensor::from_i64(codes));
+                    fr.vals[*d] = Value::Tensor(Tensor::from_i64(codes));
                 }
                 RegOp::StrFromCodes { d, s } => {
-                    let t = fr.vals[*s as usize].expect_tensor()?;
+                    let t = fr.vals[*s].expect_tensor()?;
                     let Some(codes) = t.as_i64() else {
                         return Err(RuntimeError::Type("FromCharacterCode codes".into()));
                     };
@@ -888,19 +1144,19 @@ impl Machine {
                             .ok_or_else(|| RuntimeError::Type(format!("invalid char code {c}")))?;
                         out.push(ch);
                     }
-                    fr.vals[*d as usize] = Value::Str(Rc::new(out));
+                    fr.vals[*d] = Value::Str(Rc::new(out));
                 }
                 RegOp::StrJoin { d, a, b } => {
-                    let x = fr.vals[*a as usize].expect_str()?;
-                    let y = fr.vals[*b as usize].expect_str()?;
+                    let x = fr.vals[*a].expect_str()?;
+                    let y = fr.vals[*b].expect_str()?;
                     let mut out = String::with_capacity(x.len() + y.len());
                     out.push_str(x);
                     out.push_str(y);
-                    fr.vals[*d as usize] = Value::Str(Rc::new(out));
+                    fr.vals[*d] = Value::Str(Rc::new(out));
                 }
                 RegOp::ExprBin { op, d, a, b } => {
-                    let x = fr.vals[*a as usize].to_expr();
-                    let y = fr.vals[*b as usize].to_expr();
+                    let x = fr.vals[*a].to_expr();
+                    let y = fr.vals[*b].to_expr();
                     let head = match op {
                         ExprOp::Plus => "Plus",
                         ExprOp::Times => "Times",
@@ -918,10 +1174,10 @@ impl Machine {
                             ))
                         }
                     };
-                    fr.vals[*d as usize] = Value::Expr(result);
+                    fr.vals[*d] = Value::Expr(result);
                 }
                 RegOp::ExprUnary { head, d, a } => {
-                    let x = fr.vals[*a as usize].to_expr();
+                    let x = fr.vals[*a].to_expr();
                     let combined = Expr::call(head, [x]);
                     let result = match engine.as_deref_mut() {
                         Some(eng) => eng.eval(&combined)?,
@@ -931,44 +1187,44 @@ impl Machine {
                             ))
                         }
                     };
-                    fr.vals[*d as usize] = Value::Expr(result);
+                    fr.vals[*d] = Value::Expr(result);
                 }
                 RegOp::BoolToExpr { d, s } => {
-                    fr.vals[*d as usize] = Value::Expr(Expr::bool(fr.ints[*s as usize] != 0));
+                    fr.vals[*d] = Value::Expr(Expr::bool(fr.ints[*s] != 0));
                 }
                 RegOp::BoxIV { d, s } => {
-                    fr.vals[*d as usize] = Value::I64(fr.ints[*s as usize]);
+                    fr.vals[*d] = Value::I64(fr.ints[*s]);
                 }
                 RegOp::BoxFV { d, s } => {
-                    fr.vals[*d as usize] = Value::F64(fr.flts[*s as usize]);
+                    fr.vals[*d] = Value::F64(fr.flts[*s]);
                 }
                 RegOp::BoxCV { d, s } => {
-                    let (re, im) = fr.cpxs[*s as usize];
-                    fr.vals[*d as usize] = Value::Complex(re, im);
+                    let (re, im) = fr.cpxs[*s];
+                    fr.vals[*d] = Value::Complex(re, im);
                 }
-                RegOp::RndUnit { d } => fr.flts[*d as usize] = self.next_f64(),
+                RegOp::RndUnit { d } => fr.flts[*d] = self.next_f64(),
                 RegOp::RndRange { d, a, b } => {
-                    let (lo, hi) = (fr.flts[*a as usize], fr.flts[*b as usize]);
-                    fr.flts[*d as usize] = lo + (hi - lo) * self.next_f64();
+                    let (lo, hi) = (fr.flts[*a], fr.flts[*b]);
+                    fr.flts[*d] = lo + (hi - lo) * self.next_f64();
                 }
                 RegOp::MakeClosure { d, f, captures } => {
                     let caps: Vec<Value> = captures
                         .iter()
                         .map(|s| fr.load(*s).into_value(false))
                         .collect();
-                    fr.vals[*d as usize] = Value::Function(Rc::new(FunctionValue {
-                        name: Rc::from(prog.funcs[*f as usize].name.as_str()),
-                        index: *f as usize,
+                    fr.vals[*d] = Value::Function(Rc::new(FunctionValue {
+                        name: Rc::from(prog.funcs[*f].name.as_str()),
+                        index: *f,
                         captures: caps,
                     }));
                 }
                 RegOp::CallFunc { f, args, ret } => {
                     let argv: Vec<ArgVal> = args.iter().map(|s| fr.load(*s)).collect();
-                    let out = self.call_with_engine(prog, *f as usize, argv, engine.as_deref_mut())?;
+                    let out = self.call_with_engine(prog, *f, argv, engine.as_deref_mut())?;
                     fr.store(*ret, out)?;
                 }
                 RegOp::CallValue { fv, args, ret } => {
-                    let fval = fr.vals[*fv as usize].expect_function()?.clone();
+                    let fval = fr.vals[*fv].expect_function()?.clone();
                     let mut argv: Vec<ArgVal> =
                         fval.captures.iter().map(|c| ArgVal::V(c.clone())).collect();
                     // Marshal each arg into the callee's expected bank.
@@ -1012,54 +1268,214 @@ impl Machine {
                     let result = eng.eval(&call)?;
                     fr.store(*ret, ArgVal::V(Value::from_expr(&result)))?;
                 }
-                RegOp::Jmp { pc: t } => pc = *t as usize,
+                RegOp::Jmp { pc: t } => pc = *t,
                 RegOp::Brz { c, pc: t } => {
-                    if fr.ints[*c as usize] == 0 {
+                    if fr.ints[*c] == 0 {
+                        pc = *t;
+                    }
+                }
+                RegOp::BrCmpIFalse { op, a, b, d, pc: t } => {
+                    let v = int_bin(*op, fr.ints[*a as usize], fr.ints[*b as usize])?;
+                    fr.ints[*d as usize] = v;
+                    if v == 0 {
                         pc = *t as usize;
                     }
                 }
-                RegOp::BrCmpIFalse { op, a, b, pc: t } => {
-                    let (x, y) = (fr.ints[*a as usize], fr.ints[*b as usize]);
-                    let cond = match op {
-                        IntOp::Lt => x < y,
-                        IntOp::Le => x <= y,
-                        IntOp::Gt => x > y,
-                        IntOp::Ge => x >= y,
-                        IntOp::Eq => x == y,
-                        IntOp::Ne => x != y,
-                        _ => int_bin(*op, x, y)? != 0,
-                    };
+                RegOp::BrCmpFFalse { op, a, b, d, pc: t } => {
+                    let cond = flt_cmp(*op, fr.flts[*a as usize], fr.flts[*b as usize]);
+                    fr.ints[*d as usize] = cond as i64;
                     if !cond {
                         pc = *t as usize;
                     }
                 }
-                RegOp::BrCmpFFalse { op, a, b, pc: t } => {
-                    let (x, y) = (fr.flts[*a as usize], fr.flts[*b as usize]);
-                    let cond = match op {
-                        CmpCode::Lt => x < y,
-                        CmpCode::Le => x <= y,
-                        CmpCode::Gt => x > y,
-                        CmpCode::Ge => x >= y,
-                        CmpCode::Eq => x == y,
-                        CmpCode::Ne => x != y,
+                RegOp::BrCmpISel { op, a, b, d, pc_false, pc_true } => {
+                    let v = int_bin(*op, fr.ints[*a as usize], fr.ints[*b as usize])?;
+                    fr.ints[*d as usize] = v;
+                    pc = if v == 0 { *pc_false as usize } else { *pc_true as usize };
+                }
+                RegOp::BrCmpFSel { op, a, b, d, pc_false, pc_true } => {
+                    let cond = flt_cmp(*op, fr.flts[*a as usize], fr.flts[*b as usize]);
+                    fr.ints[*d as usize] = cond as i64;
+                    pc = if cond { *pc_true as usize } else { *pc_false as usize };
+                }
+                RegOp::BrzJmp { c, pc_z, pc_nz } => {
+                    pc = if fr.ints[*c as usize] == 0 { *pc_z as usize } else { *pc_nz as usize };
+                }
+                RegOp::IntBin2 { op1, d1, a1, b1, op2, d2, a2, b2 } => {
+                    fr.ints[*d1 as usize] =
+                        int_bin(*op1, fr.ints[*a1 as usize], fr.ints[*b1 as usize])?;
+                    fr.ints[*d2 as usize] =
+                        int_bin(*op2, fr.ints[*a2 as usize], fr.ints[*b2 as usize])?;
+                }
+                RegOp::IntBinImm2 { op1, d1, a1, imm1, op2, d2, a2, imm2 } => {
+                    fr.ints[*d1 as usize] = int_bin(*op1, fr.ints[*a1 as usize], *imm1 as i64)?;
+                    fr.ints[*d2 as usize] = int_bin(*op2, fr.ints[*a2 as usize], *imm2 as i64)?;
+                }
+                RegOp::IntBinImmJmp { op, d, a, imm, pc: t } => {
+                    fr.ints[*d as usize] = int_bin(*op, fr.ints[*a as usize], *imm as i64)?;
+                    pc = *t as usize;
+                }
+                RegOp::FltBin2 { op1, d1, a1, b1, op2, d2, a2, b2 } => {
+                    fr.flts[*d1 as usize] =
+                        flt_bin(*op1, fr.flts[*a1 as usize], fr.flts[*b1 as usize])?;
+                    fr.flts[*d2 as usize] =
+                        flt_bin(*op2, fr.flts[*a2 as usize], fr.flts[*b2 as usize])?;
+                }
+                RegOp::TenPart1IntBin { e, t, i, op, d, a, b } => {
+                    let ix = fr.ints[*i as usize];
+                    let tt = fr.vals[*t as usize].expect_tensor()?;
+                    let off = tt.resolve_index(ix)?;
+                    let TensorData::I64(v) = tt.data() else {
+                        return Err(RuntimeError::Type("tensor element kind mismatch".into()));
                     };
-                    if !cond {
+                    fr.ints[*e as usize] = v[off];
+                    fr.ints[*d as usize] =
+                        int_bin(*op, fr.ints[*a as usize], fr.ints[*b as usize])?;
+                }
+                RegOp::TenPart1IntBinImm { e, t, i, op, d, a, imm } => {
+                    let ix = fr.ints[*i as usize];
+                    let tt = fr.vals[*t as usize].expect_tensor()?;
+                    let off = tt.resolve_index(ix)?;
+                    let TensorData::I64(v) = tt.data() else {
+                        return Err(RuntimeError::Type("tensor element kind mismatch".into()));
+                    };
+                    fr.ints[*e as usize] = v[off];
+                    fr.ints[*d as usize] = int_bin(*op, fr.ints[*a as usize], *imm as i64)?;
+                }
+                RegOp::TenPart2FltBin { e, t, i, j, op, d, a, b } => {
+                    let (ix, jx) = (fr.ints[*i as usize], fr.ints[*j as usize]);
+                    let tt = fr.vals[*t as usize].expect_tensor()?;
+                    if tt.rank() != 2 {
+                        return Err(RuntimeError::Type("Part[_,i,j] on non-matrix".into()));
+                    }
+                    let cols = tt.shape()[1];
+                    let r = checked::resolve_part_index(ix, tt.shape()[0])?;
+                    let c = checked::resolve_part_index(jx, cols)?;
+                    let off = r * cols + c;
+                    fr.flts[*e as usize] = match tt.data() {
+                        TensorData::F64(v) => v[off],
+                        TensorData::I64(v) => v[off] as f64,
+                        _ => {
+                            return Err(RuntimeError::Type("tensor element kind mismatch".into()))
+                        }
+                    };
+                    fr.flts[*d as usize] =
+                        flt_bin(*op, fr.flts[*a as usize], fr.flts[*b as usize])?;
+                }
+                RegOp::TakeVTenSet1 { dv, sv, kind, t, i, v } => {
+                    fr.vals[*dv as usize] =
+                        std::mem::replace(&mut fr.vals[*sv as usize], Value::Null);
+                    let ix = fr.ints[*i as usize];
+                    let value = match kind {
+                        ElemKind::I64 => ArgVal::I(fr.ints[*v as usize]),
+                        ElemKind::F64 => ArgVal::F(fr.flts[*v as usize]),
+                        ElemKind::C64 => {
+                            let (re, im) = fr.cpxs[*v as usize];
+                            ArgVal::C(re, im)
+                        }
+                    };
+                    let Value::Tensor(tensor) = &mut fr.vals[*t as usize] else {
+                        return Err(RuntimeError::Type("SetPart on non-tensor".into()));
+                    };
+                    let off = tensor.resolve_index(ix)?;
+                    tensor_store(tensor, off, value)?;
+                }
+                RegOp::TakeVTenSet2 { dv, sv, kind, t, i, j, v } => {
+                    fr.vals[*dv as usize] =
+                        std::mem::replace(&mut fr.vals[*sv as usize], Value::Null);
+                    let (ix, jx) = (fr.ints[*i as usize], fr.ints[*j as usize]);
+                    let value = match kind {
+                        ElemKind::I64 => ArgVal::I(fr.ints[*v as usize]),
+                        ElemKind::F64 => ArgVal::F(fr.flts[*v as usize]),
+                        ElemKind::C64 => {
+                            let (re, im) = fr.cpxs[*v as usize];
+                            ArgVal::C(re, im)
+                        }
+                    };
+                    let Value::Tensor(tensor) = &mut fr.vals[*t as usize] else {
+                        return Err(RuntimeError::Type("SetPart on non-tensor".into()));
+                    };
+                    if tensor.rank() != 2 {
+                        return Err(RuntimeError::Type("SetPart2 on non-matrix".into()));
+                    }
+                    let cols = tensor.shape()[1];
+                    let r = checked::resolve_part_index(ix, tensor.shape()[0])?;
+                    let c = checked::resolve_part_index(jx, cols)?;
+                    tensor_store(tensor, r * cols + c, value)?;
+                }
+                RegOp::MovIJmp { d, s, pc: t } => {
+                    fr.ints[*d as usize] = fr.ints[*s as usize];
+                    pc = *t as usize;
+                }
+                RegOp::Mov2I { d1, s1, d2, s2 } => {
+                    fr.ints[*d1 as usize] = fr.ints[*s1 as usize];
+                    fr.ints[*d2 as usize] = fr.ints[*s2 as usize];
+                }
+                RegOp::Mov2IJmp { d1, s1, d2, s2, pc: t } => {
+                    fr.ints[*d1 as usize] = fr.ints[*s1 as usize];
+                    fr.ints[*d2 as usize] = fr.ints[*s2 as usize];
+                    pc = *t as usize;
+                }
+                RegOp::Release2 { v1, v2 } => {
+                    for v in [*v1 as usize, *v2 as usize] {
+                        if fr.acquired[v] {
+                            wolfram_runtime::memory::record_release();
+                            fr.acquired[v] = false;
+                        }
+                    }
+                }
+                RegOp::AbortBrCmpISel { op, a, b, d, pc_false, pc_true } => {
+                    self.abort.check()?;
+                    let v = int_bin(*op, fr.ints[*a as usize], fr.ints[*b as usize])?;
+                    fr.ints[*d as usize] = v;
+                    pc = if v == 0 { *pc_false as usize } else { *pc_true as usize };
+                }
+                RegOp::AbortBrCmpIFalse { op, a, b, d, pc: t } => {
+                    self.abort.check()?;
+                    let v = int_bin(*op, fr.ints[*a as usize], fr.ints[*b as usize])?;
+                    fr.ints[*d as usize] = v;
+                    if v == 0 {
                         pc = *t as usize;
                     }
+                }
+                RegOp::IntBinImmMovI { op, d, a, imm, d2, s2 } => {
+                    fr.ints[*d as usize] = int_bin(*op, fr.ints[*a as usize], *imm as i64)?;
+                    fr.ints[*d2 as usize] = fr.ints[*s2 as usize];
+                }
+                RegOp::MovCJmp { d, s, pc: t } => {
+                    fr.cpxs[*d as usize] = fr.cpxs[*s as usize];
+                    pc = *t as usize;
+                }
+                RegOp::IntBinImmMov2IJmp { op, d, a, imm, d2, s2, d3, s3, pc: t } => {
+                    fr.ints[*d as usize] = int_bin(*op, fr.ints[*a as usize], *imm as i64)?;
+                    fr.ints[*d2 as usize] = fr.ints[*s2 as usize];
+                    fr.ints[*d3 as usize] = fr.ints[*s3 as usize];
+                    pc = *t as usize;
+                }
+                RegOp::FltCmpMovI { op, d, a, b, d2, s2 } => {
+                    fr.ints[*d as usize] =
+                        flt_cmp(*op, fr.flts[*a as usize], fr.flts[*b as usize]) as i64;
+                    fr.ints[*d2 as usize] = fr.ints[*s2 as usize];
+                }
+                RegOp::FltCmpMovIJmp { op, d, a, b, d2, s2, pc: t } => {
+                    fr.ints[*d as usize] =
+                        flt_cmp(*op, fr.flts[*a as usize], fr.flts[*b as usize]) as i64;
+                    fr.ints[*d2 as usize] = fr.ints[*s2 as usize];
+                    pc = *t as usize;
                 }
                 RegOp::AbortCheck => self.abort.check()?,
                 RegOp::Acquire { v } => {
-                    if fr.vals[*v as usize].is_managed() {
+                    if fr.vals[*v].is_managed() {
                         wolfram_runtime::memory::record_acquire();
-                        fr.acquired[*v as usize] = true;
+                        fr.acquired[*v] = true;
                     }
                 }
                 RegOp::Release { v } => {
                     // Balanced with the acquire even if the value has been
                     // moved out of the slot meanwhile (TakeV).
-                    if fr.acquired[*v as usize] {
+                    if fr.acquired[*v] {
                         wolfram_runtime::memory::record_release();
-                        fr.acquired[*v as usize] = false;
+                        fr.acquired[*v] = false;
                     }
                 }
                 RegOp::Ret { s } => return Ok(fr.load(*s)),
@@ -1107,6 +1523,43 @@ fn int_bin(op: IntOp, x: i64, y: i64) -> Result<i64, RuntimeError> {
         IntOp::And => ((x != 0) && (y != 0)) as i64,
         IntOp::Or => ((x != 0) || (y != 0)) as i64,
     })
+}
+
+#[inline(always)]
+fn flt_bin(op: FltOp, x: f64, y: f64) -> Result<f64, RuntimeError> {
+    Ok(match op {
+        FltOp::Add => x + y,
+        FltOp::Sub => x - y,
+        FltOp::Mul => x * y,
+        FltOp::Div => {
+            if y == 0.0 {
+                return Err(RuntimeError::DivideByZero);
+            }
+            x / y
+        }
+        FltOp::Pow => x.powf(y),
+        FltOp::Mod => {
+            if y == 0.0 {
+                return Err(RuntimeError::DivideByZero);
+            }
+            x - y * (x / y).floor()
+        }
+        FltOp::Min => x.min(y),
+        FltOp::Max => x.max(y),
+        FltOp::ArcTan2 => y.atan2(x),
+    })
+}
+
+#[inline(always)]
+fn flt_cmp(op: CmpCode, x: f64, y: f64) -> bool {
+    match op {
+        CmpCode::Lt => x < y,
+        CmpCode::Le => x <= y,
+        CmpCode::Gt => x > y,
+        CmpCode::Ge => x >= y,
+        CmpCode::Eq => x == y,
+        CmpCode::Ne => x != y,
+    }
 }
 
 fn pow_mod_i64(base: i64, exp: i64, m: i64) -> Result<i64, RuntimeError> {
@@ -1254,7 +1707,7 @@ fn tensor_scalar_elementwise(
 mod tests {
     use super::*;
 
-    fn onefunc(code: Vec<RegOp>, params: Vec<Slot>, banks: (u32, u32, u32, u32)) -> NativeProgram {
+    fn onefunc(code: Vec<RegOp>, params: Vec<Slot>, banks: (usize, usize, usize, usize)) -> NativeProgram {
         NativeProgram {
             funcs: vec![NativeFunc {
                 name: "Main".into(),
@@ -1377,7 +1830,7 @@ mod tests {
                 RegOp::MakeClosure { d: 0, f: 1, captures: vec![] },
                 RegOp::CallValue {
                     fv: 0,
-                    args: vec![Slot::new(Bank::I, 0)],
+                    args: Box::new([Slot::new(Bank::I, 0)]),
                     ret: Slot::new(Bank::I, 1),
                 },
                 RegOp::Ret { s: Slot::new(Bank::I, 1) },
@@ -1399,7 +1852,7 @@ mod tests {
             vec![
                 RegOp::CallKernel {
                     head: Rc::from("Plus"),
-                    args: vec![],
+                    args: Box::new([]),
                     ret: Slot::new(Bank::V, 0),
                 },
                 RegOp::Ret { s: Slot::new(Bank::V, 0) },

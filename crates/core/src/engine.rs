@@ -342,6 +342,19 @@ impl CompiledCodeFunction {
         }
     }
 
+    /// Enables or disables the cached machine's op-frequency/dyad profiler
+    /// (the data source for `reproduce -- opstats`).
+    pub fn profile_ops(&self, enable: bool) {
+        self.machine.borrow_mut().profile_ops(enable);
+    }
+
+    /// Takes the cached machine's accumulated execution statistics
+    /// (op/dyad frequencies while profiling, frame-pool hits/misses
+    /// always), resetting the counters.
+    pub fn take_op_stats(&self) -> wolfram_codegen::OpStats {
+        self.machine.borrow_mut().take_stats()
+    }
+
     /// Installs this compiled function into its hosting engine under
     /// `name`: interpreted code then calls it "as if they were any other
     /// Wolfram Language function" (F1). Requires a hosting engine.

@@ -56,6 +56,10 @@ pub struct CompilerOptions {
     pub disabled_passes: HashSet<String>,
     /// Model the §6 "non-optimal handling of constant arrays" (PrimeQ).
     pub naive_constant_arrays: bool,
+    /// Rewrite the native code with superinstructions after register
+    /// allocation (fused compare-and-branch, tensor load-op/op-store,
+    /// multiply-add, back-edge folding). Off gives the ablation baseline.
+    pub superinstruction_fusion: bool,
 }
 
 impl Default for CompilerOptions {
@@ -68,6 +72,7 @@ impl Default for CompilerOptions {
             inline_policy: InlinePolicy::Automatic,
             disabled_passes: HashSet::new(),
             naive_constant_arrays: false,
+            superinstruction_fusion: true,
         }
     }
 }
@@ -130,14 +135,25 @@ impl Default for Compiler {
     }
 }
 
+/// The builtin backend registry, with the Assembler backend mirroring the
+/// `SuperinstructionFusion` option so exports show the code that runs.
+fn registry_for(options: &CompilerOptions) -> BackendRegistry {
+    let mut backends = BackendRegistry::new();
+    backends.register(std::rc::Rc::new(wolfram_codegen::AsmBackend {
+        fuse: options.superinstruction_fusion,
+    }));
+    backends
+}
+
 impl Compiler {
     /// A compiler with the builtin macro and type environments.
     pub fn new(options: CompilerOptions) -> Self {
+        let backends = registry_for(&options);
         Compiler {
             options,
             macros: MacroEnvironment::builtin(),
             types: stdlib::builtin_type_environment(),
-            backends: BackendRegistry::new(),
+            backends,
             timings: RefCell::new(Vec::new()),
         }
     }
@@ -149,7 +165,8 @@ impl Compiler {
         macros: MacroEnvironment,
         types: TypeEnvironment,
     ) -> Self {
-        Compiler { options, macros, types, backends: BackendRegistry::new(), timings: RefCell::new(Vec::new()) }
+        let backends = registry_for(&options);
+        Compiler { options, macros, types, backends, timings: RefCell::new(Vec::new()) }
     }
 
     fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
@@ -232,8 +249,15 @@ impl Compiler {
     pub fn generate_native(&self, pm: &ProgramModule) -> Result<NativeProgram, CompileError> {
         let opts =
             LowerOptions { naive_constant_arrays: self.options.naive_constant_arrays };
-        self.time("code-generation", || lower_program_with(pm, &opts))
-            .map_err(CompileError::Codegen)
+        let mut native = self
+            .time("code-generation", || lower_program_with(pm, &opts))
+            .map_err(CompileError::Codegen)?;
+        if self.options.superinstruction_fusion {
+            self.time("superinstruction-fusion", || {
+                wolfram_codegen::fuse_program(&mut native)
+            });
+        }
+        Ok(native)
     }
 
     /// `FunctionCompile` (§4.1): compiles a `Function[...]` expression into
@@ -434,8 +458,7 @@ mod tests {
 
     #[test]
     fn optimization_level_zero_keeps_code() {
-        let mut options = CompilerOptions::default();
-        options.optimization_level = 0;
+        let options = CompilerOptions { optimization_level: 0, ..CompilerOptions::default() };
         let compiler = Compiler::new(options);
         let cf = compiler
             .function_compile_src("Function[{Typed[n, \"MachineInteger\"]}, 1 + 2 + n]")
@@ -447,8 +470,7 @@ mod tests {
     fn abort_handling_toggle() {
         // AbortHandling -> False removes the checks (the Native`AbortInhibit
         // benchmark mode).
-        let mut options = CompilerOptions::default();
-        options.abort_handling = false;
+        let options = CompilerOptions { abort_handling: false, ..CompilerOptions::default() };
         let compiler = Compiler::new(options);
         let f = parse(
             "Function[{Typed[n, \"MachineInteger\"]}, \

@@ -230,8 +230,8 @@ impl BigInt {
         let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry: u64 = 0;
-        for i in 0..long.len() {
-            let sum = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+        for (i, &digit) in long.iter().enumerate() {
+            let sum = digit as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
             out.push(sum as u32);
             carry = sum >> BASE_BITS;
         }
@@ -245,8 +245,8 @@ impl BigInt {
     fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
         let mut out = Vec::with_capacity(a.len());
         let mut borrow: i64 = 0;
-        for i in 0..a.len() {
-            let mut diff = a[i] as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
+        for (i, &digit) in a.iter().enumerate() {
+            let mut diff = digit as i64 - b.get(i).copied().unwrap_or(0) as i64 - borrow;
             if diff < 0 {
                 diff += 1 << BASE_BITS;
                 borrow = 1;
@@ -331,6 +331,7 @@ impl std::ops::Add for &BigInt {
 
 impl std::ops::Sub for &BigInt {
     type Output = BigInt;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a - b == a + (-b)
     fn sub(self, rhs: &BigInt) -> BigInt {
         self + &rhs.neg()
     }

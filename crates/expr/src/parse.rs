@@ -209,9 +209,15 @@ impl Parser {
             TokenKind::Punct("-") => {
                 let operand = self.parse_expr(139)?;
                 Ok(match operand.as_i64() {
-                    Some(v) => Expr::int(-v),
+                    Some(v) => match v.checked_neg() {
+                        Some(n) => Expr::int(n),
+                        None => Expr::big(crate::bigint::BigInt::from(v).neg()),
+                    },
                     None => match operand.kind() {
                         crate::expr::ExprKind::Real(v) => Expr::real(-v),
+                        // `-9223372036854775808` lexes as BigInteger(2^63);
+                        // negating must land back on the machine integer.
+                        crate::expr::ExprKind::BigInteger(b) => Expr::big(b.neg()),
                         _ => Expr::call("Times", [Expr::int(-1), operand]),
                     },
                 })

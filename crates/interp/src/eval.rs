@@ -70,8 +70,12 @@ pub struct Interpreter {
     /// Compiled functions installed into this engine (F1): looked up after
     /// builtins and before `DownValues`. The hook receives evaluated
     /// arguments and returns the boxed result.
-    native_functions: HashMap<String, Rc<dyn Fn(&mut Interpreter, &[Expr]) -> Result<Expr, RuntimeError>>>,
+    native_functions: HashMap<String, NativeHook>,
 }
+
+/// An installed compiled function (F1): receives evaluated arguments and
+/// returns the boxed result.
+pub type NativeHook = Rc<dyn Fn(&mut Interpreter, &[Expr]) -> Result<Expr, RuntimeError>>;
 
 impl Default for Interpreter {
     fn default() -> Self {
@@ -294,11 +298,7 @@ impl Interpreter {
     /// Installs a compiled function under `name` (the compiled code's
     /// seamless interpreter integration, F1). Subsequent evaluations of
     /// `name[args...]` call the hook with evaluated arguments.
-    pub fn register_native(
-        &mut self,
-        name: &str,
-        hook: Rc<dyn Fn(&mut Interpreter, &[Expr]) -> Result<Expr, RuntimeError>>,
-    ) {
+    pub fn register_native(&mut self, name: &str, hook: NativeHook) {
         self.native_functions.insert(name.to_owned(), hook);
     }
 

@@ -813,7 +813,7 @@ fn memory_management(f: &mut Function) -> bool {
     for ((b, ix), instrs) in {
         let mut v: Vec<_> = inserts.into_iter().collect();
         // Insert from the back so earlier indices stay valid.
-        v.sort_by(|a, b| b.0.cmp(&a.0));
+        v.sort_by_key(|e| std::cmp::Reverse(e.0));
         v
     } {
         let block = f.block_mut(b);
@@ -870,7 +870,8 @@ mod tests {
         assert!(simplify_cfg(&mut f));
         verify_function(&f).unwrap();
         // After fusion the entry returns the constant directly.
-        assert!(dce(&mut f) || true);
+        // DCE may or may not fire depending on what simplify_cfg left behind.
+        let _ = dce(&mut f);
         assert!(matches!(
             f.block(f.entry).terminator(),
             Some(Instr::Return { value: Operand::Const(Constant::I64(10)) })

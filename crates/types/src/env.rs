@@ -287,9 +287,12 @@ impl TypeEnvironment {
     }
 }
 
+/// Bound-name → fresh solver variable mapping produced by [`instantiate`].
+pub type InstMap = Vec<(Rc<str>, crate::ty::TypeVar)>;
+
 /// Instantiates a scheme: replaces bound names with fresh solver variables.
 /// Returns the body, the qualifiers, and the name->var mapping.
-pub fn instantiate(scheme: &Type, subst: &mut Subst) -> (Type, Vec<Qualifier>, Vec<(Rc<str>, crate::ty::TypeVar)>) {
+pub fn instantiate(scheme: &Type, subst: &mut Subst) -> (Type, Vec<Qualifier>, InstMap) {
     match scheme {
         Type::ForAll { vars, quals, body } => {
             let mut map = Vec::new();

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 verification (ROADMAP.md) plus lint.
+#
+#   tier-1:  cargo build --release && cargo test -q
+#   lint:    cargo clippy --all-targets -- -D warnings
+#
+# Run from the repository root: ./scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> lint: cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> lint (workspace): cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all checks passed"

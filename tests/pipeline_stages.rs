@@ -82,8 +82,7 @@ fn optimization_levels_agree_on_results() {
     let src = "Function[{Typed[n, \"MachineInteger\"]}, \
                Module[{s = 0, i = 1}, While[i <= n, s = s + i*i; i = i + 1]; s]]";
     let baseline = Compiler::default().function_compile_src(src).unwrap();
-    let mut opts = CompilerOptions::default();
-    opts.optimization_level = 0;
+    let opts = CompilerOptions { optimization_level: 0, ..CompilerOptions::default() };
     let unopt = Compiler::new(opts).function_compile_src(src).unwrap();
     for n in [0i64, 1, 10, 100] {
         assert_eq!(

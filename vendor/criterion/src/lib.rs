@@ -1,0 +1,121 @@
+//! Minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset used by this workspace: `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, group-level
+//! `sample_size`, `bench_function(|b| b.iter(..))`, and `finish`.
+//!
+//! Measurement model: `Bencher::iter` first calibrates a batch size so
+//! one batch takes ≳20 ms, then times `sample_size` batches and reports
+//! the median ns/iteration (median of batch means). That is cruder than
+//! real criterion's bootstrap statistics but stable enough to compare
+//! configurations of the same workload.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\ngroup: {name}");
+        BenchmarkGroup { name: name.to_string(), sample_size: 12 }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of measured batches per benchmark (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, median_ns: 0.0 };
+        f(&mut b);
+        println!("  {}/{id}: {}", self.name, format_ns(b.median_ns));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    samples: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until one batch takes ≳20 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(20) || batch >= 1 << 28 {
+                break;
+            }
+            // Aim directly for the 20 ms target once we have signal.
+            let grow = if elapsed < Duration::from_micros(100) {
+                16
+            } else {
+                ((Duration::from_millis(25).as_nanos() / elapsed.as_nanos().max(1)) as u64).clamp(2, 64)
+            };
+            batch = batch.saturating_mul(grow);
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Declares a benchmark group runner function named `$name`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

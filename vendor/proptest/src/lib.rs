@@ -1,0 +1,798 @@
+//! Minimal, offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API used by this workspace's
+//! property tests: the `proptest!` macro, the `Strategy` trait (numeric
+//! ranges, tuples, `prop_map`, `prop_recursive`, `boxed`), `Just`,
+//! `prop_oneof!`, `any::<T>()`, `prop::collection::vec`,
+//! `prop::sample::select`, regex-subset string strategies, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: no shrinking, and rejected cases
+//! (`prop_assume!`) are retried with the next deterministic seed. Each
+//! case derives its RNG from a fixed seed plus the case index, so
+//! failures reproduce run-to-run.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic SplitMix64 stream used to drive value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed ^ 0xA076_1D64_78BD_642F }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; returns 0 for an empty bound.
+        pub fn gen_usize(&mut self, bound: usize) -> usize {
+            if bound == 0 {
+                0
+            } else {
+                (self.next_u64() % bound as u64) as usize
+            }
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        pub fn gen_bool(&mut self, p: f64) -> bool {
+            self.unit_f64() < p
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case did not satisfy a `prop_assume!` precondition.
+        Reject(String),
+        /// The property failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+                TestCaseError::Fail(r) => write!(f, "failed: {r}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives `config.cases` accepted cases through `case`, panicking on
+    /// the first failure. Rejections consume a retry budget instead of a
+    /// case.
+    pub fn run_proptest_cases(
+        config: &ProptestConfig,
+        mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+    ) {
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let mut seed_index = 0u64;
+        while accepted < config.cases {
+            let seed = 0xC0FF_EE00_0000_0000u64 ^ seed_index.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let mut rng = TestRng::from_seed(seed);
+            let outcome = case(&mut rng);
+            seed_index += 1;
+            match outcome {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > config.cases.saturating_mul(16) + 256 {
+                        panic!("proptest: too many rejected cases ({rejected})");
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest: property failed at case {accepted} (seed index {}): {msg}",
+                        seed_index - 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a
+    /// strategy is just a deterministic function of the RNG stream.
+    pub trait Strategy: Clone {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, func: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U + Clone,
+        {
+            Map { strategy: self, func }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy::new(move |rng| self.generate(rng))
+        }
+
+        /// Builds a recursive strategy by unrolling `recurse` to a fixed
+        /// depth; `_desired_size` and `_expected_branch` are accepted for
+        /// API compatibility but unused.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut strat = self.clone().boxed();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                let base = self.clone().boxed();
+                strat = BoxedStrategy::new(move |rng| {
+                    if rng.gen_bool(0.5) {
+                        deeper.generate(rng)
+                    } else {
+                        base.generate(rng)
+                    }
+                });
+            }
+            strat
+        }
+    }
+
+    /// Type-erased strategy (cheaply clonable).
+    pub struct BoxedStrategy<T> {
+        generator: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> BoxedStrategy<T> {
+        pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+            BoxedStrategy { generator: Rc::new(f) }
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { generator: Rc::clone(&self.generator) }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.generator)(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        strategy: S,
+        func: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U + Clone,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.func)(self.strategy.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Clone for OneOf<T> {
+        fn clone(&self) -> Self {
+            OneOf { options: self.options.clone() }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let ix = rng.gen_usize(self.options.len());
+            self.options[ix].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// String literals act as regex-subset strategies producing `String`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy, reachable through `any::<T>()`.
+    pub trait Arbitrary: Sized + 'static {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct Any<A> {
+        _marker: PhantomData<A>,
+    }
+
+    impl<A> Clone for Any<A> {
+        fn clone(&self) -> Self {
+            Any { _marker: PhantomData }
+        }
+    }
+
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any { _marker: PhantomData }
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty => $cast:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Bias towards boundary values so overflow paths and
+                    // edge cases are exercised even without shrinking.
+                    if rng.gen_usize(8) == 0 {
+                        const EDGES: [$t; 5] = [0, 1, <$t>::MAX, <$t>::MIN, <$t>::MAX / 2];
+                        EDGES[rng.gen_usize(EDGES.len())]
+                    } else {
+                        rng.next_u64() as $cast as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(
+        i64 => i64,
+        i32 => u32,
+        i16 => u16,
+        i8 => u8,
+        u64 => u64,
+        u32 => u32,
+        u16 => u16,
+        u8 => u8,
+        usize => usize,
+    );
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Mix of unit-interval and wide-magnitude values.
+            let unit = rng.unit_f64();
+            match rng.gen_usize(4) {
+                0 => unit,
+                1 => (unit - 0.5) * 2e6,
+                2 => (unit - 0.5) * 2e-6,
+                _ => (unit - 0.5) * 2e12,
+            }
+        }
+    }
+
+    macro_rules! tuple_arbitrary {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($name::arbitrary(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_arbitrary!((A)(A, B)(A, B, C)(A, B, C, D));
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Element count for `vec`: either a `Range<usize>` or an exact size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.max_exclusive - self.size.min;
+            let len = self.size.min + rng.gen_usize(span);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a fixed list of values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    #[derive(Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_usize(self.options.len())].clone()
+        }
+    }
+}
+
+pub mod string {
+    //! Generator for the regex subset used as string strategies:
+    //! concatenations of literal characters and character classes
+    //! (ranges, escapes, negation, `&&`-intersection), each with an
+    //! optional `?`, `*`, `+`, `{n}`, or `{m,n}` quantifier.
+
+    use crate::test_runner::TestRng;
+
+    const PRINTABLE: std::ops::RangeInclusive<u8> = 0x20..=0x7E;
+
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set: Vec<char> = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1);
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    i += 2;
+                    vec![chars[i - 1]]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i);
+            let n = min + rng.gen_usize(max - min + 1);
+            for _ in 0..n {
+                if !set.is_empty() {
+                    out.push(set[rng.gen_usize(set.len())]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a class body starting just after `[`, returning the
+    /// character set and the index just past the closing `]`.
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let negate = chars.get(i) == Some(&'^');
+        if negate {
+            i += 1;
+        }
+        let mut set: Vec<char> = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            if chars[i] == '&' && chars.get(i + 1) == Some(&'&') {
+                // Intersection with the following (possibly negated) class.
+                i += 2;
+                assert_eq!(chars.get(i), Some(&'['), "&& must be followed by a class");
+                let (other, next) = parse_class(chars, i + 1);
+                i = next;
+                set.retain(|c| other.contains(c));
+                continue;
+            }
+            let lo = if chars[i] == '\\' {
+                i += 2;
+                chars[i - 1]
+            } else {
+                i += 1;
+                chars[i - 1]
+            };
+            if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+                i += 1; // consume '-'
+                let hi = if chars[i] == '\\' {
+                    i += 2;
+                    chars[i - 1]
+                } else {
+                    i += 1;
+                    chars[i - 1]
+                };
+                for c in lo..=hi {
+                    set.push(c);
+                }
+            } else {
+                set.push(lo);
+            }
+        }
+        i += 1; // consume ']'
+        if negate {
+            let excluded = set;
+            let set: Vec<char> =
+                PRINTABLE.map(char::from).filter(|c| !excluded.contains(c)).collect();
+            (set, i)
+        } else {
+            (set, i)
+        }
+    }
+
+    /// Parses an optional quantifier at `*i`, returning (min, max) counts.
+    fn parse_quantifier(chars: &[char], i: &mut usize) -> (usize, usize) {
+        match chars.get(*i) {
+            Some('?') => {
+                *i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *i += 1;
+                (1, 8)
+            }
+            Some('{') => {
+                let close = chars[*i..].iter().position(|&c| c == '}').expect("unclosed {") + *i;
+                let body: String = chars[*i + 1..close].iter().collect();
+                *i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                $crate::test_runner::run_proptest_cases(&__config, |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __rng);)+
+                    let __outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    __outcome
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    ::core::stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!("assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`", __l, __r),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+                            __l,
+                            __r,
+                            ::std::format!($($fmt)+),
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!("assertion failed: `left != right`\n  both: `{:?}`", __l),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::core::stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::test_runner::TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = crate::string::generate_from_pattern("[a-z][a-zA-Z0-9]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+
+            let t = crate::string::generate_from_pattern("-?[1-9][0-9]{0,3}", &mut rng);
+            let t2 = t.strip_prefix('-').unwrap_or(&t);
+            assert!(t2.parse::<i64>().is_ok(), "{t}");
+            assert!(!t2.starts_with('0'));
+
+            let u = crate::string::generate_from_pattern("[ -~&&[^\"\\\\]]{0,12}", &mut rng);
+            assert!(u.len() <= 12);
+            assert!(u.chars().all(|c| (' '..='~').contains(&c) && c != '"' && c != '\\'), "{u}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_respect_bounds(a in -5i64..9, b in 0usize..4) {
+            prop_assert!((-5..9).contains(&a));
+            prop_assert!(b < 4);
+        }
+
+        #[test]
+        fn assume_skips(a in 0i64..10) {
+            prop_assume!(a != 3);
+            prop_assert_ne!(a, 3);
+        }
+
+        #[test]
+        fn oneof_and_vec_compose(
+            xs in crate::collection::vec(prop_oneof![0i64..3, 10i64..13], 0..8)
+        ) {
+            for x in xs {
+                prop_assert!((0..3).contains(&x) || (10..13).contains(&x));
+            }
+        }
+    }
+}
