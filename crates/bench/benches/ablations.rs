@@ -14,17 +14,26 @@ fn options(f: impl FnOnce(&mut CompilerOptions)) -> Compiler {
 
 fn bench_abort_checking(c: &mut Criterion) {
     let data = workloads::random_bytes_tensor(100_000, 17);
-    let with = options(|_| {}).function_compile_src(programs::HISTOGRAM_SRC).unwrap();
+    let with = options(|_| {})
+        .function_compile_src(programs::HISTOGRAM_SRC)
+        .unwrap();
     let without = options(|o| o.abort_handling = false)
         .function_compile_src(programs::HISTOGRAM_SRC)
         .unwrap();
     let dv = Value::Tensor(data);
     let mut g = c.benchmark_group("abort-checking-histogram");
     g.bench_function("abortable", |b| {
-        b.iter(|| with.call(std::hint::black_box(std::slice::from_ref(&dv))).unwrap())
+        b.iter(|| {
+            with.call(std::hint::black_box(std::slice::from_ref(&dv)))
+                .unwrap()
+        })
     });
     g.bench_function("abort-inhibited", |b| {
-        b.iter(|| without.call(std::hint::black_box(std::slice::from_ref(&dv))).unwrap())
+        b.iter(|| {
+            without
+                .call(std::hint::black_box(std::slice::from_ref(&dv)))
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -42,10 +51,17 @@ fn bench_inlining(c: &mut Criterion) {
     let n = Value::I64(500_000);
     let mut g = c.benchmark_group("inlining");
     g.bench_function("automatic", |b| {
-        b.iter(|| auto.call(std::hint::black_box(std::slice::from_ref(&n))).unwrap())
+        b.iter(|| {
+            auto.call(std::hint::black_box(std::slice::from_ref(&n)))
+                .unwrap()
+        })
     });
     g.bench_function("never", |b| {
-        b.iter(|| never.call(std::hint::black_box(std::slice::from_ref(&n))).unwrap())
+        b.iter(|| {
+            never
+                .call(std::hint::black_box(std::slice::from_ref(&n)))
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -54,28 +70,42 @@ fn bench_constant_arrays(c: &mut Criterion) {
     let table = workloads::prime_seed_table();
     let src = programs::primeq_src(&table);
     let optimized = options(|_| {}).function_compile_src(&src).unwrap();
-    let naive =
-        options(|o| o.naive_constant_arrays = true).function_compile_src(&src).unwrap();
+    let naive = options(|o| o.naive_constant_arrays = true)
+        .function_compile_src(&src)
+        .unwrap();
     let limit = Value::I64(8_000);
     let mut g = c.benchmark_group("constant-arrays-primeq");
     g.sample_size(10);
     g.bench_function("optimized", |b| {
-        b.iter(|| optimized.call(std::hint::black_box(std::slice::from_ref(&limit))).unwrap())
+        b.iter(|| {
+            optimized
+                .call(std::hint::black_box(std::slice::from_ref(&limit)))
+                .unwrap()
+        })
     });
     g.bench_function("naive", |b| {
-        b.iter(|| naive.call(std::hint::black_box(std::slice::from_ref(&limit))).unwrap())
+        b.iter(|| {
+            naive
+                .call(std::hint::black_box(std::slice::from_ref(&limit)))
+                .unwrap()
+        })
     });
     g.finish();
 }
 
 fn bench_mutability_copy(c: &mut Criterion) {
     let input = workloads::sorted_list(1 << 13);
-    let cf = options(|_| {}).function_compile_src(programs::QSORT_SRC).unwrap();
+    let cf = options(|_| {})
+        .function_compile_src(programs::QSORT_SRC)
+        .unwrap();
     let iv = Value::Tensor(input.clone());
     let mut g = c.benchmark_group("mutability-copy-qsort");
     g.sample_size(20);
     g.bench_function("compiled-with-copy", |b| {
-        b.iter(|| cf.call(std::hint::black_box(&[iv.clone(), Value::Bool(true)])).unwrap())
+        b.iter(|| {
+            cf.call(std::hint::black_box(&[iv.clone(), Value::Bool(true)]))
+                .unwrap()
+        })
     });
     g.bench_function("native-in-place", |b| {
         let mut scratch = input.as_i64().unwrap().to_vec();

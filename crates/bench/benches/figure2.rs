@@ -13,7 +13,10 @@ use wolfram_compiler_core::{Compiler, CompilerOptions};
 use wolfram_runtime::Value;
 
 fn compiler(abort: bool) -> Compiler {
-    Compiler::new(CompilerOptions { abort_handling: abort, ..CompilerOptions::default() })
+    Compiler::new(CompilerOptions {
+        abort_handling: abort,
+        ..CompilerOptions::default()
+    })
 }
 
 fn bench_fnv1a(c: &mut Criterion) {
@@ -26,16 +29,32 @@ fn bench_fnv1a(c: &mut Criterion) {
     )
     .unwrap();
     let sv = Value::Str(Rc::new(input.clone()));
-    let codes =
-        Value::Tensor(wolfram_runtime::Tensor::from_i64(input.bytes().map(i64::from).collect()));
+    let codes = Value::Tensor(wolfram_runtime::Tensor::from_i64(
+        input.bytes().map(i64::from).collect(),
+    ));
     let mut g = c.benchmark_group("fnv1a");
-    g.bench_function("native", |b| b.iter(|| native::fnv1a32(std::hint::black_box(input.as_bytes()))));
-    g.bench_function("new", |b| b.iter(|| new_cf.call(std::hint::black_box(std::slice::from_ref(&sv))).unwrap()));
+    g.bench_function("native", |b| {
+        b.iter(|| native::fnv1a32(std::hint::black_box(input.as_bytes())))
+    });
+    g.bench_function("new", |b| {
+        b.iter(|| {
+            new_cf
+                .call(std::hint::black_box(std::slice::from_ref(&sv)))
+                .unwrap()
+        })
+    });
     g.bench_function("new-noabort", |b| {
-        b.iter(|| new_na.call(std::hint::black_box(std::slice::from_ref(&sv))).unwrap())
+        b.iter(|| {
+            new_na
+                .call(std::hint::black_box(std::slice::from_ref(&sv)))
+                .unwrap()
+        })
     });
     g.bench_function("bytecode", |b| {
-        b.iter(|| bc.run(std::hint::black_box(std::slice::from_ref(&codes))).unwrap())
+        b.iter(|| {
+            bc.run(std::hint::black_box(std::slice::from_ref(&codes)))
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -51,13 +70,28 @@ fn bench_mandelbrot(c: &mut Criterion) {
     // One interior pixel (max iterations) — the hot case.
     let pt = Value::Complex(-0.5, 0.2);
     let mut g = c.benchmark_group("mandelbrot-pixel");
-    g.bench_function("native", |b| b.iter(|| native::mandelbrot_iters(-0.5, 0.2, 1000)));
-    g.bench_function("new", |b| b.iter(|| new_cf.call(std::hint::black_box(std::slice::from_ref(&pt))).unwrap()));
+    g.bench_function("native", |b| {
+        b.iter(|| native::mandelbrot_iters(-0.5, 0.2, 1000))
+    });
+    g.bench_function("new", |b| {
+        b.iter(|| {
+            new_cf
+                .call(std::hint::black_box(std::slice::from_ref(&pt)))
+                .unwrap()
+        })
+    });
     g.bench_function("new-noabort", |b| {
-        b.iter(|| new_na.call(std::hint::black_box(std::slice::from_ref(&pt))).unwrap())
+        b.iter(|| {
+            new_na
+                .call(std::hint::black_box(std::slice::from_ref(&pt)))
+                .unwrap()
+        })
     });
     g.bench_function("bytecode", |b| {
-        b.iter(|| bc.run(std::hint::black_box(std::slice::from_ref(&pt))).unwrap())
+        b.iter(|| {
+            bc.run(std::hint::black_box(std::slice::from_ref(&pt)))
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -77,10 +111,17 @@ fn bench_dot(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("native", |b| b.iter(|| native::dot(&a, &bm)));
     g.bench_function("new", |b| {
-        b.iter(|| new_cf.call(std::hint::black_box(&[av.clone(), bv.clone()])).unwrap())
+        b.iter(|| {
+            new_cf
+                .call(std::hint::black_box(&[av.clone(), bv.clone()]))
+                .unwrap()
+        })
     });
     g.bench_function("bytecode", |b| {
-        b.iter(|| bc.run(std::hint::black_box(&[av.clone(), bv.clone()])).unwrap())
+        b.iter(|| {
+            bc.run(std::hint::black_box(&[av.clone(), bv.clone()]))
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -91,19 +132,31 @@ fn bench_blur(c: &mut Criterion) {
     let new_cf = programs::compile_new(&compiler(true), programs::BLUR_SRC);
     let new_na = programs::compile_new(&compiler(false), programs::BLUR_SRC);
     let bc = programs::compile_bytecode(
-        &[ArgSpec::tensor_real("img"), ArgSpec::int("h"), ArgSpec::int("w")],
+        &[
+            ArgSpec::tensor_real("img"),
+            ArgSpec::int("h"),
+            ArgSpec::int("w"),
+        ],
         programs::BLUR_BYTECODE_BODY,
     )
     .unwrap();
-    let args = vec![Value::Tensor(img.clone()), Value::I64(n as i64), Value::I64(n as i64)];
+    let args = vec![
+        Value::Tensor(img.clone()),
+        Value::I64(n as i64),
+        Value::I64(n as i64),
+    ];
     let mut g = c.benchmark_group("blur");
     g.sample_size(20);
     g.bench_function("native", |b| b.iter(|| native::blur(&img, n, n)));
-    g.bench_function("new", |b| b.iter(|| new_cf.call(std::hint::black_box(&args)).unwrap()));
+    g.bench_function("new", |b| {
+        b.iter(|| new_cf.call(std::hint::black_box(&args)).unwrap())
+    });
     g.bench_function("new-noabort", |b| {
         b.iter(|| new_na.call(std::hint::black_box(&args)).unwrap())
     });
-    g.bench_function("bytecode", |b| b.iter(|| bc.run(std::hint::black_box(&args)).unwrap()));
+    g.bench_function("bytecode", |b| {
+        b.iter(|| bc.run(std::hint::black_box(&args)).unwrap())
+    });
     g.finish();
 }
 
@@ -118,13 +171,28 @@ fn bench_histogram(c: &mut Criterion) {
     .unwrap();
     let dv = Value::Tensor(data.clone());
     let mut g = c.benchmark_group("histogram");
-    g.bench_function("native", |b| b.iter(|| native::histogram(data.as_i64().unwrap())));
-    g.bench_function("new", |b| b.iter(|| new_cf.call(std::hint::black_box(std::slice::from_ref(&dv))).unwrap()));
+    g.bench_function("native", |b| {
+        b.iter(|| native::histogram(data.as_i64().unwrap()))
+    });
+    g.bench_function("new", |b| {
+        b.iter(|| {
+            new_cf
+                .call(std::hint::black_box(std::slice::from_ref(&dv)))
+                .unwrap()
+        })
+    });
     g.bench_function("new-noabort", |b| {
-        b.iter(|| new_na.call(std::hint::black_box(std::slice::from_ref(&dv))).unwrap())
+        b.iter(|| {
+            new_na
+                .call(std::hint::black_box(std::slice::from_ref(&dv)))
+                .unwrap()
+        })
     });
     g.bench_function("bytecode", |b| {
-        b.iter(|| bc.run(std::hint::black_box(std::slice::from_ref(&dv))).unwrap())
+        b.iter(|| {
+            bc.run(std::hint::black_box(std::slice::from_ref(&dv)))
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -143,7 +211,11 @@ fn bench_primeq(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("native", |b| b.iter(|| native::prime_count(limit as u64)));
     g.bench_function("new", |b| {
-        b.iter(|| new_cf.call(std::hint::black_box(&[Value::I64(limit)])).unwrap())
+        b.iter(|| {
+            new_cf
+                .call(std::hint::black_box(&[Value::I64(limit)]))
+                .unwrap()
+        })
     });
     g.bench_function("bytecode", |b| {
         b.iter(|| bc.run(std::hint::black_box(&[Value::I64(limit)])).unwrap())
@@ -161,7 +233,11 @@ fn bench_qsort(c: &mut Criterion) {
         b.iter(|| native::qsort(input.as_i64().unwrap(), native::less))
     });
     g.bench_function("new", |b| {
-        b.iter(|| new_cf.call(std::hint::black_box(&[iv.clone(), Value::Bool(true)])).unwrap())
+        b.iter(|| {
+            new_cf
+                .call(std::hint::black_box(&[iv.clone(), Value::Bool(true)]))
+                .unwrap()
+        })
     });
     // No bytecode variant: QSort cannot be represented (L1).
     g.finish();

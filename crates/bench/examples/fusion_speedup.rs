@@ -5,7 +5,7 @@
 use std::rc::Rc;
 use std::time::Instant;
 use wolfram_bench::{programs, workloads};
-use wolfram_compiler_core::{Compiler, CompiledCodeFunction, CompilerOptions};
+use wolfram_compiler_core::{CompiledCodeFunction, Compiler, CompilerOptions};
 use wolfram_runtime::Value;
 
 const ROUNDS: usize = 9;
@@ -75,7 +75,12 @@ fn mandelbrot(quick: bool) -> f64 {
     }
     let run = |cf: &CompiledCodeFunction| -> i64 {
         grid.iter()
-            .map(|&(re, im)| cf.call(&[Value::Complex(re, im)]).unwrap().expect_i64().unwrap())
+            .map(|&(re, im)| {
+                cf.call(&[Value::Complex(re, im)])
+                    .unwrap()
+                    .expect_i64()
+                    .unwrap()
+            })
             .sum()
     };
     assert_eq!(run(&on), run(&off));
@@ -124,5 +129,8 @@ fn main() {
     ];
     let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
     let over = speedups.iter().filter(|s| **s >= 1.15).count();
-    println!("geomean {geomean:.3}x | benchmarks at >=1.15x: {over}/{}", speedups.len());
+    println!(
+        "geomean {geomean:.3}x | benchmarks at >=1.15x: {over}/{}",
+        speedups.len()
+    );
 }

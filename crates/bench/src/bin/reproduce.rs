@@ -2,23 +2,87 @@
 //!
 //! ```text
 //! reproduce [figure2|table1|intro|ablations|opstats|compile-times|all] [--quick]
+//! reproduce difftest [--iters N] [--seed S] [--out DIR] [--no-shrink]
 //! ```
 //!
 //! `--quick` shrinks the workloads (CI-sized); without it the paper's §6
 //! parameters are used. Build with `--release` for meaningful numbers.
+//!
+//! `difftest` runs the tri-engine differential fuzzer instead: it exits
+//! nonzero if any divergence (or compile hole) survives, and writes shrunk
+//! counterexample artifacts into `--out` (default `difftest/found`).
 
 use wolfram_bench::{ablations, harness, intro, opstats, table1};
 use wolfram_compiler_core::Compiler;
 
+/// `difftest` subcommand: long-running differential fuzzing with artifact
+/// output, used locally and by the scheduled CI job.
+fn run_difftest(args: &[String]) -> ! {
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let iters: u64 = flag("--iters").map_or(2_000, |v| v.parse().expect("--iters N"));
+    let seed: u64 = flag("--seed").map_or(0xD1FF_7E57, |v| v.parse().expect("--seed S"));
+    let out = std::path::PathBuf::from(flag("--out").unwrap_or_else(|| "difftest/found".into()));
+    let shrink = !args.iter().any(|a| a == "--no-shrink");
+
+    let cfg = wolfram_difftest::FuzzConfig {
+        seed,
+        iters,
+        shrink,
+    };
+    println!("difftest: {iters} iterations from seed {seed:#x}");
+    let start = std::time::Instant::now();
+    let report = wolfram_difftest::run_fuzz(&cfg);
+    println!(
+        "{} in {:.1}s",
+        report.summary(),
+        start.elapsed().as_secs_f64()
+    );
+
+    for (s, msg) in &report.prepare_samples {
+        println!("  prepare failure (seed {s}): {msg}");
+    }
+    for case in &report.divergences {
+        println!("\nDIVERGENCE (seed {}):", case.seed);
+        println!("  original: {}", case.original);
+        println!("  shrunk:   {}", case.shrunk.func.to_input_form());
+        println!("  note:     {}", case.shrunk.note);
+        match case.shrunk.write_to(&out) {
+            Ok(path) => println!("  artifact: {}", path.display()),
+            Err(e) => println!("  artifact write failed: {e}"),
+        }
+    }
+    let clean = report.divergences.is_empty()
+        && report.prepare_failures == 0
+        && report.roundtrip_failures == 0;
+    std::process::exit(i32::from(!clean));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "difftest") {
+        run_difftest(&args[1..]);
+    }
     let quick = args.iter().any(|a| a == "--quick");
-    let what =
-        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
-    let scale = if quick { harness::Scale::quick() } else { harness::Scale::paper() };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
+    let scale = if quick {
+        harness::Scale::quick()
+    } else {
+        harness::Scale::paper()
+    };
 
     if matches!(what.as_str(), "figure2" | "all") {
-        println!("== Figure 2 ({} scale) ==", if quick { "quick" } else { "paper" });
+        println!(
+            "== Figure 2 ({} scale) ==",
+            if quick { "quick" } else { "paper" }
+        );
         let rows = harness::figure2(&scale);
         print!("{}", harness::render_figure2(&rows));
         println!();
@@ -64,7 +128,10 @@ fn main() {
         } else {
             (2_000_000, 1_000_000, 50_000, 1 << 15)
         };
-        println!("{}", ablations::inline_ablation(iters, scale.repetitions).render());
+        println!(
+            "{}",
+            ablations::inline_ablation(iters, scale.repetitions).render()
+        );
         println!(
             "{}",
             ablations::abort_ablation_histogram(hist_n, scale.repetitions).render()

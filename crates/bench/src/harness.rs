@@ -125,7 +125,10 @@ impl Figure2Row {
 }
 
 fn compiler_with(abort: bool) -> Compiler {
-    Compiler::new(CompilerOptions { abort_handling: abort, ..CompilerOptions::default() })
+    Compiler::new(CompilerOptions {
+        abort_handling: abort,
+        ..CompilerOptions::default()
+    })
 }
 
 /// Runs the full Figure 2 suite at the given scale.
@@ -153,23 +156,35 @@ pub fn figure2(scale: &Scale) -> Vec<Figure2Row> {
         )
         .expect("fnv1a bytecode");
         let s_value = Value::Str(Rc::new(input.clone()));
-        let codes =
-            Value::Tensor(wolfram_runtime::Tensor::from_i64(input.bytes().map(i64::from).collect()));
-        assert_eq!(new_cf.call(std::slice::from_ref(&s_value)).unwrap(), Value::I64(expected));
-        assert_eq!(bc.run(std::slice::from_ref(&codes)).unwrap(), Value::I64(expected));
+        let codes = Value::Tensor(wolfram_runtime::Tensor::from_i64(
+            input.bytes().map(i64::from).collect(),
+        ));
+        assert_eq!(
+            new_cf.call(std::slice::from_ref(&s_value)).unwrap(),
+            Value::I64(expected)
+        );
+        assert_eq!(
+            bc.run(std::slice::from_ref(&codes)).unwrap(),
+            Value::I64(expected)
+        );
         rows.push(Figure2Row {
             name: "FNV1a",
             native_secs: bench_seconds(reps, || {
                 std::hint::black_box(native::fnv1a32(input.as_bytes()));
             }),
             new_secs: bench_seconds(reps, || {
-                new_cf.call(std::hint::black_box(std::slice::from_ref(&s_value))).unwrap();
+                new_cf
+                    .call(std::hint::black_box(std::slice::from_ref(&s_value)))
+                    .unwrap();
             }),
             new_noabort_secs: bench_seconds(reps, || {
-                new_cf_na.call(std::hint::black_box(std::slice::from_ref(&s_value))).unwrap();
+                new_cf_na
+                    .call(std::hint::black_box(std::slice::from_ref(&s_value)))
+                    .unwrap();
             }),
             bytecode_secs: Some(bench_seconds(reps, || {
-                bc.run(std::hint::black_box(std::slice::from_ref(&codes))).unwrap();
+                bc.run(std::hint::black_box(std::slice::from_ref(&codes)))
+                    .unwrap();
             })),
             bytecode_error: None,
         });
@@ -199,9 +214,8 @@ pub fn figure2(scale: &Scale) -> Vec<Figure2Row> {
             }
             pts
         };
-        let run_compiled = |f: &dyn Fn(f64, f64) -> i64| -> i64 {
-            grid.iter().map(|&(re, im)| f(re, im)).sum()
-        };
+        let run_compiled =
+            |f: &dyn Fn(f64, f64) -> i64| -> i64 { grid.iter().map(|&(re, im)| f(re, im)).sum() };
         assert_eq!(
             run_compiled(&|re, im| new_cf
                 .call(&[Value::Complex(re, im)])
@@ -217,17 +231,28 @@ pub fn figure2(scale: &Scale) -> Vec<Figure2Row> {
             }),
             new_secs: bench_seconds(reps, || {
                 std::hint::black_box(run_compiled(&|re, im| {
-                    new_cf.call(&[Value::Complex(re, im)]).unwrap().expect_i64().unwrap()
+                    new_cf
+                        .call(&[Value::Complex(re, im)])
+                        .unwrap()
+                        .expect_i64()
+                        .unwrap()
                 }));
             }),
             new_noabort_secs: bench_seconds(reps, || {
                 std::hint::black_box(run_compiled(&|re, im| {
-                    new_cf_na.call(&[Value::Complex(re, im)]).unwrap().expect_i64().unwrap()
+                    new_cf_na
+                        .call(&[Value::Complex(re, im)])
+                        .unwrap()
+                        .expect_i64()
+                        .unwrap()
                 }));
             }),
             bytecode_secs: Some(bench_seconds(reps, || {
                 std::hint::black_box(run_compiled(&|re, im| {
-                    bc.run(&[Value::Complex(re, im)]).unwrap().expect_i64().unwrap()
+                    bc.run(&[Value::Complex(re, im)])
+                        .unwrap()
+                        .expect_i64()
+                        .unwrap()
                 }));
             })),
             bytecode_error: None,
@@ -253,13 +278,18 @@ pub fn figure2(scale: &Scale) -> Vec<Figure2Row> {
                 std::hint::black_box(native::dot(&a, &b));
             }),
             new_secs: bench_seconds(reps, || {
-                new_cf.call(std::hint::black_box(&[av.clone(), bv.clone()])).unwrap();
+                new_cf
+                    .call(std::hint::black_box(&[av.clone(), bv.clone()]))
+                    .unwrap();
             }),
             new_noabort_secs: bench_seconds(reps, || {
-                new_cf_na.call(std::hint::black_box(&[av.clone(), bv.clone()])).unwrap();
+                new_cf_na
+                    .call(std::hint::black_box(&[av.clone(), bv.clone()]))
+                    .unwrap();
             }),
             bytecode_secs: Some(bench_seconds(reps, || {
-                bc.run(std::hint::black_box(&[av.clone(), bv.clone()])).unwrap();
+                bc.run(std::hint::black_box(&[av.clone(), bv.clone()]))
+                    .unwrap();
             })),
             bytecode_error: None,
         });
@@ -272,11 +302,19 @@ pub fn figure2(scale: &Scale) -> Vec<Figure2Row> {
         let new_cf = programs::compile_new(&compiler, programs::BLUR_SRC);
         let new_cf_na = programs::compile_new(&compiler_noabort, programs::BLUR_SRC);
         let bc = programs::compile_bytecode(
-            &[ArgSpec::tensor_real("img"), ArgSpec::int("h"), ArgSpec::int("w")],
+            &[
+                ArgSpec::tensor_real("img"),
+                ArgSpec::int("h"),
+                ArgSpec::int("w"),
+            ],
             programs::BLUR_BYTECODE_BODY,
         )
         .expect("blur bytecode");
-        let args = vec![Value::Tensor(img.clone()), Value::I64(n as i64), Value::I64(n as i64)];
+        let args = vec![
+            Value::Tensor(img.clone()),
+            Value::I64(n as i64),
+            Value::I64(n as i64),
+        ];
         rows.push(Figure2Row {
             name: "Blur",
             native_secs: bench_seconds(reps, || {
@@ -308,7 +346,13 @@ pub fn figure2(scale: &Scale) -> Vec<Figure2Row> {
         .expect("histogram bytecode");
         let dv = Value::Tensor(data.clone());
         assert_eq!(
-            new_cf.call(std::slice::from_ref(&dv)).unwrap().expect_tensor().unwrap().as_i64().unwrap(),
+            new_cf
+                .call(std::slice::from_ref(&dv))
+                .unwrap()
+                .expect_tensor()
+                .unwrap()
+                .as_i64()
+                .unwrap(),
             expected.as_slice()
         );
         rows.push(Figure2Row {
@@ -317,13 +361,18 @@ pub fn figure2(scale: &Scale) -> Vec<Figure2Row> {
                 std::hint::black_box(native::histogram(data.as_i64().unwrap()));
             }),
             new_secs: bench_seconds(reps, || {
-                new_cf.call(std::hint::black_box(std::slice::from_ref(&dv))).unwrap();
+                new_cf
+                    .call(std::hint::black_box(std::slice::from_ref(&dv)))
+                    .unwrap();
             }),
             new_noabort_secs: bench_seconds(reps, || {
-                new_cf_na.call(std::hint::black_box(std::slice::from_ref(&dv))).unwrap();
+                new_cf_na
+                    .call(std::hint::black_box(std::slice::from_ref(&dv)))
+                    .unwrap();
             }),
             bytecode_secs: Some(bench_seconds(reps, || {
-                bc.run(std::hint::black_box(std::slice::from_ref(&dv))).unwrap();
+                bc.run(std::hint::black_box(std::slice::from_ref(&dv)))
+                    .unwrap();
             })),
             bytecode_error: None,
         });
@@ -342,17 +391,24 @@ pub fn figure2(scale: &Scale) -> Vec<Figure2Row> {
             &programs::primeq_bytecode_body(&table),
         )
         .expect("primeq bytecode");
-        assert_eq!(new_cf.call(&[Value::I64(limit)]).unwrap(), Value::I64(expected));
+        assert_eq!(
+            new_cf.call(&[Value::I64(limit)]).unwrap(),
+            Value::I64(expected)
+        );
         rows.push(Figure2Row {
             name: "PrimeQ",
             native_secs: bench_seconds(reps, || {
                 std::hint::black_box(native::prime_count(limit as u64));
             }),
             new_secs: bench_seconds(reps, || {
-                new_cf.call(std::hint::black_box(&[Value::I64(limit)])).unwrap();
+                new_cf
+                    .call(std::hint::black_box(&[Value::I64(limit)]))
+                    .unwrap();
             }),
             new_noabort_secs: bench_seconds(reps, || {
-                new_cf_na.call(std::hint::black_box(&[Value::I64(limit)])).unwrap();
+                new_cf_na
+                    .call(std::hint::black_box(&[Value::I64(limit)]))
+                    .unwrap();
             }),
             bytecode_secs: Some(bench_seconds(reps, || {
                 bc.run(std::hint::black_box(&[Value::I64(limit)])).unwrap();
@@ -378,17 +434,24 @@ pub fn figure2(scale: &Scale) -> Vec<Figure2Row> {
             .expect_tensor()
             .unwrap()
             .clone();
-        assert_eq!(sorted.as_i64().unwrap(), native::qsort(input.as_i64().unwrap(), native::less));
+        assert_eq!(
+            sorted.as_i64().unwrap(),
+            native::qsort(input.as_i64().unwrap(), native::less)
+        );
         rows.push(Figure2Row {
             name: "QSort",
             native_secs: bench_seconds(reps, || {
                 std::hint::black_box(native::qsort(input.as_i64().unwrap(), native::less));
             }),
             new_secs: bench_seconds(reps, || {
-                new_cf.call(std::hint::black_box(&[iv.clone(), Value::Bool(true)])).unwrap();
+                new_cf
+                    .call(std::hint::black_box(&[iv.clone(), Value::Bool(true)]))
+                    .unwrap();
             }),
             new_noabort_secs: bench_seconds(reps, || {
-                new_cf_na.call(std::hint::black_box(&[iv.clone(), Value::Bool(true)])).unwrap();
+                new_cf_na
+                    .call(std::hint::black_box(&[iv.clone(), Value::Bool(true)]))
+                    .unwrap();
             }),
             bytecode_secs: None,
             bytecode_error: Some(bytecode_error.to_string()),
@@ -400,9 +463,8 @@ pub fn figure2(scale: &Scale) -> Vec<Figure2Row> {
 
 /// Renders the Figure 2 table.
 pub fn render_figure2(rows: &[Figure2Row]) -> String {
-    let mut out = String::from(
-        "Figure 2: normalized runtime (lower is better), bytecode capped at 2.5x\n",
-    );
+    let mut out =
+        String::from("Figure 2: normalized runtime (lower is better), bytecode capped at 2.5x\n");
     for r in rows {
         out.push_str(&r.render());
         out.push('\n');

@@ -98,12 +98,19 @@ impl WalkSuite {
     pub fn new() -> Self {
         let interp_f = parse(WALK_INTERPRETED_SRC).expect("interpreted walk source");
         let bytecode = BytecodeCompiler::new()
-            .compile(&[ArgSpec::int("len")], &parse(WALK_BYTECODE_BODY).expect("walk body"))
+            .compile(
+                &[ArgSpec::int("len")],
+                &parse(WALK_BYTECODE_BODY).expect("walk body"),
+            )
             .expect("bytecode walk");
         let compiled = Compiler::default()
             .function_compile_src(WALK_COMPILED_SRC)
             .expect("compiled walk");
-        WalkSuite { interp_f, bytecode, compiled }
+        WalkSuite {
+            interp_f,
+            bytecode,
+            compiled,
+        }
     }
 
     /// Runs the interpreted walk.
@@ -122,7 +129,9 @@ impl WalkSuite {
     ///
     /// Panics on VM failure.
     pub fn run_bytecode(&self, len: i64) -> Value {
-        self.bytecode.run(&[Value::I64(len)]).expect("bytecode walk")
+        self.bytecode
+            .run(&[Value::I64(len)])
+            .expect("bytecode walk")
     }
 
     /// Runs the compiled walk.
@@ -131,7 +140,9 @@ impl WalkSuite {
     ///
     /// Panics on machine failure.
     pub fn run_compiled(&self, len: i64) -> Value {
-        self.compiled.call(&[Value::I64(len)]).expect("compiled walk")
+        self.compiled
+            .call(&[Value::I64(len)])
+            .expect("compiled walk")
     }
 
     /// Times all three at a given length.
@@ -215,8 +226,9 @@ pub fn findroot_speedup(solves: usize) -> FindRootTimings {
 /// solves of the same equation reuse the compiled code, as the production
 /// compiler's code cache does).
 pub fn install_cached_auto_compile(engine: &mut Interpreter) {
-    let cache: Rc<RefCell<std::collections::HashMap<String, wolfram_interp::findroot::CompiledUnary>>> =
-        Rc::new(RefCell::new(std::collections::HashMap::new()));
+    let cache: Rc<
+        RefCell<std::collections::HashMap<String, wolfram_interp::findroot::CompiledUnary>>,
+    > = Rc::new(RefCell::new(std::collections::HashMap::new()));
     let hook: wolfram_interp::AutoCompileHook = Rc::new(move |body: &Expr, var| {
         let key = format!("{}@{}", var.name(), body.to_full_form());
         if let Some(hit) = cache.borrow().get(&key) {
@@ -234,9 +246,8 @@ pub fn install_cached_auto_compile(engine: &mut Interpreter) {
             ],
         );
         let compiled = Rc::new(compiler.function_compile(&f).ok()?);
-        let entry: wolfram_interp::findroot::CompiledUnary = Rc::new(move |x: f64| {
-            compiled.call(&[Value::F64(x)])?.expect_f64()
-        });
+        let entry: wolfram_interp::findroot::CompiledUnary =
+            Rc::new(move |x: f64| compiled.call(&[Value::F64(x)])?.expect_f64());
         cache.borrow_mut().insert(key, entry.clone());
         Some(entry)
     });

@@ -34,7 +34,8 @@ pub fn collect(scale: &Scale) -> Vec<BenchProfile> {
     let mut profile = |name: &'static str, src: &str, args: Vec<Value>| {
         let cf = programs::compile_new(&compiler, src);
         cf.profile_ops(true);
-        cf.call(&args).unwrap_or_else(|e| panic!("{name} failed under profiling: {e}"));
+        cf.call(&args)
+            .unwrap_or_else(|e| panic!("{name} failed under profiling: {e}"));
         let stats = cf.take_op_stats();
         cf.profile_ops(false);
         out.push(BenchProfile { name, stats });
@@ -43,11 +44,18 @@ pub fn collect(scale: &Scale) -> Vec<BenchProfile> {
     profile(
         "FNV1a",
         programs::FNV1A_SRC,
-        vec![Value::Str(Rc::new(workloads::random_string(scale.string_len, 0x5eed)))],
+        vec![Value::Str(Rc::new(workloads::random_string(
+            scale.string_len,
+            0x5eed,
+        )))],
     );
     // One representative interior pixel iterates long enough to show the
     // loop body's mix.
-    profile("Mandelbrot", programs::MANDELBROT_SRC, vec![Value::Complex(-0.5, 0.3)]);
+    profile(
+        "Mandelbrot",
+        programs::MANDELBROT_SRC,
+        vec![Value::Complex(-0.5, 0.3)],
+    );
     profile("Dot", programs::DOT_SRC, {
         let n = scale.dot_n.min(64);
         vec![
@@ -66,14 +74,24 @@ pub fn collect(scale: &Scale) -> Vec<BenchProfile> {
     profile(
         "Histogram",
         programs::HISTOGRAM_SRC,
-        vec![Value::Tensor(workloads::random_bytes_tensor(scale.histogram_n, 4))],
+        vec![Value::Tensor(workloads::random_bytes_tensor(
+            scale.histogram_n,
+            4,
+        ))],
     );
     let table = workloads::prime_seed_table();
-    profile("PrimeQ", &programs::primeq_src(&table), vec![Value::I64(scale.prime_limit)]);
+    profile(
+        "PrimeQ",
+        &programs::primeq_src(&table),
+        vec![Value::I64(scale.prime_limit)],
+    );
     profile(
         "QSort",
         programs::QSORT_SRC,
-        vec![Value::Tensor(workloads::sorted_list(scale.qsort_n)), Value::Bool(true)],
+        vec![
+            Value::Tensor(workloads::sorted_list(scale.qsort_n)),
+            Value::Bool(true),
+        ],
     );
     out
 }

@@ -295,10 +295,7 @@ pub fn compile_new(compiler: &Compiler, src: &str) -> CompiledCodeFunction {
 /// # Errors
 ///
 /// Propagates the bytecode compiler's representability errors (QSort).
-pub fn compile_bytecode(
-    specs: &[ArgSpec],
-    body: &str,
-) -> Result<CompiledFunction, CompileError> {
+pub fn compile_bytecode(specs: &[ArgSpec], body: &str) -> Result<CompiledFunction, CompileError> {
     let body = parse(body).map_err(|e| CompileError::Malformed(e.to_string()))?;
     BytecodeCompiler::new().compile(specs, &body)
 }
@@ -318,25 +315,36 @@ mod tests {
         let s = workloads::random_string(1000, 7);
         let cf = compile_new(&compiler(), FNV1A_SRC);
         let got = cf.call(&[Value::Str(std::rc::Rc::new(s.clone()))]).unwrap();
-        assert_eq!(got.expect_i64().unwrap(), crate::native::fnv1a32(s.as_bytes()) as i64);
+        assert_eq!(
+            got.expect_i64().unwrap(),
+            crate::native::fnv1a32(s.as_bytes()) as i64
+        );
         // The bytecode workaround over int codes agrees.
         let bc = compile_bytecode(&[ArgSpec::tensor_int("bytes")], FNV1A_BYTECODE_BODY).unwrap();
         let codes: Vec<i64> = s.bytes().map(|b| b as i64).collect();
-        let got_bc = bc.run(&[Value::Tensor(wolfram_runtime::Tensor::from_i64(codes))]).unwrap();
+        let got_bc = bc
+            .run(&[Value::Tensor(wolfram_runtime::Tensor::from_i64(codes))])
+            .unwrap();
         assert_eq!(got_bc, got);
     }
 
     #[test]
     fn mandelbrot_matches_native() {
         let cf = compile_new(&compiler(), MANDELBROT_SRC);
-        let bc =
-            compile_bytecode(&[ArgSpec::complex("pixel0")], MANDELBROT_BYTECODE_BODY).unwrap();
+        let bc = compile_bytecode(&[ArgSpec::complex("pixel0")], MANDELBROT_BYTECODE_BODY).unwrap();
         for (re, im) in [(0.0, 0.0), (-1.0, 0.3), (0.4, 0.4), (-0.5, 0.5), (1.0, 1.0)] {
             let want = crate::native::mandelbrot_iters(re, im, 1000);
-            let got = cf.call(&[Value::Complex(re, im)]).unwrap().expect_i64().unwrap();
+            let got = cf
+                .call(&[Value::Complex(re, im)])
+                .unwrap()
+                .expect_i64()
+                .unwrap();
             assert_eq!(got, want, "new compiler at ({re},{im})");
-            let got_bc =
-                bc.run(&[Value::Complex(re, im)]).unwrap().expect_i64().unwrap();
+            let got_bc = bc
+                .run(&[Value::Complex(re, im)])
+                .unwrap()
+                .expect_i64()
+                .unwrap();
             assert_eq!(got_bc, want, "bytecode at ({re},{im})");
         }
     }
@@ -363,7 +371,11 @@ mod tests {
         let img = workloads::random_matrix_hw(h, w, 5);
         let cf = compile_new(&compiler(), BLUR_SRC);
         let got = cf
-            .call(&[Value::Tensor(img.clone()), Value::I64(h as i64), Value::I64(w as i64)])
+            .call(&[
+                Value::Tensor(img.clone()),
+                Value::I64(h as i64),
+                Value::I64(w as i64),
+            ])
             .unwrap();
         let want = crate::native::blur(&img, h, w);
         let got_t = got.expect_tensor().unwrap();
@@ -372,12 +384,20 @@ mod tests {
         }
         // Bytecode agrees.
         let bc = compile_bytecode(
-            &[ArgSpec::tensor_real("img"), ArgSpec::int("h"), ArgSpec::int("w")],
+            &[
+                ArgSpec::tensor_real("img"),
+                ArgSpec::int("h"),
+                ArgSpec::int("w"),
+            ],
             BLUR_BYTECODE_BODY,
         )
         .unwrap();
         let got_bc = bc
-            .run(&[Value::Tensor(img), Value::I64(h as i64), Value::I64(w as i64)])
+            .run(&[
+                Value::Tensor(img),
+                Value::I64(h as i64),
+                Value::I64(w as i64),
+            ])
             .unwrap();
         let got_bc = got_bc.expect_tensor().unwrap();
         for (x, y) in got_bc.as_f64().unwrap().iter().zip(want.as_f64().unwrap()) {
@@ -391,11 +411,16 @@ mod tests {
         let cf = compile_new(&compiler(), HISTOGRAM_SRC);
         let got = cf.call(&[Value::Tensor(data.clone())]).unwrap();
         let want = crate::native::histogram(data.as_i64().unwrap());
-        assert_eq!(got.expect_tensor().unwrap().as_i64().unwrap(), want.as_slice());
-        let bc =
-            compile_bytecode(&[ArgSpec::tensor_int("data")], HISTOGRAM_BYTECODE_BODY).unwrap();
+        assert_eq!(
+            got.expect_tensor().unwrap().as_i64().unwrap(),
+            want.as_slice()
+        );
+        let bc = compile_bytecode(&[ArgSpec::tensor_int("data")], HISTOGRAM_BYTECODE_BODY).unwrap();
         let got_bc = bc.run(&[Value::Tensor(data)]).unwrap();
-        assert_eq!(got_bc.expect_tensor().unwrap().as_i64().unwrap(), want.as_slice());
+        assert_eq!(
+            got_bc.expect_tensor().unwrap().as_i64().unwrap(),
+            want.as_slice()
+        );
     }
 
     #[test]
@@ -411,7 +436,11 @@ mod tests {
             assert_eq!(got, want as i64, "limit {limit}");
         }
         let bc = compile_bytecode(&[ArgSpec::int("limit")], &primeq_bytecode_body(&table)).unwrap();
-        let got_bc = bc.run(&[Value::I64(16384 + 500)]).unwrap().expect_i64().unwrap();
+        let got_bc = bc
+            .run(&[Value::I64(16384 + 500)])
+            .unwrap()
+            .expect_i64()
+            .unwrap();
         assert_eq!(got_bc, crate::native::prime_count(16384 + 500) as i64);
     }
 
@@ -419,13 +448,17 @@ mod tests {
     fn qsort_sorts_and_preserves_input() {
         let cf = compile_new(&compiler(), QSORT_SRC);
         let input = wolfram_runtime::Tensor::from_i64(vec![5, 1, 4, 2, 3, 3, -7]);
-        let got = cf.call(&[Value::Tensor(input.clone()), Value::Bool(true)]).unwrap();
+        let got = cf
+            .call(&[Value::Tensor(input.clone()), Value::Bool(true)])
+            .unwrap();
         assert_eq!(
             got.expect_tensor().unwrap().as_i64().unwrap(),
             &[-7, 1, 2, 3, 3, 4, 5]
         );
         // The runtime-selected descending comparator sorts the other way.
-        let got = cf.call(&[Value::Tensor(input.clone()), Value::Bool(false)]).unwrap();
+        let got = cf
+            .call(&[Value::Tensor(input.clone()), Value::Bool(false)])
+            .unwrap();
         assert_eq!(
             got.expect_tensor().unwrap().as_i64().unwrap(),
             &[5, 4, 3, 3, 2, 1, -7]
@@ -440,7 +473,10 @@ mod tests {
                 Value::Bool(true),
             ])
             .unwrap();
-        assert_eq!(got.expect_tensor().unwrap().as_i64().unwrap(), sorted.as_slice());
+        assert_eq!(
+            got.expect_tensor().unwrap().as_i64().unwrap(),
+            sorted.as_slice()
+        );
     }
 
     #[test]

@@ -172,9 +172,7 @@ pub fn probe() -> Vec<FeatureRow> {
                 "Twice",
                 &parse("TypeForAll[{\"a\"}, {Element[\"a\", \"MyClass\"]}, {\"a\"} -> \"a\"]")
                     .unwrap(),
-                wolfram_types::FunctionImpl::Source(
-                    parse("Function[{x}, x + x]").unwrap(),
-                ),
+                wolfram_types::FunctionImpl::Source(parse("Function[{x}, x + x]").unwrap()),
             )
             .unwrap();
         let cf = custom
@@ -194,11 +192,10 @@ pub fn probe() -> Vec<FeatureRow> {
     {
         wolfram_runtime::memory::reset_stats();
         let cf = compiler
-            .function_compile_src(
-                "Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, Length[v]]",
-            )
+            .function_compile_src("Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, Length[v]]")
             .unwrap();
-        cf.call(&[Value::Tensor(wolfram_runtime::Tensor::from_f64(vec![1.0]))]).unwrap();
+        cf.call(&[Value::Tensor(wolfram_runtime::Tensor::from_f64(vec![1.0]))])
+            .unwrap();
         let stats = wolfram_runtime::memory::stats();
         assert!(stats.acquires > 0 && stats.balanced(), "{stats:?}");
         rows.push(FeatureRow {
@@ -240,9 +237,7 @@ pub fn probe() -> Vec<FeatureRow> {
         let eng = engine();
         eng.borrow_mut().eval_src("userFunc[x_] := x * 10").unwrap();
         let cf = compiler
-            .function_compile_src(
-                "Function[{Typed[n, \"MachineInteger\"]}, userFunc[n]]",
-            )
+            .function_compile_src("Function[{Typed[n, \"MachineInteger\"]}, userFunc[n]]")
             .unwrap()
             .hosted(eng);
         let out = cf.call_exprs(&[Expr::int(7)]).unwrap();

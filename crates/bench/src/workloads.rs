@@ -8,7 +8,9 @@ use wolfram_runtime::{Tensor, TensorData};
 pub fn random_string(len: usize, seed: u64) -> String {
     const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..len).map(|_| CHARSET[rng.gen_range(0..CHARSET.len())] as char).collect()
+    (0..len)
+        .map(|_| CHARSET[rng.gen_range(0..CHARSET.len())] as char)
+        .collect()
 }
 
 /// A square random real matrix in [0, 1).

@@ -26,9 +26,16 @@ fn assert_agree(name: &str, src: &str, arg_sets: &[Vec<Value>]) {
     let on = programs::compile_new(&fused, src);
     let off = programs::compile_new(&unfused, src);
     for (ix, args) in arg_sets.iter().enumerate() {
-        let a = on.call(args).unwrap_or_else(|e| panic!("{name} fused run {ix}: {e}"));
-        let b = off.call(args).unwrap_or_else(|e| panic!("{name} unfused run {ix}: {e}"));
-        assert_eq!(a, b, "{name}: fusion changed the result on argument set {ix}");
+        let a = on
+            .call(args)
+            .unwrap_or_else(|e| panic!("{name} fused run {ix}: {e}"));
+        let b = off
+            .call(args)
+            .unwrap_or_else(|e| panic!("{name} unfused run {ix}: {e}"));
+        assert_eq!(
+            a, b,
+            "{name}: fusion changed the result on argument set {ix}"
+        );
     }
 }
 
@@ -36,18 +43,28 @@ fn assert_agree(name: &str, src: &str, arg_sets: &[Vec<Value>]) {
 fn fnv1a_agrees() {
     let args: Vec<Vec<Value>> = [0usize, 1, 97, 1000]
         .iter()
-        .map(|&n| vec![Value::Str(Rc::new(workloads::random_string(n, n as u64 + 3)))])
+        .map(|&n| {
+            vec![Value::Str(Rc::new(workloads::random_string(
+                n,
+                n as u64 + 3,
+            )))]
+        })
         .collect();
     assert_agree("FNV1a", programs::FNV1A_SRC, &args);
 }
 
 #[test]
 fn mandelbrot_agrees() {
-    let args: Vec<Vec<Value>> =
-        [(0.0, 0.0), (-0.5, 0.3), (0.4, 0.4), (-1.0, 0.25), (2.0, 2.0)]
-            .iter()
-            .map(|&(re, im)| vec![Value::Complex(re, im)])
-            .collect();
+    let args: Vec<Vec<Value>> = [
+        (0.0, 0.0),
+        (-0.5, 0.3),
+        (0.4, 0.4),
+        (-1.0, 0.25),
+        (2.0, 2.0),
+    ]
+    .iter()
+    .map(|&(re, im)| vec![Value::Complex(re, im)])
+    .collect();
     assert_agree("Mandelbrot", programs::MANDELBROT_SRC, &args);
 }
 
@@ -69,14 +86,22 @@ fn blur_agrees() {
     assert_agree(
         "Blur",
         programs::BLUR_SRC,
-        &[vec![Value::Tensor(img), Value::I64(n as i64), Value::I64(n as i64)]],
+        &[vec![
+            Value::Tensor(img),
+            Value::I64(n as i64),
+            Value::I64(n as i64),
+        ]],
     );
 }
 
 #[test]
 fn histogram_agrees() {
     let data = workloads::random_bytes_tensor(4096, 4);
-    assert_agree("Histogram", programs::HISTOGRAM_SRC, &[vec![Value::Tensor(data)]]);
+    assert_agree(
+        "Histogram",
+        programs::HISTOGRAM_SRC,
+        &[vec![Value::Tensor(data)]],
+    );
 }
 
 #[test]
@@ -85,18 +110,28 @@ fn primeq_agrees() {
     let src = programs::primeq_src(&table);
     // Limits on both sides of the 2^14 table boundary exercise both the
     // table lookup and the Rabin–Miller loop under fusion.
-    let args: Vec<Vec<Value>> =
-        [100i64, 2000, 16384 + 300].iter().map(|&l| vec![Value::I64(l)]).collect();
+    let args: Vec<Vec<Value>> = [100i64, 2000, 16384 + 300]
+        .iter()
+        .map(|&l| vec![Value::I64(l)])
+        .collect();
     assert_agree("PrimeQ", &src, &args);
 }
 
 #[test]
 fn qsort_agrees() {
     let args: Vec<Vec<Value>> = vec![
-        vec![Value::Tensor(workloads::sorted_list(512)), Value::Bool(true)],
-        vec![Value::Tensor(workloads::sorted_list(512)), Value::Bool(false)],
         vec![
-            Value::Tensor(wolfram_runtime::Tensor::from_i64(vec![5, -1, 3, 3, 0, 9, 2])),
+            Value::Tensor(workloads::sorted_list(512)),
+            Value::Bool(true),
+        ],
+        vec![
+            Value::Tensor(workloads::sorted_list(512)),
+            Value::Bool(false),
+        ],
+        vec![
+            Value::Tensor(wolfram_runtime::Tensor::from_i64(vec![
+                5, -1, 3, 3, 0, 9, 2,
+            ])),
             Value::Bool(true),
         ],
     ];

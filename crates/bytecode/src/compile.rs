@@ -26,27 +26,42 @@ pub struct ArgSpec {
 impl ArgSpec {
     /// A `_Real` parameter (the default).
     pub fn real(name: &str) -> Self {
-        ArgSpec { name: name.into(), ty: VmType::Real }
+        ArgSpec {
+            name: name.into(),
+            ty: VmType::Real,
+        }
     }
 
     /// A `_Integer` parameter.
     pub fn int(name: &str) -> Self {
-        ArgSpec { name: name.into(), ty: VmType::Int }
+        ArgSpec {
+            name: name.into(),
+            ty: VmType::Int,
+        }
     }
 
     /// A `_Complex` parameter.
     pub fn complex(name: &str) -> Self {
-        ArgSpec { name: name.into(), ty: VmType::Complex }
+        ArgSpec {
+            name: name.into(),
+            ty: VmType::Complex,
+        }
     }
 
     /// A packed real array parameter (`{x, _Real, 1}`).
     pub fn tensor_real(name: &str) -> Self {
-        ArgSpec { name: name.into(), ty: VmType::TensorReal }
+        ArgSpec {
+            name: name.into(),
+            ty: VmType::TensorReal,
+        }
     }
 
     /// A packed integer array parameter.
     pub fn tensor_int(name: &str) -> Self {
-        ArgSpec { name: name.into(), ty: VmType::TensorInt }
+        ArgSpec {
+            name: name.into(),
+            ty: VmType::TensorInt,
+        }
     }
 }
 
@@ -91,7 +106,9 @@ impl BytecodeCompiler {
     /// See [`CompileError`].
     pub fn compile_compile_expr(&self, e: &Expr) -> Result<CompiledFunction, CompileError> {
         if !e.has_head("Compile") || e.length() < 2 {
-            return Err(CompileError::Malformed("expected Compile[args, body]".into()));
+            return Err(CompileError::Malformed(
+                "expected Compile[args, body]".into(),
+            ));
         }
         let args_e = &e.args()[0];
         let body = &e.args()[1];
@@ -109,7 +126,14 @@ impl BytecodeCompiler {
                 let ty = match spec.args().get(1) {
                     None => VmType::Real,
                     Some(b) if b.has_head("Blank") => {
-                        match b.args().first().and_then(Expr::as_symbol).as_ref().map(|s| s.name().to_owned()).as_deref() {
+                        match b
+                            .args()
+                            .first()
+                            .and_then(Expr::as_symbol)
+                            .as_ref()
+                            .map(|s| s.name().to_owned())
+                            .as_deref()
+                        {
                             Some("Integer") => VmType::Int,
                             Some("Real") | None => VmType::Real,
                             Some("Complex") => VmType::Complex,
@@ -135,7 +159,10 @@ impl BytecodeCompiler {
                     },
                     _ => ty,
                 };
-                specs.push(ArgSpec { name: name.name().into(), ty });
+                specs.push(ArgSpec {
+                    name: name.name().into(),
+                    ty,
+                });
                 continue;
             }
             return Err(CompileError::Malformed(format!(
@@ -212,7 +239,12 @@ struct Ctx {
 
 impl Ctx {
     fn new() -> Self {
-        Ctx { ops: Vec::new(), nregs: 0, locals: HashMap::new(), loops: Vec::new() }
+        Ctx {
+            ops: Vec::new(),
+            nregs: 0,
+            locals: HashMap::new(),
+            loops: Vec::new(),
+        }
     }
 
     fn fresh(&mut self) -> Reg {
@@ -246,9 +278,16 @@ impl Ctx {
     /// type is unknown, so it "is assumed to be a Real".
     fn eval_escape(&mut self, e: &Expr) -> (Reg, VmType) {
         let d = self.fresh();
-        let env: Vec<(String, Reg)> =
-            self.locals.iter().map(|(name, (reg, _))| (name.clone(), *reg)).collect();
-        self.emit(Op::Eval { d, expr: e.clone(), env });
+        let env: Vec<(String, Reg)> = self
+            .locals
+            .iter()
+            .map(|(name, (reg, _))| (name.clone(), *reg))
+            .collect();
+        self.emit(Op::Eval {
+            d,
+            expr: e.clone(),
+            env,
+        });
         (d, VmType::Real)
     }
 
@@ -259,9 +298,9 @@ impl Ctx {
             ExprKind::Complex(re, im) => {
                 Ok(self.load_const(Value::Complex(*re, *im), VmType::Complex))
             }
-            ExprKind::BigInteger(_) => {
-                Err(CompileError::Unsupported("arbitrary-precision integers".into()))
-            }
+            ExprKind::BigInteger(_) => Err(CompileError::Unsupported(
+                "arbitrary-precision integers".into(),
+            )),
             ExprKind::Str(_) => Err(CompileError::Unsupported("strings".into())),
             ExprKind::Symbol(s) => match s.name() {
                 "True" => Ok(self.load_const(Value::Bool(true), VmType::Bool)),
@@ -400,7 +439,11 @@ impl Ctx {
                 // Literal numeric lists load as packed constant tensors
                 // (the PrimeQ seed table was "pasted into" the legacy
                 // implementations too).
-                if let Some(ints) = args.iter().map(wolfram_expr::Expr::as_i64).collect::<Option<Vec<i64>>>() {
+                if let Some(ints) = args
+                    .iter()
+                    .map(wolfram_expr::Expr::as_i64)
+                    .collect::<Option<Vec<i64>>>()
+                {
                     let d = self.fresh();
                     self.emit(Op::LoadConst {
                         d,
@@ -408,7 +451,11 @@ impl Ctx {
                     });
                     return Ok((d, VmType::TensorInt));
                 }
-                if let Some(reals) = args.iter().map(wolfram_expr::Expr::as_f64).collect::<Option<Vec<f64>>>() {
+                if let Some(reals) = args
+                    .iter()
+                    .map(wolfram_expr::Expr::as_f64)
+                    .collect::<Option<Vec<f64>>>()
+                {
                     let d = self.fresh();
                     self.emit(Op::LoadConst {
                         d,
@@ -420,14 +467,22 @@ impl Ctx {
             }
             ("RandomReal", 0) => {
                 let d = self.fresh();
-                self.emit(Op::RandomReal { d, lo: None, hi: None });
+                self.emit(Op::RandomReal {
+                    d,
+                    lo: None,
+                    hi: None,
+                });
                 Ok((d, VmType::Real))
             }
             ("RandomReal", 1) if args[0].has_head("List") && args[0].length() == 2 => {
                 let (lo, _) = self.expr(&args[0].args()[0])?;
                 let (hi, _) = self.expr(&args[0].args()[1])?;
                 let d = self.fresh();
-                self.emit(Op::RandomReal { d, lo: Some(lo), hi: Some(hi) });
+                self.emit(Op::RandomReal {
+                    d,
+                    lo: Some(lo),
+                    hi: Some(hi),
+                });
                 Ok((d, VmType::Real))
             }
             ("Break", 0) => {
@@ -466,13 +521,21 @@ impl Ctx {
     fn nary(&mut self, op: BinOp, args: &[Expr]) -> Result<(Reg, VmType), CompileError> {
         let mut iter = args.iter();
         let Some(first) = iter.next() else {
-            return Ok(self.load_const(Value::I64(if op == BinOp::Mul { 1 } else { 0 }), VmType::Int));
+            return Ok(self.load_const(
+                Value::I64(if op == BinOp::Mul { 1 } else { 0 }),
+                VmType::Int,
+            ));
         };
         let (mut acc, mut ty) = self.expr(first)?;
         for a in iter {
             let (r, rty) = self.expr(a)?;
             let d = self.fresh();
-            self.emit(Op::Bin { op, d, a: acc, b: r });
+            self.emit(Op::Bin {
+                op,
+                d,
+                a: acc,
+                b: r,
+            });
             acc = d;
             ty = ty.join(rty);
         }
@@ -483,8 +546,20 @@ impl Ctx {
         let (ra, ta) = self.expr(a)?;
         let (rb, tb) = self.expr(b)?;
         let d = self.fresh();
-        self.emit(Op::Bin { op, d, a: ra, b: rb });
-        Ok((d, if op == BinOp::Div { VmType::Real } else { ta.join(tb) }))
+        self.emit(Op::Bin {
+            op,
+            d,
+            a: ra,
+            b: rb,
+        });
+        Ok((
+            d,
+            if op == BinOp::Div {
+                VmType::Real
+            } else {
+                ta.join(tb)
+            },
+        ))
     }
 
     fn unary(&mut self, op: UnOp, a: &Expr) -> Result<(Reg, VmType), CompileError> {
@@ -517,13 +592,23 @@ impl Ctx {
         for a in &args[1..] {
             let (cur, _) = self.expr(a)?;
             let d = self.fresh();
-            self.emit(Op::Cmp { op, d, a: prev, b: cur });
+            self.emit(Op::Cmp {
+                op,
+                d,
+                a: prev,
+                b: cur,
+            });
             result = Some(match result {
                 None => d,
                 Some(acc) => {
                     // acc && d via a tiny dispatch-free min (both bools).
                     let combined = self.fresh();
-                    self.emit(Op::Bin { op: BinOp::Min, d: combined, a: acc, b: d });
+                    self.emit(Op::Bin {
+                        op: BinOp::Min,
+                        d: combined,
+                        a: acc,
+                        b: d,
+                    });
                     combined
                 }
             });
@@ -532,7 +617,11 @@ impl Ctx {
         Ok((result.expect("len checked"), VmType::Bool))
     }
 
-    fn short_circuit(&mut self, args: &[Expr], is_and: bool) -> Result<(Reg, VmType), CompileError> {
+    fn short_circuit(
+        &mut self,
+        args: &[Expr],
+        is_and: bool,
+    ) -> Result<(Reg, VmType), CompileError> {
         let d = self.fresh();
         let mut exit_patches = Vec::new();
         for (ix, a) in args.iter().enumerate() {
@@ -542,14 +631,24 @@ impl Ctx {
                 if is_and {
                     // if !r jump out (result already False in d)
                     let at = self.here();
-                    self.emit(Op::JumpIfFalse { c: r, pc: usize::MAX });
+                    self.emit(Op::JumpIfFalse {
+                        c: r,
+                        pc: usize::MAX,
+                    });
                     exit_patches.push(at);
                 } else {
                     // if r jump out: emulate with Not + JumpIfFalse.
                     let n = self.fresh();
-                    self.emit(Op::Un { op: UnOp::Not, d: n, s: r });
+                    self.emit(Op::Un {
+                        op: UnOp::Not,
+                        d: n,
+                        s: r,
+                    });
                     let at = self.here();
-                    self.emit(Op::JumpIfFalse { c: n, pc: usize::MAX });
+                    self.emit(Op::JumpIfFalse {
+                        c: n,
+                        pc: usize::MAX,
+                    });
                     exit_patches.push(at);
                 }
             }
@@ -654,7 +753,10 @@ impl Ctx {
             [
                 Expr::call("Set", [var.clone(), lo]),
                 Expr::call("LessEqual", [var.clone(), hi]),
-                Expr::call("Set", [var.clone(), Expr::call("Plus", [var, Expr::int(1)])]),
+                Expr::call(
+                    "Set",
+                    [var.clone(), Expr::call("Plus", [var, Expr::int(1)])],
+                ),
                 args[0].clone(),
             ],
         );
@@ -744,7 +846,10 @@ impl Ctx {
             }
             Ok((v, element_type(tty)))
         } else {
-            Err(CompileError::Malformed(format!("cannot assign to {}", lhs.to_input_form())))
+            Err(CompileError::Malformed(format!(
+                "cannot assign to {}",
+                lhs.to_input_form()
+            )))
         }
     }
 
@@ -764,7 +869,12 @@ impl Ctx {
         self.emit(Op::Move { d: old, s: slot });
         let (one, _) = self.load_const(Value::I64(delta), VmType::Int);
         let sum = self.fresh();
-        self.emit(Op::Bin { op: BinOp::Add, d: sum, a: slot, b: one });
+        self.emit(Op::Bin {
+            op: BinOp::Add,
+            d: sum,
+            a: slot,
+            b: one,
+        });
         self.emit(Op::Move { d: slot, s: sum });
         Ok((if pre { slot } else { old }, ty))
     }
@@ -779,11 +889,18 @@ impl Ctx {
             return Err(CompileError::Malformed("compound assignment target".into()));
         };
         let Some(&(slot, ty)) = self.locals.get(s.name()) else {
-            return Err(CompileError::Malformed(format!("assignment to unknown {s}")));
+            return Err(CompileError::Malformed(format!(
+                "assignment to unknown {s}"
+            )));
         };
         let (r, rty) = self.expr(rhs)?;
         let d = self.fresh();
-        self.emit(Op::Bin { op, d, a: slot, b: r });
+        self.emit(Op::Bin {
+            op,
+            d,
+            a: slot,
+            b: r,
+        });
         self.emit(Op::Move { d: slot, s: d });
         let joined = ty.join(rty);
         self.locals.insert(s.name().into(), (slot, joined));
@@ -815,23 +932,37 @@ mod tests {
     use wolfram_runtime::Value;
 
     fn run(specs: &[ArgSpec], src: &str, args: &[Value]) -> Value {
-        let cf = BytecodeCompiler::new().compile(specs, &parse(src).unwrap()).unwrap();
+        let cf = BytecodeCompiler::new()
+            .compile(specs, &parse(src).unwrap())
+            .unwrap();
         cf.run(args).unwrap()
     }
 
     #[test]
     fn arithmetic() {
-        assert_eq!(run(&[ArgSpec::int("x")], "x^2 + 1", &[Value::I64(6)]), Value::I64(37));
-        assert_eq!(run(&[ArgSpec::real("x")], "Sin[x]", &[Value::F64(0.0)]), Value::F64(0.0));
+        assert_eq!(
+            run(&[ArgSpec::int("x")], "x^2 + 1", &[Value::I64(6)]),
+            Value::I64(37)
+        );
+        assert_eq!(
+            run(&[ArgSpec::real("x")], "Sin[x]", &[Value::F64(0.0)]),
+            Value::F64(0.0)
+        );
         assert_eq!(run(&[], "Min[3, 7]", &[]), Value::I64(3));
     }
 
     #[test]
     fn control_flow() {
         let src = "If[x > 0, x, -x]";
-        assert_eq!(run(&[ArgSpec::int("x")], src, &[Value::I64(-5)]), Value::I64(5));
+        assert_eq!(
+            run(&[ArgSpec::int("x")], src, &[Value::I64(-5)]),
+            Value::I64(5)
+        );
         let src = "Module[{s = 0, i = 1}, While[i <= n, s = s + i; i++]; s]";
-        assert_eq!(run(&[ArgSpec::int("n")], src, &[Value::I64(100)]), Value::I64(5050));
+        assert_eq!(
+            run(&[ArgSpec::int("n")], src, &[Value::I64(100)]),
+            Value::I64(5050)
+        );
         let src = "Module[{s = 0}, Do[s += k, {k, 1, 10}]; s]";
         assert_eq!(run(&[], src, &[]), Value::I64(55));
     }
@@ -898,14 +1029,29 @@ mod tests {
 
     #[test]
     fn and_or_short_circuit() {
-        assert_eq!(run(&[ArgSpec::int("x")], "x > 0 && x < 10", &[Value::I64(5)]), Value::Bool(true));
-        assert_eq!(run(&[ArgSpec::int("x")], "x > 0 && x < 10", &[Value::I64(-1)]), Value::Bool(false));
-        assert_eq!(run(&[ArgSpec::int("x")], "x < 0 || x > 10", &[Value::I64(11)]), Value::Bool(true));
+        assert_eq!(
+            run(&[ArgSpec::int("x")], "x > 0 && x < 10", &[Value::I64(5)]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            run(&[ArgSpec::int("x")], "x > 0 && x < 10", &[Value::I64(-1)]),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            run(&[ArgSpec::int("x")], "x < 0 || x > 10", &[Value::I64(11)]),
+            Value::Bool(true)
+        );
     }
 
     #[test]
     fn comparison_chains() {
-        assert_eq!(run(&[ArgSpec::int("x")], "0 < x < 10", &[Value::I64(5)]), Value::Bool(true));
-        assert_eq!(run(&[ArgSpec::int("x")], "0 < x < 10", &[Value::I64(15)]), Value::Bool(false));
+        assert_eq!(
+            run(&[ArgSpec::int("x")], "0 < x < 10", &[Value::I64(5)]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            run(&[ArgSpec::int("x")], "0 < x < 10", &[Value::I64(15)]),
+            Value::Bool(false)
+        );
     }
 }

@@ -51,7 +51,11 @@ impl CompiledFunction {
     /// # Errors
     ///
     /// Propagates VM runtime errors, including [`RuntimeError::Aborted`].
-    pub fn run_abortable(&self, args: &[Value], abort: &AbortSignal) -> Result<Value, RuntimeError> {
+    pub fn run_abortable(
+        &self,
+        args: &[Value],
+        abort: &AbortSignal,
+    ) -> Result<Value, RuntimeError> {
         self.check_args(args)?;
         vm::execute(&self.ops, self.nregs.max(args.len()), args, abort, None)
     }
@@ -69,7 +73,13 @@ impl CompiledFunction {
     ) -> Result<Value, RuntimeError> {
         self.check_args(args)?;
         let abort = engine.abort_signal().clone();
-        match vm::execute(&self.ops, self.nregs.max(args.len()), args, &abort, Some(engine)) {
+        match vm::execute(
+            &self.ops,
+            self.nregs.max(args.len()),
+            args,
+            &abort,
+            Some(engine),
+        ) {
             Ok(v) => Ok(v),
             Err(e) if e.is_numeric() => {
                 engine.push_output(format!(
@@ -89,10 +99,13 @@ impl CompiledFunction {
     /// # Errors
     ///
     /// Propagates interpreter errors.
-    pub fn interpret(&self, args: &[Value], engine: &mut Interpreter) -> Result<Value, RuntimeError> {
+    pub fn interpret(
+        &self,
+        args: &[Value],
+        engine: &mut Interpreter,
+    ) -> Result<Value, RuntimeError> {
         // Rebuild Function[{params}, body] and apply.
-        let params: Vec<Expr> =
-            self.arg_specs.iter().map(|s| Expr::sym(&s.name)).collect();
+        let params: Vec<Expr> = self.arg_specs.iter().map(|s| Expr::sym(&s.name)).collect();
         let f = Expr::call("Function", [Expr::list(params), self.original.clone()]);
         let call = Expr::normal(f, args.iter().map(Value::to_expr).collect::<Vec<_>>());
         engine.eval(&call).map(|e| Value::from_expr(&e))
@@ -161,7 +174,11 @@ impl CompiledFunction {
             let _ = writeln!(out, "  {op:?},");
         }
         let _ = writeln!(out, " }},");
-        let _ = writeln!(out, " {}, (* Input Function *)", self.original.to_input_form());
+        let _ = writeln!(
+            out,
+            " {}, (* Input Function *)",
+            self.original.to_input_form()
+        );
         let _ = writeln!(out, " Evaluate]");
         out
     }
@@ -174,7 +191,9 @@ mod tests {
     use wolfram_expr::parse;
 
     fn compile(specs: &[ArgSpec], src: &str) -> CompiledFunction {
-        BytecodeCompiler::new().compile(specs, &parse(src).unwrap()).unwrap()
+        BytecodeCompiler::new()
+            .compile(specs, &parse(src).unwrap())
+            .unwrap()
     }
 
     #[test]
@@ -185,13 +204,19 @@ mod tests {
                      While[k < n, t = a + b; a = b; b = t; k++]; a]";
         let cf = compile(&[ArgSpec::int("n")], src);
         // Pure VM run: hard error.
-        assert_eq!(cf.run(&[Value::I64(100)]), Err(RuntimeError::IntegerOverflow));
+        assert_eq!(
+            cf.run(&[Value::I64(100)]),
+            Err(RuntimeError::IntegerOverflow)
+        );
         // Hosted run: soft fallback with a warning message.
         let mut engine = Interpreter::new();
         let out = cf.run_with_engine(&[Value::I64(100)], &mut engine).unwrap();
         assert_eq!(out.to_expr().to_full_form(), "354224848179261915075"); // fib(100)
         let warnings = engine.take_output();
-        assert!(warnings[0].contains("reverting to uncompiled evaluation"), "{warnings:?}");
+        assert!(
+            warnings[0].contains("reverting to uncompiled evaluation"),
+            "{warnings:?}"
+        );
         assert!(warnings[0].contains("IntegerOverflow"));
         // Small inputs stay on the fast path.
         assert_eq!(cf.run(&[Value::I64(10)]).unwrap(), Value::I64(55));
@@ -217,7 +242,7 @@ mod tests {
     }
 
     #[test]
-    fn abortable(){
+    fn abortable() {
         let cf = compile(&[], "While[True, 1]");
         let abort = AbortSignal::new();
         abort.trigger();

@@ -43,7 +43,10 @@ impl VmType {
 
     /// Whether this is a tensor type.
     pub fn is_tensor(self) -> bool {
-        matches!(self, VmType::TensorInt | VmType::TensorReal | VmType::TensorComplex)
+        matches!(
+            self,
+            VmType::TensorInt | VmType::TensorReal | VmType::TensorComplex
+        )
     }
 }
 

@@ -195,7 +195,9 @@ fn set_element(t: &mut Tensor, off: usize, value: &Value) -> Result<(), RuntimeE
                     data[off] = (re, im);
                     Ok(())
                 }
-                _ => unreachable!("element type checked"),
+                _ => Err(RuntimeError::Type(
+                    "complex store into non-complex tensor".into(),
+                )),
             }
         }
         // Writing a real into an integer tensor promotes the whole tensor
@@ -204,7 +206,10 @@ fn set_element(t: &mut Tensor, off: usize, value: &Value) -> Result<(), RuntimeE
             *t = t.to_f64_tensor();
             t.set_f64(off, *v)
         }
-        (et, v) => Err(RuntimeError::Type(format!("cannot store {} into {et} tensor", v.type_name()))),
+        (et, v) => Err(RuntimeError::Type(format!(
+            "cannot store {} into {et} tensor",
+            v.type_name()
+        ))),
     }
 }
 
@@ -240,7 +245,10 @@ pub fn bin(op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
                 if *y >= 0 {
                     Value::I64(checked::pow_i64(*x, *y)?)
                 } else {
-                    Value::F64((*x as f64).powi(*y as i32))
+                    // Match the interpreter's real-valued fallback exactly
+                    // (`powf`, not `powi`: casting the exponent to i32 wraps
+                    // for |y| > 2^31 and silently changes the answer).
+                    Value::F64((*x as f64).powf(*y as f64))
                 }
             }
             BinOp::Mod => Value::I64(checked::mod_i64(*x, *y)?),
@@ -278,7 +286,9 @@ pub fn bin(op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
                     }
                     Value::Complex(acc.0, acc.1)
                 } else {
-                    return Err(RuntimeError::Type("complex Power with non-integer exponent".into()));
+                    return Err(RuntimeError::Type(
+                        "complex Power with non-integer exponent".into(),
+                    ));
                 }
             }
             _ => return Err(RuntimeError::Type("complex argument to ordered op".into())),
@@ -307,12 +317,8 @@ pub fn bin(op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
             }
             Value::F64(x - y * (x / y).floor())
         }
-        BinOp::Quot => {
-            if y == 0.0 {
-                return Err(RuntimeError::DivideByZero);
-            }
-            Value::F64((x / y).floor())
-        }
+        // Integer result, as in Wolfram: Quotient[5.3, 2] is 2, not 2.
+        BinOp::Quot => Value::I64(checked::quotient_f64(x, y)?),
         BinOp::Min => Value::F64(x.min(y)),
         BinOp::Max => Value::F64(x.max(y)),
         BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor => {
@@ -323,7 +329,9 @@ pub fn bin(op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
 
 /// Element-wise tensor arithmetic (Listable threading in the VM).
 fn tensor_bin(op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
-    let thread = |t: &Tensor, f: &mut dyn FnMut(Value) -> Result<Value, RuntimeError>| -> Result<Value, RuntimeError> {
+    let thread = |t: &Tensor,
+                  f: &mut dyn FnMut(Value) -> Result<Value, RuntimeError>|
+     -> Result<Value, RuntimeError> {
         let mut out_f = Vec::with_capacity(t.flat_len());
         for ix in 0..t.flat_len() {
             let v = t.get_scalar(ix).expect("in range");
@@ -331,16 +339,32 @@ fn tensor_bin(op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
         }
         // Rebuild preserving shape; promote to the widest element type.
         if out_f.iter().all(|v| matches!(v, Value::I64(_))) {
-            let data: Vec<i64> = out_f.iter().map(|v| v.expect_i64().expect("checked")).collect();
-            Ok(Value::Tensor(Tensor::with_shape(t.shape().to_vec(), TensorData::I64(data))?))
+            let data: Vec<i64> = out_f
+                .iter()
+                .map(|v| v.expect_i64().expect("checked"))
+                .collect();
+            Ok(Value::Tensor(Tensor::with_shape(
+                t.shape().to_vec(),
+                TensorData::I64(data),
+            )?))
         } else if out_f.iter().all(|v| !matches!(v, Value::Complex(..))) {
-            let data: Vec<f64> =
-                out_f.iter().map(|v| v.expect_f64().expect("numeric")).collect();
-            Ok(Value::Tensor(Tensor::with_shape(t.shape().to_vec(), TensorData::F64(data))?))
+            let data: Vec<f64> = out_f
+                .iter()
+                .map(|v| v.expect_f64().expect("numeric"))
+                .collect();
+            Ok(Value::Tensor(Tensor::with_shape(
+                t.shape().to_vec(),
+                TensorData::F64(data),
+            )?))
         } else {
-            let data: Vec<(f64, f64)> =
-                out_f.iter().map(|v| v.expect_complex().expect("numeric")).collect();
-            Ok(Value::Tensor(Tensor::with_shape(t.shape().to_vec(), TensorData::Complex(data))?))
+            let data: Vec<(f64, f64)> = out_f
+                .iter()
+                .map(|v| v.expect_complex().expect("numeric"))
+                .collect();
+            Ok(Value::Tensor(Tensor::with_shape(
+                t.shape().to_vec(),
+                TensorData::Complex(data),
+            )?))
         }
     };
     match (a, b) {
@@ -364,7 +388,11 @@ fn tensor_bin(op: BinOp, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
             let s = scalar.clone();
             thread(tb, &mut |vb| bin(op, &s, &vb))
         }
-        _ => unreachable!("tensor_bin requires a tensor"),
+        _ => Err(RuntimeError::Type(format!(
+            "tensor_bin on {} and {}",
+            a.type_name(),
+            b.type_name()
+        ))),
     }
 }
 
@@ -390,7 +418,11 @@ pub fn un(op: UnOp, a: &Value) -> Result<Value, RuntimeError> {
         UnOp::Round => {
             let v = a.expect_f64()?;
             let r = v.round();
-            let r = if (v - v.trunc()).abs() == 0.5 && r % 2.0 != 0.0 { r - v.signum() } else { r };
+            let r = if (v - v.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+                r - v.signum()
+            } else {
+                r
+            };
             Ok(Value::I64(r as i64))
         }
         _ => {
@@ -402,7 +434,12 @@ pub fn un(op: UnOp, a: &Value) -> Result<Value, RuntimeError> {
                 UnOp::Tan => v.tan(),
                 UnOp::Exp => v.exp(),
                 UnOp::Log => v.ln(),
-                _ => unreachable!("handled above"),
+                other => {
+                    return Err(RuntimeError::Type(format!(
+                        "unary op {other:?} on {}",
+                        a.type_name()
+                    )))
+                }
             }))
         }
     }
@@ -453,17 +490,31 @@ mod tests {
 
     #[test]
     fn bin_dispatch() {
-        assert_eq!(bin(BinOp::Add, &Value::I64(2), &Value::I64(3)).unwrap(), Value::I64(5));
-        assert_eq!(bin(BinOp::Add, &Value::I64(2), &Value::F64(0.5)).unwrap(), Value::F64(2.5));
         assert_eq!(
-            bin(BinOp::Mul, &Value::Complex(0.0, 1.0), &Value::Complex(0.0, 1.0)).unwrap(),
+            bin(BinOp::Add, &Value::I64(2), &Value::I64(3)).unwrap(),
+            Value::I64(5)
+        );
+        assert_eq!(
+            bin(BinOp::Add, &Value::I64(2), &Value::F64(0.5)).unwrap(),
+            Value::F64(2.5)
+        );
+        assert_eq!(
+            bin(
+                BinOp::Mul,
+                &Value::Complex(0.0, 1.0),
+                &Value::Complex(0.0, 1.0)
+            )
+            .unwrap(),
             Value::Complex(-1.0, 0.0)
         );
         assert_eq!(
             bin(BinOp::Add, &Value::I64(i64::MAX), &Value::I64(1)),
             Err(RuntimeError::IntegerOverflow)
         );
-        assert_eq!(bin(BinOp::Div, &Value::I64(7), &Value::I64(2)).unwrap(), Value::F64(3.5));
+        assert_eq!(
+            bin(BinOp::Div, &Value::I64(7), &Value::I64(2)).unwrap(),
+            Value::F64(3.5)
+        );
     }
 
     #[test]
@@ -477,15 +528,24 @@ mod tests {
         let a = Value::Tensor(Tensor::from_f64(vec![1.0, 2.0]));
         let b = Value::Tensor(Tensor::from_f64(vec![10.0, 20.0]));
         let out = bin(BinOp::Add, &a, &b).unwrap();
-        assert_eq!(out.expect_tensor().unwrap().as_f64().unwrap(), &[11.0, 22.0]);
+        assert_eq!(
+            out.expect_tensor().unwrap().as_f64().unwrap(),
+            &[11.0, 22.0]
+        );
     }
 
     #[test]
     fn unary_dispatch() {
-        assert_eq!(un(UnOp::Abs, &Value::Complex(3.0, 4.0)).unwrap(), Value::F64(5.0));
+        assert_eq!(
+            un(UnOp::Abs, &Value::Complex(3.0, 4.0)).unwrap(),
+            Value::F64(5.0)
+        );
         assert_eq!(un(UnOp::Floor, &Value::F64(2.9)).unwrap(), Value::I64(2));
         assert_eq!(un(UnOp::Neg, &Value::I64(5)).unwrap(), Value::I64(-5));
-        assert_eq!(un(UnOp::Not, &Value::Bool(true)).unwrap(), Value::Bool(false));
+        assert_eq!(
+            un(UnOp::Not, &Value::Bool(true)).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]
@@ -499,10 +559,26 @@ mod tests {
     fn simple_program_executes() {
         // return (arg0 + 1) * 2
         let ops = vec![
-            Op::LoadConst { d: 1, c: Value::I64(1) },
-            Op::Bin { op: BinOp::Add, d: 2, a: 0, b: 1 },
-            Op::LoadConst { d: 3, c: Value::I64(2) },
-            Op::Bin { op: BinOp::Mul, d: 4, a: 2, b: 3 },
+            Op::LoadConst {
+                d: 1,
+                c: Value::I64(1),
+            },
+            Op::Bin {
+                op: BinOp::Add,
+                d: 2,
+                a: 0,
+                b: 1,
+            },
+            Op::LoadConst {
+                d: 3,
+                c: Value::I64(2),
+            },
+            Op::Bin {
+                op: BinOp::Mul,
+                d: 4,
+                a: 2,
+                b: 3,
+            },
             Op::Return { s: 4 },
         ];
         let out = execute(&ops, 5, &[Value::I64(20)], &AbortSignal::new(), None).unwrap();
@@ -523,13 +599,18 @@ mod tests {
         let t = Tensor::from_i64(vec![1, 2, 3]);
         let alias = t.clone();
         let ops = vec![
-            Op::LoadConst { d: 1, c: Value::I64(3) },
-            Op::LoadConst { d: 2, c: Value::I64(-20) },
+            Op::LoadConst {
+                d: 1,
+                c: Value::I64(3),
+            },
+            Op::LoadConst {
+                d: 2,
+                c: Value::I64(-20),
+            },
             Op::SetPart1 { t: 0, i: 1, v: 2 },
             Op::Return { s: 0 },
         ];
-        let out =
-            execute(&ops, 3, &[Value::Tensor(t)], &AbortSignal::new(), None).unwrap();
+        let out = execute(&ops, 3, &[Value::Tensor(t)], &AbortSignal::new(), None).unwrap();
         assert_eq!(out.expect_tensor().unwrap().as_i64().unwrap(), &[1, 2, -20]);
         assert_eq!(alias.as_i64().unwrap(), &[1, 2, 3], "alias untouched (F5)");
     }
@@ -537,7 +618,11 @@ mod tests {
     #[test]
     fn eval_escape_requires_engine() {
         let ops = vec![
-            Op::Eval { d: 0, expr: Expr::int(1), env: vec![] },
+            Op::Eval {
+                d: 0,
+                expr: Expr::int(1),
+                env: vec![],
+            },
             Op::Return { s: 0 },
         ];
         assert!(execute(&ops, 1, &[], &AbortSignal::new(), None).is_err());

@@ -1,0 +1,147 @@
+//! Pins the VM's `Quotient`/`Mod`/`Power` semantics on the operand ranges
+//! the differential fuzzer hits first — negative operands and negative
+//! exponents — to the interpreter's answer. The interpreter ("Wolfram
+//! Engine") is the language oracle: any drift here is a silent wrong
+//! answer once compiled code soft-fails or, worse, doesn't.
+
+use wolfram_bytecode::{ArgSpec, BytecodeCompiler};
+use wolfram_expr::parse;
+use wolfram_interp::Interpreter;
+use wolfram_runtime::{RuntimeError, Value};
+
+/// Evaluates `body` with `a`/`b` bound in the interpreter.
+fn interp(body: &str, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
+    let mut i = Interpreter::new();
+    let f = parse(&format!("Function[{{a, b}}, {body}]")).unwrap();
+    let call = wolfram_expr::Expr::normal(f, vec![a.to_expr(), b.to_expr()]);
+    i.eval(&call).map(|e| Value::from_expr(&e))
+}
+
+/// Runs `body` through the bytecode VM (no engine: hard errors surface).
+fn vm(body: &str, a: &Value, b: &Value) -> Result<Value, RuntimeError> {
+    let specs = [spec("a", a), spec("b", b)];
+    let cf = BytecodeCompiler::new()
+        .compile(&specs, &parse(body).unwrap())
+        .unwrap();
+    cf.run(&[a.clone(), b.clone()])
+}
+
+fn spec(name: &str, v: &Value) -> ArgSpec {
+    match v {
+        Value::F64(_) => ArgSpec::real(name),
+        _ => ArgSpec::int(name),
+    }
+}
+
+/// Integer pairs covering every sign combination plus the overflow edges.
+const INT_PAIRS: &[(i64, i64)] = &[
+    (7, 2),
+    (-7, 2),
+    (7, -2),
+    (-7, -2),
+    (6, 3),
+    (-6, 3),
+    (0, 5),
+    (0, -5),
+    (1, i64::MAX),
+    (i64::MIN, 2),
+    (i64::MAX, -3),
+    (i64::MIN + 1, -1),
+];
+
+#[test]
+fn quotient_matches_interpreter_on_negative_operands() {
+    for &(x, y) in INT_PAIRS {
+        let (a, b) = (Value::I64(x), Value::I64(y));
+        let want = interp("Quotient[a, b]", &a, &b).unwrap();
+        let got = vm("Quotient[a, b]", &a, &b).unwrap();
+        assert_eq!(got, want, "Quotient[{x}, {y}]");
+    }
+}
+
+#[test]
+fn mod_matches_interpreter_on_negative_operands() {
+    for &(x, y) in INT_PAIRS {
+        let (a, b) = (Value::I64(x), Value::I64(y));
+        let want = interp("Mod[a, b]", &a, &b).unwrap();
+        let got = vm("Mod[a, b]", &a, &b).unwrap();
+        assert_eq!(got, want, "Mod[{x}, {y}] (Mod takes the divisor's sign)");
+    }
+}
+
+#[test]
+fn quotient_mod_identity_holds() {
+    // m == n*Quotient[m, n] + Mod[m, n] for every n != 0 — the invariant
+    // that makes the flooring convention self-consistent.
+    for &(x, y) in INT_PAIRS {
+        let (a, b) = (Value::I64(x), Value::I64(y));
+        let q = vm("Quotient[a, b]", &a, &b).unwrap().expect_i64().unwrap();
+        let r = vm("Mod[a, b]", &a, &b).unwrap().expect_i64().unwrap();
+        assert_eq!(
+            y.wrapping_mul(q).wrapping_add(r),
+            x,
+            "identity broken for ({x}, {y}): q={q} r={r}"
+        );
+    }
+}
+
+#[test]
+fn division_by_zero_is_uniform() {
+    for body in ["Quotient[a, b]", "Mod[a, b]"] {
+        let (a, b) = (Value::I64(5), Value::I64(0));
+        assert_eq!(vm(body, &a, &b), Err(RuntimeError::DivideByZero), "{body}");
+        assert!(interp(body, &a, &b).is_err(), "{body} in the interpreter");
+    }
+}
+
+#[test]
+fn integer_power_negative_exponent_matches_interpreter() {
+    // The interpreter evaluates n^-k as a real; the VM must produce the
+    // *same* real (powf — not powi, whose i32 cast wraps for huge
+    // exponents and silently changed the answer).
+    for &(x, y) in &[
+        (2i64, -1i64),
+        (3, -6),
+        (-2, -3),
+        (10, -18),
+        (2, -4294967295),
+    ] {
+        let (a, b) = (Value::I64(x), Value::I64(y));
+        let want = interp("a ^ b", &a, &b).unwrap();
+        let got = vm("a ^ b", &a, &b).unwrap();
+        assert_eq!(got, want, "{x} ^ {y}");
+    }
+    // Spot-check the wrap-prone case numerically: 2^-4294967295 underflows
+    // to 0.0; the old powi path wrapped the exponent to +1 and returned 2.
+    assert_eq!(
+        vm("a ^ b", &Value::I64(2), &Value::I64(-4294967295)).unwrap(),
+        Value::F64(0.0)
+    );
+}
+
+#[test]
+fn integer_power_nonnegative_is_exact_or_overflows() {
+    let want = interp("a ^ b", &Value::I64(3), &Value::I64(13)).unwrap();
+    assert_eq!(vm("a ^ b", &Value::I64(3), &Value::I64(13)).unwrap(), want);
+    // Overflow is a (soft-failure) numeric error, not a wrong answer.
+    assert_eq!(
+        vm("a ^ b", &Value::I64(10), &Value::I64(64)),
+        Err(RuntimeError::IntegerOverflow)
+    );
+}
+
+#[test]
+fn real_mod_matches_interpreter() {
+    for &(x, y) in &[
+        (7.5f64, 2.0f64),
+        (-7.5, 2.0),
+        (7.5, -2.0),
+        (-7.5, -2.5),
+        (0.0, 3.0),
+    ] {
+        let (a, b) = (Value::F64(x), Value::F64(y));
+        let want = interp("Mod[a, b]", &a, &b).unwrap();
+        let got = vm("Mod[a, b]", &a, &b).unwrap();
+        assert_eq!(got, want, "Mod[{x}, {y}]");
+    }
+}

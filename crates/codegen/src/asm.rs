@@ -111,7 +111,14 @@ fn render_op(op: &RegOp) -> String {
             format!("fill2.{kind:?} v{d}, {c}, i{n1}, i{n2}")
         }
         RegOp::TenBin { op, d, a, b } => format!("{:?}.ten v{d}, v{a}, v{b}", op).to_lowercase(),
-        RegOp::TenScalar { op, kind, d, t, s, rev } => {
+        RegOp::TenScalar {
+            op,
+            kind,
+            d,
+            t,
+            s,
+            rev,
+        } => {
             let dir = if *rev { "rsc" } else { "sc" };
             format!("{op:?}.{dir} v{d}, v{t}, {kind:?}:{s}").to_lowercase()
         }
@@ -139,13 +146,28 @@ fn render_op(op: &RegOp) -> String {
             format!("closure v{d}, fn{f}, {} captures", captures.len())
         }
         RegOp::CallFunc { f, args, ret } => {
-            format!("call fn{f}, {} args -> {:?}{}", args.len(), ret.bank, ret.ix)
+            format!(
+                "call fn{f}, {} args -> {:?}{}",
+                args.len(),
+                ret.bank,
+                ret.ix
+            )
         }
         RegOp::CallValue { fv, args, ret } => {
-            format!("calli v{fv}, {} args -> {:?}{}", args.len(), ret.bank, ret.ix)
+            format!(
+                "calli v{fv}, {} args -> {:?}{}",
+                args.len(),
+                ret.bank,
+                ret.ix
+            )
         }
         RegOp::CallKernel { head, args, ret } => {
-            format!("kernel {head}, {} args -> {:?}{}", args.len(), ret.bank, ret.ix)
+            format!(
+                "kernel {head}, {} args -> {:?}{}",
+                args.len(),
+                ret.bank,
+                ret.ix
+            )
         }
         RegOp::Jmp { pc } => format!("jmp L{pc:04}"),
         RegOp::Brz { c, pc } => format!("brz i{c}, L{pc:04}"),
@@ -155,19 +177,57 @@ fn render_op(op: &RegOp) -> String {
         RegOp::BrCmpFFalse { op, a, b, d, pc } => {
             format!("br.not.{}.f64 i{d}, f{a}, f{b}, L{pc:04}", lc(op))
         }
-        RegOp::BrCmpISel { op, a, b, d, pc_false, pc_true } => {
-            format!("br.{}.i64 i{d}, i{a}, i{b}, L{pc_true:04}, L{pc_false:04}", lc(op))
+        RegOp::BrCmpISel {
+            op,
+            a,
+            b,
+            d,
+            pc_false,
+            pc_true,
+        } => {
+            format!(
+                "br.{}.i64 i{d}, i{a}, i{b}, L{pc_true:04}, L{pc_false:04}",
+                lc(op)
+            )
         }
-        RegOp::BrCmpFSel { op, a, b, d, pc_false, pc_true } => {
-            format!("br.{}.f64 i{d}, f{a}, f{b}, L{pc_true:04}, L{pc_false:04}", lc(op))
+        RegOp::BrCmpFSel {
+            op,
+            a,
+            b,
+            d,
+            pc_false,
+            pc_true,
+        } => {
+            format!(
+                "br.{}.f64 i{d}, f{a}, f{b}, L{pc_true:04}, L{pc_false:04}",
+                lc(op)
+            )
         }
         RegOp::BrzJmp { c, pc_z, pc_nz } => format!("brz.jmp i{c}, L{pc_z:04}, L{pc_nz:04}"),
-        RegOp::IntBin2 { op1, d1, a1, b1, op2, d2, a2, b2 } => format!(
+        RegOp::IntBin2 {
+            op1,
+            d1,
+            a1,
+            b1,
+            op2,
+            d2,
+            a2,
+            b2,
+        } => format!(
             "{:?}.{:?}.i64 i{d1}, i{a1}, i{b1}; i{d2}, i{a2}, i{b2}",
             op1, op2
         )
         .to_lowercase(),
-        RegOp::IntBinImm2 { op1, d1, a1, imm1, op2, d2, a2, imm2 } => format!(
+        RegOp::IntBinImm2 {
+            op1,
+            d1,
+            a1,
+            imm1,
+            op2,
+            d2,
+            a2,
+            imm2,
+        } => format!(
             "{:?}i.{:?}i.i64 i{d1}, i{a1}, {imm1}; i{d2}, i{a2}, {imm2}",
             op1, op2
         )
@@ -175,24 +235,71 @@ fn render_op(op: &RegOp) -> String {
         RegOp::IntBinImmJmp { op, d, a, imm, pc } => {
             format!("{}i.jmp.i64 i{d}, i{a}, {imm}, L{pc:04}", lc(op))
         }
-        RegOp::FltBin2 { op1, d1, a1, b1, op2, d2, a2, b2 } => format!(
+        RegOp::FltBin2 {
+            op1,
+            d1,
+            a1,
+            b1,
+            op2,
+            d2,
+            a2,
+            b2,
+        } => format!(
             "{:?}.{:?}.f64 f{d1}, f{a1}, f{b1}; f{d2}, f{a2}, f{b2}",
             op1, op2
         )
         .to_lowercase(),
-        RegOp::TenPart1IntBin { e, t, i, op, d, a, b } => {
-            format!("part1.{:?}.i64 i{e}, v{t}, i{i}; i{d}, i{a}, i{b}", op).to_lowercase()
-        }
-        RegOp::TenPart1IntBinImm { e, t, i, op, d, a, imm } => {
-            format!("part1.{:?}i.i64 i{e}, v{t}, i{i}; i{d}, i{a}, {imm}", op).to_lowercase()
-        }
-        RegOp::TenPart2FltBin { e, t, i, j, op, d, a, b } => {
-            format!("part2.{:?}.f64 f{e}, v{t}, i{i}, i{j}; f{d}, f{a}, f{b}", op).to_lowercase()
-        }
-        RegOp::TakeVTenSet1 { dv, sv, kind, t, i, v } => {
+        RegOp::TenPart1IntBin {
+            e,
+            t,
+            i,
+            op,
+            d,
+            a,
+            b,
+        } => format!("part1.{:?}.i64 i{e}, v{t}, i{i}; i{d}, i{a}, i{b}", op).to_lowercase(),
+        RegOp::TenPart1IntBinImm {
+            e,
+            t,
+            i,
+            op,
+            d,
+            a,
+            imm,
+        } => format!("part1.{:?}i.i64 i{e}, v{t}, i{i}; i{d}, i{a}, {imm}", op).to_lowercase(),
+        RegOp::TenPart2FltBin {
+            e,
+            t,
+            i,
+            j,
+            op,
+            d,
+            a,
+            b,
+        } => format!(
+            "part2.{:?}.f64 f{e}, v{t}, i{i}, i{j}; f{d}, f{a}, f{b}",
+            op
+        )
+        .to_lowercase(),
+        RegOp::TakeVTenSet1 {
+            dv,
+            sv,
+            kind,
+            t,
+            i,
+            v,
+        } => {
             format!("take.set1.{kind:?} v{dv}, v{sv}; v{t}, i{i}, {v}")
         }
-        RegOp::TakeVTenSet2 { dv, sv, kind, t, i, j, v } => {
+        RegOp::TakeVTenSet2 {
+            dv,
+            sv,
+            kind,
+            t,
+            i,
+            j,
+            v,
+        } => {
             format!("take.set2.{kind:?} v{dv}, v{sv}; v{t}, i{i}, i{j}, {v}")
         }
         RegOp::MovIJmp { d, s, pc } => format!("mov.jmp.i64 i{d}, i{s}, L{pc:04}"),
@@ -201,25 +308,66 @@ fn render_op(op: &RegOp) -> String {
             format!("mov2.jmp.i64 i{d1}, i{s1}; i{d2}, i{s2}, L{pc:04}")
         }
         RegOp::Release2 { v1, v2 } => format!("release2 v{v1}, v{v2}"),
-        RegOp::AbortBrCmpISel { op, a, b, d, pc_false, pc_true } => {
-            format!("abort.br.{}.i64 i{d}, i{a}, i{b}, L{pc_true:04}, L{pc_false:04}", lc(op))
+        RegOp::AbortBrCmpISel {
+            op,
+            a,
+            b,
+            d,
+            pc_false,
+            pc_true,
+        } => {
+            format!(
+                "abort.br.{}.i64 i{d}, i{a}, i{b}, L{pc_true:04}, L{pc_false:04}",
+                lc(op)
+            )
         }
         RegOp::AbortBrCmpIFalse { op, a, b, d, pc } => {
             format!("abort.br.not.{}.i64 i{d}, i{a}, i{b}, L{pc:04}", lc(op))
         }
-        RegOp::IntBinImmMovI { op, d, a, imm, d2, s2 } => {
-            format!("{:?}i.mov.i64 i{d}, i{a}, {imm}; i{d2}, i{s2}", op).to_lowercase()
-        }
+        RegOp::IntBinImmMovI {
+            op,
+            d,
+            a,
+            imm,
+            d2,
+            s2,
+        } => format!("{:?}i.mov.i64 i{d}, i{a}, {imm}; i{d2}, i{s2}", op).to_lowercase(),
         RegOp::MovCJmp { d, s, pc } => format!("mov.jmp.c64 c{d}, c{s}, L{pc:04}"),
-        RegOp::IntBinImmMov2IJmp { op, d, a, imm, d2, s2, d3, s3, pc } => format!(
+        RegOp::IntBinImmMov2IJmp {
+            op,
+            d,
+            a,
+            imm,
+            d2,
+            s2,
+            d3,
+            s3,
+            pc,
+        } => format!(
             "{}i.mov2.jmp.i64 i{d}, i{a}, {imm}; i{d2}, i{s2}; i{d3}, i{s3}, L{pc:04}",
             lc(op)
         ),
-        RegOp::FltCmpMovI { op, d, a, b, d2, s2 } => {
-            format!("cmp{:?}.mov.f64 i{d}, f{a}, f{b}; i{d2}, i{s2}", op).to_lowercase()
-        }
-        RegOp::FltCmpMovIJmp { op, d, a, b, d2, s2, pc } => {
-            format!("cmp{}.mov.jmp.f64 i{d}, f{a}, f{b}; i{d2}, i{s2}, L{pc:04}", lc(op))
+        RegOp::FltCmpMovI {
+            op,
+            d,
+            a,
+            b,
+            d2,
+            s2,
+        } => format!("cmp{:?}.mov.f64 i{d}, f{a}, f{b}; i{d2}, i{s2}", op).to_lowercase(),
+        RegOp::FltCmpMovIJmp {
+            op,
+            d,
+            a,
+            b,
+            d2,
+            s2,
+            pc,
+        } => {
+            format!(
+                "cmp{}.mov.jmp.f64 i{d}, f{a}, f{b}; i{d2}, i{s2}, L{pc:04}",
+                lc(op)
+            )
         }
         RegOp::AbortCheck => "abort.check".into(),
         RegOp::Acquire { v } => format!("acquire v{v}"),
@@ -240,8 +388,15 @@ mod tests {
             name: "Main".into(),
             code: vec![
                 RegOp::LdcI { d: 1, v: 1 },
-                RegOp::IntBin { op: IntOp::Add, d: 2, a: 0, b: 1 },
-                RegOp::Ret { s: Slot::new(Bank::I, 2) },
+                RegOp::IntBin {
+                    op: IntOp::Add,
+                    d: 2,
+                    a: 0,
+                    b: 1,
+                },
+                RegOp::Ret {
+                    s: Slot::new(Bank::I, 2),
+                },
             ],
             n_int: 3,
             n_flt: 0,

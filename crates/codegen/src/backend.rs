@@ -32,7 +32,9 @@ pub struct BackendRegistry {
 
 impl Default for BackendRegistry {
     fn default() -> Self {
-        let mut r = BackendRegistry { backends: HashMap::new() };
+        let mut r = BackendRegistry {
+            backends: HashMap::new(),
+        };
         r.register(Rc::new(crate::c_source::CBackend));
         r.register(Rc::new(crate::asm::AsmBackend::default()));
         r.register(Rc::new(crate::wvm::WvmBackend));

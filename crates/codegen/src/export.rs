@@ -70,7 +70,11 @@ impl ExportedLibrary {
             return Err("missing separator".into());
         }
         let source = lines.collect::<Vec<_>>().join("\n");
-        Ok(ExportedLibrary { compiler_version: version, standalone, source })
+        Ok(ExportedLibrary {
+            compiler_version: version,
+            standalone,
+            source,
+        })
     }
 
     /// Writes the library to a file.

@@ -95,9 +95,15 @@ fn jump_targets(op: &RegOp) -> Vec<usize> {
         | RegOp::IntBinImmMov2IJmp { pc, .. }
         | RegOp::FltCmpMovIJmp { pc, .. }
         | RegOp::AbortBrCmpIFalse { pc, .. } => vec![*pc as usize],
-        RegOp::BrCmpISel { pc_false, pc_true, .. }
-        | RegOp::BrCmpFSel { pc_false, pc_true, .. }
-        | RegOp::AbortBrCmpISel { pc_false, pc_true, .. } => {
+        RegOp::BrCmpISel {
+            pc_false, pc_true, ..
+        }
+        | RegOp::BrCmpFSel {
+            pc_false, pc_true, ..
+        }
+        | RegOp::AbortBrCmpISel {
+            pc_false, pc_true, ..
+        } => {
             vec![*pc_false as usize, *pc_true as usize]
         }
         RegOp::BrzJmp { pc_z, pc_nz, .. } => vec![*pc_z as usize, *pc_nz as usize],
@@ -118,9 +124,15 @@ fn remap_targets(op: &mut RegOp, new_pc: &[usize]) {
         | RegOp::IntBinImmMov2IJmp { pc, .. }
         | RegOp::FltCmpMovIJmp { pc, .. }
         | RegOp::AbortBrCmpIFalse { pc, .. } => *pc = new_pc[*pc as usize] as u32,
-        RegOp::BrCmpISel { pc_false, pc_true, .. }
-        | RegOp::BrCmpFSel { pc_false, pc_true, .. }
-        | RegOp::AbortBrCmpISel { pc_false, pc_true, .. } => {
+        RegOp::BrCmpISel {
+            pc_false, pc_true, ..
+        }
+        | RegOp::BrCmpFSel {
+            pc_false, pc_true, ..
+        }
+        | RegOp::AbortBrCmpISel {
+            pc_false, pc_true, ..
+        } => {
             *pc_false = new_pc[*pc_false as usize] as u32;
             *pc_true = new_pc[*pc_true as usize] as u32;
         }
@@ -169,7 +181,17 @@ fn match_group(
                 let (a, b, d, pc) = (r(a)?, r(b)?, r(d)?, r(pc)?);
                 if let Some(&RegOp::Jmp { pc: pc_true }) = fourth {
                     let pc_true = r(pc_true)?;
-                    Some((RegOp::AbortBrCmpISel { op, a, b, d, pc_false: pc, pc_true }, 4))
+                    Some((
+                        RegOp::AbortBrCmpISel {
+                            op,
+                            a,
+                            b,
+                            d,
+                            pc_false: pc,
+                            pc_true,
+                        },
+                        4,
+                    ))
                 } else {
                     Some((RegOp::AbortBrCmpIFalse { op, a, b, d, pc }, 3))
                 }
@@ -182,7 +204,17 @@ fn match_group(
             let (a, b, d, pc) = (r(a)?, r(b)?, r(d)?, r(pc)?);
             if let Some(&RegOp::Jmp { pc: pc_true }) = third {
                 let pc_true = r(pc_true)?;
-                Some((RegOp::BrCmpISel { op, a, b, d, pc_false: pc, pc_true }, 3))
+                Some((
+                    RegOp::BrCmpISel {
+                        op,
+                        a,
+                        b,
+                        d,
+                        pc_false: pc,
+                        pc_true,
+                    },
+                    3,
+                ))
             } else {
                 Some((RegOp::BrCmpIFalse { op, a, b, d, pc }, 2))
             }
@@ -191,61 +223,150 @@ fn match_group(
             let (a, b, d, pc) = (r(a)?, r(b)?, r(d)?, r(pc)?);
             if let Some(&RegOp::Jmp { pc: pc_true }) = third {
                 let pc_true = r(pc_true)?;
-                Some((RegOp::BrCmpFSel { op, a, b, d, pc_false: pc, pc_true }, 3))
+                Some((
+                    RegOp::BrCmpFSel {
+                        op,
+                        a,
+                        b,
+                        d,
+                        pc_false: pc,
+                        pc_true,
+                    },
+                    3,
+                ))
             } else {
                 Some((RegOp::BrCmpFFalse { op, a, b, d, pc }, 2))
             }
         }
         // brz + jmp: a two-way branch in one dispatch.
-        (&RegOp::Brz { c, pc }, &RegOp::Jmp { pc: pc_nz }) => {
-            Some((RegOp::BrzJmp { c: r(c)?, pc_z: r(pc)?, pc_nz: r(pc_nz)? }, 2))
-        }
+        (&RegOp::Brz { c, pc }, &RegOp::Jmp { pc: pc_nz }) => Some((
+            RegOp::BrzJmp {
+                c: r(c)?,
+                pc_z: r(pc)?,
+                pc_nz: r(pc_nz)?,
+            },
+            2,
+        )),
         // Loop-counter increment / phi edge-move folded into a back-edge.
-        (&RegOp::IntBinImm { op, d, a, imm }, &RegOp::Jmp { pc }) => {
-            Some((RegOp::IntBinImmJmp { op, d: r(d)?, a: r(a)?, imm: im(imm)?, pc: r(pc)? }, 2))
-        }
+        (&RegOp::IntBinImm { op, d, a, imm }, &RegOp::Jmp { pc }) => Some((
+            RegOp::IntBinImmJmp {
+                op,
+                d: r(d)?,
+                a: r(a)?,
+                imm: im(imm)?,
+                pc: r(pc)?,
+            },
+            2,
+        )),
         // Phi edge-moves folded into a back-edge: mov+mov+jmp is a whole
         // two-variable loop latch in one dispatch.
         (&RegOp::MovI { d: d1, s: s1 }, &RegOp::MovI { d: d2, s: s2 }) => {
             let (d1, s1, d2, s2) = (r(d1)?, r(s1)?, r(d2)?, r(s2)?);
             if let Some(&RegOp::Jmp { pc }) = third {
-                Some((RegOp::Mov2IJmp { d1, s1, d2, s2, pc: r(pc)? }, 3))
+                Some((
+                    RegOp::Mov2IJmp {
+                        d1,
+                        s1,
+                        d2,
+                        s2,
+                        pc: r(pc)?,
+                    },
+                    3,
+                ))
             } else {
                 Some((RegOp::Mov2I { d1, s1, d2, s2 }, 2))
             }
         }
-        (&RegOp::MovI { d, s }, &RegOp::Jmp { pc }) => {
-            Some((RegOp::MovIJmp { d: r(d)?, s: r(s)?, pc: r(pc)? }, 2))
-        }
-        (&RegOp::MovC { d, s }, &RegOp::Jmp { pc }) => {
-            Some((RegOp::MovCJmp { d: r(d)?, s: r(s)?, pc: r(pc)? }, 2))
-        }
+        (&RegOp::MovI { d, s }, &RegOp::Jmp { pc }) => Some((
+            RegOp::MovIJmp {
+                d: r(d)?,
+                s: r(s)?,
+                pc: r(pc)?,
+            },
+            2,
+        )),
+        (&RegOp::MovC { d, s }, &RegOp::Jmp { pc }) => Some((
+            RegOp::MovCJmp {
+                d: r(d)?,
+                s: r(s)?,
+                pc: r(pc)?,
+            },
+            2,
+        )),
         // Loop-counter increment feeding its phi move (`t = i + 1; i = t`),
         // extending to the whole latch (`...; s = u; jmp`) when the next
         // two ops are another move and the back-edge.
         (&RegOp::IntBinImm { op, d, a, imm }, &RegOp::MovI { d: d2, s: s2 }) => {
             let (op, d, a, imm, d2, s2) = (op, r(d)?, r(a)?, im(imm)?, r(d2)?, r(s2)?);
-            if let (Some(&RegOp::MovI { d: d3, s: s3 }), Some(&RegOp::Jmp { pc })) =
-                (third, fourth)
+            if let (Some(&RegOp::MovI { d: d3, s: s3 }), Some(&RegOp::Jmp { pc })) = (third, fourth)
             {
                 let (d3, s3, pc) = (r(d3)?, r(s3)?, r(pc)?);
-                Some((RegOp::IntBinImmMov2IJmp { op, d, a, imm, d2, s2, d3, s3, pc }, 4))
+                Some((
+                    RegOp::IntBinImmMov2IJmp {
+                        op,
+                        d,
+                        a,
+                        imm,
+                        d2,
+                        s2,
+                        d3,
+                        s3,
+                        pc,
+                    },
+                    4,
+                ))
             } else {
-                Some((RegOp::IntBinImmMovI { op, d, a, imm, d2, s2 }, 2))
+                Some((
+                    RegOp::IntBinImmMovI {
+                        op,
+                        d,
+                        a,
+                        imm,
+                        d2,
+                        s2,
+                    },
+                    2,
+                ))
             }
         }
         // Real compare feeding a phi move of the condition (+ back-edge).
         (&RegOp::FltCmp { op, d, a, b }, &RegOp::MovI { d: d2, s: s2 }) if s2 == d => {
             let (a, b, d, d2, s2) = (r(a)?, r(b)?, r(d)?, r(d2)?, r(s2)?);
             if let Some(&RegOp::Jmp { pc }) = third {
-                Some((RegOp::FltCmpMovIJmp { op, d, a, b, d2, s2, pc: r(pc)? }, 3))
+                Some((
+                    RegOp::FltCmpMovIJmp {
+                        op,
+                        d,
+                        a,
+                        b,
+                        d2,
+                        s2,
+                        pc: r(pc)?,
+                    },
+                    3,
+                ))
             } else {
-                Some((RegOp::FltCmpMovI { op, d, a, b, d2, s2 }, 2))
+                Some((
+                    RegOp::FltCmpMovI {
+                        op,
+                        d,
+                        a,
+                        b,
+                        d2,
+                        s2,
+                    },
+                    2,
+                ))
             }
         }
         // Tensor element load feeding an ALU op (load-op).
         (
-            &RegOp::TenPart1 { kind: ElemKind::I64, d: e, t, i: ix },
+            &RegOp::TenPart1 {
+                kind: ElemKind::I64,
+                d: e,
+                t,
+                i: ix,
+            },
             &RegOp::IntBinImm { op, d, a, imm },
         ) => Some((
             RegOp::TenPart1IntBinImm {
@@ -260,7 +381,12 @@ fn match_group(
             2,
         )),
         (
-            &RegOp::TenPart1 { kind: ElemKind::I64, d: e, t, i: ix },
+            &RegOp::TenPart1 {
+                kind: ElemKind::I64,
+                d: e,
+                t,
+                i: ix,
+            },
             &RegOp::IntBin { op, d, a, b },
         ) => Some((
             RegOp::TenPart1IntBin {
@@ -275,7 +401,13 @@ fn match_group(
             2,
         )),
         (
-            &RegOp::TenPart2 { kind: ElemKind::F64, d: e, t, i: ix, j },
+            &RegOp::TenPart2 {
+                kind: ElemKind::F64,
+                d: e,
+                t,
+                i: ix,
+                j,
+            },
             &RegOp::FltBin { op, d, a, b },
         ) => Some((
             RegOp::TenPart2FltBin {
@@ -302,7 +434,16 @@ fn match_group(
             },
             2,
         )),
-        (&RegOp::TakeV { d: dv, s: sv }, &RegOp::TenSet2 { kind, t, i: ix, j, v }) => Some((
+        (
+            &RegOp::TakeV { d: dv, s: sv },
+            &RegOp::TenSet2 {
+                kind,
+                t,
+                i: ix,
+                j,
+                v,
+            },
+        ) => Some((
             RegOp::TakeVTenSet2 {
                 dv: r(dv)?,
                 sv: r(sv)?,
@@ -316,8 +457,18 @@ fn match_group(
         )),
         // ALU pairs (integer/float multiply-add chains and friends).
         (
-            &RegOp::IntBinImm { op: op1, d: d1, a: a1, imm: imm1 },
-            &RegOp::IntBinImm { op: op2, d: d2, a: a2, imm: imm2 },
+            &RegOp::IntBinImm {
+                op: op1,
+                d: d1,
+                a: a1,
+                imm: imm1,
+            },
+            &RegOp::IntBinImm {
+                op: op2,
+                d: d2,
+                a: a2,
+                imm: imm2,
+            },
         ) => Some((
             RegOp::IntBinImm2 {
                 op1,
@@ -332,8 +483,18 @@ fn match_group(
             2,
         )),
         (
-            &RegOp::IntBin { op: op1, d: d1, a: a1, b: b1 },
-            &RegOp::IntBin { op: op2, d: d2, a: a2, b: b2 },
+            &RegOp::IntBin {
+                op: op1,
+                d: d1,
+                a: a1,
+                b: b1,
+            },
+            &RegOp::IntBin {
+                op: op2,
+                d: d2,
+                a: a2,
+                b: b2,
+            },
         ) => Some((
             RegOp::IntBin2 {
                 op1,
@@ -348,8 +509,18 @@ fn match_group(
             2,
         )),
         (
-            &RegOp::FltBin { op: op1, d: d1, a: a1, b: b1 },
-            &RegOp::FltBin { op: op2, d: d2, a: a2, b: b2 },
+            &RegOp::FltBin {
+                op: op1,
+                d: d1,
+                a: a1,
+                b: b1,
+            },
+            &RegOp::FltBin {
+                op: op2,
+                d: d2,
+                a: a2,
+                b: b2,
+            },
         ) => Some((
             RegOp::FltBin2 {
                 op1,
@@ -364,9 +535,13 @@ fn match_group(
             2,
         )),
         // Function-epilogue release pairs.
-        (&RegOp::Release { v: v1 }, &RegOp::Release { v: v2 }) => {
-            Some((RegOp::Release2 { v1: r(v1)?, v2: r(v2)? }, 2))
-        }
+        (&RegOp::Release { v: v1 }, &RegOp::Release { v: v2 }) => Some((
+            RegOp::Release2 {
+                v1: r(v1)?,
+                v2: r(v2)?,
+            },
+            2,
+        )),
         _ => None,
     }
 }
@@ -390,9 +565,14 @@ mod tests {
 
     fn run_i(f: &NativeFunc, arg: i64) -> i64 {
         use crate::machine::{ArgVal, Machine, NativeProgram};
-        let prog = NativeProgram { funcs: vec![f.clone()] };
+        let prog = NativeProgram {
+            funcs: vec![f.clone()],
+        };
         let mut m = Machine::standalone();
-        match m.call_with_engine(&prog, 0, vec![ArgVal::I(arg)], None).unwrap() {
+        match m
+            .call_with_engine(&prog, 0, vec![ArgVal::I(arg)], None)
+            .unwrap()
+        {
             ArgVal::I(v) => v,
             other => panic!("expected int, got {other:?}"),
         }
@@ -404,25 +584,44 @@ mod tests {
         let mut f = func(
             vec![
                 RegOp::LdcI { d: 1, v: 0 },
-                RegOp::IntBin { op: IntOp::Lt, d: 2, a: 1, b: 0 },
+                RegOp::IntBin {
+                    op: IntOp::Lt,
+                    d: 2,
+                    a: 1,
+                    b: 0,
+                },
                 RegOp::Brz { c: 2, pc: 6 },
                 RegOp::Jmp { pc: 4 },
-                RegOp::IntBinImm { op: IntOp::Sub, d: 0, a: 0, imm: 1 },
+                RegOp::IntBinImm {
+                    op: IntOp::Sub,
+                    d: 0,
+                    a: 0,
+                    imm: 1,
+                },
                 RegOp::Jmp { pc: 1 },
-                RegOp::Ret { s: Slot::new(Bank::I, 0) },
+                RegOp::Ret {
+                    s: Slot::new(Bank::I, 0),
+                },
             ],
             3,
         );
         let unfused = f.clone();
         let removed = fuse_function(&mut f);
-        assert!(removed >= 2, "expected cmp+brz+jmp and sub+jmp to fuse, removed {removed}");
         assert!(
-            f.code.iter().any(|op| matches!(op, RegOp::BrCmpISel { .. })),
+            removed >= 2,
+            "expected cmp+brz+jmp and sub+jmp to fuse, removed {removed}"
+        );
+        assert!(
+            f.code
+                .iter()
+                .any(|op| matches!(op, RegOp::BrCmpISel { .. })),
             "{:?}",
             f.code
         );
         assert!(
-            f.code.iter().any(|op| matches!(op, RegOp::IntBinImmJmp { .. })),
+            f.code
+                .iter()
+                .any(|op| matches!(op, RegOp::IntBinImmJmp { .. })),
             "{:?}",
             f.code
         );
@@ -439,7 +638,9 @@ mod tests {
                 RegOp::Brz { c: 0, pc: 2 },
                 RegOp::MovI { d: 1, s: 0 },
                 RegOp::MovI { d: 2, s: 0 },
-                RegOp::Ret { s: Slot::new(Bank::I, 2) },
+                RegOp::Ret {
+                    s: Slot::new(Bank::I, 2),
+                },
             ],
             3,
         );
@@ -460,15 +661,26 @@ mod tests {
         let mut f = func(
             vec![
                 RegOp::LdcI { d: 1, v: 10 },
-                RegOp::IntBin { op: IntOp::Lt, d: 2, a: 0, b: 1 },
+                RegOp::IntBin {
+                    op: IntOp::Lt,
+                    d: 2,
+                    a: 0,
+                    b: 1,
+                },
                 RegOp::Brz { c: 2, pc: 3 },
-                RegOp::Ret { s: Slot::new(Bank::I, 2) },
+                RegOp::Ret {
+                    s: Slot::new(Bank::I, 2),
+                },
             ],
             3,
         );
         let removed = fuse_function(&mut f);
         assert!(removed >= 1, "{:?}", f.code);
-        assert_eq!(run_i(&f, 5), 1, "x < 10 must leave 1 in the condition register");
+        assert_eq!(
+            run_i(&f, 5),
+            1,
+            "x < 10 must leave 1 in the condition register"
+        );
         assert_eq!(run_i(&f, 50), 0);
     }
 

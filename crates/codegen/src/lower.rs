@@ -231,7 +231,10 @@ impl<'a> Lowering<'a> {
                 if let Instr::Phi { dst, incoming } = i {
                     let dslot = self.slots[dst];
                     for (pred, op) in incoming {
-                        self.edge_moves.entry(*pred).or_default().push((dslot, op.clone()));
+                        self.edge_moves
+                            .entry(*pred)
+                            .or_default()
+                            .push((dslot, op.clone()));
                     }
                 }
             }
@@ -246,7 +249,8 @@ impl<'a> Lowering<'a> {
     /// execution path reaches another read of the register without a write
     /// in between (slot-level liveness over the phi-destructed program).
     fn is_last_use(&self, v: VarId) -> bool {
-        self.dying_reads.contains(&(self.current_block.0, self.current_event, v))
+        self.dying_reads
+            .contains(&(self.current_block.0, self.current_event, v))
     }
 
     /// Materializes a value-bank operand, reporting whether the resulting
@@ -332,9 +336,17 @@ impl<'a> Lowering<'a> {
                     (Constant::Bool(b), Bank::I) => RegOp::LdcI { d, v: *b as i64 },
                     (Constant::I64(v), Bank::F) => RegOp::LdcF { d, v: *v as f64 },
                     (Constant::F64(v), Bank::F) => RegOp::LdcF { d, v: *v },
-                    (Constant::I64(v), Bank::C) => RegOp::LdcC { d, re: *v as f64, im: 0.0 },
+                    (Constant::I64(v), Bank::C) => RegOp::LdcC {
+                        d,
+                        re: *v as f64,
+                        im: 0.0,
+                    },
                     (Constant::F64(v), Bank::C) => RegOp::LdcC { d, re: *v, im: 0.0 },
-                    (Constant::Complex(re, im), Bank::C) => RegOp::LdcC { d, re: *re, im: *im },
+                    (Constant::Complex(re, im), Bank::C) => RegOp::LdcC {
+                        d,
+                        re: *re,
+                        im: *im,
+                    },
                     (c, Bank::V) => {
                         let v = const_value(c, self.opts);
                         if naive_array {
@@ -426,7 +438,10 @@ impl<'a> Lowering<'a> {
         for ((dslot, _), tmp) in moves.iter().zip(temps) {
             if dslot.bank == Bank::V {
                 // The temp is always dead after this write.
-                self.code.push(RegOp::TakeV { d: dslot.ix, s: tmp });
+                self.code.push(RegOp::TakeV {
+                    d: dslot.ix,
+                    s: tmp,
+                });
             } else {
                 self.code.push(mov(dslot.bank, dslot.ix, tmp));
             }
@@ -444,8 +459,7 @@ impl<'a> Lowering<'a> {
                 Instr::LoadConst { dst, value } => {
                     let slot = self.var_slot(*dst);
                     if slot.bank == Bank::V {
-                        let (op, take) =
-                            self.operand_v_take(&Operand::Const(value.clone()))?;
+                        let (op, take) = self.operand_v_take(&Operand::Const(value.clone()))?;
                         self.push_v_move(slot.ix, op, take);
                     } else {
                         let op = self.operand(&Operand::Const(value.clone()), slot.bank)?;
@@ -463,7 +477,11 @@ impl<'a> Lowering<'a> {
                     }
                 }
                 Instr::Call { dst, callee, args } => self.lower_call(*dst, callee, args)?,
-                Instr::MakeClosure { dst, func, captures } => {
+                Instr::MakeClosure {
+                    dst,
+                    func,
+                    captures,
+                } => {
                     let d = self.var_slot(*dst);
                     let fix = *self.funcs.get(&**func).ok_or_else(|| {
                         LowerError::Unsupported(format!("unknown closure target {func}"))
@@ -475,7 +493,11 @@ impl<'a> Lowering<'a> {
                         let ix = self.operand(c, bank)?;
                         caps.push(Slot::new(bank, ix));
                     }
-                    self.code.push(RegOp::MakeClosure { d: d.ix, f: fix, captures: caps });
+                    self.code.push(RegOp::MakeClosure {
+                        d: d.ix,
+                        f: fix,
+                        captures: caps,
+                    });
                 }
                 Instr::AbortCheck => self.code.push(RegOp::AbortCheck),
                 Instr::MemoryAcquire { var } => {
@@ -495,7 +517,11 @@ impl<'a> Lowering<'a> {
                     self.patches.push((self.code.len(), *target));
                     self.code.push(RegOp::Jmp { pc: 0 });
                 }
-                Instr::Branch { cond, then_block, else_block } => {
+                Instr::Branch {
+                    cond,
+                    then_block,
+                    else_block,
+                } => {
                     self.flush_edge_moves(b)?;
                     let c = self.operand(cond, Bank::I)?;
                     // Compare-and-branch fusion is the superinstruction
@@ -513,7 +539,9 @@ impl<'a> Lowering<'a> {
                         let ty = self.operand_ty(value)?;
                         let bank = bank_of(&ty);
                         let s = self.operand(value, bank)?;
-                        self.code.push(RegOp::Ret { s: Slot::new(bank, s) });
+                        self.code.push(RegOp::Ret {
+                            s: Slot::new(bank, s),
+                        });
                     }
                 }
             }
@@ -541,7 +569,11 @@ impl<'a> Lowering<'a> {
                     let ix = self.operand(a, bank)?;
                     arg_slots.push(Slot::new(bank, ix));
                 }
-                self.code.push(RegOp::CallFunc { f: fix, args: arg_slots.into(), ret: dslot });
+                self.code.push(RegOp::CallFunc {
+                    f: fix,
+                    args: arg_slots.into(),
+                    ret: dslot,
+                });
                 Ok(())
             }
             Callee::Value(v) => {
@@ -553,7 +585,11 @@ impl<'a> Lowering<'a> {
                     let ix = self.operand(a, bank)?;
                     arg_slots.push(Slot::new(bank, ix));
                 }
-                self.code.push(RegOp::CallValue { fv: fv.ix, args: arg_slots.into(), ret: dslot });
+                self.code.push(RegOp::CallValue {
+                    fv: fv.ix,
+                    args: arg_slots.into(),
+                    ret: dslot,
+                });
                 Ok(())
             }
             Callee::Kernel(head) => {
@@ -647,11 +683,21 @@ impl<'a> Lowering<'a> {
                     let x = a!(0, Bank::I);
                     // Immediate forms avoid a register read per iteration.
                     if let Some(Constant::I64(imm)) = args[1].as_const() {
-                        self.code.push(RegOp::IntBinImm { op: *op, d, a: x, imm: *imm });
+                        self.code.push(RegOp::IntBinImm {
+                            op: *op,
+                            d,
+                            a: x,
+                            imm: *imm,
+                        });
                         return Ok(());
                     }
                     let y = a!(1, Bank::I);
-                    self.code.push(RegOp::IntBin { op: *op, d, a: x, b: y });
+                    self.code.push(RegOp::IntBin {
+                        op: *op,
+                        d,
+                        a: x,
+                        b: y,
+                    });
                     return Ok(());
                 }
             }
@@ -664,11 +710,21 @@ impl<'a> Lowering<'a> {
                         _ => None,
                     };
                     if let Some(imm) = imm {
-                        self.code.push(RegOp::FltBinImm { op: *op, d, a: x, imm });
+                        self.code.push(RegOp::FltBinImm {
+                            op: *op,
+                            d,
+                            a: x,
+                            imm,
+                        });
                         return Ok(());
                     }
                     let y = a!(1, Bank::F);
-                    self.code.push(RegOp::FltBin { op: *op, d, a: x, b: y });
+                    self.code.push(RegOp::FltBin {
+                        op: *op,
+                        d,
+                        a: x,
+                        b: y,
+                    });
                     return Ok(());
                 }
             }
@@ -684,14 +740,24 @@ impl<'a> Lowering<'a> {
                 }
                 if let Some((_, op)) = cpx_ops.iter().find(|(b, _)| *b == base) {
                     let (x, y) = (a!(0, Bank::C), a!(1, Bank::C));
-                    self.code.push(RegOp::CpxBin { op: *op, d, a: x, b: y });
+                    self.code.push(RegOp::CpxBin {
+                        op: *op,
+                        d,
+                        a: x,
+                        b: y,
+                    });
                     return Ok(());
                 }
             }
             Bank::V => {
                 if let Some((_, op)) = ten_ops.iter().find(|(b, _)| *b == base) {
                     let (x, y) = (a!(0, Bank::V), a!(1, Bank::V));
-                    self.code.push(RegOp::TenBin { op: *op, d, a: x, b: y });
+                    self.code.push(RegOp::TenBin {
+                        op: *op,
+                        d,
+                        a: x,
+                        b: y,
+                    });
                     return Ok(());
                 }
             }
@@ -711,7 +777,12 @@ impl<'a> Lowering<'a> {
             match ab {
                 Bank::I => {
                     let (x, y) = (a!(0, Bank::I), a!(1, Bank::I));
-                    self.code.push(RegOp::IntBin { op: *icode, d, a: x, b: y });
+                    self.code.push(RegOp::IntBin {
+                        op: *icode,
+                        d,
+                        a: x,
+                        b: y,
+                    });
                 }
                 Bank::C => {
                     let (x, y) = (a!(0, Bank::C), a!(1, Bank::C));
@@ -721,15 +792,26 @@ impl<'a> Lowering<'a> {
                     }
                     self.code.push(RegOp::CpxEq { d, a: x, b: y });
                     if matches!(fcode, CmpCode::Ne) {
-                        self.code.push(RegOp::IntUn { op: IntUnOp::Not, d, s: d });
+                        self.code.push(RegOp::IntUn {
+                            op: IntUnOp::Not,
+                            d,
+                            s: d,
+                        });
                     }
                 }
                 Bank::V => {
-                    return Err(LowerError::Unsupported("comparison of managed values".into()))
+                    return Err(LowerError::Unsupported(
+                        "comparison of managed values".into(),
+                    ))
                 }
                 Bank::F => {
                     let (x, y) = (a!(0, Bank::F), a!(1, Bank::F));
-                    self.code.push(RegOp::FltCmp { op: *fcode, d, a: x, b: y });
+                    self.code.push(RegOp::FltCmp {
+                        op: *fcode,
+                        d,
+                        a: x,
+                        b: y,
+                    });
                 }
             }
             return Ok(());
@@ -765,8 +847,17 @@ impl<'a> Lowering<'a> {
                     Bank::C => {
                         let s = a!(0, Bank::C);
                         let zero = self.bump(Bank::C);
-                        self.code.push(RegOp::LdcC { d: zero, re: 0.0, im: 0.0 });
-                        self.code.push(RegOp::CpxBin { op: CpxOp::Sub, d, a: zero, b: s });
+                        self.code.push(RegOp::LdcC {
+                            d: zero,
+                            re: 0.0,
+                            im: 0.0,
+                        });
+                        self.code.push(RegOp::CpxBin {
+                            op: CpxOp::Sub,
+                            d,
+                            a: zero,
+                            b: s,
+                        });
                     }
                     Bank::V => return Err(LowerError::Unsupported("unary op on value".into())),
                 }
@@ -774,16 +865,24 @@ impl<'a> Lowering<'a> {
             }
             "unary_not" => {
                 let s = a!(0, Bank::I);
-                self.code.push(RegOp::IntUn { op: IntUnOp::Not, d, s });
+                self.code.push(RegOp::IntUn {
+                    op: IntUnOp::Not,
+                    d,
+                    s,
+                });
                 Ok(())
             }
             "unary_factorial" => {
                 let s = a!(0, Bank::I);
-                self.code.push(RegOp::IntUn { op: IntUnOp::Factorial, d, s });
+                self.code.push(RegOp::IntUn {
+                    op: IntUnOp::Factorial,
+                    d,
+                    s,
+                });
                 Ok(())
             }
-            "unary_sin" | "unary_cos" | "unary_tan" | "unary_exp" | "unary_log"
-            | "unary_sqrt" | "unary_arctan" | "unary_arcsin" | "unary_arccos" => {
+            "unary_sin" | "unary_cos" | "unary_tan" | "unary_exp" | "unary_log" | "unary_sqrt"
+            | "unary_arctan" | "unary_arcsin" | "unary_arccos" => {
                 let op = match base {
                     "unary_sin" => FltUnOp::Sin,
                     "unary_cos" => FltUnOp::Cos,
@@ -879,14 +978,25 @@ impl<'a> Lowering<'a> {
                 let elem = self.elem_of(&args[0])?;
                 let t = a!(0, Bank::V);
                 let i = a!(1, Bank::I);
-                self.code.push(RegOp::TenPart1 { kind: elem_kind(&elem), d, t, i });
+                self.code.push(RegOp::TenPart1 {
+                    kind: elem_kind(&elem),
+                    d,
+                    t,
+                    i,
+                });
                 Ok(())
             }
             "tensor_part_2" => {
                 let elem = self.elem_of(&args[0])?;
                 let t = a!(0, Bank::V);
                 let (i, j) = (a!(1, Bank::I), a!(2, Bank::I));
-                self.code.push(RegOp::TenPart2 { kind: elem_kind(&elem), d, t, i, j });
+                self.code.push(RegOp::TenPart2 {
+                    kind: elem_kind(&elem),
+                    d,
+                    t,
+                    i,
+                    j,
+                });
                 Ok(())
             }
             "tensor_set_1" => {
@@ -909,21 +1019,38 @@ impl<'a> Lowering<'a> {
                 let (i, j) = (a!(1, Bank::I), a!(2, Bank::I));
                 let v = a!(3, bank_of(&elem));
                 self.push_v_move(d, t, take);
-                self.code.push(RegOp::TenSet2 { kind, t: d, i, j, v });
+                self.code.push(RegOp::TenSet2 {
+                    kind,
+                    t: d,
+                    i,
+                    j,
+                    v,
+                });
                 Ok(())
             }
             "tensor_fill_1" => {
                 let ety = self.operand_ty(&args[0])?;
                 let c = a!(0, bank_of(&ety));
                 let n = a!(1, Bank::I);
-                self.code.push(RegOp::TenFill1 { kind: elem_kind(&ety), d, c, n });
+                self.code.push(RegOp::TenFill1 {
+                    kind: elem_kind(&ety),
+                    d,
+                    c,
+                    n,
+                });
                 Ok(())
             }
             "tensor_fill_2" => {
                 let ety = self.operand_ty(&args[0])?;
                 let c = a!(0, bank_of(&ety));
                 let (n1, n2) = (a!(1, Bank::I), a!(2, Bank::I));
-                self.code.push(RegOp::TenFill2 { kind: elem_kind(&ety), d, c, n1, n2 });
+                self.code.push(RegOp::TenFill2 {
+                    kind: elem_kind(&ety),
+                    d,
+                    c,
+                    n1,
+                    n2,
+                });
                 Ok(())
             }
             "list_construct" => {
@@ -933,7 +1060,11 @@ impl<'a> Lowering<'a> {
                 for arg in args {
                     items.push(self.operand(arg, bank)?);
                 }
-                self.code.push(RegOp::TenFromList { kind: elem_kind(&ety), d, items });
+                self.code.push(RegOp::TenFromList {
+                    kind: elem_kind(&ety),
+                    d,
+                    items,
+                });
                 Ok(())
             }
             "tensor_set_row" => {
@@ -993,8 +1124,12 @@ impl<'a> Lowering<'a> {
                 self.code.push(RegOp::ExprBin { op, d, a: x, b: y });
                 Ok(())
             }
-            "tensor_scalar_plus" | "tensor_scalar_subtract" | "tensor_scalar_times"
-            | "scalar_tensor_plus" | "scalar_tensor_subtract" | "scalar_tensor_times" => {
+            "tensor_scalar_plus"
+            | "tensor_scalar_subtract"
+            | "tensor_scalar_times"
+            | "scalar_tensor_plus"
+            | "scalar_tensor_subtract"
+            | "scalar_tensor_times" => {
                 let rev = base.starts_with("scalar_tensor");
                 let op = if base.ends_with("plus") {
                     TenOp::Add
@@ -1007,7 +1142,14 @@ impl<'a> Lowering<'a> {
                 let elem = self.elem_of(&args[t_ix])?;
                 let t = self.operand(&args[t_ix], Bank::V)?;
                 let sc = self.operand(&args[s_ix], bank_of(&elem))?;
-                self.code.push(RegOp::TenScalar { op, kind: elem_kind(&elem), d, t, s: sc, rev });
+                self.code.push(RegOp::TenScalar {
+                    op,
+                    kind: elem_kind(&elem),
+                    d,
+                    t,
+                    s: sc,
+                    rev,
+                });
                 Ok(())
             }
             "random_unit" => {
@@ -1093,7 +1235,6 @@ pub fn _doc_expr() -> Expr {
     Expr::null()
 }
 
-
 /// Slot-level liveness over the phi-destructed program (§4.5's copy/live
 /// analysis): a read of a value-bank register may *consume* it iff every
 /// path from the read reaches a write of that register before any other
@@ -1151,7 +1292,11 @@ fn compute_dying_reads(
                 });
             } else if matches!(i, Instr::Phi { .. }) {
                 // The phi's write happens at the predecessors' edges.
-                out.push(Event { key: ix, reads: Vec::new(), writes: Vec::new() });
+                out.push(Event {
+                    key: ix,
+                    reads: Vec::new(),
+                    writes: Vec::new(),
+                });
             } else {
                 out.push(Event {
                     key: ix,
@@ -1162,8 +1307,7 @@ fn compute_dying_reads(
         }
         out
     };
-    let all_events: HashMap<B, Vec<Event>> =
-        f.block_ids().map(|b| (b, events_of(b))).collect();
+    let all_events: HashMap<B, Vec<Event>> = f.block_ids().map(|b| (b, events_of(b))).collect();
 
     // Backward dataflow to a fixed point.
     let mut live_in: HashMap<B, HashSet<VarId>> = HashMap::new();
@@ -1259,7 +1403,10 @@ mod tests {
         b.ret(arg);
         let f = b.finish(); // no var_types
         let pm = wolfram_ir::ProgramModule::with_main(f);
-        assert!(matches!(lower_program(&pm), Err(LowerError::MissingType(_))));
+        assert!(matches!(
+            lower_program(&pm),
+            Err(LowerError::MissingType(_))
+        ));
     }
 
     #[test]
@@ -1303,9 +1450,13 @@ mod tests {
         b.ret(out);
         let mut f = b.finish();
         for v in 0..f.next_var {
-            f.var_types
-                .entry(VarId(v))
-                .or_insert_with(|| if v == c.0 { Type::boolean() } else { Type::integer64() });
+            f.var_types.entry(VarId(v)).or_insert_with(|| {
+                if v == c.0 {
+                    Type::boolean()
+                } else {
+                    Type::integer64()
+                }
+            });
         }
         // Branch condition is boolean.
         f.var_types.insert(c, Type::boolean());
@@ -1336,6 +1487,9 @@ mod tests {
         let pm = wolfram_ir::ProgramModule::with_main(f);
         let native = lower_program(&pm).unwrap();
         let mut m = Machine::standalone();
-        assert_eq!(m.call(&native, 0, vec![ArgVal::F(1.5)]).unwrap(), ArgVal::F(2.5));
+        assert_eq!(
+            m.call(&native, 0, vec![ArgVal::F(1.5)]).unwrap(),
+            ArgVal::F(2.5)
+        );
     }
 }

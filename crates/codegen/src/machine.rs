@@ -42,59 +42,112 @@ impl Slot {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum IntOp {
-    Add, Sub, Mul, Quot, Mod, Pow, Min, Max, Gcd,
-    BitAnd, BitOr, BitXor, Shl, Shr,
-    Lt, Le, Gt, Ge, Eq, Ne,
-    And, Or,
+    Add,
+    Sub,
+    Mul,
+    Quot,
+    Mod,
+    Pow,
+    Min,
+    Max,
+    Gcd,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
 }
 
 /// Integer unary opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum IntUnOp {
-    Neg, Abs, Not, Sign, Factorial,
+    Neg,
+    Abs,
+    Not,
+    Sign,
+    Factorial,
 }
 
 /// Real binary opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum FltOp {
-    Add, Sub, Mul, Div, Pow, Mod, Min, Max, ArcTan2,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Mod,
+    Min,
+    Max,
+    ArcTan2,
 }
 
 /// Real unary opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum FltUnOp {
-    Neg, Abs, Sqrt, Sin, Cos, Tan, Exp, Log, ArcTan, ArcSin, ArcCos, Sign,
+    Neg,
+    Abs,
+    Sqrt,
+    Sin,
+    Cos,
+    Tan,
+    Exp,
+    Log,
+    ArcTan,
+    ArcSin,
+    ArcCos,
+    Sign,
 }
 
 /// Comparison codes shared by float compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum CmpCode {
-    Lt, Le, Gt, Ge, Eq, Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
 }
 
 /// Complex binary opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum CpxOp {
-    Add, Sub, Mul, Div,
+    Add,
+    Sub,
+    Mul,
+    Div,
 }
 
 /// Tensor element kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum ElemKind {
-    I64, F64, C64,
+    I64,
+    F64,
+    C64,
 }
 
 /// Element-wise tensor opcodes (rank-1, same shape).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum TenOp {
-    Add, Sub, Mul,
+    Add,
+    Sub,
+    Mul,
 }
 
 /// Symbolic (Expression) binary opcodes — "threaded interpretation" (§4.5):
@@ -103,7 +156,10 @@ pub enum TenOp {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum ExprOp {
-    Plus, Times, Subtract, Power,
+    Plus,
+    Times,
+    Subtract,
+    Power,
 }
 
 /// A native machine instruction. Operand indices refer to the bank implied
@@ -111,80 +167,329 @@ pub enum ExprOp {
 #[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)]
 pub enum RegOp {
-    LdcI { d: usize, v: i64 },
-    LdcF { d: usize, v: f64 },
-    LdcC { d: usize, re: f64, im: f64 },
-    LdcV { d: usize, v: Value },
+    LdcI {
+        d: usize,
+        v: i64,
+    },
+    LdcF {
+        d: usize,
+        v: f64,
+    },
+    LdcC {
+        d: usize,
+        re: f64,
+        im: f64,
+    },
+    LdcV {
+        d: usize,
+        v: Value,
+    },
     /// Loads a constant array by deep copy (the "non-optimal handling of
     /// constant arrays" ablation, §6: every load re-materializes the data).
-    LdcArrayCopy { d: usize, v: Value },
-    MovI { d: usize, s: usize },
-    MovF { d: usize, s: usize },
-    MovC { d: usize, s: usize },
-    MovV { d: usize, s: usize },
+    LdcArrayCopy {
+        d: usize,
+        v: Value,
+    },
+    MovI {
+        d: usize,
+        s: usize,
+    },
+    MovF {
+        d: usize,
+        s: usize,
+    },
+    MovC {
+        d: usize,
+        s: usize,
+    },
+    MovV {
+        d: usize,
+        s: usize,
+    },
     /// Moves a managed value out of a dead register (the compiler's
     /// copy/live analysis proved `s` is never read again, F5): the source
     /// slot is left Null so reference counts stay minimal and in-place
     /// mutation needs no copy.
-    TakeV { d: usize, s: usize },
-    IntBin { op: IntOp, d: usize, a: usize, b: usize },
-    IntBinImm { op: IntOp, d: usize, a: usize, imm: i64 },
-    IntUn { op: IntUnOp, d: usize, s: usize },
-    PowModI { d: usize, a: usize, b: usize, m: usize },
-    FltBin { op: FltOp, d: usize, a: usize, b: usize },
-    FltBinImm { op: FltOp, d: usize, a: usize, imm: f64 },
-    FltCmp { op: CmpCode, d: usize, a: usize, b: usize },
-    FltUn { op: FltUnOp, d: usize, s: usize },
-    FloorFI { d: usize, s: usize },
-    CeilFI { d: usize, s: usize },
-    RoundFI { d: usize, s: usize },
-    IntToFlt { d: usize, s: usize },
-    IntToCpx { d: usize, s: usize },
-    FltToCpx { d: usize, s: usize },
-    CpxBin { op: CpxOp, d: usize, a: usize, b: usize },
-    CpxPowI { d: usize, a: usize, e: usize },
-    CpxAbs { d: usize, s: usize },
-    CpxMake { d: usize, re: usize, im: usize },
-    CpxRe { d: usize, s: usize },
-    CpxIm { d: usize, s: usize },
-    CpxConj { d: usize, s: usize },
-    CpxEq { d: usize, a: usize, b: usize },
-    TenLen { d: usize, t: usize },
-    TenPart1 { kind: ElemKind, d: usize, t: usize, i: usize },
-    TenPart2 { kind: ElemKind, d: usize, t: usize, i: usize, j: usize },
-    TenSet1 { kind: ElemKind, t: usize, i: usize, v: usize },
-    TenSet2 { kind: ElemKind, t: usize, i: usize, j: usize, v: usize },
-    TenFill1 { kind: ElemKind, d: usize, c: usize, n: usize },
-    TenFill2 { kind: ElemKind, d: usize, c: usize, n1: usize, n2: usize },
-    TenBin { op: TenOp, d: usize, a: usize, b: usize },
+    TakeV {
+        d: usize,
+        s: usize,
+    },
+    IntBin {
+        op: IntOp,
+        d: usize,
+        a: usize,
+        b: usize,
+    },
+    IntBinImm {
+        op: IntOp,
+        d: usize,
+        a: usize,
+        imm: i64,
+    },
+    IntUn {
+        op: IntUnOp,
+        d: usize,
+        s: usize,
+    },
+    PowModI {
+        d: usize,
+        a: usize,
+        b: usize,
+        m: usize,
+    },
+    FltBin {
+        op: FltOp,
+        d: usize,
+        a: usize,
+        b: usize,
+    },
+    FltBinImm {
+        op: FltOp,
+        d: usize,
+        a: usize,
+        imm: f64,
+    },
+    FltCmp {
+        op: CmpCode,
+        d: usize,
+        a: usize,
+        b: usize,
+    },
+    FltUn {
+        op: FltUnOp,
+        d: usize,
+        s: usize,
+    },
+    FloorFI {
+        d: usize,
+        s: usize,
+    },
+    CeilFI {
+        d: usize,
+        s: usize,
+    },
+    RoundFI {
+        d: usize,
+        s: usize,
+    },
+    IntToFlt {
+        d: usize,
+        s: usize,
+    },
+    IntToCpx {
+        d: usize,
+        s: usize,
+    },
+    FltToCpx {
+        d: usize,
+        s: usize,
+    },
+    CpxBin {
+        op: CpxOp,
+        d: usize,
+        a: usize,
+        b: usize,
+    },
+    CpxPowI {
+        d: usize,
+        a: usize,
+        e: usize,
+    },
+    CpxAbs {
+        d: usize,
+        s: usize,
+    },
+    CpxMake {
+        d: usize,
+        re: usize,
+        im: usize,
+    },
+    CpxRe {
+        d: usize,
+        s: usize,
+    },
+    CpxIm {
+        d: usize,
+        s: usize,
+    },
+    CpxConj {
+        d: usize,
+        s: usize,
+    },
+    CpxEq {
+        d: usize,
+        a: usize,
+        b: usize,
+    },
+    TenLen {
+        d: usize,
+        t: usize,
+    },
+    TenPart1 {
+        kind: ElemKind,
+        d: usize,
+        t: usize,
+        i: usize,
+    },
+    TenPart2 {
+        kind: ElemKind,
+        d: usize,
+        t: usize,
+        i: usize,
+        j: usize,
+    },
+    TenSet1 {
+        kind: ElemKind,
+        t: usize,
+        i: usize,
+        v: usize,
+    },
+    TenSet2 {
+        kind: ElemKind,
+        t: usize,
+        i: usize,
+        j: usize,
+        v: usize,
+    },
+    TenFill1 {
+        kind: ElemKind,
+        d: usize,
+        c: usize,
+        n: usize,
+    },
+    TenFill2 {
+        kind: ElemKind,
+        d: usize,
+        c: usize,
+        n1: usize,
+        n2: usize,
+    },
+    TenBin {
+        op: TenOp,
+        d: usize,
+        a: usize,
+        b: usize,
+    },
     /// Tensor (+) scalar broadcast; `rev` computes `scalar (op) tensor`.
-    TenScalar { op: TenOp, kind: ElemKind, d: usize, t: usize, s: usize, rev: bool },
-    TenSetRow { t: usize, i: usize, row: usize },
-    TenFromList { kind: ElemKind, d: usize, items: Vec<usize> },
-    DotVecF { d: usize, a: usize, b: usize },
-    DotVecI { d: usize, a: usize, b: usize },
-    DotMat { d: usize, a: usize, b: usize },
-    DotMatVec { d: usize, a: usize, b: usize },
-    StrLen { d: usize, s: usize },
-    StrToCodes { d: usize, s: usize },
-    StrFromCodes { d: usize, s: usize },
-    StrJoin { d: usize, a: usize, b: usize },
-    ExprBin { op: ExprOp, d: usize, a: usize, b: usize },
+    TenScalar {
+        op: TenOp,
+        kind: ElemKind,
+        d: usize,
+        t: usize,
+        s: usize,
+        rev: bool,
+    },
+    TenSetRow {
+        t: usize,
+        i: usize,
+        row: usize,
+    },
+    TenFromList {
+        kind: ElemKind,
+        d: usize,
+        items: Vec<usize>,
+    },
+    DotVecF {
+        d: usize,
+        a: usize,
+        b: usize,
+    },
+    DotVecI {
+        d: usize,
+        a: usize,
+        b: usize,
+    },
+    DotMat {
+        d: usize,
+        a: usize,
+        b: usize,
+    },
+    DotMatVec {
+        d: usize,
+        a: usize,
+        b: usize,
+    },
+    StrLen {
+        d: usize,
+        s: usize,
+    },
+    StrToCodes {
+        d: usize,
+        s: usize,
+    },
+    StrFromCodes {
+        d: usize,
+        s: usize,
+    },
+    StrJoin {
+        d: usize,
+        a: usize,
+        b: usize,
+    },
+    ExprBin {
+        op: ExprOp,
+        d: usize,
+        a: usize,
+        b: usize,
+    },
     /// Symbolic unary application `head[a]`, normalized by the hosting
     /// engine (like [`RegOp::ExprBin`]).
-    ExprUnary { head: Rc<str>, d: usize, a: usize },
-    BoolToExpr { d: usize, s: usize },
-    BoxIV { d: usize, s: usize },
-    BoxFV { d: usize, s: usize },
-    BoxCV { d: usize, s: usize },
-    RndUnit { d: usize },
-    RndRange { d: usize, a: usize, b: usize },
-    MakeClosure { d: usize, f: usize, captures: Vec<Slot> },
-    CallFunc { f: usize, args: Box<[Slot]>, ret: Slot },
-    CallValue { fv: usize, args: Box<[Slot]>, ret: Slot },
-    CallKernel { head: Rc<str>, args: Box<[Slot]>, ret: Slot },
-    Jmp { pc: usize },
-    Brz { c: usize, pc: usize },
+    ExprUnary {
+        head: Rc<str>,
+        d: usize,
+        a: usize,
+    },
+    BoolToExpr {
+        d: usize,
+        s: usize,
+    },
+    BoxIV {
+        d: usize,
+        s: usize,
+    },
+    BoxFV {
+        d: usize,
+        s: usize,
+    },
+    BoxCV {
+        d: usize,
+        s: usize,
+    },
+    RndUnit {
+        d: usize,
+    },
+    RndRange {
+        d: usize,
+        a: usize,
+        b: usize,
+    },
+    MakeClosure {
+        d: usize,
+        f: usize,
+        captures: Vec<Slot>,
+    },
+    CallFunc {
+        f: usize,
+        args: Box<[Slot]>,
+        ret: Slot,
+    },
+    CallValue {
+        fv: usize,
+        args: Box<[Slot]>,
+        ret: Slot,
+    },
+    CallKernel {
+        head: Rc<str>,
+        args: Box<[Slot]>,
+        ret: Slot,
+    },
+    Jmp {
+        pc: usize,
+    },
+    Brz {
+        c: usize,
+        pc: usize,
+    },
     // ---- Superinstructions (see `fuse`) ----
     //
     // Every fused op performs *all* the register writes of the sequence it
@@ -198,56 +503,201 @@ pub enum RegOp {
     // with zero-extending casts.
     /// Fused compare-and-branch: `d = a (op) b`, then jump to `pc` when
     /// the result is zero (comparison false).
-    BrCmpIFalse { op: IntOp, a: u32, b: u32, d: u32, pc: u32 },
+    BrCmpIFalse {
+        op: IntOp,
+        a: u32,
+        b: u32,
+        d: u32,
+        pc: u32,
+    },
     /// Fused compare-and-branch on reals.
-    BrCmpFFalse { op: CmpCode, a: u32, b: u32, d: u32, pc: u32 },
+    BrCmpFFalse {
+        op: CmpCode,
+        a: u32,
+        b: u32,
+        d: u32,
+        pc: u32,
+    },
     /// Fused compare + two-way branch (cmp, brz, jmp): `d = a (op) b`,
     /// then jump to `pc_true` when nonzero, `pc_false` when zero.
-    BrCmpISel { op: IntOp, a: u32, b: u32, d: u32, pc_false: u32, pc_true: u32 },
+    BrCmpISel {
+        op: IntOp,
+        a: u32,
+        b: u32,
+        d: u32,
+        pc_false: u32,
+        pc_true: u32,
+    },
     /// [`RegOp::BrCmpISel`] on reals.
-    BrCmpFSel { op: CmpCode, a: u32, b: u32, d: u32, pc_false: u32, pc_true: u32 },
+    BrCmpFSel {
+        op: CmpCode,
+        a: u32,
+        b: u32,
+        d: u32,
+        pc_false: u32,
+        pc_true: u32,
+    },
     /// Fused brz + jmp: a two-way branch on a materialized condition.
-    BrzJmp { c: u32, pc_z: u32, pc_nz: u32 },
+    BrzJmp {
+        c: u32,
+        pc_z: u32,
+        pc_nz: u32,
+    },
     /// Two integer binary ops in one dispatch (covers integer
     /// multiply-add chains).
-    IntBin2 { op1: IntOp, d1: u32, a1: u32, b1: u32, op2: IntOp, d2: u32, a2: u32, b2: u32 },
+    IntBin2 {
+        op1: IntOp,
+        d1: u32,
+        a1: u32,
+        b1: u32,
+        op2: IntOp,
+        d2: u32,
+        a2: u32,
+        b2: u32,
+    },
     /// Two immediate-form integer ops in one dispatch (FNV1a's
     /// `muli`+`modi` hash step).
-    IntBinImm2 { op1: IntOp, d1: u32, a1: u32, imm1: i32, op2: IntOp, d2: u32, a2: u32, imm2: i32 },
+    IntBinImm2 {
+        op1: IntOp,
+        d1: u32,
+        a1: u32,
+        imm1: i32,
+        op2: IntOp,
+        d2: u32,
+        a2: u32,
+        imm2: i32,
+    },
     /// Immediate-folded loop-counter increment fused with the loop
     /// back-edge.
-    IntBinImmJmp { op: IntOp, d: u32, a: u32, imm: i32, pc: u32 },
+    IntBinImmJmp {
+        op: IntOp,
+        d: u32,
+        a: u32,
+        imm: i32,
+        pc: u32,
+    },
     /// Two real binary ops in one dispatch (covers float multiply-add).
-    FltBin2 { op1: FltOp, d1: u32, a1: u32, b1: u32, op2: FltOp, d2: u32, a2: u32, b2: u32 },
+    FltBin2 {
+        op1: FltOp,
+        d1: u32,
+        a1: u32,
+        b1: u32,
+        op2: FltOp,
+        d2: u32,
+        a2: u32,
+        b2: u32,
+    },
     /// Integer tensor element load feeding an integer op (load-op).
-    TenPart1IntBin { e: u32, t: u32, i: u32, op: IntOp, d: u32, a: u32, b: u32 },
+    TenPart1IntBin {
+        e: u32,
+        t: u32,
+        i: u32,
+        op: IntOp,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
     /// Integer tensor element load feeding an immediate-form integer op.
-    TenPart1IntBinImm { e: u32, t: u32, i: u32, op: IntOp, d: u32, a: u32, imm: i32 },
+    TenPart1IntBinImm {
+        e: u32,
+        t: u32,
+        i: u32,
+        op: IntOp,
+        d: u32,
+        a: u32,
+        imm: i32,
+    },
     /// Real matrix element load feeding a real op (Blur's stencil taps).
-    TenPart2FltBin { e: u32, t: u32, i: u32, j: u32, op: FltOp, d: u32, a: u32, b: u32 },
+    TenPart2FltBin {
+        e: u32,
+        t: u32,
+        i: u32,
+        j: u32,
+        op: FltOp,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
     /// Take-move + element store (op-store around in-place mutation).
-    TakeVTenSet1 { dv: u32, sv: u32, kind: ElemKind, t: u32, i: u32, v: u32 },
+    TakeVTenSet1 {
+        dv: u32,
+        sv: u32,
+        kind: ElemKind,
+        t: u32,
+        i: u32,
+        v: u32,
+    },
     /// [`RegOp::TakeVTenSet1`] for matrices.
-    TakeVTenSet2 { dv: u32, sv: u32, kind: ElemKind, t: u32, i: u32, j: u32, v: u32 },
+    TakeVTenSet2 {
+        dv: u32,
+        sv: u32,
+        kind: ElemKind,
+        t: u32,
+        i: u32,
+        j: u32,
+        v: u32,
+    },
     /// Phi edge-move fused with the loop back-edge.
-    MovIJmp { d: u32, s: u32, pc: u32 },
+    MovIJmp {
+        d: u32,
+        s: u32,
+        pc: u32,
+    },
     /// Two integer moves in one dispatch (adjacent phi edge-moves).
-    Mov2I { d1: u32, s1: u32, d2: u32, s2: u32 },
+    Mov2I {
+        d1: u32,
+        s1: u32,
+        d2: u32,
+        s2: u32,
+    },
     /// Two phi edge-moves fused with the loop back-edge (the full latch
     /// block of a two-variable loop in one dispatch).
-    Mov2IJmp { d1: u32, s1: u32, d2: u32, s2: u32, pc: u32 },
+    Mov2IJmp {
+        d1: u32,
+        s1: u32,
+        d2: u32,
+        s2: u32,
+        pc: u32,
+    },
     /// Two reference-count releases in one dispatch (function epilogues).
-    Release2 { v1: u32, v2: u32 },
+    Release2 {
+        v1: u32,
+        v2: u32,
+    },
     /// Abort poll + compare + two-way branch: a full `While` loop header
     /// (abort.check, cmp, brz, jmp) in one dispatch.
-    AbortBrCmpISel { op: IntOp, a: u32, b: u32, d: u32, pc_false: u32, pc_true: u32 },
+    AbortBrCmpISel {
+        op: IntOp,
+        a: u32,
+        b: u32,
+        d: u32,
+        pc_false: u32,
+        pc_true: u32,
+    },
     /// Abort poll + fused compare-and-branch (header without the trailing
     /// jump).
-    AbortBrCmpIFalse { op: IntOp, a: u32, b: u32, d: u32, pc: u32 },
+    AbortBrCmpIFalse {
+        op: IntOp,
+        a: u32,
+        b: u32,
+        d: u32,
+        pc: u32,
+    },
     /// Immediate-form integer op feeding a phi move (`t = i + 1; i = t`).
-    IntBinImmMovI { op: IntOp, d: u32, a: u32, imm: i32, d2: u32, s2: u32 },
+    IntBinImmMovI {
+        op: IntOp,
+        d: u32,
+        a: u32,
+        imm: i32,
+        d2: u32,
+        s2: u32,
+    },
     /// Complex phi edge-move fused with the loop back-edge.
-    MovCJmp { d: u32, s: u32, pc: u32 },
+    MovCJmp {
+        d: u32,
+        s: u32,
+        pc: u32,
+    },
     /// A whole integer loop latch in one dispatch: immediate-form op +
     /// two phi edge-moves + back-edge (`t = i + 1; i = t; s = u; jmp`).
     #[allow(clippy::too_many_arguments)]
@@ -263,14 +713,35 @@ pub enum RegOp {
         pc: u32,
     },
     /// Real compare feeding a phi move of the condition.
-    FltCmpMovI { op: CmpCode, d: u32, a: u32, b: u32, d2: u32, s2: u32 },
+    FltCmpMovI {
+        op: CmpCode,
+        d: u32,
+        a: u32,
+        b: u32,
+        d2: u32,
+        s2: u32,
+    },
     /// [`RegOp::FltCmpMovI`] fused with the following jump (Mandelbrot's
     /// short-circuit `And` arm).
-    FltCmpMovIJmp { op: CmpCode, d: u32, a: u32, b: u32, d2: u32, s2: u32, pc: u32 },
+    FltCmpMovIJmp {
+        op: CmpCode,
+        d: u32,
+        a: u32,
+        b: u32,
+        d2: u32,
+        s2: u32,
+        pc: u32,
+    },
     AbortCheck,
-    Acquire { v: usize },
-    Release { v: usize },
-    Ret { s: Slot },
+    Acquire {
+        v: usize,
+    },
+    Release {
+        v: usize,
+    },
+    Ret {
+        s: Slot,
+    },
     RetNull,
 }
 
@@ -528,7 +999,9 @@ impl Frame {
             (Bank::V, ArgVal::V(v)) => self.vals[slot.ix] = v,
             (Bank::V, other) => self.vals[slot.ix] = other.into_value(false),
             (bank, v) => {
-                return Err(RuntimeError::Type(format!("cannot store {v:?} into {bank:?} bank")))
+                return Err(RuntimeError::Type(format!(
+                    "cannot store {v:?} into {bank:?} bank"
+                )))
             }
         }
         Ok(())
@@ -774,8 +1247,7 @@ impl Machine {
                     fr.vals[*d] = v;
                 }
                 RegOp::TakeV { d, s } => {
-                    fr.vals[*d] =
-                        std::mem::replace(&mut fr.vals[*s], Value::Null);
+                    fr.vals[*d] = std::mem::replace(&mut fr.vals[*s], Value::Null);
                 }
                 RegOp::IntBin { op, d, a, b } => {
                     let (x, y) = (fr.ints[*a], fr.ints[*b]);
@@ -811,8 +1283,7 @@ impl Machine {
                     };
                 }
                 RegOp::PowModI { d, a, b, m } => {
-                    let (x, y, md) =
-                        (fr.ints[*a], fr.ints[*b], fr.ints[*m]);
+                    let (x, y, md) = (fr.ints[*a], fr.ints[*b], fr.ints[*m]);
                     fr.ints[*d] = pow_mod_i64(x, y, md)?;
                 }
                 RegOp::FltBin { op, d, a, b } => {
@@ -861,9 +1332,7 @@ impl Machine {
                     fr.ints[*d] = r as i64;
                 }
                 RegOp::IntToFlt { d, s } => fr.flts[*d] = fr.ints[*s] as f64,
-                RegOp::IntToCpx { d, s } => {
-                    fr.cpxs[*d] = (fr.ints[*s] as f64, 0.0)
-                }
+                RegOp::IntToCpx { d, s } => fr.cpxs[*d] = (fr.ints[*s] as f64, 0.0),
                 RegOp::FltToCpx { d, s } => fr.cpxs[*d] = (fr.flts[*s], 0.0),
                 RegOp::CpxBin { op, d, a, b } => {
                     let (x, y) = (fr.cpxs[*a], fr.cpxs[*b]);
@@ -890,9 +1359,7 @@ impl Machine {
                     let (re, im) = fr.cpxs[*s];
                     fr.flts[*d] = re.hypot(im);
                 }
-                RegOp::CpxMake { d, re, im } => {
-                    fr.cpxs[*d] = (fr.flts[*re], fr.flts[*im])
-                }
+                RegOp::CpxMake { d, re, im } => fr.cpxs[*d] = (fr.flts[*re], fr.flts[*im]),
                 RegOp::CpxRe { d, s } => fr.flts[*d] = fr.cpxs[*s].0,
                 RegOp::CpxIm { d, s } => fr.flts[*d] = fr.cpxs[*s].1,
                 RegOp::CpxConj { d, s } => {
@@ -913,13 +1380,9 @@ impl Machine {
                     match (kind, t.data()) {
                         (ElemKind::I64, TensorData::I64(v)) => fr.ints[*d] = v[off],
                         (ElemKind::F64, TensorData::F64(v)) => fr.flts[*d] = v[off],
-                        (ElemKind::F64, TensorData::I64(v)) => {
-                            fr.flts[*d] = v[off] as f64
-                        }
+                        (ElemKind::F64, TensorData::I64(v)) => fr.flts[*d] = v[off] as f64,
                         (ElemKind::C64, TensorData::Complex(v)) => fr.cpxs[*d] = v[off],
-                        _ => {
-                            return Err(RuntimeError::Type("tensor element kind mismatch".into()))
-                        }
+                        _ => return Err(RuntimeError::Type("tensor element kind mismatch".into())),
                     }
                 }
                 RegOp::TenPart2 { kind, d, t, i, j } => {
@@ -935,13 +1398,9 @@ impl Machine {
                     match (kind, t.data()) {
                         (ElemKind::I64, TensorData::I64(v)) => fr.ints[*d] = v[off],
                         (ElemKind::F64, TensorData::F64(v)) => fr.flts[*d] = v[off],
-                        (ElemKind::F64, TensorData::I64(v)) => {
-                            fr.flts[*d] = v[off] as f64
-                        }
+                        (ElemKind::F64, TensorData::I64(v)) => fr.flts[*d] = v[off] as f64,
                         (ElemKind::C64, TensorData::Complex(v)) => fr.cpxs[*d] = v[off],
-                        _ => {
-                            return Err(RuntimeError::Type("tensor element kind mismatch".into()))
-                        }
+                        _ => return Err(RuntimeError::Type("tensor element kind mismatch".into())),
                     }
                 }
                 RegOp::TenSet1 { kind, t, i, v } => {
@@ -999,15 +1458,21 @@ impl Machine {
                         ElemKind::F64 => TensorData::F64(vec![fr.flts[*c]; total]),
                         ElemKind::C64 => TensorData::Complex(vec![fr.cpxs[*c]; total]),
                     };
-                    fr.vals[*d] =
-                        Value::Tensor(Tensor::with_shape(vec![n1v, n2v], data)?);
+                    fr.vals[*d] = Value::Tensor(Tensor::with_shape(vec![n1v, n2v], data)?);
                 }
                 RegOp::TenBin { op, d, a, b } => {
                     let ta = fr.vals[*a].expect_tensor()?;
                     let tb = fr.vals[*b].expect_tensor()?;
                     fr.vals[*d] = Value::Tensor(tensor_elementwise(*op, ta, tb)?);
                 }
-                RegOp::TenScalar { op, kind, d, t, s, rev } => {
+                RegOp::TenScalar {
+                    op,
+                    kind,
+                    d,
+                    t,
+                    s,
+                    rev,
+                } => {
                     let sv = match kind {
                         ElemKind::I64 => Value::I64(fr.ints[*s]),
                         ElemKind::F64 => Value::F64(fr.flts[*s]),
@@ -1017,8 +1482,7 @@ impl Machine {
                         }
                     };
                     let ten = fr.vals[*t].expect_tensor()?;
-                    fr.vals[*d] =
-                        Value::Tensor(tensor_scalar_elementwise(*op, ten, &sv, *rev)?);
+                    fr.vals[*d] = Value::Tensor(tensor_scalar_elementwise(*op, ten, &sv, *rev)?);
                 }
                 RegOp::TenSetRow { t, i, row } => {
                     let ix = fr.ints[*i];
@@ -1049,23 +1513,22 @@ impl Machine {
                 }
                 RegOp::TenFromList { kind, d, items } => {
                     let data = match kind {
-                        ElemKind::I64 => TensorData::I64(
-                            items.iter().map(|&s| fr.ints[s]).collect(),
-                        ),
-                        ElemKind::F64 => TensorData::F64(
-                            items.iter().map(|&s| fr.flts[s]).collect(),
-                        ),
-                        ElemKind::C64 => TensorData::Complex(
-                            items.iter().map(|&s| fr.cpxs[s]).collect(),
-                        ),
+                        ElemKind::I64 => {
+                            TensorData::I64(items.iter().map(|&s| fr.ints[s]).collect())
+                        }
+                        ElemKind::F64 => {
+                            TensorData::F64(items.iter().map(|&s| fr.flts[s]).collect())
+                        }
+                        ElemKind::C64 => {
+                            TensorData::Complex(items.iter().map(|&s| fr.cpxs[s]).collect())
+                        }
                     };
-                    fr.vals[*d] =
-                        Value::Tensor(Tensor::with_shape(vec![items.len()], data)?);
+                    fr.vals[*d] = Value::Tensor(Tensor::with_shape(vec![items.len()], data)?);
                 }
                 RegOp::DotVecF { d, a, b } => {
                     let ta = fr.vals[*a].expect_tensor()?.to_f64_tensor();
                     let tb = fr.vals[*b].expect_tensor()?.to_f64_tensor();
-                    let (x, y) = (ta.as_f64().expect("promoted"), tb.as_f64().expect("promoted"));
+                    let (x, y) = (ta.expect_f64()?, tb.expect_f64()?);
                     if x.len() != y.len() {
                         return Err(RuntimeError::Type("Dot length mismatch".into()));
                     }
@@ -1095,8 +1558,8 @@ impl Machine {
                     let (m, k, n) = (ta.shape()[0], ta.shape()[1], tb.shape()[1]);
                     let mut out = vec![0.0; m * n];
                     wolfram_runtime::linalg::dgemm(
-                        ta.as_f64().expect("promoted"),
-                        tb.as_f64().expect("promoted"),
+                        ta.expect_f64()?,
+                        tb.expect_f64()?,
                         &mut out,
                         m,
                         k,
@@ -1114,8 +1577,8 @@ impl Machine {
                     let (m, n) = (ta.shape()[0], ta.shape()[1]);
                     let mut out = vec![0.0; m];
                     wolfram_runtime::linalg::dgemv(
-                        ta.as_f64().expect("promoted"),
-                        tb.as_f64().expect("promoted"),
+                        ta.expect_f64()?,
+                        tb.expect_f64()?,
                         &mut out,
                         m,
                         n,
@@ -1288,40 +1751,107 @@ impl Machine {
                         pc = *t as usize;
                     }
                 }
-                RegOp::BrCmpISel { op, a, b, d, pc_false, pc_true } => {
+                RegOp::BrCmpISel {
+                    op,
+                    a,
+                    b,
+                    d,
+                    pc_false,
+                    pc_true,
+                } => {
                     let v = int_bin(*op, fr.ints[*a as usize], fr.ints[*b as usize])?;
                     fr.ints[*d as usize] = v;
-                    pc = if v == 0 { *pc_false as usize } else { *pc_true as usize };
+                    pc = if v == 0 {
+                        *pc_false as usize
+                    } else {
+                        *pc_true as usize
+                    };
                 }
-                RegOp::BrCmpFSel { op, a, b, d, pc_false, pc_true } => {
+                RegOp::BrCmpFSel {
+                    op,
+                    a,
+                    b,
+                    d,
+                    pc_false,
+                    pc_true,
+                } => {
                     let cond = flt_cmp(*op, fr.flts[*a as usize], fr.flts[*b as usize]);
                     fr.ints[*d as usize] = cond as i64;
-                    pc = if cond { *pc_true as usize } else { *pc_false as usize };
+                    pc = if cond {
+                        *pc_true as usize
+                    } else {
+                        *pc_false as usize
+                    };
                 }
                 RegOp::BrzJmp { c, pc_z, pc_nz } => {
-                    pc = if fr.ints[*c as usize] == 0 { *pc_z as usize } else { *pc_nz as usize };
+                    pc = if fr.ints[*c as usize] == 0 {
+                        *pc_z as usize
+                    } else {
+                        *pc_nz as usize
+                    };
                 }
-                RegOp::IntBin2 { op1, d1, a1, b1, op2, d2, a2, b2 } => {
+                RegOp::IntBin2 {
+                    op1,
+                    d1,
+                    a1,
+                    b1,
+                    op2,
+                    d2,
+                    a2,
+                    b2,
+                } => {
                     fr.ints[*d1 as usize] =
                         int_bin(*op1, fr.ints[*a1 as usize], fr.ints[*b1 as usize])?;
                     fr.ints[*d2 as usize] =
                         int_bin(*op2, fr.ints[*a2 as usize], fr.ints[*b2 as usize])?;
                 }
-                RegOp::IntBinImm2 { op1, d1, a1, imm1, op2, d2, a2, imm2 } => {
+                RegOp::IntBinImm2 {
+                    op1,
+                    d1,
+                    a1,
+                    imm1,
+                    op2,
+                    d2,
+                    a2,
+                    imm2,
+                } => {
                     fr.ints[*d1 as usize] = int_bin(*op1, fr.ints[*a1 as usize], *imm1 as i64)?;
                     fr.ints[*d2 as usize] = int_bin(*op2, fr.ints[*a2 as usize], *imm2 as i64)?;
                 }
-                RegOp::IntBinImmJmp { op, d, a, imm, pc: t } => {
+                RegOp::IntBinImmJmp {
+                    op,
+                    d,
+                    a,
+                    imm,
+                    pc: t,
+                } => {
                     fr.ints[*d as usize] = int_bin(*op, fr.ints[*a as usize], *imm as i64)?;
                     pc = *t as usize;
                 }
-                RegOp::FltBin2 { op1, d1, a1, b1, op2, d2, a2, b2 } => {
+                RegOp::FltBin2 {
+                    op1,
+                    d1,
+                    a1,
+                    b1,
+                    op2,
+                    d2,
+                    a2,
+                    b2,
+                } => {
                     fr.flts[*d1 as usize] =
                         flt_bin(*op1, fr.flts[*a1 as usize], fr.flts[*b1 as usize])?;
                     fr.flts[*d2 as usize] =
                         flt_bin(*op2, fr.flts[*a2 as usize], fr.flts[*b2 as usize])?;
                 }
-                RegOp::TenPart1IntBin { e, t, i, op, d, a, b } => {
+                RegOp::TenPart1IntBin {
+                    e,
+                    t,
+                    i,
+                    op,
+                    d,
+                    a,
+                    b,
+                } => {
                     let ix = fr.ints[*i as usize];
                     let tt = fr.vals[*t as usize].expect_tensor()?;
                     let off = tt.resolve_index(ix)?;
@@ -1332,7 +1862,15 @@ impl Machine {
                     fr.ints[*d as usize] =
                         int_bin(*op, fr.ints[*a as usize], fr.ints[*b as usize])?;
                 }
-                RegOp::TenPart1IntBinImm { e, t, i, op, d, a, imm } => {
+                RegOp::TenPart1IntBinImm {
+                    e,
+                    t,
+                    i,
+                    op,
+                    d,
+                    a,
+                    imm,
+                } => {
                     let ix = fr.ints[*i as usize];
                     let tt = fr.vals[*t as usize].expect_tensor()?;
                     let off = tt.resolve_index(ix)?;
@@ -1342,7 +1880,16 @@ impl Machine {
                     fr.ints[*e as usize] = v[off];
                     fr.ints[*d as usize] = int_bin(*op, fr.ints[*a as usize], *imm as i64)?;
                 }
-                RegOp::TenPart2FltBin { e, t, i, j, op, d, a, b } => {
+                RegOp::TenPart2FltBin {
+                    e,
+                    t,
+                    i,
+                    j,
+                    op,
+                    d,
+                    a,
+                    b,
+                } => {
                     let (ix, jx) = (fr.ints[*i as usize], fr.ints[*j as usize]);
                     let tt = fr.vals[*t as usize].expect_tensor()?;
                     if tt.rank() != 2 {
@@ -1355,14 +1902,19 @@ impl Machine {
                     fr.flts[*e as usize] = match tt.data() {
                         TensorData::F64(v) => v[off],
                         TensorData::I64(v) => v[off] as f64,
-                        _ => {
-                            return Err(RuntimeError::Type("tensor element kind mismatch".into()))
-                        }
+                        _ => return Err(RuntimeError::Type("tensor element kind mismatch".into())),
                     };
                     fr.flts[*d as usize] =
                         flt_bin(*op, fr.flts[*a as usize], fr.flts[*b as usize])?;
                 }
-                RegOp::TakeVTenSet1 { dv, sv, kind, t, i, v } => {
+                RegOp::TakeVTenSet1 {
+                    dv,
+                    sv,
+                    kind,
+                    t,
+                    i,
+                    v,
+                } => {
                     fr.vals[*dv as usize] =
                         std::mem::replace(&mut fr.vals[*sv as usize], Value::Null);
                     let ix = fr.ints[*i as usize];
@@ -1380,7 +1932,15 @@ impl Machine {
                     let off = tensor.resolve_index(ix)?;
                     tensor_store(tensor, off, value)?;
                 }
-                RegOp::TakeVTenSet2 { dv, sv, kind, t, i, j, v } => {
+                RegOp::TakeVTenSet2 {
+                    dv,
+                    sv,
+                    kind,
+                    t,
+                    i,
+                    j,
+                    v,
+                } => {
                     fr.vals[*dv as usize] =
                         std::mem::replace(&mut fr.vals[*sv as usize], Value::Null);
                     let (ix, jx) = (fr.ints[*i as usize], fr.ints[*j as usize]);
@@ -1411,7 +1971,13 @@ impl Machine {
                     fr.ints[*d1 as usize] = fr.ints[*s1 as usize];
                     fr.ints[*d2 as usize] = fr.ints[*s2 as usize];
                 }
-                RegOp::Mov2IJmp { d1, s1, d2, s2, pc: t } => {
+                RegOp::Mov2IJmp {
+                    d1,
+                    s1,
+                    d2,
+                    s2,
+                    pc: t,
+                } => {
                     fr.ints[*d1 as usize] = fr.ints[*s1 as usize];
                     fr.ints[*d2 as usize] = fr.ints[*s2 as usize];
                     pc = *t as usize;
@@ -1424,11 +1990,22 @@ impl Machine {
                         }
                     }
                 }
-                RegOp::AbortBrCmpISel { op, a, b, d, pc_false, pc_true } => {
+                RegOp::AbortBrCmpISel {
+                    op,
+                    a,
+                    b,
+                    d,
+                    pc_false,
+                    pc_true,
+                } => {
                     self.abort.check()?;
                     let v = int_bin(*op, fr.ints[*a as usize], fr.ints[*b as usize])?;
                     fr.ints[*d as usize] = v;
-                    pc = if v == 0 { *pc_false as usize } else { *pc_true as usize };
+                    pc = if v == 0 {
+                        *pc_false as usize
+                    } else {
+                        *pc_true as usize
+                    };
                 }
                 RegOp::AbortBrCmpIFalse { op, a, b, d, pc: t } => {
                     self.abort.check()?;
@@ -1438,7 +2015,14 @@ impl Machine {
                         pc = *t as usize;
                     }
                 }
-                RegOp::IntBinImmMovI { op, d, a, imm, d2, s2 } => {
+                RegOp::IntBinImmMovI {
+                    op,
+                    d,
+                    a,
+                    imm,
+                    d2,
+                    s2,
+                } => {
                     fr.ints[*d as usize] = int_bin(*op, fr.ints[*a as usize], *imm as i64)?;
                     fr.ints[*d2 as usize] = fr.ints[*s2 as usize];
                 }
@@ -1446,18 +2030,43 @@ impl Machine {
                     fr.cpxs[*d as usize] = fr.cpxs[*s as usize];
                     pc = *t as usize;
                 }
-                RegOp::IntBinImmMov2IJmp { op, d, a, imm, d2, s2, d3, s3, pc: t } => {
+                RegOp::IntBinImmMov2IJmp {
+                    op,
+                    d,
+                    a,
+                    imm,
+                    d2,
+                    s2,
+                    d3,
+                    s3,
+                    pc: t,
+                } => {
                     fr.ints[*d as usize] = int_bin(*op, fr.ints[*a as usize], *imm as i64)?;
                     fr.ints[*d2 as usize] = fr.ints[*s2 as usize];
                     fr.ints[*d3 as usize] = fr.ints[*s3 as usize];
                     pc = *t as usize;
                 }
-                RegOp::FltCmpMovI { op, d, a, b, d2, s2 } => {
+                RegOp::FltCmpMovI {
+                    op,
+                    d,
+                    a,
+                    b,
+                    d2,
+                    s2,
+                } => {
                     fr.ints[*d as usize] =
                         flt_cmp(*op, fr.flts[*a as usize], fr.flts[*b as usize]) as i64;
                     fr.ints[*d2 as usize] = fr.ints[*s2 as usize];
                 }
-                RegOp::FltCmpMovIJmp { op, d, a, b, d2, s2, pc: t } => {
+                RegOp::FltCmpMovIJmp {
+                    op,
+                    d,
+                    a,
+                    b,
+                    d2,
+                    s2,
+                    pc: t,
+                } => {
                     fr.ints[*d as usize] =
                         flt_cmp(*op, fr.flts[*a as usize], fr.flts[*b as usize]) as i64;
                     fr.ints[*d2 as usize] = fr.ints[*s2 as usize];
@@ -1490,12 +2099,11 @@ fn int_bin(op: IntOp, x: i64, y: i64) -> Result<i64, RuntimeError> {
         IntOp::Add => checked::add_i64(x, y)?,
         IntOp::Sub => checked::sub_i64(x, y)?,
         IntOp::Mul => checked::mul_i64(x, y)?,
-        IntOp::Quot => {
-            if y == 0 {
-                return Err(RuntimeError::DivideByZero);
-            }
-            (x as f64 / y as f64).floor() as i64
-        }
+        // Exact flooring division via the shared checked helper. The f64
+        // round-trip this replaces lost precision above 2^53 and saturated
+        // on `i64::MIN / -1` instead of raising overflow — both silent
+        // divergences from the interpreter.
+        IntOp::Quot => checked::quotient_i64(x, y)?,
         IntOp::Mod => checked::mod_i64(x, y)?,
         IntOp::Pow => checked::pow_i64(x, y)?,
         IntOp::Min => x.min(y),
@@ -1512,7 +2120,9 @@ fn int_bin(op: IntOp, x: i64, y: i64) -> Result<i64, RuntimeError> {
         IntOp::BitAnd => x & y,
         IntOp::BitOr => x | y,
         IntOp::BitXor => x ^ y,
-        IntOp::Shl => x.checked_shl(y as u32).ok_or(RuntimeError::IntegerOverflow)?,
+        IntOp::Shl => x
+            .checked_shl(y as u32)
+            .ok_or(RuntimeError::IntegerOverflow)?,
         IntOp::Shr => x >> y.clamp(0, 63),
         IntOp::Lt => (x < y) as i64,
         IntOp::Le => (x <= y) as i64,
@@ -1564,7 +2174,9 @@ fn flt_cmp(op: CmpCode, x: f64, y: f64) -> bool {
 
 fn pow_mod_i64(base: i64, exp: i64, m: i64) -> Result<i64, RuntimeError> {
     if m <= 0 {
-        return Err(RuntimeError::Type("PowerMod modulus must be positive".into()));
+        return Err(RuntimeError::Type(
+            "PowerMod modulus must be positive".into(),
+        ));
     }
     if exp < 0 {
         return Err(RuntimeError::Type("PowerMod negative exponent".into()));
@@ -1625,7 +2237,7 @@ fn tensor_elementwise(op: TenOp, a: &Tensor, b: &Tensor) -> Result<Tensor, Runti
         _ => {
             let fa = a.to_f64_tensor();
             let fb = b.to_f64_tensor();
-            let (x, y) = (fa.as_f64().expect("promoted"), fb.as_f64().expect("promoted"));
+            let (x, y) = (fa.expect_f64()?, fb.expect_f64()?);
             let out: Vec<f64> = x
                 .iter()
                 .zip(y)
@@ -1676,7 +2288,7 @@ fn tensor_scalar_elementwise(
         }
         _ => {
             let ft = t.to_f64_tensor();
-            let x = ft.as_f64().expect("promoted");
+            let x = ft.expect_f64()?;
             let q = match s {
                 Value::I64(v) => *v as f64,
                 Value::F64(v) => *v,
@@ -1707,7 +2319,11 @@ fn tensor_scalar_elementwise(
 mod tests {
     use super::*;
 
-    fn onefunc(code: Vec<RegOp>, params: Vec<Slot>, banks: (usize, usize, usize, usize)) -> NativeProgram {
+    fn onefunc(
+        code: Vec<RegOp>,
+        params: Vec<Slot>,
+        banks: (usize, usize, usize, usize),
+    ) -> NativeProgram {
         NativeProgram {
             funcs: vec![NativeFunc {
                 name: "Main".into(),
@@ -1727,8 +2343,15 @@ mod tests {
         let prog = onefunc(
             vec![
                 RegOp::LdcI { d: 1, v: 1 },
-                RegOp::IntBin { op: IntOp::Add, d: 2, a: 0, b: 1 },
-                RegOp::Ret { s: Slot::new(Bank::I, 2) },
+                RegOp::IntBin {
+                    op: IntOp::Add,
+                    d: 2,
+                    a: 0,
+                    b: 1,
+                },
+                RegOp::Ret {
+                    s: Slot::new(Bank::I, 2),
+                },
             ],
             vec![Slot::new(Bank::I, 0)],
             (3, 0, 0, 0),
@@ -1742,8 +2365,15 @@ mod tests {
     fn overflow_is_checked() {
         let prog = onefunc(
             vec![
-                RegOp::IntBin { op: IntOp::Add, d: 1, a: 0, b: 0 },
-                RegOp::Ret { s: Slot::new(Bank::I, 1) },
+                RegOp::IntBin {
+                    op: IntOp::Add,
+                    d: 1,
+                    a: 0,
+                    b: 0,
+                },
+                RegOp::Ret {
+                    s: Slot::new(Bank::I, 1),
+                },
             ],
             vec![Slot::new(Bank::I, 0)],
             (2, 0, 0, 0),
@@ -1773,11 +2403,17 @@ mod tests {
         // |(0+1i)^2| == 1
         let prog = onefunc(
             vec![
-                RegOp::LdcC { d: 0, re: 0.0, im: 1.0 },
+                RegOp::LdcC {
+                    d: 0,
+                    re: 0.0,
+                    im: 1.0,
+                },
                 RegOp::LdcI { d: 0, v: 2 },
                 RegOp::CpxPowI { d: 1, a: 0, e: 0 },
                 RegOp::CpxAbs { d: 0, s: 1 },
-                RegOp::Ret { s: Slot::new(Bank::F, 0) },
+                RegOp::Ret {
+                    s: Slot::new(Bank::F, 0),
+                },
             ],
             vec![],
             (1, 1, 2, 0),
@@ -1793,9 +2429,21 @@ mod tests {
             vec![
                 RegOp::LdcI { d: 0, v: 2 },
                 RegOp::LdcI { d: 1, v: 99 },
-                RegOp::TenSet1 { kind: ElemKind::I64, t: 0, i: 0, v: 1 },
-                RegOp::TenPart1 { kind: ElemKind::I64, d: 2, t: 0, i: 0 },
-                RegOp::Ret { s: Slot::new(Bank::I, 2) },
+                RegOp::TenSet1 {
+                    kind: ElemKind::I64,
+                    t: 0,
+                    i: 0,
+                    v: 1,
+                },
+                RegOp::TenPart1 {
+                    kind: ElemKind::I64,
+                    d: 2,
+                    t: 0,
+                    i: 0,
+                },
+                RegOp::Ret {
+                    s: Slot::new(Bank::I, 2),
+                },
             ],
             vec![Slot::new(Bank::V, 0)],
             (3, 0, 0, 1),
@@ -1815,8 +2463,15 @@ mod tests {
             name: "double".into(),
             code: vec![
                 RegOp::LdcI { d: 1, v: 2 },
-                RegOp::IntBin { op: IntOp::Mul, d: 2, a: 0, b: 1 },
-                RegOp::Ret { s: Slot::new(Bank::I, 2) },
+                RegOp::IntBin {
+                    op: IntOp::Mul,
+                    d: 2,
+                    a: 0,
+                    b: 1,
+                },
+                RegOp::Ret {
+                    s: Slot::new(Bank::I, 2),
+                },
             ],
             n_int: 3,
             n_flt: 0,
@@ -1827,13 +2482,19 @@ mod tests {
         let main = NativeFunc {
             name: "Main".into(),
             code: vec![
-                RegOp::MakeClosure { d: 0, f: 1, captures: vec![] },
+                RegOp::MakeClosure {
+                    d: 0,
+                    f: 1,
+                    captures: vec![],
+                },
                 RegOp::CallValue {
                     fv: 0,
                     args: Box::new([Slot::new(Bank::I, 0)]),
                     ret: Slot::new(Bank::I, 1),
                 },
-                RegOp::Ret { s: Slot::new(Bank::I, 1) },
+                RegOp::Ret {
+                    s: Slot::new(Bank::I, 1),
+                },
             ],
             n_int: 2,
             n_flt: 0,
@@ -1841,9 +2502,14 @@ mod tests {
             n_val: 1,
             params: vec![Slot::new(Bank::I, 0)],
         };
-        let prog = NativeProgram { funcs: vec![main, double] };
+        let prog = NativeProgram {
+            funcs: vec![main, double],
+        };
         let mut m = Machine::standalone();
-        assert_eq!(m.call(&prog, 0, vec![ArgVal::I(21)]).unwrap(), ArgVal::I(42));
+        assert_eq!(
+            m.call(&prog, 0, vec![ArgVal::I(21)]).unwrap(),
+            ArgVal::I(42)
+        );
     }
 
     #[test]
@@ -1855,7 +2521,9 @@ mod tests {
                     args: Box::new([]),
                     ret: Slot::new(Bank::V, 0),
                 },
-                RegOp::Ret { s: Slot::new(Bank::V, 0) },
+                RegOp::Ret {
+                    s: Slot::new(Bank::V, 0),
+                },
             ],
             vec![],
             (0, 0, 0, 1),
@@ -1863,7 +2531,9 @@ mod tests {
         let mut m = Machine::standalone();
         assert!(m.call(&prog, 0, vec![]).is_err());
         let mut engine = Interpreter::new();
-        let out = m.call_with_engine(&prog, 0, vec![], Some(&mut engine)).unwrap();
+        let out = m
+            .call_with_engine(&prog, 0, vec![], Some(&mut engine))
+            .unwrap();
         assert_eq!(out, ArgVal::V(Value::I64(0)));
     }
 

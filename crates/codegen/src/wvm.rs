@@ -57,10 +57,16 @@ pub fn compile_to_wvm(f: &Function) -> Result<Vec<Op>, String> {
             match i {
                 Instr::LoadArgument { .. } => {} // args preloaded into registers
                 Instr::LoadConst { dst, value } => {
-                    ops.push(Op::LoadConst { d: reg(*dst)?, c: const_value(value)? });
+                    ops.push(Op::LoadConst {
+                        d: reg(*dst)?,
+                        c: const_value(value)?,
+                    });
                 }
                 Instr::Copy { dst, src } => {
-                    ops.push(Op::Move { d: reg(*dst)?, s: reg(*src)? });
+                    ops.push(Op::Move {
+                        d: reg(*dst)?,
+                        s: reg(*src)?,
+                    });
                 }
                 Instr::Phi { .. } => {
                     return Err("the WVM backend requires phi-free (structured) code".into())
@@ -77,7 +83,10 @@ pub fn compile_to_wvm(f: &Function) -> Result<Vec<Op>, String> {
                                 let r = u16::try_from(scratch)
                                     .map_err(|_| "register overflow".to_owned())?;
                                 scratch += 1;
-                                ops.push(Op::LoadConst { d: r, c: const_value(c)? });
+                                ops.push(Op::LoadConst {
+                                    d: r,
+                                    c: const_value(c)?,
+                                });
                                 r
                             }
                         });
@@ -91,7 +100,11 @@ pub fn compile_to_wvm(f: &Function) -> Result<Vec<Op>, String> {
                     patches.push((ops.len(), target.0));
                     ops.push(Op::Jump { pc: usize::MAX });
                 }
-                Instr::Branch { cond, then_block, else_block } => {
+                Instr::Branch {
+                    cond,
+                    then_block,
+                    else_block,
+                } => {
                     let c = match cond {
                         Operand::Var(v) => reg(*v)?,
                         Operand::Const(_) => return Err("constant branch in WVM".into()),
@@ -104,9 +117,13 @@ pub fn compile_to_wvm(f: &Function) -> Result<Vec<Op>, String> {
                 Instr::Return { value } => match value {
                     Operand::Var(v) => ops.push(Op::Return { s: reg(*v)? }),
                     Operand::Const(c) => {
-                        let r = u16::try_from(scratch).map_err(|_| "register overflow".to_owned())?;
+                        let r =
+                            u16::try_from(scratch).map_err(|_| "register overflow".to_owned())?;
                         scratch += 1;
-                        ops.push(Op::LoadConst { d: r, c: const_value(c)? });
+                        ops.push(Op::LoadConst {
+                            d: r,
+                            c: const_value(c)?,
+                        });
                         ops.push(Op::Return { s: r });
                     }
                 },
@@ -130,12 +147,8 @@ fn const_value(c: &Constant) -> Result<Value, String> {
         Constant::Bool(b) => Value::Bool(*b),
         Constant::Complex(re, im) => Value::Complex(*re, *im),
         Constant::Null => Value::Null,
-        Constant::I64Array(a) => {
-            Value::Tensor(wolfram_runtime::Tensor::from_i64(a.to_vec()))
-        }
-        Constant::F64Array(a) => {
-            Value::Tensor(wolfram_runtime::Tensor::from_f64(a.to_vec()))
-        }
+        Constant::I64Array(a) => Value::Tensor(wolfram_runtime::Tensor::from_i64(a.to_vec())),
+        Constant::F64Array(a) => Value::Tensor(wolfram_runtime::Tensor::from_f64(a.to_vec())),
         Constant::Str(_) | Constant::Expr(_) => {
             return Err("the WVM has no string/expression datatypes (L1)".into())
         }
@@ -148,11 +161,21 @@ fn emit_call(ops: &mut Vec<Op>, d: u16, callee: &Callee, regs: &[u16]) -> Result
     };
     let base = name.split('$').next().unwrap_or(name);
     let bin = |op: BinOp| -> Result<Op, String> {
-        Ok(Op::Bin { op, d, a: regs[0], b: regs[1] })
+        Ok(Op::Bin {
+            op,
+            d,
+            a: regs[0],
+            b: regs[1],
+        })
     };
     let un = |op: UnOp| -> Result<Op, String> { Ok(Op::Un { op, d, s: regs[0] }) };
     let cmp = |op: CmpOp| -> Result<Op, String> {
-        Ok(Op::Cmp { op, d, a: regs[0], b: regs[1] })
+        Ok(Op::Cmp {
+            op,
+            d,
+            a: regs[0],
+            b: regs[1],
+        })
     };
     let op = match base {
         "checked_binary_plus" => bin(BinOp::Add)?,
@@ -178,7 +201,11 @@ fn emit_call(ops: &mut Vec<Op>, d: u16, callee: &Callee, regs: &[u16]) -> Result
         "unary_not" => un(UnOp::Not)?,
         "complex_re" => un(UnOp::Re)?,
         "complex_im" => un(UnOp::Im)?,
-        "complex_construct" => Op::ComplexMake { d, re: regs[0], im: regs[1] },
+        "complex_construct" => Op::ComplexMake {
+            d,
+            re: regs[0],
+            im: regs[1],
+        },
         "complex_abs" => un(UnOp::Abs)?,
         "compare_less" => cmp(CmpOp::Lt)?,
         "compare_less_equal" => cmp(CmpOp::Le)?,
@@ -187,11 +214,34 @@ fn emit_call(ops: &mut Vec<Op>, d: u16, callee: &Callee, regs: &[u16]) -> Result
         "compare_equal" => cmp(CmpOp::Eq)?,
         "compare_unequal" => cmp(CmpOp::Ne)?,
         "tensor_length" => Op::Length { d, s: regs[0] },
-        "tensor_part_1" => Op::Part1 { d, t: regs[0], i: regs[1] },
-        "tensor_part_2" => Op::Part2 { d, t: regs[0], i: regs[1], j: regs[2] },
-        "dot_vector" | "dot_matrix" => Op::Dot { d, a: regs[0], b: regs[1] },
-        "tensor_fill_1" => Op::ConstArray { d, c: regs[0], n1: regs[1], n2: None },
-        "tensor_fill_2" => Op::ConstArray { d, c: regs[0], n1: regs[1], n2: Some(regs[2]) },
+        "tensor_part_1" => Op::Part1 {
+            d,
+            t: regs[0],
+            i: regs[1],
+        },
+        "tensor_part_2" => Op::Part2 {
+            d,
+            t: regs[0],
+            i: regs[1],
+            j: regs[2],
+        },
+        "dot_vector" | "dot_matrix" => Op::Dot {
+            d,
+            a: regs[0],
+            b: regs[1],
+        },
+        "tensor_fill_1" => Op::ConstArray {
+            d,
+            c: regs[0],
+            n1: regs[1],
+            n2: None,
+        },
+        "tensor_fill_2" => Op::ConstArray {
+            d,
+            c: regs[0],
+            n1: regs[1],
+            n2: Some(regs[2]),
+        },
         other => return Err(format!("the WVM has no instruction for `{other}`")),
     };
     ops.push(op);
@@ -201,10 +251,10 @@ fn emit_call(ops: &mut Vec<Op>, d: u16, callee: &Callee, regs: &[u16]) -> Result
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wolfram_types::Type;
     use std::rc::Rc;
     use wolfram_ir::FunctionBuilder;
     use wolfram_runtime::AbortSignal;
+    use wolfram_types::Type;
 
     #[test]
     fn straight_line_twir_runs_on_legacy_vm() {
@@ -236,7 +286,10 @@ mod tests {
     fn strings_rejected() {
         let mut b = FunctionBuilder::new("Main", 0);
         let s = b.func.fresh_var();
-        b.push(Instr::LoadConst { dst: s, value: Constant::Str(Rc::from("hi")) });
+        b.push(Instr::LoadConst {
+            dst: s,
+            value: Constant::Str(Rc::from("hi")),
+        });
         b.ret(s);
         let mut f = b.finish();
         f.var_types.insert(s, Type::string());

@@ -57,8 +57,14 @@ impl Rng {
 
     fn flt_cmp(&mut self) -> wolfram_codegen::machine::CmpCode {
         use wolfram_codegen::machine::CmpCode;
-        const OPS: &[CmpCode] =
-            &[CmpCode::Lt, CmpCode::Le, CmpCode::Gt, CmpCode::Ge, CmpCode::Eq, CmpCode::Ne];
+        const OPS: &[CmpCode] = &[
+            CmpCode::Lt,
+            CmpCode::Le,
+            CmpCode::Gt,
+            CmpCode::Ge,
+            CmpCode::Eq,
+            CmpCode::Ne,
+        ];
         OPS[self.below(OPS.len())]
     }
 }
@@ -68,14 +74,23 @@ impl Rng {
 fn random_body(rng: &mut Rng, len: usize) -> Vec<RegOp> {
     let mut code = Vec::new();
     for d in 0..NI {
-        code.push(RegOp::LdcI { d, v: rng.below(201) as i64 - 100 });
+        code.push(RegOp::LdcI {
+            d,
+            v: rng.below(201) as i64 - 100,
+        });
     }
     for d in 0..NF {
-        code.push(RegOp::LdcF { d, v: (rng.below(401) as f64 - 200.0) / 8.0 });
+        code.push(RegOp::LdcF {
+            d,
+            v: (rng.below(401) as f64 - 200.0) / 8.0,
+        });
     }
     for _ in 0..len {
         let op = match rng.below(6) {
-            0 => RegOp::MovI { d: rng.below(NI), s: rng.below(NI) },
+            0 => RegOp::MovI {
+                d: rng.below(NI),
+                s: rng.below(NI),
+            },
             1 => RegOp::IntBin {
                 op: rng.int_op(),
                 d: rng.below(NI),
@@ -100,7 +115,10 @@ fn random_body(rng: &mut Rng, len: usize) -> Vec<RegOp> {
                 a: rng.below(NF),
                 b: rng.below(NF),
             },
-            _ => RegOp::MovF { d: rng.below(NF), s: rng.below(NF) },
+            _ => RegOp::MovF {
+                d: rng.below(NF),
+                s: rng.below(NF),
+            },
         };
         code.push(op);
     }
@@ -108,9 +126,12 @@ fn random_body(rng: &mut Rng, len: usize) -> Vec<RegOp> {
 }
 
 fn run(f: &NativeFunc) -> Result<ArgVal, String> {
-    let prog = NativeProgram { funcs: vec![f.clone()] };
+    let prog = NativeProgram {
+        funcs: vec![f.clone()],
+    };
     let mut m = Machine::standalone();
-    m.call_with_engine(&prog, 0, Vec::new(), None).map_err(|e| format!("{e:?}"))
+    m.call_with_engine(&prog, 0, Vec::new(), None)
+        .map_err(|e| format!("{e:?}"))
 }
 
 proptest! {

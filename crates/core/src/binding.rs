@@ -80,7 +80,10 @@ pub fn analyze(f: &Expr) -> Result<BoundFunction, BindingError> {
     if !f.has_head("Function") {
         return Err(BindingError::NotAFunction(f.head().to_input_form()));
     }
-    let mut a = Analyzer { counter: 0, escaped: HashSet::new() };
+    let mut a = Analyzer {
+        counter: 0,
+        escaped: HashSet::new(),
+    };
     let normalized = normalize_lambda(f, &mut a)?;
     // normalize_lambda returns Function[{params...}, body] with metadata.
     let params_e = &normalized.args()[0];
@@ -94,7 +97,11 @@ pub fn analyze(f: &Expr) -> Result<BoundFunction, BindingError> {
     let mut escaped = HashSet::new();
     collect_escapes(&body, &mut escaped);
     escaped.extend(a.escaped);
-    Ok(BoundFunction { params, body, escaped })
+    Ok(BoundFunction {
+        params,
+        body,
+        escaped,
+    })
 }
 
 fn parse_param(p: &Expr) -> Result<(String, Option<Type>), BindingError> {
@@ -111,7 +118,10 @@ fn parse_param(p: &Expr) -> Result<(String, Option<Type>), BindingError> {
         let ty = Type::from_expr(&p.args()[1])?;
         return Ok((s.name().to_owned(), Some(ty)));
     }
-    Err(BindingError::Malformed(format!("parameter {}", p.to_input_form())))
+    Err(BindingError::Malformed(format!(
+        "parameter {}",
+        p.to_input_form()
+    )))
 }
 
 /// Normalizes a lambda: slot form -> named params, parameters renamed
@@ -123,8 +133,9 @@ fn normalize_lambda(f: &Expr, a: &mut Analyzer) -> Result<Expr, BindingError> {
         1 => {
             let body = &args[0];
             let max_slot = max_slot_index(body);
-            let names: Vec<String> =
-                (1..=max_slot).map(|ix| a.fresh(&format!("slot{ix}"))).collect();
+            let names: Vec<String> = (1..=max_slot)
+                .map(|ix| a.fresh(&format!("slot{ix}")))
+                .collect();
             let body = substitute_slot_exprs(body, &names);
             (names.into_iter().map(|n| Expr::sym(&n)).collect(), body)
         }
@@ -203,8 +214,11 @@ fn substitute_slot_exprs(e: &Expr, names: &[String]) -> Expr {
                 return e.clone();
             }
             let head = substitute_slot_exprs(n.head(), names);
-            let args: Vec<Expr> =
-                n.args().iter().map(|x| substitute_slot_exprs(x, names)).collect();
+            let args: Vec<Expr> = n
+                .args()
+                .iter()
+                .map(|x| substitute_slot_exprs(x, names))
+                .collect();
             Expr::normal(head, args)
         }
         _ => e.clone(),
@@ -220,8 +234,7 @@ fn transform(e: &Expr, a: &mut Analyzer) -> Result<Expr, BindingError> {
             if n.head().is_symbol("Function") {
                 return normalize_lambda(e, a);
             }
-            if (n.head().is_symbol("Module") || n.head().is_symbol("Block"))
-                && n.args().len() == 2
+            if (n.head().is_symbol("Module") || n.head().is_symbol("Block")) && n.args().len() == 2
             {
                 return transform_module(e, a);
             }
@@ -229,8 +242,11 @@ fn transform(e: &Expr, a: &mut Analyzer) -> Result<Expr, BindingError> {
                 return transform_with(e, a);
             }
             let head = transform(n.head(), a)?;
-            let args: Vec<Expr> =
-                n.args().iter().map(|x| transform(x, a)).collect::<Result<_, _>>()?;
+            let args: Vec<Expr> = n
+                .args()
+                .iter()
+                .map(|x| transform(x, a))
+                .collect::<Result<_, _>>()?;
             Ok(Expr::normal(head, args))
         }
         _ => Ok(e.clone()),
@@ -294,7 +310,9 @@ fn transform_with(e: &Expr, a: &mut Analyzer) -> Result<Expr, BindingError> {
     let mut renames: HashMap<Symbol, Expr> = HashMap::new();
     for (sym, init) in &specs {
         let Some(init) = init else {
-            return Err(BindingError::Malformed("With variables must be initialized".into()));
+            return Err(BindingError::Malformed(
+                "With variables must be initialized".into(),
+            ));
         };
         renames.insert(sym.clone(), transform(init, a)?);
     }
@@ -305,10 +323,9 @@ fn transform_with(e: &Expr, a: &mut Analyzer) -> Result<Expr, BindingError> {
 fn collect_escapes(body: &Expr, escaped: &mut HashSet<String>) {
     fn go(e: &Expr, inside_lambda: bool, escaped: &mut HashSet<String>) {
         match e.kind() {
-            ExprKind::Symbol(s)
-                if inside_lambda && s.name().contains('$') => {
-                    escaped.insert(s.name().to_owned());
-                }
+            ExprKind::Symbol(s) if inside_lambda && s.name().contains('$') => {
+                escaped.insert(s.name().to_owned());
+            }
             ExprKind::Normal(n) => {
                 let lambda = n.head().is_symbol("Function");
                 go(n.head(), inside_lambda, escaped);
@@ -400,7 +417,11 @@ mod tests {
         // inside the lambda, nothing from the outer scope escapes... but
         // `len` does not occur inside it. Check a real capture:
         let b2 = bound("Function[{k}, Map[Function[{x}, x + k], data]]");
-        assert!(b2.escaped.iter().any(|n| n.starts_with("k$")), "{:?}", b2.escaped);
+        assert!(
+            b2.escaped.iter().any(|n| n.starts_with("k$")),
+            "{:?}",
+            b2.escaped
+        );
         let _ = b;
     }
 
@@ -422,7 +443,9 @@ mod tests {
     fn errors() {
         assert!(analyze(&parse("42").unwrap()).is_err());
         assert!(analyze(&parse("Function[{1}, 1]").unwrap()).is_err());
-        assert!(analyze(&parse("Function[{Typed[x, \"NoSuch\" -> ]}, x]").unwrap_or(Expr::int(0)))
-            .is_err());
+        assert!(
+            analyze(&parse("Function[{Typed[x, \"NoSuch\" -> ]}, x]").unwrap_or(Expr::int(0)))
+                .is_err()
+        );
     }
 }

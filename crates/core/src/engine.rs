@@ -47,7 +47,11 @@ impl std::fmt::Debug for CompiledCodeFunction {
         write!(
             f,
             "CompiledCodeFunction[{} -> {}]",
-            self.param_types.iter().map(Type::to_string).collect::<Vec<_>>().join(", "),
+            self.param_types
+                .iter()
+                .map(Type::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
             self.return_type
         )
     }
@@ -105,13 +109,16 @@ impl CompiledCodeFunction {
     /// Unboxes an argument expression against a parameter type.
     fn unbox(&self, e: &Expr, ty: &Type) -> Result<ArgVal, RuntimeError> {
         let type_err = |what: &str| {
-            RuntimeError::Type(format!("argument {what} does not match parameter type {ty}"))
+            RuntimeError::Type(format!(
+                "argument {what} does not match parameter type {ty}"
+            ))
         };
         match ty {
             Type::Atomic(name) => match &**name {
-                "Integer64" | "Integer32" | "Integer16" | "Integer8" => {
-                    e.as_i64().map(ArgVal::I).ok_or_else(|| type_err(&e.to_input_form()))
-                }
+                "Integer64" | "Integer32" | "Integer16" | "Integer8" => e
+                    .as_i64()
+                    .map(ArgVal::I)
+                    .ok_or_else(|| type_err(&e.to_input_form())),
                 "Boolean" => {
                     if e.is_true() {
                         Ok(ArgVal::I(1))
@@ -121,12 +128,16 @@ impl CompiledCodeFunction {
                         Err(type_err(&e.to_input_form()))
                     }
                 }
-                "Real64" | "Real32" => {
-                    e.as_f64().map(ArgVal::F).ok_or_else(|| type_err(&e.to_input_form()))
-                }
+                "Real64" | "Real32" => e
+                    .as_f64()
+                    .map(ArgVal::F)
+                    .ok_or_else(|| type_err(&e.to_input_form())),
                 "ComplexReal64" => match e.kind() {
                     wolfram_expr::ExprKind::Complex(re, im) => Ok(ArgVal::C(*re, *im)),
-                    _ => e.as_f64().map(|v| ArgVal::C(v, 0.0)).ok_or_else(|| type_err(&e.to_input_form())),
+                    _ => e
+                        .as_f64()
+                        .map(|v| ArgVal::C(v, 0.0))
+                        .ok_or_else(|| type_err(&e.to_input_form())),
                 },
                 "String" => e
                     .as_str()
@@ -168,9 +179,7 @@ impl CompiledCodeFunction {
         // Values mostly map directly; route exotic cases through exprs.
         match (v, ty) {
             (Value::Function(_), Type::Arrow { .. }) => Ok(ArgVal::V(v.clone())),
-            (Value::Tensor(t), Type::Constructor { name, args })
-                if &**name == "Tensor" =>
-            {
+            (Value::Tensor(t), Type::Constructor { name, args }) if &**name == "Tensor" => {
                 let t = match args.first() {
                     Some(Type::Atomic(n)) if &**n == "Real64" => t.to_f64_tensor(),
                     _ => t.clone(),
@@ -239,11 +248,10 @@ impl CompiledCodeFunction {
     /// they are type errors otherwise.
     pub fn call_exprs(&self, args: &[Expr]) -> Result<Expr, RuntimeError> {
         if args.len() != self.arity() {
-            return self.mismatch_fallback(args, &format!(
-                "expected {} arguments, got {}",
-                self.arity(),
-                args.len()
-            ));
+            return self.mismatch_fallback(
+                args,
+                &format!("expected {} arguments, got {}", self.arity(), args.len()),
+            );
         }
         let mut marshaled = Vec::with_capacity(args.len());
         for (e, ty) in args.iter().zip(&self.param_types) {
@@ -254,9 +262,7 @@ impl CompiledCodeFunction {
         }
         match self.run(marshaled) {
             Ok(r) => Ok(result_to_value(r, &self.return_type).to_expr()),
-            Err(e) if e.is_numeric() && self.engine.is_some() => {
-                self.soft_fallback_exprs(args, &e)
-            }
+            Err(e) if e.is_numeric() && self.engine.is_some() => self.soft_fallback_exprs(args, &e),
             Err(e) => Err(e),
         }
     }
@@ -316,7 +322,11 @@ impl CompiledCodeFunction {
 
     /// F2: "Numerical exceptions are propagated to the top-level auxiliary
     /// function which calls the interpreter to rerun the function."
-    fn soft_fallback_values(&self, args: &[Value], err: &RuntimeError) -> Result<Value, RuntimeError> {
+    fn soft_fallback_values(
+        &self,
+        args: &[Value],
+        err: &RuntimeError,
+    ) -> Result<Value, RuntimeError> {
         self.warn(err.tag());
         let engine = self.engine.as_ref().expect("checked by caller");
         let arg_exprs: Vec<Expr> = args.iter().map(Value::to_expr).collect();
@@ -364,7 +374,9 @@ impl CompiledCodeFunction {
     /// Fails without an engine.
     pub fn install(&self, name: &str) -> Result<(), RuntimeError> {
         let Some(engine) = &self.engine else {
-            return Err(RuntimeError::Other("install requires a hosting engine".into()));
+            return Err(RuntimeError::Other(
+                "install requires a hosting engine".into(),
+            ));
         };
         let this = self.clone();
         engine.borrow_mut().register_native(
@@ -450,7 +462,10 @@ mod tests {
         let out = cf.call_exprs(&[Expr::int(100)]).unwrap();
         assert_eq!(out.to_full_form(), "354224848179261915075");
         let warnings = engine.borrow_mut().take_output();
-        assert!(warnings[0].contains("reverting to uncompiled evaluation"), "{warnings:?}");
+        assert!(
+            warnings[0].contains("reverting to uncompiled evaluation"),
+            "{warnings:?}"
+        );
         assert!(warnings[0].contains("IntegerOverflow"), "{warnings:?}");
         // Fast path still native.
         assert_eq!(cf.call(&[Value::I64(50)]).unwrap(), Value::I64(12586269025));
@@ -472,7 +487,10 @@ mod tests {
         cf.install("fast").unwrap();
         // Interpreted code calls the compiled function seamlessly (F1),
         // including inside higher-order interpreted constructs.
-        let out = engine.borrow_mut().eval_src("Map[fast, {1, 2, 3}]").unwrap();
+        let out = engine
+            .borrow_mut()
+            .eval_src("Map[fast, {1, 2, 3}]")
+            .unwrap();
         assert_eq!(out.to_full_form(), "List[101, 102, 103]");
         let out = engine.borrow_mut().eval_src("fast[5] + 1").unwrap();
         assert_eq!(out.as_i64(), Some(106));
@@ -492,9 +510,7 @@ mod tests {
 
     #[test]
     fn tensors_cross_the_boundary() {
-        let cf = compile(
-            "Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, v[[1]] + v[[-1]]]",
-        );
+        let cf = compile("Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, v[[1]] + v[[-1]]]");
         let out = cf.call_exprs(&[parse("{1.5, 2.0, 3.5}").unwrap()]).unwrap();
         assert_eq!(out.as_f64(), Some(5.0));
         // Integer lists promote to the real element type.
@@ -525,9 +541,7 @@ mod tests {
     fn gradual_compilation_via_kernel_escape() {
         // StringReverse is not compilable: it escapes to the interpreter
         // mid-function (F9).
-        let (cf, _engine) = hosted(
-            "Function[{Typed[s, \"String\"]}, StringReverse[s]]",
-        );
+        let (cf, _engine) = hosted("Function[{Typed[s, \"String\"]}, StringReverse[s]]");
         let out = cf.call_exprs(&[Expr::string("abc")]).unwrap();
         assert_eq!(out.as_str(), Some("cba"));
     }
@@ -543,6 +557,9 @@ mod tests {
         assert_eq!(cf.call(&[t]).unwrap(), Value::I64(3));
         let stats = wolfram_runtime::memory::stats();
         assert!(stats.balanced(), "{stats:?}");
-        assert!(stats.acquires > 0, "managed values were bracketed: {stats:?}");
+        assert!(
+            stats.acquires > 0,
+            "managed values were bracketed: {stats:?}"
+        );
     }
 }

@@ -117,8 +117,10 @@ pub fn infer(pm: &mut ProgramModule, env: &TypeEnvironment) -> Result<Inference,
                         }
                     }
                     Instr::Call { dst, callee, args } => {
-                        let arg_tys: Vec<Type> =
-                            args.iter().map(|a| operand_ty(fix, a, &mut subst)).collect();
+                        let arg_tys: Vec<Type> = args
+                            .iter()
+                            .map(|a| operand_ty(fix, a, &mut subst))
+                            .collect();
                         match callee {
                             Callee::Builtin(name) => {
                                 constraints.push(Constraint::Call {
@@ -144,9 +146,7 @@ pub fn infer(pm: &mut ProgramModule, env: &TypeEnvironment) -> Result<Inference,
                             }
                             Callee::Function { func, .. } => {
                                 let callee_ix = func.0 as usize;
-                                for (arg_ty, pv) in
-                                    arg_tys.iter().zip(&param_vars[callee_ix])
-                                {
+                                for (arg_ty, pv) in arg_tys.iter().zip(&param_vars[callee_ix]) {
                                     constraints.push(Constraint::Equality {
                                         a: arg_ty.clone(),
                                         b: tv(callee_ix, *pv),
@@ -175,7 +175,11 @@ pub fn infer(pm: &mut ProgramModule, env: &TypeEnvironment) -> Result<Inference,
                             }
                         }
                     }
-                    Instr::MakeClosure { dst, func, captures } => {
+                    Instr::MakeClosure {
+                        dst,
+                        func,
+                        captures,
+                    } => {
                         let Some(&callee_ix) = func_by_name.get(&**func) else {
                             continue;
                         };
@@ -227,7 +231,11 @@ pub fn infer(pm: &mut ProgramModule, env: &TypeEnvironment) -> Result<Inference,
                 if let Some(d) = i.def() {
                     let resolved = solution.subst.apply(&tv(fix, d));
                     // Unused leftovers (dead Nulls) default to Void.
-                    let resolved = if resolved.is_concrete() { resolved } else { Type::void() };
+                    let resolved = if resolved.is_concrete() {
+                        resolved
+                    } else {
+                        Type::void()
+                    };
                     types.insert(d, resolved);
                 }
             }
@@ -236,7 +244,9 @@ pub fn infer(pm: &mut ProgramModule, env: &TypeEnvironment) -> Result<Inference,
         let ret = solution.subst.apply(&ret_var(fix));
         f.return_type = Some(if ret.is_concrete() { ret } else { Type::void() });
     }
-    Ok(Inference { calls: solution.calls })
+    Ok(Inference {
+        calls: solution.calls,
+    })
 }
 
 /// Recomputes the site keys in the same order the constraint generator
@@ -264,8 +274,10 @@ mod tests {
 
     fn typed_module(src: &str) -> ProgramModule {
         let macros = MacroEnvironment::builtin();
-        let expanded =
-            macros.expand(&wolfram_expr::parse(src).unwrap(), &CompilerOptions::default());
+        let expanded = macros.expand(
+            &wolfram_expr::parse(src).unwrap(),
+            &CompilerOptions::default(),
+        );
         let bound = analyze(&expanded).unwrap();
         let env = crate::stdlib::builtin_type_environment();
         let mut pm = crate::lower::lower(&bound, None, &env).unwrap();
@@ -306,9 +318,7 @@ mod tests {
 
     #[test]
     fn tensor_parts() {
-        let pm = typed_module(
-            "Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, v[[1]] + v[[2]]]",
-        );
+        let pm = typed_module("Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, v[[1]] + v[[2]]]");
         assert_eq!(pm.main().return_type, Some(Type::real64()));
     }
 
@@ -330,8 +340,10 @@ mod tests {
     fn recursion_closes_types() {
         let macros = MacroEnvironment::builtin();
         let src = "Function[{Typed[n, \"MachineInteger\"]}, If[n < 1, 1, cfib[n-1] + cfib[n-2]]]";
-        let expanded =
-            macros.expand(&wolfram_expr::parse(src).unwrap(), &CompilerOptions::default());
+        let expanded = macros.expand(
+            &wolfram_expr::parse(src).unwrap(),
+            &CompilerOptions::default(),
+        );
         let bound = analyze(&expanded).unwrap();
         let env = crate::stdlib::builtin_type_environment();
         let mut pm = crate::lower::lower(&bound, Some("cfib"), &env).unwrap();
@@ -356,10 +368,7 @@ mod tests {
     fn type_mismatch_reported() {
         let macros = MacroEnvironment::builtin();
         let expanded = macros.expand(
-            &wolfram_expr::parse(
-                "Function[{Typed[x, \"Real64\"]}, StringLength[x]]",
-            )
-            .unwrap(),
+            &wolfram_expr::parse("Function[{Typed[x, \"Real64\"]}, StringLength[x]]").unwrap(),
             &CompilerOptions::default(),
         );
         let bound = analyze(&expanded).unwrap();
@@ -379,17 +388,14 @@ mod tests {
     #[test]
     fn symbolic_expression_functions() {
         // §4.5: compiled symbolic computation.
-        let pm = typed_module(
-            "Function[{Typed[a, \"Expression\"], Typed[b, \"Expression\"]}, a + b]",
-        );
+        let pm =
+            typed_module("Function[{Typed[a, \"Expression\"], Typed[b, \"Expression\"]}, a + b]");
         assert_eq!(pm.main().return_type, Some(Type::expression()));
     }
 
     #[test]
     fn kernel_escape_is_expression() {
-        let pm = typed_module(
-            "Function[{Typed[x, \"MachineInteger\"]}, Unsupported[x]]",
-        );
+        let pm = typed_module("Function[{Typed[x, \"MachineInteger\"]}, Unsupported[x]]");
         assert_eq!(pm.main().return_type, Some(Type::expression()));
     }
 }

@@ -69,7 +69,9 @@ fn lower_function(
     body: &Expr,
 ) -> Result<FuncId, LowerError> {
     // Reserve the slot up front so self-recursive calls resolve.
-    let self_id = mc.module.add_function(wolfram_ir::Function::new(name, params.len()));
+    let self_id = mc
+        .module
+        .add_function(wolfram_ir::Function::new(name, params.len()));
     let mut b = FunctionBuilder::new(name, params.len());
     b.func.param_names = params.iter().map(|(n, _)| n.clone()).collect();
     let mut scope = Vec::new();
@@ -82,7 +84,14 @@ fn lower_function(
         }
         scope.push(pname.clone());
     }
-    let mut ctx = FnCtx { mc, b, scope, loops: Vec::new(), self_id, temp_counter: 0 };
+    let mut ctx = FnCtx {
+        mc,
+        b,
+        scope,
+        loops: Vec::new(),
+        self_id,
+        temp_counter: 0,
+    };
     let result = ctx.expr(body)?;
     if !ctx.b.is_terminated() {
         ctx.b.ret(result);
@@ -192,6 +201,31 @@ impl FnCtx<'_, '_> {
                 self.b.jump(cont);
                 Ok(Constant::Null.into())
             }
+            // Short-circuit evaluation: the interpreter's `And`/`Or` are
+            // HoldAll, so a deciding left operand must suppress evaluation
+            // (and errors) in the operands after it. Desugar to an `If`
+            // chain instead of an eager builtin call — the differential
+            // fuzzer caught `a && Quotient[1, b] == 0` hard-erroring
+            // natively on `a == False, b == 0` where the interpreter and
+            // the bytecode VM both return False.
+            Some("And") if args.len() >= 2 => {
+                let folded = args
+                    .iter()
+                    .rev()
+                    .cloned()
+                    .reduce(|acc, a| Expr::call("If", [a, acc, Expr::sym("False")]))
+                    .expect("len >= 2");
+                self.expr(&folded)
+            }
+            Some("Or") if args.len() >= 2 => {
+                let folded = args
+                    .iter()
+                    .rev()
+                    .cloned()
+                    .reduce(|acc, a| Expr::call("If", [a, Expr::sym("True"), acc]))
+                    .expect("len >= 2");
+                self.expr(&folded)
+            }
             Some("List") => self.list(e),
             Some("Part") if args.len() >= 2 => {
                 let mut ops = Vec::with_capacity(args.len());
@@ -228,9 +262,7 @@ impl FnCtx<'_, '_> {
                 }
                 Ok(self.call_builtin("ConstantArray", ops, e))
             }
-            Some("RandomReal") if args.is_empty() => {
-                Ok(self.call_builtin("RandomReal", vec![], e))
-            }
+            Some("RandomReal") if args.is_empty() => Ok(self.call_builtin("RandomReal", vec![], e)),
             Some(name) => {
                 // Call through a local function value?
                 if let Some(fv) = self.b.read_var(name) {
@@ -242,7 +274,11 @@ impl FnCtx<'_, '_> {
                         return self.err(format!("cannot call constant `{name}`"));
                     };
                     let dst = self.b.func.fresh_var();
-                    self.b.push(Instr::Call { dst, callee: Callee::Value(v), args: ops });
+                    self.b.push(Instr::Call {
+                        dst,
+                        callee: Callee::Value(v),
+                        args: ops,
+                    });
                     self.b.func.provenance.insert(dst, e.clone());
                     return Ok(dst.into());
                 }
@@ -254,10 +290,15 @@ impl FnCtx<'_, '_> {
                         ops.push(self.expr(a)?);
                     }
                     let dst = self.b.func.fresh_var();
-                    let fname = self.mc.module.functions[self.self_id.0 as usize].name.clone();
+                    let fname = self.mc.module.functions[self.self_id.0 as usize]
+                        .name
+                        .clone();
                     self.b.push(Instr::Call {
                         dst,
-                        callee: Callee::Function { name: Rc::from(fname.as_str()), func: self.self_id },
+                        callee: Callee::Function {
+                            name: Rc::from(fname.as_str()),
+                            func: self.self_id,
+                        },
                         args: ops,
                     });
                     self.b.func.provenance.insert(dst, e.clone());
@@ -314,7 +355,11 @@ impl FnCtx<'_, '_> {
                     ops.push(self.expr(a)?);
                 }
                 let dst = self.b.func.fresh_var();
-                self.b.push(Instr::Call { dst, callee: Callee::Value(v), args: ops });
+                self.b.push(Instr::Call {
+                    dst,
+                    callee: Callee::Value(v),
+                    args: ops,
+                });
                 self.b.func.provenance.insert(dst, e.clone());
                 Ok(dst.into())
             }
@@ -323,7 +368,11 @@ impl FnCtx<'_, '_> {
 
     fn call_builtin(&mut self, name: &str, args: Vec<Operand>, prov: &Expr) -> Operand {
         let dst = self.b.func.fresh_var();
-        self.b.push(Instr::Call { dst, callee: Callee::Builtin(Rc::from(name)), args });
+        self.b.push(Instr::Call {
+            dst,
+            callee: Callee::Builtin(Rc::from(name)),
+            args,
+        });
         self.b.func.provenance.insert(dst, prov.clone());
         dst.into()
     }
@@ -336,9 +385,7 @@ impl FnCtx<'_, '_> {
             if let Some(ints) = args.iter().map(Expr::as_i64).collect::<Option<Vec<i64>>>() {
                 return Ok(Constant::I64Array(Rc::from(ints.as_slice())).into());
             }
-            if let Some(reals) =
-                args.iter().map(Expr::as_f64).collect::<Option<Vec<f64>>>()
-            {
+            if let Some(reals) = args.iter().map(Expr::as_f64).collect::<Option<Vec<f64>>>() {
                 return Ok(Constant::F64Array(Rc::from(reals.as_slice())).into());
             }
         }
@@ -535,10 +582,7 @@ impl FnCtx<'_, '_> {
         let func = lower_function(self.mc, &name, &lifted_params, body)?;
         let mut capture_ops = Vec::with_capacity(captures.len());
         for c in &captures {
-            let v = self
-                .b
-                .read_var(c)
-                .unwrap_or_else(|| Constant::Null.into());
+            let v = self.b.read_var(c).unwrap_or_else(|| Constant::Null.into());
             capture_ops.push(v);
         }
         let dst = self.b.func.fresh_var();
@@ -560,7 +604,10 @@ mod tests {
 
     fn lower_src(src: &str) -> ProgramModule {
         let macros = crate::macros::MacroEnvironment::builtin();
-        let expanded = macros.expand(&wolfram_expr::parse(src).unwrap(), &CompilerOptions::default());
+        let expanded = macros.expand(
+            &wolfram_expr::parse(src).unwrap(),
+            &CompilerOptions::default(),
+        );
         let bound = analyze(&expanded).unwrap();
         let env = crate::stdlib::builtin_type_environment();
         let pm = lower(&bound, None, &env).unwrap();
@@ -605,9 +652,7 @@ mod tests {
 
     #[test]
     fn part_assignment_threads_tensor() {
-        let pm = lower_src(
-            "Function[{Typed[v, \"Tensor\"[\"Integer64\", 1]]}, v[[1]] = 9; v]",
-        );
+        let pm = lower_src("Function[{Typed[v, \"Tensor\"[\"Integer64\", 1]]}, v[[1]] = 9; v]");
         let text = pm.main().to_text();
         assert!(text.contains("Part$Set"), "{text}");
     }
@@ -633,18 +678,14 @@ mod tests {
 
     #[test]
     fn explicit_kernel_function() {
-        let pm = lower_src(
-            "Function[{Typed[x, \"MachineInteger\"]}, KernelFunction[Print][x]]",
-        );
+        let pm = lower_src("Function[{Typed[x, \"MachineInteger\"]}, KernelFunction[Print][x]]");
         let text = pm.main().to_text();
         assert!(text.contains("KernelFunction[Print]"), "{text}");
     }
 
     #[test]
     fn constant_arrays_packed() {
-        let pm = lower_src(
-            "Function[{Typed[i, \"MachineInteger\"]}, {2, 3, 5, 7, 11, 13}[[i]]]",
-        );
+        let pm = lower_src("Function[{Typed[i, \"MachineInteger\"]}, {2, 3, 5, 7, 11, 13}[[i]]]");
         let text = pm.main().to_text();
         assert!(text.contains("<6 x I64>"), "{text}");
     }
@@ -653,8 +694,10 @@ mod tests {
     fn self_recursion_via_public_name() {
         let macros = crate::macros::MacroEnvironment::builtin();
         let src = "Function[{Typed[n, \"MachineInteger\"]}, If[n < 1, 1, cfib[n-1] + cfib[n-2]]]";
-        let expanded =
-            macros.expand(&wolfram_expr::parse(src).unwrap(), &CompilerOptions::default());
+        let expanded = macros.expand(
+            &wolfram_expr::parse(src).unwrap(),
+            &CompilerOptions::default(),
+        );
         let bound = analyze(&expanded).unwrap();
         let env = crate::stdlib::builtin_type_environment();
         let pm = lower(&bound, Some("cfib"), &env).unwrap();
@@ -669,16 +712,18 @@ mod tests {
             "Function[{Typed[i, \"MachineInteger\"], Typed[v, \"Real64\"]}, \
              Module[{f = If[i == 0, Sin, Cos]}, f[v]]]",
         );
-        assert!(pm.functions.len() >= 3, "two eta-expanded closures: {}", pm.functions.len());
+        assert!(
+            pm.functions.len() >= 3,
+            "two eta-expanded closures: {}",
+            pm.functions.len()
+        );
         let text = pm.main().to_text();
         assert!(text.contains("MakeClosure"), "{text}");
     }
 
     #[test]
     fn early_return() {
-        let pm = lower_src(
-            "Function[{Typed[x, \"MachineInteger\"]}, If[x < 0, Return[0]]; x]",
-        );
+        let pm = lower_src("Function[{Typed[x, \"MachineInteger\"]}, If[x < 0, Return[0]]; x]");
         let text = pm.main().to_text();
         assert!(text.matches("Return").count() >= 2, "{text}");
     }

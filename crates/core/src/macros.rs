@@ -33,7 +33,11 @@ impl std::fmt::Debug for MacroRule {
             "MacroRule({} -> {}{})",
             self.rule.lhs.to_input_form(),
             self.rule.rhs.to_input_form(),
-            if self.condition.is_some() { ", conditioned" } else { "" }
+            if self.condition.is_some() {
+                ", conditioned"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -121,14 +125,17 @@ impl MacroEnvironment {
         let rebuilt = match e.kind() {
             ExprKind::Normal(n) => {
                 let head = self.expand_once(n.head(), opts);
-                let args: Vec<Expr> =
-                    n.args().iter().map(|a| self.expand_once(a, opts)).collect();
+                let args: Vec<Expr> = n.args().iter().map(|a| self.expand_once(a, opts)).collect();
                 Expr::normal(head, args)
             }
             _ => e.clone(),
         };
-        let Some(head) = rebuilt.head_symbol() else { return rebuilt };
-        let Some(rules) = self.rules.get(head.name()) else { return rebuilt };
+        let Some(head) = rebuilt.head_symbol() else {
+            return rebuilt;
+        };
+        let Some(rules) = self.rules.get(head.name()) else {
+            return rebuilt;
+        };
         for r in rules {
             if let Some(cond) = &r.condition {
                 if !cond(opts) {
@@ -136,7 +143,12 @@ impl MacroEnvironment {
                 }
             }
             let mut bindings = Bindings::new();
-            if match_pattern(&rebuilt, &r.rule.lhs, &mut bindings, &mut MatchCtx::default()) {
+            if match_pattern(
+                &rebuilt,
+                &r.rule.lhs,
+                &mut bindings,
+                &mut MatchCtx::default(),
+            ) {
                 let rhs = apply_bindings(&r.rule.rhs, &bindings);
                 return self.hygienify(&rhs, &bindings);
             }
@@ -270,7 +282,8 @@ mod tests {
 
     fn expand(src: &str) -> String {
         let env = MacroEnvironment::builtin();
-        env.expand(&parse(src).unwrap(), &CompilerOptions::default()).to_full_form()
+        env.expand(&parse(src).unwrap(), &CompilerOptions::default())
+            .to_full_form()
     }
 
     #[test]
@@ -284,8 +297,10 @@ mod tests {
 
     #[test]
     fn which_desugars() {
-        assert_eq!(expand("Which[a, 1, b, 2]"), "If[a, 1, Which[b, 2]]".replace(
-            "Which[b, 2]", "If[b, 2, Null]"));
+        assert_eq!(
+            expand("Which[a, 1, b, 2]"),
+            "If[a, 1, Which[b, 2]]".replace("Which[b, 2]", "If[b, 2, Null]")
+        );
     }
 
     #[test]
@@ -303,7 +318,10 @@ mod tests {
         // User-named iterator keeps its name.
         let out = expand("Do[f[k], {k, 10}]");
         assert!(out.contains("f[k]"), "{out}");
-        assert!(!out.contains("k$macro"), "pattern-bound k must not be renamed: {out}");
+        assert!(
+            !out.contains("k$macro"),
+            "pattern-bound k must not be renamed: {out}"
+        );
     }
 
     #[test]

@@ -166,13 +166,21 @@ impl Compiler {
         types: TypeEnvironment,
     ) -> Self {
         let backends = registry_for(&options);
-        Compiler { options, macros, types, backends, timings: RefCell::new(Vec::new()) }
+        Compiler {
+            options,
+            macros,
+            types,
+            backends,
+            timings: RefCell::new(Vec::new()),
+        }
     }
 
     fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
         let start = Instant::now();
         let out = f();
-        self.timings.borrow_mut().push((name.to_owned(), start.elapsed()));
+        self.timings
+            .borrow_mut()
+            .push((name.to_owned(), start.elapsed()));
         out
     }
 
@@ -209,14 +217,17 @@ impl Compiler {
     ) -> Result<ProgramModule, CompileError> {
         self.timings.borrow_mut().clear();
         let ast = self.time("macro-expansion", || self.compile_to_ast(f));
-        let bound =
-            self.time("binding-analysis", || binding::analyze(&ast)).map_err(CompileError::Binding)?;
+        let bound = self
+            .time("binding-analysis", || binding::analyze(&ast))
+            .map_err(CompileError::Binding)?;
         let mut pm = self
-            .time("lowering", || lower::lower(&bound, public_name, &self.types))
+            .time("lowering", || {
+                lower::lower(&bound, public_name, &self.types)
+            })
             .map_err(CompileError::Lower)?;
-        let inference =
-            self.time("type-inference", || infer::infer(&mut pm, &self.types))
-                .map_err(CompileError::Infer)?;
+        let inference = self
+            .time("type-inference", || infer::infer(&mut pm, &self.types))
+            .map_err(CompileError::Infer)?;
         self.time("function-resolution", || {
             resolve::resolve_module(&mut pm, &self.types, inference, self.options.inline_policy)
         })
@@ -247,8 +258,9 @@ impl Compiler {
     ///
     /// See [`CompileError`].
     pub fn generate_native(&self, pm: &ProgramModule) -> Result<NativeProgram, CompileError> {
-        let opts =
-            LowerOptions { naive_constant_arrays: self.options.naive_constant_arrays };
+        let opts = LowerOptions {
+            naive_constant_arrays: self.options.naive_constant_arrays,
+        };
         let mut native = self
             .time("code-generation", || lower_program_with(pm, &opts))
             .map_err(CompileError::Codegen)?;
@@ -327,7 +339,8 @@ impl Compiler {
         // Validate by compiling.
         let _ = self.compile_to_twir(f, None)?;
         let lib = wolfram_codegen::export::ExportedLibrary::new(f, COMPILER_VERSION, true);
-        lib.write(path).map_err(|e| CompileError::Backend(e.to_string()))?;
+        lib.write(path)
+            .map_err(|e| CompileError::Backend(e.to_string()))?;
         Ok(lib)
     }
 
@@ -342,8 +355,8 @@ impl Compiler {
         &self,
         path: &std::path::Path,
     ) -> Result<CompiledCodeFunction, CompileError> {
-        let lib = wolfram_codegen::export::ExportedLibrary::read(path)
-            .map_err(CompileError::Backend)?;
+        let lib =
+            wolfram_codegen::export::ExportedLibrary::read(path).map_err(CompileError::Backend)?;
         let f = lib.function().map_err(CompileError::Parse)?;
         let mut compiled = self.function_compile(&f)?;
         compiled.standalone = lib.standalone;
@@ -390,8 +403,7 @@ mod tests {
             .unwrap();
         assert_eq!(cf.call(&[Value::I64(41)]).unwrap(), Value::I64(42));
         // Timings recorded for every stage.
-        let stages: Vec<String> =
-            compiler.timings().into_iter().map(|(n, _)| n).collect();
+        let stages: Vec<String> = compiler.timings().into_iter().map(|(n, _)| n).collect();
         assert!(stages.iter().any(|s| s == "macro-expansion"), "{stages:?}");
         assert!(stages.iter().any(|s| s == "type-inference"), "{stages:?}");
         assert!(stages.iter().any(|s| s == "code-generation"), "{stages:?}");
@@ -458,7 +470,10 @@ mod tests {
 
     #[test]
     fn optimization_level_zero_keeps_code() {
-        let options = CompilerOptions { optimization_level: 0, ..CompilerOptions::default() };
+        let options = CompilerOptions {
+            optimization_level: 0,
+            ..CompilerOptions::default()
+        };
         let compiler = Compiler::new(options);
         let cf = compiler
             .function_compile_src("Function[{Typed[n, \"MachineInteger\"]}, 1 + 2 + n]")
@@ -470,7 +485,10 @@ mod tests {
     fn abort_handling_toggle() {
         // AbortHandling -> False removes the checks (the Native`AbortInhibit
         // benchmark mode).
-        let options = CompilerOptions { abort_handling: false, ..CompilerOptions::default() };
+        let options = CompilerOptions {
+            abort_handling: false,
+            ..CompilerOptions::default()
+        };
         let compiler = Compiler::new(options);
         let f = parse(
             "Function[{Typed[n, \"MachineInteger\"]}, \
@@ -483,8 +501,7 @@ mod tests {
             .instrs()
             .any(|i| matches!(i, wolfram_ir::Instr::AbortCheck));
         assert!(!has_checks);
-        let default_pm =
-            Compiler::default().compile_to_twir(&f, None).unwrap();
+        let default_pm = Compiler::default().compile_to_twir(&f, None).unwrap();
         assert!(default_pm
             .main()
             .instrs()

@@ -89,9 +89,16 @@ fn resolve_pass(
     while func_ix < pm.functions.len() {
         let sites = sites_of(pm, FuncId(func_ix as u32));
         for (site, bix, iix) in sites {
-            let Some(resolved) = inference.calls.get(&site) else { continue };
+            let Some(resolved) = inference.calls.get(&site) else {
+                continue;
+            };
             let instr = pm.functions[func_ix].blocks[bix].instrs[iix].clone();
-            let Instr::Call { dst, callee: Callee::Builtin(name), args } = instr else {
+            let Instr::Call {
+                dst,
+                callee: Callee::Builtin(name),
+                args,
+            } = instr
+            else {
                 continue;
             };
             let new_callee = match &resolved.implementation {
@@ -116,11 +123,17 @@ fn resolve_pass(
                             id
                         }
                     };
-                    Callee::Function { name: Rc::from(mangled.as_str()), func }
+                    Callee::Function {
+                        name: Rc::from(mangled.as_str()),
+                        func,
+                    }
                 }
             };
-            pm.functions[func_ix].blocks[bix].instrs[iix] =
-                Instr::Call { dst, callee: new_callee, args };
+            pm.functions[func_ix].blocks[bix].instrs[iix] = Instr::Call {
+                dst,
+                callee: new_callee,
+                args,
+            };
         }
         func_ix += 1;
     }
@@ -167,8 +180,11 @@ fn instantiate_source(
     }
     let mut f = sub.functions.into_iter().next().expect("one function");
     f.name = mangled.to_owned();
-    f.info.inline_value =
-        if inline_always { InlineValue::Always } else { InlineValue::Automatic };
+    f.info.inline_value = if inline_always {
+        InlineValue::Always
+    } else {
+        InlineValue::Automatic
+    };
     Ok(pm.add_function(f))
 }
 
@@ -176,7 +192,12 @@ fn instantiate_source(
 // Inlining.
 // ---------------------------------------------------------------------
 
-fn should_inline(caller_ix: usize, callee_ix: usize, callee: &Function, policy: InlinePolicy) -> bool {
+fn should_inline(
+    caller_ix: usize,
+    callee_ix: usize,
+    callee: &Function,
+    policy: InlinePolicy,
+) -> bool {
     if caller_ix == callee_ix || is_recursive(callee, callee_ix) {
         return false;
     }
@@ -205,8 +226,10 @@ fn inline_pass(pm: &mut ProgramModule, policy: InlinePolicy) {
             let caller = &pm.functions[caller_ix];
             for bix in 0..caller.blocks.len() {
                 for iix in 0..caller.blocks[bix].instrs.len() {
-                    if let Instr::Call { callee: Callee::Function { func, .. }, .. } =
-                        &caller.blocks[bix].instrs[iix]
+                    if let Instr::Call {
+                        callee: Callee::Function { func, .. },
+                        ..
+                    } = &caller.blocks[bix].instrs[iix]
                     {
                         let callee_ix = func.0 as usize;
                         let callee = &pm.functions[callee_ix];
@@ -235,7 +258,9 @@ fn inline_one(caller: &mut Function, bix: usize, iix: usize, callee: &Function) 
     // Take the call instruction and the tail of the block.
     let tail: Vec<Instr> = caller.blocks[bix].instrs.split_off(iix + 1);
     let call = caller.blocks[bix].instrs.pop().expect("call instruction");
-    let Instr::Call { dst, args, .. } = call else { unreachable!("inline target is a call") };
+    let Instr::Call { dst, args, .. } = call else {
+        unreachable!("inline target is a call")
+    };
 
     // Argument binding: map parameter index -> operand.
     let mut returns: Vec<(BlockId, Operand)> = Vec::new();
@@ -252,15 +277,15 @@ fn inline_one(caller: &mut Function, bix: usize, iix: usize, callee: &Function) 
                     let op = args[*index].clone();
                     instrs.push(match op {
                         Operand::Var(src) => Instr::Copy { dst: new_dst, src },
-                        Operand::Const(c) => Instr::LoadConst { dst: new_dst, value: c },
+                        Operand::Const(c) => Instr::LoadConst {
+                            dst: new_dst,
+                            value: c,
+                        },
                     });
                     continue;
                 }
                 Instr::Return { value } => {
-                    returns.push((
-                        BlockId(block_off + cbix as u32),
-                        value.clone(),
-                    ));
+                    returns.push((BlockId(block_off + cbix as u32), value.clone()));
                     instrs.push(Instr::Jump { target: cont_block });
                     continue;
                 }
@@ -277,7 +302,11 @@ fn inline_one(caller: &mut Function, bix: usize, iix: usize, callee: &Function) 
             }
             match &mut ni {
                 Instr::Jump { target } => *target = remap_block(*target),
-                Instr::Branch { then_block, else_block, .. } => {
+                Instr::Branch {
+                    then_block,
+                    else_block,
+                    ..
+                } => {
                     *then_block = remap_block(*then_block);
                     *else_block = remap_block(*else_block);
                 }
@@ -305,9 +334,9 @@ fn inline_one(caller: &mut Function, bix: usize, iix: usize, callee: &Function) 
     }
 
     // The call block now jumps into the inlined entry.
-    caller.blocks[bix]
-        .instrs
-        .push(Instr::Jump { target: remap_block(callee.entry) });
+    caller.blocks[bix].instrs.push(Instr::Jump {
+        target: remap_block(callee.entry),
+    });
 
     caller.blocks.extend(new_blocks);
 
@@ -330,11 +359,17 @@ fn inline_one(caller: &mut Function, bix: usize, iix: usize, callee: &Function) 
             });
         }
         _ => {
-            cont_instrs.push(Instr::Phi { dst, incoming: returns });
+            cont_instrs.push(Instr::Phi {
+                dst,
+                incoming: returns,
+            });
         }
     }
     cont_instrs.extend(tail);
-    caller.blocks.push(Block { label: "inline-cont".into(), instrs: cont_instrs });
+    caller.blocks.push(Block {
+        label: "inline-cont".into(),
+        instrs: cont_instrs,
+    });
 
     // Phis that named the split block as predecessor now come from cont.
     let old_pred = BlockId(bix as u32);
@@ -359,7 +394,15 @@ pub fn unresolved_builtins(pm: &ProgramModule) -> usize {
     pm.functions
         .iter()
         .flat_map(Function::instrs)
-        .filter(|i| matches!(i, Instr::Call { callee: Callee::Builtin(_), .. }))
+        .filter(|i| {
+            matches!(
+                i,
+                Instr::Call {
+                    callee: Callee::Builtin(_),
+                    ..
+                }
+            )
+        })
         .count()
 }
 
@@ -381,8 +424,10 @@ mod tests {
 
     fn resolved(src: &str, policy: InlinePolicy) -> ProgramModule {
         let macros = MacroEnvironment::builtin();
-        let expanded =
-            macros.expand(&wolfram_expr::parse(src).unwrap(), &CompilerOptions::default());
+        let expanded = macros.expand(
+            &wolfram_expr::parse(src).unwrap(),
+            &CompilerOptions::default(),
+        );
         let bound = analyze(&expanded).unwrap();
         let env = crate::stdlib::builtin_type_environment();
         let mut pm = crate::lower::lower(&bound, None, &env).unwrap();
@@ -396,7 +441,10 @@ mod tests {
 
     #[test]
     fn primitive_mangling() {
-        let pm = resolved("Function[{Typed[n, \"MachineInteger\"]}, n + 1]", InlinePolicy::Automatic);
+        let pm = resolved(
+            "Function[{Typed[n, \"MachineInteger\"]}, n + 1]",
+            InlinePolicy::Automatic,
+        );
         let text = pm.main().to_text();
         assert!(
             text.contains("checked_binary_plus$Integer64$Integer64"),
@@ -407,7 +455,10 @@ mod tests {
 
     #[test]
     fn real_overload_selected() {
-        let pm = resolved("Function[{Typed[x, \"Real64\"]}, x + 1]", InlinePolicy::Automatic);
+        let pm = resolved(
+            "Function[{Typed[x, \"Real64\"]}, x + 1]",
+            InlinePolicy::Automatic,
+        );
         let text = pm.main().to_text();
         assert!(text.contains("checked_binary_plus$Real64$Real64"), "{text}");
     }
@@ -441,8 +492,10 @@ mod tests {
     fn recursive_functions_not_inlined() {
         let macros = MacroEnvironment::builtin();
         let src = "Function[{Typed[n, \"MachineInteger\"]}, If[n < 1, 1, cfib[n-1] + cfib[n-2]]]";
-        let expanded =
-            macros.expand(&wolfram_expr::parse(src).unwrap(), &CompilerOptions::default());
+        let expanded = macros.expand(
+            &wolfram_expr::parse(src).unwrap(),
+            &CompilerOptions::default(),
+        );
         let bound = analyze(&expanded).unwrap();
         let env = crate::stdlib::builtin_type_environment();
         let mut pm = crate::lower::lower(&bound, Some("cfib"), &env).unwrap();
@@ -475,13 +528,21 @@ mod tests {
         let macros = MacroEnvironment::builtin();
         let src = "Function[{Typed[i, \"MachineInteger\"], Typed[x, \"Real64\"]}, \
                    MyMin[i, 2] + Floor[MyMin[x, 1.5]]]";
-        let expanded =
-            macros.expand(&wolfram_expr::parse(src).unwrap(), &CompilerOptions::default());
+        let expanded = macros.expand(
+            &wolfram_expr::parse(src).unwrap(),
+            &CompilerOptions::default(),
+        );
         let bound = analyze(&expanded).unwrap();
         let mut pm = crate::lower::lower(&bound, None, &env).unwrap();
         let inference = infer(&mut pm, &env).unwrap();
         resolve_module(&mut pm, &env, inference, InlinePolicy::Never).unwrap();
-        assert!(pm.find("MyMin$Integer64$Integer64").is_some(), "int instantiation");
-        assert!(pm.find("MyMin$Real64$Real64").is_some(), "real instantiation");
+        assert!(
+            pm.find("MyMin$Integer64$Integer64").is_some(),
+            "int instantiation"
+        );
+        assert!(
+            pm.find("MyMin$Real64$Real64").is_some(),
+            "real instantiation"
+        );
     }
 }

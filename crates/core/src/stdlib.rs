@@ -23,7 +23,9 @@ pub fn mangle_type(t: &Type) -> String {
             let ps: Vec<String> = params.iter().map(mangle_type).collect();
             format!("Fn{}To{}", ps.join(""), mangle_type(ret))
         }
-        other => other.to_string().replace([' ', ',', '[', ']', '(', ')'], ""),
+        other => other
+            .to_string()
+            .replace([' ', ',', '[', ']', '(', ')'], ""),
     }
 }
 
@@ -99,35 +101,94 @@ pub fn builtin_type_environment() -> TypeEnvironment {
             },
         );
     }
-    prim(&mut env, "Divide", "{\"Real64\", \"Real64\"} -> \"Real64\"", "checked_binary_divide");
+    prim(
+        &mut env,
+        "Divide",
+        "{\"Real64\", \"Real64\"} -> \"Real64\"",
+        "checked_binary_divide",
+    );
     prim(
         &mut env,
         "Divide",
         "{\"ComplexReal64\", \"ComplexReal64\"} -> \"ComplexReal64\"",
         "checked_binary_divide",
     );
-    prim(&mut env, "Power", "{\"Integer64\", \"Integer64\"} -> \"Integer64\"", "checked_binary_power");
-    prim(&mut env, "Power", "{\"Real64\", \"Real64\"} -> \"Real64\"", "checked_binary_power");
+    prim(
+        &mut env,
+        "Power",
+        "{\"Integer64\", \"Integer64\"} -> \"Integer64\"",
+        "checked_binary_power",
+    );
+    prim(
+        &mut env,
+        "Power",
+        "{\"Real64\", \"Real64\"} -> \"Real64\"",
+        "checked_binary_power",
+    );
+    // Without this overload `x^n` with real base and integer exponent
+    // resolves via ComplexReal64 promotion, and the result *type* (complex
+    // with zero imaginary part) diverges from the interpreter's real.
+    prim(
+        &mut env,
+        "Power",
+        "{\"Real64\", \"Integer64\"} -> \"Real64\"",
+        "checked_binary_power",
+    );
     prim(
         &mut env,
         "Power",
         "{\"ComplexReal64\", \"Integer64\"} -> \"ComplexReal64\"",
         "checked_binary_power",
     );
-    prim(&mut env, "Power", "{\"Expression\", \"Expression\"} -> \"Expression\"", "expr_power");
+    prim(
+        &mut env,
+        "Power",
+        "{\"Expression\", \"Expression\"} -> \"Expression\"",
+        "expr_power",
+    );
     prim(
         &mut env,
         "Minus",
         "TypeForAll[{\"a\"}, {Element[\"a\", \"Number\"]}, {\"a\"} -> \"a\"]",
         "checked_unary_minus",
     );
-    prim(&mut env, "Abs", "{\"Integer64\"} -> \"Integer64\"", "checked_unary_abs");
-    prim(&mut env, "Abs", "{\"Real64\"} -> \"Real64\"", "checked_unary_abs");
-    prim(&mut env, "Abs", "{\"ComplexReal64\"} -> \"Real64\"", "complex_abs");
-    prim(&mut env, "Sign", "{\"Integer64\"} -> \"Integer64\"", "unary_sign");
+    prim(
+        &mut env,
+        "Abs",
+        "{\"Integer64\"} -> \"Integer64\"",
+        "checked_unary_abs",
+    );
+    prim(
+        &mut env,
+        "Abs",
+        "{\"Real64\"} -> \"Real64\"",
+        "checked_unary_abs",
+    );
+    prim(
+        &mut env,
+        "Abs",
+        "{\"ComplexReal64\"} -> \"Real64\"",
+        "complex_abs",
+    );
+    prim(
+        &mut env,
+        "Sign",
+        "{\"Integer64\"} -> \"Integer64\"",
+        "unary_sign",
+    );
     prim(&mut env, "Sign", "{\"Real64\"} -> \"Real64\"", "unary_sign");
-    prim(&mut env, "Mod", "{\"Integer64\", \"Integer64\"} -> \"Integer64\"", "checked_binary_mod");
-    prim(&mut env, "Mod", "{\"Real64\", \"Real64\"} -> \"Real64\"", "checked_binary_mod");
+    prim(
+        &mut env,
+        "Mod",
+        "{\"Integer64\", \"Integer64\"} -> \"Integer64\"",
+        "checked_binary_mod",
+    );
+    prim(
+        &mut env,
+        "Mod",
+        "{\"Real64\", \"Real64\"} -> \"Real64\"",
+        "checked_binary_mod",
+    );
     prim(
         &mut env,
         "Quotient",
@@ -158,8 +219,12 @@ pub fn builtin_type_environment() -> TypeEnvironment {
             base,
         );
     }
-    for (name, base) in [("Equal", "compare_equal"), ("Unequal", "compare_unequal"),
-                         ("SameQ", "compare_equal"), ("UnsameQ", "compare_unequal")] {
+    for (name, base) in [
+        ("Equal", "compare_equal"),
+        ("Unequal", "compare_unequal"),
+        ("SameQ", "compare_equal"),
+        ("UnsameQ", "compare_unequal"),
+    ] {
         prim(
             &mut env,
             name,
@@ -189,10 +254,17 @@ pub fn builtin_type_environment() -> TypeEnvironment {
     ] {
         prim(&mut env, name, "{\"Real64\"} -> \"Real64\"", base);
     }
-    prim(&mut env, "ArcTan", "{\"Real64\", \"Real64\"} -> \"Real64\"", "binary_arctan2");
+    prim(
+        &mut env,
+        "ArcTan",
+        "{\"Real64\", \"Real64\"} -> \"Real64\"",
+        "binary_arctan2",
+    );
     // Symbolic overloads (F8): elementary functions of a boxed Expression
     // stay symbolic, normalized by the hosting engine.
-    for name in ["Sin", "Cos", "Tan", "Exp", "Log", "ArcTan", "ArcSin", "ArcCos", "Abs"] {
+    for name in [
+        "Sin", "Cos", "Tan", "Exp", "Log", "ArcTan", "ArcSin", "ArcCos", "Abs",
+    ] {
         prim(
             &mut env,
             name,
@@ -200,9 +272,11 @@ pub fn builtin_type_environment() -> TypeEnvironment {
             &format!("expr_unary_{name}"),
         );
     }
-    for (name, base) in
-        [("Floor", "unary_floor"), ("Ceiling", "unary_ceiling"), ("Round", "unary_round")]
-    {
+    for (name, base) in [
+        ("Floor", "unary_floor"),
+        ("Ceiling", "unary_ceiling"),
+        ("Round", "unary_round"),
+    ] {
         prim(&mut env, name, "{\"Real64\"} -> \"Integer64\"", base);
         prim(&mut env, name, "{\"Integer64\"} -> \"Integer64\"", base);
     }
@@ -217,12 +291,27 @@ pub fn builtin_type_environment() -> TypeEnvironment {
         ("BitShiftLeft", "bit_shift_left"),
         ("BitShiftRight", "bit_shift_right"),
     ] {
-        prim(&mut env, name, "{\"Integer64\", \"Integer64\"} -> \"Integer64\"", base);
+        prim(
+            &mut env,
+            name,
+            "{\"Integer64\", \"Integer64\"} -> \"Integer64\"",
+            base,
+        );
     }
-    prim(&mut env, "GCD", "{\"Integer64\", \"Integer64\"} -> \"Integer64\"", "binary_gcd");
+    prim(
+        &mut env,
+        "GCD",
+        "{\"Integer64\", \"Integer64\"} -> \"Integer64\"",
+        "binary_gcd",
+    );
     // Factorial overflows machine integers at 21! — the canonical soft-
     // failure (F2) demo after cfib.
-    prim(&mut env, "Factorial", "{\"Integer64\"} -> \"Integer64\"", "unary_factorial");
+    prim(
+        &mut env,
+        "Factorial",
+        "{\"Integer64\"} -> \"Integer64\"",
+        "unary_factorial",
+    );
     prim(
         &mut env,
         "PowerMod",
@@ -247,11 +336,31 @@ pub fn builtin_type_environment() -> TypeEnvironment {
     );
 
     // ---- complex numbers ----
-    prim(&mut env, "Complex", "{\"Real64\", \"Real64\"} -> \"ComplexReal64\"", "complex_construct");
-    prim(&mut env, "Re", "{\"ComplexReal64\"} -> \"Real64\"", "complex_re");
-    prim(&mut env, "Im", "{\"ComplexReal64\"} -> \"Real64\"", "complex_im");
+    prim(
+        &mut env,
+        "Complex",
+        "{\"Real64\", \"Real64\"} -> \"ComplexReal64\"",
+        "complex_construct",
+    );
+    prim(
+        &mut env,
+        "Re",
+        "{\"ComplexReal64\"} -> \"Real64\"",
+        "complex_re",
+    );
+    prim(
+        &mut env,
+        "Im",
+        "{\"ComplexReal64\"} -> \"Real64\"",
+        "complex_im",
+    );
     prim(&mut env, "Re", "{\"Real64\"} -> \"Real64\"", "convert");
-    prim(&mut env, "Conjugate", "{\"ComplexReal64\"} -> \"ComplexReal64\"", "complex_conjugate");
+    prim(
+        &mut env,
+        "Conjugate",
+        "{\"ComplexReal64\"} -> \"ComplexReal64\"",
+        "complex_conjugate",
+    );
 
     // ---- tensors ----
     prim(
@@ -331,7 +440,11 @@ pub fn builtin_type_environment() -> TypeEnvironment {
     // the scalar promotes to the element type by the usual cost rules).
     for (name, tbase, sbase) in [
         ("Plus", "tensor_scalar_plus", "scalar_tensor_plus"),
-        ("Subtract", "tensor_scalar_subtract", "scalar_tensor_subtract"),
+        (
+            "Subtract",
+            "tensor_scalar_subtract",
+            "scalar_tensor_subtract",
+        ),
         ("Times", "tensor_scalar_times", "scalar_tensor_times"),
     ] {
         prim(
@@ -441,7 +554,12 @@ pub fn builtin_type_environment() -> TypeEnvironment {
     );
 
     // ---- strings (L1 territory: the new compiler's headline win) ----
-    prim(&mut env, "StringLength", "{\"String\"} -> \"Integer64\"", "string_length");
+    prim(
+        &mut env,
+        "StringLength",
+        "{\"String\"} -> \"Integer64\"",
+        "string_length",
+    );
     prim(
         &mut env,
         "ToCharacterCode",
@@ -454,11 +572,21 @@ pub fn builtin_type_environment() -> TypeEnvironment {
         "{\"Tensor\"[\"Integer64\", 1]} -> \"String\"",
         "string_from_codes",
     );
-    prim(&mut env, "StringJoin", "{\"String\", \"String\"} -> \"String\"", "string_join");
+    prim(
+        &mut env,
+        "StringJoin",
+        "{\"String\", \"String\"} -> \"String\"",
+        "string_join",
+    );
 
     // ---- random numbers ----
     prim(&mut env, "RandomReal", "{} -> \"Real64\"", "random_unit");
-    prim(&mut env, "Native`RandomRange", "{\"Real64\", \"Real64\"} -> \"Real64\"", "random_range");
+    prim(
+        &mut env,
+        "Native`RandomRange",
+        "{\"Real64\", \"Real64\"} -> \"Real64\"",
+        "random_range",
+    );
 
     env
 }
@@ -470,7 +598,11 @@ mod tests {
     #[test]
     fn environment_populates() {
         let env = builtin_type_environment();
-        assert!(env.function_count() >= 40, "{} functions", env.function_count());
+        assert!(
+            env.function_count() >= 40,
+            "{} functions",
+            env.function_count()
+        );
         assert!(env.is_declared("Plus"));
         assert!(env.is_declared("Part$Set"));
         assert!(env.is_declared("Native`RandomRange"));
@@ -480,18 +612,26 @@ mod tests {
     #[test]
     fn plus_resolves_across_types() {
         let env = builtin_type_environment();
-        let r = env.resolve_call("Plus", &[Type::integer64(), Type::integer64()]).unwrap();
+        let r = env
+            .resolve_call("Plus", &[Type::integer64(), Type::integer64()])
+            .unwrap();
         assert_eq!(r.ret, Type::integer64());
-        let r = env.resolve_call("Plus", &[Type::real64(), Type::integer64()]).unwrap();
+        let r = env
+            .resolve_call("Plus", &[Type::real64(), Type::integer64()])
+            .unwrap();
         assert_eq!(r.ret, Type::real64());
-        let r = env.resolve_call("Plus", &[Type::complex(), Type::complex()]).unwrap();
+        let r = env
+            .resolve_call("Plus", &[Type::complex(), Type::complex()])
+            .unwrap();
         assert_eq!(r.ret, Type::complex());
         // Tensor element-wise.
         let tv = Type::tensor(Type::real64(), 1);
         let r = env.resolve_call("Plus", &[tv.clone(), tv.clone()]).unwrap();
         assert_eq!(r.ret, tv);
         // Symbolic.
-        let r = env.resolve_call("Plus", &[Type::expression(), Type::expression()]).unwrap();
+        let r = env
+            .resolve_call("Plus", &[Type::expression(), Type::expression()])
+            .unwrap();
         assert_eq!(r.ret, Type::expression());
     }
 
@@ -499,8 +639,12 @@ mod tests {
     fn min_rejects_complex() {
         // "integer and reals, but not complex" (§4.4).
         let env = builtin_type_environment();
-        assert!(env.resolve_call("Min", &[Type::integer64(), Type::integer64()]).is_ok());
-        assert!(env.resolve_call("Min", &[Type::complex(), Type::complex()]).is_err());
+        assert!(env
+            .resolve_call("Min", &[Type::integer64(), Type::integer64()])
+            .is_ok());
+        assert!(env
+            .resolve_call("Min", &[Type::complex(), Type::complex()])
+            .is_err());
     }
 
     #[test]
@@ -518,11 +662,21 @@ mod tests {
 
     #[test]
     fn mangling() {
-        assert_eq!(mangle("checked_binary_plus", &[Type::integer64(), Type::integer64()]),
-            "checked_binary_plus$Integer64$Integer64");
-        assert_eq!(mangle_type(&Type::tensor(Type::real64(), 2)), "TensorReal64R2");
-        assert_eq!(mangle_type(&Type::arrow(vec![Type::integer64()], Type::boolean())),
-            "FnInteger64ToBoolean");
+        assert_eq!(
+            mangle(
+                "checked_binary_plus",
+                &[Type::integer64(), Type::integer64()]
+            ),
+            "checked_binary_plus$Integer64$Integer64"
+        );
+        assert_eq!(
+            mangle_type(&Type::tensor(Type::real64(), 2)),
+            "TensorReal64R2"
+        );
+        assert_eq!(
+            mangle_type(&Type::arrow(vec![Type::integer64()], Type::boolean())),
+            "FnInteger64ToBoolean"
+        );
     }
 
     #[test]
@@ -536,10 +690,14 @@ mod tests {
     #[test]
     fn list_arities() {
         let env = builtin_type_environment();
-        let r = env.resolve_call("List", &[Type::real64(), Type::real64()]).unwrap();
+        let r = env
+            .resolve_call("List", &[Type::real64(), Type::real64()])
+            .unwrap();
         assert_eq!(r.ret, Type::tensor(Type::real64(), 1));
         // Mixed int/real joins at Real64.
-        let r = env.resolve_call("List", &[Type::integer64(), Type::real64()]).unwrap();
+        let r = env
+            .resolve_call("List", &[Type::integer64(), Type::real64()])
+            .unwrap();
         assert_eq!(r.ret, Type::tensor(Type::real64(), 1));
     }
 }

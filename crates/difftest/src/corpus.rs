@@ -1,0 +1,190 @@
+//! Replayable counterexample artifacts.
+//!
+//! Every divergence the fuzzer finds is persisted as a plain `.wl` file:
+//! a comment header carrying the seed, a human note and the argument
+//! set(s), followed by the (shrunk) function source. The committed corpus
+//! under `difftest/corpus/` is replayed as a regression suite on every
+//! `cargo test` run, so once-found divergences stay fixed.
+//!
+//! ```text
+//! (* wolfram-difftest counterexample
+//!    seed: 12345
+//!    note: native+fusion returned 2 but the interpreter returned 0.
+//!    args: {2, -4294967295}
+//! *)
+//! Function[{Typed[p1, "MachineInteger"], ...}, ...]
+//! ```
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use wolfram_expr::{parse, Expr};
+use wolfram_runtime::Value;
+
+/// One artifact: a function plus the argument sets that exposed it.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The generator seed that first produced the program (0 for
+    /// hand-written entries).
+    pub seed: u64,
+    /// What diverged, in one line.
+    pub note: String,
+    /// The `Function[...]` under test.
+    pub func: Expr,
+    /// Argument tuples to replay.
+    pub arg_sets: Vec<Vec<Value>>,
+}
+
+impl CorpusEntry {
+    /// Serializes to the artifact format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("(* wolfram-difftest counterexample\n");
+        out.push_str(&format!("   seed: {}\n", self.seed));
+        out.push_str(&format!("   note: {}\n", self.note));
+        for args in &self.arg_sets {
+            let list = Expr::list(args.iter().map(Value::to_expr).collect::<Vec<_>>());
+            out.push_str(&format!("   args: {}\n", list.to_input_form()));
+        }
+        out.push_str("*)\n");
+        out.push_str(&self.func.to_input_form());
+        out.push('\n');
+        out
+    }
+
+    /// Parses the artifact format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse_artifact(text: &str) -> Result<CorpusEntry, String> {
+        let mut seed = 0u64;
+        let mut note = String::new();
+        let mut arg_sets = Vec::new();
+        let mut source = String::new();
+        let mut in_header = false;
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.starts_with("(*") {
+                in_header = true;
+                continue;
+            }
+            if in_header {
+                if trimmed.starts_with("*)") {
+                    in_header = false;
+                } else if let Some(v) = trimmed.strip_prefix("seed:") {
+                    seed = v
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad seed line: {e}"))?;
+                } else if let Some(v) = trimmed.strip_prefix("note:") {
+                    note = v.trim().to_owned();
+                } else if let Some(v) = trimmed.strip_prefix("args:") {
+                    let list = parse(v.trim()).map_err(|e| format!("bad args line {v:?}: {e}"))?;
+                    if !list.has_head("List") {
+                        return Err(format!("args line is not a list: {v}"));
+                    }
+                    arg_sets.push(list.args().iter().map(Value::from_expr).collect::<Vec<_>>());
+                }
+                continue;
+            }
+            source.push_str(line);
+            source.push('\n');
+        }
+        let func =
+            parse(source.trim()).map_err(|e| format!("artifact source does not parse: {e}"))?;
+        if !func.has_head("Function") {
+            return Err(format!(
+                "artifact is not a Function: {}",
+                func.to_input_form()
+            ));
+        }
+        if arg_sets.is_empty() {
+            return Err("artifact has no args lines".into());
+        }
+        Ok(CorpusEntry {
+            seed,
+            note,
+            func,
+            arg_sets,
+        })
+    }
+
+    /// Writes the artifact into `dir` as `seed-<seed>.wl` (suffixed on
+    /// collision), returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let mut path = dir.join(format!("seed-{}.wl", self.seed));
+        let mut n = 1;
+        while path.exists() {
+            path = dir.join(format!("seed-{}-{n}.wl", self.seed));
+            n += 1;
+        }
+        fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
+/// Loads every `.wl` artifact in `dir` (sorted by file name for
+/// deterministic replay order). A missing directory is an empty corpus.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; malformed artifacts are an `Err` with
+/// the file name in the message.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, CorpusEntry)>, String> {
+    if !dir.exists() {
+        return Ok(Vec::new());
+    }
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|d| d.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "wl"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text =
+                fs::read_to_string(&p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            let entry =
+                CorpusEntry::parse_artifact(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+            Ok((p, entry))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_roundtrips() {
+        let entry = CorpusEntry {
+            seed: 99,
+            note: "native+fusion returned 2 but the interpreter returned 0.".into(),
+            func: parse("Function[{Typed[p1, \"MachineInteger\"]}, p1 ^ -1]").unwrap(),
+            arg_sets: vec![vec![Value::I64(2)], vec![Value::I64(-3)]],
+        };
+        let text = entry.render();
+        let back = CorpusEntry::parse_artifact(&text).unwrap();
+        assert_eq!(back.seed, 99);
+        assert_eq!(back.note, entry.note);
+        assert_eq!(back.func, entry.func);
+        assert_eq!(back.arg_sets, entry.arg_sets);
+    }
+
+    #[test]
+    fn malformed_artifacts_are_rejected() {
+        assert!(CorpusEntry::parse_artifact("1 + 1").is_err()); // not a Function
+        assert!(CorpusEntry::parse_artifact(
+            "(* wolfram-difftest counterexample\n   seed: 1\n*)\nFunction[{x}, x]"
+        )
+        .is_err()); // no args
+    }
+}

@@ -1,0 +1,200 @@
+//! `wolfram-difftest` — a tri-engine differential fuzzer.
+//!
+//! The repository carries three ways to evaluate the same Wolfram
+//! Language subset: the tree-walking interpreter (the semantic oracle),
+//! the legacy bytecode VM, and the native register machine the compiler
+//! targets (with superinstruction fusion on or off). Any observable
+//! disagreement between them on the common subset is a bug in at least
+//! one engine; this crate generates programs, runs all configurations,
+//! compares the outcomes under a documented equivalence relation
+//! ([`oracle`]), greedily shrinks whatever diverges ([`shrink`]), and
+//! persists counterexamples as replayable `.wl` artifacts ([`corpus`]).
+//!
+//! Three tiers use it:
+//!
+//! 1. a bounded deterministic smoke run inside `cargo test`,
+//! 2. `reproduce -- difftest --iters N --seed S` for long local runs, and
+//! 3. a scheduled CI job that uploads shrunk counterexamples.
+
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod rng;
+pub mod shrink;
+
+pub use corpus::CorpusEntry;
+pub use gen::Program;
+pub use oracle::{
+    outcomes_equivalent, outcomes_equivalent_within, prepare, values_equivalent,
+    values_equivalent_within, Outcome, TriRun,
+};
+pub use shrink::Shrunk;
+
+/// Fuzzing-run parameters.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Base seed; iteration `i` fuzzes `Program::generate(derive(seed, i))`.
+    pub seed: u64,
+    /// Number of programs to generate.
+    pub iters: u64,
+    /// Whether to shrink divergences (off makes triage runs faster).
+    pub shrink: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0xD1FF_7E57,
+            iters: 300,
+            shrink: true,
+        }
+    }
+}
+
+/// One confirmed divergence, shrunk and ready to persist.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The per-iteration seed that regenerates the original program.
+    pub seed: u64,
+    /// The original (unshrunk) source.
+    pub original: String,
+    /// The reduced artifact.
+    pub shrunk: CorpusEntry,
+}
+
+/// Aggregate result of a fuzzing run.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    /// Programs generated and compiled on all engines.
+    pub programs_run: u64,
+    /// Programs some compiled engine refused (subset holes, not
+    /// divergences). Samples are in `prepare_samples`.
+    pub prepare_failures: u64,
+    /// Up to five prepare-failure messages with their seeds.
+    pub prepare_samples: Vec<(u64, String)>,
+    /// Programs whose printed source failed the parse→print fixpoint.
+    pub roundtrip_failures: u64,
+    /// Runs stopped by the per-engine watchdog ([`oracle::RUN_TIMEOUT`]);
+    /// inconclusive, not divergent.
+    pub timeouts: u64,
+    /// Runs where the oracle answered symbolically (outside the numeric
+    /// subset); inconclusive, not divergent.
+    pub out_of_subset: u64,
+    /// Confirmed divergences.
+    pub divergences: Vec<Counterexample>,
+}
+
+impl FuzzReport {
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} programs across 4 engine configurations: {} divergences, \
+             {} prepare failures, {} round-trip failures, {} timeouts, \
+             {} out-of-subset",
+            self.programs_run,
+            self.divergences.len(),
+            self.prepare_failures,
+            self.roundtrip_failures,
+            self.timeouts,
+            self.out_of_subset
+        )
+    }
+}
+
+/// Derives the per-iteration seed from the base seed. SplitMix64 of the
+/// pair keeps neighbouring iterations statistically independent.
+pub fn derive_seed(base: u64, iteration: u64) -> u64 {
+    rng::Rng::new(base ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+/// Runs the fuzzer. Deterministic in `cfg`.
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for i in 0..cfg.iters {
+        let seed = derive_seed(cfg.seed, i);
+        let program = Program::generate(seed);
+        if program.roundtrip().is_err() {
+            report.roundtrip_failures += 1;
+            continue;
+        }
+        let subject = match oracle::prepare(&program.func) {
+            Ok(s) => s,
+            Err(e) => {
+                report.prepare_failures += 1;
+                if report.prepare_samples.len() < 5 {
+                    report.prepare_samples.push((seed, e.to_string()));
+                }
+                continue;
+            }
+        };
+        report.programs_run += 1;
+        let mut saw_timeout = false;
+        let mut saw_symbolic = false;
+        let diverging_set = program.arg_sets.iter().find_map(|args| {
+            let run = subject.run(args);
+            saw_timeout |= run.timed_out();
+            saw_symbolic |= run.out_of_subset();
+            run.divergence().map(|note| (args.clone(), note))
+        });
+        if saw_timeout {
+            report.timeouts += 1;
+        }
+        if saw_symbolic {
+            report.out_of_subset += 1;
+        }
+        if let Some((args, note)) = diverging_set {
+            let shrunk = if cfg.shrink {
+                shrink::shrink(&program.func, &program.arg_sets)
+            } else {
+                None
+            };
+            let entry = match shrunk {
+                Some(s) => CorpusEntry {
+                    seed,
+                    note: s.note,
+                    func: s.func,
+                    arg_sets: vec![s.args],
+                },
+                None => CorpusEntry {
+                    seed,
+                    note,
+                    func: program.func.clone(),
+                    arg_sets: vec![args],
+                },
+            };
+            report.divergences.push(Counterexample {
+                seed,
+                original: program.source(),
+                shrunk: entry,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_seeds_are_spread() {
+        let a = derive_seed(1, 0);
+        let b = derive_seed(1, 1);
+        let c = derive_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tiny_fuzz_run_is_deterministic() {
+        let cfg = FuzzConfig {
+            seed: 7,
+            iters: 20,
+            shrink: false,
+        };
+        let r1 = run_fuzz(&cfg);
+        let r2 = run_fuzz(&cfg);
+        assert_eq!(r1.programs_run, r2.programs_run);
+        assert_eq!(r1.divergences.len(), r2.divergences.len());
+    }
+}

@@ -34,12 +34,18 @@ pub struct BigInt {
 impl BigInt {
     /// The zero value.
     pub fn zero() -> Self {
-        BigInt { negative: false, mag: Vec::new() }
+        BigInt {
+            negative: false,
+            mag: Vec::new(),
+        }
     }
 
     /// The value one.
     pub fn one() -> Self {
-        BigInt { negative: false, mag: vec![1] }
+        BigInt {
+            negative: false,
+            mag: vec![1],
+        }
     }
 
     /// Whether this is zero.
@@ -119,7 +125,10 @@ impl BigInt {
         if self.is_zero() {
             self.clone()
         } else {
-            BigInt { negative: !self.negative, mag: self.mag.clone() }
+            BigInt {
+                negative: !self.negative,
+                mag: self.mag.clone(),
+            }
         }
     }
 
@@ -153,7 +162,11 @@ impl BigInt {
             quotient[i] = (cur / divisor as u64) as u32;
             rem = cur % divisor as u64;
         }
-        let q = BigInt { negative: self.negative, mag: quotient }.normalized();
+        let q = BigInt {
+            negative: self.negative,
+            mag: quotient,
+        }
+        .normalized();
         (q, rem as u32)
     }
 
@@ -197,7 +210,10 @@ impl BigInt {
         if carry > 0 {
             mag.push(carry as u32);
         }
-        BigInt { negative: false, mag }
+        BigInt {
+            negative: false,
+            mag,
+        }
     }
 
     fn mul_u32(&self, v: u32) -> Self {
@@ -211,7 +227,11 @@ impl BigInt {
         if carry > 0 {
             mag.push(carry as u32);
         }
-        BigInt { negative: self.negative, mag }.normalized()
+        BigInt {
+            negative: self.negative,
+            mag,
+        }
+        .normalized()
     }
 
     fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
@@ -284,7 +304,10 @@ impl From<u64> for BigInt {
                 mag.push((u >> BASE_BITS) as u32);
             }
         }
-        BigInt { negative: false, mag }
+        BigInt {
+            negative: false,
+            mag,
+        }
     }
 }
 
@@ -309,8 +332,11 @@ impl std::ops::Add for &BigInt {
     type Output = BigInt;
     fn add(self, rhs: &BigInt) -> BigInt {
         if self.negative == rhs.negative {
-            BigInt { negative: self.negative, mag: BigInt::add_mag(&self.mag, &rhs.mag) }
-                .normalized()
+            BigInt {
+                negative: self.negative,
+                mag: BigInt::add_mag(&self.mag, &rhs.mag),
+            }
+            .normalized()
         } else {
             match BigInt::cmp_mag(&self.mag, &rhs.mag) {
                 Ordering::Equal => BigInt::zero(),
@@ -359,7 +385,11 @@ impl std::ops::Mul for &BigInt {
                 k += 1;
             }
         }
-        BigInt { negative: self.negative != rhs.negative, mag }.normalized()
+        BigInt {
+            negative: self.negative != rhs.negative,
+            mag,
+        }
+        .normalized()
     }
 }
 
@@ -369,7 +399,10 @@ impl fmt::Display for BigInt {
             return f.write_str("0");
         }
         let mut chunks = Vec::new();
-        let mut cur = BigInt { negative: false, mag: self.mag.clone() };
+        let mut cur = BigInt {
+            negative: false,
+            mag: self.mag.clone(),
+        };
         while !cur.is_zero() {
             let (q, r) = cur.div_rem_u32(1_000_000_000);
             chunks.push(r);
@@ -408,7 +441,10 @@ mod tests {
     fn parse_and_display() {
         let s = "123456789012345678901234567890";
         assert_eq!(BigInt::parse(s).unwrap().to_string(), s);
-        assert_eq!(BigInt::parse("-987654321").unwrap().to_string(), "-987654321");
+        assert_eq!(
+            BigInt::parse("-987654321").unwrap().to_string(),
+            "-987654321"
+        );
         assert_eq!(BigInt::parse("0").unwrap(), BigInt::zero());
         assert_eq!(BigInt::parse("-0").unwrap(), BigInt::zero());
         assert!(BigInt::parse("").is_none());
@@ -444,9 +480,15 @@ mod tests {
     fn multiplication() {
         let a = BigInt::parse("123456789123456789").unwrap();
         let b = BigInt::parse("987654321987654321").unwrap();
-        assert_eq!((&a * &b).to_string(), "121932631356500531347203169112635269");
+        assert_eq!(
+            (&a * &b).to_string(),
+            "121932631356500531347203169112635269"
+        );
         assert_eq!((&a * &BigInt::zero()), BigInt::zero());
-        assert_eq!((&a.neg() * &b).to_string(), "-121932631356500531347203169112635269");
+        assert_eq!(
+            (&a.neg() * &b).to_string(),
+            "-121932631356500531347203169112635269"
+        );
     }
 
     #[test]
@@ -467,7 +509,10 @@ mod tests {
     #[test]
     fn pow_and_ordering() {
         assert_eq!(BigInt::from(2i64).pow(10).to_i64(), Some(1024));
-        assert_eq!(BigInt::from(10i64).pow(30).to_string(), "1".to_owned() + &"0".repeat(30));
+        assert_eq!(
+            BigInt::from(10i64).pow(30).to_string(),
+            "1".to_owned() + &"0".repeat(30)
+        );
         assert!(BigInt::from(-5i64) < BigInt::from(3i64));
         assert!(BigInt::from(-5i64) < BigInt::from(-3i64));
         assert!(BigInt::from(7i64) > BigInt::from(3i64));

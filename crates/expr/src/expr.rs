@@ -71,7 +71,10 @@ pub struct Expr(Rc<ExprData>);
 
 impl Expr {
     fn from_kind(kind: ExprKind) -> Self {
-        Expr(Rc::new(ExprData { kind, props: RefCell::new(Vec::new()) }))
+        Expr(Rc::new(ExprData {
+            kind,
+            props: RefCell::new(Vec::new()),
+        }))
     }
 
     /// A machine integer literal.
@@ -128,7 +131,10 @@ impl Expr {
 
     /// A normal expression with an arbitrary head expression.
     pub fn normal(head: Expr, args: impl Into<Vec<Expr>>) -> Self {
-        Self::from_kind(ExprKind::Normal(Normal { head, args: args.into().into() }))
+        Self::from_kind(ExprKind::Normal(Normal {
+            head,
+            args: args.into().into(),
+        }))
     }
 
     /// A normal expression with a symbol head: `name[args...]`.
@@ -282,7 +288,12 @@ impl Expr {
 
     /// Reads metadata attached with [`Expr::set_prop`].
     pub fn prop(&self, key: &str) -> Option<Expr> {
-        self.0.props.borrow().iter().find(|(k, _)| &**k == key).map(|(_, v)| v.clone())
+        self.0
+            .props
+            .borrow()
+            .iter()
+            .find(|(k, _)| &**k == key)
+            .map(|(_, v)| v.clone())
     }
 
     /// Structural identity: whether the two handles point at the same node.

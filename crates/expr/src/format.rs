@@ -237,7 +237,10 @@ mod tests {
         // (1 + x) * 2 needs parens around Plus.
         let e = Expr::call(
             "Times",
-            [Expr::call("Plus", [Expr::int(1), Expr::sym("x")]), Expr::int(2)],
+            [
+                Expr::call("Plus", [Expr::int(1), Expr::sym("x")]),
+                Expr::int(2),
+            ],
         );
         assert_eq!(e.to_input_form(), "(1 + x)*2");
     }

@@ -106,7 +106,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, chars: src.char_indices().peekable(), offset: 0 }
+        Lexer {
+            src,
+            chars: src.char_indices().peekable(),
+            offset: 0,
+        }
     }
 
     fn peek(&mut self) -> Option<char> {
@@ -129,7 +133,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> LexError {
-        LexError { message: message.into(), offset: self.offset }
+        LexError {
+            message: message.into(),
+            offset: self.offset,
+        }
     }
 
     fn skip_trivia(&mut self) -> Result<(), LexError> {
@@ -206,16 +213,20 @@ impl<'a> Lexer<'a> {
                     self.bump();
                 }
                 let text = self.src[start..self.offset].replace("*^", "e");
-                let v: f64 =
-                    text.parse().map_err(|_| self.err(format!("bad real literal `{text}`")))?;
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| self.err(format!("bad real literal `{text}`")))?;
                 return Ok(TokenKind::Real(v));
             }
         }
         if is_real {
             let v: f64 = if let Some(stripped) = text.strip_suffix('.') {
-                stripped.parse().map_err(|_| self.err(format!("bad real literal `{text}`")))?
+                stripped
+                    .parse()
+                    .map_err(|_| self.err(format!("bad real literal `{text}`")))?
             } else {
-                text.parse().map_err(|_| self.err(format!("bad real literal `{text}`")))?
+                text.parse()
+                    .map_err(|_| self.err(format!("bad real literal `{text}`")))?
             };
             Ok(TokenKind::Real(v))
         } else if let Ok(v) = text.parse::<i64>() {
@@ -305,7 +316,10 @@ impl<'a> Lexer<'a> {
             }
             Some(c) => TokenKind::Punct(self.lex_punct(c)?),
         };
-        Ok(Token { kind, offset: start })
+        Ok(Token {
+            kind,
+            offset: start,
+        })
     }
 
     fn lex_pattern_with_leading_blank(&mut self) -> TokenKind {
@@ -322,7 +336,11 @@ impl<'a> Lexer<'a> {
             }
             _ => None,
         };
-        TokenKind::PatternLike { name: None, blanks, head }
+        TokenKind::PatternLike {
+            name: None,
+            blanks,
+            head,
+        }
     }
 
     fn lex_punct(&mut self, c: char) -> Result<&'static str, LexError> {
@@ -506,10 +524,22 @@ mod tests {
 
     #[test]
     fn idents_and_contexts() {
-        assert_eq!(kinds("fooBar2"), vec![TokenKind::Ident("fooBar2".into()), TokenKind::Eof]);
-        assert_eq!(kinds("CUDA`Map"), vec![TokenKind::Ident("CUDA`Map".into()), TokenKind::Eof]);
-        assert_eq!(kinds("$x"), vec![TokenKind::Ident("$x".into()), TokenKind::Eof]);
-        assert_eq!(kinds("π"), vec![TokenKind::Ident("Pi".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("fooBar2"),
+            vec![TokenKind::Ident("fooBar2".into()), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("CUDA`Map"),
+            vec![TokenKind::Ident("CUDA`Map".into()), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("$x"),
+            vec![TokenKind::Ident("$x".into()), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("π"),
+            vec![TokenKind::Ident("Pi".into()), TokenKind::Eof]
+        );
     }
 
     #[test]
@@ -527,19 +557,34 @@ mod tests {
         );
         assert_eq!(
             kinds("_"),
-            vec![TokenKind::PatternLike { name: None, blanks: 1, head: None }, TokenKind::Eof]
+            vec![
+                TokenKind::PatternLike {
+                    name: None,
+                    blanks: 1,
+                    head: None
+                },
+                TokenKind::Eof
+            ]
         );
         assert_eq!(
             kinds("rest__"),
             vec![
-                TokenKind::PatternLike { name: Some("rest".into()), blanks: 2, head: None },
+                TokenKind::PatternLike {
+                    name: Some("rest".into()),
+                    blanks: 2,
+                    head: None
+                },
                 TokenKind::Eof
             ]
         );
         assert_eq!(
             kinds("___List"),
             vec![
-                TokenKind::PatternLike { name: None, blanks: 3, head: Some("List".into()) },
+                TokenKind::PatternLike {
+                    name: None,
+                    blanks: 3,
+                    head: Some("List".into())
+                },
                 TokenKind::Eof
             ]
         );

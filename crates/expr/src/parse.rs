@@ -29,7 +29,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, offset: e.offset }
+        ParseError {
+            message: e.message,
+            offset: e.offset,
+        }
     }
 }
 
@@ -79,7 +82,10 @@ struct Parser {
 
 impl Parser {
     fn new(src: &str) -> Result<Self, ParseError> {
-        Ok(Parser { tokens: tokenize(src)?, pos: 0 })
+        Ok(Parser {
+            tokens: tokenize(src)?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> &TokenKind {
@@ -132,7 +138,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.offset() }
+        ParseError {
+            message: message.into(),
+            offset: self.offset(),
+        }
     }
 
     /// Left binding power of the operator at the cursor, 0 if none.
@@ -260,7 +269,11 @@ impl Parser {
     /// Builds an n-ary flattened application, merging `lhs` if it already has
     /// the same head (`Plus`, `Times`, `And`, ... are Flat in Wolfram).
     fn flat(head: &str, lhs: Expr, rhs: Expr) -> Expr {
-        let mut args = if lhs.has_head(head) { lhs.args().to_vec() } else { vec![lhs] };
+        let mut args = if lhs.has_head(head) {
+            lhs.args().to_vec()
+        } else {
+            vec![lhs]
+        };
         args.push(rhs);
         Expr::call(head, args)
     }
@@ -277,7 +290,12 @@ impl Parser {
                     vec![lhs]
                 };
                 // A trailing `;` appends Null (statement form).
-                if self.at_eof() || self.at_punct(")") || self.at_punct("]") || self.at_punct("}") || self.at_punct(",") {
+                if self.at_eof()
+                    || self.at_punct(")")
+                    || self.at_punct("]")
+                    || self.at_punct("}")
+                    || self.at_punct(",")
+                {
                     args.push(Expr::null());
                 } else {
                     args.push(self.parse_expr(10)?);
@@ -418,8 +436,14 @@ mod tests {
     fn patterns_parse() {
         assert_eq!(ff("f[x_] := x"), "SetDelayed[f[Pattern[x, Blank[]]], x]");
         assert_eq!(ff("_Integer"), "Blank[Integer]");
-        assert_eq!(ff("x__ | y_"), "Alternatives[Pattern[x, BlankSequence[]], Pattern[y, Blank[]]]");
-        assert_eq!(ff("x_ /; x > 0"), "Condition[Pattern[x, Blank[]], Greater[x, 0]]");
+        assert_eq!(
+            ff("x__ | y_"),
+            "Alternatives[Pattern[x, BlankSequence[]], Pattern[y, Blank[]]]"
+        );
+        assert_eq!(
+            ff("x_ /; x > 0"),
+            "Condition[Pattern[x, Blank[]], Greater[x, 0]]"
+        );
     }
 
     #[test]
@@ -427,7 +451,10 @@ mod tests {
         assert_eq!(ff("a; b; c"), "CompoundExpression[a, b, c]");
         assert_eq!(ff("a; b;"), "CompoundExpression[a, b, Null]");
         assert_eq!(ff("(a;)"), "CompoundExpression[a, Null]");
-        assert_eq!(ff("y = x; x = 1; y"), "CompoundExpression[Set[y, x], Set[x, 1], y]");
+        assert_eq!(
+            ff("y = x; x = 1; y"),
+            "CompoundExpression[Set[y, x], Set[x, 1], y]"
+        );
     }
 
     #[test]

@@ -28,7 +28,6 @@ pub struct MatchCtx<'a> {
     pub condition_eval: Option<&'a mut dyn FnMut(&Expr) -> bool>,
 }
 
-
 impl MatchCtx<'_> {
     fn test(&mut self, cond: &Expr) -> bool {
         match &mut self.condition_eval {
@@ -103,9 +102,7 @@ pub fn match_pattern(
                 }
                 // BlankSequence outside an argument list matches a single
                 // element (a sequence of one).
-                Some("BlankSequence") | Some("BlankNullSequence") => {
-                    match_blank(expr, n.args())
-                }
+                Some("BlankSequence") | Some("BlankNullSequence") => match_blank(expr, n.args()),
                 _ => {
                     // Structural match of a normal pattern against a normal
                     // expression: heads then argument sequences.
@@ -195,7 +192,8 @@ pub(crate) fn match_sequence(
             return false;
         };
         let mut trial = bindings.clone();
-        if match_pattern(e0, p0, &mut trial, ctx) && match_sequence(rest_exprs, rest_pats, &mut trial, ctx)
+        if match_pattern(e0, p0, &mut trial, ctx)
+            && match_sequence(rest_exprs, rest_pats, &mut trial, ctx)
         {
             *bindings = trial;
             return true;
@@ -333,7 +331,9 @@ mod tests {
             // A toy evaluator handling `n > 0` for integer literals.
             cond.has_head("Greater") && cond.args()[0].as_i64().is_some_and(|v| v > 0)
         };
-        let mut ctx = MatchCtx { condition_eval: Some(&mut eval) };
+        let mut ctx = MatchCtx {
+            condition_eval: Some(&mut eval),
+        };
         assert!(match_pattern(&e, &p, &mut b, &mut ctx));
     }
 
@@ -348,9 +348,7 @@ mod tests {
 
     #[test]
     fn specificity_ordering() {
-        let ord = |a: &str, b: &str| {
-            compare_specificity(&parse(a).unwrap(), &parse(b).unwrap())
-        };
+        let ord = |a: &str, b: &str| compare_specificity(&parse(a).unwrap(), &parse(b).unwrap());
         use std::cmp::Ordering::*;
         // The paper's And macro rules: literal-argument rules beat blanks.
         assert_eq!(ord("And[False, _]", "And[x_, y_]"), Less);

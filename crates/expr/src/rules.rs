@@ -32,7 +32,11 @@ impl Rule {
             return None;
         };
         let [lhs, rhs] = e.args() else { return None };
-        Some(Rule { lhs: lhs.clone(), rhs: rhs.clone(), delayed })
+        Some(Rule {
+            lhs: lhs.clone(),
+            rhs: rhs.clone(),
+            delayed,
+        })
     }
 
     /// Builds a rule list from a single rule expression or a `List` of them.
@@ -108,7 +112,11 @@ pub fn replace_all(expr: &Expr, rules: &[Rule], ctx: &mut MatchCtx) -> Expr {
     match expr.kind() {
         ExprKind::Normal(n) => {
             let head = replace_all(n.head(), rules, ctx);
-            let args: Vec<Expr> = n.args().iter().map(|a| replace_all(a, rules, ctx)).collect();
+            let args: Vec<Expr> = n
+                .args()
+                .iter()
+                .map(|a| replace_all(a, rules, ctx))
+                .collect();
             Expr::normal(head, args)
         }
         _ => expr.clone(),
@@ -186,7 +194,10 @@ mod tests {
     fn string_replacement_example() {
         // The paper's mutability example rewrites "foo" -> "grok" in strings
         // at the StringReplace level; here we check expression-level strings.
-        assert_eq!(ra("g[\"foo\", \"bar\"]", "\"foo\" -> \"grok\""), "g[\"grok\", \"bar\"]");
+        assert_eq!(
+            ra("g[\"foo\", \"bar\"]", "\"foo\" -> \"grok\""),
+            "g[\"grok\", \"bar\"]"
+        );
     }
 
     #[test]
@@ -203,7 +214,10 @@ mod tests {
         let rs = rules(rule_src);
         let e = parse("And[a, b]").unwrap();
         let out = replace_repeated(&e, &rs, &mut MatchCtx::default());
-        assert_eq!(out.to_full_form(), "If[SameQ[a, True], SameQ[b, True], False]");
+        assert_eq!(
+            out.to_full_form(),
+            "If[SameQ[a, True], SameQ[b, True], False]"
+        );
         let e = parse("And[False, a]").unwrap();
         let out = replace_repeated(&e, &rs, &mut MatchCtx::default());
         assert_eq!(out.to_full_form(), "False");

@@ -176,8 +176,11 @@ mod tests {
         let out = e.map_bottom_up(&mut |node| {
             // Constant-fold fully-literal Plus nodes.
             if node.has_head("Plus") {
-                if let Some(sum) =
-                    node.args().iter().map(|a| a.as_i64()).collect::<Option<Vec<_>>>()
+                if let Some(sum) = node
+                    .args()
+                    .iter()
+                    .map(|a| a.as_i64())
+                    .collect::<Option<Vec<_>>>()
                 {
                     return Expr::int(sum.iter().sum());
                 }

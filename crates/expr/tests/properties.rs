@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use std::collections::HashMap;
-use wolfram_expr::pattern::{compare_specificity, match_pattern, MatchCtx};
 use wolfram_expr::lex::tokenize;
+use wolfram_expr::pattern::{compare_specificity, match_pattern, MatchCtx};
 use wolfram_expr::{parse, Expr, Symbol};
 
 // ---------------------------------------------------------------------
@@ -70,7 +70,9 @@ proptest! {
 
 fn structural_match(expr: &Expr, pattern: &Expr) -> Option<HashMap<Symbol, Expr>> {
     let mut bindings = HashMap::new();
-    let mut ctx = MatchCtx { condition_eval: None };
+    let mut ctx = MatchCtx {
+        condition_eval: None,
+    };
     match_pattern(expr, pattern, &mut bindings, &mut ctx).then_some(bindings)
 }
 
@@ -116,8 +118,16 @@ proptest! {
 
 fn arb_pattern() -> impl Strategy<Value = Expr> {
     prop::sample::select(vec![
-        "x_", "x_Integer", "x_Real", "0", "f[x_]", "f[x_, y_]", "f[0, y_]", "f[0, 1]",
-        "x_ /; x > 0", "f[x_Integer, y_]",
+        "x_",
+        "x_Integer",
+        "x_Real",
+        "0",
+        "f[x_]",
+        "f[x_, y_]",
+        "f[0, y_]",
+        "f[0, 1]",
+        "x_ /; x > 0",
+        "f[x_Integer, y_]",
     ])
     .prop_map(|s| parse(s).unwrap())
 }

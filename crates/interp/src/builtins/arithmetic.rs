@@ -22,19 +22,41 @@ pub(crate) fn register(m: &mut HashMap<&'static str, BuiltinDef>) {
     reg(m, "Quotient", attr::listable(), quotient);
     reg(m, "Abs", attr::listable(), abs);
     reg(m, "Sign", attr::listable(), sign);
-    reg(m, "Min", attr::none(), |i, a, d| min_max(i, a, d, Ordering::Less));
-    reg(m, "Max", attr::none(), |i, a, d| min_max(i, a, d, Ordering::Greater));
-    reg(m, "Floor", attr::listable(), |i, a, d| rounding(i, a, d, f64::floor));
-    reg(m, "Ceiling", attr::listable(), |i, a, d| rounding(i, a, d, f64::ceil));
-    reg(m, "Round", attr::listable(), |i, a, d| rounding(i, a, d, round_half_even));
+    reg(m, "Min", attr::none(), |i, a, d| {
+        min_max(i, a, d, Ordering::Less)
+    });
+    reg(m, "Max", attr::none(), |i, a, d| {
+        min_max(i, a, d, Ordering::Greater)
+    });
+    reg(m, "Floor", attr::listable(), |i, a, d| {
+        rounding(i, a, d, f64::floor)
+    });
+    reg(m, "Ceiling", attr::listable(), |i, a, d| {
+        rounding(i, a, d, f64::ceil)
+    });
+    reg(m, "Round", attr::listable(), |i, a, d| {
+        rounding(i, a, d, round_half_even)
+    });
     reg(m, "Sqrt", attr::listable(), sqrt);
-    reg(m, "Exp", attr::listable(), |i, a, d| unary_real(i, a, d, f64::exp, "Exp"));
+    reg(m, "Exp", attr::listable(), |i, a, d| {
+        unary_real(i, a, d, f64::exp, "Exp")
+    });
     reg(m, "Log", attr::listable(), log);
-    reg(m, "Sin", attr::listable(), |i, a, d| unary_real(i, a, d, f64::sin, "Sin"));
-    reg(m, "Cos", attr::listable(), |i, a, d| unary_real(i, a, d, f64::cos, "Cos"));
-    reg(m, "Tan", attr::listable(), |i, a, d| unary_real(i, a, d, f64::tan, "Tan"));
-    reg(m, "ArcSin", attr::listable(), |i, a, d| unary_real(i, a, d, f64::asin, "ArcSin"));
-    reg(m, "ArcCos", attr::listable(), |i, a, d| unary_real(i, a, d, f64::acos, "ArcCos"));
+    reg(m, "Sin", attr::listable(), |i, a, d| {
+        unary_real(i, a, d, f64::sin, "Sin")
+    });
+    reg(m, "Cos", attr::listable(), |i, a, d| {
+        unary_real(i, a, d, f64::cos, "Cos")
+    });
+    reg(m, "Tan", attr::listable(), |i, a, d| {
+        unary_real(i, a, d, f64::tan, "Tan")
+    });
+    reg(m, "ArcSin", attr::listable(), |i, a, d| {
+        unary_real(i, a, d, f64::asin, "ArcSin")
+    });
+    reg(m, "ArcCos", attr::listable(), |i, a, d| {
+        unary_real(i, a, d, f64::acos, "ArcCos")
+    });
     reg(m, "ArcTan", attr::listable(), arctan);
     reg(m, "Re", attr::listable(), re);
     reg(m, "Im", attr::listable(), im);
@@ -43,10 +65,16 @@ pub(crate) fn register(m: &mut HashMap<&'static str, BuiltinDef>) {
     // Comparisons & logic.
     reg(m, "SameQ", attr::none(), same_q);
     reg(m, "UnsameQ", attr::none(), unsame_q);
-    reg(m, "Equal", attr::none(), |i, a, d| compare_chain(i, a, d, &[Ordering::Equal]));
+    reg(m, "Equal", attr::none(), |i, a, d| {
+        compare_chain(i, a, d, &[Ordering::Equal])
+    });
     reg(m, "Unequal", attr::none(), unequal);
-    reg(m, "Less", attr::none(), |i, a, d| compare_chain(i, a, d, &[Ordering::Less]));
-    reg(m, "Greater", attr::none(), |i, a, d| compare_chain(i, a, d, &[Ordering::Greater]));
+    reg(m, "Less", attr::none(), |i, a, d| {
+        compare_chain(i, a, d, &[Ordering::Less])
+    });
+    reg(m, "Greater", attr::none(), |i, a, d| {
+        compare_chain(i, a, d, &[Ordering::Greater])
+    });
     reg(m, "LessEqual", attr::none(), |i, a, d| {
         compare_chain(i, a, d, &[Ordering::Less, Ordering::Equal])
     });
@@ -57,15 +85,23 @@ pub(crate) fn register(m: &mut HashMap<&'static str, BuiltinDef>) {
     reg(m, "And", attr::hold_all(), and);
     reg(m, "Or", attr::hold_all(), or);
     // Predicates.
-    reg(m, "TrueQ", attr::none(), |_, a, _| done(Expr::bool(a.len() == 1 && a[0].is_true())));
+    reg(m, "TrueQ", attr::none(), |_, a, _| {
+        done(Expr::bool(a.len() == 1 && a[0].is_true()))
+    });
     reg(m, "IntegerQ", attr::none(), |_, a, _| {
-        done(Expr::bool(a.len() == 1 && matches!(a[0].kind(), ExprKind::Integer(_) | ExprKind::BigInteger(_))))
+        done(Expr::bool(
+            a.len() == 1 && matches!(a[0].kind(), ExprKind::Integer(_) | ExprKind::BigInteger(_)),
+        ))
     });
     reg(m, "EvenQ", attr::none(), |_, a, _| {
-        done(Expr::bool(a.len() == 1 && a[0].as_i64().is_some_and(|v| v % 2 == 0)))
+        done(Expr::bool(
+            a.len() == 1 && a[0].as_i64().is_some_and(|v| v % 2 == 0),
+        ))
     });
     reg(m, "OddQ", attr::none(), |_, a, _| {
-        done(Expr::bool(a.len() == 1 && a[0].as_i64().is_some_and(|v| v % 2 != 0)))
+        done(Expr::bool(
+            a.len() == 1 && a[0].as_i64().is_some_and(|v| v % 2 != 0),
+        ))
     });
     reg(m, "NumberQ", attr::none(), |_, a, _| {
         done(Expr::bool(a.len() == 1 && Num::from_expr(&a[0]).is_some()))
@@ -74,11 +110,21 @@ pub(crate) fn register(m: &mut HashMap<&'static str, BuiltinDef>) {
     reg(m, "StringQ", attr::none(), |_, a, _| {
         done(Expr::bool(a.len() == 1 && a[0].as_str().is_some()))
     });
-    reg(m, "ListQ", attr::none(), |_, a, _| done(Expr::bool(a.len() == 1 && a[0].has_head("List"))));
-    reg(m, "AtomQ", attr::none(), |_, a, _| done(Expr::bool(a.len() == 1 && a[0].is_atom())));
-    reg(m, "Positive", attr::listable(), |_, a, _| sign_pred(a, |o| o == Ordering::Greater));
-    reg(m, "Negative", attr::listable(), |_, a, _| sign_pred(a, |o| o == Ordering::Less));
-    reg(m, "NonNegative", attr::listable(), |_, a, _| sign_pred(a, |o| o != Ordering::Less));
+    reg(m, "ListQ", attr::none(), |_, a, _| {
+        done(Expr::bool(a.len() == 1 && a[0].has_head("List")))
+    });
+    reg(m, "AtomQ", attr::none(), |_, a, _| {
+        done(Expr::bool(a.len() == 1 && a[0].is_atom()))
+    });
+    reg(m, "Positive", attr::listable(), |_, a, _| {
+        sign_pred(a, |o| o == Ordering::Greater)
+    });
+    reg(m, "Negative", attr::listable(), |_, a, _| {
+        sign_pred(a, |o| o == Ordering::Less)
+    });
+    reg(m, "NonNegative", attr::listable(), |_, a, _| {
+        sign_pred(a, |o| o != Ordering::Less)
+    });
     reg(m, "PrimeQ", attr::listable(), prime_q);
     reg(m, "Factorial", attr::listable(), factorial);
     reg(m, "GCD", attr::listable(), gcd_builtin);
@@ -180,8 +226,31 @@ fn times(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>,
         return done(args[0].clone());
     }
     let flat = flatten_flat("Times", args);
-    // Times[0, ...] short-circuits to exact 0 even with symbolic arguments.
-    if flat.iter().any(|a| a.as_i64() == Some(0)) {
+    // Times[0, ...] short-circuits even with symbolic arguments, but an
+    // inexact factor makes the zero inexact: `0*1.5` is `0.` while `0*x`
+    // stays the exact integer 0 (Wolfram precision-contagion semantics).
+    // A non-finite real factor disables the shortcut: `0*Infinity` is
+    // IEEE's `0. * inf = NaN`, not zero. The inexact zero also keeps the
+    // IEEE sign product (`-1.5*0` is `-0.`), so reciprocal powers of it
+    // agree with compiled real code on the branch of infinity.
+    if flat.iter().any(|a| a.as_i64() == Some(0))
+        && !flat
+            .iter()
+            .any(|a| matches!(a.kind(), ExprKind::Real(r) if !r.is_finite()))
+    {
+        if flat.iter().any(|a| matches!(a.kind(), ExprKind::Real(_))) {
+            let negative = flat
+                .iter()
+                .filter(|a| match a.kind() {
+                    ExprKind::Real(r) => r.is_sign_negative(),
+                    ExprKind::BigInteger(b) => b.is_negative(),
+                    _ => a.as_i64().is_some_and(|v| v < 0),
+                })
+                .count()
+                % 2
+                == 1;
+            return done(Expr::real(if negative { -0.0 } else { 0.0 }));
+        }
         return done(Expr::int(0));
     }
     nary_fold(&flat, Num::Int(1), "Times", Num::mul)
@@ -193,7 +262,10 @@ fn subtract(i: &mut Interpreter, args: &[Expr], d: usize) -> Result<Option<Expr>
         (Some(x), Some(y)) => done(x.sub(&y).into_expr()),
         _ => i
             .eval_depth(
-                &Expr::call("Plus", [a.clone(), Expr::call("Times", [Expr::int(-1), b.clone()])]),
+                &Expr::call(
+                    "Plus",
+                    [a.clone(), Expr::call("Times", [Expr::int(-1), b.clone()])],
+                ),
                 d + 1,
             )
             .map(Some),
@@ -204,7 +276,9 @@ fn minus(i: &mut Interpreter, args: &[Expr], d: usize) -> Result<Option<Expr>, E
     let [a] = args else { return INERT };
     match Num::from_expr(a) {
         Some(x) => done(x.neg().into_expr()),
-        None => i.eval_depth(&Expr::call("Times", [Expr::int(-1), a.clone()]), d + 1).map(Some),
+        None => i
+            .eval_depth(&Expr::call("Times", [Expr::int(-1), a.clone()]), d + 1)
+            .map(Some),
     }
 }
 
@@ -240,7 +314,11 @@ fn mod_builtin(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<
     if let (ExprKind::BigInteger(big), Some(m)) = (a.kind(), b.as_i64()) {
         if m > 0 {
             let r = big.rem_u64(m as u64) as i64;
-            let r = if big.is_negative() && r != 0 { m - r } else { r };
+            let r = if big.is_negative() && r != 0 {
+                m - r
+            } else {
+                r
+            };
             return done(Expr::int(r));
         }
     }
@@ -270,9 +348,24 @@ fn quotient(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Exp
             }
             // Exact floor division: Quotient[m, n] = Floor[m/n].
             let (q, r) = (x / y, x % y);
-            done(Expr::int(if r != 0 && (r < 0) != (y < 0) { q - 1 } else { q }))
+            done(Expr::int(if r != 0 && (r < 0) != (y < 0) {
+                q - 1
+            } else {
+                q
+            }))
         }
-        _ => INERT,
+        _ => match (Num::from_expr(a), Num::from_expr(b)) {
+            // Real operands: still an integer result (Quotient[5.3, 2]
+            // is 2, not 2.) — shared with the compiled engines through
+            // `checked::quotient_f64`. Bignums stay exact (inert here),
+            // complexes have no floor.
+            (Some(x @ (Num::Int(_) | Num::Real(_))), Some(y @ (Num::Int(_) | Num::Real(_)))) => {
+                wolfram_runtime::checked::quotient_f64(x.to_f64(), y.to_f64())
+                    .map(|v| Some(Expr::int(v)))
+                    .map_err(EvalError::from)
+            }
+            _ => INERT,
+        },
     }
 }
 
@@ -412,13 +505,18 @@ fn unary_real(
     let [a] = args else { return INERT };
     if a.as_i64() == Some(0) {
         // Sin[0] -> 0, Cos[0] -> 1, Exp[0] -> 1, Tan[0] -> 0, ...
-        return done(Expr::real(f(0.0)).as_f64().map(|v| {
-            if v == v.trunc() {
-                Expr::int(v as i64)
-            } else {
-                Expr::real(v)
-            }
-        }).expect("real literal"));
+        return done(
+            Expr::real(f(0.0))
+                .as_f64()
+                .map(|v| {
+                    if v == v.trunc() {
+                        Expr::int(v as i64)
+                    } else {
+                        Expr::real(v)
+                    }
+                })
+                .expect("real literal"),
+        );
     }
     match a.kind() {
         ExprKind::Real(v) => done(Expr::real(f(*v))),
@@ -523,7 +621,10 @@ pub(crate) fn decide_equal(a: &Expr, b: &Expr) -> Option<bool> {
             if a == b {
                 // Identical expressions are equal even when symbolic.
                 Some(true)
-            } else if a.is_atom() && b.is_atom() && a.as_symbol().is_none() && b.as_symbol().is_none()
+            } else if a.is_atom()
+                && b.is_atom()
+                && a.as_symbol().is_none()
+                && b.as_symbol().is_none()
             {
                 Some(false)
             } else {
@@ -633,10 +734,17 @@ fn or(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, 
 }
 
 fn numeric_q(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
-    let [a] = args else { return type_err("NumericQ expects one argument") };
+    let [a] = args else {
+        return type_err("NumericQ expects one argument");
+    };
     let numeric = Num::from_expr(a).is_some()
-        || matches!(a.as_symbol().as_ref().map(|s| s.name().to_owned()).as_deref(),
-            Some("Pi") | Some("E") | Some("Degree") | Some("GoldenRatio"));
+        || matches!(
+            a.as_symbol()
+                .as_ref()
+                .map(|s| s.name().to_owned())
+                .as_deref(),
+            Some("Pi") | Some("E") | Some("Degree") | Some("GoldenRatio")
+        );
     done(Expr::bool(numeric))
 }
 
@@ -699,7 +807,11 @@ fn lcm_builtin(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<
     done(Expr::int(acc))
 }
 
-fn integer_digits(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+fn integer_digits(
+    _i: &mut Interpreter,
+    args: &[Expr],
+    _d: usize,
+) -> Result<Option<Expr>, EvalError> {
     let (n, base) = match args {
         [n] => (n, 10i64),
         [n, b] => match b.as_i64() {
@@ -708,7 +820,9 @@ fn integer_digits(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Opti
         },
         _ => return INERT,
     };
-    let Some(mut v) = n.as_i64() else { return INERT };
+    let Some(mut v) = n.as_i64() else {
+        return INERT;
+    };
     v = v.abs();
     if v == 0 {
         return done(Expr::list([Expr::int(0)]));
@@ -828,10 +942,7 @@ mod tests {
     fn overflow_promotes_to_bignum() {
         // The interpreter silently switches to arbitrary precision (F2).
         assert_eq!(ev("2^100"), "1267650600228229401496703205376");
-        assert_eq!(
-            ev("9223372036854775807 + 1"),
-            "9223372036854775808"
-        );
+        assert_eq!(ev("9223372036854775807 + 1"), "9223372036854775808");
     }
 
     #[test]
@@ -908,7 +1019,11 @@ mod tests {
         assert_eq!(ev("Cos[0]"), "1");
         assert_eq!(ev("Sin[x]"), "Sin[x]");
         assert_eq!(ev("Sin[1]"), "Sin[1]");
-        let v = Interpreter::new().eval_src("Sin[1.0]").unwrap().as_f64().unwrap();
+        let v = Interpreter::new()
+            .eval_src("Sin[1.0]")
+            .unwrap()
+            .as_f64()
+            .unwrap();
         assert!((v - 1.0f64.sin()).abs() < 1e-15);
     }
 

@@ -21,22 +21,44 @@ pub(crate) fn register(m: &mut HashMap<&'static str, BuiltinDef>) {
     reg(m, "SetDelayed", attr::hold_all(), set_delayed);
     reg(m, "Unset", attr::hold_first(), unset);
     reg(m, "Clear", attr::hold_all(), clear);
-    reg(m, "Increment", attr::hold_first(), |i, a, d| step_assign(i, a, d, 1, false));
-    reg(m, "Decrement", attr::hold_first(), |i, a, d| step_assign(i, a, d, -1, false));
-    reg(m, "PreIncrement", attr::hold_first(), |i, a, d| step_assign(i, a, d, 1, true));
-    reg(m, "PreDecrement", attr::hold_first(), |i, a, d| step_assign(i, a, d, -1, true));
-    reg(m, "AddTo", attr::hold_first(), |i, a, d| op_assign(i, a, d, "Plus"));
-    reg(m, "SubtractFrom", attr::hold_first(), |i, a, d| op_assign(i, a, d, "Subtract"));
-    reg(m, "TimesBy", attr::hold_first(), |i, a, d| op_assign(i, a, d, "Times"));
-    reg(m, "DivideBy", attr::hold_first(), |i, a, d| op_assign(i, a, d, "Divide"));
+    reg(m, "Increment", attr::hold_first(), |i, a, d| {
+        step_assign(i, a, d, 1, false)
+    });
+    reg(m, "Decrement", attr::hold_first(), |i, a, d| {
+        step_assign(i, a, d, -1, false)
+    });
+    reg(m, "PreIncrement", attr::hold_first(), |i, a, d| {
+        step_assign(i, a, d, 1, true)
+    });
+    reg(m, "PreDecrement", attr::hold_first(), |i, a, d| {
+        step_assign(i, a, d, -1, true)
+    });
+    reg(m, "AddTo", attr::hold_first(), |i, a, d| {
+        op_assign(i, a, d, "Plus")
+    });
+    reg(m, "SubtractFrom", attr::hold_first(), |i, a, d| {
+        op_assign(i, a, d, "Subtract")
+    });
+    reg(m, "TimesBy", attr::hold_first(), |i, a, d| {
+        op_assign(i, a, d, "Times")
+    });
+    reg(m, "DivideBy", attr::hold_first(), |i, a, d| {
+        op_assign(i, a, d, "Divide")
+    });
     reg(m, "Return", attr::none(), return_builtin);
-    reg(m, "Break", attr::none(), |_, _, _| Err(EvalError::BreakSignal));
-    reg(m, "Continue", attr::none(), |_, _, _| Err(EvalError::ContinueSignal));
+    reg(m, "Break", attr::none(), |_, _, _| {
+        Err(EvalError::BreakSignal)
+    });
+    reg(m, "Continue", attr::none(), |_, _, _| {
+        Err(EvalError::ContinueSignal)
+    });
     reg(m, "Throw", attr::none(), throw);
     reg(m, "Catch", attr::hold_all(), catch);
     reg(m, "Function", attr::hold_all(), |_, _, _| INERT);
     reg(m, "Hold", attr::hold_all(), |_, _, _| INERT);
-    reg(m, "Abort", attr::none(), |_, _, _| Err(RuntimeError::Aborted.into()));
+    reg(m, "Abort", attr::none(), |_, _, _| {
+        Err(RuntimeError::Aborted.into())
+    });
     reg(m, "Print", attr::none(), print);
     reg(m, "AbsoluteTiming", attr::hold_all(), absolute_timing);
     reg(m, "SetAttributes", attr::hold_first(), set_attributes);
@@ -49,11 +71,7 @@ pub(crate) fn register(m: &mut HashMap<&'static str, BuiltinDef>) {
     });
 }
 
-fn if_builtin(
-    i: &mut Interpreter,
-    args: &[Expr],
-    depth: usize,
-) -> Result<Option<Expr>, EvalError> {
+fn if_builtin(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
     if !(2..=4).contains(&args.len()) {
         return INERT;
     }
@@ -76,7 +94,9 @@ fn if_builtin(
 
 fn which(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
     for pair in args.chunks(2) {
-        let [cond, value] = pair else { return type_err("Which expects condition/value pairs") };
+        let [cond, value] = pair else {
+            return type_err("Which expects condition/value pairs");
+        };
         let c = i.eval_depth(cond, depth + 1)?;
         if c.is_true() {
             return i.eval_depth(value, depth + 1).map(Some);
@@ -141,8 +161,11 @@ fn for_builtin(
 fn do_builtin(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
     let [body, spec] = args else { return INERT };
     let mut broke = false;
-    super::lists::iterate_spec(i, spec, depth, &mut |i, _| {
-        match i.eval_depth(body, depth + 1) {
+    super::lists::iterate_spec(
+        i,
+        spec,
+        depth,
+        &mut |i, _| match i.eval_depth(body, depth + 1) {
             Ok(_) => Ok(true),
             Err(EvalError::BreakSignal) => {
                 broke = true;
@@ -150,8 +173,8 @@ fn do_builtin(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option
             }
             Err(EvalError::ContinueSignal) => Ok(true),
             Err(other) => Err(other),
-        }
-    })?;
+        },
+    )?;
     let _ = broke;
     done(Expr::null())
 }
@@ -258,7 +281,11 @@ fn set(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>,
     assign(i, lhs, rhs.clone(), depth)
 }
 
-fn set_delayed(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+fn set_delayed(
+    i: &mut Interpreter,
+    args: &[Expr],
+    depth: usize,
+) -> Result<Option<Expr>, EvalError> {
     let [lhs, rhs] = args else { return INERT };
     // RHS held: store unevaluated, return Null (as Wolfram does).
     if let Some(s) = lhs.as_symbol() {
@@ -266,7 +293,14 @@ fn set_delayed(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Optio
         return done(Expr::null());
     }
     if let Some(fsym) = lhs.head_symbol() {
-        i.env.add_down_value(fsym, Rule { lhs: lhs.clone(), rhs: rhs.clone(), delayed: true });
+        i.env.add_down_value(
+            fsym,
+            Rule {
+                lhs: lhs.clone(),
+                rhs: rhs.clone(),
+                delayed: true,
+            },
+        );
         return done(Expr::null());
     }
     let _ = depth;
@@ -316,7 +350,14 @@ fn store(i: &mut Interpreter, lhs: &Expr, value: Expr, depth: usize) -> Result<(
         return Ok(());
     }
     if let Some(fsym) = lhs.head_symbol() {
-        i.env.add_down_value(fsym, Rule { lhs: lhs.clone(), rhs: value, delayed: false });
+        i.env.add_down_value(
+            fsym,
+            Rule {
+                lhs: lhs.clone(),
+                rhs: value,
+                delayed: false,
+            },
+        );
         return Ok(());
     }
     type_err(format!("cannot assign to {}", lhs.to_input_form()))
@@ -333,8 +374,8 @@ fn part_set(list: &Expr, indices: &[i64], value: Expr) -> Result<Expr, EvalError
         return type_err("Part assignment into an atom");
     }
     let len = list.length();
-    let offset = wolfram_runtime::checked::resolve_part_index(*ix, len)
-        .map_err(EvalError::Runtime)?;
+    let offset =
+        wolfram_runtime::checked::resolve_part_index(*ix, len).map_err(EvalError::Runtime)?;
     let mut args = list.args().to_vec();
     args[offset] = part_set(&args[offset], rest, value)?;
     Ok(list.with_args(args))
@@ -369,7 +410,10 @@ fn step_assign(
 ) -> Result<Option<Expr>, EvalError> {
     let [lhs] = args else { return INERT };
     let old = i.eval_depth(lhs, depth + 1)?;
-    let new = i.eval_depth(&Expr::call("Plus", [old.clone(), Expr::int(delta)]), depth + 1)?;
+    let new = i.eval_depth(
+        &Expr::call("Plus", [old.clone(), Expr::int(delta)]),
+        depth + 1,
+    )?;
     store(i, lhs, new.clone(), depth)?;
     done(if pre { new } else { old })
 }
@@ -411,10 +455,13 @@ fn catch(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr
 }
 
 fn print(i: &mut Interpreter, args: &[Expr], _depth: usize) -> Result<Option<Expr>, EvalError> {
-    let line: String = args.iter().map(|a| match a.as_str() {
-        Some(s) => s.to_owned(),
-        None => a.to_input_form(),
-    }).collect();
+    let line: String = args
+        .iter()
+        .map(|a| match a.as_str() {
+            Some(s) => s.to_owned(),
+            None => a.to_input_form(),
+        })
+        .collect();
     i.push_output(line);
     done(Expr::null())
 }
@@ -437,12 +484,22 @@ fn set_attributes(
     _depth: usize,
 ) -> Result<Option<Expr>, EvalError> {
     let [sym, spec] = args else { return INERT };
-    let Some(s) = sym.as_symbol() else { return type_err("SetAttributes expects a symbol") };
+    let Some(s) = sym.as_symbol() else {
+        return type_err("SetAttributes expects a symbol");
+    };
     let mut attrs = i.env.attributes(&s);
-    let names: Vec<Expr> =
-        if spec.has_head("List") { spec.args().to_vec() } else { vec![spec.clone()] };
+    let names: Vec<Expr> = if spec.has_head("List") {
+        spec.args().to_vec()
+    } else {
+        vec![spec.clone()]
+    };
     for name in names {
-        match name.as_symbol().as_ref().map(|x| x.name().to_owned()).as_deref() {
+        match name
+            .as_symbol()
+            .as_ref()
+            .map(|x| x.name().to_owned())
+            .as_deref()
+        {
             Some("HoldAll") => attrs.hold_all = true,
             Some("HoldFirst") => attrs.hold_first = true,
             Some("HoldRest") => attrs.hold_rest = true,

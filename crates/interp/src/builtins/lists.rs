@@ -26,8 +26,12 @@ pub(crate) fn register(m: &mut HashMap<&'static str, BuiltinDef>) {
     reg(m, "FoldList", attr::none(), fold_list);
     reg(m, "Nest", attr::none(), |i, a, d| nest(i, a, d, false));
     reg(m, "NestList", attr::none(), |i, a, d| nest(i, a, d, true));
-    reg(m, "FixedPoint", attr::none(), |i, a, d| fixed_point(i, a, d, false));
-    reg(m, "FixedPointList", attr::none(), |i, a, d| fixed_point(i, a, d, true));
+    reg(m, "FixedPoint", attr::none(), |i, a, d| {
+        fixed_point(i, a, d, false)
+    });
+    reg(m, "FixedPointList", attr::none(), |i, a, d| {
+        fixed_point(i, a, d, true)
+    });
     reg(m, "Join", attr::none(), join);
     reg(m, "Append", attr::none(), append);
     reg(m, "Prepend", attr::none(), prepend);
@@ -66,10 +70,15 @@ fn dimensions(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<E
     while cursor.has_head("List") {
         dims.push(Expr::int(cursor.length() as i64));
         // Only descend while rectangular.
-        let Some(first) = cursor.args().first().cloned() else { break };
+        let Some(first) = cursor.args().first().cloned() else {
+            break;
+        };
         let len = first.length();
         if !first.has_head("List")
-            || !cursor.args().iter().all(|x| x.has_head("List") && x.length() == len)
+            || !cursor
+                .args()
+                .iter()
+                .all(|x| x.has_head("List") && x.length() == len)
         {
             break;
         }
@@ -85,7 +94,19 @@ fn part(i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, E
     };
     let mut cur = base.clone();
     for ixe in indices {
-        let Some(ix) = ixe.as_i64() else { return INERT };
+        let Some(ix) = ixe.as_i64() else {
+            // A numeric-but-not-integer index (e.g. `xs[[2.5]]`) is a type
+            // error, matching the compiled engines; a symbolic index stays
+            // inert.
+            if ixe.as_f64().is_some() {
+                return Err(RuntimeError::Type(format!(
+                    "Part index {} is not an integer",
+                    ixe.to_input_form()
+                ))
+                .into());
+            }
+            return INERT;
+        };
         if ix == 0 {
             // Part 0 is the head.
             cur = cur.head();
@@ -108,10 +129,14 @@ fn part(i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, E
 fn range(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
     let (start, end, step) = match args {
         [n] => (Num::Int(1), Num::from_expr(n), Num::Int(1)),
-        [a, b] => (match Num::from_expr(a) {
-            Some(v) => v,
-            None => return INERT,
-        }, Num::from_expr(b), Num::Int(1)),
+        [a, b] => (
+            match Num::from_expr(a) {
+                Some(v) => v,
+                None => return INERT,
+            },
+            Num::from_expr(b),
+            Num::Int(1),
+        ),
         [a, b, s] => {
             let (Some(a), Some(s)) = (Num::from_expr(a), Num::from_expr(s)) else {
                 return INERT;
@@ -278,7 +303,9 @@ fn iterate_values(
 }
 
 fn table(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
-    let [body, specs @ ..] = args else { return INERT };
+    let [body, specs @ ..] = args else {
+        return INERT;
+    };
     if specs.is_empty() {
         return INERT;
     }
@@ -311,7 +338,9 @@ fn table(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr
 
 fn map(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
     let [f, list] = args else { return INERT };
-    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else {
+        return INERT;
+    };
     let mut out = Vec::with_capacity(n.args().len());
     for a in n.args() {
         out.push(i.eval_depth(&Expr::normal(f.clone(), vec![a.clone()]), depth + 1)?);
@@ -321,8 +350,11 @@ fn map(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>,
 
 fn apply(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
     let [f, e] = args else { return INERT };
-    let ExprKind::Normal(n) = e.kind() else { return INERT };
-    i.eval_depth(&Expr::normal(f.clone(), n.args().to_vec()), depth + 1).map(Some)
+    let ExprKind::Normal(n) = e.kind() else {
+        return INERT;
+    };
+    i.eval_depth(&Expr::normal(f.clone(), n.args().to_vec()), depth + 1)
+        .map(Some)
 }
 
 fn select(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
@@ -331,7 +363,9 @@ fn select(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Exp
         [l, p, n] => (l, p, n.as_i64().unwrap_or(i64::MAX).max(0) as usize),
         _ => return INERT,
     };
-    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else {
+        return INERT;
+    };
     let mut out = Vec::new();
     for a in n.args() {
         if out.len() >= limit {
@@ -351,7 +385,9 @@ fn fold(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>
         [f, l] => (f, None, l),
         _ => return INERT,
     };
-    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else {
+        return INERT;
+    };
     let mut items = n.args().iter();
     let mut acc = match init {
         Some(x) => x,
@@ -372,7 +408,9 @@ fn fold_list(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<
         [f, l] => (f, None, l),
         _ => return INERT,
     };
-    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else {
+        return INERT;
+    };
     let mut items = n.args().iter();
     let mut acc = match init {
         Some(x) => x,
@@ -396,9 +434,15 @@ fn nest(
     keep_list: bool,
 ) -> Result<Option<Expr>, EvalError> {
     let [f, x, n] = args else { return INERT };
-    let Some(count) = n.as_i64().filter(|&v| v >= 0) else { return INERT };
+    let Some(count) = n.as_i64().filter(|&v| v >= 0) else {
+        return INERT;
+    };
     let mut cur = x.clone();
-    let mut out = if keep_list { Vec::with_capacity(count as usize + 1) } else { Vec::new() };
+    let mut out = if keep_list {
+        Vec::with_capacity(count as usize + 1)
+    } else {
+        Vec::new()
+    };
     if keep_list {
         out.push(cur.clone());
     }
@@ -452,7 +496,9 @@ fn join(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, 
     }
     let mut out = Vec::new();
     for a in args {
-        let ExprKind::Normal(n) = a.kind() else { return INERT };
+        let ExprKind::Normal(n) = a.kind() else {
+            return INERT;
+        };
         if !n.head().is_symbol("List") {
             return INERT;
         }
@@ -463,7 +509,9 @@ fn join(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, 
 
 fn append(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
     let [list, e] = args else { return INERT };
-    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else {
+        return INERT;
+    };
     let mut new_args = n.args().to_vec();
     new_args.push(e.clone());
     done(Expr::normal(n.head().clone(), new_args))
@@ -471,7 +519,9 @@ fn append(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>
 
 fn prepend(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
     let [list, e] = args else { return INERT };
-    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else {
+        return INERT;
+    };
     let mut new_args = vec![e.clone()];
     new_args.extend(n.args().iter().cloned());
     done(Expr::normal(n.head().clone(), new_args))
@@ -484,14 +534,18 @@ fn element_at(
     index: i64,
 ) -> Result<Option<Expr>, EvalError> {
     let [list] = args else { return INERT };
-    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else {
+        return INERT;
+    };
     let offset = resolve_part_index(index, n.args().len()).map_err(EvalError::Runtime)?;
     done(n.args()[offset].clone())
 }
 
 fn rest(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
     let [list] = args else { return INERT };
-    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else {
+        return INERT;
+    };
     if n.args().is_empty() {
         return type_err("Rest of an empty expression");
     }
@@ -500,11 +554,16 @@ fn rest(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, 
 
 fn most(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
     let [list] = args else { return INERT };
-    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else {
+        return INERT;
+    };
     if n.args().is_empty() {
         return type_err("Most of an empty expression");
     }
-    done(Expr::normal(n.head().clone(), n.args()[..n.args().len() - 1].to_vec()))
+    done(Expr::normal(
+        n.head().clone(),
+        n.args()[..n.args().len() - 1].to_vec(),
+    ))
 }
 
 fn take_drop(
@@ -514,7 +573,9 @@ fn take_drop(
     take: bool,
 ) -> Result<Option<Expr>, EvalError> {
     let [list, spec] = args else { return INERT };
-    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else {
+        return INERT;
+    };
     let len = n.args().len();
     let range = if let Some(k) = spec.as_i64() {
         if k >= 0 {
@@ -550,7 +611,9 @@ fn take_drop(
 
 fn reverse(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
     let [list] = args else { return INERT };
-    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else {
+        return INERT;
+    };
     let mut new_args = n.args().to_vec();
     new_args.reverse();
     done(Expr::normal(n.head().clone(), new_args))
@@ -599,7 +662,9 @@ fn sort(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>
         [l, f] => (l, Some(f)),
         _ => return INERT,
     };
-    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else {
+        return INERT;
+    };
     let items = n.args().to_vec();
     let sorted = match cmp {
         None => {
@@ -631,7 +696,10 @@ fn merge_sort(
     let (mut li, mut ri) = (0, 0);
     while li < left.len() && ri < right.len() {
         let before = i
-            .eval_depth(&Expr::normal(f.clone(), vec![right[ri].clone(), left[li].clone()]), depth + 1)?
+            .eval_depth(
+                &Expr::normal(f.clone(), vec![right[ri].clone(), left[li].clone()]),
+                depth + 1,
+            )?
             .is_true();
         if before {
             // right element strictly precedes: take it (stability keeps
@@ -654,7 +722,9 @@ fn flatten(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr
         [l, n] => (l, n.as_i64().unwrap_or(0).max(0) as usize),
         _ => return INERT,
     };
-    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else {
+        return INERT;
+    };
     fn go(e: &Expr, level: usize, out: &mut Vec<Expr>) {
         if level > 0 && e.has_head("List") {
             for a in e.args() {
@@ -679,7 +749,8 @@ fn total(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr
     if list.length() == 0 {
         return done(Expr::int(0));
     }
-    i.eval_depth(&Expr::call("Plus", list.args().to_vec()), depth + 1).map(Some)
+    i.eval_depth(&Expr::call("Plus", list.args().to_vec()), depth + 1)
+        .map(Some)
 }
 
 fn mean(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
@@ -688,8 +759,11 @@ fn mean(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>
         return INERT;
     }
     let sum = Expr::call("Plus", list.args().to_vec());
-    i.eval_depth(&Expr::call("Divide", [sum, Expr::int(list.length() as i64)]), depth + 1)
-        .map(Some)
+    i.eval_depth(
+        &Expr::call("Divide", [sum, Expr::int(list.length() as i64)]),
+        depth + 1,
+    )
+    .map(Some)
 }
 
 fn constant_array(
@@ -707,7 +781,10 @@ fn constant_array(
     let dims: Option<Vec<usize>> = if let Some(n) = spec.as_i64() {
         (n >= 0).then(|| vec![n as usize])
     } else if spec.has_head("List") {
-        spec.args().iter().map(|d| d.as_i64().and_then(|v| (v >= 0).then_some(v as usize))).collect()
+        spec.args()
+            .iter()
+            .map(|d| d.as_i64().and_then(|v| (v >= 0).then_some(v as usize)))
+            .collect()
     } else {
         None
     };
@@ -722,7 +799,9 @@ fn constant_array(
 /// (paper §6: all three go through MKL).
 fn dot(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
     let [a, b] = args else { return INERT };
-    let (Some(ta), Some(tb)) = (expr_to_tensor(a), expr_to_tensor(b)) else { return INERT };
+    let (Some(ta), Some(tb)) = (expr_to_tensor(a), expr_to_tensor(b)) else {
+        return INERT;
+    };
     match dot_tensors(&ta, &tb) {
         Ok(result) => done(result),
         Err(e) => Err(e.into()),
@@ -735,11 +814,16 @@ pub fn dot_tensors(ta: &Tensor, tb: &Tensor) -> Result<Expr, RuntimeError> {
     let both_int = ta.as_i64().is_some() && tb.as_i64().is_some();
     let fa = ta.to_f64_tensor();
     let fb = tb.to_f64_tensor();
-    let (da, db) = (fa.as_f64().expect("promoted"), fb.as_f64().expect("promoted"));
+    let (da, db) = (
+        fa.as_f64().expect("promoted"),
+        fb.as_f64().expect("promoted"),
+    );
     let result: Tensor = match (ta.rank(), tb.rank()) {
         (1, 1) => {
             if ta.length() != tb.length() {
-                return Err(RuntimeError::Type("Dot: incompatible vector lengths".into()));
+                return Err(RuntimeError::Type(
+                    "Dot: incompatible vector lengths".into(),
+                ));
             }
             let v = wolfram_runtime::linalg::ddot(da, db);
             return Ok(scalar_result(v, both_int));
@@ -765,7 +849,11 @@ pub fn dot_tensors(ta: &Tensor, tb: &Tensor) -> Result<Expr, RuntimeError> {
         }
         _ => return Err(RuntimeError::Type("Dot: unsupported ranks".into())),
     };
-    let result = if both_int { demote_integral(&result) } else { result };
+    let result = if both_int {
+        demote_integral(&result)
+    } else {
+        result
+    };
     Ok(tensor_to_expr(&result))
 }
 
@@ -778,7 +866,9 @@ fn scalar_result(v: f64, as_int: bool) -> Expr {
 }
 
 fn demote_integral(t: &Tensor) -> Tensor {
-    let Some(data) = t.as_f64() else { return t.clone() };
+    let Some(data) = t.as_f64() else {
+        return t.clone();
+    };
     if data.iter().all(|v| *v == v.trunc() && v.abs() < 9.0e15) {
         let ints: Vec<i64> = data.iter().map(|&v| v as i64).collect();
         Tensor::with_shape(t.shape().to_vec(), TensorData::I64(ints)).unwrap_or_else(|_| t.clone())
@@ -789,7 +879,9 @@ fn demote_integral(t: &Tensor) -> Tensor {
 
 fn transpose(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
     let [a] = args else { return INERT };
-    let Some(t) = expr_to_tensor(a) else { return INERT };
+    let Some(t) = expr_to_tensor(a) else {
+        return INERT;
+    };
     if t.rank() != 2 {
         return INERT;
     }
@@ -823,12 +915,16 @@ fn transpose(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Ex
             TensorData::Complex(o)
         }
     };
-    done(tensor_to_expr(&Tensor::with_shape(vec![n, m], out).map_err(EvalError::Runtime)?))
+    done(tensor_to_expr(
+        &Tensor::with_shape(vec![n, m], out).map_err(EvalError::Runtime)?,
+    ))
 }
 
 fn count(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
     let [list, pat] = args else { return INERT };
-    let ExprKind::Normal(n) = list.kind() else { return INERT };
+    let ExprKind::Normal(n) = list.kind() else {
+        return INERT;
+    };
     let mut total = 0i64;
     for a in n.args() {
         if matches_pattern(i, a, pat, depth) {
@@ -840,7 +936,9 @@ fn count(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr
 
 fn member_q(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
     let [list, pat] = args else { return INERT };
-    let ExprKind::Normal(n) = list.kind() else { return done(Expr::bool(false)) };
+    let ExprKind::Normal(n) = list.kind() else {
+        return done(Expr::bool(false));
+    };
     let found = n.args().iter().any(|a| matches_pattern(i, a, pat, depth));
     done(Expr::bool(found))
 }
@@ -859,16 +957,16 @@ fn free_q(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Exp
     done(Expr::bool(!found))
 }
 
-pub(crate) fn matches_pattern(
-    i: &mut Interpreter,
-    e: &Expr,
-    pat: &Expr,
-    depth: usize,
-) -> bool {
+pub(crate) fn matches_pattern(i: &mut Interpreter, e: &Expr, pat: &Expr, depth: usize) -> bool {
     let mut bindings = wolfram_expr::Bindings::new();
-    let mut cond =
-        |c: &Expr| i.eval_depth(c, depth + 1).map(|r| r.is_true()).unwrap_or(false);
-    let mut ctx = wolfram_expr::MatchCtx { condition_eval: Some(&mut cond) };
+    let mut cond = |c: &Expr| {
+        i.eval_depth(c, depth + 1)
+            .map(|r| r.is_true())
+            .unwrap_or(false)
+    };
+    let mut ctx = wolfram_expr::MatchCtx {
+        condition_eval: Some(&mut cond),
+    };
     wolfram_expr::match_pattern(e, pat, &mut bindings, &mut ctx)
 }
 
@@ -878,7 +976,9 @@ fn identity_matrix(
     _d: usize,
 ) -> Result<Option<Expr>, EvalError> {
     let [n] = args else { return INERT };
-    let Some(n) = n.as_i64().filter(|&v| v > 0) else { return INERT };
+    let Some(n) = n.as_i64().filter(|&v| v > 0) else {
+        return INERT;
+    };
     let n = n as usize;
     let mut data = vec![0i64; n * n];
     for i in 0..n {
@@ -901,7 +1001,10 @@ mod tests {
         assert_eq!(ev("Range[4]"), "List[1, 2, 3, 4]");
         assert_eq!(ev("Range[2, 8, 3]"), "List[2, 5, 8]");
         assert_eq!(ev("Table[i^2, {i, 4}]"), "List[1, 4, 9, 16]");
-        assert_eq!(ev("Table[i + j, {i, 2}, {j, 2}]"), "List[List[2, 3], List[3, 4]]");
+        assert_eq!(
+            ev("Table[i + j, {i, 2}, {j, 2}]"),
+            "List[List[2, 3], List[3, 4]]"
+        );
         assert_eq!(ev("Table[7, 3]"), "List[7, 7, 7]");
         assert_eq!(ev("Table[i, {i, 0, 1, 0.5}]"), "List[0, 0.5, 1.]");
     }
@@ -978,7 +1081,10 @@ mod tests {
     #[test]
     fn dot_products() {
         assert_eq!(ev("Dot[{1, 2}, {3, 4}]"), "11");
-        assert_eq!(ev("Dot[{{1, 2}, {3, 4}}, {{5, 6}, {7, 8}}]"), "List[List[19, 22], List[43, 50]]");
+        assert_eq!(
+            ev("Dot[{{1, 2}, {3, 4}}, {{5, 6}, {7, 8}}]"),
+            "List[List[19, 22], List[43, 50]]"
+        );
         assert_eq!(ev("Dot[{{1, 0}, {0, 1}}, {5, 7}]"), "List[5, 7]");
         assert_eq!(ev("Dot[{1., 2.}, {3, 4}]"), "11.");
     }
@@ -995,9 +1101,15 @@ mod tests {
     #[test]
     fn misc() {
         assert_eq!(ev("ConstantArray[0, 3]"), "List[0, 0, 0]");
-        assert_eq!(ev("ConstantArray[1, {2, 2}]"), "List[List[1, 1], List[1, 1]]");
+        assert_eq!(
+            ev("ConstantArray[1, {2, 2}]"),
+            "List[List[1, 1], List[1, 1]]"
+        );
         assert_eq!(ev("IdentityMatrix[2]"), "List[List[1, 0], List[0, 1]]");
-        assert_eq!(ev("Transpose[{{1, 2}, {3, 4}}]"), "List[List[1, 3], List[2, 4]]");
+        assert_eq!(
+            ev("Transpose[{{1, 2}, {3, 4}}]"),
+            "List[List[1, 3], List[2, 4]]"
+        );
     }
 
     #[test]

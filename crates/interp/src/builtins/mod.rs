@@ -19,8 +19,7 @@ use wolfram_expr::Expr;
 
 /// The calling convention for builtins: arguments arrive evaluated or held
 /// according to the declared attributes; `depth` is the evaluation depth.
-pub type BuiltinFn =
-    fn(&mut Interpreter, &[Expr], usize) -> Result<Option<Expr>, EvalError>;
+pub type BuiltinFn = fn(&mut Interpreter, &[Expr], usize) -> Result<Option<Expr>, EvalError>;
 
 /// A registered builtin.
 pub struct BuiltinDef {
@@ -81,16 +80,28 @@ pub(crate) mod attr {
         Attributes::none()
     }
     pub fn hold_all() -> Attributes {
-        Attributes { hold_all: true, ..Attributes::none() }
+        Attributes {
+            hold_all: true,
+            ..Attributes::none()
+        }
     }
     pub fn hold_first() -> Attributes {
-        Attributes { hold_first: true, ..Attributes::none() }
+        Attributes {
+            hold_first: true,
+            ..Attributes::none()
+        }
     }
     pub fn hold_rest() -> Attributes {
-        Attributes { hold_rest: true, ..Attributes::none() }
+        Attributes {
+            hold_rest: true,
+            ..Attributes::none()
+        }
     }
     pub fn listable() -> Attributes {
-        Attributes { listable: true, ..Attributes::none() }
+        Attributes {
+            listable: true,
+            ..Attributes::none()
+        }
     }
 }
 
@@ -104,7 +115,9 @@ pub(crate) fn done(e: Expr) -> Result<Option<Expr>, EvalError> {
 
 /// Type-error helper.
 pub(crate) fn type_err<T>(msg: impl Into<String>) -> Result<T, EvalError> {
-    Err(EvalError::Runtime(wolfram_runtime::RuntimeError::Type(msg.into())))
+    Err(EvalError::Runtime(wolfram_runtime::RuntimeError::Type(
+        msg.into(),
+    )))
 }
 
 #[cfg(test)]

@@ -51,9 +51,7 @@ fn parse_shape(e: &Expr) -> Option<Vec<usize>> {
 fn build_shaped(shape: &[usize], gen: &mut dyn FnMut() -> Expr) -> Expr {
     match shape {
         [] => gen(),
-        [n, rest @ ..] => {
-            Expr::list((0..*n).map(|_| build_shaped(rest, gen)).collect::<Vec<_>>())
-        }
+        [n, rest @ ..] => Expr::list((0..*n).map(|_| build_shaped(rest, gen)).collect::<Vec<_>>()),
     }
 }
 
@@ -70,7 +68,11 @@ fn bound_f64(i: &mut Interpreter, e: &Expr, depth: usize) -> Result<f64, EvalErr
     })
 }
 
-fn random_real(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
+fn random_real(
+    i: &mut Interpreter,
+    args: &[Expr],
+    depth: usize,
+) -> Result<Option<Expr>, EvalError> {
     let (lo, hi, shape) = match args {
         [] => (0.0, 1.0, vec![]),
         [spec] => match range_spec(i, spec, depth)? {
@@ -78,7 +80,9 @@ fn random_real(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Optio
             None => return INERT,
         },
         [spec, shape] => {
-            let Some(dims) = parse_shape(shape) else { return INERT };
+            let Some(dims) = parse_shape(shape) else {
+                return INERT;
+            };
             match range_spec(i, spec, depth)? {
                 Some((lo, hi)) => (lo, hi, dims),
                 None => return INERT,
@@ -119,7 +123,9 @@ fn random_integer(
             None => return INERT,
         },
         [spec, shape_e] => {
-            let Some(dims) = parse_shape(shape_e) else { return INERT };
+            let Some(dims) = parse_shape(shape_e) else {
+                return INERT;
+            };
             match int_range_spec(spec) {
                 Some((lo, hi)) => (lo, hi, dims),
                 None => return INERT,
@@ -155,7 +161,9 @@ fn random_variate(
     let (dist, shape) = match args {
         [d] => (d, vec![]),
         [d, shape_e] => {
-            let Some(dims) = parse_shape(shape_e) else { return INERT };
+            let Some(dims) = parse_shape(shape_e) else {
+                return INERT;
+            };
             (d, dims)
         }
         _ => return INERT,
@@ -219,7 +227,11 @@ mod tests {
         // The paper's random walk uses RandomReal[{0, 2 Pi}].
         let mut i = seeded();
         for _ in 0..20 {
-            let v = i.eval_src("RandomReal[{0, 2*Pi}]").unwrap().as_f64().unwrap();
+            let v = i
+                .eval_src("RandomReal[{0, 2*Pi}]")
+                .unwrap()
+                .as_f64()
+                .unwrap();
             assert!((0.0..std::f64::consts::TAU).contains(&v));
         }
     }
@@ -232,7 +244,10 @@ mod tests {
         assert_eq!(m.args()[0].length(), 3);
         let v = i.eval_src("RandomInteger[{1, 6}, 10]").unwrap();
         assert_eq!(v.length(), 10);
-        assert!(v.args().iter().all(|d| (1..=6).contains(&d.as_i64().unwrap())));
+        assert!(v
+            .args()
+            .iter()
+            .all(|d| (1..=6).contains(&d.as_i64().unwrap())));
     }
 
     #[test]
@@ -240,7 +255,9 @@ mod tests {
         // Total[RandomVariate[NormalDistribution[], {10, 10}]] from §1:
         // a 10x10 matrix of normals, rows summed.
         let mut i = seeded();
-        let out = i.eval_src("Total[RandomVariate[NormalDistribution[], {10, 10}]]").unwrap();
+        let out = i
+            .eval_src("Total[RandomVariate[NormalDistribution[], {10, 10}]]")
+            .unwrap();
         assert!(out.has_head("List"));
         assert_eq!(out.length(), 10);
         assert!(out.args().iter().all(|v| v.as_f64().is_some()));
@@ -249,7 +266,9 @@ mod tests {
     #[test]
     fn normal_variates_plausible() {
         let mut i = seeded();
-        let sample = i.eval_src("RandomVariate[NormalDistribution[], 2000]").unwrap();
+        let sample = i
+            .eval_src("RandomVariate[NormalDistribution[], 2000]")
+            .unwrap();
         let values: Vec<f64> = sample.args().iter().map(|e| e.as_f64().unwrap()).collect();
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
@@ -261,7 +280,9 @@ mod tests {
     fn seeding_reproduces() {
         let run = || {
             let mut i = seeded();
-            i.eval_src("RandomInteger[{0, 1000000}, 5]").unwrap().to_full_form()
+            i.eval_src("RandomInteger[{0, 1000000}, 5]")
+                .unwrap()
+                .to_full_form()
         };
         assert_eq!(run(), run());
         let _ = Expr::null();

@@ -16,8 +16,12 @@ pub(crate) fn register(m: &mut HashMap<&'static str, BuiltinDef>) {
     reg(m, "FromCharacterCode", attr::none(), from_character_code);
     reg(m, "StringReplace", attr::none(), string_replace);
     reg(m, "ToString", attr::none(), to_string);
-    reg(m, "ToUpperCase", attr::none(), |_, a, _| map_str(a, |s| s.to_uppercase()));
-    reg(m, "ToLowerCase", attr::none(), |_, a, _| map_str(a, |s| s.to_lowercase()));
+    reg(m, "ToUpperCase", attr::none(), |_, a, _| {
+        map_str(a, |s| s.to_uppercase())
+    });
+    reg(m, "ToLowerCase", attr::none(), |_, a, _| {
+        map_str(a, |s| s.to_lowercase())
+    });
     reg(m, "StringReverse", attr::none(), |_, a, _| {
         map_str(a, |s| s.chars().rev().collect())
     });
@@ -31,7 +35,11 @@ fn map_str(args: &[Expr], f: impl Fn(&str) -> String) -> Result<Option<Expr>, Ev
     }
 }
 
-fn string_length(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<Expr>, EvalError> {
+fn string_length(
+    _i: &mut Interpreter,
+    args: &[Expr],
+    _d: usize,
+) -> Result<Option<Expr>, EvalError> {
     let [a] = args else { return INERT };
     match a.as_str() {
         Some(s) => done(Expr::int(s.chars().count() as i64)),
@@ -93,7 +101,9 @@ fn characters(_i: &mut Interpreter, args: &[Expr], _d: usize) -> Result<Option<E
     let [a] = args else { return INERT };
     match a.as_str() {
         Some(s) => done(Expr::list(
-            s.chars().map(|c| Expr::string(c.to_string())).collect::<Vec<_>>(),
+            s.chars()
+                .map(|c| Expr::string(c.to_string()))
+                .collect::<Vec<_>>(),
         )),
         None => INERT,
     }
@@ -150,8 +160,12 @@ fn string_replace(
     _d: usize,
 ) -> Result<Option<Expr>, EvalError> {
     let [subject, rules] = args else { return INERT };
-    let Some(s) = subject.as_str() else { return INERT };
-    let Some(rules) = Rule::list_from_expr(rules) else { return INERT };
+    let Some(s) = subject.as_str() else {
+        return INERT;
+    };
+    let Some(rules) = Rule::list_from_expr(rules) else {
+        return INERT;
+    };
     // Literal string rules applied left-to-right over the subject, each
     // position rewritten at most once (Wolfram semantics for literal
     // patterns). The original string is not mutated (F5).

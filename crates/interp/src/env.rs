@@ -181,13 +181,22 @@ mod tests {
 
     #[test]
     fn attribute_holds() {
-        let a = Attributes { hold_first: true, ..Attributes::none() };
+        let a = Attributes {
+            hold_first: true,
+            ..Attributes::none()
+        };
         assert!(a.holds_arg(0));
         assert!(!a.holds_arg(1));
-        let a = Attributes { hold_rest: true, ..Attributes::none() };
+        let a = Attributes {
+            hold_rest: true,
+            ..Attributes::none()
+        };
         assert!(!a.holds_arg(0));
         assert!(a.holds_arg(2));
-        let a = Attributes { hold_all: true, ..Attributes::none() };
+        let a = Attributes {
+            hold_all: true,
+            ..Attributes::none()
+        };
         assert!(a.holds_arg(0) && a.holds_arg(5));
     }
 }

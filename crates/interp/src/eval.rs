@@ -37,9 +37,7 @@ impl EvalError {
         match self {
             EvalError::Runtime(e) => e,
             EvalError::BreakSignal => RuntimeError::Other("Break[] outside of a loop".into()),
-            EvalError::ContinueSignal => {
-                RuntimeError::Other("Continue[] outside of a loop".into())
-            }
+            EvalError::ContinueSignal => RuntimeError::Other("Continue[] outside of a loop".into()),
             EvalError::ReturnSignal(_) => {
                 RuntimeError::Other("Return[] outside of a function".into())
             }
@@ -207,12 +205,19 @@ impl Interpreter {
         let n = e.as_normal().expect("eval_normal on atom");
         let head = self.eval_depth(n.head(), depth + 1)?;
         let head_sym = head.as_symbol();
-        let attrs = head_sym.as_ref().map(|s| self.attributes_of(s)).unwrap_or_default();
+        let attrs = head_sym
+            .as_ref()
+            .map(|s| self.attributes_of(s))
+            .unwrap_or_default();
 
         // Evaluate arguments per hold attributes, splicing Sequence.
         let mut args = Vec::with_capacity(n.args().len());
         for (i, a) in n.args().iter().enumerate() {
-            let v = if attrs.holds_arg(i) { a.clone() } else { self.eval_depth(a, depth + 1)? };
+            let v = if attrs.holds_arg(i) {
+                a.clone()
+            } else {
+                self.eval_depth(a, depth + 1)?
+            };
             if v.has_head("Sequence") {
                 args.extend(v.args().iter().cloned());
             } else {
@@ -245,9 +250,13 @@ impl Interpreter {
                     let mut bindings = Bindings::new();
                     let matched = {
                         let mut cond = |c: &Expr| {
-                            self.eval_depth(c, depth + 1).map(|r| r.is_true()).unwrap_or(false)
+                            self.eval_depth(c, depth + 1)
+                                .map(|r| r.is_true())
+                                .unwrap_or(false)
                         };
-                        let mut ctx = MatchCtx { condition_eval: Some(&mut cond) };
+                        let mut ctx = MatchCtx {
+                            condition_eval: Some(&mut cond),
+                        };
                         wolfram_expr::match_pattern(&cur, &rule.lhs, &mut bindings, &mut ctx)
                     };
                     if matched {
@@ -288,7 +297,13 @@ impl Interpreter {
         for i in 0..len {
             let element_args: Vec<Expr> = args
                 .iter()
-                .map(|a| if a.has_head("List") { a.args()[i].clone() } else { a.clone() })
+                .map(|a| {
+                    if a.has_head("List") {
+                        a.args()[i].clone()
+                    } else {
+                        a.clone()
+                    }
+                })
                 .collect();
             out.push(self.eval_depth(&Expr::normal(head.clone(), element_args), depth + 1)?);
         }
@@ -322,7 +337,11 @@ impl Interpreter {
                 } else {
                     param_symbol(params).into_iter().collect()
                 };
-                let expected = if params.has_head("List") { params.length() } else { 1 };
+                let expected = if params.has_head("List") {
+                    params.length()
+                } else {
+                    1
+                };
                 if names.len() != expected {
                     return Err(RuntimeError::Type(format!(
                         "invalid Function parameter list {}",
@@ -409,7 +428,10 @@ mod tests {
         let mut i = Interpreter::new();
         i.recursion_limit = 128;
         let err = i.eval_src("x = x + 1; x").unwrap_err();
-        assert!(matches!(err, RuntimeError::RecursionLimit(_)), "got {err:?}");
+        assert!(
+            matches!(err, RuntimeError::RecursionLimit(_)),
+            "got {err:?}"
+        );
     }
 
     #[test]
@@ -428,7 +450,10 @@ mod tests {
 
     #[test]
     fn down_values_dispatch_by_specificity() {
-        assert_eq!(ev("f[0] = zero; f[x_] := general[x]; {f[0], f[3]}"), "List[zero, general[3]]");
+        assert_eq!(
+            ev("f[0] = zero; f[x_] := general[x]; {f[0], f[3]}"),
+            "List[zero, general[3]]"
+        );
     }
 
     #[test]

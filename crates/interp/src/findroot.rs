@@ -64,7 +64,10 @@ fn find_root_builtin(
         return type_err("FindRoot starting point must be numeric");
     };
     let root = newton(i, &objective, &var, x0, depth)?;
-    done(Expr::list([Expr::call("Rule", [Expr::symbol(var), Expr::real(root)])]))
+    done(Expr::list([Expr::call(
+        "Rule",
+        [Expr::symbol(var), Expr::real(root)],
+    )]))
 }
 
 /// Newton iteration shared by the builtin and the benchmark harness.
@@ -104,7 +107,10 @@ pub(crate) fn newton(
     const TOL: f64 = 1e-12;
     for _ in 0..MAX_ITER {
         let (fx, dfx) = match &compiled {
-            Some((f, df)) => (f(x).map_err(EvalError::Runtime)?, df(x).map_err(EvalError::Runtime)?),
+            Some((f, df)) => (
+                f(x).map_err(EvalError::Runtime)?,
+                df(x).map_err(EvalError::Runtime)?,
+            ),
             None => (eval_at(i, objective, x)?, eval_at(i, &derivative_expr, x)?),
         };
         if fx.abs() < TOL {
@@ -168,7 +174,9 @@ mod tests {
             // Only handle x^2 - 2 and its derivative 2 x, our test inputs.
             let src = body.to_full_form();
             let v = var.name().to_owned();
-            if src == format!("Plus[-2, Power[{v}, 2]]") || src == format!("Subtract[Power[{v}, 2], 2]") {
+            if src == format!("Plus[-2, Power[{v}, 2]]")
+                || src == format!("Subtract[Power[{v}, 2], 2]")
+            {
                 Some(Rc::new(|x: f64| Ok(x * x - 2.0)) as super::CompiledUnary)
             } else if src == format!("Times[2, {v}]") {
                 Some(Rc::new(|x: f64| Ok(2.0 * x)) as super::CompiledUnary)

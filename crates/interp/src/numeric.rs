@@ -274,7 +274,10 @@ mod tests {
     #[test]
     fn mixed_promotion() {
         assert_eq!(Num::Int(1).add(&Num::Real(0.5)), Num::Real(1.5));
-        assert_eq!(Num::Int(2).mul(&Num::Complex(0.0, 1.0)), Num::Complex(0.0, 2.0));
+        assert_eq!(
+            Num::Int(2).mul(&Num::Complex(0.0, 1.0)),
+            Num::Complex(0.0, 2.0)
+        );
     }
 
     #[test]
@@ -292,7 +295,10 @@ mod tests {
         assert!(matches!(Num::Int(10).pow(&Num::Int(30)), Num::Big(_)));
         assert_eq!(Num::Real(4.0).pow(&Num::Real(0.5)), Num::Real(2.0));
         // i^2 = -1
-        assert_eq!(Num::Complex(0.0, 1.0).pow(&Num::Int(2)), Num::Complex(-1.0, 0.0));
+        assert_eq!(
+            Num::Complex(0.0, 1.0).pow(&Num::Int(2)),
+            Num::Complex(-1.0, 0.0)
+        );
         // Negative integer exponent on integer base -> real.
         assert_eq!(Num::Int(2).pow(&Num::Int(-1)), Num::Real(0.5));
     }
@@ -313,7 +319,11 @@ mod tests {
         for src in ["5", "-3", "2.5", "Complex[1., 2.]"] {
             let e = wolfram_expr::parse(src).unwrap();
             // Complex literal parses as a normal expr; build the atom here.
-            let e = if src.starts_with("Complex") { Expr::complex(1.0, 2.0) } else { e };
+            let e = if src.starts_with("Complex") {
+                Expr::complex(1.0, 2.0)
+            } else {
+                e
+            };
             let n = Num::from_expr(&e).unwrap();
             assert_eq!(n.into_expr(), e);
         }

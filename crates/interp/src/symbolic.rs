@@ -37,7 +37,9 @@ pub(crate) fn register(m: &mut HashMap<&'static str, BuiltinDef>) {
 
 fn d_builtin(i: &mut Interpreter, args: &[Expr], depth: usize) -> Result<Option<Expr>, EvalError> {
     let [f, var] = args else { return INERT };
-    let Some(x) = var.as_symbol() else { return INERT };
+    let Some(x) = var.as_symbol() else {
+        return INERT;
+    };
     let raw = differentiate(f, &x);
     // Run the simplifying evaluator over the derivative.
     i.eval_depth(&raw, depth + 1).map(Some)
@@ -72,9 +74,10 @@ pub fn differentiate(e: &Expr, x: &Symbol) -> Expr {
             let head = n.head().as_symbol();
             let args = n.args();
             match (head.as_ref().map(Symbol::name), args.len()) {
-                (Some("Plus"), _) => {
-                    Expr::call("Plus", args.iter().map(|a| differentiate(a, x)).collect::<Vec<_>>())
-                }
+                (Some("Plus"), _) => Expr::call(
+                    "Plus",
+                    args.iter().map(|a| differentiate(a, x)).collect::<Vec<_>>(),
+                ),
                 (Some("Subtract"), 2) => Expr::call(
                     "Subtract",
                     [differentiate(&args[0], x), differentiate(&args[1], x)],
@@ -129,7 +132,10 @@ pub fn differentiate(e: &Expr, x: &Symbol) -> Expr {
                                 exp.clone(),
                                 Expr::call(
                                     "Power",
-                                    [base.clone(), Expr::call("Subtract", [exp.clone(), Expr::int(1)])],
+                                    [
+                                        base.clone(),
+                                        Expr::call("Subtract", [exp.clone(), Expr::int(1)]),
+                                    ],
                                 ),
                                 differentiate(base, x),
                             ],
@@ -155,7 +161,10 @@ pub fn differentiate(e: &Expr, x: &Symbol) -> Expr {
                                     [
                                         Expr::call(
                                             "Times",
-                                            [differentiate(exp, x), Expr::call("Log", [base.clone()])],
+                                            [
+                                                differentiate(exp, x),
+                                                Expr::call("Log", [base.clone()]),
+                                            ],
                                         ),
                                         Expr::call(
                                             "Divide",
@@ -179,24 +188,31 @@ pub fn differentiate(e: &Expr, x: &Symbol) -> Expr {
                     let u = &args[0];
                     let outer = match name {
                         "Sin" => Expr::call("Cos", [u.clone()]),
-                        "Cos" => Expr::call("Times", [Expr::int(-1), Expr::call("Sin", [u.clone()])]),
-                        "Tan" => Expr::call(
-                            "Power",
-                            [Expr::call("Cos", [u.clone()]), Expr::int(-2)],
-                        ),
+                        "Cos" => {
+                            Expr::call("Times", [Expr::int(-1), Expr::call("Sin", [u.clone()])])
+                        }
+                        "Tan" => {
+                            Expr::call("Power", [Expr::call("Cos", [u.clone()]), Expr::int(-2)])
+                        }
                         "Exp" => Expr::call("Exp", [u.clone()]),
                         "Log" => Expr::call("Power", [u.clone(), Expr::int(-1)]),
                         "Sqrt" => Expr::call(
                             "Divide",
                             [
                                 Expr::int(1),
-                                Expr::call("Times", [Expr::int(2), Expr::call("Sqrt", [u.clone()])]),
+                                Expr::call(
+                                    "Times",
+                                    [Expr::int(2), Expr::call("Sqrt", [u.clone()])],
+                                ),
                             ],
                         ),
                         "ArcTan" => Expr::call(
                             "Power",
                             [
-                                Expr::call("Plus", [Expr::int(1), Expr::call("Power", [u.clone(), Expr::int(2)])]),
+                                Expr::call(
+                                    "Plus",
+                                    [Expr::int(1), Expr::call("Power", [u.clone(), Expr::int(2)])],
+                                ),
                                 Expr::int(-1),
                             ],
                         ),
@@ -230,11 +246,18 @@ fn replace_all_builtin(
     depth: usize,
 ) -> Result<Option<Expr>, EvalError> {
     let [subject, rules] = args else { return INERT };
-    let Some(rules) = Rule::list_from_expr(rules) else { return INERT };
+    let Some(rules) = Rule::list_from_expr(rules) else {
+        return INERT;
+    };
     let replaced = {
-        let mut cond =
-            |c: &Expr| i.eval_depth(c, depth + 1).map(|r| r.is_true()).unwrap_or(false);
-        let mut ctx = MatchCtx { condition_eval: Some(&mut cond) };
+        let mut cond = |c: &Expr| {
+            i.eval_depth(c, depth + 1)
+                .map(|r| r.is_true())
+                .unwrap_or(false)
+        };
+        let mut ctx = MatchCtx {
+            condition_eval: Some(&mut cond),
+        };
         wolfram_expr::replace_all(subject, &rules, &mut ctx)
     };
     i.eval_depth(&replaced, depth + 1).map(Some)
@@ -246,11 +269,18 @@ fn replace_repeated_builtin(
     depth: usize,
 ) -> Result<Option<Expr>, EvalError> {
     let [subject, rules] = args else { return INERT };
-    let Some(rules) = Rule::list_from_expr(rules) else { return INERT };
+    let Some(rules) = Rule::list_from_expr(rules) else {
+        return INERT;
+    };
     let replaced = {
-        let mut cond =
-            |c: &Expr| i.eval_depth(c, depth + 1).map(|r| r.is_true()).unwrap_or(false);
-        let mut ctx = MatchCtx { condition_eval: Some(&mut cond) };
+        let mut cond = |c: &Expr| {
+            i.eval_depth(c, depth + 1)
+                .map(|r| r.is_true())
+                .unwrap_or(false)
+        };
+        let mut ctx = MatchCtx {
+            condition_eval: Some(&mut cond),
+        };
         wolfram_expr::replace_repeated(subject, &rules, &mut ctx)
     };
     i.eval_depth(&replaced, depth + 1).map(Some)

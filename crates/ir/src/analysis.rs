@@ -50,7 +50,11 @@ impl Cfg {
             }
         }
         post.reverse();
-        Cfg { preds, succs, rpo: post }
+        Cfg {
+            preds,
+            succs,
+            rpo: post,
+        }
     }
 
     /// Blocks unreachable from the entry.
@@ -168,8 +172,10 @@ pub fn natural_loops(_f: &Function, cfg: &Cfg, dom: &Dominators) -> Vec<NaturalL
             }
         }
     }
-    let mut out: Vec<NaturalLoop> =
-        loops.into_iter().map(|(header, body)| NaturalLoop { header, body }).collect();
+    let mut out: Vec<NaturalLoop> = loops
+        .into_iter()
+        .map(|(header, body)| NaturalLoop { header, body })
+        .collect();
     out.sort_by_key(|l| l.header);
     out
 }
@@ -314,7 +320,10 @@ mod tests {
         b.seal_block(body);
         b.switch_to(body);
         let i1 = b.read_var("i").unwrap();
-        let inc = b.call(Callee::Builtin(Rc::from("Plus")), vec![i1, Constant::I64(1).into()]);
+        let inc = b.call(
+            Callee::Builtin(Rc::from("Plus")),
+            vec![i1, Constant::I64(1).into()],
+        );
         b.write_var("i", inc);
         b.jump(header);
         b.seal_block(header);
@@ -370,7 +379,11 @@ mod tests {
         assert!(live.live_in[&BlockId(1)].contains(&VarId(0)));
         assert!(live.live_in[&BlockId(2)].contains(&VarId(0)));
         // Nothing is live out of the exit block.
-        assert!(live.live_out.get(&BlockId(3)).map(|s| s.is_empty()).unwrap_or(true));
+        assert!(live
+            .live_out
+            .get(&BlockId(3))
+            .map(|s| s.is_empty())
+            .unwrap_or(true));
     }
 
     #[test]

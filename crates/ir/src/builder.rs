@@ -28,7 +28,10 @@ impl FunctionBuilder {
     /// entry block.
     pub fn new(name: &str, arity: usize) -> Self {
         let mut func = Function::new(name, arity);
-        func.blocks.push(Block { label: "start".into(), instrs: Vec::new() });
+        func.blocks.push(Block {
+            label: "start".into(),
+            instrs: Vec::new(),
+        });
         let entry = BlockId(0);
         let mut b = FunctionBuilder {
             func,
@@ -51,7 +54,10 @@ impl FunctionBuilder {
     /// Creates a new (unsealed) block.
     pub fn create_block(&mut self, label: &str) -> BlockId {
         let id = BlockId(self.func.blocks.len() as u32);
-        self.func.blocks.push(Block { label: label.to_owned(), instrs: Vec::new() });
+        self.func.blocks.push(Block {
+            label: label.to_owned(),
+            instrs: Vec::new(),
+        });
         id
     }
 
@@ -83,16 +89,19 @@ impl FunctionBuilder {
             let val = self.read_var_in(name, p);
             incoming.push((p, val));
         }
-        self.phis
-            .entry(block)
-            .or_default()
-            .push(Instr::Phi { dst: phi_var, incoming });
+        self.phis.entry(block).or_default().push(Instr::Phi {
+            dst: phi_var,
+            incoming,
+        });
     }
 
     /// Binds `name` to `value` in the current block.
     pub fn write_var(&mut self, name: &str, value: impl Into<Operand>) {
         let v = value.into();
-        self.defs.entry(name.to_owned()).or_default().insert(self.current, v);
+        self.defs
+            .entry(name.to_owned())
+            .or_default()
+            .insert(self.current, v);
     }
 
     /// Reads `name` at the current point, inserting phis as needed.
@@ -110,7 +119,10 @@ impl FunctionBuilder {
         let value = if !self.sealed.contains(&block) {
             // Incomplete CFG: placeholder phi completed at seal time.
             let phi_var = self.func.fresh_var();
-            self.incomplete.entry(block).or_default().push((name.to_owned(), phi_var));
+            self.incomplete
+                .entry(block)
+                .or_default()
+                .push((name.to_owned(), phi_var));
             Operand::Var(phi_var)
         } else {
             let preds = self.preds.get(&block).cloned().unwrap_or_default();
@@ -135,7 +147,10 @@ impl FunctionBuilder {
                 }
             }
         };
-        self.defs.entry(name.to_owned()).or_default().insert(block, value.clone());
+        self.defs
+            .entry(name.to_owned())
+            .or_default()
+            .insert(block, value.clone());
         value
     }
 
@@ -178,13 +193,19 @@ impl FunctionBuilder {
 
     /// Emits a conditional branch.
     pub fn branch(&mut self, cond: impl Into<Operand>, then_block: BlockId, else_block: BlockId) {
-        self.push(Instr::Branch { cond: cond.into(), then_block, else_block });
+        self.push(Instr::Branch {
+            cond: cond.into(),
+            then_block,
+            else_block,
+        });
     }
 
     /// Emits a return.
     pub fn ret(&mut self, value: impl Into<Operand>) {
         if !self.is_terminated() {
-            self.push(Instr::Return { value: value.into() });
+            self.push(Instr::Return {
+                value: value.into(),
+            });
         }
     }
 
@@ -202,7 +223,11 @@ impl FunctionBuilder {
     pub fn finish(mut self) -> Function {
         for id in 0..self.func.blocks.len() as u32 {
             let id = BlockId(id);
-            assert!(self.sealed.contains(&id), "unsealed block {id:?} in {}", self.func.name);
+            assert!(
+                self.sealed.contains(&id),
+                "unsealed block {id:?} in {}",
+                self.func.name
+            );
             assert!(
                 self.func.block(id).terminator().is_some(),
                 "unterminated block {id:?} ({}) in {}",

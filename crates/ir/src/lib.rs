@@ -25,8 +25,6 @@ pub mod print;
 pub mod verify;
 
 pub use builder::FunctionBuilder;
-pub use module::{
-    BlockId, Callee, Constant, FuncId, Function, Instr, ProgramModule, VarId,
-};
+pub use module::{BlockId, Callee, Constant, FuncId, Function, Instr, ProgramModule, VarId};
 pub use passes::{run_pass, run_pipeline, PassOptions};
 pub use verify::verify_function;

@@ -322,19 +322,26 @@ impl Instr {
 
     /// Whether this is a block terminator.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Instr::Jump { .. } | Instr::Branch { .. } | Instr::Return { .. })
+        matches!(
+            self,
+            Instr::Jump { .. } | Instr::Branch { .. } | Instr::Return { .. }
+        )
     }
 
     /// Successor blocks of a terminator.
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Instr::Jump { target } => vec![*target],
-            Instr::Branch { then_block, else_block, .. } => vec![*then_block, *else_block],
+            Instr::Branch {
+                then_block,
+                else_block,
+                ..
+            } => vec![*then_block, *else_block],
             _ => Vec::new(),
         }
     }
 
-    /// Whether the instruction is pure (no side effects, safe for CSE/DCE).
+    /// Whether the instruction is pure (no side effects, safe for CSE).
     pub fn is_pure(&self) -> bool {
         match self {
             Instr::LoadArgument { .. }
@@ -350,20 +357,90 @@ impl Instr {
             _ => false,
         }
     }
+
+    /// Whether a *dead* instance may be deleted. Stricter than
+    /// [`Instr::is_pure`]: checked arithmetic, `Part`, `Dot` etc. are pure
+    /// (CSE may merge two identical instances — if one traps, the
+    /// dominating one traps the same way) but **partial** — they raise
+    /// `DivideByZero`/`IntegerOverflow`/`PartOutOfRange` on some inputs.
+    /// The interpreter evaluates dead code and raises; deleting the
+    /// trapping instruction would make compiled code disagree with it
+    /// (found by the differential fuzzer: `v = Quotient[x, 0]` with `v`
+    /// never read returned normally under the native engine).
+    pub fn is_removable(&self) -> bool {
+        match self {
+            Instr::LoadArgument { .. }
+            | Instr::LoadConst { .. }
+            | Instr::Copy { .. }
+            | Instr::Phi { .. }
+            | Instr::MakeClosure { .. } => true,
+            Instr::Call { callee, .. } => match callee {
+                Callee::Builtin(name) => total_builtin(name),
+                Callee::Primitive(name) => total_primitive(name),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
 }
 
 /// Wolfram builtins that are pure at the WIR level.
 pub fn pure_builtin(name: &str) -> bool {
     matches!(
         name,
-        "Plus" | "Times" | "Subtract" | "Divide" | "Minus" | "Power" | "Mod" | "Quotient"
-            | "Abs" | "Sign" | "Min" | "Max" | "Floor" | "Ceiling" | "Round" | "Sqrt" | "Exp"
-            | "Log" | "Sin" | "Cos" | "Tan" | "ArcTan" | "Re" | "Im" | "Conjugate" | "Equal"
-            | "Unequal" | "Less" | "Greater" | "LessEqual" | "GreaterEqual" | "SameQ"
-            | "UnsameQ" | "Not" | "And" | "Or" | "Length" | "Part" | "StringLength"
-            | "StringJoin" | "ToCharacterCode" | "FromCharacterCode" | "EvenQ" | "OddQ"
-            | "BitAnd" | "BitOr" | "BitXor" | "BitShiftLeft" | "BitShiftRight" | "List"
-            | "Dot" | "N" | "Boole"
+        "Plus"
+            | "Times"
+            | "Subtract"
+            | "Divide"
+            | "Minus"
+            | "Power"
+            | "Mod"
+            | "Quotient"
+            | "Abs"
+            | "Sign"
+            | "Min"
+            | "Max"
+            | "Floor"
+            | "Ceiling"
+            | "Round"
+            | "Sqrt"
+            | "Exp"
+            | "Log"
+            | "Sin"
+            | "Cos"
+            | "Tan"
+            | "ArcTan"
+            | "Re"
+            | "Im"
+            | "Conjugate"
+            | "Equal"
+            | "Unequal"
+            | "Less"
+            | "Greater"
+            | "LessEqual"
+            | "GreaterEqual"
+            | "SameQ"
+            | "UnsameQ"
+            | "Not"
+            | "And"
+            | "Or"
+            | "Length"
+            | "Part"
+            | "StringLength"
+            | "StringJoin"
+            | "ToCharacterCode"
+            | "FromCharacterCode"
+            | "EvenQ"
+            | "OddQ"
+            | "BitAnd"
+            | "BitOr"
+            | "BitXor"
+            | "BitShiftLeft"
+            | "BitShiftRight"
+            | "List"
+            | "Dot"
+            | "N"
+            | "Boole"
     )
 }
 
@@ -393,6 +470,70 @@ pub fn pure_primitive(name: &str) -> bool {
         "dot_",
     ];
     PURE_BASES.iter().any(|base| name.starts_with(base))
+}
+
+/// Builtins that are pure *and total* — they cannot raise a runtime error
+/// on any well-typed input, so a dead instance may be removed. Checked
+/// arithmetic (overflow), division (zero), `Part` (range), `Dot` (shape)
+/// are deliberately absent.
+pub fn total_builtin(name: &str) -> bool {
+    matches!(
+        name,
+        "Min"
+            | "Max"
+            | "Sign"
+            | "Sin"
+            | "Cos"
+            | "Tan"
+            | "ArcTan"
+            | "Re"
+            | "Im"
+            | "Conjugate"
+            | "Equal"
+            | "Unequal"
+            | "Less"
+            | "Greater"
+            | "LessEqual"
+            | "GreaterEqual"
+            | "SameQ"
+            | "UnsameQ"
+            | "Not"
+            | "And"
+            | "Or"
+            | "Length"
+            | "StringLength"
+            | "EvenQ"
+            | "OddQ"
+            | "BitAnd"
+            | "BitOr"
+            | "BitXor"
+            | "List"
+            | "N"
+            | "Boole"
+    )
+}
+
+/// Runtime primitives that are pure and total (see [`total_builtin`]).
+pub fn total_primitive(name: &str) -> bool {
+    const TOTAL_BASES: &[&str] = &[
+        "binary_min",
+        "binary_max",
+        "binary_arctan2",
+        "compare_",
+        "unary_not",
+        "unary_sin",
+        "unary_cos",
+        "unary_tan",
+        "unary_exp",
+        "unary_sign",
+        "logical_and",
+        "logical_or",
+        "string_length",
+        "tensor_length",
+        "tensor_dimensions",
+        "boole",
+    ];
+    TOTAL_BASES.iter().any(|base| name.starts_with(base))
 }
 
 /// A basic block: instructions ending in exactly one terminator.
@@ -525,10 +666,13 @@ impl Function {
     /// i.e. this is a TWIR function ready for code generation (§4.6:
     /// "a compile error is issued if any variable type is missing").
     pub fn is_fully_typed(&self) -> bool {
-        self.blocks.iter().flat_map(|b| &b.instrs).all(|i| match i.def() {
-            Some(v) => self.var_types.get(&v).is_some_and(Type::is_concrete),
-            None => true,
-        })
+        self.blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .all(|i| match i.def() {
+                Some(v) => self.var_types.get(&v).is_some_and(Type::is_concrete),
+                None => true,
+            })
     }
 
     /// Total instruction count.
@@ -555,7 +699,10 @@ pub struct ProgramModule {
 impl ProgramModule {
     /// A module containing just `main`.
     pub fn with_main(main: Function) -> Self {
-        ProgramModule { functions: vec![main], metadata: Vec::new() }
+        ProgramModule {
+            functions: vec![main],
+            metadata: Vec::new(),
+        }
     }
 
     /// The entry function.
@@ -570,7 +717,10 @@ impl ProgramModule {
 
     /// Finds a function by name.
     pub fn find(&self, name: &str) -> Option<FuncId> {
-        self.functions.iter().position(|f| f.name == name).map(|ix| FuncId(ix as u32))
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|ix| FuncId(ix as u32))
     }
 
     /// Adds a function, returning its id.
@@ -599,7 +749,9 @@ mod tests {
         assert_eq!(i.def(), Some(VarId(3)));
         assert_eq!(i.uses(), vec![VarId(1)]);
         assert!(i.is_pure());
-        let ret = Instr::Return { value: VarId(3).into() };
+        let ret = Instr::Return {
+            value: VarId(3).into(),
+        };
         assert_eq!(ret.def(), None);
         assert_eq!(ret.uses(), vec![VarId(3)]);
         assert!(ret.is_terminator());
@@ -629,8 +781,11 @@ mod tests {
             args: vec![],
         };
         assert!(!kernel.is_pure());
-        let indirect =
-            Instr::Call { dst: VarId(0), callee: Callee::Value(VarId(9)), args: vec![] };
+        let indirect = Instr::Call {
+            dst: VarId(0),
+            callee: Callee::Value(VarId(9)),
+            args: vec![],
+        };
         assert!(!indirect.is_pure());
         assert_eq!(indirect.uses(), vec![VarId(9)]);
     }
@@ -643,7 +798,10 @@ mod tests {
             else_block: BlockId(2),
         };
         assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
-        assert_eq!(Instr::Jump { target: BlockId(7) }.successors(), vec![BlockId(7)]);
+        assert_eq!(
+            Instr::Jump { target: BlockId(7) }.successors(),
+            vec![BlockId(7)]
+        );
     }
 
     #[test]
@@ -660,7 +818,9 @@ mod tests {
     fn constant_types() {
         assert_eq!(Constant::I64(1).ty(), Type::integer64());
         assert_eq!(Constant::Str(Rc::from("s")).ty(), Type::string());
-        assert_eq!(Constant::I64Array(Rc::from([1i64, 2].as_slice())).ty(),
-            Type::tensor(Type::integer64(), 1));
+        assert_eq!(
+            Constant::I64Array(Rc::from([1i64, 2].as_slice())).ty(),
+            Type::tensor(Type::integer64(), 1)
+        );
     }
 }

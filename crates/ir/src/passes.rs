@@ -42,8 +42,13 @@ impl Default for PassOptions {
 }
 
 /// The optimizing passes, in pipeline order.
-pub const OPT_PASSES: &[&str] =
-    &["constant-fold", "cse", "copy-propagation", "dce", "simplify-cfg"];
+pub const OPT_PASSES: &[&str] = &[
+    "constant-fold",
+    "cse",
+    "copy-propagation",
+    "dce",
+    "simplify-cfg",
+];
 
 /// Runs a single pass by name. Returns whether anything changed.
 ///
@@ -80,8 +85,7 @@ pub fn run_pipeline(f: &mut Function, opts: &PassOptions) -> Result<Vec<String>,
             ran.push(name.to_owned());
         }
         if opts.verify_each {
-            verify_function(f)
-                .map_err(|e| VerifyError(format!("after pass {name}: {e}")))?;
+            verify_function(f).map_err(|e| VerifyError(format!("after pass {name}: {e}")))?;
         }
         Ok(())
     };
@@ -148,7 +152,11 @@ pub fn eval_const_builtin(name: &str, args: &[Constant]) -> Option<Constant> {
             }
             // Exact floor division: Quotient[m, n] = Floor[m/n].
             let (q, r) = (a / b, a % b);
-            Some(C::I64(if r != 0 && (r < 0) != (b < 0) { q - 1 } else { q }))
+            Some(C::I64(if r != 0 && (r < 0) != (b < 0) {
+                q - 1
+            } else {
+                q
+            }))
         }
         "Mod" => {
             let (a, b) = i2()?;
@@ -156,7 +164,11 @@ pub fn eval_const_builtin(name: &str, args: &[Constant]) -> Option<Constant> {
                 return None;
             }
             let r = a.wrapping_rem(b);
-            Some(C::I64(if r != 0 && (r < 0) != (b < 0) { r + b } else { r }))
+            Some(C::I64(if r != 0 && (r < 0) != (b < 0) {
+                r + b
+            } else {
+                r
+            }))
         }
         "Divide" => {
             let (a, b) = f2()?;
@@ -173,9 +185,10 @@ pub fn eval_const_builtin(name: &str, args: &[Constant]) -> Option<Constant> {
             _ => None,
         },
         "Power" => match args {
-            [C::I64(a), C::I64(b)] if *b >= 0 => {
-                u32::try_from(*b).ok().and_then(|e| a.checked_pow(e)).map(C::I64)
-            }
+            [C::I64(a), C::I64(b)] if *b >= 0 => u32::try_from(*b)
+                .ok()
+                .and_then(|e| a.checked_pow(e))
+                .map(C::I64),
             _ => {
                 let (a, b) = f2()?;
                 Some(C::F64(a.powf(b)))
@@ -283,7 +296,10 @@ fn constant_fold(f: &mut Function) -> bool {
                     Instr::Copy { dst, src } => {
                         if let Some(c) = consts.get(src).cloned() {
                             consts.insert(*dst, c.clone());
-                            *i = Instr::LoadConst { dst: *dst, value: c };
+                            *i = Instr::LoadConst {
+                                dst: *dst,
+                                value: c,
+                            };
                             local_change = true;
                         }
                     }
@@ -298,15 +314,16 @@ fn constant_fold(f: &mut Function) -> bool {
                         if let Some(const_args) = const_args {
                             let folded = match callee {
                                 Callee::Builtin(name) => eval_const_builtin(name, &const_args),
-                                Callee::Primitive(name) => {
-                                    primitive_base(name)
-                                        .and_then(|base| eval_const_builtin(base, &const_args))
-                                }
+                                Callee::Primitive(name) => primitive_base(name)
+                                    .and_then(|base| eval_const_builtin(base, &const_args)),
                                 _ => None,
                             };
                             if let Some(c) = folded {
                                 consts.insert(*dst, c.clone());
-                                *i = Instr::LoadConst { dst: *dst, value: c };
+                                *i = Instr::LoadConst {
+                                    dst: *dst,
+                                    value: c,
+                                };
                                 local_change = true;
                             }
                         }
@@ -320,15 +337,21 @@ fn constant_fold(f: &mut Function) -> bool {
                             && incoming.iter().all(|(_, o)| o.as_const() == Some(&first))
                         {
                             consts.insert(*dst, first.clone());
-                            *i = Instr::LoadConst { dst: *dst, value: first };
+                            *i = Instr::LoadConst {
+                                dst: *dst,
+                                value: first,
+                            };
                             local_change = true;
                         }
                     }
                 }
             }
             // Dead-branch deletion.
-            if let Some(Instr::Branch { cond: Operand::Const(c), then_block, else_block }) =
-                block.instrs.last().cloned()
+            if let Some(Instr::Branch {
+                cond: Operand::Const(c),
+                then_block,
+                else_block,
+            }) = block.instrs.last().cloned()
             {
                 let taken = match c {
                     Constant::Bool(true) => Some(then_block),
@@ -382,7 +405,13 @@ fn primitive_base(name: &str) -> Option<&'static str> {
         ("unary_log", "Log"),
         ("string_length", "StringLength"),
     ];
-    MAP.iter().find(|(base, _)| name.starts_with(base)).map(|(_, b)| *b)
+    // Longest match wins: `compare_less_equal_…` must resolve to LessEqual,
+    // not to the `compare_less` prefix it also starts with. (Found by
+    // wolfram-difftest: the short-prefix fold turned `1 <= 1` into False.)
+    MAP.iter()
+        .filter(|(base, _)| name.starts_with(base))
+        .max_by_key(|(base, _)| base.len())
+        .map(|(_, b)| *b)
 }
 
 /// Recomputes predecessor sets and prunes phi incoming lists accordingly;
@@ -404,7 +433,10 @@ pub fn prune_phis(f: &mut Function) {
                     let (_, op) = incoming.pop().expect("len checked");
                     *i = match op {
                         Operand::Var(src) => Instr::Copy { dst: *dst, src },
-                        Operand::Const(c) => Instr::LoadConst { dst: *dst, value: c },
+                        Operand::Const(c) => Instr::LoadConst {
+                            dst: *dst,
+                            value: c,
+                        },
                     };
                 }
             }
@@ -473,7 +505,14 @@ fn cse(f: &mut Function) -> bool {
         }
     }
     let entry = f.entry;
-    visit(entry, f, &children, &mut available, &mut replaced, &mut changed);
+    visit(
+        entry,
+        f,
+        &children,
+        &mut available,
+        &mut replaced,
+        &mut changed,
+    );
     // Apply replacements everywhere (uses in blocks not visited via the
     // original defs, e.g. phis).
     if !replaced.is_empty() {
@@ -550,7 +589,9 @@ fn trivial_phis(f: &mut Function) -> bool {
         let mut local = false;
         for b in 0..f.blocks.len() {
             for ix in 0..f.blocks[b].instrs.len() {
-                let Instr::Phi { dst, incoming } = &f.blocks[b].instrs[ix] else { continue };
+                let Instr::Phi { dst, incoming } = &f.blocks[b].instrs[ix] else {
+                    continue;
+                };
                 let dst = *dst;
                 let mut unique: Option<Operand> = None;
                 let mut trivial = true;
@@ -651,7 +692,10 @@ fn dce(f: &mut Function) -> bool {
             f.blocks[b].instrs.retain(|i| {
                 // LoadArgument defines the function's ABI (parameter slots
                 // and types) and is kept even when unused.
-                let dead = i.is_pure()
+                // `is_removable`, not `is_pure`: trapping-but-pure calls
+                // (checked arithmetic, Part) must survive so dead code
+                // still raises exactly the errors the interpreter raises.
+                let dead = i.is_removable()
                     && !matches!(i, Instr::LoadArgument { .. })
                     && i.def().is_some_and(|d| !used.contains(&d));
                 !dead
@@ -699,7 +743,11 @@ fn simplify_cfg(f: &mut Function) -> bool {
             }
             // Phis in b with a single predecessor have been pruned already;
             // any remaining phi blocks fusion.
-            if f.block(b).instrs.iter().any(|i| matches!(i, Instr::Phi { .. })) {
+            if f.block(b)
+                .instrs
+                .iter()
+                .any(|i| matches!(i, Instr::Phi { .. }))
+            {
                 continue;
             }
             let mut moved = std::mem::take(&mut f.block_mut(b).instrs);
@@ -707,8 +755,11 @@ fn simplify_cfg(f: &mut Function) -> bool {
             ablock.instrs.pop(); // drop the Jump
             ablock.instrs.append(&mut moved);
             // Phi incomings in b's successors must now name a.
-            let succs: Vec<BlockId> =
-                f.block(a).terminator().map(|t| t.successors()).unwrap_or_default();
+            let succs: Vec<BlockId> = f
+                .block(a)
+                .terminator()
+                .map(|t| t.successors())
+                .unwrap_or_default();
             for s in succs {
                 for i in f.block_mut(s).instrs.iter_mut() {
                     if let Instr::Phi { incoming, .. } = i {
@@ -753,8 +804,11 @@ fn abort_insertion(f: &mut Function) -> bool {
     }
     for b in targets {
         let block = f.block_mut(b);
-        let after_phis =
-            block.instrs.iter().take_while(|i| matches!(i, Instr::Phi { .. })).count();
+        let after_phis = block
+            .instrs
+            .iter()
+            .take_while(|i| matches!(i, Instr::Phi { .. }))
+            .count();
         block.instrs.insert(after_phis, Instr::AbortCheck);
     }
     true
@@ -804,10 +858,16 @@ fn memory_management(f: &mut Function) -> bool {
     let mut inserts: HashMap<(BlockId, usize), Vec<Instr>> = HashMap::new();
     for (v, start, end) in managed {
         if let Some(&(b, ix)) = at_point.get(&start) {
-            inserts.entry((b, ix)).or_default().push(Instr::MemoryAcquire { var: v });
+            inserts
+                .entry((b, ix))
+                .or_default()
+                .push(Instr::MemoryAcquire { var: v });
         }
         if let Some(&(b, ix)) = at_point.get(&end) {
-            inserts.entry((b, ix)).or_default().push(Instr::MemoryRelease { var: v });
+            inserts
+                .entry((b, ix))
+                .or_default()
+                .push(Instr::MemoryRelease { var: v });
         }
     }
     for ((b, ix), instrs) in {
@@ -821,8 +881,11 @@ fn memory_management(f: &mut Function) -> bool {
         let mut pos = if anchor_is_terminator { ix } else { ix + 1 };
         // Never break the phi prefix: acquires for phi-defined values go
         // after the last phi of the block.
-        let phi_prefix =
-            block.instrs.iter().take_while(|i| matches!(i, Instr::Phi { .. })).count();
+        let phi_prefix = block
+            .instrs
+            .iter()
+            .take_while(|i| matches!(i, Instr::Phi { .. }))
+            .count();
         pos = pos.max(phi_prefix.min(block.instrs.len()));
         for (offset, i) in instrs.into_iter().enumerate() {
             block.instrs.insert(pos + offset, i);
@@ -844,7 +907,10 @@ mod tests {
     /// if (1 < 2) return 10 else return 20 — folds to return 10.
     fn branchy() -> Function {
         let mut b = FunctionBuilder::new("f", 0);
-        let c = b.call(builtin("Less"), vec![Constant::I64(1).into(), Constant::I64(2).into()]);
+        let c = b.call(
+            builtin("Less"),
+            vec![Constant::I64(1).into(), Constant::I64(2).into()],
+        );
         let t = b.create_block("then");
         let e = b.create_block("else");
         b.branch(c, t, e);
@@ -874,7 +940,9 @@ mod tests {
         let _ = dce(&mut f);
         assert!(matches!(
             f.block(f.entry).terminator(),
-            Some(Instr::Return { value: Operand::Const(Constant::I64(10)) })
+            Some(Instr::Return {
+                value: Operand::Const(Constant::I64(10))
+            })
         ));
     }
 
@@ -908,7 +976,9 @@ mod tests {
         verify_function(&f).unwrap();
         let times_count = f
             .instrs()
-            .filter(|i| matches!(i, Instr::Call { callee: Callee::Builtin(n), .. } if &**n == "Times"))
+            .filter(
+                |i| matches!(i, Instr::Call { callee: Callee::Builtin(n), .. } if &**n == "Times"),
+            )
             .count();
         assert_eq!(times_count, 1);
         let _ = y;
@@ -917,14 +987,32 @@ mod tests {
     #[test]
     fn dce_keeps_impure() {
         let mut b = FunctionBuilder::new("f", 0);
-        let _unused = b.call(builtin("Plus"), vec![Constant::I64(1).into(), Constant::I64(2).into()]);
-        let _effect = b.call(Callee::Kernel(Rc::from("Print")), vec![Constant::I64(1).into()]);
+        let _unused = b.call(
+            builtin("Min"),
+            vec![Constant::I64(1).into(), Constant::I64(2).into()],
+        );
+        // Pure but partial: checked Plus may overflow-trap, so a dead
+        // instance must survive for interpreter-identical error behavior.
+        let _trapping = b.call(
+            builtin("Plus"),
+            vec![Constant::I64(1).into(), Constant::I64(2).into()],
+        );
+        let _effect = b.call(
+            Callee::Kernel(Rc::from("Print")),
+            vec![Constant::I64(1).into()],
+        );
         b.ret(Constant::Null);
         let mut f = b.finish();
         assert!(dce(&mut f));
         verify_function(&f).unwrap();
-        // The pure Plus went away, the kernel call stayed.
-        assert_eq!(f.instrs().filter(|i| matches!(i, Instr::Call { .. })).count(), 1);
+        // The total Min went away; the trapping Plus and the kernel call
+        // stayed.
+        assert_eq!(
+            f.instrs()
+                .filter(|i| matches!(i, Instr::Call { .. }))
+                .count(),
+            2
+        );
     }
 
     /// Builds a counting loop for abort/liveness tests.
@@ -961,7 +1049,10 @@ mod tests {
         assert!(abort_insertion(&mut f));
         verify_function(&f).unwrap();
         let has_check = |b: u32| {
-            f.block(BlockId(b)).instrs.iter().any(|i| matches!(i, Instr::AbortCheck))
+            f.block(BlockId(b))
+                .instrs
+                .iter()
+                .any(|i| matches!(i, Instr::AbortCheck))
         };
         assert!(has_check(0), "prologue check");
         assert!(has_check(1), "loop header check");
@@ -975,7 +1066,11 @@ mod tests {
         let mut f = loop_fn();
         abort_insertion(&mut f);
         let header = f.block(BlockId(1));
-        let phi_count = header.instrs.iter().take_while(|i| matches!(i, Instr::Phi { .. })).count();
+        let phi_count = header
+            .instrs
+            .iter()
+            .take_while(|i| matches!(i, Instr::Phi { .. }))
+            .count();
         assert!(matches!(header.instrs[phi_count], Instr::AbortCheck));
     }
 
@@ -991,8 +1086,14 @@ mod tests {
         f.var_types.insert(len, Type::integer64());
         assert!(memory_management(&mut f));
         verify_function(&f).unwrap();
-        let acq = f.instrs().filter(|i| matches!(i, Instr::MemoryAcquire { .. })).count();
-        let rel = f.instrs().filter(|i| matches!(i, Instr::MemoryRelease { .. })).count();
+        let acq = f
+            .instrs()
+            .filter(|i| matches!(i, Instr::MemoryAcquire { .. }))
+            .count();
+        let rel = f
+            .instrs()
+            .filter(|i| matches!(i, Instr::MemoryRelease { .. }))
+            .count();
         assert_eq!(acq, 1);
         assert_eq!(rel, 1);
         // Unmanaged i64 got no bracketing: exactly one pair total.

@@ -1,6 +1,6 @@
 //! Textual IR dumps in the paper's appendix format (A.6.2/A.6.3).
 
-use crate::module::{Callee, Constant, Function, Instr, InlineValue, Operand, ProgramModule};
+use crate::module::{Callee, Constant, Function, InlineValue, Instr, Operand, ProgramModule};
 use std::fmt::Write as _;
 use wolfram_types::Type;
 
@@ -62,7 +62,13 @@ impl Function {
             return (self.arity == 0).then(String::new);
         }
         parts.sort_by_key(|(ix, _)| *ix);
-        Some(parts.into_iter().map(|(_, t)| t).collect::<Vec<_>>().join(", "))
+        Some(
+            parts
+                .into_iter()
+                .map(|(_, t)| t)
+                .collect::<Vec<_>>()
+                .join(", "),
+        )
     }
 
     fn var_text(&self, v: crate::module::VarId) -> String {
@@ -83,8 +89,11 @@ impl Function {
     pub fn instr_text(&self, i: &Instr) -> String {
         match i {
             Instr::LoadArgument { dst, index } => {
-                let name =
-                    self.param_names.get(*index).cloned().unwrap_or_else(|| format!("arg{index}"));
+                let name = self
+                    .param_names
+                    .get(*index)
+                    .cloned()
+                    .unwrap_or_else(|| format!("arg{index}"));
                 format!("{} = LoadArgument {name}", self.var_text(*dst))
             }
             Instr::LoadConst { dst, value } => {
@@ -110,9 +119,17 @@ impl Function {
                     args.join(", ")
                 )
             }
-            Instr::MakeClosure { dst, func, captures } => {
+            Instr::MakeClosure {
+                dst,
+                func,
+                captures,
+            } => {
                 let caps: Vec<String> = captures.iter().map(|c| self.operand_text(c)).collect();
-                format!("{} = MakeClosure {func} [{}]", self.var_text(*dst), caps.join(", "))
+                format!(
+                    "{} = MakeClosure {func} [{}]",
+                    self.var_text(*dst),
+                    caps.join(", ")
+                )
             }
             Instr::Phi { dst, incoming } => {
                 let inc: Vec<String> = incoming
@@ -124,10 +141,16 @@ impl Function {
             Instr::AbortCheck => "AbortCheck".into(),
             Instr::MemoryAcquire { var } => format!("MemoryAcquire %{}", var.0),
             Instr::MemoryRelease { var } => format!("MemoryRelease %{}", var.0),
-            Instr::Jump { target } =>
-
-                format!("Jump {}({})", self.blocks[target.0 as usize].label, target.0 + 1),
-            Instr::Branch { cond, then_block, else_block } => format!(
+            Instr::Jump { target } => format!(
+                "Jump {}({})",
+                self.blocks[target.0 as usize].label,
+                target.0 + 1
+            ),
+            Instr::Branch {
+                cond,
+                then_block,
+                else_block,
+            } => format!(
                 "Branch {} ? {}({}) : {}({})",
                 self.operand_text(cond),
                 self.blocks[then_block.0 as usize].label,
@@ -173,7 +196,11 @@ fn const_text(c: &Constant) -> String {
 impl ProgramModule {
     /// Renders every function of the module.
     pub fn to_text(&self) -> String {
-        self.functions.iter().map(Function::to_text).collect::<Vec<_>>().join("\n")
+        self.functions
+            .iter()
+            .map(Function::to_text)
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 

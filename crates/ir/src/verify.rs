@@ -125,7 +125,11 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
                         v.0
                     )));
                 };
-                let ok = if db == b { dix < ix } else { dom.dominates(db, b) };
+                let ok = if db == b {
+                    dix < ix
+                } else {
+                    dom.dominates(db, b)
+                };
                 if !ok {
                     return Err(VerifyError(format!(
                         "use of %{} in {b:?}[{ix}] not dominated by its definition in {db:?}[{dix}]",
@@ -145,7 +149,11 @@ mod tests {
     use std::rc::Rc;
 
     fn call(dst: u32, args: Vec<Operand>) -> Instr {
-        Instr::Call { dst: VarId(dst), callee: Callee::Builtin(Rc::from("Plus")), args }
+        Instr::Call {
+            dst: VarId(dst),
+            callee: Callee::Builtin(Rc::from("Plus")),
+            args,
+        }
     }
 
     #[test]
@@ -155,7 +163,9 @@ mod tests {
             label: "start".into(),
             instrs: vec![
                 call(0, vec![Constant::I64(1).into(), Constant::I64(2).into()]),
-                Instr::Return { value: VarId(0).into() },
+                Instr::Return {
+                    value: VarId(0).into(),
+                },
             ],
         });
         f.next_var = 1;
@@ -170,7 +180,9 @@ mod tests {
             instrs: vec![
                 call(0, vec![]),
                 call(0, vec![]),
-                Instr::Return { value: VarId(0).into() },
+                Instr::Return {
+                    value: VarId(0).into(),
+                },
             ],
         });
         assert!(verify_function(&f).unwrap_err().0.contains("defined twice"));
@@ -181,7 +193,9 @@ mod tests {
         let mut f = Function::new("bad", 0);
         f.blocks.push(Block {
             label: "start".into(),
-            instrs: vec![Instr::Return { value: VarId(9).into() }],
+            instrs: vec![Instr::Return {
+                value: VarId(9).into(),
+            }],
         });
         assert!(verify_function(&f).unwrap_err().0.contains("undefined"));
     }
@@ -189,7 +203,10 @@ mod tests {
     #[test]
     fn rejects_missing_terminator() {
         let mut f = Function::new("bad", 0);
-        f.blocks.push(Block { label: "start".into(), instrs: vec![call(0, vec![])] });
+        f.blocks.push(Block {
+            label: "start".into(),
+            instrs: vec![call(0, vec![])],
+        });
         assert!(verify_function(&f).unwrap_err().0.contains("no terminator"));
     }
 
@@ -204,14 +221,19 @@ mod tests {
         });
         f.blocks.push(Block {
             label: "use".into(),
-            instrs: vec![Instr::Return { value: VarId(0).into() }],
+            instrs: vec![Instr::Return {
+                value: VarId(0).into(),
+            }],
         });
         f.blocks.push(Block {
             label: "dead".into(),
             instrs: vec![call(0, vec![]), Instr::Jump { target: BlockId(1) }],
         });
         let err = verify_function(&f).unwrap_err();
-        assert!(err.0.contains("not dominated") || err.0.contains("phi"), "{err}");
+        assert!(
+            err.0.contains("not dominated") || err.0.contains("phi"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -221,10 +243,18 @@ mod tests {
             label: "start".into(),
             instrs: vec![
                 call(0, vec![]),
-                Instr::Phi { dst: VarId(1), incoming: vec![] },
-                Instr::Return { value: VarId(1).into() },
+                Instr::Phi {
+                    dst: VarId(1),
+                    incoming: vec![],
+                },
+                Instr::Return {
+                    value: VarId(1).into(),
+                },
             ],
         });
-        assert!(verify_function(&f).unwrap_err().0.contains("phi not at head"));
+        assert!(verify_function(&f)
+            .unwrap_err()
+            .0
+            .contains("phi not at head"));
     }
 }

@@ -117,7 +117,10 @@ fn diamond_chain(writes: &[(bool, bool)]) -> Function {
         b.switch_to(join);
     }
     let x = b.read_var("x").unwrap();
-    let out = b.call(Callee::Builtin(Rc::from("Plus")), vec![x, Constant::I64(0).into()]);
+    let out = b.call(
+        Callee::Builtin(Rc::from("Plus")),
+        vec![x, Constant::I64(0).into()],
+    );
     b.ret(out);
     b.finish()
 }

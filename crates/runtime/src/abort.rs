@@ -69,7 +69,10 @@ impl AbortSignal {
     /// Arms the signal to auto-trigger after `n` successful checks. Used by
     /// tests to simulate a user abort landing mid-computation.
     pub fn trigger_after(&self, n: u64) -> CountdownAbort {
-        CountdownAbort { signal: self.clone(), remaining: n }
+        CountdownAbort {
+            signal: self.clone(),
+            remaining: n,
+        }
     }
 }
 

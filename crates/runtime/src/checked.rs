@@ -35,7 +35,30 @@ pub fn quotient_i64(a: i64, b: i64) -> Result<i64, RuntimeError> {
     }
     let q = a.checked_div(b).ok_or(RuntimeError::IntegerOverflow)?;
     let r = a.wrapping_rem(b);
-    Ok(if r != 0 && (r < 0) != (b < 0) { q - 1 } else { q })
+    Ok(if r != 0 && (r < 0) != (b < 0) {
+        q - 1
+    } else {
+        q
+    })
+}
+
+/// Wolfram `Quotient` with a real operand: still `Floor[m/n]`, and still
+/// an *integer* result (`Quotient[5.3, 2]` is `2`, not `2.`). Quotients
+/// outside the machine-integer range are a numeric overflow, matching the
+/// integer path's behaviour.
+#[inline]
+pub fn quotient_f64(a: f64, b: f64) -> Result<i64, RuntimeError> {
+    if b == 0.0 {
+        return Err(RuntimeError::DivideByZero);
+    }
+    let q = (a / b).floor();
+    // `q < 2^63` (exclusive): i64::MAX as f64 rounds up to 2^63, which
+    // would saturate on the cast.
+    if q.is_finite() && q >= i64::MIN as f64 && q < i64::MAX as f64 {
+        Ok(q as i64)
+    } else {
+        Err(RuntimeError::IntegerOverflow)
+    }
 }
 
 /// Wolfram `Mod`: result has the sign of the divisor.
@@ -45,15 +68,23 @@ pub fn mod_i64(a: i64, b: i64) -> Result<i64, RuntimeError> {
         return Err(RuntimeError::DivideByZero);
     }
     let r = a.wrapping_rem(b);
-    Ok(if r != 0 && (r < 0) != (b < 0) { r + b } else { r })
+    Ok(if r != 0 && (r < 0) != (b < 0) {
+        r + b
+    } else {
+        r
+    })
 }
 
-/// Integer power with overflow detection; negative exponents are a domain
-/// error at the integer type (the compiler types such code as Real).
+/// Integer power with overflow detection. A negative exponent leaves the
+/// integer domain (the interpreter evaluates `2^-1` as the real `0.5`), so
+/// it surfaces as a *numeric* error: hosted compiled code soft-fails back
+/// to the interpreter and agrees with it instead of hard-erroring.
 #[inline]
 pub fn pow_i64(base: i64, exp: i64) -> Result<i64, RuntimeError> {
     if exp < 0 {
-        return Err(RuntimeError::Type("integer Power with negative exponent".into()));
+        return Err(RuntimeError::NumericDomain(
+            "integer Power with negative exponent".into(),
+        ));
     }
     let exp = u32::try_from(exp).map_err(|_| RuntimeError::IntegerOverflow)?;
     base.checked_pow(exp).ok_or(RuntimeError::IntegerOverflow)
@@ -132,7 +163,10 @@ mod tests {
         assert_eq!(add_i64(1, 2), Ok(3));
         assert_eq!(add_i64(i64::MAX, 1), Err(RuntimeError::IntegerOverflow));
         assert_eq!(sub_i64(i64::MIN, 1), Err(RuntimeError::IntegerOverflow));
-        assert_eq!(mul_i64(i64::MAX / 2 + 1, 2), Err(RuntimeError::IntegerOverflow));
+        assert_eq!(
+            mul_i64(i64::MAX / 2 + 1, 2),
+            Err(RuntimeError::IntegerOverflow)
+        );
         assert_eq!(neg_i64(i64::MIN), Err(RuntimeError::IntegerOverflow));
         assert_eq!(abs_i64(i64::MIN), Err(RuntimeError::IntegerOverflow));
     }
@@ -150,7 +184,13 @@ mod tests {
     fn powers() {
         assert_eq!(pow_i64(2, 10), Ok(1024));
         assert_eq!(pow_i64(10, 19), Err(RuntimeError::IntegerOverflow));
-        assert!(pow_i64(2, -1).is_err());
+        // Negative exponents are a *numeric* (soft) failure: hosted engines
+        // fall back to the interpreter's real-valued answer.
+        assert!(matches!(
+            pow_i64(2, -1),
+            Err(RuntimeError::NumericDomain(_))
+        ));
+        assert!(pow_i64(2, -1).unwrap_err().is_numeric());
         assert_eq!(pow_i64(0, 0), Ok(1));
     }
 

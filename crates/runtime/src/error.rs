@@ -11,6 +11,11 @@ pub enum RuntimeError {
     IntegerOverflow,
     /// Division by zero.
     DivideByZero,
+    /// A numeric operation left the domain representable at its machine
+    /// type (e.g. integer `Power` with a negative exponent, which the
+    /// interpreter evaluates as a real). Like overflow, this is a *soft*
+    /// failure: hosted compiled code reverts to the interpreter.
+    NumericDomain(String),
     /// `Part` index out of range.
     PartOutOfRange {
         /// The requested (1-based, possibly negative) index.
@@ -39,7 +44,12 @@ impl RuntimeError {
     /// one reverts to the interpreter (the paper's soft failure mode, F2).
     /// Aborts and hard errors do not re-run.
     pub fn is_numeric(&self) -> bool {
-        matches!(self, RuntimeError::IntegerOverflow | RuntimeError::DivideByZero)
+        matches!(
+            self,
+            RuntimeError::IntegerOverflow
+                | RuntimeError::DivideByZero
+                | RuntimeError::NumericDomain(_)
+        )
     }
 
     /// Short machine-readable tag, matching the paper's warning message
@@ -49,6 +59,7 @@ impl RuntimeError {
         match self {
             RuntimeError::IntegerOverflow => "IntegerOverflow",
             RuntimeError::DivideByZero => "DivideByZero",
+            RuntimeError::NumericDomain(_) => "NumericDomain",
             RuntimeError::PartOutOfRange { .. } => "PartOutOfRange",
             RuntimeError::Aborted => "Aborted",
             RuntimeError::Type(_) => "TypeError",
@@ -65,6 +76,7 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::IntegerOverflow => write!(f, "machine integer overflow"),
             RuntimeError::DivideByZero => write!(f, "division by zero"),
+            RuntimeError::NumericDomain(msg) => write!(f, "numeric domain error: {msg}"),
             RuntimeError::PartOutOfRange { index, length } => {
                 write!(f, "part index {index} out of range for length {length}")
             }
@@ -88,9 +100,14 @@ mod tests {
     fn numeric_classification() {
         assert!(RuntimeError::IntegerOverflow.is_numeric());
         assert!(RuntimeError::DivideByZero.is_numeric());
+        assert!(RuntimeError::NumericDomain("negative exponent".into()).is_numeric());
         assert!(!RuntimeError::Aborted.is_numeric());
         assert!(!RuntimeError::Type("x".into()).is_numeric());
-        assert!(!RuntimeError::PartOutOfRange { index: 5, length: 3 }.is_numeric());
+        assert!(!RuntimeError::PartOutOfRange {
+            index: 5,
+            length: 3
+        }
+        .is_numeric());
     }
 
     #[test]
@@ -103,7 +120,10 @@ mod tests {
     fn display_nonempty() {
         for e in [
             RuntimeError::IntegerOverflow,
-            RuntimeError::PartOutOfRange { index: -4, length: 2 },
+            RuntimeError::PartOutOfRange {
+                index: -4,
+                length: 2,
+            },
             RuntimeError::Other("boom".into()),
         ] {
             assert!(!e.to_string().is_empty());

@@ -79,7 +79,14 @@ mod tests {
         record_release();
         record_tensor_copy();
         let s = stats();
-        assert_eq!(s, MemoryStats { acquires: 2, releases: 1, tensor_copies: 1 });
+        assert_eq!(
+            s,
+            MemoryStats {
+                acquires: 2,
+                releases: 1,
+                tensor_copies: 1
+            }
+        );
         assert!(!s.balanced());
         record_release();
         assert!(stats().balanced());

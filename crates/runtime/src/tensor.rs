@@ -72,19 +72,28 @@ impl Tensor {
     /// A rank-1 integer tensor.
     pub fn from_i64(data: Vec<i64>) -> Self {
         let shape = vec![data.len()];
-        Tensor(Rc::new(Repr { shape, data: TensorData::I64(data) }))
+        Tensor(Rc::new(Repr {
+            shape,
+            data: TensorData::I64(data),
+        }))
     }
 
     /// A rank-1 real tensor.
     pub fn from_f64(data: Vec<f64>) -> Self {
         let shape = vec![data.len()];
-        Tensor(Rc::new(Repr { shape, data: TensorData::F64(data) }))
+        Tensor(Rc::new(Repr {
+            shape,
+            data: TensorData::F64(data),
+        }))
     }
 
     /// A rank-1 complex tensor.
     pub fn from_complex(data: Vec<(f64, f64)>) -> Self {
         let shape = vec![data.len()];
-        Tensor(Rc::new(Repr { shape, data: TensorData::Complex(data) }))
+        Tensor(Rc::new(Repr {
+            shape,
+            data: TensorData::Complex(data),
+        }))
     }
 
     /// An arbitrary-rank tensor.
@@ -159,6 +168,38 @@ impl Tensor {
             TensorData::Complex(v) => Some(v),
             _ => None,
         }
+    }
+
+    /// The integer elements, or a type error.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Type`] when the storage is not integer. Execution
+    /// engines use this instead of panicking so a mistyped tensor surfaces
+    /// as a reportable runtime error (e.g. to the differential fuzzer)
+    /// rather than aborting the process.
+    pub fn expect_i64(&self) -> Result<&[i64], RuntimeError> {
+        self.as_i64().ok_or_else(|| {
+            RuntimeError::Type(format!(
+                "expected Integer64 tensor storage, got {}",
+                self.data().element_type()
+            ))
+        })
+    }
+
+    /// The real elements, or a type error (see [`Tensor::expect_i64`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Type`] when the storage is not real — notably for
+    /// complex tensors, which [`Tensor::to_f64_tensor`] leaves untouched.
+    pub fn expect_f64(&self) -> Result<&[f64], RuntimeError> {
+        self.as_f64().ok_or_else(|| {
+            RuntimeError::Type(format!(
+                "expected Real64 tensor storage, got {}",
+                self.data().element_type()
+            ))
+        })
     }
 
     /// Copy-on-write access to the representation: copies if shared,
@@ -246,7 +287,10 @@ impl Tensor {
                 TensorData::F64(v) => TensorData::F64(v[lo..hi].to_vec()),
                 TensorData::Complex(v) => TensorData::Complex(v[lo..hi].to_vec()),
             };
-            Ok(Value::Tensor(Tensor::with_shape(self.0.shape[1..].to_vec(), data)?))
+            Ok(Value::Tensor(Tensor::with_shape(
+                self.0.shape[1..].to_vec(),
+                data,
+            )?))
         }
     }
 
@@ -332,6 +376,9 @@ mod tests {
     fn element_types() {
         assert_eq!(Tensor::from_i64(vec![1]).data().element_type(), "Integer64");
         assert_eq!(Tensor::from_f64(vec![1.0]).data().element_type(), "Real64");
-        assert_eq!(Tensor::from_complex(vec![(0.0, 1.0)]).data().element_type(), "ComplexReal64");
+        assert_eq!(
+            Tensor::from_complex(vec![(0.0, 1.0)]).data().element_type(),
+            "ComplexReal64"
+        );
     }
 }

@@ -86,7 +86,10 @@ impl Value {
     pub fn expect_i64(&self) -> Result<i64, RuntimeError> {
         match self {
             Value::I64(v) => Ok(*v),
-            other => Err(RuntimeError::Type(format!("expected Integer64, got {}", other.type_name()))),
+            other => Err(RuntimeError::Type(format!(
+                "expected Integer64, got {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -100,7 +103,10 @@ impl Value {
             Value::F64(v) => Ok(*v),
             Value::I64(v) => Ok(*v as f64),
             Value::Big(b) => Ok(b.to_f64()),
-            other => Err(RuntimeError::Type(format!("expected Real64, got {}", other.type_name()))),
+            other => Err(RuntimeError::Type(format!(
+                "expected Real64, got {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -124,7 +130,10 @@ impl Value {
     pub fn expect_bool(&self) -> Result<bool, RuntimeError> {
         match self {
             Value::Bool(v) => Ok(*v),
-            other => Err(RuntimeError::Type(format!("expected Boolean, got {}", other.type_name()))),
+            other => Err(RuntimeError::Type(format!(
+                "expected Boolean, got {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -136,7 +145,10 @@ impl Value {
     pub fn expect_str(&self) -> Result<&str, RuntimeError> {
         match self {
             Value::Str(s) => Ok(s),
-            other => Err(RuntimeError::Type(format!("expected String, got {}", other.type_name()))),
+            other => Err(RuntimeError::Type(format!(
+                "expected String, got {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -148,7 +160,10 @@ impl Value {
     pub fn expect_tensor(&self) -> Result<&Tensor, RuntimeError> {
         match self {
             Value::Tensor(t) => Ok(t),
-            other => Err(RuntimeError::Type(format!("expected Tensor, got {}", other.type_name()))),
+            other => Err(RuntimeError::Type(format!(
+                "expected Tensor, got {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -160,7 +175,10 @@ impl Value {
     pub fn into_tensor(self) -> Result<Tensor, RuntimeError> {
         match self {
             Value::Tensor(t) => Ok(t),
-            other => Err(RuntimeError::Type(format!("expected Tensor, got {}", other.type_name()))),
+            other => Err(RuntimeError::Type(format!(
+                "expected Tensor, got {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -172,7 +190,10 @@ impl Value {
     pub fn expect_function(&self) -> Result<&FunctionValue, RuntimeError> {
         match self {
             Value::Function(f) => Ok(f),
-            other => Err(RuntimeError::Type(format!("expected Function, got {}", other.type_name()))),
+            other => Err(RuntimeError::Type(format!(
+                "expected Function, got {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -223,7 +244,11 @@ pub fn tensor_to_expr(t: &Tensor) -> Expr {
         if shape.len() == 1 {
             Expr::list((0..shape[0]).map(|_| get()).collect::<Vec<_>>())
         } else {
-            Expr::list((0..shape[0]).map(|_| build(&shape[1..], get)).collect::<Vec<_>>())
+            Expr::list(
+                (0..shape[0])
+                    .map(|_| build(&shape[1..], get))
+                    .collect::<Vec<_>>(),
+            )
         }
     }
     let mut offset = 0usize;
@@ -291,7 +316,9 @@ pub fn expr_to_tensor(e: &Expr) -> Option<Tensor> {
             if !e.has_head("List") || e.length() != shape[depth] {
                 return false;
             }
-            e.args().iter().all(|a| gather(a, depth + 1, shape, elem, ints, reals, complexes))
+            e.args()
+                .iter()
+                .all(|a| gather(a, depth + 1, shape, elem, ints, reals, complexes))
         } else {
             match e.kind() {
                 ExprKind::Integer(v) => {
@@ -317,7 +344,15 @@ pub fn expr_to_tensor(e: &Expr) -> Option<Tensor> {
             }
         }
     }
-    if !gather(e, 0, &shape, &mut elem, &mut ints, &mut reals, &mut complexes) {
+    if !gather(
+        e,
+        0,
+        &shape,
+        &mut elem,
+        &mut ints,
+        &mut reals,
+        &mut complexes,
+    ) {
         return None;
     }
     let data = match elem {
@@ -378,22 +413,18 @@ mod tests {
     #[test]
     fn list_packing() {
         let e = parse("{1, 2, 3}").unwrap();
-        match Value::from_expr(&e) {
-            Value::Tensor(t) => assert_eq!(t.as_i64().unwrap(), &[1, 2, 3]),
-            other => panic!("expected tensor, got {other:?}"),
-        }
+        let t = Value::from_expr(&e).into_tensor().unwrap();
+        assert_eq!(t.expect_i64().unwrap(), &[1, 2, 3]);
         // Mixed int/real promotes to real.
         let e = parse("{1, 2.5}").unwrap();
-        match Value::from_expr(&e) {
-            Value::Tensor(t) => assert_eq!(t.as_f64().unwrap(), &[1.0, 2.5]),
-            other => panic!("expected tensor, got {other:?}"),
-        }
+        let t = Value::from_expr(&e).into_tensor().unwrap();
+        assert_eq!(t.expect_f64().unwrap(), &[1.0, 2.5]);
+        // Mistyped access reports instead of panicking.
+        assert!(t.expect_i64().is_err());
         // Matrix.
         let e = parse("{{1, 2}, {3, 4}}").unwrap();
-        match Value::from_expr(&e) {
-            Value::Tensor(t) => assert_eq!(t.shape(), &[2, 2]),
-            other => panic!("expected tensor, got {other:?}"),
-        }
+        let t = Value::from_expr(&e).into_tensor().unwrap();
+        assert_eq!(t.shape(), &[2, 2]);
         // Ragged stays symbolic.
         let e = parse("{{1, 2}, {3}}").unwrap();
         assert!(matches!(Value::from_expr(&e), Value::Expr(_)));

@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use wolfram_runtime::checked::{
-    abs_i64, add_i64, mod_i64, mul_i64, neg_i64, pow_i64, quotient_i64, resolve_part_index,
-    sub_i64,
+    abs_i64, add_i64, mod_i64, mul_i64, neg_i64, pow_i64, quotient_i64, resolve_part_index, sub_i64,
 };
 use wolfram_runtime::linalg::{ddot, dgemm, dgemv};
 use wolfram_runtime::{RuntimeError, Tensor};

@@ -23,15 +23,24 @@ impl Default for ClassRegistry {
 impl ClassRegistry {
     /// An empty registry.
     pub fn empty() -> Self {
-        ClassRegistry { members: HashMap::new() }
+        ClassRegistry {
+            members: HashMap::new(),
+        }
     }
 
     /// The builtin class hierarchy used by the default type environment.
     pub fn builtin() -> Self {
         let mut r = Self::empty();
-        let integral =
-            ["Integer8", "Integer16", "Integer32", "Integer64", "UnsignedInteger8",
-             "UnsignedInteger16", "UnsignedInteger32", "UnsignedInteger64"];
+        let integral = [
+            "Integer8",
+            "Integer16",
+            "Integer32",
+            "Integer64",
+            "UnsignedInteger8",
+            "UnsignedInteger16",
+            "UnsignedInteger32",
+            "UnsignedInteger64",
+        ];
         let reals = ["Real32", "Real64"];
         for t in integral {
             r.add_member("Integral", t);
@@ -49,7 +58,11 @@ impl ClassRegistry {
         r.add_member("MemoryManaged", "String");
         r.add_member("MemoryManaged", "Expression");
         r.add_member("Equatable", "Boolean");
-        for t in integral.iter().chain(&reals).chain(&["ComplexReal64", "String"]) {
+        for t in integral
+            .iter()
+            .chain(&reals)
+            .chain(&["ComplexReal64", "String"])
+        {
             r.add_member("Equatable", t);
         }
         r

@@ -101,7 +101,9 @@ impl Constraint {
                 add(tau);
                 add(rho);
             }
-            Constraint::Generalize { sigma, tau, mono, .. } => {
+            Constraint::Generalize {
+                sigma, tau, mono, ..
+            } => {
                 add(&Type::Var(*sigma));
                 add(tau);
                 for v in mono {
@@ -142,7 +144,9 @@ impl std::fmt::Display for Constraint {
             Constraint::Generalize { sigma, tau, .. } => {
                 write!(f, "%t{} == gen({tau})", sigma.0)
             }
-            Constraint::Call { name, args, ret, .. } => {
+            Constraint::Call {
+                name, args, ret, ..
+            } => {
                 let args: Vec<String> = args.iter().map(Type::to_string).collect();
                 write!(f, "{name}({}) -> {ret}", args.join(", "))
             }

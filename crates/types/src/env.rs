@@ -107,7 +107,10 @@ pub struct TypeEnvironment {
 impl TypeEnvironment {
     /// An empty environment with the builtin class registry.
     pub fn new() -> Self {
-        TypeEnvironment { functions: HashMap::new(), classes: ClassRegistry::builtin() }
+        TypeEnvironment {
+            functions: HashMap::new(),
+            classes: ClassRegistry::builtin(),
+        }
     }
 
     /// Declares a function overload from a parsed scheme.
@@ -117,11 +120,14 @@ impl TypeEnvironment {
         scheme: Type,
         implementation: FunctionImpl,
     ) -> &mut Self {
-        self.functions.entry(name.to_owned()).or_default().push(FunctionDef {
-            scheme,
-            implementation,
-            inline_always: false,
-        });
+        self.functions
+            .entry(name.to_owned())
+            .or_default()
+            .push(FunctionDef {
+                scheme,
+                implementation,
+                inline_always: false,
+            });
         self
     }
 
@@ -192,7 +198,10 @@ impl TypeEnvironment {
             }
         }
         if best.is_empty() {
-            return Err(ResolveError::NoMatch { name: name.to_owned(), args: args.to_vec() });
+            return Err(ResolveError::NoMatch {
+                name: name.to_owned(),
+                args: args.to_vec(),
+            });
         }
         let min_cost = best.iter().map(|(_, r)| r.cost).min().expect("nonempty");
         let winners: Vec<&(usize, ResolvedCall)> =
@@ -200,7 +209,10 @@ impl TypeEnvironment {
         if winners.len() > 1 {
             // Distinct instantiations at equal cost have no ordering.
             let first = &winners[0].1;
-            if winners.iter().any(|(_, r)| r.params != first.params || r.ret != first.ret) {
+            if winners
+                .iter()
+                .any(|(_, r)| r.params != first.params || r.ret != first.ret)
+            {
                 return Err(ResolveError::Ambiguous {
                     name: name.to_owned(),
                     overloads: winners.iter().map(|(ix, _)| *ix).collect(),
@@ -215,7 +227,9 @@ impl TypeEnvironment {
     fn try_match(&self, def: &FunctionDef, overload: usize, args: &[Type]) -> Option<ResolvedCall> {
         let mut subst = Subst::new();
         let (body, quals, var_map) = instantiate(&def.scheme, &mut subst);
-        let Type::Arrow { params, ret } = body else { return None };
+        let Type::Arrow { params, ret } = body else {
+            return None;
+        };
         if params.len() != args.len() {
             return None;
         }
@@ -298,7 +312,9 @@ pub fn instantiate(scheme: &Type, subst: &mut Subst) -> (Type, Vec<Qualifier>, I
             let mut map = Vec::new();
             for v in vars {
                 let fresh = subst.fresh();
-                let Type::Var(tv) = fresh else { unreachable!("fresh returns Var") };
+                let Type::Var(tv) = fresh else {
+                    unreachable!("fresh returns Var")
+                };
                 map.push((v.clone(), tv));
             }
             let body = substitute_bound(body, &map);
@@ -325,13 +341,17 @@ fn substitute_bound(t: &Type, map: &[(Rc<str>, crate::ty::TypeVar)]) -> Type {
         Type::Product(args) => {
             Type::Product(args.iter().map(|a| substitute_bound(a, map)).collect())
         }
-        Type::Projection { base, index } => {
-            Type::Projection { base: Box::new(substitute_bound(base, map)), index: *index }
-        }
+        Type::Projection { base, index } => Type::Projection {
+            base: Box::new(substitute_bound(base, map)),
+            index: *index,
+        },
         Type::ForAll { vars, quals, body } => {
             // Inner quantifiers shadow: drop shadowed entries.
-            let filtered: Vec<(Rc<str>, crate::ty::TypeVar)> =
-                map.iter().filter(|(n, _)| !vars.contains(n)).cloned().collect();
+            let filtered: Vec<(Rc<str>, crate::ty::TypeVar)> = map
+                .iter()
+                .filter(|(n, _)| !vars.contains(n))
+                .cloned()
+                .collect();
             Type::ForAll {
                 vars: vars.clone(),
                 quals: quals.clone(),
@@ -371,10 +391,14 @@ mod tests {
             scheme("{\"Integer64\", \"Integer64\"} -> \"Integer64\""),
             FunctionImpl::Primitive(Rc::from("checked_binary_plus")),
         );
-        let r = env.resolve_call("Plus", &[Type::integer64(), Type::integer64()]).unwrap();
+        let r = env
+            .resolve_call("Plus", &[Type::integer64(), Type::integer64()])
+            .unwrap();
         assert_eq!(r.ret, Type::integer64());
         assert_eq!(r.cost, 0);
-        assert!(env.resolve_call("Plus", &[Type::string(), Type::integer64()]).is_err());
+        assert!(env
+            .resolve_call("Plus", &[Type::string(), Type::integer64()])
+            .is_err());
         assert!(matches!(
             env.resolve_call("NoSuch", &[]),
             Err(ResolveError::Undeclared(_))
@@ -385,21 +409,29 @@ mod tests {
     fn polymorphic_qualified_resolution() {
         let env = min_env();
         // Integers are Ordered.
-        let r = env.resolve_call("Min", &[Type::integer64(), Type::integer64()]).unwrap();
+        let r = env
+            .resolve_call("Min", &[Type::integer64(), Type::integer64()])
+            .unwrap();
         assert_eq!(r.ret, Type::integer64());
         // Reals are Ordered.
-        let r = env.resolve_call("Min", &[Type::real64(), Type::real64()]).unwrap();
+        let r = env
+            .resolve_call("Min", &[Type::real64(), Type::real64()])
+            .unwrap();
         assert_eq!(r.ret, Type::real64());
         // Complex is not Ordered (paper: "integer and reals, but not
         // complex").
-        assert!(env.resolve_call("Min", &[Type::complex(), Type::complex()]).is_err());
+        assert!(env
+            .resolve_call("Min", &[Type::complex(), Type::complex()])
+            .is_err());
     }
 
     #[test]
     fn promotion_joins_mixed_arguments() {
         let env = min_env();
         // Min[i64, r64] joins at Real64 with promotion cost on the left.
-        let r = env.resolve_call("Min", &[Type::integer64(), Type::real64()]).unwrap();
+        let r = env
+            .resolve_call("Min", &[Type::integer64(), Type::real64()])
+            .unwrap();
         assert_eq!(r.ret, Type::real64());
         assert!(r.cost > 0);
         assert_eq!(r.params, vec![Type::real64(), Type::real64()]);
@@ -419,7 +451,10 @@ mod tests {
             FunctionImpl::Primitive(Rc::from("f_int")),
         );
         let r = env.resolve_call("F", &[Type::integer64()]).unwrap();
-        assert_eq!(r.overload, 1, "exact integer overload wins over promotion to real");
+        assert_eq!(
+            r.overload, 1,
+            "exact integer overload wins over promotion to real"
+        );
         let r = env.resolve_call("F", &[Type::real64()]).unwrap();
         assert_eq!(r.overload, 0);
     }
@@ -439,9 +474,16 @@ mod tests {
             scheme("{\"Integer64\", \"Integer64\"} -> \"Integer64\""),
             FunctionImpl::Primitive(Rc::from("g2")),
         );
-        assert_eq!(env.resolve_call("G", &[Type::integer64()]).unwrap().overload, 0);
         assert_eq!(
-            env.resolve_call("G", &[Type::integer64(), Type::integer64()]).unwrap().overload,
+            env.resolve_call("G", &[Type::integer64()])
+                .unwrap()
+                .overload,
+            0
+        );
+        assert_eq!(
+            env.resolve_call("G", &[Type::integer64(), Type::integer64()])
+                .unwrap()
+                .overload,
             1
         );
     }
@@ -497,7 +539,9 @@ mod tests {
             scheme("TypeForAll[{\"a\"}, {Element[\"a\", \"Ordered\"]}, {\"a\", \"a\"} -> \"a\"]"),
             FunctionImpl::Source(body.clone()),
         );
-        let r = env.resolve_call("MyMin", &[Type::integer64(), Type::integer64()]).unwrap();
+        let r = env
+            .resolve_call("MyMin", &[Type::integer64(), Type::integer64()])
+            .unwrap();
         assert_eq!(r.implementation, FunctionImpl::Source(body));
     }
 

@@ -91,7 +91,10 @@ pub fn solve(
     mut subst: Subst,
 ) -> Result<Solution, SolveError> {
     let components = scc_order(&constraints);
-    let mut solution = Solution { subst: Subst::new(), calls: HashMap::new() };
+    let mut solution = Solution {
+        subst: Subst::new(),
+        calls: HashMap::new(),
+    };
     // Never hand out fresh variables that collide with the caller's.
     for c in &constraints {
         for v in c.free_vars() {
@@ -149,7 +152,9 @@ pub fn solve(
 
 fn render(c: &Constraint, subst: &Subst) -> String {
     match c {
-        Constraint::Call { name, args, ret, .. } => {
+        Constraint::Call {
+            name, args, ret, ..
+        } => {
             let args: Vec<String> = args.iter().map(|a| subst.apply(a).to_string()).collect();
             format!("{name}({}) -> {}", args.join(", "), subst.apply(ret))
         }
@@ -195,10 +200,15 @@ fn process(
             }
             Ok(true)
         }
-        Constraint::Generalize { sigma, tau, mono, .. } => {
+        Constraint::Generalize {
+            sigma, tau, mono, ..
+        } => {
             let resolved = subst.apply(tau);
-            let free: Vec<TypeVar> =
-                resolved.free_vars().into_iter().filter(|v| !mono.contains(v)).collect();
+            let free: Vec<TypeVar> = resolved
+                .free_vars()
+                .into_iter()
+                .filter(|v| !mono.contains(v))
+                .collect();
             if free.is_empty() {
                 subst.bind(*sigma, resolved);
                 return Ok(true);
@@ -213,7 +223,11 @@ fn process(
             }
             subst.bind(
                 *sigma,
-                Type::ForAll { vars: names, quals: Vec::new(), body: Box::new(renamed) },
+                Type::ForAll {
+                    vars: names,
+                    quals: Vec::new(),
+                    body: Box::new(renamed),
+                },
             );
             Ok(true)
         }
@@ -259,7 +273,13 @@ fn process(
                 }
             }
         }
-        Constraint::Call { site, name, args, ret, origin } => {
+        Constraint::Call {
+            site,
+            name,
+            args,
+            ret,
+            origin,
+        } => {
             let mut resolved_args: Vec<Type> = args.iter().map(|a| subst.apply(a)).collect();
             if resolved_args.iter().any(|a| !a.is_concrete()) {
                 // Single-overload forcing: when nothing else can make
@@ -325,9 +345,10 @@ fn replace_var(t: &Type, v: TypeVar, with: &Type) -> Type {
         Type::Product(args) => {
             Type::Product(args.iter().map(|a| replace_var(a, v, with)).collect())
         }
-        Type::Projection { base, index } => {
-            Type::Projection { base: Box::new(replace_var(base, v, with)), index: *index }
-        }
+        Type::Projection { base, index } => Type::Projection {
+            base: Box::new(replace_var(base, v, with)),
+            index: *index,
+        },
         _ => t.clone(),
     }
 }
@@ -394,10 +415,9 @@ fn scc_order(constraints: &[Constraint]) -> Vec<Vec<usize>> {
                     } else {
                         // Post-processing: fold children lows.
                         for &w in &adj[v] {
-                            if (on_stack[w] || low[w] < low[v])
-                                && index[w] > index[v] {
-                                    low[v] = low[v].min(low[w]);
-                                }
+                            if (on_stack[w] || low[w] < low[v]) && index[w] > index[v] {
+                                low[v] = low[v].min(low[w]);
+                            }
                         }
                         if low[v] == index[v] {
                             let mut comp = Vec::new();
@@ -450,8 +470,16 @@ mod tests {
     fn chained_equalities() {
         let env = TypeEnvironment::new();
         let cs = vec![
-            Constraint::Equality { a: var(0), b: var(1), origin: "a".into() },
-            Constraint::Equality { a: var(1), b: Type::integer64(), origin: "b".into() },
+            Constraint::Equality {
+                a: var(0),
+                b: var(1),
+                origin: "a".into(),
+            },
+            Constraint::Equality {
+                a: var(1),
+                b: Type::integer64(),
+                origin: "b".into(),
+            },
         ];
         let sol = solve(cs, &env, Subst::new()).unwrap();
         assert_eq!(sol.subst.apply(&var(0)), Type::integer64());
@@ -469,8 +497,16 @@ mod tests {
                 ret: var(2),
                 origin: "inst 7".into(),
             },
-            Constraint::Equality { a: var(0), b: Type::integer64(), origin: "arg".into() },
-            Constraint::Equality { a: var(1), b: Type::integer64(), origin: "lit".into() },
+            Constraint::Equality {
+                a: var(0),
+                b: Type::integer64(),
+                origin: "arg".into(),
+            },
+            Constraint::Equality {
+                a: var(1),
+                b: Type::integer64(),
+                origin: "lit".into(),
+            },
         ];
         let sol = solve(cs, &env, Subst::new()).unwrap();
         assert_eq!(sol.subst.apply(&var(2)), Type::integer64());
@@ -481,8 +517,16 @@ mod tests {
     fn mixed_call_promotes() {
         let env = env_with_plus();
         let cs = vec![
-            Constraint::Equality { a: var(0), b: Type::integer64(), origin: "x".into() },
-            Constraint::Equality { a: var(1), b: Type::real64(), origin: "y".into() },
+            Constraint::Equality {
+                a: var(0),
+                b: Type::integer64(),
+                origin: "x".into(),
+            },
+            Constraint::Equality {
+                a: var(1),
+                b: Type::real64(),
+                origin: "y".into(),
+            },
             Constraint::Call {
                 site: 1,
                 name: "Plus".into(),
@@ -500,8 +544,16 @@ mod tests {
     fn mismatch_reported_with_origin() {
         let env = TypeEnvironment::new();
         let cs = vec![
-            Constraint::Equality { a: var(0), b: Type::integer64(), origin: "first".into() },
-            Constraint::Equality { a: var(0), b: Type::string(), origin: "second".into() },
+            Constraint::Equality {
+                a: var(0),
+                b: Type::integer64(),
+                origin: "first".into(),
+            },
+            Constraint::Equality {
+                a: var(0),
+                b: Type::string(),
+                origin: "second".into(),
+            },
         ];
         match solve(cs, &env, Subst::new()) {
             Err(SolveError::Mismatch { origin, .. }) => assert_eq!(origin, "second"),
@@ -530,7 +582,11 @@ mod tests {
     fn alternatives_pick_most_specific() {
         let env = TypeEnvironment::new();
         let cs = vec![
-            Constraint::Equality { a: var(0), b: Type::integer64(), origin: "v".into() },
+            Constraint::Equality {
+                a: var(0),
+                b: Type::integer64(),
+                origin: "v".into(),
+            },
             Constraint::Alternative {
                 t: var(0),
                 options: vec![Type::real64(), Type::integer64()],
@@ -545,7 +601,11 @@ mod tests {
     fn alternative_failure_modes() {
         let env = TypeEnvironment::new();
         let cs = vec![
-            Constraint::Equality { a: var(0), b: Type::string(), origin: "v".into() },
+            Constraint::Equality {
+                a: var(0),
+                b: Type::string(),
+                origin: "v".into(),
+            },
             Constraint::Alternative {
                 t: var(0),
                 options: vec![Type::real64(), Type::integer64()],
@@ -567,7 +627,11 @@ mod tests {
             Type::arrow(vec![Type::Bound(Rc::from("a"))], Type::Bound(Rc::from("a"))),
         );
         let cs = vec![
-            Constraint::Instantiate { tau: var(0), rho: scheme, origin: "inst".into() },
+            Constraint::Instantiate {
+                tau: var(0),
+                rho: scheme,
+                origin: "inst".into(),
+            },
             Constraint::Equality {
                 a: var(0),
                 b: Type::arrow(vec![Type::integer64()], var(1)),
@@ -617,9 +681,21 @@ mod tests {
     #[test]
     fn scc_groups_connected_constraints() {
         let cs = vec![
-            Constraint::Equality { a: var(0), b: var(1), origin: String::new() },
-            Constraint::Equality { a: var(1), b: var(2), origin: String::new() },
-            Constraint::Equality { a: var(9), b: Type::integer64(), origin: String::new() },
+            Constraint::Equality {
+                a: var(0),
+                b: var(1),
+                origin: String::new(),
+            },
+            Constraint::Equality {
+                a: var(1),
+                b: var(2),
+                origin: String::new(),
+            },
+            Constraint::Equality {
+                a: var(9),
+                b: Type::integer64(),
+                origin: String::new(),
+            },
         ];
         let comps = scc_order(&cs);
         // Constraints 0 and 1 share %t1 -> same component; 2 is isolated.

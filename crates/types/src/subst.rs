@@ -79,7 +79,10 @@ impl Subst {
                         return item.clone();
                     }
                 }
-                Type::Projection { base: Box::new(base), index: *index }
+                Type::Projection {
+                    base: Box::new(base),
+                    index: *index,
+                }
             }
             Type::ForAll { vars, quals, body } => Type::ForAll {
                 vars: vars.clone(),
@@ -108,7 +111,9 @@ pub fn unify(a: &Type, b: &Type, subst: &mut Subst) -> Result<(), UnifyError> {
         (Type::Var(x), Type::Var(y)) if x == y => Ok(()),
         (Type::Var(v), other) | (other, Type::Var(v)) => {
             if subst.occurs(*v, other) {
-                return Err(UnifyError { message: format!("occurs check: %t{} in {other}", v.0) });
+                return Err(UnifyError {
+                    message: format!("occurs check: %t{} in {other}", v.0),
+                });
             }
             subst.bind(*v, other.clone());
             Ok(())
@@ -116,18 +121,24 @@ pub fn unify(a: &Type, b: &Type, subst: &mut Subst) -> Result<(), UnifyError> {
         (Type::Atomic(x), Type::Atomic(y)) if x == y => Ok(()),
         (Type::Literal(x), Type::Literal(y)) if x == y => Ok(()),
         (Type::Bound(x), Type::Bound(y)) if x == y => Ok(()),
-        (
-            Type::Constructor { name: na, args: aa },
-            Type::Constructor { name: nb, args: ab },
-        ) if na == nb && aa.len() == ab.len() => {
+        (Type::Constructor { name: na, args: aa }, Type::Constructor { name: nb, args: ab })
+            if na == nb && aa.len() == ab.len() =>
+        {
             for (x, y) in aa.iter().zip(ab) {
                 unify(x, y, subst)?;
             }
             Ok(())
         }
-        (Type::Arrow { params: pa, ret: ra }, Type::Arrow { params: pb, ret: rb })
-            if pa.len() == pb.len() =>
-        {
+        (
+            Type::Arrow {
+                params: pa,
+                ret: ra,
+            },
+            Type::Arrow {
+                params: pb,
+                ret: rb,
+            },
+        ) if pa.len() == pb.len() => {
             for (x, y) in pa.iter().zip(pb) {
                 unify(x, y, subst)?;
             }
@@ -139,7 +150,9 @@ pub fn unify(a: &Type, b: &Type, subst: &mut Subst) -> Result<(), UnifyError> {
             }
             Ok(())
         }
-        _ => Err(UnifyError { message: format!("{a} vs {b}") }),
+        _ => Err(UnifyError {
+            message: format!("{a} vs {b}"),
+        }),
     }
 }
 
@@ -151,15 +164,24 @@ pub fn promotion_cost(from: &Type, to: &Type) -> Option<u32> {
     if from == to {
         return Some(0);
     }
-    let (Type::Atomic(f), Type::Atomic(t)) = (from, to) else { return None };
+    let (Type::Atomic(f), Type::Atomic(t)) = (from, to) else {
+        return None;
+    };
     // Boxing into the symbolic world (F8): any machine scalar or string
     // may become an "Expression", at a cost above every numeric promotion
     // so numeric overloads always win when applicable.
     if &**t == "Expression"
         && matches!(
             &**f,
-            "Integer8" | "Integer16" | "Integer32" | "Integer64" | "Real32" | "Real64"
-                | "ComplexReal64" | "Boolean" | "String"
+            "Integer8"
+                | "Integer16"
+                | "Integer32"
+                | "Integer64"
+                | "Real32"
+                | "Real64"
+                | "ComplexReal64"
+                | "Boolean"
+                | "String"
         )
     {
         return Some(10);
@@ -220,8 +242,12 @@ mod tests {
         assert_eq!(s.apply(&var(0)), Type::real64());
         // Rank mismatch fails.
         let mut s = Subst::new();
-        assert!(unify(&Type::tensor(Type::real64(), 1), &Type::tensor(Type::real64(), 2), &mut s)
-            .is_err());
+        assert!(unify(
+            &Type::tensor(Type::real64(), 1),
+            &Type::tensor(Type::real64(), 2),
+            &mut s
+        )
+        .is_err());
     }
 
     #[test]
@@ -254,12 +280,18 @@ mod tests {
 
     #[test]
     fn promotions() {
-        assert_eq!(promotion_cost(&Type::integer64(), &Type::integer64()), Some(0));
+        assert_eq!(
+            promotion_cost(&Type::integer64(), &Type::integer64()),
+            Some(0)
+        );
         assert_eq!(promotion_cost(&Type::integer64(), &Type::real64()), Some(2));
         assert_eq!(promotion_cost(&Type::real64(), &Type::integer64()), None);
         assert_eq!(promotion_cost(&Type::real64(), &Type::complex()), Some(1));
         assert_eq!(promotion_cost(&Type::string(), &Type::real64()), None);
-        assert_eq!(numeric_lub(&Type::integer64(), &Type::real64()), Some(Type::real64()));
+        assert_eq!(
+            numeric_lub(&Type::integer64(), &Type::real64()),
+            Some(Type::real64())
+        );
         assert_eq!(numeric_lub(&Type::boolean(), &Type::real64()), None);
     }
 

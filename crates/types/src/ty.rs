@@ -132,12 +132,18 @@ impl Type {
 
     /// A packed-array type of the given element type and rank.
     pub fn tensor(element: Type, rank: i64) -> Type {
-        Type::Constructor { name: Rc::from("Tensor"), args: vec![element, Type::Literal(rank)] }
+        Type::Constructor {
+            name: Rc::from("Tensor"),
+            args: vec![element, Type::Literal(rank)],
+        }
     }
 
     /// A function type.
     pub fn arrow(params: Vec<Type>, ret: Type) -> Type {
-        Type::Arrow { params, ret: Box::new(ret) }
+        Type::Arrow {
+            params,
+            ret: Box::new(ret),
+        }
     }
 
     /// A monomorphic scheme (no quantifiers) or the body for instantiation.
@@ -146,7 +152,10 @@ impl Type {
             vars: vars.iter().map(|v| Rc::from(*v)).collect(),
             quals: quals
                 .iter()
-                .map(|(v, c)| Qualifier { var: Rc::from(*v), class: Rc::from(*c) })
+                .map(|(v, c)| Qualifier {
+                    var: Rc::from(*v),
+                    class: Rc::from(*c),
+                })
                 .collect(),
             body: Box::new(body),
         }
@@ -234,9 +243,21 @@ impl Type {
     /// Returns a [`TypeError`] naming the first unknown type.
     pub fn validate(&self) -> Result<(), TypeError> {
         const ATOMS: &[&str] = &[
-            "Integer8", "Integer16", "Integer32", "Integer64", "UnsignedInteger8",
-            "UnsignedInteger16", "UnsignedInteger32", "UnsignedInteger64", "Real32",
-            "Real64", "ComplexReal64", "Boolean", "String", "Expression", "Void",
+            "Integer8",
+            "Integer16",
+            "Integer32",
+            "Integer64",
+            "UnsignedInteger8",
+            "UnsignedInteger16",
+            "UnsignedInteger32",
+            "UnsignedInteger64",
+            "Real32",
+            "Real64",
+            "ComplexReal64",
+            "Boolean",
+            "String",
+            "Expression",
+            "Void",
         ];
         match self {
             Type::Atomic(name) => {
@@ -281,7 +302,10 @@ impl Type {
                         .iter()
                         .map(|a| Self::from_expr_in(a, bound))
                         .collect::<Result<Vec<_>, _>>()?;
-                    return Ok(Type::Constructor { name: Rc::from(normalize_name(name)), args });
+                    return Ok(Type::Constructor {
+                        name: Rc::from(normalize_name(name)),
+                        args,
+                    });
                 }
                 let head = n.head().as_symbol().map(|s| s.name().to_owned());
                 match head.as_deref() {
@@ -303,9 +327,9 @@ impl Type {
                         Ok(Type::arrow(params, ret))
                     }
                     Some("TypeLiteral") if n.args().len() == 2 => {
-                        let v = n.args()[0]
-                            .as_i64()
-                            .ok_or_else(|| TypeError("TypeLiteral value must be an integer".into()))?;
+                        let v = n.args()[0].as_i64().ok_or_else(|| {
+                            TypeError("TypeLiteral value must be an integer".into())
+                        })?;
                         Ok(Type::Literal(v))
                     }
                     Some("TypeForAll") if (2..=3).contains(&n.args().len()) => {
@@ -317,9 +341,9 @@ impl Type {
                             .args()
                             .iter()
                             .map(|v| {
-                                v.as_str()
-                                    .map(Rc::from)
-                                    .ok_or_else(|| TypeError("TypeForAll variable must be a string".into()))
+                                v.as_str().map(Rc::from).ok_or_else(|| {
+                                    TypeError("TypeForAll variable must be a string".into())
+                                })
                             })
                             .collect::<Result<_, _>>()?;
                         let (quals, body_expr) = if n.args().len() == 3 {
@@ -330,7 +354,11 @@ impl Type {
                         let mut inner_bound = bound.to_vec();
                         inner_bound.extend(vars.iter().cloned());
                         let body = Self::from_expr_in(body_expr, &inner_bound)?;
-                        Ok(Type::ForAll { vars, quals, body: Box::new(body) })
+                        Ok(Type::ForAll {
+                            vars,
+                            quals,
+                            body: Box::new(body),
+                        })
                     }
                     Some("TypeProduct") => {
                         let args = n
@@ -346,7 +374,10 @@ impl Type {
                             .as_i64()
                             .filter(|&v| v >= 1)
                             .ok_or_else(|| TypeError("TypeProjection index must be >= 1".into()))?;
-                        Ok(Type::Projection { base: Box::new(base), index: index as usize - 1 })
+                        Ok(Type::Projection {
+                            base: Box::new(base),
+                            index: index as usize - 1,
+                        })
                     }
                     _ => Err(TypeError(format!(
                         "unrecognized type specifier {}",
@@ -354,7 +385,10 @@ impl Type {
                     ))),
                 }
             }
-            _ => Err(TypeError(format!("unrecognized type specifier {}", e.to_input_form()))),
+            _ => Err(TypeError(format!(
+                "unrecognized type specifier {}",
+                e.to_input_form()
+            ))),
         }
     }
 
@@ -378,8 +412,11 @@ impl Type {
 }
 
 fn parse_qualifiers(e: &Expr, vars: &[Rc<str>]) -> Result<Vec<Qualifier>, TypeError> {
-    let items: Vec<Expr> =
-        if e.has_head("List") { e.args().to_vec() } else { vec![e.clone()] };
+    let items: Vec<Expr> = if e.has_head("List") {
+        e.args().to_vec()
+    } else {
+        vec![e.clone()]
+    };
     items
         .iter()
         .map(|q| {
@@ -391,11 +428,19 @@ fn parse_qualifiers(e: &Expr, vars: &[Rc<str>]) -> Result<Vec<Qualifier>, TypeEr
                     .as_str()
                     .ok_or_else(|| TypeError("qualifier class must be a string".into()))?;
                 if !vars.iter().any(|v| &**v == var) {
-                    return Err(TypeError(format!("qualifier on unbound variable \"{var}\"")));
+                    return Err(TypeError(format!(
+                        "qualifier on unbound variable \"{var}\""
+                    )));
                 }
-                Ok(Qualifier { var: Rc::from(var), class: Rc::from(class) })
+                Ok(Qualifier {
+                    var: Rc::from(var),
+                    class: Rc::from(class),
+                })
             } else {
-                Err(TypeError(format!("invalid qualifier {}", q.to_input_form())))
+                Err(TypeError(format!(
+                    "invalid qualifier {}",
+                    q.to_input_form()
+                )))
             }
         })
         .collect()
@@ -493,7 +538,10 @@ mod tests {
         let t = ty("{\"Integer32\", \"Integer32\"} -> \"Real64\"");
         assert_eq!(
             t,
-            Type::arrow(vec![Type::atomic("Integer32"), Type::atomic("Integer32")], Type::real64())
+            Type::arrow(
+                vec![Type::atomic("Integer32"), Type::atomic("Integer32")],
+                Type::real64()
+            )
         );
         assert_eq!(t.to_string(), "(Integer32, Integer32)->Real64");
         // Single unbracketed parameter.
@@ -536,7 +584,10 @@ mod tests {
                    {{\"a\"} -> \"b\", \"Tensor\"[\"a\", 1]} -> \"Tensor\"[\"b\", 1]]]";
         let t = ty(src);
         assert!(matches!(t, Type::ForAll { ref vars, .. } if vars.len() == 2));
-        assert_eq!(t.to_string(), "ForAll[{a, b}, ((a)->b, Tensor[a, 1])->Tensor[b, 1]]");
+        assert_eq!(
+            t.to_string(),
+            "ForAll[{a, b}, ((a)->b, Tensor[a, 1])->Tensor[b, 1]]"
+        );
     }
 
     #[test]

@@ -11,7 +11,12 @@ use wolfram_types::{solve, unify, Constraint, Subst, Type, TypeEnvironment, Type
 // ---------------------------------------------------------------------
 
 const ATOMS: &[&str] = &[
-    "Integer64", "Real64", "ComplexReal64", "Boolean", "String", "Expression",
+    "Integer64",
+    "Real64",
+    "ComplexReal64",
+    "Boolean",
+    "String",
+    "Expression",
 ];
 
 fn arb_concrete() -> impl Strategy<Value = Type> {
@@ -108,7 +113,13 @@ proptest! {
 // ---------------------------------------------------------------------
 
 const NUMERICS: &[&str] = &[
-    "Integer8", "Integer16", "Integer32", "Integer64", "Real32", "Real64", "ComplexReal64",
+    "Integer8",
+    "Integer16",
+    "Integer32",
+    "Integer64",
+    "Real32",
+    "Real64",
+    "ComplexReal64",
 ];
 
 proptest! {
@@ -153,7 +164,11 @@ proptest! {
 // ---------------------------------------------------------------------
 
 fn eq(a: Type, b: Type) -> Constraint {
-    Constraint::Equality { a, b, origin: "test".into() }
+    Constraint::Equality {
+        a,
+        b,
+        origin: "test".into(),
+    }
 }
 
 proptest! {

@@ -1,0 +1,7 @@
+(* wolfram-difftest counterexample
+   seed: 0
+   note: integer base with negative exponent is a real reciprocal power, not integer division
+   args: {-4}
+   args: {3}
+*)
+Function[{Typed[p1, "MachineInteger"]}, p1^-2]

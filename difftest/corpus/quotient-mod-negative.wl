@@ -1,0 +1,8 @@
+(* wolfram-difftest counterexample
+   seed: 0
+   note: Quotient/Mod with negative operands must floor toward -Infinity on every engine
+   args: {-7, 3}
+   args: {7, -3}
+   args: {-7, -3}
+*)
+Function[{Typed[p1, "MachineInteger"], Typed[p2, "MachineInteger"]}, Quotient[p1, p2]*1000 + Mod[p1, p2]]

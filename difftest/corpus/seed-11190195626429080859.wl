@@ -1,0 +1,8 @@
+(* wolfram-difftest counterexample
+   seed: 11190195626429080859
+   note: typed engines route Quotient through Real64 and floor back, landing within f64 resolution of the interpreter's exact integer
+   args: {{1.75, 2.25, 0.25}, 10, {-2.25, -1.5}}
+   args: {{-2., 1.5, 0.5}, 10, {1.25, 0.25}}
+   args: {{-1.75, -0.5, -1.75}, 4, {1.75, 0.5}}
+*)
+Function[{Typed[p1, "Tensor"["Real64", 1]], Typed[p2, "MachineInteger"], Typed[p3, "Tensor"["Real64", 1]]}, Quotient[Abs[9223372036854775807], Max[-1*299565^-2, 18]]]

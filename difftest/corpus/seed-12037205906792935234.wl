@@ -1,0 +1,7 @@
+(* wolfram-difftest counterexample
+   seed: 12037205906792935234
+   note: interpreter dropped the IEEE sign of an inexact zero product, so a reciprocal power picked the wrong branch of infinity
+   args: {-10, 6.75, 9.75}
+   args: {156508829, -6.75, 6.5}
+*)
+Function[{Typed[p1, "MachineInteger"], Typed[p2, "Real64"], Typed[p3, "Real64"]}, Module[{v1 = 0, v2 = 0.75, v3 = -3., k4 = 0, k5 = 0}, While[k4 < 4, v2 = If[True, p2, 5.75]; k4 = k4 + 1]; v3 = Subtract[p3, -3.] + Subtract[-7.5, 2.25]; While[k5 < 1, If[False, v3 = p2, v3 = -5.]; k5 = k5 + 1]; v3 = Mod[Divide[4.75, v3], 4.25*6.75]; (-1*3^-3*Quotient[k4, p1])^-3]]

@@ -1,0 +1,7 @@
+(* wolfram-difftest counterexample
+   seed: 14433949118590764796
+   note: interpreter short-circuited 0*Infinity to 0 where IEEE (and the compiled engines) give NaN
+   args: {0}
+   args: {642094182}
+*)
+Function[{Typed[p1, "MachineInteger"]}, (Min[12, p1] + p1^-1)*Subtract[p1 + p1, Quotient[p1, -1]]]

@@ -1,0 +1,7 @@
+(* wolfram-difftest counterexample
+   seed: 1546903743524770818
+   note: interpreter promoted an overflowing Max to an exact big integer where typed compiled code stays Real64; compared numerically since
+   args: {-9223372036854775806, -1}
+   args: {5, -9}
+*)
+Function[{Typed[p1, "MachineInteger"], Typed[p2, "MachineInteger"]}, Module[{v1 = 8, v2 = -8}, v2 = 11^-3; v1 = Quotient[-3*393798, -1*17^1]; Abs[p1^1] + Max[If[True, 8, 9], Max[p1, v2]]]]

@@ -1,0 +1,7 @@
+(* wolfram-difftest counterexample
+   seed: 191967353235914393
+   note: interpreter returned exact 0 for 0*real where Wolfram precision contagion (and the compiled engines) give 0.
+   args: {2147483648, {0.75, -1.5, 1.}, 8}
+   args: {2, {2.5, -0.25, 3.}, -9}
+*)
+Function[{Typed[p1, "MachineInteger"], Typed[p2, "Tensor"["Real64", 1]], Typed[p3, "MachineInteger"]}, Module[{v1 = 4, v2 = False, w3 = ConstantArray[0, {2}]}, w3[[2]] = p1^-2*w3[[1]]; w3[[Mod[v1, 2] + 1]] = Subtract[Min[p3, p3], Min[-7, p1]]; v1 = v1; Min[-15*Length[w3], p3^5]; w3]]

@@ -1,0 +1,8 @@
+(* wolfram-difftest counterexample
+   seed: 2578766613981036423
+   note: native folded `v <= v` as strict Less (compare_less prefix shadowed compare_less_equal in primitive_base), taking the else branch
+   args: {2147483648, 0.5, {3, 0, -4}}
+   args: {0, 0.5, {-3, 2, -3}}
+   args: {-453092142, -7., {-3, 1, 7}}
+*)
+Function[{Typed[p1, "MachineInteger"], Typed[p2, "Real64"], Typed[p3, "Tensor"["Integer64", 1]]}, Module[{v1 = 1, w2 = ConstantArray[0, {3}]}, If[If[True, v1, v1] <= v1, v1 = v1, v1 = Mod[20, 6]]; v1*v1]]

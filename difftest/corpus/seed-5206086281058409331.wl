@@ -1,0 +1,7 @@
+(* wolfram-difftest counterexample
+   seed: 5206086281058409331
+   note: bytecode type inference promotes an integer tensor to Real64 storage after a real element store; storage classes now compare numerically
+   args: {-8}
+   args: {-5}
+*)
+Function[{Typed[p1, "MachineInteger"]}, Module[{v1 = False, v2 = -4, w3 = ConstantArray[0, {2}], k4 = 0}, w3[[1]] = v2^-2 + w3[[1]]; While[k4 < 5, w3[[1]] = 775898; k4 = k4 + 1]; w3]]

@@ -1,0 +1,8 @@
+(* wolfram-difftest counterexample
+   seed: 7502226797392405932
+   note: value-sorted interpreter Plus vs fixed compiled association round on different grids before large terms cancel; covered by the scaled cancellation allowance
+   args: {451583650, 2.75}
+   args: {9223372036854775806, -9.}
+   args: {-1000000000000000000, 1.}
+*)
+Function[{Typed[p1, "MachineInteger"], Typed[p2, "Real64"]}, Abs[4611686018427387904] + (-11 + p1) + Subtract[19^-3, Abs[4611686018427387904]]]

@@ -21,8 +21,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- user macro rules ----
     let mut compiler = Compiler::default();
     compiler.macros.register_src("Square[x_] :> Times[x, x]");
-    let cf = compiler
-        .function_compile_src("Function[{Typed[n, \"MachineInteger\"]}, Square[n] + 1]")?;
+    let cf =
+        compiler.function_compile_src("Function[{Typed[n, \"MachineInteger\"]}, Square[n] + 1]")?;
     println!("Square macro: f[6] = {}", cf.call(&[Value::I64(6)])?);
 
     // The paper's Conditioned CUDA macro: rewrite Map -> CUDA`Map only when
@@ -33,15 +33,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .expect("rule");
     compiler.macros.register(
         rule,
-        Some(Rc::new(|opts: &CompilerOptions| opts.target_system == TargetSystem::Cuda)),
+        Some(Rc::new(|opts: &CompilerOptions| {
+            opts.target_system == TargetSystem::Cuda
+        })),
     );
     let e = parse("Map[g, data]")?;
     println!(
         "Map macro, Native target: {}",
         compiler.macros.expand(&e, &CompilerOptions::default())
     );
-    let cuda = CompilerOptions { target_system: TargetSystem::Cuda, ..Default::default() };
-    println!("Map macro, CUDA target:   {}", compiler.macros.expand(&e, &cuda));
+    let cuda = CompilerOptions {
+        target_system: TargetSystem::Cuda,
+        ..Default::default()
+    };
+    println!(
+        "Map macro, CUDA target:   {}",
+        compiler.macros.expand(&e, &cuda)
+    );
 
     // ---- user types: the §4.4 Min declaration, verbatim shape ----
     compiler.types.declare_function_expr(
@@ -52,12 +60,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cf = compiler.function_compile_src(
         "Function[{Typed[i, \"MachineInteger\"], Typed[x, \"Real64\"]}, MyMin[i, 3] + Floor[MyMin[x, 2.5]]]",
     )?;
-    println!("MyMin (two instantiations): f[7, 9.0] = {}", cf.call(&[Value::I64(7), Value::F64(9.0)])?);
+    println!(
+        "MyMin (two instantiations): f[7, 9.0] = {}",
+        cf.call(&[Value::I64(7), Value::F64(9.0)])?
+    );
     // Complex numbers are not Ordered: the qualified declaration rejects them.
     let err = compiler
-        .function_compile_src(
-            "Function[{Typed[z, \"ComplexReal64\"]}, MyMin[z, z]]",
-        )
+        .function_compile_src("Function[{Typed[z, \"ComplexReal64\"]}, MyMin[z, z]]")
         .unwrap_err();
     println!("MyMin on complex rejected: {err}");
 
@@ -81,11 +90,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fn name(&self) -> &str {
             "OpCount"
         }
-        fn generate(&self, module: &wolfram_language_compiler::ir::ProgramModule) -> Result<String, String> {
+        fn generate(
+            &self,
+            module: &wolfram_language_compiler::ir::ProgramModule,
+        ) -> Result<String, String> {
             Ok(format!(
                 "{} functions, {} instructions\n",
                 module.functions.len(),
-                module.functions.iter().map(|f| f.instr_count()).sum::<usize>()
+                module
+                    .functions
+                    .iter()
+                    .map(|f| f.instr_count())
+                    .sum::<usize>()
             ))
         }
     }

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     for n in [5i64, 10, 100] {
         let got = sum_squares.call(&[Value::I64(n)])?;
-        println!("sum of squares 1..{n}  = {got}  (closed form {})", n * (n + 1) * (2 * n + 1) / 6);
+        println!(
+            "sum of squares 1..{n}  = {got}  (closed form {})",
+            n * (n + 1) * (2 * n + 1) / 6
+        );
     }
 
     // --- 2. Map with promotion: the same pipeline at Real64 -----------
@@ -39,14 +42,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Sqrt[Total[Map[Function[{x}, x*x], v]] / Length[v]]]"#,
     )?;
     let signal = Tensor::from_f64(vec![3.0, -4.0, 3.0, -4.0]);
-    println!("rms[{{3, -4, 3, -4}}] = {}", rms.call(&[Value::Tensor(signal)])?);
+    println!(
+        "rms[{{3, -4, 3, -4}}] = {}",
+        rms.call(&[Value::Tensor(signal)])?
+    );
 
     // --- 3. Tensor (+) scalar broadcast --------------------------------
     // `v*2 + 1` : Times[Tensor, scalar] then Plus[Tensor, scalar]; the
     // integer literals promote to Real64 to match the element type.
-    let affine = compiler.function_compile_src(
-        r#"Function[{Typed[v, "Tensor"["Real64", 1]]}, v*2 + 1]"#,
-    )?;
+    let affine =
+        compiler.function_compile_src(r#"Function[{Typed[v, "Tensor"["Real64", 1]]}, v*2 + 1]"#)?;
     let out = affine.call(&[Value::Tensor(Tensor::from_f64(vec![0.0, 0.5, 1.0]))])?;
     println!("affine[{{0, 0.5, 1}}] = {out}");
 

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compiler = Compiler::new(CompilerOptions::default());
 
     // A.6.1 CompileToAST
-    println!("== CompileToAST ==\n{}\n", compiler.compile_to_ast(&add_one).to_input_form());
+    println!(
+        "== CompileToAST ==\n{}\n",
+        compiler.compile_to_ast(&add_one).to_input_form()
+    );
 
     // A.6.2 CompileToIR with optimizations off: the untyped WIR.
     let wir = compiler.compile_to_ir(&add_one)?;
@@ -30,17 +33,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== C source ==\n{}", compiler.export_string(&add_one, "C")?);
 
     // A.6.5 the assembler listing.
-    println!("== Assembler ==\n{}", compiler.export_string(&add_one, "Assembler")?);
+    println!(
+        "== Assembler ==\n{}",
+        compiler.export_string(&add_one, "Assembler")?
+    );
 
     // The WVM backend (F4): the new compiler retargeting the legacy VM.
-    println!("== WVM bytecode ==\n{}", compiler.export_string(&add_one, "WVM")?);
+    println!(
+        "== WVM bytecode ==\n{}",
+        compiler.export_string(&add_one, "WVM")?
+    );
 
     // A.6.6 FunctionCompileExportLibrary.
     let dir = std::env::temp_dir().join("wolfram-example-export");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join("addOne.wxl");
     compiler.export_library(&add_one, &path)?;
-    println!("== Exported library ==\n{}", String::from_utf8_lossy(&std::fs::read(&path)?));
+    println!(
+        "== Exported library ==\n{}",
+        String::from_utf8_lossy(&std::fs::read(&path)?)
+    );
     let loaded = compiler.load_library(&path)?;
     println!(
         "loaded and recompiled: addOne[41] = {}",

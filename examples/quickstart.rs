@@ -40,9 +40,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
           While[k < n, t = a + b; a = b; b = t; k = k + 1];
           a]]
     "#;
-    let fib = compiler.function_compile_src(fib_src)?.hosted(engine.clone());
-    println!("\nfib[90]  = {} (native fast path)", fib.call_exprs(&[Expr::int(90)])?);
-    println!("fib[200] = {} (soft fallback)", fib.call_exprs(&[Expr::int(200)])?);
+    let fib = compiler
+        .function_compile_src(fib_src)?
+        .hosted(engine.clone());
+    println!(
+        "\nfib[90]  = {} (native fast path)",
+        fib.call_exprs(&[Expr::int(90)])?
+    );
+    println!(
+        "fib[200] = {} (soft fallback)",
+        fib.call_exprs(&[Expr::int(200)])?
+    );
     for warning in engine.borrow_mut().take_output() {
         println!("  >> {warning}");
     }

@@ -8,7 +8,10 @@ use std::time::Instant;
 use wolfram_language_compiler::interp::Interpreter;
 
 fn main() {
-    let len: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let len: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
     let suite = wolfram_bench::intro::WalkSuite::new();
 
     // In[1]: the interpreter evaluates the NestList program directly.
@@ -17,7 +20,10 @@ fn main() {
     let start = Instant::now();
     let walk = suite.run_interpreted(&mut engine, len as i64);
     let interp_secs = start.elapsed().as_secs_f64();
-    println!("In[1] interpreted:     {interp_secs:.4}s ({} points)", walk.length());
+    println!(
+        "In[1] interpreted:     {interp_secs:.4}s ({} points)",
+        walk.length()
+    );
 
     // In[2]: the bytecode compiler (structural modifications required).
     let start = Instant::now();

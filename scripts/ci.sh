@@ -2,12 +2,16 @@
 # CI gate: tier-1 verification (ROADMAP.md) plus lint.
 #
 #   tier-1:  cargo build --release && cargo test -q
-#   lint:    cargo clippy --all-targets -- -D warnings
+#   lint:    cargo fmt --all -- --check
+#            cargo clippy --all-targets -- -D warnings
 #
 # Run from the repository root: ./scripts/ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> lint: cargo fmt --all -- --check"
+cargo fmt --all -- --check
 
 echo "==> tier-1: cargo build --release"
 cargo build --release

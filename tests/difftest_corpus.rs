@@ -1,0 +1,33 @@
+//! Replays the committed counterexample corpus. Every artifact under
+//! `difftest/corpus/` is a divergence the fuzzer once found (or a
+//! hand-pinned semantic corner); replaying them on each `cargo test` run
+//! keeps once-fixed engine disagreements fixed.
+
+use std::path::Path;
+
+use wolfram_difftest::oracle;
+
+#[test]
+fn corpus_replays_without_divergence() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("difftest/corpus");
+    let entries = wolfram_difftest::corpus::load_dir(&dir).expect("corpus parses");
+    assert!(
+        !entries.is_empty(),
+        "committed corpus is missing from {}",
+        dir.display()
+    );
+    for (path, entry) in entries {
+        let subject = oracle::prepare(&entry.func)
+            .unwrap_or_else(|e| panic!("{} no longer compiles: {e}", path.display()));
+        for args in &entry.arg_sets {
+            let run = subject.run(args);
+            assert!(
+                run.divergence().is_none(),
+                "{} regressed ({}): {:?}",
+                path.display(),
+                entry.note,
+                run.outcomes
+            );
+        }
+    }
+}

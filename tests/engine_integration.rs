@@ -22,9 +22,15 @@ fn paper_cfib_200_soft_failure() {
     let src = "Function[{Typed[n, \"MachineInteger\"]}, \
                Module[{a = 0, b = 1, k = 0, t = 0}, \
                While[k < n, t = a + b; a = b; b = t; k = k + 1]; a]]";
-    let cfib = Compiler::default().function_compile_src(src).unwrap().hosted(eng.clone());
+    let cfib = Compiler::default()
+        .function_compile_src(src)
+        .unwrap()
+        .hosted(eng.clone());
     let out = cfib.call_exprs(&[Expr::int(200)]).unwrap();
-    assert_eq!(out.to_full_form(), "280571172992510140037611932413038677189525");
+    assert_eq!(
+        out.to_full_form(),
+        "280571172992510140037611932413038677189525"
+    );
     let warnings = eng.borrow_mut().take_output();
     assert!(
         warnings[0].contains("reverting to uncompiled evaluation: IntegerOverflow"),
@@ -48,7 +54,10 @@ fn session_survives_abort_with_mutated_state() {
     // The session still works; i retains whatever the abort left behind.
     let i = eng.borrow_mut().eval_src("i").unwrap();
     assert!(i.as_i64().is_some(), "session state usable: {i:?}");
-    assert_eq!(eng.borrow_mut().eval_src("1 + 1").unwrap().as_i64(), Some(2));
+    assert_eq!(
+        eng.borrow_mut().eval_src("1 + 1").unwrap().as_i64(),
+        Some(2)
+    );
 }
 
 #[test]
@@ -59,9 +68,7 @@ fn compiled_and_interpreted_code_intermix() {
     let eng = engine();
     eng.borrow_mut().eval_src("scale[x_] := 10 * x").unwrap();
     let cf = Compiler::default()
-        .function_compile_src(
-            "Function[{Typed[n, \"MachineInteger\"]}, scale[n] + 1]",
-        )
+        .function_compile_src("Function[{Typed[n, \"MachineInteger\"]}, scale[n] + 1]")
         .unwrap()
         .hosted(eng.clone());
     assert_eq!(cf.call_exprs(&[Expr::int(4)]).unwrap().as_i64(), Some(41));
@@ -85,7 +92,10 @@ fn compiled_function_used_by_interpreted_higher_order_code() {
     let out = eng.borrow_mut().eval_src("NestList[sq, 2.0, 3]").unwrap();
     assert_eq!(out.to_full_form(), "List[2., 4., 16., 256.]");
     // FixedPoint/Fold style use.
-    let out = eng.borrow_mut().eval_src("Fold[Plus, 0., Map[sq, {1., 2., 3.}]]").unwrap();
+    let out = eng
+        .borrow_mut()
+        .eval_src("Fold[Plus, 0., Map[sq, {1., 2., 3.}]]")
+        .unwrap();
     assert_eq!(out.as_f64(), Some(14.0));
 }
 
@@ -116,7 +126,10 @@ fn installed_function_soft_failure_inside_interpreted_code() {
     let out = eng.borrow_mut().eval_src("square[4000000000]").unwrap();
     assert_eq!(out.to_full_form(), "16000000000000000000");
     let warnings = eng.borrow_mut().take_output();
-    assert!(warnings.iter().any(|w| w.contains("IntegerOverflow")), "{warnings:?}");
+    assert!(
+        warnings.iter().any(|w| w.contains("IntegerOverflow")),
+        "{warnings:?}"
+    );
 }
 
 #[test]
@@ -158,7 +171,10 @@ fn symbolic_values_flow_between_worlds() {
         .eval_src("symPlus[x, y] /. {x -> 1, y -> 2}")
         .unwrap();
     assert_eq!(out.as_i64(), Some(3));
-    let out = eng.borrow_mut().eval_src("D[symPlus[Sin[t], t^2], t]").unwrap();
+    let out = eng
+        .borrow_mut()
+        .eval_src("D[symPlus[Sin[t], t^2], t]")
+        .unwrap();
     assert_eq!(out.to_full_form(), "Plus[Cos[t], Times[2, t]]");
 }
 

@@ -99,17 +99,20 @@ fn throw_catch() {
 
 #[test]
 fn listable_threading_deep() {
-    assert_eq!(ev("{{1, 2}, {3, 4}} + 10"), "List[List[11, 12], List[13, 14]]");
+    assert_eq!(
+        ev("{{1, 2}, {3, 4}} + 10"),
+        "List[List[11, 12], List[13, 14]]"
+    );
     assert_eq!(ev("Sqrt[{16.0, 25.0}]"), "List[4., 5.]");
 }
 
 #[test]
 fn functional_composition() {
+    assert_eq!(ev("Fold[Plus, 0, Map[(#^2 &), Range[4]]]"), "30");
     assert_eq!(
-        ev("Fold[Plus, 0, Map[(#^2 &), Range[4]]]"),
-        "30"
+        ev("Select[Range[20], PrimeQ]"),
+        "List[2, 3, 5, 7, 11, 13, 17, 19]"
     );
-    assert_eq!(ev("Select[Range[20], PrimeQ]"), "List[2, 3, 5, 7, 11, 13, 17, 19]");
     assert_eq!(ev("FixedPoint[Function[v, Quotient[v, 2]], 100]"), "0");
 }
 
@@ -139,7 +142,10 @@ fn interpreter_abort_is_recoverable() {
     let mut i = Interpreter::new();
     i.eval_src("acc = 0").unwrap();
     i.abort_signal().trigger();
-    assert_eq!(i.eval_src("While[True, acc = acc + 1]"), Err(RuntimeError::Aborted));
+    assert_eq!(
+        i.eval_src("While[True, acc = acc + 1]"),
+        Err(RuntimeError::Aborted)
+    );
     i.abort_signal().reset();
     // Session continues; acc holds partial state.
     assert!(i.eval_src("acc").unwrap().as_i64().is_some());
@@ -155,7 +161,10 @@ fn replace_repeated_and_rules() {
 fn derivative_table() {
     for (src, want) in [
         ("D[x^3, x]", "Times[3, Power[x, 2]]"),
-        ("D[Sin[x]*Cos[x], x]", "Plus[Times[-1, Power[Sin[x], 2]], Power[Cos[x], 2]]"),
+        (
+            "D[Sin[x]*Cos[x], x]",
+            "Plus[Times[-1, Power[Sin[x], 2]], Power[Cos[x], 2]]",
+        ),
         ("D[E^(2*x), x]", "Times[2, Power[E, Times[2, x]]]"),
     ] {
         let got = ev(src);

@@ -34,7 +34,10 @@ fn factorial_soft_failure_at_21() {
     let standalone = Compiler::default()
         .function_compile_src("Function[{Typed[n, \"MachineInteger\"]}, Factorial[n]]")
         .unwrap();
-    assert_eq!(standalone.call(&[Value::I64(21)]), Err(RuntimeError::IntegerOverflow));
+    assert_eq!(
+        standalone.call(&[Value::I64(21)]),
+        Err(RuntimeError::IntegerOverflow)
+    );
     // Hosted call: soft fallback to bignum.
     let out = cf.call_exprs(&[Expr::int(21)]).unwrap();
     assert_eq!(out.to_full_form(), "51090942171709440000");
@@ -44,7 +47,10 @@ fn factorial_soft_failure_at_21() {
         .iter()
         .any(|w| w.contains("IntegerOverflow")));
     // 20! stays native.
-    assert_eq!(cf.call(&[Value::I64(20)]).unwrap(), Value::I64(2432902008176640000));
+    assert_eq!(
+        cf.call(&[Value::I64(20)]).unwrap(),
+        Value::I64(2432902008176640000)
+    );
 }
 
 #[test]
@@ -77,7 +83,10 @@ fn gcd_compiled_three_ways() {
 #[test]
 fn primeq_across_engines() {
     let mut interp = Interpreter::new();
-    for n in [0i64, 1, 2, 3, 4, 97, 561 /* Carmichael */, 7919, 104729] {
+    for n in [
+        0i64, 1, 2, 3, 4, 97, 561, /* Carmichael */
+        7919, 104729,
+    ] {
         let want = wolfram_bench::native::is_prime(n as u64);
         let got = interp.eval_src(&format!("PrimeQ[{n}]")).unwrap();
         assert_eq!(got.is_true(), want, "PrimeQ[{n}]");
@@ -94,7 +103,11 @@ fn powermod_compiled_matches_interpreter_builtin_path() {
         .unwrap();
     // Ground truth through the interpreter's bignum Power + Mod.
     let mut interp = Interpreter::new();
-    for (a, b, m) in [(2i64, 100, 1_000_000_007), (5, 13, 97), (123456, 789, 65537)] {
+    for (a, b, m) in [
+        (2i64, 100, 1_000_000_007),
+        (5, 13, 97),
+        (123456, 789, 65537),
+    ] {
         let got = cf
             .call(&[Value::I64(a), Value::I64(b), Value::I64(m)])
             .unwrap()

@@ -73,7 +73,10 @@ fn per_stage_timings_recorded() {
         "type-inference",
         "function-resolution",
     ] {
-        assert!(stages.iter().any(|s| s == expected), "missing {expected}: {stages:?}");
+        assert!(
+            stages.iter().any(|s| s == expected),
+            "missing {expected}: {stages:?}"
+        );
     }
 }
 
@@ -82,7 +85,10 @@ fn optimization_levels_agree_on_results() {
     let src = "Function[{Typed[n, \"MachineInteger\"]}, \
                Module[{s = 0, i = 1}, While[i <= n, s = s + i*i; i = i + 1]; s]]";
     let baseline = Compiler::default().function_compile_src(src).unwrap();
-    let opts = CompilerOptions { optimization_level: 0, ..CompilerOptions::default() };
+    let opts = CompilerOptions {
+        optimization_level: 0,
+        ..CompilerOptions::default()
+    };
     let unopt = Compiler::new(opts).function_compile_src(src).unwrap();
     for n in [0i64, 1, 10, 100] {
         assert_eq!(
@@ -102,11 +108,21 @@ fn every_disabled_pass_combination_is_still_correct() {
         .unwrap()
         .call(&[Value::F64(3.0)])
         .unwrap();
-    for pass in ["constant-fold", "cse", "copy-propagation", "dce", "simplify-cfg"] {
+    for pass in [
+        "constant-fold",
+        "cse",
+        "copy-propagation",
+        "dce",
+        "simplify-cfg",
+    ] {
         let mut opts = CompilerOptions::default();
         opts.disabled_passes.insert(pass.to_string());
         let cf = Compiler::new(opts).function_compile_src(src).unwrap();
-        assert_eq!(cf.call(&[Value::F64(3.0)]).unwrap(), expected, "without {pass}");
+        assert_eq!(
+            cf.call(&[Value::F64(3.0)]).unwrap(),
+            expected,
+            "without {pass}"
+        );
     }
 }
 
@@ -128,7 +144,9 @@ fn export_library_roundtrip() {
 fn compile_errors_name_their_stage() {
     let compiler = Compiler::default();
     // Missing parameter types: inference cannot proceed.
-    let err = compiler.function_compile_src("Function[{n}, n + 1]").unwrap_err();
+    let err = compiler
+        .function_compile_src("Function[{n}, n + 1]")
+        .unwrap_err();
     assert!(err.to_string().contains("infer"), "{err}");
     // Ill-typed body (no symbolic escape: StringLength has no
     // Expression overload).

@@ -125,9 +125,8 @@ fn arb_int_arith() -> impl Strategy<Value = String> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("Min[{a}, {b}]")),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("Max[{a}, {b}]")),
             inner.clone().prop_map(|a| format!("Abs[{a}]")),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| {
-                format!("If[{c} < {t}, {t}, {f}]")
-            }),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, f)| { format!("If[{c} < {t}, {t}, {f}]") }),
         ]
     })
 }

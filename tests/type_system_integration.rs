@@ -17,7 +17,11 @@ fn compile(src: &str) -> wolfram_language_compiler::compiler::CompiledCodeFuncti
 fn machine_integer_aliases_are_interchangeable() {
     for spec in ["MachineInteger", "Integer64", "Integer"] {
         let cf = compile(&format!("Function[{{Typed[n, \"{spec}\"]}}, n + 1]"));
-        assert_eq!(cf.call(&[Value::I64(41)]).unwrap(), Value::I64(42), "{spec}");
+        assert_eq!(
+            cf.call(&[Value::I64(41)]).unwrap(),
+            Value::I64(42),
+            "{spec}"
+        );
     }
 }
 
@@ -25,15 +29,17 @@ fn machine_integer_aliases_are_interchangeable() {
 fn real_aliases_are_interchangeable() {
     for spec in ["MachineReal", "Real64", "Real"] {
         let cf = compile(&format!("Function[{{Typed[x, \"{spec}\"]}}, x * 2]"));
-        assert_eq!(cf.call(&[Value::F64(1.5)]).unwrap(), Value::F64(3.0), "{spec}");
+        assert_eq!(
+            cf.call(&[Value::F64(1.5)]).unwrap(),
+            Value::F64(3.0),
+            "{spec}"
+        );
     }
 }
 
 #[test]
 fn compound_tensor_specifier() {
-    let cf = compile(
-        "Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, Total[v] / Length[v]]",
-    );
+    let cf = compile("Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, Total[v] / Length[v]]");
     let mean = cf
         .call(&[Value::Tensor(Tensor::from_f64(vec![1.0, 2.0, 3.0, 6.0]))])
         .unwrap();
@@ -42,9 +48,7 @@ fn compound_tensor_specifier() {
 
 #[test]
 fn rank_two_tensor_specifier() {
-    let cf = compile(
-        "Function[{Typed[m, \"Tensor\"[\"Integer64\", 2]]}, m[[2, 1]]]",
-    );
+    let cf = compile("Function[{Typed[m, \"Tensor\"[\"Integer64\", 2]]}, m[[2, 1]]]");
     let m = Tensor::with_shape(
         vec![2, 2],
         wolfram_language_compiler::runtime::TensorData::I64(vec![1, 2, 3, 4]),
@@ -88,9 +92,7 @@ fn mixed_arithmetic_takes_the_lub() {
 
 #[test]
 fn real_tensor_plus_integer_scalar_promotes_elementwise() {
-    let cf = compile(
-        "Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, v + 1]",
-    );
+    let cf = compile("Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, v + 1]");
     let out = cf
         .call(&[Value::Tensor(Tensor::from_f64(vec![0.5, 1.5]))])
         .unwrap();
@@ -119,7 +121,9 @@ fn scalars_box_into_expression_arguments() {
         wolfram_language_compiler::interp::Interpreter::new(),
     ));
     let cf = compile("Function[{Typed[n, \"MachineInteger\"]}, Sin[q] + n]").hosted(engine);
-    let out = cf.call_exprs(&[wolfram_language_compiler::expr::Expr::int(3)]).unwrap();
+    let out = cf
+        .call_exprs(&[wolfram_language_compiler::expr::Expr::int(3)])
+        .unwrap();
     assert_eq!(out.to_full_form(), "Plus[3, Sin[q]]");
 }
 
@@ -144,9 +148,7 @@ fn missing_annotation_is_a_compile_error() {
 fn rank_mismatch_is_a_compile_error() {
     // Dot of two rank-1 tensors is a scalar; indexing it is ill-typed.
     let err = Compiler::default()
-        .function_compile_src(
-            "Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, Part[Total[v], 1]]",
-        )
+        .function_compile_src("Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, Part[Total[v], 1]]")
         .unwrap_err();
     assert!(!format!("{err}").is_empty());
 }
@@ -196,8 +198,15 @@ fn inline_policy_is_semantics_preserving() {
        While[i <= n, acc = acc + i*i; i = i + 1];
        acc]]";
     let mut outs = Vec::new();
-    for policy in [InlinePolicy::Automatic, InlinePolicy::Never, InlinePolicy::Always] {
-        let opts = CompilerOptions { inline_policy: policy, ..CompilerOptions::default() };
+    for policy in [
+        InlinePolicy::Automatic,
+        InlinePolicy::Never,
+        InlinePolicy::Always,
+    ] {
+        let opts = CompilerOptions {
+            inline_policy: policy,
+            ..CompilerOptions::default()
+        };
         let cf = Compiler::new(opts).function_compile_src(src).unwrap();
         outs.push(cf.call(&[Value::I64(100)]).unwrap());
     }
@@ -274,7 +283,10 @@ fn abort_unwinds_instantiated_hof_loop() {
     assert_eq!(cf.call(&[Value::I64(10)]).unwrap(), Value::I64(55));
     engine.borrow().abort_signal().trigger();
     let err = cf.call(&[Value::I64(100_000_000)]).unwrap_err();
-    assert_eq!(err, wolfram_language_compiler::runtime::RuntimeError::Aborted);
+    assert_eq!(
+        err,
+        wolfram_language_compiler::runtime::RuntimeError::Aborted
+    );
     engine.borrow().abort_signal().reset();
     assert_eq!(cf.call(&[Value::I64(4)]).unwrap(), Value::I64(10));
 }
@@ -299,9 +311,7 @@ fn compiled_nest_matches_interpreter() {
 fn table_desugars_to_map_over_range() {
     // The §4.2 macro Table[body, {i, n}] :> Map[Function[{i}, body],
     // Range[n]] makes Table compilable through the stdlib HOFs.
-    let cf = compile(
-        "Function[{Typed[n, \"MachineInteger\"]}, Total[Table[i*i, {i, n}]]]",
-    );
+    let cf = compile("Function[{Typed[n, \"MachineInteger\"]}, Total[Table[i*i, {i, n}]]]");
     assert_eq!(cf.call(&[Value::I64(10)]).unwrap(), Value::I64(385));
     // And the AST dump shows the rewrite.
     let ast = Compiler::default().compile_to_ast(
