@@ -1,0 +1,116 @@
+//! A small lattice-based dataflow framework over the IR's CFG.
+//!
+//! Checkers describe a join-semilattice fact, a direction, and a block
+//! transfer function; [`solve`] runs the classic worklist iteration to a
+//! fixpoint. Facts start at bottom (no information), so back edges are
+//! handled by re-iteration rather than pessimistic initialization.
+
+use std::collections::HashMap;
+use wolfram_ir::analysis::Cfg;
+use wolfram_ir::{BlockId, Function, Instr};
+
+/// A join-semilattice fact.
+pub trait Lattice: Clone + PartialEq {
+    /// The least element (no information).
+    fn bottom() -> Self;
+    /// In-place least upper bound. Returns whether `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// Propagation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from the entry toward returns.
+    Forward,
+    /// Facts flow from returns toward the entry.
+    Backward,
+}
+
+/// A dataflow problem.
+pub trait Analysis {
+    /// The fact tracked per program point.
+    type Fact: Lattice;
+
+    /// Propagation direction.
+    const DIRECTION: Direction;
+
+    /// The fact at the boundary: the entry block's start (forward) or
+    /// every exit block's end (backward).
+    fn boundary(&self, f: &Function) -> Self::Fact;
+
+    /// Applies one block. Forward analyses receive the fact at the block
+    /// start and must leave the fact at the block end (and vice versa for
+    /// backward analyses, which should walk the instructions in reverse).
+    fn transfer_block(&self, f: &Function, b: BlockId, fact: &mut Self::Fact);
+}
+
+/// Converged facts at block boundaries. `on_entry` is always the fact at
+/// the block's start and `on_exit` the fact at its end, regardless of
+/// direction.
+#[derive(Debug, Clone)]
+pub struct Results<F> {
+    /// Fact at each reachable block's start.
+    pub on_entry: HashMap<BlockId, F>,
+    /// Fact at each reachable block's end.
+    pub on_exit: HashMap<BlockId, F>,
+}
+
+/// Runs the worklist iteration to a fixpoint over the reachable blocks.
+pub fn solve<A: Analysis>(a: &A, f: &Function, cfg: &Cfg) -> Results<A::Fact> {
+    let mut on_entry: HashMap<BlockId, A::Fact> = HashMap::new();
+    let mut on_exit: HashMap<BlockId, A::Fact> = HashMap::new();
+    let order: Vec<BlockId> = match A::DIRECTION {
+        Direction::Forward => cfg.rpo.clone(),
+        Direction::Backward => cfg.rpo.iter().rev().copied().collect(),
+    };
+    let is_exit = |b: BlockId| matches!(f.block(b).instrs.last(), Some(Instr::Return { .. }));
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            match A::DIRECTION {
+                Direction::Forward => {
+                    let mut fact = if b == f.entry {
+                        a.boundary(f)
+                    } else {
+                        A::Fact::bottom()
+                    };
+                    for &p in &cfg.preds[b.0 as usize] {
+                        if let Some(out) = on_exit.get(&p) {
+                            fact.join(out);
+                        }
+                    }
+                    if on_entry.get(&b) != Some(&fact) {
+                        on_entry.insert(b, fact.clone());
+                    }
+                    a.transfer_block(f, b, &mut fact);
+                    if on_exit.get(&b) != Some(&fact) {
+                        on_exit.insert(b, fact);
+                        changed = true;
+                    }
+                }
+                Direction::Backward => {
+                    let mut fact = if is_exit(b) {
+                        a.boundary(f)
+                    } else {
+                        A::Fact::bottom()
+                    };
+                    for &s in &cfg.succs[b.0 as usize] {
+                        if let Some(inn) = on_entry.get(&s) {
+                            fact.join(inn);
+                        }
+                    }
+                    if on_exit.get(&b) != Some(&fact) {
+                        on_exit.insert(b, fact.clone());
+                    }
+                    a.transfer_block(f, b, &mut fact);
+                    if on_entry.get(&b) != Some(&fact) {
+                        on_entry.insert(b, fact);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    Results { on_entry, on_exit }
+}

@@ -1,0 +1,101 @@
+//! The diagnostics model: severity, a stable code, and a
+//! function/block/instruction anchor rendered through the IR's own
+//! textual dump (`ir/print.rs`).
+
+use wolfram_ir::{BlockId, Function};
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not a correctness proof failure.
+    Warning,
+    /// A violated IR invariant; the pipeline must not proceed.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label for rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One analyzer finding, anchored to an IR location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Severity.
+    pub severity: Severity,
+    /// Stable machine-readable code, e.g. `type-mismatch`.
+    pub code: &'static str,
+    /// The function the finding is in.
+    pub function: String,
+    /// The block, when the finding anchors to one.
+    pub block: Option<BlockId>,
+    /// Instruction index within the block.
+    pub instr: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error finding.
+    pub fn error(code: &'static str, f: &Function, message: String) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            function: f.name.clone(),
+            block: None,
+            instr: None,
+            message,
+        }
+    }
+
+    /// A warning finding.
+    pub fn warning(code: &'static str, f: &Function, message: String) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            function: f.name.clone(),
+            block: None,
+            instr: None,
+            message,
+        }
+    }
+
+    /// Anchors the finding to a block (and optionally an instruction).
+    #[must_use]
+    pub fn at(mut self, block: BlockId, instr: Option<usize>) -> Self {
+        self.block = Some(block);
+        self.instr = instr;
+        self
+    }
+
+    /// Renders the finding, quoting the anchored instruction from the
+    /// function's dump when available.
+    pub fn render(&self, f: Option<&Function>) -> String {
+        let mut out = format!(
+            "{}[{}] in `{}`",
+            self.severity.label(),
+            self.code,
+            self.function
+        );
+        if let Some(b) = self.block {
+            if let Some(f) = f {
+                out.push_str(&format!(", block {}({})", f.block(b).label, b.0 + 1));
+            } else {
+                out.push_str(&format!(", block {}", b.0 + 1));
+            }
+        }
+        out.push_str(": ");
+        out.push_str(&self.message);
+        if let (Some(f), Some(b), Some(ix)) = (f, self.block, self.instr) {
+            if let Some(i) = f.block(b).instrs.get(ix) {
+                out.push_str(&format!("\n  at: {}", f.instr_text(i)));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,342 @@
+//! Lints: maybe-uninitialized uses, dead stores, unreachable blocks, and
+//! statically out-of-range constant `Part` indices. All findings here are
+//! warnings — they flag suspicious IR the pipeline is still allowed to
+//! run (an out-of-range `Part` is a well-defined runtime soft failure).
+
+use crate::dataflow::{solve, Analysis, Direction, Lattice};
+use crate::diag::Diagnostic;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use wolfram_ir::analysis::Cfg;
+use wolfram_ir::{BlockId, Callee, Constant, Function, Instr, Operand, VarId};
+
+/// Definitely-assigned variables; `None` is the solver's bottom (no path
+/// information yet), so the join is set intersection over known paths.
+#[derive(Debug, Clone, PartialEq)]
+struct InitFact(Option<BTreeSet<VarId>>);
+
+impl Lattice for InitFact {
+    fn bottom() -> Self {
+        InitFact(None)
+    }
+
+    fn join(&mut self, other: &Self) -> bool {
+        match (&mut self.0, &other.0) {
+            (_, None) => false,
+            (Some(mine), Some(theirs)) => {
+                let before = mine.len();
+                mine.retain(|v| theirs.contains(v));
+                before != mine.len()
+            }
+            (slot @ None, Some(theirs)) => {
+                *slot = Some(theirs.clone());
+                true
+            }
+        }
+    }
+}
+
+struct MustInit;
+
+impl Analysis for MustInit {
+    type Fact = InitFact;
+    const DIRECTION: Direction = Direction::Forward;
+
+    fn boundary(&self, _f: &Function) -> InitFact {
+        InitFact(Some(BTreeSet::new()))
+    }
+
+    fn transfer_block(&self, f: &Function, b: BlockId, fact: &mut InitFact) {
+        if let Some(set) = &mut fact.0 {
+            for i in &f.block(b).instrs {
+                if let Some(d) = i.def() {
+                    set.insert(d);
+                }
+            }
+        }
+    }
+}
+
+/// Uses of variables not definitely assigned on every path. Redundant
+/// with the SSA linter's dominance check on verified IR, but reported as
+/// a diagnostic (with an anchor) for arbitrary IR fed to `reproduce
+/// analyze`.
+pub fn maybe_uninitialized(f: &Function) -> Vec<Diagnostic> {
+    if f.blocks.is_empty() {
+        return Vec::new();
+    }
+    let cfg = Cfg::new(f);
+    let results = solve(&MustInit, f, &cfg);
+    let mut out = Vec::new();
+    for &b in &cfg.rpo {
+        let Some(InitFact(Some(entry))) = results.on_entry.get(&b) else {
+            continue;
+        };
+        let mut defined = entry.clone();
+        for (ix, i) in f.block(b).instrs.iter().enumerate() {
+            // Phi operands are read on the incoming edge, not here; the
+            // per-predecessor exit facts cover them via the normal uses
+            // of whatever defined those operands.
+            if !matches!(i, Instr::Phi { .. }) {
+                for v in i.uses() {
+                    if !defined.contains(&v) {
+                        out.push(
+                            Diagnostic::warning(
+                                "maybe-uninitialized",
+                                f,
+                                format!("%{} may be used before assignment", v.0),
+                            )
+                            .at(b, Some(ix)),
+                        );
+                    }
+                }
+            }
+            if let Some(d) = i.def() {
+                defined.insert(d);
+            }
+        }
+    }
+    out
+}
+
+/// Removable definitions whose result is never read anywhere.
+pub fn dead_stores(f: &Function) -> Vec<Diagnostic> {
+    let mut used: HashSet<VarId> = HashSet::new();
+    for i in f.instrs() {
+        used.extend(i.uses());
+        if let Instr::Call {
+            callee: Callee::Value(v),
+            ..
+        } = i
+        {
+            used.insert(*v);
+        }
+    }
+    let mut out = Vec::new();
+    for b in f.block_ids() {
+        for (ix, i) in f.block(b).instrs.iter().enumerate() {
+            if i.is_removable() && !matches!(i, Instr::LoadArgument { .. }) {
+                if let Some(d) = i.def() {
+                    if !used.contains(&d) {
+                        out.push(
+                            Diagnostic::warning(
+                                "dead-store",
+                                f,
+                                format!("%{} is computed but never read", d.0),
+                            )
+                            .at(b, Some(ix)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Blocks no path from the entry reaches. Empty tombstones (what
+/// `simplify-cfg` leaves to keep ids stable) are skipped.
+pub fn unreachable_blocks(f: &Function) -> Vec<Diagnostic> {
+    if f.blocks.is_empty() {
+        return Vec::new();
+    }
+    let cfg = Cfg::new(f);
+    cfg.unreachable(f)
+        .into_iter()
+        .filter(|b| !f.block(*b).instrs.is_empty())
+        .map(|b| {
+            Diagnostic::warning(
+                "unreachable-block",
+                f,
+                format!(
+                    "block {}({}) is unreachable from the entry",
+                    f.block(b).label,
+                    b.0 + 1
+                ),
+            )
+            .at(b, None)
+        })
+        .collect()
+}
+
+/// Constant `Part` indices provably out of range for lists whose length
+/// is statically known (literal arrays and `list_construct` results).
+/// Wolfram indexing is 1-based; negative indices count from the end.
+pub fn part_bounds(f: &Function) -> Vec<Diagnostic> {
+    // Known lengths, propagated through copies.
+    let mut len_of: HashMap<VarId, i64> = HashMap::new();
+    for i in f.instrs() {
+        match i {
+            Instr::LoadConst { dst, value } => {
+                let len = match value {
+                    Constant::I64Array(a) => Some(a.len()),
+                    Constant::F64Array(a) => Some(a.len()),
+                    _ => None,
+                };
+                if let Some(len) = len {
+                    len_of.insert(*dst, len as i64);
+                }
+            }
+            Instr::Call { dst, callee, args } => {
+                let is_list = match callee {
+                    Callee::Builtin(n) => &**n == "List",
+                    Callee::Primitive(n) => n.starts_with("list_construct"),
+                    _ => false,
+                };
+                if is_list {
+                    len_of.insert(*dst, args.len() as i64);
+                }
+            }
+            Instr::Copy { dst, src } => {
+                if let Some(&len) = len_of.get(src) {
+                    len_of.insert(*dst, len);
+                }
+            }
+            _ => {}
+        }
+    }
+    let operand_len = |o: &Operand| -> Option<i64> {
+        match o {
+            Operand::Var(v) => len_of.get(v).copied(),
+            Operand::Const(Constant::I64Array(a)) => Some(a.len() as i64),
+            Operand::Const(Constant::F64Array(a)) => Some(a.len() as i64),
+            Operand::Const(_) => None,
+        }
+    };
+    let mut out = Vec::new();
+    for b in f.block_ids() {
+        for (ix, i) in f.block(b).instrs.iter().enumerate() {
+            let Instr::Call { callee, args, .. } = i else {
+                continue;
+            };
+            let is_part = match callee {
+                Callee::Builtin(n) => &**n == "Part",
+                Callee::Primitive(n) => n.starts_with("tensor_part_1"),
+                _ => false,
+            };
+            if !is_part || args.len() < 2 {
+                continue;
+            }
+            let (Some(len), Some(&Constant::I64(k))) = (operand_len(&args[0]), args[1].as_const())
+            else {
+                continue;
+            };
+            if k == 0 || k > len || k < -len {
+                out.push(
+                    Diagnostic::warning(
+                        "part-out-of-bounds",
+                        f,
+                        format!("Part index {k} is out of range for a list of length {len}"),
+                    )
+                    .at(b, Some(ix)),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+    use wolfram_ir::module::Block;
+
+    #[test]
+    fn constant_part_out_of_range_is_flagged() {
+        let mut f = Function::new("f", 0);
+        f.blocks.push(Block {
+            label: "start".into(),
+            instrs: vec![
+                Instr::LoadConst {
+                    dst: VarId(0),
+                    value: Constant::I64Array(Rc::from([1i64, 2, 3].as_slice())),
+                },
+                Instr::Call {
+                    dst: VarId(1),
+                    callee: Callee::Builtin(Rc::from("Part")),
+                    args: vec![VarId(0).into(), Constant::I64(4).into()],
+                },
+                Instr::Return {
+                    value: VarId(1).into(),
+                },
+            ],
+        });
+        let diags = part_bounds(&f);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "part-out-of-bounds");
+        // In-range (positive and negative) indices stay quiet.
+        let Instr::Call { args, .. } = &mut f.blocks[0].instrs[1] else {
+            unreachable!()
+        };
+        args[1] = Constant::I64(-3).into();
+        assert!(part_bounds(&f).is_empty());
+    }
+
+    #[test]
+    fn dead_store_and_unreachable_block_warn() {
+        let mut f = Function::new("f", 0);
+        f.blocks.push(Block {
+            label: "start".into(),
+            instrs: vec![
+                Instr::LoadConst {
+                    dst: VarId(0),
+                    value: Constant::I64(5),
+                },
+                Instr::Return {
+                    value: Constant::Null.into(),
+                },
+            ],
+        });
+        f.blocks.push(Block {
+            label: "orphan".into(),
+            instrs: vec![Instr::Return {
+                value: Constant::Null.into(),
+            }],
+        });
+        assert!(dead_stores(&f).iter().any(|d| d.code == "dead-store"));
+        assert!(unreachable_blocks(&f)
+            .iter()
+            .any(|d| d.code == "unreachable-block"));
+    }
+
+    #[test]
+    fn maybe_uninitialized_on_one_armed_definition() {
+        // v0 assigned only on the then-arm, read at the join.
+        let mut f = Function::new("f", 0);
+        f.blocks.push(Block {
+            label: "start".into(),
+            instrs: vec![
+                Instr::LoadConst {
+                    dst: VarId(1),
+                    value: Constant::Bool(true),
+                },
+                Instr::Branch {
+                    cond: VarId(1).into(),
+                    then_block: BlockId(1),
+                    else_block: BlockId(2),
+                },
+            ],
+        });
+        f.blocks.push(Block {
+            label: "then".into(),
+            instrs: vec![
+                Instr::LoadConst {
+                    dst: VarId(0),
+                    value: Constant::I64(1),
+                },
+                Instr::Jump { target: BlockId(2) },
+            ],
+        });
+        f.blocks.push(Block {
+            label: "join".into(),
+            instrs: vec![Instr::Return {
+                value: VarId(0).into(),
+            }],
+        });
+        let diags = maybe_uninitialized(&f);
+        assert!(
+            diags.iter().any(|d| d.code == "maybe-uninitialized"),
+            "{diags:?}"
+        );
+    }
+}

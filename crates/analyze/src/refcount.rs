@@ -1,0 +1,406 @@
+//! The refcount-balance checker: proves that every execution path pairs
+//! `MemoryAcquire`/`MemoryRelease` exactly once per managed interval —
+//! catching leaks (held at return), double releases, releases without a
+//! matching acquire, and uses after release.
+//!
+//! Forward may-analysis over a per-variable state set drawn from
+//! {Unheld, Held, Released}; the join is set union, so a variable whose
+//! paths disagree carries several bits and the report sweep can name the
+//! imbalanced path. Before `memory-management` has run there are no
+//! acquire instructions, every variable stays Unheld, and the checker is
+//! vacuously quiet — which is what lets it run after *every* pass.
+
+use crate::dataflow::{solve, Analysis, Direction, Lattice};
+use crate::diag::Diagnostic;
+use std::collections::{BTreeMap, HashSet};
+use wolfram_ir::analysis::Cfg;
+use wolfram_ir::{BlockId, Function, Instr, Operand, VarId};
+
+const UNHELD: u8 = 1;
+const HELD: u8 = 2;
+const RELEASED: u8 = 4;
+
+/// Per-variable refcount state sets. `None` is the solver's bottom (no
+/// path has reached this point yet); in a real (`Some`) fact, variables
+/// never mentioned are implicitly `UNHELD` — so the join must add the
+/// `UNHELD` bit for keys the *other* real fact does not mention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcFact {
+    states: Option<BTreeMap<VarId, u8>>,
+}
+
+impl RcFact {
+    fn real() -> Self {
+        RcFact {
+            states: Some(BTreeMap::new()),
+        }
+    }
+
+    fn get(&self, v: VarId) -> u8 {
+        self.states
+            .as_ref()
+            .and_then(|m| m.get(&v).copied())
+            .unwrap_or(UNHELD)
+    }
+
+    fn set(&mut self, v: VarId, bits: u8) {
+        if let Some(m) = &mut self.states {
+            m.insert(v, bits);
+        }
+    }
+}
+
+impl Lattice for RcFact {
+    fn bottom() -> Self {
+        RcFact { states: None }
+    }
+
+    fn join(&mut self, other: &Self) -> bool {
+        let Some(theirs) = &other.states else {
+            return false;
+        };
+        let Some(mine) = &mut self.states else {
+            self.states = Some(theirs.clone());
+            return true;
+        };
+        let mut changed = false;
+        for (&v, &bits) in theirs {
+            let e = mine.entry(v).or_insert(UNHELD);
+            let merged = *e | bits;
+            changed |= merged != *e;
+            *e = merged;
+        }
+        for (&v, e) in mine.iter_mut() {
+            if !theirs.contains_key(&v) {
+                let merged = *e | UNHELD;
+                changed |= merged != *e;
+                *e = merged;
+            }
+        }
+        changed
+    }
+}
+
+struct RefcountAnalysis;
+
+/// One instruction's effect on the state map (shared between the solver
+/// and the report sweep).
+fn transfer(fact: &mut RcFact, i: &Instr) {
+    match i {
+        Instr::MemoryAcquire { var } => fact.set(*var, HELD),
+        Instr::MemoryRelease { var } => fact.set(*var, RELEASED),
+        _ => {
+            if let Some(d) = i.def() {
+                fact.set(d, UNHELD);
+            }
+        }
+    }
+}
+
+impl Analysis for RefcountAnalysis {
+    type Fact = RcFact;
+    const DIRECTION: Direction = Direction::Forward;
+
+    fn boundary(&self, _f: &Function) -> RcFact {
+        RcFact::real()
+    }
+
+    fn transfer_block(&self, f: &Function, b: BlockId, fact: &mut RcFact) {
+        for i in &f.block(b).instrs {
+            transfer(fact, i);
+        }
+    }
+}
+
+/// Checks one function.
+pub fn check(f: &Function) -> Vec<Diagnostic> {
+    if f.blocks.is_empty() {
+        return Vec::new();
+    }
+    let cfg = Cfg::new(f);
+    let results = solve(&RefcountAnalysis, f, &cfg);
+    let mut out = Vec::new();
+    for &b in &cfg.rpo {
+        let Some(entry) = results.on_entry.get(&b) else {
+            continue;
+        };
+        let mut state = entry.clone();
+        // Variables released earlier in this same block: their reads at
+        // the block's *end* (terminator operands, phi-edge reads on
+        // outgoing edges) are the release convention of the
+        // memory-management pass, not use-after-release bugs.
+        let mut released_here: HashSet<VarId> = HashSet::new();
+        for (ix, i) in f.block(b).instrs.iter().enumerate() {
+            match i {
+                Instr::MemoryAcquire { var } => {
+                    if state.get(*var) & HELD != 0 {
+                        out.push(
+                            Diagnostic::error(
+                                "refcount-double-acquire",
+                                f,
+                                format!("%{} acquired while already held", var.0),
+                            )
+                            .at(b, Some(ix)),
+                        );
+                    }
+                }
+                Instr::MemoryRelease { var } => {
+                    let bits = state.get(*var);
+                    if bits & RELEASED != 0 {
+                        out.push(
+                            Diagnostic::error(
+                                "refcount-double-release",
+                                f,
+                                format!("%{} released twice on some path", var.0),
+                            )
+                            .at(b, Some(ix)),
+                        );
+                    } else if bits & HELD == 0 {
+                        out.push(
+                            Diagnostic::error(
+                                "refcount-release-unheld",
+                                f,
+                                format!("%{} released without a matching acquire", var.0),
+                            )
+                            .at(b, Some(ix)),
+                        );
+                    } else if bits & UNHELD != 0 {
+                        out.push(
+                            Diagnostic::error(
+                                "refcount-unbalanced",
+                                f,
+                                format!("%{} released but unacquired on some path", var.0),
+                            )
+                            .at(b, Some(ix)),
+                        );
+                    }
+                    released_here.insert(*var);
+                }
+                // Phi operands are reads on the incoming *edges*; they
+                // are checked below against each predecessor's exit
+                // state, not against this block's entry state.
+                Instr::Phi { .. } => {}
+                _ => {
+                    for v in i.uses() {
+                        if state.get(v) & RELEASED != 0
+                            && !(released_here.contains(&v) && i.is_terminator())
+                        {
+                            out.push(
+                                Diagnostic::error(
+                                    "refcount-use-after-release",
+                                    f,
+                                    format!("%{} used after MemoryRelease", v.0),
+                                )
+                                .at(b, Some(ix)),
+                            );
+                        }
+                    }
+                }
+            }
+            transfer(&mut state, i);
+            if let Instr::Return { .. } = i {
+                for (&v, &bits) in state.states.iter().flatten() {
+                    if bits & HELD != 0 {
+                        out.push(
+                            Diagnostic::error(
+                                "refcount-leak",
+                                f,
+                                format!("%{} still held at return on some path", v.0),
+                            )
+                            .at(b, Some(ix)),
+                        );
+                    }
+                }
+            }
+        }
+        // Phi-edge reads on outgoing edges happen conceptually at this
+        // block's end; a value released in an *earlier* block must not be
+        // read here (release-before-terminator in this block is the
+        // pass's convention and is fine).
+        let mut succs: Vec<BlockId> = cfg.succs[b.0 as usize].clone();
+        succs.sort_unstable();
+        succs.dedup();
+        for s in succs {
+            for i in &f.block(s).instrs {
+                let Instr::Phi { incoming, .. } = i else {
+                    break;
+                };
+                for (p, o) in incoming {
+                    if *p != b {
+                        continue;
+                    }
+                    if let Operand::Var(v) = o {
+                        if state.get(*v) & RELEASED != 0 && !released_here.contains(v) {
+                            out.push(
+                                Diagnostic::error(
+                                    "refcount-use-after-release",
+                                    f,
+                                    format!(
+                                        "%{} read by a phi in block {} after MemoryRelease",
+                                        v.0,
+                                        s.0 + 1
+                                    ),
+                                )
+                                .at(b, None),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolfram_ir::module::Block;
+    use wolfram_ir::Constant;
+
+    fn one_block(instrs: Vec<Instr>) -> Function {
+        let mut f = Function::new("f", 0);
+        f.blocks.push(Block {
+            label: "start".into(),
+            instrs,
+        });
+        f
+    }
+
+    #[test]
+    fn balanced_pair_is_clean() {
+        let f = one_block(vec![
+            Instr::LoadConst {
+                dst: VarId(0),
+                value: Constant::Str("x".into()),
+            },
+            Instr::MemoryAcquire { var: VarId(0) },
+            Instr::MemoryRelease { var: VarId(0) },
+            Instr::Return {
+                value: Constant::Null.into(),
+            },
+        ]);
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn leak_is_flagged() {
+        let f = one_block(vec![
+            Instr::LoadConst {
+                dst: VarId(0),
+                value: Constant::Str("x".into()),
+            },
+            Instr::MemoryAcquire { var: VarId(0) },
+            Instr::Return {
+                value: Constant::Null.into(),
+            },
+        ]);
+        let diags = check(&f);
+        assert!(diags.iter().any(|d| d.code == "refcount-leak"), "{diags:?}");
+    }
+
+    #[test]
+    fn double_release_is_flagged() {
+        let f = one_block(vec![
+            Instr::LoadConst {
+                dst: VarId(0),
+                value: Constant::Str("x".into()),
+            },
+            Instr::MemoryAcquire { var: VarId(0) },
+            Instr::MemoryRelease { var: VarId(0) },
+            Instr::MemoryRelease { var: VarId(0) },
+            Instr::Return {
+                value: Constant::Null.into(),
+            },
+        ]);
+        let diags = check(&f);
+        assert!(
+            diags.iter().any(|d| d.code == "refcount-double-release"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn use_after_release_is_flagged() {
+        let f = one_block(vec![
+            Instr::LoadConst {
+                dst: VarId(0),
+                value: Constant::Str("x".into()),
+            },
+            Instr::MemoryAcquire { var: VarId(0) },
+            Instr::MemoryRelease { var: VarId(0) },
+            Instr::Copy {
+                dst: VarId(1),
+                src: VarId(0),
+            },
+            Instr::Return {
+                value: Constant::Null.into(),
+            },
+        ]);
+        let diags = check(&f);
+        assert!(
+            diags.iter().any(|d| d.code == "refcount-use-after-release"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn release_before_return_of_value_is_the_convention() {
+        let f = one_block(vec![
+            Instr::LoadConst {
+                dst: VarId(0),
+                value: Constant::Str("x".into()),
+            },
+            Instr::MemoryAcquire { var: VarId(0) },
+            Instr::MemoryRelease { var: VarId(0) },
+            Instr::Return {
+                value: VarId(0).into(),
+            },
+        ]);
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn diamond_leak_is_flagged() {
+        // acquire in entry; release only on the then-edge.
+        let mut f = Function::new("f", 0);
+        f.blocks.push(Block {
+            label: "start".into(),
+            instrs: vec![
+                Instr::LoadConst {
+                    dst: VarId(0),
+                    value: Constant::Str("x".into()),
+                },
+                Instr::MemoryAcquire { var: VarId(0) },
+                Instr::LoadConst {
+                    dst: VarId(1),
+                    value: Constant::Bool(true),
+                },
+                Instr::Branch {
+                    cond: VarId(1).into(),
+                    then_block: BlockId(1),
+                    else_block: BlockId(2),
+                },
+            ],
+        });
+        f.blocks.push(Block {
+            label: "then".into(),
+            instrs: vec![
+                Instr::MemoryRelease { var: VarId(0) },
+                Instr::Jump { target: BlockId(3) },
+            ],
+        });
+        f.blocks.push(Block {
+            label: "else".into(),
+            instrs: vec![Instr::Jump { target: BlockId(3) }],
+        });
+        f.blocks.push(Block {
+            label: "join".into(),
+            instrs: vec![Instr::Return {
+                value: Constant::Null.into(),
+            }],
+        });
+        let diags = check(&f);
+        assert!(diags.iter().any(|d| d.code == "refcount-leak"), "{diags:?}");
+    }
+}

@@ -37,7 +37,11 @@ impl Ablation {
 }
 
 fn options(f: impl FnOnce(&mut CompilerOptions)) -> Compiler {
-    let mut opts = CompilerOptions::default();
+    // Ablations time steady-state execution; skip per-pass verification.
+    let mut opts = CompilerOptions {
+        verify: wolfram_ir::VerifyLevel::Off,
+        ..CompilerOptions::default()
+    };
     f(&mut opts);
     Compiler::new(opts)
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! reproduce [figure2|table1|intro|ablations|opstats|compile-times|all] [--quick]
-//! reproduce difftest [--iters N] [--seed S] [--out DIR] [--no-shrink]
+//! reproduce difftest [--iters N] [--seed S] [--out DIR] [--no-shrink] [--no-analyze]
+//! reproduce analyze [--ir-stage wir|twir|post-pipeline] <file.wl | source>
 //! ```
 //!
 //! `--quick` shrinks the workloads (CI-sized); without it the paper's §6
@@ -11,9 +12,90 @@
 //! `difftest` runs the tri-engine differential fuzzer instead: it exits
 //! nonzero if any divergence (or compile hole) survives, and writes shrunk
 //! counterexample artifacts into `--out` (default `difftest/found`).
+//!
+//! `analyze` compiles one program to the requested IR stage and prints
+//! every `wolfram-analyze` diagnostic (type errors, refcount imbalance,
+//! lints); it exits nonzero if any error-severity finding is reported.
 
 use wolfram_bench::{ablations, harness, intro, opstats, table1};
-use wolfram_compiler_core::Compiler;
+use wolfram_compiler_core::{Compiler, CompilerOptions};
+use wolfram_ir::VerifyLevel;
+
+/// `analyze` subcommand: a CLI front end for the IR checkers.
+fn run_analyze(args: &[String]) -> ! {
+    let mut stage = String::from("post-pipeline");
+    let mut input: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--ir-stage" {
+            stage = it
+                .next()
+                .cloned()
+                .expect("--ir-stage wir|twir|post-pipeline");
+        } else if input.is_none() {
+            input = Some(a.clone());
+        }
+    }
+    let input = input.expect("usage: reproduce analyze [--ir-stage STAGE] <file.wl | source>");
+    // A path argument is read from disk; anything else is inline source.
+    let src = std::fs::read_to_string(&input).unwrap_or(input);
+    let expr = match wolfram_expr::parse(&src) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Diagnostics are printed here, so compile with the SSA linter only:
+    // `VerifyLevel::Full` would turn the first finding into a compile
+    // error instead of a report.
+    let pm = match stage.as_str() {
+        "wir" => Compiler::new(CompilerOptions {
+            verify: VerifyLevel::Ssa,
+            ..CompilerOptions::default()
+        })
+        .compile_to_ir(&expr),
+        "twir" => Compiler::new(CompilerOptions {
+            optimization_level: 0,
+            abort_handling: false,
+            memory_management: false,
+            verify: VerifyLevel::Ssa,
+            ..CompilerOptions::default()
+        })
+        .compile_to_twir(&expr, None),
+        "post-pipeline" => Compiler::new(CompilerOptions {
+            verify: VerifyLevel::Ssa,
+            ..CompilerOptions::default()
+        })
+        .compile_to_twir(&expr, None),
+        other => {
+            eprintln!("unknown --ir-stage `{other}` (expected wir, twir, or post-pipeline)");
+            std::process::exit(2);
+        }
+    };
+    let pm = match pm {
+        Ok(pm) => pm,
+        Err(e) => {
+            eprintln!("compilation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let diags = wolfram_analyze::analyze_module(&pm);
+    let mut errors = 0usize;
+    for d in &diags {
+        let f = pm.functions.iter().find(|f| f.name == d.function);
+        println!("{}", d.render(f));
+        errors += usize::from(d.severity == wolfram_analyze::Severity::Error);
+    }
+    println!(
+        "analyze ({stage}): {} function(s), {} finding(s), {errors} error(s)",
+        pm.functions.len(),
+        diags.len()
+    );
+    std::process::exit(i32::from(errors > 0));
+}
 
 /// `difftest` subcommand: long-running differential fuzzing with artifact
 /// output, used locally and by the scheduled CI job.
@@ -27,11 +109,13 @@ fn run_difftest(args: &[String]) -> ! {
     let seed: u64 = flag("--seed").map_or(0xD1FF_7E57, |v| v.parse().expect("--seed S"));
     let out = std::path::PathBuf::from(flag("--out").unwrap_or_else(|| "difftest/found".into()));
     let shrink = !args.iter().any(|a| a == "--no-shrink");
+    let analyze = !args.iter().any(|a| a == "--no-analyze");
 
     let cfg = wolfram_difftest::FuzzConfig {
         seed,
         iters,
         shrink,
+        analyze,
     };
     println!("difftest: {iters} iterations from seed {seed:#x}");
     let start = std::time::Instant::now();
@@ -65,6 +149,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "difftest") {
         run_difftest(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "analyze") {
+        run_analyze(&args[1..]);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let what = args

@@ -127,6 +127,9 @@ impl Figure2Row {
 fn compiler_with(abort: bool) -> Compiler {
     Compiler::new(CompilerOptions {
         abort_handling: abort,
+        // Benchmarks measure steady-state execution; skip the per-pass
+        // analyzer so compile time stays out of the way.
+        verify: wolfram_ir::VerifyLevel::Off,
         ..CompilerOptions::default()
     })
 }

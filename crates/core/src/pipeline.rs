@@ -19,7 +19,7 @@ use wolfram_codegen::lower::{lower_program_with, LowerOptions};
 use wolfram_codegen::{BackendRegistry, NativeProgram};
 use wolfram_expr::{parse, Expr};
 use wolfram_interp::Interpreter;
-use wolfram_ir::{PassOptions, ProgramModule};
+use wolfram_ir::{PassOptions, ProgramModule, VerifyLevel};
 use wolfram_types::TypeEnvironment;
 
 /// The compiler version string (the paper evaluates v1.0.1.0).
@@ -60,6 +60,10 @@ pub struct CompilerOptions {
     /// allocation (fused compare-and-branch, tensor load-op/op-store,
     /// multiply-add, back-edge folding). Off gives the ablation baseline.
     pub superinstruction_fusion: bool,
+    /// Per-pass IR verification level. `Full` (the default) runs the SSA
+    /// linter plus the `wolfram-analyze` type and refcount checkers after
+    /// every pass; benchmarks set `Off` to measure pure pass cost.
+    pub verify: VerifyLevel,
 }
 
 impl Default for CompilerOptions {
@@ -73,6 +77,7 @@ impl Default for CompilerOptions {
             disabled_passes: HashSet::new(),
             naive_constant_arrays: false,
             superinstruction_fusion: true,
+            verify: VerifyLevel::Full,
         }
     }
 }
@@ -237,7 +242,10 @@ impl Compiler {
             abort_handling: self.options.abort_handling,
             memory_management: self.options.memory_management,
             disabled: self.options.disabled_passes.clone(),
-            verify_each: true,
+            verify: self.options.verify,
+            full_check: (self.options.verify == VerifyLevel::Full).then(|| {
+                wolfram_analyze::pipeline_verifier(wolfram_analyze::module_signatures(&pm))
+            }),
         };
         for fix in 0..pm.functions.len() {
             let name = pm.functions[fix].name.clone();
@@ -248,6 +256,10 @@ impl Compiler {
         }
         for f in &pm.functions {
             wolfram_ir::verify_function(f).map_err(CompileError::Verify)?;
+        }
+        if self.options.verify == VerifyLevel::Full {
+            self.time("analyze", || wolfram_analyze::verify_module(&pm))
+                .map_err(CompileError::Verify)?;
         }
         Ok(pm)
     }

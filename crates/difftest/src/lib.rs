@@ -25,8 +25,8 @@ pub mod shrink;
 pub use corpus::CorpusEntry;
 pub use gen::Program;
 pub use oracle::{
-    outcomes_equivalent, outcomes_equivalent_within, prepare, values_equivalent,
-    values_equivalent_within, Outcome, TriRun,
+    outcomes_equivalent, outcomes_equivalent_within, prepare, prepare_with, values_equivalent,
+    values_equivalent_within, verify_failure, Outcome, TriRun,
 };
 pub use shrink::Shrunk;
 
@@ -39,6 +39,11 @@ pub struct FuzzConfig {
     pub iters: u64,
     /// Whether to shrink divergences (off makes triage runs faster).
     pub shrink: bool,
+    /// Whether to run the `wolfram-analyze` checkers after every compiler
+    /// pass (`VerifyLevel::Full`) and report any finding as a divergence —
+    /// the internal-consistency oracle. Off compiles with the SSA linter
+    /// only.
+    pub analyze: bool,
 }
 
 impl Default for FuzzConfig {
@@ -47,6 +52,7 @@ impl Default for FuzzConfig {
             seed: 0xD1FF_7E57,
             iters: 300,
             shrink: true,
+            analyze: true,
         }
     }
 }
@@ -117,12 +123,49 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
             report.roundtrip_failures += 1;
             continue;
         }
-        let subject = match oracle::prepare(&program.func) {
+        let verify = if cfg.analyze {
+            wolfram_ir::VerifyLevel::Full
+        } else {
+            wolfram_ir::VerifyLevel::Ssa
+        };
+        let subject = match oracle::prepare_with(&program.func, verify) {
             Ok(s) => s,
             Err(e) => {
-                report.prepare_failures += 1;
-                if report.prepare_samples.len() < 5 {
-                    report.prepare_samples.push((seed, e.to_string()));
+                let message = e.to_string();
+                // Analyzer (or SSA linter) findings are not subset holes:
+                // the compiler produced IR it cannot justify, which is a
+                // reportable bug with the same shrink/artifact path as a
+                // semantic divergence.
+                if cfg.analyze && message.contains("IR verification failed") {
+                    let shrunk = if cfg.shrink {
+                        shrink::shrink_verify(&program.func)
+                    } else {
+                        None
+                    };
+                    let entry = match shrunk {
+                        Some(s) => CorpusEntry {
+                            seed,
+                            note: s.note,
+                            func: s.func,
+                            arg_sets: vec![s.args],
+                        },
+                        None => CorpusEntry {
+                            seed,
+                            note: message,
+                            func: program.func.clone(),
+                            arg_sets: vec![Vec::new()],
+                        },
+                    };
+                    report.divergences.push(Counterexample {
+                        seed,
+                        original: program.source(),
+                        shrunk: entry,
+                    });
+                } else {
+                    report.prepare_failures += 1;
+                    if report.prepare_samples.len() < 5 {
+                        report.prepare_samples.push((seed, message));
+                    }
                 }
                 continue;
             }
@@ -191,6 +234,7 @@ mod tests {
             seed: 7,
             iters: 20,
             shrink: false,
+            analyze: true,
         };
         let r1 = run_fuzz(&cfg);
         let r2 = run_fuzz(&cfg);

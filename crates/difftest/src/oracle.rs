@@ -40,9 +40,10 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use wolfram_bytecode::{ArgSpec, BytecodeCompiler};
-use wolfram_compiler_core::{Compiler, CompilerOptions};
+use wolfram_compiler_core::{CompileError, Compiler, CompilerOptions};
 use wolfram_expr::Expr;
 use wolfram_interp::Interpreter;
+use wolfram_ir::VerifyLevel;
 use wolfram_runtime::{AbortSignal, RuntimeError, Value};
 
 /// Maximum units-in-last-place distance at which two machine reals are
@@ -283,13 +284,36 @@ pub fn specs_from_function(func: &Expr) -> Result<Vec<ArgSpec>, String> {
         .collect()
 }
 
-/// Compiles `func` for every engine configuration.
+/// Compiles `func` for every engine configuration, with the per-pass
+/// analyzer on (`VerifyLevel::Full`).
 ///
 /// # Errors
 ///
 /// Returns the first [`PrepareError`]; the interpreter needs no
 /// preparation and cannot fail here.
 pub fn prepare(func: &Expr) -> Result<PreparedSubject, PrepareError> {
+    prepare_with(func, VerifyLevel::Full)
+}
+
+/// The analyzer's verdict on `func`: `Some(finding)` if compiling with the
+/// default pipeline at `VerifyLevel::Full` trips the type or refcount
+/// checkers (an internal-consistency bug, reportable like any other
+/// divergence), `None` if the program is analyzer-clean or fails to
+/// compile for an unrelated reason.
+pub fn verify_failure(func: &Expr) -> Option<String> {
+    match Compiler::new(CompilerOptions::default()).compile_to_twir(func, None) {
+        Err(e @ CompileError::Verify(_)) => Some(e.to_string()),
+        _ => None,
+    }
+}
+
+/// [`prepare`] with an explicit per-pass verification level for the
+/// native configurations.
+///
+/// # Errors
+///
+/// Returns the first [`PrepareError`].
+pub fn prepare_with(func: &Expr, verify: VerifyLevel) -> Result<PreparedSubject, PrepareError> {
     let specs = specs_from_function(func).map_err(|message| PrepareError {
         engine: "bytecode",
         message,
@@ -305,6 +329,7 @@ pub fn prepare(func: &Expr) -> Result<PreparedSubject, PrepareError> {
     let native = |fuse: bool| -> Result<_, PrepareError> {
         let options = CompilerOptions {
             superinstruction_fusion: fuse,
+            verify,
             ..CompilerOptions::default()
         };
         Compiler::new(options)

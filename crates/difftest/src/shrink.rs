@@ -33,10 +33,35 @@ pub struct Shrunk {
 /// makes the engines disagree. Returns `None` when the input does not
 /// diverge in the first place (nothing to shrink).
 pub fn shrink(func: &Expr, arg_sets: &[Vec<Value>]) -> Option<Shrunk> {
+    shrink_with(func, arg_sets, |f, sets, checks| {
+        first_divergence(f, sets, checks)
+    })
+}
+
+/// Shrinks `func` while the `wolfram-analyze` checkers still reject it
+/// under the default pipeline ([`crate::oracle::verify_failure`]).
+/// Analyzer findings need no argument set, so the artifact carries an
+/// empty one.
+pub fn shrink_verify(func: &Expr) -> Option<Shrunk> {
+    shrink_with(func, &[Vec::new()], |f, _sets, checks| {
+        *checks += 1;
+        crate::oracle::verify_failure(f).map(|note| (Vec::new(), note))
+    })
+}
+
+/// The generic greedy reducer: keeps any smaller candidate on which
+/// `failing` still reports something. The predicate receives the
+/// candidate, the argument sets to try, and the shared check budget
+/// counter; it returns the argument set and note of a surviving failure.
+fn shrink_with(
+    func: &Expr,
+    arg_sets: &[Vec<Value>],
+    mut failing: impl FnMut(&Expr, &[Vec<Value>], &mut usize) -> Option<(Vec<Value>, String)>,
+) -> Option<Shrunk> {
     let mut checks = 0usize;
-    // Pin down one diverging argument set first: shrinking against a
+    // Pin down one failing argument set first: shrinking against a
     // single set keeps the predicate stable and the artifact replayable.
-    let (mut args, mut note) = first_divergence(func, arg_sets, &mut checks)?;
+    let (mut args, mut note) = failing(func, arg_sets, &mut checks)?;
     let mut best = func.clone();
 
     loop {
@@ -60,7 +85,7 @@ pub fn shrink(func: &Expr, arg_sets: &[Vec<Value>]) -> Option<Shrunk> {
             if !is_well_scoped(&canon) {
                 continue;
             }
-            if let Some((a, n)) = first_divergence(&canon, &[args.clone()], &mut checks) {
+            if let Some((a, n)) = failing(&canon, std::slice::from_ref(&args), &mut checks) {
                 best = canon;
                 args = a;
                 note = n;

@@ -25,6 +25,8 @@ pub mod print;
 pub mod verify;
 
 pub use builder::FunctionBuilder;
-pub use module::{BlockId, Callee, Constant, FuncId, Function, Instr, ProgramModule, VarId};
-pub use passes::{run_pass, run_pipeline, PassOptions};
-pub use verify::verify_function;
+pub use module::{
+    Block, BlockId, Callee, Constant, FuncId, Function, Instr, Operand, ProgramModule, VarId,
+};
+pub use passes::{run_pass, run_pipeline, FullVerifier, PassOptions, VerifyLevel};
+pub use verify::{verify_function, VerifyError};

@@ -8,14 +8,32 @@
 //! can toggle passes at `FunctionCompile` time (§4.7) — the ablation
 //! benchmarks rely on this.
 
-use crate::analysis::{live_intervals, natural_loops, Cfg, Dominators};
-use crate::module::{BlockId, Callee, Constant, Function, Instr, Operand, VarId};
+use crate::analysis::{liveness, natural_loops, Cfg, Dominators};
+use crate::module::{Block, BlockId, Callee, Constant, Function, Instr, Operand, VarId};
 use crate::verify::{verify_function, VerifyError};
 use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 use wolfram_types::Type;
 
+/// How much verification `run_pipeline` performs after each pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyLevel {
+    /// No per-pass verification (release benchmark runs).
+    Off,
+    /// The bare SSA linter (`verify_function`) after each pass.
+    Ssa,
+    /// SSA linter plus the injected semantic checker (`full_check`) —
+    /// typically the `wolfram-analyze` type + refcount verifiers.
+    Full,
+}
+
+/// A semantic checker injected into the pipeline at `VerifyLevel::Full`.
+/// Lives behind a function pointer because `wolfram-ir` cannot depend on
+/// the analyzer crate (it depends on us).
+pub type FullVerifier = Rc<dyn Fn(&Function) -> Result<(), VerifyError>>;
+
 /// Options controlling the standard pipeline.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PassOptions {
     /// Optimization level: 0 disables the optimizing passes.
     pub optimization_level: u8,
@@ -25,8 +43,23 @@ pub struct PassOptions {
     pub memory_management: bool,
     /// Pass names explicitly disabled (for ablations).
     pub disabled: HashSet<String>,
-    /// Verify SSA after each pass (the linter).
-    pub verify_each: bool,
+    /// Per-pass verification level (the linter).
+    pub verify: VerifyLevel,
+    /// Extra semantic checker run at `VerifyLevel::Full`.
+    pub full_check: Option<FullVerifier>,
+}
+
+impl std::fmt::Debug for PassOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassOptions")
+            .field("optimization_level", &self.optimization_level)
+            .field("abort_handling", &self.abort_handling)
+            .field("memory_management", &self.memory_management)
+            .field("disabled", &self.disabled)
+            .field("verify", &self.verify)
+            .field("full_check", &self.full_check.is_some())
+            .finish()
+    }
 }
 
 impl Default for PassOptions {
@@ -36,7 +69,8 @@ impl Default for PassOptions {
             abort_handling: true,
             memory_management: true,
             disabled: HashSet::new(),
-            verify_each: true,
+            verify: VerifyLevel::Ssa,
+            full_check: None,
         }
     }
 }
@@ -84,8 +118,19 @@ pub fn run_pipeline(f: &mut Function, opts: &PassOptions) -> Result<Vec<String>,
         if run_pass(name, f)? {
             ran.push(name.to_owned());
         }
-        if opts.verify_each {
-            verify_function(f).map_err(|e| VerifyError(format!("after pass {name}: {e}")))?;
+        let anchor = |e: VerifyError| {
+            VerifyError(format!(
+                "function `{}`, after pass `{name}`: {}",
+                f.name, e.0
+            ))
+        };
+        if opts.verify != VerifyLevel::Off {
+            verify_function(f).map_err(anchor)?;
+        }
+        if opts.verify == VerifyLevel::Full {
+            if let Some(check) = &opts.full_check {
+                check(f).map_err(anchor)?;
+            }
         }
         Ok(())
     };
@@ -832,63 +877,254 @@ pub fn is_managed_type(t: &Type) -> bool {
 /// For each variable, a MemoryAcquire call instruction is placed at the
 /// head of each interval, and MemoryRelease is placed at the tail. Both
 /// ... are noop for unmanaged objects."
+///
+/// Placement is per-path balanced: a `MemoryAcquire` right after the def
+/// and a `MemoryRelease` on the *death frontier* — after the last use in
+/// the block where the value dies, or on each CFG edge leading into a
+/// block where it is no longer live (splitting critical edges when the
+/// value survives along a sibling edge). Every execution path from the
+/// def crosses the frontier exactly once, so the refcount-balance checker
+/// in `wolfram-analyze` can prove acquire/release pairing path-by-path —
+/// the previous interval-endpoint bracketing leaked on diamonds and
+/// over-released across loop back-edges.
 fn memory_management(f: &mut Function) -> bool {
     if f.instrs().any(|i| matches!(i, Instr::MemoryAcquire { .. })) {
         return false;
     }
     let cfg = Cfg::new(f);
-    let intervals = live_intervals(f, &cfg);
-    // Invert the point map: point -> (block, ix).
-    let mut at_point: HashMap<usize, (BlockId, usize)> = HashMap::new();
-    for (&k, &p) in &intervals.point {
-        at_point.insert(p, k);
+    let live = liveness(f, &cfg);
+    let reachable: HashSet<BlockId> = cfg.rpo.iter().copied().collect();
+
+    // Managed defs in reachable blocks: (var, def block, def index).
+    let mut managed: Vec<(VarId, BlockId, usize)> = Vec::new();
+    for &b in &cfg.rpo {
+        for (ix, i) in f.block(b).instrs.iter().enumerate() {
+            if let Some(v) = i.def() {
+                if f.var_type(v).is_some_and(is_managed_type) {
+                    managed.push((v, b, ix));
+                }
+            }
+        }
     }
-    let mut managed: Vec<(VarId, usize, usize)> = intervals
-        .intervals
-        .iter()
-        .filter(|(v, _)| f.var_type(**v).is_some_and(is_managed_type))
-        .map(|(v, &(s, e))| (*v, s, e))
-        .collect();
     if managed.is_empty() {
         return false;
     }
     managed.sort_by_key(|&(v, _, _)| v);
-    // Collect insertions per (block, index): acquire after def point,
-    // release after last point.
-    let mut inserts: HashMap<(BlockId, usize), Vec<Instr>> = HashMap::new();
-    for (v, start, end) in managed {
-        if let Some(&(b, ix)) = at_point.get(&start) {
-            inserts
-                .entry((b, ix))
-                .or_default()
-                .push(Instr::MemoryAcquire { var: v });
+
+    let live_in = |b: BlockId, v: VarId| live.live_in.get(&b).is_some_and(|s| s.contains(&v));
+    let live_out = |b: BlockId, v: VarId| live.live_out.get(&b).is_some_and(|s| s.contains(&v));
+
+    // Planned insertions. `after` keys on the pre-insertion instruction
+    // index; `at_head` lands after the phi prefix; `before_term` sits just
+    // before the terminator; `on_edge` releases are materialized last,
+    // either promoted to the successor's head (all-preds case) or given a
+    // split block.
+    let mut after: HashMap<(BlockId, usize), Vec<Instr>> = HashMap::new();
+    let mut at_head: HashMap<BlockId, Vec<Instr>> = HashMap::new();
+    let mut before_term: HashMap<BlockId, Vec<Instr>> = HashMap::new();
+    let mut on_edge: HashMap<(BlockId, BlockId), Vec<VarId>> = HashMap::new();
+
+    for &(v, db, dix) in &managed {
+        // Acquire right after the def; phi-defined values acquire after
+        // the phi prefix so verification of phi placement still holds.
+        let def_is_phi = matches!(f.block(db).instrs[dix], Instr::Phi { .. });
+        let acquire = Instr::MemoryAcquire { var: v };
+        if def_is_phi {
+            at_head.entry(db).or_default().push(acquire);
+        } else {
+            after.entry((db, dix)).or_default().push(acquire);
         }
-        if let Some(&(b, ix)) = at_point.get(&end) {
-            inserts
-                .entry((b, ix))
-                .or_default()
-                .push(Instr::MemoryRelease { var: v });
+
+        // Release on the death frontier: walk every reachable block where
+        // the value is present (its def block or any block it enters).
+        for &b in &cfg.rpo {
+            if b != db && !live_in(b, v) {
+                continue;
+            }
+            if live_out(b, v) {
+                // Survives the block; dies on some outgoing edges.
+                let mut succs: Vec<BlockId> = cfg.succs[b.0 as usize]
+                    .iter()
+                    .copied()
+                    .filter(|s| reachable.contains(s))
+                    .collect();
+                succs.sort_unstable();
+                succs.dedup();
+                let dead: Vec<BlockId> =
+                    succs.iter().copied().filter(|&s| !live_in(s, v)).collect();
+                if dead.is_empty() {
+                    continue;
+                }
+                if dead.len() == succs.len() {
+                    // live_out but dead into every successor: the value's
+                    // last reads are the terminator operand and/or phi
+                    // operands on the outgoing edges — release just before
+                    // the terminator, after those conceptual reads.
+                    before_term
+                        .entry(b)
+                        .or_default()
+                        .push(Instr::MemoryRelease { var: v });
+                } else {
+                    for s in dead {
+                        on_edge.entry((b, s)).or_default().push(v);
+                    }
+                }
+            } else {
+                // Dies inside this block: release after the last use.
+                let block = f.block(b);
+                let last_use = block.instrs.iter().rposition(|i| i.uses().contains(&v));
+                match last_use {
+                    Some(ix) if block.instrs[ix].is_terminator() => {
+                        before_term
+                            .entry(b)
+                            .or_default()
+                            .push(Instr::MemoryRelease { var: v });
+                    }
+                    Some(ix) => {
+                        after
+                            .entry((b, ix))
+                            .or_default()
+                            .push(Instr::MemoryRelease { var: v });
+                    }
+                    None => {
+                        // Defined but never used: release immediately
+                        // after the acquire (b == db here).
+                        let slot = if def_is_phi {
+                            at_head.entry(db).or_default()
+                        } else {
+                            after.entry((db, dix)).or_default()
+                        };
+                        slot.push(Instr::MemoryRelease { var: v });
+                    }
+                }
+            }
         }
     }
-    for ((b, ix), instrs) in {
-        let mut v: Vec<_> = inserts.into_iter().collect();
-        // Insert from the back so earlier indices stay valid.
-        v.sort_by_key(|e| std::cmp::Reverse(e.0));
-        v
-    } {
-        let block = f.block_mut(b);
-        let anchor_is_terminator = block.instrs[ix].is_terminator();
-        let mut pos = if anchor_is_terminator { ix } else { ix + 1 };
-        // Never break the phi prefix: acquires for phi-defined values go
-        // after the last phi of the block.
-        let phi_prefix = block
-            .instrs
+
+    // Edge releases: if a successor receives the release on *every*
+    // reachable incoming edge, put it at the successor's head instead of
+    // splitting; otherwise split each recorded edge.
+    let mut splits: Vec<(BlockId, BlockId, Vec<VarId>)> = Vec::new();
+    {
+        let mut by_target: HashMap<(BlockId, VarId), Vec<BlockId>> = HashMap::new();
+        let mut edge_keys: Vec<(BlockId, BlockId)> = on_edge.keys().copied().collect();
+        edge_keys.sort_unstable();
+        for (p, s) in edge_keys {
+            for &v in &on_edge[&(p, s)] {
+                by_target.entry((s, v)).or_default().push(p);
+            }
+        }
+        let mut split_vars: HashMap<(BlockId, BlockId), Vec<VarId>> = HashMap::new();
+        let mut targets: Vec<(BlockId, VarId)> = by_target.keys().copied().collect();
+        targets.sort_unstable();
+        for (s, v) in targets {
+            let mut preds = by_target[&(s, v)].clone();
+            preds.sort_unstable();
+            preds.dedup();
+            let mut all_preds: Vec<BlockId> = cfg.preds[s.0 as usize]
+                .iter()
+                .copied()
+                .filter(|p| reachable.contains(p))
+                .collect();
+            all_preds.sort_unstable();
+            all_preds.dedup();
+            if preds == all_preds {
+                at_head
+                    .entry(s)
+                    .or_default()
+                    .push(Instr::MemoryRelease { var: v });
+            } else {
+                for p in preds {
+                    split_vars.entry((p, s)).or_default().push(v);
+                }
+            }
+        }
+        let mut split_keys: Vec<(BlockId, BlockId)> = split_vars.keys().copied().collect();
+        split_keys.sort_unstable();
+        for (p, s) in split_keys {
+            splits.push((p, s, split_vars.remove(&(p, s)).expect("key listed")));
+        }
+    }
+
+    // Apply in-block insertions by rebuilding each touched block.
+    let touched: HashSet<BlockId> = after
+        .keys()
+        .map(|&(b, _)| b)
+        .chain(at_head.keys().copied())
+        .chain(before_term.keys().copied())
+        .collect();
+    for b in touched {
+        let old = std::mem::take(&mut f.block_mut(b).instrs);
+        let phi_prefix = old
             .iter()
             .take_while(|i| matches!(i, Instr::Phi { .. }))
             .count();
-        pos = pos.max(phi_prefix.min(block.instrs.len()));
-        for (offset, i) in instrs.into_iter().enumerate() {
-            block.instrs.insert(pos + offset, i);
+        let mut new = Vec::with_capacity(old.len() + 4);
+        for (ix, i) in old.into_iter().enumerate() {
+            if ix == phi_prefix {
+                if let Some(head) = at_head.remove(&b) {
+                    new.extend(head);
+                }
+            }
+            if i.is_terminator() {
+                if let Some(pre) = before_term.remove(&b) {
+                    new.extend(pre);
+                }
+            }
+            let post = after.remove(&(b, ix));
+            new.push(i);
+            if let Some(post) = post {
+                new.extend(post);
+            }
+        }
+        // Phi-only degenerate case (unreachable in practice: every block
+        // ends in a terminator, so the loop body always runs past the
+        // prefix).
+        if let Some(head) = at_head.remove(&b) {
+            new.extend(head);
+        }
+        f.block_mut(b).instrs = new;
+    }
+
+    // Split edges: insert a release block between p and s.
+    for (p, s, vars) in splits {
+        let nb = BlockId(f.blocks.len() as u32);
+        let mut instrs: Vec<Instr> = vars
+            .into_iter()
+            .map(|v| Instr::MemoryRelease { var: v })
+            .collect();
+        instrs.push(Instr::Jump { target: s });
+        f.blocks.push(Block {
+            label: format!("release.{}.{}", p.0, s.0),
+            instrs,
+        });
+        // Retarget p's terminator edge(s) into s.
+        match f.block_mut(p).instrs.last_mut() {
+            Some(Instr::Jump { target }) if *target == s => *target = nb,
+            Some(Instr::Branch {
+                then_block,
+                else_block,
+                ..
+            }) => {
+                if *then_block == s {
+                    *then_block = nb;
+                }
+                if *else_block == s {
+                    *else_block = nb;
+                }
+            }
+            _ => {}
+        }
+        // Phi incoming predecessors in s must now name the split block.
+        for i in f.block_mut(s).instrs.iter_mut() {
+            let Instr::Phi { incoming, .. } = i else {
+                break;
+            };
+            for (pred, _) in incoming.iter_mut() {
+                if *pred == p {
+                    *pred = nb;
+                }
+            }
         }
     }
     true

@@ -24,8 +24,12 @@ impl std::error::Error for VerifyError {}
 /// - every variable has a single definition;
 /// - every use is dominated by its definition (phi uses checked at the
 ///   corresponding predecessor);
-/// - phi incoming lists mention exactly the block's predecessors;
-/// - phis appear only at block heads.
+/// - phi incoming lists mention exactly the block's predecessors, each
+///   exactly once;
+/// - phis appear only at block heads;
+/// - `MemoryAcquire`/`MemoryRelease` reference a variable that is defined
+///   somewhere (their placement is otherwise exempt from dominance: they
+///   instrument the storage slot, not the SSA value).
 ///
 /// # Errors
 ///
@@ -90,6 +94,12 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
         for (ix, i) in block.instrs.iter().enumerate() {
             if let Instr::Phi { incoming, dst } = i {
                 let inc_blocks: HashSet<BlockId> = incoming.iter().map(|(p, _)| *p).collect();
+                if inc_blocks.len() != incoming.len() {
+                    return Err(VerifyError(format!(
+                        "phi %{} in {b:?} has duplicate predecessor entries",
+                        dst.0
+                    )));
+                }
                 if inc_blocks != preds {
                     return Err(VerifyError(format!(
                         "phi %{} incoming blocks {inc_blocks:?} != predecessors {preds:?} of {b:?}",
@@ -113,9 +123,21 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
             }
             // MemoryAcquire/Release are refcount instrumentation on the
             // variable's storage slot (a no-op on not-yet-written slots),
-            // not SSA dataflow uses: their placement at live-interval
-            // endpoints is exempt from the dominance rule.
-            if matches!(i, Instr::MemoryAcquire { .. } | Instr::MemoryRelease { .. }) {
+            // not SSA dataflow uses: their placement at live-range
+            // boundaries is exempt from the dominance rule. The slot must
+            // still belong to a variable that exists.
+            if let Instr::MemoryAcquire { var } | Instr::MemoryRelease { var } = i {
+                if !def_site.contains_key(var) {
+                    return Err(VerifyError(format!(
+                        "{} of never-defined %{} in block {b:?}",
+                        if matches!(i, Instr::MemoryAcquire { .. }) {
+                            "MemoryAcquire"
+                        } else {
+                            "MemoryRelease"
+                        },
+                        var.0
+                    )));
+                }
                 continue;
             }
             for v in i.uses() {
@@ -234,6 +256,69 @@ mod tests {
             err.0.contains("not dominated") || err.0.contains("phi"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn rejects_memory_instr_on_undefined_var() {
+        let mut f = Function::new("bad", 0);
+        f.blocks.push(Block {
+            label: "start".into(),
+            instrs: vec![
+                Instr::MemoryAcquire { var: VarId(7) },
+                Instr::Return {
+                    value: Constant::Null.into(),
+                },
+            ],
+        });
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.0.contains("never-defined"), "{err}");
+
+        let mut g = Function::new("bad", 0);
+        g.blocks.push(Block {
+            label: "start".into(),
+            instrs: vec![
+                Instr::MemoryRelease { var: VarId(3) },
+                Instr::Return {
+                    value: Constant::Null.into(),
+                },
+            ],
+        });
+        let err = verify_function(&g).unwrap_err();
+        assert!(err.0.contains("MemoryRelease"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_phi_predecessor() {
+        // entry branches to join twice; the phi lists entry twice.
+        let mut f = Function::new("bad", 0);
+        f.blocks.push(Block {
+            label: "start".into(),
+            instrs: vec![
+                call(0, vec![]),
+                Instr::Branch {
+                    cond: VarId(0).into(),
+                    then_block: BlockId(1),
+                    else_block: BlockId(1),
+                },
+            ],
+        });
+        f.blocks.push(Block {
+            label: "join".into(),
+            instrs: vec![
+                Instr::Phi {
+                    dst: VarId(1),
+                    incoming: vec![
+                        (BlockId(0), Constant::I64(1).into()),
+                        (BlockId(0), Constant::I64(2).into()),
+                    ],
+                },
+                Instr::Return {
+                    value: VarId(1).into(),
+                },
+            ],
+        });
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.0.contains("duplicate predecessor"), "{err}");
     }
 
     #[test]

@@ -19,6 +19,17 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> analyzer: reproduce analyze on the committed corpus"
+for wl in difftest/corpus/*.wl; do
+  ./target/release/reproduce analyze "$wl" > /dev/null
+done
+
+echo "==> analyzer: reproduce analyze smoke (all IR stages)"
+SRC='Function[{Typed[n, "MachineInteger"]}, Module[{s = 0, i = 1}, While[i <= n, s = s + i; i = i + 1]; s]]'
+for stage in wir twir post-pipeline; do
+  ./target/release/reproduce analyze --ir-stage "$stage" "$SRC" > /dev/null
+done
+
 echo "==> lint: cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

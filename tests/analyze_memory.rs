@@ -1,0 +1,286 @@
+//! Memory-management edge placement, proved by the analyzer.
+//!
+//! The `memory-management` pass brackets every managed live interval with
+//! `MemoryAcquire`/`MemoryRelease` at its death frontier: after the last
+//! in-block use, before a terminator that reads the value, or on CFG
+//! edges where the value goes dead (promoted to the successor head or
+//! given a split block). Each placement shape is constructed here and the
+//! `wolfram-analyze` refcount checker proves the result balanced on every
+//! path; the committed difftest corpus is replayed through the full
+//! pipeline at `VerifyLevel::Full` the same way.
+
+use std::rc::Rc;
+
+use wolfram_ir::{
+    run_pass, verify_function, Block, BlockId, Callee, Constant, Function, Instr, VarId,
+};
+use wolfram_types::Type;
+
+fn builtin(name: &str) -> Callee {
+    Callee::Builtin(Rc::from(name))
+}
+
+fn acquires(f: &Function) -> usize {
+    f.instrs()
+        .filter(|i| matches!(i, Instr::MemoryAcquire { .. }))
+        .count()
+}
+
+fn releases(f: &Function) -> usize {
+    f.instrs()
+        .filter(|i| matches!(i, Instr::MemoryRelease { .. }))
+        .count()
+}
+
+/// Runs the pass and asserts the result is SSA-clean and refcount-balanced.
+fn managed_and_balanced(f: &mut Function) {
+    assert!(run_pass("memory-management", f).unwrap(), "pass ran");
+    verify_function(f).unwrap_or_else(|e| panic!("SSA broken: {e}"));
+    let diags = wolfram_analyze::refcount::check(f);
+    assert!(diags.is_empty(), "refcount imbalance: {diags:?}");
+    assert!(acquires(f) > 0, "nothing was managed");
+    assert!(releases(f) >= acquires(f), "fewer releases than acquires");
+}
+
+#[test]
+fn last_use_as_terminator_operand_releases_before_the_return() {
+    // %0 : String is returned — its last use *is* the terminator, so the
+    // release must sit immediately before it (the pass's convention the
+    // checker exempts).
+    let mut f = Function::new("f", 1);
+    f.next_var = 1;
+    f.blocks.push(Block {
+        label: "start".into(),
+        instrs: vec![
+            Instr::LoadArgument {
+                dst: VarId(0),
+                index: 0,
+            },
+            Instr::Return {
+                value: VarId(0).into(),
+            },
+        ],
+    });
+    f.var_types.insert(VarId(0), Type::string());
+    managed_and_balanced(&mut f);
+    let instrs = &f.block(BlockId(0)).instrs;
+    let n = instrs.len();
+    assert!(
+        matches!(instrs[n - 2], Instr::MemoryRelease { var: VarId(0) }),
+        "release not placed before the terminator: {}",
+        f.to_text()
+    );
+    assert!(matches!(instrs[n - 1], Instr::Return { .. }));
+}
+
+#[test]
+fn last_use_as_phi_operand_in_successor_is_released_on_the_edge() {
+    // %0 : String flows into the join's phi only from the else-edge; on
+    // the then-edge it is dead (the phi takes %2 there). The pass must
+    // release %0 on the edge where it dies and still cover the edge where
+    // the phi reads it.
+    let mut f = Function::new("f", 0);
+    f.next_var = 4;
+    f.blocks.push(Block {
+        label: "start".into(),
+        instrs: vec![
+            Instr::LoadConst {
+                dst: VarId(0),
+                value: Constant::Str("a".into()),
+            },
+            Instr::LoadConst {
+                dst: VarId(1),
+                value: Constant::Bool(true),
+            },
+            Instr::Branch {
+                cond: VarId(1).into(),
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+        ],
+    });
+    f.blocks.push(Block {
+        label: "then".into(),
+        instrs: vec![
+            Instr::LoadConst {
+                dst: VarId(2),
+                value: Constant::Str("b".into()),
+            },
+            Instr::Jump { target: BlockId(3) },
+        ],
+    });
+    f.blocks.push(Block {
+        label: "else".into(),
+        instrs: vec![Instr::Jump { target: BlockId(3) }],
+    });
+    f.blocks.push(Block {
+        label: "join".into(),
+        instrs: vec![
+            Instr::Phi {
+                dst: VarId(3),
+                incoming: vec![(BlockId(1), VarId(2).into()), (BlockId(2), VarId(0).into())],
+            },
+            Instr::Return {
+                value: Constant::Null.into(),
+            },
+        ],
+    });
+    f.var_types.insert(VarId(0), Type::string());
+    f.var_types.insert(VarId(1), Type::boolean());
+    f.var_types.insert(VarId(2), Type::string());
+    f.var_types.insert(VarId(3), Type::string());
+    managed_and_balanced(&mut f);
+}
+
+#[test]
+fn live_across_a_loop_back_edge_is_released_once_on_exit() {
+    // %0 : String is read on every loop iteration, so it is live across
+    // the back edge; the single release must land on the loop's exit
+    // path, not inside the body (which would double-release on iteration
+    // two).
+    let mut f = Function::new("f", 0);
+    f.next_var = 3;
+    f.blocks.push(Block {
+        label: "start".into(),
+        instrs: vec![
+            Instr::LoadConst {
+                dst: VarId(0),
+                value: Constant::Str("s".into()),
+            },
+            Instr::Jump { target: BlockId(1) },
+        ],
+    });
+    f.blocks.push(Block {
+        label: "loop".into(),
+        instrs: vec![
+            Instr::Call {
+                dst: VarId(1),
+                callee: builtin("StringLength"),
+                args: vec![VarId(0).into()],
+            },
+            Instr::Call {
+                dst: VarId(2),
+                callee: builtin("EvenQ"),
+                args: vec![VarId(1).into()],
+            },
+            Instr::Branch {
+                cond: VarId(2).into(),
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+        ],
+    });
+    f.blocks.push(Block {
+        label: "exit".into(),
+        instrs: vec![Instr::Return {
+            value: Constant::Null.into(),
+        }],
+    });
+    f.var_types.insert(VarId(0), Type::string());
+    f.var_types.insert(VarId(1), Type::integer64());
+    f.var_types.insert(VarId(2), Type::boolean());
+    managed_and_balanced(&mut f);
+    // No release inside the loop body.
+    assert!(
+        !f.block(BlockId(1))
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::MemoryRelease { var: VarId(0) })),
+        "released inside the loop: {}",
+        f.to_text()
+    );
+}
+
+#[test]
+fn death_on_one_diamond_edge_gets_a_split_block() {
+    // %0 : String is used only on the then-arm; on the direct edge
+    // start -> join it is dead, but join has another predecessor that
+    // still carries the value, so the release needs an edge split.
+    let mut f = Function::new("f", 0);
+    f.next_var = 3;
+    f.blocks.push(Block {
+        label: "start".into(),
+        instrs: vec![
+            Instr::LoadConst {
+                dst: VarId(0),
+                value: Constant::Str("x".into()),
+            },
+            Instr::LoadConst {
+                dst: VarId(1),
+                value: Constant::Bool(true),
+            },
+            Instr::Branch {
+                cond: VarId(1).into(),
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+        ],
+    });
+    f.blocks.push(Block {
+        label: "then".into(),
+        instrs: vec![
+            Instr::Call {
+                dst: VarId(2),
+                callee: builtin("StringLength"),
+                args: vec![VarId(0).into()],
+            },
+            Instr::Jump { target: BlockId(2) },
+        ],
+    });
+    f.blocks.push(Block {
+        label: "join".into(),
+        instrs: vec![Instr::Return {
+            value: Constant::Null.into(),
+        }],
+    });
+    f.var_types.insert(VarId(0), Type::string());
+    f.var_types.insert(VarId(1), Type::boolean());
+    f.var_types.insert(VarId(2), Type::integer64());
+    managed_and_balanced(&mut f);
+    assert!(
+        f.blocks.iter().any(|b| b.label.starts_with("release.")),
+        "expected an edge-split release block: {}",
+        f.to_text()
+    );
+}
+
+#[test]
+fn corpus_compiles_analyzer_clean() {
+    // Every committed difftest counterexample compiles through the full
+    // pipeline at `VerifyLevel::Full` (the per-pass analyzer runs inside
+    // `compile_to_twir`) and the final TWIR carries no error findings.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("difftest/corpus");
+    let entries = wolfram_difftest::corpus::load_dir(&dir).expect("corpus parses");
+    assert!(!entries.is_empty());
+    let compiler = wolfram_compiler_core::Compiler::default();
+    for (path, entry) in entries {
+        let pm = compiler
+            .compile_to_twir(&entry.func, None)
+            .unwrap_or_else(|e| panic!("{} fails the analyzer: {e}", path.display()));
+        let errors: Vec<_> = wolfram_analyze::analyze_module(&pm)
+            .into_iter()
+            .filter(|d| d.severity == wolfram_analyze::Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{}: {errors:?}", path.display());
+    }
+}
+
+#[test]
+fn benchmark_programs_are_analyzer_clean() {
+    let compiler = wolfram_compiler_core::Compiler::default();
+    for (name, src) in [
+        ("FNV1a", wolfram_bench::programs::FNV1A_SRC),
+        ("Mandelbrot", wolfram_bench::programs::MANDELBROT_SRC),
+        ("QSort", wolfram_bench::programs::QSORT_SRC),
+    ] {
+        let f = wolfram_expr::parse(src).unwrap();
+        let pm = compiler
+            .compile_to_twir(&f, None)
+            .unwrap_or_else(|e| panic!("{name} fails the analyzer: {e}"));
+        let errors: Vec<_> = wolfram_analyze::analyze_module(&pm)
+            .into_iter()
+            .filter(|d| d.severity == wolfram_analyze::Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{name}: {errors:?}");
+    }
+}

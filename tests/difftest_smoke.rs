@@ -11,6 +11,7 @@ fn three_hundred_programs_agree_across_engines() {
         seed: 0xD1FF_7E57,
         iters: 300,
         shrink: true,
+        analyze: true,
     };
     let report = run_fuzz(&cfg);
     assert!(
