@@ -4,6 +4,8 @@
 //! reproduce [figure2|table1|intro|ablations|opstats|compile-times|all] [--quick]
 //! reproduce difftest [--iters N] [--seed S] [--out DIR] [--no-shrink] [--no-analyze]
 //! reproduce analyze [--ir-stage wir|twir|post-pipeline] <file.wl | source>
+//! reproduce serve [--workers N] [--cache-cap N] [--queue-cap N] [--deadline-ms N] [--tier T]
+//! reproduce bench-serve [--quick]
 //! ```
 //!
 //! `--quick` shrinks the workloads (CI-sized); without it the paper's §6
@@ -16,6 +18,15 @@
 //! `analyze` compiles one program to the requested IR stage and prints
 //! every `wolfram-analyze` diagnostic (type errors, refcount imbalance,
 //! lints); it exits nonzero if any error-severity finding is reported.
+//!
+//! `serve` runs the concurrent compile-and-evaluate pool over stdin: one
+//! request per line as a two-element list `{Function[...], {arg, ...}}`,
+//! answered in input order, with the metrics table printed at EOF.
+//!
+//! `bench-serve` drives the Zipf closed-loop load generator over the pool
+//! at 1/4/8 workers with the artifact cache on vs off, then the deadline
+//! sub-experiment; it exits nonzero on any divergence, a zero hit rate,
+//! or leaked memory counters (the CI smoke gate).
 
 use wolfram_bench::{ablations, harness, intro, opstats, table1};
 use wolfram_compiler_core::{Compiler, CompilerOptions};
@@ -145,6 +156,177 @@ fn run_difftest(args: &[String]) -> ! {
     std::process::exit(i32::from(!clean));
 }
 
+/// `serve` subcommand: the pool as a line-oriented service over stdin.
+fn run_serve(args: &[String]) -> ! {
+    use wolfram_serve::{ServeConfig, ServePool, TierPolicy};
+
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let workers: usize = flag("--workers").map_or(4, |v| v.parse().expect("--workers N"));
+    let cache_cap: usize = flag("--cache-cap").map_or(512, |v| v.parse().expect("--cache-cap N"));
+    let queue_cap: usize = flag("--queue-cap").map_or(256, |v| v.parse().expect("--queue-cap N"));
+    let deadline = flag("--deadline-ms")
+        .map(|v| std::time::Duration::from_millis(v.parse().expect("--deadline-ms N")));
+    let tier_policy = match flag("--tier").as_deref() {
+        None | Some("native") => TierPolicy::NativeOnly,
+        Some("bytecode") => TierPolicy::BytecodeOnly,
+        Some("adaptive") => TierPolicy::Adaptive { promote_after: 2 },
+        Some(other) => {
+            eprintln!("unknown --tier `{other}` (expected native, bytecode, or adaptive)");
+            std::process::exit(2);
+        }
+    };
+    let pool = ServePool::start(ServeConfig {
+        workers,
+        queue_cap,
+        cache_cap,
+        default_deadline: deadline,
+        tier_policy,
+    });
+    eprintln!(
+        "wolfram-serve: {workers} workers, cache {cache_cap}, queue {queue_cap}; \
+         one `{{Function[...], {{args...}}}}` per line"
+    );
+
+    let mut line = String::new();
+    let mut lineno = 0u64;
+    loop {
+        line.clear();
+        match std::io::stdin().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("stdin: {e}");
+                break;
+            }
+        }
+        lineno += 1;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with("(*") {
+            continue;
+        }
+        let req = match parse_serve_line(text) {
+            Ok(req) => req,
+            Err(e) => {
+                println!("{lineno}: request error: {e}");
+                continue;
+            }
+        };
+        let reply = pool.call(req);
+        match &reply.result {
+            Ok(v) => println!(
+                "{lineno}: {v}  [{} {} compile {} execute {}]",
+                reply.tier.map_or_else(|| "?".into(), |t| t.to_string()),
+                match reply.cache {
+                    wolfram_serve::CacheStatus::Hit => "hit",
+                    wolfram_serve::CacheStatus::Miss => "miss",
+                    wolfram_serve::CacheStatus::Unreached => "-",
+                },
+                wolfram_serve::fmt_ns(reply.compile_ns),
+                wolfram_serve::fmt_ns(reply.execute_ns),
+            ),
+            Err(e) => println!("{lineno}: {e}"),
+        }
+    }
+    print!("{}", pool.metrics().render());
+    pool.shutdown();
+    std::process::exit(0);
+}
+
+/// Parses one `serve` request line: `{Function[...], {arg, ...}}`.
+fn parse_serve_line(text: &str) -> Result<wolfram_serve::ServeRequest, String> {
+    let expr = wolfram_expr::parse(text).map_err(|e| e.to_string())?;
+    if !expr.has_head("List") || expr.args().len() != 2 {
+        return Err("expected {Function[...], {args...}}".into());
+    }
+    let func = &expr.args()[0];
+    let arg_list = &expr.args()[1];
+    if !func.has_head("Function") {
+        return Err("first element must be a Function".into());
+    }
+    if !arg_list.has_head("List") {
+        return Err("second element must be the argument list".into());
+    }
+    let args: Vec<String> = arg_list.args().iter().map(|a| a.to_input_form()).collect();
+    Ok(wolfram_serve::ServeRequest::new(func.to_input_form(), args))
+}
+
+/// `bench-serve` subcommand: the Zipf closed-loop experiment, also the CI
+/// smoke gate (nonzero exit on divergence, zero hit rate, or leaks).
+fn run_bench_serve(args: &[String]) -> ! {
+    use wolfram_bench::serve_load::{self, Catalog, Zipf};
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let (programs, requests, spin_rounds) = if quick { (12, 240, 2) } else { (24, 2_000, 6) };
+    let catalog = Catalog::new(programs, 64);
+    let zipf = Zipf::new(catalog.len(), 1.1);
+    println!(
+        "== bench-serve ({} scale): {} programs, Zipf s=1.1, {} requests/config ==",
+        if quick { "quick" } else { "paper" },
+        programs,
+        requests
+    );
+
+    let mut failures = 0u32;
+    let mut at8 = (0.0f64, 0.0f64); // (cache-off, cache-on) throughput
+    for workers in [1usize, 4, 8] {
+        for cache_on in [false, true] {
+            let r = serve_load::run_load(
+                &catalog,
+                &zipf,
+                workers,
+                cache_on,
+                workers * 2,
+                requests,
+                0x5E12_F00D,
+            );
+            println!("{}", serve_load::render_row(&r));
+            if r.divergences > 0 {
+                failures += 1;
+            }
+            if cache_on && r.hit_rate <= 0.0 {
+                failures += 1;
+            }
+            if workers == 8 {
+                if cache_on {
+                    at8.1 = r.throughput;
+                } else {
+                    at8.0 = r.throughput;
+                }
+            }
+        }
+    }
+    let speedup = at8.1 / at8.0.max(1e-9);
+    println!(
+        "cache speedup at 8 workers: {speedup:.2}x (acceptance floor 3x{})",
+        if quick {
+            "; advisory at quick scale"
+        } else {
+            ""
+        }
+    );
+    if !quick && speedup < 3.0 {
+        failures += 1;
+    }
+
+    let d = serve_load::run_deadline_experiment(spin_rounds);
+    println!(
+        "deadline experiment: {}/{} aborted, pool alive: {}, memory balanced: {}",
+        d.aborted, d.issued, d.pool_alive, d.memory_balanced
+    );
+    if d.aborted != d.issued || !d.pool_alive || !d.memory_balanced {
+        failures += 1;
+    }
+    println!(
+        "bench-serve: {}",
+        if failures == 0 { "PASS" } else { "FAIL" }
+    );
+    std::process::exit(i32::from(failures > 0));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "difftest") {
@@ -152,6 +334,12 @@ fn main() {
     }
     if args.first().is_some_and(|a| a == "analyze") {
         run_analyze(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "serve") {
+        run_serve(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "bench-serve") {
+        run_bench_serve(&args[1..]);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let what = args

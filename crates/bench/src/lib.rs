@@ -17,6 +17,10 @@
 //!   constant-array handling, mutability copies, superinstruction fusion.
 //! - [`opstats`] — dynamic op/dyad frequency profiles of the seven
 //!   benchmarks (the data superinstruction selection is driven by).
+//! - [`serve_load`] — the closed-loop Zipf load generator for the
+//!   `wolfram-serve` pool (`reproduce bench-serve`): throughput and tail
+//!   latency at 1/4/8 workers with the artifact cache on vs off, plus the
+//!   deadline/leak sub-experiment.
 
 pub mod ablations;
 pub mod harness;
@@ -24,6 +28,7 @@ pub mod intro;
 pub mod native;
 pub mod opstats;
 pub mod programs;
+pub mod serve_load;
 pub mod table1;
 pub mod workloads;
 

@@ -63,6 +63,61 @@ impl ArgSpec {
             ty: VmType::TensorInt,
         }
     }
+
+    /// Derives the spec list from a new-compiler `Function[{Typed[...]},
+    /// body]` expression, for running one program through both compiler
+    /// generations (the difftest oracle and the serve bytecode tier).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for parameter forms outside the bytecode
+    /// compiler's fixed datatype set (limitation L1).
+    pub fn from_function(func: &Expr) -> Result<Vec<ArgSpec>, String> {
+        let params = func
+            .args()
+            .first()
+            .filter(|p| p.has_head("List"))
+            .ok_or("function has no parameter list")?;
+        params
+            .args()
+            .iter()
+            .map(|p| {
+                if !(p.has_head("Typed") && p.length() == 2) {
+                    return Err(format!("parameter {} is not Typed", p.to_input_form()));
+                }
+                let name = p.args()[0]
+                    .as_symbol()
+                    .ok_or_else(|| format!("parameter name {}", p.args()[0].to_input_form()))?
+                    .name()
+                    .to_owned();
+                let spec = &p.args()[1];
+                if let Some(s) = spec.as_str() {
+                    return match s {
+                        "MachineInteger" | "Integer64" => Ok(ArgSpec::int(&name)),
+                        "Real64" => Ok(ArgSpec::real(&name)),
+                        other => Err(format!("unsupported parameter type {other:?}")),
+                    };
+                }
+                // "Tensor"[elem, 1]
+                if spec.head().as_str() == Some("Tensor") && spec.length() == 2 {
+                    return match spec.args()[0].as_str() {
+                        Some("Integer64") | Some("MachineInteger") => {
+                            Ok(ArgSpec::tensor_int(&name))
+                        }
+                        Some("Real64") => Ok(ArgSpec::tensor_real(&name)),
+                        _ => Err(format!(
+                            "unsupported tensor element {}",
+                            spec.to_input_form()
+                        )),
+                    };
+                }
+                Err(format!(
+                    "unsupported parameter spec {}",
+                    spec.to_input_form()
+                ))
+            })
+            .collect()
+    }
 }
 
 /// Compilation failure: the function cannot be represented at all

@@ -1201,6 +1201,18 @@ impl Machine {
             frame.store(*slot, arg)?;
         }
         let out = self.run(prog, func, &mut frame, &mut engine);
+        if out.is_err() {
+            // Unwind accounting (F7): an abort or runtime error skips the
+            // remaining MemoryRelease instructions, but the held values are
+            // dropped just below — record those releases so acquire/release
+            // accounting stays balanced across unwinds (the serve pool
+            // asserts this after deadline-aborted requests).
+            for ac in &mut frame.acquired {
+                if std::mem::take(ac) {
+                    wolfram_runtime::memory::record_release();
+                }
+            }
+        }
         // Drop held values eagerly, then recycle the allocation.
         frame.vals.clear();
         if self.frame_pool.len() < FRAME_POOL_CAP {

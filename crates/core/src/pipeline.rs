@@ -66,6 +66,59 @@ pub struct CompilerOptions {
     pub verify: VerifyLevel,
 }
 
+impl CompilerOptions {
+    /// A stable 64-bit fingerprint of every option that can change the
+    /// compiled artifact. Two option sets with equal fingerprints produce
+    /// byte-identical code for the same canonical source, so the serving
+    /// layer's content-addressed cache keys on `(canonical MExpr,
+    /// fingerprint)` — same source under different options must not
+    /// collide (§4.7: "Macro rules, type system definitions, and passes
+    /// can be predicated on the FunctionCompile options").
+    ///
+    /// The hash is FNV-1a over a canonical byte rendering: enum
+    /// discriminants, option booleans, and the *sorted* disabled-pass
+    /// names (a `HashSet`'s iteration order must not leak into the key).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(match self.target_system {
+            TargetSystem::Native => b"target:native",
+            TargetSystem::Cuda => b"target:cuda",
+        });
+        eat(&[
+            u8::from(self.abort_handling),
+            u8::from(self.memory_management),
+            self.optimization_level,
+            u8::from(self.naive_constant_arrays),
+            u8::from(self.superinstruction_fusion),
+        ]);
+        eat(match self.inline_policy {
+            InlinePolicy::Automatic => b"inline:auto",
+            InlinePolicy::Never => b"inline:never",
+            InlinePolicy::Always => b"inline:always",
+        });
+        eat(match self.verify {
+            VerifyLevel::Off => b"verify:off",
+            VerifyLevel::Ssa => b"verify:ssa",
+            VerifyLevel::Full => b"verify:full",
+        });
+        let mut disabled: Vec<&str> = self.disabled_passes.iter().map(String::as_str).collect();
+        disabled.sort_unstable();
+        for pass in disabled {
+            eat(b"disable:");
+            eat(pass.as_bytes());
+        }
+        h
+    }
+}
+
 impl Default for CompilerOptions {
     fn default() -> Self {
         CompilerOptions {
@@ -491,6 +544,56 @@ mod tests {
             .function_compile_src("Function[{Typed[n, \"MachineInteger\"]}, 1 + 2 + n]")
             .unwrap();
         assert_eq!(cf.call(&[Value::I64(3)]).unwrap(), Value::I64(6));
+    }
+
+    #[test]
+    fn options_fingerprint_is_stable_and_discriminating() {
+        let base = CompilerOptions::default();
+        assert_eq!(base.fingerprint(), CompilerOptions::default().fingerprint());
+        // Every artifact-affecting knob moves the fingerprint.
+        let variants = [
+            CompilerOptions {
+                abort_handling: false,
+                ..CompilerOptions::default()
+            },
+            CompilerOptions {
+                memory_management: false,
+                ..CompilerOptions::default()
+            },
+            CompilerOptions {
+                optimization_level: 0,
+                ..CompilerOptions::default()
+            },
+            CompilerOptions {
+                inline_policy: InlinePolicy::Never,
+                ..CompilerOptions::default()
+            },
+            CompilerOptions {
+                superinstruction_fusion: false,
+                ..CompilerOptions::default()
+            },
+            CompilerOptions {
+                naive_constant_arrays: true,
+                ..CompilerOptions::default()
+            },
+        ];
+        let mut prints: Vec<u64> = variants.iter().map(CompilerOptions::fingerprint).collect();
+        prints.push(base.fingerprint());
+        let unique: HashSet<u64> = prints.iter().copied().collect();
+        assert_eq!(
+            unique.len(),
+            prints.len(),
+            "fingerprint collision: {prints:?}"
+        );
+        // Disabled-pass order does not matter (set semantics).
+        let mut a = CompilerOptions::default();
+        a.disabled_passes
+            .extend(["cse".to_owned(), "dce".to_owned()]);
+        let mut b = CompilerOptions::default();
+        b.disabled_passes
+            .extend(["dce".to_owned(), "cse".to_owned()]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), base.fingerprint());
     }
 
     #[test]

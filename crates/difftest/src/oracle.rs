@@ -69,20 +69,14 @@ pub const CANCELLATION_EPS: f64 = f64::EPSILON * 16.0;
 /// reports as timed out rather than hanging the whole fuzz session.
 pub const RUN_TIMEOUT: Duration = Duration::from_millis(300);
 
-/// Runs `f` with a watchdog thread that triggers `signal` if `f` has not
-/// finished within [`RUN_TIMEOUT`]. The signal is reset afterwards so a
-/// shared host interpreter is reusable for the next run.
+/// Runs `f` under an [`AbortSignal::deadline`] watchdog that triggers
+/// `signal` if `f` has not finished within [`RUN_TIMEOUT`]. The signal is
+/// reset afterwards so a shared host interpreter is reusable for the next
+/// run.
 fn with_watchdog<T>(signal: &AbortSignal, f: impl FnOnce() -> T) -> T {
-    let (tx, rx) = std::sync::mpsc::channel::<()>();
-    let armed = signal.clone();
-    let watchdog = std::thread::spawn(move || {
-        if rx.recv_timeout(RUN_TIMEOUT).is_err() {
-            armed.trigger();
-        }
-    });
+    let guard = signal.deadline(RUN_TIMEOUT);
     let out = f();
-    let _ = tx.send(());
-    let _ = watchdog.join();
+    drop(guard);
     signal.reset();
     out
 }
@@ -234,54 +228,14 @@ fn value_scale(v: &Value) -> f64 {
 }
 
 /// Derives the bytecode [`ArgSpec`] list from a `Function[{Typed[...]},
-/// body]` expression.
+/// body]` expression (delegates to [`ArgSpec::from_function`], shared
+/// with the serve bytecode tier).
 ///
 /// # Errors
 ///
 /// Returns a message for parameter forms outside the fuzzer's subset.
 pub fn specs_from_function(func: &Expr) -> Result<Vec<ArgSpec>, String> {
-    let params = func
-        .args()
-        .first()
-        .filter(|p| p.has_head("List"))
-        .ok_or("function has no parameter list")?;
-    params
-        .args()
-        .iter()
-        .map(|p| {
-            if !(p.has_head("Typed") && p.length() == 2) {
-                return Err(format!("parameter {} is not Typed", p.to_input_form()));
-            }
-            let name = p.args()[0]
-                .as_symbol()
-                .ok_or_else(|| format!("parameter name {}", p.args()[0].to_input_form()))?
-                .name()
-                .to_owned();
-            let spec = &p.args()[1];
-            if let Some(s) = spec.as_str() {
-                return match s {
-                    "MachineInteger" | "Integer64" => Ok(ArgSpec::int(&name)),
-                    "Real64" => Ok(ArgSpec::real(&name)),
-                    other => Err(format!("unsupported parameter type {other:?}")),
-                };
-            }
-            // "Tensor"[elem, 1]
-            if spec.head().as_str() == Some("Tensor") && spec.length() == 2 {
-                return match spec.args()[0].as_str() {
-                    Some("Integer64") | Some("MachineInteger") => Ok(ArgSpec::tensor_int(&name)),
-                    Some("Real64") => Ok(ArgSpec::tensor_real(&name)),
-                    _ => Err(format!(
-                        "unsupported tensor element {}",
-                        spec.to_input_form()
-                    )),
-                };
-            }
-            Err(format!(
-                "unsupported parameter spec {}",
-                spec.to_input_form()
-            ))
-        })
-        .collect()
+    ArgSpec::from_function(func)
 }
 
 /// Compiles `func` for every engine configuration, with the per-pass

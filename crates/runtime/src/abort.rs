@@ -7,7 +7,8 @@
 
 use crate::error::RuntimeError;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// A shared, asynchronously-triggerable abort flag.
 ///
@@ -74,6 +75,97 @@ impl AbortSignal {
             remaining: n,
         }
     }
+
+    /// Arms a wall-clock deadline: a watchdog thread triggers this signal
+    /// after `after`, unless the returned guard is dropped first.
+    ///
+    /// Dropping the [`DeadlineGuard`] cancels the watchdog and joins it, so
+    /// a completed evaluation never races with a late trigger on a reused
+    /// signal. The signal itself is *not* reset by the guard — callers that
+    /// reuse signals (like the difftest oracle's shared host interpreters)
+    /// reset explicitly after checking [`DeadlineGuard::fired`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use wolfram_runtime::AbortSignal;
+    /// let signal = AbortSignal::new();
+    /// {
+    ///     let _guard = signal.deadline(Duration::from_secs(60));
+    ///     // ... finishes well before the deadline ...
+    /// } // guard dropped: watchdog cancelled
+    /// assert!(!signal.is_triggered());
+    /// ```
+    pub fn deadline(&self, after: Duration) -> DeadlineGuard {
+        let state = Arc::new(DeadlineState {
+            lock: Mutex::new(false),
+            cancelled: Condvar::new(),
+            fired: AtomicBool::new(false),
+        });
+        let armed = self.clone();
+        let shared = Arc::clone(&state);
+        let watchdog = std::thread::spawn(move || {
+            let mut done = shared.lock.lock().expect("deadline lock poisoned");
+            let deadline = std::time::Instant::now() + after;
+            while !*done {
+                let now = std::time::Instant::now();
+                let Some(left) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    shared.fired.store(true, Ordering::Release);
+                    armed.trigger();
+                    return;
+                };
+                let (guard, _timeout) = shared
+                    .cancelled
+                    .wait_timeout(done, left)
+                    .expect("deadline lock poisoned");
+                done = guard;
+            }
+        });
+        DeadlineGuard {
+            state,
+            watchdog: Some(watchdog),
+        }
+    }
+}
+
+/// Shared state between a [`DeadlineGuard`] and its watchdog thread.
+#[derive(Debug)]
+struct DeadlineState {
+    /// Set to `true` by the guard to cancel the watchdog.
+    lock: Mutex<bool>,
+    cancelled: Condvar,
+    /// Whether the watchdog actually triggered the signal.
+    fired: AtomicBool,
+}
+
+/// Cancels an armed [`AbortSignal::deadline`] watchdog when dropped.
+#[derive(Debug)]
+pub struct DeadlineGuard {
+    state: Arc<DeadlineState>,
+    watchdog: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DeadlineGuard {
+    /// Whether the deadline expired and triggered the signal.
+    pub fn fired(&self) -> bool {
+        self.state.fired.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        if let Ok(mut done) = self.state.lock.lock() {
+            *done = true;
+        }
+        self.state.cancelled.notify_all();
+        if let Some(handle) = self.watchdog.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// Helper that triggers an [`AbortSignal`] after a countdown of checks.
@@ -113,6 +205,31 @@ mod tests {
         let b = a.clone();
         std::thread::spawn(move || b.trigger()).join().unwrap();
         assert!(a.is_triggered());
+    }
+
+    #[test]
+    fn deadline_fires_after_timeout() {
+        let signal = AbortSignal::new();
+        let guard = signal.deadline(Duration::from_millis(10));
+        let start = std::time::Instant::now();
+        while !signal.is_triggered() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "watchdog never fired"
+            );
+            std::thread::yield_now();
+        }
+        assert!(guard.fired());
+        assert_eq!(signal.check(), Err(RuntimeError::Aborted));
+    }
+
+    #[test]
+    fn deadline_cancelled_by_drop() {
+        let signal = AbortSignal::new();
+        let guard = signal.deadline(Duration::from_secs(60));
+        assert!(!guard.fired());
+        drop(guard); // joins the watchdog without waiting a minute
+        assert!(!signal.is_triggered());
     }
 
     #[test]

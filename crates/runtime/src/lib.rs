@@ -25,7 +25,7 @@ pub mod memory;
 pub mod tensor;
 pub mod value;
 
-pub use abort::AbortSignal;
+pub use abort::{AbortSignal, DeadlineGuard};
 pub use error::RuntimeError;
 pub use tensor::{Tensor, TensorData};
 pub use value::{FunctionValue, Value};

@@ -8,12 +8,23 @@
 //! actually copies (the QSort 1.2× story in §6).
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 thread_local! {
     static ACQUIRES: Cell<u64> = const { Cell::new(0) };
     static RELEASES: Cell<u64> = const { Cell::new(0) };
     static TENSOR_COPIES: Cell<u64> = const { Cell::new(0) };
 }
+
+// Cross-thread aggregation (the serve worker pool). The hot recording path
+// stays thread-local and non-atomic; each worker *flushes* its local
+// counters into these process-wide totals. Managed values never cross
+// threads (see the Send/Sync audit in `wolfram-serve`), so per-thread
+// balance remains meaningful — but a run's total leak accounting must sum
+// over every worker, which is what these totals provide.
+static GLOBAL_ACQUIRES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_RELEASES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_TENSOR_COPIES: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the instrumentation counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,6 +78,33 @@ pub fn reset_stats() {
     TENSOR_COPIES.with(|c| c.set(0));
 }
 
+/// Moves this thread's counters into the process-wide totals, resetting
+/// the thread-local view. Pool workers call this after each request so
+/// [`global_stats`] reflects every thread's activity.
+pub fn flush_thread_stats() {
+    let s = stats();
+    reset_stats();
+    GLOBAL_ACQUIRES.fetch_add(s.acquires, Ordering::Relaxed);
+    GLOBAL_RELEASES.fetch_add(s.releases, Ordering::Relaxed);
+    GLOBAL_TENSOR_COPIES.fetch_add(s.tensor_copies, Ordering::Relaxed);
+}
+
+/// The process-wide totals accumulated by [`flush_thread_stats`].
+pub fn global_stats() -> MemoryStats {
+    MemoryStats {
+        acquires: GLOBAL_ACQUIRES.load(Ordering::Relaxed),
+        releases: GLOBAL_RELEASES.load(Ordering::Relaxed),
+        tensor_copies: GLOBAL_TENSOR_COPIES.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the process-wide totals (call before a measured run).
+pub fn reset_global_stats() {
+    GLOBAL_ACQUIRES.store(0, Ordering::Relaxed);
+    GLOBAL_RELEASES.store(0, Ordering::Relaxed);
+    GLOBAL_TENSOR_COPIES.store(0, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +130,33 @@ mod tests {
         assert!(stats().balanced());
         reset_stats();
         assert_eq!(stats(), MemoryStats::default());
+    }
+
+    #[test]
+    fn flush_aggregates_across_threads() {
+        reset_global_stats();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    reset_stats();
+                    record_acquire();
+                    record_release();
+                    record_tensor_copy();
+                    flush_thread_stats();
+                    // Flushing resets the thread-local view.
+                    assert_eq!(stats(), MemoryStats::default());
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let g = global_stats();
+        assert_eq!(g.acquires, 4);
+        assert_eq!(g.releases, 4);
+        assert_eq!(g.tensor_copies, 4);
+        assert!(g.balanced());
+        reset_global_stats();
+        assert_eq!(global_stats(), MemoryStats::default());
     }
 }

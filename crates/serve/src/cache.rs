@@ -1,0 +1,324 @@
+//! The content-addressed artifact cache.
+//!
+//! Each pool shard owns one [`ArtifactCache`]: a strict least-recently-used
+//! map from [`CacheKey`] to a compiled artifact tagged with its tier
+//! (bytecode vs native). Shards are thread-confined — artifacts hold `Rc`
+//! internally and never cross threads — so the cache needs no locks; the
+//! only shared state is the hit/miss/eviction counters, which the worker
+//! reports into the pool-wide [`crate::metrics::ServeMetrics`].
+//!
+//! Single-flight deduplication is structural rather than lock-based: all
+//! requests for one program route to one shard (see [`crate::key`]), and a
+//! shard executes its queue serially, so N concurrent requests for the
+//! same uncached program trigger exactly one compile — the other N−1 find
+//! the artifact already resident when their turn comes.
+
+use crate::key::CacheKey;
+use std::collections::HashMap;
+
+/// Which engine an artifact targets (the Titzer-style tier tag: bytecode
+/// compiles fast and runs slow; native compiles slow and runs fast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The legacy bytecode VM (§2.2) — the cheap tier.
+    Bytecode,
+    /// The native register machine — the optimizing tier.
+    Native,
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Tier::Bytecode => "bytecode",
+            Tier::Native => "native",
+        })
+    }
+}
+
+/// A resident cache entry.
+#[derive(Debug)]
+pub struct Entry<A> {
+    /// The compiled artifact (thread-confined).
+    pub artifact: A,
+    /// Which tier compiled it.
+    pub tier: Tier,
+    /// Nanoseconds the compile took (reported on hits so callers can see
+    /// what the cache saved them).
+    pub compile_ns: u64,
+    /// Times this entry has been served since insertion (drives adaptive
+    /// tier promotion).
+    pub hits: u64,
+}
+
+/// Monotonic counters for one shard's cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that found a resident artifact.
+    pub hits: u64,
+    /// Lookups that required a compile.
+    pub misses: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+}
+
+/// A strict-LRU, capacity-bounded artifact cache.
+///
+/// `cap == 0` disables caching entirely (every lookup misses and inserts
+/// are dropped) — the bench harness uses this as the cache-off baseline.
+#[derive(Debug)]
+pub struct ArtifactCache<A> {
+    cap: usize,
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Slot<A>>,
+    /// Most-recently-used slot, or `usize::MAX` when empty.
+    head: usize,
+    /// Least-recently-used slot, or `usize::MAX` when empty.
+    tail: usize,
+    free: Vec<usize>,
+    counters: CacheCounters,
+}
+
+#[derive(Debug)]
+struct Slot<A> {
+    key: CacheKey,
+    entry: Entry<A>,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl<A> ArtifactCache<A> {
+    /// A cache bounded to `cap` entries (0 disables caching).
+    pub fn new(cap: usize) -> Self {
+        ArtifactCache {
+            cap,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// This shard's counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    fn unlink(&mut self, ix: usize) {
+        let (prev, next) = (self.slots[ix].prev, self.slots[ix].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, ix: usize) {
+        self.slots[ix].prev = NIL;
+        self.slots[ix].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = ix;
+        }
+        self.head = ix;
+        if self.tail == NIL {
+            self.tail = ix;
+        }
+    }
+
+    /// Looks up `key`, counting a hit or miss. A hit is promoted to
+    /// most-recently-used and its hit count incremented.
+    pub fn lookup(&mut self, key: &CacheKey) -> Option<&mut Entry<A>> {
+        match self.map.get(key).copied() {
+            Some(ix) => {
+                self.counters.hits += 1;
+                self.unlink(ix);
+                self.push_front(ix);
+                let e = &mut self.slots[ix].entry;
+                e.hits += 1;
+                Some(e)
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks at `key` without touching recency or counters (tier
+    /// promotion re-reads the entry it just looked up).
+    pub fn peek_mut(&mut self, key: &CacheKey) -> Option<&mut Entry<A>> {
+        let ix = self.map.get(key).copied()?;
+        Some(&mut self.slots[ix].entry)
+    }
+
+    /// Inserts a freshly compiled artifact as most-recently-used,
+    /// evicting the least-recently-used entry if the cache is full.
+    /// Returns the evicted key, if any.
+    pub fn insert(&mut self, key: CacheKey, entry: Entry<A>) -> Option<CacheKey> {
+        if self.cap == 0 {
+            return None;
+        }
+        if let Some(ix) = self.map.get(&key).copied() {
+            // Replacement (e.g. tier promotion): keep one slot per key.
+            self.unlink(ix);
+            self.push_front(ix);
+            self.slots[ix].entry = entry;
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() == self.cap {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            let old = self.slots[lru].key;
+            self.map.remove(&old);
+            self.free.push(lru);
+            self.counters.evictions += 1;
+            evicted = Some(old);
+        }
+        let ix = match self.free.pop() {
+            Some(ix) => {
+                self.slots[ix] = Slot {
+                    key,
+                    entry,
+                    prev: NIL,
+                    next: NIL,
+                };
+                ix
+            }
+            None => {
+                self.slots.push(Slot {
+                    key,
+                    entry,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, ix);
+        self.push_front(ix);
+        evicted
+    }
+
+    /// Keys from most- to least-recently used (tests assert exact LRU
+    /// order through this).
+    pub fn keys_by_recency(&self) -> Vec<CacheKey> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut ix = self.head;
+        while ix != NIL {
+            out.push(self.slots[ix].key);
+            ix = self.slots[ix].next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey {
+            program: [n, n ^ 0xabcd],
+            options: 7,
+        }
+    }
+
+    fn entry(v: u32) -> Entry<u32> {
+        Entry {
+            artifact: v,
+            tier: Tier::Native,
+            compile_ns: 0,
+            hits: 0,
+        }
+    }
+
+    #[test]
+    fn eviction_follows_exact_lru_order() {
+        let mut c = ArtifactCache::new(3);
+        for n in 0..3 {
+            assert_eq!(c.insert(key(n), entry(n as u32)), None);
+        }
+        assert_eq!(c.keys_by_recency(), vec![key(2), key(1), key(0)]);
+        // Touch 0: it becomes MRU, so 1 is now the eviction victim.
+        assert!(c.lookup(&key(0)).is_some());
+        assert_eq!(c.keys_by_recency(), vec![key(0), key(2), key(1)]);
+        assert_eq!(c.insert(key(3), entry(3)), Some(key(1)));
+        assert_eq!(c.keys_by_recency(), vec![key(3), key(0), key(2)]);
+        // And the next eviction takes 2, then 0.
+        assert_eq!(c.insert(key(4), entry(4)), Some(key(2)));
+        assert_eq!(c.insert(key(5), entry(5)), Some(key(0)));
+        assert_eq!(c.counters().evictions, 3);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut c = ArtifactCache::new(2);
+        assert!(c.lookup(&key(1)).is_none());
+        c.insert(key(1), entry(1));
+        assert_eq!(c.lookup(&key(1)).unwrap().artifact, 1);
+        assert_eq!(c.lookup(&key(1)).unwrap().hits, 2);
+        assert_eq!(
+            c.counters(),
+            CacheCounters {
+                hits: 2,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn replacement_keeps_one_slot_per_key() {
+        let mut c = ArtifactCache::new(2);
+        c.insert(key(1), entry(1));
+        c.insert(key(2), entry(2));
+        // Tier promotion replaces in place: no eviction, len unchanged.
+        let mut promoted = entry(10);
+        promoted.tier = Tier::Native;
+        assert_eq!(c.insert(key(1), promoted), None);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(&key(1)).unwrap().artifact, 10);
+        assert_eq!(c.counters().evictions, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ArtifactCache::new(0);
+        assert_eq!(c.insert(key(1), entry(1)), None);
+        assert!(c.lookup(&key(1)).is_none());
+        assert!(c.is_empty());
+        assert_eq!(c.counters().misses, 1);
+    }
+
+    #[test]
+    fn free_list_reuses_slots() {
+        let mut c = ArtifactCache::new(2);
+        for n in 0..100 {
+            c.insert(key(n), entry(n as u32));
+        }
+        // 100 inserts through a 2-slot cache allocate only 2 slots.
+        assert_eq!(c.slots.len(), 2);
+        assert_eq!(c.counters().evictions, 98);
+    }
+}

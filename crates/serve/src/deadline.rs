@@ -1,0 +1,190 @@
+//! A shared deadline timer for the pool.
+//!
+//! [`wolfram_runtime::AbortSignal::deadline`] spawns one watchdog thread
+//! per call, which is the right shape for the difftest oracle's long,
+//! rare runs but not for a service executing tens of thousands of
+//! sub-millisecond requests. The pool instead keeps **one** timer thread
+//! with a min-heap of armed deadlines; workers arm a deadline when they
+//! pick a request up and disarm it when the request finishes. Expired
+//! entries trigger the request's [`AbortSignal`], which the compiled
+//! code observes at its next abort check (loop headers and prologues,
+//! §4.5) and unwinds as `Aborted`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+use wolfram_runtime::AbortSignal;
+
+/// One armed deadline. Ordered by expiry for the heap; the id breaks ties
+/// and identifies the entry for disarm.
+struct Armed {
+    at: Instant,
+    id: u64,
+    signal: AbortSignal,
+}
+
+impl PartialEq for Armed {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl Eq for Armed {}
+impl PartialOrd for Armed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Armed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.id).cmp(&(other.at, other.id))
+    }
+}
+
+#[derive(Default)]
+struct TimerState {
+    heap: BinaryHeap<Reverse<Armed>>,
+    /// Ids disarmed before expiry; their heap entries are skipped lazily.
+    cancelled: std::collections::HashSet<u64>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+/// The shared timer. Cloning shares the underlying thread.
+#[derive(Clone)]
+pub struct DeadlineTimer {
+    state: Arc<(Mutex<TimerState>, Condvar)>,
+}
+
+/// Disarms its deadline on drop.
+pub struct ArmedDeadline {
+    timer: DeadlineTimer,
+    id: u64,
+}
+
+impl Drop for ArmedDeadline {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.timer.state;
+        let mut st = lock.lock().expect("timer lock poisoned");
+        st.cancelled.insert(self.id);
+        cv.notify_one();
+    }
+}
+
+impl DeadlineTimer {
+    /// Starts the timer thread. The thread exits when the last clone of
+    /// this handle is dropped.
+    pub fn start() -> DeadlineTimer {
+        let state = Arc::new((Mutex::new(TimerState::default()), Condvar::new()));
+        let shared = Arc::downgrade(&state);
+        std::thread::Builder::new()
+            .name("wolfram-serve-deadline".into())
+            .spawn(move || loop {
+                let Some(state) = shared.upgrade() else {
+                    return;
+                };
+                let (lock, cv) = &*state;
+                let mut st = lock.lock().expect("timer lock poisoned");
+                if st.shutdown {
+                    return;
+                }
+                // Fire everything due; drop lazily-cancelled entries.
+                let now = Instant::now();
+                let mut next: Option<Instant> = None;
+                while let Some(Reverse(top)) = st.heap.peek() {
+                    if st.cancelled.contains(&top.id) {
+                        let Reverse(top) = st.heap.pop().expect("peeked");
+                        st.cancelled.remove(&top.id);
+                        continue;
+                    }
+                    if top.at <= now {
+                        let Reverse(top) = st.heap.pop().expect("peeked");
+                        top.signal.trigger();
+                        continue;
+                    }
+                    next = Some(top.at);
+                    break;
+                }
+                // Sleep until the next expiry (or until armed/disarmed).
+                // Dropping the Arc upgrade before sleeping would race, so
+                // hold it across the wait; the weak check above still
+                // lets the thread exit once all handles are gone.
+                let st = match next {
+                    Some(at) => {
+                        let wait = at.saturating_duration_since(Instant::now());
+                        cv.wait_timeout(st, wait).expect("timer lock poisoned").0
+                    }
+                    None => {
+                        cv.wait_timeout(st, std::time::Duration::from_millis(50))
+                            .expect("timer lock poisoned")
+                            .0
+                    }
+                };
+                drop(st);
+            })
+            .expect("spawn deadline timer");
+        DeadlineTimer { state }
+    }
+
+    /// Arms `signal` to trigger at `at`. The deadline disarms when the
+    /// returned handle drops.
+    pub fn arm(&self, at: Instant, signal: AbortSignal) -> ArmedDeadline {
+        let (lock, cv) = &*self.state;
+        let mut st = lock.lock().expect("timer lock poisoned");
+        let id = st.next_id;
+        st.next_id += 1;
+        st.heap.push(Reverse(Armed { at, id, signal }));
+        cv.notify_one();
+        ArmedDeadline {
+            timer: self.clone(),
+            id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fires_expired_deadlines() {
+        let timer = DeadlineTimer::start();
+        let signal = AbortSignal::new();
+        let _armed = timer.arm(Instant::now() + Duration::from_millis(5), signal.clone());
+        let start = Instant::now();
+        while !signal.is_triggered() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "deadline never fired"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn disarm_prevents_firing() {
+        let timer = DeadlineTimer::start();
+        let signal = AbortSignal::new();
+        let armed = timer.arm(Instant::now() + Duration::from_millis(30), signal.clone());
+        drop(armed);
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!signal.is_triggered());
+    }
+
+    #[test]
+    fn many_deadlines_fire_independently() {
+        let timer = DeadlineTimer::start();
+        let quick = AbortSignal::new();
+        let slow = AbortSignal::new();
+        let _q = timer.arm(Instant::now() + Duration::from_millis(5), quick.clone());
+        let s = timer.arm(Instant::now() + Duration::from_secs(60), slow.clone());
+        let start = Instant::now();
+        while !quick.is_triggered() {
+            assert!(start.elapsed() < Duration::from_secs(5));
+            std::thread::yield_now();
+        }
+        assert!(!slow.is_triggered());
+        drop(s);
+    }
+}

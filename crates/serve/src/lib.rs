@@ -1,0 +1,98 @@
+//! `wolfram-serve`: a concurrent compile-and-evaluate service over the
+//! compiler tiers.
+//!
+//! The paper's compiler is invoked interactively — one `FunctionCompile`
+//! per kernel call. A production serving story (the ROADMAP north star)
+//! instead amortizes compilation across requests and bounds evaluation:
+//!
+//! - **Content-addressed compile cache** ([`cache`], keyed by [`key`]):
+//!   artifacts are identified by a hash of the canonicalized MExpr plus
+//!   the [`CompilerOptions::fingerprint`], LRU-bounded, tagged with their
+//!   tier (bytecode vs native), with hit/miss/eviction counters.
+//! - **Sharded worker pool** ([`pool`]): requests route by content hash
+//!   to a fixed worker; each worker owns its shard of the cache and
+//!   executes its queue serially, which makes single-flight deduplication
+//!   *structural* — N concurrent requests for one uncached program reach
+//!   one shard and trigger exactly one compile. Admission is a bounded
+//!   queue with explicit [`ServeError::Overloaded`] rejection.
+//! - **Deadlines** ([`deadline`]): every request's remaining budget is
+//!   armed on a shared timer that triggers the worker's
+//!   [`wolfram_runtime::AbortSignal`]; compiled code observes it at loop
+//!   headers and prologues (§4.5) and unwinds as `Aborted` without
+//!   poisoning the worker.
+//! - **Metrics** ([`metrics`]): request/outcome counters, cache hit
+//!   rate, queue depth, and compile/execute/request latency histograms.
+//!
+//! # Send/Sync audit (why the pool is sharded, not work-stealing)
+//!
+//! Compiled artifacts are **thread-confined by construction**: a
+//! [`wolfram_compiler_core::CompiledCodeFunction`] holds `Rc<ProgramModule>`,
+//! `Rc<NativeProgram>` (whose `RegOp` streams embed constant
+//! [`wolfram_runtime::Value`]s), and an optional `Rc<RefCell<Interpreter>>`
+//! hosting engine; a [`wolfram_runtime::Value`] itself can hold `Rc<String>`,
+//! `Rc<BigInt>`, copy-on-write tensors, and `Value::Expr` (the `Rc`-based
+//! MExpr). None of these are `Send`, and making them so would put atomic
+//! reference counting on the interpreter's hottest paths. The service
+//! therefore never moves an artifact, argument value, or result across
+//! threads: requests cross the boundary as *text* (source and `InputForm`
+//! arguments), replies cross back as text, and everything `Rc`-based
+//! lives and dies on its shard. What *does* cross threads is audited at
+//! compile time below and in `tests/send_audit.rs`: [`ServeRequest`],
+//! [`ServeReply`], the metrics block, and the deadline timer are
+//! `Send + Sync`.
+//!
+//! Compiled artifacts must NOT become sendable by accident; if this
+//! compiles, the sharding invariant is gone and the design needs a
+//! re-audit:
+//!
+//! ```compile_fail
+//! fn assert_send<T: Send>() {}
+//! assert_send::<wolfram_compiler_core::CompiledCodeFunction>();
+//! ```
+//!
+//! Runtime values are equally confined:
+//!
+//! ```compile_fail
+//! fn assert_send<T: Send>() {}
+//! assert_send::<wolfram_runtime::Value>();
+//! ```
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wolfram_serve::{ServeConfig, ServePool, ServeRequest};
+//!
+//! let pool = ServePool::start(ServeConfig {
+//!     workers: 2,
+//!     ..ServeConfig::default()
+//! });
+//! let req = ServeRequest::new(
+//!     "Function[{Typed[n, \"MachineInteger\"]}, n + 1]",
+//!     ["41"],
+//! );
+//! let reply = pool.call(req.clone());
+//! assert_eq!(reply.result.as_deref(), Ok("42"));
+//! // Same program again: served from the artifact cache.
+//! let again = pool.call(req);
+//! assert_eq!(again.cache, wolfram_serve::CacheStatus::Hit);
+//! assert!(pool.metrics().hit_rate() > 0.0);
+//! ```
+
+pub mod cache;
+pub mod deadline;
+pub mod key;
+pub mod metrics;
+pub mod pool;
+mod worker;
+
+pub use cache::{ArtifactCache, CacheCounters, Entry, Tier};
+pub use deadline::DeadlineTimer;
+pub use key::CacheKey;
+pub use metrics::{fmt_ns, Histogram, ServeMetrics};
+pub use pool::{
+    CacheStatus, PendingReply, ServeConfig, ServeError, ServePool, ServeReply, ServeRequest,
+    TierPolicy,
+};
+
+// Re-exported so callers configuring requests need only this crate.
+pub use wolfram_compiler_core::CompilerOptions;

@@ -1,0 +1,349 @@
+//! The sharded worker pool: admission, routing, and the request/reply
+//! surface.
+//!
+//! Requests are routed to a shard by content hash (same program + options
+//! → same shard, always), admitted into that shard's bounded queue, and
+//! executed serially by the shard's worker thread. Backpressure is
+//! explicit: a full queue rejects with [`ServeError::Overloaded`] rather
+//! than queueing unboundedly — the client decides whether to retry,
+//! shed, or slow down.
+
+use crate::cache::Tier;
+use crate::deadline::DeadlineTimer;
+use crate::key;
+use crate::metrics::ServeMetrics;
+use crate::worker;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wolfram_compiler_core::CompilerOptions;
+
+/// Which tier(s) the pool compiles to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierPolicy {
+    /// Always compile with the optimizing pipeline (the default).
+    NativeOnly,
+    /// Compile with the fast legacy bytecode compiler; programs outside
+    /// its subset (limitation L1) still get the native pipeline.
+    BytecodeOnly,
+    /// Start on the bytecode tier, recompile natively once an entry has
+    /// served `promote_after` cache hits — the baseline-compiler tiering
+    /// argument (Titzer) applied to our two compiler generations.
+    Adaptive {
+        /// Cache hits an entry must serve before native promotion.
+        promote_after: u64,
+    },
+}
+
+/// Pool construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (= cache shards). Must be ≥ 1.
+    pub workers: usize,
+    /// Bounded queue length per shard; a full queue rejects with
+    /// [`ServeError::Overloaded`].
+    pub queue_cap: usize,
+    /// Artifact-cache entries per shard; 0 disables caching (every
+    /// request recompiles — the bench baseline).
+    pub cache_cap: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Tier selection policy.
+    pub tier_policy: TierPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_cap: 256,
+            cache_cap: 512,
+            default_deadline: None,
+            tier_policy: TierPolicy::NativeOnly,
+        }
+    }
+}
+
+/// A compile-and-evaluate request. Everything here is plain data
+/// (`Send`): the program and its arguments cross the thread boundary as
+/// text and are parsed on the owning shard (see the crate-level
+/// Send/Sync audit).
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// `Function[...]` source text.
+    pub source: String,
+    /// Argument expressions in `InputForm` (one string per argument).
+    pub args: Vec<String>,
+    /// Compiler options; `None` uses [`CompilerOptions::default`]. Part
+    /// of the cache key — same source under different options is a
+    /// different artifact.
+    pub options: Option<CompilerOptions>,
+    /// Wall-clock budget measured from submission (queue wait included);
+    /// `None` uses the pool's default.
+    pub deadline: Option<Duration>,
+}
+
+impl ServeRequest {
+    /// A request with default options and deadline.
+    pub fn new(
+        source: impl Into<String>,
+        args: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        ServeRequest {
+            source: source.into(),
+            args: args.into_iter().map(Into::into).collect(),
+            options: None,
+            deadline: None,
+        }
+    }
+
+    /// Sets explicit compiler options.
+    #[must_use]
+    pub fn with_options(mut self, options: CompilerOptions) -> Self {
+        self.options = Some(options);
+        self
+    }
+
+    /// Sets a per-request deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Where the artifact for a request came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from a resident artifact.
+    Hit,
+    /// Compiled on this request.
+    Miss,
+    /// The request failed before the cache was consulted (parse error,
+    /// expired deadline, rejection).
+    Unreached,
+}
+
+/// A request failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The shard queue was full at admission.
+    Overloaded,
+    /// The deadline expired (in queue, or mid-execution via the abort
+    /// signal).
+    DeadlineExceeded,
+    /// The program or an argument failed to parse.
+    Parse(String),
+    /// The program failed to compile.
+    Compile(String),
+    /// Execution failed (other than aborts).
+    Runtime(String),
+    /// The pool shut down before the request completed.
+    PoolClosed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "Overloaded: shard queue full"),
+            ServeError::DeadlineExceeded => write!(f, "Aborted: deadline exceeded"),
+            ServeError::Parse(e) => write!(f, "parse error: {e}"),
+            ServeError::Compile(e) => write!(f, "compile error: {e}"),
+            ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
+            ServeError::PoolClosed => write!(f, "pool closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The reply for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReply {
+    /// The result rendered in `InputForm`, or the failure.
+    pub result: Result<String, ServeError>,
+    /// Tier of the artifact that served the request.
+    pub tier: Option<Tier>,
+    /// Whether the artifact was cached.
+    pub cache: CacheStatus,
+    /// Nanoseconds spent compiling. On a hit this is the *saved* cost:
+    /// what the resident artifact cost to compile when it was built.
+    pub compile_ns: u64,
+    /// Nanoseconds spent executing.
+    pub execute_ns: u64,
+    /// End-to-end nanoseconds from submission to reply.
+    pub total_ns: u64,
+    /// Whether a soft numeric failure re-ran under the interpreter (§3
+    /// F2 — the answer is still correct, just slow).
+    pub fell_back: bool,
+}
+
+impl ServeReply {
+    pub(crate) fn failed(err: ServeError) -> ServeReply {
+        ServeReply {
+            result: Err(err),
+            tier: None,
+            cache: CacheStatus::Unreached,
+            compile_ns: 0,
+            execute_ns: 0,
+            total_ns: 0,
+            fell_back: false,
+        }
+    }
+}
+
+/// One queued request (crate-internal).
+pub(crate) struct Job {
+    pub req: ServeRequest,
+    pub submitted: Instant,
+    pub deadline_at: Option<Instant>,
+    pub reply: SyncSender<ServeReply>,
+}
+
+/// An in-flight request; [`PendingReply::wait`] blocks for the reply.
+pub struct PendingReply {
+    rx: Receiver<ServeReply>,
+}
+
+impl PendingReply {
+    /// Blocks until the worker replies.
+    pub fn wait(self) -> ServeReply {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| ServeReply::failed(ServeError::PoolClosed))
+    }
+}
+
+/// The serving pool. Dropping it shuts the workers down (in-flight
+/// requests finish; queued requests are drained and answered).
+pub struct ServePool {
+    shards: Vec<SyncSender<Job>>,
+    metrics: Arc<ServeMetrics>,
+    default_options: CompilerOptions,
+    default_deadline: Option<Duration>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    // Keeps the timer thread alive for the pool's lifetime.
+    _timer: DeadlineTimer,
+}
+
+impl ServePool {
+    /// Starts `config.workers` shard threads and the shared deadline
+    /// timer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0`.
+    pub fn start(config: ServeConfig) -> ServePool {
+        assert!(config.workers > 0, "ServeConfig.workers must be >= 1");
+        let metrics = Arc::new(ServeMetrics::new());
+        let timer = DeadlineTimer::start();
+        let mut shards = Vec::with_capacity(config.workers);
+        let mut handles = Vec::with_capacity(config.workers);
+        for shard in 0..config.workers {
+            let (tx, rx) = sync_channel::<Job>(config.queue_cap.max(1));
+            let worker_metrics = Arc::clone(&metrics);
+            let worker_timer = timer.clone();
+            let worker_cfg = worker::WorkerConfig {
+                cache_cap: config.cache_cap,
+                tier_policy: config.tier_policy,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("wolfram-serve-{shard}"))
+                .spawn(move || worker::run(rx, worker_metrics, worker_timer, worker_cfg))
+                .expect("spawn serve worker");
+            shards.push(tx);
+            handles.push(handle);
+        }
+        ServePool {
+            shards,
+            metrics,
+            default_options: CompilerOptions::default(),
+            default_deadline: config.default_deadline,
+            handles,
+            _timer: timer,
+        }
+    }
+
+    /// The pool's shared metrics block.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Number of shards.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Submits a request without blocking on execution.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the target shard's queue is full;
+    /// [`ServeError::PoolClosed`] if the pool is shutting down.
+    pub fn submit(&self, req: ServeRequest) -> Result<PendingReply, ServeError> {
+        let options = req.options.as_ref().unwrap_or(&self.default_options);
+        let shard = key::shard_for(&req.source, options, self.shards.len());
+        let submitted = Instant::now();
+        let deadline_at = req
+            .deadline
+            .or(self.default_deadline)
+            .map(|d| submitted + d);
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job {
+            req,
+            submitted,
+            deadline_at,
+            reply: reply_tx,
+        };
+        // Count the depth before sending so the worker's decrement can
+        // never observe the queue below zero.
+        self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+        match self.shards[shard].try_send(job) {
+            Ok(()) => {
+                self.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                let depth = self.metrics.queue_depth.load(Ordering::Relaxed);
+                self.metrics
+                    .queue_depth_max
+                    .fetch_max(depth, Ordering::Relaxed);
+                Ok(PendingReply { rx: reply_rx })
+            }
+            Err(e) => {
+                self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                match e {
+                    TrySendError::Full(_) => {
+                        self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                        Err(ServeError::Overloaded)
+                    }
+                    TrySendError::Disconnected(_) => Err(ServeError::PoolClosed),
+                }
+            }
+        }
+    }
+
+    /// Submits and waits: the closed-loop client call. Admission failures
+    /// come back as a failed [`ServeReply`].
+    pub fn call(&self, req: ServeRequest) -> ServeReply {
+        match self.submit(req) {
+            Ok(pending) => pending.wait(),
+            Err(e) => ServeReply::failed(e),
+        }
+    }
+
+    /// Shuts the pool down, joining every worker.
+    pub fn shutdown(mut self) {
+        self.shards.clear(); // disconnect the queues
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServePool {
+    fn drop(&mut self) {
+        self.shards.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The shard worker: owns one cache shard, one hosting interpreter, and
+//! the per-options compilers; executes its queue serially.
+//!
+//! Everything `Rc`-based (compiled artifacts, values, the engine) is
+//! created on this thread and never leaves it — see the crate-level
+//! Send/Sync audit. The worker's only cross-thread traffic is the job
+//! queue (text in), the reply channels (text out), the shared metrics
+//! atomics, and the deadline timer.
+
+use crate::cache::{ArtifactCache, Entry, Tier};
+use crate::deadline::DeadlineTimer;
+use crate::key::CacheKey;
+use crate::metrics::ServeMetrics;
+use crate::pool::{CacheStatus, Job, ServeError, ServeReply, TierPolicy};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::time::Instant;
+use wolfram_bytecode::{ArgSpec, BytecodeCompiler};
+use wolfram_compiler_core::{CompiledCodeFunction, Compiler, CompilerOptions};
+use wolfram_expr::{parse, Expr};
+use wolfram_interp::Interpreter;
+use wolfram_runtime::{AbortSignal, RuntimeError, Value};
+
+pub(crate) struct WorkerConfig {
+    pub cache_cap: usize,
+    pub tier_policy: TierPolicy,
+}
+
+/// A compiled artifact, tagged by engine. Clones are cheap (`Rc` bumps
+/// plus small vectors): the worker clones an artifact out of the cache to
+/// execute it so cache bookkeeping and execution don't fight over
+/// borrows.
+#[derive(Clone)]
+enum Artifact {
+    Native(CompiledCodeFunction),
+    Bytecode(wolfram_bytecode::CompiledFunction),
+}
+
+struct Worker {
+    cache: ArtifactCache<Artifact>,
+    /// The hosting engine: kernel escapes, soft-failure fallback (§3 F2),
+    /// and the abort signal shared with every hosted artifact.
+    engine: Rc<RefCell<Interpreter>>,
+    signal: AbortSignal,
+    /// One compiler per options fingerprint (macro/type environments are
+    /// reusable across requests — the §4.7 extension points are
+    /// per-options, not per-request).
+    compilers: HashMap<u64, Compiler>,
+    metrics: Arc<ServeMetrics>,
+    timer: DeadlineTimer,
+    tier_policy: TierPolicy,
+}
+
+pub(crate) fn run(
+    jobs: Receiver<Job>,
+    metrics: Arc<ServeMetrics>,
+    timer: DeadlineTimer,
+    cfg: WorkerConfig,
+) {
+    let engine = Rc::new(RefCell::new(Interpreter::new()));
+    let signal = engine.borrow().abort_signal().clone();
+    let mut worker = Worker {
+        cache: ArtifactCache::new(cfg.cache_cap),
+        engine,
+        signal,
+        compilers: HashMap::new(),
+        metrics,
+        timer,
+        tier_policy: cfg.tier_policy,
+    };
+    while let Ok(job) = jobs.recv() {
+        worker.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let mut reply = worker.serve_one(&job);
+        reply.total_ns = elapsed_ns(job.submitted);
+        worker.metrics.request_latency.record(reply.total_ns);
+        // Leak accounting must survive the pool: move this thread's
+        // memory counters into the process-wide totals after every
+        // request (aborted runs included — the machine balances its
+        // acquire/release bracket on unwind).
+        wolfram_runtime::memory::flush_thread_stats();
+        // A dropped receiver means the client gave up; the work is done
+        // either way.
+        let _ = job.reply.send(reply);
+    }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl Worker {
+    fn count_failure(&self, err: &ServeError) {
+        let counter = match err {
+            ServeError::DeadlineExceeded => &self.metrics.aborted,
+            ServeError::Parse(_) | ServeError::Compile(_) => &self.metrics.compile_errors,
+            _ => &self.metrics.runtime_errors,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn fail(&self, err: ServeError) -> ServeReply {
+        self.count_failure(&err);
+        ServeReply::failed(err)
+    }
+
+    fn serve_one(&mut self, job: &Job) -> ServeReply {
+        // A request can spend its whole budget queued; answer `Aborted`
+        // without doing any work.
+        if let Some(at) = job.deadline_at {
+            if Instant::now() >= at {
+                return self.fail(ServeError::DeadlineExceeded);
+            }
+        }
+        let options = job.req.options.clone().unwrap_or_default();
+        let func = match parse(&job.req.source) {
+            Ok(f) => f,
+            Err(e) => return self.fail(ServeError::Parse(e.to_string())),
+        };
+        let mut args = Vec::with_capacity(job.req.args.len());
+        for a in &job.req.args {
+            match parse(a) {
+                Ok(e) => args.push(e),
+                Err(e) => return self.fail(ServeError::Parse(format!("argument {a:?}: {e}"))),
+            }
+        }
+
+        // The deadline is armed across compile + execute: the compiler
+        // itself is not abortable, but a deadline firing mid-compile
+        // still aborts the subsequent execution at its first check.
+        let armed = job
+            .deadline_at
+            .map(|at| self.timer.arm(at, self.signal.clone()));
+
+        let key = CacheKey::of(&func, &options);
+        let (artifact, tier, compile_ns, cache_status) =
+            match self.lookup_or_compile(key, &func, &options) {
+                Ok(found) => found,
+                Err(e) => {
+                    drop(armed);
+                    self.signal.reset();
+                    return self.fail(e);
+                }
+            };
+
+        let exec_start = Instant::now();
+        let outcome = self.execute(&artifact, &args);
+        let execute_ns = elapsed_ns(exec_start);
+        self.metrics.execute_latency.record(execute_ns);
+
+        // Soft numeric failures re-ran under the interpreter inside the
+        // artifact (§3 F2); the engine's output log is how they announce
+        // themselves.
+        let warnings = self.engine.borrow_mut().take_output();
+        let fell_back = warnings
+            .iter()
+            .any(|w| w.contains("reverting to uncompiled evaluation"));
+        if fell_back {
+            self.metrics.fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+
+        drop(armed);
+        self.signal.reset();
+
+        let result = match outcome {
+            Ok(rendered) => {
+                self.metrics.ok.fetch_add(1, Ordering::Relaxed);
+                Ok(rendered)
+            }
+            Err(RuntimeError::Aborted) => {
+                self.metrics.aborted.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::DeadlineExceeded)
+            }
+            Err(e) => {
+                self.metrics.runtime_errors.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Runtime(e.to_string()))
+            }
+        };
+        ServeReply {
+            result,
+            tier: Some(tier),
+            cache: cache_status,
+            compile_ns,
+            execute_ns,
+            total_ns: 0, // stamped by the pool loop
+            fell_back,
+        }
+    }
+
+    /// Cache lookup, compile-on-miss, and adaptive tier promotion.
+    fn lookup_or_compile(
+        &mut self,
+        key: CacheKey,
+        func: &Expr,
+        options: &CompilerOptions,
+    ) -> Result<(Artifact, Tier, u64, CacheStatus), ServeError> {
+        if let Some(entry) = self.cache.lookup(&key) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let (artifact, tier, compile_ns, hits) = (
+                entry.artifact.clone(),
+                entry.tier,
+                entry.compile_ns,
+                entry.hits,
+            );
+            // Tier promotion: a hot bytecode entry graduates to native.
+            if let TierPolicy::Adaptive { promote_after } = self.tier_policy {
+                if tier == Tier::Bytecode && hits >= promote_after {
+                    if let Ok((native, ns)) = self.compile_native(func, options) {
+                        self.metrics.promotions.fetch_add(1, Ordering::Relaxed);
+                        self.record_compile(ns);
+                        let promoted = native.clone();
+                        self.cache.insert(
+                            key,
+                            Entry {
+                                artifact: native,
+                                tier: Tier::Native,
+                                compile_ns: ns,
+                                hits: 0,
+                            },
+                        );
+                        return Ok((promoted, Tier::Native, ns, CacheStatus::Hit));
+                    }
+                }
+            }
+            return Ok((artifact, tier, compile_ns, CacheStatus::Hit));
+        }
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let (artifact, tier, compile_ns) = self.compile(func, options)?;
+        self.record_compile(compile_ns);
+        if self
+            .cache
+            .insert(
+                key,
+                Entry {
+                    artifact: artifact.clone(),
+                    tier,
+                    compile_ns,
+                    hits: 0,
+                },
+            )
+            .is_some()
+        {
+            self.metrics.cache_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((artifact, tier, compile_ns, CacheStatus::Miss))
+    }
+
+    fn record_compile(&self, ns: u64) {
+        self.metrics.compiles.fetch_add(1, Ordering::Relaxed);
+        self.metrics.compile_latency.record(ns);
+    }
+
+    /// Compiles `func` per the tier policy. Bytecode-tier failures
+    /// (outside the legacy subset, limitation L1) fall through to the
+    /// native pipeline.
+    fn compile(
+        &mut self,
+        func: &Expr,
+        options: &CompilerOptions,
+    ) -> Result<(Artifact, Tier, u64), ServeError> {
+        if !matches!(self.tier_policy, TierPolicy::NativeOnly) {
+            let start = Instant::now();
+            if let Ok(cf) = compile_bytecode(func) {
+                return Ok((Artifact::Bytecode(cf), Tier::Bytecode, elapsed_ns(start)));
+            }
+        }
+        let (cf, ns) = self.compile_native(func, options)?;
+        Ok((cf, Tier::Native, ns))
+    }
+
+    fn compile_native(
+        &mut self,
+        func: &Expr,
+        options: &CompilerOptions,
+    ) -> Result<(Artifact, u64), ServeError> {
+        let compiler = self
+            .compilers
+            .entry(options.fingerprint())
+            .or_insert_with(|| Compiler::new(options.clone()));
+        let start = Instant::now();
+        let cf = compiler
+            .function_compile(func)
+            .map_err(|e| ServeError::Compile(e.to_string()))?;
+        let ns = elapsed_ns(start);
+        Ok((Artifact::Native(cf.hosted(self.engine.clone())), ns))
+    }
+
+    /// Runs the artifact and renders the result as `InputForm` text.
+    fn execute(&self, artifact: &Artifact, args: &[Expr]) -> Result<String, RuntimeError> {
+        match artifact {
+            Artifact::Native(cf) => {
+                let out = cf.call_exprs(args)?;
+                Ok(out.to_input_form())
+            }
+            Artifact::Bytecode(cf) => {
+                let values: Vec<Value> = args.iter().map(Value::from_expr).collect();
+                let out = cf.run_with_engine(&values, &mut self.engine.borrow_mut())?;
+                Ok(out.to_expr().to_input_form())
+            }
+        }
+    }
+}
+
+fn compile_bytecode(func: &Expr) -> Result<wolfram_bytecode::CompiledFunction, String> {
+    let specs = ArgSpec::from_function(func)?;
+    let body = func
+        .args()
+        .get(1)
+        .cloned()
+        .ok_or_else(|| "function has no body".to_owned())?;
+    BytecodeCompiler::new()
+        .compile(&specs, &body)
+        .map_err(|e| e.to_string())
+}

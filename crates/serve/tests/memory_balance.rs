@@ -1,0 +1,44 @@
+//! Leak accounting across the pool: deadline-aborted requests must leave
+//! the process-wide memory counters balanced (every `MemoryAcquire` gets
+//! its release, even on the abort unwind).
+//!
+//! This lives in its own test binary so no concurrently running test can
+//! perturb the process-wide totals mid-assertion.
+
+use std::time::Duration;
+use wolfram_runtime::memory;
+use wolfram_serve::{ServeConfig, ServeError, ServePool, ServeRequest};
+
+#[test]
+fn aborted_requests_do_not_leak() {
+    memory::reset_global_stats();
+    let pool = ServePool::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+
+    // Holds an acquired managed tensor across an infinite loop, so the
+    // abort unwind is what must balance the acquire.
+    let spin_tensor = "Function[{Typed[v, \"Tensor\"[\"Integer64\", 1]]}, \
+                       Module[{i = 0}, While[True, If[i > 3, i = i - 1, i = i + 1]]; v[[1]]]]";
+    for _ in 0..3 {
+        let reply = pool.call(
+            ServeRequest::new(spin_tensor, ["{1, 2, 3}"]).with_deadline(Duration::from_millis(50)),
+        );
+        assert_eq!(reply.result, Err(ServeError::DeadlineExceeded));
+    }
+
+    // A successful managed run on the same pool, for contrast.
+    let sum = "Function[{Typed[v, \"Tensor\"[\"Integer64\", 1]]}, v[[1]] + v[[-1]]]";
+    let ok = pool.call(ServeRequest::new(sum, ["{10, 20, 30}"]));
+    assert_eq!(ok.result.as_deref(), Ok("40"));
+
+    // Shut down so every worker has flushed its thread-local counters.
+    pool.shutdown();
+    let stats = memory::global_stats();
+    assert!(stats.acquires > 0, "managed runs must record acquires");
+    assert!(
+        stats.balanced(),
+        "acquire/release imbalance after aborts: {stats:?}"
+    );
+}

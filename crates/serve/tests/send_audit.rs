@@ -1,0 +1,25 @@
+//! Positive half of the Send/Sync audit (the negative half — compiled
+//! artifacts and `Value` must NOT be `Send` — is the pair of
+//! `compile_fail` doctests in the crate root).
+//!
+//! Everything that crosses the service's thread boundary is plain data or
+//! atomics, and the pool itself is shareable so closed-loop clients can
+//! drive one pool from many threads.
+
+use wolfram_serve::{
+    CompilerOptions, DeadlineTimer, ServeError, ServeMetrics, ServePool, ServeReply, ServeRequest,
+};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn service_boundary_types_are_send_and_sync() {
+    assert_send_sync::<ServeRequest>();
+    assert_send_sync::<ServeReply>();
+    assert_send_sync::<ServeError>();
+    assert_send_sync::<ServeMetrics>();
+    assert_send_sync::<DeadlineTimer>();
+    assert_send_sync::<CompilerOptions>();
+    // `&ServePool` is what client threads share.
+    assert_send_sync::<ServePool>();
+}

@@ -30,6 +30,9 @@ for stage in wir twir post-pipeline; do
   ./target/release/reproduce analyze --ir-stage "$stage" "$SRC" > /dev/null
 done
 
+echo "==> serve: bench-serve smoke (zero divergences, nonzero hit rate)"
+./target/release/reproduce bench-serve --quick
+
 echo "==> lint: cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

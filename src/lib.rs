@@ -13,6 +13,8 @@
 //!   inference, resolution, and the `FunctionCompile` pipeline.
 //! - [`codegen`] — backends: native register machine, C source, assembler
 //!   listing, WVM bytecode, standalone export.
+//! - [`serve`] — the concurrent compile-and-evaluate service: sharded
+//!   worker pool, content-addressed artifact cache, deadlines, metrics.
 //!
 //! # Quickstart
 //!
@@ -35,4 +37,5 @@ pub use wolfram_expr as expr;
 pub use wolfram_interp as interp;
 pub use wolfram_ir as ir;
 pub use wolfram_runtime as runtime;
+pub use wolfram_serve as serve;
 pub use wolfram_types as types;
