@@ -6,6 +6,7 @@
 //! reproduce analyze [--ir-stage wir|twir|post-pipeline] <file.wl | source>
 //! reproduce serve [--workers N] [--cache-cap N] [--queue-cap N] [--deadline-ms N] [--tier T]
 //! reproduce bench-serve [--quick]
+//! reproduce bench-parallel [--quick] [--json [PATH]] [--min-chunk N]
 //! ```
 //!
 //! `--quick` shrinks the workloads (CI-sized); without it the paper's §6
@@ -27,6 +28,12 @@
 //! at 1/4/8 workers with the artifact cache on vs off, then the deadline
 //! sub-experiment; it exits nonzero on any divergence, a zero hit rate,
 //! or leaked memory counters (the CI smoke gate).
+//!
+//! `bench-parallel` runs the data-parallel tier ablation (fused-scalar
+//! baseline vs SIMD at 1/2/4/8 threads on Blur, Dot, and a Listable
+//! zip); `--json` additionally writes `BENCH_parallel.json` (or the
+//! given path). It exits nonzero if any configuration's result differs
+//! from the scalar baseline or the memory counters end up imbalanced.
 
 use wolfram_bench::{ablations, harness, intro, opstats, table1};
 use wolfram_compiler_core::{Compiler, CompilerOptions};
@@ -327,6 +334,60 @@ fn run_bench_serve(args: &[String]) -> ! {
     std::process::exit(i32::from(failures > 0));
 }
 
+/// `bench-parallel` subcommand: the data-parallel tier ablation, also a
+/// CI smoke gate (nonzero exit on result divergence or counter leaks).
+fn run_bench_parallel(args: &[String]) -> ! {
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick {
+        harness::Scale::quick()
+    } else {
+        harness::Scale::paper()
+    };
+    let next_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+    };
+    // Quick scale shrinks the tensors, so shrink the chunk floor with it
+    // or the threaded paths never engage.
+    let min_chunk: usize = next_value("--min-chunk").map_or_else(
+        || if quick { 256 } else { 4096 },
+        |v| v.parse().expect("--min-chunk N"),
+    );
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|_| next_value("--json").unwrap_or_else(|| "BENCH_parallel.json".into()));
+
+    println!(
+        "== bench-parallel ({} scale): blur {n}x{n}, dot {d}x{d}, listable {l}; \
+         min chunk {min_chunk} ==",
+        if quick { "quick" } else { "paper" },
+        n = scale.blur_n,
+        d = scale.dot_n,
+        l = scale.histogram_n,
+    );
+    let report =
+        wolfram_bench::parallel::run(&scale, &wolfram_bench::parallel::THREAD_STEPS, min_chunk);
+    print!("{}", wolfram_bench::parallel::render(&report));
+
+    if let Some(path) = json_path {
+        let doc = wolfram_bench::parallel::to_json(&report, if quick { "quick" } else { "paper" });
+        match std::fs::write(&path, doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let clean = report.equivalence_failures == 0 && report.memory_balanced;
+    println!("bench-parallel: {}", if clean { "PASS" } else { "FAIL" });
+    std::process::exit(i32::from(!clean));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "difftest") {
@@ -340,6 +401,9 @@ fn main() {
     }
     if args.first().is_some_and(|a| a == "bench-serve") {
         run_bench_serve(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "bench-parallel") {
+        run_bench_parallel(&args[1..]);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let what = args

@@ -27,6 +27,7 @@ pub mod harness;
 pub mod intro;
 pub mod native;
 pub mod opstats;
+pub mod parallel;
 pub mod programs;
 pub mod serve_load;
 pub mod table1;

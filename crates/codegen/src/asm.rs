@@ -370,6 +370,14 @@ fn render_op(op: &RegOp) -> String {
             )
         }
         RegOp::AbortCheck => "abort.check".into(),
+        RegOp::VecLoop { plan } => format!(
+            "vec.loop i{}, {} i{}, {} nodes, out v{}",
+            plan.iv,
+            if plan.inclusive { "le" } else { "lt" },
+            plan.bound,
+            plan.nodes.len(),
+            plan.out.slot
+        ),
         RegOp::Acquire { v } => format!("acquire v{v}"),
         RegOp::Release { v } => format!("release v{v}"),
         RegOp::Ret { s } => format!("ret {:?}{}", s.bank, s.ix),

@@ -83,7 +83,7 @@ pub fn fuse_function(f: &mut NativeFunc) -> usize {
 }
 
 /// Branch targets of `op` (empty for straight-line ops).
-fn jump_targets(op: &RegOp) -> Vec<usize> {
+pub(crate) fn jump_targets(op: &RegOp) -> Vec<usize> {
     match op {
         RegOp::Jmp { pc } | RegOp::Brz { pc, .. } => vec![*pc],
         RegOp::BrCmpIFalse { pc, .. }
@@ -112,7 +112,7 @@ fn jump_targets(op: &RegOp) -> Vec<usize> {
 }
 
 /// Rewrites `op`'s branch targets through the old-pc → new-pc table.
-fn remap_targets(op: &mut RegOp, new_pc: &[usize]) {
+pub(crate) fn remap_targets(op: &mut RegOp, new_pc: &[usize]) {
     match op {
         RegOp::Jmp { pc } | RegOp::Brz { pc, .. } => *pc = new_pc[*pc],
         RegOp::BrCmpIFalse { pc, .. }
@@ -566,6 +566,7 @@ mod tests {
     fn run_i(f: &NativeFunc, arg: i64) -> i64 {
         use crate::machine::{ArgVal, Machine, NativeProgram};
         let prog = NativeProgram {
+            parallel: None,
             funcs: vec![f.clone()],
         };
         let mut m = Machine::standalone();

@@ -28,6 +28,7 @@ pub mod export;
 pub mod fuse;
 pub mod lower;
 pub mod machine;
+pub mod vectorize;
 pub mod wvm;
 
 pub use asm::AsmBackend;
@@ -37,3 +38,4 @@ pub use lower::{lower_program, LowerError};
 pub use machine::{
     ArgVal, Bank, Machine, NativeFunc, NativeProgram, OpStats, RegOp, Slot, FRAME_POOL_CAP,
 };
+pub use vectorize::{vectorize_function, vectorize_program, VecPlan};

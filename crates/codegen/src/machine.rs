@@ -7,7 +7,10 @@ use std::rc::Rc;
 use wolfram_expr::Expr;
 use wolfram_interp::Interpreter;
 use wolfram_runtime::checked;
-use wolfram_runtime::{AbortSignal, FunctionValue, RuntimeError, Tensor, TensorData, Value};
+use wolfram_runtime::simd::SimdOp;
+use wolfram_runtime::{
+    parallel, AbortSignal, FunctionValue, ParallelConfig, RuntimeError, Tensor, TensorData, Value,
+};
 
 /// Register bank selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -733,6 +736,16 @@ pub enum RegOp {
         pc: u32,
     },
     AbortCheck,
+    /// Batched execution of the counted scalar loop whose header starts at
+    /// the next instruction (planned by `crate::vectorize`). Runs all but
+    /// the final iteration through SIMD kernels when the runtime prechecks
+    /// in the plan hold, then falls through to the scalar header for the
+    /// last iteration and loop exit; otherwise it is a pure no-op and the
+    /// scalar loop executes unchanged. Ignored unless the program carries a
+    /// [`ParallelConfig`].
+    VecLoop {
+        plan: Rc<crate::vectorize::VecPlan>,
+    },
     Acquire {
         v: usize,
     },
@@ -840,6 +853,7 @@ impl RegOp {
             RegOp::FltCmpMovI { .. } => "flt.cmp.mov",
             RegOp::FltCmpMovIJmp { .. } => "flt.cmp.mov.jmp",
             RegOp::AbortCheck => "abort.check",
+            RegOp::VecLoop { .. } => "vec.loop",
             RegOp::Acquire { .. } => "acquire",
             RegOp::Release { .. } => "release",
             RegOp::Ret { .. } => "ret",
@@ -886,6 +900,10 @@ pub struct NativeFunc {
 pub struct NativeProgram {
     /// Functions; index 0 is the entry (`Main`).
     pub funcs: Vec<NativeFunc>,
+    /// Data-parallel runtime configuration. `None` (the default) executes
+    /// every op on the scalar path; `Some` routes whole-tensor builtins
+    /// through the chunked worker pool and arms `VecLoop` batching.
+    pub parallel: Option<ParallelConfig>,
 }
 
 impl NativeProgram {
@@ -1230,6 +1248,7 @@ impl Machine {
         engine: &mut Option<&mut Interpreter>,
     ) -> Result<ArgVal, RuntimeError> {
         let code = &func.code;
+        let par = prog.parallel;
         let mut pc = 0usize;
         loop {
             let op = &code[pc];
@@ -1475,7 +1494,7 @@ impl Machine {
                 RegOp::TenBin { op, d, a, b } => {
                     let ta = fr.vals[*a].expect_tensor()?;
                     let tb = fr.vals[*b].expect_tensor()?;
-                    fr.vals[*d] = Value::Tensor(tensor_elementwise(*op, ta, tb)?);
+                    fr.vals[*d] = Value::Tensor(tensor_elementwise(*op, ta, tb, par.as_ref())?);
                 }
                 RegOp::TenScalar {
                     op,
@@ -1494,7 +1513,13 @@ impl Machine {
                         }
                     };
                     let ten = fr.vals[*t].expect_tensor()?;
-                    fr.vals[*d] = Value::Tensor(tensor_scalar_elementwise(*op, ten, &sv, *rev)?);
+                    fr.vals[*d] = Value::Tensor(tensor_scalar_elementwise(
+                        *op,
+                        ten,
+                        &sv,
+                        *rev,
+                        par.as_ref(),
+                    )?);
                 }
                 RegOp::TenSetRow { t, i, row } => {
                     let ix = fr.ints[*i];
@@ -1544,7 +1569,10 @@ impl Machine {
                     if x.len() != y.len() {
                         return Err(RuntimeError::Type("Dot length mismatch".into()));
                     }
-                    fr.flts[*d] = wolfram_runtime::linalg::ddot(x, y);
+                    fr.flts[*d] = match par.as_ref() {
+                        Some(cfg) => parallel::dot_f64(cfg, x, y),
+                        None => wolfram_runtime::linalg::ddot(x, y),
+                    };
                 }
                 RegOp::DotVecI { d, a, b } => {
                     let ta = fr.vals[*a].expect_tensor()?;
@@ -1569,14 +1597,29 @@ impl Machine {
                     }
                     let (m, k, n) = (ta.shape()[0], ta.shape()[1], tb.shape()[1]);
                     let mut out = vec![0.0; m * n];
-                    wolfram_runtime::linalg::dgemm(
-                        ta.expect_f64()?,
-                        tb.expect_f64()?,
-                        &mut out,
-                        m,
-                        k,
-                        n,
-                    );
+                    match par.as_ref() {
+                        Some(cfg) => {
+                            parallel::dgemm(
+                                cfg,
+                                ta.expect_f64()?,
+                                tb.expect_f64()?,
+                                &mut out,
+                                m,
+                                k,
+                                n,
+                            );
+                        }
+                        None => {
+                            wolfram_runtime::linalg::dgemm(
+                                ta.expect_f64()?,
+                                tb.expect_f64()?,
+                                &mut out,
+                                m,
+                                k,
+                                n,
+                            );
+                        }
+                    }
                     fr.vals[*d] =
                         Value::Tensor(Tensor::with_shape(vec![m, n], TensorData::F64(out))?);
                 }
@@ -1588,13 +1631,27 @@ impl Machine {
                     }
                     let (m, n) = (ta.shape()[0], ta.shape()[1]);
                     let mut out = vec![0.0; m];
-                    wolfram_runtime::linalg::dgemv(
-                        ta.expect_f64()?,
-                        tb.expect_f64()?,
-                        &mut out,
-                        m,
-                        n,
-                    );
+                    match par.as_ref() {
+                        Some(cfg) => {
+                            parallel::dgemv(
+                                cfg,
+                                ta.expect_f64()?,
+                                tb.expect_f64()?,
+                                &mut out,
+                                m,
+                                n,
+                            );
+                        }
+                        None => {
+                            wolfram_runtime::linalg::dgemv(
+                                ta.expect_f64()?,
+                                tb.expect_f64()?,
+                                &mut out,
+                                m,
+                                n,
+                            );
+                        }
+                    }
                     fr.vals[*d] = Value::Tensor(Tensor::from_f64(out));
                 }
                 RegOp::StrLen { d, s } => {
@@ -2085,6 +2142,18 @@ impl Machine {
                     pc = *t as usize;
                 }
                 RegOp::AbortCheck => self.abort.check()?,
+                RegOp::VecLoop { plan } => {
+                    if let Some(cfg) = par.as_ref() {
+                        crate::vectorize::exec_batch(
+                            plan,
+                            cfg,
+                            &self.abort,
+                            &mut fr.ints,
+                            &fr.flts,
+                            &mut fr.vals,
+                        )?;
+                    }
+                }
                 RegOp::Acquire { v } => {
                     if fr.vals[*v].is_managed() {
                         wolfram_runtime::memory::record_acquire();
@@ -2218,7 +2287,12 @@ fn tensor_store(t: &mut Tensor, off: usize, v: ArgVal) -> Result<(), RuntimeErro
     Ok(())
 }
 
-fn tensor_elementwise(op: TenOp, a: &Tensor, b: &Tensor) -> Result<Tensor, RuntimeError> {
+fn tensor_elementwise(
+    op: TenOp,
+    a: &Tensor,
+    b: &Tensor,
+    par: Option<&ParallelConfig>,
+) -> Result<Tensor, RuntimeError> {
     if a.shape() != b.shape() {
         return Err(RuntimeError::Type("tensor shape mismatch".into()));
     }
@@ -2246,21 +2320,34 @@ fn tensor_elementwise(op: TenOp, a: &Tensor, b: &Tensor) -> Result<Tensor, Runti
                 .collect();
             Tensor::with_shape(a.shape().to_vec(), TensorData::Complex(out))
         }
+        // The f64 arm is unchecked IEEE arithmetic, so chunked parallel
+        // execution is bit-identical to the sequential loop (the checked
+        // integer arm above must stay sequential: first-overflow-wins).
         _ => {
             let fa = a.to_f64_tensor();
             let fb = b.to_f64_tensor();
             let (x, y) = (fa.expect_f64()?, fb.expect_f64()?);
-            let out: Vec<f64> = x
-                .iter()
-                .zip(y)
-                .map(|(p, q)| match op {
-                    TenOp::Add => p + q,
-                    TenOp::Sub => p - q,
-                    TenOp::Mul => p * q,
-                })
-                .collect();
+            let sop = ten_simd_op(op);
+            let mut out = vec![0.0; x.len()];
+            match par {
+                Some(cfg) => parallel::zip_f64(cfg, sop, x, y, &mut out),
+                None => {
+                    for ((o, p), q) in out.iter_mut().zip(x).zip(y) {
+                        *o = sop.apply(*p, *q);
+                    }
+                }
+            }
             Tensor::with_shape(a.shape().to_vec(), TensorData::F64(out))
         }
+    }
+}
+
+/// The [`SimdOp`] carrying the same scalar meaning as a float [`TenOp`].
+fn ten_simd_op(op: TenOp) -> SimdOp {
+    match op {
+        TenOp::Add => SimdOp::Add,
+        TenOp::Sub => SimdOp::Sub,
+        TenOp::Mul => SimdOp::Mul,
     }
 }
 
@@ -2269,6 +2356,7 @@ fn tensor_scalar_elementwise(
     t: &Tensor,
     s: &Value,
     rev: bool,
+    par: Option<&ParallelConfig>,
 ) -> Result<Tensor, RuntimeError> {
     match (t.data(), s) {
         (TensorData::I64(x), Value::I64(q)) => {
@@ -2311,17 +2399,17 @@ fn tensor_scalar_elementwise(
                     )))
                 }
             };
-            let out: Vec<f64> = x
-                .iter()
-                .map(|p| {
-                    let (a, b) = if rev { (q, *p) } else { (*p, q) };
-                    match op {
-                        TenOp::Add => a + b,
-                        TenOp::Sub => a - b,
-                        TenOp::Mul => a * b,
+            let sop = ten_simd_op(op);
+            let mut out = vec![0.0; x.len()];
+            match par {
+                Some(cfg) => parallel::map_f64(cfg, sop, x, q, rev, &mut out),
+                None => {
+                    for (o, p) in out.iter_mut().zip(x) {
+                        let (a, b) = if rev { (q, *p) } else { (*p, q) };
+                        *o = sop.apply(a, b);
                     }
-                })
-                .collect();
+                }
+            }
             Tensor::with_shape(t.shape().to_vec(), TensorData::F64(out))
         }
     }
@@ -2337,6 +2425,7 @@ mod tests {
         banks: (usize, usize, usize, usize),
     ) -> NativeProgram {
         NativeProgram {
+            parallel: None,
             funcs: vec![NativeFunc {
                 name: "Main".into(),
                 code,
@@ -2515,6 +2604,7 @@ mod tests {
             params: vec![Slot::new(Bank::I, 0)],
         };
         let prog = NativeProgram {
+            parallel: None,
             funcs: vec![main, double],
         };
         let mut m = Machine::standalone();

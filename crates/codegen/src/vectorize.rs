@@ -1,0 +1,2051 @@
+//! Counted-loop vectorizer: the compiler half of the data-parallel tier.
+//!
+//! Scans fused native code for innermost counted loops whose body is a
+//! straight-line dense `f64` tensor map (Blur's stencil row, Listable
+//! inner loops) and plants a [`RegOp::VecLoop`] superinstruction in front
+//! of the loop header. At run time — only when the program carries a
+//! [`ParallelConfig`] — the VecLoop executes all but the final iteration
+//! as one batch through the SIMD kernels (and the worker pool, when the
+//! store is contiguous), then falls through to the untouched scalar loop
+//! for the last iteration and the exit test. When any precheck fails the
+//! VecLoop is a no-op and the scalar loop runs exactly as before.
+//!
+//! # Soundness
+//!
+//! The planner refuses by default; a loop is batched only when every
+//! instruction in it is on the whitelist below, so the batch is
+//! observationally identical to the scalar iterations it replaces:
+//!
+//! - **Errors.** Unhandled-but-total ops (float compares, `Pow`, unary
+//!   math) may be skipped in the batch — the tail iteration recomputes
+//!   every register the body writes before the loop can read it. Any op
+//!   that *can* raise (checked integer `Quot`/`Mod`/`Pow`/`Shl`,
+//!   `Floor`/`Round` casts, float `Mod`, calls, boxing, non-`f64` loads)
+//!   refuses the whole loop: a batch must never succeed past the
+//!   iteration where the scalar loop would have raised.
+//! - **Integer overflow.** Every checked integer result in the body is an
+//!   affine function of the induction variable and loop invariants; its
+//!   value over the whole batch range is endpoint-checked in `i128` at
+//!   run time (linear ⇒ endpoints suffice), falling back to the scalar
+//!   loop — which raises at exactly the right iteration — on overflow.
+//! - **Part bounds.** Load/store indices are affine; both endpoints are
+//!   range-checked against the tensor shape (1-based, negative or
+//!   out-of-range indices fall back to the scalar path and its error).
+//! - **Division.** A vectorized `Div` requires a provably nonzero
+//!   divisor: a nonzero constant, or a loop-invariant register checked
+//!   nonzero at batch entry.
+//! - **Copy-on-write.** Inputs are `Rc`-cloned first, then the output
+//!   tensor takes one `data_mut()`: it copies iff the storage is shared
+//!   at batch entry — the same condition the scalar loop's first store
+//!   sees — and loads never read the output object (plan-time refusal),
+//!   so the batch writes the same bytes the scalar iterations would.
+//! - **Refcount accounting.** Per-iteration acquire/release counts are
+//!   proven uniform (no release may precede the slot's first acquire in
+//!   an iteration, acquires are runtime-verified managed, and the counts
+//!   must balance); the batch bumps the counters in bulk by `m × count`.
+//! - **Aborts.** The batch polls the abort flag per chunk instead of per
+//!   iteration — a documented relaxation; an abort mid-batch unwinds with
+//!   entry-state flags, so accounting still balances.
+//!
+//! The only observable differences, both documented in DESIGN.md: abort
+//! polling granularity, and the drop timing of a dead value that a
+//! batched iteration would have overwritten (which can shift the
+//! `tensor_copies` diagnostic counter under pathological aliasing, never
+//! values or acquire/release counts).
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use crate::fuse;
+use crate::machine::{ElemKind, FltOp, IntOp, IntUnOp, NativeFunc, NativeProgram, RegOp};
+use wolfram_runtime::simd::{self, SimdOp};
+use wolfram_runtime::{
+    memory, parallel, AbortSignal, ParallelConfig, RuntimeError, Tensor, TensorData, Value,
+};
+
+/// Smallest batch (iterations beyond the tail) worth vectorizing.
+const VEC_MIN: i128 = 8;
+
+/// Elements evaluated per scratch sub-block inside a chunk.
+const BLOCK: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Plan representation (embedded in `RegOp::VecLoop`).
+// ---------------------------------------------------------------------------
+
+/// An affine form `c + Σ coef·ints[reg] + iv_coef·(iv₀ + k)` over loop
+/// invariants and the iteration number `k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Affine {
+    /// Constant term.
+    pub c: i64,
+    /// Loop-invariant integer registers with coefficients.
+    pub terms: Vec<(u32, i64)>,
+    /// Coefficient of the induction variable.
+    pub iv_coef: i64,
+}
+
+impl Affine {
+    /// Evaluates at iteration `k` in `i128` (no intermediate overflow:
+    /// products of two `i64` fit comfortably).
+    fn eval(&self, ints: &[i64], iv0: i128, k: i128) -> i128 {
+        let mut acc = i128::from(self.c);
+        for &(r, co) in &self.terms {
+            acc += i128::from(co) * i128::from(ints[r as usize]);
+        }
+        acc + i128::from(self.iv_coef) * (iv0 + k)
+    }
+}
+
+/// One value in the batched dataflow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VecNode {
+    /// Literal constant.
+    Const(f64),
+    /// Loop-invariant float register (read at batch entry).
+    Reg(u32),
+    /// Tensor element load; `row` is `None` for rank-1 tensors. Indices
+    /// are 1-based affine forms, bounds-checked at batch entry.
+    Load {
+        /// Index into [`VecPlan::tensors`].
+        tensor: u32,
+        /// Row index (rank-2 only).
+        row: Option<Affine>,
+        /// Column (or sole) index.
+        col: Affine,
+    },
+    /// Elementwise binary op over two earlier nodes.
+    Bin {
+        /// The operation.
+        op: SimdOp,
+        /// Left operand node index.
+        l: u32,
+        /// Right operand node index.
+        r: u32,
+    },
+}
+
+/// An input tensor the batch reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorRef {
+    /// Value slot holding the tensor.
+    pub slot: u32,
+    /// Required rank (1 or 2).
+    pub rank: u32,
+}
+
+/// Where each iteration's result element is stored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreSpec {
+    /// Value slot holding the output tensor.
+    pub slot: u32,
+    /// Required rank (1 or 2).
+    pub rank: u32,
+    /// Row index affine (rank-2 only).
+    pub row: Option<Affine>,
+    /// Column (or sole) index affine.
+    pub col: Affine,
+}
+
+/// Everything the VecLoop executor needs, computed once at compile time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VecPlan {
+    /// Induction-variable integer register.
+    pub iv: u32,
+    /// Loop-bound integer register (invariant).
+    pub bound: u32,
+    /// Whether the header compare is `Le` (`Lt` otherwise).
+    pub inclusive: bool,
+    /// Input tensors (never the output object).
+    pub tensors: Vec<TensorRef>,
+    /// The single store of the loop body.
+    pub out: StoreSpec,
+    /// Dataflow nodes in topological order.
+    pub nodes: Vec<VecNode>,
+    /// Node index producing the stored element.
+    pub root: u32,
+    /// Affine results of checked integer ops; each endpoint must fit
+    /// `i64` over the batch range or the batch falls back.
+    pub int_checks: Vec<Affine>,
+    /// Float registers that must be nonzero at batch entry (divisors).
+    pub div_checks: Vec<u32>,
+    /// Value slots that must hold managed values (acquire targets).
+    pub managed_checks: Vec<u32>,
+    /// Acquires recorded per scalar iteration.
+    pub acquires: u64,
+    /// Releases recorded per scalar iteration.
+    pub releases: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Plan-time symbolic execution.
+// ---------------------------------------------------------------------------
+
+/// Affine form over *entry values* of integer registers: `c + Σ coef·Init(r)`.
+#[derive(Debug, Clone, PartialEq)]
+struct SymAffine {
+    c: i64,
+    /// Sorted by register, no zero coefficients.
+    terms: Vec<(usize, i64)>,
+}
+
+impl SymAffine {
+    fn konst(c: i64) -> Self {
+        SymAffine {
+            c,
+            terms: Vec::new(),
+        }
+    }
+
+    fn reg(r: usize) -> Self {
+        SymAffine {
+            c: 0,
+            terms: vec![(r, 1)],
+        }
+    }
+
+    fn add(&self, other: &SymAffine, negate: bool) -> Option<SymAffine> {
+        let c = if negate {
+            self.c.checked_sub(other.c)?
+        } else {
+            self.c.checked_add(other.c)?
+        };
+        let mut terms = Vec::with_capacity(self.terms.len() + other.terms.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.terms.len() || j < other.terms.len() {
+            let pick_self = j >= other.terms.len()
+                || (i < self.terms.len() && self.terms[i].0 <= other.terms[j].0);
+            let pick_other = i >= self.terms.len()
+                || (j < other.terms.len() && other.terms[j].0 <= self.terms[i].0);
+            let (r, co) = if pick_self && pick_other {
+                let o = if negate {
+                    self.terms[i].1.checked_sub(other.terms[j].1)?
+                } else {
+                    self.terms[i].1.checked_add(other.terms[j].1)?
+                };
+                let r = self.terms[i].0;
+                i += 1;
+                j += 1;
+                (r, o)
+            } else if pick_self {
+                let t = self.terms[i];
+                i += 1;
+                t
+            } else {
+                let (r, co) = other.terms[j];
+                j += 1;
+                (r, if negate { co.checked_neg()? } else { co })
+            };
+            if co != 0 {
+                terms.push((r, co));
+            }
+        }
+        Some(SymAffine { c, terms })
+    }
+
+    fn scale(&self, k: i64) -> Option<SymAffine> {
+        let c = self.c.checked_mul(k)?;
+        let mut terms = Vec::with_capacity(self.terms.len());
+        for &(r, co) in &self.terms {
+            let co = co.checked_mul(k)?;
+            if co != 0 {
+                terms.push((r, co));
+            }
+        }
+        Some(SymAffine { c, terms })
+    }
+
+    fn as_const(&self) -> Option<i64> {
+        self.terms.is_empty().then_some(self.c)
+    }
+
+    /// Is exactly `Init(r) + 1` (the induction-variable step)?
+    fn is_incr_of(&self, r: usize) -> bool {
+        self.c == 1 && self.terms == [(r, 1)]
+    }
+}
+
+/// Symbolic integer register state.
+#[derive(Debug, Clone, PartialEq)]
+enum IForm {
+    Aff(SymAffine),
+    /// Written by a total op we don't model; dead until the tail
+    /// recomputes it.
+    Unknown,
+}
+
+/// Symbolic float dataflow node.
+#[derive(Debug, Clone, PartialEq)]
+enum SymNode {
+    Const(f64),
+    Reg(usize),
+    Load {
+        slot: usize,
+        rank: u32,
+        row: Option<SymAffine>,
+        col: SymAffine,
+    },
+    Bin {
+        op: SimdOp,
+        l: usize,
+        r: usize,
+    },
+    /// Result of a total op outside the kernel set; must stay dead.
+    Opaque,
+}
+
+/// What a value slot currently holds during the symbolic iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Obj {
+    /// The entry value of slot `s`.
+    Orig(usize),
+    /// Taken (`Value::Null`).
+    Null,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FlagSim {
+    Unknown,
+    Known(bool),
+}
+
+struct Planner {
+    imap: HashMap<usize, IForm>,
+    written_ints: HashSet<usize>,
+    nodes: Vec<SymNode>,
+    fmap: HashMap<usize, usize>,
+    written_flts: HashSet<usize>,
+    vmap: HashMap<usize, Obj>,
+    /// First access per touched value slot: `true` = overwrite-first.
+    first_access: HashMap<usize, bool>,
+    flags: HashMap<usize, FlagSim>,
+    store: Option<(usize, u32, Option<SymAffine>, SymAffine, usize)>,
+    int_checks: Vec<SymAffine>,
+    div_regs: HashSet<usize>,
+    managed: HashSet<usize>,
+    acquires: u64,
+    releases: u64,
+}
+
+impl Planner {
+    fn new() -> Self {
+        Planner {
+            imap: HashMap::new(),
+            written_ints: HashSet::new(),
+            nodes: Vec::new(),
+            fmap: HashMap::new(),
+            written_flts: HashSet::new(),
+            vmap: HashMap::new(),
+            first_access: HashMap::new(),
+            flags: HashMap::new(),
+            store: None,
+            int_checks: Vec::new(),
+            div_regs: HashSet::new(),
+            managed: HashSet::new(),
+            acquires: 0,
+            releases: 0,
+        }
+    }
+
+    fn rd_i(&self, r: usize) -> IForm {
+        self.imap
+            .get(&r)
+            .cloned()
+            .unwrap_or_else(|| IForm::Aff(SymAffine::reg(r)))
+    }
+
+    fn wr_i(&mut self, r: usize, f: IForm) {
+        self.imap.insert(r, f);
+        self.written_ints.insert(r);
+    }
+
+    fn rd_f(&mut self, r: usize) -> usize {
+        if let Some(&n) = self.fmap.get(&r) {
+            return n;
+        }
+        self.nodes.push(SymNode::Reg(r));
+        let id = self.nodes.len() - 1;
+        self.fmap.insert(r, id);
+        id
+    }
+
+    fn wr_f(&mut self, r: usize, node: usize) {
+        self.fmap.insert(r, node);
+        self.written_flts.insert(r);
+    }
+
+    fn push(&mut self, n: SymNode) -> usize {
+        self.nodes.push(n);
+        self.nodes.len() - 1
+    }
+
+    fn obj(&self, v: usize) -> Obj {
+        self.vmap.get(&v).copied().unwrap_or(Obj::Orig(v))
+    }
+
+    fn touch(&mut self, v: usize, overwrite: bool) {
+        self.first_access.entry(v).or_insert(overwrite);
+    }
+
+    /// Checked-arithmetic integer binary op. `None` = refuse the loop.
+    fn int_bin_sym(&mut self, op: IntOp, a: IForm, b: IForm) -> Option<IForm> {
+        use IntOp::*;
+        match op {
+            Add | Sub | Mul => {
+                let (IForm::Aff(x), IForm::Aff(y)) = (a, b) else {
+                    // A checked op over an unmodelled value: the scalar
+                    // loop could raise where the batch cannot check.
+                    return None;
+                };
+                let out = match op {
+                    Add => x.add(&y, false)?,
+                    Sub => x.add(&y, true)?,
+                    _ => {
+                        if let Some(k) = y.as_const() {
+                            x.scale(k)?
+                        } else if let Some(k) = x.as_const() {
+                            y.scale(k)?
+                        } else {
+                            return None;
+                        }
+                    }
+                };
+                self.int_checks.push(out.clone());
+                Some(IForm::Aff(out))
+            }
+            // Total on all inputs; the result is dead until the tail.
+            Min | Max | Gcd | BitAnd | BitOr | BitXor | Shr | Lt | Le | Gt | Ge | Eq | Ne | And
+            | Or => Some(IForm::Unknown),
+            // Can raise (divide-by-zero / overflow): refuse.
+            Quot | Mod | Pow | Shl => None,
+        }
+    }
+
+    /// Float binary op; errors (`None`) refuse the loop.
+    fn flt_bin_sym(&mut self, op: FltOp, l: usize, r: usize) -> Option<usize> {
+        let sop = match op {
+            FltOp::Add => Some(SimdOp::Add),
+            FltOp::Sub => Some(SimdOp::Sub),
+            FltOp::Mul => Some(SimdOp::Mul),
+            FltOp::Div => Some(SimdOp::Div),
+            // Total, no kernel: dead-only result.
+            FltOp::Pow | FltOp::Min | FltOp::Max | FltOp::ArcTan2 => None,
+            // Raises DivideByZero; handled below.
+            FltOp::Mod => None,
+        };
+        if op == FltOp::Mod {
+            return None; // can raise, refuse the loop
+        }
+        if op == FltOp::Div {
+            // The divisor must be provably nonzero for every batched
+            // iteration even if the quotient is dead — the scalar loop
+            // would still evaluate (and possibly raise) it.
+            match &self.nodes[r] {
+                SymNode::Const(c) => {
+                    if *c == 0.0 {
+                        return None;
+                    }
+                }
+                SymNode::Reg(reg) => {
+                    self.div_regs.insert(*reg);
+                }
+                _ => return None,
+            }
+        }
+        let opaque =
+            matches!(self.nodes[l], SymNode::Opaque) || matches!(self.nodes[r], SymNode::Opaque);
+        match sop {
+            Some(sop) if !opaque => Some(self.push(SymNode::Bin { op: sop, l, r })),
+            _ => Some(self.push(SymNode::Opaque)),
+        }
+    }
+
+    fn load_sym(&mut self, kind: ElemKind, t: usize, i: IForm, j: Option<IForm>) -> Option<usize> {
+        if kind != ElemKind::F64 {
+            return None;
+        }
+        let Obj::Orig(slot) = self.obj(t) else {
+            return None;
+        };
+        self.touch(t, false);
+        let IForm::Aff(col_or_row) = i else {
+            return None;
+        };
+        let (rank, row, col) = match j {
+            None => (1, None, col_or_row),
+            Some(IForm::Aff(jj)) => (2, Some(col_or_row), jj),
+            Some(IForm::Unknown) => return None,
+        };
+        Some(self.push(SymNode::Load {
+            slot,
+            rank,
+            row,
+            col,
+        }))
+    }
+
+    fn store_sym(
+        &mut self,
+        kind: ElemKind,
+        t: usize,
+        i: IForm,
+        j: Option<IForm>,
+        v_node: usize,
+    ) -> Option<()> {
+        if kind != ElemKind::F64 || self.store.is_some() {
+            return None;
+        }
+        let Obj::Orig(slot) = self.obj(t) else {
+            return None;
+        };
+        self.touch(t, false);
+        let IForm::Aff(col_or_row) = i else {
+            return None;
+        };
+        let (rank, row, col) = match j {
+            None => (1, None, col_or_row),
+            Some(IForm::Aff(jj)) => (2, Some(col_or_row), jj),
+            Some(IForm::Unknown) => return None,
+        };
+        self.store = Some((slot, rank, row, col, v_node));
+        Some(())
+    }
+
+    fn take_v(&mut self, d: usize, s: usize) {
+        self.touch(s, false);
+        self.touch(d, true);
+        let o = self.obj(s);
+        self.vmap.insert(d, o);
+        self.vmap.insert(s, Obj::Null);
+    }
+
+    fn acquire(&mut self, v: usize) {
+        self.touch(v, false);
+        if let Obj::Orig(s) = self.obj(v) {
+            // Runtime-verified managed ⇒ records exactly once.
+            self.managed.insert(s);
+            self.acquires += 1;
+            self.flags.insert(v, FlagSim::Known(true));
+        }
+        // Obj::Null holds Value::Null — unmanaged, uniform no-op, flag
+        // untouched.
+    }
+
+    fn release(&mut self, v: usize) -> Option<()> {
+        self.touch(v, false);
+        match self.flags.get(&v).copied().unwrap_or(FlagSim::Unknown) {
+            FlagSim::Known(true) => {
+                self.releases += 1;
+                self.flags.insert(v, FlagSim::Known(false));
+                Some(())
+            }
+            FlagSim::Known(false) => Some(()),
+            // A release whose effect depends on the flag at loop entry
+            // would make per-iteration counts non-uniform.
+            FlagSim::Unknown => None,
+        }
+    }
+
+    /// Symbolically executes one body op. `None` = refuse the loop.
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self, op: &RegOp) -> Option<()> {
+        match op {
+            RegOp::LdcI { d, v } => self.wr_i(*d, IForm::Aff(SymAffine::konst(*v))),
+            RegOp::MovI { d, s } => {
+                let f = self.rd_i(*s);
+                self.wr_i(*d, f);
+            }
+            RegOp::Mov2I { d1, s1, d2, s2 } => {
+                let f = self.rd_i(*s1 as usize);
+                self.wr_i(*d1 as usize, f);
+                let f = self.rd_i(*s2 as usize);
+                self.wr_i(*d2 as usize, f);
+            }
+            RegOp::IntBin { op, d, a, b } => {
+                let (x, y) = (self.rd_i(*a), self.rd_i(*b));
+                let f = self.int_bin_sym(*op, x, y)?;
+                self.wr_i(*d, f);
+            }
+            RegOp::IntBinImm { op, d, a, imm } => {
+                let x = self.rd_i(*a);
+                let f = self.int_bin_sym(*op, x, IForm::Aff(SymAffine::konst(*imm)))?;
+                self.wr_i(*d, f);
+            }
+            RegOp::IntBinImm2 {
+                op1,
+                d1,
+                a1,
+                imm1,
+                op2,
+                d2,
+                a2,
+                imm2,
+            } => {
+                let x = self.rd_i(*a1 as usize);
+                let f =
+                    self.int_bin_sym(*op1, x, IForm::Aff(SymAffine::konst(i64::from(*imm1))))?;
+                self.wr_i(*d1 as usize, f);
+                let x = self.rd_i(*a2 as usize);
+                let f =
+                    self.int_bin_sym(*op2, x, IForm::Aff(SymAffine::konst(i64::from(*imm2))))?;
+                self.wr_i(*d2 as usize, f);
+            }
+            RegOp::IntBin2 {
+                op1,
+                d1,
+                a1,
+                b1,
+                op2,
+                d2,
+                a2,
+                b2,
+            } => {
+                let (x, y) = (self.rd_i(*a1 as usize), self.rd_i(*b1 as usize));
+                let f = self.int_bin_sym(*op1, x, y)?;
+                self.wr_i(*d1 as usize, f);
+                let (x, y) = (self.rd_i(*a2 as usize), self.rd_i(*b2 as usize));
+                let f = self.int_bin_sym(*op2, x, y)?;
+                self.wr_i(*d2 as usize, f);
+            }
+            RegOp::IntBinImmMovI {
+                op,
+                d,
+                a,
+                imm,
+                d2,
+                s2,
+            } => {
+                let x = self.rd_i(*a as usize);
+                let f = self.int_bin_sym(*op, x, IForm::Aff(SymAffine::konst(i64::from(*imm))))?;
+                self.wr_i(*d as usize, f);
+                let f = self.rd_i(*s2 as usize);
+                self.wr_i(*d2 as usize, f);
+            }
+            RegOp::IntUn { op, d, s } => match op {
+                IntUnOp::Neg => {
+                    let IForm::Aff(x) = self.rd_i(*s) else {
+                        return None;
+                    };
+                    let out = x.scale(-1)?;
+                    self.int_checks.push(out.clone());
+                    self.wr_i(*d, IForm::Aff(out));
+                }
+                IntUnOp::Not | IntUnOp::Sign => self.wr_i(*d, IForm::Unknown),
+                // Abs/Factorial can raise.
+                IntUnOp::Abs | IntUnOp::Factorial => return None,
+            },
+            RegOp::LdcF { d, v } => {
+                let n = self.push(SymNode::Const(*v));
+                self.wr_f(*d, n);
+            }
+            RegOp::MovF { d, s } => {
+                let n = self.rd_f(*s);
+                self.wr_f(*d, n);
+            }
+            RegOp::FltBin { op, d, a, b } => {
+                let (l, r) = (self.rd_f(*a), self.rd_f(*b));
+                let n = self.flt_bin_sym(*op, l, r)?;
+                self.wr_f(*d, n);
+            }
+            RegOp::FltBinImm { op, d, a, imm } => {
+                let l = self.rd_f(*a);
+                let r = self.push(SymNode::Const(*imm));
+                let n = self.flt_bin_sym(*op, l, r)?;
+                self.wr_f(*d, n);
+            }
+            RegOp::FltBin2 {
+                op1,
+                d1,
+                a1,
+                b1,
+                op2,
+                d2,
+                a2,
+                b2,
+            } => {
+                let (l, r) = (self.rd_f(*a1 as usize), self.rd_f(*b1 as usize));
+                let n = self.flt_bin_sym(*op1, l, r)?;
+                self.wr_f(*d1 as usize, n);
+                let (l, r) = (self.rd_f(*a2 as usize), self.rd_f(*b2 as usize));
+                let n = self.flt_bin_sym(*op2, l, r)?;
+                self.wr_f(*d2 as usize, n);
+            }
+            // Total float unaries without kernels: dead-only result.
+            RegOp::FltUn { d, .. } | RegOp::IntToFlt { d, .. } => {
+                let n = self.push(SymNode::Opaque);
+                self.wr_f(*d, n);
+            }
+            RegOp::FltCmp { d, .. } => self.wr_i(*d, IForm::Unknown),
+            RegOp::FltCmpMovI { d, d2, s2, .. } => {
+                self.wr_i(*d as usize, IForm::Unknown);
+                let f = self.rd_i(*s2 as usize);
+                self.wr_i(*d2 as usize, f);
+            }
+            RegOp::TenPart1 { kind, d, t, i } => {
+                let ix = self.rd_i(*i);
+                let n = self.load_sym(*kind, *t, ix, None)?;
+                self.wr_f(*d, n);
+            }
+            RegOp::TenPart2 { kind, d, t, i, j } => {
+                let (ix, jx) = (self.rd_i(*i), self.rd_i(*j));
+                let n = self.load_sym(*kind, *t, ix, Some(jx))?;
+                self.wr_f(*d, n);
+            }
+            RegOp::TenPart2FltBin {
+                e,
+                t,
+                i,
+                j,
+                op,
+                d,
+                a,
+                b,
+            } => {
+                let (ix, jx) = (self.rd_i(*i as usize), self.rd_i(*j as usize));
+                let n = self.load_sym(ElemKind::F64, *t as usize, ix, Some(jx))?;
+                self.wr_f(*e as usize, n);
+                let (l, r) = (self.rd_f(*a as usize), self.rd_f(*b as usize));
+                let n = self.flt_bin_sym(*op, l, r)?;
+                self.wr_f(*d as usize, n);
+            }
+            RegOp::TenSet1 { kind, t, i, v } => {
+                if *kind != ElemKind::F64 {
+                    return None;
+                }
+                let ix = self.rd_i(*i);
+                let vn = self.rd_f(*v);
+                self.store_sym(*kind, *t, ix, None, vn)?;
+            }
+            RegOp::TenSet2 { kind, t, i, j, v } => {
+                if *kind != ElemKind::F64 {
+                    return None;
+                }
+                let (ix, jx) = (self.rd_i(*i), self.rd_i(*j));
+                let vn = self.rd_f(*v);
+                self.store_sym(*kind, *t, ix, Some(jx), vn)?;
+            }
+            RegOp::TakeVTenSet1 {
+                dv,
+                sv,
+                kind,
+                t,
+                i,
+                v,
+            } => {
+                if *kind != ElemKind::F64 {
+                    return None;
+                }
+                self.take_v(*dv as usize, *sv as usize);
+                let ix = self.rd_i(*i as usize);
+                let vn = self.rd_f(*v as usize);
+                self.store_sym(*kind, *t as usize, ix, None, vn)?;
+            }
+            RegOp::TakeVTenSet2 {
+                dv,
+                sv,
+                kind,
+                t,
+                i,
+                j,
+                v,
+            } => {
+                if *kind != ElemKind::F64 {
+                    return None;
+                }
+                self.take_v(*dv as usize, *sv as usize);
+                let (ix, jx) = (self.rd_i(*i as usize), self.rd_i(*j as usize));
+                let vn = self.rd_f(*v as usize);
+                self.store_sym(*kind, *t as usize, ix, Some(jx), vn)?;
+            }
+            RegOp::TakeV { d, s } => self.take_v(*d, *s),
+            RegOp::Acquire { v } => self.acquire(*v),
+            RegOp::Release { v } => self.release(*v)?,
+            RegOp::Release2 { v1, v2 } => {
+                self.release(*v1 as usize)?;
+                self.release(*v2 as usize)?;
+            }
+            // The batch polls the abort flag per chunk instead.
+            RegOp::AbortCheck => {}
+            // Anything else — calls, boxing, RNG, strings, complex,
+            // whole-tensor ops, integer loads, branches — refuses.
+            _ => return None,
+        }
+        Some(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loop discovery and plan construction.
+// ---------------------------------------------------------------------------
+
+/// The back-edge target of a latch-shaped op.
+fn latch_target(op: &RegOp) -> Option<usize> {
+    match op {
+        RegOp::Jmp { pc } => Some(*pc),
+        RegOp::MovIJmp { pc, .. }
+        | RegOp::Mov2IJmp { pc, .. }
+        | RegOp::IntBinImmJmp { pc, .. }
+        | RegOp::IntBinImmMov2IJmp { pc, .. } => Some(*pc as usize),
+        _ => None,
+    }
+}
+
+/// Rewrites a latch's back-edge target (used after global remapping).
+fn set_latch_target(op: &mut RegOp, t: usize) {
+    match op {
+        RegOp::Jmp { pc } => *pc = t,
+        RegOp::MovIJmp { pc, .. }
+        | RegOp::Mov2IJmp { pc, .. }
+        | RegOp::IntBinImmJmp { pc, .. }
+        | RegOp::IntBinImmMov2IJmp { pc, .. } => *pc = t as u32,
+        _ => unreachable!("not a latch"),
+    }
+}
+
+/// Header compare shape: induction variable, bound, inclusivity, the
+/// condition register it writes, and the exit target.
+struct Header {
+    iv: usize,
+    bound: usize,
+    inclusive: bool,
+    cond: usize,
+    exit: usize,
+    /// For `Sel` forms, the true-edge target (must be the body start).
+    body: Option<usize>,
+}
+
+fn header_compare(op: &RegOp) -> Option<Header> {
+    let (iop, a, b, d, exit, body) = match op {
+        RegOp::AbortBrCmpISel {
+            op,
+            a,
+            b,
+            d,
+            pc_false,
+            pc_true,
+        }
+        | RegOp::BrCmpISel {
+            op,
+            a,
+            b,
+            d,
+            pc_false,
+            pc_true,
+        } => (
+            *op,
+            *a as usize,
+            *b as usize,
+            *d as usize,
+            *pc_false as usize,
+            Some(*pc_true as usize),
+        ),
+        RegOp::AbortBrCmpIFalse { op, a, b, d, pc } | RegOp::BrCmpIFalse { op, a, b, d, pc } => (
+            *op,
+            *a as usize,
+            *b as usize,
+            *d as usize,
+            *pc as usize,
+            None,
+        ),
+        _ => return None,
+    };
+    let inclusive = match iop {
+        IntOp::Lt => false,
+        IntOp::Le => true,
+        _ => return None,
+    };
+    Some(Header {
+        iv: a,
+        bound: b,
+        inclusive,
+        cond: d,
+        exit,
+        body,
+    })
+}
+
+fn to_u32(x: usize) -> Option<u32> {
+    u32::try_from(x).ok()
+}
+
+/// Tries to plan the loop `[l, latch]`. `None` = leave it scalar.
+#[allow(clippy::too_many_lines)]
+fn try_plan(f: &NativeFunc, l: usize, latch: usize) -> Option<VecPlan> {
+    let code = &f.code;
+    // Header: a run of Acquires, then the counted compare.
+    let mut c = l;
+    while c < latch && matches!(code[c], RegOp::Acquire { .. }) {
+        c += 1;
+    }
+    if c >= latch {
+        return None;
+    }
+    let h = header_compare(&code[c])?;
+    // The iterated body starts at the compare's taken edge: `Sel` forms
+    // jump there (the not-taken exit path — often the *outer* loop's
+    // latch — sits between the compare and the body), `False` forms fall
+    // through.
+    let bt = h.body.unwrap_or(c + 1);
+    if bt <= c || bt > latch {
+        return None;
+    }
+    // The exit edge must not re-enter the header or land in the body.
+    if (h.exit >= l && h.exit <= c) || (h.exit >= bt && h.exit <= latch) {
+        return None;
+    }
+    // Straight-line body: no op inside branches, and no op anywhere else
+    // jumps into the iterated region.
+    for op in &code[bt..latch] {
+        if !fuse::jump_targets(op).is_empty() {
+            return None;
+        }
+    }
+    for (p, op) in code.iter().enumerate() {
+        if p == c || p == latch {
+            continue;
+        }
+        for t in fuse::jump_targets(op) {
+            if t >= bt && t <= latch {
+                return None;
+            }
+        }
+    }
+    // Symbolic execution of one full iteration: header acquires, the
+    // taken compare, the body, and the latch's non-jump writes.
+    let mut pl = Planner::new();
+    for op in &code[l..c] {
+        pl.step(op)?;
+    }
+    pl.wr_i(h.cond, IForm::Aff(SymAffine::konst(1))); // taken: condition true
+    for op in &code[bt..latch] {
+        pl.step(op)?;
+    }
+    match &code[latch] {
+        RegOp::Jmp { .. } => {}
+        RegOp::MovIJmp { d, s, .. } => {
+            let v = pl.rd_i(*s as usize);
+            pl.wr_i(*d as usize, v);
+        }
+        RegOp::Mov2IJmp { d1, s1, d2, s2, .. } => {
+            let v = pl.rd_i(*s1 as usize);
+            pl.wr_i(*d1 as usize, v);
+            let v = pl.rd_i(*s2 as usize);
+            pl.wr_i(*d2 as usize, v);
+        }
+        RegOp::IntBinImmJmp { op, d, a, imm, .. } => {
+            let x = pl.rd_i(*a as usize);
+            let v = pl.int_bin_sym(*op, x, IForm::Aff(SymAffine::konst(i64::from(*imm))))?;
+            pl.wr_i(*d as usize, v);
+        }
+        RegOp::IntBinImmMov2IJmp {
+            op,
+            d,
+            a,
+            imm,
+            d2,
+            s2,
+            d3,
+            s3,
+            ..
+        } => {
+            let x = pl.rd_i(*a as usize);
+            let v = pl.int_bin_sym(*op, x, IForm::Aff(SymAffine::konst(i64::from(*imm))))?;
+            pl.wr_i(*d as usize, v);
+            let v = pl.rd_i(*s2 as usize);
+            pl.wr_i(*d2 as usize, v);
+            let v = pl.rd_i(*s3 as usize);
+            pl.wr_i(*d3 as usize, v);
+        }
+        _ => return None,
+    }
+    // The induction variable must step by exactly one per iteration, and
+    // the bound must be invariant.
+    let IForm::Aff(iv_final) = pl.rd_i(h.iv) else {
+        return None;
+    };
+    if !iv_final.is_incr_of(h.iv) || pl.written_ints.contains(&h.bound) {
+        return None;
+    }
+    // The store is mandatory; its object must not be readable as input.
+    let (out_slot, out_rank, out_row, out_col, root_sym) = pl.store.clone()?;
+    // Per-iteration acquire/release counts must balance (mirrors the
+    // memory pass's own invariant; see the module docs on aborts).
+    if pl.acquires != pl.releases {
+        return None;
+    }
+    // Object round-trip: every slot whose first access is a read must end
+    // the iteration holding its entry object.
+    for (&s, &overwrote_first) in &pl.first_access {
+        if !overwrote_first && pl.obj(s) != Obj::Orig(s) {
+            return None;
+        }
+    }
+    // Reachable nodes: the stored element plus nothing else. Opaque must
+    // be dead; Reg leaves and affine terms must be loop-invariant.
+    let mut reach: Vec<bool> = vec![false; pl.nodes.len()];
+    let mut stack = vec![root_sym];
+    while let Some(n) = stack.pop() {
+        if reach[n] {
+            continue;
+        }
+        reach[n] = true;
+        if let SymNode::Bin { l, r, .. } = &pl.nodes[n] {
+            stack.push(*l);
+            stack.push(*r);
+        }
+    }
+    for r in &pl.div_regs {
+        if pl.written_flts.contains(r) {
+            return None;
+        }
+    }
+    // Convert symbolic affines to runtime forms: terms may reference only
+    // invariants; the induction variable folds into `iv_coef`.
+    let lower = |a: &SymAffine| -> Option<Affine> {
+        let mut out = Affine {
+            c: a.c,
+            terms: Vec::new(),
+            iv_coef: 0,
+        };
+        for &(r, co) in &a.terms {
+            if r == h.iv {
+                out.iv_coef = co;
+            } else if pl.written_ints.contains(&r) {
+                return None;
+            } else {
+                out.terms.push((to_u32(r)?, co));
+            }
+        }
+        Some(out)
+    };
+    // Compact the node list to reachable nodes (insertion order is
+    // already topological) and collect input tensors.
+    let mut tensors: Vec<TensorRef> = Vec::new();
+    let mut tensor_ix: HashMap<usize, u32> = HashMap::new();
+    let mut remap: Vec<Option<u32>> = vec![None; pl.nodes.len()];
+    let mut nodes: Vec<VecNode> = Vec::new();
+    for (i, n) in pl.nodes.iter().enumerate() {
+        if !reach[i] {
+            continue;
+        }
+        let lowered = match n {
+            SymNode::Const(c) => VecNode::Const(*c),
+            SymNode::Reg(r) => {
+                if pl.written_flts.contains(r) {
+                    return None; // reads a body-written float: recurrence
+                }
+                VecNode::Reg(to_u32(*r)?)
+            }
+            SymNode::Load {
+                slot,
+                rank,
+                row,
+                col,
+            } => {
+                if *slot == out_slot {
+                    return None; // reading the output object: recurrence
+                }
+                let ix = match tensor_ix.get(slot) {
+                    Some(&ix) => {
+                        if tensors[ix as usize].rank != *rank {
+                            return None;
+                        }
+                        ix
+                    }
+                    None => {
+                        let ix = to_u32(tensors.len())?;
+                        tensors.push(TensorRef {
+                            slot: to_u32(*slot)?,
+                            rank: *rank,
+                        });
+                        tensor_ix.insert(*slot, ix);
+                        ix
+                    }
+                };
+                VecNode::Load {
+                    tensor: ix,
+                    row: match row {
+                        Some(r) => Some(lower(r)?),
+                        None => None,
+                    },
+                    col: lower(col)?,
+                }
+            }
+            SymNode::Bin { op, l, r } => VecNode::Bin {
+                op: *op,
+                l: remap[*l]?,
+                r: remap[*r]?,
+            },
+            SymNode::Opaque => return None, // reachable opaque value
+        };
+        remap[i] = Some(to_u32(nodes.len())?);
+        nodes.push(lowered);
+    }
+    let root = remap[root_sym]?;
+    let int_checks = pl
+        .int_checks
+        .iter()
+        .map(lower)
+        .collect::<Option<Vec<_>>>()?;
+    let out = StoreSpec {
+        slot: to_u32(out_slot)?,
+        rank: out_rank,
+        row: match &out_row {
+            Some(r) => Some(lower(r)?),
+            None => None,
+        },
+        col: lower(&out_col)?,
+    };
+    let mut div_checks: Vec<u32> = pl
+        .div_regs
+        .iter()
+        .map(|&r| to_u32(r))
+        .collect::<Option<Vec<_>>>()?;
+    div_checks.sort_unstable();
+    let mut managed_checks: Vec<u32> = pl
+        .managed
+        .iter()
+        .map(|&s| to_u32(s))
+        .collect::<Option<Vec<_>>>()?;
+    managed_checks.sort_unstable();
+    Some(VecPlan {
+        iv: to_u32(h.iv)?,
+        bound: to_u32(h.bound)?,
+        inclusive: h.inclusive,
+        tensors,
+        out,
+        nodes,
+        root,
+        int_checks,
+        div_checks,
+        managed_checks,
+        acquires: pl.acquires,
+        releases: pl.releases,
+    })
+}
+
+/// Plants `VecLoop` ops in front of every vectorizable counted loop of
+/// the program. Returns the number of loops vectorized. Safe to run on
+/// any fused program; the planted ops are inert until the program carries
+/// a [`ParallelConfig`].
+pub fn vectorize_program(p: &mut NativeProgram) -> usize {
+    p.funcs.iter_mut().map(vectorize_function).sum()
+}
+
+/// [`vectorize_program`] for a single function.
+pub fn vectorize_function(f: &mut NativeFunc) -> usize {
+    let n = f.code.len();
+    let mut accepted: Vec<(usize, usize, VecPlan)> = Vec::new();
+    for latch in 0..n {
+        let Some(l) = latch_target(&f.code[latch]) else {
+            continue;
+        };
+        if l > latch {
+            continue;
+        }
+        if accepted
+            .iter()
+            .any(|&(al, alat, _)| l <= alat && al <= latch)
+        {
+            continue; // overlaps an accepted loop
+        }
+        if let Some(plan) = try_plan(f, l, latch) {
+            accepted.push((l, latch, plan));
+        }
+    }
+    if accepted.is_empty() {
+        return 0;
+    }
+    accepted.sort_by_key(|&(l, _, _)| l);
+    let count = accepted.len();
+    let starts: Vec<usize> = accepted.iter().map(|&(l, _, _)| l).collect();
+    // shifted(t) = t + (number of VecLoops inserted at or before t); jumps
+    // to a loop start land on its VecLoop (one earlier) so every loop
+    // entry — fallthrough or branch — runs the batch first.
+    let shift = |t: usize| t + starts.partition_point(|&s| s <= t);
+    let mut new_pc: Vec<usize> = (0..=n).map(shift).collect();
+    for &l in &starts {
+        new_pc[l] = shift(l) - 1;
+    }
+    let mut out: Vec<RegOp> = Vec::with_capacity(n + count);
+    let mut next = accepted.iter().peekable();
+    for (t, op) in f.code.iter().enumerate() {
+        if next.peek().is_some_and(|&&(l, _, _)| l == t) {
+            let (_, _, plan) = next.next().unwrap();
+            out.push(RegOp::VecLoop {
+                plan: Rc::new(plan.clone()),
+            });
+        }
+        out.push(op.clone());
+    }
+    for op in &mut out {
+        fuse::remap_targets(op, &new_pc);
+    }
+    // Back-edges must re-enter at the *scalar header*, not the VecLoop:
+    // re-batching per scalar iteration would re-run the prechecks each
+    // time for a batch the entry already consumed.
+    for &(l, latch, _) in &accepted {
+        set_latch_target(&mut out[shift(latch)], shift(l));
+    }
+    f.code = out;
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Runtime execution.
+// ---------------------------------------------------------------------------
+
+/// Resolved load/store addressing: `element(k) = off0 + k·stride`.
+#[derive(Clone, Copy)]
+struct Addr {
+    off0: i128,
+    stride: i128,
+}
+
+/// Checks an index affine against `1..=dim` at both batch endpoints
+/// (linear ⇒ the interior is covered) and returns its value at `k = 0`.
+fn index_endpoints(a: &Affine, ints: &[i64], iv0: i128, m: i128, dim: usize) -> Option<i128> {
+    let at0 = a.eval(ints, iv0, 0);
+    let at_end = a.eval(ints, iv0, m - 1);
+    let dim = dim as i128;
+    if at0 < 1 || at0 > dim || at_end < 1 || at_end > dim {
+        return None;
+    }
+    Some(at0)
+}
+
+fn resolve_addr(
+    row: Option<&Affine>,
+    col: &Affine,
+    shape: &[usize],
+    ints: &[i64],
+    iv0: i128,
+    m: i128,
+) -> Option<Addr> {
+    match row {
+        None => {
+            let c0 = index_endpoints(col, ints, iv0, m, shape[0])?;
+            Some(Addr {
+                off0: c0 - 1,
+                stride: i128::from(col.iv_coef),
+            })
+        }
+        Some(r) => {
+            let r0 = index_endpoints(r, ints, iv0, m, shape[0])?;
+            let c0 = index_endpoints(col, ints, iv0, m, shape[1])?;
+            let cols = shape[1] as i128;
+            Some(Addr {
+                off0: (r0 - 1) * cols + (c0 - 1),
+                stride: i128::from(r.iv_coef) * cols + i128::from(col.iv_coef),
+            })
+        }
+    }
+}
+
+/// Resolved operand of a batched node.
+#[derive(Clone, Copy)]
+enum Tag {
+    /// Constant across the batch.
+    Sc(f64),
+    /// Contiguous input run starting at `off0` (stride 1).
+    In { input: usize, off0: usize },
+    /// Materialized in scratch buffer `buf`.
+    Buf(usize),
+}
+
+enum Step {
+    Gather {
+        input: usize,
+        addr: Addr,
+        buf: usize,
+    },
+    Bin {
+        op: SimdOp,
+        l: Tag,
+        r: Tag,
+        buf: usize,
+    },
+}
+
+/// Evaluates nodes for the k-range `[s, s+len)` into `dest`.
+fn eval_block(
+    steps: &[Step],
+    root: Tag,
+    inputs: &[&[f64]],
+    scratch: &mut [Vec<f64>],
+    s: usize,
+    len: usize,
+    dest: &mut [f64],
+) {
+    debug_assert_eq!(dest.len(), len);
+    for step in steps {
+        match step {
+            Step::Gather { input, addr, buf } => {
+                let (_, rest) = scratch.split_at_mut(*buf);
+                let b = &mut rest[0][..len];
+                let data = inputs[*input];
+                for (t, slot) in b.iter_mut().enumerate() {
+                    *slot = data[(addr.off0 + (s + t) as i128 * addr.stride) as usize];
+                }
+            }
+            Step::Bin { op, l, r, buf } => {
+                let (done, rest) = scratch.split_at_mut(*buf);
+                let out = &mut rest[0][..len];
+                match (*l, *r) {
+                    (Tag::Sc(x), Tag::Sc(y)) => simd::fill(out, op.apply(x, y)),
+                    (Tag::Sc(x), rt) => {
+                        let rs = tag_slice(rt, inputs, done, s, len);
+                        simd::sv(*op, x, rs, out);
+                    }
+                    (lt, Tag::Sc(y)) => {
+                        let ls = tag_slice(lt, inputs, done, s, len);
+                        simd::vs(*op, ls, y, out);
+                    }
+                    (lt, rt) => {
+                        let ls = tag_slice(lt, inputs, done, s, len);
+                        let rs = tag_slice(rt, inputs, done, s, len);
+                        simd::vv(*op, ls, rs, out);
+                    }
+                }
+            }
+        }
+    }
+    match root {
+        Tag::Sc(c) => simd::fill(dest, c),
+        Tag::In { input, off0 } => dest.copy_from_slice(&inputs[input][off0 + s..off0 + s + len]),
+        Tag::Buf(b) => dest.copy_from_slice(&scratch[b][..len]),
+    }
+}
+
+fn tag_slice<'a>(
+    tag: Tag,
+    inputs: &'a [&'a [f64]],
+    done: &'a [Vec<f64>],
+    s: usize,
+    len: usize,
+) -> &'a [f64] {
+    match tag {
+        Tag::In { input, off0 } => &inputs[input][off0 + s..off0 + s + len],
+        Tag::Buf(b) => &done[b][..len],
+        Tag::Sc(_) => unreachable!("scalar operand has no slice"),
+    }
+}
+
+/// Executes the batch for `plan` if every precheck holds; otherwise
+/// returns without touching any state (the scalar loop then runs and
+/// raises whatever error the prechecks anticipated).
+///
+/// # Errors
+///
+/// Only [`RuntimeError::Aborted`] — any other anticipated failure falls
+/// back to the scalar path instead of erroring here.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn exec_batch(
+    plan: &VecPlan,
+    cfg: &ParallelConfig,
+    abort: &AbortSignal,
+    ints: &mut [i64],
+    flts: &[f64],
+    vals: &mut [Value],
+) -> Result<(), RuntimeError> {
+    if !cfg.simd {
+        // Ablation switch: leave the scalar loop fully in charge.
+        return Ok(());
+    }
+    let iv0 = i128::from(ints[plan.iv as usize]);
+    let bound = i128::from(ints[plan.bound as usize]);
+    let n_total = bound - iv0 + i128::from(plan.inclusive);
+    let m = n_total - 1; // the scalar tail runs the final iteration
+    if !(VEC_MIN..=1 << 46).contains(&m) {
+        return Ok(());
+    }
+    for &s in &plan.managed_checks {
+        if !vals[s as usize].is_managed() {
+            return Ok(());
+        }
+    }
+    for &r in &plan.div_checks {
+        if flts[r as usize] == 0.0 {
+            return Ok(());
+        }
+    }
+    for a in &plan.int_checks {
+        for k in [0, m - 1] {
+            let v = a.eval(ints, iv0, k);
+            if v < i128::from(i64::MIN) || v > i128::from(i64::MAX) {
+                return Ok(());
+            }
+        }
+    }
+    // Clone input tensors *before* the output's data_mut: if the output
+    // storage is shared (including with an input), data_mut copies it —
+    // exactly when the scalar loop's first store would have copied.
+    let mut inputs: Vec<Tensor> = Vec::with_capacity(plan.tensors.len());
+    for tr in &plan.tensors {
+        let Value::Tensor(t) = &vals[tr.slot as usize] else {
+            return Ok(());
+        };
+        if t.rank() != tr.rank as usize || !matches!(t.data(), TensorData::F64(_)) {
+            return Ok(());
+        }
+        inputs.push(t.clone());
+    }
+    let out_addr = {
+        let Value::Tensor(t) = &vals[plan.out.slot as usize] else {
+            return Ok(());
+        };
+        if t.rank() != plan.out.rank as usize || !matches!(t.data(), TensorData::F64(_)) {
+            return Ok(());
+        }
+        let Some(addr) = resolve_addr(
+            plan.out.row.as_ref(),
+            &plan.out.col,
+            t.shape(),
+            ints,
+            iv0,
+            m,
+        ) else {
+            return Ok(());
+        };
+        addr
+    };
+    // Resolve node operands; loads also validate their bounds here.
+    let mut tags: Vec<Tag> = Vec::with_capacity(plan.nodes.len());
+    let mut steps: Vec<Step> = Vec::new();
+    let mut n_bufs = 0usize;
+    for node in &plan.nodes {
+        let tag = match node {
+            VecNode::Const(c) => Tag::Sc(*c),
+            VecNode::Reg(r) => Tag::Sc(flts[*r as usize]),
+            VecNode::Load { tensor, row, col } => {
+                let t = &inputs[*tensor as usize];
+                let Some(addr) = resolve_addr(row.as_ref(), col, t.shape(), ints, iv0, m) else {
+                    return Ok(());
+                };
+                if addr.stride == 0 {
+                    let TensorData::F64(data) = t.data() else {
+                        unreachable!()
+                    };
+                    Tag::Sc(data[addr.off0 as usize])
+                } else if addr.stride == 1 {
+                    Tag::In {
+                        input: *tensor as usize,
+                        off0: addr.off0 as usize,
+                    }
+                } else {
+                    let buf = n_bufs;
+                    n_bufs += 1;
+                    steps.push(Step::Gather {
+                        input: *tensor as usize,
+                        addr,
+                        buf,
+                    });
+                    Tag::Buf(buf)
+                }
+            }
+            VecNode::Bin { op, l, r } => {
+                let (lt, rt) = (tags[*l as usize], tags[*r as usize]);
+                if let (Tag::Sc(x), Tag::Sc(y)) = (lt, rt) {
+                    Tag::Sc(op.apply(x, y))
+                } else {
+                    let buf = n_bufs;
+                    n_bufs += 1;
+                    steps.push(Step::Bin {
+                        op: *op,
+                        l: lt,
+                        r: rt,
+                        buf,
+                    });
+                    Tag::Buf(buf)
+                }
+            }
+        };
+        tags.push(tag);
+    }
+    let root = tags[plan.root as usize];
+    // Commit: one data_mut on the output (COW-exact, see above), then
+    // evaluate chunks. Chunk boundaries are a function of the length
+    // only, so thread counts never change results.
+    let m_us = m as usize;
+    let input_slices: Vec<&[f64]> = inputs
+        .iter()
+        .map(|t| match t.data() {
+            TensorData::F64(v) => &v[..],
+            _ => unreachable!(),
+        })
+        .collect();
+    let Value::Tensor(out_t) = &mut vals[plan.out.slot as usize] else {
+        unreachable!()
+    };
+    let TensorData::F64(out_data) = out_t.data_mut() else {
+        unreachable!()
+    };
+    let n_chunks = cfg.chunk_count(m_us);
+    if out_addr.stride == 1 && cfg.threads() > 1 && n_chunks > 1 {
+        let start = out_addr.off0 as usize;
+        let run = &mut out_data[start..start + m_us];
+        parallel::for_each_row_block(
+            cfg.threads(),
+            n_chunks,
+            m_us,
+            1,
+            run,
+            &|_, lo, hi, stripe| {
+                if abort.is_triggered() {
+                    return;
+                }
+                let mut scratch = vec![vec![0.0f64; BLOCK]; n_bufs];
+                let mut s = lo;
+                while s < hi {
+                    let len = (hi - s).min(BLOCK);
+                    eval_block(
+                        &steps,
+                        root,
+                        &input_slices,
+                        &mut scratch,
+                        s,
+                        len,
+                        &mut stripe[s - lo..s - lo + len],
+                    );
+                    s += len;
+                }
+            },
+        );
+        abort.check()?;
+    } else {
+        let mut scratch = vec![vec![0.0f64; BLOCK]; n_bufs];
+        let mut block = vec![0.0f64; BLOCK];
+        for ci in 0..n_chunks {
+            abort.check()?;
+            let (lo, hi) = parallel::chunk_bounds(m_us, n_chunks, ci);
+            let mut s = lo;
+            while s < hi {
+                let len = (hi - s).min(BLOCK);
+                if out_addr.stride == 1 {
+                    let start = (out_addr.off0 + s as i128) as usize;
+                    eval_block(
+                        &steps,
+                        root,
+                        &input_slices,
+                        &mut scratch,
+                        s,
+                        len,
+                        &mut out_data[start..start + len],
+                    );
+                } else {
+                    eval_block(
+                        &steps,
+                        root,
+                        &input_slices,
+                        &mut scratch,
+                        s,
+                        len,
+                        &mut block[..len],
+                    );
+                    for (t, &v) in block[..len].iter().enumerate() {
+                        out_data[(out_addr.off0 + (s + t) as i128 * out_addr.stride) as usize] = v;
+                    }
+                }
+                s += len;
+            }
+        }
+    }
+    // The batch consumed iterations 0..m: advance the induction variable
+    // (endpoint-checked above) and record the skipped refcount traffic.
+    ints[plan.iv as usize] = (iv0 + m) as i64;
+    memory::record_acquires(plan.acquires * m as u64);
+    memory::record_releases(plan.releases * m as u64);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{
+        ArgVal, Bank, ElemKind, FltOp, IntOp, Machine, NativeFunc, NativeProgram, RegOp, Slot,
+    };
+
+    fn ten(v: Vec<f64>) -> ArgVal {
+        let n = v.len();
+        ArgVal::V(Value::Tensor(
+            Tensor::with_shape(vec![n], TensorData::F64(v)).unwrap(),
+        ))
+    }
+
+    fn mat(rows: usize, cols: usize, v: Vec<f64>) -> ArgVal {
+        ArgVal::V(Value::Tensor(
+            Tensor::with_shape(vec![rows, cols], TensorData::F64(v)).unwrap(),
+        ))
+    }
+
+    fn cfg(threads: usize) -> ParallelConfig {
+        ParallelConfig {
+            num_threads: threads,
+            min_elems_per_chunk: 16,
+            simd: true,
+        }
+    }
+
+    fn run(prog: &NativeProgram, args: Vec<ArgVal>) -> Result<ArgVal, RuntimeError> {
+        Machine::standalone().call(prog, 0, args)
+    }
+
+    /// `out[j] = a[j]*2 + b[j]` for `j = 1..=n`, with a header acquire and
+    /// a body release (the shape `lower` emits for managed loop values).
+    fn saxpy() -> NativeFunc {
+        NativeFunc {
+            name: "Main".into(),
+            code: vec![
+                RegOp::LdcI { d: 0, v: 1 },
+                RegOp::Acquire { v: 0 },
+                RegOp::AbortBrCmpISel {
+                    op: IntOp::Le,
+                    a: 0,
+                    b: 1,
+                    d: 2,
+                    pc_false: 10,
+                    pc_true: 3,
+                },
+                RegOp::TenPart1 {
+                    kind: ElemKind::F64,
+                    d: 0,
+                    t: 0,
+                    i: 0,
+                },
+                RegOp::FltBinImm {
+                    op: FltOp::Mul,
+                    d: 1,
+                    a: 0,
+                    imm: 2.0,
+                },
+                RegOp::TenPart1 {
+                    kind: ElemKind::F64,
+                    d: 2,
+                    t: 1,
+                    i: 0,
+                },
+                RegOp::FltBin {
+                    op: FltOp::Add,
+                    d: 3,
+                    a: 1,
+                    b: 2,
+                },
+                RegOp::TenSet1 {
+                    kind: ElemKind::F64,
+                    t: 2,
+                    i: 0,
+                    v: 3,
+                },
+                RegOp::Release { v: 0 },
+                RegOp::IntBinImmJmp {
+                    op: IntOp::Add,
+                    d: 0,
+                    a: 0,
+                    imm: 1,
+                    pc: 1,
+                },
+                RegOp::Release { v: 0 },
+                RegOp::Ret {
+                    s: Slot::new(Bank::V, 2),
+                },
+            ],
+            n_int: 3,
+            n_flt: 4,
+            n_cpx: 0,
+            n_val: 3,
+            params: vec![
+                Slot::new(Bank::V, 0),
+                Slot::new(Bank::V, 1),
+                Slot::new(Bank::V, 2),
+                Slot::new(Bank::I, 1),
+            ],
+        }
+    }
+
+    fn saxpy_args(n: usize, bound: i64) -> Vec<ArgVal> {
+        let a: Vec<f64> = (0..n).map(|i| i as f64 * 0.25 - 3.0).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        vec![ten(a), ten(b), ten(vec![0.0; n]), ArgVal::I(bound)]
+    }
+
+    #[test]
+    fn saxpy_vectorizes_and_matches_scalar_exactly() {
+        let scalar = saxpy();
+        let mut vectored = scalar.clone();
+        assert_eq!(vectorize_function(&mut vectored), 1);
+        assert!(matches!(vectored.code[1], RegOp::VecLoop { .. }));
+        // The latch must re-enter at the scalar header (after the VecLoop).
+        assert!(matches!(
+            vectored.code[10],
+            RegOp::IntBinImmJmp { pc: 2, .. }
+        ));
+        let n = 100;
+        let base = NativeProgram {
+            parallel: None,
+            funcs: vec![scalar],
+        };
+        let want = run(&base, saxpy_args(n, n as i64)).unwrap();
+        for threads in [1, 2, 8] {
+            let prog = NativeProgram {
+                parallel: Some(cfg(threads)),
+                funcs: vec![vectored.clone()],
+            };
+            let got = run(&prog, saxpy_args(n, n as i64)).unwrap();
+            assert_eq!(got, want, "threads={threads}");
+        }
+        // Inert without a ParallelConfig.
+        let prog = NativeProgram {
+            parallel: None,
+            funcs: vec![vectored],
+        };
+        assert_eq!(run(&prog, saxpy_args(n, n as i64)).unwrap(), want);
+    }
+
+    #[test]
+    fn refcount_accounting_matches_scalar() {
+        let scalar = saxpy();
+        let mut vectored = scalar.clone();
+        vectorize_function(&mut vectored);
+        let n = 64;
+        memory::reset_stats();
+        run(
+            &NativeProgram {
+                parallel: None,
+                funcs: vec![scalar],
+            },
+            saxpy_args(n, n as i64),
+        )
+        .unwrap();
+        let seq = memory::stats();
+        memory::reset_stats();
+        run(
+            &NativeProgram {
+                parallel: Some(cfg(1)),
+                funcs: vec![vectored],
+            },
+            saxpy_args(n, n as i64),
+        )
+        .unwrap();
+        let vec_stats = memory::stats();
+        assert_eq!(seq.acquires, vec_stats.acquires);
+        assert_eq!(seq.releases, vec_stats.releases);
+        assert!(vec_stats.balanced(), "{vec_stats:?}");
+    }
+
+    #[test]
+    fn short_trip_counts_fall_back_and_match() {
+        let scalar = saxpy();
+        let mut vectored = scalar.clone();
+        vectorize_function(&mut vectored);
+        for n in [1usize, 2, 5, 8, 9] {
+            let want = run(
+                &NativeProgram {
+                    parallel: None,
+                    funcs: vec![scalar.clone()],
+                },
+                saxpy_args(n, n as i64),
+            )
+            .unwrap();
+            let got = run(
+                &NativeProgram {
+                    parallel: Some(cfg(2)),
+                    funcs: vec![vectored.clone()],
+                },
+                saxpy_args(n, n as i64),
+            )
+            .unwrap();
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_errors_are_identical() {
+        let scalar = saxpy();
+        let mut vectored = scalar.clone();
+        vectorize_function(&mut vectored);
+        let n = 20;
+        let want = run(
+            &NativeProgram {
+                parallel: None,
+                funcs: vec![scalar],
+            },
+            saxpy_args(n, n as i64 + 5),
+        )
+        .unwrap_err();
+        let got = run(
+            &NativeProgram {
+                parallel: Some(cfg(2)),
+                funcs: vec![vectored],
+            },
+            saxpy_args(n, n as i64 + 5),
+        )
+        .unwrap_err();
+        assert_eq!(got, want);
+    }
+
+    /// `out[j] = a[j] / d` with a loop-invariant register divisor: the
+    /// batch requires a nonzero divisor; zero falls back to the scalar
+    /// loop's DivideByZero.
+    fn divloop() -> NativeFunc {
+        NativeFunc {
+            name: "Main".into(),
+            code: vec![
+                RegOp::LdcI { d: 0, v: 1 },
+                RegOp::AbortBrCmpISel {
+                    op: IntOp::Le,
+                    a: 0,
+                    b: 1,
+                    d: 2,
+                    pc_false: 6,
+                    pc_true: 2,
+                },
+                RegOp::TenPart1 {
+                    kind: ElemKind::F64,
+                    d: 0,
+                    t: 0,
+                    i: 0,
+                },
+                RegOp::FltBin {
+                    op: FltOp::Div,
+                    d: 1,
+                    a: 0,
+                    b: 2,
+                },
+                RegOp::TenSet1 {
+                    kind: ElemKind::F64,
+                    t: 1,
+                    i: 0,
+                    v: 1,
+                },
+                RegOp::IntBinImmJmp {
+                    op: IntOp::Add,
+                    d: 0,
+                    a: 0,
+                    imm: 1,
+                    pc: 1,
+                },
+                RegOp::Ret {
+                    s: Slot::new(Bank::V, 1),
+                },
+            ],
+            n_int: 3,
+            n_flt: 3,
+            n_cpx: 0,
+            n_val: 2,
+            params: vec![
+                Slot::new(Bank::V, 0),
+                Slot::new(Bank::V, 1),
+                Slot::new(Bank::I, 1),
+                Slot::new(Bank::F, 2),
+            ],
+        }
+    }
+
+    #[test]
+    fn invariant_divisor_is_runtime_checked() {
+        let scalar = divloop();
+        let mut vectored = scalar.clone();
+        assert_eq!(vectorize_function(&mut vectored), 1);
+        let n = 40usize;
+        let args = |d: f64| {
+            vec![
+                ten((0..n).map(|i| i as f64 + 1.0).collect()),
+                ten(vec![0.0; n]),
+                ArgVal::I(n as i64),
+                ArgVal::F(d),
+            ]
+        };
+        let base = NativeProgram {
+            parallel: None,
+            funcs: vec![scalar],
+        };
+        let prog = NativeProgram {
+            parallel: Some(cfg(2)),
+            funcs: vec![vectored],
+        };
+        assert_eq!(
+            run(&prog, args(2.0)).unwrap(),
+            run(&base, args(2.0)).unwrap()
+        );
+        assert_eq!(
+            run(&prog, args(0.0)).unwrap_err(),
+            run(&base, args(0.0)).unwrap_err()
+        );
+    }
+
+    /// Column walk over a matrix: `out[j][2] = in[j][2] * 0.5` — a strided
+    /// (gather/scatter) batch, the vertical-blur shape.
+    fn column_walk() -> NativeFunc {
+        NativeFunc {
+            name: "Main".into(),
+            code: vec![
+                RegOp::LdcI { d: 0, v: 1 },
+                RegOp::AbortBrCmpISel {
+                    op: IntOp::Le,
+                    a: 0,
+                    b: 1,
+                    d: 2,
+                    pc_false: 7,
+                    pc_true: 2,
+                },
+                RegOp::LdcI { d: 3, v: 2 },
+                RegOp::TenPart2 {
+                    kind: ElemKind::F64,
+                    d: 0,
+                    t: 0,
+                    i: 0,
+                    j: 3,
+                },
+                RegOp::FltBinImm {
+                    op: FltOp::Mul,
+                    d: 1,
+                    a: 0,
+                    imm: 0.5,
+                },
+                RegOp::TenSet2 {
+                    kind: ElemKind::F64,
+                    t: 1,
+                    i: 0,
+                    j: 3,
+                    v: 1,
+                },
+                RegOp::IntBinImmJmp {
+                    op: IntOp::Add,
+                    d: 0,
+                    a: 0,
+                    imm: 1,
+                    pc: 1,
+                },
+                RegOp::Ret {
+                    s: Slot::new(Bank::V, 1),
+                },
+            ],
+            n_int: 4,
+            n_flt: 2,
+            n_cpx: 0,
+            n_val: 2,
+            params: vec![
+                Slot::new(Bank::V, 0),
+                Slot::new(Bank::V, 1),
+                Slot::new(Bank::I, 1),
+            ],
+        }
+    }
+
+    #[test]
+    fn strided_column_walk_matches_scalar() {
+        let scalar = column_walk();
+        let mut vectored = scalar.clone();
+        assert_eq!(vectorize_function(&mut vectored), 1);
+        let rows = 64usize;
+        let cols = 3usize;
+        let args = || {
+            let data: Vec<f64> = (0..rows * cols).map(|i| i as f64 * 0.125).collect();
+            vec![
+                mat(rows, cols, data),
+                mat(rows, cols, vec![0.0; rows * cols]),
+                ArgVal::I(rows as i64),
+            ]
+        };
+        let want = run(
+            &NativeProgram {
+                parallel: None,
+                funcs: vec![scalar],
+            },
+            args(),
+        )
+        .unwrap();
+        let got = run(
+            &NativeProgram {
+                parallel: Some(cfg(4)),
+                funcs: vec![vectored],
+            },
+            args(),
+        )
+        .unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unsafe_loop_shapes_are_refused() {
+        // Error-capable integer op in the body.
+        let mut f = saxpy();
+        f.code.insert(
+            3,
+            RegOp::IntBin {
+                op: IntOp::Quot,
+                d: 2,
+                a: 0,
+                b: 1,
+            },
+        );
+        // Fix up targets crossing the insertion.
+        if let RegOp::AbortBrCmpISel {
+            pc_false, pc_true, ..
+        } = &mut f.code[2]
+        {
+            *pc_false = 11;
+            *pc_true = 3;
+        }
+        if let RegOp::IntBinImmJmp { pc, .. } = &mut f.code[10] {
+            *pc = 1;
+        }
+        assert_eq!(vectorize_function(&mut f), 0);
+
+        // Load from the output tensor (loop-carried recurrence).
+        let mut f = saxpy();
+        if let RegOp::TenPart1 { t, .. } = &mut f.code[5] {
+            *t = 2;
+        }
+        assert_eq!(vectorize_function(&mut f), 0);
+
+        // Float accumulator: f3 = f3 + f1 reads its own previous value.
+        let mut f = saxpy();
+        f.code[6] = RegOp::FltBin {
+            op: FltOp::Add,
+            d: 3,
+            a: 3,
+            b: 1,
+        };
+        assert_eq!(vectorize_function(&mut f), 0);
+
+        // Non-affine index: j*j.
+        let mut f = saxpy();
+        f.code[3] = RegOp::IntBin {
+            op: IntOp::Mul,
+            d: 2,
+            a: 0,
+            b: 0,
+        };
+        if let RegOp::TenSet1 { i, .. } = &mut f.code[7] {
+            *i = 2;
+        }
+        assert_eq!(vectorize_function(&mut f), 0);
+
+        // Simd ablation flag off: plan exists but the batch never runs.
+        let scalar = saxpy();
+        let mut vectored = scalar.clone();
+        assert_eq!(vectorize_function(&mut vectored), 1);
+        let n = 50;
+        let want = run(
+            &NativeProgram {
+                parallel: None,
+                funcs: vec![scalar],
+            },
+            saxpy_args(n, n as i64),
+        )
+        .unwrap();
+        let got = run(
+            &NativeProgram {
+                parallel: Some(ParallelConfig {
+                    simd: false,
+                    ..cfg(2)
+                }),
+                funcs: vec![vectored],
+            },
+            saxpy_args(n, n as i64),
+        )
+        .unwrap();
+        assert_eq!(got, want);
+    }
+}

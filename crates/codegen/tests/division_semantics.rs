@@ -12,6 +12,7 @@ use wolfram_runtime::{RuntimeError, Value};
 /// A one-function program: `op(arg0, arg1)` over the given bank.
 fn binprog(code: Vec<RegOp>, bank: Bank) -> NativeProgram {
     NativeProgram {
+        parallel: None,
         funcs: vec![NativeFunc {
             name: "Main".into(),
             code,

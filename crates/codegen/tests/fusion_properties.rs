@@ -127,6 +127,7 @@ fn random_body(rng: &mut Rng, len: usize) -> Vec<RegOp> {
 
 fn run(f: &NativeFunc) -> Result<ArgVal, String> {
     let prog = NativeProgram {
+        parallel: None,
         funcs: vec![f.clone()],
     };
     let mut m = Machine::standalone();

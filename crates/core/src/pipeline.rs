@@ -20,6 +20,7 @@ use wolfram_codegen::{BackendRegistry, NativeProgram};
 use wolfram_expr::{parse, Expr};
 use wolfram_interp::Interpreter;
 use wolfram_ir::{PassOptions, ProgramModule, VerifyLevel};
+use wolfram_runtime::ParallelConfig;
 use wolfram_types::TypeEnvironment;
 
 /// The compiler version string (the paper evaluates v1.0.1.0).
@@ -64,6 +65,14 @@ pub struct CompilerOptions {
     /// linter plus the `wolfram-analyze` type and refcount checkers after
     /// every pass; benchmarks set `Off` to measure pure pass cost.
     pub verify: VerifyLevel,
+    /// Enable the data-parallel execution tier: whole-tensor builtins run
+    /// chunked across the runtime's worker pool, and fused counted loops
+    /// are batched through the SIMD kernels (`vectorize` pass). Off by
+    /// default — the scalar engine is the semantics reference.
+    pub data_parallel: bool,
+    /// Tuning for the data-parallel tier (threads, chunk granularity,
+    /// SIMD on/off). Ignored unless `data_parallel` is set.
+    pub parallel: ParallelConfig,
 }
 
 impl CompilerOptions {
@@ -98,7 +107,18 @@ impl CompilerOptions {
             self.optimization_level,
             u8::from(self.naive_constant_arrays),
             u8::from(self.superinstruction_fusion),
+            u8::from(self.data_parallel),
         ]);
+        if self.data_parallel {
+            // The config changes the emitted program (the embedded
+            // ParallelConfig and the planted VecLoops), so it must
+            // separate cache keys; when the tier is off it is inert and
+            // must NOT perturb the fingerprint.
+            eat(b"parallel:");
+            eat(&(self.parallel.num_threads as u64).to_le_bytes());
+            eat(&(self.parallel.min_elems_per_chunk as u64).to_le_bytes());
+            eat(&[u8::from(self.parallel.simd)]);
+        }
         eat(match self.inline_policy {
             InlinePolicy::Automatic => b"inline:auto",
             InlinePolicy::Never => b"inline:never",
@@ -131,6 +151,8 @@ impl Default for CompilerOptions {
             naive_constant_arrays: false,
             superinstruction_fusion: true,
             verify: VerifyLevel::Full,
+            data_parallel: false,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -333,6 +355,16 @@ impl Compiler {
             self.time("superinstruction-fusion", || {
                 wolfram_codegen::fuse_program(&mut native)
             });
+        }
+        if self.options.data_parallel {
+            // Runs after fusion: the vectorizer recognizes the fused loop
+            // header/latch superinstructions. Attaching the config also
+            // switches the machine's whole-tensor builtins to the chunked
+            // parallel kernels.
+            self.time("loop-vectorize", || {
+                wolfram_codegen::vectorize_program(&mut native)
+            });
+            native.parallel = Some(self.options.parallel);
         }
         Ok(native)
     }
@@ -576,6 +608,26 @@ mod tests {
                 naive_constant_arrays: true,
                 ..CompilerOptions::default()
             },
+            CompilerOptions {
+                data_parallel: true,
+                ..CompilerOptions::default()
+            },
+            CompilerOptions {
+                data_parallel: true,
+                parallel: ParallelConfig {
+                    num_threads: 2,
+                    ..ParallelConfig::default()
+                },
+                ..CompilerOptions::default()
+            },
+            CompilerOptions {
+                data_parallel: true,
+                parallel: ParallelConfig {
+                    simd: false,
+                    ..ParallelConfig::default()
+                },
+                ..CompilerOptions::default()
+            },
         ];
         let mut prints: Vec<u64> = variants.iter().map(CompilerOptions::fingerprint).collect();
         prints.push(base.fingerprint());
@@ -594,6 +646,143 @@ mod tests {
             .extend(["dce".to_owned(), "cse".to_owned()]);
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_ne!(a.fingerprint(), base.fingerprint());
+        // The parallel tuning is inert — and must not perturb the cache
+        // key — while the tier is off.
+        let tuned_but_off = CompilerOptions {
+            parallel: ParallelConfig {
+                num_threads: 7,
+                min_elems_per_chunk: 3,
+                simd: false,
+            },
+            ..CompilerOptions::default()
+        };
+        assert_eq!(tuned_but_off.fingerprint(), base.fingerprint());
+    }
+
+    /// 3x3 blur (the §6 benchmark shape): its fused inner loop is the
+    /// canonical VecLoop target.
+    const BLUR_SRC: &str = r#"
+Function[{Typed[img, "Tensor"["Real64", 2]], Typed[h, "MachineInteger"], Typed[w, "MachineInteger"]},
+ Module[{out, i, j, s},
+  out = ConstantArray[0., {h, w}];
+  i = 2;
+  While[i < h,
+   j = 2;
+   While[j < w,
+    s = img[[i - 1, j - 1]] + 2.0*img[[i - 1, j]] + img[[i - 1, j + 1]]
+      + 2.0*img[[i, j - 1]] + 4.0*img[[i, j]] + 2.0*img[[i, j + 1]]
+      + img[[i + 1, j - 1]] + 2.0*img[[i + 1, j]] + img[[i + 1, j + 1]];
+    out[[i, j]] = s / 16.0;
+    j = j + 1];
+   i = i + 1];
+  out]]
+"#;
+
+    fn blur_args(h: usize, w: usize) -> Vec<Value> {
+        let img: Vec<f64> = (0..h * w).map(|k| ((k * 37 % 101) as f64) / 7.0).collect();
+        let ten =
+            wolfram_runtime::Tensor::with_shape(vec![h, w], wolfram_runtime::TensorData::F64(img))
+                .unwrap();
+        vec![
+            Value::Tensor(ten),
+            Value::I64(h as i64),
+            Value::I64(w as i64),
+        ]
+    }
+
+    #[test]
+    fn data_parallel_blur_plants_vec_loops_and_matches_scalar() {
+        let compiler = Compiler::new(CompilerOptions {
+            data_parallel: true,
+            ..CompilerOptions::default()
+        });
+        let pm = compiler
+            .compile_to_twir(&parse(BLUR_SRC).unwrap(), None)
+            .unwrap();
+        let native = compiler.generate_native(&pm).unwrap();
+        assert!(native.parallel.is_some());
+        let n_vec = native
+            .funcs
+            .iter()
+            .flat_map(|f| &f.code)
+            .filter(|op| matches!(op, wolfram_codegen::RegOp::VecLoop { .. }))
+            .count();
+        assert!(n_vec >= 1, "the blur inner loop must vectorize");
+
+        let want = Compiler::default()
+            .function_compile_src(BLUR_SRC)
+            .unwrap()
+            .call(&blur_args(31, 23))
+            .unwrap();
+        for threads in [1usize, 4] {
+            let opts = CompilerOptions {
+                data_parallel: true,
+                parallel: ParallelConfig {
+                    num_threads: threads,
+                    min_elems_per_chunk: 8,
+                    simd: true,
+                },
+                ..CompilerOptions::default()
+            };
+            let cf = Compiler::new(opts).function_compile_src(BLUR_SRC).unwrap();
+            // Bit-identical: each output element's expression tree is
+            // evaluated in the scalar loop's operation order.
+            assert_eq!(
+                cf.call(&blur_args(31, 23)).unwrap(),
+                want,
+                "threads={threads}"
+            );
+            // Repeat calls on the same compiled function stay stable.
+            assert_eq!(cf.call(&blur_args(31, 23)).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn data_parallel_elementwise_builtins_match_scalar() {
+        let src = r#"
+Function[{Typed[a, "Tensor"["Real64", 1]], Typed[b, "Tensor"["Real64", 1]]}, (a + b) * a]
+"#;
+        let n = 10_000;
+        let av: Vec<f64> = (0..n).map(|k| (k as f64) * 0.5 - 100.0).collect();
+        let bv: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64)).collect();
+        let args = || {
+            vec![
+                Value::Tensor(
+                    wolfram_runtime::Tensor::with_shape(
+                        vec![n],
+                        wolfram_runtime::TensorData::F64(av.clone()),
+                    )
+                    .unwrap(),
+                ),
+                Value::Tensor(
+                    wolfram_runtime::Tensor::with_shape(
+                        vec![n],
+                        wolfram_runtime::TensorData::F64(bv.clone()),
+                    )
+                    .unwrap(),
+                ),
+            ]
+        };
+        let want = Compiler::default()
+            .function_compile_src(src)
+            .unwrap()
+            .call(&args())
+            .unwrap();
+        let opts = CompilerOptions {
+            data_parallel: true,
+            parallel: ParallelConfig {
+                num_threads: 4,
+                min_elems_per_chunk: 256,
+                simd: true,
+            },
+            ..CompilerOptions::default()
+        };
+        let got = Compiler::new(opts)
+            .function_compile_src(src)
+            .unwrap()
+            .call(&args())
+            .unwrap();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -94,7 +94,7 @@ impl FuzzReport {
     /// One-paragraph human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} programs across 4 engine configurations: {} divergences, \
+            "{} programs across 5 engine configurations: {} divergences, \
              {} prepare failures, {} round-trip failures, {} timeouts, \
              {} out-of-subset",
             self.programs_run,

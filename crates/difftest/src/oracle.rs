@@ -1,14 +1,18 @@
 //! The tri-engine oracle and the equivalence relation it judges by.
 //!
-//! A program is run through four configurations:
+//! A program is run through five configurations:
 //!
 //! 1. the tree-walking **interpreter** (the language oracle),
 //! 2. the **bytecode VM** (hosted, so numeric errors revert to the
 //!    interpreter — F2),
 //! 3. the **native register machine with superinstruction fusion**
-//!    (hosted), and
+//!    (hosted),
 //! 4. the **native machine with fusion disabled** (hosted) — fusion is an
-//!    ablation knob, so fused and unfused code must agree bit-for-bit.
+//!    ablation knob, so fused and unfused code must agree bit-for-bit, and
+//! 5. the **native machine with the data-parallel tier** (hosted) —
+//!    fusion plus vectorized counted loops and chunked whole-tensor
+//!    builtins on the worker pool, tuned aggressively (2 threads, tiny
+//!    chunks) so even fuzz-sized tensors exercise the parallel paths.
 //!
 //! # Equivalence relation
 //!
@@ -44,7 +48,7 @@ use wolfram_compiler_core::{CompileError, Compiler, CompilerOptions};
 use wolfram_expr::Expr;
 use wolfram_interp::Interpreter;
 use wolfram_ir::VerifyLevel;
-use wolfram_runtime::{AbortSignal, RuntimeError, Value};
+use wolfram_runtime::{AbortSignal, ParallelConfig, RuntimeError, Value};
 
 /// Maximum units-in-last-place distance at which two machine reals are
 /// still considered the same answer.
@@ -108,13 +112,19 @@ impl Outcome {
 }
 
 /// The engine configurations under test, in report order.
-pub const ENGINE_NAMES: [&str; 4] = ["interpreter", "bytecode", "native+fusion", "native-fusion"];
+pub const ENGINE_NAMES: [&str; 5] = [
+    "interpreter",
+    "bytecode",
+    "native+fusion",
+    "native-fusion",
+    "native+parallel",
+];
 
-/// All four outcomes for one argument set.
+/// All five outcomes for one argument set.
 #[derive(Debug, Clone)]
 pub struct TriRun {
     /// Indexed as [`ENGINE_NAMES`].
-    pub outcomes: [Outcome; 4],
+    pub outcomes: [Outcome; 5],
     /// Absolute real-comparison allowance for this run:
     /// [`CANCELLATION_EPS`] times the largest magnitude among the
     /// program's literals and this argument set.
@@ -189,6 +199,7 @@ pub struct PreparedSubject {
     bytecode: wolfram_bytecode::CompiledFunction,
     native_fused: wolfram_compiler_core::CompiledCodeFunction,
     native_unfused: wolfram_compiler_core::CompiledCodeFunction,
+    native_parallel: wolfram_compiler_core::CompiledCodeFunction,
 }
 
 /// Largest magnitude among the numeric literals in `e`, recursively.
@@ -280,36 +291,45 @@ pub fn prepare_with(func: &Expr, verify: VerifyLevel) -> Result<PreparedSubject,
             message: e.to_string(),
         })?;
 
-    let native = |fuse: bool| -> Result<_, PrepareError> {
-        let options = CompilerOptions {
-            superinstruction_fusion: fuse,
-            verify,
-            ..CompilerOptions::default()
-        };
+    let native = |engine: &'static str, options: CompilerOptions| -> Result<_, PrepareError> {
         Compiler::new(options)
             .function_compile(func)
             .map(|cf| cf.hosted(Rc::new(RefCell::new(Interpreter::new()))))
             .map_err(|e| PrepareError {
-                engine: if fuse {
-                    "native+fusion"
-                } else {
-                    "native-fusion"
-                },
+                engine,
                 message: e.to_string(),
             })
+    };
+    let opts = |fuse: bool| CompilerOptions {
+        superinstruction_fusion: fuse,
+        verify,
+        ..CompilerOptions::default()
+    };
+    // Deliberately aggressive tuning: fuzz tensors are small, so the
+    // production chunk threshold would route everything to the sequential
+    // path and test nothing.
+    let parallel_opts = CompilerOptions {
+        data_parallel: true,
+        parallel: ParallelConfig {
+            num_threads: 2,
+            min_elems_per_chunk: 16,
+            simd: true,
+        },
+        ..opts(true)
     };
 
     Ok(PreparedSubject {
         func: func.clone(),
         literal_scale: literal_scale(func),
         bytecode,
-        native_fused: native(true)?,
-        native_unfused: native(false)?,
+        native_fused: native("native+fusion", opts(true))?,
+        native_unfused: native("native-fusion", opts(false))?,
+        native_parallel: native("native+parallel", parallel_opts)?,
     })
 }
 
 impl PreparedSubject {
-    /// Runs one argument set through all four configurations.
+    /// Runs one argument set through all five configurations.
     pub fn run(&self, args: &[Value]) -> TriRun {
         // Fresh interpreters per run: generated programs reuse local
         // names, and leaked definitions must not couple iterations. Each
@@ -335,13 +355,16 @@ impl PreparedSubject {
         let unfused = with_watchdog(&self.native_unfused.abort.clone(), || {
             Outcome::from_run(self.native_unfused.call(args))
         });
+        let parallel = with_watchdog(&self.native_parallel.abort.clone(), || {
+            Outcome::from_run(self.native_parallel.call(args))
+        });
 
         let scale = args
             .iter()
             .map(value_scale)
             .fold(self.literal_scale, f64::max);
         TriRun {
-            outcomes: [interp, bytecode, fused, unfused],
+            outcomes: [interp, bytecode, fused, unfused, parallel],
             abs_tol: CANCELLATION_EPS * scale,
         }
     }

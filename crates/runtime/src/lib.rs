@@ -16,17 +16,23 @@
 //!   compiler's memory-management pass.
 //! - [`linalg`] — the shared `dgemm` kernel standing in for MKL (all three
 //!   implementations of the Dot benchmark route through it, as in §6).
+//! - [`parallel`] / [`simd`] — the data-parallel tier: a persistent worker
+//!   pool with deterministic chunking for whole-tensor builtins, and
+//!   stable-Rust SIMD-shaped kernels for dense `f64` inner loops.
 
 pub mod abort;
 pub mod checked;
 pub mod error;
 pub mod linalg;
 pub mod memory;
+pub mod parallel;
+pub mod simd;
 pub mod tensor;
 pub mod value;
 
 pub use abort::{AbortSignal, DeadlineGuard};
 pub use error::RuntimeError;
+pub use parallel::ParallelConfig;
 pub use tensor::{Tensor, TensorData};
 pub use value::{FunctionValue, Value};
 

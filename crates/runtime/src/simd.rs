@@ -1,0 +1,292 @@
+//! Portable SIMD-shaped kernels for dense `f64` loops.
+//!
+//! Stable Rust only — no `std::simd`. Each kernel walks its slices with
+//! `chunks_exact(LANES)` and a manually unrolled body so the compiler can
+//! elide bounds checks and emit vector instructions (the iterator proves
+//! each chunk is exactly `LANES` wide), then handles the remainder with a
+//! scalar tail. The elementwise kernels are IEEE-exact: they apply the
+//! same scalar operation to each lane, so results are bit-identical to a
+//! plain loop regardless of how the compiler vectorizes them.
+//!
+//! The reductions ([`sum`], [`dot`]) are *reassociated*: they accumulate
+//! into `LANES` independent lanes merged as `((l0+l2)+(l1+l3))+tail`.
+//! That order is a deterministic function of the input length alone, but
+//! it differs from the strict left-to-right order the interpreter uses —
+//! which is exactly what the difftest ULP/cancellation equivalence
+//! relation exists to absorb (see DESIGN.md, "The parallel tier").
+
+/// Unroll width of every kernel in this module.
+pub const LANES: usize = 4;
+
+/// Elementwise operations the vector kernels support.
+///
+/// Deliberately the *total* subset: `Add`/`Sub`/`Mul` are total on f64,
+/// and `Div` is total once the caller has ruled out the machine's
+/// divide-by-zero error path (the scalar VM raises `DivideByZero` for
+/// `x/0.0`; vectorized callers must prove the divisor nonzero or fall
+/// back to the scalar loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b` (caller guarantees the divisor path is error-free)
+    Div,
+}
+
+impl SimdOp {
+    /// The scalar meaning of the op (the kernels apply exactly this per
+    /// lane, so the vector and scalar paths agree bitwise).
+    #[inline(always)]
+    pub fn apply(self, x: f64, y: f64) -> f64 {
+        match self {
+            SimdOp::Add => x + y,
+            SimdOp::Sub => x - y,
+            SimdOp::Mul => x * y,
+            SimdOp::Div => x / y,
+        }
+    }
+}
+
+#[inline(always)]
+fn vv_kernel(a: &[f64], b: &[f64], out: &mut [f64], op: impl Fn(f64, f64) -> f64) {
+    let n = out.len();
+    assert!(a.len() == n && b.len() == n, "vv kernel length mismatch");
+    let mut oc = out.chunks_exact_mut(LANES);
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for ((o, x), y) in (&mut oc).zip(&mut ac).zip(&mut bc) {
+        o[0] = op(x[0], y[0]);
+        o[1] = op(x[1], y[1]);
+        o[2] = op(x[2], y[2]);
+        o[3] = op(x[3], y[3]);
+    }
+    for ((o, x), y) in oc
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+    {
+        *o = op(*x, *y);
+    }
+}
+
+#[inline(always)]
+fn vs_kernel(a: &[f64], s: f64, out: &mut [f64], op: impl Fn(f64, f64) -> f64) {
+    assert!(a.len() == out.len(), "vs kernel length mismatch");
+    let mut oc = out.chunks_exact_mut(LANES);
+    let mut ac = a.chunks_exact(LANES);
+    for (o, x) in (&mut oc).zip(&mut ac) {
+        o[0] = op(x[0], s);
+        o[1] = op(x[1], s);
+        o[2] = op(x[2], s);
+        o[3] = op(x[3], s);
+    }
+    for (o, x) in oc.into_remainder().iter_mut().zip(ac.remainder()) {
+        *o = op(*x, s);
+    }
+}
+
+/// `out[i] = a[i] op b[i]`.
+pub fn vv(op: SimdOp, a: &[f64], b: &[f64], out: &mut [f64]) {
+    match op {
+        SimdOp::Add => vv_kernel(a, b, out, |x, y| x + y),
+        SimdOp::Sub => vv_kernel(a, b, out, |x, y| x - y),
+        SimdOp::Mul => vv_kernel(a, b, out, |x, y| x * y),
+        SimdOp::Div => vv_kernel(a, b, out, |x, y| x / y),
+    }
+}
+
+/// `out[i] = a[i] op s` (vector ⊗ broadcast scalar).
+pub fn vs(op: SimdOp, a: &[f64], s: f64, out: &mut [f64]) {
+    match op {
+        SimdOp::Add => vs_kernel(a, s, out, |x, y| x + y),
+        SimdOp::Sub => vs_kernel(a, s, out, |x, y| x - y),
+        SimdOp::Mul => vs_kernel(a, s, out, |x, y| x * y),
+        SimdOp::Div => vs_kernel(a, s, out, |x, y| x / y),
+    }
+}
+
+/// `out[i] = s op b[i]` (broadcast scalar ⊗ vector).
+pub fn sv(op: SimdOp, s: f64, b: &[f64], out: &mut [f64]) {
+    match op {
+        SimdOp::Add => vs_kernel(b, s, out, |y, x| x + y),
+        SimdOp::Sub => vs_kernel(b, s, out, |y, x| x - y),
+        SimdOp::Mul => vs_kernel(b, s, out, |y, x| x * y),
+        SimdOp::Div => vs_kernel(b, s, out, |y, x| x / y),
+    }
+}
+
+/// `out[i] = v` for every element.
+pub fn fill(out: &mut [f64], v: f64) {
+    for o in out.iter_mut() {
+        *o = v;
+    }
+}
+
+/// Sum with `LANES` accumulator lanes, merged `((l0+l2)+(l1+l3))+tail`.
+///
+/// The association is a fixed function of `a.len()` — two calls on equal
+/// data always agree bitwise — but it is *not* the interpreter's strict
+/// left-to-right fold.
+pub fn sum(a: &[f64]) -> f64 {
+    let mut acc = [0.0f64; LANES];
+    let mut ac = a.chunks_exact(LANES);
+    for x in &mut ac {
+        acc[0] += x[0];
+        acc[1] += x[1];
+        acc[2] += x[2];
+        acc[3] += x[3];
+    }
+    let mut tail = 0.0f64;
+    for x in ac.remainder() {
+        tail += *x;
+    }
+    ((acc[0] + acc[2]) + (acc[1] + acc[3])) + tail
+}
+
+/// Dot product with the same lane structure and merge order as [`sum`].
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert!(a.len() == b.len(), "dot length mismatch");
+    let mut acc = [0.0f64; LANES];
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for (x, y) in (&mut ac).zip(&mut bc) {
+        acc[0] += x[0] * y[0];
+        acc[1] += x[1] * y[1];
+        acc[2] += x[2] * y[2];
+        acc[3] += x[3] * y[3];
+    }
+    let mut tail = 0.0f64;
+    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+        tail += x * y;
+    }
+    ((acc[0] + acc[2]) + (acc[1] + acc[3])) + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64) * 0.5 - 3.0).collect()
+    }
+
+    #[test]
+    fn vv_matches_scalar_for_all_tail_lengths() {
+        for n in 0..=2 * LANES {
+            let a = pattern(n);
+            let b: Vec<f64> = a.iter().map(|x| x * 1.25 + 1.0).collect();
+            for op in [SimdOp::Add, SimdOp::Sub, SimdOp::Mul, SimdOp::Div] {
+                let mut out = vec![0.0; n];
+                vv(op, &a, &b, &mut out);
+                for i in 0..n {
+                    let want = op.apply(a[i], b[i]);
+                    assert!(
+                        out[i] == want || (out[i].is_nan() && want.is_nan()),
+                        "{op:?} n={n} i={i}: {} != {}",
+                        out[i],
+                        want
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vs_and_sv_match_scalar_for_all_tail_lengths() {
+        for n in 0..=2 * LANES + 1 {
+            let a = pattern(n);
+            let s = 2.5;
+            for op in [SimdOp::Add, SimdOp::Sub, SimdOp::Mul, SimdOp::Div] {
+                let mut out = vec![0.0; n];
+                vs(op, &a, s, &mut out);
+                for i in 0..n {
+                    assert_eq!(out[i].to_bits(), op.apply(a[i], s).to_bits());
+                }
+                vs(op, &a, s, &mut out);
+                let mut out2 = vec![0.0; n];
+                sv(op, s, &a, &mut out2);
+                for i in 0..n {
+                    assert_eq!(out2[i].to_bits(), op.apply(s, a[i]).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn special_lanes_propagate_bitwise() {
+        // NaN, -0.0 and infinities must flow through every lane position
+        // exactly as a scalar loop would produce them.
+        let a = [f64::NAN, -0.0, f64::INFINITY, f64::NEG_INFINITY, 1.0, -0.0];
+        let b = [1.0, -0.0, f64::INFINITY, f64::INFINITY, f64::NAN, 5.0];
+        for op in [SimdOp::Add, SimdOp::Sub, SimdOp::Mul, SimdOp::Div] {
+            let mut out = [0.0; 6];
+            vv(op, &a, &b, &mut out);
+            for i in 0..6 {
+                let want = op.apply(a[i], b[i]);
+                if want.is_nan() {
+                    // IEEE 754 leaves the sign/payload of a *generated*
+                    // NaN (e.g. -Inf + Inf) unspecified, and LLVM's
+                    // constant folder and the hardware disagree on it in
+                    // release builds; only NaN-ness is portable.
+                    assert!(out[i].is_nan(), "{op:?} lane {i}: expected NaN");
+                } else {
+                    assert_eq!(
+                        out[i].to_bits(),
+                        want.to_bits(),
+                        "{op:?} lane {i}: {:x} != {:x}",
+                        out[i].to_bits(),
+                        want.to_bits()
+                    );
+                }
+            }
+        }
+        // -0.0 + 0.0 sign handling in the reductions: the lanes start at
+        // +0.0, so sum of all -0.0 inputs is +0.0 (same as a scalar fold
+        // seeded with 0.0).
+        assert_eq!(
+            sum(&[-0.0, -0.0, -0.0, -0.0, -0.0]).to_bits(),
+            0.0f64.to_bits()
+        );
+    }
+
+    #[test]
+    fn reductions_are_deterministic_and_close_to_sequential() {
+        for n in [0, 1, 3, 4, 5, 7, 8, 9, 1000, 1001] {
+            let a = pattern(n);
+            let b: Vec<f64> = a.iter().map(|x| 1.0 - x).collect();
+            let s1 = sum(&a);
+            let s2 = sum(&a);
+            assert_eq!(s1.to_bits(), s2.to_bits(), "sum must be deterministic");
+            let seq: f64 = a.iter().sum();
+            assert!((s1 - seq).abs() <= 1e-9 * seq.abs().max(1.0));
+            let d1 = dot(&a, &b);
+            assert_eq!(d1.to_bits(), dot(&a, &b).to_bits());
+            let seq_dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((d1 - seq_dot).abs() <= 1e-9 * seq_dot.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn integer_valued_reductions_are_exact() {
+        // Small integers are exact in f64 under any association, so the
+        // reassociated reductions must agree exactly with sequential.
+        let a: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(sum(&a), 5050.0);
+        let ones = vec![1.0; 37];
+        assert_eq!(dot(&a[..37], &ones), a[..37].iter().sum::<f64>());
+    }
+
+    #[test]
+    fn fill_writes_every_element() {
+        for n in 0..=9 {
+            let mut out = vec![0.0; n];
+            fill(&mut out, -2.5);
+            assert!(out.iter().all(|&x| x == -2.5));
+        }
+    }
+}

@@ -107,6 +107,41 @@ mod tests {
     }
 
     #[test]
+    fn data_parallel_fingerprint_separates_keys() {
+        // A data-parallel artifact must never be served from the scalar
+        // cache entry (and vice versa): the plan layout and NativeProgram
+        // differ. Tuning knobs split keys only while the tier is on.
+        let scalar = CompilerOptions::default();
+        let parallel = CompilerOptions {
+            data_parallel: true,
+            ..CompilerOptions::default()
+        };
+        let tuned = CompilerOptions {
+            data_parallel: true,
+            parallel: wolfram_runtime::ParallelConfig {
+                num_threads: 2,
+                ..wolfram_runtime::ParallelConfig::default()
+            },
+            ..CompilerOptions::default()
+        };
+        let f = parse("Function[{Typed[n, \"MachineInteger\"]}, n + 1]").unwrap();
+        assert_ne!(CacheKey::of(&f, &scalar), CacheKey::of(&f, &parallel));
+        assert_ne!(CacheKey::of(&f, &parallel), CacheKey::of(&f, &tuned));
+        assert_ne!(route_hash("x", &scalar), route_hash("x", &parallel));
+
+        // With the tier off, tuning must NOT perturb the key: a tuned-
+        // but-disabled config is the same artifact as the default.
+        let tuned_off = CompilerOptions {
+            parallel: wolfram_runtime::ParallelConfig {
+                num_threads: 7,
+                ..wolfram_runtime::ParallelConfig::default()
+            },
+            ..CompilerOptions::default()
+        };
+        assert_eq!(CacheKey::of(&f, &scalar), CacheKey::of(&f, &tuned_off));
+    }
+
+    #[test]
     fn routing_is_deterministic_and_in_range() {
         let options = CompilerOptions::default();
         for workers in [1usize, 2, 4, 8] {

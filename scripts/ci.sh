@@ -33,6 +33,12 @@ done
 echo "==> serve: bench-serve smoke (zero divergences, nonzero hit rate)"
 ./target/release/reproduce bench-serve --quick
 
+echo "==> parallel: bench-parallel smoke (result equivalence, balanced counters)"
+# Quick-scale ablation over the tensor benchmarks; exits nonzero if any
+# data-parallel configuration (including threads=2) diverges from the
+# fused-scalar baseline or global_stats() ends up imbalanced.
+./target/release/reproduce bench-parallel --quick
+
 echo "==> lint: cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
