@@ -16,9 +16,19 @@
 //! instruction in it is on the whitelist below, so the batch is
 //! observationally identical to the scalar iterations it replaces:
 //!
+//! - **Loop-carried scalars.** Any register (int or float) that is read
+//!   before its first write in the iteration and also written by the
+//!   body — other than the induction variable — refuses the loop, even
+//!   when its value never reaches the store: the batch replays no
+//!   per-iteration scalar updates, so a running accumulator next to the
+//!   store (`s = s + x[[j]]`) would otherwise exit the loop holding only
+//!   the tail iteration's update.
 //! - **Errors.** Unhandled-but-total ops (float compares, `Pow`, unary
 //!   math) may be skipped in the batch — the tail iteration recomputes
-//!   every register the body writes before the loop can read it. Any op
+//!   every register the body writes before the loop can read it; such
+//!   registers are never loop-carried (see above), so the recomputation
+//!   depends only on invariants, loads, and the advanced induction
+//!   variable. Any op
 //!   that *can* raise (checked integer `Quot`/`Mod`/`Pow`/`Shl`,
 //!   `Floor`/`Round` casts, float `Mod`, calls, boxing, non-`f64` loads)
 //!   refuses the whole loop: a batch must never succeed past the
@@ -86,14 +96,18 @@ pub struct Affine {
 }
 
 impl Affine {
-    /// Evaluates at iteration `k` in `i128` (no intermediate overflow:
-    /// products of two `i64` fit comfortably).
-    fn eval(&self, ints: &[i64], iv0: i128, k: i128) -> i128 {
+    /// Evaluates at iteration `k` in `i128`. Each product of two `i64`
+    /// fits `i128`, but a multi-term sum can still wrap, so every step is
+    /// checked; `None` means the precheck using this value must fail and
+    /// the batch falls back to the scalar loop.
+    fn eval(&self, ints: &[i64], iv0: i128, k: i128) -> Option<i128> {
         let mut acc = i128::from(self.c);
         for &(r, co) in &self.terms {
-            acc += i128::from(co) * i128::from(ints[r as usize]);
+            let term = i128::from(co).checked_mul(i128::from(ints[r as usize]))?;
+            acc = acc.checked_add(term)?;
         }
-        acc + i128::from(self.iv_coef) * (iv0 + k)
+        let iv = i128::from(self.iv_coef).checked_mul(iv0.checked_add(k)?)?;
+        acc.checked_add(iv)
     }
 }
 
@@ -312,9 +326,15 @@ enum FlagSim {
 struct Planner {
     imap: HashMap<usize, IForm>,
     written_ints: HashSet<usize>,
+    /// Integer registers read before their first write in the iteration:
+    /// their entry value is live into the body, so writing them makes the
+    /// register loop-carried.
+    first_read_ints: HashSet<usize>,
     nodes: Vec<SymNode>,
     fmap: HashMap<usize, usize>,
     written_flts: HashSet<usize>,
+    /// Float registers read before their first write in the iteration.
+    first_read_flts: HashSet<usize>,
     vmap: HashMap<usize, Obj>,
     /// First access per touched value slot: `true` = overwrite-first.
     first_access: HashMap<usize, bool>,
@@ -332,9 +352,11 @@ impl Planner {
         Planner {
             imap: HashMap::new(),
             written_ints: HashSet::new(),
+            first_read_ints: HashSet::new(),
             nodes: Vec::new(),
             fmap: HashMap::new(),
             written_flts: HashSet::new(),
+            first_read_flts: HashSet::new(),
             vmap: HashMap::new(),
             first_access: HashMap::new(),
             flags: HashMap::new(),
@@ -347,7 +369,10 @@ impl Planner {
         }
     }
 
-    fn rd_i(&self, r: usize) -> IForm {
+    fn rd_i(&mut self, r: usize) -> IForm {
+        if !self.written_ints.contains(&r) {
+            self.first_read_ints.insert(r);
+        }
         self.imap
             .get(&r)
             .cloned()
@@ -360,6 +385,9 @@ impl Planner {
     }
 
     fn rd_f(&mut self, r: usize) -> usize {
+        if !self.written_flts.contains(&r) {
+            self.first_read_flts.insert(r);
+        }
         if let Some(&n) = self.fmap.get(&r) {
             return n;
         }
@@ -966,6 +994,23 @@ fn try_plan(f: &NativeFunc, l: usize, latch: usize) -> Option<VecPlan> {
     if !iv_final.is_incr_of(h.iv) || pl.written_ints.contains(&h.bound) {
         return None;
     }
+    // Loop-carried scalars: a register read before its first write in the
+    // iteration consumes the previous iteration's value, and the batch
+    // replays no per-iteration updates except the induction variable's.
+    // Refuse regardless of whether the value feeds the store — code after
+    // the loop may read the register (e.g. a running accumulator
+    // `s = s + x[[j]]` next to the store), and the tail iteration alone
+    // would leave it at entry-value + one update: a silent wrong answer.
+    for r in &pl.written_ints {
+        if *r != h.iv && pl.first_read_ints.contains(r) {
+            return None;
+        }
+    }
+    for r in &pl.written_flts {
+        if pl.first_read_flts.contains(r) {
+            return None;
+        }
+    }
     // The store is mandatory; its object must not be readable as input.
     let (out_slot, out_rank, out_row, out_col, root_sym) = pl.store.clone()?;
     // Per-iteration acquire/release counts must balance (mirrors the
@@ -1204,9 +1249,10 @@ struct Addr {
 
 /// Checks an index affine against `1..=dim` at both batch endpoints
 /// (linear ⇒ the interior is covered) and returns its value at `k = 0`.
+/// Evaluation overflow counts as a failed check.
 fn index_endpoints(a: &Affine, ints: &[i64], iv0: i128, m: i128, dim: usize) -> Option<i128> {
-    let at0 = a.eval(ints, iv0, 0);
-    let at_end = a.eval(ints, iv0, m - 1);
+    let at0 = a.eval(ints, iv0, 0)?;
+    let at_end = a.eval(ints, iv0, m - 1)?;
     let dim = dim as i128;
     if at0 < 1 || at0 > dim || at_end < 1 || at_end > dim {
         return None;
@@ -1371,7 +1417,9 @@ pub(crate) fn exec_batch(
     }
     for a in &plan.int_checks {
         for k in [0, m - 1] {
-            let v = a.eval(ints, iv0, k);
+            let Some(v) = a.eval(ints, iv0, k) else {
+                return Ok(());
+            };
             if v < i128::from(i64::MIN) || v > i128::from(i64::MAX) {
                 return Ok(());
             }
@@ -1966,6 +2014,112 @@ mod tests {
         assert_eq!(got, want);
     }
 
+    /// `out[j] = 2*a[j]; s = s + a[j]` for `j = 1..=n`, returning `s`:
+    /// the accumulator is loop-carried state that never reaches the
+    /// store, the shape from the loop-carried-scalar soundness rule.
+    fn accum() -> NativeFunc {
+        NativeFunc {
+            name: "Main".into(),
+            code: vec![
+                RegOp::LdcI { d: 0, v: 1 },
+                RegOp::AbortBrCmpISel {
+                    op: IntOp::Le,
+                    a: 0,
+                    b: 1,
+                    d: 2,
+                    pc_false: 7,
+                    pc_true: 2,
+                },
+                RegOp::TenPart1 {
+                    kind: ElemKind::F64,
+                    d: 0,
+                    t: 0,
+                    i: 0,
+                },
+                RegOp::FltBinImm {
+                    op: FltOp::Mul,
+                    d: 1,
+                    a: 0,
+                    imm: 2.0,
+                },
+                RegOp::TenSet1 {
+                    kind: ElemKind::F64,
+                    t: 1,
+                    i: 0,
+                    v: 1,
+                },
+                RegOp::FltBin {
+                    op: FltOp::Add,
+                    d: 3,
+                    a: 3,
+                    b: 0,
+                },
+                RegOp::IntBinImmJmp {
+                    op: IntOp::Add,
+                    d: 0,
+                    a: 0,
+                    imm: 1,
+                    pc: 1,
+                },
+                RegOp::Ret {
+                    s: Slot::new(Bank::F, 3),
+                },
+            ],
+            n_int: 3,
+            n_flt: 4,
+            n_cpx: 0,
+            n_val: 2,
+            params: vec![
+                Slot::new(Bank::V, 0),
+                Slot::new(Bank::V, 1),
+                Slot::new(Bank::I, 1),
+                Slot::new(Bank::F, 3),
+            ],
+        }
+    }
+
+    #[test]
+    fn loop_carried_accumulator_survives_whole_loop() {
+        let scalar = accum();
+        let mut vectored = scalar.clone();
+        // The loop must be refused: batching it would advance only the
+        // induction variable and leave `s` holding entry + tail update.
+        assert_eq!(vectorize_function(&mut vectored), 0);
+        let n = 100usize;
+        let args = || {
+            vec![
+                ten((0..n).map(|i| i as f64 * 0.5 - 7.0).collect()),
+                ten(vec![0.0; n]),
+                ArgVal::I(n as i64),
+                ArgVal::F(1.25),
+            ]
+        };
+        let want = run(
+            &NativeProgram {
+                parallel: None,
+                funcs: vec![scalar],
+            },
+            args(),
+        )
+        .unwrap();
+        let ArgVal::F(s) = want else {
+            panic!("expected a float result");
+        };
+        let full: f64 = 1.25 + (0..n).map(|i| i as f64 * 0.5 - 7.0).sum::<f64>();
+        assert_eq!(s, full, "scalar baseline must be the full sum");
+        for threads in [1, 2, 8] {
+            let got = run(
+                &NativeProgram {
+                    parallel: Some(cfg(threads)),
+                    funcs: vec![vectored.clone()],
+                },
+                args(),
+            )
+            .unwrap();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
     #[test]
     fn unsafe_loop_shapes_are_refused() {
         // Error-capable integer op in the body.
@@ -2019,6 +2173,44 @@ mod tests {
         };
         if let RegOp::TenSet1 { i, .. } = &mut f.code[7] {
             *i = 2;
+        }
+        assert_eq!(vectorize_function(&mut f), 0);
+
+        // Float accumulator that never feeds the store: s = s + x[[j]]
+        // next to out[[j]] = 2 x[[j]]. The sum is loop-carried state the
+        // batch would skip, so the loop must stay scalar even though the
+        // store's dataflow alone looks clean.
+        let mut f = saxpy();
+        f.n_flt = 5;
+        f.code.insert(
+            4,
+            RegOp::FltBin {
+                op: FltOp::Add,
+                d: 4,
+                a: 4,
+                b: 0,
+            },
+        );
+        if let RegOp::AbortBrCmpISel { pc_false, .. } = &mut f.code[2] {
+            *pc_false = 11;
+        }
+        assert_eq!(vectorize_function(&mut f), 0);
+
+        // Same with an integer register through a total op the symbolic
+        // executor does not model: hi = Max(hi, j) is loop-carried too.
+        let mut f = saxpy();
+        f.n_int = 4;
+        f.code.insert(
+            4,
+            RegOp::IntBin {
+                op: IntOp::Max,
+                d: 3,
+                a: 3,
+                b: 0,
+            },
+        );
+        if let RegOp::AbortBrCmpISel { pc_false, .. } = &mut f.code[2] {
+            *pc_false = 11;
         }
         assert_eq!(vectorize_function(&mut f), 0);
 

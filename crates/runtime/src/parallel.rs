@@ -111,8 +111,10 @@ struct Batch {
 }
 
 /// One queued chunk. `run` is a lifetime-erased borrow of the caller's
-/// closure: sound because [`run_chunks`] blocks on the batch latch until
-/// every queued job has finished, so the borrow outlives all uses.
+/// closure: sound because [`run_chunks`] installs a [`BatchGuard`] the
+/// moment the jobs are queued, which blocks on the batch latch until
+/// every queued job has finished — on normal return *and* on unwind — so
+/// the borrow outlives all uses.
 struct Job {
     run: &'static (dyn Fn(usize) + Sync),
     index: usize,
@@ -159,16 +161,28 @@ impl Pool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            let mut q = lock_unpoisoned(&shared.queue);
             loop {
                 if let Some(job) = q.pop_front() {
                     break job;
                 }
-                q = shared.work.wait(q).expect("pool queue poisoned");
+                q = shared
+                    .work
+                    .wait(q)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         run_job(job);
     }
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock. Every mutex
+/// in this module protects data that stays consistent across panics
+/// (counters, a job queue of plain values), so poisoning carries no extra
+/// meaning here — and the batch latch *must* keep counting down even
+/// after a panic, or [`BatchGuard`] could never open.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn run_job(job: Job) {
@@ -177,13 +191,46 @@ fn run_job(job: Job) {
     // Keep process-wide leak accounting balanced even if a task touched
     // managed-value counters on this thread.
     crate::memory::flush_thread_stats();
-    let mut st = job.batch.state.lock().expect("batch latch poisoned");
+    let mut st = lock_unpoisoned(&job.batch.state);
     st.remaining -= 1;
     if !ok {
         st.panicked = true;
     }
     if st.remaining == 0 {
         job.batch.done.notify_all();
+    }
+}
+
+/// Holds a batch open: created as soon as a batch's jobs are queued, and
+/// its `Drop` blocks until every one of them has finished. Queued jobs
+/// hold a lifetime-erased borrow of the caller's closure, so the guard is
+/// what makes [`run_chunks`] sound even if the calling frame unwinds
+/// between enqueueing and draining: the closure cannot be dropped while
+/// any worker might still call it.
+struct BatchGuard<'a> {
+    batch: &'a Batch,
+}
+
+impl BatchGuard<'_> {
+    /// Blocks until the batch latch opens; returns the panicked flag.
+    /// Never panics (poisoned locks are recovered), so it is safe to run
+    /// during an unwind.
+    fn wait(&self) -> bool {
+        let mut st = lock_unpoisoned(&self.batch.state);
+        while st.remaining > 0 {
+            st = self
+                .batch
+                .done
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.panicked
+    }
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        self.wait();
     }
 }
 
@@ -214,15 +261,18 @@ pub fn run_chunks(threads: usize, n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
         }),
         done: Condvar::new(),
     });
-    // SAFETY: the 'static lifetime is a lie told only to the queue. Every
-    // job holding this borrow is executed before the latch below opens,
-    // and we do not return until the latch opens, so the borrow never
-    // outlives `f`.
+    // SAFETY: the 'static lifetime is a lie told only to the queue. Jobs
+    // holding this borrow exist only once queued below, and from that
+    // point the `BatchGuard` (dropped at every exit from this function,
+    // unwinding included) blocks until all of them have run, so the
+    // borrow never outlives `f`.
     let run: &'static (dyn Fn(usize) + Sync) = unsafe {
         std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
     };
     {
-        let mut q = pool.shared.queue.lock().expect("pool queue poisoned");
+        // The recovered lock and plain pushes cannot unwind, so the
+        // guard below is always armed once any borrow is queued.
+        let mut q = lock_unpoisoned(&pool.shared.queue);
         for index in 0..n_tasks {
             q.push_back(Job {
                 run,
@@ -231,27 +281,18 @@ pub fn run_chunks(threads: usize, n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
             });
         }
     }
+    let guard = BatchGuard { batch: &batch };
     pool.shared.work.notify_all();
     // The caller participates: drain jobs (ours or another batch's) until
     // the queue is empty, then wait for stragglers on the latch.
     loop {
-        let job = pool
-            .shared
-            .queue
-            .lock()
-            .expect("pool queue poisoned")
-            .pop_front();
+        let job = lock_unpoisoned(&pool.shared.queue).pop_front();
         match job {
             Some(job) => run_job(job),
             None => break,
         }
     }
-    let mut st = batch.state.lock().expect("batch latch poisoned");
-    while st.remaining > 0 {
-        st = batch.done.wait(st).expect("batch latch poisoned");
-    }
-    let panicked = st.panicked;
-    drop(st);
+    let panicked = guard.wait();
     assert!(!panicked, "parallel worker task panicked");
 }
 
