@@ -25,7 +25,7 @@ pub mod lints;
 pub mod refcount;
 pub mod typecheck;
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 pub use diag::{Diagnostic, Severity};
 pub use typecheck::{module_signatures, Signatures};
@@ -82,5 +82,5 @@ pub fn verify_module(pm: &ProgramModule) -> Result<(), VerifyError> {
 /// semantic half of `VerifyLevel::Full`. Signatures are harvested once
 /// (before the pipeline mutates bodies — passes never change them).
 pub fn pipeline_verifier(sigs: Signatures) -> FullVerifier {
-    Rc::new(move |f: &Function| first_error(f, &sigs))
+    Arc::new(move |f: &Function| first_error(f, &sigs))
 }

@@ -238,7 +238,7 @@ pub fn part_bounds(f: &Function) -> Vec<Diagnostic> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
     use wolfram_ir::module::Block;
 
     #[test]
@@ -249,11 +249,11 @@ mod tests {
             instrs: vec![
                 Instr::LoadConst {
                     dst: VarId(0),
-                    value: Constant::I64Array(Rc::from([1i64, 2, 3].as_slice())),
+                    value: Constant::I64Array(Arc::from([1i64, 2, 3].as_slice())),
                 },
                 Instr::Call {
                     dst: VarId(1),
-                    callee: Callee::Builtin(Rc::from("Part")),
+                    callee: Callee::Builtin(Arc::from("Part")),
                     args: vec![VarId(0).into(), Constant::I64(4).into()],
                 },
                 Instr::Return {

@@ -6,7 +6,7 @@
 //! runs; sizes here are reduced so a full sweep stays tractable.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_bench::{native, programs, workloads};
 use wolfram_bytecode::ArgSpec;
 use wolfram_compiler_core::{Compiler, CompilerOptions};
@@ -28,7 +28,7 @@ fn bench_fnv1a(c: &mut Criterion) {
         programs::FNV1A_BYTECODE_BODY,
     )
     .unwrap();
-    let sv = Value::Str(Rc::new(input.clone()));
+    let sv = Value::Str(Arc::new(input.clone()));
     let codes = Value::Tensor(wolfram_runtime::Tensor::from_i64(
         input.bytes().map(i64::from).collect(),
     ));

@@ -2,7 +2,7 @@
 //! dispatch-bound benchmarks (acceptance: >=1.15x geomean on at least
 //! three of them).
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 use wolfram_bench::{programs, workloads};
 use wolfram_compiler_core::{CompiledCodeFunction, Compiler, CompilerOptions};
@@ -104,7 +104,7 @@ fn main() {
         measure(
             "FNV1a",
             programs::FNV1A_SRC,
-            vec![Value::Str(Rc::new(workloads::random_string(n, 0x5eed)))],
+            vec![Value::Str(Arc::new(workloads::random_string(n, 0x5eed)))],
         ),
         mandelbrot(quick),
         measure(

@@ -185,7 +185,7 @@ pub fn fusion_ablation(string_len: usize, reps: usize) -> Ablation {
     let unfused = options(|o| o.superinstruction_fusion = false)
         .function_compile_src(programs::FNV1A_SRC)
         .unwrap();
-    let arg = Value::Str(std::rc::Rc::new(input));
+    let arg = Value::Str(std::sync::Arc::new(input));
     let expected = fused.call(std::slice::from_ref(&arg)).unwrap();
     assert_eq!(unfused.call(std::slice::from_ref(&arg)).unwrap(), expected);
     Ablation {

@@ -5,7 +5,9 @@
 //! reproduce difftest [--iters N] [--seed S] [--out DIR] [--no-shrink] [--no-analyze]
 //! reproduce analyze [--ir-stage wir|twir|post-pipeline] <file.wl | source>
 //! reproduce serve [--workers N] [--cache-cap N] [--queue-cap N] [--deadline-ms N] [--tier T]
+//!                 [--listen ADDR] [--cache-dir DIR]
 //! reproduce bench-serve [--quick]
+//! reproduce bench-serve --net ADDR [--quick] [--clients N] [--json [PATH]] [--expect-warm]
 //! reproduce bench-parallel [--quick] [--json [PATH]] [--min-chunk N]
 //! ```
 //!
@@ -20,14 +22,21 @@
 //! every `wolfram-analyze` diagnostic (type errors, refcount imbalance,
 //! lints); it exits nonzero if any error-severity finding is reported.
 //!
-//! `serve` runs the concurrent compile-and-evaluate pool over stdin: one
+//! `serve` runs the concurrent compile-and-evaluate pool over stdin (one
 //! request per line as a two-element list `{Function[...], {arg, ...}}`,
-//! answered in input order, with the metrics table printed at EOF.
+//! answered in input order) or, with `--listen ADDR`, over the
+//! length-prefixed TCP wire protocol. `--cache-dir DIR` enables the
+//! disk-backed second cache level so restarts start warm. Both modes
+//! print the metrics table on graceful shutdown (EOF or SIGTERM).
 //!
 //! `bench-serve` drives the Zipf closed-loop load generator over the pool
 //! at 1/4/8 workers with the artifact cache on vs off, then the deadline
 //! sub-experiment; it exits nonzero on any divergence, a zero hit rate,
-//! or leaked memory counters (the CI smoke gate).
+//! or leaked memory counters (the CI smoke gate). `bench-serve --net ADDR`
+//! instead drives a *live* `serve --listen` process over sockets,
+//! reporting client-observed latency percentiles (`--json` writes the SLO
+//! artifact); `--expect-warm` additionally asserts the warm-restart
+//! contract (zero compiles, disk hits observed).
 //!
 //! `bench-parallel` runs the data-parallel tier ablation (fused-scalar
 //! baseline vs SIMD at 1/2/4/8 threads on Blur, Dot, and a Listable
@@ -163,7 +172,37 @@ fn run_difftest(args: &[String]) -> ! {
     std::process::exit(i32::from(!clean));
 }
 
-/// `serve` subcommand: the pool as a line-oriented service over stdin.
+/// Set by the SIGTERM/SIGINT handler; polled by both serve modes so a
+/// graceful stop still prints the stats table.
+static SHUTDOWN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn note_shutdown(_sig: i32) {
+    SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Installs SIGTERM/SIGINT handlers via raw `signal(2)` — the numbers are
+/// stable POSIX, and the handler only flips an atomic.
+#[cfg(unix)]
+fn install_shutdown_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, note_shutdown);
+        signal(SIGINT, note_shutdown);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handler() {
+    let _ = note_shutdown; // EOF is the only graceful stop off unix
+}
+
+/// `serve` subcommand: the pool as a line-oriented service over stdin, or
+/// (with `--listen`) over the length-prefixed TCP wire protocol. Both
+/// modes print the metrics table on graceful shutdown (EOF or SIGTERM).
 fn run_serve(args: &[String]) -> ! {
     use wolfram_serve::{ServeConfig, ServePool, TierPolicy};
 
@@ -177,6 +216,8 @@ fn run_serve(args: &[String]) -> ! {
     let queue_cap: usize = flag("--queue-cap").map_or(256, |v| v.parse().expect("--queue-cap N"));
     let deadline = flag("--deadline-ms")
         .map(|v| std::time::Duration::from_millis(v.parse().expect("--deadline-ms N")));
+    let listen = flag("--listen");
+    let cache_dir = flag("--cache-dir").map(std::path::PathBuf::from);
     let tier_policy = match flag("--tier").as_deref() {
         None | Some("native") => TierPolicy::NativeOnly,
         Some("bytecode") => TierPolicy::BytecodeOnly,
@@ -186,36 +227,78 @@ fn run_serve(args: &[String]) -> ! {
             std::process::exit(2);
         }
     };
+    install_shutdown_handler();
     let pool = ServePool::start(ServeConfig {
         workers,
         queue_cap,
         cache_cap,
         default_deadline: deadline,
         tier_policy,
+        disk_cache_dir: cache_dir.clone(),
     });
     eprintln!(
-        "wolfram-serve: {workers} workers, cache {cache_cap}, queue {queue_cap}; \
-         one `{{Function[...], {{args...}}}}` per line"
+        "wolfram-serve: {workers} workers, cache {cache_cap}, queue {queue_cap}{}",
+        cache_dir
+            .as_ref()
+            .map(|d| format!(", disk cache {}", d.display()))
+            .unwrap_or_default()
     );
 
-    let mut line = String::new();
-    let mut lineno = 0u64;
-    loop {
-        line.clear();
-        match std::io::stdin().read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {}
+    if let Some(addr) = listen {
+        // Socket mode: frames over TCP until SIGTERM/SIGINT.
+        let listener = match std::net::TcpListener::bind(&addr) {
+            Ok(l) => l,
             Err(e) => {
-                eprintln!("stdin: {e}");
-                break;
+                eprintln!("wolfram-serve: cannot listen on {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!("wolfram-serve: listening on {addr} (length-prefixed frames)");
+        let pool = std::sync::Arc::new(pool);
+        if let Err(e) =
+            wolfram_serve::net::serve_listener(listener, &pool, &SHUTDOWN, &Default::default())
+        {
+            eprintln!("wolfram-serve: accept loop failed: {e}");
+        }
+        print!("{}", pool.metrics().render());
+        std::process::exit(0);
+    }
+
+    // Stdin mode: one request per line, replies in input order. Lines
+    // arrive via a channel so the loop can notice SIGTERM while stdin is
+    // quiet.
+    eprintln!("wolfram-serve: one `{{Function[...], {{args...}}}}` per line on stdin");
+    let (line_tx, line_rx) = std::sync::mpsc::sync_channel::<String>(64);
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::stdin().read_line(&mut line) {
+                Ok(0) | Err(_) => break, // EOF: drop the sender
+                Ok(_) => {
+                    if line_tx.send(line.clone()).is_err() {
+                        break;
+                    }
+                }
             }
         }
+    });
+    let mut lineno = 0u64;
+    loop {
+        if SHUTDOWN.load(std::sync::atomic::Ordering::SeqCst) {
+            break;
+        }
+        let line = match line_rx.recv_timeout(std::time::Duration::from_millis(100)) {
+            Ok(line) => line,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break, // EOF
+        };
         lineno += 1;
         let text = line.trim();
         if text.is_empty() || text.starts_with("(*") {
             continue;
         }
-        let req = match parse_serve_line(text) {
+        let req = match wolfram_serve::net::parse_request_line(text) {
             Ok(req) => req,
             Err(e) => {
                 println!("{lineno}: request error: {e}");
@@ -229,6 +312,7 @@ fn run_serve(args: &[String]) -> ! {
                 reply.tier.map_or_else(|| "?".into(), |t| t.to_string()),
                 match reply.cache {
                     wolfram_serve::CacheStatus::Hit => "hit",
+                    wolfram_serve::CacheStatus::DiskHit => "disk",
                     wolfram_serve::CacheStatus::Miss => "miss",
                     wolfram_serve::CacheStatus::Unreached => "-",
                 },
@@ -243,28 +327,110 @@ fn run_serve(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
-/// Parses one `serve` request line: `{Function[...], {arg, ...}}`.
-fn parse_serve_line(text: &str) -> Result<wolfram_serve::ServeRequest, String> {
-    let expr = wolfram_expr::parse(text).map_err(|e| e.to_string())?;
-    if !expr.has_head("List") || expr.args().len() != 2 {
-        return Err("expected {Function[...], {args...}}".into());
+/// `bench-serve --net ADDR`: the socket-load experiment against a live
+/// `reproduce serve --listen` process. Reports client-observed latency
+/// percentiles (the SLO numbers), writes the SLO JSON artifact, and —
+/// with `--expect-warm` — asserts the warm-restart guarantee: every
+/// first-sight program served from the disk cache, zero compiles.
+fn run_bench_serve_net(args: &[String], addr: &str) -> ! {
+    use wolfram_bench::serve_load::{self, Catalog, Zipf};
+
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+            .filter(|v| !v.starts_with("--"))
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let expect_warm = args.iter().any(|a| a == "--expect-warm");
+    let (programs, requests) = if quick { (12, 240) } else { (24, 2_000) };
+    let clients: usize = flag("--clients").map_or(4, |v| v.parse().expect("--clients N"));
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|_| flag("--json").unwrap_or_else(|| "BENCH_serve_net.json".into()));
+
+    let catalog = Catalog::new(programs, 64);
+    let zipf = Zipf::new(catalog.len(), 1.1);
+    println!(
+        "== bench-serve --net {addr} ({} scale): {programs} programs, Zipf s=1.1, \
+         {requests} requests, {clients} clients ==",
+        if quick { "quick" } else { "paper" },
+    );
+    let report =
+        match serve_load::run_net_load(addr, &catalog, &zipf, clients, requests, 0x5E12_F00D) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench-serve --net: load failed against {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+    println!("{}", serve_load::render_net_report(&report));
+    println!(
+        "server: compiles {}  cache-hits {}  disk-hits {}  disk-stores {}  disk-corrupt {}  \
+         p50 {}  p99 {}",
+        report.server_stat("compiles"),
+        report.server_stat("cache_hits"),
+        report.server_stat("disk_hits"),
+        report.server_stat("disk_stores"),
+        report.server_stat("disk_corrupt"),
+        wolfram_serve::fmt_ns(report.server_stat("request_p50_ns")),
+        wolfram_serve::fmt_ns(report.server_stat("request_p99_ns")),
+    );
+    if let Some(path) = json_path {
+        let doc = serve_load::net_report_to_json(&report, if quick { "quick" } else { "paper" });
+        match std::fs::write(&path, doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
-    let func = &expr.args()[0];
-    let arg_list = &expr.args()[1];
-    if !func.has_head("Function") {
-        return Err("first element must be a Function".into());
+
+    let mut failures = 0u32;
+    if report.divergences > 0 || report.errors > 0 {
+        failures += 1;
     }
-    if !arg_list.has_head("List") {
-        return Err("second element must be the argument list".into());
+    if report.ok == 0 {
+        failures += 1;
     }
-    let args: Vec<String> = arg_list.args().iter().map(|a| a.to_input_form()).collect();
-    Ok(wolfram_serve::ServeRequest::new(func.to_input_form(), args))
+    if expect_warm {
+        // The warm-restart contract: a restarted server over a populated
+        // cache dir serves every first-sight program from disk and never
+        // recompiles.
+        if report.server_stat("compiles") != 0 {
+            println!(
+                "warm-restart violation: server compiled {} time(s)",
+                report.server_stat("compiles")
+            );
+            failures += 1;
+        }
+        if report.server_stat("disk_hits") == 0 {
+            println!("warm-restart violation: zero disk hits");
+            failures += 1;
+        }
+    }
+    println!(
+        "bench-serve --net: {}",
+        if failures == 0 { "PASS" } else { "FAIL" }
+    );
+    std::process::exit(i32::from(failures > 0));
 }
 
 /// `bench-serve` subcommand: the Zipf closed-loop experiment, also the CI
 /// smoke gate (nonzero exit on divergence, zero hit rate, or leaks).
 fn run_bench_serve(args: &[String]) -> ! {
     use wolfram_bench::serve_load::{self, Catalog, Zipf};
+
+    if let Some(i) = args.iter().position(|a| a == "--net") {
+        let addr = args
+            .get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:7788".into());
+        run_bench_serve_net(args, &addr);
+    }
 
     let quick = args.iter().any(|a| a == "--quick");
     let (programs, requests, spin_rounds) = if quick { (12, 240, 2) } else { (24, 2_000, 6) };

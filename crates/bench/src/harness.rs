@@ -3,7 +3,7 @@
 //! abort handling), normalized to the native baseline.
 
 use crate::{native, programs, workloads};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 use wolfram_bytecode::ArgSpec;
 use wolfram_compiler_core::{Compiler, CompilerOptions};
@@ -158,7 +158,7 @@ pub fn figure2(scale: &Scale) -> Vec<Figure2Row> {
             programs::FNV1A_BYTECODE_BODY,
         )
         .expect("fnv1a bytecode");
-        let s_value = Value::Str(Rc::new(input.clone()));
+        let s_value = Value::Str(Arc::new(input.clone()));
         let codes = Value::Tensor(wolfram_runtime::Tensor::from_i64(
             input.bytes().map(i64::from).collect(),
         ));

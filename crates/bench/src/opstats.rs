@@ -8,7 +8,7 @@
 
 use crate::harness::Scale;
 use crate::{programs, workloads};
-use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_codegen::OpStats;
 use wolfram_compiler_core::Compiler;
 use wolfram_runtime::Value;
@@ -44,7 +44,7 @@ pub fn collect(scale: &Scale) -> Vec<BenchProfile> {
     profile(
         "FNV1a",
         programs::FNV1A_SRC,
-        vec![Value::Str(Rc::new(workloads::random_string(
+        vec![Value::Str(Arc::new(workloads::random_string(
             scale.string_len,
             0x5eed,
         )))],

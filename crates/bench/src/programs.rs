@@ -314,7 +314,9 @@ mod tests {
     fn fnv1a_matches_native() {
         let s = workloads::random_string(1000, 7);
         let cf = compile_new(&compiler(), FNV1A_SRC);
-        let got = cf.call(&[Value::Str(std::rc::Rc::new(s.clone()))]).unwrap();
+        let got = cf
+            .call(&[Value::Str(std::sync::Arc::new(s.clone()))])
+            .unwrap();
         assert_eq!(
             got.expect_i64().unwrap(),
             crate::native::fnv1a32(s.as_bytes()) as i64

@@ -99,6 +99,21 @@ impl Catalog {
     pub fn is_empty(&self) -> bool {
         self.sources.is_empty()
     }
+
+    /// The source text for a rank.
+    pub fn source(&self, rank: usize) -> &str {
+        &self.sources[rank]
+    }
+
+    /// The ground-truth result for a rank at the fixed argument.
+    pub fn expected(&self, rank: usize) -> &str {
+        &self.expected[rank]
+    }
+
+    /// The fixed argument every program is evaluated at.
+    pub fn arg(&self) -> i64 {
+        self.arg
+    }
 }
 
 /// One load-generation run's results.
@@ -246,6 +261,206 @@ pub fn run_deadline_experiment(rounds: u64) -> DeadlineReport {
         pool_alive: alive,
         memory_balanced: wolfram_runtime::memory::global_stats().balanced(),
     }
+}
+
+/// One socket-load run's results: client-observed latencies (queue +
+/// compile + execute + wire) plus the server's own `!stats` snapshot.
+#[derive(Debug, Clone)]
+pub struct NetLoadReport {
+    /// Closed-loop client connections driven.
+    pub clients: usize,
+    /// Requests that completed with a value.
+    pub ok: u64,
+    /// Replies whose value differed from ground truth.
+    pub divergences: u64,
+    /// `err` replies (admission rejections and failures).
+    pub errors: u64,
+    /// Replies served from the in-memory artifact cache.
+    pub mem_hits: u64,
+    /// Replies served from the disk cache (warm-restart path).
+    pub disk_hits: u64,
+    /// Replies that compiled on demand.
+    pub misses: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Completed requests per second.
+    pub throughput: f64,
+    /// Client-side p50 latency (ns).
+    pub p50_ns: u64,
+    /// Client-side p95 latency (ns).
+    pub p95_ns: u64,
+    /// Client-side p99 latency (ns).
+    pub p99_ns: u64,
+    /// The server's `!stats` counters after the run.
+    pub server_stats: Vec<(String, u64)>,
+}
+
+impl NetLoadReport {
+    /// Looks up one server counter by name (0 when absent).
+    pub fn server_stat(&self, name: &str) -> u64 {
+        self.server_stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Drives `requests` Zipf-sampled calls against a *remote* serve process
+/// at `addr` with `clients` closed-loop socket connections, checking
+/// every reply against ground truth and measuring latency client-side.
+///
+/// # Errors
+///
+/// Connection or protocol failures (a dead or misbehaving server).
+pub fn run_net_load(
+    addr: &str,
+    catalog: &Catalog,
+    zipf: &Zipf,
+    clients: usize,
+    requests: u64,
+    seed: u64,
+) -> std::io::Result<NetLoadReport> {
+    let arg = catalog.arg().to_string();
+    let issued = AtomicU64::new(0);
+    let divergences = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let ok = AtomicU64::new(0);
+    let mem_hits = AtomicU64::new(0);
+    let disk_hits = AtomicU64::new(0);
+    let misses = AtomicU64::new(0);
+    let start = Instant::now();
+    let latencies: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let arg = &arg;
+                let issued = &issued;
+                let divergences = &divergences;
+                let errors = &errors;
+                let ok = &ok;
+                let mem_hits = &mem_hits;
+                let disk_hits = &disk_hits;
+                let misses = &misses;
+                s.spawn(move || -> std::io::Result<Vec<u64>> {
+                    let mut conn = wolfram_serve::NetClient::connect(addr)?;
+                    let mut rng =
+                        StdRng::seed_from_u64(seed ^ (client as u64).wrapping_mul(0x9E37));
+                    let mut lats = Vec::new();
+                    while issued.fetch_add(1, Ordering::Relaxed) < requests {
+                        let rank = zipf.sample(&mut rng);
+                        let line = format!("{{{}, {{{arg}}}}}", catalog.source(rank));
+                        let sent = Instant::now();
+                        let reply = conn.call(&line)?;
+                        lats.push(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                        match &reply.result {
+                            Ok(v) if v == catalog.expected(rank) => {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                                match reply.cache.as_str() {
+                                    "hit" => mem_hits.fetch_add(1, Ordering::Relaxed),
+                                    "disk" => disk_hits.fetch_add(1, Ordering::Relaxed),
+                                    _ => misses.fetch_add(1, Ordering::Relaxed),
+                                };
+                            }
+                            Ok(_) => {
+                                divergences.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Ok(lats)
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        let mut failure = None;
+        for h in handles {
+            match h.join().expect("net load client panicked") {
+                Ok(lats) => all.extend(lats),
+                Err(e) => failure = Some(e),
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(all),
+        }
+    })?;
+    let wall_secs = start.elapsed().as_secs_f64();
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    let server_stats = wolfram_serve::NetClient::connect(addr)?.stats()?;
+    let completed = ok.load(Ordering::Relaxed);
+    Ok(NetLoadReport {
+        clients,
+        ok: completed,
+        divergences: divergences.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        mem_hits: mem_hits.load(Ordering::Relaxed),
+        disk_hits: disk_hits.load(Ordering::Relaxed),
+        misses: misses.load(Ordering::Relaxed),
+        wall_secs,
+        throughput: completed as f64 / wall_secs.max(1e-9),
+        p50_ns: percentile(&sorted, 0.50),
+        p95_ns: percentile(&sorted, 0.95),
+        p99_ns: percentile(&sorted, 0.99),
+        server_stats,
+    })
+}
+
+/// Renders the socket-load SLO summary.
+pub fn render_net_report(r: &NetLoadReport) -> String {
+    format!(
+        "clients {:>2}  {:>7.1} req/s  p50 {:>9}  p95 {:>9}  p99 {:>9}  \
+         mem-hits {:>5}  disk-hits {:>5}  misses {:>5}  divergences {}  errors {}",
+        r.clients,
+        r.throughput,
+        fmt_ns(r.p50_ns),
+        fmt_ns(r.p95_ns),
+        fmt_ns(r.p99_ns),
+        r.mem_hits,
+        r.disk_hits,
+        r.misses,
+        r.divergences,
+        r.errors,
+    )
+}
+
+/// Serializes the socket-load report as the SLO JSON document CI uploads
+/// as a workflow artifact.
+pub fn net_report_to_json(r: &NetLoadReport, scale: &str) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    out.push_str(&format!("  \"clients\": {},\n", r.clients));
+    out.push_str(&format!("  \"ok\": {},\n", r.ok));
+    out.push_str(&format!("  \"divergences\": {},\n", r.divergences));
+    out.push_str(&format!("  \"errors\": {},\n", r.errors));
+    out.push_str(&format!("  \"mem_hits\": {},\n", r.mem_hits));
+    out.push_str(&format!("  \"disk_hits\": {},\n", r.disk_hits));
+    out.push_str(&format!("  \"misses\": {},\n", r.misses));
+    out.push_str(&format!("  \"wall_secs\": {:.6},\n", r.wall_secs));
+    out.push_str(&format!("  \"throughput_rps\": {:.3},\n", r.throughput));
+    out.push_str(&format!("  \"latency_p50_ns\": {},\n", r.p50_ns));
+    out.push_str(&format!("  \"latency_p95_ns\": {},\n", r.p95_ns));
+    out.push_str(&format!("  \"latency_p99_ns\": {},\n", r.p99_ns));
+    out.push_str("  \"server_stats\": {\n");
+    for (i, (name, value)) in r.server_stats.iter().enumerate() {
+        let comma = if i + 1 == r.server_stats.len() {
+            ""
+        } else {
+            ","
+        };
+        out.push_str(&format!("    \"{name}\": {value}{comma}\n"));
+    }
+    out.push_str("  }\n}\n");
+    out
 }
 
 /// Renders one row of the bench-serve table.

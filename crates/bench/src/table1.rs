@@ -5,7 +5,6 @@
 //! the paper's legend.
 
 use std::cell::RefCell;
-use std::rc::Rc;
 use wolfram_bytecode::{ArgSpec, BytecodeCompiler};
 use wolfram_compiler_core::Compiler;
 use wolfram_expr::{parse, Expr};
@@ -47,8 +46,8 @@ pub struct FeatureRow {
     pub evidence: String,
 }
 
-fn engine() -> Rc<RefCell<Interpreter>> {
-    Rc::new(RefCell::new(Interpreter::new()))
+fn engine() -> std::rc::Rc<RefCell<Interpreter>> {
+    std::rc::Rc::new(RefCell::new(Interpreter::new()))
 }
 
 /// Probes all ten feature rows. Each probe actually exercises the feature.

@@ -5,7 +5,7 @@
 //! the register writes of the sequences they replace, so turning the pass
 //! off must change nothing but speed.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_bench::{programs, workloads};
 use wolfram_compiler_core::{Compiler, CompilerOptions};
 use wolfram_runtime::Value;
@@ -44,7 +44,7 @@ fn fnv1a_agrees() {
     let args: Vec<Vec<Value>> = [0usize, 1, 97, 1000]
         .iter()
         .map(|&n| {
-            vec![Value::Str(Rc::new(workloads::random_string(
+            vec![Value::Str(Arc::new(workloads::random_string(
                 n,
                 n as u64 + 3,
             )))]
@@ -145,7 +145,7 @@ fn fusion_actually_fires_on_the_benchmarks() {
     let (fused, unfused) = compilers();
     let on = programs::compile_new(&fused, programs::FNV1A_SRC);
     let off = programs::compile_new(&unfused, programs::FNV1A_SRC);
-    let arg = vec![Value::Str(Rc::new(workloads::random_string(1000, 7)))];
+    let arg = vec![Value::Str(Arc::new(workloads::random_string(1000, 7)))];
     on.profile_ops(true);
     off.profile_ops(true);
     on.call(&arg).unwrap();

@@ -1,0 +1,831 @@
+//! Binary images of [`CompiledFunction`]s for the disk-backed artifact
+//! cache.
+//!
+//! The paper's `CompiledFunction` is a *serialized object* by design
+//! (§2.2 shows the `InputForm` dump); this module gives it a compact,
+//! versioned binary form so a serving process can persist compiled
+//! bytecode and start warm after a restart. Design rules:
+//!
+//! - **Versioned**: the image starts with a magic + format version; any
+//!   mismatch is a load failure, never a guess. Bump
+//!   [`IMAGE_VERSION`] whenever the `Op` encoding changes.
+//! - **Corruption-tolerant**: every read is bounds-checked and every tag
+//!   validated; a truncated or bit-flipped image yields
+//!   [`ImageError`], not a panic. (The disk layer adds a checksum on
+//!   top; this layer must still never trust its input.)
+//! - **Closed over the VM's data model**: constants are the bytecode
+//!   lattice (`Null`/`Bool`/`Int`/`Real`/`Complex`/`Str`/packed tensors)
+//!   plus expressions, which round-trip through canonical `FullForm`
+//!   text. Function values cannot appear in bytecode constants and are
+//!   rejected at write time.
+
+use crate::compile::ArgSpec;
+use crate::compiled_function::CompiledFunction;
+use crate::instr::{BinOp, CmpOp, Op, Reg, UnOp, VmType};
+use wolfram_expr::Expr;
+use wolfram_runtime::{Tensor, TensorData, Value};
+
+/// Image magic: "WLBC" (Wolfram Language ByteCode).
+pub const IMAGE_MAGIC: [u8; 4] = *b"WLBC";
+/// Format version; bump on any encoding change.
+pub const IMAGE_VERSION: u32 = 1;
+
+/// Why an image failed to load (or a function failed to serialize).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The image is shorter than a field it promises.
+    Truncated,
+    /// The magic bytes are wrong — not an image at all.
+    BadMagic,
+    /// The format version is not [`IMAGE_VERSION`].
+    BadVersion(u32),
+    /// An enum tag byte is out of range.
+    BadTag(&'static str, u8),
+    /// An embedded expression failed to re-parse.
+    BadExpr(String),
+    /// The function embeds a value with no serial form (e.g. a closure).
+    Unsupported(&'static str),
+    /// Trailing garbage after a structurally complete image.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::Truncated => write!(f, "image truncated"),
+            ImageError::BadMagic => write!(f, "bad image magic"),
+            ImageError::BadVersion(v) => {
+                write!(f, "image version {v} != supported {IMAGE_VERSION}")
+            }
+            ImageError::BadTag(what, t) => write!(f, "bad {what} tag {t}"),
+            ImageError::BadExpr(e) => write!(f, "embedded expression: {e}"),
+            ImageError::Unsupported(what) => write!(f, "unserializable constant: {what}"),
+            ImageError::TrailingBytes => write!(f, "trailing bytes after image"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// Serializes a compiled function to a versioned binary image.
+///
+/// # Errors
+///
+/// [`ImageError::Unsupported`] if a constant has no serial form
+/// (function values; never produced by the bytecode compiler).
+pub fn to_image(cf: &CompiledFunction) -> Result<Vec<u8>, ImageError> {
+    let mut w = Vec::with_capacity(256);
+    w.extend_from_slice(&IMAGE_MAGIC);
+    put_u32(&mut w, IMAGE_VERSION);
+    put_u32(&mut w, cf.compiler_version);
+    put_u32(&mut w, cf.engine_version);
+    put_u32(&mut w, cf.flags);
+    put_u32(&mut w, len_u32(cf.arg_specs.len()));
+    for spec in &cf.arg_specs {
+        put_str(&mut w, &spec.name);
+        w.push(vmtype_tag(spec.ty));
+    }
+    put_u32(&mut w, len_u32(cf.nregs));
+    put_u32(&mut w, len_u32(cf.ops.len()));
+    for op in &cf.ops {
+        put_op(&mut w, op)?;
+    }
+    put_expr(&mut w, &cf.original);
+    Ok(w)
+}
+
+/// Deserializes an image produced by [`to_image`].
+///
+/// # Errors
+///
+/// Any structural defect — truncation, bad magic/version/tags, trailing
+/// bytes, unparseable embedded expressions — is an [`ImageError`].
+pub fn from_image(bytes: &[u8]) -> Result<CompiledFunction, ImageError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != IMAGE_MAGIC {
+        return Err(ImageError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != IMAGE_VERSION {
+        return Err(ImageError::BadVersion(version));
+    }
+    let compiler_version = r.u32()?;
+    let engine_version = r.u32()?;
+    let flags = r.u32()?;
+    let nspecs = r.len()?;
+    let mut arg_specs = Vec::with_capacity(nspecs.min(64));
+    for _ in 0..nspecs {
+        let name = r.string()?;
+        let ty = vmtype_untag(r.u8()?)?;
+        arg_specs.push(ArgSpec { name, ty });
+    }
+    let nregs = r.len()?;
+    let nops = r.len()?;
+    let mut ops = Vec::with_capacity(nops.min(4096));
+    for _ in 0..nops {
+        ops.push(r.op()?);
+    }
+    let original = r.expr()?;
+    if r.pos != r.bytes.len() {
+        return Err(ImageError::TrailingBytes);
+    }
+    Ok(CompiledFunction {
+        compiler_version,
+        engine_version,
+        flags,
+        arg_specs,
+        ops,
+        nregs,
+        original,
+    })
+}
+
+// ---- writer primitives -------------------------------------------------
+
+fn len_u32(n: usize) -> u32 {
+    u32::try_from(n).expect("collection length fits u32")
+}
+
+fn put_u32(w: &mut Vec<u8>, v: u32) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(w: &mut Vec<u8>, v: u64) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(w: &mut Vec<u8>, s: &str) {
+    put_u32(w, len_u32(s.len()));
+    w.extend_from_slice(s.as_bytes());
+}
+
+fn put_reg(w: &mut Vec<u8>, r: Reg) {
+    w.extend_from_slice(&r.to_le_bytes());
+}
+
+fn put_opt_reg(w: &mut Vec<u8>, r: Option<Reg>) {
+    match r {
+        None => w.push(0),
+        Some(r) => {
+            w.push(1);
+            put_reg(w, r);
+        }
+    }
+}
+
+fn put_expr(w: &mut Vec<u8>, e: &Expr) {
+    // Canonical FullForm erases formatting and always re-parses.
+    put_str(w, &e.to_full_form());
+}
+
+fn put_value(w: &mut Vec<u8>, v: &Value) -> Result<(), ImageError> {
+    match v {
+        Value::Null => w.push(0),
+        Value::Bool(b) => {
+            w.push(1);
+            w.push(u8::from(*b));
+        }
+        Value::I64(n) => {
+            w.push(2);
+            put_u64(w, *n as u64);
+        }
+        Value::F64(x) => {
+            w.push(3);
+            put_u64(w, x.to_bits());
+        }
+        Value::Complex(re, im) => {
+            w.push(4);
+            put_u64(w, re.to_bits());
+            put_u64(w, im.to_bits());
+        }
+        Value::Str(s) => {
+            w.push(5);
+            put_str(w, s);
+        }
+        Value::Tensor(t) => {
+            w.push(6);
+            put_u32(w, len_u32(t.rank()));
+            for d in t.shape() {
+                put_u64(w, *d as u64);
+            }
+            match t.data() {
+                TensorData::I64(v) => {
+                    w.push(0);
+                    for x in v {
+                        put_u64(w, *x as u64);
+                    }
+                }
+                TensorData::F64(v) => {
+                    w.push(1);
+                    for x in v {
+                        put_u64(w, x.to_bits());
+                    }
+                }
+                TensorData::Complex(v) => {
+                    w.push(2);
+                    for (re, im) in v {
+                        put_u64(w, re.to_bits());
+                        put_u64(w, im.to_bits());
+                    }
+                }
+            }
+        }
+        Value::Expr(e) => {
+            w.push(7);
+            put_expr(w, e);
+        }
+        Value::Big(b) => {
+            // Decimal text; exact and stable across versions.
+            w.push(8);
+            put_str(w, &b.to_string());
+        }
+        Value::Function(_) => return Err(ImageError::Unsupported("function value")),
+    }
+    Ok(())
+}
+
+fn put_op(w: &mut Vec<u8>, op: &Op) -> Result<(), ImageError> {
+    match op {
+        Op::LoadConst { d, c } => {
+            w.push(0);
+            put_reg(w, *d);
+            put_value(w, c)?;
+        }
+        Op::Move { d, s } => {
+            w.push(1);
+            put_reg(w, *d);
+            put_reg(w, *s);
+        }
+        Op::Bin { op, d, a, b } => {
+            w.push(2);
+            w.push(binop_tag(*op));
+            put_reg(w, *d);
+            put_reg(w, *a);
+            put_reg(w, *b);
+        }
+        Op::Un { op, d, s } => {
+            w.push(3);
+            w.push(unop_tag(*op));
+            put_reg(w, *d);
+            put_reg(w, *s);
+        }
+        Op::Cmp { op, d, a, b } => {
+            w.push(4);
+            w.push(cmpop_tag(*op));
+            put_reg(w, *d);
+            put_reg(w, *a);
+            put_reg(w, *b);
+        }
+        Op::ComplexMake { d, re, im } => {
+            w.push(5);
+            put_reg(w, *d);
+            put_reg(w, *re);
+            put_reg(w, *im);
+        }
+        Op::Length { d, s } => {
+            w.push(6);
+            put_reg(w, *d);
+            put_reg(w, *s);
+        }
+        Op::Part1 { d, t, i } => {
+            w.push(7);
+            put_reg(w, *d);
+            put_reg(w, *t);
+            put_reg(w, *i);
+        }
+        Op::Part2 { d, t, i, j } => {
+            w.push(8);
+            put_reg(w, *d);
+            put_reg(w, *t);
+            put_reg(w, *i);
+            put_reg(w, *j);
+        }
+        Op::SetPart1 { t, i, v } => {
+            w.push(9);
+            put_reg(w, *t);
+            put_reg(w, *i);
+            put_reg(w, *v);
+        }
+        Op::SetPart2 { t, i, j, v } => {
+            w.push(10);
+            put_reg(w, *t);
+            put_reg(w, *i);
+            put_reg(w, *j);
+            put_reg(w, *v);
+        }
+        Op::ConstArray { d, c, n1, n2 } => {
+            w.push(11);
+            put_reg(w, *d);
+            put_reg(w, *c);
+            put_reg(w, *n1);
+            put_opt_reg(w, *n2);
+        }
+        Op::Dot { d, a, b } => {
+            w.push(12);
+            put_reg(w, *d);
+            put_reg(w, *a);
+            put_reg(w, *b);
+        }
+        Op::Jump { pc } => {
+            w.push(13);
+            put_u64(w, *pc as u64);
+        }
+        Op::JumpIfFalse { c, pc } => {
+            w.push(14);
+            put_reg(w, *c);
+            put_u64(w, *pc as u64);
+        }
+        Op::RandomReal { d, lo, hi } => {
+            w.push(15);
+            put_reg(w, *d);
+            put_opt_reg(w, *lo);
+            put_opt_reg(w, *hi);
+        }
+        Op::Eval { d, expr, env } => {
+            w.push(16);
+            put_reg(w, *d);
+            put_expr(w, expr);
+            put_u32(w, len_u32(env.len()));
+            for (name, reg) in env {
+                put_str(w, name);
+                put_reg(w, *reg);
+            }
+        }
+        Op::Return { s } => {
+            w.push(17);
+            put_reg(w, *s);
+        }
+    }
+    Ok(())
+}
+
+fn vmtype_tag(t: VmType) -> u8 {
+    match t {
+        VmType::Bool => 0,
+        VmType::Int => 1,
+        VmType::Real => 2,
+        VmType::Complex => 3,
+        VmType::TensorInt => 4,
+        VmType::TensorReal => 5,
+        VmType::TensorComplex => 6,
+    }
+}
+
+fn vmtype_untag(t: u8) -> Result<VmType, ImageError> {
+    Ok(match t {
+        0 => VmType::Bool,
+        1 => VmType::Int,
+        2 => VmType::Real,
+        3 => VmType::Complex,
+        4 => VmType::TensorInt,
+        5 => VmType::TensorReal,
+        6 => VmType::TensorComplex,
+        t => return Err(ImageError::BadTag("VmType", t)),
+    })
+}
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Pow => 4,
+        BinOp::Mod => 5,
+        BinOp::Quot => 6,
+        BinOp::Min => 7,
+        BinOp::Max => 8,
+        BinOp::BitAnd => 9,
+        BinOp::BitOr => 10,
+        BinOp::BitXor => 11,
+    }
+}
+
+fn binop_untag(t: u8) -> Result<BinOp, ImageError> {
+    Ok(match t {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Pow,
+        5 => BinOp::Mod,
+        6 => BinOp::Quot,
+        7 => BinOp::Min,
+        8 => BinOp::Max,
+        9 => BinOp::BitAnd,
+        10 => BinOp::BitOr,
+        11 => BinOp::BitXor,
+        t => return Err(ImageError::BadTag("BinOp", t)),
+    })
+}
+
+fn unop_tag(op: UnOp) -> u8 {
+    match op {
+        UnOp::Neg => 0,
+        UnOp::Abs => 1,
+        UnOp::Sqrt => 2,
+        UnOp::Sin => 3,
+        UnOp::Cos => 4,
+        UnOp::Tan => 5,
+        UnOp::Exp => 6,
+        UnOp::Log => 7,
+        UnOp::Floor => 8,
+        UnOp::Ceiling => 9,
+        UnOp::Round => 10,
+        UnOp::Re => 11,
+        UnOp::Im => 12,
+        UnOp::Not => 13,
+    }
+}
+
+fn unop_untag(t: u8) -> Result<UnOp, ImageError> {
+    Ok(match t {
+        0 => UnOp::Neg,
+        1 => UnOp::Abs,
+        2 => UnOp::Sqrt,
+        3 => UnOp::Sin,
+        4 => UnOp::Cos,
+        5 => UnOp::Tan,
+        6 => UnOp::Exp,
+        7 => UnOp::Log,
+        8 => UnOp::Floor,
+        9 => UnOp::Ceiling,
+        10 => UnOp::Round,
+        11 => UnOp::Re,
+        12 => UnOp::Im,
+        13 => UnOp::Not,
+        t => return Err(ImageError::BadTag("UnOp", t)),
+    })
+}
+
+fn cmpop_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Lt => 0,
+        CmpOp::Le => 1,
+        CmpOp::Gt => 2,
+        CmpOp::Ge => 3,
+        CmpOp::Eq => 4,
+        CmpOp::Ne => 5,
+    }
+}
+
+fn cmpop_untag(t: u8) -> Result<CmpOp, ImageError> {
+    Ok(match t {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Gt,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Eq,
+        5 => CmpOp::Ne,
+        t => return Err(ImageError::BadTag("CmpOp", t)),
+    })
+}
+
+// ---- reader ------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageError> {
+        let end = self.pos.checked_add(n).ok_or(ImageError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(ImageError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ImageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ImageError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ImageError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ImageError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn len(&mut self) -> Result<usize, ImageError> {
+        Ok(self.u32()? as usize)
+    }
+
+    fn string(&mut self) -> Result<String, ImageError> {
+        let n = self.len()?;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| ImageError::Truncated)
+    }
+
+    fn reg(&mut self) -> Result<Reg, ImageError> {
+        self.u16()
+    }
+
+    fn opt_reg(&mut self) -> Result<Option<Reg>, ImageError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.reg()?)),
+            t => Err(ImageError::BadTag("Option<Reg>", t)),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ImageError> {
+        let text = self.string()?;
+        wolfram_expr::parse(&text).map_err(|e| ImageError::BadExpr(e.to_string()))
+    }
+
+    fn value(&mut self) -> Result<Value, ImageError> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::I64(self.u64()? as i64),
+            3 => Value::F64(f64::from_bits(self.u64()?)),
+            4 => Value::Complex(f64::from_bits(self.u64()?), f64::from_bits(self.u64()?)),
+            5 => Value::Str(std::sync::Arc::new(self.string()?)),
+            6 => {
+                let rank = self.len()?;
+                let mut shape = Vec::with_capacity(rank.min(16));
+                for _ in 0..rank {
+                    shape.push(self.u64()? as usize);
+                }
+                let count = shape.iter().try_fold(1usize, |acc, d| {
+                    acc.checked_mul(*d).ok_or(ImageError::Truncated)
+                })?;
+                // Every element needs >= 8 bytes still unread; corrupted
+                // dims must fail here, not drive a huge allocation.
+                if count.saturating_mul(8) > self.bytes.len() - self.pos {
+                    return Err(ImageError::Truncated);
+                }
+                let data = match self.u8()? {
+                    0 => {
+                        let mut v = Vec::with_capacity(count);
+                        for _ in 0..count {
+                            v.push(self.u64()? as i64);
+                        }
+                        TensorData::I64(v)
+                    }
+                    1 => {
+                        let mut v = Vec::with_capacity(count);
+                        for _ in 0..count {
+                            v.push(f64::from_bits(self.u64()?));
+                        }
+                        TensorData::F64(v)
+                    }
+                    2 => {
+                        let mut v = Vec::with_capacity(count);
+                        for _ in 0..count {
+                            v.push((f64::from_bits(self.u64()?), f64::from_bits(self.u64()?)));
+                        }
+                        TensorData::Complex(v)
+                    }
+                    t => return Err(ImageError::BadTag("TensorData", t)),
+                };
+                let tensor = Tensor::with_shape(shape, data)
+                    .map_err(|e| ImageError::BadExpr(e.to_string()))?;
+                Value::Tensor(tensor)
+            }
+            7 => Value::Expr(self.expr()?),
+            8 => {
+                let text = self.string()?;
+                let big = wolfram_expr::BigInt::parse(&text)
+                    .ok_or_else(|| ImageError::BadExpr(format!("bad bignum {text:?}")))?;
+                Value::Big(std::sync::Arc::new(big))
+            }
+            t => return Err(ImageError::BadTag("Value", t)),
+        })
+    }
+
+    fn op(&mut self) -> Result<Op, ImageError> {
+        Ok(match self.u8()? {
+            0 => Op::LoadConst {
+                d: self.reg()?,
+                c: self.value()?,
+            },
+            1 => Op::Move {
+                d: self.reg()?,
+                s: self.reg()?,
+            },
+            2 => Op::Bin {
+                op: binop_untag(self.u8()?)?,
+                d: self.reg()?,
+                a: self.reg()?,
+                b: self.reg()?,
+            },
+            3 => Op::Un {
+                op: unop_untag(self.u8()?)?,
+                d: self.reg()?,
+                s: self.reg()?,
+            },
+            4 => Op::Cmp {
+                op: cmpop_untag(self.u8()?)?,
+                d: self.reg()?,
+                a: self.reg()?,
+                b: self.reg()?,
+            },
+            5 => Op::ComplexMake {
+                d: self.reg()?,
+                re: self.reg()?,
+                im: self.reg()?,
+            },
+            6 => Op::Length {
+                d: self.reg()?,
+                s: self.reg()?,
+            },
+            7 => Op::Part1 {
+                d: self.reg()?,
+                t: self.reg()?,
+                i: self.reg()?,
+            },
+            8 => Op::Part2 {
+                d: self.reg()?,
+                t: self.reg()?,
+                i: self.reg()?,
+                j: self.reg()?,
+            },
+            9 => Op::SetPart1 {
+                t: self.reg()?,
+                i: self.reg()?,
+                v: self.reg()?,
+            },
+            10 => Op::SetPart2 {
+                t: self.reg()?,
+                i: self.reg()?,
+                j: self.reg()?,
+                v: self.reg()?,
+            },
+            11 => Op::ConstArray {
+                d: self.reg()?,
+                c: self.reg()?,
+                n1: self.reg()?,
+                n2: self.opt_reg()?,
+            },
+            12 => Op::Dot {
+                d: self.reg()?,
+                a: self.reg()?,
+                b: self.reg()?,
+            },
+            13 => Op::Jump {
+                pc: self.u64()? as usize,
+            },
+            14 => Op::JumpIfFalse {
+                c: self.reg()?,
+                pc: self.u64()? as usize,
+            },
+            15 => Op::RandomReal {
+                d: self.reg()?,
+                lo: self.opt_reg()?,
+                hi: self.opt_reg()?,
+            },
+            16 => {
+                let d = self.reg()?;
+                let expr = self.expr()?;
+                let n = self.len()?;
+                let mut env = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    let name = self.string()?;
+                    let reg = self.reg()?;
+                    env.push((name, reg));
+                }
+                Op::Eval { d, expr, env }
+            }
+            17 => Op::Return { s: self.reg()? },
+            t => return Err(ImageError::BadTag("Op", t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::BytecodeCompiler;
+    use wolfram_expr::parse;
+    use wolfram_interp::Interpreter;
+
+    fn compile(specs: &[ArgSpec], src: &str) -> CompiledFunction {
+        BytecodeCompiler::new()
+            .compile(specs, &parse(src).unwrap())
+            .unwrap()
+    }
+
+    fn roundtrip(cf: &CompiledFunction) -> CompiledFunction {
+        let bytes = to_image(cf).unwrap();
+        from_image(&bytes).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let cf = compile(
+            &[ArgSpec::int("n")],
+            "Module[{a = 0, b = 1, k = 0, t = 0},
+               While[k < n, t = a + b; a = b; b = t; k++]; a]",
+        );
+        let back = roundtrip(&cf);
+        assert_eq!(back.compiler_version, cf.compiler_version);
+        assert_eq!(back.engine_version, cf.engine_version);
+        assert_eq!(back.flags, cf.flags);
+        assert_eq!(back.nregs, cf.nregs);
+        assert_eq!(back.ops, cf.ops);
+        assert_eq!(back.original.to_full_form(), cf.original.to_full_form());
+        assert_eq!(
+            back.run(&[Value::I64(30)]).unwrap(),
+            cf.run(&[Value::I64(30)]).unwrap()
+        );
+    }
+
+    #[test]
+    fn roundtrip_tensor_constants_and_reals() {
+        // Packed tensor constants and real arithmetic exercise the
+        // Tensor and F64 value encodings bit-exactly.
+        let cf = compile(
+            &[ArgSpec::int("i")],
+            "{2, 3, 5, 7, 11}[[i]] + Length[{1.5, 2.5}]",
+        );
+        let back = roundtrip(&cf);
+        assert_eq!(back.ops, cf.ops);
+        assert_eq!(back.run(&[Value::I64(3)]).unwrap(), Value::I64(7));
+    }
+
+    #[test]
+    fn roundtrip_eval_escape() {
+        // An interpreter escape embeds an Expr + env in the stream
+        // (`Total` is outside the bytecode subset, so it escapes).
+        let cf = compile(&[ArgSpec::int("n")], "Total[{1, 2, 3}] + n");
+        assert!(
+            cf.ops.iter().any(|op| matches!(op, Op::Eval { .. })),
+            "expected an interpreter escape in {:?}",
+            cf.ops
+        );
+        let back = roundtrip(&cf);
+        assert_eq!(back.ops, cf.ops);
+        let mut engine = Interpreter::new();
+        let out = back.run_with_engine(&[Value::I64(4)], &mut engine).unwrap();
+        assert_eq!(out, Value::I64(10));
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_an_error_not_a_panic() {
+        let cf = compile(&[ArgSpec::real("x")], "Sin[x] + x^2");
+        let bytes = to_image(&cf).unwrap();
+        for n in 0..bytes.len() {
+            assert!(
+                from_image(&bytes[..n]).is_err(),
+                "prefix of {n} bytes should fail to load"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_and_trailing_bytes_rejected() {
+        let cf = compile(&[ArgSpec::int("n")], "n + 1");
+        let good = to_image(&cf).unwrap();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(from_image(&bad_magic).unwrap_err(), ImageError::BadMagic);
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(matches!(
+            from_image(&bad_version),
+            Err(ImageError::BadVersion(_))
+        ));
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(
+            from_image(&trailing).unwrap_err(),
+            ImageError::TrailingBytes
+        );
+
+        assert!(from_image(&good).is_ok());
+    }
+
+    #[test]
+    fn bitflips_never_panic() {
+        // Flip every byte (one at a time) and require load() to return —
+        // Ok or Err, never a panic or wild allocation.
+        let cf = compile(
+            &[ArgSpec::int("i")],
+            "{2, 3, 5, 7, 11}[[i]] + If[i > 1, Prime[i], 0]",
+        );
+        let bytes = to_image(&cf).unwrap();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xff;
+            let _ = from_image(&corrupt);
+        }
+    }
+}

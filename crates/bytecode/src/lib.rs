@@ -36,9 +36,11 @@
 
 pub mod compile;
 pub mod compiled_function;
+pub mod image;
 pub mod instr;
 pub mod vm;
 
 pub use compile::{ArgSpec, BytecodeCompiler, CompileError};
 pub use compiled_function::CompiledFunction;
+pub use image::{from_image, to_image, ImageError, IMAGE_VERSION};
 pub use instr::{Op, VmType};

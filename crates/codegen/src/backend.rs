@@ -2,7 +2,7 @@
 //! compiler and an API for users to plugin their own backend."
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_ir::ProgramModule;
 
 /// A code-generation backend: consumes a fully-typed TWIR program module
@@ -27,7 +27,7 @@ pub trait Backend {
 /// A registry of textual backends, pre-populated with the built-in ones
 /// and extensible by users (§4.6).
 pub struct BackendRegistry {
-    backends: HashMap<String, Rc<dyn Backend>>,
+    backends: HashMap<String, Arc<dyn Backend>>,
 }
 
 impl Default for BackendRegistry {
@@ -35,10 +35,10 @@ impl Default for BackendRegistry {
         let mut r = BackendRegistry {
             backends: HashMap::new(),
         };
-        r.register(Rc::new(crate::c_source::CBackend));
-        r.register(Rc::new(crate::asm::AsmBackend::default()));
-        r.register(Rc::new(crate::wvm::WvmBackend));
-        r.register(Rc::new(IrBackend));
+        r.register(Arc::new(crate::c_source::CBackend));
+        r.register(Arc::new(crate::asm::AsmBackend::default()));
+        r.register(Arc::new(crate::wvm::WvmBackend));
+        r.register(Arc::new(IrBackend));
         r
     }
 }
@@ -50,12 +50,12 @@ impl BackendRegistry {
     }
 
     /// Registers (or replaces) a backend under its name.
-    pub fn register(&mut self, backend: Rc<dyn Backend>) {
+    pub fn register(&mut self, backend: Arc<dyn Backend>) {
         self.backends.insert(backend.name().to_owned(), backend);
     }
 
     /// Looks up a backend.
-    pub fn get(&self, name: &str) -> Option<Rc<dyn Backend>> {
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Backend>> {
         self.backends.get(name).cloned()
     }
 
@@ -104,7 +104,7 @@ mod tests {
             }
         }
         let mut r = BackendRegistry::new();
-        r.register(Rc::new(Null));
+        r.register(Arc::new(Null));
         assert!(r.get("Null").is_some());
         assert_eq!(r.names().len(), 5);
     }

@@ -7,7 +7,7 @@ use crate::machine::{
     NativeProgram, RegOp, Slot, TenOp,
 };
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_expr::Expr;
 use wolfram_ir::module::{Block, BlockId, Callee, Constant, Function, Instr, Operand, VarId};
 use wolfram_runtime::{Tensor, Value};
@@ -1166,7 +1166,7 @@ impl<'a> Lowering<'a> {
                 if let Some(head) = other.strip_prefix("expr_unary_") {
                     let x = a!(0, Bank::V);
                     self.code.push(RegOp::ExprUnary {
-                        head: std::rc::Rc::from(head),
+                        head: std::sync::Arc::from(head),
                         d,
                         a: x,
                     });
@@ -1213,7 +1213,7 @@ fn const_value(c: &Constant, opts: &LowerOptions) -> Value {
         Constant::F64(v) => Value::F64(*v),
         Constant::Bool(b) => Value::Bool(*b),
         Constant::Complex(re, im) => Value::Complex(*re, *im),
-        Constant::Str(s) => Value::Str(Rc::new(s.to_string())),
+        Constant::Str(s) => Value::Str(Arc::new(s.to_string())),
         Constant::I64Array(v) => {
             let _ = opts;
             Value::Tensor(Tensor::from_i64(v.to_vec()))
@@ -1380,7 +1380,7 @@ mod tests {
         let arg = b.func.fresh_var();
         b.push(Instr::LoadArgument { dst: arg, index: 0 });
         let sum = b.call(
-            Callee::Primitive(Rc::from("checked_binary_plus$Integer64$Integer64")),
+            Callee::Primitive(Arc::from("checked_binary_plus$Integer64$Integer64")),
             vec![arg.into(), Constant::I64(1).into()],
         );
         b.ret(sum);
@@ -1424,7 +1424,7 @@ mod tests {
         b.switch_to(header);
         let i0 = b.read_var("i").unwrap();
         let c = b.call(
-            Callee::Primitive(Rc::from("compare_less$Integer64$Integer64")),
+            Callee::Primitive(Arc::from("compare_less$Integer64$Integer64")),
             vec![i0.clone(), n.into()],
         );
         b.branch(c, body, exit);
@@ -1433,11 +1433,11 @@ mod tests {
         let i1 = b.read_var("i").unwrap();
         let acc1 = b.read_var("acc").unwrap();
         let i2 = b.call(
-            Callee::Primitive(Rc::from("checked_binary_plus$Integer64$Integer64")),
+            Callee::Primitive(Arc::from("checked_binary_plus$Integer64$Integer64")),
             vec![i1, Constant::I64(1).into()],
         );
         let acc2 = b.call(
-            Callee::Primitive(Rc::from("checked_binary_plus$Integer64$Integer64")),
+            Callee::Primitive(Arc::from("checked_binary_plus$Integer64$Integer64")),
             vec![acc1, i2.into()],
         );
         b.write_var("i", i2);
@@ -1476,7 +1476,7 @@ mod tests {
         let arg = b.func.fresh_var();
         b.push(Instr::LoadArgument { dst: arg, index: 0 });
         let sum = b.call(
-            Callee::Primitive(Rc::from("checked_binary_plus$Real64$Real64")),
+            Callee::Primitive(Arc::from("checked_binary_plus$Real64$Real64")),
             vec![arg.into(), Constant::I64(1).into()],
         );
         b.ret(sum);

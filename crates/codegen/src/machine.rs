@@ -3,7 +3,7 @@
 //! paper's LLVM-JITed native code (DESIGN.md §1).
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_expr::Expr;
 use wolfram_interp::Interpreter;
 use wolfram_runtime::checked;
@@ -438,7 +438,7 @@ pub enum RegOp {
     /// Symbolic unary application `head[a]`, normalized by the hosting
     /// engine (like [`RegOp::ExprBin`]).
     ExprUnary {
-        head: Rc<str>,
+        head: Arc<str>,
         d: usize,
         a: usize,
     },
@@ -482,7 +482,7 @@ pub enum RegOp {
         ret: Slot,
     },
     CallKernel {
-        head: Rc<str>,
+        head: Arc<str>,
         args: Box<[Slot]>,
         ret: Slot,
     },
@@ -744,7 +744,7 @@ pub enum RegOp {
     /// scalar loop executes unchanged. Ignored unless the program carries a
     /// [`ParallelConfig`].
     VecLoop {
-        plan: Rc<crate::vectorize::VecPlan>,
+        plan: Arc<crate::vectorize::VecPlan>,
     },
     Acquire {
         v: usize,
@@ -1676,7 +1676,7 @@ impl Machine {
                             .ok_or_else(|| RuntimeError::Type(format!("invalid char code {c}")))?;
                         out.push(ch);
                     }
-                    fr.vals[*d] = Value::Str(Rc::new(out));
+                    fr.vals[*d] = Value::Str(Arc::new(out));
                 }
                 RegOp::StrJoin { d, a, b } => {
                     let x = fr.vals[*a].expect_str()?;
@@ -1684,7 +1684,7 @@ impl Machine {
                     let mut out = String::with_capacity(x.len() + y.len());
                     out.push_str(x);
                     out.push_str(y);
-                    fr.vals[*d] = Value::Str(Rc::new(out));
+                    fr.vals[*d] = Value::Str(Arc::new(out));
                 }
                 RegOp::ExprBin { op, d, a, b } => {
                     let x = fr.vals[*a].to_expr();
@@ -1744,8 +1744,8 @@ impl Machine {
                         .iter()
                         .map(|s| fr.load(*s).into_value(false))
                         .collect();
-                    fr.vals[*d] = Value::Function(Rc::new(FunctionValue {
-                        name: Rc::from(prog.funcs[*f].name.as_str()),
+                    fr.vals[*d] = Value::Function(Arc::new(FunctionValue {
+                        name: Arc::from(prog.funcs[*f].name.as_str()),
                         index: *f,
                         captures: caps,
                     }));
@@ -2619,7 +2619,7 @@ mod tests {
         let prog = onefunc(
             vec![
                 RegOp::CallKernel {
-                    head: Rc::from("Plus"),
+                    head: Arc::from("Plus"),
                     args: Box::new([]),
                     ret: Slot::new(Bank::V, 0),
                 },

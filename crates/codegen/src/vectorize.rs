@@ -44,7 +44,7 @@
 //! - **Division.** A vectorized `Div` requires a provably nonzero
 //!   divisor: a nonzero constant, or a loop-invariant register checked
 //!   nonzero at batch entry.
-//! - **Copy-on-write.** Inputs are `Rc`-cloned first, then the output
+//! - **Copy-on-write.** Inputs are `Arc`-cloned first, then the output
 //!   tensor takes one `data_mut()`: it copies iff the storage is shared
 //!   at batch entry — the same condition the scalar loop's first store
 //!   sees — and loads never read the output object (plan-time refusal),
@@ -64,7 +64,7 @@
 //! values or acquire/release counts).
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::fuse;
 use crate::machine::{ElemKind, FltOp, IntOp, IntUnOp, NativeFunc, NativeProgram, RegOp};
@@ -1218,7 +1218,7 @@ pub fn vectorize_function(f: &mut NativeFunc) -> usize {
         if next.peek().is_some_and(|&&(l, _, _)| l == t) {
             let (_, _, plan) = next.next().unwrap();
             out.push(RegOp::VecLoop {
-                plan: Rc::new(plan.clone()),
+                plan: Arc::new(plan.clone()),
             });
         }
         out.push(op.clone());

@@ -251,7 +251,7 @@ fn emit_call(ops: &mut Vec<Op>, d: u16, callee: &Callee, regs: &[u16]) -> Result
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
     use wolfram_ir::FunctionBuilder;
     use wolfram_runtime::AbortSignal;
     use wolfram_types::Type;
@@ -262,7 +262,7 @@ mod tests {
         let arg = b.func.fresh_var();
         b.push(Instr::LoadArgument { dst: arg, index: 0 });
         let sq = b.call(
-            Callee::Primitive(Rc::from("checked_binary_times$Integer64$Integer64")),
+            Callee::Primitive(Arc::from("checked_binary_times$Integer64$Integer64")),
             vec![arg.into(), arg.into()],
         );
         b.ret(sq);
@@ -288,7 +288,7 @@ mod tests {
         let s = b.func.fresh_var();
         b.push(Instr::LoadConst {
             dst: s,
-            value: Constant::Str(Rc::from("hi")),
+            value: Constant::Str(Arc::from("hi")),
         });
         b.ret(s);
         let mut f = b.finish();

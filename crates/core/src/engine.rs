@@ -4,6 +4,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_codegen::lower::result_to_value;
 use wolfram_codegen::{ArgVal, Bank, Machine, NativeProgram};
 use wolfram_expr::Expr;
@@ -23,9 +24,9 @@ pub struct CompiledCodeFunction {
     /// the legacy `CompiledFunction`).
     pub original: Expr,
     /// The TWIR module (inspectable; feeds the textual backends).
-    pub module: Rc<ProgramModule>,
+    pub module: Arc<ProgramModule>,
     /// The executable program.
-    pub program: Rc<NativeProgram>,
+    pub program: Arc<NativeProgram>,
     /// Checked parameter types.
     pub param_types: Vec<Type>,
     /// The return type.
@@ -57,7 +58,91 @@ impl std::fmt::Debug for CompiledCodeFunction {
     }
 }
 
+/// The immutable, shareable product of one compilation: everything in a
+/// [`CompiledCodeFunction`] *except* the thread-confined execution state
+/// (hosting engine, abort signal, machine).
+///
+/// This is the `Send + Sync` handle a serving layer caches and hands
+/// across threads — one compilation is observed by every worker, which
+/// rebinds it locally with [`CompiledArtifact::instantiate`] (or
+/// [`CompiledArtifact::instantiate_hosted`] to attach an engine). The
+/// compiled payload (`ProgramModule`, `NativeProgram`, embedded constant
+/// `Value`s) is never copied: instantiation is two `Arc` bumps plus a
+/// fresh machine.
+#[derive(Clone)]
+pub struct CompiledArtifact {
+    /// The original input function.
+    pub original: Expr,
+    /// The TWIR module.
+    pub module: Arc<ProgramModule>,
+    /// The executable program.
+    pub program: Arc<NativeProgram>,
+    /// Checked parameter types.
+    pub param_types: Vec<Type>,
+    /// The return type.
+    pub return_type: Type,
+}
+
+impl std::fmt::Debug for CompiledArtifact {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CompiledArtifact[{} -> {}]",
+            self.param_types
+                .iter()
+                .map(Type::to_string)
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.return_type
+        )
+    }
+}
+
+impl CompiledArtifact {
+    /// Rebinds the artifact to the calling thread as a standalone
+    /// function (fresh abort signal, fresh machine, no engine).
+    pub fn instantiate(&self) -> CompiledCodeFunction {
+        CompiledCodeFunction {
+            original: self.original.clone(),
+            module: Arc::clone(&self.module),
+            program: Arc::clone(&self.program),
+            param_types: self.param_types.clone(),
+            return_type: self.return_type.clone(),
+            engine: None,
+            standalone: false,
+            abort: AbortSignal::new(),
+            machine: Rc::new(RefCell::new(Machine::standalone())),
+        }
+    }
+
+    /// Rebinds the artifact to the calling thread, hosted in `engine`
+    /// (kernel escapes, soft-failure fallback, shared abort signal).
+    pub fn instantiate_hosted(&self, engine: Rc<RefCell<Interpreter>>) -> CompiledCodeFunction {
+        self.instantiate().hosted(engine)
+    }
+}
+
+// The whole point of the artifact type: it must stay shareable. If this
+// stops compiling, something thread-confined (an `Rc`, a `RefCell`)
+// leaked back into the post-compilation data.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledArtifact>();
+};
+
 impl CompiledCodeFunction {
+    /// Extracts the shareable (`Send + Sync`) portion: the compiled
+    /// payload without this thread's engine/abort/machine bindings.
+    pub fn artifact(&self) -> CompiledArtifact {
+        CompiledArtifact {
+            original: self.original.clone(),
+            module: Arc::clone(&self.module),
+            program: Arc::clone(&self.program),
+            param_types: self.param_types.clone(),
+            return_type: self.return_type.clone(),
+        }
+    }
+
     /// Wraps a compiled program.
     ///
     /// # Errors
@@ -66,8 +151,8 @@ impl CompiledCodeFunction {
     /// fully typed TWIR, §4.6).
     pub fn new(
         original: Expr,
-        module: Rc<ProgramModule>,
-        program: Rc<NativeProgram>,
+        module: Arc<ProgramModule>,
+        program: Arc<NativeProgram>,
     ) -> Result<Self, crate::pipeline::CompileError> {
         let main = module.main();
         let mut param_types = vec![Type::void(); main.arity];
@@ -141,7 +226,7 @@ impl CompiledCodeFunction {
                 },
                 "String" => e
                     .as_str()
-                    .map(|s| ArgVal::V(Value::Str(Rc::new(s.to_owned()))))
+                    .map(|s| ArgVal::V(Value::Str(Arc::new(s.to_owned()))))
                     .ok_or_else(|| type_err(&e.to_input_form())),
                 // The "Expression" type accepts anything (F8).
                 "Expression" => Ok(ArgVal::V(Value::Expr(e.clone()))),

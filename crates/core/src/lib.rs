@@ -34,7 +34,7 @@ pub mod pipeline;
 pub mod resolve;
 pub mod stdlib;
 
-pub use engine::CompiledCodeFunction;
+pub use engine::{CompiledArtifact, CompiledCodeFunction};
 pub use macros::{MacroEnvironment, MacroRule};
 pub use pipeline::{CompileError, Compiler, CompilerOptions, TargetSystem};
 pub use resolve::InlinePolicy;

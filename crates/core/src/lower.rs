@@ -4,7 +4,7 @@
 
 use crate::binding::BoundFunction;
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_expr::{Expr, ExprKind};
 use wolfram_ir::module::{Callee, Constant, Instr, Operand};
 use wolfram_ir::{BlockId, FuncId, FunctionBuilder, ProgramModule};
@@ -117,7 +117,7 @@ impl FnCtx<'_, '_> {
             ExprKind::Integer(v) => Ok(Constant::I64(*v).into()),
             ExprKind::Real(v) => Ok(Constant::F64(*v).into()),
             ExprKind::Complex(re, im) => Ok(Constant::Complex(*re, *im).into()),
-            ExprKind::Str(s) => Ok(Constant::Str(Rc::from(&**s)).into()),
+            ExprKind::Str(s) => Ok(Constant::Str(Arc::from(&**s)).into()),
             ExprKind::BigInteger(_) => {
                 self.err("arbitrary-precision literals are not compilable (use the interpreter)")
             }
@@ -296,7 +296,7 @@ impl FnCtx<'_, '_> {
                     self.b.push(Instr::Call {
                         dst,
                         callee: Callee::Function {
-                            name: Rc::from(fname.as_str()),
+                            name: Arc::from(fname.as_str()),
                             func: self.self_id,
                         },
                         args: ops,
@@ -320,7 +320,7 @@ impl FnCtx<'_, '_> {
                 let dst = self.b.func.fresh_var();
                 self.b.push(Instr::Call {
                     dst,
-                    callee: Callee::Kernel(Rc::from(name)),
+                    callee: Callee::Kernel(Arc::from(name)),
                     args: ops,
                 });
                 self.b.func.provenance.insert(dst, e.clone());
@@ -339,7 +339,7 @@ impl FnCtx<'_, '_> {
                     let dst = self.b.func.fresh_var();
                     self.b.push(Instr::Call {
                         dst,
-                        callee: Callee::Kernel(Rc::from(f.name())),
+                        callee: Callee::Kernel(Arc::from(f.name())),
                         args: ops,
                     });
                     self.b.func.provenance.insert(dst, e.clone());
@@ -370,7 +370,7 @@ impl FnCtx<'_, '_> {
         let dst = self.b.func.fresh_var();
         self.b.push(Instr::Call {
             dst,
-            callee: Callee::Builtin(Rc::from(name)),
+            callee: Callee::Builtin(Arc::from(name)),
             args,
         });
         self.b.func.provenance.insert(dst, prov.clone());
@@ -383,10 +383,10 @@ impl FnCtx<'_, '_> {
         // seed table, §6).
         if args.len() > 8 || (args.len() >= 4 && args.iter().all(|a| a.as_i64().is_some())) {
             if let Some(ints) = args.iter().map(Expr::as_i64).collect::<Option<Vec<i64>>>() {
-                return Ok(Constant::I64Array(Rc::from(ints.as_slice())).into());
+                return Ok(Constant::I64Array(Arc::from(ints.as_slice())).into());
             }
             if let Some(reals) = args.iter().map(Expr::as_f64).collect::<Option<Vec<f64>>>() {
-                return Ok(Constant::F64Array(Rc::from(reals.as_slice())).into());
+                return Ok(Constant::F64Array(Arc::from(reals.as_slice())).into());
             }
         }
         if args.is_empty() {
@@ -588,7 +588,7 @@ impl FnCtx<'_, '_> {
         let dst = self.b.func.fresh_var();
         self.b.push(Instr::MakeClosure {
             dst,
-            func: Rc::from(self.mc.module.functions[func.0 as usize].name.as_str()),
+            func: Arc::from(self.mc.module.functions[func.0 as usize].name.as_str()),
             captures: capture_ops,
         });
         self.b.func.provenance.insert(dst, lambda.clone());

@@ -14,6 +14,7 @@ use crate::stdlib;
 use std::cell::RefCell;
 use std::collections::HashSet;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wolfram_codegen::lower::{lower_program_with, LowerOptions};
 use wolfram_codegen::{BackendRegistry, NativeProgram};
@@ -219,7 +220,7 @@ impl Default for Compiler {
 /// `SuperinstructionFusion` option so exports show the code that runs.
 fn registry_for(options: &CompilerOptions) -> BackendRegistry {
     let mut backends = BackendRegistry::new();
-    backends.register(std::rc::Rc::new(wolfram_codegen::AsmBackend {
+    backends.register(std::sync::Arc::new(wolfram_codegen::AsmBackend {
         fuse: options.superinstruction_fusion,
     }));
     backends
@@ -392,7 +393,7 @@ impl Compiler {
     ) -> Result<CompiledCodeFunction, CompileError> {
         let pm = self.compile_to_twir(f, public_name)?;
         let native = self.generate_native(&pm)?;
-        CompiledCodeFunction::new(f.clone(), Rc::new(pm), Rc::new(native))
+        CompiledCodeFunction::new(f.clone(), Arc::new(pm), Arc::new(native))
     }
 
     /// `FunctionCompile` from source text.

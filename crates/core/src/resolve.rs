@@ -9,7 +9,7 @@
 use crate::infer::{infer, sites_of, Inference};
 use crate::stdlib::mangle;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_ir::module::{Block, BlockId, Callee, Function, InlineValue, Instr, Operand, VarId};
 use wolfram_ir::{FuncId, ProgramModule};
 use wolfram_types::{FunctionImpl, SolveError, Type, TypeEnvironment};
@@ -103,9 +103,9 @@ fn resolve_pass(
             };
             let new_callee = match &resolved.implementation {
                 FunctionImpl::Primitive(base) => {
-                    Callee::Primitive(Rc::from(mangle(base, &resolved.params).as_str()))
+                    Callee::Primitive(Arc::from(mangle(base, &resolved.params).as_str()))
                 }
-                FunctionImpl::Kernel => Callee::Kernel(Rc::from(&*name)),
+                FunctionImpl::Kernel => Callee::Kernel(Arc::from(&*name)),
                 FunctionImpl::Source(body) => {
                     let mangled = mangle(&name, &resolved.params);
                     let func = match pm.find(&mangled) {
@@ -124,7 +124,7 @@ fn resolve_pass(
                         }
                     };
                     Callee::Function {
-                        name: Rc::from(mangled.as_str()),
+                        name: Arc::from(mangled.as_str()),
                         func,
                     }
                 }

@@ -2,7 +2,7 @@
 //! declarations for the compiled function vocabulary, mapped onto runtime
 //! primitives or Wolfram-source implementations.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_expr::parse;
 use wolfram_types::{FunctionImpl, Type, TypeEnvironment};
 
@@ -45,7 +45,7 @@ fn scheme(src: &str) -> Type {
 }
 
 fn prim(env: &mut TypeEnvironment, name: &str, spec: &str, base: &str) {
-    env.declare_function(name, scheme(spec), FunctionImpl::Primitive(Rc::from(base)));
+    env.declare_function(name, scheme(spec), FunctionImpl::Primitive(Arc::from(base)));
 }
 
 fn source(env: &mut TypeEnvironment, name: &str, spec: &str, body_src: &str, inline: bool) {

@@ -91,14 +91,47 @@ pub struct FuzzReport {
 }
 
 impl FuzzReport {
-    /// One-paragraph human summary.
+    /// Divergences attributed to each engine configuration (in
+    /// [`oracle::ENGINE_NAMES`] order), by the engine named in the
+    /// counterexample note. The interpreter is the oracle, so its slot
+    /// counts notes that name no compiled engine (analyzer findings and
+    /// shrink residues).
+    pub fn per_engine_divergences(&self) -> [usize; oracle::ENGINE_NAMES.len()] {
+        let mut counts = [0usize; oracle::ENGINE_NAMES.len()];
+        for case in &self.divergences {
+            let slot = oracle::ENGINE_NAMES
+                .iter()
+                .enumerate()
+                .skip(1)
+                .find(|(_, name)| case.shrunk.note.starts_with(**name))
+                .map_or(0, |(i, _)| i);
+            counts[slot] += 1;
+        }
+        counts
+    }
+
+    /// One-paragraph human summary. The configuration count and the
+    /// per-engine divergence breakdown are derived from
+    /// [`oracle::ENGINE_NAMES`], so adding an engine configuration (as
+    /// the data-parallel tier did for the fifth) extends this line
+    /// automatically instead of silently undercounting.
     pub fn summary(&self) -> String {
+        let counts = self.per_engine_divergences();
+        let breakdown: Vec<String> = oracle::ENGINE_NAMES
+            .iter()
+            .zip(counts)
+            .skip(1)
+            .map(|(name, n)| format!("{name} {n}"))
+            .chain((counts[0] > 0).then(|| format!("other {}", counts[0])))
+            .collect();
         format!(
-            "{} programs across 5 engine configurations: {} divergences, \
+            "{} programs across {} engine configurations: {} divergences ({}), \
              {} prepare failures, {} round-trip failures, {} timeouts, \
              {} out-of-subset",
             self.programs_run,
+            oracle::ENGINE_NAMES.len(),
             self.divergences.len(),
+            breakdown.join(", "),
             self.prepare_failures,
             self.roundtrip_failures,
             self.timeouts,

@@ -7,9 +7,9 @@
 
 use crate::bigint::BigInt;
 use crate::symbol::{sym, Symbol};
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// The payload of an expression node.
 #[derive(Clone, PartialEq)]
@@ -17,13 +17,13 @@ pub enum ExprKind {
     /// A machine-sized integer literal.
     Integer(i64),
     /// An arbitrary-precision integer literal (always outside `i64` range).
-    BigInteger(Rc<BigInt>),
+    BigInteger(Arc<BigInt>),
     /// A machine real literal.
     Real(f64),
     /// A machine complex literal (`re + im I`).
     Complex(f64, f64),
     /// A string literal.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// A symbol.
     Symbol(Symbol),
     /// A normal expression: `head[arg1, ..., argN]`.
@@ -34,7 +34,7 @@ pub enum ExprKind {
 #[derive(Clone, PartialEq)]
 pub struct Normal {
     head: Expr,
-    args: Rc<[Expr]>,
+    args: Arc<[Expr]>,
 }
 
 impl Normal {
@@ -52,8 +52,11 @@ impl Normal {
 struct ExprData {
     kind: ExprKind,
     /// Arbitrary metadata, ignored by equality and hashing. The compiler uses
-    /// this for binding links, source spans, and inferred types.
-    props: RefCell<Vec<(Rc<str>, Expr)>>,
+    /// this for binding links, source spans, and inferred types. Guarded by a
+    /// mutex (not a `RefCell`) so expression trees — including the ones
+    /// embedded in compiled artifacts — are `Send + Sync` and can be shared
+    /// across serving threads.
+    props: Mutex<Vec<(Arc<str>, Expr)>>,
 }
 
 /// A Wolfram Language expression. Cheap to clone (reference counted).
@@ -67,13 +70,13 @@ struct ExprData {
 /// assert_eq!(e.head_symbol().unwrap().name(), "Plus");
 /// ```
 #[derive(Clone)]
-pub struct Expr(Rc<ExprData>);
+pub struct Expr(Arc<ExprData>);
 
 impl Expr {
     fn from_kind(kind: ExprKind) -> Self {
-        Expr(Rc::new(ExprData {
+        Expr(Arc::new(ExprData {
             kind,
-            props: RefCell::new(Vec::new()),
+            props: Mutex::new(Vec::new()),
         }))
     }
 
@@ -86,7 +89,7 @@ impl Expr {
     pub fn big(v: BigInt) -> Self {
         match v.to_i64() {
             Some(m) => Self::int(m),
-            None => Self::from_kind(ExprKind::BigInteger(Rc::new(v))),
+            None => Self::from_kind(ExprKind::BigInteger(Arc::new(v))),
         }
     }
 
@@ -101,7 +104,7 @@ impl Expr {
     }
 
     /// A string literal.
-    pub fn string(v: impl Into<Rc<str>>) -> Self {
+    pub fn string(v: impl Into<Arc<str>>) -> Self {
         Self::from_kind(ExprKind::Str(v.into()))
     }
 
@@ -278,19 +281,17 @@ impl Expr {
     /// metadata can be set on any node within the AST"). Metadata does not
     /// participate in equality or hashing.
     pub fn set_prop(&self, key: &str, value: Expr) {
-        let mut props = self.0.props.borrow_mut();
+        let mut props = lock_props(&self.0.props);
         if let Some(slot) = props.iter_mut().find(|(k, _)| &**k == key) {
             slot.1 = value;
         } else {
-            props.push((Rc::from(key), value));
+            props.push((Arc::from(key), value));
         }
     }
 
     /// Reads metadata attached with [`Expr::set_prop`].
     pub fn prop(&self, key: &str) -> Option<Expr> {
-        self.0
-            .props
-            .borrow()
+        lock_props(&self.0.props)
             .iter()
             .find(|(k, _)| &**k == key)
             .map(|(_, v)| v.clone())
@@ -298,13 +299,23 @@ impl Expr {
 
     /// Structural identity: whether the two handles point at the same node.
     pub fn ptr_eq(&self, other: &Expr) -> bool {
-        Rc::ptr_eq(&self.0, &other.0)
+        Arc::ptr_eq(&self.0, &other.0)
     }
+}
+
+/// Locks a metadata table, recovering from poisoning: props are plain data,
+/// so a panic mid-update cannot leave them logically inconsistent.
+fn lock_props(
+    props: &Mutex<Vec<(Arc<str>, Expr)>>,
+) -> std::sync::MutexGuard<'_, Vec<(Arc<str>, Expr)>> {
+    props
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl PartialEq for Expr {
     fn eq(&self, other: &Self) -> bool {
-        Rc::ptr_eq(&self.0, &other.0) || self.0.kind == other.0.kind
+        Arc::ptr_eq(&self.0, &other.0) || self.0.kind == other.0.kind
     }
 }
 

@@ -8,7 +8,7 @@
 use std::cell::RefCell;
 use std::collections::HashSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An interned Wolfram Language symbol.
 ///
@@ -26,10 +26,10 @@ use std::rc::Rc;
 /// assert_eq!(a.name(), "Plus");
 /// ```
 #[derive(Clone)]
-pub struct Symbol(Rc<str>);
+pub struct Symbol(Arc<str>);
 
 thread_local! {
-    static INTERNER: RefCell<HashSet<Rc<str>>> = RefCell::new(HashSet::new());
+    static INTERNER: RefCell<HashSet<Arc<str>>> = RefCell::new(HashSet::new());
 }
 
 impl Symbol {
@@ -38,10 +38,10 @@ impl Symbol {
         INTERNER.with(|table| {
             let mut table = table.borrow_mut();
             if let Some(existing) = table.get(name) {
-                Symbol(Rc::clone(existing))
+                Symbol(Arc::clone(existing))
             } else {
-                let rc: Rc<str> = Rc::from(name);
-                table.insert(Rc::clone(&rc));
+                let rc: Arc<str> = Arc::from(name);
+                table.insert(Arc::clone(&rc));
                 Symbol(rc)
             }
         })
@@ -83,7 +83,7 @@ impl Symbol {
 
 impl PartialEq for Symbol {
     fn eq(&self, other: &Self) -> bool {
-        Rc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
     }
 }
 
@@ -228,7 +228,7 @@ mod tests {
     fn interning_shares_storage() {
         let a = Symbol::new("SharedStorageTest");
         let b = Symbol::new("SharedStorageTest");
-        assert!(Rc::ptr_eq(&a.0, &b.0));
+        assert!(Arc::ptr_eq(&a.0, &b.0));
     }
 
     #[test]

@@ -301,7 +301,7 @@ mod tests {
     use super::*;
     use crate::builder::FunctionBuilder;
     use crate::module::{Callee, Constant};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     /// Builds the canonical while-loop function used across these tests.
     fn loop_function() -> Function {
@@ -315,13 +315,13 @@ mod tests {
         b.jump(header);
         b.switch_to(header);
         let i0 = b.read_var("i").unwrap();
-        let c = b.call(Callee::Builtin(Rc::from("Less")), vec![i0, n.into()]);
+        let c = b.call(Callee::Builtin(Arc::from("Less")), vec![i0, n.into()]);
         b.branch(c, body, exit);
         b.seal_block(body);
         b.switch_to(body);
         let i1 = b.read_var("i").unwrap();
         let inc = b.call(
-            Callee::Builtin(Rc::from("Plus")),
+            Callee::Builtin(Arc::from("Plus")),
             vec![i1, Constant::I64(1).into()],
         );
         b.write_var("i", inc);

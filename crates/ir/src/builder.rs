@@ -249,10 +249,10 @@ impl FunctionBuilder {
 mod tests {
     use super::*;
     use crate::module::Callee;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn plus(b: &mut FunctionBuilder, x: Operand, y: Operand) -> VarId {
-        b.call(Callee::Builtin(Rc::from("Plus")), vec![x, y])
+        b.call(Callee::Builtin(Arc::from("Plus")), vec![x, y])
     }
 
     #[test]
@@ -317,7 +317,7 @@ mod tests {
         b.jump(header);
         b.switch_to(header);
         let i0 = b.read_var("i").unwrap();
-        let cond = b.call(Callee::Builtin(Rc::from("Less")), vec![i0, n.into()]);
+        let cond = b.call(Callee::Builtin(Arc::from("Less")), vec![i0, n.into()]);
         b.branch(cond, body, exit);
         b.seal_block(body);
 

@@ -2,7 +2,7 @@
 //! modules, and program modules.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_expr::Expr;
 use wolfram_types::Type;
 
@@ -30,11 +30,11 @@ pub enum Constant {
     /// Machine complex.
     Complex(f64, f64),
     /// String literal.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// A packed constant integer array (e.g. the PrimeQ seed table, §6).
-    I64Array(Rc<[i64]>),
+    I64Array(Arc<[i64]>),
     /// A packed constant real array.
-    F64Array(Rc<[f64]>),
+    F64Array(Arc<[f64]>),
     /// An arbitrary symbolic expression (F8).
     Expr(Expr),
     /// The unit value.
@@ -62,14 +62,14 @@ impl Constant {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Callee {
     /// An unresolved Wolfram function (WIR stage): `Plus`, `Part`, ...
-    Builtin(Rc<str>),
+    Builtin(Arc<str>),
     /// A runtime primitive with a mangled name (TWIR stage), e.g.
     /// `checked_binary_plus_Integer64_Integer64`.
-    Primitive(Rc<str>),
+    Primitive(Arc<str>),
     /// A resolved call to another function in this program module.
     Function {
         /// The mangled name.
-        name: Rc<str>,
+        name: Arc<str>,
         /// The resolved function index.
         func: FuncId,
     },
@@ -77,7 +77,7 @@ pub enum Callee {
     Value(VarId),
     /// An escape to the interpreter (`KernelFunction`, F1/F9): evaluate
     /// `head[args...]` in the Wolfram Engine.
-    Kernel(Rc<str>),
+    Kernel(Arc<str>),
 }
 
 impl Callee {
@@ -172,7 +172,7 @@ pub enum Instr {
         /// Result variable.
         dst: VarId,
         /// The lifted function's name.
-        func: Rc<str>,
+        func: Arc<str>,
         /// Captured environment.
         captures: Vec<Operand>,
     },
@@ -743,7 +743,7 @@ mod tests {
     fn defs_and_uses() {
         let i = Instr::Call {
             dst: VarId(3),
-            callee: Callee::Builtin(Rc::from("Plus")),
+            callee: Callee::Builtin(Arc::from("Plus")),
             args: vec![VarId(1).into(), Constant::I64(1).into()],
         };
         assert_eq!(i.def(), Some(VarId(3)));
@@ -771,13 +771,13 @@ mod tests {
     fn purity_classification() {
         let pure = Instr::Call {
             dst: VarId(0),
-            callee: Callee::Primitive(Rc::from("checked_binary_plus_Integer64_Integer64")),
+            callee: Callee::Primitive(Arc::from("checked_binary_plus_Integer64_Integer64")),
             args: vec![],
         };
         assert!(pure.is_pure());
         let kernel = Instr::Call {
             dst: VarId(0),
-            callee: Callee::Kernel(Rc::from("Print")),
+            callee: Callee::Kernel(Arc::from("Print")),
             args: vec![],
         };
         assert!(!kernel.is_pure());
@@ -817,9 +817,9 @@ mod tests {
     #[test]
     fn constant_types() {
         assert_eq!(Constant::I64(1).ty(), Type::integer64());
-        assert_eq!(Constant::Str(Rc::from("s")).ty(), Type::string());
+        assert_eq!(Constant::Str(Arc::from("s")).ty(), Type::string());
         assert_eq!(
-            Constant::I64Array(Rc::from([1i64, 2].as_slice())).ty(),
+            Constant::I64Array(Arc::from([1i64, 2].as_slice())).ty(),
             Type::tensor(Type::integer64(), 1)
         );
     }

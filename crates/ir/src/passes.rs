@@ -12,7 +12,7 @@ use crate::analysis::{liveness, natural_loops, Cfg, Dominators};
 use crate::module::{Block, BlockId, Callee, Constant, Function, Instr, Operand, VarId};
 use crate::verify::{verify_function, VerifyError};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_types::Type;
 
 /// How much verification `run_pipeline` performs after each pass.
@@ -30,7 +30,7 @@ pub enum VerifyLevel {
 /// A semantic checker injected into the pipeline at `VerifyLevel::Full`.
 /// Lives behind a function pointer because `wolfram-ir` cannot depend on
 /// the analyzer crate (it depends on us).
-pub type FullVerifier = Rc<dyn Fn(&Function) -> Result<(), VerifyError>>;
+pub type FullVerifier = Arc<dyn Fn(&Function) -> Result<(), VerifyError>>;
 
 /// Options controlling the standard pipeline.
 #[derive(Clone)]
@@ -1134,10 +1134,10 @@ fn memory_management(f: &mut Function) -> bool {
 mod tests {
     use super::*;
     use crate::builder::FunctionBuilder;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn builtin(name: &str) -> Callee {
-        Callee::Builtin(Rc::from(name))
+        Callee::Builtin(Arc::from(name))
     }
 
     /// if (1 < 2) return 10 else return 20 — folds to return 10.
@@ -1234,7 +1234,7 @@ mod tests {
             vec![Constant::I64(1).into(), Constant::I64(2).into()],
         );
         let _effect = b.call(
-            Callee::Kernel(Rc::from("Print")),
+            Callee::Kernel(Arc::from("Print")),
             vec![Constant::I64(1).into()],
         );
         b.ret(Constant::Null);

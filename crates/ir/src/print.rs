@@ -208,7 +208,7 @@ impl ProgramModule {
 mod tests {
     use crate::builder::FunctionBuilder;
     use crate::module::{Callee, Constant, Instr};
-    use std::rc::Rc;
+    use std::sync::Arc;
     use wolfram_types::Type;
 
     #[test]
@@ -218,7 +218,7 @@ mod tests {
         let arg = b.func.fresh_var();
         b.push(Instr::LoadArgument { dst: arg, index: 0 });
         let sum = b.call(
-            Callee::Primitive(Rc::from("checked_binary_plus_Integer64_Integer64")),
+            Callee::Primitive(Arc::from("checked_binary_plus_Integer64_Integer64")),
             vec![arg.into(), Constant::I64(1).into()],
         );
         b.ret(sum);

@@ -168,12 +168,12 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
 mod tests {
     use super::*;
     use crate::module::{Block, Callee, Constant, Operand};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn call(dst: u32, args: Vec<Operand>) -> Instr {
         Instr::Call {
             dst: VarId(dst),
-            callee: Callee::Builtin(Rc::from("Plus")),
+            callee: Callee::Builtin(Arc::from("Plus")),
             args,
         }
     }

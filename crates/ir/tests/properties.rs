@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_ir::builder::FunctionBuilder;
 use wolfram_ir::module::{Callee, Constant, Function, Instr, Operand};
 use wolfram_ir::passes::{eval_const_builtin, run_pass, run_pipeline, PassOptions};
@@ -118,7 +118,7 @@ fn diamond_chain(writes: &[(bool, bool)]) -> Function {
     }
     let x = b.read_var("x").unwrap();
     let out = b.call(
-        Callee::Builtin(Rc::from("Plus")),
+        Callee::Builtin(Arc::from("Plus")),
         vec![x, Constant::I64(0).into()],
     );
     b.ret(out);

@@ -20,7 +20,7 @@
 //!
 //! # Memory accounting
 //!
-//! Workers only ever see raw `&[f64]`/`&mut [f64]` chunks — `Rc`-managed
+//! Workers only ever see raw `&[f64]`/`&mut [f64]` chunks — `Arc`-managed
 //! values never cross threads — so they normally touch no refcount
 //! counters. They still call [`crate::memory::flush_thread_stats`] after
 //! every task as belt-and-braces, keeping [`crate::memory::global_stats`]

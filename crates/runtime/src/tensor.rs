@@ -8,7 +8,7 @@
 use crate::checked::resolve_part_index;
 use crate::error::RuntimeError;
 use crate::memory::record_tensor_copy;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Element storage for a packed array.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,13 +66,13 @@ struct Repr {
 /// assert_eq!(b.as_i64().unwrap(), &[1, 2, 3]);   // b unchanged
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-pub struct Tensor(Rc<Repr>);
+pub struct Tensor(Arc<Repr>);
 
 impl Tensor {
     /// A rank-1 integer tensor.
     pub fn from_i64(data: Vec<i64>) -> Self {
         let shape = vec![data.len()];
-        Tensor(Rc::new(Repr {
+        Tensor(Arc::new(Repr {
             shape,
             data: TensorData::I64(data),
         }))
@@ -81,7 +81,7 @@ impl Tensor {
     /// A rank-1 real tensor.
     pub fn from_f64(data: Vec<f64>) -> Self {
         let shape = vec![data.len()];
-        Tensor(Rc::new(Repr {
+        Tensor(Arc::new(Repr {
             shape,
             data: TensorData::F64(data),
         }))
@@ -90,7 +90,7 @@ impl Tensor {
     /// A rank-1 complex tensor.
     pub fn from_complex(data: Vec<(f64, f64)>) -> Self {
         let shape = vec![data.len()];
-        Tensor(Rc::new(Repr {
+        Tensor(Arc::new(Repr {
             shape,
             data: TensorData::Complex(data),
         }))
@@ -113,7 +113,7 @@ impl Tensor {
                 data.len()
             )));
         }
-        Ok(Tensor(Rc::new(Repr { shape, data })))
+        Ok(Tensor(Arc::new(Repr { shape, data })))
     }
 
     /// The dimensions.
@@ -143,7 +143,7 @@ impl Tensor {
 
     /// Whether two handles share storage (used by alias analysis tests).
     pub fn shares_storage(&self, other: &Tensor) -> bool {
-        Rc::ptr_eq(&self.0, &other.0)
+        Arc::ptr_eq(&self.0, &other.0)
     }
 
     /// The integer elements, if integer-typed.
@@ -205,10 +205,10 @@ impl Tensor {
     /// Copy-on-write access to the representation: copies if shared,
     /// recording the copy in [`crate::memory`].
     fn make_mut(&mut self) -> &mut Repr {
-        if Rc::strong_count(&self.0) > 1 {
+        if Arc::strong_count(&self.0) > 1 {
             record_tensor_copy();
         }
-        Rc::make_mut(&mut self.0)
+        Arc::make_mut(&mut self.0)
     }
 
     /// Mutable access to the raw data, performing copy-on-write.
@@ -299,7 +299,7 @@ impl Tensor {
         match &self.0.data {
             TensorData::I64(v) => {
                 let data = v.iter().map(|&x| x as f64).collect();
-                Tensor(Rc::new(Repr {
+                Tensor(Arc::new(Repr {
                     shape: self.0.shape.clone(),
                     data: TensorData::F64(data),
                 }))

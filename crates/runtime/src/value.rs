@@ -10,7 +10,7 @@
 use crate::error::RuntimeError;
 use crate::tensor::{Tensor, TensorData};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_expr::{BigInt, Expr, ExprKind};
 
 /// A runtime function value (closure): what `Function[...]` evaluates to in
@@ -19,7 +19,7 @@ use wolfram_expr::{BigInt, Expr, ExprKind};
 #[derive(Debug, Clone, PartialEq)]
 pub struct FunctionValue {
     /// Resolved (mangled) name of the target function.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Index into the executing program's function table.
     pub index: usize,
     /// Captured environment values (closure conversion, §4.2).
@@ -40,15 +40,15 @@ pub enum Value {
     /// A machine complex number.
     Complex(f64, f64),
     /// A string (reference counted; copied on mutation).
-    Str(Rc<String>),
+    Str(Arc<String>),
     /// A packed array.
     Tensor(Tensor),
     /// A symbolic expression (the `"Expression"` type, F8).
     Expr(Expr),
     /// An arbitrary-precision integer (interpreter fallback arithmetic).
-    Big(Rc<BigInt>),
+    Big(Arc<BigInt>),
     /// A function value.
-    Function(Rc<FunctionValue>),
+    Function(Arc<FunctionValue>),
 }
 
 impl Value {
@@ -220,10 +220,10 @@ impl Value {
     pub fn from_expr(e: &Expr) -> Value {
         match e.kind() {
             ExprKind::Integer(v) => Value::I64(*v),
-            ExprKind::BigInteger(b) => Value::Big(Rc::new((**b).clone())),
+            ExprKind::BigInteger(b) => Value::Big(Arc::new((**b).clone())),
             ExprKind::Real(v) => Value::F64(*v),
             ExprKind::Complex(re, im) => Value::Complex(*re, *im),
-            ExprKind::Str(s) => Value::Str(Rc::new(s.to_string())),
+            ExprKind::Str(s) => Value::Str(Arc::new(s.to_string())),
             ExprKind::Symbol(s) => match s.name() {
                 "True" => Value::Bool(true),
                 "False" => Value::Bool(false),
@@ -381,7 +381,7 @@ mod tests {
     fn type_names_and_managed() {
         assert_eq!(Value::I64(1).type_name(), "Integer64");
         assert!(!Value::I64(1).is_managed());
-        assert!(Value::Str(Rc::new("s".into())).is_managed());
+        assert!(Value::Str(Arc::new("s".into())).is_managed());
         assert!(Value::Tensor(Tensor::from_i64(vec![1])).is_managed());
         assert!(Value::Expr(Expr::sym("x")).is_managed());
     }
@@ -402,7 +402,7 @@ mod tests {
             Value::F64(2.5),
             Value::Bool(true),
             Value::Null,
-            Value::Str(Rc::new("hello".into())),
+            Value::Str(Arc::new("hello".into())),
             Value::Complex(1.0, -2.0),
         ] {
             let e = v.to_expr();

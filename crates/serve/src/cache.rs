@@ -1,20 +1,29 @@
 //! The content-addressed artifact cache.
 //!
-//! Each pool shard owns one [`ArtifactCache`]: a strict least-recently-used
-//! map from [`CacheKey`] to a compiled artifact tagged with its tier
-//! (bytecode vs native). Shards are thread-confined — artifacts hold `Rc`
-//! internally and never cross threads — so the cache needs no locks; the
-//! only shared state is the hit/miss/eviction counters, which the worker
-//! reports into the pool-wide [`crate::metrics::ServeMetrics`].
+//! Two layers live here:
 //!
-//! Single-flight deduplication is structural rather than lock-based: all
-//! requests for one program route to one shard (see [`crate::key`]), and a
-//! shard executes its queue serially, so N concurrent requests for the
-//! same uncached program trigger exactly one compile — the other N−1 find
-//! the artifact already resident when their turn comes.
+//! - [`ArtifactCache`]: a strict least-recently-used map from
+//!   [`CacheKey`] to a compiled artifact tagged with its tier (bytecode
+//!   vs native). Lock-free and single-owner; the building block.
+//! - [`SharedArtifactCache`]: the process-wide store every pool worker
+//!   shares. Now that artifacts are `Send + Sync`
+//!   ([`wolfram_compiler_core::CompiledArtifact`]), one compilation
+//!   serves every thread: the store is a vector of `Mutex`-guarded
+//!   [`ArtifactCache`] shards (keyed by canonical-key hash, independent
+//!   of request routing), each with a [`Condvar`] that implements
+//!   cross-worker **single-flight**: the first claimant of an absent key
+//!   gets a [`ComputeTicket`] and compiles; every other claimant blocks
+//!   on the condvar and wakes to a hit. N concurrent requests for one
+//!   uncached program — even different textual spellings landing on
+//!   different pool workers — trigger exactly one compile.
+//!
+//! Request *routing* (which worker runs a request) still hashes raw
+//! source bytes (see [`crate::key`]); artifact *storage* hashes the
+//! canonical key, so spellings that parse to one program share one entry.
 
 use crate::key::CacheKey;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Which engine an artifact targets (the Titzer-style tier tag: bytecode
 /// compiles fast and runs slow; native compiles slow and runs fast).
@@ -38,7 +47,7 @@ impl std::fmt::Display for Tier {
 /// A resident cache entry.
 #[derive(Debug)]
 pub struct Entry<A> {
-    /// The compiled artifact (thread-confined).
+    /// The compiled artifact.
     pub artifact: A,
     /// Which tier compiled it.
     pub tier: Tier,
@@ -232,6 +241,171 @@ impl<A> ArtifactCache<A> {
     }
 }
 
+/// What a [`SharedArtifactCache::claim`] resolved to.
+pub enum Claim<A> {
+    /// The artifact is resident (possibly because another thread just
+    /// finished compiling it while we waited).
+    Hit {
+        /// A clone of the shared artifact.
+        artifact: A,
+        /// The tier that compiled it.
+        tier: Tier,
+        /// What the resident artifact cost to compile.
+        compile_ns: u64,
+        /// Times the entry has served (after this claim).
+        hits: u64,
+    },
+    /// This claimant owns the compile: no other thread will compile this
+    /// key until the ticket is fulfilled or dropped.
+    Compute(ComputeTicket<A>),
+}
+
+/// The single-flight compile permit for one key. Exactly one exists per
+/// in-flight key; holders must either [`ComputeTicket::fulfill`] it with
+/// a compiled entry or drop it (compile failure), which releases every
+/// waiter to retry — the next claimant becomes the new owner.
+pub struct ComputeTicket<A> {
+    cache: Arc<SharedArtifactCache<A>>,
+    key: CacheKey,
+    fulfilled: bool,
+}
+
+impl<A> ComputeTicket<A> {
+    /// The key this ticket owns.
+    pub fn key(&self) -> CacheKey {
+        self.key
+    }
+
+    /// Publishes the compiled entry and wakes every waiter. Returns the
+    /// evicted key, if the insert displaced one.
+    pub fn fulfill(mut self, entry: Entry<A>) -> Option<CacheKey> {
+        self.fulfilled = true;
+        let shard = self.cache.shard(&self.key);
+        let mut st = lock(&shard.state);
+        let evicted = st.lru.insert(self.key, entry);
+        st.inflight.remove(&self.key);
+        shard.cv.notify_all();
+        evicted
+    }
+}
+
+impl<A> Drop for ComputeTicket<A> {
+    fn drop(&mut self) {
+        if self.fulfilled {
+            return;
+        }
+        // Compile failed (or the holder panicked): release the key so
+        // waiters stop blocking and the next claimant retries.
+        let shard = self.cache.shard(&self.key);
+        let mut st = lock(&shard.state);
+        st.inflight.remove(&self.key);
+        shard.cv.notify_all();
+    }
+}
+
+struct ShardState<A> {
+    lru: ArtifactCache<A>,
+    /// Keys currently being compiled by some thread.
+    inflight: HashSet<CacheKey>,
+}
+
+struct Shard<A> {
+    state: Mutex<ShardState<A>>,
+    cv: Condvar,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A worker that panics mid-insert leaves consistent state (inserts
+    // are single calls); keep serving rather than poisoning the pool.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The process-wide artifact store: sharded `Mutex<ArtifactCache>` with
+/// per-shard condvars for cross-thread single-flight.
+///
+/// Storage sharding is by canonical [`CacheKey`] hash and exists only to
+/// cut lock contention; it is unrelated to request routing. Capacity is
+/// `shards * cap_per_shard` total entries.
+pub struct SharedArtifactCache<A> {
+    shards: Vec<Shard<A>>,
+}
+
+impl<A> SharedArtifactCache<A> {
+    fn shard(&self, key: &CacheKey) -> &Shard<A> {
+        // The key is already two independent FNV lanes; fold in the
+        // options word and spread with a multiply-shift.
+        let h = (key.program[0] ^ key.program[1].rotate_left(32) ^ key.options)
+            .wrapping_mul(0x2545_f491_4f6c_dd1d);
+        &self.shards[(h >> 33) as usize % self.shards.len()]
+    }
+}
+
+impl<A: Clone> SharedArtifactCache<A> {
+    /// A store with `shards` lock shards of `cap_per_shard` entries each.
+    pub fn new(shards: usize, cap_per_shard: usize) -> Arc<Self> {
+        let n = shards.max(1);
+        Arc::new(SharedArtifactCache {
+            shards: (0..n)
+                .map(|_| Shard {
+                    state: Mutex::new(ShardState {
+                        lru: ArtifactCache::new(cap_per_shard),
+                        inflight: HashSet::new(),
+                    }),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Resolves `key` to a hit or a compute permit, blocking while
+    /// another thread holds the permit.
+    ///
+    /// The caller MUST resolve a returned [`ComputeTicket`] promptly
+    /// (fulfill or drop); holding it parks every concurrent claimant of
+    /// the same key.
+    pub fn claim(self: &Arc<Self>, key: CacheKey) -> Claim<A> {
+        let shard = self.shard(&key);
+        let mut st = lock(&shard.state);
+        loop {
+            if let Some(e) = st.lru.lookup(&key) {
+                return Claim::Hit {
+                    artifact: e.artifact.clone(),
+                    tier: e.tier,
+                    compile_ns: e.compile_ns,
+                    hits: e.hits,
+                };
+            }
+            if st.inflight.insert(key) {
+                return Claim::Compute(ComputeTicket {
+                    cache: Arc::clone(self),
+                    key,
+                    fulfilled: false,
+                });
+            }
+            st = shard.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Replaces (or inserts) an entry outside the single-flight protocol
+    /// — tier promotion publishes its upgraded artifact through this.
+    /// Returns the evicted key, if any.
+    pub fn publish(&self, key: CacheKey, entry: Entry<A>) -> Option<CacheKey> {
+        let shard = self.shard(&key);
+        let mut st = lock(&shard.state);
+        st.lru.insert(key, entry)
+    }
+
+    /// Total resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(&s.state).lru.len()).sum()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,5 +494,105 @@ mod tests {
         // 100 inserts through a 2-slot cache allocate only 2 slots.
         assert_eq!(c.slots.len(), 2);
         assert_eq!(c.counters().evictions, 98);
+    }
+
+    #[test]
+    fn shared_cache_single_flight_under_contention() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // 16 threads race to claim the same absent key; exactly one gets
+        // the compute ticket, everyone else blocks and wakes to a hit.
+        let cache: Arc<SharedArtifactCache<u32>> = SharedArtifactCache::new(4, 8);
+        let compiles = Arc::new(AtomicU64::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(16));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let compiles = Arc::clone(&compiles);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    match cache.claim(key(7)) {
+                        Claim::Compute(ticket) => {
+                            compiles.fetch_add(1, Ordering::SeqCst);
+                            // Hold the permit long enough that the other
+                            // 15 threads really do pile up on the condvar.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            ticket.fulfill(entry(42));
+                            42
+                        }
+                        Claim::Hit { artifact, .. } => artifact,
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 42);
+        }
+        assert_eq!(compiles.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn dropped_ticket_releases_waiters_to_retry() {
+        let cache: Arc<SharedArtifactCache<u32>> = SharedArtifactCache::new(1, 8);
+        let Claim::Compute(ticket) = cache.claim(key(1)) else {
+            panic!("first claim must be a compute");
+        };
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || match cache.claim(key(1)) {
+                Claim::Compute(t) => {
+                    // The failed compile fell to us; succeed this time.
+                    t.fulfill(entry(9));
+                    "retried"
+                }
+                Claim::Hit { .. } => "hit",
+            })
+        };
+        // Simulated compile failure: drop without fulfilling.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(ticket);
+        assert_eq!(waiter.join().unwrap(), "retried");
+        // And the retry's artifact is now resident for everyone.
+        match cache.claim(key(1)) {
+            Claim::Hit { artifact, .. } => assert_eq!(artifact, 9),
+            Claim::Compute(_) => panic!("artifact should be resident"),
+        }
+    }
+
+    #[test]
+    fn publish_replaces_entry_in_place() {
+        let cache: Arc<SharedArtifactCache<u32>> = SharedArtifactCache::new(2, 4);
+        let Claim::Compute(t) = cache.claim(key(3)) else {
+            panic!("expected compute");
+        };
+        t.fulfill(Entry {
+            artifact: 1,
+            tier: Tier::Bytecode,
+            compile_ns: 10,
+            hits: 0,
+        });
+        // Tier promotion path: replace with the native artifact.
+        cache.publish(
+            key(3),
+            Entry {
+                artifact: 2,
+                tier: Tier::Native,
+                compile_ns: 99,
+                hits: 0,
+            },
+        );
+        match cache.claim(key(3)) {
+            Claim::Hit {
+                artifact,
+                tier,
+                compile_ns,
+                ..
+            } => {
+                assert_eq!((artifact, tier, compile_ns), (2, Tier::Native, 99));
+            }
+            Claim::Compute(_) => panic!("expected hit"),
+        }
+        assert_eq!(cache.len(), 1);
     }
 }

@@ -1,0 +1,279 @@
+//! The disk-backed second cache level: content-addressed bytecode images
+//! that let a restarted server start warm.
+//!
+//! Layout: one file per artifact, named by the full [`CacheKey`] (two
+//! program-hash lanes + options fingerprint rendered as hex), so the
+//! store is content-addressed — a cache directory can be shared between
+//! processes, copied, or deleted wholesale, and a key collision is as
+//! unlikely as a 128-bit hash collision.
+//!
+//! Durability and corruption rules (the vector `disk_v2` buffer and every
+//! serious on-disk cache follow the same three):
+//!
+//! 1. **Atomic visibility**: entries are written to a same-directory temp
+//!    file and `rename`d into place, so a reader never observes a partial
+//!    write and a crash mid-store leaves at most a stray temp file.
+//! 2. **Checksummed**: the payload carries an FNV-1a checksum in a fixed
+//!    header; a flipped bit fails the checksum before the (already
+//!    corruption-tolerant, versioned) image parser even runs.
+//! 3. **Corruption = miss**: any unreadable, truncated, mismatched, or
+//!    stale-versioned entry is reported as [`DiskOutcome::Corrupt`] and
+//!    treated as a cache miss — the server recompiles and overwrites.
+//!    Disk problems can cost a compile; they can never cost an answer.
+//!
+//! Only bytecode-tier artifacts are stored: a native `NativeProgram` is a
+//! pointer-rich in-memory structure with no serial form, while the
+//! bytecode `CompiledFunction` is "a serialized compiled object" by
+//! design (§2.2) — see [`wolfram_bytecode::image`].
+
+use crate::key::{fnv1a, CacheKey};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use wolfram_bytecode::CompiledFunction;
+
+/// Header magic for a disk entry (distinct from the inner image magic so
+/// a mixed-up file is diagnosed as "not a cache entry", not "corrupt
+/// image").
+const ENTRY_MAGIC: [u8; 4] = *b"WSDC";
+
+/// What a disk lookup resolved to.
+#[derive(Debug)]
+pub enum DiskOutcome {
+    /// A checksum-clean, version-current image.
+    Hit(CompiledFunction),
+    /// No entry for this key.
+    Miss,
+    /// An entry exists but is unreadable, truncated, checksum-mismatched,
+    /// or version-stale; the caller should recompile (and overwrite).
+    Corrupt,
+}
+
+/// A content-addressed directory of compiled bytecode images.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    /// Distinguishes temp files across threads of one process.
+    temp_seq: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures; an unusable directory is a
+    /// configuration error, not a cache miss.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<DiskCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskCache {
+            dir,
+            temp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory backing this cache.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry path for a key (exposed so tests can corrupt it).
+    pub fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!(
+            "{:016x}{:016x}-{:016x}.wlbc",
+            key.program[0], key.program[1], key.options
+        ))
+    }
+
+    /// Loads the entry for `key`, checksum-verified.
+    pub fn load(&self, key: &CacheKey) -> DiskOutcome {
+        let path = self.entry_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return DiskOutcome::Miss,
+            Err(_) => return DiskOutcome::Corrupt,
+        };
+        // Header: magic(4) | checksum(8, LE) | payload.
+        if bytes.len() < 12 || bytes[..4] != ENTRY_MAGIC {
+            return DiskOutcome::Corrupt;
+        }
+        let stored = u64::from_le_bytes(bytes[4..12].try_into().expect("8 bytes"));
+        let payload = &bytes[12..];
+        if fnv1a(0, payload) != stored {
+            return DiskOutcome::Corrupt;
+        }
+        match wolfram_bytecode::from_image(payload) {
+            Ok(cf) => DiskOutcome::Hit(cf),
+            Err(_) => DiskOutcome::Corrupt,
+        }
+    }
+
+    /// Stores a bytecode artifact under `key` with write-then-rename
+    /// atomicity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O failures; callers treat a failed
+    /// store as "the cache stays cold for this key", never as a request
+    /// failure.
+    pub fn store(&self, key: &CacheKey, cf: &CompiledFunction) -> std::io::Result<()> {
+        let payload = wolfram_bytecode::to_image(cf)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut bytes = Vec::with_capacity(12 + payload.len());
+        bytes.extend_from_slice(&ENTRY_MAGIC);
+        bytes.extend_from_slice(&fnv1a(0, &payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        // Same-directory temp so the rename cannot cross filesystems.
+        let seq = self.temp_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.dir.join(format!(
+            ".tmp-{:08x}-{seq}-{}",
+            std::process::id(),
+            key.short()
+        ));
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, self.entry_path(key))
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Number of (apparently valid, by name) entries in the directory.
+    pub fn entry_count(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.file_name().to_str().is_some_and(|n| n.ends_with(".wlbc")))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wolfram_bytecode::{ArgSpec, BytecodeCompiler};
+    use wolfram_expr::parse;
+    use wolfram_runtime::Value;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wolfram-serve-disk-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn compile(src: &str) -> CompiledFunction {
+        BytecodeCompiler::new()
+            .compile(&[ArgSpec::int("n")], &parse(src).unwrap())
+            .unwrap()
+    }
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey {
+            program: [n, n ^ 0x1234],
+            options: 99,
+        }
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let dir = tempdir("roundtrip");
+        let cache = DiskCache::open(&dir).unwrap();
+        let cf = compile("n * n + 1");
+        cache.store(&key(1), &cf).unwrap();
+        assert_eq!(cache.entry_count(), 1);
+        match cache.load(&key(1)) {
+            DiskOutcome::Hit(back) => {
+                assert_eq!(back.run(&[Value::I64(6)]).unwrap(), Value::I64(37));
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert!(matches!(cache.load(&key(2)), DiskOutcome::Miss));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_and_bitflip_are_corrupt_not_fatal() {
+        let dir = tempdir("corrupt");
+        let cache = DiskCache::open(&dir).unwrap();
+        let cf = compile("n + 1");
+        cache.store(&key(1), &cf).unwrap();
+        let path = cache.entry_path(&key(1));
+        let full = std::fs::read(&path).unwrap();
+
+        // Truncate to every shorter length: always Corrupt, never panic.
+        for n in [0, 3, 11, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..n]).unwrap();
+            assert!(
+                matches!(cache.load(&key(1)), DiskOutcome::Corrupt),
+                "truncation to {n} bytes must be corrupt"
+            );
+        }
+
+        // A single flipped payload bit fails the checksum.
+        let mut flipped = full.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(cache.load(&key(1)), DiskOutcome::Corrupt));
+
+        // Restoring the original bytes restores the hit.
+        std::fs::write(&path, &full).unwrap();
+        assert!(matches!(cache.load(&key(1)), DiskOutcome::Hit(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_overwrite_is_atomic_per_key() {
+        let dir = tempdir("overwrite");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.store(&key(1), &compile("n + 1")).unwrap();
+        cache.store(&key(1), &compile("n + 2")).unwrap();
+        assert_eq!(cache.entry_count(), 1, "overwrite keeps one entry");
+        match cache.load(&key(1)) {
+            DiskOutcome::Hit(cf) => {
+                assert_eq!(cf.run(&[Value::I64(1)]).unwrap(), Value::I64(3));
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // No temp litter after successful stores.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(stray.is_empty(), "stray temp files: {stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_stale_entries_miss_cleanly() {
+        let dir = tempdir("version");
+        let cache = DiskCache::open(&dir).unwrap();
+        let cf = compile("n");
+        cache.store(&key(1), &cf).unwrap();
+        // Rewrite the entry with a bumped inner image version and a
+        // *correct* outer checksum: the image parser must reject it.
+        let path = cache.entry_path(&key(1));
+        let bytes = std::fs::read(&path).unwrap();
+        let mut payload = bytes[12..].to_vec();
+        payload[4] = payload[4].wrapping_add(1); // image version field
+        let mut rewritten = Vec::new();
+        rewritten.extend_from_slice(&ENTRY_MAGIC);
+        rewritten.extend_from_slice(&fnv1a(0, &payload).to_le_bytes());
+        rewritten.extend_from_slice(&payload);
+        std::fs::write(&path, rewritten).unwrap();
+        assert!(matches!(cache.load(&key(1)), DiskOutcome::Corrupt));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

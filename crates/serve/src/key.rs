@@ -21,7 +21,8 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// FNV-1a over `bytes`, seeded so two independent lanes decorrelate.
-fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+/// (Also the disk-cache checksum; see [`crate::disk`].)
+pub(crate) fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
     let mut h = FNV_OFFSET ^ seed;
     for b in bytes {
         h ^= u64::from(*b);

@@ -3,58 +3,61 @@
 //!
 //! The paper's compiler is invoked interactively — one `FunctionCompile`
 //! per kernel call. A production serving story (the ROADMAP north star)
-//! instead amortizes compilation across requests and bounds evaluation:
+//! instead amortizes compilation across requests, across workers, and
+//! across process restarts, and bounds evaluation:
 //!
-//! - **Content-addressed compile cache** ([`cache`], keyed by [`key`]):
-//!   artifacts are identified by a hash of the canonicalized MExpr plus
-//!   the [`CompilerOptions::fingerprint`], LRU-bounded, tagged with their
-//!   tier (bytecode vs native), with hit/miss/eviction counters.
-//! - **Sharded worker pool** ([`pool`]): requests route by content hash
-//!   to a fixed worker; each worker owns its shard of the cache and
-//!   executes its queue serially, which makes single-flight deduplication
-//!   *structural* — N concurrent requests for one uncached program reach
-//!   one shard and trigger exactly one compile. Admission is a bounded
-//!   queue with explicit [`ServeError::Overloaded`] rejection.
+//! - **Shared two-level compile cache** ([`cache`] and [`disk`], keyed by
+//!   [`key`]): artifacts are identified by a hash of the canonicalized
+//!   MExpr plus the [`CompilerOptions::fingerprint`]. Level 1 is one
+//!   process-wide [`SharedArtifactCache`] — a sharded-lock map of
+//!   `Send + Sync` artifacts, so a program compiled once serves *every*
+//!   worker. Level 2 is an optional [`DiskCache`] of checksummed,
+//!   versioned bytecode images, so a restarted server starts warm.
+//! - **Single-flight compilation** ([`cache::Claim`]): N concurrent
+//!   requests for one uncached program produce one [`cache::ComputeTicket`]
+//!   and N−1 condvar waiters; exactly one compile runs, and a failed or
+//!   abandoned compile releases the waiters to retry rather than wedging
+//!   them.
+//! - **Worker pool with bounded admission** ([`pool`]): requests route by
+//!   content hash to a fixed worker queue; overflow is an explicit
+//!   [`ServeError::Overloaded`] rejection, never an unbounded backlog.
+//! - **Wire protocol** ([`net`]): `u32`-length-prefixed UTF-8 frames over
+//!   TCP with in-order replies and a per-client pipelining cap as the
+//!   fairness layer on top of pool shedding.
 //! - **Deadlines** ([`deadline`]): every request's remaining budget is
 //!   armed on a shared timer that triggers the worker's
 //!   [`wolfram_runtime::AbortSignal`]; compiled code observes it at loop
 //!   headers and prologues (§4.5) and unwinds as `Aborted` without
 //!   poisoning the worker.
-//! - **Metrics** ([`metrics`]): request/outcome counters, cache hit
-//!   rate, queue depth, and compile/execute/request latency histograms.
+//! - **Metrics** ([`metrics`]): request/outcome counters, cache and disk
+//!   hit counters, queue depth, and compile/execute/request latency
+//!   histograms, served machine-readably over the wire as `!stats`.
 //!
-//! # Send/Sync audit (why the pool is sharded, not work-stealing)
+//! # Send/Sync audit (what crosses threads, and what never does)
 //!
-//! Compiled artifacts are **thread-confined by construction**: a
-//! [`wolfram_compiler_core::CompiledCodeFunction`] holds `Rc<ProgramModule>`,
-//! `Rc<NativeProgram>` (whose `RegOp` streams embed constant
-//! [`wolfram_runtime::Value`]s), and an optional `Rc<RefCell<Interpreter>>`
-//! hosting engine; a [`wolfram_runtime::Value`] itself can hold `Rc<String>`,
-//! `Rc<BigInt>`, copy-on-write tensors, and `Value::Expr` (the `Rc`-based
-//! MExpr). None of these are `Send`, and making them so would put atomic
-//! reference counting on the interpreter's hottest paths. The service
-//! therefore never moves an artifact, argument value, or result across
-//! threads: requests cross the boundary as *text* (source and `InputForm`
-//! arguments), replies cross back as text, and everything `Rc`-based
-//! lives and dies on its shard. What *does* cross threads is audited at
-//! compile time below and in `tests/send_audit.rs`: [`ServeRequest`],
-//! [`ServeReply`], the metrics block, and the deadline timer are
-//! `Send + Sync`.
+//! The shared level-1 cache only works because compiled artifacts are
+//! `Send + Sync` by construction: a
+//! [`wolfram_compiler_core::CompiledArtifact`] holds `Arc<ProgramModule>`
+//! and `Arc<NativeProgram>` (whose `RegOp` streams embed constant
+//! [`wolfram_runtime::Value`]s — themselves `Arc`-based, including
+//! interned strings, big integers, copy-on-write tensors, and the MExpr
+//! form), and the bytecode tier's `CompiledFunction` is a plain data
+//! image. `tests/send_audit.rs` asserts all of this positively at compile
+//! time.
 //!
-//! Compiled artifacts must NOT become sendable by accident; if this
-//! compiles, the sharding invariant is gone and the design needs a
+//! What stays thread-confined is *execution state*: a
+//! [`wolfram_compiler_core::CompiledCodeFunction`] wraps an artifact
+//! together with its abort signal, its register machine, and an optional
+//! `Rc<RefCell<Interpreter>>` hosting engine for eval-escapes. Workers
+//! therefore share artifacts but instantiate per-worker execution handles
+//! ([`wolfram_compiler_core::CompiledArtifact::instantiate`]); arguments
+//! and results still cross the boundary as text. If this ever compiles,
+//! an interpreter handle has leaked across threads and the design needs a
 //! re-audit:
 //!
 //! ```compile_fail
 //! fn assert_send<T: Send>() {}
 //! assert_send::<wolfram_compiler_core::CompiledCodeFunction>();
-//! ```
-//!
-//! Runtime values are equally confined:
-//!
-//! ```compile_fail
-//! fn assert_send<T: Send>() {}
-//! assert_send::<wolfram_runtime::Value>();
 //! ```
 //!
 //! # Quickstart
@@ -72,7 +75,7 @@
 //! );
 //! let reply = pool.call(req.clone());
 //! assert_eq!(reply.result.as_deref(), Ok("42"));
-//! // Same program again: served from the artifact cache.
+//! // Same program again: served from the shared artifact cache.
 //! let again = pool.call(req);
 //! assert_eq!(again.cache, wolfram_serve::CacheStatus::Hit);
 //! assert!(pool.metrics().hit_rate() > 0.0);
@@ -80,15 +83,21 @@
 
 pub mod cache;
 pub mod deadline;
+pub mod disk;
 pub mod key;
 pub mod metrics;
+pub mod net;
 pub mod pool;
 mod worker;
 
-pub use cache::{ArtifactCache, CacheCounters, Entry, Tier};
+pub use cache::{
+    ArtifactCache, CacheCounters, Claim, ComputeTicket, Entry, SharedArtifactCache, Tier,
+};
 pub use deadline::DeadlineTimer;
+pub use disk::{DiskCache, DiskOutcome};
 pub use key::CacheKey;
 pub use metrics::{fmt_ns, Histogram, ServeMetrics};
+pub use net::{NetClient, NetConfig, NetReply};
 pub use pool::{
     CacheStatus, PendingReply, ServeConfig, ServeError, ServePool, ServeReply, ServeRequest,
     TierPolicy,

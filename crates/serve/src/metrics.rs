@@ -116,6 +116,12 @@ pub struct ServeMetrics {
     pub cache_misses: AtomicU64,
     /// LRU evictions across all shards.
     pub cache_evictions: AtomicU64,
+    /// In-memory misses served from the disk cache (no compile ran).
+    pub disk_hits: AtomicU64,
+    /// Artifacts written to the disk cache.
+    pub disk_stores: AtomicU64,
+    /// Disk entries rejected as corrupt/stale (each cost one recompile).
+    pub disk_corrupt: AtomicU64,
     /// Current total queued requests across all shards.
     pub queue_depth: AtomicU64,
     /// High-water mark of `queue_depth`.
@@ -146,6 +152,32 @@ impl ServeMetrics {
         }
     }
 
+    /// Every counter as stable `name` → value pairs: the machine-readable
+    /// face of [`ServeMetrics::render`], served over the wire as the
+    /// `!stats` request and asserted on by the CI warm-restart gate.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("admitted", g(&self.admitted)),
+            ("rejected", g(&self.rejected)),
+            ("ok", g(&self.ok)),
+            ("compile_errors", g(&self.compile_errors)),
+            ("runtime_errors", g(&self.runtime_errors)),
+            ("aborted", g(&self.aborted)),
+            ("fallbacks", g(&self.fallbacks)),
+            ("compiles", g(&self.compiles)),
+            ("promotions", g(&self.promotions)),
+            ("cache_hits", g(&self.cache_hits)),
+            ("cache_misses", g(&self.cache_misses)),
+            ("cache_evictions", g(&self.cache_evictions)),
+            ("disk_hits", g(&self.disk_hits)),
+            ("disk_stores", g(&self.disk_stores)),
+            ("disk_corrupt", g(&self.disk_corrupt)),
+            ("request_p50_ns", self.request_latency.quantile_ns(0.50)),
+            ("request_p99_ns", self.request_latency.quantile_ns(0.99)),
+        ]
+    }
+
     /// Renders the stats table the CLI prints.
     pub fn render(&self) -> String {
         let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
@@ -169,6 +201,12 @@ impl ServeMetrics {
             self.hit_rate() * 100.0,
             g(&self.compiles),
             g(&self.promotions),
+        ));
+        out.push_str(&format!(
+            "  disk       hits {:>12}  stores {:>8}  corrupt {:>8}\n",
+            g(&self.disk_hits),
+            g(&self.disk_stores),
+            g(&self.disk_corrupt),
         ));
         out.push_str(&format!(
             "  queue      depth {:>11}  max {:>11}\n",

@@ -8,8 +8,9 @@
 //! than queueing unboundedly — the client decides whether to retry,
 //! shed, or slow down.
 
-use crate::cache::Tier;
+use crate::cache::{SharedArtifactCache, Tier};
 use crate::deadline::DeadlineTimer;
+use crate::disk::DiskCache;
 use crate::key;
 use crate::metrics::ServeMetrics;
 use crate::worker;
@@ -44,13 +45,19 @@ pub struct ServeConfig {
     /// Bounded queue length per shard; a full queue rejects with
     /// [`ServeError::Overloaded`].
     pub queue_cap: usize,
-    /// Artifact-cache entries per shard; 0 disables caching (every
-    /// request recompiles — the bench baseline).
+    /// Artifact-cache entries per lock shard of the shared store (the
+    /// store has one shard per worker, so total capacity is
+    /// `workers * cache_cap`); 0 disables caching (every request
+    /// recompiles — the bench baseline).
     pub cache_cap: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
     /// Tier selection policy.
     pub tier_policy: TierPolicy,
+    /// Directory for the disk-backed second cache level; `None` keeps
+    /// the cache purely in-memory. An unusable directory disables the
+    /// disk level with a warning (the server must keep answering).
+    pub disk_cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +68,7 @@ impl Default for ServeConfig {
             cache_cap: 512,
             default_deadline: None,
             tier_policy: TierPolicy::NativeOnly,
+            disk_cache_dir: None,
         }
     }
 }
@@ -118,6 +126,9 @@ impl ServeRequest {
 pub enum CacheStatus {
     /// Served from a resident artifact.
     Hit,
+    /// Loaded from the disk cache (no compile ran — the warm-restart
+    /// path).
+    DiskHit,
     /// Compiled on this request.
     Miss,
     /// The request failed before the cache was consulted (parse error,
@@ -220,6 +231,7 @@ impl PendingReply {
 pub struct ServePool {
     shards: Vec<SyncSender<Job>>,
     metrics: Arc<ServeMetrics>,
+    cache: Arc<SharedArtifactCache<worker::SharedArtifact>>,
     default_options: CompilerOptions,
     default_deadline: Option<Duration>,
     handles: Vec<std::thread::JoinHandle<()>>,
@@ -238,6 +250,24 @@ impl ServePool {
         assert!(config.workers > 0, "ServeConfig.workers must be >= 1");
         let metrics = Arc::new(ServeMetrics::new());
         let timer = DeadlineTimer::start();
+        // One shared store for the whole pool: one lock shard per worker
+        // keeps total capacity = workers * cache_cap, matching the old
+        // per-worker-cache semantics while letting every worker see
+        // every artifact.
+        let cache = SharedArtifactCache::new(config.workers, config.cache_cap);
+        let disk = config.disk_cache_dir.as_ref().and_then(|dir| {
+            match DiskCache::open(dir) {
+                Ok(d) => Some(Arc::new(d)),
+                Err(e) => {
+                    // Serving beats warm restarts: run memory-only.
+                    eprintln!(
+                        "wolfram-serve: disk cache at {} unusable ({e}); continuing without it",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        });
         let mut shards = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
         for shard in 0..config.workers {
@@ -245,8 +275,13 @@ impl ServePool {
             let worker_metrics = Arc::clone(&metrics);
             let worker_timer = timer.clone();
             let worker_cfg = worker::WorkerConfig {
-                cache_cap: config.cache_cap,
                 tier_policy: config.tier_policy,
+                cache: Arc::clone(&cache),
+                disk: disk.clone(),
+                // Local instantiations are per-worker; bound them by the
+                // worker's fair share of the store (>= 16 so tiny caches
+                // still reuse machines).
+                instance_cap: config.cache_cap.max(16),
             };
             let handle = std::thread::Builder::new()
                 .name(format!("wolfram-serve-{shard}"))
@@ -258,6 +293,7 @@ impl ServePool {
         ServePool {
             shards,
             metrics,
+            cache,
             default_options: CompilerOptions::default(),
             default_deadline: config.default_deadline,
             handles,
@@ -268,6 +304,12 @@ impl ServePool {
     /// The pool's shared metrics block.
     pub fn metrics(&self) -> &ServeMetrics {
         &self.metrics
+    }
+
+    /// Artifacts resident in the shared in-memory store (all workers see
+    /// the same count — there is one store).
+    pub fn resident_artifacts(&self) -> usize {
+        self.cache.len()
     }
 
     /// Number of shards.

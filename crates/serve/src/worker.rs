@@ -1,14 +1,20 @@
-//! The shard worker: owns one cache shard, one hosting interpreter, and
-//! the per-options compilers; executes its queue serially.
+//! The shard worker: a request executor over the process-wide artifact
+//! store.
 //!
-//! Everything `Rc`-based (compiled artifacts, values, the engine) is
-//! created on this thread and never leaves it — see the crate-level
-//! Send/Sync audit. The worker's only cross-thread traffic is the job
-//! queue (text in), the reply channels (text out), the shared metrics
-//! atomics, and the deadline timer.
+//! Since the artifact types went `Send + Sync` (see
+//! [`wolfram_compiler_core::CompiledArtifact`]), workers no longer own
+//! private caches: every worker resolves requests against the shared
+//! [`SharedArtifactCache`], whose compute tickets guarantee one compile
+//! per program across the whole pool. What stays thread-local is the
+//! *execution* state — the hosting interpreter, its abort signal, and a
+//! bounded cache of per-worker [`CompiledCodeFunction`] instantiations
+//! (machine/frame-pool reuse) that is revalidated against the shared
+//! artifact by `Arc` pointer identity, so a republished (e.g. promoted)
+//! artifact is picked up immediately.
 
-use crate::cache::{ArtifactCache, Entry, Tier};
+use crate::cache::{Claim, Entry, SharedArtifactCache, Tier};
 use crate::deadline::DeadlineTimer;
+use crate::disk::{DiskCache, DiskOutcome};
 use crate::key::CacheKey;
 use crate::metrics::ServeMetrics;
 use crate::pool::{CacheStatus, Job, ServeError, ServeReply, TierPolicy};
@@ -26,26 +32,49 @@ use wolfram_interp::Interpreter;
 use wolfram_runtime::{AbortSignal, RuntimeError, Value};
 
 pub(crate) struct WorkerConfig {
-    pub cache_cap: usize,
     pub tier_policy: TierPolicy,
+    /// The process-wide artifact store, shared by every worker.
+    pub cache: Arc<SharedArtifactCache<SharedArtifact>>,
+    /// The optional disk-backed second level.
+    pub disk: Option<Arc<DiskCache>>,
+    /// Bound on the per-worker instantiation cache.
+    pub instance_cap: usize,
 }
 
-/// A compiled artifact, tagged by engine. Clones are cheap (`Rc` bumps
-/// plus small vectors): the worker clones an artifact out of the cache to
-/// execute it so cache bookkeeping and execution don't fight over
-/// borrows.
+/// A compiled artifact as stored in the shared cache: `Send + Sync`,
+/// cheap to clone (`Arc` bumps), execution-state-free.
 #[derive(Clone)]
-enum Artifact {
+pub(crate) enum SharedArtifact {
+    /// The optimizing tier's shareable handle.
+    Native(wolfram_compiler_core::CompiledArtifact),
+    /// The bytecode tier's (already immutable) compiled object.
+    Bytecode(Arc<wolfram_bytecode::CompiledFunction>),
+}
+
+// The invariant the tentpole bought: what the cache shares must stay
+// shareable.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SharedArtifact>();
+};
+
+/// A worker-local, executable binding of a shared artifact.
+enum LocalArtifact {
     Native(CompiledCodeFunction),
-    Bytecode(wolfram_bytecode::CompiledFunction),
+    Bytecode(Arc<wolfram_bytecode::CompiledFunction>),
 }
 
 struct Worker {
-    cache: ArtifactCache<Artifact>,
+    cache: Arc<SharedArtifactCache<SharedArtifact>>,
+    disk: Option<Arc<DiskCache>>,
     /// The hosting engine: kernel escapes, soft-failure fallback (§3 F2),
-    /// and the abort signal shared with every hosted artifact.
+    /// and the abort signal shared with every hosted instantiation.
     engine: Rc<RefCell<Interpreter>>,
     signal: AbortSignal,
+    /// Hosted instantiations of shared native artifacts, revalidated by
+    /// `Arc::ptr_eq` on every hit (machine/frame-pool reuse).
+    instances: HashMap<CacheKey, CompiledCodeFunction>,
+    instance_cap: usize,
     /// One compiler per options fingerprint (macro/type environments are
     /// reusable across requests — the §4.7 extension points are
     /// per-options, not per-request).
@@ -64,9 +93,12 @@ pub(crate) fn run(
     let engine = Rc::new(RefCell::new(Interpreter::new()));
     let signal = engine.borrow().abort_signal().clone();
     let mut worker = Worker {
-        cache: ArtifactCache::new(cfg.cache_cap),
+        cache: cfg.cache,
+        disk: cfg.disk,
         engine,
         signal,
+        instances: HashMap::new(),
+        instance_cap: cfg.instance_cap.max(1),
         compilers: HashMap::new(),
         metrics,
         timer,
@@ -190,62 +222,144 @@ impl Worker {
         }
     }
 
-    /// Cache lookup, compile-on-miss, and adaptive tier promotion.
+    /// Shared-cache claim, disk probe, compile-on-miss, and adaptive tier
+    /// promotion. A `claim` may block while another worker compiles the
+    /// same program — that wait IS the single-flight dedup.
     fn lookup_or_compile(
         &mut self,
         key: CacheKey,
         func: &Expr,
         options: &CompilerOptions,
-    ) -> Result<(Artifact, Tier, u64, CacheStatus), ServeError> {
-        if let Some(entry) = self.cache.lookup(&key) {
-            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-            let (artifact, tier, compile_ns, hits) = (
-                entry.artifact.clone(),
-                entry.tier,
-                entry.compile_ns,
-                entry.hits,
-            );
-            // Tier promotion: a hot bytecode entry graduates to native.
-            if let TierPolicy::Adaptive { promote_after } = self.tier_policy {
-                if tier == Tier::Bytecode && hits >= promote_after {
-                    if let Ok((native, ns)) = self.compile_native(func, options) {
-                        self.metrics.promotions.fetch_add(1, Ordering::Relaxed);
-                        self.record_compile(ns);
-                        let promoted = native.clone();
-                        self.cache.insert(
-                            key,
-                            Entry {
-                                artifact: native,
-                                tier: Tier::Native,
-                                compile_ns: ns,
-                                hits: 0,
-                            },
-                        );
-                        return Ok((promoted, Tier::Native, ns, CacheStatus::Hit));
+    ) -> Result<(LocalArtifact, Tier, u64, CacheStatus), ServeError> {
+        let ticket = match self.cache.claim(key) {
+            Claim::Hit {
+                artifact,
+                tier,
+                compile_ns,
+                hits,
+            } => {
+                self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                // Tier promotion: a hot bytecode entry graduates to
+                // native, republished for every worker at once.
+                if let TierPolicy::Adaptive { promote_after } = self.tier_policy {
+                    if tier == Tier::Bytecode && hits >= promote_after {
+                        if let Ok((native, ns)) = self.compile_native(func, options) {
+                            self.metrics.promotions.fetch_add(1, Ordering::Relaxed);
+                            self.record_compile(ns);
+                            let shared = SharedArtifact::Native(native.artifact());
+                            if self
+                                .cache
+                                .publish(
+                                    key,
+                                    Entry {
+                                        artifact: shared,
+                                        tier: Tier::Native,
+                                        compile_ns: ns,
+                                        hits: 0,
+                                    },
+                                )
+                                .is_some()
+                            {
+                                self.metrics.cache_evictions.fetch_add(1, Ordering::Relaxed);
+                            }
+                            let local = self.adopt_native(key, native);
+                            return Ok((local, Tier::Native, ns, CacheStatus::Hit));
+                        }
                     }
                 }
-            }
-            return Ok((artifact, tier, compile_ns, CacheStatus::Hit));
-        }
-        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let (artifact, tier, compile_ns) = self.compile(func, options)?;
-        self.record_compile(compile_ns);
-        if self
-            .cache
-            .insert(
-                key,
-                Entry {
-                    artifact: artifact.clone(),
+                return Ok((
+                    self.localize(key, &artifact),
                     tier,
                     compile_ns,
-                    hits: 0,
-                },
-            )
+                    CacheStatus::Hit,
+                ));
+            }
+            Claim::Compute(ticket) => ticket,
+        };
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        // Second level: the disk cache holds bytecode images, so it only
+        // applies when the policy can serve the bytecode tier at all.
+        if !matches!(self.tier_policy, TierPolicy::NativeOnly) {
+            if let Some(disk) = self.disk.clone() {
+                match disk.load(&key) {
+                    DiskOutcome::Hit(cf) => {
+                        self.metrics.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        let shared = SharedArtifact::Bytecode(Arc::new(cf));
+                        let local = self.localize(key, &shared);
+                        if ticket
+                            .fulfill(Entry {
+                                artifact: shared,
+                                tier: Tier::Bytecode,
+                                compile_ns: 0,
+                                hits: 0,
+                            })
+                            .is_some()
+                        {
+                            self.metrics.cache_evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Ok((local, Tier::Bytecode, 0, CacheStatus::DiskHit));
+                    }
+                    DiskOutcome::Corrupt => {
+                        // Unreadable entry: recompile below and overwrite
+                        // it with a fresh store.
+                        self.metrics.disk_corrupt.fetch_add(1, Ordering::Relaxed);
+                    }
+                    DiskOutcome::Miss => {}
+                }
+            }
+        }
+
+        // A compile error drops the ticket, releasing waiters to retry
+        // (and fail with their own error — results stay deterministic).
+        let (shared, local, tier, compile_ns) = self.compile(key, func, options)?;
+        self.record_compile(compile_ns);
+        if tier == Tier::Bytecode {
+            if let (Some(disk), SharedArtifact::Bytecode(cf)) = (&self.disk, &shared) {
+                if disk.store(&key, cf).is_ok() {
+                    self.metrics.disk_stores.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if ticket
+            .fulfill(Entry {
+                artifact: shared,
+                tier,
+                compile_ns,
+                hits: 0,
+            })
             .is_some()
         {
             self.metrics.cache_evictions.fetch_add(1, Ordering::Relaxed);
         }
-        Ok((artifact, tier, compile_ns, CacheStatus::Miss))
+        Ok((local, tier, compile_ns, CacheStatus::Miss))
+    }
+
+    /// Binds a shared artifact to this worker for execution, reusing the
+    /// local instantiation when it still points at the same program.
+    fn localize(&mut self, key: CacheKey, shared: &SharedArtifact) -> LocalArtifact {
+        match shared {
+            SharedArtifact::Bytecode(cf) => LocalArtifact::Bytecode(Arc::clone(cf)),
+            SharedArtifact::Native(art) => {
+                if let Some(cf) = self.instances.get(&key) {
+                    if Arc::ptr_eq(&cf.program, &art.program) {
+                        return LocalArtifact::Native(cf.clone());
+                    }
+                }
+                self.adopt_native(key, art.instantiate_hosted(self.engine.clone()))
+            }
+        }
+    }
+
+    /// Caches a hosted instantiation under `key` (bounded; wholesale
+    /// clear on overflow — instantiation is two `Arc` bumps, so the
+    /// refill cost is trivial).
+    fn adopt_native(&mut self, key: CacheKey, cf: CompiledCodeFunction) -> LocalArtifact {
+        if self.instances.len() >= self.instance_cap {
+            self.instances.clear();
+        }
+        self.instances.insert(key, cf.clone());
+        LocalArtifact::Native(cf)
     }
 
     fn record_compile(&self, ns: u64) {
@@ -258,24 +372,34 @@ impl Worker {
     /// native pipeline.
     fn compile(
         &mut self,
+        key: CacheKey,
         func: &Expr,
         options: &CompilerOptions,
-    ) -> Result<(Artifact, Tier, u64), ServeError> {
+    ) -> Result<(SharedArtifact, LocalArtifact, Tier, u64), ServeError> {
         if !matches!(self.tier_policy, TierPolicy::NativeOnly) {
             let start = Instant::now();
             if let Ok(cf) = compile_bytecode(func) {
-                return Ok((Artifact::Bytecode(cf), Tier::Bytecode, elapsed_ns(start)));
+                let shared = Arc::new(cf);
+                return Ok((
+                    SharedArtifact::Bytecode(Arc::clone(&shared)),
+                    LocalArtifact::Bytecode(shared),
+                    Tier::Bytecode,
+                    elapsed_ns(start),
+                ));
             }
         }
         let (cf, ns) = self.compile_native(func, options)?;
-        Ok((cf, Tier::Native, ns))
+        let shared = SharedArtifact::Native(cf.artifact());
+        let local = self.adopt_native(key, cf);
+        Ok((shared, local, Tier::Native, ns))
     }
 
+    /// Runs the native pipeline, returning a hosted instantiation.
     fn compile_native(
         &mut self,
         func: &Expr,
         options: &CompilerOptions,
-    ) -> Result<(Artifact, u64), ServeError> {
+    ) -> Result<(CompiledCodeFunction, u64), ServeError> {
         let compiler = self
             .compilers
             .entry(options.fingerprint())
@@ -285,17 +409,17 @@ impl Worker {
             .function_compile(func)
             .map_err(|e| ServeError::Compile(e.to_string()))?;
         let ns = elapsed_ns(start);
-        Ok((Artifact::Native(cf.hosted(self.engine.clone())), ns))
+        Ok((cf.hosted(self.engine.clone()), ns))
     }
 
     /// Runs the artifact and renders the result as `InputForm` text.
-    fn execute(&self, artifact: &Artifact, args: &[Expr]) -> Result<String, RuntimeError> {
+    fn execute(&self, artifact: &LocalArtifact, args: &[Expr]) -> Result<String, RuntimeError> {
         match artifact {
-            Artifact::Native(cf) => {
+            LocalArtifact::Native(cf) => {
                 let out = cf.call_exprs(args)?;
                 Ok(out.to_input_form())
             }
-            Artifact::Bytecode(cf) => {
+            LocalArtifact::Bytecode(cf) => {
                 let values: Vec<Value> = args.iter().map(Value::from_expr).collect();
                 let out = cf.run_with_engine(&values, &mut self.engine.borrow_mut())?;
                 Ok(out.to_expr().to_input_form())

@@ -4,14 +4,14 @@
 
 use crate::ty::Type;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The registry of type classes. Users can extend it with their own classes
 /// and memberships (F6).
 #[derive(Debug, Clone)]
 pub struct ClassRegistry {
     /// class name -> atomic member type names
-    members: HashMap<Rc<str>, HashSet<Rc<str>>>,
+    members: HashMap<Arc<str>, HashSet<Arc<str>>>,
 }
 
 impl Default for ClassRegistry {
@@ -70,15 +70,15 @@ impl ClassRegistry {
 
     /// Declares a class (idempotent).
     pub fn declare_class(&mut self, class: &str) {
-        self.members.entry(Rc::from(class)).or_default();
+        self.members.entry(Arc::from(class)).or_default();
     }
 
     /// Adds an atomic type to a class.
     pub fn add_member(&mut self, class: &str, member: &str) {
         self.members
-            .entry(Rc::from(class))
+            .entry(Arc::from(class))
             .or_default()
-            .insert(Rc::from(crate::ty::normalize_name(member)));
+            .insert(Arc::from(crate::ty::normalize_name(member)));
     }
 
     /// Whether the class exists.

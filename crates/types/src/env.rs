@@ -6,7 +6,7 @@ use crate::classes::ClassRegistry;
 use crate::subst::{numeric_lub, promotion_cost, unify, Subst};
 use crate::ty::{Qualifier, Type, TypeError};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_expr::Expr;
 
 /// How a declared function is implemented.
@@ -15,7 +15,7 @@ pub enum FunctionImpl {
     /// A compiler-runtime primitive; the base name is mangled with the
     /// instantiated argument types at resolution (the paper's
     /// `checked_binary_plus_Integer64_Integer64`).
-    Primitive(Rc<str>),
+    Primitive(Arc<str>),
     /// Wolfram source compiled on demand at its instantiated type.
     Source(Expr),
     /// Escapes to the interpreter (`KernelFunction`).
@@ -302,7 +302,7 @@ impl TypeEnvironment {
 }
 
 /// Bound-name → fresh solver variable mapping produced by [`instantiate`].
-pub type InstMap = Vec<(Rc<str>, crate::ty::TypeVar)>;
+pub type InstMap = Vec<(Arc<str>, crate::ty::TypeVar)>;
 
 /// Instantiates a scheme: replaces bound names with fresh solver variables.
 /// Returns the body, the qualifiers, and the name->var mapping.
@@ -324,7 +324,7 @@ pub fn instantiate(scheme: &Type, subst: &mut Subst) -> (Type, Vec<Qualifier>, I
     }
 }
 
-fn substitute_bound(t: &Type, map: &[(Rc<str>, crate::ty::TypeVar)]) -> Type {
+fn substitute_bound(t: &Type, map: &[(Arc<str>, crate::ty::TypeVar)]) -> Type {
     match t {
         Type::Bound(name) => match map.iter().find(|(n, _)| n == name) {
             Some((_, v)) => Type::Var(*v),
@@ -347,7 +347,7 @@ fn substitute_bound(t: &Type, map: &[(Rc<str>, crate::ty::TypeVar)]) -> Type {
         },
         Type::ForAll { vars, quals, body } => {
             // Inner quantifiers shadow: drop shadowed entries.
-            let filtered: Vec<(Rc<str>, crate::ty::TypeVar)> = map
+            let filtered: Vec<(Arc<str>, crate::ty::TypeVar)> = map
                 .iter()
                 .filter(|(n, _)| !vars.contains(n))
                 .cloned()
@@ -378,7 +378,7 @@ mod tests {
         env.declare_function(
             "Min",
             scheme("TypeForAll[{\"a\"}, {Element[\"a\", \"Ordered\"]}, {\"a\", \"a\"} -> \"a\"]"),
-            FunctionImpl::Primitive(Rc::from("min")),
+            FunctionImpl::Primitive(Arc::from("min")),
         );
         env
     }
@@ -389,7 +389,7 @@ mod tests {
         env.declare_function(
             "Plus",
             scheme("{\"Integer64\", \"Integer64\"} -> \"Integer64\""),
-            FunctionImpl::Primitive(Rc::from("checked_binary_plus")),
+            FunctionImpl::Primitive(Arc::from("checked_binary_plus")),
         );
         let r = env
             .resolve_call("Plus", &[Type::integer64(), Type::integer64()])
@@ -443,12 +443,12 @@ mod tests {
         env.declare_function(
             "F",
             scheme("{\"Real64\"} -> \"Real64\""),
-            FunctionImpl::Primitive(Rc::from("f_real")),
+            FunctionImpl::Primitive(Arc::from("f_real")),
         );
         env.declare_function(
             "F",
             scheme("{\"Integer64\"} -> \"Integer64\""),
-            FunctionImpl::Primitive(Rc::from("f_int")),
+            FunctionImpl::Primitive(Arc::from("f_int")),
         );
         let r = env.resolve_call("F", &[Type::integer64()]).unwrap();
         assert_eq!(
@@ -467,12 +467,12 @@ mod tests {
         env.declare_function(
             "G",
             scheme("{\"Integer64\"} -> \"Integer64\""),
-            FunctionImpl::Primitive(Rc::from("g1")),
+            FunctionImpl::Primitive(Arc::from("g1")),
         );
         env.declare_function(
             "G",
             scheme("{\"Integer64\", \"Integer64\"} -> \"Integer64\""),
-            FunctionImpl::Primitive(Rc::from("g2")),
+            FunctionImpl::Primitive(Arc::from("g2")),
         );
         assert_eq!(
             env.resolve_call("G", &[Type::integer64()])
@@ -496,12 +496,12 @@ mod tests {
         env.declare_function(
             "H",
             scheme("{\"Real64\"} -> \"Integer64\""),
-            FunctionImpl::Primitive(Rc::from("h1")),
+            FunctionImpl::Primitive(Arc::from("h1")),
         );
         env.declare_function(
             "H",
             scheme("{\"Real64\"} -> \"Real64\""),
-            FunctionImpl::Primitive(Rc::from("h2")),
+            FunctionImpl::Primitive(Arc::from("h2")),
         );
         assert!(matches!(
             env.resolve_call("H", &[Type::real64()]),
@@ -519,7 +519,7 @@ mod tests {
                 "TypeForAll[{\"a\"}, {Element[\"a\", \"Ordered\"]}, \
                  {\"Tensor\"[\"a\", 1]} -> \"a\"]",
             ),
-            FunctionImpl::Primitive(Rc::from("min_container")),
+            FunctionImpl::Primitive(Arc::from("min_container")),
         );
         let r = env
             .resolve_call("MinContainer", &[Type::tensor(Type::real64(), 1)])

@@ -217,7 +217,7 @@ fn process(
             let mut names = Vec::new();
             let mut renamed = resolved.clone();
             for (ix, v) in free.iter().enumerate() {
-                let name: std::rc::Rc<str> = std::rc::Rc::from(format!("g{ix}"));
+                let name: std::sync::Arc<str> = std::sync::Arc::from(format!("g{ix}"));
                 names.push(name.clone());
                 renamed = replace_var(&renamed, *v, &Type::Bound(name));
             }
@@ -448,7 +448,7 @@ fn scc_order(constraints: &[Constraint]) -> Vec<Vec<usize>> {
 mod tests {
     use super::*;
     use crate::env::FunctionImpl;
-    use std::rc::Rc;
+    use std::sync::Arc;
     use wolfram_expr::parse;
 
     fn env_with_plus() -> TypeEnvironment {
@@ -458,7 +458,7 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        env.declare_function("Plus", scheme, FunctionImpl::Primitive(Rc::from("plus")));
+        env.declare_function("Plus", scheme, FunctionImpl::Primitive(Arc::from("plus")));
         env
     }
 
@@ -624,7 +624,10 @@ mod tests {
         let scheme = Type::for_all(
             &["a"],
             &[],
-            Type::arrow(vec![Type::Bound(Rc::from("a"))], Type::Bound(Rc::from("a"))),
+            Type::arrow(
+                vec![Type::Bound(Arc::from("a"))],
+                Type::Bound(Arc::from("a")),
+            ),
         );
         let cs = vec![
             Constraint::Instantiate {

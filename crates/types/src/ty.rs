@@ -1,7 +1,7 @@
 //! The `TypeSpecifier` grammar (§4.4).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use wolfram_expr::{Expr, ExprKind};
 
 /// An inference variable introduced by the solver.
@@ -12,9 +12,9 @@ pub struct TypeVar(pub u32);
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Qualifier {
     /// The quantified variable name.
-    pub var: Rc<str>,
+    pub var: Arc<str>,
     /// The class it must belong to.
-    pub class: Rc<str>,
+    pub class: Arc<str>,
 }
 
 /// A compiler type.
@@ -23,14 +23,14 @@ pub enum Type {
     /// A solver variable.
     Var(TypeVar),
     /// A name bound by an enclosing [`Type::ForAll`] (e.g. `"a"`).
-    Bound(Rc<str>),
+    Bound(Arc<str>),
     /// An atomic constructor: `"Integer64"`, `"Real64"`, `"Boolean"`,
     /// `"String"`, `"Expression"`, `"Void"`, ...
-    Atomic(Rc<str>),
+    Atomic(Arc<str>),
     /// A compound constructor, e.g. `"Tensor"["Integer64", 1]`.
     Constructor {
         /// Constructor name.
-        name: Rc<str>,
+        name: Arc<str>,
         /// Type arguments.
         args: Vec<Type>,
     },
@@ -47,7 +47,7 @@ pub enum Type {
     /// A (qualified) polymorphic scheme: `TypeForAll[{vars}, {quals}, body]`.
     ForAll {
         /// Quantified variable names.
-        vars: Vec<Rc<str>>,
+        vars: Vec<Arc<str>>,
         /// Class qualifiers on those variables.
         quals: Vec<Qualifier>,
         /// The scheme body.
@@ -92,7 +92,7 @@ pub fn normalize_name(name: &str) -> &str {
 impl Type {
     /// Shorthand for an atomic type.
     pub fn atomic(name: &str) -> Type {
-        Type::Atomic(Rc::from(normalize_name(name)))
+        Type::Atomic(Arc::from(normalize_name(name)))
     }
 
     /// The machine integer type.
@@ -133,7 +133,7 @@ impl Type {
     /// A packed-array type of the given element type and rank.
     pub fn tensor(element: Type, rank: i64) -> Type {
         Type::Constructor {
-            name: Rc::from("Tensor"),
+            name: Arc::from("Tensor"),
             args: vec![element, Type::Literal(rank)],
         }
     }
@@ -149,12 +149,12 @@ impl Type {
     /// A monomorphic scheme (no quantifiers) or the body for instantiation.
     pub fn for_all(vars: &[&str], quals: &[(&str, &str)], body: Type) -> Type {
         Type::ForAll {
-            vars: vars.iter().map(|v| Rc::from(*v)).collect(),
+            vars: vars.iter().map(|v| Arc::from(*v)).collect(),
             quals: quals
                 .iter()
                 .map(|(v, c)| Qualifier {
-                    var: Rc::from(*v),
-                    class: Rc::from(*c),
+                    var: Arc::from(*v),
+                    class: Arc::from(*c),
                 })
                 .collect(),
             body: Box::new(body),
@@ -284,7 +284,7 @@ impl Type {
         }
     }
 
-    fn from_expr_in(e: &Expr, bound: &[Rc<str>]) -> Result<Type, TypeError> {
+    fn from_expr_in(e: &Expr, bound: &[Arc<str>]) -> Result<Type, TypeError> {
         match e.kind() {
             ExprKind::Str(s) => {
                 if let Some(name) = bound.iter().find(|b| b.as_ref() == &**s) {
@@ -303,7 +303,7 @@ impl Type {
                         .map(|a| Self::from_expr_in(a, bound))
                         .collect::<Result<Vec<_>, _>>()?;
                     return Ok(Type::Constructor {
-                        name: Rc::from(normalize_name(name)),
+                        name: Arc::from(normalize_name(name)),
                         args,
                     });
                 }
@@ -337,11 +337,11 @@ impl Type {
                         if !vars_expr.has_head("List") {
                             return Err(TypeError("TypeForAll variables must be a list".into()));
                         }
-                        let vars: Vec<Rc<str>> = vars_expr
+                        let vars: Vec<Arc<str>> = vars_expr
                             .args()
                             .iter()
                             .map(|v| {
-                                v.as_str().map(Rc::from).ok_or_else(|| {
+                                v.as_str().map(Arc::from).ok_or_else(|| {
                                     TypeError("TypeForAll variable must be a string".into())
                                 })
                             })
@@ -411,7 +411,7 @@ impl Type {
     }
 }
 
-fn parse_qualifiers(e: &Expr, vars: &[Rc<str>]) -> Result<Vec<Qualifier>, TypeError> {
+fn parse_qualifiers(e: &Expr, vars: &[Arc<str>]) -> Result<Vec<Qualifier>, TypeError> {
     let items: Vec<Expr> = if e.has_head("List") {
         e.args().to_vec()
     } else {
@@ -433,8 +433,8 @@ fn parse_qualifiers(e: &Expr, vars: &[Rc<str>]) -> Result<Vec<Qualifier>, TypeEr
                     )));
                 }
                 Ok(Qualifier {
-                    var: Rc::from(var),
-                    class: Rc::from(class),
+                    var: Arc::from(var),
+                    class: Arc::from(class),
                 })
             } else {
                 Err(TypeError(format!(
@@ -558,7 +558,7 @@ mod tests {
                 assert!(quals.is_empty());
                 assert_eq!(
                     **body,
-                    Type::arrow(vec![Type::Bound(Rc::from("a"))], Type::real64())
+                    Type::arrow(vec![Type::Bound(Arc::from("a"))], Type::real64())
                 );
             }
             other => panic!("expected scheme, got {other:?}"),

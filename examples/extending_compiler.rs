@@ -105,7 +105,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ))
         }
     }
-    compiler.backends.register(Rc::new(CountBackend));
+    compiler
+        .backends
+        .register(std::sync::Arc::new(CountBackend));
     let report = compiler.export_string(&f, "OpCount")?;
     print!("custom backend: {report}");
     Ok(())

@@ -33,11 +33,54 @@ done
 echo "==> serve: bench-serve smoke (zero divergences, nonzero hit rate)"
 ./target/release/reproduce bench-serve --quick
 
+echo "==> serve: networked warm-restart smoke (wire protocol + disk cache)"
+# Start a socket server over an empty disk-cache dir, drive it with the
+# closed-loop wire client, SIGTERM it, restart it over the *same* dir,
+# and require the second run to serve every first-sight program from the
+# disk cache with zero recompiles (the warm-restart contract). Both runs
+# fail on any divergence from ground truth.
+SERVE_ADDR="127.0.0.1:7788"
+SERVE_CACHE_DIR="$(mktemp -d)"
+SERVE_PID=""
+cleanup_serve() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$SERVE_CACHE_DIR"
+}
+trap cleanup_serve EXIT
+wait_for_serve() {
+  for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/7788") 2>/dev/null; then
+      exec 3>&- 2>/dev/null || true
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "serve did not start listening on $SERVE_ADDR" >&2
+  return 1
+}
+./target/release/reproduce serve --listen "$SERVE_ADDR" --tier bytecode \
+  --cache-dir "$SERVE_CACHE_DIR" &
+SERVE_PID=$!
+wait_for_serve
+./target/release/reproduce bench-serve --net "$SERVE_ADDR" --quick \
+  --json BENCH_serve_net_cold.json
+kill -TERM "$SERVE_PID" && wait "$SERVE_PID" || true
+./target/release/reproduce serve --listen "$SERVE_ADDR" --tier bytecode \
+  --cache-dir "$SERVE_CACHE_DIR" &
+SERVE_PID=$!
+wait_for_serve
+./target/release/reproduce bench-serve --net "$SERVE_ADDR" --quick --expect-warm \
+  --json BENCH_serve_net_warm.json
+kill -TERM "$SERVE_PID" && wait "$SERVE_PID" || true
+SERVE_PID=""
+rm -rf "$SERVE_CACHE_DIR"
+
 echo "==> parallel: bench-parallel smoke (result equivalence, balanced counters)"
 # Quick-scale ablation over the tensor benchmarks; exits nonzero if any
 # data-parallel configuration (including threads=2) diverges from the
-# fused-scalar baseline or global_stats() ends up imbalanced.
-./target/release/reproduce bench-parallel --quick
+# fused-scalar baseline or global_stats() ends up imbalanced. The JSON
+# report is uploaded as a workflow artifact by ci.yml.
+./target/release/reproduce bench-parallel --quick --json BENCH_parallel.json
 
 echo "==> lint: cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings

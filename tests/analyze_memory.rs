@@ -9,7 +9,7 @@
 //! path; the committed difftest corpus is replayed through the full
 //! pipeline at `VerifyLevel::Full` the same way.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use wolfram_ir::{
     run_pass, verify_function, Block, BlockId, Callee, Constant, Function, Instr, VarId,
@@ -17,7 +17,7 @@ use wolfram_ir::{
 use wolfram_types::Type;
 
 fn builtin(name: &str) -> Callee {
-    Callee::Builtin(Rc::from(name))
+    Callee::Builtin(Arc::from(name))
 }
 
 fn acquires(f: &Function) -> usize {

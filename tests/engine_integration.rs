@@ -208,9 +208,9 @@ fn values_and_exprs_roundtrip_types() {
         )
         .unwrap();
     let out = cf
-        .call(&[Value::Str(Rc::new("ab".into())), Value::I64(99)])
+        .call(&[Value::Str(std::sync::Arc::new("ab".into())), Value::I64(99)])
         .unwrap();
-    assert_eq!(out, Value::Str(Rc::new("abccc".into())));
+    assert_eq!(out, Value::Str(std::sync::Arc::new("abccc".into())));
     let out = cf.call_exprs(&[Expr::string("x"), Expr::int(33)]).unwrap();
     assert_eq!(out.as_str(), Some("x!!!"));
     let _ = parse; // silence unused in some cfgs
