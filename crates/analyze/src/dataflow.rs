@@ -42,6 +42,17 @@ pub trait Analysis {
     /// start and must leave the fact at the block end (and vice versa for
     /// backward analyses, which should walk the instructions in reverse).
     fn transfer_block(&self, f: &Function, b: BlockId, fact: &mut Self::Fact);
+
+    /// Refines the fact flowing along one CFG edge, applied to a copy of
+    /// the source endpoint's fact before it is joined into the target.
+    /// Forward analyses see `from -> to` with the fact at `from`'s exit;
+    /// backward analyses see the fact at `to`'s entry flowing into
+    /// `from`. The default is the identity — only path-sensitive
+    /// analyses (branch-condition refinement, per-edge phi transfer)
+    /// need to override it.
+    fn transfer_edge(&self, f: &Function, from: BlockId, to: BlockId, fact: &mut Self::Fact) {
+        let _ = (f, from, to, fact);
+    }
 }
 
 /// Converged facts at block boundaries. `on_entry` is always the fact at
@@ -77,7 +88,9 @@ pub fn solve<A: Analysis>(a: &A, f: &Function, cfg: &Cfg) -> Results<A::Fact> {
                     };
                     for &p in &cfg.preds[b.0 as usize] {
                         if let Some(out) = on_exit.get(&p) {
-                            fact.join(out);
+                            let mut edge = out.clone();
+                            a.transfer_edge(f, p, b, &mut edge);
+                            fact.join(&edge);
                         }
                     }
                     if on_entry.get(&b) != Some(&fact) {
@@ -97,7 +110,9 @@ pub fn solve<A: Analysis>(a: &A, f: &Function, cfg: &Cfg) -> Results<A::Fact> {
                     };
                     for &s in &cfg.succs[b.0 as usize] {
                         if let Some(inn) = on_entry.get(&s) {
-                            fact.join(inn);
+                            let mut edge = inn.clone();
+                            a.transfer_edge(f, b, s, &mut edge);
+                            fact.join(&edge);
                         }
                     }
                     if on_exit.get(&b) != Some(&fact) {

@@ -11,8 +11,12 @@
 //! - [`refcount`]: every path pairs `MemoryAcquire`/`MemoryRelease`
 //!   exactly once per managed interval (guards the memory-management
 //!   pass, §4.5/F7);
-//! - [`lints`]: maybe-uninitialized uses, dead stores, unreachable
-//!   blocks, and statically out-of-range constant `Part` indices.
+//! - [`lints`]: maybe-uninitialized uses, dead stores, and unreachable
+//!   blocks;
+//! - [`intervals`]: a forward interval (range) dataflow analysis that
+//!   owns the out-of-range `Part` lint and exports
+//!   [`intervals::RangeFacts`] — per-site proofs the native code
+//!   generator uses to elide bounds, overflow, and refcount checks.
 //!
 //! Checkers are built on a small lattice-based [`dataflow`] solver over
 //! the IR's existing CFG analyses. Error-severity findings turn into
@@ -21,6 +25,7 @@
 
 pub mod dataflow;
 pub mod diag;
+pub mod intervals;
 pub mod lints;
 pub mod refcount;
 pub mod typecheck;
@@ -40,7 +45,7 @@ pub fn analyze_function(f: &Function, sigs: &Signatures) -> Vec<Diagnostic> {
     out.extend(lints::maybe_uninitialized(f));
     out.extend(lints::dead_stores(f));
     out.extend(lints::unreachable_blocks(f));
-    out.extend(lints::part_bounds(f));
+    out.extend(intervals::part_bounds(f));
     out.sort_by_key(|d| std::cmp::Reverse(d.severity));
     out
 }

@@ -1,13 +1,14 @@
-//! Lints: maybe-uninitialized uses, dead stores, unreachable blocks, and
-//! statically out-of-range constant `Part` indices. All findings here are
-//! warnings — they flag suspicious IR the pipeline is still allowed to
-//! run (an out-of-range `Part` is a well-defined runtime soft failure).
+//! Lints: maybe-uninitialized uses, dead stores, and unreachable blocks.
+//! All findings here are warnings — they flag suspicious IR the pipeline
+//! is still allowed to run. The out-of-range constant `Part` lint lives
+//! with the interval analysis in [`crate::intervals`], which subsumes the
+//! local length tracking this module used to do.
 
 use crate::dataflow::{solve, Analysis, Direction, Lattice};
 use crate::diag::Diagnostic;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashSet};
 use wolfram_ir::analysis::Cfg;
-use wolfram_ir::{BlockId, Callee, Constant, Function, Instr, Operand, VarId};
+use wolfram_ir::{BlockId, Callee, Function, Instr, VarId};
 
 /// Definitely-assigned variables; `None` is the solver's bottom (no path
 /// information yet), so the join is set intersection over known paths.
@@ -158,119 +159,11 @@ pub fn unreachable_blocks(f: &Function) -> Vec<Diagnostic> {
         .collect()
 }
 
-/// Constant `Part` indices provably out of range for lists whose length
-/// is statically known (literal arrays and `list_construct` results).
-/// Wolfram indexing is 1-based; negative indices count from the end.
-pub fn part_bounds(f: &Function) -> Vec<Diagnostic> {
-    // Known lengths, propagated through copies.
-    let mut len_of: HashMap<VarId, i64> = HashMap::new();
-    for i in f.instrs() {
-        match i {
-            Instr::LoadConst { dst, value } => {
-                let len = match value {
-                    Constant::I64Array(a) => Some(a.len()),
-                    Constant::F64Array(a) => Some(a.len()),
-                    _ => None,
-                };
-                if let Some(len) = len {
-                    len_of.insert(*dst, len as i64);
-                }
-            }
-            Instr::Call { dst, callee, args } => {
-                let is_list = match callee {
-                    Callee::Builtin(n) => &**n == "List",
-                    Callee::Primitive(n) => n.starts_with("list_construct"),
-                    _ => false,
-                };
-                if is_list {
-                    len_of.insert(*dst, args.len() as i64);
-                }
-            }
-            Instr::Copy { dst, src } => {
-                if let Some(&len) = len_of.get(src) {
-                    len_of.insert(*dst, len);
-                }
-            }
-            _ => {}
-        }
-    }
-    let operand_len = |o: &Operand| -> Option<i64> {
-        match o {
-            Operand::Var(v) => len_of.get(v).copied(),
-            Operand::Const(Constant::I64Array(a)) => Some(a.len() as i64),
-            Operand::Const(Constant::F64Array(a)) => Some(a.len() as i64),
-            Operand::Const(_) => None,
-        }
-    };
-    let mut out = Vec::new();
-    for b in f.block_ids() {
-        for (ix, i) in f.block(b).instrs.iter().enumerate() {
-            let Instr::Call { callee, args, .. } = i else {
-                continue;
-            };
-            let is_part = match callee {
-                Callee::Builtin(n) => &**n == "Part",
-                Callee::Primitive(n) => n.starts_with("tensor_part_1"),
-                _ => false,
-            };
-            if !is_part || args.len() < 2 {
-                continue;
-            }
-            let (Some(len), Some(&Constant::I64(k))) = (operand_len(&args[0]), args[1].as_const())
-            else {
-                continue;
-            };
-            if k == 0 || k > len || k < -len {
-                out.push(
-                    Diagnostic::warning(
-                        "part-out-of-bounds",
-                        f,
-                        format!("Part index {k} is out of range for a list of length {len}"),
-                    )
-                    .at(b, Some(ix)),
-                );
-            }
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use wolfram_ir::module::Block;
-
-    #[test]
-    fn constant_part_out_of_range_is_flagged() {
-        let mut f = Function::new("f", 0);
-        f.blocks.push(Block {
-            label: "start".into(),
-            instrs: vec![
-                Instr::LoadConst {
-                    dst: VarId(0),
-                    value: Constant::I64Array(Arc::from([1i64, 2, 3].as_slice())),
-                },
-                Instr::Call {
-                    dst: VarId(1),
-                    callee: Callee::Builtin(Arc::from("Part")),
-                    args: vec![VarId(0).into(), Constant::I64(4).into()],
-                },
-                Instr::Return {
-                    value: VarId(1).into(),
-                },
-            ],
-        });
-        let diags = part_bounds(&f);
-        assert_eq!(diags.len(), 1, "{diags:?}");
-        assert_eq!(diags[0].code, "part-out-of-bounds");
-        // In-range (positive and negative) indices stay quiet.
-        let Instr::Call { args, .. } = &mut f.blocks[0].instrs[1] else {
-            unreachable!()
-        };
-        args[1] = Constant::I64(-3).into();
-        assert!(part_bounds(&f).is_empty());
-    }
+    use wolfram_ir::Constant;
 
     #[test]
     fn dead_store_and_unreachable_block_warn() {

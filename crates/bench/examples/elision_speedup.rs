@@ -1,0 +1,99 @@
+//! Measures the range-check-elision speedup (interval analysis proving
+//! Part bounds / overflow / refcount checks away) on the bounds-heavy
+//! benchmarks, against the fully checked ablation baseline.
+
+use std::time::Instant;
+use wolfram_bench::{programs, workloads};
+use wolfram_compiler_core::{Compiler, CompilerOptions};
+use wolfram_runtime::Value;
+
+const ROUNDS: usize = 9;
+
+fn compilers() -> (Compiler, Compiler) {
+    let elided = Compiler::default();
+    let checked = Compiler::new(CompilerOptions {
+        range_checks_elision: false,
+        ..CompilerOptions::default()
+    });
+    (elided, checked)
+}
+
+/// Interleaved min-of-N: alternating elided/checked rounds so CPU
+/// frequency drift and scheduler noise hit both engines equally.
+fn bench_pair(mut on: impl FnMut(), mut off: impl FnMut()) -> (f64, f64) {
+    on();
+    off();
+    let (mut t_on, mut t_off) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        on();
+        t_on = t_on.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        off();
+        t_off = t_off.min(start.elapsed().as_secs_f64());
+    }
+    (t_on, t_off)
+}
+
+fn measure(name: &str, src: &str, args: Vec<Value>) -> f64 {
+    let (ec, cc) = compilers();
+    let on = programs::compile_new(&ec, src);
+    let off = programs::compile_new(&cc, src);
+    assert_eq!(on.call(&args).unwrap(), off.call(&args).unwrap(), "{name}");
+    let (t_on, t_off) = bench_pair(
+        || {
+            on.call(std::hint::black_box(&args)).unwrap();
+        },
+        || {
+            off.call(std::hint::black_box(&args)).unwrap();
+        },
+    );
+    let s = t_off / t_on;
+    println!("{name:<11} elided {t_on:.4}s | checked {t_off:.4}s | speedup {s:.3}x");
+    s
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 200_000 } else { 1_000_000 };
+    let bn = if quick { 256 } else { 700 };
+    let table = workloads::prime_seed_table();
+    let speedups = [
+        measure(
+            "FNV1a",
+            programs::FNV1A_SRC,
+            vec![Value::Str(std::sync::Arc::new(workloads::random_string(
+                n, 0x5eed,
+            )))],
+        ),
+        measure(
+            "Blur",
+            programs::BLUR_SRC,
+            vec![
+                Value::Tensor(workloads::random_matrix_hw(bn, bn, 3)),
+                Value::I64(bn as i64),
+                Value::I64(bn as i64),
+            ],
+        ),
+        measure(
+            "Histogram",
+            programs::HISTOGRAM_SRC,
+            vec![Value::Tensor(workloads::random_bytes_tensor(n, 4))],
+        ),
+        measure(
+            "PrimeQ",
+            &programs::primeq_src(&table),
+            vec![Value::I64(if quick { 60_000 } else { 200_000 })],
+        ),
+        measure(
+            "QSort",
+            programs::QSORT_SRC,
+            vec![
+                Value::Tensor(workloads::sorted_list(if quick { 8_192 } else { 32_768 })),
+                Value::Bool(false),
+            ],
+        ),
+    ];
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    println!("geomean {geomean:.3}x");
+}

@@ -4,6 +4,7 @@
 //! reproduce [figure2|table1|intro|ablations|opstats|compile-times|all] [--quick]
 //! reproduce difftest [--iters N] [--seed S] [--out DIR] [--no-shrink] [--no-analyze]
 //! reproduce analyze [--ir-stage wir|twir|post-pipeline] <file.wl | source>
+//! reproduce analyze --stats [<file.wl | source>] [--golden F] [--write-golden F]
 //! reproduce serve [--workers N] [--cache-cap N] [--queue-cap N] [--deadline-ms N] [--tier T]
 //!                 [--listen ADDR] [--cache-dir DIR]
 //! reproduce bench-serve [--quick]
@@ -21,6 +22,9 @@
 //! `analyze` compiles one program to the requested IR stage and prints
 //! every `wolfram-analyze` diagnostic (type errors, refcount imbalance,
 //! lints); it exits nonzero if any error-severity finding is reported.
+//! `analyze --stats` instead reports the interval-analysis elision
+//! counters (Part bounds, integer overflow, refcount pairs) and per-lint
+//! finding totals over the paper corpus, with a `--golden` CI gate.
 //!
 //! `serve` runs the concurrent compile-and-evaluate pool over stdin (one
 //! request per line as a two-element list `{Function[...], {arg, ...}}`,
@@ -50,6 +54,9 @@ use wolfram_ir::VerifyLevel;
 
 /// `analyze` subcommand: a CLI front end for the IR checkers.
 fn run_analyze(args: &[String]) -> ! {
+    if args.iter().any(|a| a == "--stats") {
+        run_analyze_stats(args);
+    }
     let mut stage = String::from("post-pipeline");
     let mut input: Option<String> = None;
     let mut it = args.iter();
@@ -122,6 +129,154 @@ fn run_analyze(args: &[String]) -> ! {
         diags.len()
     );
     std::process::exit(i32::from(errors > 0));
+}
+
+/// `analyze --stats`: per-benchmark range-analysis elision counts and
+/// per-lint finding totals over the paper corpus (or one given program).
+///
+/// The counters are read off the lowered `NativeFunc`s, so they report
+/// what the backend actually emitted (after the range facts were keyed
+/// through lowering), not what the analysis merely claimed. `--golden F`
+/// compares the stable report against a committed file and exits nonzero
+/// on drift; `--write-golden F` regenerates it.
+fn run_analyze_stats(args: &[String]) -> ! {
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let golden = flag("--golden");
+    let write_golden = flag("--write-golden");
+    let mut input: Option<String> = None;
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match a.as_str() {
+            "--stats" => {}
+            "--golden" | "--write-golden" => skip = true,
+            _ if input.is_none() && !a.starts_with("--") => input = Some(a.clone()),
+            other => {
+                eprintln!("analyze --stats: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        let _ = i;
+    }
+
+    let programs: Vec<(String, String)> = match input {
+        Some(p) => {
+            let src = std::fs::read_to_string(&p).unwrap_or_else(|_| p.clone());
+            let name = std::path::Path::new(&p)
+                .file_stem()
+                .map_or_else(|| "input".into(), |s| s.to_string_lossy().into_owned());
+            vec![(name, src)]
+        }
+        None => {
+            let table = wolfram_bench::workloads::prime_seed_table();
+            vec![
+                ("FNV1a".into(), wolfram_bench::programs::FNV1A_SRC.into()),
+                (
+                    "Mandelbrot".into(),
+                    wolfram_bench::programs::MANDELBROT_SRC.into(),
+                ),
+                ("Dot".into(), wolfram_bench::programs::DOT_SRC.into()),
+                ("Blur".into(), wolfram_bench::programs::BLUR_SRC.into()),
+                (
+                    "Histogram".into(),
+                    wolfram_bench::programs::HISTOGRAM_SRC.into(),
+                ),
+                ("PrimeQ".into(), wolfram_bench::programs::primeq_src(&table)),
+                ("QSort".into(), wolfram_bench::programs::QSORT_SRC.into()),
+            ]
+        }
+    };
+
+    let compiler = Compiler::new(CompilerOptions {
+        verify: VerifyLevel::Ssa,
+        ..CompilerOptions::default()
+    });
+    let mut lines: Vec<String> = Vec::new();
+    let mut lints: std::collections::BTreeMap<&'static str, usize> =
+        std::collections::BTreeMap::new();
+    let (mut bt, mut be, mut ot, mut oe, mut rc) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for (name, src) in &programs {
+        let expr = match wolfram_expr::parse(src) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("{name}: parse error: {e}");
+                std::process::exit(1);
+            }
+        };
+        let pm = match compiler.compile_to_twir(&expr, None) {
+            Ok(pm) => pm,
+            Err(e) => {
+                eprintln!("{name}: compilation failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        for d in wolfram_analyze::analyze_module(&pm) {
+            *lints.entry(d.code).or_insert(0) += 1;
+        }
+        let native = match compiler.generate_native(&pm) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("{name}: codegen failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let (mut fbt, mut fbe, mut fot, mut foe, mut frc) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for f in &native.funcs {
+            fbt += u64::from(f.elision.bounds_total);
+            fbe += u64::from(f.elision.bounds_elided);
+            fot += u64::from(f.elision.ovf_total);
+            foe += u64::from(f.elision.ovf_elided);
+            frc += u64::from(f.elision.rc_elided);
+        }
+        lines.push(format!(
+            "{name:<11} bounds {fbe}/{fbt}  ovf {foe}/{fot}  rc-elided {frc}"
+        ));
+        bt += fbt;
+        be += fbe;
+        ot += fot;
+        oe += foe;
+        rc += frc;
+    }
+    let pct = |e: u64, t: u64| {
+        if t == 0 {
+            0.0
+        } else {
+            100.0 * e as f64 / t as f64
+        }
+    };
+    lines.push(format!(
+        "total       bounds {be}/{bt} ({:.0}%)  ovf {oe}/{ot} ({:.0}%)  rc-elided {rc}",
+        pct(be, bt),
+        pct(oe, ot)
+    ));
+    for (code, n) in &lints {
+        lines.push(format!("lint {code} {n}"));
+    }
+    let report = format!("{}\n", lines.join("\n"));
+    print!("== analyze --stats: range-check elision over the corpus ==\n{report}");
+
+    if let Some(path) = write_golden {
+        std::fs::write(&path, &report).expect("write golden");
+        println!("wrote golden: {path}");
+        std::process::exit(0);
+    }
+    if let Some(path) = golden {
+        let want = std::fs::read_to_string(&path).expect("read golden");
+        if want != report {
+            eprintln!("analyze --stats: drift against golden {path}");
+            eprintln!("--- golden ---\n{want}--- actual ---\n{report}");
+            std::process::exit(1);
+        }
+        println!("golden match: {path}");
+    }
+    std::process::exit(0);
 }
 
 /// `difftest` subcommand: long-running differential fuzzing with artifact

@@ -106,6 +106,14 @@ fn render_op(op: &RegOp) -> String {
         RegOp::TenPart2 { kind, d, t, i, j } => format!("part2.{kind:?} {d}, v{t}, i{i}, i{j}"),
         RegOp::TenSet1 { kind, t, i, v } => format!("set1.{kind:?} v{t}, i{i}, {v}"),
         RegOp::TenSet2 { kind, t, i, j, v } => format!("set2.{kind:?} v{t}, i{i}, i{j}, {v}"),
+        RegOp::TenPart1U { kind, d, t, i } => format!("part1.u.{kind:?} {d}, v{t}, i{i}"),
+        RegOp::TenPart2U { kind, d, t, i, j } => {
+            format!("part2.u.{kind:?} {d}, v{t}, i{i}, i{j}")
+        }
+        RegOp::TenSet1U { kind, t, i, v } => format!("set1.u.{kind:?} v{t}, i{i}, {v}"),
+        RegOp::TenSet2U { kind, t, i, j, v } => {
+            format!("set2.u.{kind:?} v{t}, i{i}, i{j}, {v}")
+        }
         RegOp::TenFill1 { kind, d, c, n } => format!("fill1.{kind:?} v{d}, {c}, i{n}"),
         RegOp::TenFill2 { kind, d, c, n1, n2 } => {
             format!("fill2.{kind:?} v{d}, {c}, i{n1}, i{n2}")
@@ -302,6 +310,49 @@ fn render_op(op: &RegOp) -> String {
         } => {
             format!("take.set2.{kind:?} v{dv}, v{sv}; v{t}, i{i}, i{j}, {v}")
         }
+        RegOp::TenPart1IntBinU {
+            e,
+            t,
+            i,
+            op,
+            d,
+            a,
+            b,
+        } => format!("part1.u.{:?}.i64 i{e}, v{t}, i{i}; i{d}, i{a}, i{b}", op).to_lowercase(),
+        RegOp::TenPart1IntBinImmU {
+            e,
+            t,
+            i,
+            op,
+            d,
+            a,
+            imm,
+        } => format!("part1.u.{:?}i.i64 i{e}, v{t}, i{i}; i{d}, i{a}, {imm}", op).to_lowercase(),
+        RegOp::TenPart2FltBinU {
+            e,
+            t,
+            i,
+            j,
+            op,
+            d,
+            a,
+            b,
+        } => format!(
+            "part2.u.{:?}.f64 f{e}, v{t}, i{i}, i{j}; f{d}, f{a}, f{b}",
+            op
+        )
+        .to_lowercase(),
+        RegOp::TakeVTenSet2U {
+            dv,
+            sv,
+            kind,
+            t,
+            i,
+            j,
+            v,
+        } => {
+            format!("take.set2.u.{kind:?} v{dv}, v{sv}; v{t}, i{i}, i{j}, {v}")
+        }
         RegOp::MovIJmp { d, s, pc } => format!("mov.jmp.i64 i{d}, i{s}, L{pc:04}"),
         RegOp::Mov2I { d1, s1, d2, s2 } => format!("mov2.i64 i{d1}, i{s1}; i{d2}, i{s2}"),
         RegOp::Mov2IJmp { d1, s1, d2, s2, pc } => {
@@ -411,6 +462,7 @@ mod tests {
             n_cpx: 0,
             n_val: 0,
             params: vec![Slot::new(Bank::I, 0)],
+            elision: Default::default(),
         };
         let text = render_function(&f);
         assert!(text.contains("_Main:"), "{text}");

@@ -422,6 +422,69 @@ fn match_group(
             },
             2,
         )),
+        // Unchecked (bounds-proved) load-op mirrors of the above.
+        (
+            &RegOp::TenPart1U {
+                kind: ElemKind::I64,
+                d: e,
+                t,
+                i: ix,
+            },
+            &RegOp::IntBinImm { op, d, a, imm },
+        ) => Some((
+            RegOp::TenPart1IntBinImmU {
+                e: r(e)?,
+                t: r(t)?,
+                i: r(ix)?,
+                op,
+                d: r(d)?,
+                a: r(a)?,
+                imm: im(imm)?,
+            },
+            2,
+        )),
+        (
+            &RegOp::TenPart1U {
+                kind: ElemKind::I64,
+                d: e,
+                t,
+                i: ix,
+            },
+            &RegOp::IntBin { op, d, a, b },
+        ) => Some((
+            RegOp::TenPart1IntBinU {
+                e: r(e)?,
+                t: r(t)?,
+                i: r(ix)?,
+                op,
+                d: r(d)?,
+                a: r(a)?,
+                b: r(b)?,
+            },
+            2,
+        )),
+        (
+            &RegOp::TenPart2U {
+                kind: ElemKind::F64,
+                d: e,
+                t,
+                i: ix,
+                j,
+            },
+            &RegOp::FltBin { op, d, a, b },
+        ) => Some((
+            RegOp::TenPart2FltBinU {
+                e: r(e)?,
+                t: r(t)?,
+                i: r(ix)?,
+                j: r(j)?,
+                op,
+                d: r(d)?,
+                a: r(a)?,
+                b: r(b)?,
+            },
+            2,
+        )),
         // Take-move + element store (op-store).
         (&RegOp::TakeV { d: dv, s: sv }, &RegOp::TenSet1 { kind, t, i: ix, v }) => Some((
             RegOp::TakeVTenSet1 {
@@ -445,6 +508,27 @@ fn match_group(
             },
         ) => Some((
             RegOp::TakeVTenSet2 {
+                dv: r(dv)?,
+                sv: r(sv)?,
+                kind,
+                t: r(t)?,
+                i: r(ix)?,
+                j: r(j)?,
+                v: r(v)?,
+            },
+            2,
+        )),
+        (
+            &RegOp::TakeV { d: dv, s: sv },
+            &RegOp::TenSet2U {
+                kind,
+                t,
+                i: ix,
+                j,
+                v,
+            },
+        ) => Some((
+            RegOp::TakeVTenSet2U {
                 dv: r(dv)?,
                 sv: r(sv)?,
                 kind,
@@ -560,6 +644,7 @@ mod tests {
             n_cpx: 0,
             n_val: 0,
             params: vec![Slot::new(Bank::I, 0)],
+            elision: Default::default(),
         }
     }
 

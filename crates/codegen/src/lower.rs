@@ -3,11 +3,12 @@
 //! and monomorphic instruction selection from mangled primitive names.
 
 use crate::machine::{
-    ArgVal, Bank, CmpCode, CpxOp, ElemKind, FltOp, FltUnOp, IntOp, IntUnOp, NativeFunc,
-    NativeProgram, RegOp, Slot, TenOp,
+    ArgVal, Bank, CmpCode, CpxOp, ElemKind, ElisionCounters, FltOp, FltUnOp, IntOp, IntUnOp,
+    NativeFunc, NativeProgram, RegOp, Slot, TenOp,
 };
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use wolfram_analyze::intervals::{FnRangeFacts, RangeFacts};
 use wolfram_expr::Expr;
 use wolfram_ir::module::{Block, BlockId, Callee, Constant, Function, Instr, Operand, VarId};
 use wolfram_runtime::{Tensor, Value};
@@ -41,6 +42,11 @@ pub struct LowerOptions {
     /// (PrimeQ's 1.5×): constant arrays are deep-copied at each load
     /// instead of shared.
     pub naive_constant_arrays: bool,
+    /// Interval-analysis facts (keyed by function name, then by
+    /// `(block, instr)`) that let the lowering emit unchecked tensor and
+    /// integer ops and skip provably redundant refcount traffic. `None`
+    /// lowers fully checked code.
+    pub range_facts: Option<RangeFacts>,
 }
 
 /// Lowers a program module.
@@ -128,6 +134,11 @@ struct Lowering<'a> {
     /// loop bodies do not re-materialize immediates each iteration.
     const_cache: HashMap<(String, Bank), usize>,
     prologue: Vec<RegOp>,
+    /// Interval facts for this function (proved bounds/overflow sites and
+    /// elidable refcount pairs), when range-check elision is on.
+    facts: Option<&'a FnRangeFacts>,
+    /// Counts of checks elided vs. seen while lowering this function.
+    elision: ElisionCounters,
 }
 
 fn lower_function(
@@ -152,6 +163,11 @@ fn lower_function(
         current_event: 0,
         const_cache: HashMap::new(),
         prologue: Vec::new(),
+        facts: opts
+            .range_facts
+            .as_ref()
+            .and_then(|rf| rf.functions.get(&f.name)),
+        elision: ElisionCounters::default(),
     };
     l.assign_slots()?;
     l.collect_phi_moves();
@@ -190,6 +206,7 @@ fn lower_function(
         n_cpx: l.counters[2],
         n_val: l.counters[3],
         params: l.params,
+        elision: l.elision,
     })
 }
 
@@ -251,6 +268,33 @@ impl<'a> Lowering<'a> {
     fn is_last_use(&self, v: VarId) -> bool {
         self.dying_reads
             .contains(&(self.current_block.0, self.current_event, v))
+    }
+
+    /// Whether the interval analysis proved every index of the current
+    /// Part/set instruction in bounds.
+    fn part_proved(&self) -> bool {
+        self.facts.is_some_and(|ff| {
+            ff.proved_parts
+                .contains(&(self.current_block, self.current_event))
+        })
+    }
+
+    /// Whether the interval analysis proved the current checked integer
+    /// plus/subtract/times cannot overflow.
+    fn arith_proved(&self) -> bool {
+        self.facts.is_some_and(|ff| {
+            ff.proved_arith
+                .contains(&(self.current_block, self.current_event))
+        })
+    }
+
+    /// Whether the current acquire/release belongs to a provably
+    /// redundant same-block pair.
+    fn rc_elided(&self) -> bool {
+        self.facts.is_some_and(|ff| {
+            ff.elidable_rc
+                .contains(&(self.current_block, self.current_event))
+        })
     }
 
     /// Materializes a value-bank operand, reporting whether the resulting
@@ -503,13 +547,21 @@ impl<'a> Lowering<'a> {
                 Instr::MemoryAcquire { var } => {
                     let s = self.var_slot(*var);
                     if s.bank == Bank::V {
-                        self.code.push(RegOp::Acquire { v: s.ix });
+                        if self.rc_elided() {
+                            self.elision.rc_elided += 1;
+                        } else {
+                            self.code.push(RegOp::Acquire { v: s.ix });
+                        }
                     }
                 }
                 Instr::MemoryRelease { var } => {
                     let s = self.var_slot(*var);
                     if s.bank == Bank::V {
-                        self.code.push(RegOp::Release { v: s.ix });
+                        if self.rc_elided() {
+                            self.elision.rc_elided += 1;
+                        } else {
+                            self.code.push(RegOp::Release { v: s.ix });
+                        }
                     }
                 }
                 Instr::Jump { target } => {
@@ -680,11 +732,26 @@ impl<'a> Lowering<'a> {
         match dslot.bank {
             Bank::I => {
                 if let Some((_, op)) = int_ops.iter().find(|(b, _)| *b == base) {
+                    // Promote add/sub/mul whose overflow the interval
+                    // analysis discharged to the unchecked (wrapping) form.
+                    let mut op = *op;
+                    if let Some(unchecked) = match op {
+                        IntOp::Add => Some(IntOp::AddU),
+                        IntOp::Sub => Some(IntOp::SubU),
+                        IntOp::Mul => Some(IntOp::MulU),
+                        _ => None,
+                    } {
+                        self.elision.ovf_total += 1;
+                        if self.arith_proved() {
+                            self.elision.ovf_elided += 1;
+                            op = unchecked;
+                        }
+                    }
                     let x = a!(0, Bank::I);
                     // Immediate forms avoid a register read per iteration.
                     if let Some(Constant::I64(imm)) = args[1].as_const() {
                         self.code.push(RegOp::IntBinImm {
-                            op: *op,
+                            op,
                             d,
                             a: x,
                             imm: *imm,
@@ -692,12 +759,7 @@ impl<'a> Lowering<'a> {
                         return Ok(());
                     }
                     let y = a!(1, Bank::I);
-                    self.code.push(RegOp::IntBin {
-                        op: *op,
-                        d,
-                        a: x,
-                        b: y,
-                    });
+                    self.code.push(RegOp::IntBin { op, d, a: x, b: y });
                     return Ok(());
                 }
             }
@@ -976,27 +1038,30 @@ impl<'a> Lowering<'a> {
             }
             "tensor_part_1" => {
                 let elem = self.elem_of(&args[0])?;
+                let kind = elem_kind(&elem);
                 let t = a!(0, Bank::V);
                 let i = a!(1, Bank::I);
-                self.code.push(RegOp::TenPart1 {
-                    kind: elem_kind(&elem),
-                    d,
-                    t,
-                    i,
-                });
+                self.elision.bounds_total += 1;
+                if self.part_proved() {
+                    self.elision.bounds_elided += 1;
+                    self.code.push(RegOp::TenPart1U { kind, d, t, i });
+                } else {
+                    self.code.push(RegOp::TenPart1 { kind, d, t, i });
+                }
                 Ok(())
             }
             "tensor_part_2" => {
                 let elem = self.elem_of(&args[0])?;
+                let kind = elem_kind(&elem);
                 let t = a!(0, Bank::V);
                 let (i, j) = (a!(1, Bank::I), a!(2, Bank::I));
-                self.code.push(RegOp::TenPart2 {
-                    kind: elem_kind(&elem),
-                    d,
-                    t,
-                    i,
-                    j,
-                });
+                self.elision.bounds_total += 1;
+                if self.part_proved() {
+                    self.elision.bounds_elided += 1;
+                    self.code.push(RegOp::TenPart2U { kind, d, t, i, j });
+                } else {
+                    self.code.push(RegOp::TenPart2 { kind, d, t, i, j });
+                }
                 Ok(())
             }
             "tensor_set_1" => {
@@ -1009,7 +1074,13 @@ impl<'a> Lowering<'a> {
                 // dead (in-place update), and is cloned (copy-on-write)
                 // when still live — the F5 copy analysis.
                 self.push_v_move(d, t, take);
-                self.code.push(RegOp::TenSet1 { kind, t: d, i, v });
+                self.elision.bounds_total += 1;
+                if self.part_proved() {
+                    self.elision.bounds_elided += 1;
+                    self.code.push(RegOp::TenSet1U { kind, t: d, i, v });
+                } else {
+                    self.code.push(RegOp::TenSet1 { kind, t: d, i, v });
+                }
                 Ok(())
             }
             "tensor_set_2" => {
@@ -1019,13 +1090,25 @@ impl<'a> Lowering<'a> {
                 let (i, j) = (a!(1, Bank::I), a!(2, Bank::I));
                 let v = a!(3, bank_of(&elem));
                 self.push_v_move(d, t, take);
-                self.code.push(RegOp::TenSet2 {
-                    kind,
-                    t: d,
-                    i,
-                    j,
-                    v,
-                });
+                self.elision.bounds_total += 1;
+                if self.part_proved() {
+                    self.elision.bounds_elided += 1;
+                    self.code.push(RegOp::TenSet2U {
+                        kind,
+                        t: d,
+                        i,
+                        j,
+                        v,
+                    });
+                } else {
+                    self.code.push(RegOp::TenSet2 {
+                        kind,
+                        t: d,
+                        i,
+                        j,
+                        v,
+                    });
+                }
                 Ok(())
             }
             "tensor_fill_1" => {
@@ -1072,6 +1155,9 @@ impl<'a> Lowering<'a> {
                 let i = a!(1, Bank::I);
                 let row = a!(2, Bank::V);
                 self.push_v_move(d, t, take);
+                // Row stores keep their check (no unchecked variant): the
+                // row-length match is not provable from index intervals.
+                self.elision.bounds_total += 1;
                 self.code.push(RegOp::TenSetRow { t: d, i, row });
                 Ok(())
             }

@@ -48,6 +48,11 @@ pub enum IntOp {
     Add,
     Sub,
     Mul,
+    // Unchecked forms: the interval analysis proved the operation cannot
+    // overflow, so the wrapping result equals the mathematical one.
+    AddU,
+    SubU,
+    MulU,
     Quot,
     Mod,
     Pow,
@@ -354,6 +359,39 @@ pub enum RegOp {
         j: usize,
         v: usize,
     },
+    /// [`RegOp::TenPart1`] with the bounds check elided: the interval
+    /// analysis proved `i ∈ [-len,-1] ∪ [1,len]`, so execution only
+    /// resolves the sign (negative indices count from the end) without
+    /// validating the range.
+    TenPart1U {
+        kind: ElemKind,
+        d: usize,
+        t: usize,
+        i: usize,
+    },
+    /// [`RegOp::TenPart2`] with both bounds checks elided.
+    TenPart2U {
+        kind: ElemKind,
+        d: usize,
+        t: usize,
+        i: usize,
+        j: usize,
+    },
+    /// [`RegOp::TenSet1`] with the bounds check elided.
+    TenSet1U {
+        kind: ElemKind,
+        t: usize,
+        i: usize,
+        v: usize,
+    },
+    /// [`RegOp::TenSet2`] with both bounds checks elided.
+    TenSet2U {
+        kind: ElemKind,
+        t: usize,
+        i: usize,
+        j: usize,
+        v: usize,
+    },
     TenFill1 {
         kind: ElemKind,
         d: usize,
@@ -640,6 +678,47 @@ pub enum RegOp {
         j: u32,
         v: u32,
     },
+    /// [`RegOp::TenPart1IntBin`] over an unchecked element load.
+    TenPart1IntBinU {
+        e: u32,
+        t: u32,
+        i: u32,
+        op: IntOp,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    /// [`RegOp::TenPart1IntBinImm`] over an unchecked element load.
+    TenPart1IntBinImmU {
+        e: u32,
+        t: u32,
+        i: u32,
+        op: IntOp,
+        d: u32,
+        a: u32,
+        imm: i32,
+    },
+    /// [`RegOp::TenPart2FltBin`] over an unchecked element load.
+    TenPart2FltBinU {
+        e: u32,
+        t: u32,
+        i: u32,
+        j: u32,
+        op: FltOp,
+        d: u32,
+        a: u32,
+        b: u32,
+    },
+    /// [`RegOp::TakeVTenSet2`] with both bounds checks elided.
+    TakeVTenSet2U {
+        dv: u32,
+        sv: u32,
+        kind: ElemKind,
+        t: u32,
+        i: u32,
+        j: u32,
+        v: u32,
+    },
     /// Phi edge-move fused with the loop back-edge.
     MovIJmp {
         d: u32,
@@ -799,6 +878,10 @@ impl RegOp {
             RegOp::TenPart2 { .. } => "ten.part2",
             RegOp::TenSet1 { .. } => "ten.set1",
             RegOp::TenSet2 { .. } => "ten.set2",
+            RegOp::TenPart1U { .. } => "ten.part1.u",
+            RegOp::TenPart2U { .. } => "ten.part2.u",
+            RegOp::TenSet1U { .. } => "ten.set1.u",
+            RegOp::TenSet2U { .. } => "ten.set2.u",
             RegOp::TenFill1 { .. } => "ten.fill1",
             RegOp::TenFill2 { .. } => "ten.fill2",
             RegOp::TenBin { .. } => "ten.bin",
@@ -841,6 +924,10 @@ impl RegOp {
             RegOp::TenPart2FltBin { .. } => "ten.part2.flt.bin",
             RegOp::TakeVTenSet1 { .. } => "take.ten.set1",
             RegOp::TakeVTenSet2 { .. } => "take.ten.set2",
+            RegOp::TenPart1IntBinU { .. } => "ten.part1.int.bin.u",
+            RegOp::TenPart1IntBinImmU { .. } => "ten.part1.int.imm.u",
+            RegOp::TenPart2FltBinU { .. } => "ten.part2.flt.bin.u",
+            RegOp::TakeVTenSet2U { .. } => "take.ten.set2.u",
             RegOp::MovIJmp { .. } => "mov.i.jmp",
             RegOp::Mov2I { .. } => "mov2.i",
             RegOp::Mov2IJmp { .. } => "mov2.i.jmp",
@@ -876,6 +963,24 @@ fn clone_cheap(v: &Value) -> Value {
     }
 }
 
+/// Per-function counts of runtime checks the interval analysis let the
+/// lowering elide (and the totals they are drawn from), for
+/// observability: `reproduce analyze --stats` and the CI golden gate
+/// read these instead of grepping op listings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElisionCounters {
+    /// Part bounds checks elided at lowering (unchecked tensor ops).
+    pub bounds_elided: u32,
+    /// Part-checked tensor ops lowered in total.
+    pub bounds_total: u32,
+    /// Overflow-checked integer ops promoted to unchecked forms.
+    pub ovf_elided: u32,
+    /// Overflow-checked integer ops (add/sub/mul) lowered in total.
+    pub ovf_total: u32,
+    /// `Acquire`/`Release` ops skipped as provably redundant.
+    pub rc_elided: u32,
+}
+
 /// A compiled native function.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NativeFunc {
@@ -893,6 +998,9 @@ pub struct NativeFunc {
     pub n_val: usize,
     /// Where incoming arguments are stored, in order.
     pub params: Vec<Slot>,
+    /// Check-elision statistics fixed at lowering; all zero when the
+    /// range analysis is off.
+    pub elision: ElisionCounters,
 }
 
 /// A compiled native program (a lowered program module).
@@ -1471,6 +1579,65 @@ impl Machine {
                     let c = checked::resolve_part_index(jx, cols)?;
                     tensor_store(tensor, r * cols + c, value)?;
                 }
+                RegOp::TenPart1U { kind, d, t, i } => {
+                    let ix = fr.ints[*i];
+                    let t = fr.vals[*t].expect_tensor()?;
+                    let off = unchecked_index(ix, t.length());
+                    match (kind, t.data()) {
+                        (ElemKind::I64, TensorData::I64(v)) => fr.ints[*d] = v[off],
+                        (ElemKind::F64, TensorData::F64(v)) => fr.flts[*d] = v[off],
+                        (ElemKind::F64, TensorData::I64(v)) => fr.flts[*d] = v[off] as f64,
+                        (ElemKind::C64, TensorData::Complex(v)) => fr.cpxs[*d] = v[off],
+                        _ => return Err(RuntimeError::Type("tensor element kind mismatch".into())),
+                    }
+                }
+                RegOp::TenPart2U { kind, d, t, i, j } => {
+                    let (ix, jx) = (fr.ints[*i], fr.ints[*j]);
+                    let t = fr.vals[*t].expect_tensor()?;
+                    let cols = t.shape()[1];
+                    let off = unchecked_index(ix, t.shape()[0]) * cols + unchecked_index(jx, cols);
+                    match (kind, t.data()) {
+                        (ElemKind::I64, TensorData::I64(v)) => fr.ints[*d] = v[off],
+                        (ElemKind::F64, TensorData::F64(v)) => fr.flts[*d] = v[off],
+                        (ElemKind::F64, TensorData::I64(v)) => fr.flts[*d] = v[off] as f64,
+                        (ElemKind::C64, TensorData::Complex(v)) => fr.cpxs[*d] = v[off],
+                        _ => return Err(RuntimeError::Type("tensor element kind mismatch".into())),
+                    }
+                }
+                RegOp::TenSet1U { kind, t, i, v } => {
+                    let ix = fr.ints[*i];
+                    let value = match kind {
+                        ElemKind::I64 => ArgVal::I(fr.ints[*v]),
+                        ElemKind::F64 => ArgVal::F(fr.flts[*v]),
+                        ElemKind::C64 => {
+                            let (re, im) = fr.cpxs[*v];
+                            ArgVal::C(re, im)
+                        }
+                    };
+                    let Value::Tensor(tensor) = &mut fr.vals[*t] else {
+                        return Err(RuntimeError::Type("SetPart on non-tensor".into()));
+                    };
+                    let off = unchecked_index(ix, tensor.length());
+                    tensor_store(tensor, off, value)?;
+                }
+                RegOp::TenSet2U { kind, t, i, j, v } => {
+                    let (ix, jx) = (fr.ints[*i], fr.ints[*j]);
+                    let value = match kind {
+                        ElemKind::I64 => ArgVal::I(fr.ints[*v]),
+                        ElemKind::F64 => ArgVal::F(fr.flts[*v]),
+                        ElemKind::C64 => {
+                            let (re, im) = fr.cpxs[*v];
+                            ArgVal::C(re, im)
+                        }
+                    };
+                    let Value::Tensor(tensor) = &mut fr.vals[*t] else {
+                        return Err(RuntimeError::Type("SetPart on non-tensor".into()));
+                    };
+                    let cols = tensor.shape()[1];
+                    let off =
+                        unchecked_index(ix, tensor.shape()[0]) * cols + unchecked_index(jx, cols);
+                    tensor_store(tensor, off, value)?;
+                }
                 RegOp::TenFill1 { kind, d, c, n } => {
                     let n = fr.ints[*n].max(0) as usize;
                     let data = match kind {
@@ -2032,6 +2199,93 @@ impl Machine {
                     let c = checked::resolve_part_index(jx, cols)?;
                     tensor_store(tensor, r * cols + c, value)?;
                 }
+                RegOp::TenPart1IntBinU {
+                    e,
+                    t,
+                    i,
+                    op,
+                    d,
+                    a,
+                    b,
+                } => {
+                    let ix = fr.ints[*i as usize];
+                    let tt = fr.vals[*t as usize].expect_tensor()?;
+                    let off = unchecked_index(ix, tt.length());
+                    let TensorData::I64(v) = tt.data() else {
+                        return Err(RuntimeError::Type("tensor element kind mismatch".into()));
+                    };
+                    fr.ints[*e as usize] = v[off];
+                    fr.ints[*d as usize] =
+                        int_bin(*op, fr.ints[*a as usize], fr.ints[*b as usize])?;
+                }
+                RegOp::TenPart1IntBinImmU {
+                    e,
+                    t,
+                    i,
+                    op,
+                    d,
+                    a,
+                    imm,
+                } => {
+                    let ix = fr.ints[*i as usize];
+                    let tt = fr.vals[*t as usize].expect_tensor()?;
+                    let off = unchecked_index(ix, tt.length());
+                    let TensorData::I64(v) = tt.data() else {
+                        return Err(RuntimeError::Type("tensor element kind mismatch".into()));
+                    };
+                    fr.ints[*e as usize] = v[off];
+                    fr.ints[*d as usize] = int_bin(*op, fr.ints[*a as usize], *imm as i64)?;
+                }
+                RegOp::TenPart2FltBinU {
+                    e,
+                    t,
+                    i,
+                    j,
+                    op,
+                    d,
+                    a,
+                    b,
+                } => {
+                    let (ix, jx) = (fr.ints[*i as usize], fr.ints[*j as usize]);
+                    let tt = fr.vals[*t as usize].expect_tensor()?;
+                    let cols = tt.shape()[1];
+                    let off = unchecked_index(ix, tt.shape()[0]) * cols + unchecked_index(jx, cols);
+                    fr.flts[*e as usize] = match tt.data() {
+                        TensorData::F64(v) => v[off],
+                        TensorData::I64(v) => v[off] as f64,
+                        _ => return Err(RuntimeError::Type("tensor element kind mismatch".into())),
+                    };
+                    fr.flts[*d as usize] =
+                        flt_bin(*op, fr.flts[*a as usize], fr.flts[*b as usize])?;
+                }
+                RegOp::TakeVTenSet2U {
+                    dv,
+                    sv,
+                    kind,
+                    t,
+                    i,
+                    j,
+                    v,
+                } => {
+                    fr.vals[*dv as usize] =
+                        std::mem::replace(&mut fr.vals[*sv as usize], Value::Null);
+                    let (ix, jx) = (fr.ints[*i as usize], fr.ints[*j as usize]);
+                    let value = match kind {
+                        ElemKind::I64 => ArgVal::I(fr.ints[*v as usize]),
+                        ElemKind::F64 => ArgVal::F(fr.flts[*v as usize]),
+                        ElemKind::C64 => {
+                            let (re, im) = fr.cpxs[*v as usize];
+                            ArgVal::C(re, im)
+                        }
+                    };
+                    let Value::Tensor(tensor) = &mut fr.vals[*t as usize] else {
+                        return Err(RuntimeError::Type("SetPart on non-tensor".into()));
+                    };
+                    let cols = tensor.shape()[1];
+                    let off =
+                        unchecked_index(ix, tensor.shape()[0]) * cols + unchecked_index(jx, cols);
+                    tensor_store(tensor, off, value)?;
+                }
                 RegOp::MovIJmp { d, s, pc: t } => {
                     fr.ints[*d as usize] = fr.ints[*s as usize];
                     pc = *t as usize;
@@ -2175,11 +2429,30 @@ impl Machine {
     }
 }
 
+/// Resolves a 1-based, possibly negative Part index whose validity the
+/// interval analysis proved at compile time: sign resolution only, no
+/// range check. If a proof were ever wrong, the subsequent slice access
+/// still panics safely (no undefined behavior) instead of reading out of
+/// bounds.
+#[inline(always)]
+fn unchecked_index(ix: i64, len: usize) -> usize {
+    if ix > 0 {
+        (ix - 1) as usize
+    } else {
+        (len as i64 + ix) as usize
+    }
+}
+
 fn int_bin(op: IntOp, x: i64, y: i64) -> Result<i64, RuntimeError> {
     Ok(match op {
         IntOp::Add => checked::add_i64(x, y)?,
         IntOp::Sub => checked::sub_i64(x, y)?,
         IntOp::Mul => checked::mul_i64(x, y)?,
+        // The range analysis proved these cannot overflow; wrapping is
+        // only a belt-and-braces way to avoid the branch.
+        IntOp::AddU => x.wrapping_add(y),
+        IntOp::SubU => x.wrapping_sub(y),
+        IntOp::MulU => x.wrapping_mul(y),
         // Exact flooring division via the shared checked helper. The f64
         // round-trip this replaces lost precision above 2^53 and saturated
         // on `i64::MIN / -1` instead of raising overflow — both silent
@@ -2434,6 +2707,7 @@ mod tests {
                 n_cpx: banks.2,
                 n_val: banks.3,
                 params,
+                elision: ElisionCounters::default(),
             }],
         }
     }
@@ -2579,6 +2853,7 @@ mod tests {
             n_cpx: 0,
             n_val: 0,
             params: vec![Slot::new(Bank::I, 0)],
+            elision: ElisionCounters::default(),
         };
         let main = NativeFunc {
             name: "Main".into(),
@@ -2602,6 +2877,7 @@ mod tests {
             n_cpx: 0,
             n_val: 1,
             params: vec![Slot::new(Bank::I, 0)],
+            elision: ElisionCounters::default(),
         };
         let prog = NativeProgram {
             parallel: None,

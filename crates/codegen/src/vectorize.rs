@@ -127,6 +127,11 @@ pub enum VecNode {
         row: Option<Affine>,
         /// Column (or sole) index.
         col: Affine,
+        /// The interval analysis proved the indices in bounds (the load
+        /// came from an unchecked Part): the batch-entry precheck skips
+        /// the upper endpoint test and only verifies `>= 1`, which the
+        /// affine addressing itself requires.
+        relaxed: bool,
     },
     /// Elementwise binary op over two earlier nodes.
     Bin {
@@ -159,6 +164,9 @@ pub struct StoreSpec {
     pub row: Option<Affine>,
     /// Column (or sole) index affine.
     pub col: Affine,
+    /// Store bounds proved at compile time (unchecked set op): the
+    /// batch-entry precheck skips the upper endpoint test.
+    pub relaxed: bool,
 }
 
 /// Everything the VecLoop executor needs, computed once at compile time.
@@ -189,6 +197,10 @@ pub struct VecPlan {
     pub acquires: u64,
     /// Releases recorded per scalar iteration.
     pub releases: u64,
+    /// Batch-entry tests discharged by the interval analysis instead of
+    /// evaluated at runtime (skipped overflow checks and upper-bound
+    /// endpoint tests).
+    pub prechecked: u32,
 }
 
 // ---------------------------------------------------------------------------
@@ -298,6 +310,7 @@ enum SymNode {
         rank: u32,
         row: Option<SymAffine>,
         col: SymAffine,
+        relaxed: bool,
     },
     Bin {
         op: SimdOp,
@@ -339,8 +352,9 @@ struct Planner {
     /// First access per touched value slot: `true` = overwrite-first.
     first_access: HashMap<usize, bool>,
     flags: HashMap<usize, FlagSim>,
-    store: Option<(usize, u32, Option<SymAffine>, SymAffine, usize)>,
+    store: Option<(usize, u32, Option<SymAffine>, SymAffine, usize, bool)>,
     int_checks: Vec<SymAffine>,
+    prechecked: u32,
     div_regs: HashSet<usize>,
     managed: HashSet<usize>,
     acquires: u64,
@@ -362,6 +376,7 @@ impl Planner {
             flags: HashMap::new(),
             store: None,
             int_checks: Vec::new(),
+            prechecked: 0,
             div_regs: HashSet::new(),
             managed: HashSet::new(),
             acquires: 0,
@@ -419,15 +434,15 @@ impl Planner {
     fn int_bin_sym(&mut self, op: IntOp, a: IForm, b: IForm) -> Option<IForm> {
         use IntOp::*;
         match op {
-            Add | Sub | Mul => {
+            Add | Sub | Mul | AddU | SubU | MulU => {
                 let (IForm::Aff(x), IForm::Aff(y)) = (a, b) else {
                     // A checked op over an unmodelled value: the scalar
                     // loop could raise where the batch cannot check.
                     return None;
                 };
                 let out = match op {
-                    Add => x.add(&y, false)?,
-                    Sub => x.add(&y, true)?,
+                    Add | AddU => x.add(&y, false)?,
+                    Sub | SubU => x.add(&y, true)?,
                     _ => {
                         if let Some(k) = y.as_const() {
                             x.scale(k)?
@@ -438,7 +453,13 @@ impl Planner {
                         }
                     }
                 };
-                self.int_checks.push(out.clone());
+                if matches!(op, AddU | SubU | MulU) {
+                    // The interval analysis already proved the op cannot
+                    // overflow for any reachable input: no endpoint test.
+                    self.prechecked += 1;
+                } else {
+                    self.int_checks.push(out.clone());
+                }
                 Some(IForm::Aff(out))
             }
             // Total on all inputs; the result is dead until the tail.
@@ -488,7 +509,14 @@ impl Planner {
         }
     }
 
-    fn load_sym(&mut self, kind: ElemKind, t: usize, i: IForm, j: Option<IForm>) -> Option<usize> {
+    fn load_sym(
+        &mut self,
+        kind: ElemKind,
+        t: usize,
+        i: IForm,
+        j: Option<IForm>,
+        relaxed: bool,
+    ) -> Option<usize> {
         if kind != ElemKind::F64 {
             return None;
         }
@@ -504,11 +532,15 @@ impl Planner {
             Some(IForm::Aff(jj)) => (2, Some(col_or_row), jj),
             Some(IForm::Unknown) => return None,
         };
+        if relaxed {
+            self.prechecked += 1;
+        }
         Some(self.push(SymNode::Load {
             slot,
             rank,
             row,
             col,
+            relaxed,
         }))
     }
 
@@ -519,6 +551,7 @@ impl Planner {
         i: IForm,
         j: Option<IForm>,
         v_node: usize,
+        relaxed: bool,
     ) -> Option<()> {
         if kind != ElemKind::F64 || self.store.is_some() {
             return None;
@@ -535,7 +568,10 @@ impl Planner {
             Some(IForm::Aff(jj)) => (2, Some(col_or_row), jj),
             Some(IForm::Unknown) => return None,
         };
-        self.store = Some((slot, rank, row, col, v_node));
+        if relaxed {
+            self.prechecked += 1;
+        }
+        self.store = Some((slot, rank, row, col, v_node, relaxed));
         Some(())
     }
 
@@ -709,14 +745,16 @@ impl Planner {
                 let f = self.rd_i(*s2 as usize);
                 self.wr_i(*d2 as usize, f);
             }
-            RegOp::TenPart1 { kind, d, t, i } => {
+            RegOp::TenPart1 { kind, d, t, i } | RegOp::TenPart1U { kind, d, t, i } => {
+                let relaxed = matches!(op, RegOp::TenPart1U { .. });
                 let ix = self.rd_i(*i);
-                let n = self.load_sym(*kind, *t, ix, None)?;
+                let n = self.load_sym(*kind, *t, ix, None, relaxed)?;
                 self.wr_f(*d, n);
             }
-            RegOp::TenPart2 { kind, d, t, i, j } => {
+            RegOp::TenPart2 { kind, d, t, i, j } | RegOp::TenPart2U { kind, d, t, i, j } => {
+                let relaxed = matches!(op, RegOp::TenPart2U { .. });
                 let (ix, jx) = (self.rd_i(*i), self.rd_i(*j));
-                let n = self.load_sym(*kind, *t, ix, Some(jx))?;
+                let n = self.load_sym(*kind, *t, ix, Some(jx), relaxed)?;
                 self.wr_f(*d, n);
             }
             RegOp::TenPart2FltBin {
@@ -724,33 +762,46 @@ impl Planner {
                 t,
                 i,
                 j,
-                op,
+                op: fop,
+                d,
+                a,
+                b,
+            }
+            | RegOp::TenPart2FltBinU {
+                e,
+                t,
+                i,
+                j,
+                op: fop,
                 d,
                 a,
                 b,
             } => {
+                let relaxed = matches!(op, RegOp::TenPart2FltBinU { .. });
                 let (ix, jx) = (self.rd_i(*i as usize), self.rd_i(*j as usize));
-                let n = self.load_sym(ElemKind::F64, *t as usize, ix, Some(jx))?;
+                let n = self.load_sym(ElemKind::F64, *t as usize, ix, Some(jx), relaxed)?;
                 self.wr_f(*e as usize, n);
                 let (l, r) = (self.rd_f(*a as usize), self.rd_f(*b as usize));
-                let n = self.flt_bin_sym(*op, l, r)?;
+                let n = self.flt_bin_sym(*fop, l, r)?;
                 self.wr_f(*d as usize, n);
             }
-            RegOp::TenSet1 { kind, t, i, v } => {
+            RegOp::TenSet1 { kind, t, i, v } | RegOp::TenSet1U { kind, t, i, v } => {
+                let relaxed = matches!(op, RegOp::TenSet1U { .. });
                 if *kind != ElemKind::F64 {
                     return None;
                 }
                 let ix = self.rd_i(*i);
                 let vn = self.rd_f(*v);
-                self.store_sym(*kind, *t, ix, None, vn)?;
+                self.store_sym(*kind, *t, ix, None, vn, relaxed)?;
             }
-            RegOp::TenSet2 { kind, t, i, j, v } => {
+            RegOp::TenSet2 { kind, t, i, j, v } | RegOp::TenSet2U { kind, t, i, j, v } => {
+                let relaxed = matches!(op, RegOp::TenSet2U { .. });
                 if *kind != ElemKind::F64 {
                     return None;
                 }
                 let (ix, jx) = (self.rd_i(*i), self.rd_i(*j));
                 let vn = self.rd_f(*v);
-                self.store_sym(*kind, *t, ix, Some(jx), vn)?;
+                self.store_sym(*kind, *t, ix, Some(jx), vn, relaxed)?;
             }
             RegOp::TakeVTenSet1 {
                 dv,
@@ -766,7 +817,7 @@ impl Planner {
                 self.take_v(*dv as usize, *sv as usize);
                 let ix = self.rd_i(*i as usize);
                 let vn = self.rd_f(*v as usize);
-                self.store_sym(*kind, *t as usize, ix, None, vn)?;
+                self.store_sym(*kind, *t as usize, ix, None, vn, false)?;
             }
             RegOp::TakeVTenSet2 {
                 dv,
@@ -776,14 +827,24 @@ impl Planner {
                 i,
                 j,
                 v,
+            }
+            | RegOp::TakeVTenSet2U {
+                dv,
+                sv,
+                kind,
+                t,
+                i,
+                j,
+                v,
             } => {
+                let relaxed = matches!(op, RegOp::TakeVTenSet2U { .. });
                 if *kind != ElemKind::F64 {
                     return None;
                 }
                 self.take_v(*dv as usize, *sv as usize);
                 let (ix, jx) = (self.rd_i(*i as usize), self.rd_i(*j as usize));
                 let vn = self.rd_f(*v as usize);
-                self.store_sym(*kind, *t as usize, ix, Some(jx), vn)?;
+                self.store_sym(*kind, *t as usize, ix, Some(jx), vn, relaxed)?;
             }
             RegOp::TakeV { d, s } => self.take_v(*d, *s),
             RegOp::Acquire { v } => self.acquire(*v),
@@ -1012,7 +1073,7 @@ fn try_plan(f: &NativeFunc, l: usize, latch: usize) -> Option<VecPlan> {
         }
     }
     // The store is mandatory; its object must not be readable as input.
-    let (out_slot, out_rank, out_row, out_col, root_sym) = pl.store.clone()?;
+    let (out_slot, out_rank, out_row, out_col, root_sym, out_relaxed) = pl.store.clone()?;
     // Per-iteration acquire/release counts must balance (mirrors the
     // memory pass's own invariant; see the module docs on aborts).
     if pl.acquires != pl.releases {
@@ -1086,6 +1147,7 @@ fn try_plan(f: &NativeFunc, l: usize, latch: usize) -> Option<VecPlan> {
                 rank,
                 row,
                 col,
+                relaxed,
             } => {
                 if *slot == out_slot {
                     return None; // reading the output object: recurrence
@@ -1114,6 +1176,7 @@ fn try_plan(f: &NativeFunc, l: usize, latch: usize) -> Option<VecPlan> {
                         None => None,
                     },
                     col: lower(col)?,
+                    relaxed: *relaxed,
                 }
             }
             SymNode::Bin { op, l, r } => VecNode::Bin {
@@ -1140,6 +1203,7 @@ fn try_plan(f: &NativeFunc, l: usize, latch: usize) -> Option<VecPlan> {
             None => None,
         },
         col: lower(&out_col)?,
+        relaxed: out_relaxed,
     };
     let mut div_checks: Vec<u32> = pl
         .div_regs
@@ -1166,6 +1230,7 @@ fn try_plan(f: &NativeFunc, l: usize, latch: usize) -> Option<VecPlan> {
         managed_checks,
         acquires: pl.acquires,
         releases: pl.releases,
+        prechecked: pl.prechecked,
     })
 }
 
@@ -1249,12 +1314,27 @@ struct Addr {
 
 /// Checks an index affine against `1..=dim` at both batch endpoints
 /// (linear ⇒ the interior is covered) and returns its value at `k = 0`.
-/// Evaluation overflow counts as a failed check.
-fn index_endpoints(a: &Affine, ints: &[i64], iv0: i128, m: i128, dim: usize) -> Option<i128> {
+/// Evaluation overflow counts as a failed check. With `relaxed` (the
+/// interval analysis proved the access in bounds at compile time) only
+/// the `>= 1` half runs: positivity is what makes the affine addressing
+/// match the scalar op's sign resolution, while an upper-bound miss —
+/// impossible under the proof — would at worst panic on the safe slice
+/// index exactly as the scalar unchecked op would.
+fn index_endpoints(
+    a: &Affine,
+    ints: &[i64],
+    iv0: i128,
+    m: i128,
+    dim: usize,
+    relaxed: bool,
+) -> Option<i128> {
     let at0 = a.eval(ints, iv0, 0)?;
     let at_end = a.eval(ints, iv0, m - 1)?;
     let dim = dim as i128;
-    if at0 < 1 || at0 > dim || at_end < 1 || at_end > dim {
+    if at0 < 1 || at_end < 1 {
+        return None;
+    }
+    if !relaxed && (at0 > dim || at_end > dim) {
         return None;
     }
     Some(at0)
@@ -1267,18 +1347,19 @@ fn resolve_addr(
     ints: &[i64],
     iv0: i128,
     m: i128,
+    relaxed: bool,
 ) -> Option<Addr> {
     match row {
         None => {
-            let c0 = index_endpoints(col, ints, iv0, m, shape[0])?;
+            let c0 = index_endpoints(col, ints, iv0, m, shape[0], relaxed)?;
             Some(Addr {
                 off0: c0 - 1,
                 stride: i128::from(col.iv_coef),
             })
         }
         Some(r) => {
-            let r0 = index_endpoints(r, ints, iv0, m, shape[0])?;
-            let c0 = index_endpoints(col, ints, iv0, m, shape[1])?;
+            let r0 = index_endpoints(r, ints, iv0, m, shape[0], relaxed)?;
+            let c0 = index_endpoints(col, ints, iv0, m, shape[1], relaxed)?;
             let cols = shape[1] as i128;
             Some(Addr {
                 off0: (r0 - 1) * cols + (c0 - 1),
@@ -1452,6 +1533,7 @@ pub(crate) fn exec_batch(
             ints,
             iv0,
             m,
+            plan.out.relaxed,
         ) else {
             return Ok(());
         };
@@ -1465,9 +1547,15 @@ pub(crate) fn exec_batch(
         let tag = match node {
             VecNode::Const(c) => Tag::Sc(*c),
             VecNode::Reg(r) => Tag::Sc(flts[*r as usize]),
-            VecNode::Load { tensor, row, col } => {
+            VecNode::Load {
+                tensor,
+                row,
+                col,
+                relaxed,
+            } => {
                 let t = &inputs[*tensor as usize];
-                let Some(addr) = resolve_addr(row.as_ref(), col, t.shape(), ints, iv0, m) else {
+                let Some(addr) = resolve_addr(row.as_ref(), col, t.shape(), ints, iv0, m, *relaxed)
+                else {
                     return Ok(());
                 };
                 if addr.stride == 0 {
@@ -1707,6 +1795,7 @@ mod tests {
                 Slot::new(Bank::V, 2),
                 Slot::new(Bank::I, 1),
             ],
+            elision: Default::default(),
         }
     }
 
@@ -1747,6 +1836,72 @@ mod tests {
             funcs: vec![vectored],
         };
         assert_eq!(run(&prog, saxpy_args(n, n as i64)).unwrap(), want);
+    }
+
+    /// `saxpy` with every check discharged by the interval analysis: the
+    /// loads/stores are the unchecked variants and the latch increment is
+    /// `AddU` (as `lower` emits when the range facts prove the loop).
+    fn saxpy_unchecked() -> NativeFunc {
+        let mut f = saxpy();
+        for op in &mut f.code {
+            match *op {
+                RegOp::TenPart1 { kind, d, t, i } => *op = RegOp::TenPart1U { kind, d, t, i },
+                RegOp::TenSet1 { kind, t, i, v } => *op = RegOp::TenSet1U { kind, t, i, v },
+                RegOp::IntBinImmJmp {
+                    op: IntOp::Add,
+                    d,
+                    a,
+                    imm,
+                    pc,
+                } => {
+                    *op = RegOp::IntBinImmJmp {
+                        op: IntOp::AddU,
+                        d,
+                        a,
+                        imm,
+                        pc,
+                    }
+                }
+                _ => {}
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn unchecked_loop_vectorizes_relaxed_with_prechecked_tests() {
+        let mut vectored = saxpy_unchecked();
+        assert_eq!(vectorize_function(&mut vectored), 1);
+        let RegOp::VecLoop { plan } = &vectored.code[1] else {
+            panic!("expected a VecLoop, got {:?}", vectored.code[1]);
+        };
+        // Two relaxed loads, a relaxed store, and the AddU latch: four
+        // batch-entry tests discharged by the proofs, none left behind.
+        assert_eq!(plan.prechecked, 4, "{plan:?}");
+        assert!(plan.out.relaxed);
+        assert!(plan.int_checks.is_empty(), "{:?}", plan.int_checks);
+
+        // Same results as the fully checked scalar loop, at every width.
+        let n = 100;
+        let want = run(
+            &NativeProgram {
+                parallel: None,
+                funcs: vec![saxpy()],
+            },
+            saxpy_args(n, n as i64),
+        )
+        .unwrap();
+        for threads in [1, 2, 8] {
+            let got = run(
+                &NativeProgram {
+                    parallel: Some(cfg(threads)),
+                    funcs: vec![vectored.clone()],
+                },
+                saxpy_args(n, n as i64),
+            )
+            .unwrap();
+            assert_eq!(got, want, "threads={threads}");
+        }
     }
 
     #[test]
@@ -1886,6 +2041,7 @@ mod tests {
                 Slot::new(Bank::I, 1),
                 Slot::new(Bank::F, 2),
             ],
+            elision: Default::default(),
         }
     }
 
@@ -1977,6 +2133,7 @@ mod tests {
                 Slot::new(Bank::V, 1),
                 Slot::new(Bank::I, 1),
             ],
+            elision: Default::default(),
         }
     }
 
@@ -2075,6 +2232,7 @@ mod tests {
                 Slot::new(Bank::I, 1),
                 Slot::new(Bank::F, 3),
             ],
+            elision: Default::default(),
         }
     }
 

@@ -21,6 +21,7 @@ fn binprog(code: Vec<RegOp>, bank: Bank) -> NativeProgram {
             n_cpx: 0,
             n_val: 0,
             params: vec![Slot::new(bank, 0), Slot::new(bank, 1)],
+            elision: Default::default(),
         }],
     }
 }

@@ -161,6 +161,7 @@ proptest! {
                 n_cpx: 0,
                 n_val: 0,
                 params: Vec::new(),
+            elision: Default::default(),
             };
             let mut fused = unfused.clone();
             fuse_function(&mut fused);
@@ -207,6 +208,7 @@ proptest! {
             n_cpx: 0,
             n_val: 0,
             params: Vec::new(),
+            elision: Default::default(),
         };
         let mut fused = unfused.clone();
         fuse_function(&mut fused);

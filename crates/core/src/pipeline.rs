@@ -74,6 +74,13 @@ pub struct CompilerOptions {
     /// Tuning for the data-parallel tier (threads, chunk granularity,
     /// SIMD on/off). Ignored unless `data_parallel` is set.
     pub parallel: ParallelConfig,
+    /// Run the interval range analysis over the optimized TWIR and let
+    /// the lowering elide runtime checks it discharges: Part bounds
+    /// checks become unchecked accesses, provably overflow-free integer
+    /// add/subtract/times become wrapping ops, and redundant refcount
+    /// pairs disappear. On by default; off gives the fully checked
+    /// ablation baseline.
+    pub range_checks_elision: bool,
 }
 
 impl CompilerOptions {
@@ -109,6 +116,7 @@ impl CompilerOptions {
             u8::from(self.naive_constant_arrays),
             u8::from(self.superinstruction_fusion),
             u8::from(self.data_parallel),
+            u8::from(self.range_checks_elision),
         ]);
         if self.data_parallel {
             // The config changes the emitted program (the embedded
@@ -154,6 +162,7 @@ impl Default for CompilerOptions {
             verify: VerifyLevel::Full,
             data_parallel: false,
             parallel: ParallelConfig::default(),
+            range_checks_elision: true,
         }
     }
 }
@@ -348,6 +357,11 @@ impl Compiler {
     pub fn generate_native(&self, pm: &ProgramModule) -> Result<NativeProgram, CompileError> {
         let opts = LowerOptions {
             naive_constant_arrays: self.options.naive_constant_arrays,
+            range_facts: self.options.range_checks_elision.then(|| {
+                self.time("range-analysis", || {
+                    wolfram_analyze::intervals::analyze_module_ranges(pm)
+                })
+            }),
         };
         let mut native = self
             .time("code-generation", || lower_program_with(pm, &opts))
@@ -580,6 +594,58 @@ mod tests {
     }
 
     #[test]
+    fn range_elision_emits_unchecked_ops_and_matches_checked_results() {
+        // A counted loop writing in-bounds Parts: the interval analysis
+        // proves every access, so the default tier lowers unchecked ops
+        // while the ablation baseline keeps all checks — with identical
+        // observable results.
+        let src = "Function[{Typed[n, \"MachineInteger\"]}, \
+                   Module[{out, i}, out = ConstantArray[0, {n}]; i = 1; \
+                   While[i <= n, out[[i]] = 2*i + 1; i = i + 1]; out]]";
+        let expr = parse(src).unwrap();
+        let on = Compiler::default();
+        let off = Compiler::new(CompilerOptions {
+            range_checks_elision: false,
+            ..CompilerOptions::default()
+        });
+
+        let lower = |c: &Compiler| {
+            let pm = c.compile_to_twir(&expr, None).unwrap();
+            c.generate_native(&pm).unwrap()
+        };
+        let native_on = lower(&on);
+        let native_off = lower(&off);
+
+        let bounds_elided =
+            |n: &NativeProgram| -> u32 { n.funcs.iter().map(|f| f.elision.bounds_elided).sum() };
+        let ovf_elided =
+            |n: &NativeProgram| -> u32 { n.funcs.iter().map(|f| f.elision.ovf_elided).sum() };
+        assert!(bounds_elided(&native_on) > 0, "Part proof must fire");
+        assert!(ovf_elided(&native_on) > 0, "overflow proof must fire");
+        assert_eq!(bounds_elided(&native_off), 0);
+        assert_eq!(ovf_elided(&native_off), 0);
+
+        // The unchecked mnemonics (".u") appear only in the elided build.
+        let asm = |n: &NativeProgram| -> String {
+            n.funcs
+                .iter()
+                .map(wolfram_codegen::asm::render_function)
+                .collect()
+        };
+        assert!(asm(&native_on).contains(".u."), "{}", asm(&native_on));
+        assert!(!asm(&native_off).contains(".u."), "{}", asm(&native_off));
+
+        // Bit-identical results from both configurations.
+        let run = |c: &Compiler| {
+            c.function_compile_src(src)
+                .unwrap()
+                .call(&[Value::I64(6)])
+                .unwrap()
+        };
+        assert_eq!(run(&on), run(&off));
+    }
+
+    #[test]
     fn options_fingerprint_is_stable_and_discriminating() {
         let base = CompilerOptions::default();
         assert_eq!(base.fingerprint(), CompilerOptions::default().fingerprint());
@@ -627,6 +693,10 @@ mod tests {
                     simd: false,
                     ..ParallelConfig::default()
                 },
+                ..CompilerOptions::default()
+            },
+            CompilerOptions {
+                range_checks_elision: false,
                 ..CompilerOptions::default()
             },
         ];

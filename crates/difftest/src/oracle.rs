@@ -1,6 +1,6 @@
 //! The tri-engine oracle and the equivalence relation it judges by.
 //!
-//! A program is run through five configurations:
+//! A program is run through six configurations:
 //!
 //! 1. the tree-walking **interpreter** (the language oracle),
 //! 2. the **bytecode VM** (hosted, so numeric errors revert to the
@@ -8,11 +8,17 @@
 //! 3. the **native register machine with superinstruction fusion**
 //!    (hosted),
 //! 4. the **native machine with fusion disabled** (hosted) — fusion is an
-//!    ablation knob, so fused and unfused code must agree bit-for-bit, and
+//!    ablation knob, so fused and unfused code must agree bit-for-bit,
 //! 5. the **native machine with the data-parallel tier** (hosted) —
 //!    fusion plus vectorized counted loops and chunked whole-tensor
 //!    builtins on the worker pool, tuned aggressively (2 threads, tiny
-//!    chunks) so even fuzz-sized tensors exercise the parallel paths.
+//!    chunks) so even fuzz-sized tensors exercise the parallel paths, and
+//! 6. the **native machine with range-check elision** (hosted) — the
+//!    interval analysis proves bounds/overflow checks and refcount pairs
+//!    redundant and the lowering drops them, on top of fusion and the
+//!    aggressive parallel tier; a wrong proof shows up as a divergence
+//!    (or a panic) against the fully checked engines. The other native
+//!    configurations pin elision *off* so they stay checked baselines.
 //!
 //! # Equivalence relation
 //!
@@ -112,19 +118,20 @@ impl Outcome {
 }
 
 /// The engine configurations under test, in report order.
-pub const ENGINE_NAMES: [&str; 5] = [
+pub const ENGINE_NAMES: [&str; 6] = [
     "interpreter",
     "bytecode",
     "native+fusion",
     "native-fusion",
     "native+parallel",
+    "native+elision",
 ];
 
-/// All five outcomes for one argument set.
+/// All six outcomes for one argument set.
 #[derive(Debug, Clone)]
 pub struct TriRun {
     /// Indexed as [`ENGINE_NAMES`].
-    pub outcomes: [Outcome; 5],
+    pub outcomes: [Outcome; 6],
     /// Absolute real-comparison allowance for this run:
     /// [`CANCELLATION_EPS`] times the largest magnitude among the
     /// program's literals and this argument set.
@@ -200,6 +207,7 @@ pub struct PreparedSubject {
     native_fused: wolfram_compiler_core::CompiledCodeFunction,
     native_unfused: wolfram_compiler_core::CompiledCodeFunction,
     native_parallel: wolfram_compiler_core::CompiledCodeFunction,
+    native_elision: wolfram_compiler_core::CompiledCodeFunction,
 }
 
 /// Largest magnitude among the numeric literals in `e`, recursively.
@@ -300,9 +308,13 @@ pub fn prepare_with(func: &Expr, verify: VerifyLevel) -> Result<PreparedSubject,
                 message: e.to_string(),
             })
     };
+    // Elision stays off in the baselines (despite being the compiler
+    // default) so they remain fully checked references for the dedicated
+    // elision engine below.
     let opts = |fuse: bool| CompilerOptions {
         superinstruction_fusion: fuse,
         verify,
+        range_checks_elision: false,
         ..CompilerOptions::default()
     };
     // Deliberately aggressive tuning: fuzz tensors are small, so the
@@ -317,6 +329,10 @@ pub fn prepare_with(func: &Expr, verify: VerifyLevel) -> Result<PreparedSubject,
         },
         ..opts(true)
     };
+    let elision_opts = CompilerOptions {
+        range_checks_elision: true,
+        ..parallel_opts.clone()
+    };
 
     Ok(PreparedSubject {
         func: func.clone(),
@@ -325,11 +341,12 @@ pub fn prepare_with(func: &Expr, verify: VerifyLevel) -> Result<PreparedSubject,
         native_fused: native("native+fusion", opts(true))?,
         native_unfused: native("native-fusion", opts(false))?,
         native_parallel: native("native+parallel", parallel_opts)?,
+        native_elision: native("native+elision", elision_opts)?,
     })
 }
 
 impl PreparedSubject {
-    /// Runs one argument set through all five configurations.
+    /// Runs one argument set through all six configurations.
     pub fn run(&self, args: &[Value]) -> TriRun {
         // Fresh interpreters per run: generated programs reuse local
         // names, and leaked definitions must not couple iterations. Each
@@ -358,13 +375,16 @@ impl PreparedSubject {
         let parallel = with_watchdog(&self.native_parallel.abort.clone(), || {
             Outcome::from_run(self.native_parallel.call(args))
         });
+        let elision = with_watchdog(&self.native_elision.abort.clone(), || {
+            Outcome::from_run(self.native_elision.call(args))
+        });
 
         let scale = args
             .iter()
             .map(value_scale)
             .fold(self.literal_scale, f64::max);
         TriRun {
-            outcomes: [interp, bytecode, fused, unfused, parallel],
+            outcomes: [interp, bytecode, fused, unfused, parallel, elision],
             abs_tol: CANCELLATION_EPS * scale,
         }
     }

@@ -143,6 +143,23 @@ mod tests {
     }
 
     #[test]
+    fn range_elision_fingerprint_separates_keys() {
+        // An artifact compiled with range-check elision (the default) and
+        // the fully checked ablation baseline differ instruction for
+        // instruction (unchecked RegOp variants), so they must occupy
+        // distinct cache entries and route independently.
+        let on = CompilerOptions::default();
+        assert!(on.range_checks_elision, "elision is the compiler default");
+        let off = CompilerOptions {
+            range_checks_elision: false,
+            ..CompilerOptions::default()
+        };
+        let f = parse("Function[{Typed[n, \"MachineInteger\"]}, n + 1]").unwrap();
+        assert_ne!(CacheKey::of(&f, &on), CacheKey::of(&f, &off));
+        assert_ne!(route_hash("x", &on), route_hash("x", &off));
+    }
+
+    #[test]
     fn routing_is_deterministic_and_in_range() {
         let options = CompilerOptions::default();
         for workers in [1usize, 2, 4, 8] {

@@ -1,0 +1,69 @@
+//! Range-check elision through the serve pool: the elided (default) and
+//! fully checked artifacts for the same source must occupy distinct
+//! cache entries — in the in-memory level AND as separate files in the
+//! disk level — while producing identical results.
+
+use wolfram_serve::{
+    CacheStatus, CompilerOptions, ServeConfig, ServePool, ServeRequest, TierPolicy,
+};
+
+#[test]
+fn elision_on_and_off_cache_separately_in_memory_and_on_disk() {
+    let dir =
+        std::env::temp_dir().join(format!("wolfram-serve-elision-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // The disk level persists bytecode images only, so pin the bytecode
+    // tier: the point here is that the options fingerprint (which folds
+    // in `range_checks_elision`) splits the on-disk key space too.
+    let pool = ServePool::start(ServeConfig {
+        workers: 2,
+        tier_policy: TierPolicy::BytecodeOnly,
+        disk_cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+
+    // A bounds-heavy loop, so the two artifacts genuinely differ: the
+    // default tier proves the Part accesses and emits unchecked ops, the
+    // ablation baseline keeps every check.
+    let src = "Function[{Typed[n, \"MachineInteger\"]}, \
+               Module[{out, i}, out = ConstantArray[0, {n}]; i = 1; \
+               While[i <= n, out[[i]] = 3*i + 1; i = i + 1]; out]]";
+    let args = ["5".to_string()];
+    let checked_options = CompilerOptions {
+        range_checks_elision: false,
+        ..CompilerOptions::default()
+    };
+
+    let elided_first = pool.call(ServeRequest::new(src, args.clone()));
+    let elided_again = pool.call(ServeRequest::new(src, args.clone()));
+    let checked_first =
+        pool.call(ServeRequest::new(src, args.clone()).with_options(checked_options.clone()));
+    let checked_again =
+        pool.call(ServeRequest::new(src, args.clone()).with_options(checked_options.clone()));
+
+    // Same answer from both configurations, bit for bit in the rendering.
+    let expected = elided_first.result.as_deref().expect("elided runs");
+    assert_eq!(checked_first.result.as_deref(), Ok(expected));
+    assert_eq!(checked_again.result.as_deref(), Ok(expected));
+
+    // Distinct artifacts: the checked request missed even though the
+    // elided artifact for the identical source was already resident.
+    assert_eq!(elided_first.cache, CacheStatus::Miss);
+    assert_eq!(elided_again.cache, CacheStatus::Hit);
+    assert_eq!(checked_first.cache, CacheStatus::Miss);
+    assert_eq!(checked_again.cache, CacheStatus::Hit);
+
+    pool.shutdown();
+
+    // Both artifacts reached the disk level as separate files.
+    let entries = std::fs::read_dir(&dir)
+        .expect("disk cache dir exists")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().is_file())
+        .count();
+    assert_eq!(
+        entries, 2,
+        "elision on/off must persist as two distinct disk artifacts"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

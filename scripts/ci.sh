@@ -30,6 +30,9 @@ for stage in wir twir post-pipeline; do
   ./target/release/reproduce analyze --ir-stage "$stage" "$SRC" > /dev/null
 done
 
+echo "==> analyzer: range-check elision stats vs committed golden"
+./target/release/reproduce analyze --stats --golden ANALYZE_stats.golden > /dev/null
+
 echo "==> serve: bench-serve smoke (zero divergences, nonzero hit rate)"
 ./target/release/reproduce bench-serve --quick
 
