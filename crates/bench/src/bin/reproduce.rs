@@ -10,6 +10,9 @@
 //! reproduce bench-serve [--quick]
 //! reproduce bench-serve --net ADDR [--quick] [--clients N] [--json [PATH]] [--expect-warm]
 //! reproduce bench-parallel [--quick] [--json [PATH]] [--min-chunk N]
+//! reproduce stream --function 'Function[...]' [--input FILE] [--tier T] [--batch N]
+//!                  [--workers N]
+//! reproduce bench-stream [--quick] [--json [PATH]]
 //! ```
 //!
 //! `--quick` shrinks the workloads (CI-sized); without it the paper's §6
@@ -47,6 +50,20 @@
 //! zip); `--json` additionally writes `BENCH_parallel.json` (or the
 //! given path). It exits nonzero if any configuration's result differs
 //! from the scalar baseline or the memory counters end up imbalanced.
+//!
+//! `stream` compiles one function and streams line-delimited records from
+//! stdin (or `--input FILE`) to stdout — one `ok <result>` / `err <msg>`
+//! line per record, in input order. SIGTERM/SIGINT drains the in-flight
+//! batches (every admitted record still reaches stdout) and the per-stage
+//! metrics table is printed on stderr either way.
+//!
+//! `bench-stream` runs the streaming-engine sweep (per-event workloads at
+//! interpreter/bytecode/native tiers, batched vs call-per-record);
+//! `--json` additionally writes `BENCH_stream.json`. It exits nonzero if
+//! any configuration's output differs from a one-shot loop of the same
+//! tier, the memory counters end up imbalanced, no frame resets were
+//! recorded (the fast path didn't run), or the best streamed speedup
+//! falls below the floor (3x at paper scale, 1.5x sanity at `--quick`).
 
 use wolfram_bench::{ablations, harness, intro, opstats, table1};
 use wolfram_compiler_core::{Compiler, CompilerOptions};
@@ -410,8 +427,15 @@ fn run_serve(args: &[String]) -> ! {
         };
         eprintln!("wolfram-serve: listening on {addr} (length-prefixed frames)");
         let pool = std::sync::Arc::new(pool);
-        if let Err(e) =
-            wolfram_serve::net::serve_listener(listener, &pool, &SHUTDOWN, &Default::default())
+        // `!stream` sessions compile at the pool's tier policy and run on
+        // the connection thread through the streaming fast path.
+        let net_config = wolfram_serve::NetConfig {
+            stream: Some(std::sync::Arc::new(
+                wolfram_stream::ServeStreamHandler::new(CompilerOptions::default(), tier_policy),
+            )),
+            ..Default::default()
+        };
+        if let Err(e) = wolfram_serve::net::serve_listener(listener, &pool, &SHUTDOWN, &net_config)
         {
             eprintln!("wolfram-serve: accept loop failed: {e}");
         }
@@ -709,6 +733,185 @@ fn run_bench_parallel(args: &[String]) -> ! {
     std::process::exit(i32::from(!clean));
 }
 
+/// `stream` subcommand: compile once, evaluate a line-delimited record
+/// stream. Results go to stdout in input order; diagnostics and the
+/// per-stage metrics table go to stderr. SIGTERM/SIGINT drains in-flight
+/// batches before the table prints (stop is a drain, not a loss).
+fn run_stream_cmd(args: &[String]) -> ! {
+    use wolfram_stream::{StreamConfig, StreamFunction, StreamMetrics};
+
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let Some(src) = flag("--function") else {
+        eprintln!("usage: reproduce stream --function 'Function[...]' [--input FILE]");
+        eprintln!("       [--tier native|naive|bytecode|interp] [--batch N] [--workers N]");
+        std::process::exit(2);
+    };
+    let batch: usize = flag("--batch").map_or(256, |v| v.parse().expect("--batch N"));
+    let workers: usize = flag("--workers").map_or(1, |v| v.parse().expect("--workers N"));
+    let tier = flag("--tier").unwrap_or_else(|| "native".into());
+
+    let func = match tier.as_str() {
+        "native" | "naive" => {
+            let artifact = match Compiler::default().function_compile_src(&src) {
+                Ok(cf) => cf.artifact(),
+                Err(e) => {
+                    eprintln!("stream: compile failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if tier == "native" {
+                StreamFunction::Native(artifact)
+            } else {
+                StreamFunction::NativeNaive(artifact)
+            }
+        }
+        "bytecode" => {
+            let compiled = wolfram_expr::parse(&src)
+                .map_err(|e| e.to_string())
+                .and_then(|f| {
+                    let specs = wolfram_bytecode::ArgSpec::from_function(&f)?;
+                    let body = f.args().get(1).cloned().ok_or("function has no body")?;
+                    wolfram_bytecode::BytecodeCompiler::new()
+                        .compile(&specs, &body)
+                        .map_err(|e| e.to_string())
+                });
+            match compiled {
+                Ok(cf) => StreamFunction::Bytecode(std::sync::Arc::new(cf)),
+                Err(e) => {
+                    eprintln!("stream: bytecode compile failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "interp" => match wolfram_expr::parse(&src) {
+            Ok(f) => StreamFunction::Interpreter(f),
+            Err(e) => {
+                eprintln!("stream: parse failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        other => {
+            eprintln!("unknown --tier `{other}` (expected native, naive, bytecode, or interp)");
+            std::process::exit(2);
+        }
+    };
+
+    install_shutdown_handler();
+    let cfg = StreamConfig {
+        batch_size: batch,
+        workers,
+        queue_batches: 8,
+    };
+    let metrics = StreamMetrics::new();
+    let mut out = std::io::BufWriter::new(std::io::stdout());
+    let started = std::time::Instant::now();
+    let run = |input, out: &mut _| {
+        wolfram_stream::run_lines(&func, &cfg, input, out, &metrics, &SHUTDOWN)
+    };
+    let summary = match flag("--input") {
+        Some(path) => match std::fs::File::open(&path) {
+            Ok(f) => run(
+                Box::new(std::io::BufReader::new(f)) as Box<dyn std::io::BufRead + Send>,
+                &mut out,
+            ),
+            Err(e) => {
+                eprintln!("stream: cannot open {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => run(
+            Box::new(std::io::BufReader::new(std::io::stdin())),
+            &mut out,
+        ),
+    };
+    let elapsed = started.elapsed();
+    use std::io::Write as _;
+    let _ = out.flush();
+    match summary {
+        Ok(s) => {
+            if s.stopped {
+                eprintln!(
+                    "stream: shutdown requested; drained {} in-flight record(s)",
+                    s.records
+                );
+            }
+            eprint!("{}", metrics.render(elapsed));
+            std::process::exit(i32::from(s.errors > 0 && s.ok == 0));
+        }
+        Err(e) => {
+            eprintln!("stream: output failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `bench-stream` subcommand: the streaming-engine sweep, also a CI
+/// smoke gate (nonzero exit on divergence, counter leaks, a cold frame
+/// pool, or a sub-floor streamed speedup).
+fn run_bench_stream(args: &[String]) -> ! {
+    use wolfram_bench::stream_bench;
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick {
+        stream_bench::StreamScale::quick()
+    } else {
+        stream_bench::StreamScale::paper()
+    };
+    let next_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+    };
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|_| next_value("--json").unwrap_or_else(|| "BENCH_stream.json".into()));
+
+    println!(
+        "== bench-stream ({} scale): {} scalar, {} tensor, {} interp records ==",
+        if quick { "quick" } else { "paper" },
+        scale.scalar_records,
+        scale.tensor_records,
+        scale.interp_records,
+    );
+    let report = stream_bench::run(&scale);
+    print!("{}", stream_bench::render(&report));
+
+    if let Some(path) = json_path {
+        let doc = stream_bench::to_json(&report, if quick { "quick" } else { "paper" });
+        match std::fs::write(&path, doc) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    // Quick scale still gates throughput, at a sanity floor: tiny record
+    // counts leave executor setup un-amortized, so the paper-scale 3x
+    // claim is only asserted at paper scale.
+    let floor = if quick { 1.5 } else { 3.0 };
+    let throughput_ok = report.best_stream_speedup >= floor;
+    if !throughput_ok {
+        println!(
+            "streamed speedup {:.2}x is below the {floor:.1}x floor",
+            report.best_stream_speedup
+        );
+    }
+    let clean = report.equivalence_failures == 0
+        && report.memory_balanced
+        && report.frame_resets > 0
+        && throughput_ok;
+    println!("bench-stream: {}", if clean { "PASS" } else { "FAIL" });
+    std::process::exit(i32::from(!clean));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().is_some_and(|a| a == "difftest") {
@@ -725,6 +928,12 @@ fn main() {
     }
     if args.first().is_some_and(|a| a == "bench-parallel") {
         run_bench_parallel(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "stream") {
+        run_stream_cmd(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "bench-stream") {
+        run_bench_stream(&args[1..]);
     }
     let quick = args.iter().any(|a| a == "--quick");
     let what = args

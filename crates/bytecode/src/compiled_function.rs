@@ -120,22 +120,7 @@ impl CompiledFunction {
             )));
         }
         for (a, spec) in args.iter().zip(&self.arg_specs) {
-            let ok = match spec.ty {
-                VmType::Int => matches!(a, Value::I64(_)),
-                VmType::Real => matches!(a, Value::F64(_) | Value::I64(_)),
-                VmType::Complex => matches!(a, Value::Complex(..) | Value::F64(_) | Value::I64(_)),
-                VmType::Bool => matches!(a, Value::Bool(_)),
-                VmType::TensorInt | VmType::TensorReal | VmType::TensorComplex => {
-                    matches!(a, Value::Tensor(_))
-                }
-            };
-            if !ok {
-                return Err(RuntimeError::Type(format!(
-                    "argument {} does not match spec {:?}",
-                    a.type_name(),
-                    spec.ty
-                )));
-            }
+            check_tag(a, spec.ty)?;
         }
         Ok(())
     }
@@ -181,6 +166,100 @@ impl CompiledFunction {
         );
         let _ = writeln!(out, " Evaluate]");
         out
+    }
+}
+
+/// Checks one runtime value against a VM type tag (the per-record half
+/// of `ArgSpec` validation — everything else is per-stream).
+#[inline]
+fn check_tag(a: &Value, ty: VmType) -> Result<(), RuntimeError> {
+    let ok = match ty {
+        VmType::Int => matches!(a, Value::I64(_)),
+        VmType::Real => matches!(a, Value::F64(_) | Value::I64(_)),
+        VmType::Complex => matches!(a, Value::Complex(..) | Value::F64(_) | Value::I64(_)),
+        VmType::Bool => matches!(a, Value::Bool(_)),
+        VmType::TensorInt | VmType::TensorReal | VmType::TensorComplex => {
+            matches!(a, Value::Tensor(_))
+        }
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(RuntimeError::Type(format!(
+            "argument {} does not match spec {ty:?}",
+            a.type_name()
+        )))
+    }
+}
+
+/// A compile-once, call-millions executor over one [`CompiledFunction`]:
+/// the bytecode half of the streaming fast path.
+///
+/// [`CompiledFunction::run_abortable`] walks the full `ArgSpec` table and
+/// allocates an `nregs`-slot boxed register file on every call. A stream
+/// applies one function to every record, so the spec table, register
+/// count, and abort signal are fixed per stream: this runner hoists them
+/// to construction, keeps a dense `VmType` tag row for the per-record
+/// value check (the only part that depends on the record), and reuses one
+/// register-file allocation across calls via [`vm::execute_in`].
+pub struct StreamRunner {
+    cf: std::sync::Arc<CompiledFunction>,
+    tags: Vec<VmType>,
+    nregs: usize,
+    regs: Vec<Value>,
+    abort: AbortSignal,
+}
+
+impl StreamRunner {
+    /// Binds `cf` for streaming, validating the spec table once.
+    pub fn new(cf: std::sync::Arc<CompiledFunction>) -> Self {
+        let tags: Vec<VmType> = cf.arg_specs.iter().map(|s| s.ty).collect();
+        let nregs = cf.nregs.max(tags.len());
+        StreamRunner {
+            cf,
+            tags,
+            nregs,
+            regs: Vec::new(),
+            abort: AbortSignal::new(),
+        }
+    }
+
+    /// Number of parameters (record fields per event).
+    pub fn arity(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// The abort signal checked between instruction batches; trigger it
+    /// to stop a record mid-execution (shutdown, deadlines).
+    pub fn abort_signal(&self) -> &AbortSignal {
+        &self.abort
+    }
+
+    /// Applies the compiled function to one record.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors [`CompiledFunction::run_abortable`] would
+    /// produce for the same arguments.
+    pub fn call(&mut self, args: &[Value]) -> Result<Value, RuntimeError> {
+        if args.len() != self.tags.len() {
+            return Err(RuntimeError::Type(format!(
+                "CompiledFunction expected {} arguments, got {}",
+                self.tags.len(),
+                args.len()
+            )));
+        }
+        for (a, ty) in args.iter().zip(&self.tags) {
+            check_tag(a, *ty)?;
+        }
+        vm::execute_in(
+            &self.cf.ops,
+            self.nregs,
+            args,
+            &mut self.regs,
+            &self.abort,
+            None,
+        )
     }
 }
 
@@ -239,6 +318,27 @@ mod tests {
         assert!(dump.contains("{_Real}, (* Input Arguments *)"));
         assert!(dump.contains("Register Allocations"));
         assert!(dump.contains("(* Input Function *)"));
+    }
+
+    #[test]
+    fn stream_runner_matches_one_shot() {
+        let cf = compile(
+            &[ArgSpec::int("n")],
+            "Module[{a = 0, k = 0}, While[k < n, a = a + k; k++]; a]",
+        );
+        let cf = std::sync::Arc::new(cf);
+        let mut runner = StreamRunner::new(cf.clone());
+        for n in [0i64, 1, 7, 100] {
+            assert_eq!(
+                runner.call(&[Value::I64(n)]).unwrap(),
+                cf.run(&[Value::I64(n)]).unwrap()
+            );
+        }
+        // Spec violations and arity mismatches still error per record,
+        // and an error does not wedge the runner.
+        assert!(runner.call(&[Value::F64(1.0)]).is_err());
+        assert!(runner.call(&[]).is_err());
+        assert_eq!(runner.call(&[Value::I64(3)]).unwrap(), Value::I64(3));
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub mod instr;
 pub mod vm;
 
 pub use compile::{ArgSpec, BytecodeCompiler, CompileError};
-pub use compiled_function::CompiledFunction;
+pub use compiled_function::{CompiledFunction, StreamRunner};
 pub use image::{from_image, to_image, ImageError, IMAGE_VERSION};
 pub use instr::{Op, VmType};

@@ -20,7 +20,29 @@ pub fn execute(
     abort: &AbortSignal,
     engine: Option<&mut Interpreter>,
 ) -> Result<Value, RuntimeError> {
-    let mut regs: Vec<Value> = vec![Value::Null; nregs];
+    let mut regs: Vec<Value> = Vec::new();
+    execute_in(ops, nregs, args, &mut regs, abort, engine)
+}
+
+/// [`execute`] over a caller-owned register file: the streaming executor
+/// evaluates one function millions of times, so it reuses one `Vec`
+/// allocation across calls instead of allocating `nregs` boxed registers
+/// per record. The file is cleared and re-zeroed on entry, so results are
+/// identical to a fresh allocation.
+///
+/// # Errors
+///
+/// As for [`execute`].
+pub fn execute_in(
+    ops: &[Op],
+    nregs: usize,
+    args: &[Value],
+    regs: &mut Vec<Value>,
+    abort: &AbortSignal,
+    engine: Option<&mut Interpreter>,
+) -> Result<Value, RuntimeError> {
+    regs.clear();
+    regs.resize(nregs, Value::Null);
     for (i, a) in args.iter().enumerate() {
         regs[i] = a.clone();
     }

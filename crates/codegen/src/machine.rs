@@ -1151,6 +1151,24 @@ impl Frame {
 /// allocating; recursion deeper than the cap falls back to fresh frames.
 pub const FRAME_POOL_CAP: usize = 64;
 
+/// A dedicated entry frame for a run of repeated calls to one function
+/// (the `wolfram-stream` executor). The first call through
+/// [`Machine::call_streaming`] allocates the frame (a recorded miss);
+/// every later call resets and reuses it (a recorded reset), bypassing
+/// the machine's shared pool entirely. Inner indirect calls made *during*
+/// execution still go through the pool as before.
+#[derive(Default)]
+pub struct CallSession {
+    frame: Option<Frame>,
+}
+
+impl CallSession {
+    /// A session with no frame yet; the first call allocates it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Execution statistics: dynamic op/dyad frequencies (populated only while
 /// [`Machine::profile_ops`] is enabled) and the always-on frame-pool
 /// hit/miss counters.
@@ -1315,11 +1333,13 @@ impl Machine {
         let mut frame = match self.frame_pool.pop() {
             Some(mut fr) => {
                 self.pool_hits += 1;
+                wolfram_runtime::memory::record_frame_hit();
                 fr.reset(func);
                 fr
             }
             None => {
                 self.pool_misses += 1;
+                wolfram_runtime::memory::record_frame_miss();
                 Frame::new(func)
             }
         };
@@ -1344,6 +1364,74 @@ impl Machine {
         if self.frame_pool.len() < FRAME_POOL_CAP {
             self.frame_pool.push(frame);
         }
+        out
+    }
+
+    /// Calls function `fix` through a [`CallSession`], resetting and
+    /// reusing the session's dedicated frame instead of cycling it through
+    /// the machine pool. This is the `wolfram-stream` entry path: a stream
+    /// applies one compiled function to millions of records, so the frame
+    /// shape never changes between calls and the pop/push plus full
+    /// re-shape of [`Machine::call_with_engine`] is pure overhead.
+    ///
+    /// The refcount-balance invariant is identical to the pooled path: an
+    /// error unwind drains the frame's `acquired` flags through
+    /// `record_release`, and held values are dropped before the frame goes
+    /// back into the session, so an aborted record cannot poison the next.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::call`]. `args` is drained on every path, including
+    /// errors, so the caller can keep reusing its argument buffer.
+    pub fn call_streaming(
+        &mut self,
+        prog: &NativeProgram,
+        fix: usize,
+        session: &mut CallSession,
+        args: &mut Vec<ArgVal>,
+        mut engine: Option<&mut Interpreter>,
+    ) -> Result<ArgVal, RuntimeError> {
+        let func = &prog.funcs[fix];
+        if args.len() != func.params.len() {
+            args.clear();
+            return Err(RuntimeError::Type(format!(
+                "{} expected {} arguments, got {}",
+                func.name,
+                func.params.len(),
+                args.len()
+            )));
+        }
+        let mut frame = match session.frame.take() {
+            Some(mut fr) => {
+                wolfram_runtime::memory::record_frame_reset();
+                fr.reset(func);
+                fr
+            }
+            None => {
+                wolfram_runtime::memory::record_frame_miss();
+                Frame::new(func)
+            }
+        };
+        let mut stored = Ok(());
+        for (slot, arg) in func.params.iter().zip(args.drain(..)) {
+            if stored.is_ok() {
+                stored = frame.store(*slot, arg);
+            }
+        }
+        let out = match stored {
+            Ok(()) => self.run(prog, func, &mut frame, &mut engine),
+            Err(e) => Err(e),
+        };
+        if out.is_err() {
+            // Same unwind accounting as `call_with_engine` (F7).
+            for ac in &mut frame.acquired {
+                if std::mem::take(ac) {
+                    wolfram_runtime::memory::record_release();
+                }
+            }
+        }
+        frame.vals.clear();
+        session.frame = Some(frame);
         out
     }
 

@@ -192,7 +192,7 @@ impl CompiledCodeFunction {
     }
 
     /// Unboxes an argument expression against a parameter type.
-    fn unbox(&self, e: &Expr, ty: &Type) -> Result<ArgVal, RuntimeError> {
+    pub(crate) fn unbox(&self, e: &Expr, ty: &Type) -> Result<ArgVal, RuntimeError> {
         let type_err = |what: &str| {
             RuntimeError::Type(format!(
                 "argument {what} does not match parameter type {ty}"

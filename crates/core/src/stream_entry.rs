@@ -1,0 +1,272 @@
+//! The streaming entry fast path: validate the calling convention once
+//! per stream, not once per record.
+//!
+//! [`CompiledCodeFunction::call`] re-derives the register bank for every
+//! parameter type on every call (string-comparing atomic type names),
+//! re-borrows its shared machine through a `RefCell`, clones the abort
+//! signal, and cycles a frame through the machine pool. None of that work
+//! depends on the record — only on the function's signature, which a
+//! stream fixes up front. [`StreamCaller`] hoists it all to construction
+//! time: parameter types are compiled into a [`ParamPlan`] decode table,
+//! the machine and abort signal are bound once, and every call reuses one
+//! dedicated frame via [`Machine::call_streaming`] plus one marshaling
+//! buffer.
+//!
+//! Semantics are deliberately bit-identical to instantiating the artifact
+//! and calling it once per record in standalone mode: the decode table
+//! mirrors `unbox_value`'s match structure case for case (including the
+//! absence of a rank check on direct tensor values and the full
+//! expression-path checks for `Value::Expr` arguments), and the frame
+//! reset zeroes register banks exactly as pool reuse does. The
+//! equivalence oracle in `wolfram-stream` asserts this across tiers.
+
+use wolfram_codegen::lower::result_to_value;
+use wolfram_codegen::{ArgVal, Bank, CallSession, Machine, NativeProgram};
+use wolfram_runtime::{AbortSignal, RuntimeError, Value};
+use wolfram_types::Type;
+
+use crate::engine::{CompiledArtifact, CompiledCodeFunction};
+
+use std::sync::Arc;
+
+/// A per-parameter decode plan, precomputed from the parameter type.
+///
+/// Each variant captures everything `unbox_value` would re-derive from
+/// the `Type` on every call; the type itself is kept only for the
+/// expression slow path (symbolic arguments), which needs the full
+/// boxing rules.
+enum PlanKind {
+    /// Scalar/value parameter: decode through a precomputed register bank.
+    Bank(Bank),
+    /// `Arrow` (function-typed) parameter: function values pass through.
+    Arrow,
+    /// `Tensor[elem, rank?]` parameter: precomputed element promotion and
+    /// element-type check for direct tensor values.
+    Tensor {
+        promote_real: bool,
+        elem: Option<Arc<str>>,
+    },
+}
+
+struct ParamPlan {
+    ty: Type,
+    kind: PlanKind,
+}
+
+impl ParamPlan {
+    fn new(ty: &Type) -> Self {
+        let kind = match ty {
+            Type::Arrow { .. } => PlanKind::Arrow,
+            Type::Constructor { name, args } if &**name == "Tensor" => {
+                let elem = match args.first() {
+                    Some(Type::Atomic(n)) => Some(n.clone()),
+                    _ => None,
+                };
+                PlanKind::Tensor {
+                    promote_real: elem.as_deref() == Some("Real64"),
+                    elem,
+                }
+            }
+            Type::Atomic(n) => PlanKind::Bank(match &**n {
+                "Integer64" | "Integer32" | "Integer16" | "Integer8" | "Boolean" => Bank::I,
+                "Real64" | "Real32" => Bank::F,
+                "ComplexReal64" => Bank::C,
+                _ => Bank::V,
+            }),
+            _ => PlanKind::Bank(Bank::V),
+        };
+        ParamPlan {
+            ty: ty.clone(),
+            kind,
+        }
+    }
+}
+
+/// Decodes one record field against its precomputed plan. This mirrors
+/// `CompiledCodeFunction::unbox_value` arm for arm; `cf` is needed only
+/// for the `Value::Expr` slow path.
+fn decode(cf: &CompiledCodeFunction, plan: &ParamPlan, v: &Value) -> Result<ArgVal, RuntimeError> {
+    match (v, &plan.kind) {
+        (Value::Function(_), PlanKind::Arrow) => Ok(ArgVal::V(v.clone())),
+        (Value::Tensor(t), PlanKind::Tensor { promote_real, elem }) => {
+            let t = if *promote_real {
+                t.to_f64_tensor()
+            } else {
+                t.clone()
+            };
+            if let Some(n) = elem {
+                if t.data().element_type() != &**n {
+                    return Err(RuntimeError::Type(format!(
+                        "{} tensor does not match {}",
+                        t.data().element_type(),
+                        plan.ty
+                    )));
+                }
+            }
+            Ok(ArgVal::V(Value::Tensor(t)))
+        }
+        (Value::Expr(e), _) => cf.unbox(e, &plan.ty),
+        (_, PlanKind::Bank(bank)) => ArgVal::from_value(v, *bank),
+        // Non-tensor value against a tensor type, or non-function value
+        // against an arrow type: `unbox_value` falls through to the bank
+        // branch, which derives `Bank::V` for both constructor shapes.
+        _ => ArgVal::from_value(v, Bank::V),
+    }
+}
+
+/// A compile-once, call-millions entry point over a [`CompiledArtifact`].
+///
+/// Owns a standalone machine, a dedicated reusable call frame
+/// ([`CallSession`]), a reusable marshaling buffer, and the per-parameter
+/// decode table. Each worker in a stream holds its own `StreamCaller`
+/// (the type is deliberately single-threaded; the artifact it was built
+/// from is the `Send + Sync` piece).
+pub struct StreamCaller {
+    cf: CompiledCodeFunction,
+    plans: Vec<ParamPlan>,
+    ret_bool: bool,
+    machine: Machine,
+    session: CallSession,
+    buf: Vec<ArgVal>,
+}
+
+impl StreamCaller {
+    /// Binds `artifact` for streaming: validates the signature and builds
+    /// the decode table once.
+    pub fn new(artifact: &CompiledArtifact) -> Self {
+        let cf = artifact.instantiate();
+        let plans = cf.param_types.iter().map(ParamPlan::new).collect();
+        let ret_bool = matches!(&cf.return_type, Type::Atomic(n) if &**n == "Boolean");
+        let mut machine = Machine::standalone();
+        machine.abort = cf.abort.clone();
+        StreamCaller {
+            cf,
+            plans,
+            ret_bool,
+            machine,
+            session: CallSession::new(),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Number of parameters (record fields per event).
+    pub fn arity(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The abort signal checked by compiled code; trigger it to stop a
+    /// record mid-execution (shutdown, deadlines).
+    pub fn abort_signal(&self) -> &AbortSignal {
+        &self.cf.abort
+    }
+
+    /// Applies the compiled function to one record.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors standalone [`CompiledCodeFunction::call`] would
+    /// produce for the same arguments: type mismatches, numeric
+    /// exceptions, aborts. An error leaves the caller reusable — the
+    /// session frame is unwound with balanced refcount accounting.
+    pub fn call(&mut self, args: &[Value]) -> Result<Value, RuntimeError> {
+        if args.len() != self.plans.len() {
+            return Err(RuntimeError::Type(format!(
+                "expected {} arguments, got {}",
+                self.plans.len(),
+                args.len()
+            )));
+        }
+        self.buf.clear();
+        for (v, plan) in args.iter().zip(&self.plans) {
+            self.buf.push(decode(&self.cf, plan, v)?);
+        }
+        let out = self.machine.call_streaming(
+            &self.cf.program,
+            0,
+            &mut self.session,
+            &mut self.buf,
+            None,
+        )?;
+        Ok(result_to_value(out, &self.cf.return_type))
+    }
+
+    /// The executable program (for introspection in benches).
+    pub fn program(&self) -> &NativeProgram {
+        &self.cf.program
+    }
+
+    /// Whether the return type is `Boolean` (the only type that changes
+    /// value repacking; exposed for tests).
+    pub fn returns_boolean(&self) -> bool {
+        self.ret_bool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Compiler;
+    use wolfram_expr::Expr;
+
+    fn artifact(src: &str) -> CompiledArtifact {
+        Compiler::default()
+            .function_compile_src(src)
+            .unwrap()
+            .artifact()
+    }
+
+    #[test]
+    fn streaming_calls_match_one_shot() {
+        let art = artifact("Function[{Typed[n, \"MachineInteger\"]}, 3*n + 7]");
+        let mut sc = StreamCaller::new(&art);
+        for n in [0i64, 1, -5, 1_000_000] {
+            let streamed = sc.call(&[Value::I64(n)]).unwrap();
+            let oneshot = art.instantiate().call(&[Value::I64(n)]).unwrap();
+            assert_eq!(streamed, oneshot);
+        }
+    }
+
+    #[test]
+    fn frame_reuse_is_recorded() {
+        wolfram_runtime::memory::reset_stats();
+        let art = artifact("Function[{Typed[n, \"MachineInteger\"]}, n*n]");
+        let mut sc = StreamCaller::new(&art);
+        for n in 0..10 {
+            sc.call(&[Value::I64(n)]).unwrap();
+        }
+        let stats = wolfram_runtime::memory::stats();
+        assert_eq!(stats.frame_misses, 1, "{stats:?}");
+        assert_eq!(stats.frame_resets, 9, "{stats:?}");
+    }
+
+    #[test]
+    fn errors_do_not_poison_the_session() {
+        let art = artifact("Function[{Typed[n, \"MachineInteger\"]}, n*n]");
+        let mut sc = StreamCaller::new(&art);
+        // Thread-local counters are per-test-thread, so the balance of
+        // exactly this call sequence is observable here.
+        wolfram_runtime::memory::reset_stats();
+        assert!(sc.call(&[Value::I64(i64::MAX)]).is_err());
+        assert!(sc.call(&[Value::Str(Arc::new("x".into()))]).is_err());
+        assert_eq!(sc.call(&[Value::I64(9)]).unwrap(), Value::I64(81));
+        let st = wolfram_runtime::memory::stats();
+        assert!(st.balanced(), "aborted records must release: {st:?}");
+        assert!(st.frame_resets >= 1, "session frame survived the errors");
+    }
+
+    #[test]
+    fn tensor_and_expr_arguments_decode() {
+        let art = artifact("Function[{Typed[v, \"Tensor\"[\"Real64\", 1]]}, v[[1]] + v[[-1]]]");
+        let mut sc = StreamCaller::new(&art);
+        // Direct tensor value: integer data promotes to the real element
+        // type, as in unbox_value.
+        let t = Value::Tensor(wolfram_runtime::Tensor::from_i64(vec![1, 2, 3]));
+        assert_eq!(sc.call(&[t]).unwrap(), Value::F64(4.0));
+        // Symbolic route: a list expression goes through the full unboxer.
+        let e = Value::Expr(wolfram_expr::parse("{1.5, 2.0, 3.5}").unwrap());
+        assert_eq!(sc.call(&[e]).unwrap(), Value::F64(5.0));
+        // Mismatched expression stays an error.
+        let bad = Value::Expr(Expr::string("nope"));
+        assert!(sc.call(&[bad]).is_err());
+    }
+}

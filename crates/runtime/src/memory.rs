@@ -14,6 +14,9 @@ thread_local! {
     static ACQUIRES: Cell<u64> = const { Cell::new(0) };
     static RELEASES: Cell<u64> = const { Cell::new(0) };
     static TENSOR_COPIES: Cell<u64> = const { Cell::new(0) };
+    static FRAME_HITS: Cell<u64> = const { Cell::new(0) };
+    static FRAME_MISSES: Cell<u64> = const { Cell::new(0) };
+    static FRAME_RESETS: Cell<u64> = const { Cell::new(0) };
 }
 
 // Cross-thread aggregation (the serve worker pool). The hot recording path
@@ -25,6 +28,9 @@ thread_local! {
 static GLOBAL_ACQUIRES: AtomicU64 = AtomicU64::new(0);
 static GLOBAL_RELEASES: AtomicU64 = AtomicU64::new(0);
 static GLOBAL_TENSOR_COPIES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_FRAME_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_FRAME_MISSES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_FRAME_RESETS: AtomicU64 = AtomicU64::new(0);
 
 /// A snapshot of the instrumentation counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -35,12 +41,27 @@ pub struct MemoryStats {
     pub releases: u64,
     /// Copy-on-write tensor copies performed.
     pub tensor_copies: u64,
+    /// Calls served by a recycled frame from a machine's frame pool.
+    pub frame_hits: u64,
+    /// Calls that allocated a fresh frame (pool empty, or the first call
+    /// of a streaming session).
+    pub frame_misses: u64,
+    /// Streaming calls that reset-and-reused a dedicated session frame
+    /// instead of going through the pool at all (the `wolfram-stream`
+    /// entry path).
+    pub frame_resets: u64,
 }
 
 impl MemoryStats {
     /// Whether every acquire has a matching release.
     pub fn balanced(&self) -> bool {
         self.acquires == self.releases
+    }
+
+    /// Calls that reused an existing frame allocation (pool hit or
+    /// streaming reset) rather than allocating a fresh one.
+    pub fn frames_reused(&self) -> u64 {
+        self.frame_hits + self.frame_resets
     }
 }
 
@@ -74,12 +95,33 @@ pub fn record_tensor_copy() {
     TENSOR_COPIES.with(|c| c.set(c.get() + 1));
 }
 
+/// Records a call served by a pooled frame.
+#[inline]
+pub fn record_frame_hit() {
+    FRAME_HITS.with(|c| c.set(c.get() + 1));
+}
+
+/// Records a call that allocated a fresh frame.
+#[inline]
+pub fn record_frame_miss() {
+    FRAME_MISSES.with(|c| c.set(c.get() + 1));
+}
+
+/// Records a streaming call that reset-and-reused its session frame.
+#[inline]
+pub fn record_frame_reset() {
+    FRAME_RESETS.with(|c| c.set(c.get() + 1));
+}
+
 /// Reads the current counters for this thread.
 pub fn stats() -> MemoryStats {
     MemoryStats {
         acquires: ACQUIRES.with(Cell::get),
         releases: RELEASES.with(Cell::get),
         tensor_copies: TENSOR_COPIES.with(Cell::get),
+        frame_hits: FRAME_HITS.with(Cell::get),
+        frame_misses: FRAME_MISSES.with(Cell::get),
+        frame_resets: FRAME_RESETS.with(Cell::get),
     }
 }
 
@@ -88,6 +130,9 @@ pub fn reset_stats() {
     ACQUIRES.with(|c| c.set(0));
     RELEASES.with(|c| c.set(0));
     TENSOR_COPIES.with(|c| c.set(0));
+    FRAME_HITS.with(|c| c.set(0));
+    FRAME_MISSES.with(|c| c.set(0));
+    FRAME_RESETS.with(|c| c.set(0));
 }
 
 /// Moves this thread's counters into the process-wide totals, resetting
@@ -99,6 +144,9 @@ pub fn flush_thread_stats() {
     GLOBAL_ACQUIRES.fetch_add(s.acquires, Ordering::Relaxed);
     GLOBAL_RELEASES.fetch_add(s.releases, Ordering::Relaxed);
     GLOBAL_TENSOR_COPIES.fetch_add(s.tensor_copies, Ordering::Relaxed);
+    GLOBAL_FRAME_HITS.fetch_add(s.frame_hits, Ordering::Relaxed);
+    GLOBAL_FRAME_MISSES.fetch_add(s.frame_misses, Ordering::Relaxed);
+    GLOBAL_FRAME_RESETS.fetch_add(s.frame_resets, Ordering::Relaxed);
 }
 
 /// The process-wide totals accumulated by [`flush_thread_stats`].
@@ -107,6 +155,9 @@ pub fn global_stats() -> MemoryStats {
         acquires: GLOBAL_ACQUIRES.load(Ordering::Relaxed),
         releases: GLOBAL_RELEASES.load(Ordering::Relaxed),
         tensor_copies: GLOBAL_TENSOR_COPIES.load(Ordering::Relaxed),
+        frame_hits: GLOBAL_FRAME_HITS.load(Ordering::Relaxed),
+        frame_misses: GLOBAL_FRAME_MISSES.load(Ordering::Relaxed),
+        frame_resets: GLOBAL_FRAME_RESETS.load(Ordering::Relaxed),
     }
 }
 
@@ -115,6 +166,9 @@ pub fn reset_global_stats() {
     GLOBAL_ACQUIRES.store(0, Ordering::Relaxed);
     GLOBAL_RELEASES.store(0, Ordering::Relaxed);
     GLOBAL_TENSOR_COPIES.store(0, Ordering::Relaxed);
+    GLOBAL_FRAME_HITS.store(0, Ordering::Relaxed);
+    GLOBAL_FRAME_MISSES.store(0, Ordering::Relaxed);
+    GLOBAL_FRAME_RESETS.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -134,7 +188,8 @@ mod tests {
             MemoryStats {
                 acquires: 2,
                 releases: 1,
-                tensor_copies: 1
+                tensor_copies: 1,
+                ..MemoryStats::default()
             }
         );
         assert!(!s.balanced());
@@ -154,6 +209,9 @@ mod tests {
                     record_acquire();
                     record_release();
                     record_tensor_copy();
+                    record_frame_hit();
+                    record_frame_miss();
+                    record_frame_reset();
                     flush_thread_stats();
                     // Flushing resets the thread-local view.
                     assert_eq!(stats(), MemoryStats::default());
@@ -167,6 +225,10 @@ mod tests {
         assert_eq!(g.acquires, 4);
         assert_eq!(g.releases, 4);
         assert_eq!(g.tensor_copies, 4);
+        assert_eq!(g.frame_hits, 4);
+        assert_eq!(g.frame_misses, 4);
+        assert_eq!(g.frame_resets, 4);
+        assert_eq!(g.frames_reused(), 8);
         assert!(g.balanced());
         reset_global_stats();
         assert_eq!(global_stats(), MemoryStats::default());

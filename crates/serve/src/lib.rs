@@ -97,7 +97,7 @@ pub use deadline::DeadlineTimer;
 pub use disk::{DiskCache, DiskOutcome};
 pub use key::CacheKey;
 pub use metrics::{fmt_ns, Histogram, ServeMetrics};
-pub use net::{NetClient, NetConfig, NetReply};
+pub use net::{serve_listener, NetClient, NetConfig, NetReply, StreamHandler, StreamSession};
 pub use pool::{
     CacheStatus, PendingReply, ServeConfig, ServeError, ServePool, ServeReply, ServeRequest,
     TierPolicy,

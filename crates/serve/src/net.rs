@@ -60,12 +60,26 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Wire-protocol knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct NetConfig {
     /// Per-connection in-flight request cap (the fairness bound).
     pub max_pipeline: usize,
     /// Largest accepted frame payload, in bytes.
     pub max_frame: usize,
+    /// Handler for `!stream` sessions; `None` rejects them. Implemented
+    /// by `wolfram-stream` and injected by the CLI, so the wire layer
+    /// stays free of a dependency on the streaming engine.
+    pub stream: Option<Arc<dyn StreamHandler>>,
+}
+
+impl std::fmt::Debug for NetConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetConfig")
+            .field("max_pipeline", &self.max_pipeline)
+            .field("max_frame", &self.max_frame)
+            .field("stream", &self.stream.is_some())
+            .finish()
+    }
 }
 
 impl Default for NetConfig {
@@ -73,8 +87,39 @@ impl Default for NetConfig {
         NetConfig {
             max_pipeline: 32,
             max_frame: 1 << 20,
+            stream: None,
         }
     }
+}
+
+/// Server-side entry point for `!stream` sessions: compiles the streamed
+/// function once and hands back a per-connection session.
+pub trait StreamHandler: Send + Sync {
+    /// Starts a session for `spec` (the text after `!stream`, normally a
+    /// `Function[...]` in input form). An `Err` is reported to the client
+    /// as an `err` reply and the connection stays in request mode.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason the stream could not start (parse or
+    /// compile failure, unsupported signature).
+    fn begin(&self, spec: &str) -> Result<Box<dyn StreamSession>, String>;
+}
+
+/// One active `!stream` session on one connection. While a session is
+/// open, every frame on the connection is a record (replied to with one
+/// frame, in order) until the `!end` sentinel, which yields the final
+/// metrics table and returns the connection to request mode.
+///
+/// Sessions are created and used on a single connection thread, so they
+/// may hold thread-confined execution state (a register machine, its
+/// reusable frame) — deliberately no `Send` bound.
+pub trait StreamSession {
+    /// Processes one record line, returning its wire reply line
+    /// (`ok <result...>` or `err <message...>`).
+    fn record(&mut self, line: &str) -> String;
+    /// Ends the session and renders its metrics summary.
+    fn finish(&mut self) -> String;
 }
 
 /// Parses one request line: `{Function[...], {arg, ...}}`. Shared by the
@@ -251,6 +296,13 @@ fn handle_connection(
         // Runs until client EOF or a protocol error; on server shutdown
         // the process exits, which closes in-flight connections (the CI
         // lifecycle stops clients before the server).
+        //
+        // While a `!stream` session is open, every frame is a record
+        // handled synchronously on this thread (the function was compiled
+        // once at `!stream` time; records bypass the pool). Replies still
+        // flow through the writer channel, so the pipelining cap bounds
+        // un-drained stream replies exactly as it bounds pool requests.
+        let mut session: Option<Box<dyn StreamSession>> = None;
         loop {
             let Some(payload) = read_frame(&mut reader, config.max_frame)? else {
                 return Ok(()); // clean EOF
@@ -262,8 +314,29 @@ fn handle_connection(
                 ));
             };
             let text = text.trim();
-            let slot = if text == "!stats" {
+            let slot = if let Some(sess) = session.as_deref_mut() {
+                if text == "!end" {
+                    let summary = sess.finish();
+                    session = None;
+                    ReplySlot::Immediate(summary)
+                } else {
+                    ReplySlot::Immediate(sess.record(text))
+                }
+            } else if text == "!stats" {
                 ReplySlot::Stats
+            } else if let Some(spec) = text.strip_prefix("!stream") {
+                match &config.stream {
+                    None => {
+                        ReplySlot::Immediate("err streaming is not enabled on this server".into())
+                    }
+                    Some(handler) => match handler.begin(spec.trim()) {
+                        Ok(sess) => {
+                            session = Some(sess);
+                            ReplySlot::Immediate("ok stream".into())
+                        }
+                        Err(e) => ReplySlot::Immediate(format!("err {e}")),
+                    },
+                }
             } else {
                 match parse_request_line(text) {
                     Err(e) => ReplySlot::Immediate(format!("err request error: {e}")),
@@ -393,6 +466,21 @@ impl NetClient {
         let text = String::from_utf8(payload)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         NetReply::parse(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Sends one raw line and returns the raw reply text (the `!stream`
+    /// sub-protocol: `!stream Function[...]`, record lines, `!end`).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or server disconnect.
+    pub fn call_raw(&mut self, line: &str) -> std::io::Result<String> {
+        write_frame(&mut self.writer, line.as_bytes())?;
+        let payload = read_frame(&mut self.reader, self.max_frame)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed")
+        })?;
+        String::from_utf8(payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
     }
 
     /// Fetches the server's metrics snapshot (`!stats`).

@@ -1,0 +1,121 @@
+//! Per-stage stream observability, reusing the serve layer's lock-free
+//! histogram atoms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use wolfram_serve::{fmt_ns, Histogram};
+
+/// Counters and latency histograms for one stream run. Shared by the
+/// producer, every executor worker, and the in-order drain.
+#[derive(Debug, Default)]
+pub struct StreamMetrics {
+    /// Records admitted into the batcher.
+    pub records_in: AtomicU64,
+    /// Records completing with a value.
+    pub records_ok: AtomicU64,
+    /// Records completing with an error (parse, type, or runtime).
+    pub records_err: AtomicU64,
+    /// Batches dispatched to workers.
+    pub batches: AtomicU64,
+    /// Total batch slots dispatched (`batches × batch_size`); with
+    /// `records_in` this gives the batch fill ratio.
+    pub batch_slots: AtomicU64,
+    /// Input-queue depth high-water mark, in batches.
+    pub queue_depth_max: AtomicU64,
+    /// Per-record execution latency.
+    pub record_latency: Histogram,
+}
+
+impl StreamMetrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of dispatched batch slots actually filled, in `[0, 1]`
+    /// (1 when nothing was dispatched).
+    pub fn fill_ratio(&self) -> f64 {
+        let slots = self.batch_slots.load(Ordering::Relaxed);
+        if slots == 0 {
+            1.0
+        } else {
+            self.records_in.load(Ordering::Relaxed) as f64 / slots as f64
+        }
+    }
+
+    /// Observes the input queue depth, updating the high-water mark.
+    pub fn observe_queue_depth(&self, depth: usize) {
+        self.queue_depth_max
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Events per second over `elapsed` (0 for an empty interval).
+    pub fn events_per_sec(&self, elapsed: Duration) -> f64 {
+        let done =
+            self.records_ok.load(Ordering::Relaxed) + self.records_err.load(Ordering::Relaxed);
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            done as f64 / elapsed.as_secs_f64()
+        }
+    }
+
+    /// Renders the stream stats table (the SIGTERM drain and `!end` both
+    /// print this).
+    pub fn render(&self, elapsed: Duration) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let h = &self.record_latency;
+        let mut out = String::new();
+        out.push_str("stream stats\n");
+        out.push_str(&format!(
+            "  records    in {:>10}  ok {:>10}  err {:>6}\n",
+            g(&self.records_in),
+            g(&self.records_ok),
+            g(&self.records_err),
+        ));
+        out.push_str(&format!(
+            "  batches    n {:>11}  fill {:>7.1}%  queue-max {:>5}\n",
+            g(&self.batches),
+            self.fill_ratio() * 100.0,
+            g(&self.queue_depth_max),
+        ));
+        out.push_str(&format!(
+            "  latency    mean {:>9}  p50 {:>9}  p95 {:>9}  p99 {:>9}\n",
+            fmt_ns(h.mean_ns()),
+            fmt_ns(h.quantile_ns(0.50)),
+            fmt_ns(h.quantile_ns(0.95)),
+            fmt_ns(h.quantile_ns(0.99)),
+        ));
+        out.push_str(&format!(
+            "  throughput {:>12.0} events/sec over {:.3}s\n",
+            self.events_per_sec(elapsed),
+            elapsed.as_secs_f64(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_ratio_and_render() {
+        let m = StreamMetrics::new();
+        m.records_in.store(7, Ordering::Relaxed);
+        m.records_ok.store(6, Ordering::Relaxed);
+        m.records_err.store(1, Ordering::Relaxed);
+        m.batches.store(2, Ordering::Relaxed);
+        m.batch_slots.store(8, Ordering::Relaxed);
+        m.observe_queue_depth(3);
+        m.observe_queue_depth(1);
+        m.record_latency.record(1_000);
+        assert!((m.fill_ratio() - 0.875).abs() < 1e-9);
+        assert_eq!(m.queue_depth_max.load(Ordering::Relaxed), 3);
+        let t = m.render(Duration::from_secs(1));
+        for needle in ["records", "batches", "latency", "throughput", "87.5%"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+        assert!((m.events_per_sec(Duration::from_secs(1)) - 7.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,62 @@
+//! The record source/sink layer: line-delimited values.
+//!
+//! A record is one line of text. For a unary function the whole line is
+//! the single argument (so `{1.0, 2.0}` can feed a tensor parameter);
+//! for higher arities the line must be a list with one element per
+//! parameter: `{3, 4.5}`. Everything parses through the ordinary
+//! expression reader, so records carry exactly what one-shot evaluation
+//! would see.
+
+use wolfram_runtime::Value;
+
+/// One decoded record: the argument vector for a single application.
+pub type Record = Vec<Value>;
+
+/// Parses one record line against the stream function's arity.
+///
+/// # Errors
+///
+/// A human-readable description of the malformed line.
+pub fn parse_record(line: &str, arity: usize) -> Result<Record, String> {
+    let expr = wolfram_expr::parse(line).map_err(|e| e.to_string())?;
+    if arity == 1 {
+        return Ok(vec![Value::from_expr(&expr)]);
+    }
+    if !expr.has_head("List") || expr.args().len() != arity {
+        return Err(format!(
+            "expected a {arity}-element argument list, got {}",
+            line.trim()
+        ));
+    }
+    Ok(expr.args().iter().map(Value::from_expr).collect())
+}
+
+/// Renders one per-record result as its output line.
+pub fn render_result(r: &Result<Value, wolfram_runtime::RuntimeError>) -> String {
+    match r {
+        Ok(v) => format!("ok {}", v.to_expr().to_input_form()),
+        Err(e) => format!("err {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_records_take_the_whole_line() {
+        let r = parse_record("{1, 2, 3}", 1).unwrap();
+        assert_eq!(r.len(), 1);
+        let r = parse_record("42", 1).unwrap();
+        assert_eq!(r, vec![Value::I64(42)]);
+    }
+
+    #[test]
+    fn n_ary_records_need_a_matching_list() {
+        let r = parse_record("{3, 4.5}", 2).unwrap();
+        assert_eq!(r, vec![Value::I64(3), Value::F64(4.5)]);
+        assert!(parse_record("{3}", 2).is_err());
+        assert!(parse_record("3", 2).is_err());
+        assert!(parse_record("{", 2).is_err());
+    }
+}

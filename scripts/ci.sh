@@ -85,6 +85,23 @@ echo "==> parallel: bench-parallel smoke (result equivalence, balanced counters)
 # report is uploaded as a workflow artifact by ci.yml.
 ./target/release/reproduce bench-parallel --quick --json BENCH_parallel.json
 
+echo "==> stream: bench-stream smoke (equivalence, balanced counters, throughput floor)"
+# Quick-scale streaming sweep; exits nonzero if any configuration's output
+# differs from a one-shot loop of the same tier, the memory counters end
+# up imbalanced, no frame resets were recorded (the reuse path didn't
+# run), or the best streamed speedup misses the sanity floor. The JSON
+# report is uploaded as a workflow artifact by ci.yml.
+./target/release/reproduce bench-stream --quick --json BENCH_stream.json
+
+echo "==> stream: CLI smoke (line-delimited records, in-order replies)"
+STREAM_OUT="$(printf '1\n2\nnope\n4\n' | ./target/release/reproduce stream \
+  --function 'Function[{Typed[n, "MachineInteger"]}, n*n]' --batch 2 2>/dev/null)"
+if [ "$STREAM_OUT" != "$(printf 'ok 1\nok 4\nerr type error: argument nope does not match parameter type Integer64\nok 16')" ]; then
+  echo "unexpected stream output:" >&2
+  echo "$STREAM_OUT" >&2
+  exit 1
+fi
+
 echo "==> lint: cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

@@ -15,6 +15,9 @@
 //!   listing, WVM bytecode, standalone export.
 //! - [`serve`] — the concurrent compile-and-evaluate service: sharded
 //!   worker pool, content-addressed artifact cache, deadlines, metrics.
+//! - [`stream`] — the compile-once, evaluate-millions streaming engine:
+//!   batching executor with frame reuse, bounded queues, `!stream` wire
+//!   mode, per-stage metrics.
 //!
 //! # Quickstart
 //!
@@ -38,4 +41,5 @@ pub use wolfram_interp as interp;
 pub use wolfram_ir as ir;
 pub use wolfram_runtime as runtime;
 pub use wolfram_serve as serve;
+pub use wolfram_stream as stream;
 pub use wolfram_types as types;
